@@ -1,0 +1,59 @@
+// Ablation: which of the three pre-execution features carry the predictive
+// signal? (Design-choice ablation from DESIGN.md; not a paper figure.)
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/prediction.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/random_forest.hpp"
+
+using namespace hpcpower;
+
+int main(int argc, char** argv) {
+  const auto ctx = bench::parse_common_args(
+      argc, argv, "bench_ablation_features",
+      "ablation: BDT accuracy with feature subsets");
+  if (!ctx) return 0;
+
+  bench::print_banner(
+      "Ablation: BDT prediction with feature subsets",
+      "paper argument: user id alone is insufficient (Fig 12); adding nnodes "
+      "and walltime makes jobs predictable (Fig 13-14)");
+
+  ml::EvaluationConfig cfg;
+  cfg.seed = ctx->config.seed;
+  cfg.repeats = 5;
+  constexpr core::FeatureSet kSets[] = {
+      core::FeatureSet::kUserOnly,          core::FeatureSet::kNodesWalltime,
+      core::FeatureSet::kUserNodes,         core::FeatureSet::kUserWalltime,
+      core::FeatureSet::kUserNodesWalltime,
+  };
+
+  for (const auto& data : core::run_both_systems(ctx->config)) {
+    bench::print_system_header(data.spec);
+    std::printf("  %-22s %10s %10s %12s\n", "features", "<5% err", "<10% err",
+                "mean error");
+    for (const core::FeatureSet set : kSets) {
+      const auto dataset = core::build_prediction_dataset(data, {}, set);
+      const auto result = ml::evaluate_model(
+          dataset, [] { return std::make_unique<ml::DecisionTreeRegressor>(); }, cfg);
+      std::printf("  %-22s %9.1f%% %9.1f%% %11.1f%%\n", core::feature_set_name(set),
+                  100.0 * result.fraction_below(0.05),
+                  100.0 * result.fraction_below(0.10), 100.0 * result.mean_error());
+    }
+
+    // Model extension: does an ensemble improve on the paper's single tree?
+    const auto full = core::build_prediction_dataset(data);
+    const auto single = ml::evaluate_model(
+        full, [] { return std::make_unique<ml::DecisionTreeRegressor>(); }, cfg);
+    const auto forest = ml::evaluate_model(
+        full, [] { return std::make_unique<ml::RandomForestRegressor>(); }, cfg);
+    std::printf("\n  model extension (all three features):\n");
+    for (const auto* r : {&single, &forest})
+      std::printf("  %-22s %9.1f%% %9.1f%% %11.1f%%\n", r->model.c_str(),
+                  100.0 * r->fraction_below(0.05), 100.0 * r->fraction_below(0.10),
+                  100.0 * r->mean_error());
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Ablation: hardware over-provisioning under a fixed power budget.
+//
+// The paper's Sec 3/6 argument: because jobs draw well below TDP, a facility
+// can cap compute power below worst-case provisioning and spend the released
+// budget on MORE nodes, increasing throughput for the same electricity.
+// This bench runs that experiment: same workload pressure, power-aware
+// admission at a fixed budget, machine sizes from 560 to 728 nodes.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/system_analysis.hpp"
+#include "util/strings.hpp"
+
+using namespace hpcpower;
+
+int main(int argc, char** argv) {
+  const auto ctx = bench::parse_common_args(
+      argc, argv, "bench_ablation_overprovision",
+      "ablation: throughput vs node count under a fixed power budget");
+  if (!ctx) return 0;
+
+  const cluster::SystemSpec base = cluster::emmy_spec();
+  // Budget: 80% of the baseline machine's worst-case provisioning - roughly
+  // what Fig 2 shows Emmy actually peaks at.
+  const double budget_w = 0.80 * base.provisioned_power_watts();
+
+  bench::print_banner(
+      "Ablation: over-provisioning under a fixed power budget",
+      util::format("budget fixed at %.0f kW (80%% of Emmy's worst-case "
+                   "provisioning); paper Sec 3/6: stranded power can host "
+                   "extra nodes",
+                   budget_w / 1000.0));
+
+  std::printf("\n  %-8s %14s %14s %16s %16s\n", "nodes", "utilization",
+              "node-hours/day", "mean power", "peak power");
+  for (const std::uint32_t nodes : {560u, 600u, 650u, 700u, 728u}) {
+    cluster::SystemSpec spec = base;
+    spec.id = cluster::SystemId::kCustom;  // custom size, Emmy-like workload
+    spec.name = util::format("Emmy+%d", static_cast<int>(nodes) - 560);
+    spec.node_count = nodes;
+
+    core::StudyConfig config = ctx->config;
+    config.power_budget.watts = budget_w;
+    // Scale arrivals with the machine so demand keeps pace with capacity.
+    config.load_scale = static_cast<double>(nodes) / base.node_count;
+
+    const auto data = core::run_campaign(spec, config);
+    const auto report = core::analyze_system_utilization(data, 0);
+
+    double node_hours = 0.0;
+    for (const auto& r : data.records) node_hours += r.node_hours();
+    const double days =
+        static_cast<double>(data.series.total_power_w.size()) / (24.0 * 60.0);
+
+    std::printf("  %-8u %13.1f%% %14.0f %13.0f kW %13.0f kW\n", nodes,
+                100.0 * report.mean_system_utilization, node_hours / days,
+                report.mean_power_utilization * spec.provisioned_power_watts() / 1000.0,
+                report.peak_power_utilization * spec.provisioned_power_watts() / 1000.0);
+  }
+  std::printf(
+      "\n  reading: completed node-hours/day keep growing past 560 nodes while\n"
+      "  the power peak stays under the fixed budget - the stranded power of\n"
+      "  Fig 2 converted into throughput.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Ablation: what EASY backfill buys over strict FCFS on these workloads.
+// (Substrate design-choice ablation from DESIGN.md; not a paper figure. The
+// high utilization in Fig 1 presumes production backfilling.)
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/system_analysis.hpp"
+#include "util/strings.hpp"
+
+using namespace hpcpower;
+
+int main(int argc, char** argv) {
+  const auto ctx = bench::parse_common_args(
+      argc, argv, "bench_ablation_scheduler",
+      "ablation: utilization under EASY backfill vs strict FCFS");
+  if (!ctx) return 0;
+
+  bench::print_banner(
+      "Ablation: scheduler policy (EASY backfill vs strict FCFS)",
+      "Fig 1's >80% utilization presumes production backfilling; FCFS stalls "
+      "the machine behind wide jobs");
+
+  for (const auto& spec : cluster::studied_systems()) {
+    bench::print_system_header(spec);
+    std::printf("  %-16s %12s %12s %14s %14s\n", "policy", "utilization",
+                "power util", "mean wait", "backfilled");
+    for (const auto policy :
+         {sched::SchedulerPolicy::kFcfsBackfill, sched::SchedulerPolicy::kFcfsOnly}) {
+      core::StudyConfig config = ctx->config;
+      config.scheduler_policy = policy;
+      const auto data = core::run_campaign(spec, config);
+      const auto report = core::analyze_system_utilization(data, 0);
+      std::printf("  %-16s %11.1f%% %11.1f%% %11.0f min %13.1f%%\n",
+                  policy == sched::SchedulerPolicy::kFcfsBackfill ? "EASY backfill"
+                                                                  : "strict FCFS",
+                  100.0 * report.mean_system_utilization,
+                  100.0 * report.mean_power_utilization,
+                  data.scheduler.mean_wait_minutes(),
+                  data.scheduler.started
+                      ? 100.0 * static_cast<double>(data.scheduler.backfilled) /
+                            static_cast<double>(data.scheduler.started)
+                      : 0.0);
+    }
+  }
+  return 0;
+}

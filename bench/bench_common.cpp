@@ -1,0 +1,87 @@
+#include "bench_common.hpp"
+
+#include <cstdlib>
+
+#include "util/logging.hpp"
+#include "util/options.hpp"
+#include "util/strings.hpp"
+
+namespace hpcpower::bench {
+
+std::optional<BenchContext> parse_common_args(int argc, const char* const* argv,
+                                              const std::string& name,
+                                              const std::string& description) {
+  util::Options opts(name, description);
+  opts.add_option("days", "campaign length in simulated days", "12");
+  opts.add_option("seed", "root random seed", "42");
+  opts.add_flag("full", "run the paper-scale 151-day campaign");
+  opts.add_flag("quiet", "suppress progress logging");
+  try {
+    if (!opts.parse(argc, argv)) return std::nullopt;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    std::exit(1);
+  }
+  if (opts.flag("quiet")) util::set_log_level(util::LogLevel::kWarn);
+
+  BenchContext ctx;
+  if (opts.flag("full")) {
+    ctx.config = core::StudyConfig::paper_scale(opts.seed());
+    ctx.full_scale = true;
+  } else {
+    ctx.config.seed = opts.seed();
+    ctx.config.days = opts.number("days");
+    ctx.config.warmup_days = 3.0;
+    ctx.config.instrument_begin_day = 0.0;
+    ctx.config.instrument_end_day = ctx.config.days;
+  }
+  return ctx;
+}
+
+void print_banner(const std::string& experiment, const std::string& paper_reference) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("paper reference: %s\n", paper_reference.c_str());
+  std::printf("==============================================================\n");
+}
+
+void print_system_header(const cluster::SystemSpec& spec) {
+  std::printf("\n--- %s (%u nodes, node TDP %.0f W, provisioned %.0f kW) ---\n",
+              spec.name.c_str(), spec.node_count, spec.node_tdp_watts,
+              spec.provisioned_power_watts() / 1000.0);
+}
+
+void print_cdf(const stats::Ecdf& cdf, const std::string& x_label,
+               const char* x_format, std::size_t points) {
+  if (cdf.empty()) {
+    std::printf("  (no data)\n");
+    return;
+  }
+  std::printf("  %-14s  CDF\n", x_label.c_str());
+  for (const auto& [x, f] : cdf.curve(points)) {
+    std::printf("  ");
+    std::printf(x_format, x);
+    std::printf("  %5.2f  %s\n", f, util::ascii_bar(f, 1.0, 30).c_str());
+  }
+}
+
+void print_histogram(const stats::Histogram& hist, const std::string& x_label,
+                     const char* x_format) {
+  const auto pdf = hist.pdf();
+  double peak = 0.0;
+  for (const double d : pdf) peak = std::max(peak, d);
+  std::printf("  %-12s  density\n", x_label.c_str());
+  for (std::size_t b = 0; b < hist.bin_count(); ++b) {
+    std::printf("  ");
+    std::printf(x_format, hist.bin_center(b));
+    std::printf("  %9.5f  %s\n", pdf[b], util::ascii_bar(pdf[b], peak, 30).c_str());
+  }
+}
+
+void print_compare(const std::string& metric, const std::string& paper,
+                   const std::string& measured) {
+  std::printf("  %-42s paper: %-16s measured: %s\n", metric.c_str(), paper.c_str(),
+              measured.c_str());
+}
+
+}  // namespace hpcpower::bench

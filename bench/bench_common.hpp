@@ -1,0 +1,51 @@
+#pragma once
+// Shared scaffolding for the experiment benches (one binary per paper
+// table/figure). Every bench accepts:
+//   --days N    campaign length (default 12 simulated days)
+//   --seed S    root seed (default 42)
+//   --full      paper-scale campaign (151 days, Oct-Feb)
+//   --quiet     suppress progress logging
+// and prints its figure's measured series next to the paper's reference
+// values, so the terminal output is a directly comparable "figure".
+
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/study.hpp"
+#include "stats/ecdf.hpp"
+#include "stats/histogram.hpp"
+
+namespace hpcpower::bench {
+
+struct BenchContext {
+  core::StudyConfig config;
+  bool full_scale = false;
+};
+
+/// Parses common bench options. Returns nullopt if --help was printed.
+/// Extra per-bench options can be registered via the callback hooks.
+[[nodiscard]] std::optional<BenchContext> parse_common_args(
+    int argc, const char* const* argv, const std::string& name,
+    const std::string& description);
+
+/// Prints the bench banner: experiment id, what the paper reports.
+void print_banner(const std::string& experiment, const std::string& paper_reference);
+
+/// Prints a labelled section header for one system.
+void print_system_header(const cluster::SystemSpec& spec);
+
+/// Prints an ECDF as a fixed set of (x, F(x)) rows with ASCII bars.
+void print_cdf(const stats::Ecdf& cdf, const std::string& x_label,
+               const char* x_format = "%8.3f", std::size_t points = 12);
+
+/// Prints a histogram as (bin center, density) rows with ASCII bars.
+void print_histogram(const stats::Histogram& hist, const std::string& x_label,
+                     const char* x_format = "%8.1f");
+
+/// Prints a "paper vs measured" comparison row.
+void print_compare(const std::string& metric, const std::string& paper,
+                   const std::string& measured);
+
+}  // namespace hpcpower::bench

@@ -1,0 +1,33 @@
+// Fig 1: system utilization of Emmy and Meggie over the campaign.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/system_analysis.hpp"
+#include "util/strings.hpp"
+
+using namespace hpcpower;
+
+int main(int argc, char** argv) {
+  const auto ctx = bench::parse_common_args(
+      argc, argv, "bench_fig01_system_utilization",
+      "Fig 1: system (node) utilization over the campaign");
+  if (!ctx) return 0;
+
+  bench::print_banner("Fig 1: system utilization over the campaign",
+                      "high on both systems: Emmy mean 87%, Meggie mean 80%");
+
+  for (const auto& data : core::run_both_systems(ctx->config)) {
+    const auto report = core::analyze_system_utilization(data, 24);
+    bench::print_system_header(data.spec);
+    bench::print_compare(
+        "mean system utilization",
+        data.spec.id == cluster::SystemId::kEmmy ? "87%" : "80%",
+        util::format_percent(report.mean_system_utilization));
+    std::printf("\n  day    utilization\n");
+    for (const auto& pt : report.series)
+      std::printf("  %5.1f  %5.1f%%  %s\n", pt.day, 100.0 * pt.system_utilization,
+                  util::ascii_bar(pt.system_utilization, 1.0, 30).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Fig 2: power consumption vs provisioned power ("stranded power").
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/system_analysis.hpp"
+#include "util/strings.hpp"
+
+using namespace hpcpower;
+
+int main(int argc, char** argv) {
+  const auto ctx = bench::parse_common_args(
+      argc, argv, "bench_fig02_power_utilization",
+      "Fig 2: power utilization and stranded power over the campaign");
+  if (!ctx) return 0;
+
+  bench::print_banner(
+      "Fig 2: power consumption vs provisioned power",
+      "Emmy mean 69% (never >85%), Meggie mean 51% (never >70%); >30% stranded");
+
+  for (const auto& data : core::run_both_systems(ctx->config)) {
+    const bool emmy = data.spec.id == cluster::SystemId::kEmmy;
+    const auto report = core::analyze_system_utilization(data, 24);
+    bench::print_system_header(data.spec);
+    bench::print_compare("mean power utilization", emmy ? "69%" : "51%",
+                         util::format_percent(report.mean_power_utilization));
+    bench::print_compare("peak power utilization", emmy ? "<=85%" : "<=70%",
+                         util::format_percent(report.peak_power_utilization));
+    bench::print_compare("stranded power fraction", emmy ? "31%" : "49%",
+                         util::format_percent(report.stranded_power_fraction));
+    std::printf("  mean stranded power: %.0f kW of %.0f kW provisioned\n",
+                report.stranded_power_kw,
+                data.spec.provisioned_power_watts() / 1000.0);
+    std::printf("\n  day    power utilization\n");
+    for (const auto& pt : report.series)
+      std::printf("  %5.1f  %5.1f%%  %s\n", pt.day, 100.0 * pt.power_utilization,
+                  util::ascii_bar(pt.power_utilization, 1.0, 30).c_str());
+    // What-if power caps (the paper's suggested exploration).
+    std::printf("\n  whole-system power cap what-if:\n");
+    for (const double cap : {0.9, 0.8, 0.7, 0.6})
+      std::printf("    cap at %3.0f%% of provisioned: clipped %5.2f%% of minutes\n",
+                  100.0 * cap,
+                  100.0 * core::fraction_minutes_above_cap(data, cap));
+  }
+  return 0;
+}

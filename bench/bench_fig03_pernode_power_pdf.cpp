@@ -1,0 +1,48 @@
+// Fig 3: PDF of per-node power consumption of all jobs.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/job_analysis.hpp"
+#include "util/strings.hpp"
+
+using namespace hpcpower;
+
+int main(int argc, char** argv) {
+  const auto ctx = bench::parse_common_args(
+      argc, argv, "bench_fig03_pernode_power_pdf",
+      "Fig 3: distribution of per-node power over all jobs");
+  if (!ctx) return 0;
+
+  bench::print_banner("Fig 3: PDF of per-node power of all jobs",
+                      "Emmy mean 149 W (71% TDP) std 39 W; "
+                      "Meggie mean 114 W (59% TDP) std 20 W");
+
+  for (const auto& data : core::run_both_systems(ctx->config)) {
+    const bool emmy = data.spec.id == cluster::SystemId::kEmmy;
+    const auto report = core::analyze_per_node_power(data, {}, 30);
+    bench::print_system_header(data.spec);
+    std::printf("  jobs analyzed: %zu\n", report.watts.count);
+    bench::print_compare("mean per-node power", emmy ? "149 W" : "114 W",
+                         util::format_watts(report.watts.mean));
+    bench::print_compare("mean as fraction of TDP", emmy ? "71%" : "59%",
+                         util::format_percent(report.mean_tdp_fraction));
+    bench::print_compare("std deviation", emmy ? "39 W (26%)" : "20 W (18%)",
+                         util::format("%.1f W (%.0f%%)", report.watts.stddev,
+                                      100.0 * report.std_fraction_of_mean));
+    std::printf("\n");
+    bench::print_histogram(report.histogram, "watts");
+
+    // The paper's consistency check: Fig 3 is not an artifact of one
+    // atypical phase of the campaign.
+    const double window_days = std::max(1.0, ctx->config.days / 5.0);
+    const auto consistency = core::analyze_monthly_consistency(data, window_days);
+    std::printf("\n  consistency over %.0f-day windows (max mean deviation %.1f%%):\n",
+                window_days, 100.0 * consistency.max_mean_deviation);
+    for (const auto& w : consistency.windows)
+      std::printf("    day %5.0f+  %6zu jobs  mean %6.1f W  std %5.1f W\n",
+                  w.begin_day, w.jobs, w.mean_power_w, w.std_power_w);
+  }
+  return 0;
+}

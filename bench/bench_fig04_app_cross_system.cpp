@@ -1,0 +1,50 @@
+// Fig 4: per-node power of the five key applications on both systems.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/job_analysis.hpp"
+
+using namespace hpcpower;
+
+int main(int argc, char** argv) {
+  const auto ctx = bench::parse_common_args(
+      argc, argv, "bench_fig04_app_cross_system",
+      "Fig 4: key applications' per-node power on Emmy vs Meggie");
+  if (!ctx) return 0;
+
+  bench::print_banner(
+      "Fig 4: key applications across systems",
+      "all apps draw less on Meggie; ranking NOT preserved (MD-0 vs FASTEST)");
+
+  const workload::ApplicationCatalog catalog;
+  const auto campaigns = core::run_both_systems(ctx->config);
+  const auto emmy = core::analyze_app_power(campaigns[0], catalog);
+  const auto meggie = core::analyze_app_power(campaigns[1], catalog);
+
+  std::printf("\n  %-10s  %18s  %18s  %s\n", "app", "Emmy W (jobs)", "Meggie W (jobs)",
+              "Meggie/Emmy");
+  for (std::size_t i = 0; i < emmy.size(); ++i) {
+    std::printf("  %-10s  %8.1f W (%5zu)  %8.1f W (%5zu)  %10.2f\n",
+                emmy[i].app_name.c_str(), emmy[i].mean_power_w, emmy[i].jobs,
+                meggie[i].mean_power_w, meggie[i].jobs,
+                emmy[i].mean_power_w > 0.0 ? meggie[i].mean_power_w / emmy[i].mean_power_w
+                                           : 0.0);
+  }
+
+  const auto rank_of = [](const std::vector<core::AppPowerEntry>& entries,
+                          const std::string& name) {
+    std::size_t rank = 0;
+    double mine = 0.0;
+    for (const auto& e : entries)
+      if (e.app_name == name) mine = e.mean_power_w;
+    for (const auto& e : entries) rank += (e.mean_power_w > mine);
+    return rank + 1;
+  };
+  std::printf("\n  ranking check (1 = most power-hungry):\n");
+  for (const char* name : {"Gromacs", "MD-0", "FASTEST", "STARCCM", "WRF"})
+    std::printf("    %-10s Emmy rank %zu, Meggie rank %zu\n", name,
+                rank_of(emmy, name), rank_of(meggie, name));
+  std::printf("\n  paper: MD-0 outranks FASTEST on Emmy, FASTEST outranks MD-0 on Meggie\n");
+  return 0;
+}

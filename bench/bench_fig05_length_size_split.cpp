@@ -1,0 +1,42 @@
+// Fig 5: per-node power of short/long and small/large jobs (median splits).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/job_analysis.hpp"
+
+using namespace hpcpower;
+
+namespace {
+void print_group(const core::MedianSplitGroup& g, const char* paper) {
+  std::printf("  %-7s %6zu jobs   mean %5.1f%% of TDP (std %4.1f%%)   paper: %s\n",
+              g.label.c_str(), g.jobs, 100.0 * g.mean_tdp_fraction,
+              100.0 * g.std_tdp_fraction, paper);
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto ctx = bench::parse_common_args(
+      argc, argv, "bench_fig05_length_size_split",
+      "Fig 5: per-node power by job length and size (median splits)");
+  if (!ctx) return 0;
+
+  bench::print_banner(
+      "Fig 5: power of short/long and small/large jobs",
+      "Emmy short 65% / long 75% of TDP, small 65% / large 76%; "
+      "Meggie short 57% / long 61%, small 56% / large 62%; "
+      "long/large jobs less variable");
+
+  for (const auto& data : core::run_both_systems(ctx->config)) {
+    const bool emmy = data.spec.id == cluster::SystemId::kEmmy;
+    const auto report = core::analyze_median_splits(data);
+    bench::print_system_header(data.spec);
+    std::printf("  median runtime %.0f min, median size %.0f nodes\n",
+                report.median_runtime_min, report.median_nnodes);
+    print_group(report.short_jobs, emmy ? "65%" : "57%");
+    print_group(report.long_jobs, emmy ? "75%" : "61%");
+    print_group(report.small_jobs, emmy ? "65%" : "56%");
+    print_group(report.large_jobs, emmy ? "76%" : "62%");
+  }
+  return 0;
+}

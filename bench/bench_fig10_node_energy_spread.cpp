@@ -1,0 +1,38 @@
+// Fig 10: PDF of max-min per-node energy difference within a job.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/job_analysis.hpp"
+#include "util/strings.hpp"
+
+using namespace hpcpower;
+
+int main(int argc, char** argv) {
+  const auto ctx = bench::parse_common_args(
+      argc, argv, "bench_fig10_node_energy_spread",
+      "Fig 10: per-node energy difference (max-min)/min within a job");
+  if (!ctx) return 0;
+
+  bench::print_banner(
+      "Fig 10: node-energy spread within jobs",
+      ">20% of jobs exhibit >15% difference in per-node energy; spread "
+      "correlated with node count");
+
+  for (const auto& data : core::run_both_systems(ctx->config)) {
+    const auto report = core::analyze_energy_spread(data, {}, 24);
+    bench::print_system_header(data.spec);
+    std::printf("  multi-node jobs analyzed: %zu\n", report.multinode_jobs);
+    bench::print_compare("jobs with >15% node-energy difference", "~20%",
+                         util::format_percent(report.fraction_above_15pct));
+    bench::print_compare("mean node-energy spread", "-",
+                         util::format_percent(report.mean_spread_fraction));
+    bench::print_compare("spearman spread vs nnodes", "positive",
+                         util::format("%.2f (p=%.2g)",
+                                      report.spread_vs_nnodes.coefficient,
+                                      report.spread_vs_nnodes.p_value));
+    std::printf("\n");
+    bench::print_histogram(report.histogram, "(max-min)/min", "%12.3f");
+  }
+  return 0;
+}

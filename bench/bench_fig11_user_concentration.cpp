@@ -1,0 +1,43 @@
+// Fig 11: node-hours and energy concentration across users.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/user_analysis.hpp"
+#include "util/strings.hpp"
+
+using namespace hpcpower;
+
+int main(int argc, char** argv) {
+  const auto ctx = bench::parse_common_args(
+      argc, argv, "bench_fig11_user_concentration",
+      "Fig 11: cumulative node-hours and energy share by top users");
+  if (!ctx) return 0;
+
+  bench::print_banner("Fig 11: user concentration of node-hours and energy",
+                      "top 20% of users consume ~85% of node-hours and energy "
+                      "on both systems; ~90% overlap between both top sets");
+
+  for (const auto& data : core::run_both_systems(ctx->config)) {
+    const auto report = core::analyze_concentration(data);
+    bench::print_system_header(data.spec);
+    std::printf("  active users: %zu\n", report.users);
+    bench::print_compare("top-20% node-hours share", "~85%",
+                         util::format_percent(report.top20_node_hours_share));
+    bench::print_compare("top-20% energy share", "~85%",
+                         util::format_percent(report.top20_energy_share));
+    bench::print_compare("top-set overlap", "~90%",
+                         util::format_percent(report.top20_overlap));
+    bench::print_compare("gini (node-hours / energy)", "-",
+                         util::format("%.2f / %.2f", report.node_hours_gini,
+                                      report.energy_gini));
+    std::printf("\n  top x%% users -> cumulative share (node-hours | energy)\n");
+    for (std::size_t i = 0; i < report.node_hours_curve.size(); ++i) {
+      const auto& [frac, nh] = report.node_hours_curve[i];
+      const double en = report.energy_curve[i].second;
+      std::printf("  %5.0f%%  %5.1f%% | %5.1f%%  %s\n", 100.0 * frac, 100.0 * nh,
+                  100.0 * en, util::ascii_bar(nh, 1.0, 30).c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Fig 13: power variability after clustering jobs by (user, nnodes) and
+// (user, requested walltime).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/user_analysis.hpp"
+
+using namespace hpcpower;
+
+namespace {
+void print_report(const core::ClusterVariabilityReport& r, const char* paper_below10) {
+  std::printf("  clusters (>=3 jobs): %zu, mean cluster CV %.1f%%\n", r.clusters,
+              100.0 * r.mean_cluster_cv);
+  std::printf("    std < 10%%        : %5.1f%%   (paper: %s)\n",
+              100.0 * r.share_below_10, paper_below10);
+  std::printf("    std in [10,20)%%  : %5.1f%%\n", 100.0 * r.share_10_to_20);
+  std::printf("    std in [20,30)%%  : %5.1f%%\n", 100.0 * r.share_20_to_30);
+  std::printf("    std >= 30%%       : %5.1f%%\n", 100.0 * r.share_above_30);
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto ctx = bench::parse_common_args(
+      argc, argv, "bench_fig13_cluster_variability",
+      "Fig 13: per-cluster power variability, clustered by nodes / walltime");
+  if (!ctx) return 0;
+
+  bench::print_banner(
+      "Fig 13: variability within (user, nnodes) and (user, walltime) clusters",
+      "most clusters have <10% power std (Emmy by-nodes: 61.7% of clusters)");
+
+  for (const auto& data : core::run_both_systems(ctx->config)) {
+    const bool emmy = data.spec.id == cluster::SystemId::kEmmy;
+    bench::print_system_header(data.spec);
+    std::printf("\n  clustered by (user, number of nodes):\n");
+    print_report(core::analyze_cluster_variability(data, core::ClusterKey::kUserNodes),
+                 emmy ? "61.7%" : "majority");
+    std::printf("\n  clustered by (user, requested walltime):\n");
+    print_report(
+        core::analyze_cluster_variability(data, core::ClusterKey::kUserWalltime),
+        "majority");
+  }
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Fig 14: absolute prediction error of BDT, KNN, and FLDA.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/prediction.hpp"
+#include "util/strings.hpp"
+
+using namespace hpcpower;
+
+int main(int argc, char** argv) {
+  const auto ctx = bench::parse_common_args(
+      argc, argv, "bench_fig14_prediction_error",
+      "Fig 14: per-node power prediction error of BDT / KNN / FLDA");
+  if (!ctx) return 0;
+
+  bench::print_banner(
+      "Fig 14: pre-execution power prediction (user, nnodes, walltime)",
+      "BDT best: 90% of predictions <10% error, 75% <5%; KNN middle; FLDA "
+      "worst, notably poor on Emmy (50% of predictions >10% error)");
+
+  ml::EvaluationConfig cfg;
+  cfg.seed = ctx->config.seed;
+  for (const auto& data : core::run_both_systems(ctx->config)) {
+    const auto report = core::analyze_prediction(data, {}, cfg,
+                                                 /*include_baselines=*/true);
+    bench::print_system_header(data.spec);
+    std::printf("  jobs: %zu; 80/20 split x %zu repeats\n", report.jobs, cfg.repeats);
+    std::printf("\n  %-10s %10s %10s %10s %12s\n", "model", "<5% err", "<10% err",
+                "<20% err", "mean error");
+    for (const auto& model : report.models)
+      std::printf("  %-10s %9.1f%% %9.1f%% %9.1f%% %11.1f%%\n", model.model.c_str(),
+                  100.0 * model.fraction_below(0.05),
+                  100.0 * model.fraction_below(0.10),
+                  100.0 * model.fraction_below(0.20), 100.0 * model.mean_error());
+
+    std::printf("\n  CDF of absolute prediction error (BDT)\n");
+    bench::print_cdf(report.model("BDT").error_cdf(), "abs error");
+  }
+  return 0;
+}

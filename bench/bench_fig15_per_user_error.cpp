@@ -1,0 +1,37 @@
+// Fig 15: per-user mean absolute prediction error with the BDT model.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/prediction.hpp"
+#include "stats/ecdf.hpp"
+#include "util/strings.hpp"
+
+using namespace hpcpower;
+
+int main(int argc, char** argv) {
+  const auto ctx = bench::parse_common_args(
+      argc, argv, "bench_fig15_per_user_error",
+      "Fig 15: mean absolute prediction error per user (BDT)");
+  if (!ctx) return 0;
+
+  bench::print_banner(
+      "Fig 15: prediction quality across users (BDT)",
+      "90% of users see <5% average absolute prediction error");
+
+  ml::EvaluationConfig cfg;
+  cfg.seed = ctx->config.seed;
+  for (const auto& data : core::run_both_systems(ctx->config)) {
+    const auto report = core::analyze_prediction(data, {}, cfg);
+    const auto& bdt = report.model("BDT");
+    bench::print_system_header(data.spec);
+    std::printf("  users with predictions: %zu\n", bdt.per_user_mean_error.size());
+    bench::print_compare("users with mean error <5%", "~90%",
+                         util::format_percent(bdt.user_fraction_below(0.05)));
+    bench::print_compare("users with mean error <10%", "-",
+                         util::format_percent(bdt.user_fraction_below(0.10)));
+    std::printf("\n  CDF over users of mean absolute prediction error\n");
+    bench::print_cdf(stats::Ecdf(bdt.per_user_errors()), "mean abs error");
+  }
+  return 0;
+}

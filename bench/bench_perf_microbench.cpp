@@ -1,0 +1,108 @@
+// Google-benchmark timings of the library's hot paths. Not a paper figure;
+// guards the simulation/analysis throughput that makes --full runs practical.
+
+#include <benchmark/benchmark.h>
+
+#include <array>
+
+#include "ml/decision_tree.hpp"
+#include "ml/knn.hpp"
+#include "stats/correlation.hpp"
+#include "stats/descriptive.hpp"
+#include "util/prng.hpp"
+#include "workload/power_profile.hpp"
+
+namespace {
+
+using namespace hpcpower;
+
+void BM_RunningStatsAdd(benchmark::State& state) {
+  util::Rng rng(3);
+  std::vector<double> xs(4096);
+  for (auto& x : xs) x = rng.normal(100.0, 10.0);
+  for (auto _ : state) {
+    stats::RunningStats rs;
+    for (const double x : xs) rs.add(x);
+    benchmark::DoNotOptimize(rs.variance());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_RunningStatsAdd);
+
+void BM_SpearmanCorrelation(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(5);
+  std::vector<double> x(n), y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = rng.uniform();
+    y[i] = x[i] + rng.normal(0.0, 0.3);
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(stats::spearman(x, y).coefficient);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SpearmanCorrelation)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_PowerProfileSampling(benchmark::State& state) {
+  workload::PowerBehavior behavior;
+  behavior.base_watts = 150.0;
+  behavior.idle_watts = 42.0;
+  behavior.max_watts = 220.0;
+  behavior.phased = true;
+  behavior.phase_amplitude = 0.2;
+  behavior.phase_time_fraction = 0.2;
+  behavior.straggler_prob = 0.2;
+  behavior.job_seed = 1234;
+  const std::vector<double> mfg(16, 1.0);
+  const workload::PowerProfile profile(behavior, 480, mfg);
+  std::uint32_t minute = 0;
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (std::uint32_t n = 0; n < 16; ++n) sum += profile.node_power(minute, n);
+    benchmark::DoNotOptimize(sum);
+    minute = (minute + 1) % 480;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 16);
+}
+BENCHMARK(BM_PowerProfileSampling);
+
+ml::Dataset make_dataset(std::size_t rows) {
+  util::Rng rng(7);
+  ml::Dataset d(3);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const double user = static_cast<double>(rng.uniform_index(100));
+    const double nodes = static_cast<double>(1 << rng.uniform_index(7));
+    const double wall = static_cast<double>(60 * (1 + rng.uniform_index(8)));
+    d.add_row(std::array<double, 3>{user, nodes, wall},
+              80.0 + user + 0.1 * wall + nodes + rng.normal(0.0, 3.0),
+              static_cast<std::uint32_t>(user));
+  }
+  return d;
+}
+
+void BM_DecisionTreeFit(benchmark::State& state) {
+  const auto d = make_dataset(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    ml::DecisionTreeRegressor tree;
+    tree.fit(d);
+    benchmark::DoNotOptimize(tree.node_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_DecisionTreeFit)->Arg(1000)->Arg(10000);
+
+void BM_KnnPredict(benchmark::State& state) {
+  const auto d = make_dataset(static_cast<std::size_t>(state.range(0)));
+  ml::KnnRegressor knn;
+  knn.fit(d);
+  const std::array<double, 3> q = {50.0, 8.0, 240.0};
+  for (auto _ : state) benchmark::DoNotOptimize(knn.predict(q));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_KnnPredict)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,31 @@
+// Table 1: specifications of the two systems analyzed in the study.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "cluster/system_spec.hpp"
+
+using namespace hpcpower;
+
+int main(int argc, char** argv) {
+  const auto ctx = bench::parse_common_args(
+      argc, argv, "bench_table1_systems",
+      "Table 1: specifications of the two systems (static, ignores --days)");
+  if (!ctx) return 0;
+
+  bench::print_banner("Table 1: system specifications",
+                      "Emmy: 560 IvyBridge nodes / 210 W TDP / Torque; "
+                      "Meggie: 728 Broadwell nodes / 195 W TDP / Slurm");
+
+  const auto systems = cluster::studied_systems();
+  const auto emmy_rows = cluster::spec_rows(systems[0]);
+  const auto meggie_rows = cluster::spec_rows(systems[1]);
+  std::printf("\n%-26s| %-44s| %s\n", "", "Emmy", "Meggie");
+  std::printf("%.*s\n", 118,
+              "----------------------------------------------------------------"
+              "------------------------------------------------------");
+  for (std::size_t i = 0; i < emmy_rows.size(); ++i)
+    std::printf("%-26s| %-44.44s| %.44s\n", emmy_rows[i].first.c_str(),
+                emmy_rows[i].second.c_str(), meggie_rows[i].second.c_str());
+  return 0;
+}

@@ -1,0 +1,43 @@
+# Bench targets, included from the top-level CMakeLists (not added as a
+# subdirectory) so that build/bench/ contains ONLY the bench executables -
+# `for b in build/bench/*; do $b; done` then runs the whole harness.
+
+set(HPCPOWER_BENCH_DIR ${CMAKE_CURRENT_LIST_DIR})
+
+add_library(hpcpower_bench_common STATIC ${HPCPOWER_BENCH_DIR}/bench_common.cpp)
+target_include_directories(hpcpower_bench_common PUBLIC ${HPCPOWER_BENCH_DIR})
+target_link_libraries(hpcpower_bench_common PUBLIC hpcpower_core
+                      PRIVATE hpcpower_warnings)
+
+function(hpcpower_add_bench name)
+  add_executable(${name} ${HPCPOWER_BENCH_DIR}/${name}.cpp)
+  target_link_libraries(${name} PRIVATE hpcpower_bench_common hpcpower_warnings)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+hpcpower_add_bench(bench_table1_systems)
+hpcpower_add_bench(bench_fig01_system_utilization)
+hpcpower_add_bench(bench_fig02_power_utilization)
+hpcpower_add_bench(bench_fig03_pernode_power_pdf)
+hpcpower_add_bench(bench_fig04_app_cross_system)
+hpcpower_add_bench(bench_table2_correlations)
+hpcpower_add_bench(bench_fig05_length_size_split)
+hpcpower_add_bench(bench_fig07_temporal_cdfs)
+hpcpower_add_bench(bench_fig09_spatial_cdfs)
+hpcpower_add_bench(bench_fig10_node_energy_spread)
+hpcpower_add_bench(bench_fig11_user_concentration)
+hpcpower_add_bench(bench_fig12_user_variability)
+hpcpower_add_bench(bench_fig13_cluster_variability)
+hpcpower_add_bench(bench_fig14_prediction_error)
+hpcpower_add_bench(bench_fig15_per_user_error)
+hpcpower_add_bench(bench_ablation_features)
+hpcpower_add_bench(bench_ablation_scheduler)
+hpcpower_add_bench(bench_ablation_powercap)
+hpcpower_add_bench(bench_ablation_overprovision)
+
+add_executable(bench_perf_microbench ${HPCPOWER_BENCH_DIR}/bench_perf_microbench.cpp)
+target_link_libraries(bench_perf_microbench PRIVATE hpcpower_ml hpcpower_workload
+                      hpcpower_stats benchmark::benchmark hpcpower_warnings)
+set_target_properties(bench_perf_microbench PROPERTIES
+  RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

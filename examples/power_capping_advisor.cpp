@@ -1,0 +1,87 @@
+// power_capping_advisor: the paper's Sec 5/6 recommendation in executable
+// form. Trains the BDT power predictor on a simulated campaign, then
+// evaluates per-job static power caps set at prediction * (1 + headroom):
+// how many jobs would ever exceed their cap (risking degradation), and how
+// much provisioned power the caps release compared to TDP provisioning.
+//
+//   ./power_capping_advisor [--days 10] [--seed 42] [--system emmy|meggie]
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+
+#include "core/prediction.hpp"
+#include "core/study.hpp"
+#include "ml/decision_tree.hpp"
+#include "util/logging.hpp"
+#include "util/options.hpp"
+#include "util/strings.hpp"
+
+using namespace hpcpower;
+
+int main(int argc, char** argv) {
+  util::Options opts("power_capping_advisor",
+                     "evaluate predictive per-job power caps");
+  opts.add_option("days", "campaign length in days", "10");
+  opts.add_option("seed", "root random seed", "42");
+  opts.add_option("system", "emmy or meggie", "emmy");
+  opts.add_flag("quiet", "suppress progress logging");
+  try {
+    if (!opts.parse(argc, argv)) return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+  if (opts.flag("quiet")) util::set_log_level(util::LogLevel::kWarn);
+
+  const auto spec = util::to_lower(opts.str("system")) == "meggie"
+                        ? cluster::meggie_spec()
+                        : cluster::emmy_spec();
+  core::StudyConfig config;
+  config.seed = opts.seed();
+  config.days = opts.number("days");
+  config.instrument_begin_day = 0.0;
+  config.instrument_end_day = config.days;
+
+  std::printf("simulating %s campaign (%.0f days)...\n", spec.name.c_str(), config.days);
+  const auto data = core::run_campaign(spec, config);
+
+  // Train the predictor once and report aggregate savings if every job were
+  // capped at its personal prediction * (1 + headroom).
+  const auto dataset = core::build_prediction_dataset(data);
+  ml::DecisionTreeRegressor tree;
+  tree.fit(dataset);
+
+  std::printf("\nper-job predictive power caps on %s (%zu jobs)\n", spec.name.c_str(),
+              dataset.size());
+  std::printf("  %-10s %18s %22s\n", "headroom", "jobs over cap", "fleet power released");
+  for (const double headroom : {0.05, 0.10, 0.15, 0.20, 0.30}) {
+    const double at_risk =
+        core::fraction_jobs_at_risk_under_predictive_cap(data, headroom, {}, config.seed);
+
+    // Power released: TDP minus the cap, node-hour weighted.
+    double released_wh = 0.0, total_tdp_wh = 0.0;
+    const core::JobFilter filter;
+    for (const auto& r : data.records) {
+      if (!filter.accepts(r)) continue;
+      const std::array<double, 3> features = {static_cast<double>(r.user_id),
+                                              static_cast<double>(r.nnodes),
+                                              static_cast<double>(r.walltime_req_min)};
+      const double cap = std::min(tree.predict(features) * (1.0 + headroom),
+                                  spec.node_tdp_watts);
+      const double node_hours = r.node_hours();
+      released_wh += (spec.node_tdp_watts - cap) * node_hours;
+      total_tdp_wh += spec.node_tdp_watts * node_hours;
+    }
+    std::printf("  %8.0f%% %17.2f%% %20.1f%%\n", 100.0 * headroom, 100.0 * at_risk,
+                100.0 * released_wh / total_tdp_wh);
+  }
+
+  std::printf(
+      "\nreading: risk falls steeply with headroom because temporal variance\n"
+      "is limited (Fig 7); the paper suggests ~15%% headroom as the point\n"
+      "where static predictive caps become a low-overhead power regulation\n"
+      "strategy. Note 'over cap' counts a single peak minute - the exposure\n"
+      "per job is tiny even when its peak grazes the cap.\n");
+  return 0;
+}

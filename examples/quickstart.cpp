@@ -1,0 +1,82 @@
+// quickstart: simulate a short measurement campaign on both studied systems
+// and print the headline numbers of the paper's three analysis levels
+// (system, job, user). Start here to see the whole API surface in one page.
+//
+//   ./quickstart [--days 7] [--seed 42]
+
+#include <cstdio>
+
+#include "core/job_analysis.hpp"
+#include "core/prediction.hpp"
+#include "core/system_analysis.hpp"
+#include "core/user_analysis.hpp"
+#include "util/logging.hpp"
+#include "util/options.hpp"
+
+using namespace hpcpower;
+
+int main(int argc, char** argv) {
+  util::Options opts("quickstart", "headline numbers of the power study");
+  opts.add_option("days", "campaign length in days", "7");
+  opts.add_option("seed", "root random seed", "42");
+  opts.add_flag("quiet", "suppress progress logging");
+  try {
+    if (!opts.parse(argc, argv)) return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+  if (opts.flag("quiet")) util::set_log_level(util::LogLevel::kWarn);
+
+  core::StudyConfig config;
+  config.seed = opts.seed();
+  config.days = opts.number("days");
+  config.instrument_begin_day = 1.0;
+  config.instrument_end_day = config.days;
+
+  for (const auto& data : core::run_both_systems(config)) {
+    const auto sys = core::analyze_system_utilization(data, 0);
+    const auto power = core::analyze_per_node_power(data);
+    const auto temporal = core::analyze_temporal(data);
+    const auto spatial = core::analyze_spatial(data);
+    const auto conc = core::analyze_concentration(data);
+    const auto corr = core::analyze_correlations(data);
+
+    std::printf("\n=== %s (%u nodes, %.0f W TDP) ===\n", data.spec.name.c_str(),
+                data.spec.node_count, data.spec.node_tdp_watts);
+    std::printf("jobs recorded:            %zu\n", data.records.size());
+    std::printf("system utilization:       %.1f%%\n", 100.0 * sys.mean_system_utilization);
+    std::printf("power utilization:        %.1f%% (peak %.1f%%, stranded %.1f%%)\n",
+                100.0 * sys.mean_power_utilization, 100.0 * sys.peak_power_utilization,
+                100.0 * sys.stranded_power_fraction);
+    std::printf("per-node power:           %.1f W mean (%.0f%% of TDP), std %.1f W (%.0f%%)\n",
+                power.watts.mean, 100.0 * power.mean_tdp_fraction, power.watts.stddev,
+                100.0 * power.std_fraction_of_mean);
+    std::printf("spearman length/size:     %.2f / %.2f\n",
+                corr.length_vs_power.coefficient, corr.size_vs_power.coefficient);
+    std::printf("temporal: cv %.1f%%, peak overshoot %.1f%%, never-above +10%%: %.0f%%\n",
+                100.0 * temporal.mean_temporal_cv, 100.0 * temporal.mean_peak_overshoot,
+                100.0 * temporal.fraction_jobs_never_above);
+    std::printf("spatial:  avg spread %.1f W (%.1f%% of power), time above avg %.0f%%\n",
+                spatial.mean_avg_spread_w, 100.0 * spatial.mean_spread_fraction,
+                100.0 * spatial.mean_time_above_avg_spread);
+    std::printf("users:    top-20%% node-hours %.0f%%, energy %.0f%%, overlap %.0f%%\n",
+                100.0 * conc.top20_node_hours_share, 100.0 * conc.top20_energy_share,
+                100.0 * conc.top20_overlap);
+    const auto espread = core::analyze_energy_spread(data);
+    const auto uservar = core::analyze_user_variability(data);
+    const auto cluster_n =
+        core::analyze_cluster_variability(data, core::ClusterKey::kUserNodes);
+    std::printf("node-energy spread >15%%:  %.0f%% of jobs\n",
+                100.0 * espread.fraction_above_15pct);
+    std::printf("per-user power cv:        %.0f%% mean; (user,nodes) clusters <10%%: %.0f%%\n",
+                100.0 * uservar.mean_power_cv, 100.0 * cluster_n.share_below_10);
+
+    const auto prediction = core::analyze_prediction(data);
+    for (const auto& model : prediction.models)
+      std::printf("predict [%s]: <5%% err: %.0f%%, <10%% err: %.0f%%, mean %.1f%%\n",
+                  model.model.c_str(), 100.0 * model.fraction_below(0.05),
+                  100.0 * model.fraction_below(0.10), 100.0 * model.mean_error());
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// stranded_power_explorer: explore the paper's Sec 3/6 "stranded power"
+// opportunity. Sweeps whole-system power caps against the simulated campaign
+// and estimates how many extra nodes the released budget could host
+// (hardware over-provisioning), plus the effect of a static per-node cap.
+//
+//   ./stranded_power_explorer [--days 10] [--seed 42]
+
+#include <cstdio>
+
+#include "core/system_analysis.hpp"
+#include "util/logging.hpp"
+#include "util/options.hpp"
+
+using namespace hpcpower;
+
+int main(int argc, char** argv) {
+  util::Options opts("stranded_power_explorer",
+                     "quantify stranded power and cap/over-provisioning options");
+  opts.add_option("days", "campaign length in days", "10");
+  opts.add_option("seed", "root random seed", "42");
+  opts.add_flag("quiet", "suppress progress logging");
+  try {
+    if (!opts.parse(argc, argv)) return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+  if (opts.flag("quiet")) util::set_log_level(util::LogLevel::kWarn);
+
+  core::StudyConfig config;
+  config.seed = opts.seed();
+  config.days = opts.number("days");
+  config.instrument_begin_day = 0.0;
+  config.instrument_end_day = 0.0;  // no detailed instrumentation needed
+
+  for (const auto& data : core::run_both_systems(config)) {
+    const auto report = core::analyze_system_utilization(data, 0);
+    const double provisioned_kw = data.spec.provisioned_power_watts() / 1000.0;
+    std::printf("\n=== %s ===\n", data.spec.name.c_str());
+    std::printf("provisioned power:      %8.0f kW (all %u nodes at TDP)\n",
+                provisioned_kw, data.spec.node_count);
+    std::printf("mean consumed power:    %8.0f kW (%.1f%% of provisioned)\n",
+                report.mean_power_utilization * provisioned_kw,
+                100.0 * report.mean_power_utilization);
+    std::printf("stranded power:         %8.0f kW (%.1f%%)\n", report.stranded_power_kw,
+                100.0 * report.stranded_power_fraction);
+
+    std::printf("\nwhole-system cap sweep (fraction of provisioned power):\n");
+    std::printf("  %-8s %-20s %s\n", "cap", "minutes over cap", "headroom vs peak");
+    for (const double cap : {0.95, 0.90, 0.85, 0.80, 0.75, 0.70, 0.65, 0.60}) {
+      const double clipped = core::fraction_minutes_above_cap(data, cap);
+      std::printf("  %6.0f%% %18.2f%% %16.1f%%\n", 100.0 * cap, 100.0 * clipped,
+                  100.0 * (cap - report.peak_power_utilization));
+    }
+
+    // Over-provisioning estimate: if the facility capped the machine at the
+    // observed peak + 2% and spent the released budget on more nodes drawing
+    // the observed mean per busy node.
+    const double cap_fraction = report.peak_power_utilization + 0.02;
+    const double released_kw = (1.0 - cap_fraction) * provisioned_kw;
+    const double mean_node_kw =
+        report.mean_power_utilization * provisioned_kw /
+        (report.mean_system_utilization * data.spec.node_count);
+    const auto extra_nodes = static_cast<int>(released_kw / mean_node_kw);
+    std::printf(
+        "\nover-provisioning estimate: capping at %.0f%% frees %.0f kW, enough\n"
+        "to host ~%d additional nodes at the observed mean draw (%.0f W/node) -\n"
+        "+%.1f%% throughput for the same electrical budget.\n",
+        100.0 * cap_fraction, released_kw, extra_nodes, 1000.0 * mean_node_kw,
+        100.0 * extra_nodes / data.spec.node_count);
+  }
+  return 0;
+}

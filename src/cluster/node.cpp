@@ -1,0 +1,57 @@
+#include "cluster/node.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace hpcpower::cluster {
+
+NodePopulation::NodePopulation(const SystemSpec& spec, util::Rng& rng) {
+  nodes_.reserve(spec.node_count);
+  for (NodeId id = 0; id < spec.node_count; ++id) {
+    Node n;
+    n.id = id;
+    n.chassis = id / std::max<std::uint32_t>(1, spec.nodes_per_chassis);
+    n.power_factor = rng.truncated_normal(1.0, spec.manufacturing_sigma,
+                                          1.0 - 3.0 * spec.manufacturing_sigma,
+                                          1.0 + 3.0 * spec.manufacturing_sigma);
+    nodes_.push_back(n);
+  }
+}
+
+double NodePopulation::mean_power_factor() const noexcept {
+  if (nodes_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const Node& n : nodes_) sum += n.power_factor;
+  return sum / static_cast<double>(nodes_.size());
+}
+
+NodeAllocator::NodeAllocator(std::uint32_t node_count)
+    : total_(node_count), is_free_(node_count, true) {
+  free_.resize(node_count);
+  // Pop from the back; seed so node 0 is allocated first.
+  for (std::uint32_t i = 0; i < node_count; ++i) free_[i] = node_count - 1 - i;
+}
+
+std::vector<NodeId> NodeAllocator::allocate(std::uint32_t count) {
+  if (count > free_.size()) return {};
+  std::vector<NodeId> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const NodeId id = free_.back();
+    free_.pop_back();
+    is_free_[id] = false;
+    out.push_back(id);
+  }
+  return out;
+}
+
+void NodeAllocator::release(const std::vector<NodeId>& nodes) {
+  for (NodeId id : nodes) {
+    if (id >= total_ || is_free_[id])
+      throw std::logic_error("NodeAllocator::release: node not allocated");
+    is_free_[id] = true;
+    free_.push_back(id);
+  }
+}
+
+}  // namespace hpcpower::cluster

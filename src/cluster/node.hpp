@@ -1,0 +1,70 @@
+#pragma once
+// Node population with per-node manufacturing variability.
+//
+// Manufacturing variability is one of the two causes the paper names for the
+// surprising spatial power spread inside a single job (Sec 4). Each node gets
+// a persistent multiplicative power factor drawn once at "installation".
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/system_spec.hpp"
+#include "util/prng.hpp"
+
+namespace hpcpower::cluster {
+
+using NodeId = std::uint32_t;
+
+struct Node {
+  NodeId id = 0;
+  std::uint32_t chassis = 0;
+  /// Persistent power multiplier from process variation (mean ~1.0). The
+  /// same code on the same input draws `power_factor` times the reference
+  /// power on this node.
+  double power_factor = 1.0;
+};
+
+class NodePopulation {
+ public:
+  /// Draws every node's power factor from a truncated normal
+  /// N(1, manufacturing_sigma) clipped to +/- 3 sigma.
+  NodePopulation(const SystemSpec& spec, util::Rng& rng);
+
+  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+  [[nodiscard]] const Node& node(NodeId id) const { return nodes_.at(id); }
+  [[nodiscard]] const std::vector<Node>& nodes() const noexcept { return nodes_; }
+
+  /// Mean of all power factors (should be ~1).
+  [[nodiscard]] double mean_power_factor() const noexcept;
+
+ private:
+  std::vector<Node> nodes_;
+};
+
+/// Tracks node availability for the scheduler. Nodes are interchangeable for
+/// placement (both systems expose flat exclusive-node allocation), but
+/// identities matter because power factors are per-node.
+class NodeAllocator {
+ public:
+  explicit NodeAllocator(std::uint32_t node_count);
+
+  [[nodiscard]] std::uint32_t free_count() const noexcept {
+    return static_cast<std::uint32_t>(free_.size());
+  }
+  [[nodiscard]] std::uint32_t total_count() const noexcept { return total_; }
+  [[nodiscard]] std::uint32_t busy_count() const noexcept {
+    return total_ - free_count();
+  }
+
+  /// Allocates `count` nodes; returns empty if not enough are free.
+  [[nodiscard]] std::vector<NodeId> allocate(std::uint32_t count);
+  /// Returns nodes to the free pool. Double-free is rejected.
+  void release(const std::vector<NodeId>& nodes);
+
+ private:
+  std::uint32_t total_;
+  std::vector<NodeId> free_;       // stack of free node ids
+  std::vector<bool> is_free_;
+};
+
+}  // namespace hpcpower::cluster

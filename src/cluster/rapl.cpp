@@ -1,0 +1,40 @@
+#include "cluster/rapl.hpp"
+
+#include <algorithm>
+
+namespace hpcpower::cluster {
+
+RaplSample split_domains(double node_watts, double memory_intensity) noexcept {
+  const double mem = std::clamp(memory_intensity, 0.0, 1.0);
+  // DRAM domain share grows with memory intensity but saturates: even fully
+  // bandwidth-bound codes keep the majority of draw in the package.
+  const double dram_share = 0.08 + 0.30 * mem;
+  RaplSample s;
+  s.dram_watts = node_watts * dram_share;
+  s.pkg_watts = node_watts - s.dram_watts;
+  return s;
+}
+
+CappedSample apply_power_cap(const RaplSample& sample, double cap_watts) noexcept {
+  CappedSample out;
+  out.sample = sample;
+  const double total = sample.total();
+  if (cap_watts <= 0.0 || total <= cap_watts || total <= 0.0) return out;
+  const double scale = cap_watts / total;
+  out.sample.pkg_watts *= scale;
+  out.sample.dram_watts *= scale;
+  out.throttled = true;
+  return out;
+}
+
+double cap_slowdown(double demanded_watts, double cap_watts, double idle_watts) noexcept {
+  if (cap_watts <= 0.0 || demanded_watts <= cap_watts) return 1.0;
+  // Work rate scales with dynamic power (above idle). Capping to below idle
+  // would stall entirely; clamp to a large-but-finite slowdown instead.
+  const double dynamic_demand = std::max(demanded_watts - idle_watts, 1e-9);
+  const double dynamic_available = cap_watts - idle_watts;
+  if (dynamic_available <= 1e-9) return 100.0;
+  return std::min(100.0, dynamic_demand / dynamic_available);
+}
+
+}  // namespace hpcpower::cluster

@@ -1,0 +1,43 @@
+#pragma once
+// RAPL-style power domain model.
+//
+// The paper measures node power as the sum of the PKG (CPU socket) and DRAM
+// RAPL domains, sampled as one-minute averages. This model splits a node's
+// total draw between the two domains according to the workload's memory
+// intensity, and can apply a per-domain power cap (RAPL's power limiting is
+// what production power-management tools actuate).
+
+namespace hpcpower::cluster {
+
+/// One averaged RAPL reading for one node over one sampling interval.
+struct RaplSample {
+  double pkg_watts = 0.0;
+  double dram_watts = 0.0;
+
+  [[nodiscard]] double total() const noexcept { return pkg_watts + dram_watts; }
+};
+
+/// Splits node power into PKG/DRAM domains.
+///
+/// `memory_intensity` in [0,1] shifts draw toward DRAM: compute-bound codes
+/// (LINPACK, MD) sit near 0.1-0.2; memory-bandwidth-bound CFD codes near
+/// 0.4-0.6.
+[[nodiscard]] RaplSample split_domains(double node_watts, double memory_intensity) noexcept;
+
+/// Per-node power cap. Capping clamps each domain proportionally so the node
+/// total does not exceed `cap_watts` (mimics RAPL package+DRAM limits).
+/// Returns the capped sample and reports whether clamping occurred.
+struct CappedSample {
+  RaplSample sample;
+  bool throttled = false;
+};
+[[nodiscard]] CappedSample apply_power_cap(const RaplSample& sample,
+                                           double cap_watts) noexcept;
+
+/// Performance degradation model under a cap: running below the demanded
+/// power stretches runtime roughly inversely (power ~ work rate for the
+/// capped region above idle). Returns the slowdown factor (>= 1).
+[[nodiscard]] double cap_slowdown(double demanded_watts, double cap_watts,
+                                  double idle_watts) noexcept;
+
+}  // namespace hpcpower::cluster

@@ -1,0 +1,99 @@
+#include "cluster/system_spec.hpp"
+
+#include "util/strings.hpp"
+
+namespace hpcpower::cluster {
+
+const char* system_name(SystemId id) noexcept {
+  switch (id) {
+    case SystemId::kEmmy: return "Emmy";
+    case SystemId::kMeggie: return "Meggie";
+    case SystemId::kCustom: return "Custom";
+  }
+  return "?";
+}
+
+SystemSpec emmy_spec() {
+  SystemSpec s;
+  s.id = SystemId::kEmmy;
+  s.name = "Emmy";
+  s.node_count = 560;
+  s.node_tdp_watts = 210.0;
+  s.nodes_per_chassis = 4;
+  s.arch_power_scale = 1.0;   // reference architecture (22 nm IvyBridge)
+  s.idle_power_fraction = 0.20;
+  s.manufacturing_sigma = 0.025;
+  s.enclosure =
+      "Supermicro SuperServer 6027TR-HTQRF, 1x 1620 W PSU, 4x 8cm PWM fans "
+      "(shared by 4 compute nodes)";
+  s.mainboard = "Supermicro X9DRT-IBQF";
+  s.processors = "2x Intel Xeon E5-2660 v2";
+  s.turbo_smt = "enabled / enabled";
+  s.main_memory = "8x 8 GB DDR3-1600";
+  s.interconnect = "on-board Mellanox QDR Infiniband HCA";
+  s.network_topology = "fat-tree";
+  s.operating_system = "CentOS 7.6";
+  s.batch_system = "Torque-4.2.10 with maui-3.3.2";
+  s.linpack_tflops = 191.0;
+  s.linpack_power_kw = 170.0;
+  s.inflow_temperature = "26-28 degC";
+  s.cooling = "rear door coolers";
+  return s;
+}
+
+SystemSpec meggie_spec() {
+  SystemSpec s;
+  s.id = SystemId::kMeggie;
+  s.name = "Meggie";
+  s.node_count = 728;
+  s.node_tdp_watts = 195.0;
+  s.nodes_per_chassis = 4;
+  // 14 nm Broadwell + aggressive power optimizations: the paper measures the
+  // same applications drawing noticeably less per-node power than on Emmy.
+  s.arch_power_scale = 0.80;
+  s.idle_power_fraction = 0.17;
+  s.manufacturing_sigma = 0.022;
+  s.enclosure =
+      "Intel H2312XXLR2, 2x 1600 W PSU, 12x 4cm RWM fans (shared by 4 compute nodes)";
+  s.mainboard = "Intel S2600KPR";
+  s.processors = "2x Intel E5-2630 v4";
+  s.turbo_smt = "enabled / disabled";
+  s.main_memory = "8x 8 GB DDR4-2133";
+  s.interconnect = "100 GBit Intel OmniPath as x16 PCIe card";
+  s.network_topology = "1:2 blocking";
+  s.operating_system = "CentOS 7.6";
+  s.batch_system = "Slurm 17.11";
+  s.linpack_tflops = 472.0;
+  s.linpack_power_kw = 210.0;
+  s.inflow_temperature = "28-30 degC";
+  s.cooling = "rear door coolers";
+  return s;
+}
+
+std::vector<SystemSpec> studied_systems() { return {emmy_spec(), meggie_spec()}; }
+
+std::vector<std::pair<std::string, std::string>> spec_rows(const SystemSpec& spec) {
+  std::vector<std::pair<std::string, std::string>> rows;
+  rows.emplace_back("number of nodes", std::to_string(spec.node_count));
+  rows.emplace_back("enclosures", spec.enclosure);
+  rows.emplace_back("mainboards", spec.mainboard);
+  rows.emplace_back("processors", spec.processors);
+  rows.emplace_back("node TDP", util::format("%.0f W", spec.node_tdp_watts));
+  rows.emplace_back("turbo mode / SMT", spec.turbo_smt);
+  rows.emplace_back("main memory", spec.main_memory);
+  rows.emplace_back("local storage", "none");
+  rows.emplace_back("high speed interconnect", spec.interconnect);
+  rows.emplace_back("network topology", spec.network_topology);
+  rows.emplace_back("operating system", spec.operating_system);
+  rows.emplace_back("batch queuing system", spec.batch_system);
+  rows.emplace_back("node access", "job-exclusive");
+  rows.emplace_back("LINPACK performance",
+                    util::format("%.0f TFlops/s", spec.linpack_tflops));
+  rows.emplace_back("total LINPACK power",
+                    util::format("%.0f kW", spec.linpack_power_kw));
+  rows.emplace_back("inflow temperatures", spec.inflow_temperature);
+  rows.emplace_back("cooling", spec.cooling);
+  return rows;
+}
+
+}  // namespace hpcpower::cluster

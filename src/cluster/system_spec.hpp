@@ -1,0 +1,74 @@
+#pragma once
+// System models for the two clusters under study (paper Table 1).
+//
+// Everything the analysis needs about a machine is captured here: node count,
+// node-level TDP (PKG + DRAM), how nodes share chassis, the micro-architecture
+// power scaling that makes the same application draw different power on Emmy
+// (22 nm IvyBridge) vs Meggie (14 nm Broadwell), and display metadata for the
+// Table 1 bench.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hpcpower::cluster {
+
+/// Identifier for the studied systems; Custom supports user-defined specs.
+enum class SystemId { kEmmy, kMeggie, kCustom };
+
+[[nodiscard]] const char* system_name(SystemId id) noexcept;
+
+struct SystemSpec {
+  SystemId id = SystemId::kCustom;
+  std::string name;
+
+  // Capacity / power (Table 1).
+  std::uint32_t node_count = 0;
+  double node_tdp_watts = 0.0;       // CPU + DRAM TDP per node
+  std::uint32_t nodes_per_chassis = 4;
+
+  // Micro-architecture model. `arch_power_scale` multiplies an application's
+  // reference per-node power draw; Meggie's 14 nm Broadwell parts run the
+  // same codes at lower power than Emmy's 22 nm IvyBridge parts.
+  double arch_power_scale = 1.0;
+  // Idle (unloaded) PKG+DRAM draw as a fraction of TDP; RAPL never reads 0.
+  double idle_power_fraction = 0.18;
+  // Std-dev of the static per-node manufacturing variability factor.
+  double manufacturing_sigma = 0.045;
+
+  // Descriptive fields surfaced by the Table 1 reproduction.
+  std::string enclosure;
+  std::string mainboard;
+  std::string processors;
+  std::string turbo_smt;
+  std::string main_memory;
+  std::string interconnect;
+  std::string network_topology;
+  std::string operating_system;
+  std::string batch_system;
+  double linpack_tflops = 0.0;
+  double linpack_power_kw = 0.0;
+  std::string inflow_temperature;
+  std::string cooling;
+
+  /// Total provisioned power budget: every node at TDP (the worst-case
+  /// provisioning the paper says facilities pay for).
+  [[nodiscard]] double provisioned_power_watts() const noexcept {
+    return static_cast<double>(node_count) * node_tdp_watts;
+  }
+};
+
+/// Emmy: 560 IvyBridge nodes, 210 W node TDP, Torque/Maui (Table 1).
+[[nodiscard]] SystemSpec emmy_spec();
+
+/// Meggie: 728 Broadwell nodes, 195 W node TDP, Slurm (Table 1).
+[[nodiscard]] SystemSpec meggie_spec();
+
+/// Both studied systems, Emmy first.
+[[nodiscard]] std::vector<SystemSpec> studied_systems();
+
+/// Renders the spec as Table 1 style "field: value" lines.
+[[nodiscard]] std::vector<std::pair<std::string, std::string>> spec_rows(
+    const SystemSpec& spec);
+
+}  // namespace hpcpower::cluster

@@ -1,0 +1,229 @@
+#include "core/job_analysis.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hpcpower::core {
+
+namespace {
+std::vector<const telemetry::JobRecord*> filtered(const CampaignData& data,
+                                                  const JobFilter& filter) {
+  std::vector<const telemetry::JobRecord*> out;
+  out.reserve(data.records.size());
+  for (const telemetry::JobRecord& r : data.records)
+    if (filter.accepts(r)) out.push_back(&r);
+  return out;
+}
+}  // namespace
+
+PerNodePowerReport analyze_per_node_power(const CampaignData& data,
+                                          const JobFilter& filter, std::size_t bins) {
+  const auto jobs = filtered(data, filter);
+  if (jobs.empty()) throw std::invalid_argument("analyze_per_node_power: no jobs");
+
+  std::vector<double> watts;
+  watts.reserve(jobs.size());
+  for (const auto* r : jobs) watts.push_back(r->mean_node_power_w);
+
+  PerNodePowerReport report{data.spec.name, stats::summarize(watts), 0.0, 0.0,
+                            stats::Histogram(0.0, data.spec.node_tdp_watts, bins)};
+  report.mean_tdp_fraction = report.watts.mean / data.spec.node_tdp_watts;
+  report.std_fraction_of_mean =
+      report.watts.mean > 0.0 ? report.watts.stddev / report.watts.mean : 0.0;
+  report.histogram.add_all(watts);
+  return report;
+}
+
+std::vector<AppPowerEntry> analyze_app_power(const CampaignData& data,
+                                             const workload::ApplicationCatalog& catalog,
+                                             const JobFilter& filter) {
+  std::vector<AppPowerEntry> out;
+  for (const workload::AppId app_id : catalog.key_applications()) {
+    stats::RunningStats rs;
+    for (const telemetry::JobRecord& r : data.records) {
+      if (!filter.accepts(r) || r.app != app_id) continue;
+      rs.add(r.mean_node_power_w);
+    }
+    AppPowerEntry entry;
+    entry.app_name = catalog.app(app_id).name;
+    entry.mean_power_w = rs.mean();
+    entry.std_power_w = rs.stddev();
+    entry.jobs = rs.count();
+    out.push_back(entry);
+  }
+  return out;
+}
+
+CorrelationReport analyze_correlations(const CampaignData& data, const JobFilter& filter) {
+  const auto jobs = filtered(data, filter);
+  if (jobs.size() < 3) throw std::invalid_argument("analyze_correlations: too few jobs");
+  std::vector<double> runtime, nnodes, power;
+  runtime.reserve(jobs.size());
+  nnodes.reserve(jobs.size());
+  power.reserve(jobs.size());
+  for (const auto* r : jobs) {
+    runtime.push_back(static_cast<double>(r->runtime_min()));
+    nnodes.push_back(static_cast<double>(r->nnodes));
+    power.push_back(r->mean_node_power_w);
+  }
+  CorrelationReport report;
+  report.system = data.spec.name;
+  report.length_vs_power = stats::spearman(runtime, power);
+  report.size_vs_power = stats::spearman(nnodes, power);
+  return report;
+}
+
+MedianSplitReport analyze_median_splits(const CampaignData& data,
+                                        const JobFilter& filter) {
+  const auto jobs = filtered(data, filter);
+  if (jobs.empty()) throw std::invalid_argument("analyze_median_splits: no jobs");
+
+  std::vector<double> runtimes, sizes;
+  runtimes.reserve(jobs.size());
+  sizes.reserve(jobs.size());
+  for (const auto* r : jobs) {
+    runtimes.push_back(static_cast<double>(r->runtime_min()));
+    sizes.push_back(static_cast<double>(r->nnodes));
+  }
+  MedianSplitReport report;
+  report.system = data.spec.name;
+  report.median_runtime_min = stats::median(runtimes);
+  report.median_nnodes = stats::median(sizes);
+
+  const double tdp = data.spec.node_tdp_watts;
+  stats::RunningStats short_s, long_s, small_s, large_s;
+  for (const auto* r : jobs) {
+    const double frac = r->mean_node_power_w / tdp;
+    (static_cast<double>(r->runtime_min()) <= report.median_runtime_min ? short_s
+                                                                        : long_s)
+        .add(frac);
+    (static_cast<double>(r->nnodes) <= report.median_nnodes ? small_s : large_s)
+        .add(frac);
+  }
+  const auto to_group = [](const char* label, const stats::RunningStats& rs) {
+    MedianSplitGroup g;
+    g.label = label;
+    g.mean_tdp_fraction = rs.mean();
+    g.std_tdp_fraction = rs.stddev();
+    g.jobs = rs.count();
+    return g;
+  };
+  report.short_jobs = to_group("short", short_s);
+  report.long_jobs = to_group("long", long_s);
+  report.small_jobs = to_group("small", small_s);
+  report.large_jobs = to_group("large", large_s);
+  return report;
+}
+
+TemporalReport analyze_temporal(const CampaignData& data, const JobFilter& filter) {
+  std::vector<double> overshoot, above, cv;
+  for (const telemetry::JobRecord& r : data.records) {
+    if (!filter.accepts(r) || !r.detail) continue;
+    overshoot.push_back(r.detail->peak_overshoot);
+    above.push_back(r.detail->frac_time_above_10pct);
+    if (r.mean_node_power_w > 0.0) cv.push_back(r.temporal_std_w / r.mean_node_power_w);
+  }
+  TemporalReport report;
+  report.system = data.spec.name;
+  report.instrumented_jobs = overshoot.size();
+  if (overshoot.empty()) return report;
+
+  report.mean_temporal_cv = stats::mean(cv);
+  report.peak_overshoot_cdf = stats::Ecdf(overshoot);
+  report.time_above_10pct_cdf = stats::Ecdf(above);
+  report.mean_peak_overshoot = report.peak_overshoot_cdf.mean();
+  report.mean_time_above_10pct = report.time_above_10pct_cdf.mean();
+  std::size_t never = 0;
+  for (const double a : above) never += (a < 0.005);
+  report.fraction_jobs_never_above =
+      static_cast<double>(never) / static_cast<double>(above.size());
+  return report;
+}
+
+SpatialReport analyze_spatial(const CampaignData& data, const JobFilter& filter) {
+  std::vector<double> spread_w, spread_frac, time_above;
+  for (const telemetry::JobRecord& r : data.records) {
+    if (!filter.accepts(r) || !r.detail || r.nnodes < 2) continue;
+    spread_w.push_back(r.detail->avg_spatial_spread_w);
+    spread_frac.push_back(r.detail->spread_fraction_of_power);
+    time_above.push_back(r.detail->frac_time_above_avg_spread);
+  }
+  SpatialReport report;
+  report.system = data.spec.name;
+  report.instrumented_multinode_jobs = spread_w.size();
+  if (spread_w.empty()) return report;
+
+  report.avg_spread_w_cdf = stats::Ecdf(spread_w);
+  report.spread_fraction_cdf = stats::Ecdf(spread_frac);
+  report.time_above_avg_spread_cdf = stats::Ecdf(time_above);
+  report.mean_avg_spread_w = report.avg_spread_w_cdf.mean();
+  report.max_avg_spread_w = report.avg_spread_w_cdf.max();
+  report.mean_spread_fraction = report.spread_fraction_cdf.mean();
+  report.mean_time_above_avg_spread = report.time_above_avg_spread_cdf.mean();
+  return report;
+}
+
+EnergySpreadReport analyze_energy_spread(const CampaignData& data,
+                                         const JobFilter& filter, std::size_t bins) {
+  std::vector<double> spread, nnodes;
+  for (const telemetry::JobRecord& r : data.records) {
+    if (!filter.accepts(r) || r.nnodes < 2) continue;
+    spread.push_back(r.node_energy_spread_fraction());
+    nnodes.push_back(static_cast<double>(r.nnodes));
+  }
+  EnergySpreadReport report{data.spec.name, spread.size(),
+                            stats::Histogram(0.0, 0.6, bins), 0.0, 0.0, {}};
+  if (spread.empty()) return report;
+  report.histogram.add_all(spread);
+  std::size_t above = 0;
+  for (const double s : spread) above += (s > 0.15);
+  report.fraction_above_15pct =
+      static_cast<double>(above) / static_cast<double>(spread.size());
+  report.mean_spread_fraction = stats::mean(spread);
+  if (spread.size() >= 3) report.spread_vs_nnodes = stats::spearman(spread, nnodes);
+  return report;
+}
+
+ConsistencyReport analyze_monthly_consistency(const CampaignData& data,
+                                              double window_days,
+                                              const JobFilter& filter) {
+  if (window_days <= 0.0)
+    throw std::invalid_argument("analyze_monthly_consistency: window must be positive");
+  ConsistencyReport report;
+  report.system = data.spec.name;
+
+  const auto jobs = filtered(data, filter);
+  if (jobs.empty()) return report;
+
+  std::int64_t last_end = 0;
+  for (const auto* r : jobs) last_end = std::max(last_end, r->end.minutes());
+  const auto window_min = static_cast<std::int64_t>(window_days * 24.0 * 60.0);
+  const auto windows = static_cast<std::size_t>((last_end + window_min - 1) / window_min);
+
+  std::vector<stats::RunningStats> per_window(std::max<std::size_t>(windows, 1));
+  stats::RunningStats overall;
+  for (const auto* r : jobs) {
+    const auto w = static_cast<std::size_t>(
+        std::min<std::int64_t>(r->start.minutes() / window_min,
+                               static_cast<std::int64_t>(per_window.size()) - 1));
+    per_window[w].add(r->mean_node_power_w);
+    overall.add(r->mean_node_power_w);
+  }
+
+  for (std::size_t w = 0; w < per_window.size(); ++w) {
+    if (per_window[w].count() == 0) continue;
+    ConsistencyWindow cw;
+    cw.begin_day = static_cast<double>(w) * window_days;
+    cw.jobs = per_window[w].count();
+    cw.mean_power_w = per_window[w].mean();
+    cw.std_power_w = per_window[w].stddev();
+    report.windows.push_back(cw);
+    if (overall.mean() > 0.0)
+      report.max_mean_deviation =
+          std::max(report.max_mean_deviation,
+                   std::abs(cw.mean_power_w - overall.mean()) / overall.mean());
+  }
+  return report;
+}
+
+}  // namespace hpcpower::core

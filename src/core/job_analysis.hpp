@@ -1,0 +1,167 @@
+#pragma once
+// Job-level power characterization (Sec 4, RQ3-RQ5):
+// per-node power distributions (Fig 3), per-application cross-system
+// comparison (Fig 4), length/size correlations (Table 2, Fig 5), temporal
+// metrics (Figs 6-7), spatial metrics (Figs 8-9), node-energy spread (Fig 10).
+
+#include <string>
+#include <vector>
+
+#include "core/study.hpp"
+#include "stats/correlation.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/ecdf.hpp"
+#include "stats/histogram.hpp"
+
+namespace hpcpower::core {
+
+/// Which job records enter an analysis. The paper analyzes completed jobs;
+/// horizon-truncated records are excluded by default, as are zero-length ones.
+struct JobFilter {
+  bool include_truncated = false;
+  std::uint32_t min_runtime_min = 1;
+  std::uint32_t min_nnodes = 1;
+
+  [[nodiscard]] bool accepts(const telemetry::JobRecord& r) const noexcept {
+    if (!include_truncated && r.truncated_by_horizon) return false;
+    if (r.runtime_min() < min_runtime_min) return false;
+    if (r.nnodes < min_nnodes) return false;
+    return true;
+  }
+};
+
+// ---------- Fig 3: per-node power PDF -------------------------------------
+
+struct PerNodePowerReport {
+  std::string system;
+  stats::Summary watts;           // mean ~149 W / 114 W
+  double mean_tdp_fraction = 0.0; // ~0.71 / ~0.59
+  double std_fraction_of_mean = 0.0;  // ~0.26 / ~0.18
+  stats::Histogram histogram;     // the PDF of Fig 3
+};
+
+[[nodiscard]] PerNodePowerReport analyze_per_node_power(const CampaignData& data,
+                                                        const JobFilter& filter = {},
+                                                        std::size_t bins = 40);
+
+// ---------- Fig 4: key applications across systems -------------------------
+
+struct AppPowerEntry {
+  std::string app_name;
+  double mean_power_w = 0.0;
+  double std_power_w = 0.0;
+  std::size_t jobs = 0;
+};
+
+/// Mean per-node power of the five key applications on one system, in
+/// catalog order (compare across systems to see the ranking swap).
+[[nodiscard]] std::vector<AppPowerEntry> analyze_app_power(
+    const CampaignData& data, const workload::ApplicationCatalog& catalog,
+    const JobFilter& filter = {});
+
+// ---------- Table 2: correlations ------------------------------------------
+
+struct CorrelationReport {
+  std::string system;
+  stats::CorrelationResult length_vs_power;  // Emmy 0.42, Meggie 0.12
+  stats::CorrelationResult size_vs_power;    // Emmy 0.21, Meggie 0.42
+};
+
+[[nodiscard]] CorrelationReport analyze_correlations(const CampaignData& data,
+                                                     const JobFilter& filter = {});
+
+// ---------- Fig 5: median splits --------------------------------------------
+
+struct MedianSplitGroup {
+  std::string label;               // "short", "long", "small", "large"
+  double mean_tdp_fraction = 0.0;
+  double std_tdp_fraction = 0.0;
+  std::size_t jobs = 0;
+};
+
+struct MedianSplitReport {
+  std::string system;
+  double median_runtime_min = 0.0;
+  double median_nnodes = 0.0;
+  MedianSplitGroup short_jobs, long_jobs, small_jobs, large_jobs;
+};
+
+[[nodiscard]] MedianSplitReport analyze_median_splits(const CampaignData& data,
+                                                      const JobFilter& filter = {});
+
+// ---------- Figs 6-7: temporal metrics --------------------------------------
+
+struct TemporalReport {
+  std::string system;
+  std::size_t instrumented_jobs = 0;
+  /// Mean over jobs of temporal std / mean (~0.11 in the paper).
+  double mean_temporal_cv = 0.0;
+  stats::Ecdf peak_overshoot_cdf;         // Fig 7(a); mean ~0.10-0.12
+  stats::Ecdf time_above_10pct_cdf;       // Fig 7(b); >70% of jobs ~0
+  double mean_peak_overshoot = 0.0;
+  double mean_time_above_10pct = 0.0;
+  double fraction_jobs_never_above = 0.0; // jobs with ~0 time above +10%
+};
+
+[[nodiscard]] TemporalReport analyze_temporal(const CampaignData& data,
+                                              const JobFilter& filter = {});
+
+// ---------- Figs 8-9: spatial metrics ----------------------------------------
+
+struct SpatialReport {
+  std::string system;
+  std::size_t instrumented_multinode_jobs = 0;
+  stats::Ecdf avg_spread_w_cdf;            // Fig 9(a); mean ~20 W
+  stats::Ecdf spread_fraction_cdf;         // Fig 9(b); mean ~0.15
+  stats::Ecdf time_above_avg_spread_cdf;   // Fig 9(c); mean ~0.30
+  double mean_avg_spread_w = 0.0;
+  double max_avg_spread_w = 0.0;
+  double mean_spread_fraction = 0.0;
+  double mean_time_above_avg_spread = 0.0;
+};
+
+[[nodiscard]] SpatialReport analyze_spatial(const CampaignData& data,
+                                            const JobFilter& filter = {});
+
+// ---------- Fig 10: node-energy spread ---------------------------------------
+
+struct EnergySpreadReport {
+  std::string system;
+  std::size_t multinode_jobs = 0;
+  stats::Histogram histogram;              // PDF of (max-min)/min node energy
+  /// Fraction of jobs with > 15% node-energy difference (~0.20 in the paper).
+  double fraction_above_15pct = 0.0;
+  double mean_spread_fraction = 0.0;
+  /// Spearman of spread vs node count (paper: positively correlated).
+  stats::CorrelationResult spread_vs_nnodes;
+};
+
+[[nodiscard]] EnergySpreadReport analyze_energy_spread(const CampaignData& data,
+                                                       const JobFilter& filter = {},
+                                                       std::size_t bins = 30);
+
+// ---------- Consistency over time --------------------------------------------
+
+/// Per-window per-node power moments. The paper states it "verified that the
+/// characteristics observed in Fig 3 remain consistent throughout the months
+/// and are not a result of a particularly atypical phase"; this is that
+/// check, with windows of `window_days` over the campaign.
+struct ConsistencyWindow {
+  double begin_day = 0.0;
+  std::size_t jobs = 0;
+  double mean_power_w = 0.0;
+  double std_power_w = 0.0;
+};
+
+struct ConsistencyReport {
+  std::string system;
+  std::vector<ConsistencyWindow> windows;
+  /// Max absolute deviation of a window mean from the overall mean, relative.
+  double max_mean_deviation = 0.0;
+};
+
+[[nodiscard]] ConsistencyReport analyze_monthly_consistency(const CampaignData& data,
+                                                            double window_days = 30.0,
+                                                            const JobFilter& filter = {});
+
+}  // namespace hpcpower::core

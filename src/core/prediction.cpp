@@ -1,0 +1,108 @@
+#include "core/prediction.hpp"
+
+#include <array>
+#include <stdexcept>
+
+#include "ml/decision_tree.hpp"
+
+namespace hpcpower::core {
+
+const char* feature_set_name(FeatureSet f) noexcept {
+  switch (f) {
+    case FeatureSet::kUserNodesWalltime: return "user+nodes+walltime";
+    case FeatureSet::kUserOnly: return "user";
+    case FeatureSet::kNodesWalltime: return "nodes+walltime";
+    case FeatureSet::kUserNodes: return "user+nodes";
+    case FeatureSet::kUserWalltime: return "user+walltime";
+  }
+  return "?";
+}
+
+ml::Dataset build_prediction_dataset(const CampaignData& data, const JobFilter& filter,
+                                     FeatureSet features) {
+  ml::Dataset out;
+  std::vector<double> row;
+  for (const telemetry::JobRecord& r : data.records) {
+    if (!filter.accepts(r)) continue;
+    row.clear();
+    const double user = static_cast<double>(r.user_id);
+    const double nodes = static_cast<double>(r.nnodes);
+    const double wall = static_cast<double>(r.walltime_req_min);
+    switch (features) {
+      case FeatureSet::kUserNodesWalltime:
+        row = {user, nodes, wall};
+        break;
+      case FeatureSet::kUserOnly:
+        row = {user};
+        break;
+      case FeatureSet::kNodesWalltime:
+        row = {nodes, wall};
+        break;
+      case FeatureSet::kUserNodes:
+        row = {user, nodes};
+        break;
+      case FeatureSet::kUserWalltime:
+        row = {user, wall};
+        break;
+    }
+    out.add_row(row, r.mean_node_power_w, r.user_id);
+  }
+  return out;
+}
+
+const ml::EvaluationResult& PredictionReport::model(const std::string& name) const {
+  for (const ml::EvaluationResult& m : models)
+    if (m.model == name) return m;
+  throw std::out_of_range("PredictionReport: no such model: " + name);
+}
+
+PredictionReport analyze_prediction(const CampaignData& data, const JobFilter& filter,
+                                    const ml::EvaluationConfig& cfg,
+                                    bool include_baselines) {
+  const ml::Dataset dataset = build_prediction_dataset(data, filter);
+  if (dataset.empty()) throw std::invalid_argument("analyze_prediction: no jobs");
+  PredictionReport report;
+  report.system = data.spec.name;
+  report.jobs = dataset.size();
+  report.models = ml::evaluate_paper_models(dataset, cfg, include_baselines);
+  return report;
+}
+
+double fraction_jobs_at_risk_under_predictive_cap(const CampaignData& data,
+                                                  double headroom,
+                                                  const JobFilter& filter,
+                                                  std::uint64_t seed) {
+  if (headroom < 0.0)
+    throw std::invalid_argument("predictive cap: headroom must be non-negative");
+
+  // Collect the filtered records so dataset rows map back to peak powers.
+  std::vector<const telemetry::JobRecord*> jobs;
+  for (const telemetry::JobRecord& r : data.records)
+    if (filter.accepts(r)) jobs.push_back(&r);
+  if (jobs.size() < 10)
+    throw std::invalid_argument("predictive cap: too few jobs");
+
+  ml::Dataset dataset(3);
+  for (const auto* r : jobs) {
+    const std::array<double, 3> row = {static_cast<double>(r->user_id),
+                                       static_cast<double>(r->nnodes),
+                                       static_cast<double>(r->walltime_req_min)};
+    dataset.add_row(row, r->mean_node_power_w, r->user_id);
+  }
+
+  util::Rng rng(util::derive_stream(seed, "predictive-cap-split"));
+  const ml::Split split = ml::make_split(dataset, 0.8, rng);
+  ml::DecisionTreeRegressor tree;
+  tree.fit(dataset.subset(split.train));
+
+  std::size_t at_risk = 0;
+  for (const std::size_t i : split.validation) {
+    const double cap = tree.predict(dataset.row(i)) * (1.0 + headroom);
+    if (jobs[i]->peak_node_power_w > cap) ++at_risk;
+  }
+  return split.validation.empty()
+             ? 0.0
+             : static_cast<double>(at_risk) / static_cast<double>(split.validation.size());
+}
+
+}  // namespace hpcpower::core

@@ -1,0 +1,55 @@
+#pragma once
+// Pre-execution power prediction (Sec 5, RQ9; Figs 14-15): the paper's three
+// models evaluated on features available before a job runs.
+
+#include <string>
+#include <vector>
+
+#include "core/job_analysis.hpp"
+#include "core/study.hpp"
+#include "ml/evaluation.hpp"
+
+namespace hpcpower::core {
+
+/// Feature subsets for the ablation bench.
+enum class FeatureSet {
+  kUserNodesWalltime,  // the paper's feature set
+  kUserOnly,
+  kNodesWalltime,      // no user id
+  kUserNodes,
+  kUserWalltime,
+};
+
+[[nodiscard]] const char* feature_set_name(FeatureSet f) noexcept;
+
+/// Builds the (features, per-node power) dataset from campaign job records.
+/// Features are ordered (user id, nnodes, walltime) restricted to the set.
+[[nodiscard]] ml::Dataset build_prediction_dataset(
+    const CampaignData& data, const JobFilter& filter = {},
+    FeatureSet features = FeatureSet::kUserNodesWalltime);
+
+struct PredictionReport {
+  std::string system;
+  std::size_t jobs = 0;
+  std::vector<ml::EvaluationResult> models;  // BDT, KNN, FLDA (+ baselines)
+
+  /// Result of the named model; throws if absent.
+  [[nodiscard]] const ml::EvaluationResult& model(const std::string& name) const;
+};
+
+/// Runs the full Fig 14/15 evaluation for one system.
+[[nodiscard]] PredictionReport analyze_prediction(const CampaignData& data,
+                                                  const JobFilter& filter = {},
+                                                  const ml::EvaluationConfig& cfg = {},
+                                                  bool include_baselines = false);
+
+/// Power-capping guidance (Sec 5 discussion): the paper suggests capping each
+/// job at its predicted per-node power * (1 + headroom), headroom ~15%.
+/// Trains a BDT on a random 80% of the filtered jobs and returns the fraction
+/// of held-out jobs whose observed *peak* power exceeds their personalized
+/// cap (i.e. jobs at risk of degradation under that policy).
+[[nodiscard]] double fraction_jobs_at_risk_under_predictive_cap(
+    const CampaignData& data, double headroom, const JobFilter& filter = {},
+    std::uint64_t seed = 42);
+
+}  // namespace hpcpower::core

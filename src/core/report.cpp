@@ -1,0 +1,161 @@
+#include "core/report.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "core/job_analysis.hpp"
+#include "core/prediction.hpp"
+#include "core/system_analysis.hpp"
+#include "core/user_analysis.hpp"
+#include "util/strings.hpp"
+
+namespace hpcpower::core {
+
+namespace {
+void section_system(std::ostringstream& out, const CampaignData& data,
+                    std::size_t points) {
+  const auto r = analyze_system_utilization(data, points);
+  out << "### System-level utilization (Figs 1-2)\n\n";
+  out << "| metric | value |\n|---|---|\n";
+  out << util::format("| mean system utilization | %.1f%% |\n",
+                      100.0 * r.mean_system_utilization);
+  out << util::format("| mean power utilization | %.1f%% |\n",
+                      100.0 * r.mean_power_utilization);
+  out << util::format("| peak power utilization | %.1f%% |\n",
+                      100.0 * r.peak_power_utilization);
+  out << util::format("| stranded power | %.1f%% (%.0f kW) |\n\n",
+                      100.0 * r.stranded_power_fraction, r.stranded_power_kw);
+}
+
+void section_jobs(std::ostringstream& out, const CampaignData& data) {
+  const auto power = analyze_per_node_power(data);
+  const auto corr = analyze_correlations(data);
+  const auto split = analyze_median_splits(data);
+  out << "### Job-level power (Fig 3, Table 2, Fig 5)\n\n";
+  out << util::format(
+      "%zu completed jobs. Per-node power: mean **%.1f W** (%.0f%% of the "
+      "%.0f W node TDP), std %.1f W (%.0f%% of mean), median %.1f W, "
+      "p5/p95 %.0f/%.0f W.\n\n",
+      power.watts.count, power.watts.mean, 100.0 * power.mean_tdp_fraction,
+      data.spec.node_tdp_watts, power.watts.stddev,
+      100.0 * power.std_fraction_of_mean, power.watts.median, power.watts.p05,
+      power.watts.p95);
+  out << "| correlation (Spearman) | rho | p |\n|---|---|---|\n";
+  out << util::format("| runtime vs per-node power | %.2f | %.2g |\n",
+                      corr.length_vs_power.coefficient, corr.length_vs_power.p_value);
+  out << util::format("| nnodes vs per-node power | %.2f | %.2g |\n\n",
+                      corr.size_vs_power.coefficient, corr.size_vs_power.p_value);
+  out << "| split | mean %TDP | std %TDP | jobs |\n|---|---|---|---|\n";
+  for (const auto* g : {&split.short_jobs, &split.long_jobs, &split.small_jobs,
+                        &split.large_jobs})
+    out << util::format("| %s | %.1f%% | %.1f%% | %zu |\n", g->label.c_str(),
+                        100.0 * g->mean_tdp_fraction, 100.0 * g->std_tdp_fraction,
+                        g->jobs);
+  out << "\n";
+}
+
+void section_dynamics(std::ostringstream& out, const CampaignData& data) {
+  const auto t = analyze_temporal(data);
+  const auto s = analyze_spatial(data);
+  const auto e = analyze_energy_spread(data);
+  out << "### Temporal and spatial behaviour (Figs 6-10)\n\n";
+  if (t.instrumented_jobs == 0) {
+    out << "_No instrumented jobs in this campaign._\n\n";
+    return;
+  }
+  out << util::format(
+      "%zu instrumented jobs. Temporal: mean std/mean %.1f%%, mean peak "
+      "overshoot %.1f%%, %.0f%% of jobs never exceed +10%% of their mean, "
+      "average time above +10%% is %.1f%% of runtime.\n\n",
+      t.instrumented_jobs, 100.0 * t.mean_temporal_cv, 100.0 * t.mean_peak_overshoot,
+      100.0 * t.fraction_jobs_never_above, 100.0 * t.mean_time_above_10pct);
+  out << util::format(
+      "Spatial (%zu multi-node jobs): mean average spread %.1f W (max %.1f W), "
+      "%.1f%% of per-node power, above own average %.0f%% of runtime. Node "
+      "energy: %.0f%% of jobs exceed 15%% max-min difference (Spearman vs "
+      "node count: %.2f).\n\n",
+      s.instrumented_multinode_jobs, s.mean_avg_spread_w, s.max_avg_spread_w,
+      100.0 * s.mean_spread_fraction, 100.0 * s.mean_time_above_avg_spread,
+      100.0 * e.fraction_above_15pct, e.spread_vs_nnodes.coefficient);
+}
+
+void section_users(std::ostringstream& out, const CampaignData& data,
+                   std::size_t points) {
+  const auto c = analyze_concentration(data, {}, points);
+  const auto v = analyze_user_variability(data);
+  const auto cn = analyze_cluster_variability(data, ClusterKey::kUserNodes);
+  const auto cw = analyze_cluster_variability(data, ClusterKey::kUserWalltime);
+  out << "### User-level behaviour (Figs 11-13)\n\n";
+  out << util::format(
+      "%zu active users. Top 20%% consume %.0f%% of node-hours and %.0f%% of "
+      "energy (top-set overlap %.0f%%; Gini %.2f / %.2f).\n\n",
+      c.users, 100.0 * c.top20_node_hours_share, 100.0 * c.top20_energy_share,
+      100.0 * c.top20_overlap, c.node_hours_gini, c.energy_gini);
+  out << util::format(
+      "Per-user variability (>=5 jobs, %zu users): power CV %.0f%%, nnodes CV "
+      "%.0f%%, runtime CV %.0f%%. Clustered by (user, nnodes): %.0f%% of %zu "
+      "clusters below 10%% power std; by (user, walltime): %.0f%% of %zu.\n\n",
+      v.eligible_users, 100.0 * v.mean_power_cv, 100.0 * v.mean_nnodes_cv,
+      100.0 * v.mean_runtime_cv, 100.0 * cn.share_below_10, cn.clusters,
+      100.0 * cw.share_below_10, cw.clusters);
+}
+
+void section_prediction(std::ostringstream& out, const CampaignData& data,
+                        const ml::EvaluationConfig& cfg) {
+  const auto p = analyze_prediction(data, {}, cfg);
+  out << "### Pre-execution power prediction (Figs 14-15)\n\n";
+  out << util::format("%zu jobs, %.0f/%.0f split x %zu repeats.\n\n", p.jobs,
+                      100.0 * cfg.train_fraction, 100.0 * (1.0 - cfg.train_fraction),
+                      cfg.repeats);
+  out << "| model | <5% err | <10% err | mean err | users <5% |\n"
+         "|---|---|---|---|---|\n";
+  for (const auto& m : p.models)
+    out << util::format("| %s | %.1f%% | %.1f%% | %.1f%% | %.1f%% |\n",
+                        m.model.c_str(), 100.0 * m.fraction_below(0.05),
+                        100.0 * m.fraction_below(0.10), 100.0 * m.mean_error(),
+                        100.0 * m.user_fraction_below(0.05));
+  out << "\n";
+}
+}  // namespace
+
+std::string render_markdown_report(const std::vector<CampaignData>& campaigns,
+                                   const ReportOptions& options) {
+  std::ostringstream out;
+  out << "# HPC power consumption study report\n\n";
+  out << "Generated by hpcpower; reproduces the analyses of Patel et al., "
+         "\"What does Power Consumption Behavior of HPC Jobs Reveal?\".\n\n";
+  for (const CampaignData& data : campaigns) {
+    out << util::format("## %s (%u nodes, %.0f W node TDP)\n\n",
+                        data.spec.name.c_str(), data.spec.node_count,
+                        data.spec.node_tdp_watts);
+    out << util::format(
+        "Campaign: %zu job records over %.1f days; scheduler started %llu "
+        "jobs, %.1f%% via backfill, mean queue wait %.0f min.\n\n",
+        data.records.size(),
+        static_cast<double>(data.series.total_power_w.size()) / (24.0 * 60.0),
+        static_cast<unsigned long long>(data.scheduler.started),
+        data.scheduler.started
+            ? 100.0 * static_cast<double>(data.scheduler.backfilled) /
+                  static_cast<double>(data.scheduler.started)
+            : 0.0,
+        data.scheduler.mean_wait_minutes());
+    section_system(out, data, options.curve_points);
+    section_jobs(out, data);
+    section_dynamics(out, data);
+    section_users(out, data, options.curve_points);
+    if (options.include_prediction)
+      section_prediction(out, data, options.prediction_config);
+  }
+  return out.str();
+}
+
+void write_markdown_report(const std::string& path,
+                           const std::vector<CampaignData>& campaigns,
+                           const ReportOptions& options) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  out << render_markdown_report(campaigns, options);
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace hpcpower::core

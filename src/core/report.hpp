@@ -1,0 +1,34 @@
+#pragma once
+// Full-study markdown report generation: runs every analyzer over one or two
+// campaigns and renders the results as a single self-contained document
+// (paper-vs-measured for each reproduced table/figure). This is the
+// "production tool" face of the library: operators point it at a campaign
+// (simulated or replayed from traces) and get the whole characterization.
+
+#include <string>
+#include <vector>
+
+#include "core/study.hpp"
+#include "ml/evaluation.hpp"
+
+namespace hpcpower::core {
+
+struct ReportOptions {
+  /// Include the ML prediction section (the slowest part).
+  bool include_prediction = true;
+  ml::EvaluationConfig prediction_config;
+  /// Points per rendered CDF/curve table.
+  std::size_t curve_points = 10;
+};
+
+/// Renders the complete study for the given campaigns as markdown.
+[[nodiscard]] std::string render_markdown_report(
+    const std::vector<CampaignData>& campaigns, const ReportOptions& options = {});
+
+/// Convenience: render and write to `path`. Throws std::runtime_error on I/O
+/// failure.
+void write_markdown_report(const std::string& path,
+                           const std::vector<CampaignData>& campaigns,
+                           const ReportOptions& options = {});
+
+}  // namespace hpcpower::core

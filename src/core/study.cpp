@@ -1,0 +1,72 @@
+#include "core/study.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace hpcpower::core {
+
+CampaignData run_campaign(const cluster::SystemSpec& spec, const StudyConfig& config) {
+  const util::MinuteTime warmup = util::MinuteTime::from_days(config.warmup_days);
+
+  workload::GeneratorConfig gcfg;
+  gcfg.seed = config.seed;
+  gcfg.duration = warmup + util::MinuteTime::from_days(config.days);
+  gcfg.load_scale = config.load_scale;
+  workload::WorkloadGenerator generator(spec, workload::calibration_for(spec.id), gcfg);
+  const auto jobs = generator.generate();
+
+  telemetry::PipelineConfig pcfg;
+  pcfg.seed = config.seed;
+  pcfg.instrument_begin = warmup + util::MinuteTime::from_days(config.instrument_begin_day);
+  pcfg.instrument_end = warmup + util::MinuteTime::from_days(config.instrument_end_day);
+  pcfg.node_power_cap_w = config.node_power_cap_w;
+  telemetry::MonitoringPipeline pipeline(spec, pcfg);
+
+  sched::PowerBudget budget = config.power_budget;
+  if (budget.enabled() && budget.fallback_node_power_w <= 0.0)
+    budget.fallback_node_power_w = spec.node_tdp_watts;
+  sched::CampaignSimulator simulator(spec.node_count, gcfg.duration,
+                                     config.scheduler_policy, budget);
+  const auto sim_result = simulator.run(jobs, pipeline.hooks());
+
+  CampaignData data;
+  data.spec = spec;
+  data.records = std::move(pipeline.records());
+  data.series = pipeline.system_series();
+  data.scheduler = sim_result.scheduler;
+  data.throttled_samples = pipeline.throttled_samples();
+
+  // Discard warm-up telemetry: the campaign "begins" with the machine busy.
+  if (warmup.minutes() > 0) {
+    const auto w = static_cast<std::size_t>(
+        std::min<std::int64_t>(warmup.minutes(),
+                               static_cast<std::int64_t>(data.series.total_power_w.size())));
+    data.series.total_power_w.erase(data.series.total_power_w.begin(),
+                                    data.series.total_power_w.begin() +
+                                        static_cast<std::ptrdiff_t>(w));
+    data.series.busy_nodes.erase(data.series.busy_nodes.begin(),
+                                 data.series.busy_nodes.begin() +
+                                     static_cast<std::ptrdiff_t>(w));
+    std::erase_if(data.records, [&](const telemetry::JobRecord& r) {
+      return r.end <= warmup;
+    });
+  }
+
+  util::log_info(util::format(
+      "%s campaign: %zu jobs recorded, %.0f days, mean queue wait %.0f min",
+      spec.name.c_str(), data.records.size(), config.days,
+      data.scheduler.mean_wait_minutes()));
+  return data;
+}
+
+std::vector<CampaignData> run_both_systems(const StudyConfig& config) {
+  std::vector<CampaignData> out;
+  out.reserve(2);
+  for (const cluster::SystemSpec& spec : cluster::studied_systems())
+    out.push_back(run_campaign(spec, config));
+  return out;
+}
+
+}  // namespace hpcpower::core

@@ -1,0 +1,68 @@
+#include "core/system_analysis.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+
+namespace hpcpower::core {
+
+SystemUtilizationReport analyze_system_utilization(const CampaignData& data,
+                                                   std::size_t series_points) {
+  const auto& power = data.series.total_power_w;
+  const auto& busy = data.series.busy_nodes;
+  if (power.empty() || power.size() != busy.size())
+    throw std::invalid_argument("analyze_system_utilization: empty or ragged series");
+
+  SystemUtilizationReport report;
+  report.system = data.spec.name;
+  const double provisioned = data.spec.provisioned_power_watts();
+  const double total_nodes = data.spec.node_count;
+
+  stats::RunningStats util_stats, power_stats;
+  for (std::size_t m = 0; m < power.size(); ++m) {
+    util_stats.add(static_cast<double>(busy[m]) / total_nodes);
+    power_stats.add(power[m] / provisioned);
+  }
+  report.mean_system_utilization = util_stats.mean();
+  report.mean_power_utilization = power_stats.mean();
+  report.peak_power_utilization = power_stats.max();
+  report.min_power_utilization = power_stats.min();
+  report.stranded_power_fraction = 1.0 - report.mean_power_utilization;
+  report.stranded_power_kw =
+      report.stranded_power_fraction * provisioned / 1000.0;
+
+  if (series_points > 0) {
+    const std::size_t n = power.size();
+    const std::size_t bucket = std::max<std::size_t>(1, n / series_points);
+    for (std::size_t begin = 0; begin < n; begin += bucket) {
+      const std::size_t end = std::min(n, begin + bucket);
+      double u = 0.0, p = 0.0;
+      for (std::size_t m = begin; m < end; ++m) {
+        u += static_cast<double>(busy[m]) / total_nodes;
+        p += power[m] / provisioned;
+      }
+      const auto count = static_cast<double>(end - begin);
+      UtilizationPoint pt;
+      pt.day = static_cast<double>(begin + (end - begin) / 2) / (24.0 * 60.0);
+      pt.system_utilization = u / count;
+      pt.power_utilization = p / count;
+      report.series.push_back(pt);
+    }
+  }
+  return report;
+}
+
+double fraction_minutes_above_cap(const CampaignData& data, double cap_fraction) {
+  const auto& power = data.series.total_power_w;
+  if (power.empty())
+    throw std::invalid_argument("fraction_minutes_above_cap: empty series");
+  if (cap_fraction <= 0.0)
+    throw std::invalid_argument("fraction_minutes_above_cap: cap must be positive");
+  const double cap_watts = cap_fraction * data.spec.provisioned_power_watts();
+  std::size_t above = 0;
+  for (const double p : power) above += (p > cap_watts);
+  return static_cast<double>(above) / static_cast<double>(power.size());
+}
+
+}  // namespace hpcpower::core

@@ -1,0 +1,41 @@
+#pragma once
+// System-level utilization and power analysis (Sec 3, RQ1-RQ2, Figs 1-2).
+
+#include <vector>
+
+#include "core/study.hpp"
+
+namespace hpcpower::core {
+
+/// One downsampled point of the Fig 1 / Fig 2 time series.
+struct UtilizationPoint {
+  double day = 0.0;
+  double system_utilization = 0.0;  ///< busy nodes / total nodes
+  double power_utilization = 0.0;   ///< consumed power / provisioned power
+};
+
+struct SystemUtilizationReport {
+  std::string system;
+  double mean_system_utilization = 0.0;   // paper: Emmy 0.87, Meggie 0.80
+  double mean_power_utilization = 0.0;    // paper: Emmy 0.69, Meggie 0.51
+  double peak_power_utilization = 0.0;    // paper: Emmy <= 0.85, Meggie <= 0.70
+  double min_power_utilization = 0.0;
+  /// 1 - mean power utilization: the paper's "stranded power" fraction.
+  double stranded_power_fraction = 0.0;
+  /// Mean stranded kilowatts (provisioned minus consumed).
+  double stranded_power_kw = 0.0;
+  std::vector<UtilizationPoint> series;   // downsampled for display
+};
+
+/// Computes Fig 1 + Fig 2 quantities. `series_points` controls downsampling
+/// of the displayed time series (0 = omit the series).
+[[nodiscard]] SystemUtilizationReport analyze_system_utilization(
+    const CampaignData& data, std::size_t series_points = 48);
+
+/// What-if: power utilization if the whole system were capped at
+/// `cap_fraction` of provisioned power, with demand above the cap clipped.
+/// Returns the fraction of minutes in which clipping would have occurred.
+[[nodiscard]] double fraction_minutes_above_cap(const CampaignData& data,
+                                                double cap_fraction);
+
+}  // namespace hpcpower::core

@@ -1,0 +1,121 @@
+#include "core/user_analysis.hpp"
+
+#include <unordered_map>
+
+#include "stats/concentration.hpp"
+#include "stats/descriptive.hpp"
+
+namespace hpcpower::core {
+
+ConcentrationReport analyze_concentration(const CampaignData& data,
+                                          const JobFilter& filter,
+                                          std::size_t curve_points) {
+  std::unordered_map<workload::UserId, double> node_hours, energy;
+  for (const telemetry::JobRecord& r : data.records) {
+    if (!filter.accepts(r)) continue;
+    node_hours[r.user_id] += r.node_hours();
+    energy[r.user_id] += r.energy_kwh;
+  }
+  ConcentrationReport report;
+  report.system = data.spec.name;
+  report.users = node_hours.size();
+  if (node_hours.empty()) return report;
+
+  // Aligned per-user vectors (iteration order does not matter for shares,
+  // but overlap needs index correspondence).
+  std::vector<double> nh, en;
+  nh.reserve(node_hours.size());
+  en.reserve(node_hours.size());
+  for (const auto& [user, hours] : node_hours) {
+    nh.push_back(hours);
+    en.push_back(energy[user]);
+  }
+  report.top20_node_hours_share = stats::top_share(nh, 0.2);
+  report.top20_energy_share = stats::top_share(en, 0.2);
+  report.top20_overlap = stats::top_set_overlap(nh, en, 0.2);
+  report.node_hours_gini = stats::gini(nh);
+  report.energy_gini = stats::gini(en);
+  report.node_hours_curve = stats::top_share_curve(nh, curve_points);
+  report.energy_curve = stats::top_share_curve(en, curve_points);
+  return report;
+}
+
+UserVariabilityReport analyze_user_variability(const CampaignData& data,
+                                               const JobFilter& filter,
+                                               std::size_t min_jobs) {
+  struct UserAgg {
+    stats::RunningStats power, nnodes, runtime;
+  };
+  std::unordered_map<workload::UserId, UserAgg> users;
+  for (const telemetry::JobRecord& r : data.records) {
+    if (!filter.accepts(r)) continue;
+    UserAgg& agg = users[r.user_id];
+    agg.power.add(r.mean_node_power_w);
+    agg.nnodes.add(static_cast<double>(r.nnodes));
+    agg.runtime.add(static_cast<double>(r.runtime_min()));
+  }
+
+  std::vector<double> power_cv, nnodes_cv, runtime_cv;
+  for (const auto& [user, agg] : users) {
+    if (agg.power.count() < min_jobs) continue;
+    power_cv.push_back(agg.power.coefficient_of_variation());
+    nnodes_cv.push_back(agg.nnodes.coefficient_of_variation());
+    runtime_cv.push_back(agg.runtime.coefficient_of_variation());
+  }
+
+  UserVariabilityReport report;
+  report.system = data.spec.name;
+  report.eligible_users = power_cv.size();
+  if (power_cv.empty()) return report;
+  report.power_cv_cdf = stats::Ecdf(power_cv);
+  report.mean_power_cv = stats::mean(power_cv);
+  report.mean_nnodes_cv = stats::mean(nnodes_cv);
+  report.mean_runtime_cv = stats::mean(runtime_cv);
+  return report;
+}
+
+ClusterVariabilityReport analyze_cluster_variability(const CampaignData& data,
+                                                     ClusterKey key,
+                                                     const JobFilter& filter,
+                                                     std::size_t min_jobs) {
+  // Cluster key: (user, nnodes) or (user, requested walltime).
+  std::unordered_map<std::uint64_t, stats::RunningStats> clusters;
+  for (const telemetry::JobRecord& r : data.records) {
+    if (!filter.accepts(r)) continue;
+    const std::uint64_t second =
+        key == ClusterKey::kUserNodes ? r.nnodes : r.walltime_req_min;
+    const std::uint64_t id = (static_cast<std::uint64_t>(r.user_id) << 32) | second;
+    clusters[id].add(r.mean_node_power_w);
+  }
+
+  ClusterVariabilityReport report;
+  report.system = data.spec.name;
+  report.key = key;
+  double cv_sum = 0.0;
+  for (const auto& [id, rs] : clusters) {
+    if (rs.count() < min_jobs) continue;
+    const double cv = rs.coefficient_of_variation();
+    ++report.clusters;
+    cv_sum += cv;
+    if (cv < 0.10) {
+      report.share_below_10 += 1.0;
+    } else if (cv < 0.20) {
+      report.share_10_to_20 += 1.0;
+    } else if (cv < 0.30) {
+      report.share_20_to_30 += 1.0;
+    } else {
+      report.share_above_30 += 1.0;
+    }
+  }
+  if (report.clusters > 0) {
+    const auto n = static_cast<double>(report.clusters);
+    report.share_below_10 /= n;
+    report.share_10_to_20 /= n;
+    report.share_20_to_30 /= n;
+    report.share_above_30 /= n;
+    report.mean_cluster_cv = cv_sum / n;
+  }
+  return report;
+}
+
+}  // namespace hpcpower::core

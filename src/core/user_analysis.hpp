@@ -1,0 +1,75 @@
+#pragma once
+// User-level analysis (Sec 5, RQ6-RQ8): consumption concentration (Fig 11),
+// per-user power variability (Fig 12), and variability within
+// (user, nnodes) / (user, walltime) clusters (Fig 13).
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/job_analysis.hpp"
+#include "core/study.hpp"
+#include "stats/ecdf.hpp"
+
+namespace hpcpower::core {
+
+// ---------- Fig 11: concentration -------------------------------------------
+
+struct ConcentrationReport {
+  std::string system;
+  std::size_t users = 0;
+  /// Node-hours consumed by the top 20% of users (paper: ~0.85).
+  double top20_node_hours_share = 0.0;
+  /// Energy consumed by the top 20% of users (paper: ~0.85).
+  double top20_energy_share = 0.0;
+  /// Overlap between the two top-20% user sets (paper: ~0.90).
+  double top20_overlap = 0.0;
+  double node_hours_gini = 0.0;
+  double energy_gini = 0.0;
+  /// (fraction of users, cumulative share) curves for plotting.
+  std::vector<std::pair<double, double>> node_hours_curve;
+  std::vector<std::pair<double, double>> energy_curve;
+};
+
+[[nodiscard]] ConcentrationReport analyze_concentration(const CampaignData& data,
+                                                        const JobFilter& filter = {},
+                                                        std::size_t curve_points = 20);
+
+// ---------- Fig 12: per-user variability -------------------------------------
+
+struct UserVariabilityReport {
+  std::string system;
+  std::size_t eligible_users = 0;   // users with >= min_jobs jobs
+  /// CDF over users of std/mean of per-node power (Emmy ~0.5, Meggie ~1.0).
+  stats::Ecdf power_cv_cdf;
+  double mean_power_cv = 0.0;
+  /// Same statistic for job size and runtime (reported in the paper's text).
+  double mean_nnodes_cv = 0.0;
+  double mean_runtime_cv = 0.0;
+};
+
+[[nodiscard]] UserVariabilityReport analyze_user_variability(
+    const CampaignData& data, const JobFilter& filter = {}, std::size_t min_jobs = 5);
+
+// ---------- Fig 13: clustered variability -------------------------------------
+
+enum class ClusterKey { kUserNodes, kUserWalltime };
+
+struct ClusterVariabilityReport {
+  std::string system;
+  ClusterKey key = ClusterKey::kUserNodes;
+  std::size_t clusters = 0;         // clusters with >= min_jobs jobs
+  /// Share of clusters whose power CV falls in each bucket:
+  /// [0,10%), [10,20%), [20,30%), >= 30% - the Fig 13 pie slices.
+  double share_below_10 = 0.0;
+  double share_10_to_20 = 0.0;
+  double share_20_to_30 = 0.0;
+  double share_above_30 = 0.0;
+  double mean_cluster_cv = 0.0;
+};
+
+[[nodiscard]] ClusterVariabilityReport analyze_cluster_variability(
+    const CampaignData& data, ClusterKey key, const JobFilter& filter = {},
+    std::size_t min_jobs = 3);
+
+}  // namespace hpcpower::core

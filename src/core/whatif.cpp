@@ -1,0 +1,68 @@
+#include "core/whatif.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "cluster/rapl.hpp"
+
+namespace hpcpower::core {
+
+StaticCapOutcome evaluate_static_cap(const CampaignData& data, double cap_w,
+                                     const JobFilter& filter) {
+  if (cap_w <= 0.0)
+    throw std::invalid_argument("evaluate_static_cap: cap must be positive");
+
+  StaticCapOutcome out;
+  out.cap_w = cap_w;
+  const double idle_w = data.spec.idle_power_fraction * data.spec.node_tdp_watts;
+
+  std::size_t jobs = 0, mean_over = 0, peak_over = 0;
+  double node_hours_total = 0.0, slowdown_weighted = 0.0;
+  double energy_total = 0.0, energy_clipped = 0.0;
+  for (const telemetry::JobRecord& r : data.records) {
+    if (!filter.accepts(r)) continue;
+    ++jobs;
+    const double node_hours = r.node_hours();
+    node_hours_total += node_hours;
+    energy_total += r.energy_kwh;
+
+    if (r.mean_node_power_w > cap_w) {
+      ++mean_over;
+      energy_clipped +=
+          (r.mean_node_power_w - cap_w) * r.nnodes * r.runtime_min() / 60.0 / 1000.0;
+    }
+    if (r.peak_node_power_w > cap_w) ++peak_over;
+
+    const double slowdown = cluster::cap_slowdown(r.mean_node_power_w, cap_w, idle_w);
+    slowdown_weighted += slowdown * node_hours;
+    out.max_slowdown = std::max(out.max_slowdown, slowdown);
+  }
+  if (jobs == 0) throw std::invalid_argument("evaluate_static_cap: no jobs");
+
+  out.jobs_mean_over_cap = static_cast<double>(mean_over) / static_cast<double>(jobs);
+  out.jobs_peak_over_cap = static_cast<double>(peak_over) / static_cast<double>(jobs);
+  out.mean_slowdown = node_hours_total > 0.0 ? slowdown_weighted / node_hours_total : 1.0;
+  out.energy_clipped_fraction = energy_total > 0.0 ? energy_clipped / energy_total : 0.0;
+  out.provisioned_power_released_fraction =
+      std::max(0.0, 1.0 - cap_w / data.spec.node_tdp_watts);
+  return out;
+}
+
+std::vector<StaticCapOutcome> sweep_static_caps(const CampaignData& data,
+                                                double lo_fraction, double hi_fraction,
+                                                std::size_t steps,
+                                                const JobFilter& filter) {
+  if (steps < 2 || lo_fraction <= 0.0 || hi_fraction <= lo_fraction)
+    throw std::invalid_argument("sweep_static_caps: bad sweep bounds");
+  std::vector<StaticCapOutcome> out;
+  out.reserve(steps);
+  for (std::size_t i = 0; i < steps; ++i) {
+    const double frac = lo_fraction + (hi_fraction - lo_fraction) *
+                                          static_cast<double>(i) /
+                                          static_cast<double>(steps - 1);
+    out.push_back(evaluate_static_cap(data, frac * data.spec.node_tdp_watts, filter));
+  }
+  return out;
+}
+
+}  // namespace hpcpower::core

@@ -1,0 +1,45 @@
+#pragma once
+// What-if policy evaluation on recorded campaigns (Sec 5-6 use cases).
+//
+// These analyses work from JobRecords alone - simulated or loaded from trace
+// files - so policies can be assessed against recorded workloads without
+// re-running anything.
+
+#include <vector>
+
+#include "core/job_analysis.hpp"
+#include "core/study.hpp"
+
+namespace hpcpower::core {
+
+/// Outcome of applying one static per-node power cap to a recorded campaign.
+struct StaticCapOutcome {
+  double cap_w = 0.0;
+  /// Fraction of jobs whose *mean* demand exceeds the cap (hard-throttled:
+  /// they run power-limited for their whole life).
+  double jobs_mean_over_cap = 0.0;
+  /// Fraction of jobs whose *peak* exceeds the cap (at least briefly limited).
+  double jobs_peak_over_cap = 0.0;
+  /// Node-hour-weighted mean slowdown estimate from the RAPL throttling
+  /// model (1.0 = no slowdown).
+  double mean_slowdown = 1.0;
+  /// Worst per-job slowdown estimate.
+  double max_slowdown = 1.0;
+  /// Energy the cap sheds, as a fraction of the campaign's compute energy
+  /// (clipping the mean demand above the cap; peaks excluded).
+  double energy_clipped_fraction = 0.0;
+  /// Provisioned-power headroom the cap releases vs TDP provisioning.
+  double provisioned_power_released_fraction = 0.0;
+};
+
+/// Evaluates one static per-node cap against recorded jobs.
+[[nodiscard]] StaticCapOutcome evaluate_static_cap(const CampaignData& data,
+                                                   double cap_w,
+                                                   const JobFilter& filter = {});
+
+/// Sweeps caps between `lo_fraction` and `hi_fraction` of the node TDP.
+[[nodiscard]] std::vector<StaticCapOutcome> sweep_static_caps(
+    const CampaignData& data, double lo_fraction, double hi_fraction,
+    std::size_t steps, const JobFilter& filter = {});
+
+}  // namespace hpcpower::core

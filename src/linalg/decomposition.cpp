@@ -1,0 +1,129 @@
+#include "linalg/decomposition.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace hpcpower::linalg {
+
+std::optional<Matrix> cholesky(const Matrix& a) {
+  if (a.rows() != a.cols()) throw std::invalid_argument("cholesky: not square");
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (diag <= 0.0 || !std::isfinite(diag)) return std::nullopt;
+    l(j, j) = std::sqrt(diag);
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double sum = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      l(i, j) = sum / l(j, j);
+    }
+  }
+  return l;
+}
+
+Vector forward_substitute(const Matrix& lower, const Vector& b) {
+  const std::size_t n = lower.rows();
+  assert(b.size() == n);
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= lower(i, k) * y[k];
+    y[i] = sum / lower(i, i);
+  }
+  return y;
+}
+
+Vector backward_substitute_transposed(const Matrix& lower, const Vector& y) {
+  const std::size_t n = lower.rows();
+  assert(y.size() == n);
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) sum -= lower(k, ii) * x[k];
+    x[ii] = sum / lower(ii, ii);
+  }
+  return x;
+}
+
+std::optional<Vector> solve_spd(const Matrix& a, const Vector& b) {
+  const auto l = cholesky(a);
+  if (!l) return std::nullopt;
+  return backward_substitute_transposed(*l, forward_substitute(*l, b));
+}
+
+std::optional<LuDecomposition> lu_decompose(const Matrix& a) {
+  if (a.rows() != a.cols()) throw std::invalid_argument("lu: not square");
+  const std::size_t n = a.rows();
+  LuDecomposition d;
+  d.lu = a;
+  d.piv.resize(n);
+  for (std::size_t i = 0; i < n; ++i) d.piv[i] = i;
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    double best = std::abs(d.lu(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double cand = std::abs(d.lu(r, col));
+      if (cand > best) {
+        best = cand;
+        pivot = r;
+      }
+    }
+    if (best < 1e-300) return std::nullopt;
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(d.lu(pivot, c), d.lu(col, c));
+      std::swap(d.piv[pivot], d.piv[col]);
+      d.sign = -d.sign;
+    }
+    const double inv = 1.0 / d.lu(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      d.lu(r, col) *= inv;
+      const double factor = d.lu(r, col);
+      for (std::size_t c = col + 1; c < n; ++c) d.lu(r, c) -= factor * d.lu(col, c);
+    }
+  }
+  return d;
+}
+
+Vector LuDecomposition::solve(const Vector& b) const {
+  const std::size_t n = lu.rows();
+  assert(b.size() == n);
+  Vector x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = b[piv[i]];
+  // Forward: L has unit diagonal.
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t k = 0; k < i; ++k) x[i] -= lu(i, k) * x[k];
+  // Backward with U.
+  for (std::size_t ii = n; ii-- > 0;) {
+    for (std::size_t k = ii + 1; k < n; ++k) x[ii] -= lu(ii, k) * x[k];
+    x[ii] /= lu(ii, ii);
+  }
+  return x;
+}
+
+double LuDecomposition::determinant() const {
+  double det = sign;
+  for (std::size_t i = 0; i < lu.rows(); ++i) det *= lu(i, i);
+  return det;
+}
+
+std::optional<Matrix> inverse(const Matrix& a) {
+  const auto d = lu_decompose(a);
+  if (!d) return std::nullopt;
+  const std::size_t n = a.rows();
+  Matrix inv(n, n);
+  Vector e(n, 0.0);
+  for (std::size_t c = 0; c < n; ++c) {
+    e[c] = 1.0;
+    const Vector col = d->solve(e);
+    e[c] = 0.0;
+    for (std::size_t r = 0; r < n; ++r) inv(r, c) = col[r];
+  }
+  return inv;
+}
+
+}  // namespace hpcpower::linalg

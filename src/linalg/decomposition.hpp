@@ -1,0 +1,39 @@
+#pragma once
+// Dense factorizations: Cholesky (SPD) and partially-pivoted LU.
+
+#include <optional>
+
+#include "linalg/matrix.hpp"
+
+namespace hpcpower::linalg {
+
+/// Lower-triangular Cholesky factor of a symmetric positive-definite matrix.
+/// Returns nullopt if the matrix is not (numerically) SPD.
+[[nodiscard]] std::optional<Matrix> cholesky(const Matrix& a);
+
+/// Solves L y = b with L lower triangular (forward substitution).
+[[nodiscard]] Vector forward_substitute(const Matrix& lower, const Vector& b);
+
+/// Solves L^T x = y with L lower triangular (backward substitution).
+[[nodiscard]] Vector backward_substitute_transposed(const Matrix& lower, const Vector& y);
+
+/// Solves A x = b for SPD A via Cholesky. Returns nullopt if not SPD.
+[[nodiscard]] std::optional<Vector> solve_spd(const Matrix& a, const Vector& b);
+
+/// LU with partial pivoting.
+struct LuDecomposition {
+  Matrix lu;                    // packed L (unit diagonal) and U
+  std::vector<std::size_t> piv; // row permutation
+  int sign = 1;                 // permutation parity
+
+  [[nodiscard]] Vector solve(const Vector& b) const;
+  [[nodiscard]] double determinant() const;
+};
+
+/// Returns nullopt if the matrix is singular to working precision.
+[[nodiscard]] std::optional<LuDecomposition> lu_decompose(const Matrix& a);
+
+/// General inverse via LU; nullopt if singular.
+[[nodiscard]] std::optional<Matrix> inverse(const Matrix& a);
+
+}  // namespace hpcpower::linalg

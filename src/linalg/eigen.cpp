@@ -1,0 +1,116 @@
+#include "linalg/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "linalg/decomposition.hpp"
+
+namespace hpcpower::linalg {
+
+EigenDecomposition eigen_symmetric(const Matrix& a, int max_sweeps) {
+  if (!a.is_symmetric(1e-8)) throw std::invalid_argument("eigen_symmetric: not symmetric");
+  const std::size_t n = a.rows();
+  Matrix d = a;
+  Matrix v = Matrix::identity(n);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t c = r + 1; c < n; ++c) off += d(r, c) * d(r, c);
+    if (off < 1e-24) break;
+
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = d(p, q);
+        if (std::abs(apq) < 1e-300) continue;
+        const double theta = (d(q, q) - d(p, p)) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (std::size_t k = 0; k < n; ++k) {
+          const double dkp = d(k, p);
+          const double dkq = d(k, q);
+          d(k, p) = c * dkp - s * dkq;
+          d(k, q) = s * dkp + c * dkq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double dpk = d(p, k);
+          const double dqk = d(q, k);
+          d(p, k) = c * dpk - s * dqk;
+          d(q, k) = s * dpk + c * dqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort descending by eigenvalue, permuting vector columns alongside.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t i, std::size_t j) { return d(i, i) > d(j, j); });
+
+  EigenDecomposition out;
+  out.values.resize(n);
+  out.vectors = Matrix(n, n);
+  for (std::size_t c = 0; c < n; ++c) {
+    out.values[c] = d(order[c], order[c]);
+    for (std::size_t r = 0; r < n; ++r) out.vectors(r, c) = v(r, order[c]);
+  }
+  return out;
+}
+
+std::optional<EigenDecomposition> eigen_generalized(const Matrix& a, const Matrix& b,
+                                                    int max_sweeps) {
+  const auto l = cholesky(b);
+  if (!l) return std::nullopt;
+  const std::size_t n = a.rows();
+
+  // C = L^-1 A L^-T, built column by column via triangular solves.
+  Matrix c(n, n);
+  for (std::size_t col = 0; col < n; ++col) {
+    Vector acol(n);
+    for (std::size_t r = 0; r < n; ++r) acol[r] = a(r, col);
+    const Vector y = forward_substitute(*l, acol);
+    for (std::size_t r = 0; r < n; ++r) c(r, col) = y[r];
+  }
+  // Now apply L^-1 from the right: C := C L^-T, i.e. solve row systems.
+  for (std::size_t row = 0; row < n; ++row) {
+    Vector crow(n);
+    for (std::size_t k = 0; k < n; ++k) crow[k] = c(row, k);
+    const Vector y = forward_substitute(*l, crow);
+    for (std::size_t k = 0; k < n; ++k) c(row, k) = y[k];
+  }
+  // Symmetrize against round-off before Jacobi.
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t k = r + 1; k < n; ++k) {
+      const double avg = 0.5 * (c(r, k) + c(k, r));
+      c(r, k) = avg;
+      c(k, r) = avg;
+    }
+
+  EigenDecomposition inner = eigen_symmetric(c, max_sweeps);
+
+  // Back-transform eigenvectors: v = L^-T w (column-wise).
+  EigenDecomposition out;
+  out.values = std::move(inner.values);
+  out.vectors = Matrix(n, n);
+  for (std::size_t col = 0; col < n; ++col) {
+    Vector w(n);
+    for (std::size_t r = 0; r < n; ++r) w[r] = inner.vectors(r, col);
+    const Vector v = backward_substitute_transposed(*l, w);
+    for (std::size_t r = 0; r < n; ++r) out.vectors(r, col) = v[r];
+  }
+  return out;
+}
+
+}  // namespace hpcpower::linalg

@@ -1,0 +1,31 @@
+#pragma once
+// Symmetric eigenproblems.
+//
+// The cyclic Jacobi method is exact enough and robust for the small scatter
+// and covariance matrices in this library. The generalized problem
+// A v = lambda B v (B SPD) is reduced to standard form via Cholesky, which is
+// what Fisher LDA needs for S_b v = lambda S_w v.
+
+#include <optional>
+
+#include "linalg/matrix.hpp"
+
+namespace hpcpower::linalg {
+
+struct EigenDecomposition {
+  Vector values;        // descending order
+  Matrix vectors;       // column i pairs with values[i]
+};
+
+/// Eigendecomposition of a symmetric matrix via cyclic Jacobi rotations.
+/// Throws std::invalid_argument if `a` is not symmetric.
+[[nodiscard]] EigenDecomposition eigen_symmetric(const Matrix& a, int max_sweeps = 64);
+
+/// Generalized symmetric-definite eigenproblem A v = lambda B v with B SPD.
+/// Eigenvectors are returned in the original (non-whitened) basis and are
+/// B-orthonormal. Returns nullopt if B is not SPD.
+[[nodiscard]] std::optional<EigenDecomposition> eigen_generalized(const Matrix& a,
+                                                                  const Matrix& b,
+                                                                  int max_sweeps = 64);
+
+}  // namespace hpcpower::linalg

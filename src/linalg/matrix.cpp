@@ -1,0 +1,129 @@
+#include "linalg/matrix.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace hpcpower::linalg {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    if (row.size() != cols_) throw std::invalid_argument("ragged matrix initializer");
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  if (cols_ != rhs.rows_) throw std::invalid_argument("matrix multiply shape mismatch");
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(r, k);
+      if (a == 0.0) continue;
+      for (std::size_t c = 0; c < rhs.cols_; ++c) out(r, c) += a * rhs(k, c);
+    }
+  }
+  return out;
+}
+
+Vector Matrix::operator*(const Vector& v) const {
+  if (cols_ != v.size()) throw std::invalid_argument("matrix-vector shape mismatch");
+  Vector out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) sum += (*this)(r, c) * v[c];
+    out[r] = sum;
+  }
+  return out;
+}
+
+Matrix Matrix::operator+(const Matrix& rhs) const {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_)
+    throw std::invalid_argument("matrix add shape mismatch");
+  Matrix out = *this;
+  out += rhs;
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& rhs) const {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_)
+    throw std::invalid_argument("matrix subtract shape mismatch");
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] -= rhs.data_[i];
+  return out;
+}
+
+Matrix& Matrix::operator*=(double scalar) {
+  for (double& x : data_) x *= scalar;
+  return *this;
+}
+
+Matrix& Matrix::operator+=(const Matrix& rhs) {
+  assert(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+double Matrix::max_abs_diff(const Matrix& rhs) const {
+  assert(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    worst = std::max(worst, std::abs(data_[i] - rhs.data_[i]));
+  return worst;
+}
+
+bool Matrix::is_symmetric(double tol) const noexcept {
+  if (rows_ != cols_) return false;
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = r + 1; c < cols_; ++c)
+      if (std::abs((*this)(r, c) - (*this)(c, r)) > tol) return false;
+  return true;
+}
+
+double dot(const Vector& a, const Vector& b) noexcept {
+  assert(a.size() == b.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double norm2(const Vector& v) noexcept { return std::sqrt(dot(v, v)); }
+
+Vector subtract(const Vector& a, const Vector& b) {
+  assert(a.size() == b.size());
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Vector axpy(const Vector& a, double s, const Vector& b) {
+  assert(a.size() == b.size());
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + s * b[i];
+  return out;
+}
+
+Matrix outer(const Vector& a, const Vector& b) {
+  Matrix out(a.size(), b.size());
+  for (std::size_t r = 0; r < a.size(); ++r)
+    for (std::size_t c = 0; c < b.size(); ++c) out(r, c) = a[r] * b[c];
+  return out;
+}
+
+}  // namespace hpcpower::linalg

@@ -1,0 +1,66 @@
+#pragma once
+// Small dense row-major matrix/vector types.
+//
+// Sized for the study's needs: feature covariances and Fisher-LDA scatter
+// matrices are at most a-handful x a-handful, so the implementation favours
+// clarity and numerical care over blocking/vectorization.
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+namespace hpcpower::linalg {
+
+using Vector = std::vector<double>;
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+  /// Row-major construction from nested initializer lists.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  static Matrix identity(std::size_t n);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] Matrix transposed() const;
+  [[nodiscard]] Matrix operator*(const Matrix& rhs) const;
+  [[nodiscard]] Vector operator*(const Vector& v) const;
+  [[nodiscard]] Matrix operator+(const Matrix& rhs) const;
+  [[nodiscard]] Matrix operator-(const Matrix& rhs) const;
+  Matrix& operator*=(double scalar);
+  Matrix& operator+=(const Matrix& rhs);
+
+  /// Max absolute element difference; convenience for tests.
+  [[nodiscard]] double max_abs_diff(const Matrix& rhs) const;
+
+  /// True if symmetric within `tol`.
+  [[nodiscard]] bool is_symmetric(double tol = 1e-10) const noexcept;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+[[nodiscard]] double dot(const Vector& a, const Vector& b) noexcept;
+[[nodiscard]] double norm2(const Vector& v) noexcept;
+/// a - b elementwise.
+[[nodiscard]] Vector subtract(const Vector& a, const Vector& b);
+/// a + s*b elementwise.
+[[nodiscard]] Vector axpy(const Vector& a, double s, const Vector& b);
+/// Outer product a b^T.
+[[nodiscard]] Matrix outer(const Vector& a, const Vector& b);
+
+}  // namespace hpcpower::linalg

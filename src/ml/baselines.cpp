@@ -1,0 +1,47 @@
+#include "ml/baselines.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hpcpower::ml {
+
+void GlobalMeanRegressor::fit(const Dataset& train) {
+  if (train.empty()) throw std::invalid_argument("GlobalMeanRegressor: empty training set");
+  double sum = 0.0;
+  for (const double y : train.targets()) sum += y;
+  mean_ = sum / static_cast<double>(train.size());
+  fitted_ = true;
+}
+
+double GlobalMeanRegressor::predict(std::span<const double>) const {
+  if (!fitted_) throw std::logic_error("GlobalMeanRegressor: predict before fit");
+  return mean_;
+}
+
+void UserMeanRegressor::fit(const Dataset& train) {
+  if (train.empty()) throw std::invalid_argument("UserMeanRegressor: empty training set");
+  if (user_feature_ >= train.dim())
+    throw std::invalid_argument("UserMeanRegressor: user feature out of range");
+  user_mean_.clear();
+  std::unordered_map<long long, std::size_t> counts;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    const auto user = static_cast<long long>(std::llround(train.row(i)[user_feature_]));
+    user_mean_[user] += train.target(i);
+    ++counts[user];
+    sum += train.target(i);
+  }
+  for (auto& [user, total] : user_mean_)
+    total /= static_cast<double>(counts[user]);
+  global_mean_ = sum / static_cast<double>(train.size());
+  fitted_ = true;
+}
+
+double UserMeanRegressor::predict(std::span<const double> features) const {
+  if (!fitted_) throw std::logic_error("UserMeanRegressor: predict before fit");
+  const auto user = static_cast<long long>(std::llround(features[user_feature_]));
+  const auto it = user_mean_.find(user);
+  return it != user_mean_.end() ? it->second : global_mean_;
+}
+
+}  // namespace hpcpower::ml

@@ -1,0 +1,42 @@
+#pragma once
+// Baseline predictors used for ablations and sanity checks.
+
+#include <unordered_map>
+
+#include "ml/regressor.hpp"
+
+namespace hpcpower::ml {
+
+/// Predicts the global training mean; the floor any real model must beat.
+class GlobalMeanRegressor final : public Regressor {
+ public:
+  void fit(const Dataset& train) override;
+  [[nodiscard]] double predict(std::span<const double> features) const override;
+  [[nodiscard]] std::string name() const override { return "GlobalMean"; }
+
+ private:
+  double mean_ = 0.0;
+  bool fitted_ = false;
+};
+
+/// Predicts the per-user training mean (falls back to the global mean for
+/// unseen users). The paper's "users are monotonous" hypothesis (RQ7) in
+/// model form - it fails because users are not monotonous.
+class UserMeanRegressor final : public Regressor {
+ public:
+  /// `user_feature` is the column carrying the user id (default 0).
+  explicit UserMeanRegressor(std::size_t user_feature = 0)
+      : user_feature_(user_feature) {}
+
+  void fit(const Dataset& train) override;
+  [[nodiscard]] double predict(std::span<const double> features) const override;
+  [[nodiscard]] std::string name() const override { return "UserMean"; }
+
+ private:
+  std::size_t user_feature_;
+  double global_mean_ = 0.0;
+  std::unordered_map<long long, double> user_mean_;
+  bool fitted_ = false;
+};
+
+}  // namespace hpcpower::ml

@@ -1,0 +1,114 @@
+#include "ml/dataset.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "util/strings.hpp"
+
+namespace hpcpower::ml {
+
+void Dataset::add_row(std::span<const double> features, double target,
+                      std::uint32_t group) {
+  if (dim_ == 0) dim_ = features.size();
+  if (features.size() != dim_)
+    throw std::invalid_argument("Dataset::add_row: feature dimension mismatch");
+  x_.insert(x_.end(), features.begin(), features.end());
+  y_.push_back(target);
+  group_.push_back(group);
+}
+
+Dataset Dataset::subset(std::span<const std::size_t> indices) const {
+  Dataset out(dim_);
+  out.x_.reserve(indices.size() * dim_);
+  out.y_.reserve(indices.size());
+  out.group_.reserve(indices.size());
+  for (const std::size_t i : indices) {
+    assert(i < size());
+    const auto r = row(i);
+    out.x_.insert(out.x_.end(), r.begin(), r.end());
+    out.y_.push_back(y_[i]);
+    out.group_.push_back(group_[i]);
+  }
+  return out;
+}
+
+Dataset::Scaling Dataset::compute_scaling() const {
+  Scaling s;
+  s.mean.assign(dim_, 0.0);
+  s.stddev.assign(dim_, 1.0);
+  if (empty()) return s;
+  const auto n = static_cast<double>(size());
+  for (std::size_t i = 0; i < size(); ++i) {
+    const auto r = row(i);
+    for (std::size_t d = 0; d < dim_; ++d) s.mean[d] += r[d];
+  }
+  for (double& m : s.mean) m /= n;
+  std::vector<double> var(dim_, 0.0);
+  for (std::size_t i = 0; i < size(); ++i) {
+    const auto r = row(i);
+    for (std::size_t d = 0; d < dim_; ++d) {
+      const double diff = r[d] - s.mean[d];
+      var[d] += diff * diff;
+    }
+  }
+  for (std::size_t d = 0; d < dim_; ++d)
+    s.stddev[d] = std::max(std::sqrt(var[d] / n), 1e-9);
+  return s;
+}
+
+Split make_split(const Dataset& data, double train_fraction, util::Rng& rng) {
+  if (data.empty()) throw std::invalid_argument("make_split: empty dataset");
+  if (train_fraction <= 0.0 || train_fraction >= 1.0)
+    throw std::invalid_argument("make_split: train_fraction must be in (0,1)");
+
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+
+  const auto n_train = static_cast<std::size_t>(
+      std::round(train_fraction * static_cast<double>(data.size())));
+  Split split;
+  split.train.assign(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(n_train));
+  split.validation.assign(order.begin() + static_cast<std::ptrdiff_t>(n_train),
+                          order.end());
+
+  // Enforce user coverage: validation rows from users unseen in training move
+  // to the training side.
+  std::unordered_set<std::uint32_t> train_users;
+  train_users.reserve(split.train.size());
+  for (const std::size_t i : split.train) train_users.insert(data.group(i));
+  std::vector<std::size_t> kept;
+  kept.reserve(split.validation.size());
+  for (const std::size_t i : split.validation) {
+    if (train_users.contains(data.group(i))) {
+      kept.push_back(i);
+    } else {
+      split.train.push_back(i);
+      train_users.insert(data.group(i));
+    }
+  }
+  split.validation = std::move(kept);
+  return split;
+}
+
+std::vector<Split> make_repeated_splits(const Dataset& data, double train_fraction,
+                                        std::size_t repeats, std::uint64_t seed) {
+  std::vector<Split> out;
+  out.reserve(repeats);
+  for (std::size_t r = 0; r < repeats; ++r) {
+    util::Rng rng(util::derive_stream(seed, util::format("split-%zu", r)));
+    out.push_back(make_split(data, train_fraction, rng));
+  }
+  return out;
+}
+
+double absolute_percent_error(double actual, double predicted) noexcept {
+  if (actual == 0.0) return predicted == 0.0 ? 0.0 : 1.0;
+  return std::abs(predicted - actual) / std::abs(actual);
+}
+
+}  // namespace hpcpower::ml

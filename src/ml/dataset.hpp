@@ -1,0 +1,72 @@
+#pragma once
+// Tabular dataset and the paper's evaluation splits.
+//
+// Features for power prediction are exactly the three quantities available
+// *before* a job executes: user id, number of nodes, requested wall time
+// (Sec 5, RQ9). Targets are per-node power in watts.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/prng.hpp"
+
+namespace hpcpower::ml {
+
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::size_t dim) : dim_(dim) {}
+
+  void add_row(std::span<const double> features, double target, std::uint32_t group);
+
+  [[nodiscard]] std::size_t size() const noexcept { return y_.size(); }
+  [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
+  [[nodiscard]] bool empty() const noexcept { return y_.empty(); }
+
+  [[nodiscard]] std::span<const double> row(std::size_t i) const noexcept {
+    return {x_.data() + i * dim_, dim_};
+  }
+  [[nodiscard]] double target(std::size_t i) const noexcept { return y_[i]; }
+  /// Grouping key (user id) used by group-aware splitting and per-user error.
+  [[nodiscard]] std::uint32_t group(std::size_t i) const noexcept { return group_[i]; }
+  [[nodiscard]] const std::vector<double>& targets() const noexcept { return y_; }
+
+  /// Subset by row indices.
+  [[nodiscard]] Dataset subset(std::span<const std::size_t> indices) const;
+
+  /// Per-feature mean/stddev (stddev floored at a tiny epsilon).
+  struct Scaling {
+    std::vector<double> mean;
+    std::vector<double> stddev;
+  };
+  [[nodiscard]] Scaling compute_scaling() const;
+
+ private:
+  std::size_t dim_ = 0;
+  std::vector<double> x_;
+  std::vector<double> y_;
+  std::vector<std::uint32_t> group_;
+};
+
+/// One train/validation split (row indices into the source dataset).
+struct Split {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> validation;
+};
+
+/// The paper's protocol: 80/20 random split, repeated; any validation row
+/// whose user is absent from the training side is moved to training (the
+/// system cannot predict users it has never seen).
+[[nodiscard]] Split make_split(const Dataset& data, double train_fraction,
+                               util::Rng& rng);
+
+[[nodiscard]] std::vector<Split> make_repeated_splits(const Dataset& data,
+                                                      double train_fraction,
+                                                      std::size_t repeats,
+                                                      std::uint64_t seed);
+
+/// |predicted - actual| / actual (the paper's absolute prediction error).
+[[nodiscard]] double absolute_percent_error(double actual, double predicted) noexcept;
+
+}  // namespace hpcpower::ml

@@ -1,0 +1,135 @@
+#include "ml/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace hpcpower::ml {
+
+namespace {
+struct BestSplit {
+  double gain = 0.0;
+  std::uint16_t feature = 0;
+  double threshold = 0.0;
+  bool found = false;
+};
+
+/// Exact best split of rows [begin, end) of `indices` for one feature:
+/// sort by feature value, scan prefix sums of targets.
+void consider_feature(const Dataset& data, std::vector<std::size_t>& indices,
+                      std::size_t begin, std::size_t end, std::uint16_t feature,
+                      std::size_t min_leaf, BestSplit& best) {
+  const std::size_t n = end - begin;
+  std::sort(indices.begin() + static_cast<std::ptrdiff_t>(begin),
+            indices.begin() + static_cast<std::ptrdiff_t>(end),
+            [&](std::size_t a, std::size_t b) {
+              return data.row(a)[feature] < data.row(b)[feature];
+            });
+
+  double total = 0.0;
+  for (std::size_t i = begin; i < end; ++i) total += data.target(indices[i]);
+
+  // SSE(parent) - SSE(children) = sum_l^2/n_l + sum_r^2/n_r - sum^2/n.
+  const double parent_term = total * total / static_cast<double>(n);
+  double left_sum = 0.0;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    left_sum += data.target(indices[begin + i]);
+    const std::size_t n_left = i + 1;
+    const std::size_t n_right = n - n_left;
+    // Only split between distinct feature values.
+    const double v = data.row(indices[begin + i])[feature];
+    const double v_next = data.row(indices[begin + i + 1])[feature];
+    if (v == v_next) continue;
+    if (n_left < min_leaf || n_right < min_leaf) continue;
+    const double right_sum = total - left_sum;
+    const double gain = left_sum * left_sum / static_cast<double>(n_left) +
+                        right_sum * right_sum / static_cast<double>(n_right) -
+                        parent_term;
+    if (gain > best.gain) {
+      best.gain = gain;
+      best.feature = feature;
+      best.threshold = 0.5 * (v + v_next);
+      best.found = true;
+    }
+  }
+}
+}  // namespace
+
+void DecisionTreeRegressor::fit(const Dataset& train) {
+  if (train.empty()) throw std::invalid_argument("DecisionTreeRegressor: empty training set");
+  nodes_.clear();
+  depth_ = 0;
+  std::vector<std::size_t> indices(train.size());
+  std::iota(indices.begin(), indices.end(), 0);
+  nodes_.reserve(2 * train.size() / std::max<std::size_t>(config_.min_samples_leaf, 1));
+  (void)build(train, indices, 0, indices.size(), 0);
+}
+
+std::int32_t DecisionTreeRegressor::build(const Dataset& data,
+                                          std::vector<std::size_t>& indices,
+                                          std::size_t begin, std::size_t end,
+                                          std::uint32_t depth) {
+  depth_ = std::max(depth_, depth);
+  const std::size_t n = end - begin;
+  double sum = 0.0;
+  for (std::size_t i = begin; i < end; ++i) sum += data.target(indices[i]);
+  const double mean = sum / static_cast<double>(n);
+
+  const auto make_leaf = [&]() {
+    Node leaf;
+    leaf.value = mean;
+    nodes_.push_back(leaf);
+    return static_cast<std::int32_t>(nodes_.size() - 1);
+  };
+
+  if (depth >= config_.max_depth || n < config_.min_samples_split) return make_leaf();
+
+  BestSplit best;
+  best.gain = config_.min_impurity_decrease;
+  for (std::uint16_t f = 0; f < static_cast<std::uint16_t>(data.dim()); ++f)
+    consider_feature(data, indices, begin, end, f, config_.min_samples_leaf, best);
+  if (!best.found) return make_leaf();
+
+  // Partition rows around the winning threshold.
+  const auto mid_it = std::partition(
+      indices.begin() + static_cast<std::ptrdiff_t>(begin),
+      indices.begin() + static_cast<std::ptrdiff_t>(end),
+      [&](std::size_t i) { return data.row(i)[best.feature] <= best.threshold; });
+  const auto mid = static_cast<std::size_t>(mid_it - indices.begin());
+  if (mid == begin || mid == end) return make_leaf();  // numeric degenerate
+
+  const auto self = static_cast<std::int32_t>(nodes_.size());
+  Node node;
+  node.feature = best.feature;
+  node.threshold = best.threshold;
+  node.value = mean;
+  nodes_.push_back(node);
+
+  const std::int32_t left = build(data, indices, begin, mid, depth + 1);
+  const std::int32_t right = build(data, indices, mid, end, depth + 1);
+  nodes_[static_cast<std::size_t>(self)].left = left;
+  nodes_[static_cast<std::size_t>(self)].right = right;
+  return self;
+}
+
+double DecisionTreeRegressor::predict(std::span<const double> features) const {
+  if (nodes_.empty()) throw std::logic_error("DecisionTreeRegressor: predict before fit");
+  std::size_t idx = 0;
+  for (;;) {
+    const Node& node = nodes_[idx];
+    if (node.is_leaf()) return node.value;
+    idx = static_cast<std::size_t>(features[node.feature] <= node.threshold
+                                       ? node.left
+                                       : node.right);
+  }
+}
+
+std::size_t DecisionTreeRegressor::leaf_count() const noexcept {
+  std::size_t leaves = 0;
+  for (const Node& n : nodes_) leaves += n.is_leaf();
+  return leaves;
+}
+
+}  // namespace hpcpower::ml

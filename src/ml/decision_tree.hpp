@@ -1,0 +1,56 @@
+#pragma once
+// CART regression tree ("Binary Decision Tree" in the paper, its best model).
+//
+// Axis-aligned binary splits chosen to maximize the reduction of the sum of
+// squared errors; exact split search over sorted feature values. With the
+// three pre-execution features the tree effectively learns the (user, nodes,
+// wall time) -> template power mapping, which is why it wins in Fig 14.
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/regressor.hpp"
+
+namespace hpcpower::ml {
+
+struct DecisionTreeConfig {
+  std::uint32_t max_depth = 24;
+  std::size_t min_samples_leaf = 1;
+  std::size_t min_samples_split = 2;
+  /// Minimum SSE reduction (absolute) required to keep a split.
+  double min_impurity_decrease = 1e-7;
+};
+
+class DecisionTreeRegressor final : public Regressor {
+ public:
+  explicit DecisionTreeRegressor(DecisionTreeConfig config = {}) : config_(config) {}
+
+  void fit(const Dataset& train) override;
+  [[nodiscard]] double predict(std::span<const double> features) const override;
+  [[nodiscard]] std::string name() const override { return "BDT"; }
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] std::uint32_t depth() const noexcept { return depth_; }
+  [[nodiscard]] std::size_t leaf_count() const noexcept;
+
+ private:
+  struct Node {
+    // Internal nodes: feature/threshold and child links; leaves: value.
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    std::uint16_t feature = 0;
+    double threshold = 0.0;
+    double value = 0.0;
+
+    [[nodiscard]] bool is_leaf() const noexcept { return left < 0; }
+  };
+
+  std::int32_t build(const Dataset& data, std::vector<std::size_t>& indices,
+                     std::size_t begin, std::size_t end, std::uint32_t depth);
+
+  DecisionTreeConfig config_;
+  std::vector<Node> nodes_;
+  std::uint32_t depth_ = 0;
+};
+
+}  // namespace hpcpower::ml

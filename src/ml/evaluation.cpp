@@ -1,0 +1,84 @@
+#include "ml/evaluation.hpp"
+
+#include <memory>
+
+#include "ml/baselines.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/flda.hpp"
+#include "ml/knn.hpp"
+#include "stats/descriptive.hpp"
+
+namespace hpcpower::ml {
+
+double EvaluationResult::mean_error() const { return stats::mean(errors); }
+
+double EvaluationResult::fraction_below(double threshold) const {
+  if (errors.empty()) return 0.0;
+  std::size_t below = 0;
+  for (const double e : errors) below += (e < threshold);
+  return static_cast<double>(below) / static_cast<double>(errors.size());
+}
+
+double EvaluationResult::user_fraction_below(double threshold) const {
+  if (per_user_mean_error.empty()) return 0.0;
+  std::size_t below = 0;
+  for (const auto& [user, err] : per_user_mean_error) below += (err < threshold);
+  return static_cast<double>(below) / static_cast<double>(per_user_mean_error.size());
+}
+
+std::vector<double> EvaluationResult::per_user_errors() const {
+  std::vector<double> out;
+  out.reserve(per_user_mean_error.size());
+  for (const auto& [user, err] : per_user_mean_error) out.push_back(err);
+  return out;
+}
+
+EvaluationResult evaluate_model(
+    const Dataset& data, const std::function<std::unique_ptr<Regressor>()>& factory,
+    const EvaluationConfig& config) {
+  EvaluationResult result;
+  const auto splits =
+      make_repeated_splits(data, config.train_fraction, config.repeats, config.seed);
+
+  std::map<std::uint32_t, double> user_error_sum;
+  std::map<std::uint32_t, std::size_t> user_error_count;
+
+  for (const Split& split : splits) {
+    const Dataset train = data.subset(split.train);
+    auto model = factory();
+    if (result.model.empty()) result.model = model->name();
+    model->fit(train);
+    for (const std::size_t i : split.validation) {
+      const double predicted = model->predict(data.row(i));
+      const double err = absolute_percent_error(data.target(i), predicted);
+      result.errors.push_back(err);
+      user_error_sum[data.group(i)] += err;
+      ++user_error_count[data.group(i)];
+    }
+  }
+
+  for (const auto& [user, total] : user_error_sum)
+    result.per_user_mean_error[user] = total / static_cast<double>(user_error_count[user]);
+  return result;
+}
+
+std::vector<EvaluationResult> evaluate_paper_models(const Dataset& data,
+                                                    const EvaluationConfig& config,
+                                                    bool include_baselines) {
+  std::vector<EvaluationResult> out;
+  out.push_back(evaluate_model(
+      data, [] { return std::make_unique<DecisionTreeRegressor>(); }, config));
+  out.push_back(evaluate_model(
+      data, [] { return std::make_unique<KnnRegressor>(); }, config));
+  out.push_back(evaluate_model(
+      data, [] { return std::make_unique<FldaRegressor>(); }, config));
+  if (include_baselines) {
+    out.push_back(evaluate_model(
+        data, [] { return std::make_unique<UserMeanRegressor>(); }, config));
+    out.push_back(evaluate_model(
+        data, [] { return std::make_unique<GlobalMeanRegressor>(); }, config));
+  }
+  return out;
+}
+
+}  // namespace hpcpower::ml

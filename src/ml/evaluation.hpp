@@ -1,0 +1,50 @@
+#pragma once
+// Train/validate harness implementing the paper's evaluation protocol:
+// 80/20 random splits repeated ten times, absolute-percent-error CDFs
+// (Fig 14), and per-user mean error (Fig 15).
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ml/regressor.hpp"
+#include "stats/ecdf.hpp"
+
+namespace hpcpower::ml {
+
+struct EvaluationConfig {
+  double train_fraction = 0.8;
+  std::size_t repeats = 10;
+  std::uint64_t seed = 42;
+};
+
+struct EvaluationResult {
+  std::string model;
+  /// Absolute percent errors pooled over all repeats' validation rows.
+  std::vector<double> errors;
+  /// Mean absolute percent error per user (pooled over repeats).
+  std::map<std::uint32_t, double> per_user_mean_error;
+
+  [[nodiscard]] stats::Ecdf error_cdf() const { return stats::Ecdf(errors); }
+  [[nodiscard]] double mean_error() const;
+  /// Fraction of predictions with error below `threshold` (e.g. 0.10).
+  [[nodiscard]] double fraction_below(double threshold) const;
+  /// Fraction of users whose mean error is below `threshold`.
+  [[nodiscard]] double user_fraction_below(double threshold) const;
+  [[nodiscard]] std::vector<double> per_user_errors() const;
+};
+
+/// Runs `factory()`-created models across the repeated splits.
+/// The factory is invoked once per repeat (models must be re-fittable anyway,
+/// but a fresh instance keeps repeats independent).
+[[nodiscard]] EvaluationResult evaluate_model(
+    const Dataset& data, const std::function<std::unique_ptr<Regressor>()>& factory,
+    const EvaluationConfig& config);
+
+/// Convenience: evaluates the paper's three models (BDT, KNN, FLDA) plus the
+/// baselines, returning results keyed by model name.
+[[nodiscard]] std::vector<EvaluationResult> evaluate_paper_models(
+    const Dataset& data, const EvaluationConfig& config, bool include_baselines = false);
+
+}  // namespace hpcpower::ml

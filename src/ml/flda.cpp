@@ -1,0 +1,147 @@
+#include "ml/flda.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "linalg/eigen.hpp"
+
+namespace hpcpower::ml {
+
+void FldaRegressor::fit(const Dataset& train) {
+  if (train.empty()) throw std::invalid_argument("FldaRegressor: empty training set");
+  if (config_.num_classes < 2)
+    throw std::invalid_argument("FldaRegressor: need at least 2 classes");
+  dim_ = train.dim();
+  scaling_ = train.compute_scaling();
+  const std::size_t n = train.size();
+
+  // Equal-frequency binning of the target into classes.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return train.target(a) < train.target(b);
+  });
+  const std::size_t classes = std::min(config_.num_classes, n);
+  std::vector<std::size_t> label(n);
+  for (std::size_t pos = 0; pos < n; ++pos)
+    label[order[pos]] = std::min(classes - 1, pos * classes / n);
+
+  // Z-scored features.
+  std::vector<double> z(n * dim_);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto r = train.row(i);
+    for (std::size_t d = 0; d < dim_; ++d)
+      z[i * dim_ + d] = (r[d] - scaling_.mean[d]) / scaling_.stddev[d];
+  }
+
+  // Class means / counts and the global mean.
+  std::vector<linalg::Vector> mean_c(classes, linalg::Vector(dim_, 0.0));
+  std::vector<std::size_t> count_c(classes, 0);
+  linalg::Vector mean_all(dim_, 0.0);
+  class_means_y_.assign(classes, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t c = label[i];
+    ++count_c[c];
+    class_means_y_[c] += train.target(i);
+    for (std::size_t d = 0; d < dim_; ++d) {
+      mean_c[c][d] += z[i * dim_ + d];
+      mean_all[d] += z[i * dim_ + d];
+    }
+  }
+  for (std::size_t c = 0; c < classes; ++c) {
+    const double cnt = std::max<double>(1.0, static_cast<double>(count_c[c]));
+    class_means_y_[c] /= cnt;
+    for (double& v : mean_c[c]) v /= cnt;
+  }
+  for (double& v : mean_all) v /= static_cast<double>(n);
+
+  // Scatter matrices.
+  linalg::Matrix sw(dim_, dim_), sb(dim_, dim_);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t c = label[i];
+    for (std::size_t a = 0; a < dim_; ++a) {
+      const double da = z[i * dim_ + a] - mean_c[c][a];
+      for (std::size_t b = a; b < dim_; ++b) {
+        const double db = z[i * dim_ + b] - mean_c[c][b];
+        sw(a, b) += da * db;
+      }
+    }
+  }
+  for (std::size_t c = 0; c < classes; ++c) {
+    const auto cnt = static_cast<double>(count_c[c]);
+    for (std::size_t a = 0; a < dim_; ++a) {
+      const double da = mean_c[c][a] - mean_all[a];
+      for (std::size_t b = a; b < dim_; ++b) {
+        const double db = mean_c[c][b] - mean_all[b];
+        sb(a, b) += cnt * da * db;
+      }
+    }
+  }
+  for (std::size_t a = 0; a < dim_; ++a)
+    for (std::size_t b = 0; b < a; ++b) {
+      sw(a, b) = sw(b, a);
+      sb(a, b) = sb(b, a);
+    }
+  for (std::size_t d = 0; d < dim_; ++d)
+    sw(d, d) += config_.regularization * static_cast<double>(n);
+
+  // Fisher directions: top eigenvectors of Sb v = lambda Sw v.
+  const auto eig = linalg::eigen_generalized(sb, sw);
+  if (!eig) throw std::runtime_error("FldaRegressor: within-class scatter not SPD");
+  const std::size_t n_disc = std::min(dim_, classes - 1);
+  discriminants_.assign(n_disc * dim_, 0.0);
+  for (std::size_t k = 0; k < n_disc; ++k)
+    for (std::size_t d = 0; d < dim_; ++d)
+      discriminants_[k * dim_ + d] = eig->vectors(d, k);
+
+  // Projected class centroids.
+  class_centroids_.assign(classes, std::vector<double>(n_disc, 0.0));
+  for (std::size_t c = 0; c < classes; ++c)
+    for (std::size_t k = 0; k < n_disc; ++k) {
+      double dot = 0.0;
+      for (std::size_t d = 0; d < dim_; ++d)
+        dot += discriminants_[k * dim_ + d] * mean_c[c][d];
+      class_centroids_[c][k] = dot;
+    }
+}
+
+std::vector<double> FldaRegressor::project(std::span<const double> z) const {
+  const std::size_t n_disc = num_discriminants();
+  std::vector<double> out(n_disc, 0.0);
+  for (std::size_t k = 0; k < n_disc; ++k) {
+    double dot = 0.0;
+    for (std::size_t d = 0; d < dim_; ++d) dot += discriminants_[k * dim_ + d] * z[d];
+    out[k] = dot;
+  }
+  return out;
+}
+
+double FldaRegressor::predict(std::span<const double> features) const {
+  if (class_means_y_.empty()) throw std::logic_error("FldaRegressor: predict before fit");
+  if (features.size() != dim_)
+    throw std::invalid_argument("FldaRegressor: feature dimension mismatch");
+  std::vector<double> z(dim_);
+  for (std::size_t d = 0; d < dim_; ++d)
+    z[d] = (features[d] - scaling_.mean[d]) / scaling_.stddev[d];
+  const std::vector<double> p = project(z);
+
+  double best = std::numeric_limits<double>::infinity();
+  std::size_t best_class = 0;
+  for (std::size_t c = 0; c < class_centroids_.size(); ++c) {
+    double d2 = 0.0;
+    for (std::size_t k = 0; k < p.size(); ++k) {
+      const double diff = p[k] - class_centroids_[c][k];
+      d2 += diff * diff;
+    }
+    if (d2 < best) {
+      best = d2;
+      best_class = c;
+    }
+  }
+  return class_means_y_[best_class];
+}
+
+}  // namespace hpcpower::ml

@@ -1,0 +1,49 @@
+#pragma once
+// Fisher's Linear Discriminant Analysis, adapted to regression by
+// discretizing power into classes (the paper's third model).
+//
+// Targets are binned into equal-frequency classes; Fisher directions are the
+// generalized eigenvectors of (between-class scatter, within-class scatter);
+// prediction projects a feature row into discriminant space, picks the
+// nearest class centroid, and returns that class's mean power. A linear
+// method like this cannot carve up Emmy's many-user feature space (Fig 14's
+// finding), which is exactly the behaviour this implementation reproduces.
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "ml/regressor.hpp"
+
+namespace hpcpower::ml {
+
+struct FldaConfig {
+  std::size_t num_classes = 12;
+  /// Tikhonov regularization added to the within-class scatter diagonal.
+  double regularization = 1e-6;
+};
+
+class FldaRegressor final : public Regressor {
+ public:
+  explicit FldaRegressor(FldaConfig config = {}) : config_(config) {}
+
+  void fit(const Dataset& train) override;
+  [[nodiscard]] double predict(std::span<const double> features) const override;
+  [[nodiscard]] std::string name() const override { return "FLDA"; }
+
+  [[nodiscard]] std::size_t num_classes() const noexcept { return class_means_y_.size(); }
+  [[nodiscard]] std::size_t num_discriminants() const noexcept {
+    return discriminants_.empty() ? 0 : discriminants_.size() / dim_;
+  }
+
+ private:
+  [[nodiscard]] std::vector<double> project(std::span<const double> z) const;
+
+  FldaConfig config_;
+  std::size_t dim_ = 0;
+  Dataset::Scaling scaling_;
+  std::vector<double> discriminants_;        // n_disc x dim, row major
+  std::vector<std::vector<double>> class_centroids_;  // projected class means
+  std::vector<double> class_means_y_;        // power per class
+};
+
+}  // namespace hpcpower::ml

@@ -1,0 +1,69 @@
+#include "ml/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hpcpower::ml {
+
+void KnnRegressor::fit(const Dataset& train) {
+  if (train.empty()) throw std::invalid_argument("KnnRegressor: empty training set");
+  if (config_.k == 0) throw std::invalid_argument("KnnRegressor: k must be positive");
+  dim_ = train.dim();
+  scaling_ = train.compute_scaling();
+  x_.resize(train.size() * dim_);
+  y_.assign(train.targets().begin(), train.targets().end());
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    const auto r = train.row(i);
+    for (std::size_t d = 0; d < dim_; ++d)
+      x_[i * dim_ + d] = (r[d] - scaling_.mean[d]) / scaling_.stddev[d];
+  }
+}
+
+double KnnRegressor::predict(std::span<const double> features) const {
+  if (y_.empty()) throw std::logic_error("KnnRegressor: predict before fit");
+  if (features.size() != dim_)
+    throw std::invalid_argument("KnnRegressor: feature dimension mismatch");
+
+  std::vector<double> q(dim_);
+  for (std::size_t d = 0; d < dim_; ++d)
+    q[d] = (features[d] - scaling_.mean[d]) / scaling_.stddev[d];
+
+  const std::size_t k = std::min(config_.k, y_.size());
+  // Bounded max-heap of (distance^2, target) pairs over the training rows.
+  std::vector<std::pair<double, double>> heap;
+  heap.reserve(k + 1);
+  const std::size_t n = y_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    double d2 = 0.0;
+    const double* xi = &x_[i * dim_];
+    for (std::size_t d = 0; d < dim_; ++d) {
+      const double diff = xi[d] - q[d];
+      d2 += diff * diff;
+    }
+    if (heap.size() < k) {
+      heap.emplace_back(d2, y_[i]);
+      std::push_heap(heap.begin(), heap.end());
+    } else if (d2 < heap.front().first) {
+      std::pop_heap(heap.begin(), heap.end());
+      heap.back() = {d2, y_[i]};
+      std::push_heap(heap.begin(), heap.end());
+    }
+  }
+
+  if (!config_.distance_weighted) {
+    double sum = 0.0;
+    for (const auto& [d2, y] : heap) sum += y;
+    return sum / static_cast<double>(heap.size());
+  }
+  // Inverse-distance weights; an exact match dominates.
+  double wsum = 0.0, vsum = 0.0;
+  for (const auto& [d2, y] : heap) {
+    const double w = 1.0 / (std::sqrt(d2) + 1e-9);
+    wsum += w;
+    vsum += w * y;
+  }
+  return vsum / wsum;
+}
+
+}  // namespace hpcpower::ml

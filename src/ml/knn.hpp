@@ -1,0 +1,36 @@
+#pragma once
+// K-nearest-neighbour regression on z-scored features.
+//
+// The paper's KNN sits between FLDA and BDT in Fig 14: its Euclidean metric
+// mixes neighbouring user ids and job scales, so "small distance" does not
+// always mean "same job template".
+
+#include <vector>
+
+#include "ml/regressor.hpp"
+
+namespace hpcpower::ml {
+
+struct KnnConfig {
+  std::size_t k = 5;
+  /// Inverse-distance weighting of the k neighbours (uniform otherwise).
+  bool distance_weighted = true;
+};
+
+class KnnRegressor final : public Regressor {
+ public:
+  explicit KnnRegressor(KnnConfig config = {}) : config_(config) {}
+
+  void fit(const Dataset& train) override;
+  [[nodiscard]] double predict(std::span<const double> features) const override;
+  [[nodiscard]] std::string name() const override { return "KNN"; }
+
+ private:
+  KnnConfig config_;
+  std::size_t dim_ = 0;
+  std::vector<double> x_;  // z-scored training features, row major
+  std::vector<double> y_;
+  Dataset::Scaling scaling_;
+};
+
+}  // namespace hpcpower::ml

@@ -1,0 +1,38 @@
+#include "ml/random_forest.hpp"
+
+#include <stdexcept>
+
+#include "util/prng.hpp"
+
+namespace hpcpower::ml {
+
+void RandomForestRegressor::fit(const Dataset& train) {
+  if (train.empty())
+    throw std::invalid_argument("RandomForestRegressor: empty training set");
+  if (config_.num_trees == 0)
+    throw std::invalid_argument("RandomForestRegressor: need at least one tree");
+  trees_.clear();
+  trees_.reserve(config_.num_trees);
+
+  const auto sample_size = static_cast<std::size_t>(
+      std::max(1.0, config_.sample_fraction * static_cast<double>(train.size())));
+  util::Rng rng(util::derive_stream(config_.seed, "random-forest"));
+  std::vector<std::size_t> indices(sample_size);
+  for (std::size_t t = 0; t < config_.num_trees; ++t) {
+    for (auto& idx : indices) idx = rng.uniform_index(train.size());
+    const Dataset bootstrap = train.subset(indices);
+    DecisionTreeRegressor tree(config_.tree);
+    tree.fit(bootstrap);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double RandomForestRegressor::predict(std::span<const double> features) const {
+  if (trees_.empty())
+    throw std::logic_error("RandomForestRegressor: predict before fit");
+  double sum = 0.0;
+  for (const DecisionTreeRegressor& tree : trees_) sum += tree.predict(features);
+  return sum / static_cast<double>(trees_.size());
+}
+
+}  // namespace hpcpower::ml

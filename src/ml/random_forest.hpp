@@ -1,0 +1,41 @@
+#pragma once
+// Bagged decision-tree ensemble (random forest regression).
+//
+// Not one of the paper's three models: included as an extension ablation.
+// The paper argues a single lightweight tree suffices for three features;
+// the forest quantifies how little an ensemble adds in that regime (see
+// bench_ablation_features).
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/decision_tree.hpp"
+#include "ml/regressor.hpp"
+
+namespace hpcpower::ml {
+
+struct RandomForestConfig {
+  std::size_t num_trees = 20;
+  /// Bootstrap sample fraction per tree. Plain bagging: with only three
+  /// features, per-split feature subsetting decorrelates little and hurts.
+  double sample_fraction = 1.0;
+  DecisionTreeConfig tree;
+  std::uint64_t seed = 42;
+};
+
+class RandomForestRegressor final : public Regressor {
+ public:
+  explicit RandomForestRegressor(RandomForestConfig config = {}) : config_(config) {}
+
+  void fit(const Dataset& train) override;
+  [[nodiscard]] double predict(std::span<const double> features) const override;
+  [[nodiscard]] std::string name() const override { return "RandomForest"; }
+
+  [[nodiscard]] std::size_t tree_count() const noexcept { return trees_.size(); }
+
+ private:
+  RandomForestConfig config_;
+  std::vector<DecisionTreeRegressor> trees_;
+};
+
+}  // namespace hpcpower::ml

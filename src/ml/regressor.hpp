@@ -1,0 +1,26 @@
+#pragma once
+// Common interface of the paper's prediction models.
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "ml/dataset.hpp"
+
+namespace hpcpower::ml {
+
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+
+  /// Trains on the dataset. Implementations must be re-fittable (a second
+  /// call replaces the previous model).
+  virtual void fit(const Dataset& train) = 0;
+
+  /// Predicts the target for one feature row. Requires a prior fit().
+  [[nodiscard]] virtual double predict(std::span<const double> features) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace hpcpower::ml

@@ -1,0 +1,141 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hpcpower::sched {
+
+BatchScheduler::BatchScheduler(std::uint32_t node_count, SchedulerPolicy policy,
+                               PowerBudget budget)
+    : allocator_(node_count), policy_(policy), budget_(budget) {}
+
+double BatchScheduler::power_demand(const workload::JobRequest& job) const noexcept {
+  const double per_node = job.estimated_node_power_w > 0.0
+                              ? job.estimated_node_power_w
+                              : budget_.fallback_node_power_w;
+  return per_node * static_cast<double>(job.nnodes);
+}
+
+bool BatchScheduler::power_fits(const workload::JobRequest& job) const noexcept {
+  if (!budget_.enabled()) return true;
+  return committed_power_w_ + power_demand(job) <= budget_.watts;
+}
+
+void BatchScheduler::submit(workload::JobRequest job) {
+  ++stats_.submitted;
+  queue_.push_back(std::move(job));
+  stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_.size());
+}
+
+RunningJob BatchScheduler::start_job(const workload::JobRequest& job,
+                                     util::MinuteTime now,
+                                     std::vector<cluster::NodeId> nodes,
+                                     bool backfilled) {
+  RunningJob run;
+  run.request = job;
+  run.start = now;
+  run.end = now + util::MinuteTime(job.runtime_min);
+  run.limit_end = now + util::MinuteTime(job.walltime_req_min);
+  run.nodes = std::move(nodes);
+  run.backfilled = backfilled;
+
+  running_limits_.emplace_back(run.limit_end, job.nnodes);
+  if (budget_.enabled()) committed_power_w_ += power_demand(job);
+  ++stats_.started;
+  if (backfilled) ++stats_.backfilled;
+  stats_.total_wait_minutes += static_cast<double>((now - job.submit).minutes());
+  return run;
+}
+
+BatchScheduler::Reservation BatchScheduler::compute_reservation(
+    util::MinuteTime now, std::uint32_t head_nnodes) const {
+  Reservation r;
+  std::uint32_t available = allocator_.free_count();
+  if (available >= head_nnodes) {
+    r.shadow_start = now;
+    r.spare_nodes = available - head_nnodes;
+    return r;
+  }
+  // Accumulate guaranteed releases in wall-time-limit order.
+  auto limits = running_limits_;
+  std::sort(limits.begin(), limits.end());
+  for (const auto& [limit_end, nnodes] : limits) {
+    available += nnodes;
+    if (available >= head_nnodes) {
+      r.shadow_start = std::max(limit_end, now);
+      r.spare_nodes = available - head_nnodes;
+      return r;
+    }
+  }
+  // Head job larger than the machine: should be rejected upstream; treat as
+  // "never" by reserving at the last limit.
+  r.shadow_start = limits.empty() ? now : limits.back().first;
+  r.spare_nodes = 0;
+  return r;
+}
+
+std::optional<util::MinuteTime> BatchScheduler::head_reservation(
+    util::MinuteTime now) const {
+  if (queue_.empty()) return std::nullopt;
+  if (allocator_.free_count() >= queue_.front().nnodes) return std::nullopt;
+  return compute_reservation(now, queue_.front().nnodes).shadow_start;
+}
+
+std::vector<RunningJob> BatchScheduler::schedule(util::MinuteTime now) {
+  std::vector<RunningJob> started;
+
+  // FCFS phase: start queue-head jobs while they fit (nodes and power).
+  while (!queue_.empty() && queue_.front().nnodes <= allocator_.free_count() &&
+         power_fits(queue_.front())) {
+    const workload::JobRequest job = queue_.front();
+    queue_.pop_front();
+    auto nodes = allocator_.allocate(job.nnodes);
+    assert(!nodes.empty());
+    started.push_back(start_job(job, now, std::move(nodes), /*backfilled=*/false));
+  }
+  if (queue_.empty() || allocator_.free_count() == 0 ||
+      policy_ == SchedulerPolicy::kFcfsOnly)
+    return started;
+
+  // EASY backfill phase: the head job cannot start; reserve its shadow time
+  // and let later jobs run only if they do not delay that reservation.
+  Reservation res = compute_reservation(now, queue_.front().nnodes);
+  for (auto it = queue_.begin() + 1; it != queue_.end() && allocator_.free_count() > 0;) {
+    const std::uint32_t nnodes = it->nnodes;
+    if (nnodes > allocator_.free_count()) {
+      ++it;
+      continue;
+    }
+    const util::MinuteTime would_end = now + util::MinuteTime(it->walltime_req_min);
+    const bool fits_before_shadow = would_end <= res.shadow_start;
+    const bool fits_in_spare = nnodes <= res.spare_nodes;
+    if ((fits_before_shadow || fits_in_spare) && power_fits(*it)) {
+      // A backfill job still running at the shadow time consumes part of the
+      // head job's spare-node headroom.
+      if (!fits_before_shadow) res.spare_nodes -= nnodes;
+      const workload::JobRequest job = *it;
+      it = queue_.erase(it);
+      auto nodes = allocator_.allocate(job.nnodes);
+      assert(!nodes.empty());
+      started.push_back(start_job(job, now, std::move(nodes), /*backfilled=*/true));
+    } else {
+      ++it;
+    }
+  }
+  return started;
+}
+
+void BatchScheduler::release(const RunningJob& job) {
+  allocator_.release(job.nodes);
+  if (budget_.enabled())
+    committed_power_w_ = std::max(0.0, committed_power_w_ - power_demand(job.request));
+  ++stats_.completed;
+  const auto it = std::find(running_limits_.begin(), running_limits_.end(),
+                            std::make_pair(job.limit_end, job.request.nnodes));
+  if (it != running_limits_.end()) {
+    *it = running_limits_.back();
+    running_limits_.pop_back();
+  }
+}
+
+}  // namespace hpcpower::sched

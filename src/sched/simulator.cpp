@@ -1,0 +1,92 @@
+#include "sched/simulator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+namespace hpcpower::sched {
+
+CampaignSimulator::CampaignSimulator(std::uint32_t node_count, util::MinuteTime horizon,
+                                     SchedulerPolicy policy, PowerBudget budget)
+    : node_count_(node_count), horizon_(horizon), policy_(policy), budget_(budget) {}
+
+SimulationResult CampaignSimulator::run(const std::vector<workload::JobRequest>& jobs,
+                                        const SimulationHooks& hooks) {
+  assert(std::is_sorted(jobs.begin(), jobs.end(),
+                        [](const auto& a, const auto& b) { return a.submit < b.submit; }));
+
+  SimulationResult result;
+  result.busy_nodes_per_minute.reserve(static_cast<std::size_t>(horizon_.minutes()));
+
+  BatchScheduler scheduler(node_count_, policy_, budget_);
+  std::unordered_map<workload::JobId, RunningJob> running;
+  // End times bucketed by minute for O(1) expiry lookup.
+  std::map<std::int64_t, std::vector<workload::JobId>> ends_at;
+  std::vector<const RunningJob*> running_view;
+
+  const auto finish_job = [&](const RunningJob& job, bool truncated) {
+    JobAccountingRecord rec;
+    rec.job_id = job.request.job_id;
+    rec.user_id = job.request.user_id;
+    rec.app = job.request.app;
+    rec.submit = job.request.submit;
+    rec.start = job.start;
+    rec.end = truncated ? horizon_ : job.end;
+    rec.nnodes = job.request.nnodes;
+    rec.walltime_req_min = job.request.walltime_req_min;
+    rec.backfilled = job.backfilled;
+    rec.truncated_by_horizon = truncated;
+    scheduler.release(job);
+    if (hooks.on_end) hooks.on_end(job, rec);
+    result.accounting.push_back(rec);
+  };
+
+  std::size_t next_submit = 0;
+  for (std::int64_t m = 0; m < horizon_.minutes(); ++m) {
+    const util::MinuteTime now(m);
+
+    // 1. completions whose end time is this minute
+    if (const auto it = ends_at.find(m); it != ends_at.end()) {
+      for (const workload::JobId id : it->second) {
+        const auto job_it = running.find(id);
+        assert(job_it != running.end());
+        finish_job(job_it->second, /*truncated=*/false);
+        running.erase(job_it);
+      }
+      ends_at.erase(it);
+    }
+
+    // 2. new submissions
+    while (next_submit < jobs.size() && jobs[next_submit].submit <= now) {
+      scheduler.submit(jobs[next_submit]);
+      ++next_submit;
+    }
+
+    // 3. placement
+    for (RunningJob& started : scheduler.schedule(now)) {
+      if (hooks.on_start) hooks.on_start(started);
+      ends_at[started.end.minutes()].push_back(started.request.job_id);
+      running.emplace(started.request.job_id, std::move(started));
+    }
+
+    // 4. monitoring tick
+    result.busy_nodes_per_minute.push_back(scheduler.busy_nodes());
+    if (hooks.per_minute) {
+      running_view.clear();
+      running_view.reserve(running.size());
+      for (const auto& [id, job] : running) running_view.push_back(&job);
+      hooks.per_minute(now, running_view);
+    }
+  }
+
+  // Campaign over: truncate whatever is still executing.
+  for (const auto& [id, job] : running) finish_job(job, /*truncated=*/true);
+  running.clear();
+
+  result.scheduler = scheduler.stats();
+  std::sort(result.accounting.begin(), result.accounting.end(),
+            [](const auto& a, const auto& b) { return a.job_id < b.job_id; });
+  return result;
+}
+
+}  // namespace hpcpower::sched

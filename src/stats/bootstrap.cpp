@@ -1,0 +1,44 @@
+#include "stats/bootstrap.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+
+namespace hpcpower::stats {
+
+BootstrapResult bootstrap_ci(std::span<const double> values,
+                             const std::function<double(std::span<const double>)>& statistic,
+                             std::size_t resamples, double confidence, util::Rng& rng) {
+  if (values.empty()) throw std::invalid_argument("bootstrap_ci: empty sample");
+  if (resamples == 0) throw std::invalid_argument("bootstrap_ci: need resamples > 0");
+  if (confidence <= 0.0 || confidence >= 1.0)
+    throw std::invalid_argument("bootstrap_ci: confidence must be in (0,1)");
+
+  BootstrapResult out;
+  out.point = statistic(values);
+  out.resamples = resamples;
+
+  std::vector<double> resample(values.size());
+  std::vector<double> stats;
+  stats.reserve(resamples);
+  for (std::size_t r = 0; r < resamples; ++r) {
+    for (double& slot : resample)
+      slot = values[rng.uniform_index(values.size())];
+    stats.push_back(statistic(resample));
+  }
+  std::sort(stats.begin(), stats.end());
+  const double alpha = 1.0 - confidence;
+  out.lo = quantile_sorted(stats, alpha / 2.0);
+  out.hi = quantile_sorted(stats, 1.0 - alpha / 2.0);
+  return out;
+}
+
+BootstrapResult bootstrap_mean_ci(std::span<const double> values, std::size_t resamples,
+                                  double confidence, util::Rng& rng) {
+  return bootstrap_ci(
+      values, [](std::span<const double> v) { return mean(v); }, resamples, confidence, rng);
+}
+
+}  // namespace hpcpower::stats

@@ -1,0 +1,31 @@
+#pragma once
+// Nonparametric bootstrap confidence intervals, used by EXPERIMENTS.md to
+// report sampling uncertainty on reproduced headline numbers.
+
+#include <functional>
+#include <span>
+
+#include "util/prng.hpp"
+
+namespace hpcpower::stats {
+
+struct BootstrapResult {
+  double point = 0.0;  // statistic on the original sample
+  double lo = 0.0;     // percentile CI lower bound
+  double hi = 0.0;     // percentile CI upper bound
+  std::size_t resamples = 0;
+};
+
+/// Percentile-method bootstrap CI for an arbitrary statistic.
+/// `confidence` in (0,1), e.g. 0.95.
+[[nodiscard]] BootstrapResult bootstrap_ci(
+    std::span<const double> values,
+    const std::function<double(std::span<const double>)>& statistic,
+    std::size_t resamples, double confidence, util::Rng& rng);
+
+/// Convenience: CI for the mean.
+[[nodiscard]] BootstrapResult bootstrap_mean_ci(std::span<const double> values,
+                                                std::size_t resamples, double confidence,
+                                                util::Rng& rng);
+
+}  // namespace hpcpower::stats

@@ -1,0 +1,92 @@
+#include "stats/concentration.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace hpcpower::stats {
+
+namespace {
+std::vector<double> sorted_descending(std::span<const double> values) {
+  std::vector<double> v(values.begin(), values.end());
+  std::sort(v.begin(), v.end(), std::greater<>());
+  return v;
+}
+
+std::size_t top_count(std::size_t n, double top_fraction) {
+  if (top_fraction <= 0.0) return 0;
+  if (top_fraction >= 1.0) return n;
+  return static_cast<std::size_t>(
+      std::ceil(top_fraction * static_cast<double>(n)) + 1e-9);
+}
+}  // namespace
+
+double top_share(std::span<const double> values, double top_fraction) {
+  if (values.empty()) throw std::invalid_argument("top_share: empty input");
+  const std::vector<double> v = sorted_descending(values);
+  const double total = std::accumulate(v.begin(), v.end(), 0.0);
+  if (total <= 0.0) return 0.0;
+  const std::size_t k = top_count(v.size(), top_fraction);
+  const double top = std::accumulate(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(k), 0.0);
+  return top / total;
+}
+
+std::vector<std::pair<double, double>> top_share_curve(std::span<const double> values,
+                                                       std::size_t points) {
+  std::vector<std::pair<double, double>> out;
+  if (values.empty() || points == 0) return out;
+  const std::vector<double> v = sorted_descending(values);
+  const double total = std::accumulate(v.begin(), v.end(), 0.0);
+  out.reserve(points);
+  double running = 0.0;
+  std::size_t consumed = 0;
+  for (std::size_t p = 1; p <= points; ++p) {
+    const double frac = static_cast<double>(p) / static_cast<double>(points);
+    const std::size_t want = top_count(v.size(), frac);
+    while (consumed < want) running += v[consumed++];
+    out.emplace_back(frac, total > 0.0 ? running / total : 0.0);
+  }
+  return out;
+}
+
+double gini(std::span<const double> values) {
+  if (values.empty()) throw std::invalid_argument("gini: empty input");
+  std::vector<double> v(values.begin(), values.end());
+  for (double x : v)
+    if (x < 0.0) throw std::invalid_argument("gini: negative value");
+  std::sort(v.begin(), v.end());
+  const double total = std::accumulate(v.begin(), v.end(), 0.0);
+  if (total <= 0.0) return 0.0;
+  const auto n = static_cast<double>(v.size());
+  double weighted = 0.0;
+  for (std::size_t i = 0; i < v.size(); ++i)
+    weighted += (2.0 * (static_cast<double>(i) + 1.0) - n - 1.0) * v[i];
+  return weighted / (n * total);
+}
+
+double top_set_overlap(std::span<const double> a, std::span<const double> b,
+                       double top_fraction) {
+  if (a.size() != b.size()) throw std::invalid_argument("top_set_overlap: size mismatch");
+  if (a.empty()) throw std::invalid_argument("top_set_overlap: empty input");
+  const std::size_t k = top_count(a.size(), top_fraction);
+  if (k == 0) return 0.0;
+
+  const auto top_indices = [k](std::span<const double> values) {
+    std::vector<std::size_t> order(values.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t i, std::size_t j) { return values[i] > values[j]; });
+    order.resize(k);
+    return std::unordered_set<std::size_t>(order.begin(), order.end());
+  };
+
+  const auto sa = top_indices(a);
+  const auto sb = top_indices(b);
+  std::size_t shared = 0;
+  for (std::size_t idx : sa) shared += sb.count(idx);
+  return static_cast<double>(shared) / static_cast<double>(k);
+}
+
+}  // namespace hpcpower::stats

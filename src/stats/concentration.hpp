@@ -1,0 +1,30 @@
+#pragma once
+// Concentration analysis for Fig 11: "20% of users consume 85% of node-hours
+// and energy". Lorenz-style top-share curves, Gini coefficient, and overlap
+// between the top sets of two rankings.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hpcpower::stats {
+
+/// Fraction of the total contributed by the largest `top_fraction` of items.
+/// Example: top_share(v, 0.2) == 0.85 reproduces the paper's headline.
+[[nodiscard]] double top_share(std::span<const double> values, double top_fraction);
+
+/// Points of the "top x% of items -> y% of total" curve (descending sort),
+/// evaluated at `points` evenly spaced fractions in (0, 1].
+[[nodiscard]] std::vector<std::pair<double, double>> top_share_curve(
+    std::span<const double> values, std::size_t points);
+
+/// Gini coefficient in [0, 1); 0 = perfectly equal. Values must be >= 0.
+[[nodiscard]] double gini(std::span<const double> values);
+
+/// Jaccard-style overlap of the top-`top_fraction` index sets of two value
+/// vectors over the same items: |A intersect B| / |A|. The paper reports
+/// ~90% overlap between top node-hour users and top energy users.
+[[nodiscard]] double top_set_overlap(std::span<const double> a, std::span<const double> b,
+                                     double top_fraction);
+
+}  // namespace hpcpower::stats

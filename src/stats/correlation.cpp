@@ -1,0 +1,84 @@
+#include "stats/correlation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "stats/special.hpp"
+
+namespace hpcpower::stats {
+
+namespace {
+double correlation_p_value(double r, std::size_t n) {
+  if (n < 3) return 1.0;
+  const double r2 = std::min(r * r, 1.0 - 1e-15);
+  const double dof = static_cast<double>(n - 2);
+  const double t = r * std::sqrt(dof / (1.0 - r2));
+  return student_t_two_sided_p(t, dof);
+}
+}  // namespace
+
+CorrelationResult pearson(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) throw std::invalid_argument("pearson: size mismatch");
+  if (x.size() < 2) throw std::invalid_argument("pearson: need at least 2 points");
+  const std::size_t n = x.size();
+  double mx = 0.0, my = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  CorrelationResult out;
+  out.n = n;
+  if (sxx <= 0.0 || syy <= 0.0) {
+    out.coefficient = 0.0;
+    out.p_value = 1.0;
+    return out;
+  }
+  out.coefficient = sxy / std::sqrt(sxx * syy);
+  out.coefficient = std::clamp(out.coefficient, -1.0, 1.0);
+  out.p_value = correlation_p_value(out.coefficient, n);
+  return out;
+}
+
+std::vector<double> average_ranks(std::span<const double> values) {
+  const std::size_t n = values.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return values[a] < values[b]; });
+  std::vector<double> ranks(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    // Average 1-based rank of the tie run [i, j].
+    const double avg = 0.5 * (static_cast<double>(i) + static_cast<double>(j)) + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+CorrelationResult spearman(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) throw std::invalid_argument("spearman: size mismatch");
+  if (x.size() < 2) throw std::invalid_argument("spearman: need at least 2 points");
+  const std::vector<double> rx = average_ranks(x);
+  const std::vector<double> ry = average_ranks(y);
+  // Pearson on ranks handles ties correctly.
+  CorrelationResult out = pearson(rx, ry);
+  out.p_value = correlation_p_value(out.coefficient, out.n);
+  return out;
+}
+
+}  // namespace hpcpower::stats

@@ -1,0 +1,28 @@
+#pragma once
+// Pearson and Spearman correlation with significance tests (Table 2).
+
+#include <span>
+#include <vector>
+
+namespace hpcpower::stats {
+
+struct CorrelationResult {
+  double coefficient = 0.0;  // r or rho
+  double p_value = 1.0;      // two-sided, t approximation
+  std::size_t n = 0;
+};
+
+/// Pearson product-moment correlation; p-value from the exact-under-normality
+/// t distribution with n-2 dof.
+[[nodiscard]] CorrelationResult pearson(std::span<const double> x,
+                                        std::span<const double> y);
+
+/// Spearman rank correlation with average ranks for ties (the paper's
+/// Table 2 statistic); p-value via the t approximation.
+[[nodiscard]] CorrelationResult spearman(std::span<const double> x,
+                                         std::span<const double> y);
+
+/// Average (fractional) ranks, 1-based, ties averaged.
+[[nodiscard]] std::vector<double> average_ranks(std::span<const double> values);
+
+}  // namespace hpcpower::stats

@@ -1,0 +1,69 @@
+#pragma once
+// Descriptive statistics: streaming (Welford) and batch summaries.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hpcpower::stats {
+
+/// Numerically stable streaming mean/variance/min/max accumulator.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  /// Merges another accumulator (parallel reduction; Chan et al.).
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Population variance (divide by n). Zero for n < 1.
+  [[nodiscard]] double variance() const noexcept;
+  /// Sample variance (divide by n-1). Zero for n < 2.
+  [[nodiscard]] double sample_variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double sample_stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+  /// stddev / mean; zero when the mean is zero.
+  [[nodiscard]] double coefficient_of_variation() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// One-shot summary of a batch of values.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;       // population
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p05 = 0.0;
+  double p25 = 0.0;
+  double p75 = 0.0;
+  double p95 = 0.0;
+};
+
+[[nodiscard]] Summary summarize(std::span<const double> values);
+
+[[nodiscard]] double mean(std::span<const double> values) noexcept;
+/// Population standard deviation.
+[[nodiscard]] double stddev(std::span<const double> values) noexcept;
+[[nodiscard]] double median(std::span<const double> values);
+
+/// Linear-interpolated quantile, q in [0,1]. Values need not be sorted.
+[[nodiscard]] double quantile(std::span<const double> values, double q);
+/// Quantile of an already ascending-sorted range (no copy).
+[[nodiscard]] double quantile_sorted(std::span<const double> sorted, double q);
+
+/// Weighted mean; weights must be non-negative with positive total.
+[[nodiscard]] double weighted_mean(std::span<const double> values,
+                                   std::span<const double> weights);
+
+}  // namespace hpcpower::stats

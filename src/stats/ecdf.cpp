@@ -1,0 +1,67 @@
+#include "stats/ecdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+
+namespace hpcpower::stats {
+
+Ecdf::Ecdf(std::span<const double> values) : sorted_(values.begin(), values.end()) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::evaluate(double x) const noexcept {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(std::distance(sorted_.begin(), it)) /
+         static_cast<double>(sorted_.size());
+}
+
+double Ecdf::quantile(double q) const {
+  if (sorted_.empty()) throw std::out_of_range("quantile of empty ECDF");
+  if (q <= 0.0) return sorted_.front();
+  if (q >= 1.0) return sorted_.back();
+  const auto idx = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted_.size())) - 1.0);
+  return sorted_[std::min(idx, sorted_.size() - 1)];
+}
+
+double Ecdf::mean() const noexcept { return stats::mean(sorted_); }
+
+double Ecdf::min() const {
+  if (sorted_.empty()) throw std::out_of_range("min of empty ECDF");
+  return sorted_.front();
+}
+
+double Ecdf::max() const {
+  if (sorted_.empty()) throw std::out_of_range("max of empty ECDF");
+  return sorted_.back();
+}
+
+std::vector<std::pair<double, double>> Ecdf::curve(std::size_t points) const {
+  std::vector<std::pair<double, double>> out;
+  if (sorted_.empty() || points < 2) return out;
+  out.reserve(points);
+  const double lo = sorted_.front();
+  const double hi = sorted_.back();
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x =
+        lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(points - 1);
+    out.emplace_back(x, evaluate(x));
+  }
+  return out;
+}
+
+double ks_distance(const Ecdf& a, const Ecdf& b) {
+  if (a.empty() || b.empty()) throw std::invalid_argument("ks_distance: empty ECDF");
+  double worst = 0.0;
+  for (double x : a.sorted_values())
+    worst = std::max(worst, std::abs(a.evaluate(x) - b.evaluate(x)));
+  for (double x : b.sorted_values())
+    worst = std::max(worst, std::abs(a.evaluate(x) - b.evaluate(x)));
+  return worst;
+}
+
+}  // namespace hpcpower::stats

@@ -1,0 +1,40 @@
+#pragma once
+// Empirical CDFs — the paper reports most distributions as CDF plots
+// (Figs 7, 9, 12, 14, 15).
+
+#include <span>
+#include <vector>
+
+namespace hpcpower::stats {
+
+class Ecdf {
+ public:
+  Ecdf() = default;
+  explicit Ecdf(std::span<const double> values);
+
+  [[nodiscard]] bool empty() const noexcept { return sorted_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return sorted_.size(); }
+
+  /// F(x) = P[X <= x].
+  [[nodiscard]] double evaluate(double x) const noexcept;
+  /// Smallest x with F(x) >= q, q in (0, 1]; q<=0 returns min.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  /// Fraction of mass strictly above x.
+  [[nodiscard]] double fraction_above(double x) const noexcept { return 1.0 - evaluate(x); }
+
+  [[nodiscard]] const std::vector<double>& sorted_values() const noexcept { return sorted_; }
+
+  /// Evenly spaced (x, F(x)) pairs for plotting/printing, endpoints included.
+  [[nodiscard]] std::vector<std::pair<double, double>> curve(std::size_t points) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Kolmogorov-Smirnov distance between two ECDFs (property tests).
+[[nodiscard]] double ks_distance(const Ecdf& a, const Ecdf& b);
+
+}  // namespace hpcpower::stats

@@ -1,0 +1,66 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+
+namespace hpcpower::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) {
+  if (!(hi > lo)) throw std::invalid_argument("Histogram: hi must exceed lo");
+  if (bins == 0) throw std::invalid_argument("Histogram: need at least one bin");
+  counts_.assign(bins, 0);
+  width_ = (hi - lo) / static_cast<double>(bins);
+}
+
+void Histogram::add(double value) noexcept {
+  double idx = (value - lo_) / width_;
+  idx = std::clamp(idx, 0.0, static_cast<double>(counts_.size()) - 1.0);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const double> values) noexcept {
+  for (double v : values) add(v);
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  if (bin >= counts_.size()) throw std::out_of_range("Histogram bin");
+  return lo_ + (static_cast<double>(bin) + 0.5) * width_;
+}
+
+std::vector<double> Histogram::pmf() const {
+  std::vector<double> out(counts_.size(), 0.0);
+  if (total_ == 0) return out;
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    out[i] = static_cast<double>(counts_[i]) / static_cast<double>(total_);
+  return out;
+}
+
+std::vector<double> Histogram::pdf() const {
+  std::vector<double> out = pmf();
+  for (double& v : out) v /= width_;
+  return out;
+}
+
+std::size_t Histogram::mode_bin() const {
+  return static_cast<std::size_t>(
+      std::distance(counts_.begin(), std::max_element(counts_.begin(), counts_.end())));
+}
+
+std::size_t suggest_bins(std::span<const double> values, std::size_t min_bins,
+                         std::size_t max_bins) {
+  if (values.size() < 2) return min_bins;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double iqr = quantile_sorted(sorted, 0.75) - quantile_sorted(sorted, 0.25);
+  const double range = sorted.back() - sorted.front();
+  if (iqr <= 0.0 || range <= 0.0) return min_bins;
+  const double h = 2.0 * iqr / std::cbrt(static_cast<double>(values.size()));
+  const auto bins = static_cast<std::size_t>(std::ceil(range / h));
+  return std::clamp(bins, min_bins, max_bins);
+}
+
+}  // namespace hpcpower::stats

@@ -1,0 +1,44 @@
+#pragma once
+// Fixed-bin histograms and normalized PDF estimates (Figs 3 and 10 are PDFs).
+
+#include <span>
+#include <vector>
+
+namespace hpcpower::stats {
+
+class Histogram {
+ public:
+  /// `bins` equal-width bins over [lo, hi); values outside are clamped into
+  /// the edge bins so total mass is preserved.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value) noexcept;
+  void add_all(std::span<const double> values) noexcept;
+
+  [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  [[nodiscard]] double bin_center(std::size_t bin) const;
+  [[nodiscard]] double bin_width() const noexcept { return width_; }
+
+  /// Probability mass per bin (sums to 1).
+  [[nodiscard]] std::vector<double> pmf() const;
+  /// Probability density per bin (integrates to 1 over [lo, hi]).
+  [[nodiscard]] std::vector<double> pdf() const;
+  /// Index of the most populated bin.
+  [[nodiscard]] std::size_t mode_bin() const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Freedman-Diaconis bin count suggestion (clamped to [min_bins, max_bins]).
+[[nodiscard]] std::size_t suggest_bins(std::span<const double> values,
+                                       std::size_t min_bins = 10,
+                                       std::size_t max_bins = 200);
+
+}  // namespace hpcpower::stats

@@ -1,0 +1,126 @@
+#include "stats/special.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace hpcpower::stats {
+
+double log_gamma(double x) {
+  if (x <= 0.0) throw std::domain_error("log_gamma requires x > 0");
+  return std::lgamma(x);
+}
+
+namespace {
+// Continued fraction for the incomplete beta (Numerical-Recipes-style modified
+// Lentz algorithm).
+double beta_cf(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 3e-14;
+  constexpr double kFpMin = 1e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::abs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const double m2 = 2.0 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::abs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+}  // namespace
+
+double incomplete_beta(double a, double b, double x) {
+  if (a <= 0.0 || b <= 0.0) throw std::domain_error("incomplete_beta requires a,b > 0");
+  if (x < 0.0 || x > 1.0) throw std::domain_error("incomplete_beta requires x in [0,1]");
+  if (x == 0.0) return 0.0;
+  if (x == 1.0) return 1.0;
+  const double ln_front = log_gamma(a + b) - log_gamma(a) - log_gamma(b) +
+                          a * std::log(x) + b * std::log1p(-x);
+  const double front = std::exp(ln_front);
+  // Use the symmetry relation to keep the continued fraction convergent.
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * beta_cf(a, b, x) / a;
+  }
+  return 1.0 - front * beta_cf(b, a, 1.0 - x) / b;
+}
+
+double student_t_cdf(double t, double dof) {
+  if (dof <= 0.0) throw std::domain_error("student_t_cdf requires dof > 0");
+  if (std::isinf(t)) return t > 0 ? 1.0 : 0.0;
+  const double x = dof / (dof + t * t);
+  const double tail = 0.5 * incomplete_beta(0.5 * dof, 0.5, x);
+  return t >= 0.0 ? 1.0 - tail : tail;
+}
+
+double student_t_two_sided_p(double t, double dof) {
+  if (dof <= 0.0) throw std::domain_error("p-value requires dof > 0");
+  if (std::isinf(t)) return 0.0;
+  const double x = dof / (dof + t * t);
+  return incomplete_beta(0.5 * dof, 0.5, x);
+}
+
+double normal_cdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+double normal_quantile(double p) {
+  if (p <= 0.0 || p >= 1.0) {
+    if (p == 0.0) return -std::numeric_limits<double>::infinity();
+    if (p == 1.0) return std::numeric_limits<double>::infinity();
+    throw std::domain_error("normal_quantile requires p in (0,1)");
+  }
+  // Acklam's approximation.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  double x;
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 1.0 - p_low) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log1p(-p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  // One Halley refinement using the closed-form CDF.
+  const double e = normal_cdf(x) - p;
+  const double u = e * std::sqrt(2.0 * 3.14159265358979323846) * std::exp(0.5 * x * x);
+  x -= u / (1.0 + 0.5 * x * u);
+  return x;
+}
+
+}  // namespace hpcpower::stats

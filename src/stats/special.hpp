@@ -1,0 +1,29 @@
+#pragma once
+// Special functions needed for hypothesis testing.
+//
+// The Spearman-correlation p-values in Table 2 need the Student-t survival
+// function, which reduces to the regularized incomplete beta function.
+
+namespace hpcpower::stats {
+
+/// log Gamma(x) for x > 0.
+[[nodiscard]] double log_gamma(double x);
+
+/// Regularized incomplete beta I_x(a, b) for a,b > 0, x in [0,1].
+/// Continued-fraction evaluation (Lentz), accurate to ~1e-12.
+[[nodiscard]] double incomplete_beta(double a, double b, double x);
+
+/// CDF of Student's t with `dof` degrees of freedom.
+[[nodiscard]] double student_t_cdf(double t, double dof);
+
+/// Two-sided p-value for a t statistic.
+[[nodiscard]] double student_t_two_sided_p(double t, double dof);
+
+/// Standard normal CDF.
+[[nodiscard]] double normal_cdf(double z);
+
+/// Inverse standard normal CDF (Acklam's rational approximation, refined
+/// with one Halley step); |error| < 1e-12 over (0, 1).
+[[nodiscard]] double normal_quantile(double p);
+
+}  // namespace hpcpower::stats

@@ -1,0 +1,10 @@
+#include "telemetry/job_record.hpp"
+
+namespace hpcpower::telemetry {
+
+double JobRecord::node_energy_spread_fraction() const noexcept {
+  if (node_energy_min_kwh <= 0.0) return 0.0;
+  return (node_energy_max_kwh - node_energy_min_kwh) / node_energy_min_kwh;
+}
+
+}  // namespace hpcpower::telemetry

@@ -1,0 +1,79 @@
+#pragma once
+// The joined job-level dataset row: accounting record + monitoring aggregates.
+//
+// This mirrors the paper's released traces: per-job execution-wide averages
+// for every job of the campaign, plus time/space-resolved metrics for jobs
+// that ran inside the instrumented window (the paper instrumented one month).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "cluster/system_spec.hpp"
+#include "workload/application.hpp"
+#include "workload/generator.hpp"
+#include "workload/users.hpp"
+#include "util/sim_time.hpp"
+
+namespace hpcpower::telemetry {
+
+/// Time/space-resolved metrics, only available for instrumented jobs.
+struct DetailMetrics {
+  /// (peak minute-mean power - mean) / mean over the run (Fig 6 left).
+  double peak_overshoot = 0.0;
+  /// Fraction of runtime with minute-mean power > 1.1x run mean (Fig 6 right).
+  double frac_time_above_10pct = 0.0;
+  /// Mean over runtime of (max node power - min node power) (Fig 8).
+  double avg_spatial_spread_w = 0.0;
+  /// avg_spatial_spread_w / mean per-node power.
+  double spread_fraction_of_power = 0.0;
+  /// Fraction of runtime with spatial spread above its run average (Fig 8).
+  double frac_time_above_avg_spread = 0.0;
+};
+
+struct JobRecord {
+  workload::JobId job_id = 0;
+  workload::UserId user_id = 0;
+  workload::AppId app = 0;
+  cluster::SystemId system = cluster::SystemId::kCustom;
+
+  util::MinuteTime submit{};
+  util::MinuteTime start{};
+  util::MinuteTime end{};
+  std::uint32_t nnodes = 1;
+  std::uint32_t walltime_req_min = 0;
+  bool backfilled = false;
+  bool truncated_by_horizon = false;
+
+  /// The paper's central metric P: power averaged over runtime and nodes (W).
+  double mean_node_power_w = 0.0;
+  /// Std-dev of the per-minute across-node mean power (temporal variation, W).
+  double temporal_std_w = 0.0;
+  /// Max per-minute across-node mean power (W).
+  double peak_node_power_w = 0.0;
+  /// Mean RAPL domain split of the node power (W).
+  double mean_pkg_w = 0.0;
+  double mean_dram_w = 0.0;
+  /// Total energy over all nodes and runtime (kWh).
+  double energy_kwh = 0.0;
+  /// Min/max per-node energy over the run (kWh) - Fig 10's raw ingredients.
+  double node_energy_min_kwh = 0.0;
+  double node_energy_max_kwh = 0.0;
+
+  std::optional<DetailMetrics> detail;
+
+  [[nodiscard]] std::uint32_t runtime_min() const noexcept {
+    return static_cast<std::uint32_t>((end - start).minutes());
+  }
+  [[nodiscard]] double node_hours() const noexcept {
+    return static_cast<double>(nnodes) * static_cast<double>(runtime_min()) / 60.0;
+  }
+  /// (max node energy - min node energy) / min node energy (Fig 10 metric).
+  [[nodiscard]] double node_energy_spread_fraction() const noexcept;
+  /// mean power / node TDP.
+  [[nodiscard]] double tdp_fraction(double node_tdp_watts) const noexcept {
+    return node_tdp_watts > 0.0 ? mean_node_power_w / node_tdp_watts : 0.0;
+  }
+};
+
+}  // namespace hpcpower::telemetry

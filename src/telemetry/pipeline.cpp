@@ -1,0 +1,174 @@
+#include "telemetry/pipeline.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace hpcpower::telemetry {
+
+MonitoringPipeline::MonitoringPipeline(const cluster::SystemSpec& spec,
+                                       PipelineConfig config)
+    : spec_(spec),
+      config_(config),
+      node_rng_(util::derive_stream(config.seed, "node-population")),
+      nodes_(spec, node_rng_) {}
+
+sched::SimulationHooks MonitoringPipeline::hooks() {
+  sched::SimulationHooks h;
+  h.on_start = [this](const sched::RunningJob& job) { on_start(job); };
+  h.on_end = [this](const sched::RunningJob& job, const sched::JobAccountingRecord& rec) {
+    on_end(job, rec);
+  };
+  h.per_minute = [this](util::MinuteTime now,
+                        const std::vector<const sched::RunningJob*>& running) {
+    per_minute(now, running);
+  };
+  return h;
+}
+
+void MonitoringPipeline::on_start(const sched::RunningJob& job) {
+  std::vector<double> mfg;
+  mfg.reserve(job.nodes.size());
+  for (const cluster::NodeId id : job.nodes) mfg.push_back(nodes_.node(id).power_factor);
+
+  workload::PowerProfile profile(job.request.behavior, job.request.runtime_min, mfg);
+  ActiveJob active(std::move(profile), job);
+  active.node_energy_wmin.assign(job.nodes.size(), 0.0);
+  active.instrumented = job.start >= config_.instrument_begin &&
+                        job.start < config_.instrument_end;
+  if (active.instrumented) {
+    active.mean_series.reserve(job.request.runtime_min);
+    active.spread_series.reserve(job.request.runtime_min);
+  }
+  active_.emplace(job.request.job_id, std::move(active));
+}
+
+void MonitoringPipeline::per_minute(
+    util::MinuteTime now, const std::vector<const sched::RunningJob*>& running) {
+  double total_power = 0.0;
+  std::uint32_t busy = 0;
+
+  for (const sched::RunningJob* job : running) {
+    const auto it = active_.find(job->request.job_id);
+    assert(it != active_.end());
+    ActiveJob& a = it->second;
+    const auto minute = static_cast<std::uint32_t>((now - a.placement.start).minutes());
+
+    double sum = 0.0;
+    double lo = 0.0, hi = 0.0;
+    const std::uint32_t n = static_cast<std::uint32_t>(a.placement.nodes.size());
+    for (std::uint32_t i = 0; i < n; ++i) {
+      double p = a.profile.node_power(minute, i);
+      if (config_.node_power_cap_w > 0.0 && p > config_.node_power_cap_w) {
+        p = config_.node_power_cap_w;
+        ++throttled_samples_;
+      }
+      a.all_samples.add(p);
+      a.node_energy_wmin[i] += p;
+      sum += p;
+      if (i == 0) {
+        lo = hi = p;
+      } else {
+        lo = std::min(lo, p);
+        hi = std::max(hi, p);
+      }
+    }
+    const double mean = sum / static_cast<double>(n);
+    a.minute_means.add(mean);
+    if (a.instrumented) {
+      a.mean_series.push_back(static_cast<float>(mean));
+      a.spread_series.push_back(static_cast<float>(hi - lo));
+    }
+    total_power += sum;
+    busy += n;
+  }
+
+  // Idle nodes still draw their floor power (RAPL PKG+DRAM never reads zero);
+  // the facility pays for it all the same.
+  const double idle_watts = spec_.idle_power_fraction * spec_.node_tdp_watts;
+  const auto idle_nodes = static_cast<double>(spec_.node_count - busy);
+  total_power += idle_nodes * idle_watts;
+
+  series_.total_power_w.push_back(total_power);
+  series_.busy_nodes.push_back(busy);
+}
+
+void MonitoringPipeline::on_end(const sched::RunningJob& job,
+                                const sched::JobAccountingRecord& rec) {
+  const auto it = active_.find(job.request.job_id);
+  assert(it != active_.end());
+  ActiveJob& a = it->second;
+
+  JobRecord out;
+  out.job_id = rec.job_id;
+  out.user_id = rec.user_id;
+  out.app = rec.app;
+  out.system = spec_.id;
+  out.submit = rec.submit;
+  out.start = rec.start;
+  out.end = rec.end;
+  out.nnodes = rec.nnodes;
+  out.walltime_req_min = rec.walltime_req_min;
+  out.backfilled = rec.backfilled;
+  out.truncated_by_horizon = rec.truncated_by_horizon;
+
+  out.mean_node_power_w = a.all_samples.mean();
+  out.temporal_std_w = a.minute_means.stddev();
+  out.peak_node_power_w = a.minute_means.count() > 0 ? a.minute_means.max() : 0.0;
+
+  const cluster::RaplSample split = cluster::split_domains(
+      out.mean_node_power_w, job.request.behavior.memory_intensity);
+  out.mean_pkg_w = split.pkg_watts;
+  out.mean_dram_w = split.dram_watts;
+
+  double total_wmin = 0.0, lo = 0.0, hi = 0.0;
+  for (std::size_t i = 0; i < a.node_energy_wmin.size(); ++i) {
+    const double e = a.node_energy_wmin[i];
+    total_wmin += e;
+    if (i == 0) {
+      lo = hi = e;
+    } else {
+      lo = std::min(lo, e);
+      hi = std::max(hi, e);
+    }
+  }
+  constexpr double kWminToKwh = 1.0 / 60.0 / 1000.0;
+  out.energy_kwh = total_wmin * kWminToKwh;
+  out.node_energy_min_kwh = lo * kWminToKwh;
+  out.node_energy_max_kwh = hi * kWminToKwh;
+
+  if (a.instrumented && !a.mean_series.empty()) {
+    DetailMetrics d;
+    const double mean = out.mean_node_power_w;
+    if (mean > 0.0) {
+      double peak = 0.0;
+      std::size_t above = 0;
+      for (const float m : a.mean_series) {
+        peak = std::max(peak, static_cast<double>(m));
+        if (static_cast<double>(m) > 1.1 * mean) ++above;
+      }
+      d.peak_overshoot = peak / mean - 1.0;
+      d.frac_time_above_10pct =
+          static_cast<double>(above) / static_cast<double>(a.mean_series.size());
+    }
+    if (!a.spread_series.empty() && out.nnodes > 1) {
+      double spread_sum = 0.0;
+      for (const float s : a.spread_series) spread_sum += static_cast<double>(s);
+      d.avg_spatial_spread_w =
+          spread_sum / static_cast<double>(a.spread_series.size());
+      d.spread_fraction_of_power =
+          mean > 0.0 ? d.avg_spatial_spread_w / mean : 0.0;
+      std::size_t above = 0;
+      for (const float s : a.spread_series)
+        if (static_cast<double>(s) > d.avg_spatial_spread_w) ++above;
+      d.frac_time_above_avg_spread =
+          static_cast<double>(above) / static_cast<double>(a.spread_series.size());
+    }
+    out.detail = d;
+  }
+
+  records_.push_back(out);
+  active_.erase(it);
+}
+
+}  // namespace hpcpower::telemetry

@@ -1,0 +1,95 @@
+#pragma once
+// Monitoring pipeline: realizes job power profiles on the node population,
+// samples them at one-minute cadence during the scheduler simulation, and
+// reduces everything to JobRecords plus system-level power series.
+//
+// Two tiers of retention, as in the paper (Sec 2.2):
+//   * every job: streaming execution-wide aggregates (no sample storage),
+//   * jobs starting inside the instrumented window: per-minute mean/min/max
+//     retained so temporal overshoot and spatial-spread metrics can be
+//     computed exactly (they need the run mean, i.e. a second pass).
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/node.hpp"
+#include "cluster/rapl.hpp"
+#include "cluster/system_spec.hpp"
+#include "sched/simulator.hpp"
+#include "stats/descriptive.hpp"
+#include "telemetry/job_record.hpp"
+#include "workload/power_profile.hpp"
+
+namespace hpcpower::telemetry {
+
+struct PipelineConfig {
+  std::uint64_t seed = 42;
+  /// Jobs starting in [instrument_begin, instrument_end) get DetailMetrics.
+  util::MinuteTime instrument_begin{0};
+  util::MinuteTime instrument_end{0};
+  /// Optional static per-node power cap (W); <= 0 disables. Used by the
+  /// power-capping example/ablation, not by the baseline reproduction.
+  double node_power_cap_w = 0.0;
+};
+
+/// Per-minute system-level monitoring output.
+struct SystemSeries {
+  /// Sum of node power over all nodes (busy + idle floor), watts.
+  std::vector<double> total_power_w;
+  /// Busy node count (copied from the scheduler result for convenience).
+  std::vector<std::uint32_t> busy_nodes;
+};
+
+class MonitoringPipeline {
+ public:
+  MonitoringPipeline(const cluster::SystemSpec& spec, PipelineConfig config);
+
+  /// Hooks to pass to sched::CampaignSimulator::run. The pipeline must
+  /// outlive the simulation.
+  [[nodiscard]] sched::SimulationHooks hooks();
+
+  /// Finalized job dataset (valid after the simulation completes).
+  [[nodiscard]] std::vector<JobRecord>& records() noexcept { return records_; }
+  [[nodiscard]] const std::vector<JobRecord>& records() const noexcept { return records_; }
+  [[nodiscard]] const SystemSeries& system_series() const noexcept { return series_; }
+  [[nodiscard]] const cluster::NodePopulation& node_population() const noexcept {
+    return nodes_;
+  }
+  [[nodiscard]] const cluster::SystemSpec& spec() const noexcept { return spec_; }
+  /// Count of samples where the (optional) node power cap clamped the draw.
+  [[nodiscard]] std::uint64_t throttled_samples() const noexcept {
+    return throttled_samples_;
+  }
+
+ private:
+  struct ActiveJob {
+    workload::PowerProfile profile;
+    sched::RunningJob placement;
+    stats::RunningStats all_samples;    // every (minute, node) power value
+    stats::RunningStats minute_means;   // per-minute across-node mean
+    std::vector<double> node_energy_wmin;
+    bool instrumented = false;
+    std::vector<float> mean_series;     // per-minute mean (instrumented only)
+    std::vector<float> spread_series;   // per-minute max-min (instrumented only)
+
+    ActiveJob(workload::PowerProfile p, sched::RunningJob r)
+        : profile(std::move(p)), placement(std::move(r)) {}
+  };
+
+  void on_start(const sched::RunningJob& job);
+  void on_end(const sched::RunningJob& job, const sched::JobAccountingRecord& rec);
+  void per_minute(util::MinuteTime now, const std::vector<const sched::RunningJob*>& running);
+
+  cluster::SystemSpec spec_;
+  PipelineConfig config_;
+  util::Rng node_rng_;
+  cluster::NodePopulation nodes_;
+  std::unordered_map<workload::JobId, ActiveJob> active_;
+  std::vector<JobRecord> records_;
+  SystemSeries series_;
+  std::uint64_t throttled_samples_ = 0;
+};
+
+}  // namespace hpcpower::telemetry

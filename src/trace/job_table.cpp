@@ -1,0 +1,146 @@
+#include "trace/job_table.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+
+namespace hpcpower::trace {
+
+namespace {
+constexpr int kSchemaVersion = 1;
+
+cluster::SystemId parse_system(const std::string& name) {
+  if (name == "Emmy") return cluster::SystemId::kEmmy;
+  if (name == "Meggie") return cluster::SystemId::kMeggie;
+  return cluster::SystemId::kCustom;
+}
+}  // namespace
+
+const std::vector<std::string>& job_table_columns() {
+  static const std::vector<std::string> kColumns = {
+      "job_id",          "system",           "user_id",
+      "app_id",          "submit_min",       "start_min",
+      "end_min",         "nnodes",           "walltime_req_min",
+      "backfilled",      "truncated",        "mean_node_power_w",
+      "temporal_std_w",  "peak_node_power_w", "mean_pkg_w",
+      "mean_dram_w",     "energy_kwh",       "node_energy_min_kwh",
+      "node_energy_max_kwh",
+      // Instrumented-only columns (empty when no detail was collected):
+      "peak_overshoot",  "frac_time_above_10pct", "avg_spatial_spread_w",
+      "spread_fraction_of_power", "frac_time_above_avg_spread",
+  };
+  return kColumns;
+}
+
+void write_job_table(std::ostream& out, const std::vector<telemetry::JobRecord>& records) {
+  out << "# hpcpower job table v" << kSchemaVersion << "\n";
+  util::CsvWriter w(out);
+  w.write_row(job_table_columns());
+  for (const telemetry::JobRecord& r : records) {
+    std::vector<std::string> row;
+    row.reserve(job_table_columns().size());
+    row.push_back(std::to_string(r.job_id));
+    row.push_back(cluster::system_name(r.system));
+    row.push_back(std::to_string(r.user_id));
+    row.push_back(std::to_string(r.app));
+    row.push_back(std::to_string(r.submit.minutes()));
+    row.push_back(std::to_string(r.start.minutes()));
+    row.push_back(std::to_string(r.end.minutes()));
+    row.push_back(std::to_string(r.nnodes));
+    row.push_back(std::to_string(r.walltime_req_min));
+    row.push_back(r.backfilled ? "1" : "0");
+    row.push_back(r.truncated_by_horizon ? "1" : "0");
+    row.push_back(util::format("%.6g", r.mean_node_power_w));
+    row.push_back(util::format("%.6g", r.temporal_std_w));
+    row.push_back(util::format("%.6g", r.peak_node_power_w));
+    row.push_back(util::format("%.6g", r.mean_pkg_w));
+    row.push_back(util::format("%.6g", r.mean_dram_w));
+    row.push_back(util::format("%.8g", r.energy_kwh));
+    row.push_back(util::format("%.8g", r.node_energy_min_kwh));
+    row.push_back(util::format("%.8g", r.node_energy_max_kwh));
+    if (r.detail) {
+      row.push_back(util::format("%.6g", r.detail->peak_overshoot));
+      row.push_back(util::format("%.6g", r.detail->frac_time_above_10pct));
+      row.push_back(util::format("%.6g", r.detail->avg_spatial_spread_w));
+      row.push_back(util::format("%.6g", r.detail->spread_fraction_of_power));
+      row.push_back(util::format("%.6g", r.detail->frac_time_above_avg_spread));
+    } else {
+      for (int i = 0; i < 5; ++i) row.emplace_back();
+    }
+    w.write_row(row);
+  }
+}
+
+std::vector<telemetry::JobRecord> read_job_table(std::istream& in) {
+  // Optional "# hpcpower job table" comment line.
+  if (in.peek() == '#') {
+    std::string comment;
+    std::getline(in, comment);
+    if (comment.find("hpcpower job table") == std::string::npos)
+      throw std::invalid_argument("job table: unrecognized header comment");
+  }
+  util::CsvReader reader(in);
+  if (reader.header() != job_table_columns())
+    throw std::invalid_argument("job table: schema mismatch");
+
+  std::vector<telemetry::JobRecord> out;
+  std::size_t row_no = 0;
+  while (auto row = reader.next()) {
+    ++row_no;
+    try {
+      telemetry::JobRecord r;
+      r.job_id = row->as_uint("job_id");
+      r.system = parse_system(row->at("system"));
+      r.user_id = static_cast<workload::UserId>(row->as_uint("user_id"));
+      r.app = static_cast<workload::AppId>(row->as_uint("app_id"));
+      r.submit = util::MinuteTime(row->as_int("submit_min"));
+      r.start = util::MinuteTime(row->as_int("start_min"));
+      r.end = util::MinuteTime(row->as_int("end_min"));
+      r.nnodes = static_cast<std::uint32_t>(row->as_uint("nnodes"));
+      r.walltime_req_min = static_cast<std::uint32_t>(row->as_uint("walltime_req_min"));
+      r.backfilled = row->as_int("backfilled") != 0;
+      r.truncated_by_horizon = row->as_int("truncated") != 0;
+      r.mean_node_power_w = row->as_double("mean_node_power_w");
+      r.temporal_std_w = row->as_double("temporal_std_w");
+      r.peak_node_power_w = row->as_double("peak_node_power_w");
+      r.mean_pkg_w = row->as_double("mean_pkg_w");
+      r.mean_dram_w = row->as_double("mean_dram_w");
+      r.energy_kwh = row->as_double("energy_kwh");
+      r.node_energy_min_kwh = row->as_double("node_energy_min_kwh");
+      r.node_energy_max_kwh = row->as_double("node_energy_max_kwh");
+      if (!row->at("peak_overshoot").empty()) {
+        telemetry::DetailMetrics d;
+        d.peak_overshoot = row->as_double("peak_overshoot");
+        d.frac_time_above_10pct = row->as_double("frac_time_above_10pct");
+        d.avg_spatial_spread_w = row->as_double("avg_spatial_spread_w");
+        d.spread_fraction_of_power = row->as_double("spread_fraction_of_power");
+        d.frac_time_above_avg_spread = row->as_double("frac_time_above_avg_spread");
+        r.detail = d;
+      }
+      out.push_back(r);
+    } catch (const std::exception& e) {
+      throw std::invalid_argument(
+          util::format("job table row %zu: %s", row_no, e.what()));
+    }
+  }
+  return out;
+}
+
+void save_job_table(const std::string& path,
+                    const std::vector<telemetry::JobRecord>& records) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  write_job_table(out, records);
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+std::vector<telemetry::JobRecord> load_job_table(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  return read_job_table(in);
+}
+
+}  // namespace hpcpower::trace

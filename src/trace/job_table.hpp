@@ -1,0 +1,31 @@
+#pragma once
+// Job-table trace format.
+//
+// CSV schema mirroring the paper's released dataset (Zenodo 3666632): one row
+// per job, execution-wide averages, with the time/space-resolved columns
+// present only for instrumented jobs (empty otherwise). Round-trips through
+// read_job_table/write_job_table without loss (to the printed precision).
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "telemetry/job_record.hpp"
+
+namespace hpcpower::trace {
+
+/// Column names of the job table, in file order.
+[[nodiscard]] const std::vector<std::string>& job_table_columns();
+
+void write_job_table(std::ostream& out, const std::vector<telemetry::JobRecord>& records);
+
+/// Parses a job table. Throws std::invalid_argument on schema mismatch or
+/// malformed rows (with row context in the message).
+[[nodiscard]] std::vector<telemetry::JobRecord> read_job_table(std::istream& in);
+
+/// Convenience file wrappers. Throw std::runtime_error on I/O failure.
+void save_job_table(const std::string& path,
+                    const std::vector<telemetry::JobRecord>& records);
+[[nodiscard]] std::vector<telemetry::JobRecord> load_job_table(const std::string& path);
+
+}  // namespace hpcpower::trace

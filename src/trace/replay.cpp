@@ -1,0 +1,89 @@
+#include "trace/replay.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/prng.hpp"
+
+namespace hpcpower::trace {
+
+std::vector<workload::JobRequest> replay_jobs(
+    const std::vector<telemetry::JobRecord>& records, const cluster::SystemSpec& spec,
+    const ReplayOptions& options) {
+  std::vector<workload::JobRequest> out;
+  out.reserve(records.size());
+
+  for (const telemetry::JobRecord& r : records) {
+    if (r.truncated_by_horizon || r.runtime_min() == 0) continue;
+
+    workload::JobRequest j;
+    j.job_id = r.job_id;
+    j.user_id = r.user_id;
+    j.app = r.app;
+    j.submit = options.use_submit_times ? r.submit : r.start;
+    j.nnodes = r.nnodes;
+    j.walltime_req_min = std::max(r.walltime_req_min, r.runtime_min());
+    j.runtime_min = r.runtime_min();
+
+    // Rebuild the power behaviour from recorded aggregates. The mean is
+    // matched exactly in expectation; the temporal shape is approximated as
+    // a dip process whose std reproduces the recorded temporal std.
+    workload::PowerBehavior& b = j.behavior;
+    b.idle_watts = spec.idle_power_fraction * spec.node_tdp_watts * 0.9;
+    b.max_watts = spec.node_tdp_watts * 1.05;
+    b.memory_intensity =
+        r.mean_node_power_w > 0.0
+            ? std::clamp((r.mean_dram_w / r.mean_node_power_w - 0.08) / 0.30, 0.0, 1.0)
+            : 0.2;
+    b.job_seed = util::derive_stream(options.seed ^ r.job_id, "replayed-job");
+
+    const double cv =
+        r.mean_node_power_w > 0.0 ? r.temporal_std_w / r.mean_node_power_w : 0.0;
+    if (r.peak_node_power_w > 1.02 * r.mean_node_power_w && cv > 0.02) {
+      // Peak clearly above mean: treat as a phased job whose high level hits
+      // the recorded peak and whose time share reproduces the recorded CV:
+      // for a two-level process, cv^2 = f(1-f) amp^2 / (1+f amp)^2.
+      const double amp =
+          std::min(0.6, r.peak_node_power_w / r.mean_node_power_w - 1.0);
+      b.phased = true;
+      b.phase_amplitude = amp;
+      const double ratio = cv / std::max(amp, 1e-6);
+      b.phase_time_fraction = std::clamp(ratio * ratio, 0.02, 0.5);
+      // base * (1 + f*amp) should equal the recorded mean.
+      b.base_watts = r.mean_node_power_w / (1.0 + b.phase_time_fraction * amp);
+    } else if (cv > 0.02) {
+      // Variation without a peak above mean: dip process.
+      b.phased = false;
+      b.dip_depth = std::min(0.6, 2.0 * cv);
+      const double ratio = cv / std::max(b.dip_depth, 1e-6);
+      b.dip_time_fraction = std::clamp(ratio * ratio, 0.02, 0.4);
+      b.base_watts =
+          r.mean_node_power_w / (1.0 - b.dip_time_fraction * b.dip_depth);
+    } else {
+      b.phased = false;
+      b.base_watts = r.mean_node_power_w;
+    }
+    b.base_watts = std::clamp(b.base_watts, b.idle_watts + 1.0, b.max_watts - 1.0);
+
+    // Spatial imbalance from the recorded node-energy spread: for n nodes,
+    // the expected max-min range of N(0, sigma) factors is ~d2(n) sigma.
+    if (r.nnodes > 1) {
+      const double spread = r.node_energy_spread_fraction();
+      const double d2 = 2.0 * std::sqrt(std::log(static_cast<double>(r.nnodes)) + 1.0);
+      b.imbalance_sigma = std::clamp(spread / d2, 0.0, 0.12);
+    } else {
+      b.imbalance_sigma = 0.0;
+    }
+    b.temporal_noise_sigma = 0.008;
+    b.spatial_noise_sigma = 0.015;
+    b.straggler_prob = 0.0;  // already folded into recorded aggregates
+
+    out.push_back(j);
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.submit < b.submit; });
+  return out;
+}
+
+}  // namespace hpcpower::trace

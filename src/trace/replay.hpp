@@ -1,0 +1,34 @@
+#pragma once
+// Trace replay: reconstruct a schedulable job stream from a job table.
+//
+// Closes the open-data loop: a job table (ours, or a CSV export of a real
+// dataset like the paper's Zenodo release) can be replayed through the
+// scheduler + telemetry pipeline, e.g. to evaluate what-if policies (power
+// caps, different scheduling) against recorded workloads. Power behaviour is
+// rebuilt from the recorded aggregates: base level from the mean power,
+// temporal shape approximated from the recorded temporal std and peak.
+
+#include <vector>
+
+#include "cluster/system_spec.hpp"
+#include "telemetry/job_record.hpp"
+#include "workload/generator.hpp"
+
+namespace hpcpower::trace {
+
+struct ReplayOptions {
+  std::uint64_t seed = 42;
+  /// Re-submit at recorded submit times (true) or at recorded start times
+  /// (false; removes queueing effects so placement matches the trace).
+  bool use_submit_times = true;
+};
+
+/// Builds JobRequests from job records. Records are replayed against the
+/// given system spec (idle/TDP bounds come from it). Truncated records are
+/// skipped. The result is sorted by submit time and ready for
+/// sched::CampaignSimulator.
+[[nodiscard]] std::vector<workload::JobRequest> replay_jobs(
+    const std::vector<telemetry::JobRecord>& records,
+    const cluster::SystemSpec& spec, const ReplayOptions& options = {});
+
+}  // namespace hpcpower::trace

@@ -1,0 +1,61 @@
+#include "trace/sample_table.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+
+namespace hpcpower::trace {
+
+const std::vector<std::string>& sample_table_columns() {
+  static const std::vector<std::string> kColumns = {"job_id", "minute", "node_index",
+                                                    "pkg_w", "dram_w"};
+  return kColumns;
+}
+
+void write_sample_table(std::ostream& out, const std::vector<PowerSampleRow>& rows) {
+  util::CsvWriter w(out);
+  w.write_row(sample_table_columns());
+  for (const PowerSampleRow& r : rows)
+    w.write(r.job_id, r.minute, r.node_index, r.pkg_w, r.dram_w);
+}
+
+std::vector<PowerSampleRow> read_sample_table(std::istream& in) {
+  util::CsvReader reader(in);
+  if (reader.header() != sample_table_columns())
+    throw std::invalid_argument("sample table: schema mismatch");
+  std::vector<PowerSampleRow> out;
+  std::size_t row_no = 0;
+  while (auto row = reader.next()) {
+    ++row_no;
+    try {
+      PowerSampleRow r;
+      r.job_id = row->as_uint("job_id");
+      r.minute = row->as_int("minute");
+      r.node_index = static_cast<std::uint32_t>(row->as_uint("node_index"));
+      r.pkg_w = row->as_double("pkg_w");
+      r.dram_w = row->as_double("dram_w");
+      out.push_back(r);
+    } catch (const std::exception& e) {
+      throw std::invalid_argument(
+          util::format("sample table row %zu: %s", row_no, e.what()));
+    }
+  }
+  return out;
+}
+
+void save_sample_table(const std::string& path, const std::vector<PowerSampleRow>& rows) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  write_sample_table(out, rows);
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+std::vector<PowerSampleRow> load_sample_table(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  return read_sample_table(in);
+}
+
+}  // namespace hpcpower::trace

@@ -1,0 +1,32 @@
+#pragma once
+// Time-resolved sample trace format: one row per (job, minute, node) RAPL
+// reading for instrumented jobs, like the paper's one-month detailed logs.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/sim_time.hpp"
+
+namespace hpcpower::trace {
+
+struct PowerSampleRow {
+  std::uint64_t job_id = 0;
+  std::int64_t minute = 0;       ///< campaign minute of the sample
+  std::uint32_t node_index = 0;  ///< job-local node index
+  double pkg_w = 0.0;
+  double dram_w = 0.0;
+
+  [[nodiscard]] double total_w() const noexcept { return pkg_w + dram_w; }
+};
+
+[[nodiscard]] const std::vector<std::string>& sample_table_columns();
+
+void write_sample_table(std::ostream& out, const std::vector<PowerSampleRow>& rows);
+[[nodiscard]] std::vector<PowerSampleRow> read_sample_table(std::istream& in);
+
+void save_sample_table(const std::string& path, const std::vector<PowerSampleRow>& rows);
+[[nodiscard]] std::vector<PowerSampleRow> load_sample_table(const std::string& path);
+
+}  // namespace hpcpower::trace

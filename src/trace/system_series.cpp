@@ -1,0 +1,67 @@
+#include "trace/system_series.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+
+namespace hpcpower::trace {
+
+const std::vector<std::string>& system_series_columns() {
+  static const std::vector<std::string> kColumns = {"minute", "busy_nodes",
+                                                    "total_power_w"};
+  return kColumns;
+}
+
+void write_system_series(std::ostream& out, const telemetry::SystemSeries& series) {
+  if (series.total_power_w.size() != series.busy_nodes.size())
+    throw std::invalid_argument("system series: ragged series");
+  util::CsvWriter w(out);
+  w.write_row(system_series_columns());
+  for (std::size_t m = 0; m < series.total_power_w.size(); ++m)
+    w.write(m, series.busy_nodes[m], series.total_power_w[m]);
+}
+
+telemetry::SystemSeries read_system_series(std::istream& in) {
+  util::CsvReader reader(in);
+  if (reader.header() != system_series_columns())
+    throw std::invalid_argument("system series: schema mismatch");
+  telemetry::SystemSeries series;
+  std::size_t row_no = 0;
+  std::size_t expected_minute = 0;
+  while (auto row = reader.next()) {
+    ++row_no;
+    try {
+      const auto minute = row->as_uint("minute");
+      if (minute != expected_minute)
+        throw std::invalid_argument(
+            util::format("non-contiguous minute %llu (expected %zu)",
+                         static_cast<unsigned long long>(minute), expected_minute));
+      ++expected_minute;
+      series.busy_nodes.push_back(
+          static_cast<std::uint32_t>(row->as_uint("busy_nodes")));
+      series.total_power_w.push_back(row->as_double("total_power_w"));
+    } catch (const std::exception& e) {
+      throw std::invalid_argument(
+          util::format("system series row %zu: %s", row_no, e.what()));
+    }
+  }
+  return series;
+}
+
+void save_system_series(const std::string& path,
+                        const telemetry::SystemSeries& series) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  write_system_series(out, series);
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+telemetry::SystemSeries load_system_series(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  return read_system_series(in);
+}
+
+}  // namespace hpcpower::trace

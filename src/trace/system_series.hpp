@@ -1,0 +1,25 @@
+#pragma once
+// System-series trace format: the per-minute machine-level data behind
+// Figs 1-2 (busy nodes, total power), released alongside the job table.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "telemetry/pipeline.hpp"
+
+namespace hpcpower::trace {
+
+[[nodiscard]] const std::vector<std::string>& system_series_columns();
+
+void write_system_series(std::ostream& out, const telemetry::SystemSeries& series);
+
+/// Parses a system-series file. Throws std::invalid_argument on schema or
+/// row errors.
+[[nodiscard]] telemetry::SystemSeries read_system_series(std::istream& in);
+
+void save_system_series(const std::string& path,
+                        const telemetry::SystemSeries& series);
+[[nodiscard]] telemetry::SystemSeries load_system_series(const std::string& path);
+
+}  // namespace hpcpower::trace

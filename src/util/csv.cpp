@@ -1,0 +1,138 @@
+#include "util/csv.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace hpcpower::util {
+
+namespace {
+bool needs_quoting(std::string_view field) {
+  return field.find_first_of(",\"\n\r") != std::string_view::npos;
+}
+
+std::string quote(std::string_view field) {
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+}  // namespace
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) out_.put(',');
+    if (needs_quoting(fields[i])) {
+      out_ << quote(fields[i]);
+    } else {
+      out_ << fields[i];
+    }
+  }
+  out_.put('\n');
+}
+
+std::string CsvWriter::to_field(double v) {
+  if (std::isnan(v)) return "nan";
+  char buf[40];
+  // %.10g keeps round-trip fidelity for trace values without bloating files.
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  return buf;
+}
+
+const std::string& CsvRow::at(std::string_view column) const {
+  if (header_ == nullptr) throw std::out_of_range("CSV has no header");
+  const auto it = header_->find(std::string(column));
+  if (it == header_->end())
+    throw std::out_of_range("no such CSV column: " + std::string(column));
+  return fields_.at(it->second);
+}
+
+double CsvRow::as_double(std::string_view column) const {
+  const std::string& f = at(column);
+  try {
+    return std::stod(f);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("CSV field not a double: '" + f + "' in column " +
+                                std::string(column));
+  }
+}
+
+std::int64_t CsvRow::as_int(std::string_view column) const {
+  const std::string& f = at(column);
+  std::int64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(f.data(), f.data() + f.size(), v);
+  if (ec != std::errc() || ptr != f.data() + f.size())
+    throw std::invalid_argument("CSV field not an integer: '" + f + "'");
+  return v;
+}
+
+std::uint64_t CsvRow::as_uint(std::string_view column) const {
+  const std::string& f = at(column);
+  std::uint64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(f.data(), f.data() + f.size(), v);
+  if (ec != std::errc() || ptr != f.data() + f.size())
+    throw std::invalid_argument("CSV field not an unsigned integer: '" + f + "'");
+  return v;
+}
+
+CsvReader::CsvReader(std::istream& in, bool has_header) : in_(in) {
+  if (has_header) {
+    if (auto record = parse_record()) {
+      header_names_ = std::move(*record);
+      for (std::size_t i = 0; i < header_names_.size(); ++i)
+        header_index_.emplace(header_names_[i], i);
+    }
+  }
+}
+
+std::optional<CsvRow> CsvReader::next() {
+  auto record = parse_record();
+  if (!record) return std::nullopt;
+  return CsvRow(std::move(*record), header_index_.empty() ? nullptr : &header_index_);
+}
+
+std::optional<std::vector<std::string>> CsvReader::parse_record() {
+  if (!in_.good()) return std::nullopt;
+  std::vector<std::string> fields;
+  std::string field;
+  bool in_quotes = false;
+  bool saw_any = false;
+  int c;
+  while ((c = in_.get()) != EOF) {
+    saw_any = true;
+    const char ch = static_cast<char>(c);
+    if (in_quotes) {
+      if (ch == '"') {
+        if (in_.peek() == '"') {
+          field.push_back('"');
+          in_.get();
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(ch);
+      }
+    } else if (ch == '"') {
+      in_quotes = true;
+    } else if (ch == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else if (ch == '\n') {
+      fields.push_back(std::move(field));
+      return fields;
+    } else if (ch != '\r') {
+      field.push_back(ch);
+    }
+  }
+  if (!saw_any) return std::nullopt;
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+}  // namespace hpcpower::util

@@ -1,0 +1,98 @@
+#pragma once
+// Minimal RFC-4180-ish CSV reading/writing used by the trace module.
+//
+// Supports quoted fields (embedded commas, quotes, and newlines), a header
+// row, and typed column accessors. Designed for streaming large trace files
+// without materializing the whole file.
+
+#include <cstdint>
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace hpcpower::util {
+
+/// Writes one CSV row at a time; quotes fields only when required.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Variadic convenience: accepts strings and arithmetic values.
+  template <typename... Ts>
+  void write(const Ts&... values) {
+    std::vector<std::string> fields;
+    fields.reserve(sizeof...(values));
+    (fields.push_back(to_field(values)), ...);
+    write_row(fields);
+  }
+
+ private:
+  static std::string to_field(const std::string& s) { return s; }
+  static std::string to_field(std::string_view s) { return std::string(s); }
+  static std::string to_field(const char* s) { return s; }
+  static std::string to_field(double v);
+  static std::string to_field(float v) { return to_field(static_cast<double>(v)); }
+  template <typename T>
+    requires std::is_integral_v<T>
+  static std::string to_field(T v) {
+    return std::to_string(v);
+  }
+
+  std::ostream& out_;
+};
+
+/// A parsed CSV row with access by index or by header name.
+class CsvRow {
+ public:
+  CsvRow(std::vector<std::string> fields,
+         const std::unordered_map<std::string, std::size_t>* header)
+      : fields_(std::move(fields)), header_(header) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return fields_.size(); }
+  [[nodiscard]] const std::string& at(std::size_t i) const { return fields_.at(i); }
+  /// Throws std::out_of_range if the column does not exist.
+  [[nodiscard]] const std::string& at(std::string_view column) const;
+
+  [[nodiscard]] double as_double(std::string_view column) const;
+  [[nodiscard]] std::int64_t as_int(std::string_view column) const;
+  [[nodiscard]] std::uint64_t as_uint(std::string_view column) const;
+
+ private:
+  std::vector<std::string> fields_;
+  const std::unordered_map<std::string, std::size_t>* header_;
+};
+
+/// Streaming CSV reader. If `has_header` is true the first row names columns.
+class CsvReader {
+ public:
+  explicit CsvReader(std::istream& in, bool has_header = true);
+
+  CsvReader(const CsvReader&) = delete;
+  CsvReader& operator=(const CsvReader&) = delete;
+
+  /// Returns the next data row, or nullopt at end of stream.
+  [[nodiscard]] std::optional<CsvRow> next();
+
+  [[nodiscard]] const std::vector<std::string>& header() const noexcept { return header_names_; }
+  [[nodiscard]] bool has_column(std::string_view name) const noexcept {
+    return header_index_.contains(std::string(name));
+  }
+
+ private:
+  std::optional<std::vector<std::string>> parse_record();
+
+  std::istream& in_;
+  std::vector<std::string> header_names_;
+  std::unordered_map<std::string, std::size_t> header_index_;
+};
+
+}  // namespace hpcpower::util

@@ -1,0 +1,23 @@
+#pragma once
+// Leveled stderr logging with a process-wide threshold.
+//
+// Simulation and analysis code logs progress at Info; tests set the threshold
+// to Warn to keep output clean. Not a general logging framework on purpose.
+
+#include <string>
+
+namespace hpcpower::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+void log(LogLevel level, const std::string& message);
+
+void log_debug(const std::string& message);
+void log_info(const std::string& message);
+void log_warn(const std::string& message);
+void log_error(const std::string& message);
+
+}  // namespace hpcpower::util

@@ -1,0 +1,93 @@
+#include "util/options.hpp"
+
+#include "util/strings.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace hpcpower::util {
+
+Options& Options::add_flag(std::string name, std::string help) {
+  Spec spec;
+  spec.help = std::move(help);
+  spec.is_flag = true;
+  specs_.emplace(std::move(name), std::move(spec));
+  return *this;
+}
+
+Options& Options::add_option(std::string name, std::string help, std::string default_value) {
+  Spec spec;
+  spec.help = std::move(help);
+  spec.value = std::move(default_value);
+  specs_.emplace(std::move(name), std::move(spec));
+  return *this;
+}
+
+bool Options::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(help_text().c_str(), stdout);
+      return false;
+    }
+    if (!starts_with(arg, "--"))
+      throw std::invalid_argument("unexpected argument: " + std::string(arg));
+    arg.remove_prefix(2);
+    std::string name(arg);
+    std::optional<std::string> inline_value;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      inline_value = name.substr(eq + 1);
+      name.resize(eq);
+    }
+    const auto it = specs_.find(name);
+    if (it == specs_.end())
+      throw std::invalid_argument("unknown option --" + name + "\n" + help_text());
+    Spec& spec = it->second;
+    if (spec.is_flag) {
+      if (inline_value)
+        throw std::invalid_argument("flag --" + name + " does not take a value");
+      spec.flag_set = true;
+    } else if (inline_value) {
+      spec.value = std::move(*inline_value);
+    } else {
+      if (i + 1 >= argc)
+        throw std::invalid_argument("option --" + name + " requires a value");
+      spec.value = argv[++i];
+    }
+  }
+  return true;
+}
+
+const Options::Spec& Options::find(std::string_view name) const {
+  const auto it = specs_.find(name);
+  if (it == specs_.end())
+    throw std::out_of_range("option not registered: " + std::string(name));
+  return it->second;
+}
+
+bool Options::flag(std::string_view name) const { return find(name).flag_set; }
+
+const std::string& Options::str(std::string_view name) const { return find(name).value; }
+
+std::int64_t Options::integer(std::string_view name) const {
+  return std::stoll(find(name).value);
+}
+
+double Options::number(std::string_view name) const { return std::stod(find(name).value); }
+
+std::uint64_t Options::seed(std::string_view name) const {
+  return std::stoull(find(name).value);
+}
+
+std::string Options::help_text() const {
+  std::string out = program_ + " - " + description_ + "\n\noptions:\n";
+  for (const auto& [name, spec] : specs_) {
+    out += format("  --%-18s %s", name.c_str(), spec.help.c_str());
+    if (!spec.is_flag) out += format(" (default: %s)", spec.value.c_str());
+    out += "\n";
+  }
+  out += "  --help               show this message\n";
+  return out;
+}
+
+}  // namespace hpcpower::util

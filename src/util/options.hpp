@@ -1,0 +1,52 @@
+#pragma once
+// Tiny command-line option parser for benches and examples.
+//
+// Supports `--name value`, `--name=value`, and boolean `--flag`. Unknown
+// options raise an error listing registered options, so every bench binary
+// self-documents with --help.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hpcpower::util {
+
+class Options {
+ public:
+  Options(std::string program, std::string description)
+      : program_(std::move(program)), description_(std::move(description)) {}
+
+  Options& add_flag(std::string name, std::string help);
+  Options& add_option(std::string name, std::string help, std::string default_value);
+
+  /// Parses argv. Returns false if --help was requested (help text printed).
+  /// Throws std::invalid_argument on unknown or malformed options.
+  bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] bool flag(std::string_view name) const;
+  [[nodiscard]] const std::string& str(std::string_view name) const;
+  [[nodiscard]] std::int64_t integer(std::string_view name) const;
+  [[nodiscard]] double number(std::string_view name) const;
+  [[nodiscard]] std::uint64_t seed(std::string_view name = "seed") const;
+
+  [[nodiscard]] std::string help_text() const;
+
+ private:
+  struct Spec {
+    std::string help;
+    bool is_flag = false;
+    std::string value;   // current (default or parsed)
+    bool flag_set = false;
+  };
+
+  const Spec& find(std::string_view name) const;
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Spec, std::less<>> specs_;
+};
+
+}  // namespace hpcpower::util

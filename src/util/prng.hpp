@@ -1,0 +1,133 @@
+#pragma once
+// Deterministic pseudo-random number generation for reproducible simulation.
+//
+// The whole study pipeline must be bit-reproducible for a given seed: every
+// figure bench, every test, and every example derives its randomness from a
+// single root seed through named sub-streams (see derive_stream). We use
+// xoshiro256** (public-domain, Blackman & Vigna) seeded via splitmix64,
+// which is both fast and statistically strong enough for Monte-Carlo use.
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace hpcpower::util {
+
+/// splitmix64 step; used for seeding and for hashing stream names.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** engine. Satisfies UniformRandomBitGenerator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds all 256 bits of state from `seed` via splitmix64.
+  explicit Xoshiro256(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept;
+
+  /// Equivalent to 2^128 calls of operator(); used to split parallel streams.
+  void long_jump() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+/// Random variate generator bound to one engine.
+///
+/// All distributions are implemented in-house (not <random>) so that the
+/// generated sequences are identical across standard-library vendors.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept : eng_(seed) {}
+
+  /// Uniform in [0, 1).
+  [[nodiscard]] double uniform() noexcept;
+  /// Uniform in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept;
+  /// Uniform integer in [0, n). Requires n > 0.
+  [[nodiscard]] std::uint64_t uniform_index(std::uint64_t n) noexcept;
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+  /// Standard normal via Box-Muller with caching.
+  [[nodiscard]] double normal() noexcept;
+  [[nodiscard]] double normal(double mean, double stddev) noexcept;
+  /// Log-normal parameterized by the *underlying* normal's mu/sigma.
+  [[nodiscard]] double lognormal(double mu, double sigma) noexcept;
+  /// Exponential with given rate lambda (> 0).
+  [[nodiscard]] double exponential(double lambda) noexcept;
+  /// Gamma(shape k > 0, scale theta > 0) via Marsaglia-Tsang.
+  [[nodiscard]] double gamma(double shape, double scale) noexcept;
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  [[nodiscard]] bool bernoulli(double p) noexcept;
+  /// Poisson with mean lambda >= 0 (Knuth for small, PTRS-like normal approx for large).
+  [[nodiscard]] std::uint64_t poisson(double lambda) noexcept;
+  /// Zipf-distributed rank in [1, n] with exponent s > 0 (rejection-inversion).
+  [[nodiscard]] std::uint64_t zipf(std::uint64_t n, double s) noexcept;
+  /// Truncated normal: resamples until within [lo, hi]; falls back to clamping
+  /// after 64 rejections to stay O(1) in pathological configurations.
+  [[nodiscard]] double truncated_normal(double mean, double stddev, double lo,
+                                        double hi) noexcept;
+
+  /// Samples an index according to non-negative `weights` (linear scan; for
+  /// repeated sampling from the same weights use DiscreteSampler).
+  [[nodiscard]] std::size_t weighted_index(const std::vector<double>& weights) noexcept;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      using std::swap;
+      swap(v[i - 1], v[uniform_index(i)]);
+    }
+  }
+
+  Xoshiro256& engine() noexcept { return eng_; }
+
+ private:
+  Xoshiro256 eng_;
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+/// Stateless counter-based randomness: pure functions of (seed, a, b).
+/// Used where a value must be reproducible without storing a stream, e.g.
+/// per-(job, minute, node) telemetry noise.
+[[nodiscard]] double stateless_uniform(std::uint64_t seed, std::uint64_t a,
+                                       std::uint64_t b) noexcept;
+/// Standard normal via Box-Muller over two stateless uniforms.
+[[nodiscard]] double stateless_normal(std::uint64_t seed, std::uint64_t a,
+                                      std::uint64_t b) noexcept;
+/// Uniform index in [0, n) as a pure function of the inputs. Requires n > 0.
+[[nodiscard]] std::uint64_t stateless_index(std::uint64_t seed, std::uint64_t a,
+                                            std::uint64_t b, std::uint64_t n) noexcept;
+
+/// Derives a child seed from a root seed and a stream name, so independent
+/// simulation components (arrivals, power noise, ML splits, ...) consume
+/// decorrelated streams while staying reproducible from one root seed.
+[[nodiscard]] std::uint64_t derive_stream(std::uint64_t root_seed,
+                                          std::string_view stream_name) noexcept;
+
+/// Walker alias-method sampler for repeated draws from a fixed discrete
+/// distribution in O(1) per draw.
+class DiscreteSampler {
+ public:
+  /// Builds alias tables from non-negative weights (at least one positive).
+  explicit DiscreteSampler(const std::vector<double>& weights);
+
+  [[nodiscard]] std::size_t sample(Rng& rng) const noexcept;
+  [[nodiscard]] std::size_t size() const noexcept { return prob_.size(); }
+  /// Normalized probability of outcome i (for testing).
+  [[nodiscard]] double probability(std::size_t i) const noexcept { return norm_[i]; }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<std::size_t> alias_;
+  std::vector<double> norm_;
+};
+
+}  // namespace hpcpower::util

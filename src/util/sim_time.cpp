@@ -1,0 +1,41 @@
+#include "util/sim_time.hpp"
+
+#include "util/strings.hpp"
+
+#include <array>
+#include <cstdlib>
+
+namespace hpcpower::util {
+
+std::string format_duration(MinuteTime t) {
+  std::int64_t m = t.minutes();
+  const char* sign = "";
+  if (m < 0) {
+    sign = "-";
+    m = -m;
+  }
+  const std::int64_t days = m / (24 * 60);
+  const std::int64_t hours = (m / 60) % 24;
+  const std::int64_t mins = m % 60;
+  if (days > 0) return format("%s%lldd %02lld:%02lld", sign, static_cast<long long>(days),
+                              static_cast<long long>(hours), static_cast<long long>(mins));
+  return format("%s%02lld:%02lld", sign, static_cast<long long>(hours),
+                static_cast<long long>(mins));
+}
+
+std::string campaign_label(MinuteTime t) {
+  // Month lengths for Oct'18..Feb'19 (the paper's campaign window), repeated
+  // cyclically if a simulation runs longer than five months.
+  static constexpr std::array<std::pair<const char*, int>, 5> kMonths = {{
+      {"Oct", 31}, {"Nov", 30}, {"Dec", 31}, {"Jan", 31}, {"Feb", 28},
+  }};
+  std::int64_t day = t.minutes() / (24 * 60);
+  if (day < 0) day = 0;
+  for (std::size_t i = 0;; i = (i + 1) % kMonths.size()) {
+    const auto [name, len] = kMonths[i];
+    if (day < len) return format("%s %02lld", name, static_cast<long long>(day + 1));
+    day -= len;
+  }
+}
+
+}  // namespace hpcpower::util

@@ -1,0 +1,60 @@
+#pragma once
+// Simulation time.
+//
+// The paper's telemetry is sampled once per minute, so the natural clock of
+// the whole reproduction is an integer minute count since campaign start.
+// MinuteTime is a strong type to keep minutes from mixing with node counts,
+// watts, and other integers.
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace hpcpower::util {
+
+/// Minutes since the start of the simulated measurement campaign.
+class MinuteTime {
+ public:
+  constexpr MinuteTime() noexcept = default;
+  constexpr explicit MinuteTime(std::int64_t minutes) noexcept : minutes_(minutes) {}
+
+  [[nodiscard]] constexpr std::int64_t minutes() const noexcept { return minutes_; }
+  [[nodiscard]] constexpr double hours() const noexcept {
+    return static_cast<double>(minutes_) / 60.0;
+  }
+  [[nodiscard]] constexpr double days() const noexcept {
+    return static_cast<double>(minutes_) / (60.0 * 24.0);
+  }
+
+  constexpr auto operator<=>(const MinuteTime&) const noexcept = default;
+
+  constexpr MinuteTime operator+(MinuteTime rhs) const noexcept {
+    return MinuteTime(minutes_ + rhs.minutes_);
+  }
+  constexpr MinuteTime operator-(MinuteTime rhs) const noexcept {
+    return MinuteTime(minutes_ - rhs.minutes_);
+  }
+  constexpr MinuteTime& operator+=(MinuteTime rhs) noexcept {
+    minutes_ += rhs.minutes_;
+    return *this;
+  }
+
+  static constexpr MinuteTime from_hours(double h) noexcept {
+    return MinuteTime(static_cast<std::int64_t>(h * 60.0 + 0.5));
+  }
+  static constexpr MinuteTime from_days(double d) noexcept {
+    return MinuteTime(static_cast<std::int64_t>(d * 24.0 * 60.0 + 0.5));
+  }
+
+ private:
+  std::int64_t minutes_ = 0;
+};
+
+/// "12d 03:45" style rendering for logs and reports.
+[[nodiscard]] std::string format_duration(MinuteTime t);
+
+/// Calendar-ish label for campaign offsets assuming an Oct 1 start
+/// (the paper's campaign ran Oct'18-Feb'19); used only for display.
+[[nodiscard]] std::string campaign_label(MinuteTime t);
+
+}  // namespace hpcpower::util

@@ -1,0 +1,71 @@
+#include "util/strings.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+
+namespace hpcpower::util {
+
+std::vector<std::string> split(std::string_view text, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == delim) {
+      out.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view text) noexcept {
+  const auto is_space = [](unsigned char c) { return std::isspace(c) != 0; };
+  while (!text.empty() && is_space(static_cast<unsigned char>(text.front())))
+    text.remove_prefix(1);
+  while (!text.empty() && is_space(static_cast<unsigned char>(text.back())))
+    text.remove_suffix(1);
+  return text;
+}
+
+std::string to_lower(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) noexcept {
+  return text.substr(0, prefix.size()) == prefix;
+}
+
+std::string format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string format_watts(double watts) { return format("%.1f W", watts); }
+
+std::string format_percent(double fraction) { return format("%.1f%%", fraction * 100.0); }
+
+std::string ascii_bar(double value, double max_value, int width) {
+  if (max_value <= 0.0 || width <= 0) return {};
+  const double frac = std::clamp(value / max_value, 0.0, 1.0);
+  const int filled = static_cast<int>(frac * width + 0.5);
+  std::string bar(static_cast<std::size_t>(filled), '#');
+  bar.append(static_cast<std::size_t>(width - filled), '.');
+  return bar;
+}
+
+}  // namespace hpcpower::util

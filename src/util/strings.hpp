@@ -1,0 +1,31 @@
+#pragma once
+// Small string helpers shared across modules.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hpcpower::util {
+
+/// Splits on a single-character delimiter; keeps empty fields.
+[[nodiscard]] std::vector<std::string> split(std::string_view text, char delim);
+
+/// Trims ASCII whitespace from both ends.
+[[nodiscard]] std::string_view trim(std::string_view text) noexcept;
+
+[[nodiscard]] std::string to_lower(std::string_view text);
+
+[[nodiscard]] bool starts_with(std::string_view text, std::string_view prefix) noexcept;
+
+/// printf-style formatting into std::string.
+[[nodiscard]] std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Formats watts/percent values for report tables ("149.3 W", "71.1%").
+[[nodiscard]] std::string format_watts(double watts);
+[[nodiscard]] std::string format_percent(double fraction);
+
+/// Renders a fixed-width ASCII bar of `value` within [0, max_value]
+/// (used by benches to sketch the paper's figures in the terminal).
+[[nodiscard]] std::string ascii_bar(double value, double max_value, int width);
+
+}  // namespace hpcpower::util

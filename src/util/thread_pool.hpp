@@ -1,0 +1,52 @@
+#pragma once
+// Fixed-size thread pool with a parallel_for helper.
+//
+// The analysis passes (per-job temporal/spatial metrics, ML cross-validation
+// repeats) are embarrassingly parallel across jobs; this pool provides
+// deterministic-result parallelism: work items write to disjoint output
+// slots, so results are identical regardless of thread count.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace hpcpower::util {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` selects hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task; the returned future rethrows any task exception.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Runs fn(i) for i in [0, n), blocking until all complete. Work is chunked
+  /// to keep scheduling overhead low. Exceptions from fn propagate (first one
+  /// wins). Runs inline when n is small or the pool has one thread.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Process-wide pool for library internals; sized from hardware_concurrency.
+ThreadPool& global_pool();
+
+}  // namespace hpcpower::util

@@ -1,0 +1,78 @@
+#pragma once
+// Application catalog.
+//
+// Sec 2 of the paper describes the workload mix on both systems: ~30%
+// molecular dynamics (Gromacs, the in-house MD-0), ~30% chemistry/materials
+// codes, ~25% memory-bandwidth-bound CFD (FASTEST, STARCCM), ~15% others
+// (e.g. WRF). Fig 4 additionally shows that each application draws less
+// per-node power on Meggie than on Emmy, and that the power *ranking* of
+// applications is not preserved across systems (MD-0 vs FASTEST swap).
+//
+// Each catalog entry therefore carries an explicit per-system TDP fraction
+// rather than a single scalar: power portability is exactly what the paper
+// shows you cannot assume.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cluster/system_spec.hpp"
+
+namespace hpcpower::workload {
+
+enum class Domain {
+  kMolecularDynamics,
+  kChemistry,
+  kCfd,
+  kClimate,
+  kBenchmark,
+  kDebug,   // failed / idle / test runs: the low-power tail of Fig 3
+  kOther,
+};
+
+[[nodiscard]] const char* domain_name(Domain d) noexcept;
+
+using AppId = std::uint32_t;
+
+struct Application {
+  AppId id = 0;
+  std::string name;
+  Domain domain = Domain::kOther;
+  /// 0 = fully compute bound, 1 = fully memory-bandwidth bound. Drives the
+  /// RAPL PKG/DRAM split.
+  double memory_intensity = 0.2;
+  /// Mean per-node draw as a fraction of the node TDP, per system.
+  double tdp_fraction_emmy = 0.7;
+  double tdp_fraction_meggie = 0.55;
+  /// Relative share of submitted jobs across the whole machine.
+  double job_share = 0.0;
+  /// Whether Fig 4 tracks this application (the five "key applications").
+  bool key_application = false;
+
+  [[nodiscard]] double tdp_fraction(cluster::SystemId system) const noexcept;
+  /// Mean per-node watts on the given system.
+  [[nodiscard]] double mean_power_watts(const cluster::SystemSpec& spec) const noexcept;
+};
+
+class ApplicationCatalog {
+ public:
+  /// Builds the default paper-mix catalog.
+  ApplicationCatalog();
+
+  [[nodiscard]] const std::vector<Application>& applications() const noexcept {
+    return apps_;
+  }
+  [[nodiscard]] const Application& app(AppId id) const { return apps_.at(id); }
+  [[nodiscard]] std::optional<AppId> find(std::string_view name) const noexcept;
+  /// The five Fig 4 applications, in catalog order.
+  [[nodiscard]] std::vector<AppId> key_applications() const;
+  /// job_share values aligned with applications() order.
+  [[nodiscard]] std::vector<double> job_shares() const;
+
+ private:
+  std::vector<Application> apps_;
+};
+
+}  // namespace hpcpower::workload

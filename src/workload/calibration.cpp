@@ -1,0 +1,72 @@
+#include "workload/calibration.hpp"
+
+namespace hpcpower::workload {
+
+Calibration emmy_calibration() {
+  Calibration c;
+  c.user_count = 120;
+  c.user_activity_zipf_s = 0.95;
+  // Offered load above 1: production machines run with standing queue
+  // pressure, and the realized load at finite horizons under-samples the
+  // heavy tail of huge jobs.
+  c.target_offered_load = 0.90;
+  // Emmy: general-purpose => smaller jobs, wider power spread, stronger
+  // runtime correlation (Table 2: length 0.42, size 0.21).
+  c.size_options = {1, 2, 4, 8, 16, 32, 64};  // no 128-node queue on Emmy
+  c.size_weights = {0.40, 0.20, 0.15, 0.11, 0.08, 0.04, 0.02};
+  c.walltime_weights = {0.10, 0.15, 0.20, 0.20, 0.14, 0.11, 0.07, 0.03};
+  // Kept small: most of the Table 2 rank correlation comes from the low
+  // tail (short debug/test runs at near-idle power), which barely registers
+  // in node-minute-weighted power - matching how the real systems combine
+  // rho ~ 0.4 with only mildly elevated utilization-weighted power.
+  c.power_length_coef = 0.05;
+  c.power_size_coef = 0.035;
+  c.template_power_sigma = 0.08;
+  c.anomalous_job_prob = 0.008;
+  c.debug_template_prob = 0.45;
+  c.debug_weight_lo = 0.3;
+  c.debug_weight_hi = 0.8;
+  c.debug_short_walltime = true;
+  return c;
+}
+
+Calibration meggie_calibration() {
+  Calibration c;
+  c.user_count = 90;
+  c.user_activity_zipf_s = 0.85;
+  c.target_offered_load = 0.84;
+  // Meggie: dedicated to resource-intensive projects => larger jobs, tighter
+  // power spread, stronger size correlation (Table 2: length 0.12, size 0.42).
+  c.size_options = {1, 2, 4, 8, 16, 32, 64, 128};
+  c.size_weights = {0.20, 0.15, 0.16, 0.17, 0.15, 0.11, 0.05, 0.01};
+  c.walltime_weights = {0.06, 0.10, 0.15, 0.18, 0.16, 0.16, 0.13, 0.06};
+  c.power_length_coef = 0.02;
+  c.power_size_coef = 0.03;
+  c.template_power_sigma = 0.030;
+  c.instance_power_sigma = 0.022;
+  // Meggie's dedicated production codes are less input-sensitive, keeping
+  // its narrower Fig 3 spread (18% of mean vs Emmy's 26%).
+  c.input_sensitive_fraction = 0.10;
+  c.input_sensitive_sigma_hi = 0.14;
+  // Meggie users show even wider per-job variability (Fig 12): more debug /
+  // anomalous runs relative to their production jobs. Their test runs are
+  // not systematically short, which keeps length/power decorrelated.
+  c.anomalous_job_prob = 0.010;
+  c.debug_template_prob = 0.45;
+  c.debug_weight_lo = 0.3;
+  c.debug_weight_hi = 0.8;
+  c.debug_small_user_exponent = 1.0;
+  c.debug_short_walltime = false;
+  return c;
+}
+
+Calibration calibration_for(cluster::SystemId id) {
+  switch (id) {
+    case cluster::SystemId::kMeggie: return meggie_calibration();
+    case cluster::SystemId::kEmmy:
+    case cluster::SystemId::kCustom: break;
+  }
+  return emmy_calibration();
+}
+
+}  // namespace hpcpower::workload

@@ -1,0 +1,133 @@
+#include "workload/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace hpcpower::workload {
+
+WorkloadGenerator::WorkloadGenerator(const cluster::SystemSpec& spec,
+                                     const Calibration& cal, GeneratorConfig config)
+    : spec_(spec),
+      cal_(cal),
+      config_(config),
+      rng_(util::derive_stream(config.seed, "workload-generator")) {
+  util::Rng pop_rng(util::derive_stream(config.seed, "user-population"));
+  population_ = std::make_unique<UserPopulation>(spec_, cal_, catalog_, pop_rng);
+
+  // Calibrate the arrival rate: offered node-minutes per minute should be
+  // `target_offered_load` of the machine's capacity.
+  const double capacity_per_minute = static_cast<double>(spec_.node_count);
+  base_jobs_per_minute_ = cal_.target_offered_load * config_.load_scale *
+                          capacity_per_minute /
+                          population_->expected_node_minutes_per_job();
+
+  // Normalize the weekly modulation so it does not change the total load.
+  double sum = 0.0;
+  const int week_minutes = 7 * 24 * 60;
+  modulation_norm_ = 1.0;
+  for (int m = 0; m < week_minutes; m += 10)
+    sum += rate_modulation(util::MinuteTime(m));
+  modulation_norm_ = sum / (week_minutes / 10.0);
+
+  util::log_debug(util::format("%s: %.3f jobs/min (%zu users, %.0f node-min/job)",
+                               spec_.name.c_str(), base_jobs_per_minute_,
+                               population_->size(),
+                               population_->expected_node_minutes_per_job()));
+}
+
+double WorkloadGenerator::rate_modulation(util::MinuteTime t) const noexcept {
+  const double hour = std::fmod(t.hours(), 24.0);
+  const long day = static_cast<long>(t.days()) % 7;
+  // Peak submissions mid-afternoon (hour 15), trough at night.
+  double f = 1.0 + cal_.diurnal_amplitude *
+                       std::sin(2.0 * std::numbers::pi * (hour - 9.0) / 24.0);
+  if (day >= 5) f *= cal_.weekend_factor;
+  return f / modulation_norm_;
+}
+
+std::vector<JobRequest> WorkloadGenerator::generate() {
+  std::vector<JobRequest> out;
+  const auto total_minutes = config_.duration.minutes();
+  out.reserve(static_cast<std::size_t>(base_jobs_per_minute_ *
+                                       static_cast<double>(total_minutes) * 1.1));
+
+  const util::DiscreteSampler user_sampler(population_->activity_weights());
+
+  for (std::int64_t m = 0; m < total_minutes; ++m) {
+    const util::MinuteTime now(m);
+    const double rate = base_jobs_per_minute_ * rate_modulation(now);
+    const std::uint64_t arrivals = rng_.poisson(rate);
+    for (std::uint64_t a = 0; a < arrivals; ++a) {
+      const User& user = population_->user(
+          static_cast<UserId>(user_sampler.sample(rng_)));
+      std::vector<double> tmpl_w;
+      tmpl_w.reserve(user.templates.size());
+      for (const JobTemplate& t : user.templates) tmpl_w.push_back(t.weight);
+      const auto tmpl_idx = static_cast<std::uint32_t>(rng_.weighted_index(tmpl_w));
+      out.push_back(instantiate(user, tmpl_idx, now));
+    }
+  }
+  util::log_info(util::format("%s: generated %zu jobs over %.0f days",
+                              spec_.name.c_str(), out.size(),
+                              config_.duration.days()));
+  return out;
+}
+
+JobRequest WorkloadGenerator::instantiate(const User& user, std::uint32_t template_idx,
+                                          util::MinuteTime submit) {
+  const JobTemplate& tmpl = user.templates.at(template_idx);
+  JobRequest job;
+  job.job_id = next_job_id_++;
+  job.user_id = user.id;
+  job.app = tmpl.app;
+  job.submit = submit;
+  job.nnodes = tmpl.nnodes;
+  job.walltime_req_min = tmpl.walltime_req_min;
+  job.template_idx = template_idx;
+
+  // Actual runtime: per-instance jitter around the template's fraction, but
+  // never beyond the requested wall time (the batch system kills at limit).
+  const double fraction = rng_.truncated_normal(tmpl.runtime_fraction_mean, 0.08,
+                                                cal_.runtime_fraction_min, 1.0);
+  job.runtime_min = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(fraction * tmpl.walltime_req_min + 0.5));
+
+  job.behavior = tmpl.shape;
+  job.behavior.idle_watts = spec_.idle_power_fraction * spec_.node_tdp_watts * 0.9;
+  job.behavior.max_watts = spec_.node_tdp_watts * 1.05;  // brief turbo excursions
+  job.behavior.job_seed = util::derive_stream(config_.seed ^ job.job_id, "job-power");
+
+  // Per-instance power noise: same template, different inputs. Most
+  // templates are tight; input-sensitive ones vary substantially.
+  job.behavior.base_watts =
+      tmpl.base_watts * rng_.lognormal(0.0, tmpl.instance_power_sigma);
+
+  // Anomalous run: crashes early and idles. Keeps the requested resources
+  // (the scheduler cannot know) but draws near-idle power.
+  if (rng_.bernoulli(cal_.anomalous_job_prob)) {
+    job.anomalous = true;
+    job.behavior.base_watts =
+        cal_.anomalous_power_fraction * spec_.node_tdp_watts * rng_.uniform(0.85, 1.15);
+    job.behavior.phased = false;
+    job.behavior.phase_amplitude = 0.0;
+    job.behavior.dip_time_fraction = 0.0;
+    job.runtime_min = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(job.runtime_min * rng_.uniform(0.05, 0.5)));
+  }
+
+  job.behavior.base_watts = std::clamp(job.behavior.base_watts,
+                                       job.behavior.idle_watts + 1.0,
+                                       job.behavior.max_watts - 1.0);
+
+  // What a power-aware scheduler would know up front: the template's nominal
+  // draw (anomalies are by definition unpredictable, so the estimate stays
+  // at the template level even for crashed runs).
+  job.estimated_node_power_w = tmpl.base_watts;
+  return job;
+}
+
+}  // namespace hpcpower::workload

@@ -1,0 +1,83 @@
+#pragma once
+// Job-request stream generation for a simulated measurement campaign.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cluster/system_spec.hpp"
+#include "workload/application.hpp"
+#include "workload/calibration.hpp"
+#include "workload/power_profile.hpp"
+#include "workload/users.hpp"
+#include "util/prng.hpp"
+#include "util/sim_time.hpp"
+
+namespace hpcpower::workload {
+
+using JobId = std::uint64_t;
+
+/// One job submission, fully resolved: everything the scheduler needs plus
+/// the power behaviour the telemetry will realize once the job starts.
+struct JobRequest {
+  JobId job_id = 0;
+  UserId user_id = 0;
+  AppId app = 0;
+  util::MinuteTime submit{};
+  std::uint32_t nnodes = 1;
+  std::uint32_t walltime_req_min = 60;
+  std::uint32_t runtime_min = 30;  ///< actual runtime (<= requested wall time)
+  PowerBehavior behavior;
+  bool anomalous = false;          ///< crashed-early / idling run
+  std::uint32_t template_idx = 0;  ///< index into the user's portfolio
+  /// Pre-execution per-node power estimate in watts (what a user or a
+  /// trained predictor would supply to a power-aware scheduler; the paper's
+  /// Sec 5 use case). Zero when no estimate is available. Deliberately NOT
+  /// ground truth: it is the template's nominal level, not this instance's.
+  double estimated_node_power_w = 0.0;
+};
+
+struct GeneratorConfig {
+  std::uint64_t seed = 42;
+  util::MinuteTime duration = util::MinuteTime::from_days(151.0);  // Oct-Feb
+  /// Extra multiplier on the calibrated arrival rate (1.0 = calibrated).
+  double load_scale = 1.0;
+};
+
+/// Generates the submission stream for one system. Deterministic per seed.
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(const cluster::SystemSpec& spec, const Calibration& cal,
+                    GeneratorConfig config);
+
+  /// All submissions of the campaign, sorted by submit time.
+  [[nodiscard]] std::vector<JobRequest> generate();
+
+  [[nodiscard]] const UserPopulation& population() const noexcept { return *population_; }
+  [[nodiscard]] const ApplicationCatalog& catalog() const noexcept { return catalog_; }
+  [[nodiscard]] const Calibration& calibration() const noexcept { return cal_; }
+  /// Calibrated expected submissions per minute (before modulation).
+  [[nodiscard]] double base_jobs_per_minute() const noexcept {
+    return base_jobs_per_minute_;
+  }
+
+  /// Submission-rate modulation at campaign minute t: diurnal cycle plus
+  /// weekend dampening, normalized to mean ~1 over a week.
+  [[nodiscard]] double rate_modulation(util::MinuteTime t) const noexcept;
+
+ private:
+  JobRequest instantiate(const User& user, std::uint32_t template_idx,
+                         util::MinuteTime submit);
+
+  cluster::SystemSpec spec_;
+  Calibration cal_;
+  GeneratorConfig config_;
+  ApplicationCatalog catalog_;
+  std::unique_ptr<UserPopulation> population_;
+  util::Rng rng_;
+  double base_jobs_per_minute_ = 0.0;
+  double modulation_norm_ = 1.0;
+  JobId next_job_id_ = 1;
+};
+
+}  // namespace hpcpower::workload

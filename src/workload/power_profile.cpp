@@ -1,0 +1,126 @@
+#include "workload/power_profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hpcpower::workload {
+
+namespace {
+// Sub-stream tags for the per-job stateless randomness.
+constexpr std::uint64_t kTagTemporal = 0x7E4D01;
+constexpr std::uint64_t kTagStatic = 0x7E4D02;
+constexpr std::uint64_t kTagDynamic = 0x7E4D03;
+constexpr std::uint64_t kTagStraggler = 0x7E4D04;
+}  // namespace
+
+PowerProfile::PowerProfile(const PowerBehavior& behavior, std::uint32_t runtime_minutes,
+                           std::span<const double> node_mfg_factors)
+    : behavior_(behavior) {
+  runtime_minutes = std::max<std::uint32_t>(runtime_minutes, 1);
+
+  // --- temporal schedule -------------------------------------------------
+  // Alternating segments: phased jobs alternate low/high compute phases;
+  // non-phased jobs run flat with occasional dips. Segment lengths are drawn
+  // from the job's own stream so two jobs of one template still differ.
+  temporal_factor_.assign(runtime_minutes, 1.0F);
+  std::uint64_t schedule_seed = behavior_.job_seed ^ kTagTemporal;
+  util::Rng rng(util::splitmix64(schedule_seed));
+
+  const bool phased = behavior_.phased;
+  const double special_fraction =
+      phased ? behavior_.phase_time_fraction : behavior_.dip_time_fraction;
+  const double special_factor = phased ? 1.0 + behavior_.phase_amplitude
+                                       : 1.0 - behavior_.dip_depth;
+  if (special_fraction > 0.0 && special_factor != 1.0) {
+    // Cap a single special segment so short jobs cannot end up spending a
+    // large realized fraction of their runtime in one dip/phase; the
+    // realized fraction must track `special_fraction` at every duration.
+    const double max_special = std::max(
+        1.0, special_fraction * static_cast<double>(runtime_minutes));
+    std::uint32_t t = 0;
+    while (t < runtime_minutes) {
+      // Draw a special segment and the following normal segment so that the
+      // long-run special-time fraction matches `special_fraction`.
+      const auto special_len = static_cast<std::uint32_t>(
+          std::min(rng.uniform(4.0, 25.0), max_special));
+      const double ratio = (1.0 - special_fraction) / std::max(special_fraction, 1e-6);
+      const auto normal_len = static_cast<std::uint32_t>(
+          std::max(1.0, static_cast<double>(special_len) * ratio * rng.uniform(0.6, 1.4)));
+      // Random initial offset so phases are not aligned across jobs.
+      if (t == 0) t += static_cast<std::uint32_t>(rng.uniform(0.0, normal_len + 1.0));
+      for (std::uint32_t i = 0; i < special_len && t < runtime_minutes; ++i, ++t)
+        temporal_factor_[t] = static_cast<float>(special_factor);
+      t += normal_len;
+    }
+  }
+
+  // --- static per-node factors --------------------------------------------
+  static_factor_.reserve(node_mfg_factors.size());
+  for (std::size_t n = 0; n < node_mfg_factors.size(); ++n) {
+    const double imbalance =
+        1.0 + behavior_.imbalance_sigma *
+                  util::stateless_normal(behavior_.job_seed ^ kTagStatic, n, 0);
+    static_factor_.push_back(node_mfg_factors[n] * std::max(imbalance, 0.5));
+  }
+  if (static_factor_.empty()) static_factor_.push_back(1.0);
+}
+
+double PowerProfile::node_power(std::uint32_t minute, std::uint32_t node_idx) const {
+  const std::uint32_t m = std::min<std::uint32_t>(
+      minute, static_cast<std::uint32_t>(temporal_factor_.size() - 1));
+  const std::uint32_t n = std::min<std::uint32_t>(
+      node_idx, static_cast<std::uint32_t>(static_factor_.size() - 1));
+
+  double factor = static_cast<double>(temporal_factor_[m]) * static_factor_[n];
+
+  // Shared temporal white noise (same for all nodes in this minute) plus
+  // independent per-node dynamic noise.
+  factor *= 1.0 + behavior_.temporal_noise_sigma *
+                      util::stateless_normal(behavior_.job_seed ^ kTagTemporal, m, ~0ULL);
+  factor *= 1.0 + behavior_.spatial_noise_sigma *
+                      util::stateless_normal(behavior_.job_seed ^ kTagDynamic, m, n);
+
+  // Straggler: with probability straggler_prob per minute, exactly one node
+  // of the job droops (load imbalance burst, e.g. waiting in a collective at
+  // low power while others compute).
+  if (static_factor_.size() > 1 &&
+      util::stateless_uniform(behavior_.job_seed ^ kTagStraggler, m, 1) <
+          behavior_.straggler_prob) {
+    const std::uint64_t victim = util::stateless_index(
+        behavior_.job_seed ^ kTagStraggler, m, 2, static_factor_.size());
+    if (victim == n) {
+      const double amp =
+          behavior_.straggler_amp_lo +
+          (behavior_.straggler_amp_hi - behavior_.straggler_amp_lo) *
+              util::stateless_uniform(behavior_.job_seed ^ kTagStraggler, m, 3);
+      factor *= 1.0 - amp;
+    }
+  }
+
+  const double watts = behavior_.base_watts * factor;
+  return std::clamp(watts, behavior_.idle_watts, behavior_.max_watts);
+}
+
+void randomize_behavior_shape(PowerBehavior& behavior, const Calibration& cal,
+                              util::Rng& rng) {
+  behavior.phased = rng.bernoulli(cal.phased_template_fraction);
+  if (behavior.phased) {
+    behavior.phase_amplitude = rng.uniform(cal.phase_amp_lo, cal.phase_amp_hi);
+    behavior.phase_time_fraction = rng.uniform(cal.phase_time_lo, cal.phase_time_hi);
+    behavior.dip_time_fraction = 0.0;
+    behavior.dip_depth = 0.0;
+  } else {
+    behavior.phase_amplitude = 0.0;
+    behavior.phase_time_fraction = 0.0;
+    behavior.dip_time_fraction = rng.uniform(cal.dip_time_lo, cal.dip_time_hi);
+    behavior.dip_depth = rng.uniform(cal.dip_depth_lo, cal.dip_depth_hi);
+  }
+  behavior.temporal_noise_sigma = cal.temporal_noise_sigma;
+  behavior.imbalance_sigma = rng.uniform(cal.imbalance_sigma_lo, cal.imbalance_sigma_hi);
+  behavior.spatial_noise_sigma = cal.spatial_noise_sigma;
+  behavior.straggler_prob = cal.straggler_prob;
+  behavior.straggler_amp_lo = cal.straggler_amp_lo;
+  behavior.straggler_amp_hi = cal.straggler_amp_hi;
+}
+
+}  // namespace hpcpower::workload

@@ -1,0 +1,95 @@
+#pragma once
+// Per-job power behaviour model.
+//
+// A job's power at (minute t, node n) factors into
+//
+//   p(t, n) = base * temporal(t) * static_node(n) * dynamic(t, n)
+//
+// where
+//   * base          - the job instance's per-node draw in the low phase,
+//   * temporal(t)   - shared phase structure: bimodal compute/communication
+//                     phases or occasional low-power dips plus white noise
+//                     (Sec 4's finding: temporal variance is *limited*),
+//   * static_node(n)- manufacturing variability x per-(job,node) workload
+//                     imbalance, persistent over the run (the source of the
+//                     *high spatial variance* the paper highlights),
+//   * dynamic(t, n) - small per-minute noise plus occasional stragglers.
+//
+// Everything is a deterministic function of the job seed, so re-simulating a
+// campaign bit-reproduces the telemetry.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "workload/calibration.hpp"
+#include "util/prng.hpp"
+
+namespace hpcpower::workload {
+
+/// Immutable description of one job's power behaviour, fixed at submission.
+struct PowerBehavior {
+  double base_watts = 100.0;      ///< low-phase per-node draw
+  double idle_watts = 40.0;       ///< floor (RAPL never reads zero)
+  double max_watts = 220.0;       ///< ceiling (a bit above TDP for turbo)
+  double memory_intensity = 0.2;  ///< PKG/DRAM split input
+
+  bool phased = false;            ///< bimodal high/low structure?
+  double phase_amplitude = 0.0;   ///< high level = base * (1 + amplitude)
+  double phase_time_fraction = 0.0;
+  double dip_time_fraction = 0.0; ///< non-phased: fraction of time dipped
+  double dip_depth = 0.0;         ///< dip level = base * (1 - depth)
+  double temporal_noise_sigma = 0.015;
+
+  double imbalance_sigma = 0.03;  ///< per-(job,node) persistent spread
+  double spatial_noise_sigma = 0.02;
+  double straggler_prob = 0.08;
+  double straggler_amp_lo = 0.10;
+  double straggler_amp_hi = 0.45;
+
+  std::uint64_t job_seed = 0;     ///< root of all of this job's randomness
+};
+
+/// Realized power evaluator for a running job. Construction materializes the
+/// temporal phase schedule (one factor per minute of runtime) and the static
+/// per-node factors; evaluation is then O(1) per sample.
+class PowerProfile {
+ public:
+  /// `node_mfg_factors` are the manufacturing-variability multipliers of the
+  /// nodes actually allocated to this job, in job-local order.
+  PowerProfile(const PowerBehavior& behavior, std::uint32_t runtime_minutes,
+               std::span<const double> node_mfg_factors);
+
+  /// Average per-node power during run-minute `minute` (0-based) on job-local
+  /// node `node_idx`, in watts. Deterministic.
+  [[nodiscard]] double node_power(std::uint32_t minute, std::uint32_t node_idx) const;
+
+  [[nodiscard]] std::uint32_t runtime_minutes() const noexcept {
+    return static_cast<std::uint32_t>(temporal_factor_.size());
+  }
+  [[nodiscard]] std::uint32_t node_count() const noexcept {
+    return static_cast<std::uint32_t>(static_factor_.size());
+  }
+  [[nodiscard]] const PowerBehavior& behavior() const noexcept { return behavior_; }
+  /// The shared temporal factor for a minute (before node terms); exposed
+  /// for tests and for the metric-definition illustrations (Figs 6 and 8).
+  [[nodiscard]] double temporal_factor(std::uint32_t minute) const {
+    return temporal_factor_.at(minute);
+  }
+  [[nodiscard]] double static_factor(std::uint32_t node_idx) const {
+    return static_factor_.at(node_idx);
+  }
+
+ private:
+  PowerBehavior behavior_;
+  std::vector<float> temporal_factor_;  // one per run minute
+  std::vector<double> static_factor_;   // one per job-local node
+};
+
+/// Draws a PowerBehavior's temporal/spatial shape parameters from the
+/// calibration ranges. `base_watts`, bounds and seed must be set by the
+/// caller (they depend on application, template, and system).
+void randomize_behavior_shape(PowerBehavior& behavior, const Calibration& cal,
+                              util::Rng& rng);
+
+}  // namespace hpcpower::workload

@@ -1,0 +1,198 @@
+#include "workload/users.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace hpcpower::workload {
+
+namespace {
+/// Weighted mean/sd of log(walltime) and log2(size) over the calibration's
+/// option grids; used to z-score the correlation biases.
+struct LogMoments {
+  double mean = 0.0;
+  double sd = 1.0;
+};
+
+template <typename T, typename F>
+LogMoments weighted_log_moments(const std::vector<T>& options,
+                                const std::vector<double>& weights, F&& log_fn) {
+  double wsum = 0.0, m = 0.0;
+  for (std::size_t i = 0; i < options.size(); ++i) {
+    wsum += weights[i];
+    m += weights[i] * log_fn(options[i]);
+  }
+  m /= wsum;
+  double v = 0.0;
+  for (std::size_t i = 0; i < options.size(); ++i) {
+    const double d = log_fn(options[i]) - m;
+    v += weights[i] * d * d;
+  }
+  v /= wsum;
+  return {m, std::max(std::sqrt(v), 1e-9)};
+}
+}  // namespace
+
+UserPopulation::UserPopulation(const cluster::SystemSpec& spec, const Calibration& cal,
+                               const ApplicationCatalog& catalog, util::Rng& rng) {
+  if (cal.user_count == 0) throw std::invalid_argument("UserPopulation: no users");
+  if (cal.size_options.size() != cal.size_weights.size() ||
+      cal.walltime_options.size() != cal.walltime_weights.size())
+    throw std::invalid_argument("UserPopulation: option/weight size mismatch");
+
+  const auto wall_moments = weighted_log_moments(
+      cal.walltime_options, cal.walltime_weights,
+      [](std::uint32_t w) { return std::log(static_cast<double>(w)); });
+  const auto size_moments = weighted_log_moments(
+      cal.size_options, cal.size_weights,
+      [](std::uint32_t n) { return std::log2(static_cast<double>(n)); });
+  mean_log_walltime_ = wall_moments.mean;
+  sd_log_walltime_ = wall_moments.sd;
+  mean_log2_size_ = size_moments.mean;
+  sd_log2_size_ = size_moments.sd;
+
+  // Zipf activity: user rank r gets weight r^-s (ranks shuffled so user id
+  // does not encode activity, as in real accounting databases).
+  std::vector<double> activity(cal.user_count);
+  for (std::uint32_t r = 0; r < cal.user_count; ++r)
+    activity[r] = std::pow(static_cast<double>(r + 1), -cal.user_activity_zipf_s);
+  rng.shuffle(activity);
+  const double mean_activity =
+      std::accumulate(activity.begin(), activity.end(), 0.0) /
+      static_cast<double>(cal.user_count);
+
+  users_.reserve(cal.user_count);
+  double node_minutes_weighted = 0.0;
+  double weight_total = 0.0;
+  for (UserId id = 0; id < cal.user_count; ++id) {
+    User u;
+    u.id = id;
+    u.activity_weight = activity[id];
+    const double activity_norm = activity[id] / mean_activity;
+
+    // Heavy users maintain more distinct job configurations.
+    const double extra =
+        cal.templates_activity_boost * std::max(0.0, std::log10(activity_norm));
+    const auto n_templates = static_cast<std::size_t>(
+        1 + rng.poisson(std::max(0.1, cal.templates_per_user_mean - 1.0 + extra)));
+    u.templates.reserve(n_templates + 1);
+    std::vector<std::uint32_t> used_sizes;
+    for (std::size_t t = 0; t < n_templates; ++t)
+      u.templates.push_back(
+          make_template(spec, cal, catalog, activity_norm, used_sizes, rng));
+
+    // A dedicated debug/test template for some users: tiny, short, low power.
+    if (rng.bernoulli(cal.debug_template_prob)) {
+      JobTemplate dbg = make_template(spec, cal, catalog, activity_norm, used_sizes, rng);
+      const auto debug_app = catalog.find("Debug-Idle");
+      if (debug_app) {
+        dbg.app = *debug_app;
+        // Prefer a node count the user's production templates do not use.
+        dbg.nnodes = rng.bernoulli(0.7) ? 1 : 2;
+        if (std::find(used_sizes.begin(), used_sizes.end(), dbg.nnodes) !=
+            used_sizes.end())
+          dbg.nnodes = (dbg.nnodes == 1) ? 2 : 1;
+        // Test runs request either the minimum wall time (Emmy-style) or a
+        // short-to-medium one; never the long-production slots. This keeps
+        // the short-job half of Fig 5 both lower-power and more variable.
+        dbg.walltime_req_min =
+            cal.debug_short_walltime
+                ? cal.walltime_options.front()
+                : cal.walltime_options[rng.uniform_index(
+                      std::max<std::size_t>(1, cal.walltime_options.size() / 2 + 1))];
+        dbg.base_watts = catalog.app(*debug_app).tdp_fraction(spec.id) *
+                         spec.node_tdp_watts * rng.uniform(0.85, 1.15);
+        dbg.runtime_fraction_mean = rng.uniform(0.2, 0.7);
+        // Small users debug proportionally more (heavy users run production
+        // campaigns); this drives the high per-user power variability of
+        // Fig 12 without flooding the system-wide job mix with idle runs.
+        const double small_user_boost =
+            std::clamp(std::pow(activity_norm, -cal.debug_small_user_exponent), 0.5, 4.0);
+        dbg.weight =
+            rng.uniform(cal.debug_weight_lo, cal.debug_weight_hi) * small_user_boost;
+        u.templates.push_back(dbg);
+      }
+    }
+
+    // Expected node-minutes contributed by an average submission of this user.
+    double tmpl_weight = 0.0;
+    double tmpl_node_minutes = 0.0;
+    for (const JobTemplate& t : u.templates) {
+      tmpl_weight += t.weight;
+      tmpl_node_minutes += t.weight * static_cast<double>(t.nnodes) *
+                           static_cast<double>(t.walltime_req_min) *
+                           t.runtime_fraction_mean;
+    }
+    node_minutes_weighted += u.activity_weight * tmpl_node_minutes / tmpl_weight;
+    weight_total += u.activity_weight;
+
+    users_.push_back(std::move(u));
+  }
+  expected_node_minutes_per_job_ = node_minutes_weighted / weight_total;
+}
+
+JobTemplate UserPopulation::make_template(const cluster::SystemSpec& spec,
+                                          const Calibration& cal,
+                                          const ApplicationCatalog& catalog,
+                                          double activity_norm,
+                                          std::vector<std::uint32_t>& used_sizes,
+                                          util::Rng& rng) const {
+  JobTemplate t;
+  t.app = static_cast<AppId>(rng.weighted_index(catalog.job_shares()));
+  const Application& app = catalog.app(t.app);
+
+  // Size: heavy users skew toward larger jobs (they are the ones with the
+  // resource-intensive projects). Re-draw a few times to keep a user's
+  // templates on distinct node counts.
+  std::vector<double> size_w = cal.size_weights;
+  const double skew = std::clamp(cal.size_activity_skew * std::log10(activity_norm),
+                                 -0.4, 0.6);
+  for (std::size_t i = 0; i < size_w.size(); ++i)
+    size_w[i] *= std::pow(static_cast<double>(cal.size_options[i]), skew);
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    t.nnodes = cal.size_options[rng.weighted_index(size_w)];
+    if (std::find(used_sizes.begin(), used_sizes.end(), t.nnodes) == used_sizes.end())
+      break;
+  }
+  used_sizes.push_back(t.nnodes);
+
+  t.walltime_req_min = cal.walltime_options[rng.weighted_index(cal.walltime_weights)];
+  t.runtime_fraction_mean =
+      rng.truncated_normal(cal.runtime_fraction_mean, cal.runtime_fraction_sigma,
+                           cal.runtime_fraction_min, 1.0);
+
+  // Per-node power: application mean on this system, biased by the job's
+  // length and size (Table 2 correlations), plus template-level dispersion.
+  const double z_len =
+      (std::log(static_cast<double>(t.walltime_req_min)) - mean_log_walltime_) /
+      sd_log_walltime_;
+  const double z_size =
+      (std::log2(static_cast<double>(t.nnodes)) - mean_log2_size_) / sd_log2_size_;
+  const double bias =
+      std::exp(cal.power_length_coef * z_len + cal.power_size_coef * z_size);
+  const double dispersion = rng.lognormal(0.0, cal.template_power_sigma);
+  double fraction = app.tdp_fraction(spec.id) * bias * dispersion;
+  fraction = std::clamp(fraction, spec.idle_power_fraction + 0.02, 0.97);
+  t.base_watts = fraction * spec.node_tdp_watts;
+
+  randomize_behavior_shape(t.shape, cal, rng);
+  t.shape.memory_intensity = app.memory_intensity;
+
+  t.instance_power_sigma =
+      rng.bernoulli(cal.input_sensitive_fraction)
+          ? rng.uniform(cal.input_sensitive_sigma_lo, cal.input_sensitive_sigma_hi)
+          : cal.instance_power_sigma;
+
+  t.weight = rng.uniform(0.5, 2.0);
+  return t;
+}
+
+std::vector<double> UserPopulation::activity_weights() const {
+  std::vector<double> out;
+  out.reserve(users_.size());
+  for (const User& u : users_) out.push_back(u.activity_weight);
+  return out;
+}
+
+}  // namespace hpcpower::workload

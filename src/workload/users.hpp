@@ -1,0 +1,90 @@
+#pragma once
+// User population and per-user job-template portfolios.
+//
+// The paper's user-level findings (Sec 5) constrain this model from several
+// directions at once:
+//   * a small fraction of users submits most jobs / consumes most node-hours
+//     (Zipf-like activity, heavy users also run bigger jobs),
+//   * jobs from one user vary wildly in power (users mix production codes,
+//     debug runs, and failed jobs),
+//   * but jobs from one user with the same node count and wall time are
+//     near-identical (they are repeated instances of one "job template"),
+//     which is what makes pre-execution power prediction work (RQ8/RQ9).
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/system_spec.hpp"
+#include "workload/application.hpp"
+#include "workload/calibration.hpp"
+#include "workload/power_profile.hpp"
+#include "util/prng.hpp"
+
+namespace hpcpower::workload {
+
+using UserId = std::uint32_t;
+
+/// A repeatable job configuration: one application run at one scale with one
+/// requested wall time. Real users resubmit these dozens of times.
+struct JobTemplate {
+  AppId app = 0;
+  std::uint32_t nnodes = 1;
+  std::uint32_t walltime_req_min = 60;
+  /// Per-node low-phase draw (watts) for instances of this template, before
+  /// per-instance noise.
+  double base_watts = 100.0;
+  /// Lognormal sigma of the per-instance power noise; large for
+  /// input-sensitive configurations.
+  double instance_power_sigma = 0.025;
+  /// Mean of the actual-runtime / requested-walltime fraction.
+  double runtime_fraction_mean = 0.6;
+  /// Temporal/spatial shape shared by all instances (same code, same input
+  /// structure => same phase behaviour).
+  PowerBehavior shape;
+  /// Relative submission weight within the user's portfolio.
+  double weight = 1.0;
+};
+
+struct User {
+  UserId id = 0;
+  /// Zipf-derived submission activity (relative).
+  double activity_weight = 1.0;
+  std::vector<JobTemplate> templates;
+};
+
+class UserPopulation {
+ public:
+  UserPopulation(const cluster::SystemSpec& spec, const Calibration& cal,
+                 const ApplicationCatalog& catalog, util::Rng& rng);
+
+  [[nodiscard]] const std::vector<User>& users() const noexcept { return users_; }
+  [[nodiscard]] const User& user(UserId id) const { return users_.at(id); }
+  [[nodiscard]] std::size_t size() const noexcept { return users_.size(); }
+
+  /// Expected node-minutes demanded by one average submission; used to set
+  /// the arrival rate for a target offered load.
+  [[nodiscard]] double expected_node_minutes_per_job() const noexcept {
+    return expected_node_minutes_per_job_;
+  }
+
+  /// Activity weights aligned with users() order (for arrival sampling).
+  [[nodiscard]] std::vector<double> activity_weights() const;
+
+ private:
+  /// `used_sizes` holds node counts already taken by this user's templates;
+  /// sizes are sampled to avoid collisions when possible, because distinct
+  /// (user, nnodes) keys are what makes Fig 13's clusters tight.
+  JobTemplate make_template(const cluster::SystemSpec& spec, const Calibration& cal,
+                            const ApplicationCatalog& catalog, double activity_norm,
+                            std::vector<std::uint32_t>& used_sizes, util::Rng& rng) const;
+
+  std::vector<User> users_;
+  double expected_node_minutes_per_job_ = 0.0;
+  // Normalization constants for the power-correlation z-scores.
+  double mean_log_walltime_ = 0.0;
+  double sd_log_walltime_ = 1.0;
+  double mean_log2_size_ = 0.0;
+  double sd_log2_size_ = 1.0;
+};
+
+}  // namespace hpcpower::workload

@@ -1,0 +1,186 @@
+// Exact-value tests for the core analyzers on hand-built job records.
+// Campaign-level tests check plausibility; these pin down the arithmetic.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/job_analysis.hpp"
+#include "core/prediction.hpp"
+#include "core/system_analysis.hpp"
+#include "core/user_analysis.hpp"
+
+namespace hpcpower::core {
+namespace {
+
+telemetry::JobRecord make_record(workload::JobId id, workload::UserId user,
+                                 std::uint32_t nnodes, std::uint32_t runtime_min,
+                                 double mean_power, std::uint32_t walltime = 0) {
+  telemetry::JobRecord r;
+  r.job_id = id;
+  r.user_id = user;
+  r.system = cluster::SystemId::kEmmy;
+  r.submit = util::MinuteTime(0);
+  r.start = util::MinuteTime(10);
+  r.end = util::MinuteTime(10 + runtime_min);
+  r.nnodes = nnodes;
+  r.walltime_req_min = walltime == 0 ? runtime_min + 30 : walltime;
+  r.mean_node_power_w = mean_power;
+  r.peak_node_power_w = mean_power * 1.1;
+  r.temporal_std_w = 0.05 * mean_power;
+  r.energy_kwh = mean_power * nnodes * runtime_min / 60.0 / 1000.0;
+  r.node_energy_min_kwh = r.energy_kwh / nnodes * 0.95;
+  r.node_energy_max_kwh = r.energy_kwh / nnodes * 1.05;
+  return r;
+}
+
+CampaignData tiny_campaign() {
+  CampaignData data;
+  data.spec = cluster::emmy_spec();
+  // Four jobs with easily checkable statistics.
+  data.records.push_back(make_record(1, 0, 1, 60, 100.0));   // user 0
+  data.records.push_back(make_record(2, 0, 1, 60, 120.0));   // user 0
+  data.records.push_back(make_record(3, 1, 4, 120, 160.0));  // user 1
+  data.records.push_back(make_record(4, 2, 2, 30, 80.0));    // user 2
+  // Flat system series: 2 minutes at half provisioned power, half busy.
+  data.series.total_power_w = {data.spec.provisioned_power_watts() * 0.5,
+                               data.spec.provisioned_power_watts() * 0.5};
+  data.series.busy_nodes = {280, 280};
+  return data;
+}
+
+TEST(ExactAnalyzers, SystemUtilization) {
+  const auto report = analyze_system_utilization(tiny_campaign(), 0);
+  EXPECT_DOUBLE_EQ(report.mean_system_utilization, 0.5);
+  EXPECT_DOUBLE_EQ(report.mean_power_utilization, 0.5);
+  EXPECT_DOUBLE_EQ(report.peak_power_utilization, 0.5);
+  EXPECT_DOUBLE_EQ(report.stranded_power_fraction, 0.5);
+  EXPECT_NEAR(report.stranded_power_kw, 0.5 * 560 * 210 / 1000.0, 1e-9);
+}
+
+TEST(ExactAnalyzers, PerNodePowerMoments) {
+  const auto report = analyze_per_node_power(tiny_campaign(), {}, 10);
+  EXPECT_EQ(report.watts.count, 4u);
+  EXPECT_DOUBLE_EQ(report.watts.mean, (100.0 + 120.0 + 160.0 + 80.0) / 4.0);
+  EXPECT_DOUBLE_EQ(report.watts.min, 80.0);
+  EXPECT_DOUBLE_EQ(report.watts.max, 160.0);
+  EXPECT_NEAR(report.mean_tdp_fraction, 115.0 / 210.0, 1e-12);
+}
+
+TEST(ExactAnalyzers, MedianSplitGroups) {
+  const auto report = analyze_median_splits(tiny_campaign());
+  // Runtimes: {60, 60, 120, 30} -> median 60. Short: 60,60,30; long: 120.
+  EXPECT_DOUBLE_EQ(report.median_runtime_min, 60.0);
+  EXPECT_EQ(report.short_jobs.jobs, 3u);
+  EXPECT_EQ(report.long_jobs.jobs, 1u);
+  EXPECT_NEAR(report.long_jobs.mean_tdp_fraction, 160.0 / 210.0, 1e-12);
+  EXPECT_NEAR(report.short_jobs.mean_tdp_fraction, (100.0 + 120.0 + 80.0) / 3.0 / 210.0,
+              1e-12);
+  // Sizes: {1, 1, 4, 2} -> median 1.5. Small: two 1-node; large: 4- and 2-node.
+  EXPECT_EQ(report.small_jobs.jobs, 2u);
+  EXPECT_EQ(report.large_jobs.jobs, 2u);
+}
+
+TEST(ExactAnalyzers, ConcentrationSharesAndOverlap) {
+  const auto report = analyze_concentration(tiny_campaign(), {}, 4);
+  EXPECT_EQ(report.users, 3u);
+  // Node hours: user0 = 2*1*1h = 2; user1 = 4*2h = 8; user2 = 2*0.5h = 1.
+  // Top 20% of 3 users -> top 1 user (user1): share 8/11.
+  EXPECT_NEAR(report.top20_node_hours_share, 8.0 / 11.0, 1e-12);
+  // Energy kWh: user0 = (100+120)*60/60k = 0.22; user1 = 160*4*2/1000 = 1.28;
+  // user2 = 80*2*0.5/1000 = 0.08. Top set = {user1} for both -> overlap 1.
+  EXPECT_NEAR(report.top20_energy_share, 1.28 / (0.22 + 1.28 + 0.08), 1e-9);
+  EXPECT_DOUBLE_EQ(report.top20_overlap, 1.0);
+}
+
+TEST(ExactAnalyzers, UserVariabilityWithMinJobs) {
+  const auto report = analyze_user_variability(tiny_campaign(), {}, 2);
+  // Only user 0 has >= 2 jobs; their power CV = std{100,120}/110.
+  EXPECT_EQ(report.eligible_users, 1u);
+  EXPECT_NEAR(report.mean_power_cv, 10.0 / 110.0, 1e-12);
+}
+
+TEST(ExactAnalyzers, ClusterVariability) {
+  CampaignData data = tiny_campaign();
+  // Add two more user-0 1-node jobs so the (user0, 1-node) cluster has 4.
+  data.records.push_back(make_record(5, 0, 1, 60, 101.0));
+  data.records.push_back(make_record(6, 0, 1, 60, 99.0));
+  const auto report = analyze_cluster_variability(data, ClusterKey::kUserNodes, {}, 3);
+  // Only cluster (user0, 1) qualifies: powers {100,120,101,99}.
+  EXPECT_EQ(report.clusters, 1u);
+  const double mean = (100.0 + 120.0 + 101.0 + 99.0) / 4.0;
+  double var = 0.0;
+  for (const double p : {100.0, 120.0, 101.0, 99.0}) var += (p - mean) * (p - mean);
+  var /= 4.0;
+  EXPECT_NEAR(report.mean_cluster_cv, std::sqrt(var) / mean, 1e-12);
+  EXPECT_DOUBLE_EQ(report.share_below_10, 1.0);
+}
+
+TEST(ExactAnalyzers, EnergySpreadFraction) {
+  const auto report = analyze_energy_spread(tiny_campaign(), {}, 10);
+  // Multi-node jobs: ids 3 and 4, each with (max-min)/min = (1.05-0.95)/0.95.
+  EXPECT_EQ(report.multinode_jobs, 2u);
+  EXPECT_NEAR(report.mean_spread_fraction, 0.1 / 0.95, 1e-9);
+  EXPECT_DOUBLE_EQ(report.fraction_above_15pct, 0.0);
+}
+
+TEST(ExactAnalyzers, FilterMinRuntimeAndNodes) {
+  JobFilter filter;
+  filter.min_runtime_min = 60;
+  filter.min_nnodes = 2;
+  const auto report = analyze_per_node_power(tiny_campaign(), filter);
+  // Only job 3 (4 nodes, 120 min) passes.
+  EXPECT_EQ(report.watts.count, 1u);
+  EXPECT_DOUBLE_EQ(report.watts.mean, 160.0);
+}
+
+TEST(ExactAnalyzers, TruncatedExcludedByDefault) {
+  CampaignData data = tiny_campaign();
+  data.records[0].truncated_by_horizon = true;
+  EXPECT_EQ(analyze_per_node_power(data).watts.count, 3u);
+  JobFilter keep;
+  keep.include_truncated = true;
+  EXPECT_EQ(analyze_per_node_power(data, keep).watts.count, 4u);
+}
+
+TEST(ExactAnalyzers, PredictionDatasetColumns) {
+  const auto dataset = build_prediction_dataset(tiny_campaign());
+  ASSERT_EQ(dataset.size(), 4u);
+  EXPECT_DOUBLE_EQ(dataset.row(2)[0], 1.0);    // user id
+  EXPECT_DOUBLE_EQ(dataset.row(2)[1], 4.0);    // nnodes
+  EXPECT_DOUBLE_EQ(dataset.row(2)[2], 150.0);  // walltime (120 + 30)
+  EXPECT_DOUBLE_EQ(dataset.target(2), 160.0);
+}
+
+TEST(ExactAnalyzers, TemporalDetailAggregation) {
+  CampaignData data = tiny_campaign();
+  telemetry::DetailMetrics d1;
+  d1.peak_overshoot = 0.10;
+  d1.frac_time_above_10pct = 0.0;
+  telemetry::DetailMetrics d2;
+  d2.peak_overshoot = 0.30;
+  d2.frac_time_above_10pct = 0.2;
+  data.records[0].detail = d1;
+  data.records[1].detail = d2;
+  const auto report = analyze_temporal(data);
+  EXPECT_EQ(report.instrumented_jobs, 2u);
+  EXPECT_NEAR(report.mean_peak_overshoot, 0.20, 1e-12);
+  EXPECT_NEAR(report.mean_time_above_10pct, 0.10, 1e-12);
+  EXPECT_NEAR(report.fraction_jobs_never_above, 0.5, 1e-12);
+}
+
+TEST(ExactAnalyzers, SpatialDetailAggregationSkipsSingleNode) {
+  CampaignData data = tiny_campaign();
+  telemetry::DetailMetrics d;
+  d.avg_spatial_spread_w = 20.0;
+  d.spread_fraction_of_power = 0.125;
+  d.frac_time_above_avg_spread = 0.3;
+  data.records[0].detail = d;  // 1-node job: must be skipped
+  data.records[2].detail = d;  // 4-node job: counted
+  const auto report = analyze_spatial(data);
+  EXPECT_EQ(report.instrumented_multinode_jobs, 1u);
+  EXPECT_DOUBLE_EQ(report.mean_avg_spread_w, 20.0);
+}
+
+}  // namespace
+}  // namespace hpcpower::core

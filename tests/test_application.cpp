@@ -1,0 +1,110 @@
+// Tests for the application catalog (paper Sec 2 workload mix, Fig 4 ranking).
+
+#include "workload/application.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace hpcpower::workload {
+namespace {
+
+TEST(ApplicationCatalog, JobSharesSumToOne) {
+  const ApplicationCatalog cat;
+  const auto shares = cat.job_shares();
+  const double total = std::accumulate(shares.begin(), shares.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ApplicationCatalog, HasFiveKeyApplications) {
+  const ApplicationCatalog cat;
+  const auto keys = cat.key_applications();
+  ASSERT_EQ(keys.size(), 5u);
+  EXPECT_EQ(cat.app(keys[0]).name, "Gromacs");
+  EXPECT_EQ(cat.app(keys[1]).name, "MD-0");
+  EXPECT_EQ(cat.app(keys[2]).name, "FASTEST");
+  EXPECT_EQ(cat.app(keys[3]).name, "STARCCM");
+  EXPECT_EQ(cat.app(keys[4]).name, "WRF");
+}
+
+TEST(ApplicationCatalog, FindByName) {
+  const ApplicationCatalog cat;
+  const auto id = cat.find("Gromacs");
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(cat.app(*id).name, "Gromacs");
+  EXPECT_FALSE(cat.find("NoSuchApp").has_value());
+}
+
+TEST(ApplicationCatalog, AllAppsDrawLessOnMeggie) {
+  // Fig 4: every application consumes less per-node power on Meggie.
+  const ApplicationCatalog cat;
+  const auto emmy = cluster::emmy_spec();
+  const auto meggie = cluster::meggie_spec();
+  for (const Application& app : cat.applications()) {
+    EXPECT_LT(app.mean_power_watts(meggie), app.mean_power_watts(emmy))
+        << app.name;
+  }
+}
+
+TEST(ApplicationCatalog, RankingSwapsAcrossSystems) {
+  // The paper's headline: MD-0 out-draws FASTEST on Emmy but not on Meggie.
+  const ApplicationCatalog cat;
+  const Application& md0 = cat.app(*cat.find("MD-0"));
+  const Application& fastest = cat.app(*cat.find("FASTEST"));
+  EXPECT_GT(md0.tdp_fraction(cluster::SystemId::kEmmy),
+            fastest.tdp_fraction(cluster::SystemId::kEmmy));
+  EXPECT_LT(md0.tdp_fraction(cluster::SystemId::kMeggie),
+            fastest.tdp_fraction(cluster::SystemId::kMeggie));
+}
+
+TEST(ApplicationCatalog, LinpackNearTdp) {
+  // Sec 4: LINPACK consumes >95% of TDP.
+  const ApplicationCatalog cat;
+  const Application& lp = cat.app(*cat.find("LINPACK"));
+  EXPECT_GT(lp.tdp_fraction_emmy, 0.95);
+}
+
+TEST(ApplicationCatalog, DebugAppIsLowPower) {
+  const ApplicationCatalog cat;
+  const Application& dbg = cat.app(*cat.find("Debug-Idle"));
+  EXPECT_LT(dbg.tdp_fraction_emmy, 0.35);
+  EXPECT_EQ(dbg.domain, Domain::kDebug);
+}
+
+TEST(ApplicationCatalog, DomainMixMatchesPaper) {
+  // ~30% MD, ~30% chemistry, ~25% CFD, ~15% others (by job share).
+  const ApplicationCatalog cat;
+  double md = 0.0, chem = 0.0, cfd = 0.0, other = 0.0;
+  for (const Application& app : cat.applications()) {
+    switch (app.domain) {
+      case Domain::kMolecularDynamics: md += app.job_share; break;
+      case Domain::kChemistry: chem += app.job_share; break;
+      case Domain::kCfd: cfd += app.job_share; break;
+      default: other += app.job_share; break;
+    }
+  }
+  EXPECT_NEAR(md, 0.30, 0.05);
+  EXPECT_NEAR(chem, 0.30, 0.05);
+  EXPECT_NEAR(cfd, 0.25, 0.05);
+  EXPECT_NEAR(other, 0.15, 0.05);
+}
+
+TEST(ApplicationCatalog, CfdCodesAreMemoryBound) {
+  const ApplicationCatalog cat;
+  for (const Application& app : cat.applications()) {
+    if (app.domain == Domain::kCfd) {
+      EXPECT_GT(app.memory_intensity, 0.4) << app.name;
+    }
+    if (app.domain == Domain::kMolecularDynamics) {
+      EXPECT_LT(app.memory_intensity, 0.3) << app.name;
+    }
+  }
+}
+
+TEST(ApplicationCatalog, DomainNames) {
+  EXPECT_STREQ(domain_name(Domain::kCfd), "cfd");
+  EXPECT_STREQ(domain_name(Domain::kDebug), "debug");
+}
+
+}  // namespace
+}  // namespace hpcpower::workload

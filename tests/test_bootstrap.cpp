@@ -1,0 +1,81 @@
+// Tests for bootstrap confidence intervals.
+
+#include "stats/bootstrap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+
+namespace hpcpower::stats {
+namespace {
+
+TEST(Bootstrap, PointEstimateIsStatisticOnOriginal) {
+  util::Rng rng(3);
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  const auto r = bootstrap_mean_ci(v, 100, 0.95, rng);
+  EXPECT_DOUBLE_EQ(r.point, 2.5);
+  EXPECT_EQ(r.resamples, 100u);
+}
+
+TEST(Bootstrap, CiBracketsPointForWellBehavedData) {
+  util::Rng rng(5);
+  std::vector<double> v(2000);
+  for (auto& x : v) x = rng.normal(149.0, 39.0);
+  const auto r = bootstrap_mean_ci(v, 500, 0.95, rng);
+  EXPECT_LE(r.lo, r.point);
+  EXPECT_GE(r.hi, r.point);
+  // Half-width should be near 1.96 * sigma / sqrt(n) ~ 1.71.
+  EXPECT_NEAR(r.hi - r.lo, 2.0 * 1.96 * 39.0 / std::sqrt(2000.0), 0.8);
+}
+
+TEST(Bootstrap, DegenerateSampleHasZeroWidth) {
+  util::Rng rng(7);
+  const std::vector<double> v(10, 42.0);
+  const auto r = bootstrap_mean_ci(v, 200, 0.9, rng);
+  EXPECT_DOUBLE_EQ(r.lo, 42.0);
+  EXPECT_DOUBLE_EQ(r.hi, 42.0);
+}
+
+TEST(Bootstrap, CustomStatistic) {
+  util::Rng rng(9);
+  std::vector<double> v(500);
+  for (auto& x : v) x = rng.uniform(0.0, 10.0);
+  const auto r = bootstrap_ci(
+      v, [](std::span<const double> s) { return quantile(s, 0.5); }, 300, 0.95, rng);
+  EXPECT_NEAR(r.point, 5.0, 0.8);
+  EXPECT_LT(r.lo, r.point + 1e-9);
+  EXPECT_GT(r.hi, r.point - 1e-9);
+}
+
+TEST(Bootstrap, WiderConfidenceGivesWiderInterval) {
+  util::Rng rng1(11), rng2(11);
+  std::vector<double> v(300);
+  util::Rng data_rng(13);
+  for (auto& x : v) x = data_rng.normal(0.0, 1.0);
+  const auto narrow = bootstrap_mean_ci(v, 400, 0.5, rng1);
+  const auto wide = bootstrap_mean_ci(v, 400, 0.99, rng2);
+  EXPECT_GT(wide.hi - wide.lo, narrow.hi - narrow.lo);
+}
+
+TEST(Bootstrap, InvalidArgumentsThrow) {
+  util::Rng rng(15);
+  const std::vector<double> v = {1.0, 2.0};
+  EXPECT_THROW(bootstrap_mean_ci({}, 100, 0.95, rng), std::invalid_argument);
+  EXPECT_THROW(bootstrap_mean_ci(v, 0, 0.95, rng), std::invalid_argument);
+  EXPECT_THROW(bootstrap_mean_ci(v, 100, 0.0, rng), std::invalid_argument);
+  EXPECT_THROW(bootstrap_mean_ci(v, 100, 1.0, rng), std::invalid_argument);
+}
+
+TEST(Bootstrap, DeterministicForSameSeed) {
+  util::Rng rng1(17), rng2(17);
+  const std::vector<double> v = {3.0, 1.0, 4.0, 1.0, 5.0, 9.0};
+  const auto a = bootstrap_mean_ci(v, 250, 0.9, rng1);
+  const auto b = bootstrap_mean_ci(v, 250, 0.9, rng2);
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+}
+
+}  // namespace
+}  // namespace hpcpower::stats

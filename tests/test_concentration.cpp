@@ -1,0 +1,109 @@
+// Tests for concentration metrics (Fig 11 machinery).
+
+#include "stats/concentration.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/prng.hpp"
+
+namespace hpcpower::stats {
+namespace {
+
+TEST(TopShare, UniformValues) {
+  const std::vector<double> v(10, 1.0);
+  EXPECT_NEAR(top_share(v, 0.2), 0.2, 1e-12);
+  EXPECT_NEAR(top_share(v, 1.0), 1.0, 1e-12);
+}
+
+TEST(TopShare, SingleDominantItem) {
+  std::vector<double> v(10, 0.0);
+  v[3] = 100.0;
+  EXPECT_NEAR(top_share(v, 0.1), 1.0, 1e-12);
+}
+
+TEST(TopShare, SkewedDistribution) {
+  // 2 of 10 items hold 90 of 100 units.
+  std::vector<double> v = {45.0, 45.0, 1.25, 1.25, 1.25, 1.25, 1.25, 1.25, 1.25, 1.25};
+  EXPECT_NEAR(top_share(v, 0.2), 0.9, 1e-12);
+}
+
+TEST(TopShare, ZeroFractionGivesZero) {
+  EXPECT_DOUBLE_EQ(top_share(std::vector<double>{1.0, 2.0}, 0.0), 0.0);
+}
+
+TEST(TopShare, EmptyThrows) {
+  EXPECT_THROW(top_share({}, 0.2), std::invalid_argument);
+}
+
+TEST(TopShare, AllZeroTotalsGiveZero) {
+  EXPECT_DOUBLE_EQ(top_share(std::vector<double>{0.0, 0.0}, 0.5), 0.0);
+}
+
+TEST(TopShareCurve, MonotoneAndEndsAtOne) {
+  util::Rng rng(3);
+  std::vector<double> v(200);
+  for (auto& x : v) x = rng.lognormal(0.0, 1.5);
+  const auto curve = top_share_curve(v, 20);
+  ASSERT_EQ(curve.size(), 20u);
+  for (std::size_t i = 1; i < curve.size(); ++i)
+    EXPECT_GE(curve[i].second, curve[i - 1].second);
+  EXPECT_NEAR(curve.back().second, 1.0, 1e-12);
+  // Concavity sanity: a heavy-tailed distribution concentrates early.
+  EXPECT_GT(curve[3].second, curve[3].first);
+}
+
+TEST(Gini, PerfectEqualityIsZero) {
+  EXPECT_NEAR(gini(std::vector<double>(50, 2.0)), 0.0, 1e-12);
+}
+
+TEST(Gini, ExtremeInequalityApproachesOne) {
+  std::vector<double> v(100, 0.0);
+  v[0] = 1.0;
+  EXPECT_NEAR(gini(v), 0.99, 1e-12);
+}
+
+TEST(Gini, KnownSmallExample) {
+  // {1, 3}: G = (2*1 - 2 - 1)*1 + (2*2 - 2 - 1)*3 over 2*4 = ( -1 + 3 ) / 8.
+  EXPECT_NEAR(gini(std::vector<double>{1.0, 3.0}), 0.25, 1e-12);
+}
+
+TEST(Gini, NegativeValueThrows) {
+  EXPECT_THROW(gini(std::vector<double>{1.0, -1.0}), std::invalid_argument);
+}
+
+TEST(TopSetOverlap, IdenticalVectorsFullyOverlap) {
+  const std::vector<double> v = {5.0, 3.0, 9.0, 1.0, 7.0};
+  EXPECT_DOUBLE_EQ(top_set_overlap(v, v, 0.4), 1.0);
+}
+
+TEST(TopSetOverlap, DisjointTopsGiveZero) {
+  const std::vector<double> a = {10.0, 9.0, 1.0, 1.0};
+  const std::vector<double> b = {1.0, 1.0, 10.0, 9.0};
+  EXPECT_DOUBLE_EQ(top_set_overlap(a, b, 0.5), 0.0);
+}
+
+TEST(TopSetOverlap, PartialOverlap) {
+  const std::vector<double> a = {10.0, 9.0, 8.0, 1.0};  // top-2: {0, 1}
+  const std::vector<double> b = {10.0, 1.0, 9.0, 2.0};  // top-2: {0, 2}
+  EXPECT_DOUBLE_EQ(top_set_overlap(a, b, 0.5), 0.5);
+}
+
+TEST(TopSetOverlap, ErrorsOnBadInput) {
+  EXPECT_THROW(top_set_overlap(std::vector<double>{1.0}, std::vector<double>{1.0, 2.0}, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW(top_set_overlap({}, {}, 0.5), std::invalid_argument);
+}
+
+TEST(TopSetOverlap, CorrelatedValuesOverlapHighly) {
+  // Node-hours vs energy: energy = node-hours * roughly-constant power.
+  util::Rng rng(7);
+  std::vector<double> hours(100), energy(100);
+  for (std::size_t i = 0; i < hours.size(); ++i) {
+    hours[i] = rng.lognormal(3.0, 1.2);
+    energy[i] = hours[i] * rng.uniform(120.0, 160.0);
+  }
+  EXPECT_GT(top_set_overlap(hours, energy, 0.2), 0.8);
+}
+
+}  // namespace
+}  // namespace hpcpower::stats

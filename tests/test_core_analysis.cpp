@@ -1,0 +1,224 @@
+// Integration tests of the core analyzers on a shared small campaign.
+
+#include <gtest/gtest.h>
+
+#include "core/job_analysis.hpp"
+#include "core/prediction.hpp"
+#include "core/system_analysis.hpp"
+#include "core/user_analysis.hpp"
+#include "util/logging.hpp"
+
+namespace hpcpower::core {
+namespace {
+
+const CampaignData& emmy() {
+  static const CampaignData data = [] {
+    util::set_log_level(util::LogLevel::kWarn);
+    StudyConfig cfg;
+    cfg.seed = 42;
+    cfg.days = 4.0;
+    cfg.warmup_days = 1.0;
+    cfg.instrument_begin_day = 0.0;
+    cfg.instrument_end_day = 4.0;
+    return run_campaign(cluster::emmy_spec(), cfg);
+  }();
+  return data;
+}
+
+TEST(SystemAnalysis, UtilizationWithinBounds) {
+  const auto report = analyze_system_utilization(emmy());
+  EXPECT_GT(report.mean_system_utilization, 0.4);
+  EXPECT_LE(report.mean_system_utilization, 1.0);
+  EXPECT_GT(report.mean_power_utilization, 0.2);
+  EXPECT_LT(report.mean_power_utilization, report.peak_power_utilization + 1e-12);
+  EXPECT_GE(report.peak_power_utilization, report.min_power_utilization);
+}
+
+TEST(SystemAnalysis, PowerUtilizationBelowSystemUtilization) {
+  // Jobs draw below TDP, so power utilization < node utilization (the
+  // "stranded power" effect).
+  const auto report = analyze_system_utilization(emmy());
+  EXPECT_LT(report.mean_power_utilization, report.mean_system_utilization);
+  EXPECT_NEAR(report.stranded_power_fraction, 1.0 - report.mean_power_utilization,
+              1e-12);
+  EXPECT_NEAR(report.stranded_power_kw,
+              report.stranded_power_fraction *
+                  emmy().spec.provisioned_power_watts() / 1000.0,
+              1e-9);
+}
+
+TEST(SystemAnalysis, SeriesDownsampledToRequestedPoints) {
+  const auto report = analyze_system_utilization(emmy(), 16);
+  EXPECT_GE(report.series.size(), 16u);
+  EXPECT_LE(report.series.size(), 18u);
+  for (const auto& pt : report.series) {
+    EXPECT_GE(pt.system_utilization, 0.0);
+    EXPECT_LE(pt.system_utilization, 1.0);
+    EXPECT_GT(pt.power_utilization, 0.0);
+  }
+  const auto no_series = analyze_system_utilization(emmy(), 0);
+  EXPECT_TRUE(no_series.series.empty());
+}
+
+TEST(SystemAnalysis, CapFractionMonotone) {
+  const double at_60 = fraction_minutes_above_cap(emmy(), 0.60);
+  const double at_80 = fraction_minutes_above_cap(emmy(), 0.80);
+  const double at_100 = fraction_minutes_above_cap(emmy(), 1.00);
+  EXPECT_GE(at_60, at_80);
+  EXPECT_GE(at_80, at_100);
+  EXPECT_DOUBLE_EQ(at_100, 0.0);  // power never exceeds provisioned
+  EXPECT_THROW((void)fraction_minutes_above_cap(emmy(), 0.0), std::invalid_argument);
+}
+
+TEST(JobAnalysis, PerNodePowerPlausible) {
+  const auto report = analyze_per_node_power(emmy());
+  EXPECT_GT(report.watts.mean, 100.0);
+  EXPECT_LT(report.watts.mean, 180.0);
+  EXPECT_GT(report.mean_tdp_fraction, 0.5);
+  EXPECT_LT(report.mean_tdp_fraction, 0.9);
+  EXPECT_GT(report.std_fraction_of_mean, 0.1);
+  EXPECT_EQ(report.histogram.total(), report.watts.count);
+}
+
+TEST(JobAnalysis, FilterExcludesTruncatedByDefault) {
+  const auto all = analyze_per_node_power(emmy(), JobFilter{.include_truncated = true});
+  const auto completed = analyze_per_node_power(emmy());
+  EXPECT_GE(all.watts.count, completed.watts.count);
+}
+
+TEST(JobAnalysis, AppPowerCoversKeyApplications) {
+  const workload::ApplicationCatalog catalog;
+  const auto entries = analyze_app_power(emmy(), catalog);
+  ASSERT_EQ(entries.size(), 5u);
+  for (const auto& e : entries) {
+    EXPECT_GT(e.jobs, 0u) << e.app_name;
+    EXPECT_GT(e.mean_power_w, 80.0) << e.app_name;
+    EXPECT_LT(e.mean_power_w, 210.0) << e.app_name;
+  }
+  // Gromacs is the hungriest key app on Emmy.
+  EXPECT_GT(entries[0].mean_power_w, entries[4].mean_power_w);
+}
+
+TEST(JobAnalysis, CorrelationsSignificantlyPositive) {
+  const auto report = analyze_correlations(emmy());
+  EXPECT_GT(report.length_vs_power.coefficient, 0.1);
+  EXPECT_GT(report.size_vs_power.coefficient, 0.0);
+  EXPECT_LT(report.length_vs_power.p_value, 1e-6);
+}
+
+TEST(JobAnalysis, MedianSplitsShowPaperOrdering) {
+  const auto report = analyze_median_splits(emmy());
+  // Longer and larger jobs draw more per-node power on average (Fig 5).
+  EXPECT_GT(report.long_jobs.mean_tdp_fraction, report.short_jobs.mean_tdp_fraction);
+  EXPECT_GT(report.large_jobs.mean_tdp_fraction, report.small_jobs.mean_tdp_fraction);
+  // And have less variability.
+  EXPECT_LT(report.long_jobs.std_tdp_fraction, report.short_jobs.std_tdp_fraction);
+  EXPECT_EQ(report.short_jobs.jobs + report.long_jobs.jobs,
+            report.small_jobs.jobs + report.large_jobs.jobs);
+}
+
+TEST(JobAnalysis, TemporalMetricsInRange) {
+  const auto report = analyze_temporal(emmy());
+  ASSERT_GT(report.instrumented_jobs, 50u);
+  EXPECT_GT(report.mean_temporal_cv, 0.0);
+  EXPECT_LT(report.mean_temporal_cv, 0.3);
+  EXPECT_GT(report.mean_peak_overshoot, 0.0);
+  EXPECT_LT(report.mean_peak_overshoot, 0.5);
+  EXPECT_GE(report.fraction_jobs_never_above, 0.3);
+  EXPECT_LE(report.mean_time_above_10pct, 0.3);
+}
+
+TEST(JobAnalysis, SpatialMetricsInRange) {
+  const auto report = analyze_spatial(emmy());
+  ASSERT_GT(report.instrumented_multinode_jobs, 20u);
+  EXPECT_GT(report.mean_avg_spread_w, 5.0);
+  EXPECT_LT(report.mean_avg_spread_w, 60.0);
+  EXPECT_GT(report.mean_spread_fraction, 0.05);
+  EXPECT_LT(report.mean_spread_fraction, 0.4);
+  EXPECT_GT(report.mean_time_above_avg_spread, 0.05);
+  EXPECT_LT(report.mean_time_above_avg_spread, 0.5);
+  EXPECT_GE(report.max_avg_spread_w, report.mean_avg_spread_w);
+}
+
+TEST(JobAnalysis, EnergySpreadCorrelatesWithSize) {
+  const auto report = analyze_energy_spread(emmy());
+  ASSERT_GT(report.multinode_jobs, 50u);
+  EXPECT_GT(report.fraction_above_15pct, 0.0);
+  EXPECT_LT(report.fraction_above_15pct, 0.6);
+  // Paper: spread grows with node count.
+  EXPECT_GT(report.spread_vs_nnodes.coefficient, 0.2);
+}
+
+TEST(UserAnalysis, ConcentrationMatchesZipfWorld) {
+  const auto report = analyze_concentration(emmy());
+  EXPECT_GT(report.users, 30u);
+  EXPECT_GT(report.top20_node_hours_share, 0.5);
+  EXPECT_GT(report.top20_energy_share, 0.5);
+  EXPECT_GT(report.top20_overlap, 0.6);
+  EXPECT_GT(report.node_hours_gini, 0.3);
+  ASSERT_FALSE(report.node_hours_curve.empty());
+  EXPECT_NEAR(report.node_hours_curve.back().second, 1.0, 1e-9);
+}
+
+TEST(UserAnalysis, VariabilityReportsPositiveCvs) {
+  const auto report = analyze_user_variability(emmy());
+  ASSERT_GT(report.eligible_users, 10u);
+  EXPECT_GT(report.mean_power_cv, 0.03);
+  EXPECT_GT(report.mean_runtime_cv, report.mean_power_cv * 0.2);
+  EXPECT_FALSE(report.power_cv_cdf.empty());
+}
+
+TEST(UserAnalysis, ClusteringShrinksVariability) {
+  const auto by_user = analyze_user_variability(emmy());
+  const auto by_nodes = analyze_cluster_variability(emmy(), ClusterKey::kUserNodes);
+  const auto by_wall = analyze_cluster_variability(emmy(), ClusterKey::kUserWalltime);
+  ASSERT_GT(by_nodes.clusters, 20u);
+  ASSERT_GT(by_wall.clusters, 20u);
+  // The paper's RQ8: clustering by (user, nnodes) or (user, walltime) leaves
+  // far less variability than the per-user spread.
+  EXPECT_LT(by_nodes.mean_cluster_cv, by_user.mean_power_cv);
+  EXPECT_GT(by_nodes.share_below_10, 0.4);
+  const double total = by_nodes.share_below_10 + by_nodes.share_10_to_20 +
+                       by_nodes.share_20_to_30 + by_nodes.share_above_30;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Prediction, DatasetMatchesFilteredJobs) {
+  const auto dataset = build_prediction_dataset(emmy());
+  std::size_t expected = 0;
+  const JobFilter filter;
+  for (const auto& r : emmy().records) expected += filter.accepts(r);
+  EXPECT_EQ(dataset.size(), expected);
+  EXPECT_EQ(dataset.dim(), 3u);
+}
+
+TEST(Prediction, FeatureSubsetsHaveRightDims) {
+  EXPECT_EQ(build_prediction_dataset(emmy(), {}, FeatureSet::kUserOnly).dim(), 1u);
+  EXPECT_EQ(build_prediction_dataset(emmy(), {}, FeatureSet::kNodesWalltime).dim(), 2u);
+  EXPECT_EQ(build_prediction_dataset(emmy(), {}, FeatureSet::kUserNodes).dim(), 2u);
+  EXPECT_EQ(build_prediction_dataset(emmy(), {}, FeatureSet::kUserWalltime).dim(), 2u);
+}
+
+TEST(Prediction, BdtBeatsFldaOnCampaign) {
+  ml::EvaluationConfig cfg;
+  cfg.repeats = 2;
+  const auto report = analyze_prediction(emmy(), {}, cfg);
+  EXPECT_EQ(report.models.size(), 3u);
+  const auto& bdt = report.model("BDT");
+  const auto& flda = report.model("FLDA");
+  EXPECT_LT(bdt.mean_error(), flda.mean_error());
+  EXPECT_GT(bdt.fraction_below(0.10), 0.6);
+  EXPECT_THROW((void)report.model("nope"), std::out_of_range);
+}
+
+TEST(Prediction, PredictiveCapRiskDecreasesWithHeadroom) {
+  const double tight = fraction_jobs_at_risk_under_predictive_cap(emmy(), 0.0);
+  const double loose = fraction_jobs_at_risk_under_predictive_cap(emmy(), 0.30);
+  EXPECT_GE(tight, loose);
+  EXPECT_LT(loose, 0.3);
+  EXPECT_THROW((void)fraction_jobs_at_risk_under_predictive_cap(emmy(), -0.1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hpcpower::core

@@ -1,0 +1,134 @@
+// Tests for Pearson/Spearman correlation and their p-values.
+
+#include "stats/correlation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/prng.hpp"
+
+namespace hpcpower::stats {
+namespace {
+
+TEST(AverageRanks, SimpleOrdering) {
+  const auto r = average_ranks(std::vector<double>{30.0, 10.0, 20.0});
+  EXPECT_DOUBLE_EQ(r[0], 3.0);
+  EXPECT_DOUBLE_EQ(r[1], 1.0);
+  EXPECT_DOUBLE_EQ(r[2], 2.0);
+}
+
+TEST(AverageRanks, TiesGetAverageRank) {
+  const auto r = average_ranks(std::vector<double>{5.0, 5.0, 1.0, 9.0});
+  EXPECT_DOUBLE_EQ(r[2], 1.0);
+  EXPECT_DOUBLE_EQ(r[0], 2.5);
+  EXPECT_DOUBLE_EQ(r[1], 2.5);
+  EXPECT_DOUBLE_EQ(r[3], 4.0);
+}
+
+TEST(AverageRanks, AllTied) {
+  const auto r = average_ranks(std::vector<double>{2.0, 2.0, 2.0});
+  for (double x : r) EXPECT_DOUBLE_EQ(x, 2.0);
+}
+
+TEST(Pearson, PerfectLinearRelationship) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y = {2.0, 4.0, 6.0, 8.0};
+  const auto r = pearson(x, y);
+  EXPECT_NEAR(r.coefficient, 1.0, 1e-12);
+  EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(Pearson, PerfectNegative) {
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  const std::vector<double> y = {3.0, 2.0, 1.0};
+  EXPECT_NEAR(pearson(x, y).coefficient, -1.0, 1e-12);
+}
+
+TEST(Pearson, ConstantInputGivesZero) {
+  const std::vector<double> x = {1.0, 1.0, 1.0};
+  const std::vector<double> y = {1.0, 2.0, 3.0};
+  const auto r = pearson(x, y);
+  EXPECT_DOUBLE_EQ(r.coefficient, 0.0);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+}
+
+TEST(Pearson, IndependentSamplesNearZero) {
+  util::Rng rng(3);
+  std::vector<double> x(20000), y(20000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.normal(0.0, 1.0);
+    y[i] = rng.normal(0.0, 1.0);
+  }
+  const auto r = pearson(x, y);
+  EXPECT_NEAR(r.coefficient, 0.0, 0.02);
+  EXPECT_GT(r.p_value, 0.001);
+}
+
+TEST(Pearson, ErrorsOnBadInput) {
+  EXPECT_THROW(pearson(std::vector<double>{1.0}, std::vector<double>{1.0, 2.0}),
+               std::invalid_argument);
+  EXPECT_THROW(pearson(std::vector<double>{1.0}, std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+TEST(Spearman, MonotoneNonlinearIsPerfect) {
+  // Spearman sees through monotone transforms where Pearson does not.
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0, 5.0};
+  std::vector<double> y(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = std::exp(x[i]);
+  const auto rho = spearman(x, y);
+  EXPECT_NEAR(rho.coefficient, 1.0, 1e-12);
+  const auto r = pearson(x, y);
+  EXPECT_LT(r.coefficient, 0.999);
+}
+
+TEST(Spearman, KnownValueWithTies) {
+  // Hand-computed: x ranks {1, 2.5, 2.5, 4}, y ranks {2, 1, 3, 4}.
+  const std::vector<double> x = {1.0, 2.0, 2.0, 3.0};
+  const std::vector<double> y = {5.0, 4.0, 6.0, 7.0};
+  const auto rho = spearman(x, y);
+  // Pearson on those rank vectors = 0.6324555...
+  EXPECT_NEAR(rho.coefficient, 0.6324555320336759, 1e-12);
+}
+
+TEST(Spearman, AntitoneIsMinusOne) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y = {10.0, 5.0, 2.0, 1.0};
+  EXPECT_NEAR(spearman(x, y).coefficient, -1.0, 1e-12);
+}
+
+TEST(Spearman, PValueSmallForStrongCorrelationLargeN) {
+  util::Rng rng(7);
+  std::vector<double> x(5000), y(5000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.normal(0.0, 1.0);
+    y[i] = 0.4 * x[i] + rng.normal(0.0, 1.0);  // rho ~ 0.37
+  }
+  const auto rho = spearman(x, y);
+  EXPECT_GT(rho.coefficient, 0.25);
+  EXPECT_LT(rho.p_value, 1e-10);
+}
+
+TEST(Spearman, PValueLargeForIndependentSmallN) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+  const std::vector<double> y = {2.0, 1.0, 4.0, 3.0, 6.0, 5.0};
+  const auto rho = spearman(x, y);
+  EXPECT_GT(rho.p_value, 0.01);
+}
+
+TEST(Spearman, CoefficientInvariantToMonotoneRescaling) {
+  util::Rng rng(11);
+  std::vector<double> x(500), y(500);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.uniform(0.0, 10.0);
+    y[i] = x[i] * x[i] + rng.normal(0.0, 5.0);
+  }
+  const double base = spearman(x, y).coefficient;
+  std::vector<double> x_scaled(x);
+  for (auto& v : x_scaled) v = 3.0 * v + 100.0;
+  EXPECT_NEAR(spearman(x_scaled, y).coefficient, base, 1e-12);
+}
+
+}  // namespace
+}  // namespace hpcpower::stats

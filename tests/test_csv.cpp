@@ -1,0 +1,147 @@
+// Tests for CSV round-tripping and typed access.
+
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace hpcpower::util {
+namespace {
+
+TEST(CsvWriter, WritesPlainRow) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.write("a", 1, 2.5);
+  EXPECT_EQ(out.str(), "a,1,2.5\n");
+}
+
+TEST(CsvWriter, QuotesFieldsWithCommas) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.write_row({"hello, world", "plain"});
+  EXPECT_EQ(out.str(), "\"hello, world\",plain\n");
+}
+
+TEST(CsvWriter, EscapesEmbeddedQuotes) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.write_row({"say \"hi\""});
+  EXPECT_EQ(out.str(), "\"say \"\"hi\"\"\"\n");
+}
+
+TEST(CsvWriter, FormatsDoublesCompactly) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.write(149.3, 0.5, 1e-9);
+  EXPECT_EQ(out.str(), "149.3,0.5,1e-09\n");
+}
+
+TEST(CsvReader, ReadsHeaderAndRows) {
+  std::istringstream in("name,watts\njob1,140.5\njob2,98\n");
+  CsvReader r(in);
+  ASSERT_EQ(r.header().size(), 2u);
+  EXPECT_EQ(r.header()[0], "name");
+  auto row1 = r.next();
+  ASSERT_TRUE(row1.has_value());
+  EXPECT_EQ(row1->at("name"), "job1");
+  EXPECT_DOUBLE_EQ(row1->as_double("watts"), 140.5);
+  auto row2 = r.next();
+  ASSERT_TRUE(row2.has_value());
+  EXPECT_EQ(row2->at(0), "job2");
+  EXPECT_FALSE(r.next().has_value());
+}
+
+TEST(CsvReader, HandlesQuotedFieldsWithCommasAndNewlines) {
+  std::istringstream in("a,b\n\"x,y\",\"line1\nline2\"\n");
+  CsvReader r(in);
+  auto row = r.next();
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ(row->at("a"), "x,y");
+  EXPECT_EQ(row->at("b"), "line1\nline2");
+}
+
+TEST(CsvReader, HandlesEscapedQuotes) {
+  std::istringstream in("f\n\"he said \"\"no\"\"\"\n");
+  CsvReader r(in);
+  auto row = r.next();
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ(row->at("f"), "he said \"no\"");
+}
+
+TEST(CsvReader, HandlesCrLfLineEndings) {
+  std::istringstream in("a,b\r\n1,2\r\n");
+  CsvReader r(in);
+  auto row = r.next();
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ(row->as_int("a"), 1);
+  EXPECT_EQ(row->as_int("b"), 2);
+}
+
+TEST(CsvReader, NoHeaderModeUsesIndices) {
+  std::istringstream in("1,2\n3,4\n");
+  CsvReader r(in, /*has_header=*/false);
+  auto row = r.next();
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ(row->at(0), "1");
+  EXPECT_THROW(row->at("x"), std::out_of_range);
+}
+
+TEST(CsvReader, MissingColumnThrows) {
+  std::istringstream in("a\n1\n");
+  CsvReader r(in);
+  auto row = r.next();
+  ASSERT_TRUE(row.has_value());
+  EXPECT_THROW(row->at("missing"), std::out_of_range);
+}
+
+TEST(CsvReader, BadNumericFieldThrows) {
+  std::istringstream in("a\nnot-a-number\n");
+  CsvReader r(in);
+  auto row = r.next();
+  ASSERT_TRUE(row.has_value());
+  EXPECT_THROW(row->as_int("a"), std::invalid_argument);
+  EXPECT_THROW(row->as_double("a"), std::invalid_argument);
+}
+
+TEST(CsvReader, EmptyFieldsPreserved) {
+  std::istringstream in("a,b,c\n,x,\n");
+  CsvReader r(in);
+  auto row = r.next();
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ(row->at("a"), "");
+  EXPECT_EQ(row->at("b"), "x");
+  EXPECT_EQ(row->at("c"), "");
+}
+
+TEST(CsvReader, LastLineWithoutNewline) {
+  std::istringstream in("a\n42");
+  CsvReader r(in);
+  auto row = r.next();
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ(row->as_int("a"), 42);
+  EXPECT_FALSE(r.next().has_value());
+}
+
+TEST(CsvRoundTrip, WriterOutputParsesBackIdentically) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.write_row({"id", "note", "value"});
+  w.write_row({"7", "quoted, field", "3.25"});
+  w.write_row({"8", "with \"quotes\"", "-1"});
+
+  std::istringstream in(out.str());
+  CsvReader r(in);
+  auto row1 = r.next();
+  ASSERT_TRUE(row1.has_value());
+  EXPECT_EQ(row1->as_uint("id"), 7u);
+  EXPECT_EQ(row1->at("note"), "quoted, field");
+  EXPECT_DOUBLE_EQ(row1->as_double("value"), 3.25);
+  auto row2 = r.next();
+  ASSERT_TRUE(row2.has_value());
+  EXPECT_EQ(row2->at("note"), "with \"quotes\"");
+  EXPECT_EQ(row2->as_int("value"), -1);
+}
+
+}  // namespace
+}  // namespace hpcpower::util

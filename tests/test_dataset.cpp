@@ -1,0 +1,129 @@
+// Tests for the ML dataset and the paper's split protocol.
+
+#include "ml/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <set>
+#include <unordered_set>
+
+namespace hpcpower::ml {
+namespace {
+
+Dataset small_dataset(std::size_t rows = 100, std::uint32_t users = 10) {
+  Dataset d(3);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const std::array<double, 3> x = {static_cast<double>(i % users),
+                                     static_cast<double>(1 + i % 4),
+                                     static_cast<double>(60 * (1 + i % 3))};
+    d.add_row(x, 100.0 + static_cast<double>(i % 7), static_cast<std::uint32_t>(i % users));
+  }
+  return d;
+}
+
+TEST(Dataset, AddAndAccessRows) {
+  Dataset d(2);
+  d.add_row(std::array<double, 2>{1.0, 2.0}, 10.0, 7);
+  d.add_row(std::array<double, 2>{3.0, 4.0}, 20.0, 8);
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.dim(), 2u);
+  EXPECT_DOUBLE_EQ(d.row(1)[0], 3.0);
+  EXPECT_DOUBLE_EQ(d.target(0), 10.0);
+  EXPECT_EQ(d.group(1), 8u);
+}
+
+TEST(Dataset, DimensionInferredFromFirstRow) {
+  Dataset d;
+  d.add_row(std::array<double, 3>{1.0, 2.0, 3.0}, 1.0, 0);
+  EXPECT_EQ(d.dim(), 3u);
+  EXPECT_THROW(d.add_row(std::array<double, 2>{1.0, 2.0}, 1.0, 0),
+               std::invalid_argument);
+}
+
+TEST(Dataset, SubsetSelectsRows) {
+  const Dataset d = small_dataset();
+  const std::vector<std::size_t> idx = {5, 10, 15};
+  const Dataset s = d.subset(idx);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.target(0), d.target(5));
+  EXPECT_DOUBLE_EQ(s.row(2)[1], d.row(15)[1]);
+  EXPECT_EQ(s.group(1), d.group(10));
+}
+
+TEST(Dataset, ScalingMatchesMoments) {
+  Dataset d(1);
+  for (double v : {2.0, 4.0, 6.0}) d.add_row(std::array<double, 1>{v}, 0.0, 0);
+  const auto s = d.compute_scaling();
+  EXPECT_DOUBLE_EQ(s.mean[0], 4.0);
+  EXPECT_NEAR(s.stddev[0], std::sqrt(8.0 / 3.0), 1e-12);
+}
+
+TEST(Dataset, ScalingDegenerateFeatureFloored) {
+  Dataset d(1);
+  d.add_row(std::array<double, 1>{5.0}, 0.0, 0);
+  d.add_row(std::array<double, 1>{5.0}, 0.0, 0);
+  EXPECT_GT(d.compute_scaling().stddev[0], 0.0);
+}
+
+TEST(MakeSplit, RespectsTrainFraction) {
+  const Dataset d = small_dataset(1000, 10);
+  util::Rng rng(3);
+  const Split s = make_split(d, 0.8, rng);
+  EXPECT_NEAR(static_cast<double>(s.train.size()), 800.0, 25.0);
+  EXPECT_EQ(s.train.size() + s.validation.size(), d.size());
+}
+
+TEST(MakeSplit, NoIndexAppearsTwice) {
+  const Dataset d = small_dataset(500, 10);
+  util::Rng rng(5);
+  const Split s = make_split(d, 0.8, rng);
+  std::set<std::size_t> all(s.train.begin(), s.train.end());
+  all.insert(s.validation.begin(), s.validation.end());
+  EXPECT_EQ(all.size(), d.size());
+}
+
+TEST(MakeSplit, ValidationUsersAlwaysInTraining) {
+  // With many users and few rows each, coverage enforcement must trigger.
+  Dataset d(1);
+  util::Rng data_rng(7);
+  for (std::uint32_t u = 0; u < 60; ++u) {
+    const std::size_t rows = 1 + data_rng.uniform_index(3);
+    for (std::size_t i = 0; i < rows; ++i)
+      d.add_row(std::array<double, 1>{static_cast<double>(u)}, 1.0, u);
+  }
+  util::Rng rng(9);
+  const Split s = make_split(d, 0.8, rng);
+  std::unordered_set<std::uint32_t> train_users;
+  for (const auto i : s.train) train_users.insert(d.group(i));
+  for (const auto i : s.validation) EXPECT_TRUE(train_users.contains(d.group(i)));
+}
+
+TEST(MakeSplit, ErrorsOnBadArguments) {
+  util::Rng rng(1);
+  EXPECT_THROW(make_split(Dataset(1), 0.8, rng), std::invalid_argument);
+  const Dataset d = small_dataset();
+  EXPECT_THROW(make_split(d, 0.0, rng), std::invalid_argument);
+  EXPECT_THROW(make_split(d, 1.0, rng), std::invalid_argument);
+}
+
+TEST(MakeRepeatedSplits, DistinctAndDeterministic) {
+  const Dataset d = small_dataset(400, 8);
+  const auto a = make_repeated_splits(d, 0.8, 5, 42);
+  const auto b = make_repeated_splits(d, 0.8, 5, 42);
+  ASSERT_EQ(a.size(), 5u);
+  for (std::size_t r = 0; r < 5; ++r) EXPECT_EQ(a[r].train, b[r].train);
+  EXPECT_NE(a[0].train, a[1].train);  // repeats differ
+}
+
+TEST(AbsolutePercentError, Basics) {
+  EXPECT_DOUBLE_EQ(absolute_percent_error(100.0, 110.0), 0.1);
+  EXPECT_DOUBLE_EQ(absolute_percent_error(100.0, 90.0), 0.1);
+  EXPECT_DOUBLE_EQ(absolute_percent_error(100.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(absolute_percent_error(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(absolute_percent_error(0.0, 5.0), 1.0);
+}
+
+}  // namespace
+}  // namespace hpcpower::ml

@@ -1,0 +1,120 @@
+// Tests for Cholesky and LU factorizations.
+
+#include "linalg/decomposition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/prng.hpp"
+
+namespace hpcpower::linalg {
+namespace {
+
+Matrix random_spd(std::size_t n, util::Rng& rng) {
+  Matrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.uniform(-1.0, 1.0);
+  Matrix spd = a.transposed() * a;
+  for (std::size_t i = 0; i < n; ++i) spd(i, i) += static_cast<double>(n);
+  return spd;
+}
+
+TEST(Cholesky, ReconstructsMatrix) {
+  util::Rng rng(7);
+  const Matrix a = random_spd(5, rng);
+  const auto l = cholesky(a);
+  ASSERT_TRUE(l.has_value());
+  const Matrix rebuilt = (*l) * l->transposed();
+  EXPECT_LT(rebuilt.max_abs_diff(a), 1e-10);
+}
+
+TEST(Cholesky, RejectsIndefiniteMatrix) {
+  const Matrix indefinite{{1.0, 2.0}, {2.0, 1.0}};  // eigenvalues 3, -1
+  EXPECT_FALSE(cholesky(indefinite).has_value());
+}
+
+TEST(Cholesky, RejectsNonSquare) {
+  EXPECT_THROW(cholesky(Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(Cholesky, FactorIsLowerTriangular) {
+  util::Rng rng(11);
+  const auto l = cholesky(random_spd(4, rng));
+  ASSERT_TRUE(l.has_value());
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = r + 1; c < 4; ++c) EXPECT_DOUBLE_EQ((*l)(r, c), 0.0);
+}
+
+TEST(TriangularSolves, RoundTrip) {
+  util::Rng rng(13);
+  const Matrix a = random_spd(6, rng);
+  const auto l = cholesky(a);
+  ASSERT_TRUE(l.has_value());
+  const Vector b = {1.0, -2.0, 3.0, 0.5, -0.25, 4.0};
+  const Vector y = forward_substitute(*l, b);
+  const Vector x = backward_substitute_transposed(*l, y);
+  // Check A x == b.
+  const Vector ax = a * x;
+  for (std::size_t i = 0; i < b.size(); ++i) EXPECT_NEAR(ax[i], b[i], 1e-9);
+}
+
+TEST(SolveSpd, SolvesKnownSystem) {
+  const Matrix a{{4.0, 1.0}, {1.0, 3.0}};
+  const Vector b = {1.0, 2.0};
+  const auto x = solve_spd(a, b);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[0], 1.0 / 11.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 7.0 / 11.0, 1e-12);
+}
+
+TEST(SolveSpd, FailsOnIndefinite) {
+  const Matrix indefinite{{0.0, 1.0}, {1.0, 0.0}};
+  EXPECT_FALSE(solve_spd(indefinite, {1.0, 1.0}).has_value());
+}
+
+TEST(Lu, SolvesGeneralSystem) {
+  const Matrix a{{0.0, 2.0, 1.0}, {1.0, -2.0, -3.0}, {-1.0, 1.0, 2.0}};
+  const auto d = lu_decompose(a);
+  ASSERT_TRUE(d.has_value());
+  const Vector b = {-8.0, 0.0, 3.0};
+  const Vector x = d->solve(b);
+  const Vector ax = a * x;
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(ax[i], b[i], 1e-10);
+}
+
+TEST(Lu, DetectsSingularMatrix) {
+  const Matrix singular{{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_FALSE(lu_decompose(singular).has_value());
+}
+
+TEST(Lu, DeterminantMatchesClosedForm) {
+  const Matrix a{{3.0, 1.0}, {2.0, 5.0}};
+  const auto d = lu_decompose(a);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_NEAR(d->determinant(), 13.0, 1e-12);
+}
+
+TEST(Lu, DeterminantTracksPivotSign) {
+  // Requires a row swap; determinant of [[0,1],[1,0]] is -1.
+  const Matrix a{{0.0, 1.0}, {1.0, 0.0}};
+  const auto d = lu_decompose(a);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_NEAR(d->determinant(), -1.0, 1e-12);
+}
+
+TEST(Inverse, TimesOriginalIsIdentity) {
+  util::Rng rng(17);
+  Matrix a(4, 4);
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 4; ++c) a(r, c) = rng.uniform(-2.0, 2.0);
+  a(0, 0) += 4.0;  // keep it comfortably nonsingular
+  const auto inv = inverse(a);
+  ASSERT_TRUE(inv.has_value());
+  EXPECT_LT((a * (*inv)).max_abs_diff(Matrix::identity(4)), 1e-9);
+}
+
+TEST(Inverse, SingularReturnsNullopt) {
+  EXPECT_FALSE(inverse(Matrix{{1.0, 1.0}, {1.0, 1.0}}).has_value());
+}
+
+}  // namespace
+}  // namespace hpcpower::linalg

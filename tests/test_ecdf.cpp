@@ -1,0 +1,107 @@
+// Tests for empirical CDFs.
+
+#include "stats/ecdf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/prng.hpp"
+
+namespace hpcpower::stats {
+namespace {
+
+TEST(Ecdf, EvaluateStepFunction) {
+  const Ecdf e(std::vector<double>{1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(e.evaluate(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(e.evaluate(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(e.evaluate(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(e.evaluate(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(e.evaluate(99.0), 1.0);
+}
+
+TEST(Ecdf, HandlesDuplicates) {
+  const Ecdf e(std::vector<double>{1.0, 1.0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(e.evaluate(1.0), 0.75);
+  EXPECT_DOUBLE_EQ(e.evaluate(1.5), 0.75);
+}
+
+TEST(Ecdf, EmptyBehaviour) {
+  const Ecdf e;
+  EXPECT_TRUE(e.empty());
+  EXPECT_DOUBLE_EQ(e.evaluate(1.0), 0.0);
+  EXPECT_THROW(e.quantile(0.5), std::out_of_range);
+  EXPECT_THROW(e.min(), std::out_of_range);
+}
+
+TEST(Ecdf, QuantileIsInverseOfEvaluate) {
+  const Ecdf e(std::vector<double>{10.0, 20.0, 30.0, 40.0, 50.0});
+  EXPECT_DOUBLE_EQ(e.quantile(0.2), 10.0);
+  EXPECT_DOUBLE_EQ(e.quantile(0.5), 30.0);
+  EXPECT_DOUBLE_EQ(e.quantile(1.0), 50.0);
+  EXPECT_DOUBLE_EQ(e.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(e.quantile(0.21), 20.0);
+}
+
+TEST(Ecdf, MeanMinMax) {
+  const Ecdf e(std::vector<double>{2.0, 4.0, 6.0});
+  EXPECT_DOUBLE_EQ(e.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(e.min(), 2.0);
+  EXPECT_DOUBLE_EQ(e.max(), 6.0);
+}
+
+TEST(Ecdf, FractionAbove) {
+  const Ecdf e(std::vector<double>{1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(e.fraction_above(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(e.fraction_above(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(e.fraction_above(4.0), 0.0);
+}
+
+TEST(Ecdf, CurveEndpointsAndMonotonicity) {
+  util::Rng rng(3);
+  std::vector<double> xs(500);
+  for (auto& x : xs) x = rng.normal(0.0, 1.0);
+  const Ecdf e(xs);
+  const auto curve = e.curve(50);
+  ASSERT_EQ(curve.size(), 50u);
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i - 1].first, curve[i].first);
+    EXPECT_LE(curve[i - 1].second, curve[i].second);
+  }
+}
+
+TEST(Ecdf, GaussianQuantilesRoughlyCorrect) {
+  util::Rng rng(5);
+  std::vector<double> xs(100000);
+  for (auto& x : xs) x = rng.normal(100.0, 15.0);
+  const Ecdf e(xs);
+  EXPECT_NEAR(e.quantile(0.5), 100.0, 0.5);
+  EXPECT_NEAR(e.quantile(0.8413), 115.0, 0.8);
+  EXPECT_NEAR(e.evaluate(100.0), 0.5, 0.01);
+}
+
+TEST(KsDistance, IdenticalSamplesGiveZero) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(ks_distance(Ecdf(xs), Ecdf(xs)), 0.0);
+}
+
+TEST(KsDistance, DisjointSamplesGiveOne) {
+  const Ecdf a(std::vector<double>{1.0, 2.0});
+  const Ecdf b(std::vector<double>{10.0, 20.0});
+  EXPECT_DOUBLE_EQ(ks_distance(a, b), 1.0);
+}
+
+TEST(KsDistance, SameDistributionSmall) {
+  util::Rng rng(7);
+  std::vector<double> xs(20000), ys(20000);
+  for (auto& x : xs) x = rng.normal(0.0, 1.0);
+  for (auto& y : ys) y = rng.normal(0.0, 1.0);
+  EXPECT_LT(ks_distance(Ecdf(xs), Ecdf(ys)), 0.03);
+}
+
+TEST(KsDistance, EmptyThrows) {
+  EXPECT_THROW(ks_distance(Ecdf(), Ecdf(std::vector<double>{1.0})),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hpcpower::stats

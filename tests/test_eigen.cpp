@@ -1,0 +1,144 @@
+// Tests for symmetric and generalized eigendecompositions.
+
+#include "linalg/eigen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/decomposition.hpp"
+#include "util/prng.hpp"
+
+namespace hpcpower::linalg {
+namespace {
+
+Matrix random_symmetric(std::size_t n, util::Rng& rng) {
+  Matrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = r; c < n; ++c) {
+      const double v = rng.uniform(-1.0, 1.0);
+      a(r, c) = v;
+      a(c, r) = v;
+    }
+  return a;
+}
+
+TEST(EigenSymmetric, DiagonalMatrixTrivial) {
+  const Matrix d{{3.0, 0.0}, {0.0, 1.0}};
+  const auto e = eigen_symmetric(d);
+  EXPECT_NEAR(e.values[0], 3.0, 1e-12);
+  EXPECT_NEAR(e.values[1], 1.0, 1e-12);
+}
+
+TEST(EigenSymmetric, KnownTwoByTwo) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  const auto e = eigen_symmetric(Matrix{{2.0, 1.0}, {1.0, 2.0}});
+  EXPECT_NEAR(e.values[0], 3.0, 1e-10);
+  EXPECT_NEAR(e.values[1], 1.0, 1e-10);
+  // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::abs(e.vectors(0, 0)), std::abs(e.vectors(1, 0)), 1e-10);
+}
+
+TEST(EigenSymmetric, ValuesSortedDescending) {
+  util::Rng rng(3);
+  const auto e = eigen_symmetric(random_symmetric(6, rng));
+  for (std::size_t i = 0; i + 1 < e.values.size(); ++i)
+    EXPECT_GE(e.values[i], e.values[i + 1]);
+}
+
+TEST(EigenSymmetric, SatisfiesDefinition) {
+  util::Rng rng(5);
+  const Matrix a = random_symmetric(5, rng);
+  const auto e = eigen_symmetric(a);
+  for (std::size_t c = 0; c < 5; ++c) {
+    Vector v(5);
+    for (std::size_t r = 0; r < 5; ++r) v[r] = e.vectors(r, c);
+    const Vector av = a * v;
+    for (std::size_t r = 0; r < 5; ++r) EXPECT_NEAR(av[r], e.values[c] * v[r], 1e-9);
+  }
+}
+
+TEST(EigenSymmetric, VectorsOrthonormal) {
+  util::Rng rng(7);
+  const auto e = eigen_symmetric(random_symmetric(5, rng));
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      double d = 0.0;
+      for (std::size_t r = 0; r < 5; ++r) d += e.vectors(r, i) * e.vectors(r, j);
+      EXPECT_NEAR(d, i == j ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(EigenSymmetric, TraceAndSumOfEigenvaluesAgree) {
+  util::Rng rng(9);
+  const Matrix a = random_symmetric(7, rng);
+  const auto e = eigen_symmetric(a);
+  double trace = 0.0, sum = 0.0;
+  for (std::size_t i = 0; i < 7; ++i) {
+    trace += a(i, i);
+    sum += e.values[i];
+  }
+  EXPECT_NEAR(trace, sum, 1e-9);
+}
+
+TEST(EigenSymmetric, RejectsAsymmetric) {
+  EXPECT_THROW(eigen_symmetric(Matrix{{1.0, 2.0}, {0.0, 1.0}}), std::invalid_argument);
+}
+
+TEST(EigenGeneralized, ReducesToStandardWhenBIsIdentity) {
+  util::Rng rng(11);
+  const Matrix a = random_symmetric(4, rng);
+  const auto gen = eigen_generalized(a, Matrix::identity(4));
+  ASSERT_TRUE(gen.has_value());
+  const auto std_e = eigen_symmetric(a);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(gen->values[i], std_e.values[i], 1e-9);
+}
+
+TEST(EigenGeneralized, SatisfiesGeneralizedDefinition) {
+  util::Rng rng(13);
+  const Matrix a = random_symmetric(4, rng);
+  Matrix b(4, 4);
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 4; ++c) b(r, c) = rng.uniform(-1.0, 1.0);
+  b = b.transposed() * b;
+  for (std::size_t i = 0; i < 4; ++i) b(i, i) += 4.0;
+
+  const auto e = eigen_generalized(a, b);
+  ASSERT_TRUE(e.has_value());
+  for (std::size_t c = 0; c < 4; ++c) {
+    Vector v(4);
+    for (std::size_t r = 0; r < 4; ++r) v[r] = e->vectors(r, c);
+    const Vector av = a * v;
+    const Vector bv = b * v;
+    for (std::size_t r = 0; r < 4; ++r)
+      EXPECT_NEAR(av[r], e->values[c] * bv[r], 1e-8);
+  }
+}
+
+TEST(EigenGeneralized, VectorsAreBOrthonormal) {
+  util::Rng rng(17);
+  const Matrix a = random_symmetric(3, rng);
+  Matrix b = Matrix::identity(3);
+  b(0, 0) = 2.0;
+  b(1, 1) = 5.0;
+  const auto e = eigen_generalized(a, b);
+  ASSERT_TRUE(e.has_value());
+  for (std::size_t i = 0; i < 3; ++i) {
+    Vector vi(3), bvj(3);
+    for (std::size_t r = 0; r < 3; ++r) vi[r] = e->vectors(r, i);
+    for (std::size_t j = 0; j < 3; ++j) {
+      Vector vj(3);
+      for (std::size_t r = 0; r < 3; ++r) vj[r] = e->vectors(r, j);
+      const Vector bv = b * vj;
+      EXPECT_NEAR(dot(vi, bv), i == j ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(EigenGeneralized, RejectsNonSpdB) {
+  const Matrix a{{1.0, 0.0}, {0.0, 1.0}};
+  const Matrix b{{1.0, 2.0}, {2.0, 1.0}};
+  EXPECT_FALSE(eigen_generalized(a, b).has_value());
+}
+
+}  // namespace
+}  // namespace hpcpower::linalg

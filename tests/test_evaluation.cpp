@@ -1,0 +1,119 @@
+// Tests for the model-evaluation harness (Fig 14/15 protocol).
+
+#include "ml/evaluation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "ml/baselines.hpp"
+#include "ml/decision_tree.hpp"
+#include "util/prng.hpp"
+
+namespace hpcpower::ml {
+namespace {
+
+Dataset noisy_template_dataset(std::uint64_t seed = 3, std::size_t jobs = 2000) {
+  util::Rng rng(seed);
+  Dataset d(3);
+  for (std::size_t i = 0; i < jobs; ++i) {
+    const double user = static_cast<double>(rng.uniform_index(15));
+    const double nodes = static_cast<double>(1 + rng.uniform_index(8));
+    const double wall = static_cast<double>(60 * (1 + rng.uniform_index(4)));
+    const double power = 80.0 + 7.0 * user + 2.0 * nodes + 0.05 * wall;
+    d.add_row(std::array<double, 3>{user, nodes, wall},
+              power * (1.0 + 0.02 * rng.normal()), static_cast<std::uint32_t>(user));
+  }
+  return d;
+}
+
+TEST(Evaluation, CollectsErrorsOverAllRepeats) {
+  const Dataset d = noisy_template_dataset();
+  EvaluationConfig cfg;
+  cfg.repeats = 4;
+  const auto result = evaluate_model(
+      d, [] { return std::make_unique<DecisionTreeRegressor>(); }, cfg);
+  EXPECT_EQ(result.model, "BDT");
+  // ~20% validation per repeat, 4 repeats.
+  EXPECT_NEAR(static_cast<double>(result.errors.size()), 0.2 * 2000 * 4, 200.0);
+}
+
+TEST(Evaluation, TreeIsAccurateOnStructuredData) {
+  const Dataset d = noisy_template_dataset();
+  EvaluationConfig cfg;
+  cfg.repeats = 3;
+  const auto result = evaluate_model(
+      d, [] { return std::make_unique<DecisionTreeRegressor>(); }, cfg);
+  EXPECT_LT(result.mean_error(), 0.06);
+  EXPECT_GT(result.fraction_below(0.10), 0.9);
+}
+
+TEST(Evaluation, FractionBelowIsMonotone) {
+  const Dataset d = noisy_template_dataset();
+  EvaluationConfig cfg;
+  cfg.repeats = 2;
+  const auto r = evaluate_model(
+      d, [] { return std::make_unique<GlobalMeanRegressor>(); }, cfg);
+  EXPECT_LE(r.fraction_below(0.05), r.fraction_below(0.10));
+  EXPECT_LE(r.fraction_below(0.10), r.fraction_below(0.50));
+}
+
+TEST(Evaluation, PerUserErrorsCoverUsers) {
+  const Dataset d = noisy_template_dataset();
+  EvaluationConfig cfg;
+  cfg.repeats = 5;
+  const auto r = evaluate_model(
+      d, [] { return std::make_unique<DecisionTreeRegressor>(); }, cfg);
+  EXPECT_GE(r.per_user_mean_error.size(), 14u);  // nearly all 15 users
+  EXPECT_EQ(r.per_user_errors().size(), r.per_user_mean_error.size());
+  EXPECT_GT(r.user_fraction_below(0.10), 0.8);
+}
+
+TEST(Evaluation, DeterministicForSameSeed) {
+  const Dataset d = noisy_template_dataset();
+  EvaluationConfig cfg;
+  cfg.repeats = 2;
+  cfg.seed = 77;
+  const auto a = evaluate_model(
+      d, [] { return std::make_unique<DecisionTreeRegressor>(); }, cfg);
+  const auto b = evaluate_model(
+      d, [] { return std::make_unique<DecisionTreeRegressor>(); }, cfg);
+  ASSERT_EQ(a.errors.size(), b.errors.size());
+  for (std::size_t i = 0; i < a.errors.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.errors[i], b.errors[i]);
+}
+
+TEST(Evaluation, PaperModelsReturnsThreeModels) {
+  const Dataset d = noisy_template_dataset(5, 800);
+  EvaluationConfig cfg;
+  cfg.repeats = 2;
+  const auto models = evaluate_paper_models(d, cfg);
+  ASSERT_EQ(models.size(), 3u);
+  EXPECT_EQ(models[0].model, "BDT");
+  EXPECT_EQ(models[1].model, "KNN");
+  EXPECT_EQ(models[2].model, "FLDA");
+}
+
+TEST(Evaluation, BaselinesAppendedOnRequest) {
+  const Dataset d = noisy_template_dataset(5, 800);
+  EvaluationConfig cfg;
+  cfg.repeats = 2;
+  const auto models = evaluate_paper_models(d, cfg, /*include_baselines=*/true);
+  ASSERT_EQ(models.size(), 5u);
+  EXPECT_EQ(models[3].model, "UserMean");
+  EXPECT_EQ(models[4].model, "GlobalMean");
+}
+
+TEST(Evaluation, ErrorCdfMatchesErrors) {
+  const Dataset d = noisy_template_dataset(7, 600);
+  EvaluationConfig cfg;
+  cfg.repeats = 1;
+  const auto r = evaluate_model(
+      d, [] { return std::make_unique<GlobalMeanRegressor>(); }, cfg);
+  const auto cdf = r.error_cdf();
+  EXPECT_EQ(cdf.size(), r.errors.size());
+  EXPECT_NEAR(cdf.evaluate(0.10), r.fraction_below(0.10), 0.02);
+}
+
+}  // namespace
+}  // namespace hpcpower::ml

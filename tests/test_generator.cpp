@@ -1,0 +1,194 @@
+// Tests for the workload (job stream) generator.
+
+#include "workload/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace hpcpower::workload {
+namespace {
+
+GeneratorConfig small_config(std::uint64_t seed = 42) {
+  GeneratorConfig c;
+  c.seed = seed;
+  c.duration = util::MinuteTime::from_days(3.0);
+  return c;
+}
+
+TEST(WorkloadGenerator, ProducesSortedStream) {
+  WorkloadGenerator gen(cluster::emmy_spec(), emmy_calibration(), small_config());
+  const auto jobs = gen.generate();
+  ASSERT_FALSE(jobs.empty());
+  EXPECT_TRUE(std::is_sorted(jobs.begin(), jobs.end(), [](const auto& a, const auto& b) {
+    return a.submit < b.submit;
+  }));
+}
+
+TEST(WorkloadGenerator, JobIdsUniqueAndIncreasing) {
+  WorkloadGenerator gen(cluster::emmy_spec(), emmy_calibration(), small_config());
+  const auto jobs = gen.generate();
+  for (std::size_t i = 1; i < jobs.size(); ++i)
+    EXPECT_LT(jobs[i - 1].job_id, jobs[i].job_id);
+}
+
+TEST(WorkloadGenerator, RuntimeNeverExceedsWalltime) {
+  WorkloadGenerator gen(cluster::meggie_spec(), meggie_calibration(), small_config());
+  for (const JobRequest& j : gen.generate()) {
+    EXPECT_LE(j.runtime_min, j.walltime_req_min);
+    EXPECT_GE(j.runtime_min, 1u);
+  }
+}
+
+TEST(WorkloadGenerator, PowerWithinPhysicalBounds) {
+  WorkloadGenerator gen(cluster::emmy_spec(), emmy_calibration(), small_config());
+  for (const JobRequest& j : gen.generate()) {
+    EXPECT_GT(j.behavior.base_watts, j.behavior.idle_watts);
+    EXPECT_LT(j.behavior.base_watts, j.behavior.max_watts);
+    EXPECT_GT(j.behavior.job_seed, 0u);
+  }
+}
+
+TEST(WorkloadGenerator, DeterministicForSameSeed) {
+  WorkloadGenerator a(cluster::emmy_spec(), emmy_calibration(), small_config(7));
+  WorkloadGenerator b(cluster::emmy_spec(), emmy_calibration(), small_config(7));
+  const auto ja = a.generate();
+  const auto jb = b.generate();
+  ASSERT_EQ(ja.size(), jb.size());
+  for (std::size_t i = 0; i < ja.size(); ++i) {
+    EXPECT_EQ(ja[i].user_id, jb[i].user_id);
+    EXPECT_EQ(ja[i].submit.minutes(), jb[i].submit.minutes());
+    EXPECT_DOUBLE_EQ(ja[i].behavior.base_watts, jb[i].behavior.base_watts);
+  }
+}
+
+TEST(WorkloadGenerator, DifferentSeedsProduceDifferentStreams) {
+  WorkloadGenerator a(cluster::emmy_spec(), emmy_calibration(), small_config(7));
+  WorkloadGenerator b(cluster::emmy_spec(), emmy_calibration(), small_config(8));
+  EXPECT_NE(a.generate().size(), b.generate().size());
+}
+
+TEST(WorkloadGenerator, ExpectedNodeMinutesMatchesMonteCarlo) {
+  // Directly validate the arrival-rate calibration input: the population's
+  // analytic node-minutes-per-job expectation vs brute-force sampling.
+  const auto spec = cluster::emmy_spec();
+  const auto cal = emmy_calibration();
+  ApplicationCatalog catalog;
+  util::Rng pop_rng(util::derive_stream(42, "user-population"));
+  UserPopulation pop(spec, cal, catalog, pop_rng);
+
+  util::Rng rng(99);
+  const util::DiscreteSampler user_sampler(pop.activity_weights());
+  double sum = 0.0;
+  constexpr int kDraws = 300000;
+  for (int i = 0; i < kDraws; ++i) {
+    const User& u = pop.user(static_cast<UserId>(user_sampler.sample(rng)));
+    std::vector<double> w;
+    w.reserve(u.templates.size());
+    for (const JobTemplate& t : u.templates) w.push_back(t.weight);
+    const JobTemplate& t = u.templates[rng.weighted_index(w)];
+    sum += static_cast<double>(t.nnodes) * t.walltime_req_min * t.runtime_fraction_mean;
+  }
+  const double mc = sum / kDraws;
+  EXPECT_NEAR(mc, pop.expected_node_minutes_per_job(),
+              0.05 * pop.expected_node_minutes_per_job());
+}
+
+TEST(WorkloadGenerator, OfferedLoadMatchesTargetRoughly) {
+  // Campaign-level check; node-minutes-per-job is heavy tailed, so this can
+  // only be a coarse bound at test-friendly durations.
+  const auto spec = cluster::emmy_spec();
+  const auto cal = emmy_calibration();
+  GeneratorConfig cfg = small_config();
+  cfg.duration = util::MinuteTime::from_days(21.0);
+  WorkloadGenerator gen(spec, cal, cfg);
+  const auto jobs = gen.generate();
+  double node_minutes = 0.0;
+  for (const JobRequest& j : jobs)
+    node_minutes += static_cast<double>(j.nnodes) * j.runtime_min;
+  const double capacity =
+      static_cast<double>(spec.node_count) * static_cast<double>(cfg.duration.minutes());
+  EXPECT_NEAR(node_minutes / capacity, cal.target_offered_load, 0.25);
+}
+
+TEST(WorkloadGenerator, LoadScaleScalesJobCount) {
+  GeneratorConfig base = small_config();
+  GeneratorConfig half = small_config();
+  half.load_scale = 0.5;
+  WorkloadGenerator a(cluster::emmy_spec(), emmy_calibration(), base);
+  WorkloadGenerator b(cluster::emmy_spec(), emmy_calibration(), half);
+  const double ratio = static_cast<double>(b.generate().size()) /
+                       static_cast<double>(a.generate().size());
+  EXPECT_NEAR(ratio, 0.5, 0.08);
+}
+
+TEST(WorkloadGenerator, RateModulationAveragesToOne) {
+  WorkloadGenerator gen(cluster::emmy_spec(), emmy_calibration(), small_config());
+  double sum = 0.0;
+  const int week = 7 * 24 * 60;
+  for (int m = 0; m < week; m += 5) sum += gen.rate_modulation(util::MinuteTime(m));
+  EXPECT_NEAR(sum / (week / 5.0), 1.0, 0.02);
+}
+
+TEST(WorkloadGenerator, WeekendsAreQuieter) {
+  WorkloadGenerator gen(cluster::emmy_spec(), emmy_calibration(), small_config());
+  // Day 2 (Wednesday-ish) noon vs day 5 (weekend) noon.
+  const double weekday =
+      gen.rate_modulation(util::MinuteTime::from_days(2.0) + util::MinuteTime(12 * 60));
+  const double weekend =
+      gen.rate_modulation(util::MinuteTime::from_days(5.0) + util::MinuteTime(12 * 60));
+  EXPECT_GT(weekday, weekend);
+}
+
+TEST(WorkloadGenerator, AnomalousJobsAppearAtCalibratedRate) {
+  GeneratorConfig cfg = small_config();
+  cfg.duration = util::MinuteTime::from_days(10.0);
+  WorkloadGenerator gen(cluster::emmy_spec(), emmy_calibration(), cfg);
+  const auto jobs = gen.generate();
+  std::size_t anomalous = 0;
+  for (const JobRequest& j : jobs) anomalous += j.anomalous;
+  const double rate = static_cast<double>(anomalous) / static_cast<double>(jobs.size());
+  EXPECT_NEAR(rate, emmy_calibration().anomalous_job_prob, 0.015);
+}
+
+TEST(WorkloadGenerator, AnomalousJobsDrawLowPower) {
+  GeneratorConfig cfg = small_config();
+  cfg.duration = util::MinuteTime::from_days(10.0);
+  WorkloadGenerator gen(cluster::emmy_spec(), emmy_calibration(), cfg);
+  for (const JobRequest& j : gen.generate()) {
+    if (j.anomalous) {
+      EXPECT_LT(j.behavior.base_watts, 0.40 * cluster::emmy_spec().node_tdp_watts);
+    }
+  }
+}
+
+TEST(WorkloadGenerator, TemplateInstancesShareConfiguration) {
+  // Two jobs of the same (user, template) must have identical nnodes and
+  // walltime and near-identical power - that is what makes them predictable.
+  GeneratorConfig cfg = small_config();
+  cfg.duration = util::MinuteTime::from_days(10.0);
+  WorkloadGenerator gen(cluster::emmy_spec(), emmy_calibration(), cfg);
+  const auto jobs = gen.generate();
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::vector<const JobRequest*>> groups;
+  for (const JobRequest& j : jobs)
+    if (!j.anomalous) groups[{j.user_id, j.template_idx}].push_back(&j);
+  std::size_t checked = 0;
+  for (const auto& [key, instances] : groups) {
+    if (instances.size() < 2) continue;
+    // Input-sensitive templates intentionally vary between instances.
+    const JobTemplate& tmpl =
+        gen.population().user(key.first).templates.at(key.second);
+    if (tmpl.instance_power_sigma > 0.05) continue;
+    ++checked;
+    for (const JobRequest* j : instances) {
+      EXPECT_EQ(j->nnodes, instances.front()->nnodes);
+      EXPECT_EQ(j->walltime_req_min, instances.front()->walltime_req_min);
+      EXPECT_NEAR(j->behavior.base_watts, instances.front()->behavior.base_watts,
+                  0.15 * instances.front()->behavior.base_watts);
+    }
+  }
+  EXPECT_GT(checked, 10u);
+}
+
+}  // namespace
+}  // namespace hpcpower::workload

@@ -1,0 +1,107 @@
+// Tests for histograms / PDF estimation.
+
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/prng.hpp"
+
+namespace hpcpower::stats {
+namespace {
+
+TEST(Histogram, BinsValuesCorrectly) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(3.0);   // bin 1
+  h.add(9.99);  // bin 4
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, ClampsOutOfRangeIntoEdgeBins) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-5.0);
+  h.add(25.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(Histogram, BinCentersAndWidth) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(4), 9.0);
+  EXPECT_THROW(h.bin_center(5), std::out_of_range);
+}
+
+TEST(Histogram, PmfSumsToOne) {
+  Histogram h(0.0, 1.0, 10);
+  util::Rng rng(7);
+  for (int i = 0; i < 1000; ++i) h.add(rng.uniform());
+  const auto pmf = h.pmf();
+  EXPECT_NEAR(std::accumulate(pmf.begin(), pmf.end(), 0.0), 1.0, 1e-12);
+}
+
+TEST(Histogram, PdfIntegratesToOne) {
+  Histogram h(0.0, 200.0, 40);
+  util::Rng rng(11);
+  for (int i = 0; i < 5000; ++i) h.add(rng.normal(100.0, 20.0));
+  const auto pdf = h.pdf();
+  double integral = 0.0;
+  for (double d : pdf) integral += d * h.bin_width();
+  EXPECT_NEAR(integral, 1.0, 1e-12);
+}
+
+TEST(Histogram, EmptyPmfIsAllZero) {
+  Histogram h(0.0, 1.0, 4);
+  for (double p : h.pmf()) EXPECT_DOUBLE_EQ(p, 0.0);
+}
+
+TEST(Histogram, ModeBinTracksPeak) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(6.5);
+  h.add(1.0);
+  EXPECT_EQ(h.mode_bin(), 6u);
+}
+
+TEST(Histogram, GaussianPeakNearMean) {
+  Histogram h(50.0, 250.0, 50);
+  util::Rng rng(13);
+  for (int i = 0; i < 50000; ++i) h.add(rng.normal(149.0, 39.0));
+  EXPECT_NEAR(h.bin_center(h.mode_bin()), 149.0, 10.0);
+}
+
+TEST(Histogram, InvalidConstructionThrows) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 5), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 5), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(SuggestBins, GrowsWithSampleSize) {
+  util::Rng rng(17);
+  std::vector<double> small(100), large(100000);
+  for (auto& x : small) x = rng.normal(0.0, 1.0);
+  for (auto& x : large) x = rng.normal(0.0, 1.0);
+  EXPECT_GE(suggest_bins(large), suggest_bins(small));
+}
+
+TEST(SuggestBins, DegenerateDataGivesMinimum) {
+  const std::vector<double> flat(50, 3.0);
+  EXPECT_EQ(suggest_bins(flat, 10, 200), 10u);
+  EXPECT_EQ(suggest_bins(std::vector<double>{1.0}, 10, 200), 10u);
+}
+
+TEST(SuggestBins, RespectsClamp) {
+  util::Rng rng(19);
+  std::vector<double> huge(200000);
+  for (auto& x : huge) x = rng.uniform();
+  EXPECT_LE(suggest_bins(huge, 10, 60), 60u);
+}
+
+}  // namespace
+}  // namespace hpcpower::stats

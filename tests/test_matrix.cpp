@@ -1,0 +1,119 @@
+// Tests for dense matrix/vector operations.
+
+#include "linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hpcpower::linalg {
+namespace {
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+}
+
+TEST(Matrix, InitializerListConstruction) {
+  const Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 4.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, IdentityMultiplicationIsNeutral) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix i = Matrix::identity(2);
+  EXPECT_DOUBLE_EQ((a * i).max_abs_diff(a), 0.0);
+  EXPECT_DOUBLE_EQ((i * a).max_abs_diff(a), 0.0);
+}
+
+TEST(Matrix, MultiplicationMatchesHandComputation) {
+  const Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix b{{7.0, 8.0}, {9.0, 10.0}, {11.0, 12.0}};
+  const Matrix c = a * b;
+  ASSERT_EQ(c.rows(), 2u);
+  ASSERT_EQ(c.cols(), 2u);
+  EXPECT_DOUBLE_EQ(c(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
+}
+
+TEST(Matrix, MultiplyShapeMismatchThrows) {
+  const Matrix a(2, 3);
+  const Matrix b(2, 3);
+  EXPECT_THROW(a * b, std::invalid_argument);
+}
+
+TEST(Matrix, MatrixVectorProduct) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Vector v = {5.0, 6.0};
+  const Vector r = a * v;
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_DOUBLE_EQ(r[0], 17.0);
+  EXPECT_DOUBLE_EQ(r[1], 39.0);
+}
+
+TEST(Matrix, TransposeRoundTrips) {
+  const Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = a.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  EXPECT_DOUBLE_EQ(t.transposed().max_abs_diff(a), 0.0);
+}
+
+TEST(Matrix, AdditionAndSubtraction) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{0.5, 0.5}, {0.5, 0.5}};
+  EXPECT_DOUBLE_EQ((a + b)(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ((a - b)(1, 1), 3.5);
+}
+
+TEST(Matrix, ScalarScaling) {
+  Matrix a{{1.0, -2.0}};
+  a *= -2.0;
+  EXPECT_DOUBLE_EQ(a(0, 0), -2.0);
+  EXPECT_DOUBLE_EQ(a(0, 1), 4.0);
+}
+
+TEST(Matrix, SymmetryCheck) {
+  const Matrix sym{{2.0, 1.0}, {1.0, 3.0}};
+  const Matrix asym{{2.0, 1.0}, {0.0, 3.0}};
+  EXPECT_TRUE(sym.is_symmetric());
+  EXPECT_FALSE(asym.is_symmetric());
+  EXPECT_FALSE(Matrix(2, 3).is_symmetric());
+}
+
+TEST(VectorOps, DotAndNorm) {
+  const Vector a = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(dot(a, a), 25.0);
+  EXPECT_DOUBLE_EQ(norm2(a), 5.0);
+}
+
+TEST(VectorOps, SubtractAndAxpy) {
+  const Vector a = {5.0, 7.0};
+  const Vector b = {2.0, 3.0};
+  const Vector d = subtract(a, b);
+  EXPECT_DOUBLE_EQ(d[0], 3.0);
+  EXPECT_DOUBLE_EQ(d[1], 4.0);
+  const Vector s = axpy(a, 2.0, b);
+  EXPECT_DOUBLE_EQ(s[0], 9.0);
+  EXPECT_DOUBLE_EQ(s[1], 13.0);
+}
+
+TEST(VectorOps, OuterProduct) {
+  const Matrix o = outer({1.0, 2.0}, {3.0, 4.0, 5.0});
+  ASSERT_EQ(o.rows(), 2u);
+  ASSERT_EQ(o.cols(), 3u);
+  EXPECT_DOUBLE_EQ(o(1, 2), 10.0);
+}
+
+}  // namespace
+}  // namespace hpcpower::linalg

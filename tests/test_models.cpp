@@ -1,0 +1,312 @@
+// Tests for the prediction models (BDT, KNN, FLDA, baselines).
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "ml/baselines.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/flda.hpp"
+#include "ml/knn.hpp"
+#include "util/prng.hpp"
+
+namespace hpcpower::ml {
+namespace {
+
+/// Template-world dataset: each (user, nodes, walltime) triple maps to a
+/// fixed power level plus small noise - the structure of the real problem.
+Dataset template_world(std::size_t jobs, std::uint32_t users, double noise,
+                       std::uint64_t seed) {
+  util::Rng rng(seed);
+  struct Tmpl {
+    double user, nodes, wall, power;
+  };
+  std::vector<Tmpl> templates;
+  for (std::uint32_t u = 0; u < users; ++u) {
+    const std::size_t n_tmpl = 2 + rng.uniform_index(3);
+    for (std::size_t t = 0; t < n_tmpl; ++t) {
+      Tmpl tm;
+      tm.user = u;
+      tm.nodes = static_cast<double>(1 << rng.uniform_index(6));
+      tm.wall = static_cast<double>(60 * (1 + rng.uniform_index(8)));
+      tm.power = rng.uniform(60.0, 200.0);
+      templates.push_back(tm);
+    }
+  }
+  Dataset d(3);
+  for (std::size_t i = 0; i < jobs; ++i) {
+    const Tmpl& tm = templates[rng.uniform_index(templates.size())];
+    const double y = tm.power * (1.0 + noise * rng.normal());
+    d.add_row(std::array<double, 3>{tm.user, tm.nodes, tm.wall}, y,
+              static_cast<std::uint32_t>(tm.user));
+  }
+  return d;
+}
+
+double mean_validation_error(Regressor& model, const Dataset& d, std::uint64_t seed) {
+  util::Rng rng(seed);
+  const Split split = make_split(d, 0.8, rng);
+  model.fit(d.subset(split.train));
+  double total = 0.0;
+  for (const std::size_t i : split.validation)
+    total += absolute_percent_error(d.target(i), model.predict(d.row(i)));
+  return total / static_cast<double>(split.validation.size());
+}
+
+// ---------------- decision tree ----------------
+
+TEST(DecisionTree, FitsConstantTarget) {
+  Dataset d(1);
+  for (int i = 0; i < 20; ++i)
+    d.add_row(std::array<double, 1>{static_cast<double>(i)}, 42.0, 0);
+  DecisionTreeRegressor tree;
+  tree.fit(d);
+  EXPECT_DOUBLE_EQ(tree.predict(std::array<double, 1>{5.0}), 42.0);
+}
+
+TEST(DecisionTree, LearnsStepFunction) {
+  Dataset d(1);
+  for (int i = 0; i < 100; ++i) {
+    const double x = static_cast<double>(i);
+    d.add_row(std::array<double, 1>{x}, x < 50.0 ? 10.0 : 20.0, 0);
+  }
+  DecisionTreeRegressor tree;
+  tree.fit(d);
+  EXPECT_DOUBLE_EQ(tree.predict(std::array<double, 1>{25.0}), 10.0);
+  EXPECT_DOUBLE_EQ(tree.predict(std::array<double, 1>{75.0}), 20.0);
+}
+
+TEST(DecisionTree, SplitsOnInformativeFeature) {
+  // Feature 0 is noise; feature 1 determines the target.
+  util::Rng rng(3);
+  Dataset d(2);
+  for (int i = 0; i < 400; ++i) {
+    const double informative = rng.bernoulli(0.5) ? 1.0 : 0.0;
+    d.add_row(std::array<double, 2>{rng.uniform(), informative},
+              informative * 100.0, 0);
+  }
+  DecisionTreeRegressor tree;
+  tree.fit(d);
+  EXPECT_NEAR(tree.predict(std::array<double, 2>{0.5, 1.0}), 100.0, 1.0);
+  EXPECT_NEAR(tree.predict(std::array<double, 2>{0.5, 0.0}), 0.0, 1.0);
+}
+
+TEST(DecisionTree, RespectsMaxDepth) {
+  Dataset d(1);
+  util::Rng rng(5);
+  for (int i = 0; i < 512; ++i)
+    d.add_row(std::array<double, 1>{static_cast<double>(i)}, rng.uniform(), 0);
+  DecisionTreeConfig cfg;
+  cfg.max_depth = 3;
+  DecisionTreeRegressor tree(cfg);
+  tree.fit(d);
+  EXPECT_LE(tree.depth(), 3u);
+  EXPECT_LE(tree.leaf_count(), 8u);
+}
+
+TEST(DecisionTree, MinSamplesLeafEnforced) {
+  Dataset d(1);
+  for (int i = 0; i < 16; ++i)
+    d.add_row(std::array<double, 1>{static_cast<double>(i)},
+              static_cast<double>(i), 0);
+  DecisionTreeConfig cfg;
+  cfg.min_samples_leaf = 4;
+  DecisionTreeRegressor tree(cfg);
+  tree.fit(d);
+  EXPECT_LE(tree.leaf_count(), 4u);
+}
+
+TEST(DecisionTree, InterpolatesTemplateWorldWell) {
+  const Dataset d = template_world(3000, 20, 0.02, 7);
+  DecisionTreeRegressor tree;
+  EXPECT_LT(mean_validation_error(tree, d, 11), 0.05);
+}
+
+TEST(DecisionTree, PredictBeforeFitThrows) {
+  DecisionTreeRegressor tree;
+  EXPECT_THROW((void)tree.predict(std::array<double, 1>{1.0}), std::logic_error);
+}
+
+TEST(DecisionTree, EmptyTrainingThrows) {
+  DecisionTreeRegressor tree;
+  EXPECT_THROW(tree.fit(Dataset(1)), std::invalid_argument);
+}
+
+TEST(DecisionTree, RefitReplacesModel) {
+  Dataset a(1), b(1);
+  for (int i = 0; i < 10; ++i) {
+    a.add_row(std::array<double, 1>{static_cast<double>(i)}, 1.0, 0);
+    b.add_row(std::array<double, 1>{static_cast<double>(i)}, 2.0, 0);
+  }
+  DecisionTreeRegressor tree;
+  tree.fit(a);
+  tree.fit(b);
+  EXPECT_DOUBLE_EQ(tree.predict(std::array<double, 1>{0.0}), 2.0);
+}
+
+// ---------------- knn ----------------
+
+TEST(Knn, ExactNeighborDominatesWithDistanceWeighting) {
+  Dataset d(2);
+  d.add_row(std::array<double, 2>{0.0, 0.0}, 10.0, 0);
+  d.add_row(std::array<double, 2>{10.0, 10.0}, 20.0, 0);
+  d.add_row(std::array<double, 2>{20.0, 20.0}, 30.0, 0);
+  KnnConfig cfg;
+  cfg.k = 3;
+  cfg.distance_weighted = true;
+  KnnRegressor knn(cfg);
+  knn.fit(d);
+  EXPECT_NEAR(knn.predict(std::array<double, 2>{0.0, 0.0}), 10.0, 0.01);
+}
+
+TEST(Knn, UniformAveragesNeighbors) {
+  Dataset d(1);
+  d.add_row(std::array<double, 1>{0.0}, 10.0, 0);
+  d.add_row(std::array<double, 1>{1.0}, 20.0, 0);
+  d.add_row(std::array<double, 1>{100.0}, 1000.0, 0);
+  KnnConfig cfg;
+  cfg.k = 2;
+  cfg.distance_weighted = false;
+  KnnRegressor knn(cfg);
+  knn.fit(d);
+  EXPECT_DOUBLE_EQ(knn.predict(std::array<double, 1>{0.4}), 15.0);
+}
+
+TEST(Knn, KLargerThanTrainingSetHandled) {
+  Dataset d(1);
+  d.add_row(std::array<double, 1>{0.0}, 5.0, 0);
+  KnnConfig cfg;
+  cfg.k = 10;
+  KnnRegressor knn(cfg);
+  knn.fit(d);
+  EXPECT_DOUBLE_EQ(knn.predict(std::array<double, 1>{3.0}), 5.0);
+}
+
+TEST(Knn, TemplateWorldAccuracyReasonable) {
+  const Dataset d = template_world(3000, 20, 0.02, 9);
+  KnnRegressor knn;
+  EXPECT_LT(mean_validation_error(knn, d, 13), 0.10);
+}
+
+TEST(Knn, ErrorsOnBadUsage) {
+  KnnRegressor knn;
+  EXPECT_THROW((void)knn.predict(std::array<double, 1>{1.0}), std::logic_error);
+  EXPECT_THROW(knn.fit(Dataset(1)), std::invalid_argument);
+  KnnConfig cfg;
+  cfg.k = 0;
+  KnnRegressor bad(cfg);
+  Dataset d(1);
+  d.add_row(std::array<double, 1>{0.0}, 1.0, 0);
+  EXPECT_THROW(bad.fit(d), std::invalid_argument);
+}
+
+TEST(Knn, DimensionMismatchThrows) {
+  Dataset d(2);
+  d.add_row(std::array<double, 2>{0.0, 1.0}, 1.0, 0);
+  KnnRegressor knn;
+  knn.fit(d);
+  EXPECT_THROW((void)knn.predict(std::array<double, 1>{1.0}), std::invalid_argument);
+}
+
+// ---------------- flda ----------------
+
+TEST(Flda, SeparatesLinearlySeparableClasses) {
+  // Power grows with feature 0: linearly separable classes.
+  util::Rng rng(15);
+  Dataset d(2);
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.uniform(0.0, 10.0);
+    d.add_row(std::array<double, 2>{x, rng.uniform()}, 50.0 + 10.0 * x, 0);
+  }
+  FldaRegressor flda;
+  flda.fit(d);
+  // Predictions should be monotone in x and roughly correct.
+  EXPECT_LT(flda.predict(std::array<double, 2>{1.0, 0.5}),
+            flda.predict(std::array<double, 2>{9.0, 0.5}));
+  EXPECT_NEAR(flda.predict(std::array<double, 2>{5.0, 0.5}), 100.0, 15.0);
+}
+
+TEST(Flda, WorseThanTreeOnNonlinearStructure) {
+  // The paper's Fig 14 finding in miniature: template structure is not
+  // linearly separable, so FLDA must trail BDT clearly.
+  const Dataset d = template_world(3000, 25, 0.02, 17);
+  FldaRegressor flda;
+  DecisionTreeRegressor tree;
+  const double flda_err = mean_validation_error(flda, d, 19);
+  const double tree_err = mean_validation_error(tree, d, 19);
+  EXPECT_GT(flda_err, 2.0 * tree_err);
+}
+
+TEST(Flda, NumDiscriminantsBounded) {
+  const Dataset d = template_world(500, 10, 0.02, 21);
+  FldaConfig cfg;
+  cfg.num_classes = 8;
+  FldaRegressor flda(cfg);
+  flda.fit(d);
+  EXPECT_EQ(flda.num_classes(), 8u);
+  EXPECT_LE(flda.num_discriminants(), 3u);  // min(dim=3, classes-1)
+}
+
+TEST(Flda, FewerSamplesThanClassesHandled) {
+  Dataset d(1);
+  for (int i = 0; i < 5; ++i)
+    d.add_row(std::array<double, 1>{static_cast<double>(i)}, i * 10.0, 0);
+  FldaConfig cfg;
+  cfg.num_classes = 12;
+  FldaRegressor flda(cfg);
+  flda.fit(d);  // classes clamped to sample count
+  EXPECT_EQ(flda.num_classes(), 5u);
+}
+
+TEST(Flda, ErrorsOnBadUsage) {
+  FldaRegressor flda;
+  EXPECT_THROW((void)flda.predict(std::array<double, 3>{1.0, 2.0, 3.0}),
+               std::logic_error);
+  EXPECT_THROW(flda.fit(Dataset(1)), std::invalid_argument);
+  FldaConfig cfg;
+  cfg.num_classes = 1;
+  FldaRegressor bad(cfg);
+  Dataset d(1);
+  d.add_row(std::array<double, 1>{0.0}, 1.0, 0);
+  EXPECT_THROW(bad.fit(d), std::invalid_argument);
+}
+
+// ---------------- baselines ----------------
+
+TEST(GlobalMean, PredictsTrainingMean) {
+  Dataset d(1);
+  for (double y : {10.0, 20.0, 30.0})
+    d.add_row(std::array<double, 1>{0.0}, y, 0);
+  GlobalMeanRegressor gm;
+  gm.fit(d);
+  EXPECT_DOUBLE_EQ(gm.predict(std::array<double, 1>{99.0}), 20.0);
+}
+
+TEST(UserMean, PredictsPerUserMeanWithFallback) {
+  Dataset d(3);
+  d.add_row(std::array<double, 3>{1.0, 4.0, 60.0}, 100.0, 1);
+  d.add_row(std::array<double, 3>{1.0, 8.0, 60.0}, 140.0, 1);
+  d.add_row(std::array<double, 3>{2.0, 4.0, 60.0}, 60.0, 2);
+  UserMeanRegressor um;
+  um.fit(d);
+  EXPECT_DOUBLE_EQ(um.predict(std::array<double, 3>{1.0, 0.0, 0.0}), 120.0);
+  EXPECT_DOUBLE_EQ(um.predict(std::array<double, 3>{2.0, 0.0, 0.0}), 60.0);
+  // Unknown user: global mean.
+  EXPECT_DOUBLE_EQ(um.predict(std::array<double, 3>{9.0, 0.0, 0.0}), 100.0);
+}
+
+TEST(UserMean, BeatsGlobalMeanButLosesToTree) {
+  const Dataset d = template_world(3000, 20, 0.02, 23);
+  GlobalMeanRegressor gm;
+  UserMeanRegressor um;
+  DecisionTreeRegressor tree;
+  const double gm_err = mean_validation_error(gm, d, 29);
+  const double um_err = mean_validation_error(um, d, 29);
+  const double tree_err = mean_validation_error(tree, d, 29);
+  EXPECT_LT(um_err, gm_err);
+  EXPECT_LT(tree_err, um_err);
+}
+
+}  // namespace
+}  // namespace hpcpower::ml

@@ -1,0 +1,107 @@
+// Tests for node population and allocation.
+
+#include "cluster/node.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace hpcpower::cluster {
+namespace {
+
+TEST(NodePopulation, SizeAndChassisGrouping) {
+  util::Rng rng(3);
+  const SystemSpec spec = emmy_spec();
+  const NodePopulation pop(spec, rng);
+  ASSERT_EQ(pop.size(), 560u);
+  EXPECT_EQ(pop.node(0).chassis, 0u);
+  EXPECT_EQ(pop.node(3).chassis, 0u);
+  EXPECT_EQ(pop.node(4).chassis, 1u);
+  EXPECT_EQ(pop.node(559).chassis, 139u);
+}
+
+TEST(NodePopulation, PowerFactorsCenteredAtOne) {
+  util::Rng rng(5);
+  const NodePopulation pop(meggie_spec(), rng);
+  EXPECT_NEAR(pop.mean_power_factor(), 1.0, 0.01);
+}
+
+TEST(NodePopulation, PowerFactorsWithinThreeSigma) {
+  util::Rng rng(7);
+  const SystemSpec spec = emmy_spec();
+  const NodePopulation pop(spec, rng);
+  for (const Node& n : pop.nodes()) {
+    EXPECT_GE(n.power_factor, 1.0 - 3.0 * spec.manufacturing_sigma);
+    EXPECT_LE(n.power_factor, 1.0 + 3.0 * spec.manufacturing_sigma);
+  }
+}
+
+TEST(NodePopulation, FactorsVaryAcrossNodes) {
+  util::Rng rng(9);
+  const NodePopulation pop(emmy_spec(), rng);
+  std::set<double> distinct;
+  for (const Node& n : pop.nodes()) distinct.insert(n.power_factor);
+  EXPECT_GT(distinct.size(), pop.size() / 2);
+}
+
+TEST(NodePopulation, DeterministicForSameSeed) {
+  util::Rng rng1(11), rng2(11);
+  const NodePopulation a(emmy_spec(), rng1), b(emmy_spec(), rng2);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.node(static_cast<NodeId>(i)).power_factor,
+                     b.node(static_cast<NodeId>(i)).power_factor);
+}
+
+TEST(NodeAllocator, AllocatesRequestedCount) {
+  NodeAllocator alloc(10);
+  EXPECT_EQ(alloc.free_count(), 10u);
+  const auto nodes = alloc.allocate(4);
+  EXPECT_EQ(nodes.size(), 4u);
+  EXPECT_EQ(alloc.free_count(), 6u);
+  EXPECT_EQ(alloc.busy_count(), 4u);
+}
+
+TEST(NodeAllocator, FailsWhenInsufficient) {
+  NodeAllocator alloc(3);
+  EXPECT_TRUE(alloc.allocate(4).empty());
+  EXPECT_EQ(alloc.free_count(), 3u);  // nothing consumed on failure
+}
+
+TEST(NodeAllocator, NoDoubleAllocation) {
+  NodeAllocator alloc(8);
+  const auto a = alloc.allocate(4);
+  const auto b = alloc.allocate(4);
+  std::set<NodeId> all(a.begin(), a.end());
+  all.insert(b.begin(), b.end());
+  EXPECT_EQ(all.size(), 8u);
+}
+
+TEST(NodeAllocator, ReleaseMakesNodesReusable) {
+  NodeAllocator alloc(4);
+  const auto a = alloc.allocate(4);
+  EXPECT_TRUE(alloc.allocate(1).empty());
+  alloc.release(a);
+  EXPECT_EQ(alloc.free_count(), 4u);
+  EXPECT_EQ(alloc.allocate(4).size(), 4u);
+}
+
+TEST(NodeAllocator, DoubleReleaseThrows) {
+  NodeAllocator alloc(4);
+  const auto a = alloc.allocate(2);
+  alloc.release(a);
+  EXPECT_THROW(alloc.release(a), std::logic_error);
+}
+
+TEST(NodeAllocator, ReleaseUnknownNodeThrows) {
+  NodeAllocator alloc(4);
+  EXPECT_THROW(alloc.release({99}), std::logic_error);
+}
+
+TEST(NodeAllocator, ZeroAllocationIsEmptyAndFree) {
+  NodeAllocator alloc(4);
+  EXPECT_TRUE(alloc.allocate(0).empty());
+  EXPECT_EQ(alloc.free_count(), 4u);
+}
+
+}  // namespace
+}  // namespace hpcpower::cluster

@@ -1,0 +1,92 @@
+// Tests for the command-line option parser.
+
+#include "util/options.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hpcpower::util {
+namespace {
+
+Options make_options() {
+  Options opts("prog", "test program");
+  opts.add_option("seed", "random seed", "42")
+      .add_option("days", "campaign length", "14")
+      .add_option("rate", "arrival rate", "1.5")
+      .add_option("name", "label", "default")
+      .add_flag("full", "run full campaign");
+  return opts;
+}
+
+TEST(Options, DefaultsApply) {
+  auto opts = make_options();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(opts.parse(1, argv));
+  EXPECT_EQ(opts.seed(), 42u);
+  EXPECT_EQ(opts.integer("days"), 14);
+  EXPECT_DOUBLE_EQ(opts.number("rate"), 1.5);
+  EXPECT_FALSE(opts.flag("full"));
+}
+
+TEST(Options, ParsesSpaceSeparatedValues) {
+  auto opts = make_options();
+  const char* argv[] = {"prog", "--days", "30", "--name", "emmy"};
+  ASSERT_TRUE(opts.parse(5, argv));
+  EXPECT_EQ(opts.integer("days"), 30);
+  EXPECT_EQ(opts.str("name"), "emmy");
+}
+
+TEST(Options, ParsesEqualsSyntax) {
+  auto opts = make_options();
+  const char* argv[] = {"prog", "--rate=2.25", "--full"};
+  ASSERT_TRUE(opts.parse(3, argv));
+  EXPECT_DOUBLE_EQ(opts.number("rate"), 2.25);
+  EXPECT_TRUE(opts.flag("full"));
+}
+
+TEST(Options, HelpReturnsFalse) {
+  auto opts = make_options();
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(opts.parse(2, argv));
+}
+
+TEST(Options, UnknownOptionThrows) {
+  auto opts = make_options();
+  const char* argv[] = {"prog", "--bogus", "1"};
+  EXPECT_THROW(opts.parse(3, argv), std::invalid_argument);
+}
+
+TEST(Options, MissingValueThrows) {
+  auto opts = make_options();
+  const char* argv[] = {"prog", "--days"};
+  EXPECT_THROW(opts.parse(2, argv), std::invalid_argument);
+}
+
+TEST(Options, FlagWithValueThrows) {
+  auto opts = make_options();
+  const char* argv[] = {"prog", "--full=yes"};
+  EXPECT_THROW(opts.parse(2, argv), std::invalid_argument);
+}
+
+TEST(Options, PositionalArgumentRejected) {
+  auto opts = make_options();
+  const char* argv[] = {"prog", "stray"};
+  EXPECT_THROW(opts.parse(2, argv), std::invalid_argument);
+}
+
+TEST(Options, UnregisteredLookupThrows) {
+  auto opts = make_options();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(opts.parse(1, argv));
+  EXPECT_THROW(opts.str("nonexistent"), std::out_of_range);
+}
+
+TEST(Options, HelpTextListsOptionsAndDefaults) {
+  auto opts = make_options();
+  const std::string help = opts.help_text();
+  EXPECT_NE(help.find("--seed"), std::string::npos);
+  EXPECT_NE(help.find("default: 42"), std::string::npos);
+  EXPECT_NE(help.find("--full"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hpcpower::util

@@ -1,0 +1,189 @@
+// Integration tests: workload -> scheduler -> telemetry pipeline.
+
+#include "telemetry/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hpp"
+#include "workload/generator.hpp"
+
+namespace hpcpower::telemetry {
+namespace {
+
+struct CampaignFixture {
+  cluster::SystemSpec spec;
+  std::vector<JobRecord> records;
+  SystemSeries series;
+  sched::SimulationResult sim_result;
+
+  explicit CampaignFixture(cluster::SystemSpec system_spec, double days = 2.0,
+                           double instrument_days = 1.0, std::uint64_t seed = 42) {
+    util::set_log_level(util::LogLevel::kWarn);
+    spec = std::move(system_spec);
+    workload::GeneratorConfig gcfg;
+    gcfg.seed = seed;
+    gcfg.duration = util::MinuteTime::from_days(days);
+    workload::WorkloadGenerator gen(spec, workload::calibration_for(spec.id), gcfg);
+    const auto jobs = gen.generate();
+
+    PipelineConfig pcfg;
+    pcfg.seed = seed;
+    pcfg.instrument_begin = util::MinuteTime(0);
+    pcfg.instrument_end = util::MinuteTime::from_days(instrument_days);
+    MonitoringPipeline pipeline(spec, pcfg);
+
+    sched::CampaignSimulator sim(spec.node_count, gcfg.duration);
+    sim_result = sim.run(jobs, pipeline.hooks());
+    records = std::move(pipeline.records());
+    series = pipeline.system_series();
+  }
+};
+
+// Shared across tests: building a campaign is the expensive part.
+const CampaignFixture& emmy_campaign() {
+  static const CampaignFixture fixture(cluster::emmy_spec());
+  return fixture;
+}
+
+TEST(MonitoringPipeline, OneRecordPerAccountedJob) {
+  const auto& f = emmy_campaign();
+  EXPECT_EQ(f.records.size(), f.sim_result.accounting.size());
+  EXPECT_GT(f.records.size(), 100u);
+}
+
+TEST(MonitoringPipeline, SeriesCoverFullHorizon) {
+  const auto& f = emmy_campaign();
+  EXPECT_EQ(f.series.total_power_w.size(), static_cast<std::size_t>(2 * 24 * 60));
+  EXPECT_EQ(f.series.busy_nodes.size(), f.series.total_power_w.size());
+}
+
+TEST(MonitoringPipeline, PowerWithinPhysicalBounds) {
+  const auto& f = emmy_campaign();
+  const double idle_floor =
+      f.spec.idle_power_fraction * f.spec.node_tdp_watts * f.spec.node_count * 0.8;
+  const double provisioned = f.spec.provisioned_power_watts() * 1.05;
+  for (const double p : f.series.total_power_w) {
+    EXPECT_GT(p, idle_floor);
+    EXPECT_LT(p, provisioned);
+  }
+}
+
+TEST(MonitoringPipeline, JobRecordFieldsConsistent) {
+  const auto& f = emmy_campaign();
+  for (const JobRecord& r : f.records) {
+    EXPECT_GT(r.mean_node_power_w, 0.0);
+    EXPECT_LE(r.mean_node_power_w, f.spec.node_tdp_watts * 1.05);
+    EXPECT_GE(r.peak_node_power_w, r.mean_node_power_w - 1e-9);
+    EXPECT_GE(r.temporal_std_w, 0.0);
+    EXPECT_GE(r.end.minutes(), r.start.minutes());
+    EXPECT_GE(r.start.minutes(), r.submit.minutes());
+    EXPECT_NEAR(r.mean_pkg_w + r.mean_dram_w, r.mean_node_power_w, 1e-6);
+    EXPECT_GT(r.mean_pkg_w, r.mean_dram_w);  // PKG dominates
+  }
+}
+
+TEST(MonitoringPipeline, EnergyMatchesMeanPowerTimesNodeTime) {
+  const auto& f = emmy_campaign();
+  for (const JobRecord& r : f.records) {
+    if (r.runtime_min() == 0) continue;
+    const double expected_kwh = r.mean_node_power_w * r.nnodes *
+                                static_cast<double>(r.runtime_min()) / 60.0 / 1000.0;
+    EXPECT_NEAR(r.energy_kwh, expected_kwh, expected_kwh * 1e-6 + 1e-9);
+  }
+}
+
+TEST(MonitoringPipeline, NodeEnergyBoundsBracketMean) {
+  const auto& f = emmy_campaign();
+  for (const JobRecord& r : f.records) {
+    if (r.nnodes == 0 || r.runtime_min() == 0) continue;
+    const double mean_per_node = r.energy_kwh / r.nnodes;
+    EXPECT_LE(r.node_energy_min_kwh, mean_per_node + 1e-9);
+    EXPECT_GE(r.node_energy_max_kwh, mean_per_node - 1e-9);
+  }
+}
+
+TEST(MonitoringPipeline, DetailOnlyForInstrumentedWindow) {
+  const auto& f = emmy_campaign();
+  const auto window_end = util::MinuteTime::from_days(1.0);
+  std::size_t detailed = 0;
+  for (const JobRecord& r : f.records) {
+    if (r.detail) {
+      ++detailed;
+      EXPECT_LT(r.start.minutes(), window_end.minutes());
+    }
+  }
+  EXPECT_GT(detailed, 50u);
+  EXPECT_LT(detailed, f.records.size());
+}
+
+TEST(MonitoringPipeline, DetailMetricsInValidRanges) {
+  const auto& f = emmy_campaign();
+  for (const JobRecord& r : f.records) {
+    if (!r.detail) continue;
+    EXPECT_GE(r.detail->peak_overshoot, 0.0);
+    EXPECT_LT(r.detail->peak_overshoot, 2.0);
+    EXPECT_GE(r.detail->frac_time_above_10pct, 0.0);
+    EXPECT_LE(r.detail->frac_time_above_10pct, 1.0);
+    EXPECT_GE(r.detail->avg_spatial_spread_w, 0.0);
+    EXPECT_GE(r.detail->frac_time_above_avg_spread, 0.0);
+    EXPECT_LE(r.detail->frac_time_above_avg_spread, 1.0);
+    if (r.nnodes > 1) {
+      EXPECT_GT(r.detail->avg_spatial_spread_w, 0.0);
+    }
+  }
+}
+
+TEST(MonitoringPipeline, SingleNodeJobsHaveZeroSpread) {
+  const auto& f = emmy_campaign();
+  for (const JobRecord& r : f.records) {
+    if (r.detail && r.nnodes == 1) {
+      EXPECT_DOUBLE_EQ(r.detail->avg_spatial_spread_w, 0.0);
+      EXPECT_NEAR(r.node_energy_spread_fraction(), 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(MonitoringPipeline, DeterministicAcrossRuns) {
+  const CampaignFixture a(cluster::emmy_spec(), 0.5, 0.25, 7);
+  const CampaignFixture b(cluster::emmy_spec(), 0.5, 0.25, 7);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].job_id, b.records[i].job_id);
+    EXPECT_DOUBLE_EQ(a.records[i].mean_node_power_w, b.records[i].mean_node_power_w);
+    EXPECT_DOUBLE_EQ(a.records[i].energy_kwh, b.records[i].energy_kwh);
+  }
+}
+
+TEST(MonitoringPipeline, PowerCapClampsAndCounts) {
+  util::set_log_level(util::LogLevel::kWarn);
+  const auto spec = cluster::emmy_spec();
+  workload::GeneratorConfig gcfg;
+  gcfg.seed = 11;
+  gcfg.duration = util::MinuteTime::from_days(0.5);
+  workload::WorkloadGenerator gen(spec, workload::emmy_calibration(), gcfg);
+  const auto jobs = gen.generate();
+
+  PipelineConfig pcfg;
+  pcfg.seed = 11;
+  pcfg.node_power_cap_w = 120.0;
+  MonitoringPipeline pipeline(spec, pcfg);
+  sched::CampaignSimulator sim(spec.node_count, gcfg.duration);
+  (void)sim.run(jobs, pipeline.hooks());
+
+  EXPECT_GT(pipeline.throttled_samples(), 0u);
+  for (const JobRecord& r : pipeline.records())
+    EXPECT_LE(r.peak_node_power_w, 120.0 + 1e-9);
+}
+
+TEST(MonitoringPipeline, UtilizationIsHighUnderCalibratedLoad) {
+  const auto& f = emmy_campaign();
+  double busy_sum = 0.0;
+  for (const auto b : f.series.busy_nodes) busy_sum += b;
+  const double utilization =
+      busy_sum / (static_cast<double>(f.series.busy_nodes.size()) * f.spec.node_count);
+  EXPECT_GT(utilization, 0.5);  // warm-up included; full campaigns reach ~0.87
+  EXPECT_LE(utilization, 1.0);
+}
+
+}  // namespace
+}  // namespace hpcpower::telemetry

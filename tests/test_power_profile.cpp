@@ -1,0 +1,198 @@
+// Tests for the per-job power behaviour model.
+
+#include "workload/power_profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.hpp"
+
+namespace hpcpower::workload {
+namespace {
+
+PowerBehavior base_behavior() {
+  PowerBehavior b;
+  b.base_watts = 150.0;
+  b.idle_watts = 42.0;
+  b.max_watts = 220.0;
+  b.temporal_noise_sigma = 0.01;
+  b.imbalance_sigma = 0.03;
+  b.spatial_noise_sigma = 0.02;
+  b.straggler_prob = 0.0;
+  b.job_seed = 12345;
+  return b;
+}
+
+TEST(PowerProfile, DeterministicForSameSeed) {
+  const std::vector<double> mfg = {1.0, 0.97, 1.03, 1.01};
+  const PowerProfile a(base_behavior(), 120, mfg);
+  const PowerProfile b(base_behavior(), 120, mfg);
+  for (std::uint32_t m = 0; m < 120; m += 7)
+    for (std::uint32_t n = 0; n < 4; ++n)
+      EXPECT_DOUBLE_EQ(a.node_power(m, n), b.node_power(m, n));
+}
+
+TEST(PowerProfile, DifferentSeedsDiffer) {
+  const std::vector<double> mfg = {1.0, 1.0};
+  PowerBehavior b2 = base_behavior();
+  b2.job_seed = 999;
+  const PowerProfile a(base_behavior(), 60, mfg);
+  const PowerProfile b(b2, 60, mfg);
+  int same = 0;
+  for (std::uint32_t m = 0; m < 60; ++m) same += (a.node_power(m, 0) == b.node_power(m, 0));
+  EXPECT_LT(same, 5);
+}
+
+TEST(PowerProfile, PowerWithinBounds) {
+  PowerBehavior b = base_behavior();
+  b.phased = true;
+  b.phase_amplitude = 0.5;
+  b.phase_time_fraction = 0.3;
+  b.straggler_prob = 0.3;
+  b.straggler_amp_lo = 0.2;
+  b.straggler_amp_hi = 0.6;
+  const std::vector<double> mfg = {0.9, 1.1, 1.0};
+  const PowerProfile p(b, 500, mfg);
+  for (std::uint32_t m = 0; m < 500; ++m)
+    for (std::uint32_t n = 0; n < 3; ++n) {
+      const double w = p.node_power(m, n);
+      EXPECT_GE(w, b.idle_watts);
+      EXPECT_LE(w, b.max_watts);
+    }
+}
+
+TEST(PowerProfile, MeanTracksBaseWatts) {
+  PowerBehavior b = base_behavior();
+  const std::vector<double> mfg = {1.0};
+  const PowerProfile p(b, 2000, mfg);
+  stats::RunningStats rs;
+  for (std::uint32_t m = 0; m < 2000; ++m) rs.add(p.node_power(m, 0));
+  EXPECT_NEAR(rs.mean(), 150.0, 5.0);
+}
+
+TEST(PowerProfile, FlatJobHasLowTemporalVariance) {
+  PowerBehavior b = base_behavior();  // no phases, no dips
+  const std::vector<double> mfg = {1.0};
+  const PowerProfile p(b, 1000, mfg);
+  stats::RunningStats rs;
+  for (std::uint32_t m = 0; m < 1000; ++m) rs.add(p.node_power(m, 0));
+  EXPECT_LT(rs.coefficient_of_variation(), 0.05);
+}
+
+TEST(PowerProfile, PhasedJobSpendsTimeAboveBase) {
+  PowerBehavior b = base_behavior();
+  b.phased = true;
+  b.phase_amplitude = 0.25;
+  b.phase_time_fraction = 0.3;
+  const std::vector<double> mfg = {1.0};
+  const PowerProfile p(b, 3000, mfg);
+  std::size_t high = 0;
+  for (std::uint32_t m = 0; m < 3000; ++m)
+    if (p.temporal_factor(m) > 1.1) ++high;
+  const double frac = static_cast<double>(high) / 3000.0;
+  EXPECT_NEAR(frac, 0.3, 0.12);
+}
+
+TEST(PowerProfile, DippedJobSpendsTimeBelowBase) {
+  PowerBehavior b = base_behavior();
+  b.dip_time_fraction = 0.2;
+  b.dip_depth = 0.4;
+  const std::vector<double> mfg = {1.0};
+  const PowerProfile p(b, 3000, mfg);
+  std::size_t low = 0;
+  for (std::uint32_t m = 0; m < 3000; ++m)
+    if (p.temporal_factor(m) < 0.8) ++low;
+  const double frac = static_cast<double>(low) / 3000.0;
+  EXPECT_NEAR(frac, 0.2, 0.10);
+}
+
+TEST(PowerProfile, StaticFactorsReflectManufacturing) {
+  PowerBehavior b = base_behavior();
+  b.imbalance_sigma = 0.0;
+  const std::vector<double> mfg = {0.9, 1.1};
+  const PowerProfile p(b, 10, mfg);
+  EXPECT_NEAR(p.static_factor(0), 0.9, 1e-12);
+  EXPECT_NEAR(p.static_factor(1), 1.1, 1e-12);
+}
+
+TEST(PowerProfile, ImbalanceAddsNodeSpread) {
+  PowerBehavior b = base_behavior();
+  b.imbalance_sigma = 0.08;
+  const std::vector<double> mfg(16, 1.0);
+  const PowerProfile p(b, 10, mfg);
+  stats::RunningStats rs;
+  for (std::uint32_t n = 0; n < 16; ++n) rs.add(p.static_factor(n));
+  EXPECT_GT(rs.stddev(), 0.02);
+}
+
+TEST(PowerProfile, StragglerHitsAtMostOneNodePerMinute) {
+  PowerBehavior b = base_behavior();
+  b.straggler_prob = 1.0;  // every minute someone straggles
+  b.straggler_amp_lo = 0.4;
+  b.straggler_amp_hi = 0.4;
+  b.temporal_noise_sigma = 0.0;
+  b.spatial_noise_sigma = 0.0;
+  b.imbalance_sigma = 0.0;
+  const std::vector<double> mfg(8, 1.0);
+  const PowerProfile p(b, 200, mfg);
+  for (std::uint32_t m = 0; m < 200; ++m) {
+    int droopers = 0;
+    for (std::uint32_t n = 0; n < 8; ++n)
+      if (p.node_power(m, n) < 0.7 * 150.0) ++droopers;
+    EXPECT_EQ(droopers, 1) << "minute " << m;
+  }
+}
+
+TEST(PowerProfile, SingleNodeJobHasNoStraggler) {
+  PowerBehavior b = base_behavior();
+  b.straggler_prob = 1.0;
+  b.straggler_amp_lo = b.straggler_amp_hi = 0.5;
+  b.temporal_noise_sigma = 0.0;
+  b.spatial_noise_sigma = 0.0;
+  b.imbalance_sigma = 0.0;
+  const std::vector<double> mfg = {1.0};
+  const PowerProfile p(b, 100, mfg);
+  for (std::uint32_t m = 0; m < 100; ++m)
+    EXPECT_NEAR(p.node_power(m, 0), 150.0, 1e-9);
+}
+
+TEST(PowerProfile, ZeroRuntimeClampedToOneMinute) {
+  const std::vector<double> mfg = {1.0};
+  const PowerProfile p(base_behavior(), 0, mfg);
+  EXPECT_EQ(p.runtime_minutes(), 1u);
+  EXPECT_GT(p.node_power(0, 0), 0.0);
+}
+
+TEST(PowerProfile, OutOfRangeIndicesClamped) {
+  const std::vector<double> mfg = {1.0, 1.0};
+  const PowerProfile p(base_behavior(), 10, mfg);
+  EXPECT_DOUBLE_EQ(p.node_power(999, 0), p.node_power(9, 0));
+  EXPECT_DOUBLE_EQ(p.node_power(0, 99), p.node_power(0, 1));
+}
+
+TEST(RandomizeBehaviorShape, RespectsCalibrationRanges) {
+  const Calibration cal = emmy_calibration();
+  util::Rng rng(77);
+  int phased = 0;
+  for (int i = 0; i < 2000; ++i) {
+    PowerBehavior b;
+    randomize_behavior_shape(b, cal, rng);
+    if (b.phased) {
+      ++phased;
+      EXPECT_GE(b.phase_amplitude, cal.phase_amp_lo);
+      EXPECT_LE(b.phase_amplitude, cal.phase_amp_hi);
+      EXPECT_GE(b.phase_time_fraction, cal.phase_time_lo);
+      EXPECT_LE(b.phase_time_fraction, cal.phase_time_hi);
+      EXPECT_DOUBLE_EQ(b.dip_time_fraction, 0.0);
+    } else {
+      EXPECT_GE(b.dip_depth, cal.dip_depth_lo);
+      EXPECT_LE(b.dip_depth, cal.dip_depth_hi);
+      EXPECT_DOUBLE_EQ(b.phase_amplitude, 0.0);
+    }
+    EXPECT_GE(b.imbalance_sigma, cal.imbalance_sigma_lo);
+    EXPECT_LE(b.imbalance_sigma, cal.imbalance_sigma_hi);
+  }
+  EXPECT_NEAR(static_cast<double>(phased) / 2000.0, cal.phased_template_fraction, 0.04);
+}
+
+}  // namespace
+}  // namespace hpcpower::workload

@@ -1,0 +1,297 @@
+// Tests for the deterministic PRNG and distribution sampling.
+
+#include "util/prng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <set>
+
+namespace hpcpower::util {
+namespace {
+
+TEST(Xoshiro256, IsDeterministicForSameSeed) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 1000; ++i) same += (a() == b());
+  EXPECT_LT(same, 5);
+}
+
+TEST(Xoshiro256, LongJumpDecorrelatesStreams) {
+  Xoshiro256 a(7);
+  Xoshiro256 b = a;
+  b.long_jump();
+  int same = 0;
+  for (int i = 0; i < 1000; ++i) same += (a() == b());
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformIsInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(-3.0, 7.5);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 7.5);
+  }
+}
+
+TEST(Rng, UniformMeanConverges) {
+  Rng rng(11);
+  double sum = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kN, 0.5, 0.005);
+}
+
+TEST(Rng, UniformIndexCoversAllValues) {
+  Rng rng(13);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_index(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Rng, UniformIndexIsApproximatelyUniform) {
+  Rng rng(17);
+  std::map<std::uint64_t, int> counts;
+  constexpr int kN = 70000;
+  for (int i = 0; i < kN; ++i) ++counts[rng.uniform_index(7)];
+  for (const auto& [value, count] : counts)
+    EXPECT_NEAR(count, kN / 7, kN / 7 / 10) << "value " << value;
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(19);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(23);
+  double sum = 0.0, sq = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sq / kN, 1.0, 0.03);
+}
+
+TEST(Rng, NormalScalesMeanAndStddev) {
+  Rng rng(29);
+  double sum = 0.0, sq = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal(150.0, 20.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 150.0, 0.5);
+  EXPECT_NEAR(std::sqrt(var), 20.0, 0.5);
+}
+
+TEST(Rng, LognormalMedianIsExpMu) {
+  Rng rng(31);
+  std::vector<double> xs(100001);
+  for (auto& x : xs) x = rng.lognormal(2.0, 0.5);
+  std::nth_element(xs.begin(), xs.begin() + 50000, xs.end());
+  EXPECT_NEAR(xs[50000], std::exp(2.0), 0.15);
+}
+
+TEST(Rng, ExponentialMeanIsInverseRate) {
+  Rng rng(37);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(0.25);
+  EXPECT_NEAR(sum / kN, 4.0, 0.1);
+}
+
+TEST(Rng, GammaMomentsMatch) {
+  Rng rng(41);
+  constexpr double kShape = 3.0, kScale = 2.0;
+  double sum = 0.0, sq = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.gamma(kShape, kScale);
+    EXPECT_GT(x, 0.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, kShape * kScale, 0.1);
+  EXPECT_NEAR(var, kShape * kScale * kScale, 0.5);
+}
+
+TEST(Rng, GammaWithShapeBelowOne) {
+  Rng rng(43);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.gamma(0.5, 1.0);
+    EXPECT_GT(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliEdgesAndRate) {
+  Rng rng(47);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Rng, PoissonSmallLambdaMean) {
+  Rng rng(53);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += static_cast<double>(rng.poisson(3.5));
+  EXPECT_NEAR(sum / kN, 3.5, 0.05);
+}
+
+TEST(Rng, PoissonLargeLambdaMean) {
+  Rng rng(59);
+  double sum = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) sum += static_cast<double>(rng.poisson(200.0));
+  EXPECT_NEAR(sum / kN, 200.0, 0.5);
+}
+
+TEST(Rng, PoissonZeroLambda) {
+  Rng rng(61);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, ZipfStaysInRangeAndIsSkewed) {
+  Rng rng(67);
+  std::map<std::uint64_t, int> counts;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    const auto r = rng.zipf(100, 1.2);
+    ASSERT_GE(r, 1u);
+    ASSERT_LE(r, 100u);
+    ++counts[r];
+  }
+  // Rank 1 should dominate rank 10 by roughly 10^1.2 ~ 15.8x.
+  const double ratio = static_cast<double>(counts[1]) / std::max(counts[10], 1);
+  EXPECT_GT(ratio, 8.0);
+  EXPECT_LT(ratio, 32.0);
+}
+
+TEST(Rng, ZipfExponentOneSupported) {
+  Rng rng(71);
+  for (int i = 0; i < 5000; ++i) {
+    const auto r = rng.zipf(50, 1.0);
+    ASSERT_GE(r, 1u);
+    ASSERT_LE(r, 50u);
+  }
+}
+
+TEST(Rng, TruncatedNormalRespectsBounds) {
+  Rng rng(73);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.truncated_normal(100.0, 50.0, 80.0, 120.0);
+    EXPECT_GE(x, 80.0);
+    EXPECT_LE(x, 120.0);
+  }
+}
+
+TEST(Rng, TruncatedNormalDegenerateIntervalClamps) {
+  Rng rng(79);
+  // Mean far outside a tiny interval: the rejection loop must terminate.
+  const double x = rng.truncated_normal(1000.0, 1.0, 0.0, 1.0);
+  EXPECT_GE(x, 0.0);
+  EXPECT_LE(x, 1.0);
+}
+
+TEST(Rng, WeightedIndexFollowsWeights) {
+  Rng rng(83);
+  const std::vector<double> w = {1.0, 0.0, 3.0};
+  std::array<int, 3> counts{};
+  constexpr int kN = 40000;
+  for (int i = 0; i < kN; ++i) ++counts[rng.weighted_index(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.3);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(89);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto copy = v;
+  rng.shuffle(copy);
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(copy, v);
+}
+
+TEST(DeriveStream, DifferentNamesGiveDifferentSeeds) {
+  const auto a = derive_stream(42, "arrivals");
+  const auto b = derive_stream(42, "power-noise");
+  const auto c = derive_stream(43, "arrivals");
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a, derive_stream(42, "arrivals"));
+}
+
+TEST(DiscreteSampler, MatchesWeightDistribution) {
+  Rng rng(97);
+  const std::vector<double> w = {5.0, 1.0, 0.0, 4.0};
+  const DiscreteSampler sampler(w);
+  std::array<int, 4> counts{};
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) ++counts[sampler.sample(rng)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / kN, 0.5, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / kN, 0.1, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[3]) / kN, 0.4, 0.01);
+}
+
+TEST(DiscreteSampler, NormalizedProbabilitiesSumToOne) {
+  const DiscreteSampler sampler({2.0, 3.0, 5.0});
+  double total = 0.0;
+  for (std::size_t i = 0; i < sampler.size(); ++i) total += sampler.probability(i);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_NEAR(sampler.probability(2), 0.5, 1e-12);
+}
+
+TEST(DiscreteSampler, SingleOutcome) {
+  Rng rng(101);
+  const DiscreteSampler sampler({7.0});
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sampler.sample(rng), 0u);
+}
+
+}  // namespace
+}  // namespace hpcpower::util

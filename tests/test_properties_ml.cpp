@@ -1,0 +1,151 @@
+// Property-based sweeps over the prediction models (TEST_P): invariances and
+// sanity bounds that must hold regardless of dataset shape.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <memory>
+
+#include "ml/baselines.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/evaluation.hpp"
+#include "ml/flda.hpp"
+#include "ml/knn.hpp"
+#include "util/prng.hpp"
+
+namespace hpcpower::ml {
+namespace {
+
+enum class Model { kBdt, kKnn, kFlda, kUserMean, kGlobalMean };
+
+const char* model_name(Model m) {
+  switch (m) {
+    case Model::kBdt: return "bdt";
+    case Model::kKnn: return "knn";
+    case Model::kFlda: return "flda";
+    case Model::kUserMean: return "usermean";
+    case Model::kGlobalMean: return "globalmean";
+  }
+  return "?";
+}
+
+std::unique_ptr<Regressor> make_model(Model m) {
+  switch (m) {
+    case Model::kBdt: return std::make_unique<DecisionTreeRegressor>();
+    case Model::kKnn: return std::make_unique<KnnRegressor>();
+    case Model::kFlda: return std::make_unique<FldaRegressor>();
+    case Model::kUserMean: return std::make_unique<UserMeanRegressor>();
+    case Model::kGlobalMean: return std::make_unique<GlobalMeanRegressor>();
+  }
+  return nullptr;
+}
+
+Dataset structured_dataset(std::uint64_t seed, std::size_t rows = 1200) {
+  util::Rng rng(seed);
+  Dataset d(3);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const double user = static_cast<double>(rng.uniform_index(12));
+    const double nodes = static_cast<double>(1 << rng.uniform_index(6));
+    const double wall = static_cast<double>(60 * (1 + rng.uniform_index(6)));
+    const double power =
+        70.0 + 6.0 * user + 10.0 * std::log2(nodes) + 0.03 * wall;
+    d.add_row(std::array<double, 3>{user, nodes, wall},
+              power * (1.0 + 0.03 * rng.normal()), static_cast<std::uint32_t>(user));
+  }
+  return d;
+}
+
+class ModelProperty : public ::testing::TestWithParam<Model> {};
+
+TEST_P(ModelProperty, PredictionsWithinTargetEnvelope) {
+  const Dataset d = structured_dataset(3);
+  auto model = make_model(GetParam());
+  model->fit(d);
+  double lo = 1e300, hi = -1e300;
+  for (const double y : d.targets()) {
+    lo = std::min(lo, y);
+    hi = std::max(hi, y);
+  }
+  util::Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const std::array<double, 3> q = {static_cast<double>(rng.uniform_index(12)),
+                                     static_cast<double>(1 << rng.uniform_index(6)),
+                                     static_cast<double>(60 * (1 + rng.uniform_index(6)))};
+    const double p = model->predict(q);
+    // Averaging-based models can never extrapolate beyond the target range.
+    EXPECT_GE(p, lo - 1e-9) << model_name(GetParam());
+    EXPECT_LE(p, hi + 1e-9) << model_name(GetParam());
+  }
+}
+
+TEST_P(ModelProperty, DeterministicFitAndPredict) {
+  const Dataset d = structured_dataset(7);
+  auto m1 = make_model(GetParam());
+  auto m2 = make_model(GetParam());
+  m1->fit(d);
+  m2->fit(d);
+  util::Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    const std::array<double, 3> q = {static_cast<double>(rng.uniform_index(12)),
+                                     static_cast<double>(1 + rng.uniform_index(32)),
+                                     static_cast<double>(30 + rng.uniform_index(400))};
+    ASSERT_DOUBLE_EQ(m1->predict(q), m2->predict(q)) << model_name(GetParam());
+  }
+}
+
+TEST_P(ModelProperty, RefitOnDifferentDataChangesModel) {
+  const Dataset a = structured_dataset(11);
+  Dataset b(3);
+  util::Rng rng(13);
+  for (std::size_t i = 0; i < 500; ++i)
+    b.add_row(std::array<double, 3>{static_cast<double>(rng.uniform_index(12)), 4.0, 60.0},
+              500.0 + rng.normal(), static_cast<std::uint32_t>(i % 12));
+  auto model = make_model(GetParam());
+  model->fit(a);
+  model->fit(b);
+  // After refitting on ~500 W targets, predictions must reflect them.
+  EXPECT_GT(model->predict(std::array<double, 3>{5.0, 4.0, 60.0}), 400.0)
+      << model_name(GetParam());
+}
+
+TEST_P(ModelProperty, TrainingErrorBeatsOrMatchesGlobalMeanBaseline) {
+  const Dataset d = structured_dataset(17);
+  auto model = make_model(GetParam());
+  model->fit(d);
+  GlobalMeanRegressor baseline;
+  baseline.fit(d);
+  double model_sse = 0.0, baseline_sse = 0.0;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const double pm = model->predict(d.row(i)) - d.target(i);
+    const double pb = baseline.predict(d.row(i)) - d.target(i);
+    model_sse += pm * pm;
+    baseline_sse += pb * pb;
+  }
+  EXPECT_LE(model_sse, baseline_sse * 1.001) << model_name(GetParam());
+}
+
+TEST_P(ModelProperty, EvaluationHarnessProducesBoundedErrors) {
+  const Dataset d = structured_dataset(19, 600);
+  EvaluationConfig cfg;
+  cfg.repeats = 2;
+  const Model m = GetParam();
+  const auto result =
+      evaluate_model(d, [m] { return make_model(m); }, cfg);
+  EXPECT_FALSE(result.errors.empty());
+  for (const double e : result.errors) {
+    EXPECT_GE(e, 0.0);
+    EXPECT_LT(e, 10.0);  // errors are relative; nothing pathological
+  }
+  EXPECT_LE(result.fraction_below(0.05), result.fraction_below(0.50));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ModelProperty,
+                         ::testing::Values(Model::kBdt, Model::kKnn, Model::kFlda,
+                                           Model::kUserMean, Model::kGlobalMean),
+                         [](const ::testing::TestParamInfo<Model>& param_info) {
+                           return model_name(param_info.param);
+                         });
+
+}  // namespace
+}  // namespace hpcpower::ml

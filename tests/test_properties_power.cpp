@@ -1,0 +1,161 @@
+// Property-based sweeps over the power-profile model (TEST_P): physical
+// bounds, determinism, and moment behaviour across the behaviour grid.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+#include "workload/power_profile.hpp"
+
+namespace hpcpower::workload {
+namespace {
+
+struct PowerScenario {
+  const char* name;
+  bool phased;
+  double phase_amp;
+  double phase_time;
+  double dip_time;
+  double dip_depth;
+  double imbalance;
+  double straggler_prob;
+  std::uint32_t nnodes;
+  std::uint32_t runtime;
+};
+
+PowerBehavior make_behavior(const PowerScenario& sc, std::uint64_t seed) {
+  PowerBehavior b;
+  b.base_watts = 150.0;
+  b.idle_watts = 42.0;
+  b.max_watts = 220.0;
+  b.phased = sc.phased;
+  b.phase_amplitude = sc.phase_amp;
+  b.phase_time_fraction = sc.phase_time;
+  b.dip_time_fraction = sc.dip_time;
+  b.dip_depth = sc.dip_depth;
+  b.temporal_noise_sigma = 0.008;
+  b.imbalance_sigma = sc.imbalance;
+  b.spatial_noise_sigma = 0.015;
+  b.straggler_prob = sc.straggler_prob;
+  b.straggler_amp_lo = 0.12;
+  b.straggler_amp_hi = 0.40;
+  b.job_seed = seed;
+  return b;
+}
+
+class PowerProfileProperty : public ::testing::TestWithParam<PowerScenario> {};
+
+TEST_P(PowerProfileProperty, SamplesStayWithinPhysicalEnvelope) {
+  const auto& sc = GetParam();
+  const PowerBehavior b = make_behavior(sc, 101);
+  const std::vector<double> mfg(sc.nnodes, 1.0);
+  const PowerProfile p(b, sc.runtime, mfg);
+  for (std::uint32_t m = 0; m < sc.runtime; ++m)
+    for (std::uint32_t n = 0; n < sc.nnodes; ++n) {
+      const double w = p.node_power(m, n);
+      ASSERT_GE(w, b.idle_watts) << sc.name;
+      ASSERT_LE(w, b.max_watts) << sc.name;
+    }
+}
+
+TEST_P(PowerProfileProperty, BitReproducibleAcrossConstructions) {
+  const auto& sc = GetParam();
+  const PowerBehavior b = make_behavior(sc, 103);
+  const std::vector<double> mfg(sc.nnodes, 1.0);
+  const PowerProfile p1(b, sc.runtime, mfg);
+  const PowerProfile p2(b, sc.runtime, mfg);
+  for (std::uint32_t m = 0; m < sc.runtime; m += 3)
+    for (std::uint32_t n = 0; n < sc.nnodes; ++n)
+      ASSERT_DOUBLE_EQ(p1.node_power(m, n), p2.node_power(m, n));
+}
+
+TEST_P(PowerProfileProperty, MeanNearBaseWithinPhaseBudget) {
+  const auto& sc = GetParam();
+  const PowerBehavior b = make_behavior(sc, 107);
+  const std::vector<double> mfg(sc.nnodes, 1.0);
+  const PowerProfile p(b, sc.runtime, mfg);
+  stats::RunningStats rs;
+  for (std::uint32_t m = 0; m < sc.runtime; ++m)
+    for (std::uint32_t n = 0; n < sc.nnodes; ++n) rs.add(p.node_power(m, n));
+  // Mean must sit between the fully-dipped and fully-boosted extremes.
+  const double lo = b.base_watts * (1.0 - sc.dip_time * sc.dip_depth) * 0.85 -
+                    0.5 * b.base_watts * sc.straggler_prob;
+  const double hi = b.base_watts * (1.0 + sc.phase_amp * sc.phase_time) * 1.1;
+  EXPECT_GT(rs.mean(), lo) << sc.name;
+  EXPECT_LT(rs.mean(), hi) << sc.name;
+}
+
+TEST_P(PowerProfileProperty, RealizedSpecialFractionTracksTarget) {
+  const auto& sc = GetParam();
+  if (sc.runtime < 300) return;  // fraction estimates need enough minutes
+  const PowerBehavior b = make_behavior(sc, 109);
+  const std::vector<double> mfg(1, 1.0);
+  const PowerProfile p(b, sc.runtime, mfg);
+  const double target = sc.phased ? sc.phase_time : sc.dip_time;
+  if (target <= 0.0) return;
+  std::size_t special = 0;
+  for (std::uint32_t m = 0; m < sc.runtime; ++m) {
+    const double f = p.temporal_factor(m);
+    if ((sc.phased && f > 1.0 + 1e-9) || (!sc.phased && f < 1.0 - 1e-9)) ++special;
+  }
+  const double realized = static_cast<double>(special) / sc.runtime;
+  EXPECT_NEAR(realized, target, std::max(0.5 * target, 0.05)) << sc.name;
+}
+
+TEST_P(PowerProfileProperty, TemporalFactorAffectsAllNodesEqually) {
+  const auto& sc = GetParam();
+  if (sc.nnodes < 2) return;
+  PowerBehavior b = make_behavior(sc, 113);
+  // Isolate the shared temporal component.
+  b.imbalance_sigma = 0.0;
+  b.spatial_noise_sigma = 0.0;
+  b.straggler_prob = 0.0;
+  const std::vector<double> mfg(sc.nnodes, 1.0);
+  const PowerProfile p(b, sc.runtime, mfg);
+  for (std::uint32_t m = 0; m < sc.runtime; m += 7) {
+    const double first = p.node_power(m, 0);
+    for (std::uint32_t n = 1; n < sc.nnodes; ++n)
+      ASSERT_NEAR(p.node_power(m, n), first, 1e-9) << sc.name;
+  }
+}
+
+TEST_P(PowerProfileProperty, ManufacturingFactorsScalePower) {
+  const auto& sc = GetParam();
+  if (sc.nnodes < 2) return;
+  PowerBehavior b = make_behavior(sc, 127);
+  b.imbalance_sigma = 0.0;
+  b.spatial_noise_sigma = 0.0;
+  b.straggler_prob = 0.0;
+  b.temporal_noise_sigma = 0.0;
+  std::vector<double> mfg(sc.nnodes, 1.0);
+  mfg[0] = 0.92;
+  mfg[1] = 1.06;
+  const PowerProfile p(b, sc.runtime, mfg);
+  // Away from the clamps, node 1 draws 1.06/0.92 times node 0.
+  for (std::uint32_t m = 0; m < std::min(sc.runtime, 50u); ++m) {
+    const double p0 = p.node_power(m, 0);
+    const double p1 = p.node_power(m, 1);
+    if (p0 > b.idle_watts + 1.0 && p1 < b.max_watts - 1.0) {
+      ASSERT_NEAR(p1 / p0, 1.06 / 0.92, 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BehaviorGrid, PowerProfileProperty,
+    ::testing::Values(
+        PowerScenario{"flat_single", false, 0, 0, 0, 0, 0.0, 0.0, 1, 600},
+        PowerScenario{"flat_wide", false, 0, 0, 0, 0, 0.03, 0.2, 32, 400},
+        PowerScenario{"dipped_small", false, 0, 0, 0.15, 0.4, 0.02, 0.1, 4, 800},
+        PowerScenario{"dipped_deep", false, 0, 0, 0.20, 0.5, 0.04, 0.3, 8, 1200},
+        PowerScenario{"phased_mild", true, 0.15, 0.2, 0, 0, 0.02, 0.1, 4, 800},
+        PowerScenario{"phased_strong", true, 0.35, 0.5, 0, 0, 0.05, 0.3, 16, 1500},
+        PowerScenario{"short_job", true, 0.25, 0.3, 0, 0, 0.03, 0.2, 2, 12},
+        PowerScenario{"marathon", false, 0, 0, 0.10, 0.3, 0.03, 0.15, 64, 2880}),
+    [](const ::testing::TestParamInfo<PowerScenario>& param_info) {
+      return param_info.param.name;
+    });
+
+}  // namespace
+}  // namespace hpcpower::workload

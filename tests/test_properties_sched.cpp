@@ -1,0 +1,155 @@
+// Property-based sweeps over the scheduler (TEST_P): safety and accounting
+// invariants must hold for any machine size and workload pressure.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "sched/simulator.hpp"
+#include "util/prng.hpp"
+
+namespace hpcpower::sched {
+namespace {
+
+struct SchedScenario {
+  const char* name;
+  std::uint32_t nodes;
+  std::size_t jobs;
+  double load;          // offered load multiplier
+  std::uint32_t max_size;
+  std::int64_t horizon_min;
+};
+
+std::vector<workload::JobRequest> random_jobs(const SchedScenario& sc,
+                                              std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<workload::JobRequest> jobs;
+  jobs.reserve(sc.jobs);
+  // Spread submissions so total demand ~ load * capacity.
+  const double capacity =
+      static_cast<double>(sc.nodes) * static_cast<double>(sc.horizon_min);
+  const double node_min_per_job = sc.load * capacity / static_cast<double>(sc.jobs);
+  for (std::size_t i = 0; i < sc.jobs; ++i) {
+    workload::JobRequest j;
+    j.job_id = i + 1;
+    j.user_id = static_cast<workload::UserId>(rng.uniform_index(7));
+    j.nnodes = static_cast<std::uint32_t>(
+        1 + rng.uniform_index(std::min(sc.max_size, sc.nodes)));
+    j.runtime_min = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(node_min_per_job / j.nnodes *
+                                      rng.uniform(0.4, 1.6)));
+    j.walltime_req_min = j.runtime_min + static_cast<std::uint32_t>(
+        rng.uniform(0.0, 1.0) * j.runtime_min);
+    j.submit = util::MinuteTime(
+        static_cast<std::int64_t>(rng.uniform(0.0, 0.8) *
+                                  static_cast<double>(sc.horizon_min)));
+    jobs.push_back(j);
+  }
+  std::sort(jobs.begin(), jobs.end(),
+            [](const auto& a, const auto& b) { return a.submit < b.submit; });
+  // Re-id after the sort so ids stay unique and ordered.
+  for (std::size_t i = 0; i < jobs.size(); ++i) jobs[i].job_id = i + 1;
+  return jobs;
+}
+
+class SchedulerProperty : public ::testing::TestWithParam<SchedScenario> {};
+
+TEST_P(SchedulerProperty, NeverOversubscribesNodes) {
+  const auto jobs = random_jobs(GetParam(), 3);
+  CampaignSimulator sim(GetParam().nodes, util::MinuteTime(GetParam().horizon_min));
+  SimulationHooks hooks;
+  hooks.per_minute = [&](util::MinuteTime, const std::vector<const RunningJob*>& r) {
+    std::size_t busy = 0;
+    std::set<cluster::NodeId> seen;
+    for (const RunningJob* job : r) {
+      busy += job->nodes.size();
+      for (const cluster::NodeId id : job->nodes) {
+        EXPECT_TRUE(seen.insert(id).second) << "node double-booked";
+        EXPECT_LT(id, GetParam().nodes);
+      }
+    }
+    EXPECT_LE(busy, GetParam().nodes);
+  };
+  (void)sim.run(jobs, hooks);
+}
+
+TEST_P(SchedulerProperty, NoJobStartsBeforeSubmitOrRunsPastLimit) {
+  const auto jobs = random_jobs(GetParam(), 5);
+  std::map<workload::JobId, const workload::JobRequest*> by_id;
+  for (const auto& j : jobs) by_id[j.job_id] = &j;
+
+  CampaignSimulator sim(GetParam().nodes, util::MinuteTime(GetParam().horizon_min));
+  const auto result = sim.run(jobs);
+  for (const auto& rec : result.accounting) {
+    const auto* req = by_id.at(rec.job_id);
+    EXPECT_GE(rec.start.minutes(), req->submit.minutes());
+    if (!rec.truncated_by_horizon) {
+      EXPECT_EQ(rec.runtime_min(), req->runtime_min);
+      EXPECT_LE(rec.runtime_min(), req->walltime_req_min);
+    }
+  }
+}
+
+TEST_P(SchedulerProperty, AccountingIsConsistentWithBusySeries) {
+  const auto jobs = random_jobs(GetParam(), 7);
+  CampaignSimulator sim(GetParam().nodes, util::MinuteTime(GetParam().horizon_min));
+  const auto result = sim.run(jobs);
+  std::uint64_t busy_sum = 0;
+  for (const auto b : result.busy_nodes_per_minute) busy_sum += b;
+  std::uint64_t node_minutes = 0;
+  for (const auto& rec : result.accounting)
+    node_minutes += static_cast<std::uint64_t>(rec.nnodes) * rec.runtime_min();
+  EXPECT_EQ(busy_sum, node_minutes);
+}
+
+TEST_P(SchedulerProperty, EveryJobAccountedAtMostOnce) {
+  const auto jobs = random_jobs(GetParam(), 11);
+  CampaignSimulator sim(GetParam().nodes, util::MinuteTime(GetParam().horizon_min));
+  const auto result = sim.run(jobs);
+  std::set<workload::JobId> ids;
+  for (const auto& rec : result.accounting)
+    EXPECT_TRUE(ids.insert(rec.job_id).second) << rec.job_id;
+  EXPECT_LE(result.accounting.size(), jobs.size());
+}
+
+TEST_P(SchedulerProperty, UnderlodedSystemCompletesEverything) {
+  SchedScenario sc = GetParam();
+  sc.load = 0.25;  // force plenty of headroom
+  const auto jobs = random_jobs(sc, 13);
+  // Horizon padded so even late submissions can finish.
+  CampaignSimulator sim(sc.nodes, util::MinuteTime(sc.horizon_min * 4));
+  const auto result = sim.run(jobs);
+  EXPECT_EQ(result.accounting.size(), jobs.size());
+  for (const auto& rec : result.accounting)
+    EXPECT_FALSE(rec.truncated_by_horizon) << rec.job_id;
+}
+
+TEST_P(SchedulerProperty, DeterministicAcrossRuns) {
+  const auto jobs = random_jobs(GetParam(), 17);
+  CampaignSimulator sim1(GetParam().nodes, util::MinuteTime(GetParam().horizon_min));
+  CampaignSimulator sim2(GetParam().nodes, util::MinuteTime(GetParam().horizon_min));
+  const auto a = sim1.run(jobs);
+  const auto b = sim2.run(jobs);
+  ASSERT_EQ(a.accounting.size(), b.accounting.size());
+  for (std::size_t i = 0; i < a.accounting.size(); ++i) {
+    EXPECT_EQ(a.accounting[i].job_id, b.accounting[i].job_id);
+    EXPECT_EQ(a.accounting[i].start.minutes(), b.accounting[i].start.minutes());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenarios, SchedulerProperty,
+    ::testing::Values(
+        SchedScenario{"tiny_machine", 4, 60, 0.8, 3, 600},
+        SchedScenario{"small_machine", 32, 200, 0.9, 16, 1440},
+        SchedScenario{"overloaded", 32, 300, 1.6, 16, 1440},
+        SchedScenario{"wide_jobs", 64, 120, 0.9, 64, 1440},
+        SchedScenario{"single_node_stream", 16, 400, 0.8, 1, 1440},
+        SchedScenario{"emmy_like", 560, 500, 0.9, 128, 2880}),
+    [](const ::testing::TestParamInfo<SchedScenario>& param_info) {
+      return param_info.param.name;
+    });
+
+}  // namespace
+}  // namespace hpcpower::sched

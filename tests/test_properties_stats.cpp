@@ -1,0 +1,192 @@
+// Property-based sweeps over the statistics substrate (TEST_P):
+// invariants that must hold for every distribution shape the study produces.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/bootstrap.hpp"
+#include "stats/concentration.hpp"
+#include "stats/correlation.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/ecdf.hpp"
+#include "stats/histogram.hpp"
+#include "util/prng.hpp"
+
+namespace hpcpower::stats {
+namespace {
+
+enum class Shape { kUniform, kGaussian, kLognormal, kBimodal, kHeavyTail, kConstant };
+
+const char* shape_name(Shape s) {
+  switch (s) {
+    case Shape::kUniform: return "uniform";
+    case Shape::kGaussian: return "gaussian";
+    case Shape::kLognormal: return "lognormal";
+    case Shape::kBimodal: return "bimodal";
+    case Shape::kHeavyTail: return "heavytail";
+    case Shape::kConstant: return "constant";
+  }
+  return "?";
+}
+
+std::vector<double> sample_shape(Shape shape, std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> out(n);
+  for (auto& x : out) {
+    switch (shape) {
+      case Shape::kUniform: x = rng.uniform(40.0, 210.0); break;
+      case Shape::kGaussian: x = rng.normal(149.0, 39.0); break;
+      case Shape::kLognormal: x = rng.lognormal(4.5, 0.5); break;
+      case Shape::kBimodal:
+        x = rng.bernoulli(0.15) ? rng.normal(50.0, 5.0) : rng.normal(150.0, 15.0);
+        break;
+      case Shape::kHeavyTail: x = 50.0 + rng.gamma(0.7, 60.0); break;
+      case Shape::kConstant: x = 123.0; break;
+    }
+  }
+  return out;
+}
+
+class StatsShapeProperty : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(StatsShapeProperty, RunningStatsMatchesBatchSummary) {
+  const auto xs = sample_shape(GetParam(), 5000, 11);
+  RunningStats rs;
+  for (const double x : xs) rs.add(x);
+  const Summary s = summarize(xs);
+  EXPECT_NEAR(rs.mean(), s.mean, 1e-9);
+  EXPECT_NEAR(rs.stddev(), s.stddev, 1e-9);
+  EXPECT_DOUBLE_EQ(rs.min(), s.min);
+  EXPECT_DOUBLE_EQ(rs.max(), s.max);
+}
+
+TEST_P(StatsShapeProperty, MergeIsOrderInvariant) {
+  const auto xs = sample_shape(GetParam(), 3000, 13);
+  RunningStats forward, backward, chunked;
+  for (const double x : xs) forward.add(x);
+  for (auto it = xs.rbegin(); it != xs.rend(); ++it) backward.add(*it);
+  for (std::size_t begin = 0; begin < xs.size(); begin += 500) {
+    RunningStats chunk;
+    for (std::size_t i = begin; i < std::min(xs.size(), begin + 500); ++i)
+      chunk.add(xs[i]);
+    chunked.merge(chunk);
+  }
+  EXPECT_NEAR(forward.mean(), backward.mean(), 1e-9);
+  EXPECT_NEAR(forward.variance(), backward.variance(), 1e-6);
+  EXPECT_NEAR(forward.mean(), chunked.mean(), 1e-9);
+  EXPECT_NEAR(forward.variance(), chunked.variance(), 1e-6);
+}
+
+TEST_P(StatsShapeProperty, QuantilesAreMonotone) {
+  const auto xs = sample_shape(GetParam(), 2000, 17);
+  double prev = quantile(xs, 0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double v = quantile(xs, q);
+    EXPECT_GE(v, prev - 1e-12) << shape_name(GetParam()) << " q=" << q;
+    prev = v;
+  }
+}
+
+TEST_P(StatsShapeProperty, EcdfIsAValidDistributionFunction) {
+  const auto xs = sample_shape(GetParam(), 2000, 19);
+  const Ecdf cdf(xs);
+  EXPECT_DOUBLE_EQ(cdf.evaluate(cdf.min() - 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.evaluate(cdf.max()), 1.0);
+  double prev = 0.0;
+  for (double x = cdf.min(); x <= cdf.max(); x += (cdf.max() - cdf.min()) / 64.0 + 1e-9) {
+    const double f = cdf.evaluate(x);
+    EXPECT_GE(f, prev);
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+    prev = f;
+  }
+}
+
+TEST_P(StatsShapeProperty, EcdfQuantileInvertsEvaluate) {
+  const auto xs = sample_shape(GetParam(), 1500, 23);
+  const Ecdf cdf(xs);
+  for (double q = 0.1; q < 1.0; q += 0.1) {
+    const double x = cdf.quantile(q);
+    EXPECT_GE(cdf.evaluate(x), q - 1e-12) << shape_name(GetParam());
+  }
+}
+
+TEST_P(StatsShapeProperty, HistogramConservesMassAndDensity) {
+  const auto xs = sample_shape(GetParam(), 4000, 29);
+  const Summary s = summarize(xs);
+  Histogram h(s.min, s.max + 1e-9, 32);
+  h.add_all(xs);
+  EXPECT_EQ(h.total(), xs.size());
+  double integral = 0.0;
+  for (const double d : h.pdf()) integral += d * h.bin_width();
+  EXPECT_NEAR(integral, 1.0, 1e-9);
+}
+
+TEST_P(StatsShapeProperty, SelfCorrelationIsOne) {
+  const auto xs = sample_shape(GetParam(), 500, 31);
+  if (GetParam() == Shape::kConstant) return;  // degenerate: no variance
+  EXPECT_NEAR(pearson(xs, xs).coefficient, 1.0, 1e-12);
+  EXPECT_NEAR(spearman(xs, xs).coefficient, 1.0, 1e-12);
+}
+
+TEST_P(StatsShapeProperty, CorrelationIsSymmetric) {
+  const auto xs = sample_shape(GetParam(), 800, 37);
+  const auto ys = sample_shape(Shape::kGaussian, 800, 41);
+  EXPECT_NEAR(spearman(xs, ys).coefficient, spearman(ys, xs).coefficient, 1e-12);
+  EXPECT_NEAR(pearson(xs, ys).coefficient, pearson(ys, xs).coefficient, 1e-12);
+}
+
+TEST_P(StatsShapeProperty, CorrelationBoundedByOne) {
+  const auto xs = sample_shape(GetParam(), 800, 43);
+  util::Rng rng(47);
+  std::vector<double> ys(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) ys[i] = 0.5 * xs[i] + rng.normal(0.0, 10.0);
+  const auto r = spearman(xs, ys);
+  EXPECT_LE(std::abs(r.coefficient), 1.0);
+  EXPECT_GE(r.p_value, 0.0);
+  EXPECT_LE(r.p_value, 1.0);
+}
+
+TEST_P(StatsShapeProperty, TopShareCurveIsMonotoneConcaveEnough) {
+  const auto xs = sample_shape(GetParam(), 600, 53);
+  std::vector<double> nonneg(xs);
+  for (double& x : nonneg) x = std::abs(x);
+  const auto curve = top_share_curve(nonneg, 25);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].second, curve[i - 1].second - 1e-12);
+    // Sorted-descending prefix shares always dominate the diagonal.
+    EXPECT_GE(curve[i].second, curve[i].first - 1e-9);
+  }
+}
+
+TEST_P(StatsShapeProperty, GiniWithinBoundsAndZeroForConstant) {
+  const auto xs = sample_shape(GetParam(), 600, 59);
+  std::vector<double> nonneg(xs);
+  for (double& x : nonneg) x = std::abs(x);
+  const double g = gini(nonneg);
+  EXPECT_GE(g, 0.0);
+  EXPECT_LT(g, 1.0);
+  if (GetParam() == Shape::kConstant) {
+    EXPECT_NEAR(g, 0.0, 1e-12);
+  }
+}
+
+TEST_P(StatsShapeProperty, BootstrapCiBracketsTruthUsually) {
+  const auto xs = sample_shape(GetParam(), 400, 61);
+  util::Rng rng(67);
+  const auto ci = bootstrap_mean_ci(xs, 300, 0.95, rng);
+  EXPECT_LE(ci.lo, ci.point + 1e-9);
+  EXPECT_GE(ci.hi, ci.point - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllShapes, StatsShapeProperty,
+                         ::testing::Values(Shape::kUniform, Shape::kGaussian,
+                                           Shape::kLognormal, Shape::kBimodal,
+                                           Shape::kHeavyTail, Shape::kConstant),
+                         [](const ::testing::TestParamInfo<Shape>& param_info) {
+                           return shape_name(param_info.param);
+                         });
+
+}  // namespace
+}  // namespace hpcpower::stats

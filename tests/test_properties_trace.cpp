@@ -1,0 +1,231 @@
+// Property sweep (TEST_P): job-table round trips must be lossless for every
+// record shape the pipeline can produce, and telemetry aggregation must be
+// exact for analytically known power profiles.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "telemetry/pipeline.hpp"
+#include "trace/job_table.hpp"
+#include "util/prng.hpp"
+
+namespace hpcpower {
+namespace {
+
+// ---------------- job-table round-trip sweep --------------------------------
+
+struct RecordShape {
+  const char* name;
+  bool detail;
+  bool truncated;
+  bool backfilled;
+  cluster::SystemId system;
+};
+
+class JobTableProperty : public ::testing::TestWithParam<RecordShape> {};
+
+std::vector<telemetry::JobRecord> random_records(const RecordShape& shape,
+                                                 std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<telemetry::JobRecord> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    telemetry::JobRecord r;
+    r.job_id = i + 1;
+    r.user_id = static_cast<workload::UserId>(rng.uniform_index(50));
+    r.app = static_cast<workload::AppId>(rng.uniform_index(11));
+    r.system = shape.system;
+    r.submit = util::MinuteTime(static_cast<std::int64_t>(rng.uniform_index(10000)));
+    r.start = r.submit + util::MinuteTime(static_cast<std::int64_t>(rng.uniform_index(500)));
+    r.end = r.start + util::MinuteTime(1 + static_cast<std::int64_t>(rng.uniform_index(2000)));
+    r.nnodes = static_cast<std::uint32_t>(1 + rng.uniform_index(128));
+    r.walltime_req_min = r.runtime_min() + static_cast<std::uint32_t>(rng.uniform_index(500));
+    r.backfilled = shape.backfilled;
+    r.truncated_by_horizon = shape.truncated;
+    r.mean_node_power_w = rng.uniform(40.0, 210.0);
+    r.temporal_std_w = rng.uniform(0.0, 20.0);
+    r.peak_node_power_w = r.mean_node_power_w * rng.uniform(1.0, 1.3);
+    const auto split = cluster::split_domains(r.mean_node_power_w, rng.uniform());
+    r.mean_pkg_w = split.pkg_watts;
+    r.mean_dram_w = split.dram_watts;
+    r.energy_kwh = r.mean_node_power_w * r.nnodes * r.runtime_min() / 60.0 / 1000.0;
+    r.node_energy_min_kwh = r.energy_kwh / r.nnodes * rng.uniform(0.9, 1.0);
+    r.node_energy_max_kwh = r.energy_kwh / r.nnodes * rng.uniform(1.0, 1.1);
+    if (shape.detail) {
+      telemetry::DetailMetrics d;
+      d.peak_overshoot = rng.uniform(0.0, 0.5);
+      d.frac_time_above_10pct = rng.uniform(0.0, 1.0);
+      d.avg_spatial_spread_w = rng.uniform(0.0, 60.0);
+      d.spread_fraction_of_power = rng.uniform(0.0, 0.4);
+      d.frac_time_above_avg_spread = rng.uniform(0.0, 1.0);
+      r.detail = d;
+    }
+    out.push_back(r);
+  }
+  return out;
+}
+
+TEST_P(JobTableProperty, RoundTripIsLossless) {
+  const auto records = random_records(GetParam(), 60, 7);
+  std::stringstream ss;
+  trace::write_job_table(ss, records);
+  const auto back = trace::read_job_table(ss);
+  ASSERT_EQ(back.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& a = records[i];
+    const auto& b = back[i];
+    EXPECT_EQ(a.job_id, b.job_id);
+    EXPECT_EQ(a.user_id, b.user_id);
+    EXPECT_EQ(a.app, b.app);
+    EXPECT_EQ(a.system, b.system);
+    EXPECT_EQ(a.submit.minutes(), b.submit.minutes());
+    EXPECT_EQ(a.start.minutes(), b.start.minutes());
+    EXPECT_EQ(a.end.minutes(), b.end.minutes());
+    EXPECT_EQ(a.nnodes, b.nnodes);
+    EXPECT_EQ(a.walltime_req_min, b.walltime_req_min);
+    EXPECT_EQ(a.backfilled, b.backfilled);
+    EXPECT_EQ(a.truncated_by_horizon, b.truncated_by_horizon);
+    EXPECT_NEAR(a.mean_node_power_w, b.mean_node_power_w,
+                1e-4 * a.mean_node_power_w);
+    EXPECT_NEAR(a.energy_kwh, b.energy_kwh, 1e-6 * std::max(a.energy_kwh, 1.0));
+    ASSERT_EQ(a.detail.has_value(), b.detail.has_value());
+    if (a.detail) {
+      EXPECT_NEAR(a.detail->peak_overshoot, b.detail->peak_overshoot, 1e-5);
+      EXPECT_NEAR(a.detail->avg_spatial_spread_w, b.detail->avg_spatial_spread_w,
+                  1e-4);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, JobTableProperty,
+    ::testing::Values(
+        RecordShape{"plain_emmy", false, false, false, cluster::SystemId::kEmmy},
+        RecordShape{"detailed_emmy", true, false, false, cluster::SystemId::kEmmy},
+        RecordShape{"truncated_meggie", false, true, false, cluster::SystemId::kMeggie},
+        RecordShape{"backfilled_detailed", true, false, true,
+                    cluster::SystemId::kMeggie}),
+    [](const ::testing::TestParamInfo<RecordShape>& param_info) {
+      return param_info.param.name;
+    });
+
+// ---------------- exact telemetry aggregation --------------------------------
+
+/// Drives the pipeline hooks directly with a constant-power job: every
+/// aggregate is then known in closed form.
+TEST(TelemetryExact, ConstantJobAggregatesExactly) {
+  cluster::SystemSpec spec = cluster::emmy_spec();
+  spec.manufacturing_sigma = 0.0;  // identical nodes
+  telemetry::PipelineConfig cfg;
+  cfg.instrument_begin = util::MinuteTime(0);
+  cfg.instrument_end = util::MinuteTime(10000);
+  telemetry::MonitoringPipeline pipeline(spec, cfg);
+  auto hooks = pipeline.hooks();
+
+  workload::JobRequest req;
+  req.job_id = 1;
+  req.user_id = 3;
+  req.nnodes = 4;
+  req.runtime_min = 100;
+  req.walltime_req_min = 120;
+  req.behavior.base_watts = 150.0;
+  req.behavior.idle_watts = 40.0;
+  req.behavior.max_watts = 220.0;
+  req.behavior.temporal_noise_sigma = 0.0;
+  req.behavior.spatial_noise_sigma = 0.0;
+  req.behavior.imbalance_sigma = 0.0;
+  req.behavior.straggler_prob = 0.0;
+  req.behavior.job_seed = 5;
+
+  sched::RunningJob job;
+  job.request = req;
+  job.start = util::MinuteTime(0);
+  job.end = util::MinuteTime(100);
+  job.limit_end = util::MinuteTime(120);
+  job.nodes = {0, 1, 2, 3};
+
+  hooks.on_start(job);
+  std::vector<const sched::RunningJob*> running = {&job};
+  for (int m = 0; m < 100; ++m) hooks.per_minute(util::MinuteTime(m), running);
+  sched::JobAccountingRecord rec;
+  rec.job_id = 1;
+  rec.user_id = 3;
+  rec.submit = util::MinuteTime(0);
+  rec.start = job.start;
+  rec.end = job.end;
+  rec.nnodes = 4;
+  rec.walltime_req_min = 120;
+  hooks.on_end(job, rec);
+
+  ASSERT_EQ(pipeline.records().size(), 1u);
+  const auto& r = pipeline.records()[0];
+  EXPECT_NEAR(r.mean_node_power_w, 150.0, 1e-9);
+  EXPECT_NEAR(r.temporal_std_w, 0.0, 1e-9);
+  EXPECT_NEAR(r.peak_node_power_w, 150.0, 1e-9);
+  // Energy: 150 W x 4 nodes x 100 min = 1 kWh.
+  EXPECT_NEAR(r.energy_kwh, 150.0 * 4 * 100 / 60.0 / 1000.0, 1e-12);
+  EXPECT_NEAR(r.node_energy_spread_fraction(), 0.0, 1e-12);
+  ASSERT_TRUE(r.detail.has_value());
+  EXPECT_NEAR(r.detail->peak_overshoot, 0.0, 1e-12);
+  EXPECT_NEAR(r.detail->frac_time_above_10pct, 0.0, 1e-12);
+  EXPECT_NEAR(r.detail->avg_spatial_spread_w, 0.0, 1e-12);
+}
+
+TEST(TelemetryExact, ManufacturingSpreadIsExactForKnownFactors) {
+  // Two nodes with known factors and otherwise deterministic behaviour: the
+  // spatial spread is exactly base * (f_max - f_min).
+  cluster::SystemSpec spec = cluster::emmy_spec();
+  spec.node_count = 8;
+  telemetry::PipelineConfig cfg;
+  cfg.seed = 11;
+  cfg.instrument_begin = util::MinuteTime(0);
+  cfg.instrument_end = util::MinuteTime(1000);
+  telemetry::MonitoringPipeline pipeline(spec, cfg);
+  auto hooks = pipeline.hooks();
+
+  workload::JobRequest req;
+  req.job_id = 2;
+  req.nnodes = 2;
+  req.runtime_min = 50;
+  req.walltime_req_min = 60;
+  req.behavior.base_watts = 150.0;
+  req.behavior.idle_watts = 40.0;
+  req.behavior.max_watts = 250.0;
+  req.behavior.temporal_noise_sigma = 0.0;
+  req.behavior.spatial_noise_sigma = 0.0;
+  req.behavior.imbalance_sigma = 0.0;
+  req.behavior.straggler_prob = 0.0;
+  req.behavior.job_seed = 13;
+
+  sched::RunningJob job;
+  job.request = req;
+  job.start = util::MinuteTime(0);
+  job.end = util::MinuteTime(50);
+  job.limit_end = util::MinuteTime(60);
+  job.nodes = {0, 1};
+
+  const double f0 = pipeline.node_population().node(0).power_factor;
+  const double f1 = pipeline.node_population().node(1).power_factor;
+
+  hooks.on_start(job);
+  std::vector<const sched::RunningJob*> running = {&job};
+  for (int m = 0; m < 50; ++m) hooks.per_minute(util::MinuteTime(m), running);
+  sched::JobAccountingRecord rec;
+  rec.job_id = 2;
+  rec.start = job.start;
+  rec.end = job.end;
+  rec.nnodes = 2;
+  rec.walltime_req_min = 60;
+  hooks.on_end(job, rec);
+
+  const auto& r = pipeline.records()[0];
+  ASSERT_TRUE(r.detail.has_value());
+  // spread series is retained as float: tolerance reflects that.
+  EXPECT_NEAR(r.detail->avg_spatial_spread_w, 150.0 * std::abs(f0 - f1), 1e-5);
+  EXPECT_NEAR(r.mean_node_power_w, 150.0 * (f0 + f1) / 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace hpcpower

@@ -1,0 +1,102 @@
+// Tests for the random forest extension model.
+
+#include "ml/random_forest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "util/prng.hpp"
+
+namespace hpcpower::ml {
+namespace {
+
+Dataset noisy_dataset(std::uint64_t seed, std::size_t rows = 1000) {
+  util::Rng rng(seed);
+  Dataset d(2);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const double a = rng.uniform(0.0, 10.0);
+    const double b = rng.uniform(0.0, 10.0);
+    d.add_row(std::array<double, 2>{a, b}, 10.0 * a + 3.0 * b + rng.normal(0.0, 2.0),
+              static_cast<std::uint32_t>(i % 7));
+  }
+  return d;
+}
+
+TEST(RandomForest, FitsAndPredictsWithinRange) {
+  const Dataset d = noisy_dataset(3);
+  RandomForestRegressor forest;
+  forest.fit(d);
+  EXPECT_EQ(forest.tree_count(), RandomForestConfig{}.num_trees);
+  const double p = forest.predict(std::array<double, 2>{5.0, 5.0});
+  EXPECT_NEAR(p, 65.0, 8.0);
+}
+
+TEST(RandomForest, DeterministicForSameConfig) {
+  const Dataset d = noisy_dataset(5);
+  RandomForestRegressor a, b;
+  a.fit(d);
+  b.fit(d);
+  for (double x = 0.5; x < 10.0; x += 2.0)
+    EXPECT_DOUBLE_EQ(a.predict(std::array<double, 2>{x, x}),
+                     b.predict(std::array<double, 2>{x, x}));
+}
+
+TEST(RandomForest, DifferentSeedsGiveDifferentEnsembles) {
+  const Dataset d = noisy_dataset(7);
+  RandomForestConfig cfg_a, cfg_b;
+  cfg_a.seed = 1;
+  cfg_b.seed = 2;
+  RandomForestRegressor a(cfg_a), b(cfg_b);
+  a.fit(d);
+  b.fit(d);
+  EXPECT_NE(a.predict(std::array<double, 2>{3.3, 7.7}),
+            b.predict(std::array<double, 2>{3.3, 7.7}));
+}
+
+TEST(RandomForest, SmootherThanSingleTreeOnNoise) {
+  // Ensemble variance on held-out noise should not exceed a single deep tree's.
+  const Dataset train = noisy_dataset(9);
+  const Dataset test = noisy_dataset(11, 300);
+  DecisionTreeRegressor tree;
+  RandomForestRegressor forest;
+  tree.fit(train);
+  forest.fit(train);
+  double tree_sse = 0.0, forest_sse = 0.0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    const double truth = test.target(i);
+    const double dt = tree.predict(test.row(i)) - truth;
+    const double df = forest.predict(test.row(i)) - truth;
+    tree_sse += dt * dt;
+    forest_sse += df * df;
+  }
+  EXPECT_LT(forest_sse, tree_sse * 1.05);
+}
+
+TEST(RandomForest, ConfigValidation) {
+  RandomForestConfig cfg;
+  cfg.num_trees = 0;
+  RandomForestRegressor forest(cfg);
+  const Dataset d = noisy_dataset(13, 50);
+  EXPECT_THROW(forest.fit(d), std::invalid_argument);
+  RandomForestRegressor unfitted;
+  EXPECT_THROW((void)unfitted.predict(std::array<double, 2>{1.0, 1.0}),
+               std::logic_error);
+  EXPECT_THROW(unfitted.fit(Dataset(2)), std::invalid_argument);
+}
+
+TEST(RandomForest, SampleFractionControlsBootstrapSize) {
+  RandomForestConfig cfg;
+  cfg.num_trees = 5;
+  cfg.sample_fraction = 0.1;
+  RandomForestRegressor forest(cfg);
+  const Dataset d = noisy_dataset(17, 500);
+  forest.fit(d);  // just exercises the small-bootstrap path
+  EXPECT_EQ(forest.tree_count(), 5u);
+  const double p = forest.predict(std::array<double, 2>{5.0, 5.0});
+  EXPECT_GT(p, 20.0);
+  EXPECT_LT(p, 110.0);
+}
+
+}  // namespace
+}  // namespace hpcpower::ml

@@ -1,0 +1,89 @@
+// Tests for the RAPL domain split and power-cap model.
+
+#include "cluster/rapl.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hpcpower::cluster {
+namespace {
+
+TEST(SplitDomains, TotalsPreserved) {
+  for (double watts : {40.0, 100.0, 210.0}) {
+    for (double mem : {0.0, 0.3, 1.0}) {
+      const RaplSample s = split_domains(watts, mem);
+      EXPECT_NEAR(s.total(), watts, 1e-12);
+      EXPECT_GT(s.pkg_watts, 0.0);
+      EXPECT_GT(s.dram_watts, 0.0);
+    }
+  }
+}
+
+TEST(SplitDomains, MemoryIntensityShiftsTowardDram) {
+  const RaplSample compute = split_domains(150.0, 0.1);
+  const RaplSample membound = split_domains(150.0, 0.6);
+  EXPECT_GT(membound.dram_watts, compute.dram_watts);
+  EXPECT_LT(membound.pkg_watts, compute.pkg_watts);
+}
+
+TEST(SplitDomains, PkgDominatesEvenWhenMemoryBound) {
+  const RaplSample s = split_domains(150.0, 1.0);
+  EXPECT_GT(s.pkg_watts, s.dram_watts);
+}
+
+TEST(SplitDomains, IntensityClamped) {
+  const RaplSample lo = split_domains(100.0, -5.0);
+  const RaplSample hi = split_domains(100.0, 5.0);
+  EXPECT_DOUBLE_EQ(lo.dram_watts, split_domains(100.0, 0.0).dram_watts);
+  EXPECT_DOUBLE_EQ(hi.dram_watts, split_domains(100.0, 1.0).dram_watts);
+}
+
+TEST(PowerCap, NoThrottleBelowCap) {
+  const RaplSample s = split_domains(150.0, 0.3);
+  const CappedSample c = apply_power_cap(s, 200.0);
+  EXPECT_FALSE(c.throttled);
+  EXPECT_DOUBLE_EQ(c.sample.total(), 150.0);
+}
+
+TEST(PowerCap, ClampsProportionally) {
+  const RaplSample s = split_domains(200.0, 0.4);
+  const CappedSample c = apply_power_cap(s, 150.0);
+  EXPECT_TRUE(c.throttled);
+  EXPECT_NEAR(c.sample.total(), 150.0, 1e-12);
+  // Domain ratio preserved.
+  EXPECT_NEAR(c.sample.dram_watts / c.sample.pkg_watts, s.dram_watts / s.pkg_watts,
+              1e-12);
+}
+
+TEST(PowerCap, DisabledCapIgnored) {
+  const RaplSample s = split_domains(200.0, 0.2);
+  EXPECT_FALSE(apply_power_cap(s, 0.0).throttled);
+  EXPECT_FALSE(apply_power_cap(s, -10.0).throttled);
+}
+
+TEST(CapSlowdown, NoSlowdownBelowCap) {
+  EXPECT_DOUBLE_EQ(cap_slowdown(100.0, 150.0, 40.0), 1.0);
+  EXPECT_DOUBLE_EQ(cap_slowdown(150.0, 150.0, 40.0), 1.0);
+}
+
+TEST(CapSlowdown, ProportionalToDynamicPowerRatio) {
+  // demand 160 W, cap 100 W, idle 40 W: slowdown = 120/60 = 2.
+  EXPECT_NEAR(cap_slowdown(160.0, 100.0, 40.0), 2.0, 1e-12);
+}
+
+TEST(CapSlowdown, CapAtIdleIsBoundedNotInfinite) {
+  EXPECT_DOUBLE_EQ(cap_slowdown(200.0, 40.0, 40.0), 100.0);
+  EXPECT_DOUBLE_EQ(cap_slowdown(200.0, 30.0, 40.0), 100.0);
+}
+
+TEST(CapSlowdown, MonotoneInCap) {
+  const double idle = 40.0;
+  double prev = cap_slowdown(180.0, 170.0, idle);
+  for (double cap : {150.0, 120.0, 100.0, 80.0}) {
+    const double s = cap_slowdown(180.0, cap, idle);
+    EXPECT_GE(s, prev);
+    prev = s;
+  }
+}
+
+}  // namespace
+}  // namespace hpcpower::cluster

@@ -1,0 +1,78 @@
+// Tests for the markdown study-report generator.
+
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "util/logging.hpp"
+
+namespace hpcpower::core {
+namespace {
+
+const std::vector<CampaignData>& campaigns() {
+  static const std::vector<CampaignData> data = [] {
+    util::set_log_level(util::LogLevel::kWarn);
+    StudyConfig cfg;
+    cfg.seed = 42;
+    cfg.days = 2.0;
+    cfg.warmup_days = 1.0;
+    cfg.instrument_begin_day = 0.0;
+    cfg.instrument_end_day = 2.0;
+    std::vector<CampaignData> out;
+    out.push_back(run_campaign(cluster::emmy_spec(), cfg));
+    return out;
+  }();
+  return data;
+}
+
+TEST(Report, ContainsAllSections) {
+  ReportOptions opts;
+  opts.prediction_config.repeats = 2;
+  const std::string md = render_markdown_report(campaigns(), opts);
+  EXPECT_NE(md.find("# HPC power consumption study report"), std::string::npos);
+  EXPECT_NE(md.find("## Emmy"), std::string::npos);
+  EXPECT_NE(md.find("System-level utilization"), std::string::npos);
+  EXPECT_NE(md.find("Job-level power"), std::string::npos);
+  EXPECT_NE(md.find("Temporal and spatial behaviour"), std::string::npos);
+  EXPECT_NE(md.find("User-level behaviour"), std::string::npos);
+  EXPECT_NE(md.find("Pre-execution power prediction"), std::string::npos);
+  EXPECT_NE(md.find("| BDT |"), std::string::npos);
+}
+
+TEST(Report, PredictionSectionOptional) {
+  ReportOptions opts;
+  opts.include_prediction = false;
+  const std::string md = render_markdown_report(campaigns(), opts);
+  EXPECT_EQ(md.find("Pre-execution power prediction"), std::string::npos);
+}
+
+TEST(Report, ReportsSaneNumbers) {
+  ReportOptions opts;
+  opts.include_prediction = false;
+  const std::string md = render_markdown_report(campaigns(), opts);
+  // Mean power utilization line exists with a percentage between 0 and 100.
+  const auto pos = md.find("mean power utilization | ");
+  ASSERT_NE(pos, std::string::npos);
+  const double value = std::stod(md.substr(pos + 25));
+  EXPECT_GT(value, 10.0);
+  EXPECT_LT(value, 100.0);
+}
+
+TEST(Report, WritesToFile) {
+  const std::string path = testing::TempDir() + "/hpcpower_report_test.md";
+  ReportOptions opts;
+  opts.include_prediction = false;
+  write_markdown_report(path, campaigns(), opts);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string first_line;
+  std::getline(in, first_line);
+  EXPECT_EQ(first_line, "# HPC power consumption study report");
+  EXPECT_THROW(write_markdown_report("/no/such/dir/report.md", campaigns(), opts),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace hpcpower::core

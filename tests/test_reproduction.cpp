@@ -1,0 +1,232 @@
+// Reproduction regression guard: a moderately sized campaign must keep the
+// paper's headline numbers within tolerance. If a calibration or model change
+// breaks a published finding, this is the test that goes red.
+//
+// Tolerances are deliberately loose (sampling noise at 12 simulated days is
+// real); the full-scale comparison lives in EXPERIMENTS.md.
+
+#include <gtest/gtest.h>
+
+#include "core/job_analysis.hpp"
+#include "core/prediction.hpp"
+#include "core/system_analysis.hpp"
+#include "core/user_analysis.hpp"
+#include "util/logging.hpp"
+
+namespace hpcpower::core {
+namespace {
+
+StudyConfig guard_config() {
+  StudyConfig cfg;
+  cfg.seed = 17;  // near the cross-seed median of the headline statistics
+  cfg.days = 30.0;
+  cfg.warmup_days = 3.0;
+  cfg.instrument_begin_day = 0.0;
+  cfg.instrument_end_day = 12.0;
+  return cfg;
+}
+
+const CampaignData& emmy() {
+  static const CampaignData data = [] {
+    util::set_log_level(util::LogLevel::kWarn);
+    return run_campaign(cluster::emmy_spec(), guard_config());
+  }();
+  return data;
+}
+
+const CampaignData& meggie() {
+  static const CampaignData data = [] {
+    util::set_log_level(util::LogLevel::kWarn);
+    return run_campaign(cluster::meggie_spec(), guard_config());
+  }();
+  return data;
+}
+
+// ---- Figs 1-2 -------------------------------------------------------------
+
+TEST(Reproduction, Fig1SystemUtilization) {
+  // Offered load realizes a few points lower at guard scale than at the
+  // 151-day scale (the heavy tail of huge jobs under-samples), so the guard
+  // tolerance is wider than the full-scale gap reported in EXPERIMENTS.md.
+  EXPECT_NEAR(analyze_system_utilization(emmy()).mean_system_utilization, 0.87, 0.09);
+  EXPECT_NEAR(analyze_system_utilization(meggie()).mean_system_utilization, 0.80, 0.08);
+}
+
+TEST(Reproduction, Fig2PowerUtilizationAndStranding) {
+  const auto e = analyze_system_utilization(emmy());
+  const auto m = analyze_system_utilization(meggie());
+  EXPECT_NEAR(e.mean_power_utilization, 0.69, 0.08);
+  EXPECT_NEAR(m.mean_power_utilization, 0.51, 0.08);
+  // Paper: Emmy never exceeds 85%, Meggie never 70% of provisioned power.
+  EXPECT_LT(e.peak_power_utilization, 0.95);
+  EXPECT_LT(m.peak_power_utilization, 0.80);
+  // The headline: >30% stranded power on at least one system.
+  EXPECT_GT(m.stranded_power_fraction, 0.30);
+}
+
+// ---- Fig 3 ------------------------------------------------------------------
+
+TEST(Reproduction, Fig3PerNodePower) {
+  const auto e = analyze_per_node_power(emmy());
+  const auto m = analyze_per_node_power(meggie());
+  EXPECT_NEAR(e.watts.mean, 149.0, 9.0);       // 71% of 210 W
+  EXPECT_NEAR(m.watts.mean, 114.0, 7.0);       // 59% of 195 W
+  EXPECT_NEAR(e.mean_tdp_fraction, 0.71, 0.05);
+  EXPECT_NEAR(m.mean_tdp_fraction, 0.59, 0.05);
+  EXPECT_NEAR(e.std_fraction_of_mean, 0.26, 0.06);
+  // The synthetic Meggie runs a few points wider than the paper's 18%
+  // (documented in EXPERIMENTS.md).
+  EXPECT_NEAR(m.std_fraction_of_mean, 0.18, 0.09);
+}
+
+// ---- Fig 4 ------------------------------------------------------------------
+
+TEST(Reproduction, Fig4AppRankingSwapsAcrossSystems) {
+  const workload::ApplicationCatalog catalog;
+  const auto e = analyze_app_power(emmy(), catalog);
+  const auto m = analyze_app_power(meggie(), catalog);
+  ASSERT_EQ(e.size(), 5u);
+  // Every key application draws less on Meggie.
+  for (std::size_t i = 0; i < 5; ++i)
+    EXPECT_LT(m[i].mean_power_w, e[i].mean_power_w) << e[i].app_name;
+  // MD-0 (index 1) vs FASTEST (index 2): ranking swap.
+  EXPECT_GT(e[1].mean_power_w, e[2].mean_power_w);
+  EXPECT_LT(m[1].mean_power_w, m[2].mean_power_w);
+}
+
+// ---- Table 2 -----------------------------------------------------------------
+
+TEST(Reproduction, Table2Correlations) {
+  // Rank correlations carry noticeable seed-to-seed spread at this scale
+  // (heavy-user portfolios dominate); tolerances reflect that.
+  const auto e = analyze_correlations(emmy());
+  const auto m = analyze_correlations(meggie());
+  EXPECT_NEAR(e.length_vs_power.coefficient, 0.42, 0.14);
+  EXPECT_NEAR(e.size_vs_power.coefficient, 0.21, 0.14);
+  // Meggie's weak length correlation swings hardest with the seed (its 90
+  // heavy users dominate the ranks); the full-scale run lands at ~0.1.
+  EXPECT_NEAR(m.length_vs_power.coefficient, 0.12, 0.26);
+  EXPECT_NEAR(m.size_vs_power.coefficient, 0.42, 0.16);
+  EXPECT_LT(e.length_vs_power.p_value, 1e-10);
+  EXPECT_LT(m.size_vs_power.p_value, 1e-10);
+}
+
+// ---- Fig 5 ---------------------------------------------------------------------
+
+TEST(Reproduction, Fig5LongerAndLargerJobsDrawMore) {
+  for (const CampaignData* data : {&emmy(), &meggie()}) {
+    const auto split = analyze_median_splits(*data);
+    EXPECT_GT(split.long_jobs.mean_tdp_fraction, split.short_jobs.mean_tdp_fraction);
+    EXPECT_GT(split.large_jobs.mean_tdp_fraction, split.small_jobs.mean_tdp_fraction);
+    EXPECT_LT(split.long_jobs.std_tdp_fraction, split.short_jobs.std_tdp_fraction);
+    EXPECT_LT(split.large_jobs.std_tdp_fraction, split.small_jobs.std_tdp_fraction);
+  }
+}
+
+// ---- Figs 6-7 -------------------------------------------------------------------
+
+TEST(Reproduction, Fig7TemporalVarianceIsLimited) {
+  const auto e = analyze_temporal(emmy());
+  // Mean per-job temporal CV ~11%.
+  EXPECT_NEAR(e.mean_temporal_cv, 0.11, 0.04);
+  // Mean peak overshoot ~10-12%.
+  EXPECT_NEAR(e.mean_peak_overshoot, 0.11, 0.04);
+  // Most jobs never exceed +10% of their mean.
+  EXPECT_GT(e.fraction_jobs_never_above, 0.55);
+  // Average time above +10% is small (paper ~10%).
+  EXPECT_LT(e.mean_time_above_10pct, 0.15);
+}
+
+// ---- Figs 8-9 --------------------------------------------------------------------
+
+TEST(Reproduction, Fig9SpatialVarianceIsHigh) {
+  const auto e = analyze_spatial(emmy());
+  EXPECT_NEAR(e.mean_avg_spread_w, 20.0, 6.0);
+  EXPECT_NEAR(e.mean_spread_fraction, 0.15, 0.05);
+  EXPECT_NEAR(e.mean_time_above_avg_spread, 0.30, 0.08);
+  EXPECT_GT(e.max_avg_spread_w, 40.0);  // paper: spreads up to ~110 W exist
+}
+
+// ---- Fig 10 ------------------------------------------------------------------------
+
+TEST(Reproduction, Fig10NodeEnergySpread) {
+  const auto e = analyze_energy_spread(emmy());
+  EXPECT_NEAR(e.fraction_above_15pct, 0.20, 0.10);
+  EXPECT_GT(e.spread_vs_nnodes.coefficient, 0.3);  // correlated with size
+}
+
+// ---- Fig 11 -------------------------------------------------------------------------
+
+TEST(Reproduction, Fig11UserConcentration) {
+  for (const CampaignData* data : {&emmy(), &meggie()}) {
+    const auto c = analyze_concentration(*data);
+    EXPECT_NEAR(c.top20_node_hours_share, 0.85, 0.10) << data->spec.name;
+    EXPECT_NEAR(c.top20_energy_share, 0.85, 0.10) << data->spec.name;
+    EXPECT_GT(c.top20_overlap, 0.80) << data->spec.name;
+  }
+}
+
+// ---- Figs 12-13 ----------------------------------------------------------------------
+
+TEST(Reproduction, Fig12UsersAreNotMonotonous) {
+  // Per-user variability far exceeds within-cluster variability.
+  const auto var = analyze_user_variability(emmy());
+  EXPECT_GT(var.mean_power_cv, 0.15);
+  EXPECT_GT(var.mean_runtime_cv, 0.4);
+}
+
+TEST(Reproduction, Fig13ClustersAreTight) {
+  const auto e_nodes = analyze_cluster_variability(emmy(), ClusterKey::kUserNodes);
+  const auto e_wall = analyze_cluster_variability(emmy(), ClusterKey::kUserWalltime);
+  EXPECT_GT(e_nodes.share_below_10, 0.45);
+  EXPECT_LT(e_nodes.share_below_10, 0.95);
+  EXPECT_GT(e_wall.share_below_10, 0.35);
+  const auto m_nodes = analyze_cluster_variability(meggie(), ClusterKey::kUserNodes);
+  EXPECT_GT(m_nodes.share_below_10, 0.5);
+}
+
+// ---- Figs 14-15 -----------------------------------------------------------------------
+
+TEST(Reproduction, Fig14PredictionModelOrdering) {
+  ml::EvaluationConfig cfg;
+  cfg.repeats = 3;
+  for (const CampaignData* data : {&emmy(), &meggie()}) {
+    const auto report = analyze_prediction(*data, {}, cfg);
+    const auto& bdt = report.model("BDT");
+    const auto& knn = report.model("KNN");
+    const auto& flda = report.model("FLDA");
+    // BDT best, FLDA worst (paper Fig 14).
+    EXPECT_GE(bdt.fraction_below(0.10), knn.fraction_below(0.10) - 0.02)
+        << data->spec.name;
+    EXPECT_GT(knn.fraction_below(0.10), flda.fraction_below(0.10)) << data->spec.name;
+    // BDT: ~90% of predictions below 10% error, ~75% below 5%.
+    EXPECT_GT(bdt.fraction_below(0.10), 0.85) << data->spec.name;
+    EXPECT_GT(bdt.fraction_below(0.05), 0.60) << data->spec.name;
+  }
+}
+
+TEST(Reproduction, Fig14FldaWorseOnEmmyThanMeggie) {
+  ml::EvaluationConfig cfg;
+  cfg.repeats = 3;
+  const auto e = analyze_prediction(emmy(), {}, cfg);
+  const auto m = analyze_prediction(meggie(), {}, cfg);
+  // Paper: FLDA performs clearly worse on Emmy (more users, wider spread):
+  // half its Emmy predictions exceed 10% error.
+  EXPECT_LT(e.model("FLDA").fraction_below(0.10), 0.55);
+  EXPECT_GT(m.model("FLDA").fraction_below(0.10),
+            e.model("FLDA").fraction_below(0.10));
+}
+
+TEST(Reproduction, Fig15PerUserPredictionQuality) {
+  ml::EvaluationConfig cfg;
+  cfg.repeats = 3;
+  const auto report = analyze_prediction(emmy(), {}, cfg);
+  // Paper: 90% of users see <5% mean absolute error with BDT. At this
+  // campaign scale rare users have few training instances, so the bar is
+  // set a little lower.
+  EXPECT_GT(report.model("BDT").user_fraction_below(0.05), 0.50);
+  EXPECT_GT(report.model("BDT").user_fraction_below(0.10), 0.75);
+}
+
+}  // namespace
+}  // namespace hpcpower::core

@@ -1,0 +1,101 @@
+// Tests for the scheduler-policy ablation (FCFS vs EASY backfill).
+
+#include <gtest/gtest.h>
+
+#include "sched/simulator.hpp"
+
+namespace hpcpower::sched {
+namespace {
+
+workload::JobRequest make_job(workload::JobId id, std::uint32_t nnodes,
+                              std::uint32_t walltime, std::uint32_t runtime,
+                              std::int64_t submit = 0) {
+  workload::JobRequest j;
+  j.job_id = id;
+  j.nnodes = nnodes;
+  j.walltime_req_min = walltime;
+  j.runtime_min = runtime;
+  j.submit = util::MinuteTime(submit);
+  return j;
+}
+
+TEST(SchedulerPolicy, FcfsOnlyNeverBackfills) {
+  BatchScheduler s(8, SchedulerPolicy::kFcfsOnly);
+  s.submit(make_job(1, 6, 100, 100));
+  (void)s.schedule(util::MinuteTime(0));
+  s.submit(make_job(2, 4, 50, 50));   // head, blocked
+  s.submit(make_job(3, 2, 40, 40));   // would backfill under EASY
+  const auto started = s.schedule(util::MinuteTime(0));
+  EXPECT_TRUE(started.empty());
+  EXPECT_EQ(s.stats().backfilled, 0u);
+}
+
+TEST(SchedulerPolicy, BackfillImprovesUtilization) {
+  // One wide job blocks the queue; short jobs fill the hole only with EASY.
+  const auto jobs = [] {
+    std::vector<workload::JobRequest> out;
+    out.push_back(make_job(1, 6, 200, 200, 0));
+    out.push_back(make_job(2, 8, 100, 100, 1));  // head blocker (whole machine)
+    for (int i = 0; i < 10; ++i)
+      out.push_back(make_job(static_cast<workload::JobId>(3 + i), 2, 60, 60, 2));
+    return out;
+  }();
+
+  // Over a horizon long enough for both policies to finish, total
+  // node-minutes tie; the improvement shows up as earlier completion
+  // (makespan) and lower queue waits.
+  const auto run_policy = [&](SchedulerPolicy policy) {
+    CampaignSimulator sim(8, util::MinuteTime(1000), policy);
+    return sim.run(jobs);
+  };
+  const auto makespan = [](const SimulationResult& r) {
+    std::int64_t last = 0;
+    for (const auto& rec : r.accounting) last = std::max(last, rec.end.minutes());
+    return last;
+  };
+
+  const auto easy = run_policy(SchedulerPolicy::kFcfsBackfill);
+  const auto fcfs = run_policy(SchedulerPolicy::kFcfsOnly);
+  EXPECT_LT(makespan(easy), makespan(fcfs));
+  EXPECT_LT(easy.scheduler.mean_wait_minutes(), fcfs.scheduler.mean_wait_minutes());
+  EXPECT_GT(easy.scheduler.backfilled, 0u);
+}
+
+TEST(SchedulerPolicy, BothPoliciesConserveNodeMinutes) {
+  std::vector<workload::JobRequest> jobs;
+  for (int i = 0; i < 40; ++i)
+    jobs.push_back(make_job(static_cast<workload::JobId>(i + 1), 1 + (i % 5), 60,
+                            20 + (i % 30), i * 3));
+  for (const auto policy :
+       {SchedulerPolicy::kFcfsBackfill, SchedulerPolicy::kFcfsOnly}) {
+    CampaignSimulator sim(16, util::MinuteTime(3000), policy);
+    const auto result = sim.run(jobs);
+    std::uint64_t busy = 0;
+    for (const auto b : result.busy_nodes_per_minute) busy += b;
+    std::uint64_t node_minutes = 0;
+    for (const auto& rec : result.accounting)
+      node_minutes += static_cast<std::uint64_t>(rec.nnodes) * rec.runtime_min();
+    EXPECT_EQ(busy, node_minutes);
+    EXPECT_EQ(result.accounting.size(), jobs.size());
+  }
+}
+
+TEST(SchedulerPolicy, FcfsPreservesStrictOrder) {
+  BatchScheduler s(4, SchedulerPolicy::kFcfsOnly);
+  s.submit(make_job(1, 4, 50, 50));
+  s.submit(make_job(2, 3, 50, 50));
+  s.submit(make_job(3, 1, 10, 10));
+  auto first = s.schedule(util::MinuteTime(0));
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0].request.job_id, 1u);
+  // Nothing else may start until job 1 releases, regardless of fit.
+  EXPECT_TRUE(s.schedule(util::MinuteTime(1)).empty());
+  s.release(first[0]);
+  const auto next = s.schedule(util::MinuteTime(50));
+  ASSERT_EQ(next.size(), 2u);
+  EXPECT_EQ(next[0].request.job_id, 2u);
+  EXPECT_EQ(next[1].request.job_id, 3u);
+}
+
+}  // namespace
+}  // namespace hpcpower::sched

@@ -1,0 +1,60 @@
+// Tests for simulation time handling.
+
+#include "util/sim_time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hpcpower::util {
+namespace {
+
+TEST(MinuteTime, UnitConversions) {
+  const MinuteTime t(90);
+  EXPECT_EQ(t.minutes(), 90);
+  EXPECT_DOUBLE_EQ(t.hours(), 1.5);
+  const MinuteTime day = MinuteTime::from_days(1.0);
+  EXPECT_EQ(day.minutes(), 1440);
+  EXPECT_DOUBLE_EQ(day.days(), 1.0);
+}
+
+TEST(MinuteTime, FromHoursRounds) {
+  EXPECT_EQ(MinuteTime::from_hours(1.0).minutes(), 60);
+  EXPECT_EQ(MinuteTime::from_hours(0.51).minutes(), 31);
+}
+
+TEST(MinuteTime, ArithmeticAndComparison) {
+  const MinuteTime a(10), b(25);
+  EXPECT_EQ((a + b).minutes(), 35);
+  EXPECT_EQ((b - a).minutes(), 15);
+  EXPECT_LT(a, b);
+  MinuteTime c(5);
+  c += MinuteTime(7);
+  EXPECT_EQ(c.minutes(), 12);
+}
+
+TEST(FormatDuration, HoursMinutes) {
+  EXPECT_EQ(format_duration(MinuteTime(65)), "01:05");
+  EXPECT_EQ(format_duration(MinuteTime(0)), "00:00");
+}
+
+TEST(FormatDuration, WithDays) {
+  EXPECT_EQ(format_duration(MinuteTime::from_days(2.0) + MinuteTime(61)), "2d 01:01");
+}
+
+TEST(FormatDuration, Negative) {
+  EXPECT_EQ(format_duration(MinuteTime(-61)), "-01:01");
+}
+
+TEST(CampaignLabel, StartsInOctober) {
+  EXPECT_EQ(campaign_label(MinuteTime(0)), "Oct 01");
+  EXPECT_EQ(campaign_label(MinuteTime::from_days(30.0)), "Oct 31");
+}
+
+TEST(CampaignLabel, RollsThroughMonths) {
+  EXPECT_EQ(campaign_label(MinuteTime::from_days(31.0)), "Nov 01");
+  EXPECT_EQ(campaign_label(MinuteTime::from_days(31.0 + 30.0)), "Dec 01");
+  // Five paper months = 151 days; day 151 wraps back to Oct.
+  EXPECT_EQ(campaign_label(MinuteTime::from_days(151.0)), "Oct 01");
+}
+
+}  // namespace
+}  // namespace hpcpower::util

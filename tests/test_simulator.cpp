@@ -1,0 +1,134 @@
+// Tests for the minute-stepped campaign simulator.
+
+#include "sched/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace hpcpower::sched {
+namespace {
+
+workload::JobRequest make_job(workload::JobId id, std::uint32_t nnodes,
+                              std::uint32_t walltime, std::uint32_t runtime,
+                              std::int64_t submit) {
+  workload::JobRequest j;
+  j.job_id = id;
+  j.nnodes = nnodes;
+  j.walltime_req_min = walltime;
+  j.runtime_min = runtime;
+  j.submit = util::MinuteTime(submit);
+  return j;
+}
+
+TEST(CampaignSimulator, SingleJobLifecycle) {
+  CampaignSimulator sim(4, util::MinuteTime(100));
+  std::vector<workload::JobRequest> jobs = {make_job(1, 2, 20, 10, 5)};
+  int starts = 0, ends = 0;
+  SimulationHooks hooks;
+  hooks.on_start = [&](const RunningJob& j) {
+    ++starts;
+    EXPECT_EQ(j.start.minutes(), 5);
+  };
+  hooks.on_end = [&](const RunningJob&, const JobAccountingRecord& rec) {
+    ++ends;
+    EXPECT_EQ(rec.end.minutes(), 15);
+    EXPECT_EQ(rec.runtime_min(), 10u);
+    EXPECT_FALSE(rec.truncated_by_horizon);
+  };
+  const auto result = sim.run(jobs, hooks);
+  EXPECT_EQ(starts, 1);
+  EXPECT_EQ(ends, 1);
+  ASSERT_EQ(result.accounting.size(), 1u);
+  EXPECT_EQ(result.scheduler.completed, 1u);
+}
+
+TEST(CampaignSimulator, BusyNodeSeriesMatchesOccupancy) {
+  CampaignSimulator sim(4, util::MinuteTime(30));
+  std::vector<workload::JobRequest> jobs = {make_job(1, 3, 20, 10, 0)};
+  const auto result = sim.run(jobs);
+  ASSERT_EQ(result.busy_nodes_per_minute.size(), 30u);
+  for (int m = 0; m < 10; ++m) EXPECT_EQ(result.busy_nodes_per_minute[m], 3u) << m;
+  for (int m = 10; m < 30; ++m) EXPECT_EQ(result.busy_nodes_per_minute[m], 0u) << m;
+}
+
+TEST(CampaignSimulator, PerMinuteHookSeesRunningJobs) {
+  CampaignSimulator sim(4, util::MinuteTime(20));
+  std::vector<workload::JobRequest> jobs = {make_job(1, 2, 20, 5, 0),
+                                            make_job(2, 2, 20, 15, 0)};
+  std::vector<std::size_t> counts;
+  SimulationHooks hooks;
+  hooks.per_minute = [&](util::MinuteTime, const std::vector<const RunningJob*>& r) {
+    counts.push_back(r.size());
+  };
+  (void)sim.run(jobs, hooks);
+  ASSERT_EQ(counts.size(), 20u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[4], 2u);
+  EXPECT_EQ(counts[5], 1u);   // job 1 ended at minute 5
+  EXPECT_EQ(counts[14], 1u);
+  EXPECT_EQ(counts[15], 0u);
+}
+
+TEST(CampaignSimulator, QueuedJobStartsWhenNodesFree) {
+  CampaignSimulator sim(4, util::MinuteTime(50));
+  std::vector<workload::JobRequest> jobs = {make_job(1, 4, 20, 10, 0),
+                                            make_job(2, 4, 20, 10, 0)};
+  const auto result = sim.run(jobs);
+  ASSERT_EQ(result.accounting.size(), 2u);
+  EXPECT_EQ(result.accounting[0].start.minutes(), 0);
+  EXPECT_EQ(result.accounting[1].start.minutes(), 10);
+  EXPECT_EQ(result.accounting[1].wait_min(), 10u);
+}
+
+TEST(CampaignSimulator, TruncatesJobsAtHorizon) {
+  CampaignSimulator sim(4, util::MinuteTime(10));
+  std::vector<workload::JobRequest> jobs = {make_job(1, 2, 100, 50, 0)};
+  const auto result = sim.run(jobs);
+  ASSERT_EQ(result.accounting.size(), 1u);
+  EXPECT_TRUE(result.accounting[0].truncated_by_horizon);
+  EXPECT_EQ(result.accounting[0].end.minutes(), 10);
+}
+
+TEST(CampaignSimulator, DropsJobsStillQueuedAtHorizon) {
+  CampaignSimulator sim(2, util::MinuteTime(10));
+  std::vector<workload::JobRequest> jobs = {make_job(1, 2, 100, 100, 0),
+                                            make_job(2, 2, 100, 100, 0)};
+  const auto result = sim.run(jobs);
+  // Job 2 never starts; only job 1 is accounted (truncated).
+  ASSERT_EQ(result.accounting.size(), 1u);
+  EXPECT_EQ(result.accounting[0].job_id, 1u);
+}
+
+TEST(CampaignSimulator, AllJobsAccountedWhenCapacityAllows) {
+  CampaignSimulator sim(8, util::MinuteTime(2000));
+  std::vector<workload::JobRequest> jobs;
+  for (int i = 0; i < 50; ++i)
+    jobs.push_back(make_job(static_cast<workload::JobId>(i + 1), 1 + (i % 4), 30,
+                            10 + (i % 20), i * 10));
+  const auto result = sim.run(jobs);
+  EXPECT_EQ(result.accounting.size(), jobs.size());
+  std::set<workload::JobId> ids;
+  for (const auto& rec : result.accounting) ids.insert(rec.job_id);
+  EXPECT_EQ(ids.size(), jobs.size());
+  EXPECT_EQ(result.scheduler.completed, jobs.size());
+}
+
+TEST(CampaignSimulator, NodeMinutesConserved) {
+  // Sum of busy nodes over time == sum of nnodes * sampled runtime.
+  CampaignSimulator sim(8, util::MinuteTime(500));
+  std::vector<workload::JobRequest> jobs;
+  for (int i = 0; i < 20; ++i)
+    jobs.push_back(make_job(static_cast<workload::JobId>(i + 1), 1 + (i % 3), 40,
+                            15 + (i % 10), i * 5));
+  const auto result = sim.run(jobs);
+  std::uint64_t busy_sum = 0;
+  for (const auto b : result.busy_nodes_per_minute) busy_sum += b;
+  std::uint64_t node_minutes = 0;
+  for (const auto& rec : result.accounting)
+    node_minutes += static_cast<std::uint64_t>(rec.nnodes) * rec.runtime_min();
+  EXPECT_EQ(busy_sum, node_minutes);
+}
+
+}  // namespace
+}  // namespace hpcpower::sched

@@ -1,0 +1,107 @@
+// Tests for special functions against known reference values.
+
+#include "stats/special.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hpcpower::stats {
+namespace {
+
+TEST(LogGamma, MatchesFactorials) {
+  EXPECT_NEAR(log_gamma(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(log_gamma(5.0), std::log(24.0), 1e-12);
+  EXPECT_NEAR(log_gamma(0.5), 0.5 * std::log(M_PI), 1e-12);
+}
+
+TEST(LogGamma, RejectsNonPositive) {
+  EXPECT_THROW(log_gamma(0.0), std::domain_error);
+  EXPECT_THROW(log_gamma(-1.0), std::domain_error);
+}
+
+TEST(IncompleteBeta, Endpoints) {
+  EXPECT_DOUBLE_EQ(incomplete_beta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(incomplete_beta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(IncompleteBeta, SymmetricCaseAtHalf) {
+  // I_0.5(a, a) = 0.5 for any a.
+  EXPECT_NEAR(incomplete_beta(2.0, 2.0, 0.5), 0.5, 1e-12);
+  EXPECT_NEAR(incomplete_beta(7.5, 7.5, 0.5), 0.5, 1e-12);
+}
+
+TEST(IncompleteBeta, UniformSpecialCase) {
+  // I_x(1, 1) = x.
+  for (double x : {0.1, 0.25, 0.7, 0.99})
+    EXPECT_NEAR(incomplete_beta(1.0, 1.0, x), x, 1e-12);
+}
+
+TEST(IncompleteBeta, ClosedFormAOne) {
+  // I_x(1, b) = 1 - (1-x)^b.
+  EXPECT_NEAR(incomplete_beta(1.0, 3.0, 0.2), 1.0 - std::pow(0.8, 3.0), 1e-12);
+}
+
+TEST(IncompleteBeta, ReferenceValue) {
+  // scipy.special.betainc(2, 5, 0.3) = 0.579825...
+  EXPECT_NEAR(incomplete_beta(2.0, 5.0, 0.3), 0.5798250000000001, 1e-9);
+}
+
+TEST(IncompleteBeta, RejectsBadArguments) {
+  EXPECT_THROW(incomplete_beta(0.0, 1.0, 0.5), std::domain_error);
+  EXPECT_THROW(incomplete_beta(1.0, 1.0, 1.5), std::domain_error);
+}
+
+TEST(StudentT, CdfAtZeroIsHalf) {
+  EXPECT_NEAR(student_t_cdf(0.0, 5.0), 0.5, 1e-12);
+  EXPECT_NEAR(student_t_cdf(0.0, 100.0), 0.5, 1e-12);
+}
+
+TEST(StudentT, CdfSymmetry) {
+  const double p = student_t_cdf(1.7, 9.0);
+  EXPECT_NEAR(student_t_cdf(-1.7, 9.0), 1.0 - p, 1e-12);
+}
+
+TEST(StudentT, ReferenceValues) {
+  // scipy.stats.t.cdf(2.0, 10) = 0.963306...
+  EXPECT_NEAR(student_t_cdf(2.0, 10.0), 0.9633059826922, 1e-9);
+  // With one dof this is the Cauchy distribution: F(1) = 0.75.
+  EXPECT_NEAR(student_t_cdf(1.0, 1.0), 0.75, 1e-10);
+}
+
+TEST(StudentT, ApproachesNormalForLargeDof) {
+  EXPECT_NEAR(student_t_cdf(1.96, 1e6), normal_cdf(1.96), 1e-5);
+}
+
+TEST(StudentT, TwoSidedPValues) {
+  // p = 2 * (1 - F(|t|)).
+  const double t = 2.5, dof = 20.0;
+  EXPECT_NEAR(student_t_two_sided_p(t, dof), 2.0 * (1.0 - student_t_cdf(t, dof)), 1e-12);
+  EXPECT_NEAR(student_t_two_sided_p(-t, dof), student_t_two_sided_p(t, dof), 1e-12);
+  EXPECT_NEAR(student_t_two_sided_p(0.0, dof), 1.0, 1e-12);
+}
+
+TEST(StudentT, InfiniteTGivesZeroP) {
+  EXPECT_DOUBLE_EQ(student_t_two_sided_p(INFINITY, 5.0), 0.0);
+}
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-14);
+  EXPECT_NEAR(normal_cdf(1.959963984540054), 0.975, 1e-10);
+  EXPECT_NEAR(normal_cdf(-1.0), 0.15865525393146, 1e-10);
+}
+
+TEST(NormalQuantile, InvertsCdf) {
+  for (double p : {0.001, 0.025, 0.2, 0.5, 0.8, 0.975, 0.999})
+    EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-10) << p;
+}
+
+TEST(NormalQuantile, EdgesAndErrors) {
+  EXPECT_TRUE(std::isinf(normal_quantile(0.0)));
+  EXPECT_TRUE(std::isinf(normal_quantile(1.0)));
+  EXPECT_THROW(normal_quantile(-0.1), std::domain_error);
+  EXPECT_THROW(normal_quantile(1.1), std::domain_error);
+}
+
+}  // namespace
+}  // namespace hpcpower::stats

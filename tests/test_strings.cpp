@@ -1,0 +1,79 @@
+// Tests for string helpers.
+
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hpcpower::util {
+namespace {
+
+TEST(Split, BasicSplit) {
+  const auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Split, KeepsEmptyFields) {
+  const auto parts = split(",x,", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[1], "x");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(Split, EmptyInputGivesOneEmptyField) {
+  const auto parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(Trim, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim("nochange"), "nochange");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(ToLower, LowersAscii) {
+  EXPECT_EQ(to_lower("GrOmAcS"), "gromacs");
+  EXPECT_EQ(to_lower("md-0"), "md-0");
+}
+
+TEST(StartsWith, Basic) {
+  EXPECT_TRUE(starts_with("--seed", "--"));
+  EXPECT_FALSE(starts_with("-s", "--"));
+  EXPECT_TRUE(starts_with("abc", ""));
+  EXPECT_FALSE(starts_with("", "a"));
+}
+
+TEST(Format, PrintfStyle) {
+  EXPECT_EQ(format("%d jobs at %.1f W", 42, 149.25), "42 jobs at 149.2 W");
+  EXPECT_EQ(format("plain"), "plain");
+}
+
+TEST(FormatWatts, OneDecimal) { EXPECT_EQ(format_watts(148.96), "149.0 W"); }
+
+TEST(FormatPercent, FractionToPercent) {
+  EXPECT_EQ(format_percent(0.713), "71.3%");
+  EXPECT_EQ(format_percent(1.0), "100.0%");
+}
+
+TEST(AsciiBar, ProportionalFill) {
+  EXPECT_EQ(ascii_bar(5.0, 10.0, 10), "#####.....");
+  EXPECT_EQ(ascii_bar(10.0, 10.0, 4), "####");
+  EXPECT_EQ(ascii_bar(0.0, 10.0, 4), "....");
+}
+
+TEST(AsciiBar, ClampsOutOfRange) {
+  EXPECT_EQ(ascii_bar(20.0, 10.0, 4), "####");
+  EXPECT_EQ(ascii_bar(-5.0, 10.0, 4), "....");
+}
+
+TEST(AsciiBar, DegenerateInputsGiveEmpty) {
+  EXPECT_EQ(ascii_bar(1.0, 0.0, 10), "");
+  EXPECT_EQ(ascii_bar(1.0, 10.0, 0), "");
+}
+
+}  // namespace
+}  // namespace hpcpower::util

@@ -1,0 +1,78 @@
+// Tests for the encoded system specifications (paper Table 1).
+
+#include "cluster/system_spec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hpcpower::cluster {
+namespace {
+
+TEST(SystemSpec, EmmyMatchesTable1) {
+  const SystemSpec s = emmy_spec();
+  EXPECT_EQ(s.id, SystemId::kEmmy);
+  EXPECT_EQ(s.name, "Emmy");
+  EXPECT_EQ(s.node_count, 560u);
+  EXPECT_DOUBLE_EQ(s.node_tdp_watts, 210.0);
+  EXPECT_EQ(s.nodes_per_chassis, 4u);
+  EXPECT_EQ(s.processors, "2x Intel Xeon E5-2660 v2");
+  EXPECT_EQ(s.batch_system, "Torque-4.2.10 with maui-3.3.2");
+  EXPECT_DOUBLE_EQ(s.linpack_tflops, 191.0);
+  EXPECT_DOUBLE_EQ(s.linpack_power_kw, 170.0);
+}
+
+TEST(SystemSpec, MeggieMatchesTable1) {
+  const SystemSpec s = meggie_spec();
+  EXPECT_EQ(s.id, SystemId::kMeggie);
+  EXPECT_EQ(s.node_count, 728u);
+  EXPECT_DOUBLE_EQ(s.node_tdp_watts, 195.0);
+  EXPECT_EQ(s.processors, "2x Intel E5-2630 v4");
+  EXPECT_EQ(s.batch_system, "Slurm 17.11");
+  EXPECT_DOUBLE_EQ(s.linpack_tflops, 472.0);
+}
+
+TEST(SystemSpec, ProvisionedPowerIsNodeCountTimesTdp) {
+  EXPECT_DOUBLE_EQ(emmy_spec().provisioned_power_watts(), 560.0 * 210.0);
+  EXPECT_DOUBLE_EQ(meggie_spec().provisioned_power_watts(), 728.0 * 195.0);
+}
+
+TEST(SystemSpec, MeggieRunsCoolerPerArchScale) {
+  // 14 nm Broadwell draws less for the same code than 22 nm IvyBridge.
+  EXPECT_LT(meggie_spec().arch_power_scale, emmy_spec().arch_power_scale);
+}
+
+TEST(SystemSpec, SystemNames) {
+  EXPECT_STREQ(system_name(SystemId::kEmmy), "Emmy");
+  EXPECT_STREQ(system_name(SystemId::kMeggie), "Meggie");
+  EXPECT_STREQ(system_name(SystemId::kCustom), "Custom");
+}
+
+TEST(SystemSpec, StudiedSystemsAreEmmyThenMeggie) {
+  const auto systems = studied_systems();
+  ASSERT_EQ(systems.size(), 2u);
+  EXPECT_EQ(systems[0].id, SystemId::kEmmy);
+  EXPECT_EQ(systems[1].id, SystemId::kMeggie);
+}
+
+TEST(SystemSpec, SpecRowsCoverTable1Fields) {
+  const auto rows = spec_rows(emmy_spec());
+  EXPECT_EQ(rows.size(), 17u);  // Table 1 has 17 rows
+  EXPECT_EQ(rows.front().first, "number of nodes");
+  EXPECT_EQ(rows.front().second, "560");
+  bool found_tdp = false;
+  for (const auto& [field, value] : rows)
+    if (field == "node TDP") {
+      found_tdp = true;
+      EXPECT_EQ(value, "210 W");
+    }
+  EXPECT_TRUE(found_tdp);
+}
+
+TEST(SystemSpec, IdlePowerFractionIsPlausible) {
+  for (const auto& s : studied_systems()) {
+    EXPECT_GT(s.idle_power_fraction, 0.05);
+    EXPECT_LT(s.idle_power_fraction, 0.40);
+  }
+}
+
+}  // namespace
+}  // namespace hpcpower::cluster

@@ -1,0 +1,82 @@
+// Tests for the thread pool and parallel_for.
+
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace hpcpower::util {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTask) {
+  ThreadPool pool(2);
+  std::atomic<int> value{0};
+  pool.submit([&] { value = 42; }).get();
+  EXPECT_EQ(value.load(), 42);
+}
+
+TEST(ThreadPool, DefaultsToAtLeastOneThread) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPool, PropagatesTaskException) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForVisitsEveryIndexOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ParallelForSmallNRunsInline) {
+  ThreadPool pool(4);
+  std::vector<int> order;
+  pool.parallel_for(3, [&](std::size_t i) { order.push_back(static_cast<int>(i)); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(ThreadPool, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(1000,
+                                 [](std::size_t i) {
+                                   if (i == 500) throw std::runtime_error("bad index");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelResultsMatchSequential) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 5000;
+  std::vector<double> parallel_out(kN), sequential_out(kN);
+  const auto f = [](std::size_t i) {
+    return static_cast<double>(i) * 1.5 + 1.0;
+  };
+  pool.parallel_for(kN, [&](std::size_t i) { parallel_out[i] = f(i); });
+  for (std::size_t i = 0; i < kN; ++i) sequential_out[i] = f(i);
+  EXPECT_EQ(parallel_out, sequential_out);
+}
+
+TEST(ThreadPool, GlobalPoolIsSingleton) {
+  EXPECT_EQ(&global_pool(), &global_pool());
+  EXPECT_GE(global_pool().thread_count(), 1u);
+}
+
+}  // namespace
+}  // namespace hpcpower::util

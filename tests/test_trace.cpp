@@ -1,0 +1,163 @@
+// Tests for trace file formats (job table + sample table round trips).
+
+#include "trace/job_table.hpp"
+#include "trace/sample_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace hpcpower::trace {
+namespace {
+
+telemetry::JobRecord sample_record(std::uint64_t id, bool with_detail) {
+  telemetry::JobRecord r;
+  r.job_id = id;
+  r.user_id = 17;
+  r.app = 3;
+  r.system = cluster::SystemId::kEmmy;
+  r.submit = util::MinuteTime(100);
+  r.start = util::MinuteTime(110);
+  r.end = util::MinuteTime(230);
+  r.nnodes = 8;
+  r.walltime_req_min = 240;
+  r.backfilled = true;
+  r.mean_node_power_w = 149.25;
+  r.temporal_std_w = 12.5;
+  r.peak_node_power_w = 165.0;
+  r.mean_pkg_w = 120.0;
+  r.mean_dram_w = 29.25;
+  r.energy_kwh = 2.388;
+  r.node_energy_min_kwh = 0.28;
+  r.node_energy_max_kwh = 0.32;
+  if (with_detail) {
+    telemetry::DetailMetrics d;
+    d.peak_overshoot = 0.105;
+    d.frac_time_above_10pct = 0.02;
+    d.avg_spatial_spread_w = 21.5;
+    d.spread_fraction_of_power = 0.144;
+    d.frac_time_above_avg_spread = 0.31;
+    r.detail = d;
+  }
+  return r;
+}
+
+TEST(JobTable, RoundTripsRecords) {
+  std::vector<telemetry::JobRecord> records = {sample_record(1, true),
+                                               sample_record(2, false)};
+  std::stringstream ss;
+  write_job_table(ss, records);
+  const auto back = read_job_table(ss);
+  ASSERT_EQ(back.size(), 2u);
+
+  const auto& r = back[0];
+  EXPECT_EQ(r.job_id, 1u);
+  EXPECT_EQ(r.user_id, 17u);
+  EXPECT_EQ(r.system, cluster::SystemId::kEmmy);
+  EXPECT_EQ(r.start.minutes(), 110);
+  EXPECT_EQ(r.nnodes, 8u);
+  EXPECT_TRUE(r.backfilled);
+  EXPECT_NEAR(r.mean_node_power_w, 149.25, 1e-6);
+  EXPECT_NEAR(r.energy_kwh, 2.388, 1e-6);
+  ASSERT_TRUE(r.detail.has_value());
+  EXPECT_NEAR(r.detail->peak_overshoot, 0.105, 1e-6);
+  EXPECT_NEAR(r.detail->frac_time_above_avg_spread, 0.31, 1e-6);
+
+  EXPECT_FALSE(back[1].detail.has_value());
+}
+
+TEST(JobTable, HeaderCommentWritten) {
+  std::stringstream ss;
+  write_job_table(ss, {});
+  std::string first_line;
+  std::getline(ss, first_line);
+  EXPECT_NE(first_line.find("hpcpower job table"), std::string::npos);
+}
+
+TEST(JobTable, EmptyTableRoundTrips) {
+  std::stringstream ss;
+  write_job_table(ss, {});
+  EXPECT_TRUE(read_job_table(ss).empty());
+}
+
+TEST(JobTable, SchemaMismatchThrows) {
+  std::stringstream ss("a,b,c\n1,2,3\n");
+  EXPECT_THROW(read_job_table(ss), std::invalid_argument);
+}
+
+TEST(JobTable, MalformedRowReportsRowNumber) {
+  std::vector<telemetry::JobRecord> records = {sample_record(1, false)};
+  std::stringstream ss;
+  write_job_table(ss, records);
+  std::string text = ss.str();
+  // Corrupt the numeric job id of the first data row.
+  const auto pos = text.find("\n1,");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos + 1, 1, "X");
+  std::stringstream corrupted(text);
+  try {
+    (void)read_job_table(corrupted);
+    FAIL() << "expected exception";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("row 1"), std::string::npos);
+  }
+}
+
+TEST(JobTable, FileSaveAndLoad) {
+  const std::string path = testing::TempDir() + "/hpcpower_job_table_test.csv";
+  std::vector<telemetry::JobRecord> records = {sample_record(5, true)};
+  save_job_table(path, records);
+  const auto back = load_job_table(path);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].job_id, 5u);
+  EXPECT_THROW(load_job_table("/nonexistent/dir/file.csv"), std::runtime_error);
+}
+
+TEST(JobTable, MeggieSystemRoundTrips) {
+  auto rec = sample_record(9, false);
+  rec.system = cluster::SystemId::kMeggie;
+  std::stringstream ss;
+  write_job_table(ss, {rec});
+  EXPECT_EQ(read_job_table(ss)[0].system, cluster::SystemId::kMeggie);
+}
+
+TEST(SampleTable, RoundTripsRows) {
+  std::vector<PowerSampleRow> rows = {{1, 100, 0, 120.5, 30.25},
+                                      {1, 100, 1, 118.0, 29.5},
+                                      {2, 101, 0, 90.0, 12.0}};
+  std::stringstream ss;
+  write_sample_table(ss, rows);
+  const auto back = read_sample_table(ss);
+  ASSERT_EQ(back.size(), 3u);
+  EXPECT_EQ(back[0].job_id, 1u);
+  EXPECT_EQ(back[0].minute, 100);
+  EXPECT_EQ(back[1].node_index, 1u);
+  EXPECT_NEAR(back[0].pkg_w, 120.5, 1e-9);
+  EXPECT_NEAR(back[0].total_w(), 150.75, 1e-9);
+}
+
+TEST(SampleTable, SchemaMismatchThrows) {
+  std::stringstream ss("x,y\n1,2\n");
+  EXPECT_THROW(read_sample_table(ss), std::invalid_argument);
+}
+
+TEST(SampleTable, MalformedValueThrowsWithRow) {
+  std::stringstream ss("job_id,minute,node_index,pkg_w,dram_w\n1,2,3,bad,5\n");
+  try {
+    (void)read_sample_table(ss);
+    FAIL() << "expected exception";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("row 1"), std::string::npos);
+  }
+}
+
+TEST(SampleTable, FileSaveAndLoad) {
+  const std::string path = testing::TempDir() + "/hpcpower_sample_table_test.csv";
+  save_sample_table(path, {{7, 50, 2, 100.0, 20.0}});
+  const auto back = load_sample_table(path);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].job_id, 7u);
+}
+
+}  // namespace
+}  // namespace hpcpower::trace

@@ -1,0 +1,153 @@
+// Tests for the user population model.
+
+#include "workload/users.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "stats/concentration.hpp"
+
+namespace hpcpower::workload {
+namespace {
+
+struct Fixture {
+  cluster::SystemSpec spec = cluster::emmy_spec();
+  Calibration cal = emmy_calibration();
+  ApplicationCatalog catalog;
+  util::Rng rng{42};
+  UserPopulation pop{spec, cal, catalog, rng};
+};
+
+TEST(UserPopulation, HasConfiguredUserCount) {
+  Fixture f;
+  EXPECT_EQ(f.pop.size(), f.cal.user_count);
+}
+
+TEST(UserPopulation, EveryUserHasTemplates) {
+  Fixture f;
+  for (const User& u : f.pop.users()) {
+    EXPECT_FALSE(u.templates.empty()) << "user " << u.id;
+    for (const JobTemplate& t : u.templates) {
+      EXPECT_GE(t.nnodes, 1u);
+      EXPECT_GT(t.walltime_req_min, 0u);
+      EXPECT_GT(t.base_watts, 0.0);
+      EXPECT_LT(t.base_watts, f.spec.node_tdp_watts);
+      EXPECT_GT(t.weight, 0.0);
+    }
+  }
+}
+
+TEST(UserPopulation, ActivityIsHeavilyConcentrated) {
+  Fixture f;
+  const auto weights = f.pop.activity_weights();
+  // Zipf activity: the top 20% of users hold a disproportionate share of the
+  // submissions (node-hour concentration is amplified further by job size).
+  EXPECT_GT(stats::top_share(weights, 0.2), 0.45);
+}
+
+TEST(UserPopulation, TemplateSizesFromOptionGrid) {
+  Fixture f;
+  for (const User& u : f.pop.users())
+    for (const JobTemplate& t : u.templates) {
+      const auto& opts = f.cal.size_options;
+      EXPECT_NE(std::find(opts.begin(), opts.end(), t.nnodes), opts.end())
+          << t.nnodes;
+    }
+}
+
+TEST(UserPopulation, WalltimesFromOptionGrid) {
+  Fixture f;
+  for (const User& u : f.pop.users())
+    for (const JobTemplate& t : u.templates) {
+      const auto& opts = f.cal.walltime_options;
+      EXPECT_NE(std::find(opts.begin(), opts.end(), t.walltime_req_min), opts.end());
+    }
+}
+
+TEST(UserPopulation, RuntimeFractionsInRange) {
+  Fixture f;
+  for (const User& u : f.pop.users())
+    for (const JobTemplate& t : u.templates) {
+      EXPECT_GE(t.runtime_fraction_mean, f.cal.runtime_fraction_min);
+      EXPECT_LE(t.runtime_fraction_mean, 1.0);
+    }
+}
+
+TEST(UserPopulation, ExpectedNodeMinutesPositiveAndPlausible) {
+  Fixture f;
+  const double nm = f.pop.expected_node_minutes_per_job();
+  EXPECT_GT(nm, 100.0);     // more than a couple of node-minutes
+  EXPECT_LT(nm, 100000.0);  // less than a full machine-day per job
+}
+
+TEST(UserPopulation, DeterministicForSameSeed) {
+  cluster::SystemSpec spec = cluster::emmy_spec();
+  Calibration cal = emmy_calibration();
+  ApplicationCatalog catalog;
+  util::Rng rng1(7), rng2(7);
+  UserPopulation a(spec, cal, catalog, rng1), b(spec, cal, catalog, rng2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const User& ua = a.users()[i];
+    const User& ub = b.users()[i];
+    ASSERT_EQ(ua.templates.size(), ub.templates.size());
+    for (std::size_t t = 0; t < ua.templates.size(); ++t)
+      EXPECT_DOUBLE_EQ(ua.templates[t].base_watts, ub.templates[t].base_watts);
+  }
+}
+
+TEST(UserPopulation, SomeUsersHaveDebugTemplates) {
+  Fixture f;
+  std::size_t with_debug = 0;
+  const auto debug_id = f.catalog.find("Debug-Idle");
+  ASSERT_TRUE(debug_id.has_value());
+  for (const User& u : f.pop.users())
+    for (const JobTemplate& t : u.templates)
+      if (t.app == *debug_id) {
+        ++with_debug;
+        break;
+      }
+  // debug_template_prob ~ 0.35 plus occasional catalog draws.
+  EXPECT_GT(with_debug, f.pop.size() / 5);
+  EXPECT_LT(with_debug, f.pop.size());
+}
+
+TEST(UserPopulation, MeggieTemplatesSkewLarger) {
+  ApplicationCatalog catalog;
+  util::Rng rng1(11), rng2(11);
+  UserPopulation emmy(cluster::emmy_spec(), emmy_calibration(), catalog, rng1);
+  UserPopulation meggie(cluster::meggie_spec(), meggie_calibration(), catalog, rng2);
+  const auto mean_nodes = [](const UserPopulation& p) {
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (const User& u : p.users())
+      for (const JobTemplate& t : u.templates) {
+        sum += t.nnodes;
+        ++n;
+      }
+    return sum / static_cast<double>(n);
+  };
+  EXPECT_GT(mean_nodes(meggie), mean_nodes(emmy));
+}
+
+TEST(UserPopulation, RejectsZeroUsers) {
+  Calibration cal = emmy_calibration();
+  cal.user_count = 0;
+  ApplicationCatalog catalog;
+  util::Rng rng(3);
+  EXPECT_THROW(UserPopulation(cluster::emmy_spec(), cal, catalog, rng),
+               std::invalid_argument);
+}
+
+TEST(UserPopulation, RejectsMismatchedOptionWeights) {
+  Calibration cal = emmy_calibration();
+  cal.size_weights.pop_back();
+  ApplicationCatalog catalog;
+  util::Rng rng(3);
+  EXPECT_THROW(UserPopulation(cluster::emmy_spec(), cal, catalog, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hpcpower::workload

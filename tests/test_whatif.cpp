@@ -1,0 +1,136 @@
+// Tests for what-if static-cap evaluation and the system-series trace format.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/whatif.hpp"
+#include "trace/system_series.hpp"
+
+namespace hpcpower {
+namespace {
+
+telemetry::JobRecord job(double mean_w, double peak_w, std::uint32_t nnodes = 2,
+                         std::uint32_t runtime = 60) {
+  static workload::JobId next_id = 1;
+  telemetry::JobRecord r;
+  r.job_id = next_id++;
+  r.system = cluster::SystemId::kEmmy;
+  r.start = util::MinuteTime(0);
+  r.end = util::MinuteTime(runtime);
+  r.nnodes = nnodes;
+  r.walltime_req_min = runtime;
+  r.mean_node_power_w = mean_w;
+  r.peak_node_power_w = peak_w;
+  r.energy_kwh = mean_w * nnodes * runtime / 60.0 / 1000.0;
+  r.node_energy_min_kwh = r.node_energy_max_kwh = r.energy_kwh / nnodes;
+  return r;
+}
+
+core::CampaignData cap_campaign() {
+  core::CampaignData data;
+  data.spec = cluster::emmy_spec();
+  data.records = {job(100.0, 110.0), job(150.0, 170.0), job(190.0, 205.0)};
+  return data;
+}
+
+TEST(StaticCap, CountsThrottledJobs) {
+  const auto out = core::evaluate_static_cap(cap_campaign(), 160.0);
+  EXPECT_DOUBLE_EQ(out.cap_w, 160.0);
+  EXPECT_NEAR(out.jobs_mean_over_cap, 1.0 / 3.0, 1e-12);   // only the 190 W job
+  EXPECT_NEAR(out.jobs_peak_over_cap, 2.0 / 3.0, 1e-12);   // 170 and 205 peaks
+}
+
+TEST(StaticCap, NoEffectAboveAllDemand) {
+  const auto out = core::evaluate_static_cap(cap_campaign(), 210.0);
+  EXPECT_DOUBLE_EQ(out.jobs_mean_over_cap, 0.0);
+  EXPECT_DOUBLE_EQ(out.jobs_peak_over_cap, 0.0);
+  EXPECT_DOUBLE_EQ(out.mean_slowdown, 1.0);
+  EXPECT_DOUBLE_EQ(out.energy_clipped_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(out.provisioned_power_released_fraction, 0.0);
+}
+
+TEST(StaticCap, SlowdownMatchesRaplModel) {
+  const auto data = cap_campaign();
+  const double idle = data.spec.idle_power_fraction * data.spec.node_tdp_watts;
+  const auto out = core::evaluate_static_cap(data, 160.0);
+  const double expected_190 = cluster::cap_slowdown(190.0, 160.0, idle);
+  EXPECT_DOUBLE_EQ(out.max_slowdown, expected_190);
+  // Node-hour weights are equal here, so mean = (1 + 1 + s)/3.
+  EXPECT_NEAR(out.mean_slowdown, (1.0 + 1.0 + expected_190) / 3.0, 1e-12);
+}
+
+TEST(StaticCap, EnergyClippedFraction) {
+  const auto out = core::evaluate_static_cap(cap_campaign(), 160.0);
+  // Clipped: (190-160) W on 2 nodes for 1 h = 0.06 kWh of 0.88 kWh total.
+  const double total = (100.0 + 150.0 + 190.0) * 2.0 / 1000.0;
+  EXPECT_NEAR(out.energy_clipped_fraction, 0.06 / total, 1e-9);
+}
+
+TEST(StaticCap, SweepIsMonotone) {
+  const auto sweep = core::sweep_static_caps(cap_campaign(), 0.5, 1.0, 6);
+  ASSERT_EQ(sweep.size(), 6u);
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_GT(sweep[i].cap_w, sweep[i - 1].cap_w);
+    EXPECT_LE(sweep[i].jobs_peak_over_cap, sweep[i - 1].jobs_peak_over_cap);
+    EXPECT_LE(sweep[i].mean_slowdown, sweep[i - 1].mean_slowdown);
+    EXPECT_LE(sweep[i].provisioned_power_released_fraction,
+              sweep[i - 1].provisioned_power_released_fraction);
+  }
+}
+
+TEST(StaticCap, BadArgumentsThrow) {
+  EXPECT_THROW((void)core::evaluate_static_cap(cap_campaign(), 0.0),
+               std::invalid_argument);
+  core::CampaignData empty;
+  empty.spec = cluster::emmy_spec();
+  EXPECT_THROW((void)core::evaluate_static_cap(empty, 100.0), std::invalid_argument);
+  EXPECT_THROW((void)core::sweep_static_caps(cap_campaign(), 0.9, 0.5, 5),
+               std::invalid_argument);
+  EXPECT_THROW((void)core::sweep_static_caps(cap_campaign(), 0.5, 0.9, 1),
+               std::invalid_argument);
+}
+
+TEST(SystemSeriesTrace, RoundTrips) {
+  telemetry::SystemSeries series;
+  series.busy_nodes = {100, 200, 150};
+  series.total_power_w = {15000.5, 30000.0, 22500.25};
+  std::stringstream ss;
+  trace::write_system_series(ss, series);
+  const auto back = trace::read_system_series(ss);
+  ASSERT_EQ(back.busy_nodes.size(), 3u);
+  EXPECT_EQ(back.busy_nodes[1], 200u);
+  EXPECT_NEAR(back.total_power_w[2], 22500.25, 1e-9);
+}
+
+TEST(SystemSeriesTrace, RaggedSeriesRejectedOnWrite) {
+  telemetry::SystemSeries ragged;
+  ragged.busy_nodes = {1};
+  std::stringstream ss;
+  EXPECT_THROW(trace::write_system_series(ss, ragged), std::invalid_argument);
+}
+
+TEST(SystemSeriesTrace, NonContiguousMinutesRejected) {
+  std::stringstream ss("minute,busy_nodes,total_power_w\n0,1,100\n2,1,100\n");
+  EXPECT_THROW((void)trace::read_system_series(ss), std::invalid_argument);
+}
+
+TEST(SystemSeriesTrace, SchemaMismatchRejected) {
+  std::stringstream ss("a,b\n1,2\n");
+  EXPECT_THROW((void)trace::read_system_series(ss), std::invalid_argument);
+}
+
+TEST(SystemSeriesTrace, FileRoundTrip) {
+  telemetry::SystemSeries series;
+  series.busy_nodes = {10, 20};
+  series.total_power_w = {1000.0, 2000.0};
+  const std::string path = testing::TempDir() + "/hpcpower_series_test.csv";
+  trace::save_system_series(path, series);
+  const auto back = trace::load_system_series(path);
+  EXPECT_EQ(back.busy_nodes, series.busy_nodes);
+  EXPECT_THROW((void)trace::load_system_series("/no/such/file.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace hpcpower
