@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_overprovision.dir/bench/bench_ablation_overprovision.cpp.o"
+  "CMakeFiles/bench_ablation_overprovision.dir/bench/bench_ablation_overprovision.cpp.o.d"
+  "bench/bench_ablation_overprovision"
+  "bench/bench_ablation_overprovision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_overprovision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_pernode_power_pdf.dir/bench/bench_fig03_pernode_power_pdf.cpp.o"
+  "CMakeFiles/bench_fig03_pernode_power_pdf.dir/bench/bench_fig03_pernode_power_pdf.cpp.o.d"
+  "bench/bench_fig03_pernode_power_pdf"
+  "bench/bench_fig03_pernode_power_pdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_pernode_power_pdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

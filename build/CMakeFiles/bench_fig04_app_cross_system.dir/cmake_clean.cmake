@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_app_cross_system.dir/bench/bench_fig04_app_cross_system.cpp.o"
+  "CMakeFiles/bench_fig04_app_cross_system.dir/bench/bench_fig04_app_cross_system.cpp.o.d"
+  "bench/bench_fig04_app_cross_system"
+  "bench/bench_fig04_app_cross_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_app_cross_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_length_size_split.dir/bench/bench_fig05_length_size_split.cpp.o"
+  "CMakeFiles/bench_fig05_length_size_split.dir/bench/bench_fig05_length_size_split.cpp.o.d"
+  "bench/bench_fig05_length_size_split"
+  "bench/bench_fig05_length_size_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_length_size_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

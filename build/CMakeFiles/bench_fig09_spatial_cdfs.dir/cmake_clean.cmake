@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_spatial_cdfs.dir/bench/bench_fig09_spatial_cdfs.cpp.o"
+  "CMakeFiles/bench_fig09_spatial_cdfs.dir/bench/bench_fig09_spatial_cdfs.cpp.o.d"
+  "bench/bench_fig09_spatial_cdfs"
+  "bench/bench_fig09_spatial_cdfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_spatial_cdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_node_energy_spread.dir/bench/bench_fig10_node_energy_spread.cpp.o"
+  "CMakeFiles/bench_fig10_node_energy_spread.dir/bench/bench_fig10_node_energy_spread.cpp.o.d"
+  "bench/bench_fig10_node_energy_spread"
+  "bench/bench_fig10_node_energy_spread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_node_energy_spread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

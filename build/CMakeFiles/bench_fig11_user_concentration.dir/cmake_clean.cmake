@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_user_concentration.dir/bench/bench_fig11_user_concentration.cpp.o"
+  "CMakeFiles/bench_fig11_user_concentration.dir/bench/bench_fig11_user_concentration.cpp.o.d"
+  "bench/bench_fig11_user_concentration"
+  "bench/bench_fig11_user_concentration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_user_concentration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

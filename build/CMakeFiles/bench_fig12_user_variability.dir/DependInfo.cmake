@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig12_user_variability.cpp" "CMakeFiles/bench_fig12_user_variability.dir/bench/bench_fig12_user_variability.cpp.o" "gcc" "CMakeFiles/bench_fig12_user_variability.dir/bench/bench_fig12_user_variability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/hpcpower_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hpcpower_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/hpcpower_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/hpcpower_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/hpcpower_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/hpcpower_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/hpcpower_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/hpcpower_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hpcpower_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/hpcpower_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hpcpower_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_user_variability.dir/bench/bench_fig12_user_variability.cpp.o"
+  "CMakeFiles/bench_fig12_user_variability.dir/bench/bench_fig12_user_variability.cpp.o.d"
+  "bench/bench_fig12_user_variability"
+  "bench/bench_fig12_user_variability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_user_variability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhpcpower_bench_common.a"
+)

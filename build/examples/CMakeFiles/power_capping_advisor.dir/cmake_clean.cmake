@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_capping_advisor.dir/power_capping_advisor.cpp.o"
+  "CMakeFiles/power_capping_advisor.dir/power_capping_advisor.cpp.o.d"
+  "power_capping_advisor"
+  "power_capping_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_capping_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stranded_power_explorer.dir/stranded_power_explorer.cpp.o"
+  "CMakeFiles/stranded_power_explorer.dir/stranded_power_explorer.cpp.o.d"
+  "stranded_power_explorer"
+  "stranded_power_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stranded_power_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/node.cpp" "src/cluster/CMakeFiles/hpcpower_cluster.dir/node.cpp.o" "gcc" "src/cluster/CMakeFiles/hpcpower_cluster.dir/node.cpp.o.d"
+  "/root/repo/src/cluster/rapl.cpp" "src/cluster/CMakeFiles/hpcpower_cluster.dir/rapl.cpp.o" "gcc" "src/cluster/CMakeFiles/hpcpower_cluster.dir/rapl.cpp.o.d"
+  "/root/repo/src/cluster/system_spec.cpp" "src/cluster/CMakeFiles/hpcpower_cluster.dir/system_spec.cpp.o" "gcc" "src/cluster/CMakeFiles/hpcpower_cluster.dir/system_spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hpcpower_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

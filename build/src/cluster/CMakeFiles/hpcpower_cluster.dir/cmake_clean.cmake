@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcpower_cluster.dir/node.cpp.o"
+  "CMakeFiles/hpcpower_cluster.dir/node.cpp.o.d"
+  "CMakeFiles/hpcpower_cluster.dir/rapl.cpp.o"
+  "CMakeFiles/hpcpower_cluster.dir/rapl.cpp.o.d"
+  "CMakeFiles/hpcpower_cluster.dir/system_spec.cpp.o"
+  "CMakeFiles/hpcpower_cluster.dir/system_spec.cpp.o.d"
+  "libhpcpower_cluster.a"
+  "libhpcpower_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcpower_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

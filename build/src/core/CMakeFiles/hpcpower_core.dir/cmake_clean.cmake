@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcpower_core.dir/job_analysis.cpp.o"
+  "CMakeFiles/hpcpower_core.dir/job_analysis.cpp.o.d"
+  "CMakeFiles/hpcpower_core.dir/prediction.cpp.o"
+  "CMakeFiles/hpcpower_core.dir/prediction.cpp.o.d"
+  "CMakeFiles/hpcpower_core.dir/report.cpp.o"
+  "CMakeFiles/hpcpower_core.dir/report.cpp.o.d"
+  "CMakeFiles/hpcpower_core.dir/study.cpp.o"
+  "CMakeFiles/hpcpower_core.dir/study.cpp.o.d"
+  "CMakeFiles/hpcpower_core.dir/system_analysis.cpp.o"
+  "CMakeFiles/hpcpower_core.dir/system_analysis.cpp.o.d"
+  "CMakeFiles/hpcpower_core.dir/user_analysis.cpp.o"
+  "CMakeFiles/hpcpower_core.dir/user_analysis.cpp.o.d"
+  "CMakeFiles/hpcpower_core.dir/whatif.cpp.o"
+  "CMakeFiles/hpcpower_core.dir/whatif.cpp.o.d"
+  "libhpcpower_core.a"
+  "libhpcpower_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcpower_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcpower_linalg.dir/decomposition.cpp.o"
+  "CMakeFiles/hpcpower_linalg.dir/decomposition.cpp.o.d"
+  "CMakeFiles/hpcpower_linalg.dir/eigen.cpp.o"
+  "CMakeFiles/hpcpower_linalg.dir/eigen.cpp.o.d"
+  "CMakeFiles/hpcpower_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/hpcpower_linalg.dir/matrix.cpp.o.d"
+  "libhpcpower_linalg.a"
+  "libhpcpower_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcpower_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

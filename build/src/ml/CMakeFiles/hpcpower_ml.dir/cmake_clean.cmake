@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcpower_ml.dir/baselines.cpp.o"
+  "CMakeFiles/hpcpower_ml.dir/baselines.cpp.o.d"
+  "CMakeFiles/hpcpower_ml.dir/dataset.cpp.o"
+  "CMakeFiles/hpcpower_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/hpcpower_ml.dir/decision_tree.cpp.o"
+  "CMakeFiles/hpcpower_ml.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/hpcpower_ml.dir/evaluation.cpp.o"
+  "CMakeFiles/hpcpower_ml.dir/evaluation.cpp.o.d"
+  "CMakeFiles/hpcpower_ml.dir/flda.cpp.o"
+  "CMakeFiles/hpcpower_ml.dir/flda.cpp.o.d"
+  "CMakeFiles/hpcpower_ml.dir/knn.cpp.o"
+  "CMakeFiles/hpcpower_ml.dir/knn.cpp.o.d"
+  "CMakeFiles/hpcpower_ml.dir/random_forest.cpp.o"
+  "CMakeFiles/hpcpower_ml.dir/random_forest.cpp.o.d"
+  "libhpcpower_ml.a"
+  "libhpcpower_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcpower_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcpower_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/hpcpower_sched.dir/scheduler.cpp.o.d"
+  "CMakeFiles/hpcpower_sched.dir/simulator.cpp.o"
+  "CMakeFiles/hpcpower_sched.dir/simulator.cpp.o.d"
+  "libhpcpower_sched.a"
+  "libhpcpower_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcpower_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcpower_stats.dir/bootstrap.cpp.o"
+  "CMakeFiles/hpcpower_stats.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/hpcpower_stats.dir/concentration.cpp.o"
+  "CMakeFiles/hpcpower_stats.dir/concentration.cpp.o.d"
+  "CMakeFiles/hpcpower_stats.dir/correlation.cpp.o"
+  "CMakeFiles/hpcpower_stats.dir/correlation.cpp.o.d"
+  "CMakeFiles/hpcpower_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/hpcpower_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/hpcpower_stats.dir/ecdf.cpp.o"
+  "CMakeFiles/hpcpower_stats.dir/ecdf.cpp.o.d"
+  "CMakeFiles/hpcpower_stats.dir/histogram.cpp.o"
+  "CMakeFiles/hpcpower_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/hpcpower_stats.dir/special.cpp.o"
+  "CMakeFiles/hpcpower_stats.dir/special.cpp.o.d"
+  "libhpcpower_stats.a"
+  "libhpcpower_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcpower_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

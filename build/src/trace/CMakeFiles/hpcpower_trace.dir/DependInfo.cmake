@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/job_table.cpp" "src/trace/CMakeFiles/hpcpower_trace.dir/job_table.cpp.o" "gcc" "src/trace/CMakeFiles/hpcpower_trace.dir/job_table.cpp.o.d"
+  "/root/repo/src/trace/replay.cpp" "src/trace/CMakeFiles/hpcpower_trace.dir/replay.cpp.o" "gcc" "src/trace/CMakeFiles/hpcpower_trace.dir/replay.cpp.o.d"
+  "/root/repo/src/trace/sample_table.cpp" "src/trace/CMakeFiles/hpcpower_trace.dir/sample_table.cpp.o" "gcc" "src/trace/CMakeFiles/hpcpower_trace.dir/sample_table.cpp.o.d"
+  "/root/repo/src/trace/system_series.cpp" "src/trace/CMakeFiles/hpcpower_trace.dir/system_series.cpp.o" "gcc" "src/trace/CMakeFiles/hpcpower_trace.dir/system_series.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hpcpower_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/hpcpower_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/hpcpower_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/hpcpower_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/hpcpower_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hpcpower_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcpower_trace.dir/job_table.cpp.o"
+  "CMakeFiles/hpcpower_trace.dir/job_table.cpp.o.d"
+  "CMakeFiles/hpcpower_trace.dir/replay.cpp.o"
+  "CMakeFiles/hpcpower_trace.dir/replay.cpp.o.d"
+  "CMakeFiles/hpcpower_trace.dir/sample_table.cpp.o"
+  "CMakeFiles/hpcpower_trace.dir/sample_table.cpp.o.d"
+  "CMakeFiles/hpcpower_trace.dir/system_series.cpp.o"
+  "CMakeFiles/hpcpower_trace.dir/system_series.cpp.o.d"
+  "libhpcpower_trace.a"
+  "libhpcpower_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcpower_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

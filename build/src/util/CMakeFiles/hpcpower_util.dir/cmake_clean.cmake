@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcpower_util.dir/csv.cpp.o"
+  "CMakeFiles/hpcpower_util.dir/csv.cpp.o.d"
+  "CMakeFiles/hpcpower_util.dir/logging.cpp.o"
+  "CMakeFiles/hpcpower_util.dir/logging.cpp.o.d"
+  "CMakeFiles/hpcpower_util.dir/options.cpp.o"
+  "CMakeFiles/hpcpower_util.dir/options.cpp.o.d"
+  "CMakeFiles/hpcpower_util.dir/prng.cpp.o"
+  "CMakeFiles/hpcpower_util.dir/prng.cpp.o.d"
+  "CMakeFiles/hpcpower_util.dir/sim_time.cpp.o"
+  "CMakeFiles/hpcpower_util.dir/sim_time.cpp.o.d"
+  "CMakeFiles/hpcpower_util.dir/strings.cpp.o"
+  "CMakeFiles/hpcpower_util.dir/strings.cpp.o.d"
+  "CMakeFiles/hpcpower_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/hpcpower_util.dir/thread_pool.cpp.o.d"
+  "libhpcpower_util.a"
+  "libhpcpower_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcpower_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

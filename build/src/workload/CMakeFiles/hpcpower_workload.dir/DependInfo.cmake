@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/application.cpp" "src/workload/CMakeFiles/hpcpower_workload.dir/application.cpp.o" "gcc" "src/workload/CMakeFiles/hpcpower_workload.dir/application.cpp.o.d"
+  "/root/repo/src/workload/calibration.cpp" "src/workload/CMakeFiles/hpcpower_workload.dir/calibration.cpp.o" "gcc" "src/workload/CMakeFiles/hpcpower_workload.dir/calibration.cpp.o.d"
+  "/root/repo/src/workload/generator.cpp" "src/workload/CMakeFiles/hpcpower_workload.dir/generator.cpp.o" "gcc" "src/workload/CMakeFiles/hpcpower_workload.dir/generator.cpp.o.d"
+  "/root/repo/src/workload/power_profile.cpp" "src/workload/CMakeFiles/hpcpower_workload.dir/power_profile.cpp.o" "gcc" "src/workload/CMakeFiles/hpcpower_workload.dir/power_profile.cpp.o.d"
+  "/root/repo/src/workload/users.cpp" "src/workload/CMakeFiles/hpcpower_workload.dir/users.cpp.o" "gcc" "src/workload/CMakeFiles/hpcpower_workload.dir/users.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hpcpower_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/hpcpower_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

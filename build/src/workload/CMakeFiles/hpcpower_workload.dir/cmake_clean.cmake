@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcpower_workload.dir/application.cpp.o"
+  "CMakeFiles/hpcpower_workload.dir/application.cpp.o.d"
+  "CMakeFiles/hpcpower_workload.dir/calibration.cpp.o"
+  "CMakeFiles/hpcpower_workload.dir/calibration.cpp.o.d"
+  "CMakeFiles/hpcpower_workload.dir/generator.cpp.o"
+  "CMakeFiles/hpcpower_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/hpcpower_workload.dir/power_profile.cpp.o"
+  "CMakeFiles/hpcpower_workload.dir/power_profile.cpp.o.d"
+  "CMakeFiles/hpcpower_workload.dir/users.cpp.o"
+  "CMakeFiles/hpcpower_workload.dir/users.cpp.o.d"
+  "libhpcpower_workload.a"
+  "libhpcpower_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcpower_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

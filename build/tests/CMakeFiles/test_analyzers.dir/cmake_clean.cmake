@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analyzers.dir/test_analyzers_exact.cpp.o"
+  "CMakeFiles/test_analyzers.dir/test_analyzers_exact.cpp.o.d"
+  "CMakeFiles/test_analyzers.dir/test_consistency.cpp.o"
+  "CMakeFiles/test_analyzers.dir/test_consistency.cpp.o.d"
+  "CMakeFiles/test_analyzers.dir/test_whatif.cpp.o"
+  "CMakeFiles/test_analyzers.dir/test_whatif.cpp.o.d"
+  "test_analyzers"
+  "test_analyzers.pdb"
+  "test_analyzers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analyzers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

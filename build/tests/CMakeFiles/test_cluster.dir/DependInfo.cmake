@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_node.cpp" "tests/CMakeFiles/test_cluster.dir/test_node.cpp.o" "gcc" "tests/CMakeFiles/test_cluster.dir/test_node.cpp.o.d"
+  "/root/repo/tests/test_rapl.cpp" "tests/CMakeFiles/test_cluster.dir/test_rapl.cpp.o" "gcc" "tests/CMakeFiles/test_cluster.dir/test_rapl.cpp.o.d"
+  "/root/repo/tests/test_system_spec.cpp" "tests/CMakeFiles/test_cluster.dir/test_system_spec.cpp.o" "gcc" "tests/CMakeFiles/test_cluster.dir/test_system_spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/hpcpower_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hpcpower_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_power_budget.cpp" "tests/CMakeFiles/test_extensions.dir/test_power_budget.cpp.o" "gcc" "tests/CMakeFiles/test_extensions.dir/test_power_budget.cpp.o.d"
+  "/root/repo/tests/test_random_forest.cpp" "tests/CMakeFiles/test_extensions.dir/test_random_forest.cpp.o" "gcc" "tests/CMakeFiles/test_extensions.dir/test_random_forest.cpp.o.d"
+  "/root/repo/tests/test_replay.cpp" "tests/CMakeFiles/test_extensions.dir/test_replay.cpp.o" "gcc" "tests/CMakeFiles/test_extensions.dir/test_replay.cpp.o.d"
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/test_extensions.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/test_extensions.dir/test_report.cpp.o.d"
+  "/root/repo/tests/test_scheduler_policy.cpp" "tests/CMakeFiles/test_extensions.dir/test_scheduler_policy.cpp.o" "gcc" "tests/CMakeFiles/test_extensions.dir/test_scheduler_policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hpcpower_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/hpcpower_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/hpcpower_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/hpcpower_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/hpcpower_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/hpcpower_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/hpcpower_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hpcpower_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/hpcpower_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hpcpower_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_extensions.dir/test_power_budget.cpp.o"
+  "CMakeFiles/test_extensions.dir/test_power_budget.cpp.o.d"
+  "CMakeFiles/test_extensions.dir/test_random_forest.cpp.o"
+  "CMakeFiles/test_extensions.dir/test_random_forest.cpp.o.d"
+  "CMakeFiles/test_extensions.dir/test_replay.cpp.o"
+  "CMakeFiles/test_extensions.dir/test_replay.cpp.o.d"
+  "CMakeFiles/test_extensions.dir/test_report.cpp.o"
+  "CMakeFiles/test_extensions.dir/test_report.cpp.o.d"
+  "CMakeFiles/test_extensions.dir/test_scheduler_policy.cpp.o"
+  "CMakeFiles/test_extensions.dir/test_scheduler_policy.cpp.o.d"
+  "test_extensions"
+  "test_extensions.pdb"
+  "test_extensions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_decomposition.cpp" "tests/CMakeFiles/test_linalg.dir/test_decomposition.cpp.o" "gcc" "tests/CMakeFiles/test_linalg.dir/test_decomposition.cpp.o.d"
+  "/root/repo/tests/test_eigen.cpp" "tests/CMakeFiles/test_linalg.dir/test_eigen.cpp.o" "gcc" "tests/CMakeFiles/test_linalg.dir/test_eigen.cpp.o.d"
+  "/root/repo/tests/test_matrix.cpp" "tests/CMakeFiles/test_linalg.dir/test_matrix.cpp.o" "gcc" "tests/CMakeFiles/test_linalg.dir/test_matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/hpcpower_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hpcpower_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

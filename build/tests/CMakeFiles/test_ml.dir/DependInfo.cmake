@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_dataset.cpp" "tests/CMakeFiles/test_ml.dir/test_dataset.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/test_dataset.cpp.o.d"
+  "/root/repo/tests/test_evaluation.cpp" "tests/CMakeFiles/test_ml.dir/test_evaluation.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/test_evaluation.cpp.o.d"
+  "/root/repo/tests/test_models.cpp" "tests/CMakeFiles/test_ml.dir/test_models.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/test_models.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ml/CMakeFiles/hpcpower_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/hpcpower_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hpcpower_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hpcpower_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

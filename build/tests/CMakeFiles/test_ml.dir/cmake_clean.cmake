@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml.dir/test_dataset.cpp.o"
+  "CMakeFiles/test_ml.dir/test_dataset.cpp.o.d"
+  "CMakeFiles/test_ml.dir/test_evaluation.cpp.o"
+  "CMakeFiles/test_ml.dir/test_evaluation.cpp.o.d"
+  "CMakeFiles/test_ml.dir/test_models.cpp.o"
+  "CMakeFiles/test_ml.dir/test_models.cpp.o.d"
+  "test_ml"
+  "test_ml.pdb"
+  "test_ml[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

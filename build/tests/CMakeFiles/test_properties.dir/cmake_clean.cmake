@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_properties.dir/test_properties_ml.cpp.o"
+  "CMakeFiles/test_properties.dir/test_properties_ml.cpp.o.d"
+  "CMakeFiles/test_properties.dir/test_properties_power.cpp.o"
+  "CMakeFiles/test_properties.dir/test_properties_power.cpp.o.d"
+  "CMakeFiles/test_properties.dir/test_properties_sched.cpp.o"
+  "CMakeFiles/test_properties.dir/test_properties_sched.cpp.o.d"
+  "CMakeFiles/test_properties.dir/test_properties_stats.cpp.o"
+  "CMakeFiles/test_properties.dir/test_properties_stats.cpp.o.d"
+  "CMakeFiles/test_properties.dir/test_properties_trace.cpp.o"
+  "CMakeFiles/test_properties.dir/test_properties_trace.cpp.o.d"
+  "test_properties"
+  "test_properties.pdb"
+  "test_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

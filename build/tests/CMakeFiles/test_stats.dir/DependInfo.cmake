@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bootstrap.cpp" "tests/CMakeFiles/test_stats.dir/test_bootstrap.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/test_bootstrap.cpp.o.d"
+  "/root/repo/tests/test_concentration.cpp" "tests/CMakeFiles/test_stats.dir/test_concentration.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/test_concentration.cpp.o.d"
+  "/root/repo/tests/test_correlation.cpp" "tests/CMakeFiles/test_stats.dir/test_correlation.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/test_correlation.cpp.o.d"
+  "/root/repo/tests/test_descriptive.cpp" "tests/CMakeFiles/test_stats.dir/test_descriptive.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/test_descriptive.cpp.o.d"
+  "/root/repo/tests/test_ecdf.cpp" "tests/CMakeFiles/test_stats.dir/test_ecdf.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/test_ecdf.cpp.o.d"
+  "/root/repo/tests/test_histogram.cpp" "tests/CMakeFiles/test_stats.dir/test_histogram.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/test_histogram.cpp.o.d"
+  "/root/repo/tests/test_special.cpp" "tests/CMakeFiles/test_stats.dir/test_special.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/test_special.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/hpcpower_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hpcpower_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats.dir/test_bootstrap.cpp.o"
+  "CMakeFiles/test_stats.dir/test_bootstrap.cpp.o.d"
+  "CMakeFiles/test_stats.dir/test_concentration.cpp.o"
+  "CMakeFiles/test_stats.dir/test_concentration.cpp.o.d"
+  "CMakeFiles/test_stats.dir/test_correlation.cpp.o"
+  "CMakeFiles/test_stats.dir/test_correlation.cpp.o.d"
+  "CMakeFiles/test_stats.dir/test_descriptive.cpp.o"
+  "CMakeFiles/test_stats.dir/test_descriptive.cpp.o.d"
+  "CMakeFiles/test_stats.dir/test_ecdf.cpp.o"
+  "CMakeFiles/test_stats.dir/test_ecdf.cpp.o.d"
+  "CMakeFiles/test_stats.dir/test_histogram.cpp.o"
+  "CMakeFiles/test_stats.dir/test_histogram.cpp.o.d"
+  "CMakeFiles/test_stats.dir/test_special.cpp.o"
+  "CMakeFiles/test_stats.dir/test_special.cpp.o.d"
+  "test_stats"
+  "test_stats.pdb"
+  "test_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_csv.cpp" "tests/CMakeFiles/test_util.dir/test_csv.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/test_csv.cpp.o.d"
+  "/root/repo/tests/test_options.cpp" "tests/CMakeFiles/test_util.dir/test_options.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/test_options.cpp.o.d"
+  "/root/repo/tests/test_prng.cpp" "tests/CMakeFiles/test_util.dir/test_prng.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/test_prng.cpp.o.d"
+  "/root/repo/tests/test_sim_time.cpp" "tests/CMakeFiles/test_util.dir/test_sim_time.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/test_sim_time.cpp.o.d"
+  "/root/repo/tests/test_strings.cpp" "tests/CMakeFiles/test_util.dir/test_strings.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/test_strings.cpp.o.d"
+  "/root/repo/tests/test_thread_pool.cpp" "tests/CMakeFiles/test_util.dir/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/test_thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hpcpower_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util.dir/test_csv.cpp.o"
+  "CMakeFiles/test_util.dir/test_csv.cpp.o.d"
+  "CMakeFiles/test_util.dir/test_options.cpp.o"
+  "CMakeFiles/test_util.dir/test_options.cpp.o.d"
+  "CMakeFiles/test_util.dir/test_prng.cpp.o"
+  "CMakeFiles/test_util.dir/test_prng.cpp.o.d"
+  "CMakeFiles/test_util.dir/test_sim_time.cpp.o"
+  "CMakeFiles/test_util.dir/test_sim_time.cpp.o.d"
+  "CMakeFiles/test_util.dir/test_strings.cpp.o"
+  "CMakeFiles/test_util.dir/test_strings.cpp.o.d"
+  "CMakeFiles/test_util.dir/test_thread_pool.cpp.o"
+  "CMakeFiles/test_util.dir/test_thread_pool.cpp.o.d"
+  "test_util"
+  "test_util.pdb"
+  "test_util[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_application.cpp" "tests/CMakeFiles/test_workload.dir/test_application.cpp.o" "gcc" "tests/CMakeFiles/test_workload.dir/test_application.cpp.o.d"
+  "/root/repo/tests/test_generator.cpp" "tests/CMakeFiles/test_workload.dir/test_generator.cpp.o" "gcc" "tests/CMakeFiles/test_workload.dir/test_generator.cpp.o.d"
+  "/root/repo/tests/test_power_profile.cpp" "tests/CMakeFiles/test_workload.dir/test_power_profile.cpp.o" "gcc" "tests/CMakeFiles/test_workload.dir/test_power_profile.cpp.o.d"
+  "/root/repo/tests/test_users.cpp" "tests/CMakeFiles/test_workload.dir/test_users.cpp.o" "gcc" "tests/CMakeFiles/test_workload.dir/test_users.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/hpcpower_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hpcpower_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/hpcpower_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hpcpower_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload.dir/test_application.cpp.o"
+  "CMakeFiles/test_workload.dir/test_application.cpp.o.d"
+  "CMakeFiles/test_workload.dir/test_generator.cpp.o"
+  "CMakeFiles/test_workload.dir/test_generator.cpp.o.d"
+  "CMakeFiles/test_workload.dir/test_power_profile.cpp.o"
+  "CMakeFiles/test_workload.dir/test_power_profile.cpp.o.d"
+  "CMakeFiles/test_workload.dir/test_users.cpp.o"
+  "CMakeFiles/test_workload.dir/test_users.cpp.o.d"
+  "test_workload"
+  "test_workload.pdb"
+  "test_workload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
