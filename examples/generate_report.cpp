@@ -5,6 +5,7 @@
 // trace_explorer + replay, recorded) campaign.
 //
 //   ./generate_report [--days 10] [--seed 42] [--out report.md] [--no-ml]
+//                     [--faults]
 
 #include <cstdio>
 
@@ -20,6 +21,7 @@ int main(int argc, char** argv) {
   opts.add_option("seed", "root random seed", "42");
   opts.add_option("out", "output path", "hpcpower_report.md");
   opts.add_flag("no-ml", "skip the (slow) prediction section");
+  opts.add_flag("faults", "inject telemetry faults (with robust ingest)");
   opts.add_flag("quiet", "suppress progress logging");
   try {
     if (!opts.parse(argc, argv)) return 0;
@@ -34,6 +36,7 @@ int main(int argc, char** argv) {
   config.days = opts.number("days");
   config.instrument_begin_day = 0.0;
   config.instrument_end_day = config.days;
+  config.faults.enabled = opts.flag("faults");
 
   const auto campaigns = core::run_both_systems(config);
 
@@ -42,5 +45,12 @@ int main(int argc, char** argv) {
   core::write_markdown_report(opts.str("out"), campaigns, report_opts);
   std::printf("wrote study report to %s (%zu campaigns)\n", opts.str("out").c_str(),
               campaigns.size());
+  const auto counter_snapshot = util::counters().snapshot();
+  if (!counter_snapshot.empty()) {
+    std::printf("process counters:\n");
+    for (const auto& [name, value] : counter_snapshot)
+      std::printf("  %-40s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
+  }
   return 0;
 }

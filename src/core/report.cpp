@@ -100,6 +100,42 @@ void section_users(std::ostringstream& out, const CampaignData& data,
       100.0 * cw.share_below_10, cw.clusters);
 }
 
+void section_quality(std::ostringstream& out, const CampaignData& data) {
+  const auto& q = data.quality;
+  out << "### Telemetry data quality (Sec 2.2)\n\n";
+  const double n = q.samples_expected ? static_cast<double>(q.samples_expected) : 1.0;
+  out << "| samples | count | share |\n|---|---|---|\n";
+  out << util::format("| expected | %llu | 100%% |\n",
+                      static_cast<unsigned long long>(q.samples_expected));
+  out << util::format("| ok | %llu | %.2f%% |\n",
+                      static_cast<unsigned long long>(q.samples_ok),
+                      100.0 * static_cast<double>(q.samples_ok) / n);
+  out << util::format("| glitch (repaired %llu) | %llu | %.2f%% |\n",
+                      static_cast<unsigned long long>(q.glitches_repaired),
+                      static_cast<unsigned long long>(q.samples_glitch),
+                      100.0 * static_cast<double>(q.samples_glitch) / n);
+  out << util::format("| gap (interpolated %llu) | %llu | %.2f%% |\n",
+                      static_cast<unsigned long long>(q.samples_interpolated),
+                      static_cast<unsigned long long>(q.samples_gap),
+                      100.0 * static_cast<double>(q.samples_gap) / n);
+  out << util::format("| duplicate | %llu | %.2f%% |\n\n",
+                      static_cast<unsigned long long>(q.samples_duplicate),
+                      100.0 * static_cast<double>(q.samples_duplicate) / n);
+  out << util::format(
+      "%llu jobs ingested; %llu quarantined (%llu missing accounting, %llu "
+      "with too little valid telemetry), %llu truncated by node crashes. Node "
+      "dropout rate: mean %.2f%%, worst node %u at %.2f%% (%u nodes with "
+      "gaps). Ledger %s.\n\n",
+      static_cast<unsigned long long>(q.jobs_seen),
+      static_cast<unsigned long long>(q.jobs_quarantined()),
+      static_cast<unsigned long long>(q.jobs_quarantined_accounting),
+      static_cast<unsigned long long>(q.jobs_quarantined_low_quality),
+      static_cast<unsigned long long>(q.jobs_truncated_by_crash),
+      100.0 * q.mean_node_dropout_rate, q.worst_node,
+      100.0 * q.max_node_dropout_rate, q.nodes_with_gaps,
+      q.reconciles() ? "reconciles" : "**does not reconcile**");
+}
+
 void section_prediction(std::ostringstream& out, const CampaignData& data,
                         const ml::EvaluationConfig& cfg) {
   const auto p = analyze_prediction(data, {}, cfg);
@@ -140,6 +176,7 @@ std::string render_markdown_report(const std::vector<CampaignData>& campaigns,
             : 0.0,
         data.scheduler.mean_wait_minutes());
     section_system(out, data, options.curve_points);
+    if (data.quality.samples_expected > 0) section_quality(out, data);
     section_jobs(out, data);
     section_dynamics(out, data);
     section_users(out, data, options.curve_points);

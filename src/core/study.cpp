@@ -22,6 +22,8 @@ CampaignData run_campaign(const cluster::SystemSpec& spec, const StudyConfig& co
   pcfg.instrument_begin = warmup + util::MinuteTime::from_days(config.instrument_begin_day);
   pcfg.instrument_end = warmup + util::MinuteTime::from_days(config.instrument_end_day);
   pcfg.node_power_cap_w = config.node_power_cap_w;
+  pcfg.faults = config.faults;
+  pcfg.cleaning = config.cleaning;
   telemetry::MonitoringPipeline pipeline(spec, pcfg);
 
   sched::PowerBudget budget = config.power_budget;
@@ -37,6 +39,7 @@ CampaignData run_campaign(const cluster::SystemSpec& spec, const StudyConfig& co
   data.series = pipeline.system_series();
   data.scheduler = sim_result.scheduler;
   data.throttled_samples = pipeline.throttled_samples();
+  data.quality = pipeline.quality_report();
 
   // Discard warm-up telemetry: the campaign "begins" with the machine busy.
   if (warmup.minutes() > 0) {
@@ -58,6 +61,19 @@ CampaignData run_campaign(const cluster::SystemSpec& spec, const StudyConfig& co
       "%s campaign: %zu jobs recorded, %.0f days, mean queue wait %.0f min",
       spec.name.c_str(), data.records.size(), config.days,
       data.scheduler.mean_wait_minutes()));
+  if (config.faults.enabled) {
+    // One bulk update per campaign; the per-sample hot path stays counter-free.
+    auto& c = util::counters();
+    const auto& q = data.quality;
+    c.add("telemetry.samples.expected", q.samples_expected);
+    c.add("telemetry.samples.glitch", q.samples_glitch);
+    c.add("telemetry.samples.gap", q.samples_gap);
+    c.add("telemetry.samples.duplicate", q.samples_duplicate);
+    c.add("telemetry.samples.interpolated", q.samples_interpolated);
+    c.add("telemetry.jobs.quarantined", q.jobs_quarantined());
+    c.add("telemetry.jobs.truncated", q.jobs_truncated_by_crash);
+    util::log_info("telemetry quality: " + telemetry::describe(q));
+  }
   return data;
 }
 

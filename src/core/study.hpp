@@ -38,6 +38,11 @@ struct StudyConfig {
   /// Optional power-aware admission budget (the over-provisioning studies);
   /// watts <= 0 disables it.
   sched::PowerBudget power_budget;
+  /// Telemetry fault injection (off by default: clean campaigns stay
+  /// bit-identical to earlier releases) and the ingest cleaning policy
+  /// applied when faults are on.
+  telemetry::FaultConfig faults;
+  telemetry::CleaningConfig cleaning;
 
   [[nodiscard]] static StudyConfig paper_scale(std::uint64_t seed = 42) {
     StudyConfig c;
@@ -56,6 +61,8 @@ struct CampaignData {
   telemetry::SystemSeries series;
   sched::SchedulerStats scheduler;
   std::uint64_t throttled_samples = 0;
+  /// Ingest ledger; all-zero when fault injection was disabled.
+  telemetry::DataQualityReport quality;
 };
 
 /// Simulates the full campaign for `spec` (workload generation, scheduling,

@@ -1,0 +1,106 @@
+#include "telemetry/cleaning.hpp"
+
+#include <cmath>
+
+#include "util/strings.hpp"
+
+namespace hpcpower::telemetry {
+
+const char* sample_class_name(SampleClass c) noexcept {
+  switch (c) {
+    case SampleClass::kOk: return "ok";
+    case SampleClass::kGlitch: return "glitch";
+    case SampleClass::kGap: return "gap";
+    case SampleClass::kDuplicate: return "duplicate";
+  }
+  return "?";
+}
+
+void DataQualityReport::count(SampleClass c) noexcept {
+  switch (c) {
+    case SampleClass::kOk: ++samples_ok; break;
+    case SampleClass::kGlitch: ++samples_glitch; break;
+    case SampleClass::kGap: ++samples_gap; break;
+    case SampleClass::kDuplicate: ++samples_duplicate; break;
+  }
+}
+
+std::string describe(const DataQualityReport& q) {
+  const double pct = q.samples_expected > 0
+                         ? 100.0 / static_cast<double>(q.samples_expected)
+                         : 0.0;
+  return util::format(
+      "%llu slots: %.2f%% ok, %.2f%% glitch, %.2f%% gap, %.2f%% duplicate; "
+      "%llu interpolated, %llu glitches repaired; %llu/%llu jobs quarantined "
+      "(%llu accounting, %llu low-quality), %llu crash-truncated; worst node "
+      "dropout %.1f%%",
+      static_cast<unsigned long long>(q.samples_expected),
+      pct * static_cast<double>(q.samples_ok),
+      pct * static_cast<double>(q.samples_glitch),
+      pct * static_cast<double>(q.samples_gap),
+      pct * static_cast<double>(q.samples_duplicate),
+      static_cast<unsigned long long>(q.samples_interpolated),
+      static_cast<unsigned long long>(q.glitches_repaired),
+      static_cast<unsigned long long>(q.jobs_quarantined()),
+      static_cast<unsigned long long>(q.jobs_seen),
+      static_cast<unsigned long long>(q.jobs_quarantined_accounting),
+      static_cast<unsigned long long>(q.jobs_quarantined_low_quality),
+      static_cast<unsigned long long>(q.jobs_truncated_by_crash),
+      100.0 * q.max_node_dropout_rate);
+}
+
+SampleClass classify_watts(double watts, double node_tdp_watts,
+                           const CleaningConfig& config) noexcept {
+  if (!std::isfinite(watts)) return SampleClass::kGlitch;
+  if (watts <= config.glitch_low_watts) return SampleClass::kGlitch;
+  if (node_tdp_watts > 0.0 && watts > config.glitch_high_tdp_multiple * node_tdp_watts)
+    return SampleClass::kGlitch;
+  return SampleClass::kOk;
+}
+
+NodeStreamScrubber::Outcome NodeStreamScrubber::observe(
+    std::uint32_t minute, double watts, bool duplicated,
+    const CleaningConfig& config, double node_tdp_watts,
+    std::vector<Backfill>& backfill) {
+  Outcome out;
+  const bool glitchy = classify_watts(watts, node_tdp_watts, config) ==
+                       SampleClass::kGlitch;
+  out.cls = glitchy ? SampleClass::kGlitch
+                    : (duplicated ? SampleClass::kDuplicate : SampleClass::kOk);
+
+  if (glitchy) {
+    if (has_good_) {
+      // Hold-last-good: the paper clamps implausible readings back into the
+      // plausible envelope; the nearest in-envelope estimate is the previous
+      // valid sample of the same node.
+      out.accepted = last_good_;
+      out.repaired_glitch = true;
+      last_accept_minute_ = minute;
+    }
+    return out;
+  }
+
+  if (has_good_ && static_cast<std::int64_t>(minute) > last_accept_minute_ + 1) {
+    const auto gap = static_cast<std::uint32_t>(
+        static_cast<std::int64_t>(minute) - last_accept_minute_ - 1);
+    if (gap <= config.max_interpolate_gap_min) {
+      const double step = (watts - last_good_) / static_cast<double>(gap + 1);
+      for (std::uint32_t k = 1; k <= gap; ++k)
+        backfill.push_back({static_cast<std::uint32_t>(last_accept_minute_ +
+                                                       static_cast<std::int64_t>(k)),
+                            last_good_ + step * static_cast<double>(k)});
+    }
+  }
+  out.accepted = watts;
+  last_good_ = watts;
+  has_good_ = true;
+  last_accept_minute_ = minute;
+  return out;
+}
+
+SampleClass NodeStreamScrubber::missing(std::uint32_t minute) noexcept {
+  (void)minute;  // gaps are measured from last_accept_minute_ when they close
+  return SampleClass::kGap;
+}
+
+}  // namespace hpcpower::telemetry

@@ -1,0 +1,127 @@
+#pragma once
+// Robust telemetry ingest: validation, repair, and quarantine.
+//
+// Mirrors the paper's Sec 2.2 cleaning of five months of production RAPL
+// telemetry: invalid samples are detected by plausibility bounds and
+// repaired or discarded, short monitoring gaps are linearly interpolated,
+// duplicated collector records are dropped, and jobs whose telemetry is too
+// incomplete (or whose accounting record is missing) are quarantined rather
+// than silently skewing every downstream figure. Everything observable is
+// counted into a DataQualityReport so ingest quality is a first-class output
+// of a campaign, reconciled exactly against injected faults in tests.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hpcpower::telemetry {
+
+/// Ingest-side classification of one nominal (job, minute, node) sample slot.
+/// Exactly one class per slot, so the four counts sum to the expected total.
+enum class SampleClass : std::uint8_t { kOk = 0, kGlitch, kGap, kDuplicate };
+
+[[nodiscard]] const char* sample_class_name(SampleClass c) noexcept;
+
+struct CleaningConfig {
+  /// Master switch: when false, observations flow into aggregates raw
+  /// (the "trust the collector" mode that dirty data visibly breaks).
+  bool enabled = true;
+  /// A reading above this multiple of node TDP is physically implausible.
+  double glitch_high_tdp_multiple = 1.5;
+  /// A reading at or below this many watts is implausible (RAPL never reads
+  /// zero on a powered node); negatives and NaN are always glitches.
+  double glitch_low_watts = 1.0;
+  /// Gaps up to this many minutes are repaired by linear interpolation;
+  /// longer gaps stay missing (aggregates use the valid subset).
+  std::uint32_t max_interpolate_gap_min = 10;
+  /// Jobs with fewer than this fraction of valid (accepted) samples are
+  /// quarantined from the dataset.
+  double min_valid_fraction = 0.6;
+};
+
+/// Ingest quality accounting for one campaign (or one cleaned trace).
+struct DataQualityReport {
+  /// Nominal sample slots presented to ingest (jobs x minutes x nodes).
+  std::uint64_t samples_expected = 0;
+  std::uint64_t samples_ok = 0;
+  std::uint64_t samples_glitch = 0;
+  std::uint64_t samples_gap = 0;
+  std::uint64_t samples_duplicate = 0;
+  /// Repairs (subsets of the classes above, not additional slots).
+  std::uint64_t samples_interpolated = 0;  ///< gap slots filled by interpolation
+  std::uint64_t glitches_repaired = 0;     ///< glitch slots replaced by hold-last-good
+  /// Extra physical rows beyond the nominal slots (batch/trace ingest only).
+  std::uint64_t rows_out_of_order = 0;
+
+  std::uint64_t jobs_seen = 0;
+  std::uint64_t jobs_quarantined_accounting = 0;
+  std::uint64_t jobs_quarantined_low_quality = 0;
+  std::uint64_t jobs_truncated_by_crash = 0;
+
+  /// Per-node sensor dropout summary (gap slots / expected slots per node).
+  double mean_node_dropout_rate = 0.0;
+  double max_node_dropout_rate = 0.0;
+  std::uint32_t worst_node = 0;
+  std::uint32_t nodes_with_gaps = 0;
+
+  [[nodiscard]] std::uint64_t samples_classified() const noexcept {
+    return samples_ok + samples_glitch + samples_gap + samples_duplicate;
+  }
+  /// Every slot classified exactly once: the ingest ledger balances.
+  [[nodiscard]] bool reconciles() const noexcept {
+    return samples_classified() == samples_expected;
+  }
+  [[nodiscard]] std::uint64_t jobs_quarantined() const noexcept {
+    return jobs_quarantined_accounting + jobs_quarantined_low_quality;
+  }
+
+  void count(SampleClass c) noexcept;
+
+  friend bool operator==(const DataQualityReport&, const DataQualityReport&) = default;
+};
+
+/// One-line human summary for logs and reports.
+[[nodiscard]] std::string describe(const DataQualityReport& q);
+
+/// Value-based plausibility check: kOk or kGlitch.
+[[nodiscard]] SampleClass classify_watts(double watts, double node_tdp_watts,
+                                         const CleaningConfig& config) noexcept;
+
+/// Streaming per-(job, node) scrubber. Feed it one observation (or absence)
+/// per run-minute, in order; it classifies, repairs glitches by holding the
+/// last good value, and backfills short gaps by linear interpolation once
+/// the gap closes. O(1) state per node stream.
+class NodeStreamScrubber {
+ public:
+  /// A value accepted into the aggregates for a past minute (gap backfill).
+  struct Backfill {
+    std::uint32_t minute = 0;
+    double watts = 0.0;
+  };
+
+  struct Outcome {
+    SampleClass cls = SampleClass::kOk;
+    /// Value accepted for *this* minute after repair (absent for gaps and
+    /// unrepairable glitches).
+    std::optional<double> accepted;
+    bool repaired_glitch = false;
+  };
+
+  /// Observation present at `minute`; `duplicated` marks a slot whose sample
+  /// arrived twice (the copy is discarded). Appends interpolated values for
+  /// any just-closed gap to `backfill` (not cleared).
+  Outcome observe(std::uint32_t minute, double watts, bool duplicated,
+                  const CleaningConfig& config, double node_tdp_watts,
+                  std::vector<Backfill>& backfill);
+
+  /// No observation arrived for `minute`.
+  [[nodiscard]] SampleClass missing(std::uint32_t minute) noexcept;
+
+ private:
+  double last_good_ = 0.0;
+  std::int64_t last_accept_minute_ = -1;
+  bool has_good_ = false;
+};
+
+}  // namespace hpcpower::telemetry

@@ -1,0 +1,127 @@
+#include "telemetry/faults.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/prng.hpp"
+
+namespace hpcpower::telemetry {
+
+namespace {
+/// Packs (minute, node) into one 64-bit counter for the stateless streams.
+std::uint64_t slot_key(std::int64_t minute, cluster::NodeId node) noexcept {
+  return (static_cast<std::uint64_t>(minute) << 24) ^ static_cast<std::uint64_t>(node);
+}
+}  // namespace
+
+const char* sample_fault_name(SampleFault f) noexcept {
+  switch (f) {
+    case SampleFault::kNone: return "none";
+    case SampleFault::kDropout: return "dropout";
+    case SampleFault::kGlitchNan: return "glitch-nan";
+    case SampleFault::kGlitchNegative: return "glitch-negative";
+    case SampleFault::kGlitchSpike: return "glitch-spike";
+    case SampleFault::kDuplicate: return "duplicate";
+  }
+  return "?";
+}
+
+FaultModel::FaultModel(const FaultConfig& config, std::uint64_t seed,
+                       double node_tdp_watts)
+    : config_(config),
+      node_tdp_watts_(node_tdp_watts),
+      sample_seed_(util::derive_stream(seed, "faults/sample")),
+      value_seed_(util::derive_stream(seed, "faults/value")),
+      outage_seed_(util::derive_stream(seed, "faults/outage")),
+      crash_seed_(util::derive_stream(seed, "faults/crash")),
+      accounting_seed_(util::derive_stream(seed, "faults/accounting")),
+      reorder_seed_(util::derive_stream(seed, "faults/reorder")) {}
+
+SampleFault FaultModel::classify(std::uint64_t job_id, std::int64_t minute,
+                                 cluster::NodeId node) const {
+  if (!config_.enabled) return SampleFault::kNone;
+  if (node_outage(node, minute)) return SampleFault::kDropout;
+  // One uniform decides the slot's class so the classes are mutually
+  // exclusive and their injected counts reconcile exactly.
+  const double u = util::stateless_uniform(sample_seed_, job_id, slot_key(minute, node));
+  double edge = config_.dropout_rate;
+  if (u < edge) return SampleFault::kDropout;
+  edge += config_.glitch_rate;
+  if (u < edge) {
+    const double g = (u - (edge - config_.glitch_rate)) / config_.glitch_rate;
+    if (g < config_.glitch_nan_fraction) return SampleFault::kGlitchNan;
+    if (g < config_.glitch_nan_fraction + config_.glitch_negative_fraction)
+      return SampleFault::kGlitchNegative;
+    return SampleFault::kGlitchSpike;
+  }
+  edge += config_.duplicate_rate;
+  if (u < edge) return SampleFault::kDuplicate;
+  return SampleFault::kNone;
+}
+
+double FaultModel::glitch_value(SampleFault fault, std::uint64_t job_id,
+                                std::int64_t minute, cluster::NodeId node) const {
+  switch (fault) {
+    case SampleFault::kGlitchNan:
+      return std::numeric_limits<double>::quiet_NaN();
+    case SampleFault::kGlitchNegative: {
+      // Counter wraparound yields a large negative power delta.
+      const double u = util::stateless_uniform(value_seed_, job_id, slot_key(minute, node));
+      return -(1.0 + u * config_.spike_tdp_multiple) * node_tdp_watts_;
+    }
+    case SampleFault::kGlitchSpike: {
+      const double u = util::stateless_uniform(value_seed_, job_id, slot_key(minute, node));
+      return (2.0 + u * (config_.spike_tdp_multiple - 2.0)) * node_tdp_watts_;
+    }
+    default:
+      return 0.0;
+  }
+}
+
+bool FaultModel::node_outage(cluster::NodeId node, std::int64_t minute) const {
+  if (!config_.enabled || config_.node_outage_per_day <= 0.0 || minute < 0)
+    return false;
+  constexpr std::int64_t kMinutesPerDay = 24 * 60;
+  // An outage window may spill into the next day, so check today and
+  // yesterday for a window covering `minute`.
+  for (std::int64_t day = minute / kMinutesPerDay;
+       day >= 0 && day >= minute / kMinutesPerDay - 1; --day) {
+    const auto key = static_cast<std::uint64_t>(day);
+    if (util::stateless_uniform(outage_seed_, node, key * 3 + 0) >=
+        config_.node_outage_per_day)
+      continue;
+    const auto start =
+        day * kMinutesPerDay +
+        static_cast<std::int64_t>(util::stateless_index(outage_seed_, node, key * 3 + 1,
+                                                        kMinutesPerDay));
+    // Exponential-ish duration: mean node_outage_mean_min, at least 1 minute.
+    const double u = util::stateless_uniform(outage_seed_, node, key * 3 + 2);
+    const auto duration = static_cast<std::int64_t>(
+        1.0 - config_.node_outage_mean_min * std::log(1.0 - u * (1.0 - 1e-12)));
+    if (minute >= start && minute < start + duration) return true;
+  }
+  return false;
+}
+
+std::optional<std::uint32_t> FaultModel::crash_minute(std::uint64_t job_id,
+                                                      std::uint32_t runtime_min) const {
+  if (!config_.enabled || runtime_min < 2) return std::nullopt;
+  if (util::stateless_uniform(crash_seed_, job_id, 0) >= config_.node_crash_rate)
+    return std::nullopt;
+  // Crash somewhere in [1, runtime): at least one observed minute remains.
+  const auto m = 1 + util::stateless_index(crash_seed_, job_id, 1, runtime_min - 1);
+  return static_cast<std::uint32_t>(m);
+}
+
+bool FaultModel::accounting_lost(std::uint64_t job_id) const {
+  if (!config_.enabled) return false;
+  return util::stateless_uniform(accounting_seed_, job_id, 0) <
+         config_.accounting_loss_rate;
+}
+
+bool FaultModel::reorder_row(std::uint64_t row_index) const {
+  if (!config_.enabled) return false;
+  return util::stateless_uniform(reorder_seed_, row_index, 0) < config_.reorder_rate;
+}
+
+}  // namespace hpcpower::telemetry

@@ -1,0 +1,115 @@
+#pragma once
+// Deterministic telemetry fault injection.
+//
+// Production RAPL/accounting stacks do not produce clean data (paper Sec 2.2;
+// Sirbu & Babaoglu report missing/noisy samples dominating CINECA logs). This
+// models the failure modes a real collector exhibits, as a pure function of
+// (seed, job, minute, node) so a campaign with faults enabled is just as
+// bit-reproducible as a clean one:
+//
+//   * per-sample sensor dropouts (isolated missing minutes),
+//   * per-node sensor outages (bursty multi-minute gaps, daemon restarts),
+//   * RAPL counter wraparound/SMI glitches (NaN, negative, or >>TDP spikes),
+//   * duplicated sample records (collector retry after a timeout),
+//   * node crashes that truncate a job's telemetry mid-run,
+//   * jobs whose accounting record is lost entirely.
+//
+// The injector knows the ground truth of every decision, which is what lets
+// the ingest layer's DataQualityReport be reconciled exactly in tests.
+
+#include <cstdint>
+#include <optional>
+
+#include "cluster/node.hpp"
+
+namespace hpcpower::telemetry {
+
+/// What happened to one nominal (job, minute, node) observation slot.
+enum class SampleFault : std::uint8_t {
+  kNone = 0,       ///< sample observed faithfully
+  kDropout,        ///< sample never arrived (isolated loss or node outage)
+  kGlitchNan,      ///< sensor read back NaN
+  kGlitchNegative, ///< counter wraparound: negative energy delta
+  kGlitchSpike,    ///< bogus huge reading (way above TDP)
+  kDuplicate,      ///< sample logged twice (identical value, same timestamp)
+};
+
+[[nodiscard]] const char* sample_fault_name(SampleFault f) noexcept;
+
+/// Injection rates. Defaults are paper-plausible for a production cluster:
+/// O(1%) missing minutes, O(0.1%) garbage readings, rare whole-job losses.
+struct FaultConfig {
+  bool enabled = false;
+  /// Probability an isolated (job, minute, node) sample is simply missing.
+  double dropout_rate = 0.01;
+  /// Probability a sample carries a garbage value (split by the mix below).
+  double glitch_rate = 0.004;
+  /// Probability a sample is recorded twice by the collector.
+  double duplicate_rate = 0.003;
+  /// Probability an exported trace row is swapped with its successor
+  /// (out-of-order timestamps; batch/trace ingest only).
+  double reorder_rate = 0.002;
+  /// Glitch value mix (remainder of the mass is kGlitchSpike).
+  double glitch_nan_fraction = 0.25;
+  double glitch_negative_fraction = 0.25;
+  /// Spike magnitude: uniform in [2, spike_tdp_multiple] x node TDP.
+  double spike_tdp_multiple = 10.0;
+  /// Per-(node, day) probability that the node's monitoring daemon goes down
+  /// for a contiguous window that day (all samples in the window lost).
+  double node_outage_per_day = 0.02;
+  double node_outage_mean_min = 30.0;
+  /// Probability a job is truncated mid-run by a node crash: its telemetry
+  /// stops at a deterministic fraction of the runtime (accounting survives).
+  double node_crash_rate = 0.01;
+  /// Probability a job's accounting record is lost: its telemetry can never
+  /// be joined and the job must be quarantined by ingest.
+  double accounting_loss_rate = 0.02;
+};
+
+/// Deterministic fault oracle for one campaign. Copyable and cheap; all
+/// queries are pure functions of the construction parameters.
+class FaultModel {
+ public:
+  FaultModel() = default;  ///< disabled model: every query says "no fault"
+  FaultModel(const FaultConfig& config, std::uint64_t seed, double node_tdp_watts);
+
+  [[nodiscard]] bool enabled() const noexcept { return config_.enabled; }
+  [[nodiscard]] const FaultConfig& config() const noexcept { return config_; }
+
+  /// Fault class of the (job, minute, node) observation slot. `minute` is the
+  /// campaign minute, `node` the global node id (outages follow the node's
+  /// daemon, not the job).
+  [[nodiscard]] SampleFault classify(std::uint64_t job_id, std::int64_t minute,
+                                     cluster::NodeId node) const;
+
+  /// Value the collector logs for a glitched sample (deterministic per slot).
+  [[nodiscard]] double glitch_value(SampleFault fault, std::uint64_t job_id,
+                                    std::int64_t minute, cluster::NodeId node) const;
+
+  /// True while `node`'s monitoring daemon is down at `minute`.
+  [[nodiscard]] bool node_outage(cluster::NodeId node, std::int64_t minute) const;
+
+  /// Run-relative minute at which a node crash truncates the job's telemetry
+  /// (always >= 1), or nullopt if the job runs to completion.
+  [[nodiscard]] std::optional<std::uint32_t> crash_minute(
+      std::uint64_t job_id, std::uint32_t runtime_min) const;
+
+  /// True if the job's accounting record is lost.
+  [[nodiscard]] bool accounting_lost(std::uint64_t job_id) const;
+
+  /// True if exported trace row `row_index` should swap with its successor.
+  [[nodiscard]] bool reorder_row(std::uint64_t row_index) const;
+
+ private:
+  FaultConfig config_{};
+  double node_tdp_watts_ = 0.0;
+  // Independent sub-streams so enabling one fault class never shifts another.
+  std::uint64_t sample_seed_ = 0;
+  std::uint64_t value_seed_ = 0;
+  std::uint64_t outage_seed_ = 0;
+  std::uint64_t crash_seed_ = 0;
+  std::uint64_t accounting_seed_ = 0;
+  std::uint64_t reorder_seed_ = 0;
+};
+
+}  // namespace hpcpower::telemetry

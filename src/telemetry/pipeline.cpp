@@ -11,7 +11,13 @@ MonitoringPipeline::MonitoringPipeline(const cluster::SystemSpec& spec,
     : spec_(spec),
       config_(config),
       node_rng_(util::derive_stream(config.seed, "node-population")),
-      nodes_(spec, node_rng_) {}
+      nodes_(spec, node_rng_),
+      fault_model_(config.faults, config.seed, spec.node_tdp_watts) {
+  if (fault_model_.enabled()) {
+    node_slots_.assign(spec_.node_count, 0);
+    node_gap_slots_.assign(spec_.node_count, 0);
+  }
+}
 
 sched::SimulationHooks MonitoringPipeline::hooks() {
   sched::SimulationHooks h;
@@ -21,7 +27,11 @@ sched::SimulationHooks MonitoringPipeline::hooks() {
   };
   h.per_minute = [this](util::MinuteTime now,
                         const std::vector<const sched::RunningJob*>& running) {
-    per_minute(now, running);
+    if (fault_model_.enabled()) {
+      per_minute_faulty(now, running);
+    } else {
+      per_minute(now, running);
+    }
   };
   return h;
 }
@@ -40,7 +50,21 @@ void MonitoringPipeline::on_start(const sched::RunningJob& job) {
     active.mean_series.reserve(job.request.runtime_min);
     active.spread_series.reserve(job.request.runtime_min);
   }
+  if (fault_model_.enabled()) {
+    active.scrub.resize(job.nodes.size());
+    active.node_valid.assign(job.nodes.size(), 0);
+    active.crash_at =
+        fault_model_.crash_minute(job.request.job_id, job.request.runtime_min);
+  }
   active_.emplace(job.request.job_id, std::move(active));
+}
+
+double MonitoringPipeline::capped_power(double watts) noexcept {
+  if (config_.node_power_cap_w > 0.0 && watts > config_.node_power_cap_w) {
+    ++throttled_samples_;
+    return config_.node_power_cap_w;
+  }
+  return watts;
 }
 
 void MonitoringPipeline::per_minute(
@@ -58,11 +82,7 @@ void MonitoringPipeline::per_minute(
     double lo = 0.0, hi = 0.0;
     const std::uint32_t n = static_cast<std::uint32_t>(a.placement.nodes.size());
     for (std::uint32_t i = 0; i < n; ++i) {
-      double p = a.profile.node_power(minute, i);
-      if (config_.node_power_cap_w > 0.0 && p > config_.node_power_cap_w) {
-        p = config_.node_power_cap_w;
-        ++throttled_samples_;
-      }
+      const double p = capped_power(a.profile.node_power(minute, i));
       a.all_samples.add(p);
       a.node_energy_wmin[i] += p;
       sum += p;
@@ -93,11 +113,161 @@ void MonitoringPipeline::per_minute(
   series_.busy_nodes.push_back(busy);
 }
 
+void MonitoringPipeline::per_minute_faulty(
+    util::MinuteTime now, const std::vector<const sched::RunningJob*>& running) {
+  const bool clean = config_.cleaning.enabled;
+  double total_power = 0.0;
+  std::uint32_t busy = 0;
+
+  for (const sched::RunningJob* job : running) {
+    const auto it = active_.find(job->request.job_id);
+    assert(it != active_.end());
+    ActiveJob& a = it->second;
+    const std::uint64_t job_id = job->request.job_id;
+    const auto minute = static_cast<std::uint32_t>((now - a.placement.start).minutes());
+    ++a.ticks;
+
+    const bool crashed = a.crash_at && minute >= *a.crash_at;
+    if (crashed && !a.crash_counted) {
+      a.crash_counted = true;
+      ++quality_.jobs_truncated_by_crash;
+    }
+
+    // Accepted values for *this* minute (for the across-node mean/spread).
+    double acc_sum = 0.0, acc_lo = 0.0, acc_hi = 0.0;
+    std::uint32_t acc_n = 0;
+    const auto accept_now = [&](double v) {
+      if (acc_n == 0) {
+        acc_lo = acc_hi = v;
+      } else {
+        acc_lo = std::min(acc_lo, v);
+        acc_hi = std::max(acc_hi, v);
+      }
+      acc_sum += v;
+      ++acc_n;
+    };
+
+    // Summed per job then added, in the same association order as the clean
+    // path: the facility meter must stay bit-identical across fault configs.
+    double true_sum = 0.0;
+    const std::uint32_t n = static_cast<std::uint32_t>(a.placement.nodes.size());
+    for (std::uint32_t i = 0; i < n; ++i) {
+      // The facility meter sees the true draw regardless of telemetry faults.
+      const double p = capped_power(a.profile.node_power(minute, i));
+      true_sum += p;
+      const cluster::NodeId gid = a.placement.nodes[i];
+      ++quality_.samples_expected;
+      ++node_slots_[gid];
+
+      if (crashed) {
+        quality_.count(SampleClass::kGap);
+        ++node_gap_slots_[gid];
+        continue;
+      }
+      const SampleFault fault = fault_model_.classify(job_id, now.minutes(), gid);
+      if (fault == SampleFault::kDropout) {
+        quality_.count(clean ? a.scrub[i].missing(minute) : SampleClass::kGap);
+        ++node_gap_slots_[gid];
+        continue;
+      }
+      const bool glitchy = fault == SampleFault::kGlitchNan ||
+                           fault == SampleFault::kGlitchNegative ||
+                           fault == SampleFault::kGlitchSpike;
+      const double observed =
+          glitchy ? fault_model_.glitch_value(fault, job_id, now.minutes(), gid) : p;
+      const bool duplicated = fault == SampleFault::kDuplicate;
+
+      if (clean) {
+        backfill_.clear();
+        const auto out = a.scrub[i].observe(minute, observed, duplicated,
+                                            config_.cleaning, spec_.node_tdp_watts,
+                                            backfill_);
+        quality_.count(out.cls);
+        if (out.repaired_glitch) ++quality_.glitches_repaired;
+        if (out.accepted) {
+          a.all_samples.add(*out.accepted);
+          a.node_energy_wmin[i] += *out.accepted;
+          ++a.node_valid[i];
+          accept_now(*out.accepted);
+        }
+        for (const auto& b : backfill_) {
+          a.all_samples.add(b.watts);
+          a.node_energy_wmin[i] += b.watts;
+          ++a.node_valid[i];
+          ++quality_.samples_interpolated;
+        }
+      } else {
+        // Trust-the-collector mode: every observation lands in the
+        // aggregates verbatim, duplicates twice. This is what the paper's
+        // cleaning step exists to prevent.
+        quality_.count(glitchy ? SampleClass::kGlitch
+                               : (duplicated ? SampleClass::kDuplicate
+                                             : SampleClass::kOk));
+        const int copies = duplicated ? 2 : 1;
+        for (int c = 0; c < copies; ++c) {
+          a.all_samples.add(observed);
+          a.node_energy_wmin[i] += observed;
+          ++a.node_valid[i];
+          accept_now(observed);
+        }
+      }
+    }
+
+    if (acc_n > 0) {
+      const double mean = acc_sum / static_cast<double>(acc_n);
+      a.minute_means.add(mean);
+      if (a.instrumented) {
+        a.mean_series.push_back(static_cast<float>(mean));
+        a.spread_series.push_back(static_cast<float>(acc_hi - acc_lo));
+      }
+    }
+    total_power += true_sum;
+    busy += n;
+  }
+
+  const double idle_watts = spec_.idle_power_fraction * spec_.node_tdp_watts;
+  const auto idle_nodes = static_cast<double>(spec_.node_count - busy);
+  total_power += idle_nodes * idle_watts;
+
+  series_.total_power_w.push_back(total_power);
+  series_.busy_nodes.push_back(busy);
+}
+
 void MonitoringPipeline::on_end(const sched::RunningJob& job,
                                 const sched::JobAccountingRecord& rec) {
   const auto it = active_.find(job.request.job_id);
   assert(it != active_.end());
   ActiveJob& a = it->second;
+
+  if (fault_model_.enabled()) {
+    ++quality_.jobs_seen;
+    if (fault_model_.accounting_lost(job.request.job_id)) {
+      // No accounting record: the telemetry can never be joined to a job.
+      ++quality_.jobs_quarantined_accounting;
+      active_.erase(it);
+      return;
+    }
+    const std::uint64_t expected =
+        static_cast<std::uint64_t>(a.ticks) * a.placement.nodes.size();
+    if (config_.cleaning.enabled && expected > 0) {
+      std::uint64_t valid = 0;
+      for (const std::uint32_t v : a.node_valid) valid += v;
+      if (static_cast<double>(valid) <
+          config_.cleaning.min_valid_fraction * static_cast<double>(expected)) {
+        ++quality_.jobs_quarantined_low_quality;
+        active_.erase(it);
+        return;
+      }
+    }
+    // Rescale per-node energies for unrepaired gaps: the best estimate of a
+    // node's energy is its mean observed power times the full runtime.
+    for (std::size_t i = 0; i < a.node_energy_wmin.size(); ++i) {
+      const std::uint32_t valid = a.node_valid[i];
+      if (valid > 0 && valid < a.ticks)
+        a.node_energy_wmin[i] *=
+            static_cast<double>(a.ticks) / static_cast<double>(valid);
+    }
+  }
 
   JobRecord out;
   out.job_id = rec.job_id;
@@ -169,6 +339,29 @@ void MonitoringPipeline::on_end(const sched::RunningJob& job,
 
   records_.push_back(out);
   active_.erase(it);
+}
+
+const DataQualityReport& MonitoringPipeline::quality_report() {
+  double sum = 0.0, max = 0.0;
+  std::uint32_t worst = 0, with_gaps = 0;
+  std::size_t counted = 0;
+  for (std::size_t id = 0; id < node_slots_.size(); ++id) {
+    if (node_slots_[id] == 0) continue;
+    const double rate = static_cast<double>(node_gap_slots_[id]) /
+                        static_cast<double>(node_slots_[id]);
+    sum += rate;
+    ++counted;
+    if (node_gap_slots_[id] > 0) ++with_gaps;
+    if (rate > max) {
+      max = rate;
+      worst = static_cast<std::uint32_t>(id);
+    }
+  }
+  quality_.mean_node_dropout_rate = counted ? sum / static_cast<double>(counted) : 0.0;
+  quality_.max_node_dropout_rate = max;
+  quality_.worst_node = worst;
+  quality_.nodes_with_gaps = with_gaps;
+  return quality_;
 }
 
 }  // namespace hpcpower::telemetry

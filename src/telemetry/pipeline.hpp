@@ -8,9 +8,16 @@
 //   * jobs starting inside the instrumented window: per-minute mean/min/max
 //     retained so temporal overshoot and spatial-spread metrics can be
 //     computed exactly (they need the run mean, i.e. a second pass).
+//
+// Production telemetry is dirty (Sec 2.2 cleans it before any figure): an
+// optional FaultModel injects the collector's failure modes, and the robust
+// ingest layer (cleaning.hpp) classifies/repairs/quarantines so the derived
+// dataset stays faithful. With faults disabled the pipeline is bit-identical
+// to the clean simulation.
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -19,6 +26,8 @@
 #include "cluster/system_spec.hpp"
 #include "sched/simulator.hpp"
 #include "stats/descriptive.hpp"
+#include "telemetry/cleaning.hpp"
+#include "telemetry/faults.hpp"
 #include "telemetry/job_record.hpp"
 #include "workload/power_profile.hpp"
 
@@ -32,6 +41,10 @@ struct PipelineConfig {
   /// Optional static per-node power cap (W); <= 0 disables. Used by the
   /// power-capping example/ablation, not by the baseline reproduction.
   double node_power_cap_w = 0.0;
+  /// Telemetry fault injection (disabled by default: perfect collector).
+  FaultConfig faults;
+  /// Robust-ingest behaviour; only consulted when faults are enabled.
+  CleaningConfig cleaning;
 };
 
 /// Per-minute system-level monitoring output.
@@ -62,6 +75,11 @@ class MonitoringPipeline {
   [[nodiscard]] std::uint64_t throttled_samples() const noexcept {
     return throttled_samples_;
   }
+  /// The fault oracle in use (disabled model when faults are off).
+  [[nodiscard]] const FaultModel& fault_model() const noexcept { return fault_model_; }
+  /// Ingest quality ledger; all-zero when faults are disabled. Derived
+  /// per-node summaries are refreshed on each call.
+  [[nodiscard]] const DataQualityReport& quality_report();
 
  private:
   struct ActiveJob {
@@ -73,6 +91,12 @@ class MonitoringPipeline {
     bool instrumented = false;
     std::vector<float> mean_series;     // per-minute mean (instrumented only)
     std::vector<float> spread_series;   // per-minute max-min (instrumented only)
+    // Robust-ingest state (allocated only when faults are enabled):
+    std::vector<NodeStreamScrubber> scrub;
+    std::vector<std::uint32_t> node_valid;  // accepted samples per node
+    std::uint32_t ticks = 0;                // monitored minutes so far
+    std::optional<std::uint32_t> crash_at;  // run-relative telemetry cutoff
+    bool crash_counted = false;
 
     ActiveJob(workload::PowerProfile p, sched::RunningJob r)
         : profile(std::move(p)), placement(std::move(r)) {}
@@ -81,15 +105,24 @@ class MonitoringPipeline {
   void on_start(const sched::RunningJob& job);
   void on_end(const sched::RunningJob& job, const sched::JobAccountingRecord& rec);
   void per_minute(util::MinuteTime now, const std::vector<const sched::RunningJob*>& running);
+  void per_minute_faulty(util::MinuteTime now,
+                         const std::vector<const sched::RunningJob*>& running);
+  /// Cap clamp shared by the clean and faulty sampling paths.
+  [[nodiscard]] double capped_power(double watts) noexcept;
 
   cluster::SystemSpec spec_;
   PipelineConfig config_;
   util::Rng node_rng_;
   cluster::NodePopulation nodes_;
+  FaultModel fault_model_;
   std::unordered_map<workload::JobId, ActiveJob> active_;
   std::vector<JobRecord> records_;
   SystemSeries series_;
   std::uint64_t throttled_samples_ = 0;
+  DataQualityReport quality_;
+  std::vector<std::uint64_t> node_slots_;      // per global node: expected samples
+  std::vector<std::uint64_t> node_gap_slots_;  // per global node: missing samples
+  std::vector<NodeStreamScrubber::Backfill> backfill_;  // reused scratch
 };
 
 }  // namespace hpcpower::telemetry

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "util/csv.hpp"
+#include "util/logging.hpp"
 #include "util/strings.hpp"
 
 namespace hpcpower::trace {
@@ -74,22 +75,25 @@ void write_job_table(std::ostream& out, const std::vector<telemetry::JobRecord>&
   }
 }
 
-std::vector<telemetry::JobRecord> read_job_table(std::istream& in) {
+std::vector<telemetry::JobRecord> read_job_table(std::istream& in, bool lenient) {
   // Optional "# hpcpower job table" comment line.
+  bool had_comment = false;
   if (in.peek() == '#') {
     std::string comment;
     std::getline(in, comment);
+    had_comment = true;
     if (comment.find("hpcpower job table") == std::string::npos)
       throw std::invalid_argument("job table: unrecognized header comment");
   }
-  util::CsvReader reader(in);
+  util::CsvReader reader(in, util::CsvReadOptions{true, lenient});
   if (reader.header() != job_table_columns())
     throw std::invalid_argument("job table: schema mismatch");
 
   std::vector<telemetry::JobRecord> out;
-  std::size_t row_no = 0;
   while (auto row = reader.next()) {
-    ++row_no;
+    // CsvReader counts lines from its own first line; the comment shifts all
+    // file positions down by one.
+    const std::size_t line = row->line() + (had_comment ? 1 : 0);
     try {
       telemetry::JobRecord r;
       r.job_id = row->as_uint("job_id");
@@ -111,6 +115,9 @@ std::vector<telemetry::JobRecord> read_job_table(std::istream& in) {
       r.energy_kwh = row->as_double("energy_kwh");
       r.node_energy_min_kwh = row->as_double("node_energy_min_kwh");
       r.node_energy_max_kwh = row->as_double("node_energy_max_kwh");
+      if (r.end < r.start) throw std::invalid_argument("end_min precedes start_min");
+      if (r.start < r.submit) throw std::invalid_argument("start_min precedes submit_min");
+      if (r.nnodes == 0) throw std::invalid_argument("nnodes is zero");
       if (!row->at("peak_overshoot").empty()) {
         telemetry::DetailMetrics d;
         d.peak_overshoot = row->as_double("peak_overshoot");
@@ -122,8 +129,10 @@ std::vector<telemetry::JobRecord> read_job_table(std::istream& in) {
       }
       out.push_back(r);
     } catch (const std::exception& e) {
-      throw std::invalid_argument(
-          util::format("job table row %zu: %s", row_no, e.what()));
+      const std::string what = util::format("job table line %zu: %s", line, e.what());
+      if (!lenient) throw std::invalid_argument(what);
+      util::counters().add("csv.rows_skipped");
+      util::log_warn(what + " (row skipped)");
     }
   }
   return out;
@@ -137,10 +146,10 @@ void save_job_table(const std::string& path,
   if (!out) throw std::runtime_error("write failed: " + path);
 }
 
-std::vector<telemetry::JobRecord> load_job_table(const std::string& path) {
+std::vector<telemetry::JobRecord> load_job_table(const std::string& path, bool lenient) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open for reading: " + path);
-  return read_job_table(in);
+  return read_job_table(in, lenient);
 }
 
 }  // namespace hpcpower::trace

@@ -20,12 +20,16 @@ namespace hpcpower::trace {
 void write_job_table(std::ostream& out, const std::vector<telemetry::JobRecord>& records);
 
 /// Parses a job table. Throws std::invalid_argument on schema mismatch or
-/// malformed rows (with row context in the message).
-[[nodiscard]] std::vector<telemetry::JobRecord> read_job_table(std::istream& in);
+/// malformed rows (with the source line number in the message). `lenient`
+/// skips malformed or semantically invalid rows (end < start, zero nodes)
+/// with a warning instead, counting them under "csv.rows_skipped".
+[[nodiscard]] std::vector<telemetry::JobRecord> read_job_table(std::istream& in,
+                                                               bool lenient = false);
 
 /// Convenience file wrappers. Throw std::runtime_error on I/O failure.
 void save_job_table(const std::string& path,
                     const std::vector<telemetry::JobRecord>& records);
-[[nodiscard]] std::vector<telemetry::JobRecord> load_job_table(const std::string& path);
+[[nodiscard]] std::vector<telemetry::JobRecord> load_job_table(const std::string& path,
+                                                               bool lenient = false);
 
 }  // namespace hpcpower::trace

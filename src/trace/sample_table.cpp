@@ -1,9 +1,13 @@
 #include "trace/sample_table.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <stdexcept>
+#include <unordered_set>
 
 #include "util/csv.hpp"
+#include "util/logging.hpp"
 #include "util/strings.hpp"
 
 namespace hpcpower::trace {
@@ -21,14 +25,12 @@ void write_sample_table(std::ostream& out, const std::vector<PowerSampleRow>& ro
     w.write(r.job_id, r.minute, r.node_index, r.pkg_w, r.dram_w);
 }
 
-std::vector<PowerSampleRow> read_sample_table(std::istream& in) {
-  util::CsvReader reader(in);
+std::vector<PowerSampleRow> read_sample_table(std::istream& in, bool lenient) {
+  util::CsvReader reader(in, util::CsvReadOptions{true, lenient});
   if (reader.header() != sample_table_columns())
     throw std::invalid_argument("sample table: schema mismatch");
   std::vector<PowerSampleRow> out;
-  std::size_t row_no = 0;
   while (auto row = reader.next()) {
-    ++row_no;
     try {
       PowerSampleRow r;
       r.job_id = row->as_uint("job_id");
@@ -38,8 +40,11 @@ std::vector<PowerSampleRow> read_sample_table(std::istream& in) {
       r.dram_w = row->as_double("dram_w");
       out.push_back(r);
     } catch (const std::exception& e) {
-      throw std::invalid_argument(
-          util::format("sample table row %zu: %s", row_no, e.what()));
+      const std::string what =
+          util::format("sample table line %zu: %s", row->line(), e.what());
+      if (!lenient) throw std::invalid_argument(what);
+      util::counters().add("csv.rows_skipped");
+      util::log_warn(what + " (row skipped)");
     }
   }
   return out;
@@ -52,10 +57,123 @@ void save_sample_table(const std::string& path, const std::vector<PowerSampleRow
   if (!out) throw std::runtime_error("write failed: " + path);
 }
 
-std::vector<PowerSampleRow> load_sample_table(const std::string& path) {
+std::vector<PowerSampleRow> load_sample_table(const std::string& path, bool lenient) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open for reading: " + path);
-  return read_sample_table(in);
+  return read_sample_table(in, lenient);
+}
+
+std::vector<PowerSampleRow> inject_sample_faults(
+    const std::vector<PowerSampleRow>& clean, const telemetry::FaultModel& model) {
+  std::vector<PowerSampleRow> out;
+  out.reserve(clean.size());
+  for (const PowerSampleRow& row : clean) {
+    const auto fault = model.classify(row.job_id, row.minute, row.node_index);
+    switch (fault) {
+      case telemetry::SampleFault::kDropout:
+        break;
+      case telemetry::SampleFault::kGlitchNan:
+      case telemetry::SampleFault::kGlitchNegative:
+      case telemetry::SampleFault::kGlitchSpike: {
+        PowerSampleRow bad = row;
+        bad.pkg_w = model.glitch_value(fault, row.job_id, row.minute, row.node_index);
+        bad.dram_w = 0.0;
+        out.push_back(bad);
+        break;
+      }
+      case telemetry::SampleFault::kDuplicate:
+        out.push_back(row);
+        out.push_back(row);
+        break;
+      case telemetry::SampleFault::kNone:
+        out.push_back(row);
+        break;
+    }
+  }
+  // Late-arriving records: deterministic adjacent swaps.
+  for (std::size_t i = 0; i + 1 < out.size(); ++i)
+    if (model.reorder_row(i)) std::swap(out[i], out[i + 1]);
+  return out;
+}
+
+namespace {
+bool row_key_less(const PowerSampleRow& a, const PowerSampleRow& b) noexcept {
+  if (a.job_id != b.job_id) return a.job_id < b.job_id;
+  if (a.node_index != b.node_index) return a.node_index < b.node_index;
+  return a.minute < b.minute;
+}
+}  // namespace
+
+ScrubResult scrub_sample_rows(std::vector<PowerSampleRow> rows,
+                              const telemetry::CleaningConfig& config,
+                              double node_tdp_watts) {
+  ScrubResult result;
+  for (std::size_t i = 0; i + 1 < rows.size(); ++i)
+    if (row_key_less(rows[i + 1], rows[i])) ++result.quality.rows_out_of_order;
+  std::stable_sort(rows.begin(), rows.end(), row_key_less);
+
+  std::unordered_set<std::uint64_t> jobs;
+  auto& q = result.quality;
+  std::size_t i = 0;
+  while (i < rows.size()) {
+    // One (job, node) stream at a time.
+    const std::uint64_t job = rows[i].job_id;
+    const std::uint32_t node = rows[i].node_index;
+    jobs.insert(job);
+    std::size_t end = i;
+    while (end < rows.size() && rows[end].job_id == job &&
+           rows[end].node_index == node)
+      ++end;
+
+    telemetry::NodeStreamScrubber scrub;
+    std::vector<telemetry::NodeStreamScrubber::Backfill> backfill;
+    const std::int64_t first_minute = rows[i].minute;
+    std::int64_t prev_minute = first_minute - 1;
+    // Last accepted row per minute, for interpolating the DRAM share too.
+    double last_dram_fraction = 0.0;
+
+    while (i < end) {
+      const std::int64_t minute = rows[i].minute;
+      // Every skipped minute inside the span is a gap slot.
+      for (std::int64_t m = prev_minute + 1; m < minute; ++m) {
+        q.count(scrub.missing(static_cast<std::uint32_t>(m - first_minute)));
+      }
+      const bool duplicated = i + 1 < end && rows[i + 1].minute == minute;
+      const PowerSampleRow& row = rows[i];
+      // Consume every row of this slot (a real collector can log more than
+      // two copies; all extras are discarded).
+      while (i < end && rows[i].minute == minute) ++i;
+
+      backfill.clear();
+      const auto out = scrub.observe(static_cast<std::uint32_t>(minute - first_minute),
+                                     row.total_w(), duplicated, config,
+                                     node_tdp_watts, backfill);
+      q.count(out.cls);
+      if (out.repaired_glitch) ++q.glitches_repaired;
+      const double dram_fraction =
+          out.cls == telemetry::SampleClass::kGlitch
+              ? last_dram_fraction
+              : (row.total_w() > 0.0 ? row.dram_w / row.total_w() : 0.0);
+      for (const auto& b : backfill) {
+        ++q.samples_interpolated;
+        result.rows.push_back({job, first_minute + b.minute, node,
+                               b.watts * (1.0 - last_dram_fraction),
+                               b.watts * last_dram_fraction});
+      }
+      if (out.accepted) {
+        result.rows.push_back({job, minute, node, *out.accepted * (1.0 - dram_fraction),
+                               *out.accepted * dram_fraction});
+        last_dram_fraction = dram_fraction;
+      }
+      prev_minute = minute;
+    }
+    q.samples_expected +=
+        static_cast<std::uint64_t>(prev_minute - first_minute + 1);
+  }
+  q.jobs_seen = jobs.size();
+  // Interpolated rows were appended out of order; restore the canonical sort.
+  std::stable_sort(result.rows.begin(), result.rows.end(), row_key_less);
+  return result;
 }
 
 }  // namespace hpcpower::trace

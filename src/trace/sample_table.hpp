@@ -1,12 +1,22 @@
 #pragma once
 // Time-resolved sample trace format: one row per (job, minute, node) RAPL
 // reading for instrumented jobs, like the paper's one-month detailed logs.
+//
+// Production sample tables arrive dirty: rows go missing, carry garbage
+// values, appear twice, or land out of order. The read path can run lenient
+// (skip malformed rows with a counted warning), and scrub_sample_rows()
+// applies the same cleaning rules the monitoring pipeline uses — sort,
+// deduplicate, clamp glitches, interpolate short gaps — with an exact
+// DataQualityReport of everything it did. inject_sample_faults() is the
+// matching deterministic dirt generator for tests and demos.
 
 #include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
 
+#include "telemetry/cleaning.hpp"
+#include "telemetry/faults.hpp"
 #include "util/sim_time.hpp"
 
 namespace hpcpower::trace {
@@ -24,9 +34,35 @@ struct PowerSampleRow {
 [[nodiscard]] const std::vector<std::string>& sample_table_columns();
 
 void write_sample_table(std::ostream& out, const std::vector<PowerSampleRow>& rows);
-[[nodiscard]] std::vector<PowerSampleRow> read_sample_table(std::istream& in);
+/// `lenient`: malformed rows are skipped with a warning (counted under
+/// "csv.rows_skipped") instead of aborting the parse.
+[[nodiscard]] std::vector<PowerSampleRow> read_sample_table(std::istream& in,
+                                                            bool lenient = false);
 
 void save_sample_table(const std::string& path, const std::vector<PowerSampleRow>& rows);
-[[nodiscard]] std::vector<PowerSampleRow> load_sample_table(const std::string& path);
+[[nodiscard]] std::vector<PowerSampleRow> load_sample_table(const std::string& path,
+                                                            bool lenient = false);
+
+/// Applies `model` to a clean sample table the way a faulty collector would:
+/// drops rows, corrupts values, duplicates rows, and swaps neighbours out of
+/// order. Deterministic in the model's seed; the input order must itself be
+/// deterministic. Node outages/crashes are keyed by the row's job-local node
+/// index (global placement is not recorded in this format).
+[[nodiscard]] std::vector<PowerSampleRow> inject_sample_faults(
+    const std::vector<PowerSampleRow>& clean, const telemetry::FaultModel& model);
+
+struct ScrubResult {
+  std::vector<PowerSampleRow> rows;        ///< cleaned, (job, node, minute)-sorted
+  telemetry::DataQualityReport quality;    ///< per-slot ledger (see reconciles())
+};
+
+/// Batch cleaning of a (possibly dirty) sample table. Slots are the
+/// [first, last] minute span seen per (job, node); within it every slot is
+/// classified ok/glitch/gap/duplicate exactly once. Glitches are repaired by
+/// hold-last-good, gaps up to `config.max_interpolate_gap_min` by linear
+/// interpolation; duplicates and unrepairable slots are dropped.
+[[nodiscard]] ScrubResult scrub_sample_rows(std::vector<PowerSampleRow> rows,
+                                            const telemetry::CleaningConfig& config,
+                                            double node_tdp_watts);
 
 }  // namespace hpcpower::trace

@@ -5,6 +5,9 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
 namespace hpcpower::util {
 
 namespace {
@@ -55,12 +58,12 @@ const std::string& CsvRow::at(std::string_view column) const {
 
 double CsvRow::as_double(std::string_view column) const {
   const std::string& f = at(column);
-  try {
-    return std::stod(f);
-  } catch (const std::exception&) {
+  double v = 0.0;
+  const auto [ptr, ec] = std::from_chars(f.data(), f.data() + f.size(), v);
+  if (ec != std::errc() || ptr != f.data() + f.size())
     throw std::invalid_argument("CSV field not a double: '" + f + "' in column " +
                                 std::string(column));
-  }
+  return v;
 }
 
 std::int64_t CsvRow::as_int(std::string_view column) const {
@@ -81,8 +84,9 @@ std::uint64_t CsvRow::as_uint(std::string_view column) const {
   return v;
 }
 
-CsvReader::CsvReader(std::istream& in, bool has_header) : in_(in) {
-  if (has_header) {
+CsvReader::CsvReader(std::istream& in, CsvReadOptions options)
+    : in_(in), options_(options) {
+  if (options_.has_header) {
     if (auto record = parse_record()) {
       header_names_ = std::move(*record);
       for (std::size_t i = 0; i < header_names_.size(); ++i)
@@ -92,13 +96,27 @@ CsvReader::CsvReader(std::istream& in, bool has_header) : in_(in) {
 }
 
 std::optional<CsvRow> CsvReader::next() {
-  auto record = parse_record();
-  if (!record) return std::nullopt;
-  return CsvRow(std::move(*record), header_index_.empty() ? nullptr : &header_index_);
+  for (;;) {
+    auto record = parse_record();
+    if (!record) return std::nullopt;
+    if (!header_names_.empty() && record->size() != header_names_.size()) {
+      const std::string what = format(
+          "CSV line %zu: expected %zu fields, got %zu", line_,
+          header_names_.size(), record->size());
+      if (!options_.lenient) throw std::invalid_argument(what);
+      ++skipped_rows_;
+      counters().add("csv.rows_skipped");
+      log_warn(what + " (row skipped)");
+      continue;
+    }
+    return CsvRow(std::move(*record),
+                  header_index_.empty() ? nullptr : &header_index_, line_);
+  }
 }
 
 std::optional<std::vector<std::string>> CsvReader::parse_record() {
   if (!in_.good()) return std::nullopt;
+  line_ = next_line_;
   std::vector<std::string> fields;
   std::string field;
   bool in_quotes = false;
@@ -107,6 +125,7 @@ std::optional<std::vector<std::string>> CsvReader::parse_record() {
   while ((c = in_.get()) != EOF) {
     saw_any = true;
     const char ch = static_cast<char>(c);
+    if (ch == '\n') ++next_line_;
     if (in_quotes) {
       if (ch == '"') {
         if (in_.peek() == '"') {

@@ -4,6 +4,11 @@
 // Supports quoted fields (embedded commas, quotes, and newlines), a header
 // row, and typed column accessors. Designed for streaming large trace files
 // without materializing the whole file.
+//
+// The reader is hardened against real-world dirty files: rows with the wrong
+// column count raise a line-numbered error (or are skipped with a warning in
+// lenient mode, counted under the "csv.rows_skipped" counter), and numeric
+// accessors reject trailing garbage instead of silently truncating it.
 
 #include <cstdint>
 #include <istream>
@@ -54,14 +59,19 @@ class CsvWriter {
 class CsvRow {
  public:
   CsvRow(std::vector<std::string> fields,
-         const std::unordered_map<std::string, std::size_t>* header)
-      : fields_(std::move(fields)), header_(header) {}
+         const std::unordered_map<std::string, std::size_t>* header,
+         std::size_t line = 0)
+      : fields_(std::move(fields)), header_(header), line_(line) {}
 
   [[nodiscard]] std::size_t size() const noexcept { return fields_.size(); }
+  /// 1-based line number where this row started in the stream (0 if unknown).
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
   [[nodiscard]] const std::string& at(std::size_t i) const { return fields_.at(i); }
   /// Throws std::out_of_range if the column does not exist.
   [[nodiscard]] const std::string& at(std::string_view column) const;
 
+  /// Strict numeric accessors: the whole field must parse (no trailing
+  /// garbage, no embedded whitespace). Throw std::invalid_argument otherwise.
   [[nodiscard]] double as_double(std::string_view column) const;
   [[nodiscard]] std::int64_t as_int(std::string_view column) const;
   [[nodiscard]] std::uint64_t as_uint(std::string_view column) const;
@@ -69,30 +79,48 @@ class CsvRow {
  private:
   std::vector<std::string> fields_;
   const std::unordered_map<std::string, std::size_t>* header_;
+  std::size_t line_ = 0;
+};
+
+struct CsvReadOptions {
+  bool has_header = true;
+  /// With a header: rows whose field count differs from the header's are an
+  /// error. Lenient mode logs a warning, bumps the "csv.rows_skipped"
+  /// counter, and moves on; strict mode throws with the line number.
+  bool lenient = false;
 };
 
 /// Streaming CSV reader. If `has_header` is true the first row names columns.
 class CsvReader {
  public:
-  explicit CsvReader(std::istream& in, bool has_header = true);
+  explicit CsvReader(std::istream& in, bool has_header = true)
+      : CsvReader(in, CsvReadOptions{has_header, false}) {}
+  CsvReader(std::istream& in, CsvReadOptions options);
 
   CsvReader(const CsvReader&) = delete;
   CsvReader& operator=(const CsvReader&) = delete;
 
-  /// Returns the next data row, or nullopt at end of stream.
+  /// Returns the next data row, or nullopt at end of stream. Throws
+  /// std::invalid_argument on a malformed row unless lenient.
   [[nodiscard]] std::optional<CsvRow> next();
 
   [[nodiscard]] const std::vector<std::string>& header() const noexcept { return header_names_; }
   [[nodiscard]] bool has_column(std::string_view name) const noexcept {
     return header_index_.contains(std::string(name));
   }
+  /// Number of malformed rows skipped so far (lenient mode only).
+  [[nodiscard]] std::size_t skipped_rows() const noexcept { return skipped_rows_; }
 
  private:
   std::optional<std::vector<std::string>> parse_record();
 
   std::istream& in_;
+  CsvReadOptions options_;
   std::vector<std::string> header_names_;
   std::unordered_map<std::string, std::size_t> header_index_;
+  std::size_t line_ = 0;         // 1-based line of the last record's start
+  std::size_t next_line_ = 1;    // line the next record will start on
+  std::size_t skipped_rows_ = 0;
 };
 
 }  // namespace hpcpower::util

@@ -1,7 +1,9 @@
 #include "util/logging.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <map>
 #include <mutex>
 
 namespace hpcpower::util {
@@ -9,6 +11,16 @@ namespace hpcpower::util {
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
 std::mutex g_mutex;
+
+std::mutex& counter_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::map<std::string, std::uint64_t, std::less<>>& counter_map() {
+  static std::map<std::string, std::uint64_t, std::less<>> counters;
+  return counters;
+}
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -36,5 +48,39 @@ void log_debug(const std::string& message) { log(LogLevel::kDebug, message); }
 void log_info(const std::string& message) { log(LogLevel::kInfo, message); }
 void log_warn(const std::string& message) { log(LogLevel::kWarn, message); }
 void log_error(const std::string& message) { log(LogLevel::kError, message); }
+
+void CounterRegistry::add(std::string_view name, std::uint64_t delta) {
+  const std::lock_guard lock(counter_mutex());
+  auto& map = counter_map();
+  const auto it = map.find(name);
+  if (it == map.end()) {
+    map.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+std::uint64_t CounterRegistry::value(std::string_view name) const {
+  const std::lock_guard lock(counter_mutex());
+  const auto& map = counter_map();
+  const auto it = map.find(name);
+  return it == map.end() ? 0 : it->second;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> CounterRegistry::snapshot() const {
+  const std::lock_guard lock(counter_mutex());
+  const auto& map = counter_map();
+  return {map.begin(), map.end()};
+}
+
+void CounterRegistry::reset() {
+  const std::lock_guard lock(counter_mutex());
+  counter_map().clear();
+}
+
+CounterRegistry& counters() noexcept {
+  static CounterRegistry registry;
+  return registry;
+}
 
 }  // namespace hpcpower::util

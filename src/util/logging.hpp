@@ -1,10 +1,20 @@
 #pragma once
-// Leveled stderr logging with a process-wide threshold.
+// Leveled stderr logging with a process-wide threshold, plus a process-wide
+// named-counter registry.
 //
 // Simulation and analysis code logs progress at Info; tests set the threshold
 // to Warn to keep output clean. Not a general logging framework on purpose.
+//
+// Counters exist so that rare-event code paths (telemetry faults, ingest
+// repairs, skipped CSV rows) are *countable* by tests and reports instead of
+// having their stderr output scraped. Names are dotted lowercase, e.g.
+// "telemetry.samples.glitch" or "csv.rows_skipped".
 
+#include <cstdint>
 #include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 namespace hpcpower::util {
 
@@ -19,5 +29,21 @@ void log_debug(const std::string& message);
 void log_info(const std::string& message);
 void log_warn(const std::string& message);
 void log_error(const std::string& message);
+
+/// Thread-safe registry of monotonically increasing named counters.
+class CounterRegistry {
+ public:
+  /// Adds `delta` to the named counter, creating it at zero first.
+  void add(std::string_view name, std::uint64_t delta = 1);
+  /// Current value; zero for counters never touched.
+  [[nodiscard]] std::uint64_t value(std::string_view name) const;
+  /// All counters, sorted by name (for reports and debugging).
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> snapshot() const;
+  /// Removes every counter. Tests call this to isolate expectations.
+  void reset();
+};
+
+/// The process-wide counter registry.
+[[nodiscard]] CounterRegistry& counters() noexcept;
 
 }  // namespace hpcpower::util

@@ -1,0 +1,45 @@
+// Tests for the process-wide counter registry.
+
+#include "util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hpcpower::util {
+namespace {
+
+TEST(Counters, UnknownCounterReadsZero) {
+  EXPECT_EQ(counters().value("counters-test.never-touched"), 0u);
+}
+
+TEST(Counters, AddAccumulates) {
+  const auto before = counters().value("counters-test.add");
+  counters().add("counters-test.add");
+  counters().add("counters-test.add", 4);
+  EXPECT_EQ(counters().value("counters-test.add"), before + 5);
+}
+
+TEST(Counters, SnapshotIsSortedAndContainsTouchedCounters) {
+  counters().add("counters-test.snap.b");
+  counters().add("counters-test.snap.a", 2);
+  const auto snap = counters().snapshot();
+  ASSERT_FALSE(snap.empty());
+  for (std::size_t i = 1; i < snap.size(); ++i)
+    EXPECT_LT(snap[i - 1].first, snap[i].first);
+  bool a = false, b = false;
+  for (const auto& [name, value] : snap) {
+    if (name == "counters-test.snap.a") a = value >= 2;
+    if (name == "counters-test.snap.b") b = value >= 1;
+  }
+  EXPECT_TRUE(a);
+  EXPECT_TRUE(b);
+}
+
+TEST(Counters, ResetClearsEverything) {
+  counters().add("counters-test.reset", 3);
+  counters().reset();
+  EXPECT_EQ(counters().value("counters-test.reset"), 0u);
+  EXPECT_TRUE(counters().snapshot().empty());
+}
+
+}  // namespace
+}  // namespace hpcpower::util

@@ -4,7 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
+
+#include "util/logging.hpp"
 
 namespace hpcpower::util {
 namespace {
@@ -121,6 +124,70 @@ TEST(CsvReader, LastLineWithoutNewline) {
   ASSERT_TRUE(row.has_value());
   EXPECT_EQ(row->as_int("a"), 42);
   EXPECT_FALSE(r.next().has_value());
+}
+
+TEST(CsvReader, NumericFieldWithTrailingGarbageThrows) {
+  // std::stod would silently parse "1.5abc" as 1.5; the reader must not.
+  std::istringstream in("a,b,c\n1.5abc,7up,0x10\n");
+  CsvReader r(in);
+  auto row = r.next();
+  ASSERT_TRUE(row.has_value());
+  EXPECT_THROW(row->as_double("a"), std::invalid_argument);
+  EXPECT_THROW(row->as_int("b"), std::invalid_argument);
+  EXPECT_THROW(row->as_uint("c"), std::invalid_argument);
+}
+
+TEST(CsvReader, SpecialDoubleValuesParse) {
+  std::istringstream in("a,b,c\nnan,inf,-2.5e3\n");
+  CsvReader r(in);
+  auto row = r.next();
+  ASSERT_TRUE(row.has_value());
+  EXPECT_TRUE(std::isnan(row->as_double("a")));
+  EXPECT_TRUE(std::isinf(row->as_double("b")));
+  EXPECT_DOUBLE_EQ(row->as_double("c"), -2500.0);
+}
+
+TEST(CsvReader, WrongFieldCountThrowsWithLineNumber) {
+  std::istringstream in("a,b\n1,2\n3,4,5\n");
+  CsvReader r(in);
+  ASSERT_TRUE(r.next().has_value());
+  try {
+    (void)r.next();
+    FAIL() << "expected exception";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("expected 2 fields, got 3"), std::string::npos) << what;
+  }
+}
+
+TEST(CsvReader, LenientModeSkipsMalformedRowsAndCounts) {
+  std::istringstream in("a,b\n1,2\nbroken\n3,4,5\n6,7\n");
+  CsvReader r(in, CsvReadOptions{true, /*lenient=*/true});
+  const auto before = counters().value("csv.rows_skipped");
+  auto row = r.next();
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ(row->as_int("a"), 1);
+  row = r.next();  // rows 3 and 4 are malformed and skipped
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ(row->as_int("a"), 6);
+  EXPECT_FALSE(r.next().has_value());
+  EXPECT_EQ(r.skipped_rows(), 2u);
+  EXPECT_EQ(counters().value("csv.rows_skipped"), before + 2);
+}
+
+TEST(CsvReader, RowsCarrySourceLineNumbers) {
+  std::istringstream in("a\nfirst\n\"two\nlines\"\nlast\n");
+  CsvReader r(in);
+  auto row = r.next();
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ(row->line(), 2u);
+  row = r.next();  // quoted field spanning lines 3-4
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ(row->line(), 3u);
+  row = r.next();
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ(row->line(), 5u);
 }
 
 TEST(CsvRoundTrip, WriterOutputParsesBackIdentically) {

@@ -1,0 +1,337 @@
+// Fault injection + robust ingest: determinism, exact ledger reconciliation,
+// and the cleaning rules themselves.
+
+#include "telemetry/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "telemetry/cleaning.hpp"
+#include "telemetry/pipeline.hpp"
+#include "trace/job_table.hpp"
+#include "trace/sample_table.hpp"
+#include "util/logging.hpp"
+#include "workload/generator.hpp"
+
+namespace hpcpower::telemetry {
+namespace {
+
+constexpr double kTdp = 230.0;
+
+FaultConfig enabled_faults() {
+  FaultConfig f;
+  f.enabled = true;
+  return f;
+}
+
+// ---------------------------------------------------------------------------
+// FaultModel: a pure, seeded oracle.
+
+TEST(FaultModel, DisabledModelInjectsNothing) {
+  const FaultModel model;  // default-constructed: disabled
+  for (std::uint64_t job = 1; job <= 50; ++job) {
+    for (std::int64_t minute = 0; minute < 50; ++minute)
+      EXPECT_EQ(model.classify(job, minute, static_cast<cluster::NodeId>(minute % 7)),
+                SampleFault::kNone);
+    EXPECT_FALSE(model.accounting_lost(job));
+    EXPECT_FALSE(model.crash_minute(job, 100).has_value());
+  }
+}
+
+TEST(FaultModel, DeterministicInSeedAndSensitiveToIt) {
+  const FaultModel a(enabled_faults(), 7, kTdp);
+  const FaultModel b(enabled_faults(), 7, kTdp);
+  const FaultModel c(enabled_faults(), 8, kTdp);
+  bool any_fault = false;
+  bool differs = false;
+  for (std::uint64_t job = 1; job <= 40; ++job) {
+    for (std::int64_t minute = 0; minute < 200; ++minute) {
+      const auto fa = a.classify(job, minute, 3);
+      EXPECT_EQ(fa, b.classify(job, minute, 3));
+      any_fault = any_fault || fa != SampleFault::kNone;
+      differs = differs || fa != c.classify(job, minute, 3);
+    }
+  }
+  EXPECT_TRUE(any_fault);
+  EXPECT_TRUE(differs);
+}
+
+TEST(FaultModel, RatesRoughlyHonored) {
+  FaultConfig cfg = enabled_faults();
+  cfg.node_outage_per_day = 0.0;  // isolate the per-sample classes
+  const FaultModel model(cfg, 123, kTdp);
+  std::uint64_t total = 0, dropout = 0, glitch = 0, duplicate = 0;
+  for (std::uint64_t job = 1; job <= 200; ++job) {
+    for (std::int64_t minute = 0; minute < 500; ++minute) {
+      ++total;
+      switch (model.classify(job, minute, job % 32)) {
+        case SampleFault::kDropout: ++dropout; break;
+        case SampleFault::kGlitchNan:
+        case SampleFault::kGlitchNegative:
+        case SampleFault::kGlitchSpike: ++glitch; break;
+        case SampleFault::kDuplicate: ++duplicate; break;
+        case SampleFault::kNone: break;
+      }
+    }
+  }
+  const double n = static_cast<double>(total);
+  EXPECT_NEAR(static_cast<double>(dropout) / n, cfg.dropout_rate, 0.002);
+  EXPECT_NEAR(static_cast<double>(glitch) / n, cfg.glitch_rate, 0.001);
+  EXPECT_NEAR(static_cast<double>(duplicate) / n, cfg.duplicate_rate, 0.001);
+}
+
+TEST(FaultModel, GlitchValuesAreDetectablyImplausible) {
+  const FaultModel model(enabled_faults(), 11, kTdp);
+  for (std::uint64_t job = 1; job <= 100; ++job) {
+    EXPECT_TRUE(std::isnan(model.glitch_value(SampleFault::kGlitchNan, job, 5, 0)));
+    EXPECT_LE(model.glitch_value(SampleFault::kGlitchNegative, job, 5, 0), -kTdp);
+    EXPECT_GE(model.glitch_value(SampleFault::kGlitchSpike, job, 5, 0), 2.0 * kTdp);
+  }
+}
+
+TEST(FaultModel, CrashMinuteLeavesObservedPrefix) {
+  const FaultModel model(enabled_faults(), 3, kTdp);
+  std::size_t crashes = 0;
+  for (std::uint64_t job = 1; job <= 2000; ++job) {
+    const auto m = model.crash_minute(job, 120);
+    if (!m) continue;
+    ++crashes;
+    EXPECT_GE(*m, 1u);
+    EXPECT_LT(*m, 120u);
+  }
+  // ~1% of 2000 jobs.
+  EXPECT_GT(crashes, 3u);
+  EXPECT_LT(crashes, 80u);
+  EXPECT_FALSE(model.crash_minute(1, 1).has_value());  // too short to truncate
+}
+
+// ---------------------------------------------------------------------------
+// Cleaning primitives.
+
+TEST(Cleaning, ClassifyWattsPlausibilityBounds) {
+  const CleaningConfig cfg;
+  EXPECT_EQ(classify_watts(150.0, kTdp, cfg), SampleClass::kOk);
+  EXPECT_EQ(classify_watts(kTdp * 1.2, kTdp, cfg), SampleClass::kOk);
+  EXPECT_EQ(classify_watts(kTdp * 2.0, kTdp, cfg), SampleClass::kGlitch);
+  EXPECT_EQ(classify_watts(-5.0, kTdp, cfg), SampleClass::kGlitch);
+  EXPECT_EQ(classify_watts(0.0, kTdp, cfg), SampleClass::kGlitch);
+  EXPECT_EQ(classify_watts(std::numeric_limits<double>::quiet_NaN(), kTdp, cfg),
+            SampleClass::kGlitch);
+}
+
+TEST(Cleaning, ScrubberRepairsGlitchWithLastGood) {
+  NodeStreamScrubber scrub;
+  CleaningConfig cfg;
+  std::vector<NodeStreamScrubber::Backfill> backfill;
+  auto out = scrub.observe(0, 100.0, false, cfg, kTdp, backfill);
+  EXPECT_EQ(out.cls, SampleClass::kOk);
+  ASSERT_TRUE(out.accepted.has_value());
+  out = scrub.observe(1, kTdp * 5.0, false, cfg, kTdp, backfill);
+  EXPECT_EQ(out.cls, SampleClass::kGlitch);
+  EXPECT_TRUE(out.repaired_glitch);
+  ASSERT_TRUE(out.accepted.has_value());
+  EXPECT_DOUBLE_EQ(*out.accepted, 100.0);
+  EXPECT_TRUE(backfill.empty());
+}
+
+TEST(Cleaning, ScrubberInterpolatesShortGapOnClose) {
+  NodeStreamScrubber scrub;
+  CleaningConfig cfg;
+  std::vector<NodeStreamScrubber::Backfill> backfill;
+  scrub.observe(0, 100.0, false, cfg, kTdp, backfill);
+  EXPECT_EQ(scrub.missing(1), SampleClass::kGap);
+  EXPECT_EQ(scrub.missing(2), SampleClass::kGap);
+  const auto out = scrub.observe(3, 130.0, false, cfg, kTdp, backfill);
+  EXPECT_EQ(out.cls, SampleClass::kOk);
+  ASSERT_EQ(backfill.size(), 2u);
+  EXPECT_EQ(backfill[0].minute, 1u);
+  EXPECT_DOUBLE_EQ(backfill[0].watts, 110.0);
+  EXPECT_EQ(backfill[1].minute, 2u);
+  EXPECT_DOUBLE_EQ(backfill[1].watts, 120.0);
+}
+
+TEST(Cleaning, ScrubberLeavesLongGapsMissing) {
+  NodeStreamScrubber scrub;
+  CleaningConfig cfg;
+  cfg.max_interpolate_gap_min = 3;
+  std::vector<NodeStreamScrubber::Backfill> backfill;
+  scrub.observe(0, 100.0, false, cfg, kTdp, backfill);
+  for (std::uint32_t m = 1; m <= 5; ++m) EXPECT_EQ(scrub.missing(m), SampleClass::kGap);
+  scrub.observe(6, 130.0, false, cfg, kTdp, backfill);
+  EXPECT_TRUE(backfill.empty());  // 5-minute gap > 3-minute repair limit
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline-level campaigns with faults.
+
+struct FaultyCampaign {
+  cluster::SystemSpec spec;
+  std::vector<JobRecord> records;
+  SystemSeries series;
+  sched::SimulationResult sim_result;
+  DataQualityReport quality;
+  FaultModel model;
+
+  explicit FaultyCampaign(std::uint64_t seed, bool cleaning_enabled = true,
+                          double days = 1.0) {
+    util::set_log_level(util::LogLevel::kWarn);
+    spec = cluster::emmy_spec();
+    workload::GeneratorConfig gcfg;
+    gcfg.seed = seed;
+    gcfg.duration = util::MinuteTime::from_days(days);
+    workload::WorkloadGenerator gen(spec, workload::calibration_for(spec.id), gcfg);
+    const auto jobs = gen.generate();
+
+    PipelineConfig pcfg;
+    pcfg.seed = seed;
+    pcfg.instrument_begin = util::MinuteTime(0);
+    pcfg.instrument_end = gcfg.duration;
+    pcfg.faults = enabled_faults();
+    pcfg.cleaning.enabled = cleaning_enabled;
+    MonitoringPipeline pipeline(spec, pcfg);
+
+    sched::CampaignSimulator sim(spec.node_count, gcfg.duration);
+    sim_result = sim.run(jobs, pipeline.hooks());
+    quality = pipeline.quality_report();
+    model = pipeline.fault_model();
+    records = std::move(pipeline.records());
+    series = pipeline.system_series();
+  }
+};
+
+TEST(FaultyPipeline, LedgerReconcilesExactlyAcrossSeeds) {
+  for (const std::uint64_t seed : {1ull, 42ull, 987ull}) {
+    const FaultyCampaign c(seed);
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    EXPECT_GT(c.quality.samples_expected, 0u);
+    EXPECT_TRUE(c.quality.reconciles())
+        << describe(c.quality)
+        << " classified=" << c.quality.samples_classified();
+    EXPECT_GT(c.quality.samples_gap, 0u);
+    EXPECT_GT(c.quality.samples_glitch, 0u);
+    EXPECT_GT(c.quality.samples_duplicate, 0u);
+    EXPECT_GE(c.quality.samples_gap, c.quality.samples_interpolated);
+    EXPECT_GE(c.quality.samples_glitch, c.quality.glitches_repaired);
+  }
+}
+
+TEST(FaultyPipeline, QuarantineMatchesInjectedAccountingLosses) {
+  for (const std::uint64_t seed : {1ull, 42ull, 987ull}) {
+    const FaultyCampaign c(seed);
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    std::uint64_t lost = 0;
+    for (const auto& rec : c.sim_result.accounting)
+      if (c.model.accounting_lost(rec.job_id)) ++lost;
+    EXPECT_EQ(c.quality.jobs_quarantined_accounting, lost);
+    EXPECT_GT(lost, 0u);
+    EXPECT_EQ(c.quality.jobs_seen, c.sim_result.accounting.size());
+    EXPECT_EQ(c.records.size(),
+              c.quality.jobs_seen - c.quality.jobs_quarantined());
+  }
+}
+
+TEST(FaultyPipeline, SameSeedIsByteIdentical) {
+  const FaultyCampaign a(42), b(42);
+  EXPECT_EQ(a.quality, b.quality);
+  std::ostringstream ta, tb;
+  trace::write_job_table(ta, a.records);
+  trace::write_job_table(tb, b.records);
+  EXPECT_EQ(ta.str(), tb.str());
+  EXPECT_EQ(a.series.total_power_w, b.series.total_power_w);
+}
+
+TEST(FaultyPipeline, DifferentSeedDiffers) {
+  const FaultyCampaign a(42), c(43);
+  EXPECT_NE(a.quality, c.quality);
+}
+
+TEST(FaultyPipeline, RecordsStayPhysicallyPlausibleWithCleaning) {
+  const FaultyCampaign c(42);
+  for (const JobRecord& r : c.records) {
+    EXPECT_TRUE(std::isfinite(r.mean_node_power_w));
+    EXPECT_GT(r.mean_node_power_w, 0.0);
+    EXPECT_LE(r.mean_node_power_w, c.spec.node_tdp_watts * 1.5);
+    EXPECT_TRUE(std::isfinite(r.energy_kwh));
+    EXPECT_GE(r.energy_kwh, 0.0);
+  }
+  for (const double p : c.series.total_power_w) {
+    EXPECT_TRUE(std::isfinite(p));
+    EXPECT_GE(p, 0.0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Trace-level injection + batch scrub.
+
+std::vector<trace::PowerSampleRow> synthetic_clean_table() {
+  std::vector<trace::PowerSampleRow> rows;
+  for (std::uint64_t job = 1; job <= 30; ++job) {
+    const std::int64_t start = static_cast<std::int64_t>(job) * 17;
+    for (std::uint32_t node = 0; node < 1 + job % 4; ++node) {
+      for (std::int64_t m = 0; m < 90; ++m) {
+        const double total = 120.0 + 30.0 * std::sin(0.1 * static_cast<double>(m)) +
+                             5.0 * static_cast<double>(node);
+        rows.push_back({job, start + m, node, total * 0.85, total * 0.15});
+      }
+    }
+  }
+  return rows;
+}
+
+TEST(TraceFaults, InjectionIsDeterministicPerSeed) {
+  const auto clean = synthetic_clean_table();
+  const FaultModel a(enabled_faults(), 5, kTdp), b(enabled_faults(), 5, kTdp);
+  const FaultModel c(enabled_faults(), 6, kTdp);
+  std::ostringstream sa, sb, sc;
+  trace::write_sample_table(sa, trace::inject_sample_faults(clean, a));
+  trace::write_sample_table(sb, trace::inject_sample_faults(clean, b));
+  trace::write_sample_table(sc, trace::inject_sample_faults(clean, c));
+  EXPECT_EQ(sa.str(), sb.str());
+  EXPECT_NE(sa.str(), sc.str());
+  std::ostringstream sclean;
+  trace::write_sample_table(sclean, clean);
+  EXPECT_NE(sa.str(), sclean.str());
+}
+
+TEST(TraceFaults, ScrubLedgerReconcilesAndOutputIsClean) {
+  const auto clean = synthetic_clean_table();
+  for (const std::uint64_t seed : {1ull, 42ull, 987ull}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const FaultModel model(enabled_faults(), seed, kTdp);
+    const auto dirty = trace::inject_sample_faults(clean, model);
+    const auto result = trace::scrub_sample_rows(dirty, CleaningConfig{}, kTdp);
+    EXPECT_TRUE(result.quality.reconciles()) << describe(result.quality);
+    EXPECT_GT(result.quality.samples_glitch, 0u);
+    EXPECT_GT(result.quality.samples_gap, 0u);
+    EXPECT_GT(result.quality.rows_out_of_order, 0u);
+    // Every surviving row is plausible and slots are unique + sorted.
+    for (std::size_t i = 0; i < result.rows.size(); ++i) {
+      const auto& r = result.rows[i];
+      EXPECT_TRUE(std::isfinite(r.total_w()));
+      EXPECT_GT(r.total_w(), 0.0);
+      EXPECT_LE(r.total_w(), kTdp * 1.5 + 1e-9);
+      if (i == 0) continue;
+      const auto& p = result.rows[i - 1];
+      const bool same_stream = p.job_id == r.job_id && p.node_index == r.node_index;
+      if (same_stream) {
+        EXPECT_LT(p.minute, r.minute);
+      }
+    }
+  }
+}
+
+TEST(TraceFaults, ScrubOfCleanTableIsLossless) {
+  const auto clean = synthetic_clean_table();
+  const auto result = trace::scrub_sample_rows(clean, CleaningConfig{}, kTdp);
+  EXPECT_EQ(result.rows.size(), clean.size());
+  EXPECT_EQ(result.quality.samples_ok, clean.size());
+  EXPECT_EQ(result.quality.samples_glitch, 0u);
+  EXPECT_EQ(result.quality.samples_gap, 0u);
+  EXPECT_EQ(result.quality.samples_duplicate, 0u);
+  EXPECT_TRUE(result.quality.reconciles());
+}
+
+}  // namespace
+}  // namespace hpcpower::telemetry

@@ -99,8 +99,31 @@ TEST(JobTable, MalformedRowReportsRowNumber) {
     (void)read_job_table(corrupted);
     FAIL() << "expected exception";
   } catch (const std::invalid_argument& e) {
-    EXPECT_NE(std::string(e.what()).find("row 1"), std::string::npos);
+    // Comment line 1, header line 2, corrupted data row on line 3.
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
   }
+  // Lenient mode skips the bad row instead of aborting.
+  std::stringstream corrupted2(text);
+  EXPECT_TRUE(read_job_table(corrupted2, true).empty());
+}
+
+TEST(JobTable, SemanticallyInvalidRowRejected) {
+  std::vector<telemetry::JobRecord> records = {sample_record(1, false)};
+  std::stringstream ss;
+  write_job_table(ss, records);
+  std::string text = ss.str();
+  // end_min precedes start_min: swap the two by corrupting end to 0 is not
+  // trivial textually, so instead zero out nnodes (column 8).
+  const auto header_end = text.find('\n', text.find('\n') + 1);
+  auto pos = header_end + 1;
+  for (int commas = 0; commas < 7; ++pos)
+    if (text[pos] == ',') ++commas;
+  const auto comma = text.find(',', pos);
+  text.replace(pos, comma - pos, "0");
+  std::stringstream corrupted(text);
+  EXPECT_THROW((void)read_job_table(corrupted), std::invalid_argument);
+  std::stringstream corrupted2(text);
+  EXPECT_TRUE(read_job_table(corrupted2, true).empty());
 }
 
 TEST(JobTable, FileSaveAndLoad) {
@@ -142,13 +165,19 @@ TEST(SampleTable, SchemaMismatchThrows) {
 }
 
 TEST(SampleTable, MalformedValueThrowsWithRow) {
-  std::stringstream ss("job_id,minute,node_index,pkg_w,dram_w\n1,2,3,bad,5\n");
+  const std::string text = "job_id,minute,node_index,pkg_w,dram_w\n1,2,3,bad,5\n";
+  std::stringstream ss(text);
   try {
     (void)read_sample_table(ss);
     FAIL() << "expected exception";
   } catch (const std::invalid_argument& e) {
-    EXPECT_NE(std::string(e.what()).find("row 1"), std::string::npos);
+    // Header on line 1, malformed data row on line 2.
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
   }
+  std::stringstream lenient(text + "4,5,6,7.5,0.5\n");
+  const auto rows = read_sample_table(lenient, true);
+  ASSERT_EQ(rows.size(), 1u);  // bad row skipped, good row kept
+  EXPECT_EQ(rows[0].job_id, 4u);
 }
 
 TEST(SampleTable, FileSaveAndLoad) {

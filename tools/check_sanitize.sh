@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Builds the test suite with ASan+UBSan and runs it. Usage:
+#
+#   tools/check_sanitize.sh [build-dir] [ctest args...]
+#
+# Uses a separate build tree (default build-asan/) so the regular build stays
+# untouched. Benches and examples are skipped: the sanitizers' value here is
+# covering the library code the tests drive.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-asan}"
+shift || true
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DHPCPOWER_SANITIZE=ON \
+  -DHPCPOWER_BUILD_BENCH=OFF \
+  -DHPCPOWER_BUILD_EXAMPLES=OFF
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+# abort_on_error makes ASan failures fail the test instead of just logging.
+export ASAN_OPTIONS="abort_on_error=1:detect_leaks=1"
+export UBSAN_OPTIONS="print_stacktrace=1"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@"
