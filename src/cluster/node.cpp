@@ -1,5 +1,6 @@
 #include "cluster/node.hpp"
 
+#include <algorithm>
 #include <numeric>
 #include <stdexcept>
 
@@ -26,7 +27,7 @@ double NodePopulation::mean_power_factor() const noexcept {
 }
 
 NodeAllocator::NodeAllocator(std::uint32_t node_count)
-    : total_(node_count), is_free_(node_count, true) {
+    : total_(node_count), state_(node_count, State::kFree) {
   free_.resize(node_count);
   // Pop from the back; seed so node 0 is allocated first.
   for (std::uint32_t i = 0; i < node_count; ++i) free_[i] = node_count - 1 - i;
@@ -39,7 +40,7 @@ std::vector<NodeId> NodeAllocator::allocate(std::uint32_t count) {
   for (std::uint32_t i = 0; i < count; ++i) {
     const NodeId id = free_.back();
     free_.pop_back();
-    is_free_[id] = false;
+    state_[id] = State::kBusy;
     out.push_back(id);
   }
   return out;
@@ -47,10 +48,49 @@ std::vector<NodeId> NodeAllocator::allocate(std::uint32_t count) {
 
 void NodeAllocator::release(const std::vector<NodeId>& nodes) {
   for (NodeId id : nodes) {
-    if (id >= total_ || is_free_[id])
+    if (id >= total_ || state_[id] != State::kBusy)
       throw std::logic_error("NodeAllocator::release: node not allocated");
-    is_free_[id] = true;
+    state_[id] = State::kFree;
     free_.push_back(id);
+  }
+}
+
+void NodeAllocator::drain(NodeId id) {
+  if (id >= total_ || state_[id] != State::kFree)
+    throw std::logic_error("NodeAllocator::drain: node not free");
+  // Drained nodes are rare, so a linear erase keeps the stack's allocation
+  // order intact for the remaining free nodes (checkpoint bit-identity).
+  const auto it = std::find(free_.begin(), free_.end(), id);
+  free_.erase(it);
+  state_[id] = State::kDrained;
+  ++drained_;
+}
+
+void NodeAllocator::undrain(NodeId id) {
+  if (id >= total_ || state_[id] != State::kDrained)
+    throw std::logic_error("NodeAllocator::undrain: node not drained");
+  state_[id] = State::kFree;
+  free_.push_back(id);
+  --drained_;
+}
+
+void NodeAllocator::restore(const std::vector<NodeId>& free_order,
+                            const std::vector<NodeId>& drained) {
+  if (free_order.size() + drained.size() > total_)
+    throw std::logic_error("NodeAllocator::restore: more nodes than exist");
+  std::fill(state_.begin(), state_.end(), State::kBusy);
+  free_ = free_order;
+  for (NodeId id : free_) {
+    if (id >= total_ || state_[id] != State::kBusy)
+      throw std::logic_error("NodeAllocator::restore: bad free list");
+    state_[id] = State::kFree;
+  }
+  drained_ = 0;
+  for (NodeId id : drained) {
+    if (id >= total_ || state_[id] != State::kBusy)
+      throw std::logic_error("NodeAllocator::restore: bad drained list");
+    state_[id] = State::kDrained;
+    ++drained_;
   }
 }
 

@@ -43,7 +43,9 @@ class NodePopulation {
 
 /// Tracks node availability for the scheduler. Nodes are interchangeable for
 /// placement (both systems expose flat exclusive-node allocation), but
-/// identities matter because power factors are per-node.
+/// identities matter because power factors are per-node. A node is in exactly
+/// one of three states: free (allocatable), busy (held by a job), or drained
+/// (failed / under repair — invisible to placement until undrained).
 class NodeAllocator {
  public:
   explicit NodeAllocator(std::uint32_t node_count);
@@ -52,8 +54,9 @@ class NodeAllocator {
     return static_cast<std::uint32_t>(free_.size());
   }
   [[nodiscard]] std::uint32_t total_count() const noexcept { return total_; }
+  [[nodiscard]] std::uint32_t drained_count() const noexcept { return drained_; }
   [[nodiscard]] std::uint32_t busy_count() const noexcept {
-    return total_ - free_count();
+    return total_ - free_count() - drained_;
   }
 
   /// Allocates `count` nodes; returns empty if not enough are free.
@@ -61,10 +64,30 @@ class NodeAllocator {
   /// Returns nodes to the free pool. Double-free is rejected.
   void release(const std::vector<NodeId>& nodes);
 
+  /// Takes a free node out of service (failed node after its job was killed).
+  /// The node must currently be free.
+  void drain(NodeId id);
+  /// Returns a repaired node to the free pool. The node must be drained.
+  void undrain(NodeId id);
+  [[nodiscard]] bool is_drained(NodeId id) const { return state_.at(id) == State::kDrained; }
+
+  /// Exact free-stack order (back is allocated first). Allocation identity
+  /// depends on this order, so checkpoints must serialize and restore it
+  /// verbatim for resumed campaigns to place jobs bit-identically.
+  [[nodiscard]] const std::vector<NodeId>& free_order() const noexcept { return free_; }
+
+  /// Rebuilds the allocator from a checkpoint: `free_order` verbatim (stack
+  /// order preserved), `drained` out of service, every other node busy.
+  void restore(const std::vector<NodeId>& free_order,
+               const std::vector<NodeId>& drained);
+
  private:
+  enum class State : std::uint8_t { kFree, kBusy, kDrained };
+
   std::uint32_t total_;
+  std::uint32_t drained_ = 0;
   std::vector<NodeId> free_;       // stack of free node ids
-  std::vector<bool> is_free_;
+  std::vector<State> state_;
 };
 
 }  // namespace hpcpower::cluster

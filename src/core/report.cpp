@@ -136,6 +136,50 @@ void section_quality(std::ostringstream& out, const CampaignData& data) {
       q.reconciles() ? "reconciles" : "**does not reconcile**");
 }
 
+void section_availability(std::ostringstream& out, const CampaignData& data) {
+  const auto& a = data.availability;
+  out << "### Availability & failure impact\n\n";
+  const double total_nh = static_cast<double>(a.node_minutes_total) / 60.0;
+  const double lost_nh = static_cast<double>(a.node_minutes_down) / 60.0;
+  const double delivered_nh = static_cast<double>(a.node_minutes_delivered()) / 60.0;
+  // Energy the killed attempts burned before dying: compute that produced no
+  // completed result (the retry redoes the work from scratch).
+  double wasted_kwh = 0.0;
+  std::uint64_t killed_records = 0;
+  for (const auto& r : data.records) {
+    if (r.exit == sched::ExitStatus::kKilledNodeFail) {
+      wasted_kwh += r.energy_kwh;
+      ++killed_records;
+    }
+  }
+  out << "| metric | value |\n|---|---|\n";
+  out << util::format("| campaign node-hours | %.1f |\n", total_nh);
+  out << util::format("| delivered node-hours | %.1f (%.2f%%) |\n", delivered_nh,
+                      a.node_minutes_total
+                          ? 100.0 * delivered_nh / total_nh
+                          : 0.0);
+  out << util::format("| node-hours lost to failures | %.1f (%.2f%%) |\n", lost_nh,
+                      a.node_minutes_total ? 100.0 * lost_nh / total_nh : 0.0);
+  out << util::format("| node failures | %llu |\n",
+                      static_cast<unsigned long long>(a.node_failures));
+  out << util::format("| job attempts killed | %llu |\n",
+                      static_cast<unsigned long long>(a.attempts_killed));
+  out << util::format("| attempts requeued / budget exhausted | %llu / %llu |\n",
+                      static_cast<unsigned long long>(a.requeues),
+                      static_cast<unsigned long long>(a.requeues_exhausted));
+  out << util::format(
+      "| energy wasted by killed attempts | %.1f kWh (%llu records) |\n",
+      wasted_kwh, static_cast<unsigned long long>(killed_records));
+  out << util::format("| requeue-induced wait | %.0f min total |\n\n",
+                      a.requeue_wait_minutes);
+  out << util::format(
+      "Ledger %s: delivered + lost = %.1f + %.1f = %.1f node-hours.\n\n",
+      a.node_minutes_delivered() + a.node_minutes_down == a.node_minutes_total
+          ? "reconciles"
+          : "**does not reconcile**",
+      delivered_nh, lost_nh, total_nh);
+}
+
 void section_prediction(std::ostringstream& out, const CampaignData& data,
                         const ml::EvaluationConfig& cfg) {
   const auto p = analyze_prediction(data, {}, cfg);
@@ -176,6 +220,7 @@ std::string render_markdown_report(const std::vector<CampaignData>& campaigns,
             : 0.0,
         data.scheduler.mean_wait_minutes());
     section_system(out, data, options.curve_points);
+    if (data.availability.node_minutes_total > 0) section_availability(out, data);
     if (data.quality.samples_expected > 0) section_quality(out, data);
     section_jobs(out, data);
     section_dynamics(out, data);

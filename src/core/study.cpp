@@ -30,7 +30,8 @@ CampaignData run_campaign(const cluster::SystemSpec& spec, const StudyConfig& co
   if (budget.enabled() && budget.fallback_node_power_w <= 0.0)
     budget.fallback_node_power_w = spec.node_tdp_watts;
   sched::CampaignSimulator simulator(spec.node_count, gcfg.duration,
-                                     config.scheduler_policy, budget);
+                                     config.scheduler_policy, budget,
+                                     config.node_failures, config.seed);
   const auto sim_result = simulator.run(jobs, pipeline.hooks());
 
   CampaignData data;
@@ -38,6 +39,7 @@ CampaignData run_campaign(const cluster::SystemSpec& spec, const StudyConfig& co
   data.records = std::move(pipeline.records());
   data.series = pipeline.system_series();
   data.scheduler = sim_result.scheduler;
+  data.availability = sim_result.availability;
   data.throttled_samples = pipeline.throttled_samples();
   data.quality = pipeline.quality_report();
 
@@ -61,6 +63,17 @@ CampaignData run_campaign(const cluster::SystemSpec& spec, const StudyConfig& co
       "%s campaign: %zu jobs recorded, %.0f days, mean queue wait %.0f min",
       spec.name.c_str(), data.records.size(), config.days,
       data.scheduler.mean_wait_minutes()));
+  if (config.node_failures.enabled) {
+    const auto& a = data.availability;
+    util::log_info(util::format(
+        "availability: %llu node failures, %llu attempts killed, %llu requeued "
+        "(%llu exhausted), %.1f node-hours lost",
+        static_cast<unsigned long long>(a.node_failures),
+        static_cast<unsigned long long>(a.attempts_killed),
+        static_cast<unsigned long long>(a.requeues),
+        static_cast<unsigned long long>(a.requeues_exhausted),
+        static_cast<double>(a.node_minutes_down) / 60.0));
+  }
   if (config.faults.enabled) {
     // One bulk update per campaign; the per-sample hot path stays counter-free.
     auto& c = util::counters();

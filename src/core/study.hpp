@@ -43,6 +43,9 @@ struct StudyConfig {
   /// applied when faults are on.
   telemetry::FaultConfig faults;
   telemetry::CleaningConfig cleaning;
+  /// Node failure / repair / requeue model (off by default: the scheduler
+  /// runs a perfect machine and every campaign stays bit-identical).
+  sched::FailureConfig node_failures;
 
   [[nodiscard]] static StudyConfig paper_scale(std::uint64_t seed = 42) {
     StudyConfig c;
@@ -60,6 +63,10 @@ struct CampaignData {
   std::vector<telemetry::JobRecord> records;
   telemetry::SystemSeries series;
   sched::SchedulerStats scheduler;
+  /// Availability ledger (node-hours lost, kills, requeues); all-zero when
+  /// the node-failure model was disabled. Covers the full simulated horizon
+  /// including warm-up.
+  sched::AvailabilityStats availability;
   std::uint64_t throttled_samples = 0;
   /// Ingest ledger; all-zero when fault injection was disabled.
   telemetry::DataQualityReport quality;

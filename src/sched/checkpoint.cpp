@@ -1,0 +1,256 @@
+#include "sched/checkpoint.hpp"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+namespace hpcpower::sched {
+
+namespace {
+
+constexpr const char* kMagic = "hpcpower-campaign-checkpoint";
+constexpr const char* kVersion = "v1";
+
+std::uint64_t double_bits(double d) noexcept {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+double bits_double(std::uint64_t bits) noexcept {
+  double d = 0.0;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("checkpoint: " + what);
+}
+
+/// Reads one whitespace-delimited token and requires it to equal `tag`.
+void expect(std::istream& in, const char* tag) {
+  std::string tok;
+  if (!(in >> tok)) fail(std::string("truncated before '") + tag + "'");
+  if (tok != tag) fail("expected '" + std::string(tag) + "', got '" + tok + "'");
+}
+
+template <typename T>
+T read_value(std::istream& in, const char* what) {
+  T v{};
+  if (!(in >> v)) fail(std::string("bad or missing value for ") + what);
+  return v;
+}
+
+bool read_bool(std::istream& in, const char* what) {
+  const auto v = read_value<int>(in, what);
+  if (v != 0 && v != 1) fail(std::string("non-boolean value for ") + what);
+  return v == 1;
+}
+
+double read_double_bits(std::istream& in, const char* what) {
+  return bits_double(read_value<std::uint64_t>(in, what));
+}
+
+}  // namespace
+
+void write_checkpoint(std::ostream& out, const CampaignCheckpoint& cp) {
+  out << kMagic << ' ' << kVersion << '\n';
+  out << "minute " << cp.minute << '\n';
+  out << "node_count " << cp.node_count << '\n';
+  out << "horizon " << cp.horizon << '\n';
+  out << "policy " << cp.policy << '\n';
+  out << "seed " << cp.seed << '\n';
+  out << "failures " << (cp.failures.enabled ? 1 : 0) << ' '
+      << double_bits(cp.failures.mtbf_days) << ' '
+      << double_bits(cp.failures.mttr_min) << ' ' << cp.failures.max_attempts
+      << ' ' << cp.failures.backoff_base_min << ' ' << cp.failures.backoff_cap_min
+      << '\n';
+  out << "budget " << double_bits(cp.budget.watts) << ' '
+      << double_bits(cp.budget.fallback_node_power_w) << '\n';
+  out << "next_submit " << cp.next_submit << '\n';
+  out << "stats " << cp.stats.submitted << ' ' << cp.stats.started << ' '
+      << cp.stats.completed << ' ' << cp.stats.backfilled << ' '
+      << cp.stats.killed << ' ' << cp.stats.rejected << ' '
+      << double_bits(cp.stats.total_wait_minutes) << ' '
+      << cp.stats.max_queue_depth << '\n';
+  out << "availability " << cp.availability.node_minutes_down << ' '
+      << cp.availability.node_failures << ' ' << cp.availability.attempts_killed
+      << ' ' << cp.availability.requeues << ' '
+      << cp.availability.requeues_exhausted << ' '
+      << double_bits(cp.availability.requeue_wait_minutes) << '\n';
+  out << "committed_power " << double_bits(cp.committed_power_w) << '\n';
+
+  out << "free_order " << cp.free_order.size();
+  for (const auto id : cp.free_order) out << ' ' << id;
+  out << '\n';
+  out << "drained " << cp.drained.size();
+  for (const auto id : cp.drained) out << ' ' << id;
+  out << '\n';
+
+  out << "queue " << cp.queue.size() << '\n';
+  for (const auto& q : cp.queue)
+    out << q.job_id << ' ' << q.attempt << ' ' << q.submit << '\n';
+
+  out << "running " << cp.running.size() << '\n';
+  for (const auto& r : cp.running) {
+    out << r.job_id << ' ' << r.attempt << ' ' << r.submit << ' ' << r.start
+        << ' ' << r.end << ' ' << r.limit_end << ' ' << (r.backfilled ? 1 : 0)
+        << ' ' << (r.hit_walltime ? 1 : 0) << ' ' << r.nodes.size();
+    for (const auto id : r.nodes) out << ' ' << id;
+    out << '\n';
+  }
+
+  out << "requeues " << cp.requeues.size() << '\n';
+  for (const auto& r : cp.requeues)
+    out << r.due << ' ' << r.job_id << ' ' << r.attempt << '\n';
+
+  out << "kill_times " << cp.kill_times.size() << '\n';
+  for (const auto& [job_id, minute] : cp.kill_times)
+    out << job_id << ' ' << minute << '\n';
+
+  out << "accounting " << cp.accounting.size() << '\n';
+  for (const auto& rec : cp.accounting) {
+    out << rec.job_id << ' ' << rec.user_id << ' ' << rec.app << ' '
+        << rec.submit.minutes() << ' ' << rec.start.minutes() << ' '
+        << rec.end.minutes() << ' ' << rec.nnodes << ' '
+        << rec.walltime_req_min << ' ' << (rec.backfilled ? 1 : 0) << ' '
+        << (rec.truncated_by_horizon ? 1 : 0) << ' '
+        << exit_status_name(rec.exit) << ' ' << rec.attempt << '\n';
+  }
+
+  out << "busy " << cp.busy_nodes_per_minute.size();
+  for (const auto b : cp.busy_nodes_per_minute) out << ' ' << b;
+  out << '\n';
+  out << "end\n";
+  if (!out) fail("write failed");
+}
+
+CampaignCheckpoint read_checkpoint(std::istream& in) {
+  CampaignCheckpoint cp;
+  expect(in, kMagic);
+  expect(in, kVersion);
+  expect(in, "minute");
+  cp.minute = read_value<std::int64_t>(in, "minute");
+  expect(in, "node_count");
+  cp.node_count = read_value<std::uint32_t>(in, "node_count");
+  expect(in, "horizon");
+  cp.horizon = read_value<std::int64_t>(in, "horizon");
+  expect(in, "policy");
+  cp.policy = read_value<int>(in, "policy");
+  expect(in, "seed");
+  cp.seed = read_value<std::uint64_t>(in, "seed");
+  expect(in, "failures");
+  cp.failures.enabled = read_bool(in, "failures.enabled");
+  cp.failures.mtbf_days = read_double_bits(in, "failures.mtbf_days");
+  cp.failures.mttr_min = read_double_bits(in, "failures.mttr_min");
+  cp.failures.max_attempts = read_value<std::uint32_t>(in, "failures.max_attempts");
+  cp.failures.backoff_base_min =
+      read_value<std::uint32_t>(in, "failures.backoff_base_min");
+  cp.failures.backoff_cap_min =
+      read_value<std::uint32_t>(in, "failures.backoff_cap_min");
+  expect(in, "budget");
+  cp.budget.watts = read_double_bits(in, "budget.watts");
+  cp.budget.fallback_node_power_w = read_double_bits(in, "budget.fallback");
+  expect(in, "next_submit");
+  cp.next_submit = read_value<std::size_t>(in, "next_submit");
+  expect(in, "stats");
+  cp.stats.submitted = read_value<std::uint64_t>(in, "stats.submitted");
+  cp.stats.started = read_value<std::uint64_t>(in, "stats.started");
+  cp.stats.completed = read_value<std::uint64_t>(in, "stats.completed");
+  cp.stats.backfilled = read_value<std::uint64_t>(in, "stats.backfilled");
+  cp.stats.killed = read_value<std::uint64_t>(in, "stats.killed");
+  cp.stats.rejected = read_value<std::uint64_t>(in, "stats.rejected");
+  cp.stats.total_wait_minutes = read_double_bits(in, "stats.total_wait");
+  cp.stats.max_queue_depth = read_value<std::size_t>(in, "stats.max_queue_depth");
+  expect(in, "availability");
+  cp.availability.node_minutes_down =
+      read_value<std::uint64_t>(in, "availability.down");
+  cp.availability.node_failures =
+      read_value<std::uint64_t>(in, "availability.failures");
+  cp.availability.attempts_killed =
+      read_value<std::uint64_t>(in, "availability.killed");
+  cp.availability.requeues = read_value<std::uint64_t>(in, "availability.requeues");
+  cp.availability.requeues_exhausted =
+      read_value<std::uint64_t>(in, "availability.exhausted");
+  cp.availability.requeue_wait_minutes =
+      read_double_bits(in, "availability.requeue_wait");
+  expect(in, "committed_power");
+  cp.committed_power_w = read_double_bits(in, "committed_power");
+
+  expect(in, "free_order");
+  cp.free_order.resize(read_value<std::size_t>(in, "free_order count"));
+  for (auto& id : cp.free_order) id = read_value<cluster::NodeId>(in, "free node id");
+  expect(in, "drained");
+  cp.drained.resize(read_value<std::size_t>(in, "drained count"));
+  for (auto& id : cp.drained) id = read_value<cluster::NodeId>(in, "drained node id");
+
+  expect(in, "queue");
+  cp.queue.resize(read_value<std::size_t>(in, "queue count"));
+  for (auto& q : cp.queue) {
+    q.job_id = read_value<workload::JobId>(in, "queue job id");
+    q.attempt = read_value<std::uint32_t>(in, "queue attempt");
+    q.submit = read_value<std::int64_t>(in, "queue submit");
+  }
+
+  expect(in, "running");
+  cp.running.resize(read_value<std::size_t>(in, "running count"));
+  for (auto& r : cp.running) {
+    r.job_id = read_value<workload::JobId>(in, "running job id");
+    r.attempt = read_value<std::uint32_t>(in, "running attempt");
+    r.submit = read_value<std::int64_t>(in, "running submit");
+    r.start = read_value<std::int64_t>(in, "running start");
+    r.end = read_value<std::int64_t>(in, "running end");
+    r.limit_end = read_value<std::int64_t>(in, "running limit_end");
+    r.backfilled = read_bool(in, "running backfilled");
+    r.hit_walltime = read_bool(in, "running hit_walltime");
+    r.nodes.resize(read_value<std::size_t>(in, "running node count"));
+    for (auto& id : r.nodes) id = read_value<cluster::NodeId>(in, "running node id");
+  }
+
+  expect(in, "requeues");
+  cp.requeues.resize(read_value<std::size_t>(in, "requeue count"));
+  for (auto& r : cp.requeues) {
+    r.due = read_value<std::int64_t>(in, "requeue due");
+    r.job_id = read_value<workload::JobId>(in, "requeue job id");
+    r.attempt = read_value<std::uint32_t>(in, "requeue attempt");
+  }
+
+  expect(in, "kill_times");
+  cp.kill_times.resize(read_value<std::size_t>(in, "kill_times count"));
+  for (auto& [job_id, minute] : cp.kill_times) {
+    job_id = read_value<workload::JobId>(in, "kill_times job id");
+    minute = read_value<std::int64_t>(in, "kill_times minute");
+  }
+
+  expect(in, "accounting");
+  cp.accounting.resize(read_value<std::size_t>(in, "accounting count"));
+  for (auto& rec : cp.accounting) {
+    rec.job_id = read_value<workload::JobId>(in, "accounting job id");
+    rec.user_id = read_value<workload::UserId>(in, "accounting user id");
+    rec.app = read_value<workload::AppId>(in, "accounting app");
+    rec.submit = util::MinuteTime(read_value<std::int64_t>(in, "accounting submit"));
+    rec.start = util::MinuteTime(read_value<std::int64_t>(in, "accounting start"));
+    rec.end = util::MinuteTime(read_value<std::int64_t>(in, "accounting end"));
+    rec.nnodes = read_value<std::uint32_t>(in, "accounting nnodes");
+    rec.walltime_req_min = read_value<std::uint32_t>(in, "accounting walltime");
+    rec.backfilled = read_bool(in, "accounting backfilled");
+    rec.truncated_by_horizon = read_bool(in, "accounting truncated");
+    std::string exit_name;
+    if (!(in >> exit_name)) fail("missing accounting exit status");
+    const auto exit = parse_exit_status(exit_name);
+    if (!exit) fail("unknown exit status '" + exit_name + "'");
+    rec.exit = *exit;
+    rec.attempt = read_value<std::uint32_t>(in, "accounting attempt");
+  }
+
+  expect(in, "busy");
+  cp.busy_nodes_per_minute.resize(read_value<std::size_t>(in, "busy count"));
+  for (auto& b : cp.busy_nodes_per_minute)
+    b = read_value<std::uint32_t>(in, "busy value");
+  expect(in, "end");
+  return cp;
+}
+
+}  // namespace hpcpower::sched

@@ -1,0 +1,84 @@
+#pragma once
+// Campaign checkpoint serialization.
+//
+// A checkpoint captures the complete mutable state of a CampaignSimulator at
+// a minute boundary: scheduler queue (with attempt numbers), running jobs
+// and their exact node placements, the free-node stack order (allocation
+// identity depends on it), drained nodes, pending requeues, partial
+// accounting, and the busy-node series. Job bodies are NOT serialized — the
+// resume caller supplies the same workload and records are rebuilt by job id.
+//
+// No PRNG cursors appear anywhere: every random decision in the stack
+// (failure schedule, requeue backoff) is a stateless hash of
+// (seed, entity, counter), so a resumed campaign re-derives the identical
+// future from its seed.
+//
+// The format is a versioned, line-oriented text file. Doubles are stored as
+// raw IEEE-754 bit patterns (decimal uint64) because resume must be
+// bit-identical and decimal round-tripping is not.
+
+#include <cstdint>
+#include <iosfwd>
+#include <utility>
+#include <vector>
+
+#include "sched/simulator.hpp"
+
+namespace hpcpower::sched {
+
+struct CheckpointQueuedJob {
+  workload::JobId job_id = 0;
+  std::uint32_t attempt = 1;
+  std::int64_t submit = 0;  ///< possibly overridden by a requeue
+};
+
+struct CheckpointRunningJob {
+  workload::JobId job_id = 0;
+  std::uint32_t attempt = 1;
+  std::int64_t submit = 0;
+  std::int64_t start = 0;
+  std::int64_t end = 0;
+  std::int64_t limit_end = 0;
+  bool backfilled = false;
+  bool hit_walltime = false;
+  std::vector<cluster::NodeId> nodes;
+};
+
+struct CheckpointRequeue {
+  std::int64_t due = 0;  ///< minute the retry re-enters the queue
+  workload::JobId job_id = 0;
+  std::uint32_t attempt = 1;  ///< attempt number of the retry
+};
+
+struct CampaignCheckpoint {
+  std::int64_t minute = 0;  ///< first minute NOT yet simulated
+  // Configuration echo, validated on resume: a checkpoint only resumes on a
+  // simulator constructed with the identical parameters.
+  std::uint32_t node_count = 0;
+  std::int64_t horizon = 0;
+  int policy = 0;
+  std::uint64_t seed = 0;
+  FailureConfig failures{};
+  PowerBudget budget{};
+  // Mutable campaign state.
+  std::size_t next_submit = 0;
+  SchedulerStats stats{};
+  AvailabilityStats availability{};  ///< node_minutes_total left 0; finalize sets it
+  double committed_power_w = 0.0;
+  std::vector<CheckpointQueuedJob> queue;            // FCFS order
+  std::vector<cluster::NodeId> free_order;           // stack order, verbatim
+  std::vector<cluster::NodeId> drained;
+  std::vector<CheckpointRunningJob> running;         // ascending job id
+  std::vector<CheckpointRequeue> requeues;           // ascending due, FIFO within
+  std::vector<std::pair<workload::JobId, std::int64_t>> kill_times;
+  std::vector<JobAccountingRecord> accounting;       // as accumulated
+  std::vector<std::uint32_t> busy_nodes_per_minute;  // minutes [0, minute)
+};
+
+void write_checkpoint(std::ostream& out, const CampaignCheckpoint& cp);
+
+/// Parses a checkpoint; throws std::runtime_error on malformed input or an
+/// unsupported version.
+[[nodiscard]] CampaignCheckpoint read_checkpoint(std::istream& in);
+
+}  // namespace hpcpower::sched

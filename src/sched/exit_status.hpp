@@ -1,0 +1,39 @@
+#pragma once
+// Job exit-status taxonomy shared by the scheduler, telemetry, and trace
+// layers. Mirrors what production accounting logs (Torque/Slurm) record for
+// every attempt: clean completion, kill by a node failure, kill at the
+// requested wall-time limit, or cancellation before the job ever ran.
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace hpcpower::sched {
+
+enum class ExitStatus : std::uint8_t {
+  kCompleted = 0,       ///< ran to its natural end (or to the campaign horizon)
+  kKilledNodeFail = 1,  ///< an allocated node failed mid-run; attempt killed
+  kKilledWalltime = 2,  ///< hit the requested wall-time limit before finishing
+  kCancelled = 3,       ///< never ran (e.g. request larger than the machine)
+};
+
+[[nodiscard]] inline const char* exit_status_name(ExitStatus s) noexcept {
+  switch (s) {
+    case ExitStatus::kCompleted: return "COMPLETED";
+    case ExitStatus::kKilledNodeFail: return "KILLED_NODE_FAIL";
+    case ExitStatus::kKilledWalltime: return "KILLED_WALLTIME";
+    case ExitStatus::kCancelled: return "CANCELLED";
+  }
+  return "?";
+}
+
+[[nodiscard]] inline std::optional<ExitStatus> parse_exit_status(
+    std::string_view name) noexcept {
+  if (name == "COMPLETED") return ExitStatus::kCompleted;
+  if (name == "KILLED_NODE_FAIL") return ExitStatus::kKilledNodeFail;
+  if (name == "KILLED_WALLTIME") return ExitStatus::kKilledWalltime;
+  if (name == "CANCELLED") return ExitStatus::kCancelled;
+  return std::nullopt;
+}
+
+}  // namespace hpcpower::sched

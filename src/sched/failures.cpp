@@ -1,0 +1,73 @@
+#include "sched/failures.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/prng.hpp"
+
+namespace hpcpower::sched {
+
+namespace {
+
+constexpr double kMinutesPerDay = 24.0 * 60.0;
+
+/// Exponential draw with mean `mean_min`, floored at 1 minute so up/down
+/// intervals never collapse to zero (which would let a node fail and repair
+/// in the same simulated minute).
+std::int64_t exponential_minutes(std::uint64_t seed, std::uint64_t k1,
+                                 std::uint64_t k2, double mean_min) {
+  const double u = util::stateless_uniform(seed, k1, k2);
+  return static_cast<std::int64_t>(
+      1.0 - mean_min * std::log(1.0 - u * (1.0 - 1e-12)));
+}
+
+}  // namespace
+
+NodeFailureModel::NodeFailureModel(const FailureConfig& config, std::uint64_t seed)
+    : config_(config),
+      uptime_seed_(util::derive_stream(seed, "failures/uptime")),
+      repair_seed_(util::derive_stream(seed, "failures/repair")),
+      backoff_seed_(util::derive_stream(seed, "failures/backoff")) {}
+
+std::vector<NodeFailureModel::Outage> NodeFailureModel::outages(
+    cluster::NodeId node, std::int64_t horizon_min) const {
+  std::vector<Outage> result;
+  if (!config_.enabled || config_.mtbf_days <= 0.0 || horizon_min <= 0)
+    return result;
+  const double mtbf_min = config_.mtbf_days * kMinutesPerDay;
+  const double mttr_min = std::max(config_.mttr_min, 1.0);
+  // Alternating up/down walk: interval k is one (uptime, downtime) pair, each
+  // drawn statelessly from its own stream keyed by (node, k).
+  std::int64_t t = 0;
+  for (std::uint64_t k = 0; t < horizon_min; ++k) {
+    const std::int64_t fail = t + exponential_minutes(uptime_seed_, node, k, mtbf_min);
+    if (fail >= horizon_min) break;
+    const std::int64_t repair =
+        fail + exponential_minutes(repair_seed_, node, k, mttr_min);
+    result.push_back(Outage{fail, repair});
+    t = repair;
+  }
+  return result;
+}
+
+bool NodeFailureModel::is_down(cluster::NodeId node, std::int64_t minute) const {
+  if (!config_.enabled || minute < 0) return false;
+  for (const Outage& o : outages(node, minute + 1)) {
+    if (minute >= o.fail && minute < o.repair) return true;
+  }
+  return false;
+}
+
+std::uint32_t NodeFailureModel::requeue_backoff_min(std::uint64_t job_id,
+                                                    std::uint32_t attempt) const {
+  const std::uint64_t base = std::max<std::uint32_t>(config_.backoff_base_min, 1);
+  const std::uint64_t cap = std::max<std::uint64_t>(config_.backoff_cap_min, 1);
+  const std::uint32_t shift = std::min<std::uint32_t>(attempt > 0 ? attempt - 1 : 0, 20);
+  std::uint64_t delay = std::min<std::uint64_t>(base << shift, cap);
+  // Deterministic jitter in [0, base) de-synchronizes jobs killed by the
+  // same node failure so they do not re-arrive as one thundering herd.
+  if (base > 1) delay += util::stateless_index(backoff_seed_, job_id, attempt, base);
+  return static_cast<std::uint32_t>(std::min<std::uint64_t>(delay, cap + base));
+}
+
+}  // namespace hpcpower::sched

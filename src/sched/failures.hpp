@@ -1,0 +1,81 @@
+#pragma once
+// Deterministic node-failure model.
+//
+// Production clusters lose nodes mid-job: Emmy/Meggie-class machines see
+// per-node hardware MTBFs measured in weeks-to-months, with repairs (reboot,
+// DIMM swap, re-image) taking minutes to days. Chu et al. show such failures
+// measurably reshape node-energy and wait-time distributions, so a campaign
+// simulator aiming at production realism must crash and repair nodes.
+//
+// Like telemetry::FaultModel, every decision is a pure function of
+// (seed, node, interval index): the whole failure history of a node is a
+// deterministic alternating up/down walk derived by stateless hashing. No
+// mutable PRNG state exists, which is what lets campaign checkpoints resume
+// bit-identically without serializing generator cursors, and makes the
+// schedule invariant to query order.
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/node.hpp"
+
+namespace hpcpower::sched {
+
+/// Node failure / repair / requeue parameters. Disabled by default so every
+/// existing campaign stays bit-identical.
+struct FailureConfig {
+  bool enabled = false;
+  /// Per-node mean time between failures, in days of uptime.
+  double mtbf_days = 45.0;
+  /// Mean time to repair (node drained, then returned to service), minutes.
+  double mttr_min = 360.0;
+  /// Total attempts a job may consume (first run + requeues). 1 = no requeue.
+  std::uint32_t max_attempts = 4;
+  /// Requeue backoff: attempt k waits ~ base * 2^(k-1) minutes, capped.
+  std::uint32_t backoff_base_min = 5;
+  std::uint32_t backoff_cap_min = 240;
+
+  friend bool operator==(const FailureConfig&, const FailureConfig&) = default;
+};
+
+/// Deterministic failure oracle for one campaign. Copyable and cheap; all
+/// queries are pure functions of the construction parameters.
+class NodeFailureModel {
+ public:
+  /// One contiguous down-time window: the node fails at minute `fail` and is
+  /// back in service at minute `repair` (down during [fail, repair)).
+  struct Outage {
+    std::int64_t fail = 0;
+    std::int64_t repair = 0;
+    friend bool operator==(const Outage&, const Outage&) = default;
+  };
+
+  NodeFailureModel() = default;  ///< disabled model: nodes never fail
+  NodeFailureModel(const FailureConfig& config, std::uint64_t seed);
+
+  [[nodiscard]] bool enabled() const noexcept { return config_.enabled; }
+  [[nodiscard]] const FailureConfig& config() const noexcept { return config_; }
+
+  /// All outages of `node` that intersect [0, horizon_min), in time order.
+  /// Windows never overlap and are separated by >= 1 minute of uptime.
+  [[nodiscard]] std::vector<Outage> outages(cluster::NodeId node,
+                                            std::int64_t horizon_min) const;
+
+  /// True while `node` is down (failed, not yet repaired) at `minute`.
+  [[nodiscard]] bool is_down(cluster::NodeId node, std::int64_t minute) const;
+
+  /// Minutes to hold a killed job before re-submitting its next attempt.
+  /// `attempt` is the attempt that was just killed (1-based). Exponential
+  /// backoff with deterministic per-(job, attempt) jitter, always >= 1.
+  [[nodiscard]] std::uint32_t requeue_backoff_min(std::uint64_t job_id,
+                                                  std::uint32_t attempt) const;
+
+ private:
+  FailureConfig config_{};
+  // Independent sub-streams so uptime draws never shift repair durations.
+  std::uint64_t uptime_seed_ = 0;
+  std::uint64_t repair_seed_ = 0;
+  std::uint64_t backoff_seed_ = 0;
+};
+
+}  // namespace hpcpower::sched

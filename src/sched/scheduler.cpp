@@ -21,23 +21,38 @@ bool BatchScheduler::power_fits(const workload::JobRequest& job) const noexcept 
   return committed_power_w_ + power_demand(job) <= budget_.watts;
 }
 
-void BatchScheduler::submit(workload::JobRequest job) {
+bool BatchScheduler::submit(workload::JobRequest job, std::uint32_t attempt) {
   ++stats_.submitted;
-  queue_.push_back(std::move(job));
+  if (job.nnodes == 0 || job.nnodes > allocator_.total_count()) {
+    // Unsatisfiable on any machine state; admitting it would park the FCFS
+    // head on a reservation that never materializes and starve the queue.
+    ++stats_.rejected;
+    return false;
+  }
+  queue_.push_back(QueuedJob{std::move(job), attempt});
   stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_.size());
+  return true;
 }
 
 RunningJob BatchScheduler::start_job(const workload::JobRequest& job,
                                      util::MinuteTime now,
                                      std::vector<cluster::NodeId> nodes,
-                                     bool backfilled) {
+                                     bool backfilled, std::uint32_t attempt) {
+  // Degenerate requests (zero-minute wall time / runtime) still occupy the
+  // machine for one schedulable minute; without the floor a job ending the
+  // minute it starts would be missed by the simulator's completion sweep.
+  const std::uint32_t wall = std::max<std::uint32_t>(job.walltime_req_min, 1);
+  const std::uint32_t run_for = std::max<std::uint32_t>(job.runtime_min, 1);
+
   RunningJob run;
   run.request = job;
   run.start = now;
-  run.end = now + util::MinuteTime(job.runtime_min);
-  run.limit_end = now + util::MinuteTime(job.walltime_req_min);
+  run.end = now + util::MinuteTime(std::min(run_for, wall));
+  run.limit_end = now + util::MinuteTime(wall);
   run.nodes = std::move(nodes);
   run.backfilled = backfilled;
+  run.attempt = attempt;
+  run.hit_walltime = run_for > wall;
 
   running_limits_.emplace_back(run.limit_end, job.nnodes);
   if (budget_.enabled()) committed_power_w_ += power_demand(job);
@@ -67,8 +82,10 @@ BatchScheduler::Reservation BatchScheduler::compute_reservation(
       return r;
     }
   }
-  // Head job larger than the machine: should be rejected upstream; treat as
-  // "never" by reserving at the last limit.
+  // Head job larger than the currently serviceable machine (submit() rejects
+  // requests beyond the full machine, but drained nodes can shrink what
+  // running jobs will ever return): treat as "wait for repairs" by reserving
+  // at the last limit.
   r.shadow_start = limits.empty() ? now : limits.back().first;
   r.spare_nodes = 0;
   return r;
@@ -77,21 +94,23 @@ BatchScheduler::Reservation BatchScheduler::compute_reservation(
 std::optional<util::MinuteTime> BatchScheduler::head_reservation(
     util::MinuteTime now) const {
   if (queue_.empty()) return std::nullopt;
-  if (allocator_.free_count() >= queue_.front().nnodes) return std::nullopt;
-  return compute_reservation(now, queue_.front().nnodes).shadow_start;
+  if (allocator_.free_count() >= queue_.front().request.nnodes) return std::nullopt;
+  return compute_reservation(now, queue_.front().request.nnodes).shadow_start;
 }
 
 std::vector<RunningJob> BatchScheduler::schedule(util::MinuteTime now) {
   std::vector<RunningJob> started;
 
   // FCFS phase: start queue-head jobs while they fit (nodes and power).
-  while (!queue_.empty() && queue_.front().nnodes <= allocator_.free_count() &&
-         power_fits(queue_.front())) {
-    const workload::JobRequest job = queue_.front();
+  while (!queue_.empty() &&
+         queue_.front().request.nnodes <= allocator_.free_count() &&
+         power_fits(queue_.front().request)) {
+    const QueuedJob job = queue_.front();
     queue_.pop_front();
-    auto nodes = allocator_.allocate(job.nnodes);
+    auto nodes = allocator_.allocate(job.request.nnodes);
     assert(!nodes.empty());
-    started.push_back(start_job(job, now, std::move(nodes), /*backfilled=*/false));
+    started.push_back(start_job(job.request, now, std::move(nodes),
+                                /*backfilled=*/false, job.attempt));
   }
   if (queue_.empty() || allocator_.free_count() == 0 ||
       policy_ == SchedulerPolicy::kFcfsOnly)
@@ -99,25 +118,27 @@ std::vector<RunningJob> BatchScheduler::schedule(util::MinuteTime now) {
 
   // EASY backfill phase: the head job cannot start; reserve its shadow time
   // and let later jobs run only if they do not delay that reservation.
-  Reservation res = compute_reservation(now, queue_.front().nnodes);
+  Reservation res = compute_reservation(now, queue_.front().request.nnodes);
   for (auto it = queue_.begin() + 1; it != queue_.end() && allocator_.free_count() > 0;) {
-    const std::uint32_t nnodes = it->nnodes;
+    const std::uint32_t nnodes = it->request.nnodes;
     if (nnodes > allocator_.free_count()) {
       ++it;
       continue;
     }
-    const util::MinuteTime would_end = now + util::MinuteTime(it->walltime_req_min);
+    const util::MinuteTime would_end =
+        now + util::MinuteTime(it->request.walltime_req_min);
     const bool fits_before_shadow = would_end <= res.shadow_start;
     const bool fits_in_spare = nnodes <= res.spare_nodes;
-    if ((fits_before_shadow || fits_in_spare) && power_fits(*it)) {
+    if ((fits_before_shadow || fits_in_spare) && power_fits(it->request)) {
       // A backfill job still running at the shadow time consumes part of the
       // head job's spare-node headroom.
       if (!fits_before_shadow) res.spare_nodes -= nnodes;
-      const workload::JobRequest job = *it;
+      const QueuedJob job = *it;
       it = queue_.erase(it);
-      auto nodes = allocator_.allocate(job.nnodes);
+      auto nodes = allocator_.allocate(job.request.nnodes);
       assert(!nodes.empty());
-      started.push_back(start_job(job, now, std::move(nodes), /*backfilled=*/true));
+      started.push_back(start_job(job.request, now, std::move(nodes),
+                                  /*backfilled=*/true, job.attempt));
     } else {
       ++it;
     }
@@ -136,6 +157,40 @@ void BatchScheduler::release(const RunningJob& job) {
     *it = running_limits_.back();
     running_limits_.pop_back();
   }
+}
+
+void BatchScheduler::kill(const RunningJob& job) {
+  allocator_.release(job.nodes);
+  if (budget_.enabled())
+    committed_power_w_ = std::max(0.0, committed_power_w_ - power_demand(job.request));
+  ++stats_.killed;
+  const auto it = std::find(running_limits_.begin(), running_limits_.end(),
+                            std::make_pair(job.limit_end, job.request.nnodes));
+  if (it != running_limits_.end()) {
+    *it = running_limits_.back();
+    running_limits_.pop_back();
+  }
+}
+
+SchedulerSnapshot BatchScheduler::snapshot() const {
+  SchedulerSnapshot snap;
+  snap.queue.assign(queue_.begin(), queue_.end());
+  snap.free_order = allocator_.free_order();
+  for (cluster::NodeId id = 0; id < allocator_.total_count(); ++id) {
+    if (allocator_.is_drained(id)) snap.drained.push_back(id);
+  }
+  snap.running_limits = running_limits_;
+  snap.committed_power_w = committed_power_w_;
+  snap.stats = stats_;
+  return snap;
+}
+
+void BatchScheduler::restore(const SchedulerSnapshot& snap) {
+  queue_.assign(snap.queue.begin(), snap.queue.end());
+  allocator_.restore(snap.free_order, snap.drained);
+  running_limits_ = snap.running_limits;
+  committed_power_w_ = snap.committed_power_w;
+  stats_ = snap.stats;
 }
 
 }  // namespace hpcpower::sched

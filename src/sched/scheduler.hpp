@@ -7,7 +7,15 @@
 // a reservation at the earliest time enough nodes are guaranteed free (by
 // requested wall time), and later jobs may jump the queue only if they cannot
 // delay that reservation.
+//
+// Failure awareness: nodes can be drained (taken out of placement while under
+// repair) and undrained; running jobs can be killed, which frees their nodes
+// without counting a completion. Every attempt carries an attempt number and
+// each accounting record an ExitStatus, mirroring production Torque/Slurm
+// logs. The scheduler itself stays policy-free about retries — requeue and
+// backoff decisions live in the CampaignSimulator.
 
+#include <cassert>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -15,6 +23,7 @@
 #include <vector>
 
 #include "cluster/node.hpp"
+#include "sched/exit_status.hpp"
 #include "workload/generator.hpp"
 #include "util/sim_time.hpp"
 
@@ -24,13 +33,17 @@ namespace hpcpower::sched {
 struct RunningJob {
   workload::JobRequest request;
   util::MinuteTime start{};
-  util::MinuteTime end{};        ///< start + actual runtime
+  util::MinuteTime end{};        ///< start + actual runtime (walltime-clamped)
   util::MinuteTime limit_end{};  ///< start + requested wall time (kill time)
   std::vector<cluster::NodeId> nodes;
   bool backfilled = false;
+  std::uint32_t attempt = 1;     ///< 1 for the first run, +1 per requeue
+  bool hit_walltime = false;     ///< true when `end` was clamped to the limit
 };
 
-/// Completed-job accounting record (what Torque/Slurm logs provide).
+/// Completed-attempt accounting record (what Torque/Slurm logs provide).
+/// One record per attempt: a job killed by a node failure and requeued
+/// produces a KILLED_NODE_FAIL record and, later, the retry's own record.
 struct JobAccountingRecord {
   workload::JobId job_id = 0;
   workload::UserId user_id = 0;
@@ -42,13 +55,22 @@ struct JobAccountingRecord {
   std::uint32_t walltime_req_min = 0;
   bool backfilled = false;
   bool truncated_by_horizon = false;
+  ExitStatus exit = ExitStatus::kCompleted;
+  std::uint32_t attempt = 1;
 
   [[nodiscard]] std::uint32_t runtime_min() const noexcept {
-    return static_cast<std::uint32_t>((end - start).minutes());
+    const std::int64_t m = (end - start).minutes();
+    assert(m >= 0 && "accounting record ends before it starts");
+    return m > 0 ? static_cast<std::uint32_t>(m) : 0u;
   }
   [[nodiscard]] std::uint32_t wait_min() const noexcept {
-    return static_cast<std::uint32_t>((start - submit).minutes());
+    const std::int64_t m = (start - submit).minutes();
+    assert(m >= 0 && "accounting record starts before it was submitted");
+    return m > 0 ? static_cast<std::uint32_t>(m) : 0u;
   }
+
+  friend bool operator==(const JobAccountingRecord&,
+                         const JobAccountingRecord&) = default;
 };
 
 struct SchedulerStats {
@@ -56,12 +78,16 @@ struct SchedulerStats {
   std::uint64_t started = 0;
   std::uint64_t completed = 0;
   std::uint64_t backfilled = 0;
+  std::uint64_t killed = 0;    ///< attempts killed (node failure)
+  std::uint64_t rejected = 0;  ///< submissions refused (unsatisfiable request)
   double total_wait_minutes = 0.0;
   std::size_t max_queue_depth = 0;
 
   [[nodiscard]] double mean_wait_minutes() const noexcept {
     return started ? total_wait_minutes / static_cast<double>(started) : 0.0;
   }
+
+  friend bool operator==(const SchedulerStats&, const SchedulerStats&) = default;
 };
 
 /// Queueing discipline. Both studied systems run EASY backfill in
@@ -82,6 +108,26 @@ struct PowerBudget {
   double fallback_node_power_w = 0.0;
 
   [[nodiscard]] bool enabled() const noexcept { return watts > 0.0; }
+
+  friend bool operator==(const PowerBudget&, const PowerBudget&) = default;
+};
+
+/// A queued (not yet placed) attempt.
+struct QueuedJob {
+  workload::JobRequest request;
+  std::uint32_t attempt = 1;
+};
+
+/// Full queue/placement state of a BatchScheduler at one instant, sufficient
+/// to rebuild it bit-identically (campaign checkpointing). The free-node
+/// stack order is part of the state: allocation identity depends on it.
+struct SchedulerSnapshot {
+  std::vector<QueuedJob> queue;
+  std::vector<cluster::NodeId> free_order;
+  std::vector<cluster::NodeId> drained;
+  std::vector<std::pair<util::MinuteTime, std::uint32_t>> running_limits;
+  double committed_power_w = 0.0;
+  SchedulerStats stats;
 };
 
 /// The queue + placement engine. Time is advanced by the caller (the
@@ -92,7 +138,11 @@ class BatchScheduler {
                           SchedulerPolicy policy = SchedulerPolicy::kFcfsBackfill,
                           PowerBudget budget = {});
 
-  void submit(workload::JobRequest job);
+  /// Enqueues one attempt. Returns false (and counts a rejection) for
+  /// requests no machine state could ever satisfy — zero nodes, or more
+  /// nodes than the cluster has — so an unsatisfiable head job can never
+  /// block the queue forever.
+  bool submit(workload::JobRequest job, std::uint32_t attempt = 1);
 
   /// Attempts to start queued jobs at time `now` (FCFS + EASY backfill).
   /// Returns the jobs started this invocation.
@@ -101,11 +151,24 @@ class BatchScheduler {
   /// Releases the job's nodes (call when it completes).
   void release(const RunningJob& job);
 
+  /// Releases a job killed mid-run (node failure): frees its nodes and
+  /// committed power like release(), but counts a kill, not a completion.
+  void kill(const RunningJob& job);
+
+  /// Takes a free node out of placement (failed, under repair). Any job on
+  /// the node must have been killed first.
+  void drain(cluster::NodeId node) { allocator_.drain(node); }
+  /// Returns a repaired node to the free pool.
+  void undrain(cluster::NodeId node) { allocator_.undrain(node); }
+
   [[nodiscard]] std::uint32_t free_nodes() const noexcept {
     return allocator_.free_count();
   }
   [[nodiscard]] std::uint32_t busy_nodes() const noexcept {
     return allocator_.busy_count();
+  }
+  [[nodiscard]] std::uint32_t drained_nodes() const noexcept {
+    return allocator_.drained_count();
   }
   [[nodiscard]] std::uint32_t total_nodes() const noexcept {
     return allocator_.total_count();
@@ -121,6 +184,11 @@ class BatchScheduler {
   [[nodiscard]] std::optional<util::MinuteTime> head_reservation(
       util::MinuteTime now) const;
 
+  /// Captures / rebuilds the scheduler's complete mutable state. restore()
+  /// requires a snapshot taken from a scheduler with the same node count.
+  [[nodiscard]] SchedulerSnapshot snapshot() const;
+  void restore(const SchedulerSnapshot& snap);
+
  private:
   struct Reservation {
     util::MinuteTime shadow_start{};  // when the head job is guaranteed nodes
@@ -130,7 +198,8 @@ class BatchScheduler {
                                                 std::uint32_t head_nnodes) const;
 
   RunningJob start_job(const workload::JobRequest& job, util::MinuteTime now,
-                       std::vector<cluster::NodeId> nodes, bool backfilled);
+                       std::vector<cluster::NodeId> nodes, bool backfilled,
+                       std::uint32_t attempt);
   /// Estimated fleet draw of one job under the budget's fallback rule.
   [[nodiscard]] double power_demand(const workload::JobRequest& job) const noexcept;
   /// True if the job passes the (possibly disabled) power admission check.
@@ -140,7 +209,7 @@ class BatchScheduler {
   SchedulerPolicy policy_;
   PowerBudget budget_;
   double committed_power_w_ = 0.0;
-  std::deque<workload::JobRequest> queue_;
+  std::deque<QueuedJob> queue_;
   // Wall-time-limit ends of currently running jobs (with node counts), kept
   // for reservation computation. Entries are lazily pruned.
   std::vector<std::pair<util::MinuteTime, std::uint32_t>> running_limits_;

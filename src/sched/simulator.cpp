@@ -3,90 +3,426 @@
 #include <algorithm>
 #include <cassert>
 #include <map>
+#include <stdexcept>
+#include <tuple>
+#include <unordered_map>
+
+#include "sched/checkpoint.hpp"
 
 namespace hpcpower::sched {
 
+/// Complete mutable state of a campaign in flight. Everything here is either
+/// serialized into a checkpoint or (for the failure/repair event schedule)
+/// re-derived statelessly from the seed on resume.
+struct CampaignSimulator::SimState {
+  BatchScheduler scheduler;
+  const std::vector<workload::JobRequest>* jobs = nullptr;
+  /// Job lookup for requeues and checkpoint resume (bodies are not
+  /// serialized). Only populated when needed.
+  std::unordered_map<workload::JobId, const workload::JobRequest*> by_id;
+  /// Running jobs keyed by job id. Ordered map: hook and truncation order
+  /// must be a pure function of the *current* state so a resumed campaign
+  /// iterates identically to an uninterrupted one.
+  std::map<workload::JobId, RunningJob> running;
+  /// End times bucketed by minute for O(1) expiry lookup.
+  std::map<std::int64_t, std::vector<workload::JobId>> ends_at;
+  /// Requeued retries waiting out their backoff: release minute -> attempts
+  /// in FIFO order (order is part of the checkpoint).
+  std::map<std::int64_t, std::vector<std::pair<workload::JobId, std::uint32_t>>>
+      requeue_at;
+  /// Minute each job's latest attempt was killed; settled when the retry
+  /// starts (feeds AvailabilityStats::requeue_wait_minutes).
+  std::map<workload::JobId, std::int64_t> kill_time;
+  /// Failure/repair event schedule over [0, horizon), derived from the seed.
+  std::map<std::int64_t, std::vector<cluster::NodeId>> fail_at;
+  std::map<std::int64_t, std::vector<cluster::NodeId>> repair_at;
+  std::size_t next_submit = 0;
+  SimulationResult result;
+
+  SimState(std::uint32_t node_count, SchedulerPolicy policy, PowerBudget budget)
+      : scheduler(node_count, policy, budget) {}
+
+  void index_jobs() {
+    by_id.reserve(jobs->size());
+    for (const auto& job : *jobs) by_id.emplace(job.job_id, &job);
+  }
+
+  void build_failure_schedule(const NodeFailureModel& failures,
+                              std::uint32_t node_count, std::int64_t horizon) {
+    if (!failures.enabled()) return;
+    for (cluster::NodeId node = 0; node < node_count; ++node) {
+      for (const auto& outage : failures.outages(node, horizon)) {
+        fail_at[outage.fail].push_back(node);
+        if (outage.repair < horizon) repair_at[outage.repair].push_back(node);
+      }
+    }
+  }
+};
+
+namespace {
+
+JobAccountingRecord make_record(const RunningJob& job, util::MinuteTime end,
+                                ExitStatus exit, bool truncated) {
+  JobAccountingRecord rec;
+  rec.job_id = job.request.job_id;
+  rec.user_id = job.request.user_id;
+  rec.app = job.request.app;
+  rec.submit = job.request.submit;
+  rec.start = job.start;
+  rec.end = end;
+  rec.nnodes = job.request.nnodes;
+  rec.walltime_req_min = job.request.walltime_req_min;
+  rec.backfilled = job.backfilled;
+  rec.truncated_by_horizon = truncated;
+  rec.exit = exit;
+  rec.attempt = job.attempt;
+  return rec;
+}
+
+void erase_end_bucket_entry(
+    std::map<std::int64_t, std::vector<workload::JobId>>& ends_at,
+    std::int64_t minute, workload::JobId id) {
+  const auto bucket = ends_at.find(minute);
+  if (bucket == ends_at.end()) return;
+  auto& ids = bucket->second;
+  ids.erase(std::remove(ids.begin(), ids.end(), id), ids.end());
+  if (ids.empty()) ends_at.erase(bucket);
+}
+
+}  // namespace
+
 CampaignSimulator::CampaignSimulator(std::uint32_t node_count, util::MinuteTime horizon,
-                                     SchedulerPolicy policy, PowerBudget budget)
-    : node_count_(node_count), horizon_(horizon), policy_(policy), budget_(budget) {}
+                                     SchedulerPolicy policy, PowerBudget budget,
+                                     FailureConfig failures, std::uint64_t seed)
+    : node_count_(node_count),
+      horizon_(horizon),
+      policy_(policy),
+      budget_(budget),
+      failure_config_(failures),
+      seed_(seed),
+      failures_(failures, seed) {}
+
+void CampaignSimulator::drive(SimState& state, std::int64_t from_minute,
+                              std::int64_t to_minute,
+                              const SimulationHooks& hooks) const {
+  const std::vector<workload::JobRequest>& jobs = *state.jobs;
+  std::vector<const RunningJob*> running_view;
+
+  const auto finish_job = [&](const RunningJob& job, util::MinuteTime end,
+                              ExitStatus exit, bool truncated) {
+    const JobAccountingRecord rec = make_record(job, end, exit, truncated);
+    state.scheduler.release(job);
+    if (hooks.on_end) hooks.on_end(job, rec);
+    state.result.accounting.push_back(rec);
+  };
+
+  for (std::int64_t m = from_minute; m < to_minute; ++m) {
+    const util::MinuteTime now(m);
+
+    // 1. completions whose end time is this minute (ascending job id: the
+    //    order must be reconstructible from a checkpoint, not from the
+    //    history of how the bucket was filled)
+    if (const auto it = state.ends_at.find(m); it != state.ends_at.end()) {
+      std::vector<workload::JobId> ids = std::move(it->second);
+      state.ends_at.erase(it);
+      std::sort(ids.begin(), ids.end());
+      for (const workload::JobId id : ids) {
+        const auto job_it = state.running.find(id);
+        assert(job_it != state.running.end());
+        const RunningJob& job = job_it->second;
+        finish_job(job, job.end,
+                   job.hit_walltime ? ExitStatus::kKilledWalltime
+                                    : ExitStatus::kCompleted,
+                   /*truncated=*/false);
+        state.running.erase(job_it);
+      }
+    }
+
+    // 2. repaired nodes come back into service
+    if (const auto it = state.repair_at.find(m); it != state.repair_at.end()) {
+      for (const cluster::NodeId node : it->second) state.scheduler.undrain(node);
+      state.repair_at.erase(it);
+    }
+
+    // 3. node failures: kill every victim attempt, then drain the nodes
+    if (const auto it = state.fail_at.find(m); it != state.fail_at.end()) {
+      const std::vector<cluster::NodeId> failed = std::move(it->second);
+      state.fail_at.erase(it);
+      state.result.availability.node_failures += failed.size();
+      std::vector<workload::JobId> victims;
+      for (const auto& [id, job] : state.running) {
+        for (const cluster::NodeId node : failed) {
+          if (std::find(job.nodes.begin(), job.nodes.end(), node) != job.nodes.end()) {
+            victims.push_back(id);
+            break;
+          }
+        }
+      }
+      for (const workload::JobId id : victims) {
+        const auto job_it = state.running.find(id);
+        const RunningJob& job = job_it->second;
+        const JobAccountingRecord rec =
+            make_record(job, now, ExitStatus::kKilledNodeFail, /*truncated=*/false);
+        state.scheduler.kill(job);
+        if (hooks.on_end) hooks.on_end(job, rec);
+        state.result.accounting.push_back(rec);
+        ++state.result.availability.attempts_killed;
+        erase_end_bucket_entry(state.ends_at, job.end.minutes(), id);
+        if (job.attempt < failures_.config().max_attempts) {
+          const std::int64_t due =
+              m + failures_.requeue_backoff_min(id, job.attempt);
+          state.requeue_at[due].emplace_back(id, job.attempt + 1);
+          state.kill_time[id] = m;
+          ++state.result.availability.requeues;
+        } else {
+          ++state.result.availability.requeues_exhausted;
+        }
+        state.running.erase(job_it);
+      }
+      for (const cluster::NodeId node : failed) state.scheduler.drain(node);
+    }
+
+    // 4. requeued retries whose backoff expires this minute re-enter the
+    //    queue ahead of brand-new arrivals (they were submitted long ago)
+    if (const auto it = state.requeue_at.find(m); it != state.requeue_at.end()) {
+      for (const auto& [id, attempt] : it->second) {
+        const auto job_it = state.by_id.find(id);
+        assert(job_it != state.by_id.end());
+        workload::JobRequest retry = *job_it->second;
+        retry.submit = now;
+        const bool accepted = state.scheduler.submit(std::move(retry), attempt);
+        assert(accepted);
+        (void)accepted;
+      }
+      state.requeue_at.erase(it);
+    }
+
+    // 5. new submissions
+    while (state.next_submit < jobs.size() && jobs[state.next_submit].submit <= now) {
+      const workload::JobRequest& job = jobs[state.next_submit];
+      if (!state.scheduler.submit(job)) {
+        // Unsatisfiable request: record the cancellation so accounting still
+        // covers every submission, but the attempt never ran (no hooks).
+        RunningJob never_ran;
+        never_ran.request = job;
+        never_ran.start = job.submit;
+        state.result.accounting.push_back(make_record(
+            never_ran, job.submit, ExitStatus::kCancelled, /*truncated=*/false));
+      }
+      ++state.next_submit;
+    }
+
+    // 6. placement
+    for (RunningJob& started : state.scheduler.schedule(now)) {
+      if (started.attempt > 1) {
+        if (const auto kt = state.kill_time.find(started.request.job_id);
+            kt != state.kill_time.end()) {
+          state.result.availability.requeue_wait_minutes +=
+              static_cast<double>(m - kt->second);
+          state.kill_time.erase(kt);
+        }
+      }
+      if (hooks.on_start) hooks.on_start(started);
+      state.ends_at[started.end.minutes()].push_back(started.request.job_id);
+      state.running.emplace(started.request.job_id, std::move(started));
+    }
+
+    // 7. monitoring tick
+    state.result.busy_nodes_per_minute.push_back(state.scheduler.busy_nodes());
+    const std::uint32_t down = state.scheduler.drained_nodes();
+    state.result.availability.node_minutes_down += down;
+    if (hooks.per_minute) {
+      running_view.clear();
+      running_view.reserve(state.running.size());
+      for (const auto& [id, job] : state.running) running_view.push_back(&job);
+      hooks.per_minute(now, running_view, down);
+    }
+  }
+}
+
+SimulationResult CampaignSimulator::finalize(SimState& state,
+                                             const SimulationHooks& hooks) const {
+  // Campaign over: truncate whatever is still executing.
+  for (const auto& [id, job] : state.running) {
+    const JobAccountingRecord rec =
+        make_record(job, horizon_, ExitStatus::kCompleted, /*truncated=*/true);
+    state.scheduler.release(job);
+    if (hooks.on_end) hooks.on_end(job, rec);
+    state.result.accounting.push_back(rec);
+  }
+  state.running.clear();
+
+  state.result.scheduler = state.scheduler.stats();
+  if (failures_.enabled()) {
+    state.result.availability.node_minutes_total =
+        static_cast<std::uint64_t>(node_count_) *
+        static_cast<std::uint64_t>(horizon_.minutes());
+  } else {
+    state.result.availability = AvailabilityStats{};
+  }
+  std::sort(state.result.accounting.begin(), state.result.accounting.end(),
+            [](const auto& a, const auto& b) {
+              return std::tie(a.job_id, a.attempt) < std::tie(b.job_id, b.attempt);
+            });
+  return std::move(state.result);
+}
+
+namespace {
+
+void check_sorted(const std::vector<workload::JobRequest>& jobs) {
+  assert(std::is_sorted(jobs.begin(), jobs.end(),
+                        [](const auto& a, const auto& b) { return a.submit < b.submit; }));
+  (void)jobs;
+}
+
+}  // namespace
 
 SimulationResult CampaignSimulator::run(const std::vector<workload::JobRequest>& jobs,
                                         const SimulationHooks& hooks) {
-  assert(std::is_sorted(jobs.begin(), jobs.end(),
-                        [](const auto& a, const auto& b) { return a.submit < b.submit; }));
+  check_sorted(jobs);
+  SimState state(node_count_, policy_, budget_);
+  state.jobs = &jobs;
+  state.result.busy_nodes_per_minute.reserve(
+      static_cast<std::size_t>(horizon_.minutes()));
+  if (failures_.enabled()) {
+    state.index_jobs();
+    state.build_failure_schedule(failures_, node_count_, horizon_.minutes());
+  }
+  drive(state, 0, horizon_.minutes(), hooks);
+  return finalize(state, hooks);
+}
 
-  SimulationResult result;
-  result.busy_nodes_per_minute.reserve(static_cast<std::size_t>(horizon_.minutes()));
+SimulationResult CampaignSimulator::run_until(
+    const std::vector<workload::JobRequest>& jobs, util::MinuteTime checkpoint_minute,
+    std::ostream& out, const SimulationHooks& hooks) {
+  check_sorted(jobs);
+  if (checkpoint_minute.minutes() < 0 || checkpoint_minute > horizon_)
+    throw std::invalid_argument("run_until: checkpoint minute outside [0, horizon]");
 
-  BatchScheduler scheduler(node_count_, policy_, budget_);
-  std::unordered_map<workload::JobId, RunningJob> running;
-  // End times bucketed by minute for O(1) expiry lookup.
-  std::map<std::int64_t, std::vector<workload::JobId>> ends_at;
-  std::vector<const RunningJob*> running_view;
+  SimState state(node_count_, policy_, budget_);
+  state.jobs = &jobs;
+  if (failures_.enabled()) {
+    state.index_jobs();
+    state.build_failure_schedule(failures_, node_count_, horizon_.minutes());
+  }
+  drive(state, 0, checkpoint_minute.minutes(), hooks);
 
-  const auto finish_job = [&](const RunningJob& job, bool truncated) {
-    JobAccountingRecord rec;
-    rec.job_id = job.request.job_id;
-    rec.user_id = job.request.user_id;
-    rec.app = job.request.app;
-    rec.submit = job.request.submit;
-    rec.start = job.start;
-    rec.end = truncated ? horizon_ : job.end;
-    rec.nnodes = job.request.nnodes;
-    rec.walltime_req_min = job.request.walltime_req_min;
-    rec.backfilled = job.backfilled;
-    rec.truncated_by_horizon = truncated;
-    scheduler.release(job);
-    if (hooks.on_end) hooks.on_end(job, rec);
-    result.accounting.push_back(rec);
+  CampaignCheckpoint cp;
+  cp.minute = checkpoint_minute.minutes();
+  cp.node_count = node_count_;
+  cp.horizon = horizon_.minutes();
+  cp.policy = static_cast<int>(policy_);
+  cp.seed = seed_;
+  cp.failures = failure_config_;
+  cp.budget = budget_;
+  cp.next_submit = state.next_submit;
+  cp.stats = state.scheduler.stats();
+  cp.availability = state.result.availability;
+  cp.committed_power_w = state.scheduler.committed_power_w();
+  const SchedulerSnapshot snap = state.scheduler.snapshot();
+  cp.free_order = snap.free_order;
+  cp.drained = snap.drained;
+  for (const auto& q : snap.queue)
+    cp.queue.push_back(CheckpointQueuedJob{q.request.job_id, q.attempt,
+                                           q.request.submit.minutes()});
+  for (const auto& [id, job] : state.running) {
+    CheckpointRunningJob r;
+    r.job_id = id;
+    r.attempt = job.attempt;
+    r.submit = job.request.submit.minutes();
+    r.start = job.start.minutes();
+    r.end = job.end.minutes();
+    r.limit_end = job.limit_end.minutes();
+    r.backfilled = job.backfilled;
+    r.hit_walltime = job.hit_walltime;
+    r.nodes = job.nodes;
+    cp.running.push_back(std::move(r));
+  }
+  for (const auto& [due, entries] : state.requeue_at) {
+    for (const auto& [id, attempt] : entries)
+      cp.requeues.push_back(CheckpointRequeue{due, id, attempt});
+  }
+  cp.kill_times.assign(state.kill_time.begin(), state.kill_time.end());
+  cp.accounting = state.result.accounting;
+  cp.busy_nodes_per_minute = state.result.busy_nodes_per_minute;
+  write_checkpoint(out, cp);
+
+  SimulationResult partial = std::move(state.result);
+  partial.scheduler = cp.stats;
+  if (failures_.enabled()) {
+    partial.availability.node_minutes_total =
+        static_cast<std::uint64_t>(node_count_) *
+        static_cast<std::uint64_t>(checkpoint_minute.minutes());
+  }
+  return partial;
+}
+
+SimulationResult CampaignSimulator::resume(
+    std::istream& in, const std::vector<workload::JobRequest>& jobs,
+    const SimulationHooks& hooks) {
+  check_sorted(jobs);
+  const CampaignCheckpoint cp = read_checkpoint(in);
+  if (cp.node_count != node_count_ || cp.horizon != horizon_.minutes() ||
+      cp.policy != static_cast<int>(policy_) || cp.seed != seed_ ||
+      cp.failures != failure_config_ || cp.budget != budget_) {
+    throw std::runtime_error(
+        "checkpoint: configuration mismatch (checkpoint was written by a "
+        "differently configured campaign)");
+  }
+  if (cp.minute < 0 || cp.minute > horizon_.minutes())
+    throw std::runtime_error("checkpoint: minute outside [0, horizon]");
+
+  SimState state(node_count_, policy_, budget_);
+  state.jobs = &jobs;
+  state.index_jobs();
+  state.build_failure_schedule(failures_, node_count_, horizon_.minutes());
+
+  const auto lookup = [&](workload::JobId id) -> const workload::JobRequest& {
+    const auto it = state.by_id.find(id);
+    if (it == state.by_id.end())
+      throw std::runtime_error(
+          "checkpoint: references a job id missing from the supplied workload");
+    return *it->second;
   };
 
-  std::size_t next_submit = 0;
-  for (std::int64_t m = 0; m < horizon_.minutes(); ++m) {
-    const util::MinuteTime now(m);
-
-    // 1. completions whose end time is this minute
-    if (const auto it = ends_at.find(m); it != ends_at.end()) {
-      for (const workload::JobId id : it->second) {
-        const auto job_it = running.find(id);
-        assert(job_it != running.end());
-        finish_job(job_it->second, /*truncated=*/false);
-        running.erase(job_it);
-      }
-      ends_at.erase(it);
-    }
-
-    // 2. new submissions
-    while (next_submit < jobs.size() && jobs[next_submit].submit <= now) {
-      scheduler.submit(jobs[next_submit]);
-      ++next_submit;
-    }
-
-    // 3. placement
-    for (RunningJob& started : scheduler.schedule(now)) {
-      if (hooks.on_start) hooks.on_start(started);
-      ends_at[started.end.minutes()].push_back(started.request.job_id);
-      running.emplace(started.request.job_id, std::move(started));
-    }
-
-    // 4. monitoring tick
-    result.busy_nodes_per_minute.push_back(scheduler.busy_nodes());
-    if (hooks.per_minute) {
-      running_view.clear();
-      running_view.reserve(running.size());
-      for (const auto& [id, job] : running) running_view.push_back(&job);
-      hooks.per_minute(now, running_view);
-    }
+  SchedulerSnapshot snap;
+  for (const auto& q : cp.queue) {
+    workload::JobRequest request = lookup(q.job_id);
+    request.submit = util::MinuteTime(q.submit);
+    snap.queue.push_back(QueuedJob{std::move(request), q.attempt});
   }
+  snap.free_order = cp.free_order;
+  snap.drained = cp.drained;
+  snap.committed_power_w = cp.committed_power_w;
+  snap.stats = cp.stats;
+  for (const auto& r : cp.running)
+    snap.running_limits.emplace_back(util::MinuteTime(r.limit_end),
+                                     lookup(r.job_id).nnodes);
+  state.scheduler.restore(snap);
 
-  // Campaign over: truncate whatever is still executing.
-  for (const auto& [id, job] : running) finish_job(job, /*truncated=*/true);
-  running.clear();
+  for (const auto& r : cp.running) {
+    RunningJob job;
+    job.request = lookup(r.job_id);
+    job.request.submit = util::MinuteTime(r.submit);
+    job.start = util::MinuteTime(r.start);
+    job.end = util::MinuteTime(r.end);
+    job.limit_end = util::MinuteTime(r.limit_end);
+    job.nodes = r.nodes;
+    job.backfilled = r.backfilled;
+    job.attempt = r.attempt;
+    job.hit_walltime = r.hit_walltime;
+    state.ends_at[r.end].push_back(r.job_id);
+    state.running.emplace(r.job_id, std::move(job));
+  }
+  for (const auto& r : cp.requeues) state.requeue_at[r.due].emplace_back(r.job_id, r.attempt);
+  for (const auto& [id, minute] : cp.kill_times) state.kill_time.emplace(id, minute);
+  state.next_submit = cp.next_submit;
+  state.result.accounting = cp.accounting;
+  state.result.busy_nodes_per_minute = cp.busy_nodes_per_minute;
+  state.result.availability = cp.availability;
 
-  result.scheduler = scheduler.stats();
-  std::sort(result.accounting.begin(), result.accounting.end(),
-            [](const auto& a, const auto& b) { return a.job_id < b.job_id; });
-  return result;
+  drive(state, cp.minute, horizon_.minutes(), hooks);
+  return finalize(state, hooks);
 }
 
 }  // namespace hpcpower::sched

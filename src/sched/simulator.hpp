@@ -5,11 +5,22 @@
 // every simulated minute to the telemetry layer, mirroring the paper's data
 // collection: accounting records from the batch system joined with 1-minute
 // node monitoring samples.
+//
+// With a NodeFailureModel enabled the campaign is failure-aware: nodes crash
+// mid-job (the victim attempt is killed and recorded KILLED_NODE_FAIL, the
+// node drains for its repair window, and the job is requeued with exponential
+// backoff until its retry budget runs out) and crashed nodes stop emitting
+// telemetry (a down node is excluded from the per-minute running view and the
+// pipeline's idle floor). Campaigns can also be checkpointed at any minute
+// boundary and resumed bit-identically — every random decision is stateless
+// in (seed, entity, counter), so no PRNG cursors need to be serialized.
 
+#include <cstdint>
 #include <functional>
-#include <unordered_map>
+#include <iosfwd>
 #include <vector>
 
+#include "sched/failures.hpp"
 #include "sched/scheduler.hpp"
 
 namespace hpcpower::sched {
@@ -17,17 +28,46 @@ namespace hpcpower::sched {
 struct SimulationHooks {
   /// Job placed on nodes (accounting "start" event).
   std::function<void(const RunningJob&)> on_start;
-  /// Job finished (accounting "end" event); record carries final times.
+  /// Attempt finished or killed (accounting "end" event); the record carries
+  /// final times and the exit status.
   std::function<void(const RunningJob&, const JobAccountingRecord&)> on_end;
-  /// One monitoring tick: all jobs running during minute [now, now+1).
-  std::function<void(util::MinuteTime, const std::vector<const RunningJob*>&)> per_minute;
+  /// One monitoring tick: all jobs running during minute [now, now+1), in
+  /// ascending job-id order, plus the count of nodes down (drained) this
+  /// minute — down nodes emit no telemetry and draw no idle power.
+  std::function<void(util::MinuteTime, const std::vector<const RunningJob*>&,
+                     std::uint32_t)>
+      per_minute;
+};
+
+/// Availability ledger of one campaign. Only populated when the failure
+/// model is enabled; reconciles exactly:
+///   node_minutes_delivered() + node_minutes_down == node_minutes_total.
+struct AvailabilityStats {
+  std::uint64_t node_minutes_total = 0;  ///< node_count x horizon
+  std::uint64_t node_minutes_down = 0;   ///< drained (failed, under repair)
+  std::uint64_t node_failures = 0;       ///< failure events inside the horizon
+  std::uint64_t attempts_killed = 0;     ///< job attempts killed by failures
+  std::uint64_t requeues = 0;            ///< killed attempts given a retry
+  std::uint64_t requeues_exhausted = 0;  ///< killed attempts out of budget
+  /// Sum over restarted attempts of (restart start - kill time): the wait
+  /// added by failures on top of normal queueing.
+  double requeue_wait_minutes = 0.0;
+
+  [[nodiscard]] std::uint64_t node_minutes_delivered() const noexcept {
+    return node_minutes_total - node_minutes_down;
+  }
+
+  friend bool operator==(const AvailabilityStats&, const AvailabilityStats&) = default;
 };
 
 struct SimulationResult {
   SchedulerStats scheduler;
+  AvailabilityStats availability;
   std::vector<JobAccountingRecord> accounting;
   /// Busy-node count sampled each minute of [0, horizon) - Fig 1's raw data.
   std::vector<std::uint32_t> busy_nodes_per_minute;
+
+  friend bool operator==(const SimulationResult&, const SimulationResult&) = default;
 };
 
 class CampaignSimulator {
@@ -35,19 +75,53 @@ class CampaignSimulator {
   /// `horizon` bounds the monitored window; jobs still running at the horizon
   /// are truncated there (their records are flagged), and jobs still queued
   /// are dropped, exactly like ending a measurement campaign.
+  /// `failures`/`seed` parameterize the node-failure model; the default
+  /// (disabled) keeps the campaign bit-identical to a failure-free machine.
   CampaignSimulator(std::uint32_t node_count, util::MinuteTime horizon,
                     SchedulerPolicy policy = SchedulerPolicy::kFcfsBackfill,
-                    PowerBudget budget = {});
+                    PowerBudget budget = {}, FailureConfig failures = {},
+                    std::uint64_t seed = 0);
 
   /// `jobs` must be sorted by submit time. Hooks may be empty.
   [[nodiscard]] SimulationResult run(const std::vector<workload::JobRequest>& jobs,
                                      const SimulationHooks& hooks = {});
 
+  /// Simulates minutes [0, checkpoint_minute), then writes the complete
+  /// campaign state to `out` and stops. The returned result holds the
+  /// partial accounting / busy series accumulated so far. `checkpoint_minute`
+  /// must lie in [0, horizon].
+  SimulationResult run_until(const std::vector<workload::JobRequest>& jobs,
+                             util::MinuteTime checkpoint_minute, std::ostream& out,
+                             const SimulationHooks& hooks = {});
+
+  /// Resumes a campaign from a checkpoint written by run_until() and drives
+  /// it to the horizon. `jobs` must be the same workload that produced the
+  /// checkpoint (job bodies are looked up by id rather than serialized).
+  /// Hooks fire only for post-checkpoint events; the returned result covers
+  /// the whole campaign and is bit-identical to an uninterrupted run().
+  [[nodiscard]] SimulationResult resume(std::istream& in,
+                                        const std::vector<workload::JobRequest>& jobs,
+                                        const SimulationHooks& hooks = {});
+
+  [[nodiscard]] const NodeFailureModel& failure_model() const noexcept {
+    return failures_;
+  }
+
  private:
+  struct SimState;
+
+  void drive(SimState& state, std::int64_t from_minute, std::int64_t to_minute,
+             const SimulationHooks& hooks) const;
+  [[nodiscard]] SimulationResult finalize(SimState& state,
+                                          const SimulationHooks& hooks) const;
+
   std::uint32_t node_count_;
   util::MinuteTime horizon_;
   SchedulerPolicy policy_;
   PowerBudget budget_;
+  FailureConfig failure_config_{};
+  std::uint64_t seed_ = 0;
+  NodeFailureModel failures_{};
 };
 
 }  // namespace hpcpower::sched

@@ -5,11 +5,13 @@
 // for every job of the campaign, plus time/space-resolved metrics for jobs
 // that ran inside the instrumented window (the paper instrumented one month).
 
+#include <cassert>
 #include <cstdint>
 #include <optional>
 #include <string>
 
 #include "cluster/system_spec.hpp"
+#include "sched/exit_status.hpp"
 #include "workload/application.hpp"
 #include "workload/generator.hpp"
 #include "workload/users.hpp"
@@ -44,6 +46,11 @@ struct JobRecord {
   std::uint32_t walltime_req_min = 0;
   bool backfilled = false;
   bool truncated_by_horizon = false;
+  /// How this attempt ended; records are per attempt, so a failure-killed
+  /// job contributes one KILLED_NODE_FAIL record per killed attempt plus
+  /// (possibly) its retry's record.
+  sched::ExitStatus exit = sched::ExitStatus::kCompleted;
+  std::uint32_t attempt = 1;
 
   /// The paper's central metric P: power averaged over runtime and nodes (W).
   double mean_node_power_w = 0.0;
@@ -63,7 +70,9 @@ struct JobRecord {
   std::optional<DetailMetrics> detail;
 
   [[nodiscard]] std::uint32_t runtime_min() const noexcept {
-    return static_cast<std::uint32_t>((end - start).minutes());
+    const std::int64_t m = (end - start).minutes();
+    assert(m >= 0 && "job record ends before it starts");
+    return m > 0 ? static_cast<std::uint32_t>(m) : 0u;
   }
   [[nodiscard]] double node_hours() const noexcept {
     return static_cast<double>(nnodes) * static_cast<double>(runtime_min()) / 60.0;

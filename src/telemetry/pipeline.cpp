@@ -26,11 +26,12 @@ sched::SimulationHooks MonitoringPipeline::hooks() {
     on_end(job, rec);
   };
   h.per_minute = [this](util::MinuteTime now,
-                        const std::vector<const sched::RunningJob*>& running) {
+                        const std::vector<const sched::RunningJob*>& running,
+                        std::uint32_t down_nodes) {
     if (fault_model_.enabled()) {
-      per_minute_faulty(now, running);
+      per_minute_faulty(now, running, down_nodes);
     } else {
-      per_minute(now, running);
+      per_minute(now, running, down_nodes);
     }
   };
   return h;
@@ -68,7 +69,8 @@ double MonitoringPipeline::capped_power(double watts) noexcept {
 }
 
 void MonitoringPipeline::per_minute(
-    util::MinuteTime now, const std::vector<const sched::RunningJob*>& running) {
+    util::MinuteTime now, const std::vector<const sched::RunningJob*>& running,
+    std::uint32_t down_nodes) {
   double total_power = 0.0;
   std::uint32_t busy = 0;
 
@@ -104,9 +106,10 @@ void MonitoringPipeline::per_minute(
   }
 
   // Idle nodes still draw their floor power (RAPL PKG+DRAM never reads zero);
-  // the facility pays for it all the same.
+  // the facility pays for it all the same. Down (failed, draining) nodes are
+  // powered off for repair: no telemetry, no idle floor.
   const double idle_watts = spec_.idle_power_fraction * spec_.node_tdp_watts;
-  const auto idle_nodes = static_cast<double>(spec_.node_count - busy);
+  const auto idle_nodes = static_cast<double>(spec_.node_count - busy - down_nodes);
   total_power += idle_nodes * idle_watts;
 
   series_.total_power_w.push_back(total_power);
@@ -114,7 +117,8 @@ void MonitoringPipeline::per_minute(
 }
 
 void MonitoringPipeline::per_minute_faulty(
-    util::MinuteTime now, const std::vector<const sched::RunningJob*>& running) {
+    util::MinuteTime now, const std::vector<const sched::RunningJob*>& running,
+    std::uint32_t down_nodes) {
   const bool clean = config_.cleaning.enabled;
   double total_power = 0.0;
   std::uint32_t busy = 0;
@@ -226,7 +230,7 @@ void MonitoringPipeline::per_minute_faulty(
   }
 
   const double idle_watts = spec_.idle_power_fraction * spec_.node_tdp_watts;
-  const auto idle_nodes = static_cast<double>(spec_.node_count - busy);
+  const auto idle_nodes = static_cast<double>(spec_.node_count - busy - down_nodes);
   total_power += idle_nodes * idle_watts;
 
   series_.total_power_w.push_back(total_power);
@@ -281,6 +285,8 @@ void MonitoringPipeline::on_end(const sched::RunningJob& job,
   out.walltime_req_min = rec.walltime_req_min;
   out.backfilled = rec.backfilled;
   out.truncated_by_horizon = rec.truncated_by_horizon;
+  out.exit = rec.exit;
+  out.attempt = rec.attempt;
 
   out.mean_node_power_w = a.all_samples.mean();
   out.temporal_std_w = a.minute_means.stddev();

@@ -104,9 +104,12 @@ class MonitoringPipeline {
 
   void on_start(const sched::RunningJob& job);
   void on_end(const sched::RunningJob& job, const sched::JobAccountingRecord& rec);
-  void per_minute(util::MinuteTime now, const std::vector<const sched::RunningJob*>& running);
+  void per_minute(util::MinuteTime now,
+                  const std::vector<const sched::RunningJob*>& running,
+                  std::uint32_t down_nodes);
   void per_minute_faulty(util::MinuteTime now,
-                         const std::vector<const sched::RunningJob*>& running);
+                         const std::vector<const sched::RunningJob*>& running,
+                         std::uint32_t down_nodes);
   /// Cap clamp shared by the clean and faulty sampling paths.
   [[nodiscard]] double capped_power(double watts) noexcept;
 

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "sched/exit_status.hpp"
 #include "util/csv.hpp"
 #include "util/logging.hpp"
 #include "util/strings.hpp"
@@ -11,12 +12,29 @@
 namespace hpcpower::trace {
 
 namespace {
-constexpr int kSchemaVersion = 1;
+constexpr int kSchemaVersion = 2;
 
 cluster::SystemId parse_system(const std::string& name) {
   if (name == "Emmy") return cluster::SystemId::kEmmy;
   if (name == "Meggie") return cluster::SystemId::kMeggie;
   return cluster::SystemId::kCustom;
+}
+
+/// The v1 schema, before exit_status/attempt existed. Old exports remain
+/// readable: missing columns default to a clean first attempt.
+const std::vector<std::string>& legacy_job_table_columns() {
+  static const std::vector<std::string> kColumns = {
+      "job_id",          "system",           "user_id",
+      "app_id",          "submit_min",       "start_min",
+      "end_min",         "nnodes",           "walltime_req_min",
+      "backfilled",      "truncated",        "mean_node_power_w",
+      "temporal_std_w",  "peak_node_power_w", "mean_pkg_w",
+      "mean_dram_w",     "energy_kwh",       "node_energy_min_kwh",
+      "node_energy_max_kwh",
+      "peak_overshoot",  "frac_time_above_10pct", "avg_spatial_spread_w",
+      "spread_fraction_of_power", "frac_time_above_avg_spread",
+  };
+  return kColumns;
 }
 }  // namespace
 
@@ -25,7 +43,8 @@ const std::vector<std::string>& job_table_columns() {
       "job_id",          "system",           "user_id",
       "app_id",          "submit_min",       "start_min",
       "end_min",         "nnodes",           "walltime_req_min",
-      "backfilled",      "truncated",        "mean_node_power_w",
+      "backfilled",      "truncated",        "exit_status",
+      "attempt",         "mean_node_power_w",
       "temporal_std_w",  "peak_node_power_w", "mean_pkg_w",
       "mean_dram_w",     "energy_kwh",       "node_energy_min_kwh",
       "node_energy_max_kwh",
@@ -54,6 +73,8 @@ void write_job_table(std::ostream& out, const std::vector<telemetry::JobRecord>&
     row.push_back(std::to_string(r.walltime_req_min));
     row.push_back(r.backfilled ? "1" : "0");
     row.push_back(r.truncated_by_horizon ? "1" : "0");
+    row.emplace_back(sched::exit_status_name(r.exit));
+    row.push_back(std::to_string(r.attempt));
     row.push_back(util::format("%.6g", r.mean_node_power_w));
     row.push_back(util::format("%.6g", r.temporal_std_w));
     row.push_back(util::format("%.6g", r.peak_node_power_w));
@@ -86,7 +107,8 @@ std::vector<telemetry::JobRecord> read_job_table(std::istream& in, bool lenient)
       throw std::invalid_argument("job table: unrecognized header comment");
   }
   util::CsvReader reader(in, util::CsvReadOptions{true, lenient});
-  if (reader.header() != job_table_columns())
+  const bool legacy = reader.header() == legacy_job_table_columns();
+  if (!legacy && reader.header() != job_table_columns())
     throw std::invalid_argument("job table: schema mismatch");
 
   std::vector<telemetry::JobRecord> out;
@@ -107,6 +129,15 @@ std::vector<telemetry::JobRecord> read_job_table(std::istream& in, bool lenient)
       r.walltime_req_min = static_cast<std::uint32_t>(row->as_uint("walltime_req_min"));
       r.backfilled = row->as_int("backfilled") != 0;
       r.truncated_by_horizon = row->as_int("truncated") != 0;
+      if (!legacy) {
+        const auto exit = sched::parse_exit_status(row->at("exit_status"));
+        if (!exit)
+          throw std::invalid_argument("unknown exit_status '" +
+                                      row->at("exit_status") + "'");
+        r.exit = *exit;
+        r.attempt = static_cast<std::uint32_t>(row->as_uint("attempt"));
+        if (r.attempt == 0) throw std::invalid_argument("attempt is zero");
+      }
       r.mean_node_power_w = row->as_double("mean_node_power_w");
       r.temporal_std_w = row->as_double("temporal_std_w");
       r.peak_node_power_w = row->as_double("peak_node_power_w");

@@ -1,0 +1,433 @@
+// Node-failure model + failure-aware campaign simulation: determinism,
+// exact availability reconciliation, requeue semantics, and checkpoint/resume
+// bit-identity.
+
+#include "sched/failures.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sched/checkpoint.hpp"
+#include "sched/simulator.hpp"
+
+namespace hpcpower::sched {
+namespace {
+
+FailureConfig aggressive_failures() {
+  FailureConfig f;
+  f.enabled = true;
+  f.mtbf_days = 1.0;   // roughly one failure per node-day
+  f.mttr_min = 90.0;
+  f.max_attempts = 3;
+  f.backoff_base_min = 4;
+  f.backoff_cap_min = 60;
+  return f;
+}
+
+workload::JobRequest make_job(workload::JobId id, std::uint32_t nnodes,
+                              std::uint32_t walltime, std::uint32_t runtime,
+                              std::int64_t submit) {
+  workload::JobRequest j;
+  j.job_id = id;
+  j.nnodes = nnodes;
+  j.walltime_req_min = walltime;
+  j.runtime_min = runtime;
+  j.submit = util::MinuteTime(submit);
+  return j;
+}
+
+/// Deterministic synthetic workload, sorted by submit time.
+std::vector<workload::JobRequest> synthetic_jobs(std::size_t count,
+                                                 std::int64_t horizon_min,
+                                                 std::uint32_t max_nodes) {
+  std::vector<workload::JobRequest> jobs;
+  jobs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto id = static_cast<workload::JobId>(i + 1);
+    const std::uint32_t nnodes = 1 + static_cast<std::uint32_t>((i * 7) % max_nodes);
+    const std::uint32_t runtime = 5 + static_cast<std::uint32_t>((i * 13) % 180);
+    const std::uint32_t walltime = runtime + 10 + static_cast<std::uint32_t>(i % 30);
+    const std::int64_t submit =
+        static_cast<std::int64_t>(i) * horizon_min / (2 * static_cast<std::int64_t>(count));
+    jobs.push_back(make_job(id, nnodes, walltime, runtime, submit));
+  }
+  return jobs;
+}
+
+/// Flattens every hook event into a string so whole event streams can be
+/// compared between runs (order included).
+SimulationHooks capture_hooks(std::vector<std::string>& log) {
+  SimulationHooks hooks;
+  hooks.on_start = [&log](const RunningJob& j) {
+    log.push_back("start " + std::to_string(j.request.job_id) + " a" +
+                  std::to_string(j.attempt) + " @" + std::to_string(j.start.minutes()));
+  };
+  hooks.on_end = [&log](const RunningJob& j, const JobAccountingRecord& rec) {
+    log.push_back("end " + std::to_string(j.request.job_id) + " a" +
+                  std::to_string(rec.attempt) + " @" + std::to_string(rec.end.minutes()) +
+                  " " + exit_status_name(rec.exit));
+  };
+  hooks.per_minute = [&log](util::MinuteTime now,
+                            const std::vector<const RunningJob*>& running,
+                            std::uint32_t down) {
+    std::string line = "tick " + std::to_string(now.minutes()) + " down=" +
+                       std::to_string(down) + " jobs=";
+    for (const RunningJob* j : running)
+      line += std::to_string(j->request.job_id) + ",";
+    log.push_back(line);
+  };
+  return hooks;
+}
+
+// ---------------------------------------------------------------------------
+// NodeFailureModel: a pure, seeded oracle.
+
+TEST(NodeFailureModel, DisabledModelNeverFails) {
+  const NodeFailureModel model;  // default-constructed: disabled
+  for (cluster::NodeId node = 0; node < 16; ++node) {
+    EXPECT_TRUE(model.outages(node, 1'000'000).empty());
+    for (std::int64_t m = 0; m < 200; ++m) EXPECT_FALSE(model.is_down(node, m));
+  }
+  EXPECT_FALSE(model.enabled());
+}
+
+TEST(NodeFailureModel, DeterministicInSeedAndSensitiveToIt) {
+  const NodeFailureModel a(aggressive_failures(), 7);
+  const NodeFailureModel b(aggressive_failures(), 7);
+  const NodeFailureModel c(aggressive_failures(), 8);
+  bool any_outage = false;
+  bool differs = false;
+  for (cluster::NodeId node = 0; node < 32; ++node) {
+    const auto oa = a.outages(node, 20'000);
+    EXPECT_EQ(oa, b.outages(node, 20'000)) << "node " << node;
+    any_outage = any_outage || !oa.empty();
+    differs = differs || oa != c.outages(node, 20'000);
+  }
+  EXPECT_TRUE(any_outage);
+  EXPECT_TRUE(differs);
+}
+
+TEST(NodeFailureModel, QueryOrderInvariance) {
+  // The schedule is a pure function of (seed, node): interleaving queries in
+  // any order, with any horizon, can never change an answer.
+  const NodeFailureModel model(aggressive_failures(), 99);
+  const auto full = model.outages(3, 50'000);
+  ASSERT_FALSE(full.empty());
+  // Query other nodes and shorter horizons in between, then re-ask.
+  (void)model.outages(7, 1'000);
+  (void)model.is_down(3, 123);
+  const auto shorter = model.outages(3, 10'000);
+  for (std::size_t i = 0; i < shorter.size(); ++i) EXPECT_EQ(shorter[i], full[i]);
+  EXPECT_EQ(model.outages(3, 50'000), full);
+  // is_down must agree with the outage windows exactly.
+  for (std::int64_t m = 0; m < 5'000; ++m) {
+    bool in_window = false;
+    for (const auto& o : full) in_window = in_window || (m >= o.fail && m < o.repair);
+    EXPECT_EQ(model.is_down(3, m), in_window) << "minute " << m;
+  }
+}
+
+TEST(NodeFailureModel, OutagesWellFormed) {
+  const NodeFailureModel model(aggressive_failures(), 5);
+  for (cluster::NodeId node = 0; node < 24; ++node) {
+    const auto outages = model.outages(node, 100'000);
+    std::int64_t prev_repair = -1;
+    for (const auto& o : outages) {
+      EXPECT_LT(o.fail, o.repair);
+      EXPECT_LT(o.fail, 100'000);  // intersects the horizon
+      if (prev_repair >= 0) {
+        EXPECT_GE(o.fail, prev_repair + 1) << "node " << node;
+      }
+      prev_repair = o.repair;
+    }
+  }
+}
+
+TEST(NodeFailureModel, MtbfAndMttrRoughlyHonored) {
+  FailureConfig cfg;
+  cfg.enabled = true;
+  cfg.mtbf_days = 10.0;
+  cfg.mttr_min = 360.0;
+  const NodeFailureModel model(cfg, 123);
+  const std::int64_t horizon = 200 * 1440;  // 200 days
+  double up_sum = 0.0, down_sum = 0.0;
+  std::uint64_t up_n = 0, down_n = 0;
+  for (cluster::NodeId node = 0; node < 64; ++node) {
+    std::int64_t t = 0;
+    for (const auto& o : model.outages(node, horizon)) {
+      up_sum += static_cast<double>(o.fail - t);
+      ++up_n;
+      down_sum += static_cast<double>(o.repair - o.fail);
+      ++down_n;
+      t = o.repair;
+    }
+  }
+  ASSERT_GT(up_n, 500u);
+  EXPECT_NEAR(up_sum / static_cast<double>(up_n), cfg.mtbf_days * 1440.0,
+              0.1 * cfg.mtbf_days * 1440.0);
+  EXPECT_NEAR(down_sum / static_cast<double>(down_n), cfg.mttr_min, 0.1 * cfg.mttr_min);
+}
+
+TEST(NodeFailureModel, BackoffGrowsDoublingAndCaps) {
+  FailureConfig cfg = aggressive_failures();
+  cfg.backoff_base_min = 5;
+  cfg.backoff_cap_min = 240;
+  const NodeFailureModel model(cfg, 11);
+  for (std::uint64_t job = 1; job <= 50; ++job) {
+    for (std::uint32_t attempt = 1; attempt <= 10; ++attempt) {
+      const std::uint32_t v = model.requeue_backoff_min(job, attempt);
+      const std::uint64_t nominal =
+          std::min<std::uint64_t>(cfg.backoff_cap_min,
+                                  std::uint64_t{cfg.backoff_base_min}
+                                      << std::min(attempt - 1, 20u));
+      EXPECT_GE(v, nominal) << "job " << job << " attempt " << attempt;
+      EXPECT_LT(v, nominal + cfg.backoff_base_min);
+      EXPECT_EQ(v, model.requeue_backoff_min(job, attempt));  // pure
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Failure-aware campaign simulation.
+
+TEST(FailureSim, DisabledConfigBitIdenticalToPlainSimulator) {
+  const auto jobs = synthetic_jobs(60, 2000, 8);
+  CampaignSimulator plain(8, util::MinuteTime(2000));
+  CampaignSimulator with_cfg(8, util::MinuteTime(2000), SchedulerPolicy::kFcfsBackfill,
+                             PowerBudget{}, FailureConfig{}, 42);
+  std::vector<std::string> log_a, log_b;
+  const auto hooks_a = capture_hooks(log_a);
+  const auto hooks_b = capture_hooks(log_b);
+  const auto ra = plain.run(jobs, hooks_a);
+  const auto rb = with_cfg.run(jobs, hooks_b);
+  EXPECT_EQ(ra, rb);
+  EXPECT_EQ(log_a, log_b);
+  EXPECT_EQ(rb.availability, AvailabilityStats{});  // all-zero when disabled
+}
+
+TEST(FailureSim, EnabledButEventFreeKeepsAccountingIdentical) {
+  // Enabled model whose first failure draws land far past the horizon: the
+  // schedule is empty, so scheduling decisions must match a perfect machine.
+  FailureConfig cfg;
+  cfg.enabled = true;
+  cfg.mtbf_days = 1.0e7;
+  const auto jobs = synthetic_jobs(60, 2000, 8);
+  CampaignSimulator plain(8, util::MinuteTime(2000));
+  CampaignSimulator faulty(8, util::MinuteTime(2000), SchedulerPolicy::kFcfsBackfill,
+                           PowerBudget{}, cfg, 42);
+  for (cluster::NodeId n = 0; n < 8; ++n)
+    ASSERT_TRUE(faulty.failure_model().outages(n, 2000).empty())
+        << "seed draws an outage; pick another seed";
+  const auto ra = plain.run(jobs);
+  const auto rb = faulty.run(jobs);
+  EXPECT_EQ(ra.accounting, rb.accounting);
+  EXPECT_EQ(ra.busy_nodes_per_minute, rb.busy_nodes_per_minute);
+  EXPECT_EQ(ra.scheduler, rb.scheduler);
+  EXPECT_EQ(rb.availability.node_minutes_total, 8u * 2000u);
+  EXPECT_EQ(rb.availability.node_minutes_down, 0u);
+}
+
+TEST(FailureSim, RunIsDeterministicAcrossInvocations) {
+  const auto jobs = synthetic_jobs(120, 4000, 12);
+  for (const std::uint64_t seed : {1u, 7u, 23u}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    CampaignSimulator a(16, util::MinuteTime(4000), SchedulerPolicy::kFcfsBackfill,
+                        PowerBudget{}, aggressive_failures(), seed);
+    CampaignSimulator b(16, util::MinuteTime(4000), SchedulerPolicy::kFcfsBackfill,
+                        PowerBudget{}, aggressive_failures(), seed);
+    std::vector<std::string> log_a, log_b;
+    const auto hooks_a = capture_hooks(log_a);
+    const auto hooks_b = capture_hooks(log_b);
+    EXPECT_EQ(a.run(jobs, hooks_a), b.run(jobs, hooks_b));
+    EXPECT_EQ(log_a, log_b);
+  }
+}
+
+TEST(FailureSim, AvailabilityLedgerReconcilesExactly) {
+  const auto jobs = synthetic_jobs(120, 4000, 12);
+  CampaignSimulator sim(16, util::MinuteTime(4000), SchedulerPolicy::kFcfsBackfill,
+                        PowerBudget{}, aggressive_failures(), 3);
+  const auto result = sim.run(jobs);
+  const auto& a = result.availability;
+
+  // delivered + down == total, by construction of node_minutes_delivered();
+  // what needs checking is that "down" matches the oracle minute-for-minute.
+  EXPECT_EQ(a.node_minutes_total, 16u * 4000u);
+  std::uint64_t oracle_down = 0;
+  std::uint64_t oracle_failures = 0;
+  for (cluster::NodeId n = 0; n < 16; ++n) {
+    for (const auto& o : sim.failure_model().outages(n, 4000)) {
+      ++oracle_failures;
+      oracle_down += static_cast<std::uint64_t>(std::min<std::int64_t>(o.repair, 4000) -
+                                                std::max<std::int64_t>(o.fail, 0));
+    }
+  }
+  ASSERT_GT(oracle_failures, 0u) << "scenario produced no failures";
+  EXPECT_EQ(a.node_failures, oracle_failures);
+  EXPECT_EQ(a.node_minutes_down, oracle_down);
+  EXPECT_EQ(a.node_minutes_delivered() + a.node_minutes_down, a.node_minutes_total);
+
+  // Every killed attempt shows up in accounting with the right exit status.
+  std::uint64_t killed_records = 0;
+  for (const auto& rec : result.accounting)
+    if (rec.exit == ExitStatus::kKilledNodeFail) ++killed_records;
+  ASSERT_GT(killed_records, 0u) << "scenario killed no attempts";
+  EXPECT_EQ(a.attempts_killed, killed_records);
+  EXPECT_EQ(result.scheduler.killed, killed_records);
+  EXPECT_EQ(a.requeues + a.requeues_exhausted, a.attempts_killed);
+  EXPECT_GE(a.requeue_wait_minutes, 0.0);
+}
+
+TEST(FailureSim, AttemptNumberingAndRetryBudget) {
+  const auto cfg = aggressive_failures();  // max_attempts = 3
+  const auto jobs = synthetic_jobs(120, 4000, 12);
+  CampaignSimulator sim(16, util::MinuteTime(4000), SchedulerPolicy::kFcfsBackfill,
+                        PowerBudget{}, cfg, 3);
+  const auto result = sim.run(jobs);
+  std::uint64_t retries = 0;
+  for (const auto& rec : result.accounting) {
+    EXPECT_GE(rec.attempt, 1u);
+    EXPECT_LE(rec.attempt, cfg.max_attempts);
+    if (rec.attempt > 1) ++retries;
+    // A killed attempt ends inside its own run window.
+    if (rec.exit == ExitStatus::kKilledNodeFail) {
+      EXPECT_GE(rec.end, rec.start);
+      EXPECT_LE(rec.runtime_min(), rec.walltime_req_min);
+    }
+  }
+  EXPECT_GT(retries, 0u);
+  // Attempts of one job are numbered consecutively from 1 (accounting is
+  // sorted by (job_id, attempt)).
+  workload::JobId prev_id = 0;
+  std::uint32_t expected = 1;
+  for (const auto& rec : result.accounting) {
+    if (rec.job_id != prev_id) {
+      prev_id = rec.job_id;
+      expected = 1;
+    }
+    EXPECT_EQ(rec.attempt, expected) << "job " << rec.job_id;
+    ++expected;
+  }
+}
+
+TEST(FailureSim, DownNodesLeaveTheTelemetryView) {
+  const auto jobs = synthetic_jobs(120, 4000, 12);
+  CampaignSimulator sim(16, util::MinuteTime(4000), SchedulerPolicy::kFcfsBackfill,
+                        PowerBudget{}, aggressive_failures(), 3);
+  std::vector<std::uint32_t> down_series;
+  std::uint64_t down_sum = 0;
+  bool any_down = false;
+  SimulationHooks hooks;
+  hooks.per_minute = [&](util::MinuteTime, const std::vector<const RunningJob*>& running,
+                         std::uint32_t down) {
+    std::uint32_t busy = 0;
+    for (const RunningJob* j : running) busy += static_cast<std::uint32_t>(j->nodes.size());
+    EXPECT_LE(busy + down, 16u);  // up+busy+down partitions the machine
+    down_sum += down;
+    any_down = any_down || down > 0;
+  };
+  const auto result = sim.run(jobs, hooks);
+  EXPECT_TRUE(any_down);
+  EXPECT_EQ(down_sum, result.availability.node_minutes_down);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint / resume.
+
+TEST(FailureSim, CheckpointResumeBitIdentical) {
+  const auto jobs = synthetic_jobs(120, 4000, 12);
+  for (const std::uint64_t seed : {3u, 17u}) {
+    // Uninterrupted reference run, with the full event stream.
+    CampaignSimulator ref(16, util::MinuteTime(4000), SchedulerPolicy::kFcfsBackfill,
+                          PowerBudget{}, aggressive_failures(), seed);
+    std::vector<std::string> ref_log;
+    const auto ref_hooks = capture_hooks(ref_log);
+    const auto expected = ref.run(jobs, ref_hooks);
+
+    for (const std::int64_t cp : {0, 1, 777, 2000, 3999, 4000}) {
+      SCOPED_TRACE("seed " + std::to_string(seed) + " checkpoint @" + std::to_string(cp));
+      CampaignSimulator first(16, util::MinuteTime(4000), SchedulerPolicy::kFcfsBackfill,
+                              PowerBudget{}, aggressive_failures(), seed);
+      std::vector<std::string> log_before, log_after;
+      std::stringstream file;
+      (void)first.run_until(jobs, util::MinuteTime(cp), file, capture_hooks(log_before));
+
+      CampaignSimulator second(16, util::MinuteTime(4000), SchedulerPolicy::kFcfsBackfill,
+                               PowerBudget{}, aggressive_failures(), seed);
+      const auto resumed = second.resume(file, jobs, capture_hooks(log_after));
+
+      EXPECT_EQ(resumed, expected);
+      // The event stream splits cleanly at the checkpoint: pre-checkpoint
+      // events fire in run_until, the rest in resume, nothing twice.
+      std::vector<std::string> stitched = log_before;
+      stitched.insert(stitched.end(), log_after.begin(), log_after.end());
+      EXPECT_EQ(stitched, ref_log);
+    }
+  }
+}
+
+TEST(FailureSim, CheckpointResumeWithoutFailuresAlsoBitIdentical) {
+  const auto jobs = synthetic_jobs(60, 2000, 8);
+  CampaignSimulator ref(8, util::MinuteTime(2000));
+  const auto expected = ref.run(jobs);
+  CampaignSimulator first(8, util::MinuteTime(2000));
+  std::stringstream file;
+  (void)first.run_until(jobs, util::MinuteTime(500), file);
+  CampaignSimulator second(8, util::MinuteTime(2000));
+  EXPECT_EQ(second.resume(file, jobs), expected);
+}
+
+TEST(FailureSim, CheckpointPartialResultCoversPrefix) {
+  const auto jobs = synthetic_jobs(120, 4000, 12);
+  CampaignSimulator sim(16, util::MinuteTime(4000), SchedulerPolicy::kFcfsBackfill,
+                        PowerBudget{}, aggressive_failures(), 3);
+  std::stringstream file;
+  const auto partial = sim.run_until(jobs, util::MinuteTime(1000), file);
+  EXPECT_EQ(partial.busy_nodes_per_minute.size(), 1000u);
+  EXPECT_EQ(partial.availability.node_minutes_total, 16u * 1000u);
+  for (const auto& rec : partial.accounting) EXPECT_LE(rec.end.minutes(), 1000);
+}
+
+TEST(FailureSim, ResumeRejectsMismatchedConfiguration) {
+  const auto jobs = synthetic_jobs(60, 2000, 8);
+  CampaignSimulator first(8, util::MinuteTime(2000), SchedulerPolicy::kFcfsBackfill,
+                          PowerBudget{}, aggressive_failures(), 5);
+  std::stringstream file;
+  (void)first.run_until(jobs, util::MinuteTime(500), file);
+  const std::string blob = file.str();
+
+  {
+    std::istringstream in(blob);
+    CampaignSimulator wrong_nodes(9, util::MinuteTime(2000),
+                                  SchedulerPolicy::kFcfsBackfill, PowerBudget{},
+                                  aggressive_failures(), 5);
+    EXPECT_THROW(wrong_nodes.resume(in, jobs), std::runtime_error);
+  }
+  {
+    std::istringstream in(blob);
+    CampaignSimulator wrong_seed(8, util::MinuteTime(2000),
+                                 SchedulerPolicy::kFcfsBackfill, PowerBudget{},
+                                 aggressive_failures(), 6);
+    EXPECT_THROW(wrong_seed.resume(in, jobs), std::runtime_error);
+  }
+  {
+    std::istringstream in(blob);
+    CampaignSimulator wrong_failures(8, util::MinuteTime(2000),
+                                     SchedulerPolicy::kFcfsBackfill, PowerBudget{},
+                                     FailureConfig{}, 5);
+    EXPECT_THROW(wrong_failures.resume(in, jobs), std::runtime_error);
+  }
+}
+
+TEST(FailureSim, CheckpointRejectsGarbage) {
+  std::istringstream in("not a checkpoint\n");
+  EXPECT_THROW(read_checkpoint(in), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace hpcpower::sched

@@ -4,6 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <map>
+#include <utility>
+
 #include "util/logging.hpp"
 #include "workload/generator.hpp"
 
@@ -183,6 +187,55 @@ TEST(MonitoringPipeline, UtilizationIsHighUnderCalibratedLoad) {
       busy_sum / (static_cast<double>(f.series.busy_nodes.size()) * f.spec.node_count);
   EXPECT_GT(utilization, 0.5);  // warm-up included; full campaigns reach ~0.87
   EXPECT_LE(utilization, 1.0);
+}
+
+TEST(MonitoringPipeline, FailureAwareCampaignPropagatesExitAndAttempt) {
+  util::set_log_level(util::LogLevel::kWarn);
+  const auto spec = cluster::emmy_spec();
+  workload::GeneratorConfig gcfg;
+  gcfg.seed = 42;
+  gcfg.duration = util::MinuteTime::from_days(2.0);
+  workload::WorkloadGenerator gen(spec, workload::calibration_for(spec.id), gcfg);
+  const auto jobs = gen.generate();
+
+  PipelineConfig pcfg;
+  pcfg.seed = 42;
+  MonitoringPipeline pipeline(spec, pcfg);
+
+  sched::FailureConfig failures;
+  failures.enabled = true;
+  failures.mtbf_days = 5.0;
+  sched::CampaignSimulator sim(spec.node_count, gcfg.duration,
+                               sched::SchedulerPolicy::kFcfsBackfill, {}, failures, 42);
+  const auto result = sim.run(jobs, pipeline.hooks());
+
+  // One telemetry record per accounted attempt, exit status and attempt
+  // number copied through from the scheduler. Records arrive in end order,
+  // accounting is sorted by (job_id, attempt) — join on that key.
+  ASSERT_EQ(pipeline.records().size(), result.accounting.size());
+  std::map<std::pair<workload::JobId, std::uint32_t>, sched::ExitStatus> by_attempt;
+  for (const auto& acc : result.accounting)
+    by_attempt[{acc.job_id, acc.attempt}] = acc.exit;
+  std::size_t killed = 0, retries = 0;
+  for (const auto& rec : pipeline.records()) {
+    const auto it = by_attempt.find({rec.job_id, rec.attempt});
+    ASSERT_NE(it, by_attempt.end())
+        << "record (job " << rec.job_id << ", attempt " << rec.attempt
+        << ") has no accounting row";
+    EXPECT_EQ(rec.exit, it->second);
+    if (rec.exit == sched::ExitStatus::kKilledNodeFail) ++killed;
+    if (rec.attempt > 1) ++retries;
+  }
+  EXPECT_EQ(killed, result.availability.attempts_killed);
+  EXPECT_GT(killed, 0u);
+  EXPECT_GT(retries, 0u);
+  // Down nodes draw no power: the series never exceeds the physical envelope
+  // and stays finite even with nodes dropping in and out.
+  for (const double p : pipeline.system_series().total_power_w) {
+    EXPECT_TRUE(std::isfinite(p));
+    EXPECT_GE(p, 0.0);
+    EXPECT_LT(p, spec.provisioned_power_watts() * 1.05);
+  }
 }
 
 }  // namespace

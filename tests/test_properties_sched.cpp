@@ -59,7 +59,8 @@ TEST_P(SchedulerProperty, NeverOversubscribesNodes) {
   const auto jobs = random_jobs(GetParam(), 3);
   CampaignSimulator sim(GetParam().nodes, util::MinuteTime(GetParam().horizon_min));
   SimulationHooks hooks;
-  hooks.per_minute = [&](util::MinuteTime, const std::vector<const RunningJob*>& r) {
+  hooks.per_minute = [&](util::MinuteTime, const std::vector<const RunningJob*>& r,
+                         std::uint32_t) {
     std::size_t busy = 0;
     std::set<cluster::NodeId> seen;
     for (const RunningJob* job : r) {

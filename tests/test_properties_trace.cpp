@@ -148,7 +148,7 @@ TEST(TelemetryExact, ConstantJobAggregatesExactly) {
 
   hooks.on_start(job);
   std::vector<const sched::RunningJob*> running = {&job};
-  for (int m = 0; m < 100; ++m) hooks.per_minute(util::MinuteTime(m), running);
+  for (int m = 0; m < 100; ++m) hooks.per_minute(util::MinuteTime(m), running, 0);
   sched::JobAccountingRecord rec;
   rec.job_id = 1;
   rec.user_id = 3;
@@ -211,7 +211,7 @@ TEST(TelemetryExact, ManufacturingSpreadIsExactForKnownFactors) {
 
   hooks.on_start(job);
   std::vector<const sched::RunningJob*> running = {&job};
-  for (int m = 0; m < 50; ++m) hooks.per_minute(util::MinuteTime(m), running);
+  for (int m = 0; m < 50; ++m) hooks.per_minute(util::MinuteTime(m), running, 0);
   sched::JobAccountingRecord rec;
   rec.job_id = 2;
   rec.start = job.start;

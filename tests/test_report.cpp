@@ -48,6 +48,31 @@ TEST(Report, PredictionSectionOptional) {
   EXPECT_EQ(md.find("Pre-execution power prediction"), std::string::npos);
 }
 
+TEST(Report, AvailabilitySectionOnlyWithFailuresEnabled) {
+  ReportOptions opts;
+  opts.include_prediction = false;
+  // Perfect hardware: no availability section at all.
+  const std::string clean = render_markdown_report(campaigns(), opts);
+  EXPECT_EQ(clean.find("Availability & failure impact"), std::string::npos);
+
+  StudyConfig cfg;
+  cfg.seed = 42;
+  cfg.days = 2.0;
+  cfg.warmup_days = 1.0;
+  cfg.instrument_begin_day = 0.0;
+  cfg.instrument_end_day = 2.0;
+  cfg.node_failures.enabled = true;
+  cfg.node_failures.mtbf_days = 5.0;  // enough events in a 3-day horizon
+  const std::vector<CampaignData> failing = {run_campaign(cluster::emmy_spec(), cfg)};
+  ASSERT_GT(failing[0].availability.node_failures, 0u);
+  const std::string md = render_markdown_report(failing, opts);
+  EXPECT_NE(md.find("Availability & failure impact"), std::string::npos);
+  EXPECT_NE(md.find("node-hours lost to failures"), std::string::npos);
+  EXPECT_NE(md.find("energy wasted by killed attempts"), std::string::npos);
+  EXPECT_NE(md.find("Ledger reconciles"), std::string::npos);
+  EXPECT_EQ(md.find("does not reconcile"), std::string::npos);
+}
+
 TEST(Report, ReportsSaneNumbers) {
   ReportOptions opts;
   opts.include_prediction = false;

@@ -136,6 +136,110 @@ TEST(BatchScheduler, WaitTimeTracked) {
   EXPECT_DOUBLE_EQ(s.stats().mean_wait_minutes(), 10.0);
 }
 
+TEST(BatchScheduler, RejectsJobWiderThanMachine) {
+  BatchScheduler s(8);
+  EXPECT_FALSE(s.submit(make_job(1, 9, 60, 60)));
+  EXPECT_EQ(s.stats().rejected, 1u);
+  EXPECT_EQ(s.stats().submitted, 1u);
+  EXPECT_EQ(s.queue_depth(), 0u);
+  // The unsatisfiable request must not have blocked anything.
+  EXPECT_TRUE(s.submit(make_job(2, 8, 60, 60)));
+  EXPECT_EQ(s.schedule(util::MinuteTime(0)).size(), 1u);
+}
+
+TEST(BatchScheduler, RejectsZeroNodeJob) {
+  BatchScheduler s(8);
+  EXPECT_FALSE(s.submit(make_job(1, 0, 60, 60)));
+  EXPECT_EQ(s.stats().rejected, 1u);
+  EXPECT_EQ(s.queue_depth(), 0u);
+}
+
+TEST(BatchScheduler, ZeroWalltimeRunsExactlyOneMinute) {
+  // A zero-minute request (or runtime) is clamped to one minute so the job
+  // always ends strictly after it starts and the completion sweep sees it.
+  BatchScheduler s(4);
+  s.submit(make_job(1, 2, 0, 0));
+  const auto started = s.schedule(util::MinuteTime(10));
+  ASSERT_EQ(started.size(), 1u);
+  EXPECT_EQ(started[0].end.minutes(), 11);
+  EXPECT_EQ(started[0].limit_end.minutes(), 11);
+}
+
+TEST(BatchScheduler, RuntimePastWalltimeIsClampedAndFlagged) {
+  BatchScheduler s(4);
+  s.submit(make_job(1, 2, 30, 45));  // would run 45 min, limit is 30
+  const auto started = s.schedule(util::MinuteTime(0));
+  ASSERT_EQ(started.size(), 1u);
+  EXPECT_EQ(started[0].end.minutes(), 30);
+  EXPECT_TRUE(started[0].hit_walltime);
+}
+
+TEST(BatchScheduler, KillFreesNodesWithoutCountingCompletion) {
+  BatchScheduler s(8);
+  s.submit(make_job(1, 4, 60, 30));
+  auto started = s.schedule(util::MinuteTime(0));
+  ASSERT_EQ(started.size(), 1u);
+  EXPECT_EQ(s.free_nodes(), 4u);
+  s.kill(started[0]);
+  EXPECT_EQ(s.free_nodes(), 8u);
+  EXPECT_EQ(s.stats().killed, 1u);
+  EXPECT_EQ(s.stats().completed, 0u);
+}
+
+TEST(BatchScheduler, DrainedNodeNeverPlaced) {
+  BatchScheduler s(4);
+  s.drain(0);
+  EXPECT_EQ(s.free_nodes(), 3u);
+  EXPECT_EQ(s.drained_nodes(), 1u);
+  s.submit(make_job(1, 4, 60, 60));
+  EXPECT_TRUE(s.schedule(util::MinuteTime(0)).empty());  // only 3 nodes up
+  s.undrain(0);
+  const auto started = s.schedule(util::MinuteTime(1));
+  ASSERT_EQ(started.size(), 1u);
+  for (const auto id : started[0].nodes) EXPECT_LT(id, 4u);
+}
+
+TEST(BatchScheduler, SnapshotRestoreRebuildsIdenticalScheduler) {
+  BatchScheduler s(8);
+  s.submit(make_job(1, 4, 100, 100));
+  auto started = s.schedule(util::MinuteTime(0));
+  ASSERT_EQ(started.size(), 1u);
+  s.drain(7);
+  s.submit(make_job(2, 8, 60, 60));  // queued: needs more than currently up
+  const auto snap = s.snapshot();
+
+  BatchScheduler t(8);
+  t.restore(snap);
+  EXPECT_EQ(t.free_nodes(), s.free_nodes());
+  EXPECT_EQ(t.busy_nodes(), s.busy_nodes());
+  EXPECT_EQ(t.drained_nodes(), s.drained_nodes());
+  EXPECT_EQ(t.queue_depth(), s.queue_depth());
+  EXPECT_EQ(t.stats(), s.stats());
+  // Identical future: both must make the same placement decisions.
+  const auto a = s.schedule(util::MinuteTime(10));
+  const auto b = t.schedule(util::MinuteTime(10));
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].request.job_id, b[i].request.job_id);
+    EXPECT_EQ(a[i].nodes, b[i].nodes);
+  }
+}
+
+TEST(JobAccountingRecord, DurationGuardsClampInsteadOfUnderflowing) {
+  JobAccountingRecord rec;
+  rec.submit = util::MinuteTime(10);
+  rec.start = util::MinuteTime(5);  // corrupt: starts before submission
+  rec.end = util::MinuteTime(2);    // corrupt: ends before start
+#ifdef NDEBUG
+  // Release builds clamp to zero instead of wrapping to ~4 billion minutes.
+  EXPECT_EQ(rec.runtime_min(), 0u);
+  EXPECT_EQ(rec.wait_min(), 0u);
+#else
+  EXPECT_DEATH((void)rec.runtime_min(), "ends before it starts");
+  EXPECT_DEATH((void)rec.wait_min(), "starts before it was submitted");
+#endif
+}
+
 TEST(BatchScheduler, StatsCountBackfills) {
   BatchScheduler s(8);
   s.submit(make_job(1, 6, 100, 100));

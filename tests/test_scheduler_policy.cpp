@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+
 #include "sched/simulator.hpp"
 
 namespace hpcpower::sched {
@@ -95,6 +98,75 @@ TEST(SchedulerPolicy, FcfsPreservesStrictOrder) {
   ASSERT_EQ(next.size(), 2u);
   EXPECT_EQ(next[0].request.job_id, 2u);
   EXPECT_EQ(next[1].request.job_id, 3u);
+}
+
+TEST(SchedulerPolicy, ZeroMinuteWalltimeJobStillCompletes) {
+  // Degenerate requests must not hang the campaign: a 0-minute job runs for
+  // exactly one clamped minute and produces a normal record under both
+  // policies.
+  for (const auto policy :
+       {SchedulerPolicy::kFcfsBackfill, SchedulerPolicy::kFcfsOnly}) {
+    CampaignSimulator sim(4, util::MinuteTime(100), policy);
+    std::vector<workload::JobRequest> jobs = {make_job(1, 2, 0, 0, 5),
+                                              make_job(2, 2, 10, 10, 5)};
+    const auto result = sim.run(jobs);
+    ASSERT_EQ(result.accounting.size(), 2u);
+    EXPECT_EQ(result.accounting[0].start.minutes(), 5);
+    EXPECT_EQ(result.accounting[0].end.minutes(), 6);
+    EXPECT_EQ(result.accounting[0].exit, ExitStatus::kCompleted);
+    EXPECT_EQ(result.scheduler.completed, 2u);
+  }
+}
+
+TEST(SchedulerPolicy, OversizedJobCancelledNotStarving) {
+  // A job wider than the machine is refused at submit with a CANCELLED
+  // record; everything behind it schedules normally.
+  CampaignSimulator sim(4, util::MinuteTime(100));
+  std::vector<workload::JobRequest> jobs = {make_job(1, 5, 30, 30, 0),
+                                            make_job(2, 4, 20, 20, 0)};
+  const auto result = sim.run(jobs);
+  ASSERT_EQ(result.accounting.size(), 2u);
+  EXPECT_EQ(result.accounting[0].job_id, 1u);
+  EXPECT_EQ(result.accounting[0].exit, ExitStatus::kCancelled);
+  EXPECT_EQ(result.accounting[0].start, result.accounting[0].submit);
+  EXPECT_EQ(result.accounting[0].runtime_min(), 0u);
+  EXPECT_EQ(result.accounting[1].job_id, 2u);
+  EXPECT_EQ(result.accounting[1].exit, ExitStatus::kCompleted);
+  EXPECT_EQ(result.accounting[1].start.minutes(), 0);
+  EXPECT_EQ(result.scheduler.rejected, 1u);
+}
+
+TEST(SchedulerPolicy, RequeueStarvationBoundedByRetryBudget) {
+  // Pathological machine: MTBF of ~1.5 hours with long repairs, so retries
+  // keep landing on nodes about to fail. The retry budget must bound every
+  // job to max_attempts records, and exhausted jobs must be counted.
+  FailureConfig cfg;
+  cfg.enabled = true;
+  cfg.mtbf_days = 0.1;
+  cfg.mttr_min = 30.0;
+  cfg.max_attempts = 2;
+  cfg.backoff_base_min = 2;
+  cfg.backoff_cap_min = 16;
+  std::vector<workload::JobRequest> jobs;
+  for (int i = 0; i < 30; ++i)
+    jobs.push_back(make_job(static_cast<workload::JobId>(i + 1), 2 + (i % 3), 400,
+                            300 + (i % 60), i * 20));
+  CampaignSimulator sim(8, util::MinuteTime(4000), SchedulerPolicy::kFcfsBackfill,
+                        PowerBudget{}, cfg, 17);
+  const auto result = sim.run(jobs);
+
+  std::map<workload::JobId, std::uint32_t> attempts;
+  for (const auto& rec : result.accounting) {
+    attempts[rec.job_id] = std::max(attempts[rec.job_id], rec.attempt);
+    EXPECT_LE(rec.attempt, cfg.max_attempts);
+  }
+  bool any_retry = false;
+  for (const auto& [id, n] : attempts) any_retry = any_retry || n > 1;
+  EXPECT_TRUE(any_retry) << "scenario produced no retries; adjust seed";
+  ASSERT_GT(result.availability.requeues_exhausted, 0u)
+      << "scenario never exhausted a retry budget; adjust seed";
+  EXPECT_EQ(result.availability.requeues + result.availability.requeues_exhausted,
+            result.availability.attempts_killed);
 }
 
 }  // namespace

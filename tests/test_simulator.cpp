@@ -58,7 +58,8 @@ TEST(CampaignSimulator, PerMinuteHookSeesRunningJobs) {
                                             make_job(2, 2, 20, 15, 0)};
   std::vector<std::size_t> counts;
   SimulationHooks hooks;
-  hooks.per_minute = [&](util::MinuteTime, const std::vector<const RunningJob*>& r) {
+  hooks.per_minute = [&](util::MinuteTime, const std::vector<const RunningJob*>& r,
+                         std::uint32_t) {
     counts.push_back(r.size());
   };
   (void)sim.run(jobs, hooks);

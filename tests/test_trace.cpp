@@ -126,6 +126,66 @@ TEST(JobTable, SemanticallyInvalidRowRejected) {
   EXPECT_TRUE(read_job_table(corrupted2, true).empty());
 }
 
+TEST(JobTable, ExitStatusAndAttemptRoundTrip) {
+  auto killed = sample_record(1, false);
+  killed.exit = sched::ExitStatus::kKilledNodeFail;
+  killed.attempt = 1;
+  auto retry = sample_record(1, false);
+  retry.exit = sched::ExitStatus::kCompleted;
+  retry.attempt = 2;
+  std::stringstream ss;
+  write_job_table(ss, {killed, retry});
+  const auto back = read_job_table(ss);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].exit, sched::ExitStatus::kKilledNodeFail);
+  EXPECT_EQ(back[0].attempt, 1u);
+  EXPECT_EQ(back[1].exit, sched::ExitStatus::kCompleted);
+  EXPECT_EQ(back[1].attempt, 2u);
+}
+
+TEST(JobTable, LegacyV1SchemaReadsWithCleanFirstAttemptDefaults) {
+  // A v1 export written before exit_status/attempt existed must stay
+  // readable; missing columns default to COMPLETED / attempt 1.
+  const std::string v1 =
+      "# hpcpower job table v1\n"
+      "job_id,system,user_id,app_id,submit_min,start_min,end_min,nnodes,"
+      "walltime_req_min,backfilled,truncated,mean_node_power_w,temporal_std_w,"
+      "peak_node_power_w,mean_pkg_w,mean_dram_w,energy_kwh,node_energy_min_kwh,"
+      "node_energy_max_kwh,peak_overshoot,frac_time_above_10pct,"
+      "avg_spatial_spread_w,spread_fraction_of_power,frac_time_above_avg_spread\n"
+      "1,Emmy,17,3,100,110,230,8,240,1,0,149.25,12.5,165,120,29.25,2.388,"
+      "0.28,0.32,,,,,\n"
+      "2,Meggie,4,9,50,60,90,2,60,0,1,200,5,210,150,40,0.4,0.19,0.21,"
+      "0.1,0.02,21.5,0.14,0.31\n";
+  std::stringstream ss(v1);
+  const auto back = read_job_table(ss);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].job_id, 1u);
+  EXPECT_EQ(back[0].exit, sched::ExitStatus::kCompleted);
+  EXPECT_EQ(back[0].attempt, 1u);
+  EXPECT_FALSE(back[0].detail.has_value());
+  EXPECT_NEAR(back[0].mean_node_power_w, 149.25, 1e-6);
+  EXPECT_EQ(back[1].system, cluster::SystemId::kMeggie);
+  EXPECT_TRUE(back[1].truncated_by_horizon);
+  EXPECT_EQ(back[1].exit, sched::ExitStatus::kCompleted);
+  EXPECT_EQ(back[1].attempt, 1u);
+  ASSERT_TRUE(back[1].detail.has_value());
+  EXPECT_NEAR(back[1].detail->avg_spatial_spread_w, 21.5, 1e-6);
+}
+
+TEST(JobTable, UnknownExitStatusRejectedOrSkipped) {
+  std::stringstream ss;
+  write_job_table(ss, {sample_record(1, false)});
+  std::string text = ss.str();
+  const auto pos = text.find("COMPLETED");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 9, "EXPLODED!");
+  std::stringstream strict(text);
+  EXPECT_THROW((void)read_job_table(strict), std::invalid_argument);
+  std::stringstream lenient(text);
+  EXPECT_TRUE(read_job_table(lenient, true).empty());
+}
+
 TEST(JobTable, FileSaveAndLoad) {
   const std::string path = testing::TempDir() + "/hpcpower_job_table_test.csv";
   std::vector<telemetry::JobRecord> records = {sample_record(5, true)};

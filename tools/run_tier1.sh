@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Canonical tier-1 verification: configure, build, and run the full test
+# suite exactly the way CI does. Usage:
+#
+#   tools/run_tier1.sh [--sanitize] [build-dir] [ctest args...]
+#
+# --sanitize additionally runs the ASan+UBSan pass (tools/check_sanitize.sh)
+# in its own build tree after the regular suite is green.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SANITIZE=0
+if [[ "${1:-}" == "--sanitize" ]]; then
+  SANITIZE=1
+  shift
+fi
+BUILD_DIR="${1:-build}"
+shift || true
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@"
+
+if [[ "$SANITIZE" == 1 ]]; then
+  tools/check_sanitize.sh
+fi
