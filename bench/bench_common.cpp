@@ -5,6 +5,7 @@
 #include "util/logging.hpp"
 #include "util/options.hpp"
 #include "util/strings.hpp"
+#include "util/thread_pool.hpp"
 
 namespace hpcpower::bench {
 
@@ -16,8 +17,10 @@ std::optional<BenchContext> parse_common_args(int argc, const char* const* argv,
   opts.add_option("seed", "root random seed", "42");
   opts.add_flag("full", "run the paper-scale 151-day campaign");
   opts.add_flag("quiet", "suppress progress logging");
+  opts.add_threads_option();
   try {
     if (!opts.parse(argc, argv)) return std::nullopt;
+    util::set_global_thread_count(opts.threads());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s\n", e.what());
     std::exit(1);

@@ -5,6 +5,8 @@
 //   --seed S    root seed (default 42)
 //   --full      paper-scale campaign (151 days, Oct-Feb)
 //   --quiet     suppress progress logging
+//   --threads N worker threads (0 = all cores, 1 = serial; default:
+//               HPCPOWER_THREADS, else all cores)
 // and prints its figure's measured series next to the paper's reference
 // values, so the terminal output is a directly comparable "figure".
 

@@ -1,15 +1,41 @@
-// Google-benchmark timings of the library's hot paths. Not a paper figure;
-// guards the simulation/analysis throughput that makes --full runs practical.
+// Google-benchmark timings of the library's hot paths, plus a serial-vs-
+// parallel stage harness for the campaign engine. Not a paper figure; guards
+// the simulation/analysis throughput that makes --full runs practical.
+//
+// After the micro benches run, the harness executes the full study chain
+// (campaign -> analyzers -> ml -> report) twice - once pinned to one thread
+// (the serial reference) and once on all cores - and writes per-stage wall
+// times to BENCH_perf.json. The report text from the two runs must match
+// byte-for-byte (the "deterministic" flag in the JSON): the parallel engine
+// is only allowed to be faster, never different.
+//
+// Extra flags (stripped before google-benchmark sees argv):
+//   --perf_days=N   campaign length for the stage harness (default 6)
+//   --perf_out=P    JSON output path (default BENCH_perf.json)
+//   --no_perf       skip the stage harness (micro benches only)
 
 #include <benchmark/benchmark.h>
 
 #include <array>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
+#include "core/prediction.hpp"
+#include "core/report.hpp"
+#include "core/study.hpp"
+#include "core/system_analysis.hpp"
+#include "core/user_analysis.hpp"
 #include "ml/decision_tree.hpp"
 #include "ml/knn.hpp"
 #include "stats/correlation.hpp"
 #include "stats/descriptive.hpp"
+#include "util/logging.hpp"
 #include "util/prng.hpp"
+#include "util/thread_pool.hpp"
 #include "workload/power_profile.hpp"
 
 namespace {
@@ -103,6 +129,139 @@ void BM_KnnPredict(benchmark::State& state) {
 }
 BENCHMARK(BM_KnnPredict)->Arg(1000)->Arg(10000);
 
+// ---------------------------------------------------------------------------
+// Stage harness: serial vs parallel wall time for the full study chain.
+
+constexpr std::array<const char*, 4> kStageNames = {"campaign", "analysis", "ml",
+                                                    "report"};
+
+struct ChainResult {
+  std::array<double, 4> stage_ms{};
+  std::string report_text;
+};
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+ChainResult run_chain(const core::StudyConfig& config) {
+  ChainResult out;
+  auto t0 = std::chrono::steady_clock::now();
+  const auto campaigns = core::run_both_systems(config);
+  out.stage_ms[0] = ms_since(t0);
+
+  const core::JobFilter filter;
+  t0 = std::chrono::steady_clock::now();
+  for (const auto& data : campaigns) {
+    benchmark::DoNotOptimize(core::analyze_per_node_power(data, filter));
+    benchmark::DoNotOptimize(core::analyze_correlations(data, filter));
+    benchmark::DoNotOptimize(core::analyze_median_splits(data, filter));
+    benchmark::DoNotOptimize(core::analyze_temporal(data, filter));
+    benchmark::DoNotOptimize(core::analyze_spatial(data, filter));
+    benchmark::DoNotOptimize(core::analyze_energy_spread(data, filter));
+    benchmark::DoNotOptimize(core::analyze_monthly_consistency(data, 30.0, filter));
+    benchmark::DoNotOptimize(core::analyze_concentration(data, filter));
+    benchmark::DoNotOptimize(core::analyze_user_variability(data, filter));
+    benchmark::DoNotOptimize(core::analyze_system_utilization(data));
+  }
+  out.stage_ms[1] = ms_since(t0);
+
+  t0 = std::chrono::steady_clock::now();
+  for (const auto& data : campaigns)
+    benchmark::DoNotOptimize(core::analyze_prediction(data, filter));
+  out.stage_ms[2] = ms_since(t0);
+
+  t0 = std::chrono::steady_clock::now();
+  core::ReportOptions ropts;
+  ropts.include_prediction = false;  // ml is timed as its own stage
+  out.report_text = core::render_markdown_report(campaigns, ropts);
+  out.stage_ms[3] = ms_since(t0);
+  return out;
+}
+
+int run_stage_harness(double days, const std::string& out_path) {
+  core::StudyConfig config;
+  config.days = days;
+  config.instrument_begin_day = 0.0;
+  config.instrument_end_day = config.days;
+
+  std::printf("\nstage harness: %.0f-day campaign, serial then parallel\n", days);
+  util::set_global_thread_count(1);
+  const ChainResult serial = run_chain(config);
+  util::set_global_thread_count(0);
+  const std::size_t threads = util::global_thread_count();
+  const ChainResult parallel = run_chain(config);
+  const bool deterministic = serial.report_text == parallel.report_text;
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  double serial_total = 0.0, parallel_total = 0.0;
+  std::fprintf(f, "{\n  \"days\": %.1f,\n  \"threads\": %zu,\n  \"stages\": [\n",
+               days, threads);
+  for (std::size_t s = 0; s < kStageNames.size(); ++s) {
+    const double speedup =
+        parallel.stage_ms[s] > 0.0 ? serial.stage_ms[s] / parallel.stage_ms[s] : 0.0;
+    serial_total += serial.stage_ms[s];
+    parallel_total += parallel.stage_ms[s];
+    std::fprintf(f,
+                 "    {\"stage\": \"%s\", \"serial_ms\": %.2f, \"parallel_ms\": "
+                 "%.2f, \"speedup\": %.2f}%s\n",
+                 kStageNames[s], serial.stage_ms[s], parallel.stage_ms[s], speedup,
+                 s + 1 < kStageNames.size() ? "," : "");
+    std::printf("  %-10s serial %9.2f ms   parallel %9.2f ms   speedup %.2fx\n",
+                kStageNames[s], serial.stage_ms[s], parallel.stage_ms[s], speedup);
+  }
+  const double total_speedup =
+      parallel_total > 0.0 ? serial_total / parallel_total : 0.0;
+  std::fprintf(f,
+               "  ],\n  \"serial_total_ms\": %.2f,\n  \"parallel_total_ms\": "
+               "%.2f,\n  \"total_speedup\": %.2f,\n  \"deterministic\": %s\n}\n",
+               serial_total, parallel_total, total_speedup,
+               deterministic ? "true" : "false");
+  std::fclose(f);
+  std::printf("  %-10s serial %9.2f ms   parallel %9.2f ms   speedup %.2fx\n",
+              "total", serial_total, parallel_total, total_speedup);
+  std::printf("  deterministic (byte-identical report): %s\n",
+              deterministic ? "yes" : "NO");
+  std::printf("  wrote %s\n", out_path.c_str());
+  return deterministic ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip harness flags before google-benchmark parses the rest.
+  double perf_days = 6.0;
+  std::string perf_out = "BENCH_perf.json";
+  bool run_perf = true;
+  std::vector<char*> bench_args;
+  bench_args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--perf_days=", 0) == 0) {
+      perf_days = std::stod(std::string(arg.substr(12)));
+    } else if (arg.rfind("--perf_out=", 0) == 0) {
+      perf_out = std::string(arg.substr(11));
+    } else if (arg == "--no_perf") {
+      run_perf = false;
+    } else {
+      bench_args.push_back(argv[i]);
+    }
+  }
+  int bench_argc = static_cast<int>(bench_args.size());
+  benchmark::Initialize(&bench_argc, bench_args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  if (!run_perf) return 0;
+  hpcpower::util::set_log_level(hpcpower::util::LogLevel::kWarn);
+  const int rc = run_stage_harness(perf_days, perf_out);
+  hpcpower::util::shutdown_global_pool();
+  return rc;
+}

@@ -5,13 +5,14 @@
 // trace_explorer + replay, recorded) campaign.
 //
 //   ./generate_report [--days 10] [--seed 42] [--out report.md] [--no-ml]
-//                     [--faults]
+//                     [--faults] [--threads N]
 
 #include <cstdio>
 
 #include "core/report.hpp"
 #include "util/logging.hpp"
 #include "util/options.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace hpcpower;
 
@@ -23,8 +24,10 @@ int main(int argc, char** argv) {
   opts.add_flag("no-ml", "skip the (slow) prediction section");
   opts.add_flag("faults", "inject telemetry faults (with robust ingest)");
   opts.add_flag("quiet", "suppress progress logging");
+  opts.add_threads_option();
   try {
     if (!opts.parse(argc, argv)) return 0;
+    util::set_global_thread_count(opts.threads());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 1;

@@ -3,6 +3,14 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/parallel.hpp"
+
+// Parallelization pattern (DESIGN.md §5): per-job metric extraction fans out
+// via util::parallel_for into pre-sized vectors indexed by job position, and
+// streaming aggregates fold through util::blocked_accumulate, whose reduction
+// tree depends only on the fixed block size. Both are bit-identical across
+// thread counts, including the serial reference.
+
 namespace hpcpower::core {
 
 namespace {
@@ -14,6 +22,10 @@ std::vector<const telemetry::JobRecord*> filtered(const CampaignData& data,
     if (filter.accepts(r)) out.push_back(&r);
   return out;
 }
+
+void merge_stats(stats::RunningStats& into, const stats::RunningStats& from) {
+  into.merge(from);
+}
 }  // namespace
 
 PerNodePowerReport analyze_per_node_power(const CampaignData& data,
@@ -21,9 +33,9 @@ PerNodePowerReport analyze_per_node_power(const CampaignData& data,
   const auto jobs = filtered(data, filter);
   if (jobs.empty()) throw std::invalid_argument("analyze_per_node_power: no jobs");
 
-  std::vector<double> watts;
-  watts.reserve(jobs.size());
-  for (const auto* r : jobs) watts.push_back(r->mean_node_power_w);
+  std::vector<double> watts(jobs.size());
+  util::parallel_for(jobs.size(),
+                     [&](std::size_t i) { watts[i] = jobs[i]->mean_node_power_w; });
 
   PerNodePowerReport report{data.spec.name, stats::summarize(watts), 0.0, 0.0,
                             stats::Histogram(0.0, data.spec.node_tdp_watts, bins)};
@@ -39,11 +51,15 @@ std::vector<AppPowerEntry> analyze_app_power(const CampaignData& data,
                                              const JobFilter& filter) {
   std::vector<AppPowerEntry> out;
   for (const workload::AppId app_id : catalog.key_applications()) {
-    stats::RunningStats rs;
-    for (const telemetry::JobRecord& r : data.records) {
-      if (!filter.accepts(r) || r.app != app_id) continue;
-      rs.add(r.mean_node_power_w);
-    }
+    const auto rs = util::blocked_accumulate<stats::RunningStats>(
+        data.records.size(),
+        [&](stats::RunningStats& acc, std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            const telemetry::JobRecord& r = data.records[i];
+            if (filter.accepts(r) && r.app == app_id) acc.add(r.mean_node_power_w);
+          }
+        },
+        merge_stats);
     AppPowerEntry entry;
     entry.app_name = catalog.app(app_id).name;
     entry.mean_power_w = rs.mean();
@@ -57,15 +73,13 @@ std::vector<AppPowerEntry> analyze_app_power(const CampaignData& data,
 CorrelationReport analyze_correlations(const CampaignData& data, const JobFilter& filter) {
   const auto jobs = filtered(data, filter);
   if (jobs.size() < 3) throw std::invalid_argument("analyze_correlations: too few jobs");
-  std::vector<double> runtime, nnodes, power;
-  runtime.reserve(jobs.size());
-  nnodes.reserve(jobs.size());
-  power.reserve(jobs.size());
-  for (const auto* r : jobs) {
-    runtime.push_back(static_cast<double>(r->runtime_min()));
-    nnodes.push_back(static_cast<double>(r->nnodes));
-    power.push_back(r->mean_node_power_w);
-  }
+  std::vector<double> runtime(jobs.size()), nnodes(jobs.size()), power(jobs.size());
+  util::parallel_for(jobs.size(), [&](std::size_t i) {
+    const auto* r = jobs[i];
+    runtime[i] = static_cast<double>(r->runtime_min());
+    nnodes[i] = static_cast<double>(r->nnodes);
+    power[i] = r->mean_node_power_w;
+  });
   CorrelationReport report;
   report.system = data.spec.name;
   report.length_vs_power = stats::spearman(runtime, power);
@@ -78,28 +92,45 @@ MedianSplitReport analyze_median_splits(const CampaignData& data,
   const auto jobs = filtered(data, filter);
   if (jobs.empty()) throw std::invalid_argument("analyze_median_splits: no jobs");
 
-  std::vector<double> runtimes, sizes;
-  runtimes.reserve(jobs.size());
-  sizes.reserve(jobs.size());
-  for (const auto* r : jobs) {
-    runtimes.push_back(static_cast<double>(r->runtime_min()));
-    sizes.push_back(static_cast<double>(r->nnodes));
-  }
+  std::vector<double> runtimes(jobs.size()), sizes(jobs.size());
+  util::parallel_for(jobs.size(), [&](std::size_t i) {
+    runtimes[i] = static_cast<double>(jobs[i]->runtime_min());
+    sizes[i] = static_cast<double>(jobs[i]->nnodes);
+  });
   MedianSplitReport report;
   report.system = data.spec.name;
   report.median_runtime_min = stats::median(runtimes);
   report.median_nnodes = stats::median(sizes);
 
   const double tdp = data.spec.node_tdp_watts;
-  stats::RunningStats short_s, long_s, small_s, large_s;
-  for (const auto* r : jobs) {
-    const double frac = r->mean_node_power_w / tdp;
-    (static_cast<double>(r->runtime_min()) <= report.median_runtime_min ? short_s
-                                                                        : long_s)
-        .add(frac);
-    (static_cast<double>(r->nnodes) <= report.median_nnodes ? small_s : large_s)
-        .add(frac);
-  }
+  struct SplitAcc {
+    stats::RunningStats short_s, long_s, small_s, large_s;
+  };
+  const auto acc = util::blocked_accumulate<SplitAcc>(
+      jobs.size(),
+      [&](SplitAcc& a, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto* r = jobs[i];
+          const double frac = r->mean_node_power_w / tdp;
+          (static_cast<double>(r->runtime_min()) <= report.median_runtime_min
+               ? a.short_s
+               : a.long_s)
+              .add(frac);
+          (static_cast<double>(r->nnodes) <= report.median_nnodes ? a.small_s
+                                                                  : a.large_s)
+              .add(frac);
+        }
+      },
+      [](SplitAcc& a, const SplitAcc& b) {
+        a.short_s.merge(b.short_s);
+        a.long_s.merge(b.long_s);
+        a.small_s.merge(b.small_s);
+        a.large_s.merge(b.large_s);
+      });
+  const stats::RunningStats& short_s = acc.short_s;
+  const stats::RunningStats& long_s = acc.long_s;
+  const stats::RunningStats& small_s = acc.small_s;
+  const stats::RunningStats& large_s = acc.large_s;
   const auto to_group = [](const char* label, const stats::RunningStats& rs) {
     MedianSplitGroup g;
     g.label = label;
@@ -116,13 +147,22 @@ MedianSplitReport analyze_median_splits(const CampaignData& data,
 }
 
 TemporalReport analyze_temporal(const CampaignData& data, const JobFilter& filter) {
-  std::vector<double> overshoot, above, cv;
+  // Membership (cheap, order-defining) stays serial; metric extraction fans
+  // out into slots indexed by the collected order.
+  std::vector<const telemetry::JobRecord*> djobs, cv_jobs;
   for (const telemetry::JobRecord& r : data.records) {
     if (!filter.accepts(r) || !r.detail) continue;
-    overshoot.push_back(r.detail->peak_overshoot);
-    above.push_back(r.detail->frac_time_above_10pct);
-    if (r.mean_node_power_w > 0.0) cv.push_back(r.temporal_std_w / r.mean_node_power_w);
+    djobs.push_back(&r);
+    if (r.mean_node_power_w > 0.0) cv_jobs.push_back(&r);
   }
+  std::vector<double> overshoot(djobs.size()), above(djobs.size()), cv(cv_jobs.size());
+  util::parallel_for(djobs.size(), [&](std::size_t i) {
+    overshoot[i] = djobs[i]->detail->peak_overshoot;
+    above[i] = djobs[i]->detail->frac_time_above_10pct;
+  });
+  util::parallel_for(cv_jobs.size(), [&](std::size_t i) {
+    cv[i] = cv_jobs[i]->temporal_std_w / cv_jobs[i]->mean_node_power_w;
+  });
   TemporalReport report;
   report.system = data.spec.name;
   report.instrumented_jobs = overshoot.size();
@@ -141,13 +181,18 @@ TemporalReport analyze_temporal(const CampaignData& data, const JobFilter& filte
 }
 
 SpatialReport analyze_spatial(const CampaignData& data, const JobFilter& filter) {
-  std::vector<double> spread_w, spread_frac, time_above;
+  std::vector<const telemetry::JobRecord*> djobs;
   for (const telemetry::JobRecord& r : data.records) {
     if (!filter.accepts(r) || !r.detail || r.nnodes < 2) continue;
-    spread_w.push_back(r.detail->avg_spatial_spread_w);
-    spread_frac.push_back(r.detail->spread_fraction_of_power);
-    time_above.push_back(r.detail->frac_time_above_avg_spread);
+    djobs.push_back(&r);
   }
+  std::vector<double> spread_w(djobs.size()), spread_frac(djobs.size()),
+      time_above(djobs.size());
+  util::parallel_for(djobs.size(), [&](std::size_t i) {
+    spread_w[i] = djobs[i]->detail->avg_spatial_spread_w;
+    spread_frac[i] = djobs[i]->detail->spread_fraction_of_power;
+    time_above[i] = djobs[i]->detail->frac_time_above_avg_spread;
+  });
   SpatialReport report;
   report.system = data.spec.name;
   report.instrumented_multinode_jobs = spread_w.size();
@@ -165,12 +210,16 @@ SpatialReport analyze_spatial(const CampaignData& data, const JobFilter& filter)
 
 EnergySpreadReport analyze_energy_spread(const CampaignData& data,
                                          const JobFilter& filter, std::size_t bins) {
-  std::vector<double> spread, nnodes;
+  std::vector<const telemetry::JobRecord*> djobs;
   for (const telemetry::JobRecord& r : data.records) {
     if (!filter.accepts(r) || r.nnodes < 2) continue;
-    spread.push_back(r.node_energy_spread_fraction());
-    nnodes.push_back(static_cast<double>(r.nnodes));
+    djobs.push_back(&r);
   }
+  std::vector<double> spread(djobs.size()), nnodes(djobs.size());
+  util::parallel_for(djobs.size(), [&](std::size_t i) {
+    spread[i] = djobs[i]->node_energy_spread_fraction();
+    nnodes[i] = static_cast<double>(djobs[i]->nnodes);
+  });
   EnergySpreadReport report{data.spec.name, spread.size(),
                             stats::Histogram(0.0, 0.6, bins), 0.0, 0.0, {}};
   if (spread.empty()) return report;
@@ -200,15 +249,34 @@ ConsistencyReport analyze_monthly_consistency(const CampaignData& data,
   const auto window_min = static_cast<std::int64_t>(window_days * 24.0 * 60.0);
   const auto windows = static_cast<std::size_t>((last_end + window_min - 1) / window_min);
 
-  std::vector<stats::RunningStats> per_window(std::max<std::size_t>(windows, 1));
-  stats::RunningStats overall;
-  for (const auto* r : jobs) {
-    const auto w = static_cast<std::size_t>(
-        std::min<std::int64_t>(r->start.minutes() / window_min,
-                               static_cast<std::int64_t>(per_window.size()) - 1));
-    per_window[w].add(r->mean_node_power_w);
-    overall.add(r->mean_node_power_w);
-  }
+  const std::size_t window_count = std::max<std::size_t>(windows, 1);
+  struct ConsistencyAcc {
+    std::vector<stats::RunningStats> per_window;
+    stats::RunningStats overall;
+  };
+  auto acc = util::blocked_accumulate<ConsistencyAcc>(
+      jobs.size(),
+      [&](ConsistencyAcc& a, std::size_t begin, std::size_t end) {
+        a.per_window.resize(window_count);
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto* r = jobs[i];
+          const auto w = static_cast<std::size_t>(
+              std::min<std::int64_t>(r->start.minutes() / window_min,
+                                     static_cast<std::int64_t>(window_count) - 1));
+          a.per_window[w].add(r->mean_node_power_w);
+          a.overall.add(r->mean_node_power_w);
+        }
+      },
+      [](ConsistencyAcc& a, const ConsistencyAcc& b) {
+        if (a.per_window.size() < b.per_window.size())
+          a.per_window.resize(b.per_window.size());
+        for (std::size_t w = 0; w < b.per_window.size(); ++w)
+          a.per_window[w].merge(b.per_window[w]);
+        a.overall.merge(b.overall);
+      });
+  std::vector<stats::RunningStats>& per_window = acc.per_window;
+  if (per_window.size() < window_count) per_window.resize(window_count);
+  const stats::RunningStats& overall = acc.overall;
 
   for (std::size_t w = 0; w < per_window.size(); ++w) {
     if (per_window[w].count() == 0) continue;

@@ -1,9 +1,14 @@
 #include "core/study.hpp"
 
 #include <algorithm>
+#include <exception>
+#include <future>
+#include <utility>
+#include <vector>
 
 #include "util/logging.hpp"
 #include "util/strings.hpp"
+#include "util/thread_pool.hpp"
 
 namespace hpcpower::core {
 
@@ -91,10 +96,40 @@ CampaignData run_campaign(const cluster::SystemSpec& spec, const StudyConfig& co
 }
 
 std::vector<CampaignData> run_both_systems(const StudyConfig& config) {
-  std::vector<CampaignData> out;
-  out.reserve(2);
-  for (const cluster::SystemSpec& spec : cluster::studied_systems())
-    out.push_back(run_campaign(spec, config));
+  const auto& specs = cluster::studied_systems();
+  std::vector<CampaignData> out(specs.size());
+  if (specs.size() < 2 || util::global_thread_count() < 2) {
+    for (std::size_t i = 0; i < specs.size(); ++i)
+      out[i] = run_campaign(specs[i], config);
+    return out;
+  }
+
+  // The campaigns are independent (separate pipelines, separate PRNG streams
+  // keyed only by the seed), so they run concurrently; each additionally
+  // shards its own per-minute telemetry sweeps across the shared pool, whose
+  // parallel_for is re-entrant from worker threads. The caller takes the
+  // first campaign itself so progress is made even if every pool worker is
+  // busy.
+  std::vector<std::future<void>> pending;
+  pending.reserve(specs.size() - 1);
+  for (std::size_t i = 1; i < specs.size(); ++i) {
+    pending.push_back(util::global_pool().submit(
+        [&, i] { out[i] = run_campaign(specs[i], config); }));
+  }
+  std::exception_ptr error;
+  try {
+    out[0] = run_campaign(specs[0], config);
+  } catch (...) {
+    error = std::current_exception();
+  }
+  for (auto& f : pending) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!error) error = std::current_exception();
+    }
+  }
+  if (error) std::rethrow_exception(error);
   return out;
 }
 

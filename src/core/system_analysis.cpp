@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "stats/descriptive.hpp"
+#include "util/parallel.hpp"
 
 namespace hpcpower::core {
 
@@ -19,11 +20,25 @@ SystemUtilizationReport analyze_system_utilization(const CampaignData& data,
   const double provisioned = data.spec.provisioned_power_watts();
   const double total_nodes = data.spec.node_count;
 
-  stats::RunningStats util_stats, power_stats;
-  for (std::size_t m = 0; m < power.size(); ++m) {
-    util_stats.add(static_cast<double>(busy[m]) / total_nodes);
-    power_stats.add(power[m] / provisioned);
-  }
+  // Minute-level streaming aggregates fold blockwise (fixed reduction tree,
+  // thread-count invariant; DESIGN.md §5).
+  struct SeriesAcc {
+    stats::RunningStats util_stats, power_stats;
+  };
+  const auto acc = util::blocked_accumulate<SeriesAcc>(
+      power.size(),
+      [&](SeriesAcc& a, std::size_t begin, std::size_t end) {
+        for (std::size_t m = begin; m < end; ++m) {
+          a.util_stats.add(static_cast<double>(busy[m]) / total_nodes);
+          a.power_stats.add(power[m] / provisioned);
+        }
+      },
+      [](SeriesAcc& a, const SeriesAcc& b) {
+        a.util_stats.merge(b.util_stats);
+        a.power_stats.merge(b.power_stats);
+      });
+  const stats::RunningStats& util_stats = acc.util_stats;
+  const stats::RunningStats& power_stats = acc.power_stats;
   report.mean_system_utilization = util_stats.mean();
   report.mean_power_utilization = power_stats.mean();
   report.peak_power_utilization = power_stats.max();
@@ -35,7 +50,10 @@ SystemUtilizationReport analyze_system_utilization(const CampaignData& data,
   if (series_points > 0) {
     const std::size_t n = power.size();
     const std::size_t bucket = std::max<std::size_t>(1, n / series_points);
-    for (std::size_t begin = 0; begin < n; begin += bucket) {
+    const std::size_t buckets = (n + bucket - 1) / bucket;
+    report.series.resize(buckets);
+    util::parallel_for(buckets, [&](std::size_t b) {
+      const std::size_t begin = b * bucket;
       const std::size_t end = std::min(n, begin + bucket);
       double u = 0.0, p = 0.0;
       for (std::size_t m = begin; m < end; ++m) {
@@ -47,8 +65,8 @@ SystemUtilizationReport analyze_system_utilization(const CampaignData& data,
       pt.day = static_cast<double>(begin + (end - begin) / 2) / (24.0 * 60.0);
       pt.system_utilization = u / count;
       pt.power_utilization = p / count;
-      report.series.push_back(pt);
-    }
+      report.series[b] = pt;
+    });
   }
   return report;
 }

@@ -4,18 +4,37 @@
 
 #include "stats/concentration.hpp"
 #include "stats/descriptive.hpp"
+#include "util/parallel.hpp"
+
+// Per-user/per-cluster aggregation folds through util::blocked_accumulate:
+// each fixed-size record block builds its own map, and blocks merge in block
+// order, so both the values and the map insertion history (hence iteration
+// order) are independent of the thread count (DESIGN.md §5).
 
 namespace hpcpower::core {
 
 ConcentrationReport analyze_concentration(const CampaignData& data,
                                           const JobFilter& filter,
                                           std::size_t curve_points) {
-  std::unordered_map<workload::UserId, double> node_hours, energy;
-  for (const telemetry::JobRecord& r : data.records) {
-    if (!filter.accepts(r)) continue;
-    node_hours[r.user_id] += r.node_hours();
-    energy[r.user_id] += r.energy_kwh;
-  }
+  struct ConcAcc {
+    std::unordered_map<workload::UserId, double> node_hours, energy;
+  };
+  auto acc = util::blocked_accumulate<ConcAcc>(
+      data.records.size(),
+      [&](ConcAcc& a, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const telemetry::JobRecord& r = data.records[i];
+          if (!filter.accepts(r)) continue;
+          a.node_hours[r.user_id] += r.node_hours();
+          a.energy[r.user_id] += r.energy_kwh;
+        }
+      },
+      [](ConcAcc& a, const ConcAcc& b) {
+        for (const auto& [user, hours] : b.node_hours) a.node_hours[user] += hours;
+        for (const auto& [user, kwh] : b.energy) a.energy[user] += kwh;
+      });
+  std::unordered_map<workload::UserId, double>& node_hours = acc.node_hours;
+  std::unordered_map<workload::UserId, double>& energy = acc.energy;
   ConcentrationReport report;
   report.system = data.spec.name;
   report.users = node_hours.size();
@@ -46,14 +65,27 @@ UserVariabilityReport analyze_user_variability(const CampaignData& data,
   struct UserAgg {
     stats::RunningStats power, nnodes, runtime;
   };
-  std::unordered_map<workload::UserId, UserAgg> users;
-  for (const telemetry::JobRecord& r : data.records) {
-    if (!filter.accepts(r)) continue;
-    UserAgg& agg = users[r.user_id];
-    agg.power.add(r.mean_node_power_w);
-    agg.nnodes.add(static_cast<double>(r.nnodes));
-    agg.runtime.add(static_cast<double>(r.runtime_min()));
-  }
+  using UserMap = std::unordered_map<workload::UserId, UserAgg>;
+  const UserMap users = util::blocked_accumulate<UserMap>(
+      data.records.size(),
+      [&](UserMap& a, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const telemetry::JobRecord& r = data.records[i];
+          if (!filter.accepts(r)) continue;
+          UserAgg& agg = a[r.user_id];
+          agg.power.add(r.mean_node_power_w);
+          agg.nnodes.add(static_cast<double>(r.nnodes));
+          agg.runtime.add(static_cast<double>(r.runtime_min()));
+        }
+      },
+      [](UserMap& a, const UserMap& b) {
+        for (const auto& [user, agg] : b) {
+          UserAgg& into = a[user];
+          into.power.merge(agg.power);
+          into.nnodes.merge(agg.nnodes);
+          into.runtime.merge(agg.runtime);
+        }
+      });
 
   std::vector<double> power_cv, nnodes_cv, runtime_cv;
   for (const auto& [user, agg] : users) {
@@ -79,14 +111,23 @@ ClusterVariabilityReport analyze_cluster_variability(const CampaignData& data,
                                                      const JobFilter& filter,
                                                      std::size_t min_jobs) {
   // Cluster key: (user, nnodes) or (user, requested walltime).
-  std::unordered_map<std::uint64_t, stats::RunningStats> clusters;
-  for (const telemetry::JobRecord& r : data.records) {
-    if (!filter.accepts(r)) continue;
-    const std::uint64_t second =
-        key == ClusterKey::kUserNodes ? r.nnodes : r.walltime_req_min;
-    const std::uint64_t id = (static_cast<std::uint64_t>(r.user_id) << 32) | second;
-    clusters[id].add(r.mean_node_power_w);
-  }
+  using ClusterMap = std::unordered_map<std::uint64_t, stats::RunningStats>;
+  const ClusterMap clusters = util::blocked_accumulate<ClusterMap>(
+      data.records.size(),
+      [&](ClusterMap& a, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const telemetry::JobRecord& r = data.records[i];
+          if (!filter.accepts(r)) continue;
+          const std::uint64_t second =
+              key == ClusterKey::kUserNodes ? r.nnodes : r.walltime_req_min;
+          const std::uint64_t id =
+              (static_cast<std::uint64_t>(r.user_id) << 32) | second;
+          a[id].add(r.mean_node_power_w);
+        }
+      },
+      [](ClusterMap& a, const ClusterMap& b) {
+        for (const auto& [id, rs] : b) a[id].merge(rs);
+      });
 
   ClusterVariabilityReport report;
   report.system = data.spec.name;

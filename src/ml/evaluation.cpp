@@ -7,6 +7,7 @@
 #include "ml/flda.hpp"
 #include "ml/knn.hpp"
 #include "stats/descriptive.hpp"
+#include "util/parallel.hpp"
 
 namespace hpcpower::ml {
 
@@ -40,21 +41,42 @@ EvaluationResult evaluate_model(
   const auto splits =
       make_repeated_splits(data, config.train_fraction, config.repeats, config.seed);
 
-  std::map<std::uint32_t, double> user_error_sum;
-  std::map<std::uint32_t, std::size_t> user_error_count;
-
-  for (const Split& split : splits) {
+  // Cross-validation folds are independent: each split already carries its
+  // own PRNG stream keyed by the fold index (see make_repeated_splits), so
+  // folds run concurrently into per-fold slots and reduce in fold order —
+  // results are bit-identical at every thread count (DESIGN.md §5).
+  struct FoldResult {
+    std::string model;
+    std::vector<double> errors;
+    std::map<std::uint32_t, double> user_error_sum;
+    std::map<std::uint32_t, std::size_t> user_error_count;
+  };
+  std::vector<FoldResult> folds(splits.size());
+  util::parallel_for(splits.size(), [&](std::size_t f) {
+    const Split& split = splits[f];
+    FoldResult& fold = folds[f];
     const Dataset train = data.subset(split.train);
     auto model = factory();
-    if (result.model.empty()) result.model = model->name();
+    fold.model = model->name();
     model->fit(train);
+    fold.errors.reserve(split.validation.size());
     for (const std::size_t i : split.validation) {
       const double predicted = model->predict(data.row(i));
       const double err = absolute_percent_error(data.target(i), predicted);
-      result.errors.push_back(err);
-      user_error_sum[data.group(i)] += err;
-      ++user_error_count[data.group(i)];
+      fold.errors.push_back(err);
+      fold.user_error_sum[data.group(i)] += err;
+      ++fold.user_error_count[data.group(i)];
     }
+  });
+
+  std::map<std::uint32_t, double> user_error_sum;
+  std::map<std::uint32_t, std::size_t> user_error_count;
+  for (FoldResult& fold : folds) {
+    if (result.model.empty()) result.model = std::move(fold.model);
+    result.errors.insert(result.errors.end(), fold.errors.begin(), fold.errors.end());
+    for (const auto& [user, sum] : fold.user_error_sum) user_error_sum[user] += sum;
+    for (const auto& [user, count] : fold.user_error_count)
+      user_error_count[user] += count;
   }
 
   for (const auto& [user, total] : user_error_sum)

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "util/parallel.hpp"
+
 namespace hpcpower::telemetry {
 
 MonitoringPipeline::MonitoringPipeline(const cluster::SystemSpec& spec,
@@ -60,31 +62,40 @@ void MonitoringPipeline::on_start(const sched::RunningJob& job) {
   active_.emplace(job.request.job_id, std::move(active));
 }
 
-double MonitoringPipeline::capped_power(double watts) noexcept {
-  if (config_.node_power_cap_w > 0.0 && watts > config_.node_power_cap_w) {
-    ++throttled_samples_;
-    return config_.node_power_cap_w;
+namespace {
+/// Cap clamp shared by the clean and faulty sampling paths. The throttle
+/// counter is per-job scratch so concurrent job tasks never share a counter.
+double capped_power(double watts, double cap_w, std::uint64_t& throttled) noexcept {
+  if (cap_w > 0.0 && watts > cap_w) {
+    ++throttled;
+    return cap_w;
   }
   return watts;
 }
+}  // namespace
 
 void MonitoringPipeline::per_minute(
     util::MinuteTime now, const std::vector<const sched::RunningJob*>& running,
     std::uint32_t down_nodes) {
-  double total_power = 0.0;
-  std::uint32_t busy = 0;
-
-  for (const sched::RunningJob* job : running) {
+  // One task per running job: each touches only its own ActiveJob state and
+  // writes its facility-meter contribution into a dedicated slot. The slots
+  // are then reduced in running-set order, so the sum has the exact same
+  // association as the historical serial loop at every thread count.
+  tick_scratch_.assign(running.size(), TickPartial{});
+  util::parallel_for(running.size(), [&](std::size_t j) {
+    const sched::RunningJob* job = running[j];
     const auto it = active_.find(job->request.job_id);
     assert(it != active_.end());
     ActiveJob& a = it->second;
+    TickPartial& out = tick_scratch_[j];
     const auto minute = static_cast<std::uint32_t>((now - a.placement.start).minutes());
 
     double sum = 0.0;
     double lo = 0.0, hi = 0.0;
     const std::uint32_t n = static_cast<std::uint32_t>(a.placement.nodes.size());
     for (std::uint32_t i = 0; i < n; ++i) {
-      const double p = capped_power(a.profile.node_power(minute, i));
+      const double p = capped_power(a.profile.node_power(minute, i),
+                                    config_.node_power_cap_w, out.throttled);
       a.all_samples.add(p);
       a.node_energy_wmin[i] += p;
       sum += p;
@@ -101,8 +112,16 @@ void MonitoringPipeline::per_minute(
       a.mean_series.push_back(static_cast<float>(mean));
       a.spread_series.push_back(static_cast<float>(hi - lo));
     }
-    total_power += sum;
-    busy += n;
+    out.power_w = sum;
+    out.busy = n;
+  });
+
+  double total_power = 0.0;
+  std::uint32_t busy = 0;
+  for (const TickPartial& t : tick_scratch_) {
+    total_power += t.power_w;
+    busy += t.busy;
+    throttled_samples_ += t.throttled;
   }
 
   // Idle nodes still draw their floor power (RAPL PKG+DRAM never reads zero);
@@ -120,13 +139,20 @@ void MonitoringPipeline::per_minute_faulty(
     util::MinuteTime now, const std::vector<const sched::RunningJob*>& running,
     std::uint32_t down_nodes) {
   const bool clean = config_.cleaning.enabled;
-  double total_power = 0.0;
-  std::uint32_t busy = 0;
 
-  for (const sched::RunningJob* job : running) {
+  // Sharded like per_minute: one task per job, with the job's data-quality
+  // ledger delta accumulated in its own slot and merged in running-set order.
+  // Per-node dropout ledgers (node_slots_/node_gap_slots_) are written
+  // directly: nodes are exclusively allocated, so no two concurrent job tasks
+  // ever touch the same global node id.
+  faulty_scratch_.assign(running.size(), FaultyTickPartial{});
+  util::parallel_for(running.size(), [&](std::size_t j) {
+    const sched::RunningJob* job = running[j];
     const auto it = active_.find(job->request.job_id);
     assert(it != active_.end());
     ActiveJob& a = it->second;
+    FaultyTickPartial& slot = faulty_scratch_[j];
+    DataQualityReport& q = slot.quality;
     const std::uint64_t job_id = job->request.job_id;
     const auto minute = static_cast<std::uint32_t>((now - a.placement.start).minutes());
     ++a.ticks;
@@ -134,7 +160,7 @@ void MonitoringPipeline::per_minute_faulty(
     const bool crashed = a.crash_at && minute >= *a.crash_at;
     if (crashed && !a.crash_counted) {
       a.crash_counted = true;
-      ++quality_.jobs_truncated_by_crash;
+      ++q.jobs_truncated_by_crash;
     }
 
     // Accepted values for *this* minute (for the across-node mean/spread).
@@ -157,20 +183,21 @@ void MonitoringPipeline::per_minute_faulty(
     const std::uint32_t n = static_cast<std::uint32_t>(a.placement.nodes.size());
     for (std::uint32_t i = 0; i < n; ++i) {
       // The facility meter sees the true draw regardless of telemetry faults.
-      const double p = capped_power(a.profile.node_power(minute, i));
+      const double p = capped_power(a.profile.node_power(minute, i),
+                                    config_.node_power_cap_w, slot.tick.throttled);
       true_sum += p;
       const cluster::NodeId gid = a.placement.nodes[i];
-      ++quality_.samples_expected;
+      ++q.samples_expected;
       ++node_slots_[gid];
 
       if (crashed) {
-        quality_.count(SampleClass::kGap);
+        q.count(SampleClass::kGap);
         ++node_gap_slots_[gid];
         continue;
       }
       const SampleFault fault = fault_model_.classify(job_id, now.minutes(), gid);
       if (fault == SampleFault::kDropout) {
-        quality_.count(clean ? a.scrub[i].missing(minute) : SampleClass::kGap);
+        q.count(clean ? a.scrub[i].missing(minute) : SampleClass::kGap);
         ++node_gap_slots_[gid];
         continue;
       }
@@ -182,31 +209,31 @@ void MonitoringPipeline::per_minute_faulty(
       const bool duplicated = fault == SampleFault::kDuplicate;
 
       if (clean) {
-        backfill_.clear();
+        a.backfill_scratch.clear();
         const auto out = a.scrub[i].observe(minute, observed, duplicated,
                                             config_.cleaning, spec_.node_tdp_watts,
-                                            backfill_);
-        quality_.count(out.cls);
-        if (out.repaired_glitch) ++quality_.glitches_repaired;
+                                            a.backfill_scratch);
+        q.count(out.cls);
+        if (out.repaired_glitch) ++q.glitches_repaired;
         if (out.accepted) {
           a.all_samples.add(*out.accepted);
           a.node_energy_wmin[i] += *out.accepted;
           ++a.node_valid[i];
           accept_now(*out.accepted);
         }
-        for (const auto& b : backfill_) {
+        for (const auto& b : a.backfill_scratch) {
           a.all_samples.add(b.watts);
           a.node_energy_wmin[i] += b.watts;
           ++a.node_valid[i];
-          ++quality_.samples_interpolated;
+          ++q.samples_interpolated;
         }
       } else {
         // Trust-the-collector mode: every observation lands in the
         // aggregates verbatim, duplicates twice. This is what the paper's
         // cleaning step exists to prevent.
-        quality_.count(glitchy ? SampleClass::kGlitch
-                               : (duplicated ? SampleClass::kDuplicate
-                                             : SampleClass::kOk));
+        q.count(glitchy ? SampleClass::kGlitch
+                        : (duplicated ? SampleClass::kDuplicate
+                                      : SampleClass::kOk));
         const int copies = duplicated ? 2 : 1;
         for (int c = 0; c < copies; ++c) {
           a.all_samples.add(observed);
@@ -225,8 +252,25 @@ void MonitoringPipeline::per_minute_faulty(
         a.spread_series.push_back(static_cast<float>(acc_hi - acc_lo));
       }
     }
-    total_power += true_sum;
-    busy += n;
+    slot.tick.power_w = true_sum;
+    slot.tick.busy = n;
+  });
+
+  double total_power = 0.0;
+  std::uint32_t busy = 0;
+  for (const FaultyTickPartial& f : faulty_scratch_) {
+    total_power += f.tick.power_w;
+    busy += f.tick.busy;
+    throttled_samples_ += f.tick.throttled;
+    const DataQualityReport& q = f.quality;
+    quality_.samples_expected += q.samples_expected;
+    quality_.samples_ok += q.samples_ok;
+    quality_.samples_glitch += q.samples_glitch;
+    quality_.samples_gap += q.samples_gap;
+    quality_.samples_duplicate += q.samples_duplicate;
+    quality_.samples_interpolated += q.samples_interpolated;
+    quality_.glitches_repaired += q.glitches_repaired;
+    quality_.jobs_truncated_by_crash += q.jobs_truncated_by_crash;
   }
 
   const double idle_watts = spec_.idle_power_fraction * spec_.node_tdp_watts;

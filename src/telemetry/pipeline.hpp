@@ -14,6 +14,13 @@
 // ingest layer (cleaning.hpp) classifies/repairs/quarantines so the derived
 // dataset stays faithful. With faults disabled the pipeline is bit-identical
 // to the clean simulation.
+//
+// Each per-minute sweep shards across the running jobs on the global thread
+// pool: a job's samples derive from stateless hashing and land only in that
+// job's ActiveJob state (nodes are exclusively allocated, so per-node ledgers
+// are disjoint too), and the cross-job facility-meter sum is reduced in the
+// running-set order afterwards. Results are therefore bit-identical at any
+// thread count, including the serial reference (DESIGN.md §5).
 
 #include <cstdint>
 #include <memory>
@@ -97,9 +104,24 @@ class MonitoringPipeline {
     std::uint32_t ticks = 0;                // monitored minutes so far
     std::optional<std::uint32_t> crash_at;  // run-relative telemetry cutoff
     bool crash_counted = false;
+    // Per-job interpolation scratch: per-minute sweeps run one task per job,
+    // so the buffer must not be shared across jobs.
+    std::vector<NodeStreamScrubber::Backfill> backfill_scratch;
 
     ActiveJob(workload::PowerProfile p, sched::RunningJob r)
         : profile(std::move(p)), placement(std::move(r)) {}
+  };
+
+  /// Per-job contribution of one minute, reduced in running-set order.
+  struct TickPartial {
+    double power_w = 0.0;
+    std::uint32_t busy = 0;
+    std::uint64_t throttled = 0;
+  };
+  /// TickPartial plus the job's data-quality ledger delta (faulty path).
+  struct FaultyTickPartial {
+    TickPartial tick;
+    DataQualityReport quality;
   };
 
   void on_start(const sched::RunningJob& job);
@@ -110,8 +132,6 @@ class MonitoringPipeline {
   void per_minute_faulty(util::MinuteTime now,
                          const std::vector<const sched::RunningJob*>& running,
                          std::uint32_t down_nodes);
-  /// Cap clamp shared by the clean and faulty sampling paths.
-  [[nodiscard]] double capped_power(double watts) noexcept;
 
   cluster::SystemSpec spec_;
   PipelineConfig config_;
@@ -125,7 +145,8 @@ class MonitoringPipeline {
   DataQualityReport quality_;
   std::vector<std::uint64_t> node_slots_;      // per global node: expected samples
   std::vector<std::uint64_t> node_gap_slots_;  // per global node: missing samples
-  std::vector<NodeStreamScrubber::Backfill> backfill_;  // reused scratch
+  std::vector<TickPartial> tick_scratch_;            // reused per-minute slots
+  std::vector<FaultyTickPartial> faulty_scratch_;    // reused per-minute slots
 };
 
 }  // namespace hpcpower::telemetry

@@ -1,6 +1,7 @@
 #include "util/options.hpp"
 
 #include "util/strings.hpp"
+#include "util/thread_pool.hpp"
 
 #include <cstdio>
 #include <stdexcept>
@@ -23,6 +24,13 @@ Options& Options::add_option(std::string name, std::string help, std::string def
   return *this;
 }
 
+Options& Options::add_threads_option() {
+  return add_option("threads",
+                    "worker threads (0 = all cores, 1 = serial; default: "
+                    "HPCPOWER_THREADS, else all cores)",
+                    "");
+}
+
 bool Options::parse(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
@@ -43,6 +51,7 @@ bool Options::parse(int argc, const char* const* argv) {
     if (it == specs_.end())
       throw std::invalid_argument("unknown option --" + name + "\n" + help_text());
     Spec& spec = it->second;
+    spec.provided = true;
     if (spec.is_flag) {
       if (inline_value)
         throw std::invalid_argument("flag --" + name + " does not take a value");
@@ -67,6 +76,21 @@ const Options::Spec& Options::find(std::string_view name) const {
 
 bool Options::flag(std::string_view name) const { return find(name).flag_set; }
 
+bool Options::provided(std::string_view name) const { return find(name).provided; }
+
+std::size_t Options::threads(std::string_view name) const {
+  const Spec& spec = find(name);
+  if (spec.provided) {
+    try {
+      return parse_thread_count(spec.value);  // --threads wins over the env
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument("--" + std::string(name) + ": " + e.what());
+    }
+  }
+  if (!spec.value.empty()) return parse_thread_count(spec.value);
+  return thread_count_from_env();
+}
+
 const std::string& Options::str(std::string_view name) const { return find(name).value; }
 
 std::int64_t Options::integer(std::string_view name) const {
@@ -83,7 +107,8 @@ std::string Options::help_text() const {
   std::string out = program_ + " - " + description_ + "\n\noptions:\n";
   for (const auto& [name, spec] : specs_) {
     out += format("  --%-18s %s", name.c_str(), spec.help.c_str());
-    if (!spec.is_flag) out += format(" (default: %s)", spec.value.c_str());
+    if (!spec.is_flag && !spec.value.empty())
+      out += format(" (default: %s)", spec.value.c_str());
     out += "\n";
   }
   out += "  --help               show this message\n";

@@ -5,6 +5,7 @@
 // options raise an error listing registered options, so every bench binary
 // self-documents with --help.
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -21,16 +22,26 @@ class Options {
 
   Options& add_flag(std::string name, std::string help);
   Options& add_option(std::string name, std::string help, std::string default_value);
+  /// Registers the standard `--threads` option (worker-thread count). The
+  /// default is empty, meaning "fall back to HPCPOWER_THREADS, else all
+  /// cores" - see threads().
+  Options& add_threads_option();
 
   /// Parses argv. Returns false if --help was requested (help text printed).
   /// Throws std::invalid_argument on unknown or malformed options.
   bool parse(int argc, const char* const* argv);
 
   [[nodiscard]] bool flag(std::string_view name) const;
+  /// True when the option was explicitly given on the command line.
+  [[nodiscard]] bool provided(std::string_view name) const;
   [[nodiscard]] const std::string& str(std::string_view name) const;
   [[nodiscard]] std::int64_t integer(std::string_view name) const;
   [[nodiscard]] double number(std::string_view name) const;
   [[nodiscard]] std::uint64_t seed(std::string_view name = "seed") const;
+  /// Resolves the worker-thread count (0 = all cores, 1 = serial). The flag
+  /// value wins over the HPCPOWER_THREADS environment variable; with neither
+  /// set, returns 0. Throws std::invalid_argument on malformed values.
+  [[nodiscard]] std::size_t threads(std::string_view name = "threads") const;
 
   [[nodiscard]] std::string help_text() const;
 
@@ -40,6 +51,7 @@ class Options {
     bool is_flag = false;
     std::string value;   // current (default or parsed)
     bool flag_set = false;
+    bool provided = false;  // explicitly given on the command line
   };
 
   const Spec& find(std::string_view name) const;

@@ -1,0 +1,30 @@
+#include "util/parallel.hpp"
+
+namespace hpcpower::util {
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (global_thread_count() <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  global_pool().parallel_for(n, fn);
+}
+
+namespace {
+double pairwise_sum_impl(const double* values, std::size_t n) noexcept {
+  if (n <= 8) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) sum += values[i];
+    return sum;
+  }
+  const std::size_t half = n / 2;
+  return pairwise_sum_impl(values, half) + pairwise_sum_impl(values + half, n - half);
+}
+}  // namespace
+
+double pairwise_sum(std::span<const double> values) noexcept {
+  return pairwise_sum_impl(values.data(), values.size());
+}
+
+}  // namespace hpcpower::util

@@ -1,0 +1,68 @@
+#pragma once
+// Deterministic parallel-execution helpers over the process-wide pool.
+//
+// The library-wide determinism contract (DESIGN.md §5, enforced by
+// tests/test_parallel_determinism.cpp): every result is bit-identical
+// regardless of HPCPOWER_THREADS. Three rules make that hold:
+//   1. parallel_for work items write only to disjoint, pre-sized output
+//      slots (never append to shared containers);
+//   2. every floating-point accumulation is reduced in a fixed shape that
+//      depends only on the problem size, never on the thread count: either
+//      per-item slots folded left-to-right, fixed-size blocks merged in
+//      block order (blocked_accumulate), or a fixed pairwise tree
+//      (pairwise_sum);
+//   3. randomized work derives its PRNG stream from the work-item index
+//      (derive_stream / stateless_*), never from the executing thread.
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace hpcpower::util {
+
+/// Runs fn(i) for i in [0, n) on the global pool. Serial (and pool-free) when
+/// the configured thread count is 1, so HPCPOWER_THREADS=1 is a true serial
+/// reference run.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+/// Sum over a fixed pairwise tree (recursive halving, sequential below 8
+/// elements). The tree shape depends only on values.size(), so the result is
+/// reproducible and independent of thread count; the pairwise association
+/// also bounds rounding error at O(log n) vs O(n) for a running sum.
+[[nodiscard]] double pairwise_sum(std::span<const double> values) noexcept;
+
+/// Default block length for blocked_accumulate. Fixed (never derived from the
+/// thread count) so the reduction tree is invariant across configurations.
+inline constexpr std::size_t kAccumulateBlock = 1024;
+
+/// Parallel accumulation with a thread-count-independent shape: the index
+/// range [0, n) is cut into fixed-size blocks, `fill(acc, begin, end)`
+/// accumulates one block into its own Acc slot (blocks run in parallel), and
+/// `merge(total, block_acc)` folds the per-block accumulators left-to-right.
+/// A range that fits one block is accumulated directly, bit-identical to a
+/// plain sequential loop.
+template <class Acc, class FillBlock, class Merge>
+[[nodiscard]] Acc blocked_accumulate(std::size_t n, FillBlock&& fill, Merge&& merge,
+                                     std::size_t block = kAccumulateBlock) {
+  Acc total{};
+  if (n == 0) return total;
+  if (n <= block) {
+    fill(total, std::size_t{0}, n);
+    return total;
+  }
+  const std::size_t blocks = (n + block - 1) / block;
+  std::vector<Acc> partial(blocks);
+  parallel_for(blocks, [&](std::size_t b) {
+    fill(partial[b], b * block, std::min(n, (b + 1) * block));
+  });
+  total = std::move(partial[0]);
+  for (std::size_t b = 1; b < blocks; ++b) merge(total, partial[b]);
+  return total;
+}
+
+}  // namespace hpcpower::util

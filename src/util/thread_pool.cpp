@@ -2,7 +2,15 @@
 
 #include <algorithm>
 #include <atomic>
+#include <charconv>
+#include <cstdlib>
 #include <exception>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "util/strings.hpp"
 
 namespace hpcpower::util {
 
@@ -22,20 +30,24 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-std::future<void> ThreadPool::submit(std::function<void()> task) {
-  std::packaged_task<void()> packaged(std::move(task));
-  auto future = packaged.get_future();
+void ThreadPool::post(std::function<void()> task) {
   {
     const std::lock_guard lock(mutex_);
-    tasks_.push(std::move(packaged));
+    tasks_.push(std::move(task));
   }
   cv_.notify_one();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  auto packaged = std::make_shared<std::packaged_task<void()>>(std::move(task));
+  auto future = packaged->get_future();
+  post([packaged] { (*packaged)(); });
   return future;
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::packaged_task<void()> task;
+    std::function<void()> task;
     {
       std::unique_lock lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
@@ -43,9 +55,49 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();  // exceptions land in the packaged_task's future
+    task();  // submit() wraps tasks in a packaged_task that captures exceptions
   }
 }
+
+// Shared between the caller and its helper tasks. Owned by shared_ptr so a
+// helper that is only dequeued after the loop finished (all chunks claimed)
+// still finds live state; such a stale helper returns without touching fn.
+struct ThreadPool::ForState {
+  std::size_t n = 0;
+  std::size_t chunk = 1;
+  std::function<void(std::size_t)> fn;
+  std::atomic<std::size_t> next{0};
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  std::size_t running_helpers = 0;
+  std::size_t first_error_index = std::numeric_limits<std::size_t>::max();
+  std::exception_ptr error;
+
+  /// Claims and executes chunks until the range is exhausted. On an
+  /// exception, records it keyed by item index (lowest wins, so the
+  /// propagated error does not depend on thread scheduling when a single
+  /// deterministic item throws) and cancels all unclaimed chunks.
+  void run_chunks() {
+    for (;;) {
+      const std::size_t begin = next.fetch_add(chunk);
+      if (begin >= n) return;
+      const std::size_t end = std::min(n, begin + chunk);
+      for (std::size_t i = begin; i < end; ++i) {
+        try {
+          fn(i);
+        } catch (...) {
+          const std::lock_guard lock(mutex);
+          if (i < first_error_index) {
+            first_error_index = i;
+            error = std::current_exception();
+          }
+          next.store(n);
+          return;
+        }
+      }
+    }
+  }
+};
 
 void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
@@ -54,34 +106,135 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
-  std::atomic<std::size_t> next{0};
-  const std::size_t chunk = std::max<std::size_t>(1, n / (threads * 8));
-  std::vector<std::future<void>> futures;
-  futures.reserve(threads);
-  for (std::size_t t = 0; t < threads; ++t) {
-    futures.push_back(submit([&] {
-      for (;;) {
-        const std::size_t begin = next.fetch_add(chunk);
-        if (begin >= n) return;
-        const std::size_t end = std::min(n, begin + chunk);
-        for (std::size_t i = begin; i < end; ++i) fn(i);
+  auto state = std::make_shared<ForState>();
+  state->n = n;
+  state->chunk = std::max<std::size_t>(1, n / (threads * 8));
+  state->fn = fn;
+  const std::size_t helpers = threads - 1;
+  for (std::size_t t = 0; t < helpers; ++t) {
+    post([state] {
+      {
+        const std::lock_guard lock(state->mutex);
+        // All chunks already claimed (the caller and earlier helpers drained
+        // the range): nothing to do. This is what makes nested parallel_for
+        // deadlock-free - helpers are an optimization, never a dependency.
+        if (state->next.load(std::memory_order_relaxed) >= state->n) return;
+        ++state->running_helpers;
       }
-    }));
+      state->run_chunks();
+      {
+        const std::lock_guard lock(state->mutex);
+        if (--state->running_helpers == 0) state->done_cv.notify_all();
+      }
+    });
   }
-  std::exception_ptr first_error;
-  for (auto& f : futures) {
-    try {
-      f.get();
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
-    }
+  state->run_chunks();  // the caller participates: no idle blocking, no deadlock
+  std::unique_lock lock(state->mutex);
+  state->done_cv.wait(lock, [&] { return state->running_helpers == 0; });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+// ---- process-wide parallelism configuration --------------------------------
+
+namespace {
+
+constexpr std::size_t kThreadsUnset = std::numeric_limits<std::size_t>::max();
+
+struct GlobalPoolState {
+  std::mutex mutex;
+  std::unique_ptr<ThreadPool> pool;
+  std::size_t requested = kThreadsUnset;  // raw request; 0 = hardware
+  bool atexit_registered = false;
+};
+
+GlobalPoolState& global_state() {
+  static GlobalPoolState state;
+  return state;
+}
+
+/// Resolves the raw request (reading the environment on first use).
+std::size_t resolved_request_locked(GlobalPoolState& state) {
+  if (state.requested == kThreadsUnset) state.requested = thread_count_from_env();
+  if (state.requested == 0)
+    return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  return state.requested;
+}
+
+}  // namespace
+
+std::size_t parse_thread_count(std::string_view text) {
+  const auto fail = [&](const char* why) -> std::size_t {
+    throw std::invalid_argument(
+        format("invalid thread count '%.*s': %s (expected 0 = all cores, "
+               "1 = serial, or a positive integer <= %zu)",
+               static_cast<int>(text.size()), text.data(), why, kMaxThreadCount));
+  };
+  if (text.empty()) return fail("empty");
+  std::size_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec == std::errc::result_out_of_range) return fail("out of range");
+  if (ec != std::errc{} || ptr != text.data() + text.size())
+    return fail("not a non-negative integer");
+  if (value > kMaxThreadCount) return fail("out of range");
+  return value;
+}
+
+std::size_t thread_count_from_env() {
+  const char* raw = std::getenv("HPCPOWER_THREADS");
+  if (raw == nullptr || *raw == '\0') return 0;
+  try {
+    return parse_thread_count(raw);
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument(std::string("HPCPOWER_THREADS: ") + e.what());
   }
-  if (first_error) std::rethrow_exception(first_error);
+}
+
+void set_global_thread_count(std::size_t threads) {
+  std::unique_ptr<ThreadPool> doomed;
+  {
+    auto& state = global_state();
+    const std::lock_guard lock(state.mutex);
+    state.requested = threads;
+    const std::size_t want = resolved_request_locked(state);
+    if (state.pool && state.pool->thread_count() != want)
+      doomed = std::move(state.pool);
+  }
+  // Joined outside the lock so late helper tasks that need the registry
+  // mutex (none today, but cheap insurance) cannot deadlock.
+  doomed.reset();
+}
+
+std::size_t global_thread_count() {
+  auto& state = global_state();
+  const std::lock_guard lock(state.mutex);
+  return resolved_request_locked(state);
 }
 
 ThreadPool& global_pool() {
-  static ThreadPool pool;
-  return pool;
+  auto& state = global_state();
+  const std::lock_guard lock(state.mutex);
+  if (!state.pool) {
+    state.pool = std::make_unique<ThreadPool>(resolved_request_locked(state));
+    if (!state.atexit_registered) {
+      state.atexit_registered = true;
+      // Join before static destruction: a task still queued at exit runs to
+      // completion here, while the globals it references (constructed before
+      // this registration) are still alive.
+      std::atexit([] { shutdown_global_pool(); });
+    }
+  }
+  return *state.pool;
+}
+
+void shutdown_global_pool() {
+  std::unique_ptr<ThreadPool> doomed;
+  {
+    auto& state = global_state();
+    const std::lock_guard lock(state.mutex);
+    doomed = std::move(state.pool);
+  }
+  doomed.reset();  // drains the queue and joins workers deterministically
 }
 
 }  // namespace hpcpower::util

@@ -1,10 +1,15 @@
 #pragma once
-// Fixed-size thread pool with a parallel_for helper.
+// Fixed-size thread pool with a re-entrant parallel_for helper, plus the
+// process-wide parallelism configuration (HPCPOWER_THREADS).
 //
-// The analysis passes (per-job temporal/spatial metrics, ML cross-validation
-// repeats) are embarrassingly parallel across jobs; this pool provides
-// deterministic-result parallelism: work items write to disjoint output
-// slots, so results are identical regardless of thread count.
+// Determinism contract: the analysis passes (per-minute telemetry synthesis,
+// per-job temporal/spatial metrics, ML cross-validation folds) are
+// embarrassingly parallel; this pool provides deterministic-result
+// parallelism. Work items write to disjoint output slots and every
+// floating-point reduction happens in a fixed order chosen by the caller, so
+// results are bit-identical regardless of thread count. The contract is
+// enforced by tests/test_parallel_determinism.cpp; the sharding rules are
+// documented in DESIGN.md §5.
 
 #include <condition_variable>
 #include <cstddef>
@@ -12,6 +17,7 @@
 #include <future>
 #include <mutex>
 #include <queue>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -21,6 +27,7 @@ class ThreadPool {
  public:
   /// `threads == 0` selects hardware_concurrency (at least 1).
   explicit ThreadPool(std::size_t threads = 0);
+  /// Drains the queue (pending tasks run to completion) and joins all workers.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -31,22 +38,69 @@ class ThreadPool {
   /// Enqueues a task; the returned future rethrows any task exception.
   std::future<void> submit(std::function<void()> task);
 
+  /// Fire-and-forget enqueue without the packaged_task/future overhead.
+  /// The task must not throw (exceptions would terminate the worker).
+  void post(std::function<void()> task);
+
   /// Runs fn(i) for i in [0, n), blocking until all complete. Work is chunked
-  /// to keep scheduling overhead low. Exceptions from fn propagate (first one
-  /// wins). Runs inline when n is small or the pool has one thread.
+  /// to keep scheduling overhead low; the calling thread participates in
+  /// execution, so parallel_for may be nested inside pool tasks without
+  /// deadlock (helpers that never get scheduled are skipped and the caller
+  /// drains the range itself). If several work items throw, the exception
+  /// with the lowest index propagates and the remaining unclaimed chunks are
+  /// cancelled; the pool stays usable. Runs inline when n is small or the
+  /// pool has one thread.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:
+  struct ForState;
+
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::packaged_task<void()>> tasks_;
+  std::queue<std::function<void()>> tasks_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
 };
 
-/// Process-wide pool for library internals; sized from hardware_concurrency.
-ThreadPool& global_pool();
+// ---- process-wide parallelism configuration --------------------------------
+//
+// Thread-count resolution, highest precedence first:
+//   1. set_global_thread_count() (benches/tests; Options::threads() feeds it),
+//   2. the HPCPOWER_THREADS environment variable,
+//   3. hardware_concurrency.
+// The value 0 means "all hardware threads"; 1 selects the serial reference
+// path (no pool is created at all).
+
+/// Parses a thread-count string: a base-10 non-negative integer, at most
+/// kMaxThreadCount. Throws std::invalid_argument with a descriptive message
+/// on empty/non-numeric/negative/absurd input.
+inline constexpr std::size_t kMaxThreadCount = 1024;
+[[nodiscard]] std::size_t parse_thread_count(std::string_view text);
+
+/// Reads HPCPOWER_THREADS; returns 0 (= all cores) when unset. Throws
+/// std::invalid_argument (naming the variable) when set but invalid.
+[[nodiscard]] std::size_t thread_count_from_env();
+
+/// Overrides the process-wide thread count (0 = hardware). If a global pool
+/// of a different size exists it is joined and rebuilt lazily on next use.
+/// Must not be called concurrently with global-pool work, nor from inside a
+/// pool task.
+void set_global_thread_count(std::size_t threads);
+
+/// The resolved process-wide thread count (>= 1).
+[[nodiscard]] std::size_t global_thread_count();
+
+/// Process-wide pool for library internals, sized per global_thread_count().
+/// First use registers an atexit hook that joins the pool before static
+/// destruction, so tasks still queued at exit cannot use freed globals.
+[[nodiscard]] ThreadPool& global_pool();
+
+/// Deterministic teardown: drains pending tasks and joins all workers.
+/// Idempotent; a later global_pool() call recreates the pool. Demos and tests
+/// call this before exiting so teardown never races static destruction. Must
+/// not be called from inside a pool task.
+void shutdown_global_pool();
 
 }  // namespace hpcpower::util

@@ -4,6 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
+#include "util/thread_pool.hpp"
+
 namespace hpcpower::util {
 namespace {
 
@@ -86,6 +90,122 @@ TEST(Options, HelpTextListsOptionsAndDefaults) {
   EXPECT_NE(help.find("--seed"), std::string::npos);
   EXPECT_NE(help.find("default: 42"), std::string::npos);
   EXPECT_NE(help.find("--full"), std::string::npos);
+}
+
+// ---- --threads / HPCPOWER_THREADS resolution -------------------------------
+
+/// Scoped HPCPOWER_THREADS override; restores the previous state on exit.
+class ScopedThreadsEnv {
+ public:
+  explicit ScopedThreadsEnv(const char* value) {
+    const char* old = std::getenv("HPCPOWER_THREADS");
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    if (value == nullptr) {
+      ::unsetenv("HPCPOWER_THREADS");
+    } else {
+      ::setenv("HPCPOWER_THREADS", value, 1);
+    }
+  }
+  ~ScopedThreadsEnv() {
+    if (had_old_) {
+      ::setenv("HPCPOWER_THREADS", old_.c_str(), 1);
+    } else {
+      ::unsetenv("HPCPOWER_THREADS");
+    }
+  }
+
+ private:
+  bool had_old_ = false;
+  std::string old_;
+};
+
+Options make_threads_options() {
+  Options opts("prog", "test program");
+  opts.add_threads_option();
+  return opts;
+}
+
+TEST(OptionsThreads, FlagParsesZeroAndOneAndLarge) {
+  for (const auto& [text, expected] :
+       {std::pair<const char*, std::size_t>{"0", 0},
+        {"1", 1},
+        {"16", 16},
+        {"1024", 1024}}) {
+    auto opts = make_threads_options();
+    const std::string value = text;
+    const char* argv[] = {"prog", "--threads", value.c_str()};
+    ASSERT_TRUE(opts.parse(3, argv));
+    EXPECT_EQ(opts.threads(), expected) << text;
+  }
+}
+
+TEST(OptionsThreads, AbsurdValueThrowsClearError) {
+  auto opts = make_threads_options();
+  const char* argv[] = {"prog", "--threads", "1000000"};
+  ASSERT_TRUE(opts.parse(3, argv));
+  try {
+    opts.threads();
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--threads"), std::string::npos) << what;
+    EXPECT_NE(what.find("out of range"), std::string::npos) << what;
+  }
+}
+
+TEST(OptionsThreads, NonNumericThrowsClearError) {
+  for (const char* bad : {"lots", "4x", "-2", "2.5", ""}) {
+    auto opts = make_threads_options();
+    const std::string arg = std::string("--threads=") + bad;
+    const char* argv[] = {"prog", arg.c_str()};
+    ASSERT_TRUE(opts.parse(2, argv));
+    try {
+      opts.threads();
+      FAIL() << "expected invalid_argument for '" << bad << "'";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("--threads"), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(OptionsThreads, EnvAppliesWhenFlagAbsent) {
+  const ScopedThreadsEnv env("3");
+  auto opts = make_threads_options();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(opts.parse(1, argv));
+  EXPECT_EQ(opts.threads(), 3u);
+}
+
+TEST(OptionsThreads, FlagWinsOverEnv) {
+  const ScopedThreadsEnv env("3");
+  auto opts = make_threads_options();
+  const char* argv[] = {"prog", "--threads", "2"};
+  ASSERT_TRUE(opts.parse(3, argv));
+  EXPECT_EQ(opts.threads(), 2u);
+}
+
+TEST(OptionsThreads, UnsetEnvAndNoFlagMeansAllCores) {
+  const ScopedThreadsEnv env(nullptr);
+  auto opts = make_threads_options();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(opts.parse(1, argv));
+  EXPECT_EQ(opts.threads(), 0u);
+}
+
+TEST(OptionsThreads, MalformedEnvThrowsNamingTheVariable) {
+  const ScopedThreadsEnv env("banana");
+  auto opts = make_threads_options();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(opts.parse(1, argv));
+  try {
+    opts.threads();
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("HPCPOWER_THREADS"), std::string::npos)
+        << e.what();
+  }
 }
 
 }  // namespace

@@ -1,0 +1,194 @@
+// Golden thread-count-invariance suite for the parallel campaign engine.
+//
+// The determinism contract (DESIGN.md §5, util/parallel.hpp): every analysis
+// result - job records, system power series, data-quality ledgers, ML
+// evaluation errors, and the rendered markdown report - is bit-identical at
+// any thread count, with HPCPOWER_THREADS=1 (the serial reference, which
+// never creates a pool) as the golden baseline. These tests run the full
+// campaign -> analyzers -> report chain at threads = 1, 2, and hardware, for
+// a clean campaign, a fault-injection campaign, and a node-failure campaign,
+// and require byte-identical reports and bit-identical doubles throughout.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/prediction.hpp"
+#include "core/report.hpp"
+#include "core/study.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hpcpower {
+namespace {
+
+core::StudyConfig small_config() {
+  core::StudyConfig config;
+  config.days = 2.0;
+  config.warmup_days = 1.0;
+  config.instrument_begin_day = 0.0;
+  config.instrument_end_day = config.days;
+  return config;
+}
+
+struct RunOutput {
+  std::vector<core::CampaignData> campaigns;
+  std::string report;
+};
+
+RunOutput run_study(const core::StudyConfig& config, std::size_t threads,
+                    bool with_ml) {
+  util::set_global_thread_count(threads);
+  RunOutput out;
+  out.campaigns = core::run_both_systems(config);
+  core::ReportOptions ropts;
+  ropts.include_prediction = with_ml;
+  ropts.prediction_config.repeats = 4;  // keep the golden suite fast
+  out.report = core::render_markdown_report(out.campaigns, ropts);
+  util::set_global_thread_count(0);  // restore the default for other tests
+  return out;
+}
+
+// Bit-pattern comparison: stricter than operator== (catches -0.0 vs 0.0) and
+// well-defined for NaN, which trust-the-collector mode deliberately lets
+// through into the aggregates.
+void expect_bits_eq(double a, double b) {
+  std::uint64_t abits = 0, bbits = 0;
+  std::memcpy(&abits, &a, sizeof(a));
+  std::memcpy(&bbits, &b, sizeof(b));
+  EXPECT_EQ(abits, bbits) << a << " vs " << b;
+}
+
+void expect_records_identical(const telemetry::JobRecord& a,
+                              const telemetry::JobRecord& b) {
+  EXPECT_EQ(a.job_id, b.job_id);
+  EXPECT_EQ(a.user_id, b.user_id);
+  EXPECT_EQ(a.app, b.app);
+  EXPECT_EQ(a.submit.minutes(), b.submit.minutes());
+  EXPECT_EQ(a.start.minutes(), b.start.minutes());
+  EXPECT_EQ(a.end.minutes(), b.end.minutes());
+  EXPECT_EQ(a.nnodes, b.nnodes);
+  EXPECT_EQ(a.walltime_req_min, b.walltime_req_min);
+  EXPECT_EQ(a.backfilled, b.backfilled);
+  EXPECT_EQ(a.truncated_by_horizon, b.truncated_by_horizon);
+  EXPECT_EQ(a.exit, b.exit);
+  EXPECT_EQ(a.attempt, b.attempt);
+  expect_bits_eq(a.mean_node_power_w, b.mean_node_power_w);
+  expect_bits_eq(a.temporal_std_w, b.temporal_std_w);
+  expect_bits_eq(a.peak_node_power_w, b.peak_node_power_w);
+  expect_bits_eq(a.mean_pkg_w, b.mean_pkg_w);
+  expect_bits_eq(a.mean_dram_w, b.mean_dram_w);
+  expect_bits_eq(a.energy_kwh, b.energy_kwh);
+  expect_bits_eq(a.node_energy_min_kwh, b.node_energy_min_kwh);
+  expect_bits_eq(a.node_energy_max_kwh, b.node_energy_max_kwh);
+  ASSERT_EQ(a.detail.has_value(), b.detail.has_value());
+  if (a.detail) {
+    expect_bits_eq(a.detail->peak_overshoot, b.detail->peak_overshoot);
+    expect_bits_eq(a.detail->frac_time_above_10pct, b.detail->frac_time_above_10pct);
+    expect_bits_eq(a.detail->avg_spatial_spread_w, b.detail->avg_spatial_spread_w);
+    expect_bits_eq(a.detail->spread_fraction_of_power,
+                   b.detail->spread_fraction_of_power);
+    expect_bits_eq(a.detail->frac_time_above_avg_spread,
+                   b.detail->frac_time_above_avg_spread);
+  }
+}
+
+void expect_campaigns_identical(const std::vector<core::CampaignData>& a,
+                                const std::vector<core::CampaignData>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t c = 0; c < a.size(); ++c) {
+    SCOPED_TRACE(a[c].spec.name);
+    ASSERT_EQ(a[c].records.size(), b[c].records.size());
+    for (std::size_t r = 0; r < a[c].records.size(); ++r) {
+      SCOPED_TRACE("record " + std::to_string(r));
+      expect_records_identical(a[c].records[r], b[c].records[r]);
+      if (::testing::Test::HasFailure()) return;  // don't spam on first break
+    }
+    // System power series: the facility meter, minute by minute.
+    EXPECT_EQ(a[c].series.total_power_w, b[c].series.total_power_w);
+    EXPECT_EQ(a[c].series.busy_nodes, b[c].series.busy_nodes);
+    EXPECT_EQ(a[c].throttled_samples, b[c].throttled_samples);
+    EXPECT_EQ(a[c].quality, b[c].quality);
+  }
+}
+
+class ParallelDeterminism : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    util::set_global_thread_count(0);
+    util::shutdown_global_pool();
+  }
+};
+
+TEST_F(ParallelDeterminism, CleanCampaignChainIsThreadCountInvariant) {
+  const core::StudyConfig config = small_config();
+  const RunOutput golden = run_study(config, 1, /*with_ml=*/true);
+  ASSERT_FALSE(golden.report.empty());
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{0}}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const RunOutput run = run_study(config, threads, /*with_ml=*/true);
+    expect_campaigns_identical(golden.campaigns, run.campaigns);
+    // Byte-identical rendered report: formatting hides no drift.
+    EXPECT_EQ(golden.report, run.report);
+  }
+}
+
+TEST_F(ParallelDeterminism, FaultInjectionCampaignIsThreadCountInvariant) {
+  core::StudyConfig config = small_config();
+  config.faults.enabled = true;  // robust-ingest path (cleaning defaults on)
+  const RunOutput golden = run_study(config, 1, /*with_ml=*/false);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{0}}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const RunOutput run = run_study(config, threads, /*with_ml=*/false);
+    expect_campaigns_identical(golden.campaigns, run.campaigns);
+    EXPECT_EQ(golden.report, run.report);
+  }
+}
+
+TEST_F(ParallelDeterminism, TrustTheCollectorModeIsThreadCountInvariant) {
+  core::StudyConfig config = small_config();
+  config.faults.enabled = true;
+  config.cleaning.enabled = false;  // raw ingest, duplicates land twice
+  const RunOutput golden = run_study(config, 1, /*with_ml=*/false);
+  const RunOutput run = run_study(config, 2, /*with_ml=*/false);
+  expect_campaigns_identical(golden.campaigns, run.campaigns);
+  EXPECT_EQ(golden.report, run.report);
+}
+
+TEST_F(ParallelDeterminism, NodeFailureCampaignIsThreadCountInvariant) {
+  core::StudyConfig config = small_config();
+  config.node_failures.enabled = true;
+  config.node_failures.mtbf_days = 10.0;  // enough failures in a 2-day window
+  const RunOutput golden = run_study(config, 1, /*with_ml=*/false);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{0}}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const RunOutput run = run_study(config, threads, /*with_ml=*/false);
+    expect_campaigns_identical(golden.campaigns, run.campaigns);
+    EXPECT_EQ(golden.report, run.report);
+  }
+}
+
+TEST_F(ParallelDeterminism, MlEvaluationFoldsAreThreadCountInvariant) {
+  const core::StudyConfig config = small_config();
+  util::set_global_thread_count(1);
+  const auto campaigns = core::run_both_systems(config);
+  const core::PredictionReport golden = core::analyze_prediction(campaigns[0]);
+  util::set_global_thread_count(2);
+  const core::PredictionReport parallel = core::analyze_prediction(campaigns[0]);
+  ASSERT_EQ(golden.models.size(), parallel.models.size());
+  for (std::size_t m = 0; m < golden.models.size(); ++m) {
+    SCOPED_TRACE(golden.models[m].model);
+    EXPECT_EQ(golden.models[m].model, parallel.models[m].model);
+    // Pooled per-row errors in fold order, then the per-user means: both
+    // bit-identical, because folds reduce in fold index order.
+    EXPECT_EQ(golden.models[m].errors, parallel.models[m].errors);
+    EXPECT_EQ(golden.models[m].per_user_mean_error,
+              parallel.models[m].per_user_mean_error);
+  }
+}
+
+}  // namespace
+}  // namespace hpcpower

@@ -1,13 +1,19 @@
-// Tests for the thread pool and parallel_for.
+// Tests for the thread pool, parallel_for, and the process-wide parallelism
+// configuration.
 
 #include "util/thread_pool.hpp"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <numeric>
+#include <span>
 #include <stdexcept>
+#include <string>
 #include <vector>
+
+#include "util/parallel.hpp"
 
 namespace hpcpower::util {
 namespace {
@@ -76,6 +82,155 @@ TEST(ThreadPool, ParallelResultsMatchSequential) {
 TEST(ThreadPool, GlobalPoolIsSingleton) {
   EXPECT_EQ(&global_pool(), &global_pool());
   EXPECT_GE(global_pool().thread_count(), 1u);
+}
+
+// ---- parallel_for edge-case properties -------------------------------------
+
+TEST(ThreadPoolProperty, SmallerThanOneChunkStillVisitsEverything) {
+  // n just above the inline threshold (2 * threads) so the pooled path runs
+  // with chunk size 1 and more potential helpers than chunks.
+  ThreadPool pool(2);
+  constexpr std::size_t kN = 5;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolProperty, NNotDivisibleByChunkVisitsEverything) {
+  // 1000 / (3 * 8) = chunk 41, which does not divide 1000: the tail chunk is
+  // short and must still be claimed exactly once.
+  ThreadPool pool(3);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolProperty, LowestIndexExceptionWinsDeterministically) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    try {
+      pool.parallel_for(2000, [](std::size_t i) {
+        if (i == 170 || i == 1700)
+          throw std::runtime_error("err-" + std::to_string(i));
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      // Chunks are claimed in index order and the lowest-index error is
+      // recorded, so the winner never depends on thread scheduling.
+      EXPECT_STREQ(e.what(), "err-170");
+    }
+  }
+}
+
+TEST(ThreadPoolProperty, PoolStaysUsableAfterException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(
+                   1000, [](std::size_t i) { if (i == 13) throw std::logic_error("x"); }),
+               std::logic_error);
+  std::atomic<std::size_t> sum{0};
+  pool.parallel_for(1000, [&](std::size_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 1000u * 999u / 2);
+  pool.submit([] {}).get();  // the queue still works too
+}
+
+TEST(ThreadPoolProperty, NestedParallelForFromWorkerDoesNotDeadlock) {
+  ThreadPool pool(2);
+  // Both workers enter tasks that each run a nested parallel_for: the
+  // helpers they post can never be scheduled while both workers are busy,
+  // so completion relies on the calling task draining its own range.
+  std::atomic<std::size_t> total{0};
+  auto f1 = pool.submit([&] {
+    pool.parallel_for(500, [&](std::size_t) { ++total; });
+  });
+  auto f2 = pool.submit([&] {
+    pool.parallel_for(500, [&](std::size_t) { ++total; });
+  });
+  f1.get();
+  f2.get();
+  EXPECT_EQ(total.load(), 1000u);
+}
+
+TEST(ThreadPoolProperty, SubmitFromWorkerRunsToCompletion) {
+  ThreadPool pool(2);
+  std::atomic<int> inner{0};
+  pool.submit([&] { pool.post([&] { inner = 7; }); }).get();
+  // post() is fire-and-forget; synchronize via a submitted barrier task.
+  pool.submit([] {}).get();
+  EXPECT_EQ(inner.load(), 7);
+}
+
+// ---- deterministic reduction helpers ---------------------------------------
+
+TEST(Parallel, PairwiseSumMatchesAnyOrderForExactValues) {
+  std::vector<double> xs(1000, 0.25);  // exactly representable
+  EXPECT_DOUBLE_EQ(pairwise_sum(xs), 250.0);
+  EXPECT_DOUBLE_EQ(pairwise_sum(std::span<const double>{}), 0.0);
+}
+
+TEST(Parallel, BlockedAccumulateIsThreadCountInvariant) {
+  std::vector<double> xs(5000);
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    xs[i] = 0.1 * static_cast<double>(i % 97) + 1.0;
+  const auto fold = [&] {
+    return blocked_accumulate<double>(
+        xs.size(),
+        [&](double& acc, std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) acc += xs[i];
+        },
+        [](double& a, const double& b) { a += b; });
+  };
+  set_global_thread_count(1);
+  const double serial = fold();
+  set_global_thread_count(3);
+  const double parallel = fold();
+  set_global_thread_count(0);
+  // Bit-identical, not just close: the reduction tree is fixed by the block
+  // size, never by the thread count.
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(Parallel, FreeParallelForHonorsSerialMode) {
+  set_global_thread_count(1);
+  std::vector<int> order;
+  parallel_for(4, [&](std::size_t i) { order.push_back(static_cast<int>(i)); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  set_global_thread_count(0);
+}
+
+// ---- global pool configuration & teardown ----------------------------------
+
+TEST(GlobalPool, ShutdownIsIdempotentAndPoolRecreates) {
+  ThreadPool& before = global_pool();
+  before.submit([] {}).get();
+  shutdown_global_pool();
+  shutdown_global_pool();  // idempotent
+  // A later use lazily rebuilds a working pool (regression test for the
+  // static-destruction use-after-free: teardown is explicit and re-entrant,
+  // never left to static destructor ordering).
+  ThreadPool& after = global_pool();
+  std::atomic<int> v{0};
+  after.submit([&] { v = 1; }).get();
+  EXPECT_EQ(v.load(), 1);
+}
+
+TEST(GlobalPool, SetGlobalThreadCountResizesPool) {
+  set_global_thread_count(2);
+  EXPECT_EQ(global_thread_count(), 2u);
+  EXPECT_EQ(global_pool().thread_count(), 2u);
+  set_global_thread_count(3);
+  EXPECT_EQ(global_pool().thread_count(), 3u);
+  set_global_thread_count(0);  // back to the hardware default
+  EXPECT_GE(global_thread_count(), 1u);
+}
+
+TEST(GlobalPool, SerialModeNeverCreatesAPool) {
+  set_global_thread_count(1);
+  EXPECT_EQ(global_thread_count(), 1u);
+  std::atomic<std::size_t> sum{0};
+  parallel_for(100, [&](std::size_t i) { sum += i; });  // inline path
+  EXPECT_EQ(sum.load(), 100u * 99u / 2);
+  set_global_thread_count(0);
 }
 
 }  // namespace

@@ -1,25 +1,53 @@
 #!/usr/bin/env bash
-# Builds the test suite with ASan+UBSan and runs it. Usage:
+# Builds the test suite under a sanitizer and runs it. Usage:
 #
-#   tools/check_sanitize.sh [build-dir] [ctest args...]
+#   tools/check_sanitize.sh [--mode address|thread] [build-dir] [ctest args...]
 #
-# Uses a separate build tree (default build-asan/) so the regular build stays
-# untouched. Benches and examples are skipped: the sanitizers' value here is
-# covering the library code the tests drive.
+# Modes:
+#   address (default)  ASan + UBSan, build tree build-asan/
+#   thread             TSan, build tree build-tsan/; also forces
+#                      HPCPOWER_THREADS=4 so the thread pool and the
+#                      concurrent campaigns actually run multi-threaded
+#                      even on small CI hosts.
+#
+# Uses a separate build tree so the regular build stays untouched. Benches
+# and examples are skipped: the sanitizers' value here is covering the
+# library code the tests drive.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build-asan}"
+
+MODE=address
+if [[ "${1:-}" == "--mode" ]]; then
+  MODE="${2:?--mode requires a value}"
+  shift 2
+fi
+case "$MODE" in
+  address) DEFAULT_DIR=build-asan ;;
+  thread) DEFAULT_DIR=build-tsan ;;
+  *)
+    echo "check_sanitize.sh: unknown mode '$MODE' (expected address or thread)" >&2
+    exit 2
+    ;;
+esac
+
+BUILD_DIR="${1:-$DEFAULT_DIR}"
 shift || true
 
 cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DHPCPOWER_SANITIZE=ON \
+  -DHPCPOWER_SANITIZE="$MODE" \
   -DHPCPOWER_BUILD_BENCH=OFF \
   -DHPCPOWER_BUILD_EXAMPLES=OFF
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 
-# abort_on_error makes ASan failures fail the test instead of just logging.
-export ASAN_OPTIONS="abort_on_error=1:detect_leaks=1"
-export UBSAN_OPTIONS="print_stacktrace=1"
+if [[ "$MODE" == "thread" ]]; then
+  # TSan only sees races that happen: force real parallelism in the pool.
+  export HPCPOWER_THREADS="${HPCPOWER_THREADS:-4}"
+  export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
+else
+  # abort_on_error makes ASan failures fail the test instead of just logging.
+  export ASAN_OPTIONS="abort_on_error=1:detect_leaks=1"
+  export UBSAN_OPTIONS="print_stacktrace=1"
+fi
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@"

@@ -2,25 +2,50 @@
 # Canonical tier-1 verification: configure, build, and run the full test
 # suite exactly the way CI does. Usage:
 #
-#   tools/run_tier1.sh [--sanitize] [build-dir] [ctest args...]
+#   tools/run_tier1.sh [--sanitize] [--threads N] [build-dir] [ctest args...]
 #
 # --sanitize additionally runs the ASan+UBSan pass (tools/check_sanitize.sh)
 # in its own build tree after the regular suite is green.
+#
+# --threads N re-runs the suite under HPCPOWER_THREADS=1 (serial reference)
+# and HPCPOWER_THREADS=N after the default pass: the parallel campaign
+# engine must produce identical results at every thread count, so the same
+# tests must pass at both extremes.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 SANITIZE=0
-if [[ "${1:-}" == "--sanitize" ]]; then
-  SANITIZE=1
-  shift
-fi
+THREADS=""
+while [[ "${1:-}" == --* ]]; do
+  case "$1" in
+    --sanitize)
+      SANITIZE=1
+      shift
+      ;;
+    --threads)
+      THREADS="${2:?--threads requires a value}"
+      shift 2
+      ;;
+    *)
+      echo "run_tier1.sh: unknown option '$1'" >&2
+      exit 2
+      ;;
+  esac
+done
 BUILD_DIR="${1:-build}"
 shift || true
 
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@"
+
+if [[ -n "$THREADS" ]]; then
+  echo "== re-running suite with HPCPOWER_THREADS=1 (serial reference) =="
+  HPCPOWER_THREADS=1 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@"
+  echo "== re-running suite with HPCPOWER_THREADS=$THREADS =="
+  HPCPOWER_THREADS="$THREADS" ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@"
+fi
 
 if [[ "$SANITIZE" == 1 ]]; then
   tools/check_sanitize.sh
