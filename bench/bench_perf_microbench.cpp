@@ -5,9 +5,13 @@
 // After the micro benches run, the harness executes the full study chain
 // (campaign -> analyzers -> ml -> report) twice - once pinned to one thread
 // (the serial reference) and once on all cores - and writes per-stage wall
-// times to BENCH_perf.json. The report text from the two runs must match
-// byte-for-byte (the "deterministic" flag in the JSON): the parallel engine
-// is only allowed to be faster, never different.
+// times to BENCH_perf.json. Stage timings come from the observability layer:
+// each stage runs under a stage.* span and its wall time is read back from
+// the span-fed timer metric, so the JSON and a --trace-out profile can never
+// disagree. The report text from the two runs must match byte-for-byte (the
+// "deterministic" flag in the JSON): the parallel engine is only allowed to
+// be faster, never different — and since the chains run with span recording
+// on, this doubles as a check that observability does not perturb results.
 //
 // Extra flags (stripped before google-benchmark sees argv):
 //   --perf_days=N   campaign length for the stage harness (default 6)
@@ -17,7 +21,6 @@
 #include <benchmark/benchmark.h>
 
 #include <array>
-#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <stdexcept>
@@ -31,11 +34,14 @@
 #include "core/user_analysis.hpp"
 #include "ml/decision_tree.hpp"
 #include "ml/knn.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "stats/correlation.hpp"
 #include "stats/descriptive.hpp"
 #include "util/logging.hpp"
 #include "util/prng.hpp"
 #include "util/thread_pool.hpp"
+#include <thread>
 #include "workload/power_profile.hpp"
 
 namespace {
@@ -137,47 +143,60 @@ constexpr std::array<const char*, 4> kStageNames = {"campaign", "analysis", "ml"
 
 struct ChainResult {
   std::array<double, 4> stage_ms{};
+  std::uint64_t spans = 0;
   std::string report_text;
 };
 
-double ms_since(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double, std::milli>(
-             std::chrono::steady_clock::now() - t0)
-      .count();
-}
-
 ChainResult run_chain(const core::StudyConfig& config) {
+  // Stage wall times are read back from the stage.* span timers, so start
+  // each chain from a clean slate.
+  obs::metrics().reset();
+  obs::clear_recorded();
+
   ChainResult out;
-  auto t0 = std::chrono::steady_clock::now();
-  const auto campaigns = core::run_both_systems(config);
-  out.stage_ms[0] = ms_since(t0);
+  std::vector<core::CampaignData> campaigns;
+  {
+    HPCPOWER_SPAN("stage.campaign");
+    campaigns = core::run_both_systems(config);
+  }
 
   const core::JobFilter filter;
-  t0 = std::chrono::steady_clock::now();
-  for (const auto& data : campaigns) {
-    benchmark::DoNotOptimize(core::analyze_per_node_power(data, filter));
-    benchmark::DoNotOptimize(core::analyze_correlations(data, filter));
-    benchmark::DoNotOptimize(core::analyze_median_splits(data, filter));
-    benchmark::DoNotOptimize(core::analyze_temporal(data, filter));
-    benchmark::DoNotOptimize(core::analyze_spatial(data, filter));
-    benchmark::DoNotOptimize(core::analyze_energy_spread(data, filter));
-    benchmark::DoNotOptimize(core::analyze_monthly_consistency(data, 30.0, filter));
-    benchmark::DoNotOptimize(core::analyze_concentration(data, filter));
-    benchmark::DoNotOptimize(core::analyze_user_variability(data, filter));
-    benchmark::DoNotOptimize(core::analyze_system_utilization(data));
+  {
+    HPCPOWER_SPAN("stage.analysis");
+    for (const auto& data : campaigns) {
+      benchmark::DoNotOptimize(core::analyze_per_node_power(data, filter));
+      benchmark::DoNotOptimize(core::analyze_correlations(data, filter));
+      benchmark::DoNotOptimize(core::analyze_median_splits(data, filter));
+      benchmark::DoNotOptimize(core::analyze_temporal(data, filter));
+      benchmark::DoNotOptimize(core::analyze_spatial(data, filter));
+      benchmark::DoNotOptimize(core::analyze_energy_spread(data, filter));
+      benchmark::DoNotOptimize(
+          core::analyze_monthly_consistency(data, 30.0, filter));
+      benchmark::DoNotOptimize(core::analyze_concentration(data, filter));
+      benchmark::DoNotOptimize(core::analyze_user_variability(data, filter));
+      benchmark::DoNotOptimize(core::analyze_system_utilization(data));
+    }
   }
-  out.stage_ms[1] = ms_since(t0);
 
-  t0 = std::chrono::steady_clock::now();
-  for (const auto& data : campaigns)
-    benchmark::DoNotOptimize(core::analyze_prediction(data, filter));
-  out.stage_ms[2] = ms_since(t0);
+  {
+    HPCPOWER_SPAN("stage.ml");
+    for (const auto& data : campaigns)
+      benchmark::DoNotOptimize(core::analyze_prediction(data, filter));
+  }
 
-  t0 = std::chrono::steady_clock::now();
-  core::ReportOptions ropts;
-  ropts.include_prediction = false;  // ml is timed as its own stage
-  out.report_text = core::render_markdown_report(campaigns, ropts);
-  out.stage_ms[3] = ms_since(t0);
+  {
+    HPCPOWER_SPAN("stage.report");
+    core::ReportOptions ropts;
+    ropts.include_prediction = false;  // ml is timed as its own stage
+    out.report_text = core::render_markdown_report(campaigns, ropts);
+  }
+
+  for (std::size_t i = 0; i < kStageNames.size(); ++i) {
+    const std::string name = std::string("stage.") + kStageNames[i];
+    out.stage_ms[i] =
+        static_cast<double>(obs::metrics().timer(name).total_ns()) / 1e6;
+  }
+  out.spans = obs::recorded_span_count();
   return out;
 }
 
@@ -187,13 +206,22 @@ int run_stage_harness(double days, const std::string& out_path) {
   config.instrument_begin_day = 0.0;
   config.instrument_end_day = config.days;
 
+  obs::set_recording(true);
+
   std::printf("\nstage harness: %.0f-day campaign, serial then parallel\n", days);
   util::set_global_thread_count(1);
+  const std::size_t serial_threads = util::global_thread_count();
   const ChainResult serial = run_chain(config);
   util::set_global_thread_count(0);
-  const std::size_t threads = util::global_thread_count();
+  const std::size_t parallel_threads = util::global_thread_count();
   const ChainResult parallel = run_chain(config);
   const bool deterministic = serial.report_text == parallel.report_text;
+  const unsigned hw = std::thread::hardware_concurrency();
+
+  // A "speedup" measured against a parallel pass that had one hardware
+  // thread is pool overhead, not parallelism — report null rather than a
+  // misleading sub-1.0 number.
+  const bool comparable = parallel_threads > 1;
 
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
@@ -201,8 +229,11 @@ int run_stage_harness(double days, const std::string& out_path) {
     return 1;
   }
   double serial_total = 0.0, parallel_total = 0.0;
-  std::fprintf(f, "{\n  \"days\": %.1f,\n  \"threads\": %zu,\n  \"stages\": [\n",
-               days, threads);
+  std::fprintf(f,
+               "{\n  \"days\": %.1f,\n  \"serial_threads\": %zu,\n"
+               "  \"parallel_threads\": %zu,\n  \"hardware_concurrency\": %u,\n"
+               "  \"stages\": [\n",
+               days, serial_threads, parallel_threads, hw);
   for (std::size_t s = 0; s < kStageNames.size(); ++s) {
     const double speedup =
         parallel.stage_ms[s] > 0.0 ? serial.stage_ms[s] / parallel.stage_ms[s] : 0.0;
@@ -210,9 +241,14 @@ int run_stage_harness(double days, const std::string& out_path) {
     parallel_total += parallel.stage_ms[s];
     std::fprintf(f,
                  "    {\"stage\": \"%s\", \"serial_ms\": %.2f, \"parallel_ms\": "
-                 "%.2f, \"speedup\": %.2f}%s\n",
-                 kStageNames[s], serial.stage_ms[s], parallel.stage_ms[s], speedup,
-                 s + 1 < kStageNames.size() ? "," : "");
+                 "%.2f, \"speedup\": ",
+                 kStageNames[s], serial.stage_ms[s], parallel.stage_ms[s]);
+    if (comparable) {
+      std::fprintf(f, "%.2f", speedup);
+    } else {
+      std::fprintf(f, "null");
+    }
+    std::fprintf(f, "}%s\n", s + 1 < kStageNames.size() ? "," : "");
     std::printf("  %-10s serial %9.2f ms   parallel %9.2f ms   speedup %.2fx\n",
                 kStageNames[s], serial.stage_ms[s], parallel.stage_ms[s], speedup);
   }
@@ -220,12 +256,25 @@ int run_stage_harness(double days, const std::string& out_path) {
       parallel_total > 0.0 ? serial_total / parallel_total : 0.0;
   std::fprintf(f,
                "  ],\n  \"serial_total_ms\": %.2f,\n  \"parallel_total_ms\": "
-               "%.2f,\n  \"total_speedup\": %.2f,\n  \"deterministic\": %s\n}\n",
-               serial_total, parallel_total, total_speedup,
+               "%.2f,\n  \"total_speedup\": ",
+               serial_total, parallel_total);
+  if (comparable) {
+    std::fprintf(f, "%.2f", total_speedup);
+  } else {
+    std::fprintf(f,
+                 "null,\n  \"note\": \"parallel pass ran on a single hardware "
+                 "thread; speedups are not meaningful on this machine\"");
+  }
+  std::fprintf(f, ",\n  \"spans_recorded\": %llu,\n  \"deterministic\": %s\n}\n",
+               static_cast<unsigned long long>(parallel.spans),
                deterministic ? "true" : "false");
   std::fclose(f);
   std::printf("  %-10s serial %9.2f ms   parallel %9.2f ms   speedup %.2fx\n",
               "total", serial_total, parallel_total, total_speedup);
+  if (!comparable)
+    std::printf("  note: single hardware thread; speedups not meaningful\n");
+  std::printf("  spans recorded (parallel pass): %llu\n",
+              static_cast<unsigned long long>(parallel.spans));
   std::printf("  deterministic (byte-identical report): %s\n",
               deterministic ? "yes" : "NO");
   std::printf("  wrote %s\n", out_path.c_str());

@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "core/study.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "sched/checkpoint.hpp"
 #include "util/logging.hpp"
 #include "util/options.hpp"
@@ -50,6 +52,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   util::set_log_level(util::LogLevel::kWarn);
+  obs::set_recording(true);
 
   core::StudyConfig config;
   config.seed = opts.seed();
@@ -116,5 +119,12 @@ int main(int argc, char** argv) {
               static_cast<long long>(half.minutes()), checkpoint.str().size(),
               resumed == straight ? "bit-identical to the uninterrupted run"
                                   : "DIFFERENT — determinism bug!");
+
+  const auto snapshot = obs::metrics().snapshot();
+  const auto slowest = obs::slowest_timer(snapshot, "");
+  std::printf("observability: %llu spans recorded, slowest stage %s (%.1f ms)\n",
+              static_cast<unsigned long long>(obs::recorded_span_count()),
+              slowest ? slowest->name.c_str() : "n/a",
+              slowest ? static_cast<double>(slowest->total_ns) / 1e6 : 0.0);
   return resumed == straight ? 0 : 1;
 }

@@ -5,13 +5,24 @@
 // trace_explorer + replay, recorded) campaign.
 //
 //   ./generate_report [--days 10] [--seed 42] [--out report.md] [--no-ml]
-//                     [--faults] [--threads N]
+//                     [--faults] [--failures] [--threads N]
+//                     [--trace-out trace.json] [--metrics-out manifest.json]
+//
+// --trace-out writes a Chrome trace-event profile of the run (load it in
+// chrome://tracing or https://ui.perfetto.dev); --metrics-out writes the
+// machine-readable run manifest. Either flag turns span recording on; the
+// report itself stays byte-identical with or without them (DESIGN.md §6).
 
 #include <cstdio>
 
 #include "core/report.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "obs/trace_export.hpp"
 #include "util/logging.hpp"
 #include "util/options.hpp"
+#include "util/strings.hpp"
 #include "util/thread_pool.hpp"
 
 using namespace hpcpower;
@@ -21,8 +32,11 @@ int main(int argc, char** argv) {
   opts.add_option("days", "campaign length in days", "10");
   opts.add_option("seed", "root random seed", "42");
   opts.add_option("out", "output path", "hpcpower_report.md");
+  opts.add_option("trace-out", "write a Chrome trace-event profile here", "");
+  opts.add_option("metrics-out", "write the JSON run manifest here", "");
   opts.add_flag("no-ml", "skip the (slow) prediction section");
   opts.add_flag("faults", "inject telemetry faults (with robust ingest)");
+  opts.add_flag("failures", "inject node failures (kill + requeue)");
   opts.add_flag("quiet", "suppress progress logging");
   opts.add_threads_option();
   try {
@@ -34,12 +48,17 @@ int main(int argc, char** argv) {
   }
   if (opts.flag("quiet")) util::set_log_level(util::LogLevel::kWarn);
 
+  const std::string trace_out = opts.str("trace-out");
+  const std::string metrics_out = opts.str("metrics-out");
+  if (!trace_out.empty() || !metrics_out.empty()) obs::set_recording(true);
+
   core::StudyConfig config;
   config.seed = opts.seed();
   config.days = opts.number("days");
   config.instrument_begin_day = 0.0;
   config.instrument_end_day = config.days;
   config.faults.enabled = opts.flag("faults");
+  config.node_failures.enabled = opts.flag("failures");
 
   const auto campaigns = core::run_both_systems(config);
 
@@ -54,6 +73,38 @@ int main(int argc, char** argv) {
     for (const auto& [name, value] : counter_snapshot)
       std::printf("  %-40s %llu\n", name.c_str(),
                   static_cast<unsigned long long>(value));
+  }
+
+  if (!trace_out.empty()) {
+    obs::write_chrome_trace(trace_out);
+    std::printf("wrote Chrome trace to %s (open in chrome://tracing)\n",
+                trace_out.c_str());
+  }
+  if (!metrics_out.empty()) {
+    obs::RunInfo info;
+    info.program = "generate_report";
+    info.seed = config.seed;
+    info.threads = util::global_thread_count();
+    info.config = {
+        {"days", util::format("%g", config.days)},
+        {"out", opts.str("out")},
+        {"faults", config.faults.enabled ? "true" : "false"},
+        {"failures", config.node_failures.enabled ? "true" : "false"},
+        {"prediction", report_opts.include_prediction ? "true" : "false"},
+    };
+    obs::write_run_manifest(metrics_out, info);
+    std::printf("wrote run manifest to %s\n", metrics_out.c_str());
+  }
+  if (obs::recording()) {
+    const auto snapshot = obs::metrics().snapshot();
+    const auto slowest = obs::slowest_timer(snapshot, "");
+    std::printf(
+        "observability: %llu spans recorded, slowest stage %s (%.1f ms)%s%s\n",
+        static_cast<unsigned long long>(obs::recorded_span_count()),
+        slowest ? slowest->name.c_str() : "n/a",
+        slowest ? static_cast<double>(slowest->total_ns) / 1e6 : 0.0,
+        metrics_out.empty() ? "" : ", metrics in ",
+        metrics_out.empty() ? "" : metrics_out.c_str());
   }
   return 0;
 }

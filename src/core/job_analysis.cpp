@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/span.hpp"
 #include "util/parallel.hpp"
 
 // Parallelization pattern (DESIGN.md §5): per-job metric extraction fans out
@@ -30,6 +31,7 @@ void merge_stats(stats::RunningStats& into, const stats::RunningStats& from) {
 
 PerNodePowerReport analyze_per_node_power(const CampaignData& data,
                                           const JobFilter& filter, std::size_t bins) {
+  HPCPOWER_SPAN("analyze.per_node_power");
   const auto jobs = filtered(data, filter);
   if (jobs.empty()) throw std::invalid_argument("analyze_per_node_power: no jobs");
 
@@ -49,6 +51,7 @@ PerNodePowerReport analyze_per_node_power(const CampaignData& data,
 std::vector<AppPowerEntry> analyze_app_power(const CampaignData& data,
                                              const workload::ApplicationCatalog& catalog,
                                              const JobFilter& filter) {
+  HPCPOWER_SPAN("analyze.app_power");
   std::vector<AppPowerEntry> out;
   for (const workload::AppId app_id : catalog.key_applications()) {
     const auto rs = util::blocked_accumulate<stats::RunningStats>(
@@ -71,6 +74,7 @@ std::vector<AppPowerEntry> analyze_app_power(const CampaignData& data,
 }
 
 CorrelationReport analyze_correlations(const CampaignData& data, const JobFilter& filter) {
+  HPCPOWER_SPAN("analyze.correlations");
   const auto jobs = filtered(data, filter);
   if (jobs.size() < 3) throw std::invalid_argument("analyze_correlations: too few jobs");
   std::vector<double> runtime(jobs.size()), nnodes(jobs.size()), power(jobs.size());
@@ -89,6 +93,7 @@ CorrelationReport analyze_correlations(const CampaignData& data, const JobFilter
 
 MedianSplitReport analyze_median_splits(const CampaignData& data,
                                         const JobFilter& filter) {
+  HPCPOWER_SPAN("analyze.median_splits");
   const auto jobs = filtered(data, filter);
   if (jobs.empty()) throw std::invalid_argument("analyze_median_splits: no jobs");
 
@@ -147,6 +152,7 @@ MedianSplitReport analyze_median_splits(const CampaignData& data,
 }
 
 TemporalReport analyze_temporal(const CampaignData& data, const JobFilter& filter) {
+  HPCPOWER_SPAN("analyze.temporal");
   // Membership (cheap, order-defining) stays serial; metric extraction fans
   // out into slots indexed by the collected order.
   std::vector<const telemetry::JobRecord*> djobs, cv_jobs;
@@ -181,6 +187,7 @@ TemporalReport analyze_temporal(const CampaignData& data, const JobFilter& filte
 }
 
 SpatialReport analyze_spatial(const CampaignData& data, const JobFilter& filter) {
+  HPCPOWER_SPAN("analyze.spatial");
   std::vector<const telemetry::JobRecord*> djobs;
   for (const telemetry::JobRecord& r : data.records) {
     if (!filter.accepts(r) || !r.detail || r.nnodes < 2) continue;
@@ -210,6 +217,7 @@ SpatialReport analyze_spatial(const CampaignData& data, const JobFilter& filter)
 
 EnergySpreadReport analyze_energy_spread(const CampaignData& data,
                                          const JobFilter& filter, std::size_t bins) {
+  HPCPOWER_SPAN("analyze.energy_spread");
   std::vector<const telemetry::JobRecord*> djobs;
   for (const telemetry::JobRecord& r : data.records) {
     if (!filter.accepts(r) || r.nnodes < 2) continue;
@@ -236,6 +244,7 @@ EnergySpreadReport analyze_energy_spread(const CampaignData& data,
 ConsistencyReport analyze_monthly_consistency(const CampaignData& data,
                                               double window_days,
                                               const JobFilter& filter) {
+  HPCPOWER_SPAN("analyze.monthly_consistency");
   if (window_days <= 0.0)
     throw std::invalid_argument("analyze_monthly_consistency: window must be positive");
   ConsistencyReport report;

@@ -5,6 +5,8 @@
 
 #include "ml/decision_tree.hpp"
 
+#include "obs/span.hpp"
+
 namespace hpcpower::core {
 
 const char* feature_set_name(FeatureSet f) noexcept {
@@ -59,6 +61,7 @@ const ml::EvaluationResult& PredictionReport::model(const std::string& name) con
 PredictionReport analyze_prediction(const CampaignData& data, const JobFilter& filter,
                                     const ml::EvaluationConfig& cfg,
                                     bool include_baselines) {
+  HPCPOWER_SPAN("analyze.prediction");
   const ml::Dataset dataset = build_prediction_dataset(data, filter);
   if (dataset.empty()) throw std::invalid_argument("analyze_prediction: no jobs");
   PredictionReport report;

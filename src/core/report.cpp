@@ -7,6 +7,7 @@
 #include "core/prediction.hpp"
 #include "core/system_analysis.hpp"
 #include "core/user_analysis.hpp"
+#include "obs/span.hpp"
 #include "util/strings.hpp"
 
 namespace hpcpower::core {
@@ -14,6 +15,7 @@ namespace hpcpower::core {
 namespace {
 void section_system(std::ostringstream& out, const CampaignData& data,
                     std::size_t points) {
+  HPCPOWER_SPAN("report.section.system");
   const auto r = analyze_system_utilization(data, points);
   out << "### System-level utilization (Figs 1-2)\n\n";
   out << "| metric | value |\n|---|---|\n";
@@ -28,6 +30,7 @@ void section_system(std::ostringstream& out, const CampaignData& data,
 }
 
 void section_jobs(std::ostringstream& out, const CampaignData& data) {
+  HPCPOWER_SPAN("report.section.jobs");
   const auto power = analyze_per_node_power(data);
   const auto corr = analyze_correlations(data);
   const auto split = analyze_median_splits(data);
@@ -55,6 +58,7 @@ void section_jobs(std::ostringstream& out, const CampaignData& data) {
 }
 
 void section_dynamics(std::ostringstream& out, const CampaignData& data) {
+  HPCPOWER_SPAN("report.section.dynamics");
   const auto t = analyze_temporal(data);
   const auto s = analyze_spatial(data);
   const auto e = analyze_energy_spread(data);
@@ -81,6 +85,7 @@ void section_dynamics(std::ostringstream& out, const CampaignData& data) {
 
 void section_users(std::ostringstream& out, const CampaignData& data,
                    std::size_t points) {
+  HPCPOWER_SPAN("report.section.users");
   const auto c = analyze_concentration(data, {}, points);
   const auto v = analyze_user_variability(data);
   const auto cn = analyze_cluster_variability(data, ClusterKey::kUserNodes);
@@ -101,6 +106,7 @@ void section_users(std::ostringstream& out, const CampaignData& data,
 }
 
 void section_quality(std::ostringstream& out, const CampaignData& data) {
+  HPCPOWER_SPAN("report.section.quality");
   const auto& q = data.quality;
   out << "### Telemetry data quality (Sec 2.2)\n\n";
   const double n = q.samples_expected ? static_cast<double>(q.samples_expected) : 1.0;
@@ -137,6 +143,7 @@ void section_quality(std::ostringstream& out, const CampaignData& data) {
 }
 
 void section_availability(std::ostringstream& out, const CampaignData& data) {
+  HPCPOWER_SPAN("report.section.availability");
   const auto& a = data.availability;
   out << "### Availability & failure impact\n\n";
   const double total_nh = static_cast<double>(a.node_minutes_total) / 60.0;
@@ -182,6 +189,7 @@ void section_availability(std::ostringstream& out, const CampaignData& data) {
 
 void section_prediction(std::ostringstream& out, const CampaignData& data,
                         const ml::EvaluationConfig& cfg) {
+  HPCPOWER_SPAN("report.section.prediction");
   const auto p = analyze_prediction(data, {}, cfg);
   out << "### Pre-execution power prediction (Figs 14-15)\n\n";
   out << util::format("%zu jobs, %.0f/%.0f split x %zu repeats.\n\n", p.jobs,
@@ -200,6 +208,7 @@ void section_prediction(std::ostringstream& out, const CampaignData& data,
 
 std::string render_markdown_report(const std::vector<CampaignData>& campaigns,
                                    const ReportOptions& options) {
+  HPCPOWER_SPAN("report.render");
   std::ostringstream out;
   out << "# HPC power consumption study report\n\n";
   out << "Generated by hpcpower; reproduces the analyses of Patel et al., "

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/span.hpp"
 #include "util/logging.hpp"
 #include "util/strings.hpp"
 #include "util/thread_pool.hpp"
@@ -13,6 +14,7 @@
 namespace hpcpower::core {
 
 CampaignData run_campaign(const cluster::SystemSpec& spec, const StudyConfig& config) {
+  HPCPOWER_SPAN("campaign.run");
   const util::MinuteTime warmup = util::MinuteTime::from_days(config.warmup_days);
 
   workload::GeneratorConfig gcfg;
@@ -20,7 +22,10 @@ CampaignData run_campaign(const cluster::SystemSpec& spec, const StudyConfig& co
   gcfg.duration = warmup + util::MinuteTime::from_days(config.days);
   gcfg.load_scale = config.load_scale;
   workload::WorkloadGenerator generator(spec, workload::calibration_for(spec.id), gcfg);
-  const auto jobs = generator.generate();
+  const auto jobs = [&] {
+    HPCPOWER_SPAN("campaign.workload");
+    return generator.generate();
+  }();
 
   telemetry::PipelineConfig pcfg;
   pcfg.seed = config.seed;
@@ -37,7 +42,10 @@ CampaignData run_campaign(const cluster::SystemSpec& spec, const StudyConfig& co
   sched::CampaignSimulator simulator(spec.node_count, gcfg.duration,
                                      config.scheduler_policy, budget,
                                      config.node_failures, config.seed);
-  const auto sim_result = simulator.run(jobs, pipeline.hooks());
+  const auto sim_result = [&] {
+    HPCPOWER_SPAN("campaign.simulate");
+    return simulator.run(jobs, pipeline.hooks());
+  }();
 
   CampaignData data;
   data.spec = spec;
@@ -69,7 +77,15 @@ CampaignData run_campaign(const cluster::SystemSpec& spec, const StudyConfig& co
       spec.name.c_str(), data.records.size(), config.days,
       data.scheduler.mean_wait_minutes()));
   if (config.node_failures.enabled) {
+    // One bulk update per campaign so counter totals reconcile exactly with
+    // the report's availability section at any thread count.
     const auto& a = data.availability;
+    util::counters().add("sched.node_failures", a.node_failures);
+    util::counters().add("sched.attempts_killed", a.attempts_killed);
+    util::counters().add("sched.requeues", a.requeues);
+    util::counters().add("sched.requeues_exhausted", a.requeues_exhausted);
+    util::counters().add("sched.node_minutes_down", a.node_minutes_down);
+    util::counters().add("sched.node_minutes_total", a.node_minutes_total);
     util::log_info(util::format(
         "availability: %llu node failures, %llu attempts killed, %llu requeued "
         "(%llu exhausted), %.1f node-hours lost",
@@ -81,15 +97,14 @@ CampaignData run_campaign(const cluster::SystemSpec& spec, const StudyConfig& co
   }
   if (config.faults.enabled) {
     // One bulk update per campaign; the per-sample hot path stays counter-free.
-    auto& c = util::counters();
     const auto& q = data.quality;
-    c.add("telemetry.samples.expected", q.samples_expected);
-    c.add("telemetry.samples.glitch", q.samples_glitch);
-    c.add("telemetry.samples.gap", q.samples_gap);
-    c.add("telemetry.samples.duplicate", q.samples_duplicate);
-    c.add("telemetry.samples.interpolated", q.samples_interpolated);
-    c.add("telemetry.jobs.quarantined", q.jobs_quarantined());
-    c.add("telemetry.jobs.truncated", q.jobs_truncated_by_crash);
+    util::counters().add("telemetry.samples.expected", q.samples_expected);
+    util::counters().add("telemetry.samples.glitch", q.samples_glitch);
+    util::counters().add("telemetry.samples.gap", q.samples_gap);
+    util::counters().add("telemetry.samples.duplicate", q.samples_duplicate);
+    util::counters().add("telemetry.samples.interpolated", q.samples_interpolated);
+    util::counters().add("telemetry.jobs.quarantined", q.jobs_quarantined());
+    util::counters().add("telemetry.jobs.truncated", q.jobs_truncated_by_crash);
     util::log_info("telemetry quality: " + telemetry::describe(q));
   }
   return data;

@@ -4,12 +4,14 @@
 #include <stdexcept>
 
 #include "stats/descriptive.hpp"
+#include "obs/span.hpp"
 #include "util/parallel.hpp"
 
 namespace hpcpower::core {
 
 SystemUtilizationReport analyze_system_utilization(const CampaignData& data,
                                                    std::size_t series_points) {
+  HPCPOWER_SPAN("analyze.system_utilization");
   const auto& power = data.series.total_power_w;
   const auto& busy = data.series.busy_nodes;
   if (power.empty() || power.size() != busy.size())

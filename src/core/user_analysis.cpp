@@ -4,6 +4,7 @@
 
 #include "stats/concentration.hpp"
 #include "stats/descriptive.hpp"
+#include "obs/span.hpp"
 #include "util/parallel.hpp"
 
 // Per-user/per-cluster aggregation folds through util::blocked_accumulate:
@@ -16,6 +17,7 @@ namespace hpcpower::core {
 ConcentrationReport analyze_concentration(const CampaignData& data,
                                           const JobFilter& filter,
                                           std::size_t curve_points) {
+  HPCPOWER_SPAN("analyze.concentration");
   struct ConcAcc {
     std::unordered_map<workload::UserId, double> node_hours, energy;
   };
@@ -62,6 +64,7 @@ ConcentrationReport analyze_concentration(const CampaignData& data,
 UserVariabilityReport analyze_user_variability(const CampaignData& data,
                                                const JobFilter& filter,
                                                std::size_t min_jobs) {
+  HPCPOWER_SPAN("analyze.user_variability");
   struct UserAgg {
     stats::RunningStats power, nnodes, runtime;
   };
@@ -110,6 +113,7 @@ ClusterVariabilityReport analyze_cluster_variability(const CampaignData& data,
                                                      ClusterKey key,
                                                      const JobFilter& filter,
                                                      std::size_t min_jobs) {
+  HPCPOWER_SPAN("analyze.cluster_variability");
   // Cluster key: (user, nnodes) or (user, requested walltime).
   using ClusterMap = std::unordered_map<std::uint64_t, stats::RunningStats>;
   const ClusterMap clusters = util::blocked_accumulate<ClusterMap>(

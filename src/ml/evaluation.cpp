@@ -6,6 +6,7 @@
 #include "ml/decision_tree.hpp"
 #include "ml/flda.hpp"
 #include "ml/knn.hpp"
+#include "obs/span.hpp"
 #include "stats/descriptive.hpp"
 #include "util/parallel.hpp"
 
@@ -37,6 +38,7 @@ std::vector<double> EvaluationResult::per_user_errors() const {
 EvaluationResult evaluate_model(
     const Dataset& data, const std::function<std::unique_ptr<Regressor>()>& factory,
     const EvaluationConfig& config) {
+  HPCPOWER_SPAN("ml.evaluate");
   EvaluationResult result;
   const auto splits =
       make_repeated_splits(data, config.train_fraction, config.repeats, config.seed);
@@ -53,6 +55,7 @@ EvaluationResult evaluate_model(
   };
   std::vector<FoldResult> folds(splits.size());
   util::parallel_for(splits.size(), [&](std::size_t f) {
+    HPCPOWER_SPAN("ml.fold");
     const Split& split = splits[f];
     FoldResult& fold = folds[f];
     const Dataset train = data.subset(split.train);

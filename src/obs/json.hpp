@@ -1,0 +1,19 @@
+#pragma once
+// Minimal JSON rendering helpers shared by the obs exporters. Writing only —
+// the exporters emit small, fixed-shape documents, so a serializer library
+// would be overkill and a new dependency.
+
+#include <string>
+#include <string_view>
+
+namespace hpcpower::obs::detail {
+
+/// Escapes `text` for use inside a JSON string literal (quotes, backslash,
+/// control characters).
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+/// Renders a double as a JSON token: "null" for NaN/inf (JSON has no
+/// representation for them), shortest round-trip decimal otherwise.
+[[nodiscard]] std::string json_number(double value);
+
+}  // namespace hpcpower::obs::detail

@@ -1,0 +1,119 @@
+#include "obs/manifest.hpp"
+
+#include <fstream>
+#include <stdexcept>
+#include <thread>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "util/strings.hpp"
+
+namespace hpcpower::obs {
+
+namespace {
+
+std::string quoted(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out += '"';
+  out += detail::json_escape(text);
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string render_run_manifest(const RunInfo& info) {
+  const MetricsSnapshot snap = metrics().snapshot();
+
+  std::string out;
+  out.reserve(4096);
+  out += "{\n";
+  out += "  \"schema\": \"hpcpower.run_manifest.v1\",\n";
+  out += "  \"program\": " + quoted(info.program) + ",\n";
+  out += util::format("  \"seed\": %llu,\n",
+                      static_cast<unsigned long long>(info.seed));
+  out += util::format("  \"threads\": %zu,\n", info.threads);
+  out += util::format("  \"hardware_concurrency\": %u,\n",
+                      std::thread::hardware_concurrency());
+
+  out += "  \"config\": {";
+  for (std::size_t i = 0; i < info.config.size(); ++i) {
+    out += (i == 0 ? "\n    " : ",\n    ");
+    out += quoted(info.config[i].first) + ": " + quoted(info.config[i].second);
+  }
+  out += info.config.empty() ? "},\n" : "\n  },\n";
+
+  out += "  \"observability\": {\n";
+  out += util::format("    \"recording\": %s,\n",
+                      recording() ? "true" : "false");
+  out += util::format("    \"spans_recorded\": %llu\n",
+                      static_cast<unsigned long long>(recorded_span_count()));
+  out += "  },\n";
+
+  out += "  \"counters\": {";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    out += (i == 0 ? "\n    " : ",\n    ");
+    out += quoted(snap.counters[i].first) +
+           util::format(": %llu",
+                        static_cast<unsigned long long>(snap.counters[i].second));
+  }
+  out += snap.counters.empty() ? "},\n" : "\n  },\n";
+
+  out += "  \"gauges\": {";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    out += (i == 0 ? "\n    " : ",\n    ");
+    out += quoted(snap.gauges[i].first) + ": " +
+           detail::json_number(snap.gauges[i].second);
+  }
+  out += snap.gauges.empty() ? "},\n" : "\n  },\n";
+
+  out += "  \"histograms\": [";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    const auto& [name, h] = snap.histograms[i];
+    out += (i == 0 ? "\n    " : ",\n    ");
+    out += "{\"name\": " + quoted(name) + ", \"edges\": [";
+    for (std::size_t j = 0; j < h.edges.size(); ++j) {
+      if (j != 0) out += ", ";
+      out += detail::json_number(h.edges[j]);
+    }
+    out += "], \"counts\": [";
+    for (std::size_t j = 0; j < h.counts.size(); ++j) {
+      if (j != 0) out += ", ";
+      out += util::format("%llu", static_cast<unsigned long long>(h.counts[j]));
+    }
+    out += util::format("], \"count\": %llu",
+                        static_cast<unsigned long long>(h.count));
+    out += ", \"sum\": " + detail::json_number(h.sum);
+    if (h.finite_count > 0) {
+      out += ", \"min\": " + detail::json_number(h.min);
+      out += ", \"max\": " + detail::json_number(h.max);
+    }
+    out += "}";
+  }
+  out += snap.histograms.empty() ? "],\n" : "\n  ],\n";
+
+  out += "  \"timers\": [";
+  for (std::size_t i = 0; i < snap.timers.size(); ++i) {
+    const auto& t = snap.timers[i];
+    out += (i == 0 ? "\n    " : ",\n    ");
+    out += "{\"name\": " + quoted(t.name) +
+           util::format(", \"calls\": %llu, \"total_ms\": %.3f}",
+                        static_cast<unsigned long long>(t.calls),
+                        static_cast<double>(t.total_ns) / 1e6);
+  }
+  out += snap.timers.empty() ? "]\n" : "\n  ]\n";
+
+  out += "}\n";
+  return out;
+}
+
+void write_run_manifest(const std::string& path, const RunInfo& info) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  out << render_run_manifest(info);
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace hpcpower::obs

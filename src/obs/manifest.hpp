@@ -1,0 +1,35 @@
+#pragma once
+// Machine-readable run manifest: one JSON document capturing what a run was
+// (program, config, seed, thread count) and what it did (every counter,
+// gauge, histogram, and timer in the MetricRegistry, plus span totals).
+//
+// Schema "hpcpower.run_manifest.v1". Counters and histogram bucket counts
+// are deterministic at any thread count; timer/histogram-sum fields are
+// wall-clock dependent and exist only here and in the trace file, never in
+// deterministic report sections (DESIGN.md §6).
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hpcpower::obs {
+
+/// Run identity recorded at the top of the manifest. `config` is an ordered
+/// list of key/value pairs rendered verbatim as strings.
+struct RunInfo {
+  std::string program;
+  std::uint64_t seed = 0;
+  std::size_t threads = 0;
+  std::vector<std::pair<std::string, std::string>> config;
+};
+
+/// Renders the manifest JSON from `info` plus a snapshot of the process-wide
+/// metric registry and span recorder.
+[[nodiscard]] std::string render_run_manifest(const RunInfo& info);
+
+/// Convenience: render and write to `path`. Throws std::runtime_error on
+/// I/O failure.
+void write_run_manifest(const std::string& path, const RunInfo& info);
+
+}  // namespace hpcpower::obs

@@ -1,0 +1,141 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace hpcpower::obs {
+
+Histogram::Histogram(std::vector<double> edges) : edges_(std::move(edges)) {
+  if (edges_.empty())
+    throw std::invalid_argument("histogram: at least one bucket edge required");
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    if (std::isnan(edges_[i]) || (i > 0 && edges_[i] <= edges_[i - 1]))
+      throw std::invalid_argument("histogram: edges must be strictly increasing");
+  }
+  counts_.assign(edges_.size() + 1, 0);
+}
+
+void Histogram::observe(double value) {
+  const std::lock_guard lock(mutex_);
+  std::size_t bucket = edges_.size();  // overflow (and NaN) bucket
+  if (!std::isnan(value)) {
+    // Upper-inclusive: first edge >= value, so a value exactly on an edge
+    // lands in that edge's bucket ("le" semantics).
+    const auto it = std::lower_bound(edges_.begin(), edges_.end(), value);
+    bucket = static_cast<std::size_t>(it - edges_.begin());
+    sum_ += value;
+    if (finite_count_ == 0) {
+      min_ = max_ = value;
+    } else {
+      min_ = std::min(min_, value);
+      max_ = std::max(max_, value);
+    }
+    ++finite_count_;
+  }
+  ++counts_[bucket];
+  ++count_;
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  const std::lock_guard lock(mutex_);
+  Snapshot out;
+  out.edges = edges_;
+  out.counts = counts_;
+  out.count = count_;
+  out.sum = sum_;
+  out.min = min_;
+  out.max = max_;
+  out.finite_count = finite_count_;
+  return out;
+}
+
+void MetricRegistry::count(std::string_view name, std::uint64_t delta) {
+  util::counters().add(name, delta);
+}
+
+Gauge& MetricRegistry::gauge(std::string_view name) {
+  const std::lock_guard lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    it = gauges_.emplace(std::string(name), std::unique_ptr<Gauge>(new Gauge())).first;
+  return *it->second;
+}
+
+Histogram& MetricRegistry::histogram(std::string_view name,
+                                     std::span<const double> upper_edges) {
+  const std::lock_guard lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::unique_ptr<Histogram>(new Histogram(
+                          std::vector<double>(upper_edges.begin(), upper_edges.end()))))
+             .first;
+    return *it->second;
+  }
+  const Histogram& existing = *it->second;
+  if (!std::equal(existing.edges_.begin(), existing.edges_.end(), upper_edges.begin(),
+                  upper_edges.end()))
+    throw std::invalid_argument("histogram '" + std::string(name) +
+                                "': redefined with different bucket edges");
+  return *it->second;
+}
+
+Timer& MetricRegistry::timer(std::string_view name) {
+  const std::lock_guard lock(mutex_);
+  auto it = timers_.find(name);
+  if (it == timers_.end())
+    it = timers_.emplace(std::string(name), std::unique_ptr<Timer>(new Timer())).first;
+  return *it->second;
+}
+
+MetricsSnapshot MetricRegistry::snapshot() const {
+  MetricsSnapshot out;
+  out.counters = util::counters().snapshot();
+  const std::lock_guard lock(mutex_);
+  out.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) out.gauges.emplace_back(name, gauge->value());
+  out.histograms.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_)
+    out.histograms.emplace_back(name, hist->snapshot());
+  out.timers.reserve(timers_.size());
+  for (const auto& [name, timer] : timers_)
+    out.timers.push_back({name, timer->calls(), timer->total_ns()});
+  return out;
+}
+
+void MetricRegistry::reset() {
+  util::counters().reset();
+  const std::lock_guard lock(mutex_);
+  for (auto& [name, gauge] : gauges_) gauge->set(0.0);
+  for (auto& [name, hist] : histograms_) {
+    const std::lock_guard hist_lock(hist->mutex_);
+    std::fill(hist->counts_.begin(), hist->counts_.end(), 0);
+    hist->count_ = hist->finite_count_ = 0;
+    hist->sum_ = hist->min_ = hist->max_ = 0.0;
+  }
+  for (auto& [name, timer] : timers_) {
+    timer->total_ns_.store(0, std::memory_order_relaxed);
+    timer->calls_.store(0, std::memory_order_relaxed);
+  }
+}
+
+MetricRegistry& metrics() noexcept {
+  static MetricRegistry registry;
+  return registry;
+}
+
+std::optional<MetricsSnapshot::TimerEntry> slowest_timer(
+    const MetricsSnapshot& snapshot, std::string_view prefix) {
+  std::optional<MetricsSnapshot::TimerEntry> best;
+  for (const auto& timer : snapshot.timers) {
+    if (timer.name.rfind(prefix, 0) != 0) continue;
+    if (!best || timer.total_ns > best->total_ns) best = timer;
+  }
+  return best;
+}
+
+}  // namespace hpcpower::obs

@@ -1,0 +1,167 @@
+#pragma once
+// Typed metrics layer: one MetricRegistry unifying the process behind a
+// single observable surface.
+//
+//   * counters    — monotonically increasing uint64 event counts. Backed by
+//                   util::CounterRegistry (util/logging.hpp), which stays the
+//                   storage so the existing util::counters() call sites and
+//                   the new registry can never disagree.
+//   * gauges      — last-written double values (run parameters, result sizes).
+//   * histograms  — fixed upper-inclusive bucket edges ("le" semantics):
+//                   bucket i counts values in (edges[i-1], edges[i]], the
+//                   final implicit bucket counts values above the last edge.
+//                   NaN observations land in the overflow bucket and are
+//                   excluded from sum/min/max.
+//   * timers      — accumulated wall-clock nanoseconds + call counts. Spans
+//                   (obs/span.hpp) feed one timer per span name, so per-stage
+//                   wall times in BENCH_perf.json and the run manifest come
+//                   from the same data the trace profiler shows.
+//
+// Naming rule (enforced by tools/check_metric_names.sh): dotted lowercase,
+// at least two components, e.g. "telemetry.samples.gap" or "stage.campaign".
+//
+// Determinism contract: nothing in this registry may feed back into analysis
+// results. Counters/histogram bucket counts are commutative integer sums and
+// stay bit-identical at any thread count; timer values and histogram sums
+// are wall-clock/ordering dependent and appear only in the manifest and
+// trace files, never in deterministic report sections (DESIGN.md §6).
+//
+// Handles returned by gauge()/histogram()/timer() are valid for the process
+// lifetime; reset() zeroes values in place, so hot paths may cache them in
+// function-local statics.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hpcpower::obs {
+
+class MetricRegistry;
+
+/// Last-written double value. Lock-free; safe to set from pool workers.
+class Gauge {
+ public:
+  void set(double value) noexcept { value_.store(value, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricRegistry;
+  Gauge() = default;
+  std::atomic<double> value_{0.0};
+};
+
+/// Accumulated wall-clock time. Lock-free; spans add from any thread.
+class Timer {
+ public:
+  void add(std::int64_t ns, std::uint64_t calls = 1) noexcept {
+    total_ns_.fetch_add(ns, std::memory_order_relaxed);
+    calls_.fetch_add(calls, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t total_ns() const noexcept {
+    return total_ns_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t calls() const noexcept {
+    return calls_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricRegistry;
+  Timer() = default;
+  std::atomic<std::int64_t> total_ns_{0};
+  std::atomic<std::uint64_t> calls_{0};
+};
+
+/// Histogram over fixed, strictly increasing upper bucket edges.
+class Histogram {
+ public:
+  struct Snapshot {
+    std::vector<double> edges;          ///< upper-inclusive bucket edges
+    std::vector<std::uint64_t> counts;  ///< edges.size() + 1 buckets (overflow last)
+    std::uint64_t count = 0;            ///< total observations (incl. NaN)
+    double sum = 0.0;                   ///< sum of non-NaN observations
+    double min = 0.0, max = 0.0;        ///< valid only when finite_count > 0
+    std::uint64_t finite_count = 0;     ///< non-NaN observations
+  };
+
+  void observe(double value);
+  [[nodiscard]] Snapshot snapshot() const;
+
+ private:
+  friend class MetricRegistry;
+  explicit Histogram(std::vector<double> edges);
+
+  mutable std::mutex mutex_;
+  std::vector<double> edges_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  std::uint64_t finite_count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Everything the registry knows, sorted by name (for exporters and tests).
+struct MetricsSnapshot {
+  struct TimerEntry {
+    std::string name;
+    std::uint64_t calls = 0;
+    std::int64_t total_ns = 0;
+  };
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, Histogram::Snapshot>> histograms;
+  std::vector<TimerEntry> timers;
+};
+
+/// Thread-safe process-wide registry of typed metrics.
+class MetricRegistry {
+ public:
+  /// Adds `delta` to the named counter (delegates to util::counters(), the
+  /// single store shared with the legacy call sites).
+  void count(std::string_view name, std::uint64_t delta = 1);
+
+  /// Returns the named gauge, creating it at 0 first. Stable reference.
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+
+  /// Returns the named histogram, creating it with `upper_edges` (strictly
+  /// increasing, non-empty) first. Throws std::invalid_argument on invalid
+  /// edges or when an existing histogram was created with different edges.
+  [[nodiscard]] Histogram& histogram(std::string_view name,
+                                     std::span<const double> upper_edges);
+
+  /// Returns the named timer, creating it at zero first. Stable reference.
+  [[nodiscard]] Timer& timer(std::string_view name);
+
+  /// All metrics, sorted by name; counters come from util::counters().
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Zeroes every metric in place — counters (via util::counters().reset()),
+  /// gauges, histogram bucket counts, timers. Handles stay valid.
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<Timer>, std::less<>> timers_;
+};
+
+/// The process-wide metric registry.
+[[nodiscard]] MetricRegistry& metrics() noexcept;
+
+/// Largest-total timer whose name starts with `prefix` (empty = any), or
+/// nullopt when none matches. Used by the "slowest stage" summary lines.
+[[nodiscard]] std::optional<MetricsSnapshot::TimerEntry> slowest_timer(
+    const MetricsSnapshot& snapshot, std::string_view prefix);
+
+}  // namespace hpcpower::obs

@@ -1,0 +1,122 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+
+#include "obs/metrics.hpp"
+#include "util/logging.hpp"
+
+namespace hpcpower::obs {
+
+namespace {
+
+std::atomic<bool> g_recording{false};
+std::atomic<std::uint64_t> g_span_count{0};
+std::atomic<std::int64_t> g_epoch_ns{0};
+
+std::int64_t now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Per-thread event sink. Owned jointly by the writing thread (thread_local
+/// shared_ptr) and the global registry, so events survive the thread —
+/// the pool is rebuilt whenever the thread count changes, and a joined
+/// worker's spans must still reach the exporter.
+struct EventBuffer {
+  std::uint32_t tid = 0;
+  std::string label;
+  std::vector<TraceEvent> events;
+};
+
+struct BufferRegistry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<EventBuffer>> buffers;
+  std::uint32_t next_tid = 0;
+};
+
+BufferRegistry& buffer_registry() {
+  static BufferRegistry registry;
+  return registry;
+}
+
+EventBuffer& local_buffer() {
+  thread_local std::shared_ptr<EventBuffer> buffer;
+  if (!buffer) {
+    buffer = std::make_shared<EventBuffer>();
+    buffer->label = util::thread_label();
+    auto& registry = buffer_registry();
+    const std::lock_guard lock(registry.mutex);
+    buffer->tid = registry.next_tid++;
+    registry.buffers.push_back(buffer);
+  }
+  return *buffer;
+}
+
+}  // namespace
+
+void set_recording(bool on) noexcept {
+  if (on) {
+    std::int64_t expected = 0;
+    g_epoch_ns.compare_exchange_strong(expected, now_ns());
+  }
+  g_recording.store(on, std::memory_order_relaxed);
+}
+
+bool recording() noexcept { return g_recording.load(std::memory_order_relaxed); }
+
+std::uint64_t recorded_span_count() noexcept {
+  return g_span_count.load(std::memory_order_relaxed);
+}
+
+void clear_recorded() {
+  auto& registry = buffer_registry();
+  const std::lock_guard lock(registry.mutex);
+  for (auto& buffer : registry.buffers) buffer->events.clear();
+  g_span_count.store(0, std::memory_order_relaxed);
+  g_epoch_ns.store(recording() ? now_ns() : 0, std::memory_order_relaxed);
+}
+
+std::vector<ThreadEvents> recorded_events() {
+  std::vector<ThreadEvents> out;
+  auto& registry = buffer_registry();
+  const std::lock_guard lock(registry.mutex);
+  out.reserve(registry.buffers.size());
+  for (const auto& buffer : registry.buffers) {
+    if (buffer->events.empty()) continue;
+    ThreadEvents t;
+    t.tid = buffer->tid;
+    t.label = buffer->label;
+    t.events = buffer->events;
+    out.push_back(std::move(t));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ThreadEvents& a, const ThreadEvents& b) { return a.tid < b.tid; });
+  return out;
+}
+
+std::int64_t recording_epoch_ns() noexcept {
+  return g_epoch_ns.load(std::memory_order_relaxed);
+}
+
+Span::Span(const char* name) noexcept : name_(name) {
+  util::push_log_context(name);
+  timed_ = g_recording.load(std::memory_order_relaxed);
+  if (timed_) start_ns_ = now_ns();
+}
+
+Span::~Span() {
+  if (timed_) {
+    const std::int64_t dur_ns = now_ns() - start_ns_;
+    local_buffer().events.push_back(TraceEvent{name_, start_ns_, dur_ns});
+    metrics().timer(name_).add(dur_ns);
+    g_span_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  util::pop_log_context();
+}
+
+}  // namespace hpcpower::obs

@@ -1,0 +1,90 @@
+#pragma once
+// RAII phase-scoped spans: HPCPOWER_SPAN("telemetry.tick") marks the
+// enclosing scope as one phase of the run.
+//
+// A span always pushes its name onto the thread's log-context stack
+// (util/logging.hpp), so stderr warnings are attributable to the innermost
+// active phase even with recording off. When recording is enabled
+// (set_recording(true), flipped by --trace-out/--metrics-out), each span
+// additionally captures steady-clock start/duration, appends one event to a
+// per-thread buffer (no cross-thread contention on the hot path), and
+// accumulates into the timer metric of the same name in obs::metrics().
+//
+// Spans nest lexically and are thread-aware: a span opened inside a
+// util::ThreadPool worker is attributed to that worker's thread id and
+// label. Disabled cost is two thread-local writes — no clock reads, no
+// allocation, no locks.
+//
+// Determinism contract (DESIGN.md §6): spans only *observe*. Enabling or
+// disabling recording, at any thread count, never changes a byte of any
+// deterministic output; wall-clock data exists only in the trace file and
+// run manifest.
+//
+// Span names must be string literals (the macro enforces this by literal
+// concatenation) in dotted-lowercase form ("stage.campaign") — the names
+// double as timer metric names and are linted by tools/check_metric_names.sh.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hpcpower::obs {
+
+/// Master switch for span timing + trace-event capture. The first enable
+/// fixes the trace epoch (t=0). Off by default.
+void set_recording(bool on) noexcept;
+[[nodiscard]] bool recording() noexcept;
+
+/// Number of span events recorded since the last clear_recorded().
+[[nodiscard]] std::uint64_t recorded_span_count() noexcept;
+
+/// Drops all recorded events and re-arms the epoch at the next enable.
+/// Callers must quiesce parallel work first (same contract as
+/// util::set_global_thread_count). Does not touch the metric registry.
+void clear_recorded();
+
+/// One completed span occurrence. `name` points at the string literal passed
+/// to HPCPOWER_SPAN, so it has static storage duration.
+struct TraceEvent {
+  const char* name = nullptr;
+  std::int64_t start_ns = 0;  ///< steady-clock, absolute
+  std::int64_t dur_ns = 0;
+};
+
+/// All events recorded by one thread, in completion order.
+struct ThreadEvents {
+  std::uint32_t tid = 0;      ///< dense id in first-event order (0 = earliest)
+  std::string label;          ///< util::thread_label() at first event
+  std::vector<TraceEvent> events;
+};
+
+/// Copies out every thread's recorded events, sorted by tid. Callers must
+/// quiesce parallel work first.
+[[nodiscard]] std::vector<ThreadEvents> recorded_events();
+
+/// Steady-clock nanosecond timestamp of the first set_recording(true) since
+/// the last clear; trace timestamps are relative to it.
+[[nodiscard]] std::int64_t recording_epoch_ns() noexcept;
+
+class Span {
+ public:
+  explicit Span(const char* name) noexcept;
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  std::int64_t start_ns_ = 0;
+  bool timed_;
+};
+
+}  // namespace hpcpower::obs
+
+#define HPCPOWER_SPAN_CONCAT2(a, b) a##b
+#define HPCPOWER_SPAN_CONCAT(a, b) HPCPOWER_SPAN_CONCAT2(a, b)
+/// Opens a span covering the rest of the enclosing scope. `name` must be a
+/// string literal (enforced by the "" concatenation).
+#define HPCPOWER_SPAN(name)                                              \
+  const ::hpcpower::obs::Span HPCPOWER_SPAN_CONCAT(hpcpower_span_,       \
+                                                   __COUNTER__)(name "")

@@ -1,0 +1,51 @@
+#include "obs/trace_export.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+#include "obs/span.hpp"
+#include "util/strings.hpp"
+
+namespace hpcpower::obs {
+
+std::string render_chrome_trace() {
+  const std::vector<ThreadEvents> threads = recorded_events();
+  const std::int64_t epoch_ns = recording_epoch_ns();
+
+  std::size_t total_events = 0;
+  for (const ThreadEvents& t : threads) total_events += t.events.size();
+
+  std::string out;
+  out.reserve(120 * (total_events + 2 * threads.size() + 2));
+  out += "{\"traceEvents\":[\n";
+  out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+         "\"args\":{\"name\":\"hpcpower\"}}";
+  for (const ThreadEvents& t : threads) {
+    out += util::format(
+        ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%u,"
+        "\"args\":{\"name\":\"%s\"}}",
+        t.tid, detail::json_escape(t.label).c_str());
+  }
+  for (const ThreadEvents& t : threads) {
+    for (const TraceEvent& e : t.events) {
+      out += util::format(
+          ",\n{\"name\":\"%s\",\"cat\":\"hpcpower\",\"ph\":\"X\",\"pid\":1,"
+          "\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f}",
+          detail::json_escape(e.name).c_str(), t.tid,
+          static_cast<double>(e.start_ns - epoch_ns) / 1000.0,
+          static_cast<double>(e.dur_ns) / 1000.0);
+    }
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+void write_chrome_trace(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  out << render_chrome_trace();
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace hpcpower::obs

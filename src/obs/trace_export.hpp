@@ -1,0 +1,23 @@
+#pragma once
+// Chrome trace-event exporter: renders every recorded span as a JSON file
+// loadable in chrome://tracing or https://ui.perfetto.dev.
+//
+// Format: the "JSON object format" of the Trace Event spec — one complete
+// ("ph":"X") event per span with microsecond ts/dur relative to the
+// recording epoch, plus process/thread metadata so pool workers show up as
+// named rows ("main", "worker-0", ...). Nesting is implied by time
+// containment, which the viewers render as stacked slices.
+
+#include <string>
+
+namespace hpcpower::obs {
+
+/// Renders all spans recorded so far (obs/span.hpp) as a Chrome trace JSON
+/// document. Callers must quiesce parallel work first.
+[[nodiscard]] std::string render_chrome_trace();
+
+/// Convenience: render and write to `path`. Throws std::runtime_error on
+/// I/O failure.
+void write_chrome_trace(const std::string& path);
+
+}  // namespace hpcpower::obs

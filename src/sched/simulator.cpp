@@ -7,6 +7,7 @@
 #include <tuple>
 #include <unordered_map>
 
+#include "obs/span.hpp"
 #include "sched/checkpoint.hpp"
 
 namespace hpcpower::sched {
@@ -105,6 +106,7 @@ CampaignSimulator::CampaignSimulator(std::uint32_t node_count, util::MinuteTime 
 void CampaignSimulator::drive(SimState& state, std::int64_t from_minute,
                               std::int64_t to_minute,
                               const SimulationHooks& hooks) const {
+  HPCPOWER_SPAN("sched.drive");
   const std::vector<workload::JobRequest>& jobs = *state.jobs;
   std::vector<const RunningJob*> running_view;
 
@@ -146,6 +148,7 @@ void CampaignSimulator::drive(SimState& state, std::int64_t from_minute,
 
     // 3. node failures: kill every victim attempt, then drain the nodes
     if (const auto it = state.fail_at.find(m); it != state.fail_at.end()) {
+      HPCPOWER_SPAN("sched.failures.apply");
       const std::vector<cluster::NodeId> failed = std::move(it->second);
       state.fail_at.erase(it);
       state.result.availability.node_failures += failed.size();
@@ -185,6 +188,7 @@ void CampaignSimulator::drive(SimState& state, std::int64_t from_minute,
     // 4. requeued retries whose backoff expires this minute re-enter the
     //    queue ahead of brand-new arrivals (they were submitted long ago)
     if (const auto it = state.requeue_at.find(m); it != state.requeue_at.end()) {
+      HPCPOWER_SPAN("sched.requeue.release");
       for (const auto& [id, attempt] : it->second) {
         const auto job_it = state.by_id.find(id);
         assert(job_it != state.by_id.end());

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/parallel.hpp"
 
 namespace hpcpower::telemetry {
@@ -74,9 +76,24 @@ double capped_power(double watts, double cap_w, std::uint64_t& throttled) noexce
 }
 }  // namespace
 
+namespace {
+/// Distribution of concurrently running jobs per monitoring tick. Bucket
+/// counts are commutative integer sums, so the manifest histogram stays
+/// deterministic at any thread count.
+void observe_running_jobs(std::size_t running) {
+  static constexpr double kEdges[] = {0.0, 1.0, 2.0, 4.0, 8.0,
+                                      16.0, 32.0, 64.0, 128.0, 256.0};
+  static obs::Histogram& hist =
+      obs::metrics().histogram("telemetry.tick.running_jobs", kEdges);
+  hist.observe(static_cast<double>(running));
+}
+}  // namespace
+
 void MonitoringPipeline::per_minute(
     util::MinuteTime now, const std::vector<const sched::RunningJob*>& running,
     std::uint32_t down_nodes) {
+  HPCPOWER_SPAN("telemetry.tick");
+  observe_running_jobs(running.size());
   // One task per running job: each touches only its own ActiveJob state and
   // writes its facility-meter contribution into a dedicated slot. The slots
   // are then reduced in running-set order, so the sum has the exact same
@@ -138,6 +155,8 @@ void MonitoringPipeline::per_minute(
 void MonitoringPipeline::per_minute_faulty(
     util::MinuteTime now, const std::vector<const sched::RunningJob*>& running,
     std::uint32_t down_nodes) {
+  HPCPOWER_SPAN("telemetry.tick.faulty");
+  observe_running_jobs(running.size());
   const bool clean = config_.cleaning.enabled;
 
   // Sharded like per_minute: one task per job, with the job's data-quality
@@ -283,6 +302,7 @@ void MonitoringPipeline::per_minute_faulty(
 
 void MonitoringPipeline::on_end(const sched::RunningJob& job,
                                 const sched::JobAccountingRecord& rec) {
+  HPCPOWER_SPAN("telemetry.ingest.job");
   const auto it = active_.find(job.request.job_id);
   assert(it != active_.end());
   ActiveJob& a = it->second;

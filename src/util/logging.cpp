@@ -6,6 +6,8 @@
 #include <map>
 #include <mutex>
 
+#include "util/strings.hpp"
+
 namespace hpcpower::util {
 
 namespace {
@@ -32,16 +34,52 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+// Fixed-depth per-thread context stack. Overflowing pushes are counted but
+// not stored, so deeply nested spans degrade gracefully instead of writing
+// out of bounds.
+constexpr int kMaxContextDepth = 64;
+thread_local const char* t_context[kMaxContextDepth];
+thread_local int t_context_depth = 0;
+thread_local std::string t_thread_label;
 }  // namespace
 
 void set_log_level(LogLevel level) noexcept { g_level.store(level); }
 
 LogLevel log_level() noexcept { return g_level.load(); }
 
+void push_log_context(const char* name) noexcept {
+  if (t_context_depth < kMaxContextDepth) t_context[t_context_depth] = name;
+  ++t_context_depth;
+}
+
+void pop_log_context() noexcept {
+  if (t_context_depth > 0) --t_context_depth;
+}
+
+const char* current_log_context() noexcept {
+  const int depth = std::min(t_context_depth, kMaxContextDepth);
+  return depth > 0 ? t_context[depth - 1] : nullptr;
+}
+
+std::string format_log_line(LogLevel level, const std::string& message) {
+  if (const char* context = current_log_context())
+    return format("[hpcpower %s %s] %s", level_name(level), context, message.c_str());
+  return format("[hpcpower %s] %s", level_name(level), message.c_str());
+}
+
+void set_thread_label(std::string label) { t_thread_label = std::move(label); }
+
+const std::string& thread_label() noexcept {
+  static const std::string kMainLabel = "main";
+  return t_thread_label.empty() ? kMainLabel : t_thread_label;
+}
+
 void log(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  const std::string line = format_log_line(level, message);
   const std::lock_guard lock(g_mutex);
-  std::fprintf(stderr, "[hpcpower %s] %s\n", level_name(level), message.c_str());
+  std::fprintf(stderr, "%s\n", line.c_str());
 }
 
 void log_debug(const std::string& message) { log(LogLevel::kDebug, message); }

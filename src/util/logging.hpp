@@ -1,6 +1,6 @@
 #pragma once
 // Leveled stderr logging with a process-wide threshold, plus a process-wide
-// named-counter registry.
+// named-counter registry and the per-thread log-context stack.
 //
 // Simulation and analysis code logs progress at Info; tests set the threshold
 // to Warn to keep output clean. Not a general logging framework on purpose.
@@ -9,6 +9,11 @@
 // repairs, skipped CSV rows) are *countable* by tests and reports instead of
 // having their stderr output scraped. Names are dotted lowercase, e.g.
 // "telemetry.samples.glitch" or "csv.rows_skipped".
+//
+// The log context is the low-level half of the observability layer's spans
+// (obs/span.hpp): obs::Span pushes its name here so every stderr line can be
+// attributed to the innermost active phase. It lives in util (not obs)
+// because the logger itself reads it and util must stay dependency-free.
 
 #include <cstdint>
 #include <string>
@@ -24,6 +29,26 @@ void set_log_level(LogLevel level) noexcept;
 [[nodiscard]] LogLevel log_level() noexcept;
 
 void log(LogLevel level, const std::string& message);
+
+// ---- per-thread log context (innermost active span) -----------------------
+
+/// Pushes `name` onto this thread's context stack; the innermost name is
+/// prefixed to every log line the thread emits. `name` must outlive the
+/// scope (obs::Span passes string literals). Pushes beyond the fixed depth
+/// are counted but not stored, so push/pop always balance.
+void push_log_context(const char* name) noexcept;
+void pop_log_context() noexcept;
+/// Innermost active context name, or nullptr outside any context.
+[[nodiscard]] const char* current_log_context() noexcept;
+
+/// Renders one log line ("[hpcpower WARN telemetry.tick] message") without
+/// emitting it; log() uses this, and tests assert on it directly.
+[[nodiscard]] std::string format_log_line(LogLevel level, const std::string& message);
+
+/// Per-thread label for traces and diagnostics. Defaults to "main"; the
+/// thread pool labels its workers "worker-<i>".
+void set_thread_label(std::string label);
+[[nodiscard]] const std::string& thread_label() noexcept;
 
 void log_debug(const std::string& message);
 void log_info(const std::string& message);

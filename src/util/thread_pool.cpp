@@ -10,6 +10,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "util/logging.hpp"
 #include "util/strings.hpp"
 
 namespace hpcpower::util {
@@ -18,7 +19,11 @@ ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] {
+      // Label the worker so log lines and trace events are attributable.
+      set_thread_label(format("worker-%zu", i));
+      worker_loop();
+    });
 }
 
 ThreadPool::~ThreadPool() {

@@ -1,0 +1,299 @@
+// Unit tests for the observability layer (src/obs): typed metrics, RAII
+// spans, log-context integration, and the two JSON exporters.
+//
+// The metric registry and span recorder are process-wide, so every test
+// starts from a clean slate (reset + clear_recorded) and leaves recording
+// off. The concurrency tests exercise the registry from the shared thread
+// pool and are what `HPCPOWER_SANITIZE=thread` watches.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "obs/trace_export.hpp"
+#include "util/logging.hpp"
+#include "util/parallel.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hpcpower {
+namespace {
+
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_recording(false);
+    obs::metrics().reset();
+    obs::clear_recorded();
+  }
+  void TearDown() override {
+    obs::set_recording(false);
+    obs::metrics().reset();
+    obs::clear_recorded();
+    util::set_global_thread_count(0);
+    util::shutdown_global_pool();
+  }
+};
+
+constexpr double kEdges[] = {1.0, 2.0, 5.0};
+
+TEST_F(ObsTest, HistogramBucketEdgesAreUpperInclusive) {
+  obs::Histogram& h = obs::metrics().histogram("obs_test.hist", kEdges);
+  h.observe(0.5);   // bucket 0: (-inf, 1]
+  h.observe(1.0);   // bucket 0: edge value goes to the lower bucket
+  h.observe(1.01);  // bucket 1: (1, 2]
+  h.observe(2.0);   // bucket 1
+  h.observe(5.0);   // bucket 2: (2, 5]
+  h.observe(5.01);  // overflow: (5, inf)
+
+  const obs::Histogram::Snapshot s = h.snapshot();
+  ASSERT_EQ(s.edges.size(), 3u);
+  ASSERT_EQ(s.counts.size(), 4u);
+  EXPECT_EQ(s.counts[0], 2u);
+  EXPECT_EQ(s.counts[1], 2u);
+  EXPECT_EQ(s.counts[2], 1u);
+  EXPECT_EQ(s.counts[3], 1u);
+  EXPECT_EQ(s.count, 6u);
+  EXPECT_EQ(s.finite_count, 6u);
+  EXPECT_DOUBLE_EQ(s.sum, 0.5 + 1.0 + 1.01 + 2.0 + 5.0 + 5.01);
+  EXPECT_DOUBLE_EQ(s.min, 0.5);
+  EXPECT_DOUBLE_EQ(s.max, 5.01);
+}
+
+TEST_F(ObsTest, HistogramNanGoesToOverflowAndSkipsStats) {
+  obs::Histogram& h = obs::metrics().histogram("obs_test.hist_nan", kEdges);
+  h.observe(2.0);
+  h.observe(std::numeric_limits<double>::quiet_NaN());
+  const obs::Histogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_EQ(s.finite_count, 1u);
+  EXPECT_EQ(s.counts[3], 1u);  // NaN lands in the overflow bucket
+  EXPECT_DOUBLE_EQ(s.sum, 2.0);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 2.0);
+}
+
+TEST_F(ObsTest, HistogramRejectsInvalidEdges) {
+  EXPECT_THROW(obs::metrics().histogram("obs_test.bad_empty", {}),
+               std::invalid_argument);
+  const double decreasing[] = {2.0, 1.0};
+  EXPECT_THROW(obs::metrics().histogram("obs_test.bad_order", decreasing),
+               std::invalid_argument);
+  const double repeated[] = {1.0, 1.0};
+  EXPECT_THROW(obs::metrics().histogram("obs_test.bad_dup", repeated),
+               std::invalid_argument);
+  const double with_nan[] = {1.0, std::numeric_limits<double>::quiet_NaN()};
+  EXPECT_THROW(obs::metrics().histogram("obs_test.bad_nan", with_nan),
+               std::invalid_argument);
+}
+
+TEST_F(ObsTest, HistogramRedefinitionMustMatchEdges) {
+  obs::Histogram& first = obs::metrics().histogram("obs_test.redefine", kEdges);
+  obs::Histogram& again = obs::metrics().histogram("obs_test.redefine", kEdges);
+  EXPECT_EQ(&first, &again);  // same edges: same stable handle
+  const double other[] = {1.0, 3.0};
+  EXPECT_THROW(obs::metrics().histogram("obs_test.redefine", other),
+               std::invalid_argument);
+}
+
+TEST_F(ObsTest, CountersDelegateToUtilRegistry) {
+  obs::metrics().count("obs_test.counter", 3);
+  util::counters().add("obs_test.counter", 2);
+  EXPECT_EQ(util::counters().value("obs_test.counter"), 5u);
+  const obs::MetricsSnapshot snap = obs::metrics().snapshot();
+  bool found = false;
+  for (const auto& [name, value] : snap.counters) {
+    if (name == "obs_test.counter") {
+      found = true;
+      EXPECT_EQ(value, 5u);
+    }
+  }
+  EXPECT_TRUE(found) << "snapshot must include util::counters() entries";
+}
+
+TEST_F(ObsTest, ResetZeroesInPlaceAndHandlesStayValid) {
+  obs::Gauge& g = obs::metrics().gauge("obs_test.gauge");
+  obs::Timer& t = obs::metrics().timer("obs_test.timer");
+  obs::Histogram& h = obs::metrics().histogram("obs_test.reset_hist", kEdges);
+  g.set(4.5);
+  t.add(1000, 2);
+  h.observe(1.5);
+  obs::metrics().reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(t.total_ns(), 0);
+  EXPECT_EQ(t.calls(), 0u);
+  EXPECT_EQ(h.snapshot().count, 0u);
+  // Handles still usable after reset.
+  EXPECT_EQ(&g, &obs::metrics().gauge("obs_test.gauge"));
+  g.set(1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.0);
+}
+
+TEST_F(ObsTest, SnapshotIsSortedByName) {
+  obs::metrics().gauge("obs_test.b").set(2.0);
+  obs::metrics().gauge("obs_test.a").set(1.0);
+  obs::metrics().timer("obs_test.t2").add(2);
+  obs::metrics().timer("obs_test.t1").add(1);
+  const obs::MetricsSnapshot snap = obs::metrics().snapshot();
+  for (std::size_t i = 1; i < snap.gauges.size(); ++i)
+    EXPECT_LT(snap.gauges[i - 1].first, snap.gauges[i].first);
+  for (std::size_t i = 1; i < snap.timers.size(); ++i)
+    EXPECT_LT(snap.timers[i - 1].name, snap.timers[i].name);
+}
+
+TEST_F(ObsTest, SlowestTimerRespectsPrefix) {
+  obs::metrics().timer("stage.fast").add(10);
+  obs::metrics().timer("stage.slow").add(1000);
+  obs::metrics().timer("other.slowest").add(100000);
+  const obs::MetricsSnapshot snap = obs::metrics().snapshot();
+  const auto any = obs::slowest_timer(snap, "");
+  ASSERT_TRUE(any.has_value());
+  EXPECT_EQ(any->name, "other.slowest");
+  const auto staged = obs::slowest_timer(snap, "stage.");
+  ASSERT_TRUE(staged.has_value());
+  EXPECT_EQ(staged->name, "stage.slow");
+  EXPECT_FALSE(obs::slowest_timer(snap, "nope.").has_value());
+}
+
+TEST_F(ObsTest, RegistryIsSafeUnderConcurrentAddAndSnapshot) {
+  util::set_global_thread_count(4);
+  constexpr std::size_t kItems = 2000;
+  std::atomic<std::uint64_t> snapshots{0};
+  util::parallel_for(kItems, [&](std::size_t i) {
+    obs::metrics().count("obs_test.concurrent", 1);
+    obs::metrics().timer("obs_test.concurrent_timer").add(1);
+    obs::metrics()
+        .histogram("obs_test.concurrent_hist", kEdges)
+        .observe(static_cast<double>(i % 7));
+    obs::metrics().gauge("obs_test.concurrent_gauge").set(static_cast<double>(i));
+    if (i % 101 == 0) {
+      const obs::MetricsSnapshot snap = obs::metrics().snapshot();
+      EXPECT_LE(snap.counters.size(), 64u);  // touch the result under TSan
+      snapshots.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  EXPECT_GT(snapshots.load(), 0u);
+  EXPECT_EQ(util::counters().value("obs_test.concurrent"), kItems);
+  EXPECT_EQ(obs::metrics().timer("obs_test.concurrent_timer").calls(), kItems);
+  EXPECT_EQ(obs::metrics().histogram("obs_test.concurrent_hist", kEdges)
+                .snapshot()
+                .count,
+            kItems);
+}
+
+TEST_F(ObsTest, SpanPushesLogContextEvenWhenNotRecording) {
+  EXPECT_EQ(util::current_log_context(), nullptr);
+  {
+    HPCPOWER_SPAN("obs_test.outer");
+    EXPECT_STREQ(util::current_log_context(), "obs_test.outer");
+    {
+      HPCPOWER_SPAN("obs_test.inner");
+      EXPECT_STREQ(util::current_log_context(), "obs_test.inner");
+      EXPECT_EQ(util::format_log_line(util::LogLevel::kWarn, "msg"),
+                "[hpcpower WARN obs_test.inner] msg");
+    }
+    EXPECT_STREQ(util::current_log_context(), "obs_test.outer");
+  }
+  EXPECT_EQ(util::current_log_context(), nullptr);
+  EXPECT_EQ(util::format_log_line(util::LogLevel::kInfo, "msg"),
+            "[hpcpower INFO] msg");
+  // Recording stayed off: no events, no timers.
+  EXPECT_EQ(obs::recorded_span_count(), 0u);
+  EXPECT_TRUE(obs::recorded_events().empty());
+}
+
+TEST_F(ObsTest, RecordedSpansCarryNestingAndFeedTimers) {
+  obs::set_recording(true);
+  obs::clear_recorded();
+  {
+    HPCPOWER_SPAN("obs_test.parent");
+    HPCPOWER_SPAN("obs_test.child");
+  }
+  EXPECT_EQ(obs::recorded_span_count(), 2u);
+  const std::vector<obs::ThreadEvents> events = obs::recorded_events();
+  ASSERT_EQ(events.size(), 1u);
+  ASSERT_EQ(events[0].events.size(), 2u);
+  // Child is destroyed first, so it is recorded first; the parent's interval
+  // must contain the child's (that is what the trace viewer nests on).
+  const obs::TraceEvent& child = events[0].events[0];
+  const obs::TraceEvent& parent = events[0].events[1];
+  EXPECT_STREQ(child.name, "obs_test.child");
+  EXPECT_STREQ(parent.name, "obs_test.parent");
+  EXPECT_LE(parent.start_ns, child.start_ns);
+  EXPECT_GE(parent.start_ns + parent.dur_ns, child.start_ns + child.dur_ns);
+  // Span timers accumulated one call each.
+  EXPECT_EQ(obs::metrics().timer("obs_test.parent").calls(), 1u);
+  EXPECT_EQ(obs::metrics().timer("obs_test.child").calls(), 1u);
+}
+
+TEST_F(ObsTest, WorkerSpansAreAttributedToLabeledThreads) {
+  obs::set_recording(true);
+  obs::clear_recorded();
+  util::set_global_thread_count(3);
+  util::parallel_for(64, [&](std::size_t) { HPCPOWER_SPAN("obs_test.work"); });
+  util::shutdown_global_pool();  // quiesce before reading buffers
+  std::uint64_t total = 0;
+  for (const auto& thread : obs::recorded_events()) {
+    EXPECT_FALSE(thread.label.empty());
+    EXPECT_TRUE(thread.label == "main" ||
+                thread.label.rfind("worker-", 0) == 0)
+        << thread.label;
+    total += thread.events.size();
+  }
+  EXPECT_EQ(total, 64u);
+  EXPECT_EQ(obs::recorded_span_count(), 64u);
+}
+
+TEST_F(ObsTest, ChromeTraceRendersMetadataAndEvents) {
+  obs::set_recording(true);
+  obs::clear_recorded();
+  { HPCPOWER_SPAN("obs_test.trace_me"); }
+  const std::string trace = obs::render_chrome_trace();
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(trace.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(trace.find("\"obs_test.trace_me\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_EQ(trace.front(), '{');
+  EXPECT_EQ(trace.back(), '\n');
+}
+
+TEST_F(ObsTest, ManifestRendersMetricsAndEscapesConfig) {
+  obs::metrics().count("obs_test.manifest_counter", 7);
+  obs::metrics().gauge("obs_test.manifest_gauge").set(1.25);
+  obs::RunInfo info;
+  info.program = "test_obs";
+  info.seed = 42;
+  info.threads = 2;
+  info.config = {{"quote", "a\"b"}, {"newline", "a\nb"}};
+  const std::string manifest = obs::render_run_manifest(info);
+  EXPECT_NE(manifest.find("\"schema\": \"hpcpower.run_manifest.v1\""),
+            std::string::npos);
+  EXPECT_NE(manifest.find("\"obs_test.manifest_counter\": 7"), std::string::npos);
+  EXPECT_NE(manifest.find("\"obs_test.manifest_gauge\": 1.25"), std::string::npos);
+  EXPECT_NE(manifest.find("a\\\"b"), std::string::npos);
+  EXPECT_NE(manifest.find("a\\nb"), std::string::npos);
+  EXPECT_EQ(manifest.find('\t'), std::string::npos);
+}
+
+TEST_F(ObsTest, JsonHelpersEscapeAndRenderNumbers) {
+  EXPECT_EQ(obs::detail::json_escape("plain"), "plain");
+  EXPECT_EQ(obs::detail::json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(obs::detail::json_escape(std::string_view("\x01", 1)), "\\u0001");
+  EXPECT_EQ(obs::detail::json_number(1.5), "1.5");
+  EXPECT_EQ(obs::detail::json_number(std::numeric_limits<double>::quiet_NaN()),
+            "null");
+  EXPECT_EQ(obs::detail::json_number(std::numeric_limits<double>::infinity()),
+            "null");
+}
+
+}  // namespace
+}  // namespace hpcpower

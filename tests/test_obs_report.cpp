@@ -1,0 +1,147 @@
+// Observability must not perturb determinism (DESIGN.md §6): with span
+// recording on or off, at any thread count, every deterministic report
+// section stays byte-identical. Wall-clock data may only appear in the trace
+// and manifest files, which these tests exercise separately — including the
+// acceptance check that manifest counter totals reconcile exactly with the
+// report's data-quality and availability sections.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/report.hpp"
+#include "core/study.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "obs/trace_export.hpp"
+#include "util/logging.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hpcpower {
+namespace {
+
+core::StudyConfig dirty_config() {
+  core::StudyConfig config;
+  config.days = 1.0;
+  config.warmup_days = 0.5;
+  config.instrument_begin_day = 0.0;
+  config.instrument_end_day = config.days;
+  config.faults.enabled = true;  // exercise the data-quality ledger
+  config.node_failures.enabled = true;
+  config.node_failures.mtbf_days = 10.0;  // exercise the availability ledger
+  return config;
+}
+
+std::string run_report(const core::StudyConfig& config, std::size_t threads,
+                       bool record) {
+  util::set_global_thread_count(threads);
+  obs::set_recording(record);
+  const auto campaigns = core::run_both_systems(config);
+  core::ReportOptions ropts;
+  ropts.include_prediction = true;
+  ropts.prediction_config.repeats = 2;  // keep the golden suite fast
+  return core::render_markdown_report(campaigns, ropts);
+}
+
+class ObsReportGolden : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_recording(false);
+    obs::metrics().reset();
+    obs::clear_recorded();
+  }
+  void TearDown() override {
+    obs::set_recording(false);
+    obs::metrics().reset();
+    obs::clear_recorded();
+    util::set_global_thread_count(0);
+    util::shutdown_global_pool();
+  }
+};
+
+TEST_F(ObsReportGolden, TracingOnOrOffReportIsByteIdenticalAtAnyThreadCount) {
+  const core::StudyConfig config = dirty_config();
+  const std::string golden = run_report(config, 1, /*record=*/false);
+  ASSERT_FALSE(golden.empty());
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{0}}) {
+    for (const bool record : {false, true}) {
+      if (threads == 1 && !record) continue;  // that is the golden run itself
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " recording=" + std::to_string(record));
+      EXPECT_EQ(golden, run_report(config, threads, record));
+    }
+  }
+  EXPECT_GT(obs::recorded_span_count(), 0u) << "recorded runs produced spans";
+}
+
+TEST_F(ObsReportGolden, ManifestCountersReconcileWithReportLedgers) {
+  const core::StudyConfig config = dirty_config();
+  obs::set_recording(true);
+  const auto campaigns = core::run_both_systems(config);
+
+  std::uint64_t expected = 0, gap = 0, glitch = 0, duplicate = 0;
+  std::uint64_t interpolated = 0, quarantined = 0, truncated = 0;
+  std::uint64_t failures = 0, killed = 0, requeues = 0, exhausted = 0;
+  std::uint64_t minutes_down = 0, minutes_total = 0;
+  for (const auto& data : campaigns) {
+    expected += data.quality.samples_expected;
+    gap += data.quality.samples_gap;
+    glitch += data.quality.samples_glitch;
+    duplicate += data.quality.samples_duplicate;
+    interpolated += data.quality.samples_interpolated;
+    quarantined += data.quality.jobs_quarantined();
+    truncated += data.quality.jobs_truncated_by_crash;
+    failures += data.availability.node_failures;
+    killed += data.availability.attempts_killed;
+    requeues += data.availability.requeues;
+    exhausted += data.availability.requeues_exhausted;
+    minutes_down += data.availability.node_minutes_down;
+    minutes_total += data.availability.node_minutes_total;
+  }
+
+  // The quantities the report's quality and availability sections print must
+  // be exactly what the process counters (and therefore the manifest) carry.
+  const auto& c = util::counters();
+  EXPECT_EQ(c.value("telemetry.samples.expected"), expected);
+  EXPECT_EQ(c.value("telemetry.samples.gap"), gap);
+  EXPECT_EQ(c.value("telemetry.samples.glitch"), glitch);
+  EXPECT_EQ(c.value("telemetry.samples.duplicate"), duplicate);
+  EXPECT_EQ(c.value("telemetry.samples.interpolated"), interpolated);
+  EXPECT_EQ(c.value("telemetry.jobs.quarantined"), quarantined);
+  EXPECT_EQ(c.value("telemetry.jobs.truncated"), truncated);
+  EXPECT_EQ(c.value("sched.node_failures"), failures);
+  EXPECT_EQ(c.value("sched.attempts_killed"), killed);
+  EXPECT_EQ(c.value("sched.requeues"), requeues);
+  EXPECT_EQ(c.value("sched.requeues_exhausted"), exhausted);
+  EXPECT_EQ(c.value("sched.node_minutes_down"), minutes_down);
+  EXPECT_EQ(c.value("sched.node_minutes_total"), minutes_total);
+  EXPECT_GT(expected, 0u);
+  EXPECT_GT(failures, 0u);
+
+  // And the manifest renders those same totals verbatim.
+  obs::RunInfo info;
+  info.program = "test_obs_report";
+  info.seed = config.seed;
+  info.threads = util::global_thread_count();
+  const std::string manifest = obs::render_run_manifest(info);
+  EXPECT_NE(manifest.find("\"telemetry.samples.expected\": " +
+                          std::to_string(expected)),
+            std::string::npos);
+  EXPECT_NE(manifest.find("\"sched.node_failures\": " + std::to_string(failures)),
+            std::string::npos);
+  EXPECT_NE(manifest.find("\"sched.node_minutes_total\": " +
+                          std::to_string(minutes_total)),
+            std::string::npos);
+
+  // The trace renders the campaign spans the run just recorded.
+  const std::string trace = obs::render_chrome_trace();
+  EXPECT_NE(trace.find("\"campaign.run\""), std::string::npos);
+  EXPECT_NE(trace.find("\"telemetry.tick.faulty\""), std::string::npos);
+  EXPECT_NE(trace.find("\"sched.drive\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hpcpower

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Lint: every metric and span name in the tree must be dotted lowercase with
+# at least two components (DESIGN.md §6), e.g. "telemetry.samples.gap" or
+# "stage.campaign". Scans the canonical call forms
+#
+#   util::counters().add("name"...)   counters().add("name"...)
+#   metrics().count|gauge|histogram|timer("name"...)
+#   HPCPOWER_SPAN("name")
+#
+# across src/, bench/, and examples/ and fails listing every violation.
+# Usage: tools/check_metric_names.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+DIRS=(src bench examples)
+NAME_RE='^[a-z0-9_]+(\.[a-z0-9_]+)+$'
+
+# location<TAB>name for every metric/span registration call.
+extract() {
+  grep -rnoE \
+    '(counters\(\)\.add|metrics\(\)\.(count|gauge|histogram|timer)|HPCPOWER_SPAN)\("[^"]+"' \
+    --include='*.cpp' --include='*.hpp' "${DIRS[@]}" |
+    sed -E 's/^([^:]+:[0-9]+):.*"([^"]*)"$/\1\t\2/'
+}
+
+status=0
+count=0
+while IFS=$'\t' read -r location name; do
+  [[ -z "$name" ]] && continue
+  count=$((count + 1))
+  if ! [[ "$name" =~ $NAME_RE ]]; then
+    echo "check_metric_names: $location: '$name' is not dotted lowercase" >&2
+    status=1
+  fi
+done < <(extract)
+
+if [[ "$count" -eq 0 ]]; then
+  echo "check_metric_names: found no metric/span names — extraction broken?" >&2
+  exit 2
+fi
+
+if [[ "$status" -ne 0 ]]; then
+  echo "check_metric_names: FAIL (names must match $NAME_RE)" >&2
+  exit 1
+fi
+echo "check_metric_names: OK ($count names checked)"

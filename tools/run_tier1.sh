@@ -36,9 +36,27 @@ done
 BUILD_DIR="${1:-build}"
 shift || true
 
+tools/check_metric_names.sh
+
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@"
+
+# Observability smoke: emit a Chrome trace + run manifest from a tiny report
+# run and check that both parse as JSON (needs python3; skipped without it).
+echo "== observability export smoke =="
+OBS_TMP="$(mktemp -d)"
+trap 'rm -rf "$OBS_TMP"' EXIT
+"$BUILD_DIR"/examples/generate_report --days 1 --quiet --no-ml --faults \
+  --out "$OBS_TMP/report.md" --trace-out "$OBS_TMP/trace.json" \
+  --metrics-out "$OBS_TMP/manifest.json"
+if command -v python3 >/dev/null; then
+  python3 -m json.tool "$OBS_TMP/trace.json" >/dev/null
+  python3 -m json.tool "$OBS_TMP/manifest.json" >/dev/null
+  echo "trace and manifest are valid JSON"
+else
+  echo "python3 not found; skipping JSON validation"
+fi
 
 if [[ -n "$THREADS" ]]; then
   echo "== re-running suite with HPCPOWER_THREADS=1 (serial reference) =="
