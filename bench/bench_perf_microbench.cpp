@@ -36,12 +36,18 @@
 #include "ml/knn.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "cluster/rapl.hpp"
 #include "stats/correlation.hpp"
 #include "stats/descriptive.hpp"
+#include "storage/hpcb.hpp"
+#include "trace/sample_table.hpp"
 #include "util/logging.hpp"
 #include "util/prng.hpp"
 #include "util/thread_pool.hpp"
+#include <sstream>
 #include <thread>
+#include <unordered_map>
+#include "workload/generator.hpp"
 #include "workload/power_profile.hpp"
 
 namespace {
@@ -200,6 +206,139 @@ ChainResult run_chain(const core::StudyConfig& config) {
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Storage stage: CSV vs .hpcb cost for a campaign-sized sample table.
+
+struct StorageResult {
+  std::size_t rows = 0;
+  std::size_t csv_bytes = 0;
+  std::size_t hpcb_bytes = 0;
+  double csv_write_ms = 0.0;
+  double hpcb_write_ms = 0.0;
+  double csv_read_ms = 0.0;
+  double hpcb_read_ms = 0.0;
+  double hpcb_scan_ms = 0.0;
+
+  [[nodiscard]] double size_ratio() const {
+    return hpcb_bytes > 0 ? static_cast<double>(csv_bytes) /
+                                static_cast<double>(hpcb_bytes)
+                          : 0.0;
+  }
+  [[nodiscard]] double read_speedup() const {
+    return hpcb_read_ms > 0.0 ? csv_read_ms / hpcb_read_ms : 0.0;
+  }
+};
+
+// Sample rows the way a `days`-long instrumented campaign logs them: run the
+// campaign, then regenerate every detailed job's per-minute RAPL readings
+// from the same deterministic power profiles the telemetry used (the
+// trace_explorer export path), emitted in the canonical (job, node, minute)
+// scrub order that cleaned tables are stored in.
+std::vector<trace::PowerSampleRow> make_storage_rows(double days) {
+  core::StudyConfig config;
+  config.days = days;
+  config.instrument_begin_day = 0.0;
+  config.instrument_end_day = config.days;
+  const auto data = core::run_campaign(cluster::emmy_spec(), config);
+
+  workload::GeneratorConfig gcfg;
+  gcfg.seed = config.seed;
+  gcfg.duration = util::MinuteTime::from_days(config.days + config.warmup_days);
+  workload::WorkloadGenerator generator(data.spec, workload::emmy_calibration(),
+                                        gcfg);
+  const auto requests = generator.generate();
+  std::unordered_map<std::uint64_t, const workload::JobRequest*> by_id;
+  for (const auto& req : requests) by_id[req.job_id] = &req;
+
+  // Cap the table so the stage stays a benchmark, not a soak test; the cap
+  // still covers hundreds of jobs of real profile data at 4 days.
+  constexpr std::size_t kMaxRows = 600000;
+  std::vector<trace::PowerSampleRow> rows;
+  for (const auto& rec : data.records) {
+    if (!rec.detail) continue;
+    const auto it = by_id.find(rec.job_id);
+    if (it == by_id.end()) continue;
+    const auto& req = *it->second;
+    if (rows.size() + static_cast<std::size_t>(rec.nnodes) * rec.runtime_min() >
+        kMaxRows)
+      break;
+    const std::vector<double> mfg(rec.nnodes, 1.0);  // job-local approximation
+    const workload::PowerProfile profile(req.behavior, rec.runtime_min(), mfg);
+    for (std::uint32_t n = 0; n < rec.nnodes; ++n)
+      for (std::uint32_t m = 0; m < rec.runtime_min(); ++m) {
+        const double watts = profile.node_power(m, n);
+        const auto split =
+            cluster::split_domains(watts, req.behavior.memory_intensity);
+        rows.push_back({rec.job_id, rec.start.minutes() + m, n, split.pkg_watts,
+                        split.dram_watts});
+      }
+  }
+  return rows;
+}
+
+StorageResult run_storage_stage(double days) {
+  obs::metrics().reset();
+  const auto rows = make_storage_rows(days);
+  StorageResult out;
+  out.rows = rows.size();
+
+  std::string csv, hpcb;
+  {
+    HPCPOWER_SPAN("stage.storage.csv_write");
+    std::ostringstream os;
+    trace::write_sample_table(os, rows);
+    csv = std::move(os).str();
+  }
+  {
+    HPCPOWER_SPAN("stage.storage.hpcb_write");
+    std::ostringstream os;
+    trace::write_sample_table_hpcb(os, rows);
+    hpcb = std::move(os).str();
+  }
+  out.csv_bytes = csv.size();
+  out.hpcb_bytes = hpcb.size();
+
+  constexpr int kReps = 3;
+  {
+    HPCPOWER_SPAN("stage.storage.csv_read");
+    for (int r = 0; r < kReps; ++r) {
+      std::istringstream is(csv);
+      benchmark::DoNotOptimize(trace::read_sample_table(is).size());
+    }
+  }
+  {
+    HPCPOWER_SPAN("stage.storage.hpcb_read");
+    for (int r = 0; r < kReps; ++r) {
+      std::istringstream is(hpcb);
+      const auto back = trace::read_sample_table_hpcb(is);
+      if (back.size() != rows.size())
+        throw std::runtime_error("storage stage: hpcb round trip lost rows");
+      benchmark::DoNotOptimize(back.size());
+    }
+  }
+  {
+    // Column projection: the "mean PKG power" question should not pay for
+    // decoding the whole table.
+    HPCPOWER_SPAN("stage.storage.hpcb_scan");
+    storage::ReadOptions opts;
+    opts.columns = {"minute", "pkg_w"};
+    for (int r = 0; r < kReps; ++r) {
+      std::istringstream is(hpcb);
+      benchmark::DoNotOptimize(storage::read_hpcb(is, opts).rows());
+    }
+  }
+
+  const auto stage_ms = [](const char* name) {
+    return static_cast<double>(obs::metrics().timer(name).total_ns()) / 1e6;
+  };
+  out.csv_write_ms = stage_ms("stage.storage.csv_write");
+  out.hpcb_write_ms = stage_ms("stage.storage.hpcb_write");
+  out.csv_read_ms = stage_ms("stage.storage.csv_read") / kReps;
+  out.hpcb_read_ms = stage_ms("stage.storage.hpcb_read") / kReps;
+  out.hpcb_scan_ms = stage_ms("stage.storage.hpcb_scan") / kReps;
+  return out;
+}
+
 int run_stage_harness(double days, const std::string& out_path) {
   core::StudyConfig config;
   config.days = days;
@@ -217,6 +356,7 @@ int run_stage_harness(double days, const std::string& out_path) {
   const ChainResult parallel = run_chain(config);
   const bool deterministic = serial.report_text == parallel.report_text;
   const unsigned hw = std::thread::hardware_concurrency();
+  const StorageResult storage = run_storage_stage(days);
 
   // A "speedup" measured against a parallel pass that had one hardware
   // thread is pool overhead, not parallelism — report null rather than a
@@ -255,7 +395,18 @@ int run_stage_harness(double days, const std::string& out_path) {
   const double total_speedup =
       parallel_total > 0.0 ? serial_total / parallel_total : 0.0;
   std::fprintf(f,
-               "  ],\n  \"serial_total_ms\": %.2f,\n  \"parallel_total_ms\": "
+               "  ],\n  \"storage\": {\n"
+               "    \"rows\": %zu,\n    \"csv_bytes\": %zu,\n"
+               "    \"hpcb_bytes\": %zu,\n    \"size_ratio\": %.2f,\n"
+               "    \"csv_write_ms\": %.2f,\n    \"hpcb_write_ms\": %.2f,\n"
+               "    \"csv_read_ms\": %.2f,\n    \"hpcb_read_ms\": %.2f,\n"
+               "    \"hpcb_scan_ms\": %.2f,\n    \"read_speedup\": %.2f\n  },\n",
+               storage.rows, storage.csv_bytes, storage.hpcb_bytes,
+               storage.size_ratio(), storage.csv_write_ms, storage.hpcb_write_ms,
+               storage.csv_read_ms, storage.hpcb_read_ms, storage.hpcb_scan_ms,
+               storage.read_speedup());
+  std::fprintf(f,
+               "  \"serial_total_ms\": %.2f,\n  \"parallel_total_ms\": "
                "%.2f,\n  \"total_speedup\": ",
                serial_total, parallel_total);
   if (comparable) {
@@ -271,6 +422,13 @@ int run_stage_harness(double days, const std::string& out_path) {
   std::fclose(f);
   std::printf("  %-10s serial %9.2f ms   parallel %9.2f ms   speedup %.2fx\n",
               "total", serial_total, parallel_total, total_speedup);
+  std::printf(
+      "  storage    %zu rows: csv %.1f MB / hpcb %.1f MB (%.2fx smaller), "
+      "read %.1f ms vs %.1f ms (%.2fx faster), projected scan %.1f ms\n",
+      storage.rows, static_cast<double>(storage.csv_bytes) / 1e6,
+      static_cast<double>(storage.hpcb_bytes) / 1e6, storage.size_ratio(),
+      storage.csv_read_ms, storage.hpcb_read_ms, storage.read_speedup(),
+      storage.hpcb_scan_ms);
   if (!comparable)
     std::printf("  note: single hardware thread; speedups not meaningful\n");
   std::printf("  spans recorded (parallel pass): %llu\n",

@@ -1,0 +1,114 @@
+// convert_trace: translate trace files between the CSV and .hpcb containers.
+//
+// Reads a job table, sample table, or system series in either container
+// format (auto-detected from the file's magic bytes) and rewrites it in the
+// format implied by the output extension (".hpcb" → binary columnar, else
+// CSV) or forced with --out-format. The table kind is probed automatically:
+// each reader validates its schema, so the first one that accepts the file
+// wins. --lenient forwards the usual recovery mode (skip bad CSV rows /
+// corrupt .hpcb blocks with counted warnings) to the reader.
+//
+//   ./convert_trace --in jobs.csv --out jobs.hpcb
+//   ./convert_trace --in samples.hpcb --out samples.csv --table samples
+//   ./convert_trace --in dirty.hpcb --out repaired.hpcb --lenient
+
+#include <cstdio>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "trace/format.hpp"
+#include "trace/job_table.hpp"
+#include "trace/sample_table.hpp"
+#include "trace/system_series.hpp"
+#include "util/logging.hpp"
+#include "util/options.hpp"
+
+using namespace hpcpower;
+
+namespace {
+
+/// Converts one table kind; returns the number of rows, or nullopt when the
+/// input is not this kind of table (schema mismatch).
+std::optional<std::size_t> try_convert(const std::string& kind,
+                                       const std::string& in,
+                                       const std::string& out,
+                                       trace::TraceFormat format, bool lenient) {
+  try {
+    if (kind == "jobs") {
+      const auto records = trace::load_job_table(in, lenient);
+      trace::save_job_table(out, records, format);
+      return records.size();
+    }
+    if (kind == "samples") {
+      const auto rows = trace::load_sample_table(in, lenient);
+      trace::save_sample_table(out, rows, format);
+      return rows.size();
+    }
+    const auto series = trace::load_system_series(in);
+    trace::save_system_series(out, series, format);
+    return series.total_power_w.size();
+  } catch (const std::invalid_argument& e) {
+    if (std::string(e.what()).find("schema mismatch") != std::string::npos)
+      return std::nullopt;
+    throw;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Options opts("convert_trace", "convert traces between csv and hpcb");
+  opts.add_option("in", "input trace file (format auto-detected)", "");
+  opts.add_option("out", "output trace file", "");
+  opts.add_option("table", "table kind: auto, jobs, samples or series", "auto");
+  opts.add_option("out-format", "output format: auto (by extension), csv or hpcb",
+                  "auto");
+  opts.add_flag("lenient", "skip malformed rows / corrupt blocks on read");
+  opts.add_flag("quiet", "suppress progress logging");
+  std::string in_path, out_path, table;
+  trace::TraceFormat out_format = trace::TraceFormat::kAuto;
+  try {
+    if (!opts.parse(argc, argv)) return 0;
+    in_path = opts.str("in");
+    out_path = opts.str("out");
+    table = opts.str("table");
+    if (in_path.empty() || out_path.empty())
+      throw std::invalid_argument("--in and --out are required");
+    if (table != "auto" && table != "jobs" && table != "samples" &&
+        table != "series")
+      throw std::invalid_argument("--table must be auto, jobs, samples or series");
+    const auto parsed = trace::parse_trace_format(opts.str("out-format"));
+    if (!parsed) throw std::invalid_argument("--out-format must be auto, csv or hpcb");
+    out_format = *parsed;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+  if (opts.flag("quiet")) util::set_log_level(util::LogLevel::kWarn);
+
+  const bool lenient = opts.flag("lenient");
+  const trace::TraceFormat resolved =
+      trace::resolve_save_format(out_format, out_path);
+  try {
+    // "auto" probes kinds in a fixed order; each reader rejects foreign
+    // schemas, so at most one succeeds.
+    const std::vector<std::string> kinds =
+        table == "auto" ? std::vector<std::string>{"jobs", "samples", "series"}
+                        : std::vector<std::string>{table};
+    for (const std::string& kind : kinds) {
+      const auto rows = try_convert(kind, in_path, out_path, resolved, lenient);
+      if (!rows) continue;
+      std::printf("converted %zu %s rows: %s -> %s (%s)\n", *rows, kind.c_str(),
+                  in_path.c_str(), out_path.c_str(),
+                  trace::trace_format_name(resolved));
+      return 0;
+    }
+    std::fprintf(stderr, "%s: not a recognized trace table\n", in_path.c_str());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "conversion failed: %s\n", e.what());
+    return 1;
+  }
+}

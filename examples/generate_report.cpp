@@ -7,19 +7,27 @@
 //   ./generate_report [--days 10] [--seed 42] [--out report.md] [--no-ml]
 //                     [--faults] [--failures] [--threads N]
 //                     [--trace-out trace.json] [--metrics-out manifest.json]
+//                     [--export-traces DIR] [--format csv|hpcb]
 //
 // --trace-out writes a Chrome trace-event profile of the run (load it in
 // chrome://tracing or https://ui.perfetto.dev); --metrics-out writes the
 // machine-readable run manifest. Either flag turns span recording on; the
 // report itself stays byte-identical with or without them (DESIGN.md §6).
+// --export-traces writes each campaign's job table and system series into
+// DIR, in the container format chosen by --format (DESIGN.md §7).
 
+#include <cctype>
 #include <cstdio>
+#include <filesystem>
 
 #include "core/report.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "obs/trace_export.hpp"
+#include "trace/format.hpp"
+#include "trace/job_table.hpp"
+#include "trace/system_series.hpp"
 #include "util/logging.hpp"
 #include "util/options.hpp"
 #include "util/strings.hpp"
@@ -34,14 +42,21 @@ int main(int argc, char** argv) {
   opts.add_option("out", "output path", "hpcpower_report.md");
   opts.add_option("trace-out", "write a Chrome trace-event profile here", "");
   opts.add_option("metrics-out", "write the JSON run manifest here", "");
+  opts.add_option("export-traces", "directory for job-table/series exports", "");
+  opts.add_option("format", "trace export format: csv or hpcb", "csv");
   opts.add_flag("no-ml", "skip the (slow) prediction section");
   opts.add_flag("faults", "inject telemetry faults (with robust ingest)");
   opts.add_flag("failures", "inject node failures (kill + requeue)");
   opts.add_flag("quiet", "suppress progress logging");
   opts.add_threads_option();
+  trace::TraceFormat export_format = trace::TraceFormat::kCsv;
   try {
     if (!opts.parse(argc, argv)) return 0;
     util::set_global_thread_count(opts.threads());
+    const auto parsed = trace::parse_trace_format(opts.str("format"));
+    if (!parsed || *parsed == trace::TraceFormat::kAuto)
+      throw std::invalid_argument("--format must be csv or hpcb");
+    export_format = *parsed;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 1;
@@ -67,6 +82,25 @@ int main(int argc, char** argv) {
   core::write_markdown_report(opts.str("out"), campaigns, report_opts);
   std::printf("wrote study report to %s (%zu campaigns)\n", opts.str("out").c_str(),
               campaigns.size());
+
+  if (!opts.str("export-traces").empty()) {
+    const std::filesystem::path dir(opts.str("export-traces"));
+    std::filesystem::create_directories(dir);
+    const char* ext = export_format == trace::TraceFormat::kHpcb ? ".hpcb" : ".csv";
+    for (const auto& campaign : campaigns) {
+      std::string system = cluster::system_name(campaign.spec.id);
+      for (char& ch : system) ch = static_cast<char>(std::tolower(ch));
+      const std::string jobs =
+          (dir / ("hpcpower_" + system + "_jobs" + ext)).string();
+      const std::string series =
+          (dir / ("hpcpower_" + system + "_series" + ext)).string();
+      trace::save_job_table(jobs, campaign.records, export_format);
+      trace::save_system_series(series, campaign.series, export_format);
+      std::printf("exported %zu job records and %zu series minutes to %s, %s\n",
+                  campaign.records.size(), campaign.series.total_power_w.size(),
+                  jobs.c_str(), series.c_str());
+    }
+  }
   const auto counter_snapshot = util::counters().snapshot();
   if (!counter_snapshot.empty()) {
     std::printf("process counters:\n");

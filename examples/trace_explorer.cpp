@@ -5,13 +5,17 @@
 // instrumented jobs, then reads both back and recomputes statistics from the
 // files alone - the workflow of a downstream researcher using the traces.
 //
-//   ./trace_explorer [--days 3] [--seed 42] [--outdir /tmp]
+//   ./trace_explorer [--days 3] [--seed 42] [--outdir /tmp] [--format csv|hpcb]
+//
+// --format hpcb writes the binary columnar container (.hpcb) instead of CSV;
+// the re-analysis below reads either format back through the same loaders.
 
 #include <cstdio>
 #include <filesystem>
 
 #include "core/job_analysis.hpp"
 #include "stats/descriptive.hpp"
+#include "trace/format.hpp"
 #include "trace/job_table.hpp"
 #include "trace/sample_table.hpp"
 #include "trace/system_series.hpp"
@@ -26,14 +30,21 @@ int main(int argc, char** argv) {
   opts.add_option("days", "campaign length in days", "3");
   opts.add_option("seed", "root random seed", "42");
   opts.add_option("outdir", "directory for trace files", "/tmp");
+  opts.add_option("format", "trace container format: csv or hpcb", "csv");
   opts.add_flag("quiet", "suppress progress logging");
+  trace::TraceFormat format = trace::TraceFormat::kCsv;
   try {
     if (!opts.parse(argc, argv)) return 0;
+    const auto parsed = trace::parse_trace_format(opts.str("format"));
+    if (!parsed || *parsed == trace::TraceFormat::kAuto)
+      throw std::invalid_argument("--format must be csv or hpcb");
+    format = *parsed;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 1;
   }
   if (opts.flag("quiet")) util::set_log_level(util::LogLevel::kWarn);
+  const char* ext = format == trace::TraceFormat::kHpcb ? ".hpcb" : ".csv";
 
   core::StudyConfig config;
   config.seed = opts.seed();
@@ -45,8 +56,9 @@ int main(int argc, char** argv) {
   const auto data = core::run_campaign(cluster::emmy_spec(), config);
 
   const std::filesystem::path outdir(opts.str("outdir"));
-  const std::string job_path = (outdir / "hpcpower_emmy_jobs.csv").string();
-  trace::save_job_table(job_path, data.records);
+  const std::string job_path =
+      (outdir / (std::string("hpcpower_emmy_jobs") + ext)).string();
+  trace::save_job_table(job_path, data.records, format);
   std::printf("wrote %zu job records to %s\n", data.records.size(), job_path.c_str());
 
   // Time-resolved samples for the three largest instrumented jobs, from the
@@ -83,13 +95,15 @@ int main(int argc, char** argv) {
       }
     }
   }
-  const std::string sample_path = (outdir / "hpcpower_emmy_samples.csv").string();
-  trace::save_sample_table(sample_path, rows);
+  const std::string sample_path =
+      (outdir / (std::string("hpcpower_emmy_samples") + ext)).string();
+  trace::save_sample_table(sample_path, rows, format);
   std::printf("wrote %zu time-resolved samples (%zu jobs) to %s\n", rows.size(),
               detailed.size(), sample_path.c_str());
 
-  const std::string series_path = (outdir / "hpcpower_emmy_series.csv").string();
-  trace::save_system_series(series_path, data.series);
+  const std::string series_path =
+      (outdir / (std::string("hpcpower_emmy_series") + ext)).string();
+  trace::save_system_series(series_path, data.series, format);
   std::printf("wrote %zu system-series minutes to %s\n",
               data.series.total_power_w.size(), series_path.c_str());
 

@@ -1,0 +1,28 @@
+#include "storage/crc32.hpp"
+
+#include <array>
+
+namespace hpcpower::storage {
+
+namespace {
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit)
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+constexpr auto kTable = make_table();
+}  // namespace
+
+std::uint32_t crc32(std::string_view data, std::uint32_t seed) noexcept {
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (const char ch : data)
+    c = kTable[(c ^ static_cast<std::uint8_t>(ch)) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace hpcpower::storage

@@ -1,0 +1,16 @@
+#pragma once
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320), the per-block and footer
+// checksum of the .hpcb container. Table-driven, one table shared process
+// wide; matches zlib's crc32() so files can be cross-checked externally.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace hpcpower::storage {
+
+/// CRC of `data` continuing from `seed` (0 starts a fresh checksum).
+[[nodiscard]] std::uint32_t crc32(std::string_view data,
+                                  std::uint32_t seed = 0) noexcept;
+
+}  // namespace hpcpower::storage

@@ -1,0 +1,615 @@
+#include "storage/hpcb.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <iterator>
+#include <optional>
+#include <ostream>
+#include <stdexcept>
+#include <unordered_set>
+#include <utility>
+
+#include "obs/span.hpp"
+#include "storage/crc32.hpp"
+#include "storage/varint.hpp"
+#include "util/logging.hpp"
+#include "util/parallel.hpp"
+#include "util/strings.hpp"
+
+namespace hpcpower::storage {
+
+namespace {
+
+// ---- little-endian scalar coding -----------------------------------------
+
+void append_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+
+void append_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+/// Bounds-checked forward reader over a byte buffer. Every read throws
+/// std::invalid_argument on truncation, so corrupt input can never walk past
+/// the end of the mapped data.
+struct Cursor {
+  const char* data = nullptr;
+  std::size_t size = 0;
+  std::size_t pos = 0;
+
+  [[nodiscard]] bool has(std::size_t n) const noexcept {
+    return pos <= size && n <= size - pos;
+  }
+  void need(std::size_t n, const char* what) const {
+    if (!has(n))
+      throw std::invalid_argument(util::format("hpcb: truncated %s", what));
+  }
+  [[nodiscard]] std::uint8_t u8(const char* what) {
+    need(1, what);
+    return static_cast<std::uint8_t>(data[pos++]);
+  }
+  [[nodiscard]] std::uint16_t u16(const char* what) {
+    need(2, what);
+    std::uint16_t v = 0;
+    for (int i = 0; i < 2; ++i)
+      v = static_cast<std::uint16_t>(
+          v | static_cast<std::uint16_t>(
+                  static_cast<std::uint8_t>(data[pos + static_cast<std::size_t>(i)]))
+                  << (8 * i));
+    pos += 2;
+    return v;
+  }
+  [[nodiscard]] std::uint32_t u32(const char* what) {
+    need(4, what);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(
+               static_cast<std::uint8_t>(data[pos + static_cast<std::size_t>(i)]))
+           << (8 * i);
+    pos += 4;
+    return v;
+  }
+  [[nodiscard]] std::uint64_t u64(const char* what) {
+    need(8, what);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(
+               static_cast<std::uint8_t>(data[pos + static_cast<std::size_t>(i)]))
+           << (8 * i);
+    pos += 8;
+    return v;
+  }
+  [[nodiscard]] std::string_view bytes(std::size_t n, const char* what) {
+    need(n, what);
+    const std::string_view v(data + pos, n);
+    pos += n;
+    return v;
+  }
+};
+
+[[nodiscard]] std::uint64_t load_u64_le(const char* p) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(
+             static_cast<std::uint8_t>(p[static_cast<std::size_t>(i)]))
+         << (8 * i);
+  return v;
+}
+
+// ---- header ---------------------------------------------------------------
+
+struct Header {
+  std::vector<ColumnSpec> schema;
+  std::size_t end = 0;  ///< buffer offset of the first block
+};
+
+Header parse_header(std::string_view buf) {
+  Cursor c{buf.data(), buf.size(), 0};
+  const auto magic = c.bytes(kHpcbMagic.size(), "magic");
+  if (std::memcmp(magic.data(), kHpcbMagic.data(), kHpcbMagic.size()) != 0)
+    throw std::invalid_argument("hpcb: bad magic (not a .hpcb file)");
+  const std::uint16_t version = c.u16("version");
+  if (version == 0 || version > kHpcbVersion)
+    throw std::invalid_argument(
+        util::format("hpcb: unsupported version %u (reader supports <= %u)",
+                     version, kHpcbVersion));
+  const std::uint16_t columns = c.u16("column count");
+  if (columns == 0) throw std::invalid_argument("hpcb: zero columns");
+  (void)c.u32("rows per block");
+  Header h;
+  h.schema.reserve(columns);
+  for (std::uint16_t i = 0; i < columns; ++i) {
+    const auto type = c.u8("column type");
+    if (type > static_cast<std::uint8_t>(ColumnType::kFloat64Xor))
+      throw std::invalid_argument(
+          util::format("hpcb: column %u has unknown type %u", i, type));
+    const std::uint16_t name_len = c.u16("column name length");
+    const auto name = c.bytes(name_len, "column name");
+    if (name.empty())
+      throw std::invalid_argument(util::format("hpcb: column %u has empty name", i));
+    h.schema.push_back({std::string(name), static_cast<ColumnType>(type)});
+  }
+  h.end = c.pos;
+  return h;
+}
+
+// ---- footer index ---------------------------------------------------------
+
+struct BlockTask {
+  std::size_t offset = 0;
+  std::uint32_t rows = 0;  ///< from the footer index (or the scanned payload)
+};
+
+struct FooterIndex {
+  std::vector<BlockTask> blocks;
+  std::uint64_t total_rows = 0;
+};
+
+/// Validates and parses the footer; nullopt on any inconsistency (the caller
+/// decides between throwing and rescanning).
+std::optional<FooterIndex> parse_footer(std::string_view buf,
+                                        std::size_t header_end) noexcept {
+  // magic + len + minimal payload + crc + footer_offset + tail magic.
+  constexpr std::size_t kTailFixed = 8 + kHpcbTailMagic.size();
+  if (buf.size() < header_end + 4 + 4 + 12 + 4 + kTailFixed) return std::nullopt;
+  if (std::memcmp(buf.data() + buf.size() - kHpcbTailMagic.size(),
+                  kHpcbTailMagic.data(), kHpcbTailMagic.size()) != 0)
+    return std::nullopt;
+  const std::uint64_t footer_offset =
+      load_u64_le(buf.data() + buf.size() - kTailFixed);
+  if (footer_offset < header_end || footer_offset + 12 + kTailFixed > buf.size())
+    return std::nullopt;
+  try {
+    Cursor c{buf.data(), buf.size(), static_cast<std::size_t>(footer_offset)};
+    if (c.u32("footer magic") != kFooterMagic) return std::nullopt;
+    const std::uint32_t payload_len = c.u32("footer length");
+    const auto payload = c.bytes(payload_len, "footer payload");
+    const std::uint32_t stored_crc = c.u32("footer crc");
+    if (c.pos != buf.size() - kTailFixed) return std::nullopt;
+    if (crc32(payload) != stored_crc) return std::nullopt;
+
+    Cursor p{payload.data(), payload.size(), 0};
+    FooterIndex index;
+    index.total_rows = p.u64("footer row count");
+    const std::uint32_t count = p.u32("footer block count");
+    index.blocks.reserve(count);
+    std::uint64_t rows_sum = 0;
+    std::size_t prev_end = header_end;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      BlockTask t;
+      const std::uint64_t offset = p.u64("footer block offset");
+      t.rows = p.u32("footer block rows");
+      if (offset < prev_end || offset >= footer_offset) return std::nullopt;
+      t.offset = static_cast<std::size_t>(offset);
+      prev_end = t.offset + 1;
+      rows_sum += t.rows;
+      index.blocks.push_back(t);
+    }
+    if (p.pos != payload.size()) return std::nullopt;
+    if (rows_sum != index.total_rows) return std::nullopt;
+    return index;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+/// Lenient recovery: walk the block stream from the header, resynchronizing
+/// on the block magic, and keep every block whose CRC verifies. Used when
+/// the footer is damaged or the file is truncated.
+std::vector<BlockTask> scan_blocks(std::string_view buf, std::size_t header_end,
+                                   std::size_t& corrupt_blocks) {
+  std::vector<BlockTask> tasks;
+  std::string magic_bytes;
+  append_u32(magic_bytes, kBlockMagic);
+  std::size_t pos = header_end;
+  while (pos + 12 <= buf.size()) {
+    const std::size_t hit = buf.find(magic_bytes, pos);
+    if (hit == std::string_view::npos || hit + 12 > buf.size()) break;
+    if (hit != pos) ++corrupt_blocks;  // garbage between blocks
+    Cursor c{buf.data(), buf.size(), hit + 4};
+    bool ok = false;
+    try {
+      const std::uint32_t payload_len = c.u32("block length");
+      const auto payload = c.bytes(payload_len, "block payload");
+      const std::uint32_t stored_crc = c.u32("block crc");
+      if (crc32(payload) == stored_crc && payload.size() >= 4) {
+        Cursor p{payload.data(), payload.size(), 0};
+        tasks.push_back({hit, p.u32("block rows")});
+        ok = true;
+      }
+    } catch (const std::exception&) {
+      ok = false;
+    }
+    if (ok) {
+      pos = c.pos;
+    } else {
+      ++corrupt_blocks;
+      pos = hit + 1;  // resync on the next magic
+    }
+  }
+  return tasks;
+}
+
+// ---- block decoding -------------------------------------------------------
+
+struct DecodedBlock {
+  bool ok = false;
+  std::string error;
+  std::uint32_t rows = 0;
+  std::vector<Column> cols;  ///< projected columns, in file schema order
+};
+
+void decode_i64_delta(std::string_view enc, std::uint32_t rows,
+                      std::vector<std::int64_t>& out) {
+  std::size_t pos = 0;
+  std::uint64_t prev = 0;
+  out.reserve(rows);
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    const auto varint = read_varint(enc.data(), enc.size(), pos);
+    if (!varint)
+      throw std::invalid_argument("hpcb: malformed varint in integer column");
+    prev += static_cast<std::uint64_t>(zigzag_decode(*varint));
+    out.push_back(static_cast<std::int64_t>(prev));
+  }
+  if (pos != enc.size())
+    throw std::invalid_argument("hpcb: trailing bytes in integer column");
+}
+
+void decode_f64(std::string_view enc, std::uint32_t rows,
+                std::vector<double>& out) {
+  if (enc.size() != static_cast<std::size_t>(rows) * 8)
+    throw std::invalid_argument("hpcb: double column length mismatch");
+  out.reserve(rows);
+  for (std::uint32_t r = 0; r < rows; ++r)
+    out.push_back(std::bit_cast<double>(
+        load_u64_le(enc.data() + static_cast<std::size_t>(r) * 8)));
+}
+
+void decode_f64_xor(std::string_view enc, std::uint32_t rows,
+                    std::vector<double>& out) {
+  std::size_t pos = 0;
+  std::uint64_t prev = 0;
+  out.reserve(rows);
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    const auto varint = read_varint(enc.data(), enc.size(), pos);
+    if (!varint)
+      throw std::invalid_argument("hpcb: malformed varint in double column");
+    prev ^= *varint;
+    out.push_back(std::bit_cast<double>(prev));
+  }
+  if (pos != enc.size())
+    throw std::invalid_argument("hpcb: trailing bytes in double column");
+}
+
+DecodedBlock decode_block(std::string_view buf, std::size_t offset,
+                          std::size_t block_no,
+                          const std::vector<ColumnSpec>& schema,
+                          const std::vector<char>& keep,
+                          std::size_t projected_count) {
+  DecodedBlock out;
+  try {
+    Cursor c{buf.data(), buf.size(), offset};
+    if (c.u32("block magic") != kBlockMagic)
+      throw std::invalid_argument("hpcb: missing block magic");
+    const std::uint32_t payload_len = c.u32("block length");
+    const auto payload = c.bytes(payload_len, "block payload");
+    const std::uint32_t stored_crc = c.u32("block crc");
+    if (crc32(payload) != stored_crc)
+      throw std::invalid_argument("hpcb: block checksum mismatch");
+
+    Cursor p{payload.data(), payload.size(), 0};
+    out.rows = p.u32("block row count");
+    out.cols.resize(projected_count);
+    std::size_t slot = 0;
+    for (std::size_t i = 0; i < schema.size(); ++i) {
+      const std::uint32_t enc_len = p.u32("column length");
+      const auto enc = p.bytes(enc_len, "column data");
+      if (!keep[i]) continue;
+      switch (schema[i].type) {
+        case ColumnType::kInt64Delta:
+          decode_i64_delta(enc, out.rows, out.cols[slot].i64);
+          break;
+        case ColumnType::kFloat64:
+          decode_f64(enc, out.rows, out.cols[slot].f64);
+          break;
+        case ColumnType::kFloat64Xor:
+          decode_f64_xor(enc, out.rows, out.cols[slot].f64);
+          break;
+      }
+      ++slot;
+    }
+    if (p.pos != payload.size())
+      throw std::invalid_argument("hpcb: trailing bytes in block payload");
+    out.ok = true;
+  } catch (const std::exception& e) {
+    out.ok = false;
+    out.error = util::format("hpcb: block %zu at offset %zu: %s", block_no,
+                             offset, e.what());
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---- Table ----------------------------------------------------------------
+
+const char* column_type_name(ColumnType type) noexcept {
+  switch (type) {
+    case ColumnType::kInt64Delta: return "i64-delta";
+    case ColumnType::kFloat64: return "f64";
+    case ColumnType::kFloat64Xor: return "f64-xor";
+  }
+  return "?";
+}
+
+std::size_t Table::column_index(std::string_view name) const {
+  for (std::size_t i = 0; i < schema.size(); ++i)
+    if (schema[i].name == name) return i;
+  throw std::out_of_range("hpcb: no such column: " + std::string(name));
+}
+
+void Table::validate() const {
+  if (schema.empty()) throw std::invalid_argument("hpcb: empty schema");
+  if (schema.size() != columns.size())
+    throw std::invalid_argument("hpcb: schema/column count mismatch");
+  if (schema.size() > 0xFFFF)
+    throw std::invalid_argument("hpcb: too many columns");
+  std::unordered_set<std::string_view> names;
+  for (const ColumnSpec& c : schema) {
+    if (c.name.empty() || c.name.size() > 0xFFFF)
+      throw std::invalid_argument("hpcb: invalid column name");
+    if (!names.insert(c.name).second)
+      throw std::invalid_argument("hpcb: duplicate column name: " + c.name);
+  }
+  const std::size_t n = rows();
+  for (std::size_t i = 0; i < schema.size(); ++i)
+    if (columns[i].size(schema[i].type) != n)
+      throw std::invalid_argument("hpcb: ragged column: " + schema[i].name);
+}
+
+// ---- writer ---------------------------------------------------------------
+
+void write_hpcb(std::ostream& out, const Table& table,
+                std::size_t rows_per_block) {
+  HPCPOWER_SPAN("storage.write");
+  table.validate();
+  if (rows_per_block == 0)
+    throw std::invalid_argument("hpcb: rows_per_block must be positive");
+  rows_per_block = std::min<std::size_t>(rows_per_block, 0xFFFFFFFFu);
+
+  std::string buf;
+  buf.append(reinterpret_cast<const char*>(kHpcbMagic.data()), kHpcbMagic.size());
+  append_u16(buf, kHpcbVersion);
+  append_u16(buf, static_cast<std::uint16_t>(table.schema.size()));
+  append_u32(buf, static_cast<std::uint32_t>(rows_per_block));
+  for (const ColumnSpec& c : table.schema) {
+    buf.push_back(static_cast<char>(static_cast<std::uint8_t>(c.type)));
+    append_u16(buf, static_cast<std::uint16_t>(c.name.size()));
+    buf.append(c.name);
+  }
+
+  const std::size_t rows = table.rows();
+  std::vector<BlockTask> index;
+  std::string payload, enc;
+  for (std::size_t begin = 0; begin < rows; begin += rows_per_block) {
+    const std::size_t end = std::min(rows, begin + rows_per_block);
+    payload.clear();
+    append_u32(payload, static_cast<std::uint32_t>(end - begin));
+    for (std::size_t i = 0; i < table.schema.size(); ++i) {
+      enc.clear();
+      switch (table.schema[i].type) {
+        case ColumnType::kInt64Delta: {
+          // Deltas restart at zero in every block so blocks stay independent.
+          std::uint64_t prev = 0;
+          for (std::size_t r = begin; r < end; ++r) {
+            const auto v = static_cast<std::uint64_t>(table.columns[i].i64[r]);
+            append_varint(enc, zigzag_encode(static_cast<std::int64_t>(v - prev)));
+            prev = v;
+          }
+          break;
+        }
+        case ColumnType::kFloat64:
+          for (std::size_t r = begin; r < end; ++r)
+            append_u64(enc, std::bit_cast<std::uint64_t>(table.columns[i].f64[r]));
+          break;
+        case ColumnType::kFloat64Xor: {
+          std::uint64_t prev = 0;
+          for (std::size_t r = begin; r < end; ++r) {
+            const auto bits = std::bit_cast<std::uint64_t>(table.columns[i].f64[r]);
+            append_varint(enc, bits ^ prev);
+            prev = bits;
+          }
+          break;
+        }
+      }
+      append_u32(payload, static_cast<std::uint32_t>(enc.size()));
+      payload.append(enc);
+    }
+    index.push_back({buf.size(), static_cast<std::uint32_t>(end - begin)});
+    append_u32(buf, kBlockMagic);
+    append_u32(buf, static_cast<std::uint32_t>(payload.size()));
+    buf.append(payload);
+    append_u32(buf, crc32(payload));
+  }
+
+  std::string footer;
+  append_u64(footer, rows);
+  append_u32(footer, static_cast<std::uint32_t>(index.size()));
+  for (const BlockTask& t : index) {
+    append_u64(footer, t.offset);
+    append_u32(footer, t.rows);
+  }
+  const std::size_t footer_offset = buf.size();
+  append_u32(buf, kFooterMagic);
+  append_u32(buf, static_cast<std::uint32_t>(footer.size()));
+  buf.append(footer);
+  append_u32(buf, crc32(footer));
+  append_u64(buf, footer_offset);
+  buf.append(reinterpret_cast<const char*>(kHpcbTailMagic.data()),
+             kHpcbTailMagic.size());
+
+  out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+}
+
+// ---- reader ---------------------------------------------------------------
+
+Table read_hpcb(std::istream& in, const ReadOptions& options, ReadStats* stats) {
+  HPCPOWER_SPAN("storage.read");
+  const std::string buf((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+  const Header header = parse_header(buf);
+
+  // Column projection (empty = everything), preserving file schema order.
+  std::vector<char> keep(header.schema.size(),
+                         options.columns.empty() ? char{1} : char{0});
+  for (const std::string& name : options.columns) {
+    bool found = false;
+    for (std::size_t i = 0; i < header.schema.size(); ++i)
+      if (header.schema[i].name == name) {
+        keep[i] = 1;
+        found = true;
+      }
+    if (!found)
+      throw std::invalid_argument("hpcb: no such column: " + name);
+  }
+
+  ReadStats local;
+  ReadStats& st = stats != nullptr ? *stats : local;
+  st = ReadStats{};
+
+  std::vector<BlockTask> tasks;
+  std::uint64_t footer_rows = 0;
+  if (auto footer = parse_footer(buf, header.end)) {
+    st.footer_valid = true;
+    tasks = std::move(footer->blocks);
+    footer_rows = footer->total_rows;
+  } else if (!options.lenient) {
+    throw std::invalid_argument(
+        "hpcb: missing or corrupt footer (truncated file?)");
+  } else {
+    st.rescanned = true;
+    util::counters().add("storage.footer_rescans");
+    std::size_t corrupt = 0;
+    tasks = scan_blocks(buf, header.end, corrupt);
+    st.blocks_skipped += corrupt;
+    if (corrupt > 0) util::counters().add("storage.blocks_skipped", corrupt);
+    util::log_warn(util::format(
+        "hpcb: footer damaged; block scan recovered %zu block(s), "
+        "%zu corrupt region(s) skipped",
+        tasks.size(), corrupt));
+  }
+
+  Table out;
+  std::size_t projected = 0;
+  for (std::size_t i = 0; i < header.schema.size(); ++i)
+    if (keep[i] != 0) {
+      out.schema.push_back(header.schema[i]);
+      ++projected;
+    }
+  out.columns.resize(projected);
+
+  std::vector<DecodedBlock> slots(tasks.size());
+  {
+    HPCPOWER_SPAN("storage.decode");
+    const auto work = [&](std::size_t i) {
+      slots[i] =
+          decode_block(buf, tasks[i].offset, i, header.schema, keep, projected);
+    };
+    if (options.parallel) {
+      util::parallel_for(tasks.size(), work);
+    } else {
+      for (std::size_t i = 0; i < tasks.size(); ++i) work(i);
+    }
+  }
+
+  for (Column& c : out.columns) {
+    c.i64.reserve(static_cast<std::size_t>(footer_rows));
+    c.f64.reserve(static_cast<std::size_t>(footer_rows));
+  }
+  // Merge in block order: the output is byte-identical at any thread count.
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    DecodedBlock& slot = slots[i];
+    BlockInfo info{tasks[i].offset, slot.ok ? slot.rows : tasks[i].rows, slot.ok};
+    if (!slot.ok) {
+      if (!options.lenient) throw std::invalid_argument(slot.error);
+      ++st.blocks_skipped;
+      st.rows_skipped += tasks[i].rows;
+      util::counters().add("storage.blocks_skipped");
+      util::counters().add("storage.rows_skipped", tasks[i].rows);
+      util::log_warn(slot.error + " (block skipped)");
+    } else {
+      if (!options.lenient && slot.rows != tasks[i].rows)
+        throw std::invalid_argument(util::format(
+            "hpcb: block %zu row count disagrees with the footer index", i));
+      for (std::size_t c = 0; c < projected; ++c) {
+        Column& dst = out.columns[c];
+        Column& src = slot.cols[c];
+        dst.i64.insert(dst.i64.end(), src.i64.begin(), src.i64.end());
+        dst.f64.insert(dst.f64.end(), src.f64.begin(), src.f64.end());
+      }
+      st.rows_read += slot.rows;
+    }
+    st.blocks.push_back(info);
+  }
+  if (!options.lenient && st.footer_valid && st.rows_read != footer_rows)
+    throw std::invalid_argument("hpcb: decoded rows disagree with the footer");
+  return out;
+}
+
+std::vector<ColumnSpec> read_hpcb_schema(std::istream& in) {
+  // The header is small and sits at the front; read it incrementally so the
+  // caller does not pay for the data blocks.
+  std::string head;
+  char chunk[256];
+  while (head.size() < (1u << 20) && in.read(chunk, sizeof chunk).gcount() > 0) {
+    head.append(chunk, static_cast<std::size_t>(in.gcount()));
+    try {
+      return parse_header(head).schema;
+    } catch (const std::invalid_argument& e) {
+      if (!util::starts_with(e.what(), "hpcb: truncated")) throw;
+      if (in.eof()) throw;
+    }
+  }
+  throw std::invalid_argument("hpcb: truncated header");
+}
+
+bool sniff_hpcb(std::istream& in) {
+  const auto pos = in.tellg();
+  std::array<char, 8> head{};
+  in.read(head.data(), static_cast<std::streamsize>(head.size()));
+  const bool full = in.gcount() == static_cast<std::streamsize>(head.size());
+  in.clear();
+  in.seekg(pos);
+  return full &&
+         std::memcmp(head.data(), kHpcbMagic.data(), kHpcbMagic.size()) == 0;
+}
+
+// ---- file wrappers --------------------------------------------------------
+
+void save_hpcb(const std::string& path, const Table& table,
+               std::size_t rows_per_block) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  write_hpcb(out, table, rows_per_block);
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+Table load_hpcb(const std::string& path, const ReadOptions& options,
+                ReadStats* stats) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  return read_hpcb(in, options, stats);
+}
+
+}  // namespace hpcpower::storage

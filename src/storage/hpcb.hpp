@@ -1,0 +1,156 @@
+#pragma once
+// .hpcb — the hpcpower binary columnar container for telemetry tables.
+//
+// CSV round-trips months of per-minute RAPL samples through text parsing and
+// loses double precision at %.10g; .hpcb stores the same tables column-wise
+// in binary, bit-exact and several times smaller and faster to scan
+// (DESIGN.md §7). The layout:
+//
+//   header   magic(8) version(u16) column_count(u16) rows_per_block(u32)
+//            column_count x { type(u8) name_len(u16) name }
+//   blocks   repeated { magic(u32) payload_len(u32) payload crc32(u32) }
+//            payload = rows(u32), then per column: enc_len(u32) + bytes
+//   footer   magic(u32) payload_len(u32) payload crc32(u32)
+//            payload = total_rows(u64) block_count(u32)
+//                      block_count x { offset(u64) rows(u32) }
+//            footer_offset(u64) tail_magic(8)
+//
+// All fixed-width integers are little-endian. Integer columns are encoded
+// per block as zigzag-varint deltas (the delta restarts at every block, so
+// blocks decode independently); double columns are either raw IEEE-754 bits
+// or varint-coded XORs with the previous value (neighbouring power samples
+// share sign/exponent/top-mantissa bits, so the XOR drops the high bytes;
+// repeated values collapse to one byte). Both float codecs round-trip
+// bit-identically, including NaN payloads. Each block is
+// covered by a CRC32; the footer index lets readers stream, project single
+// columns, and decode blocks in parallel (merged in block order, so results
+// are identical at any thread count — the DESIGN.md §5 contract). Lenient
+// readers skip corrupt blocks with counted warnings ("storage.*" counters)
+// and rebuild the index by scanning for block magics when the footer itself
+// is damaged; the dropped rows then surface as gap slots in the existing
+// telemetry cleaning/DataQualityReport machinery.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hpcpower::storage {
+
+/// File magic, PNG-style: a non-ASCII lead byte so text tools do not
+/// mistake the file for CSV, and CRLF to catch line-ending mangling.
+inline constexpr std::array<unsigned char, 8> kHpcbMagic = {
+    0x89, 'H', 'P', 'C', 'B', 0x0D, 0x0A, 0x1A};
+inline constexpr std::array<unsigned char, 8> kHpcbTailMagic = {
+    0x1A, 0x0A, 0x0D, 'B', 'C', 'P', 'H', 0x89};
+inline constexpr std::uint16_t kHpcbVersion = 1;
+inline constexpr std::uint32_t kBlockMagic = 0xB10C89E1u;
+inline constexpr std::uint32_t kFooterMagic = 0xF007E989u;
+inline constexpr std::size_t kDefaultRowsPerBlock = 4096;
+
+enum class ColumnType : std::uint8_t {
+  kInt64Delta = 0,  ///< zigzag-varint deltas, restart per block
+  kFloat64 = 1,     ///< raw little-endian IEEE-754 bits
+  kFloat64Xor = 2,  ///< varint of bits XOR previous bits, restart per block
+};
+
+[[nodiscard]] constexpr bool is_float_column(ColumnType type) noexcept {
+  return type == ColumnType::kFloat64 || type == ColumnType::kFloat64Xor;
+}
+
+[[nodiscard]] const char* column_type_name(ColumnType type) noexcept;
+
+struct ColumnSpec {
+  std::string name;
+  ColumnType type = ColumnType::kInt64Delta;
+
+  friend bool operator==(const ColumnSpec&, const ColumnSpec&) = default;
+};
+
+/// One column's values; only the vector matching the spec's type is used.
+struct Column {
+  std::vector<std::int64_t> i64;
+  std::vector<double> f64;
+
+  [[nodiscard]] std::size_t size(ColumnType type) const noexcept {
+    return is_float_column(type) ? f64.size() : i64.size();
+  }
+};
+
+/// An in-memory columnar table: schema plus one Column per spec.
+struct Table {
+  std::vector<ColumnSpec> schema;
+  std::vector<Column> columns;
+
+  [[nodiscard]] std::size_t rows() const noexcept {
+    return schema.empty() ? 0 : columns.front().size(schema.front().type);
+  }
+  /// Index of the named column; throws std::out_of_range when absent.
+  [[nodiscard]] std::size_t column_index(std::string_view name) const;
+  [[nodiscard]] const Column& column(std::string_view name) const {
+    return columns[column_index(name)];
+  }
+  /// Schema mismatch / ragged columns raise std::invalid_argument.
+  void validate() const;
+};
+
+struct ReadOptions {
+  /// Strict (default): any corruption — bad magic, bad CRC, truncation,
+  /// malformed encodings — throws std::invalid_argument naming the block.
+  /// Lenient: corrupt blocks are skipped with a counted warning
+  /// ("storage.blocks_skipped" / "storage.rows_skipped") and a damaged
+  /// footer is replaced by a block-magic scan ("storage.footer_rescans").
+  bool lenient = false;
+  /// Column projection: decode only these columns (empty = all). The
+  /// returned table keeps file schema order. Unknown names always throw.
+  std::vector<std::string> columns;
+  /// Decode blocks on the global thread pool (merged in block order; the
+  /// result is bit-identical at any thread count). false = serial decode.
+  bool parallel = true;
+};
+
+/// Per-block accounting of one read, for tooling and tests.
+struct BlockInfo {
+  std::size_t offset = 0;   ///< file offset of the block magic
+  std::uint32_t rows = 0;   ///< rows the block claims to hold
+  bool ok = false;          ///< decoded and merged into the result
+};
+
+struct ReadStats {
+  std::vector<BlockInfo> blocks;
+  std::uint64_t rows_read = 0;
+  std::uint64_t rows_skipped = 0;    ///< rows lost to skipped blocks
+  std::size_t blocks_skipped = 0;
+  bool footer_valid = false;         ///< footer index parsed and CRC-clean
+  bool rescanned = false;            ///< index rebuilt by block-magic scan
+};
+
+/// Serializes `table` (validated first). `rows_per_block` bounds the row
+/// group size; smaller blocks mean finer corruption granularity and more
+/// parallelism at a few bytes of overhead per block.
+void write_hpcb(std::ostream& out, const Table& table,
+                std::size_t rows_per_block = kDefaultRowsPerBlock);
+
+/// Parses a .hpcb stream. Throws std::invalid_argument on malformed input
+/// (see ReadOptions::lenient for the recovery mode).
+[[nodiscard]] Table read_hpcb(std::istream& in, const ReadOptions& options = {},
+                              ReadStats* stats = nullptr);
+
+/// Reads only the header schema (cheap: no block decoding).
+[[nodiscard]] std::vector<ColumnSpec> read_hpcb_schema(std::istream& in);
+
+/// True when the stream starts with the .hpcb magic; the stream position is
+/// restored. The cheap format sniff behind the trace loaders' auto-detection.
+[[nodiscard]] bool sniff_hpcb(std::istream& in);
+
+/// Convenience file wrappers; throw std::runtime_error on I/O failure.
+void save_hpcb(const std::string& path, const Table& table,
+               std::size_t rows_per_block = kDefaultRowsPerBlock);
+[[nodiscard]] Table load_hpcb(const std::string& path,
+                              const ReadOptions& options = {},
+                              ReadStats* stats = nullptr);
+
+}  // namespace hpcpower::storage

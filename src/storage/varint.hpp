@@ -1,0 +1,55 @@
+#pragma once
+// Zigzag + LEB128 variable-length integer coding, the integer-column
+// primitive of the .hpcb container (hpcb.hpp).
+//
+// Integer columns are stored as deltas between consecutive values; zigzag
+// folds the sign into the low bit so small negative deltas stay small, and
+// LEB128 then spends one byte per 7 significant bits. Sorted id/timestamp
+// columns collapse to ~1 byte per value. Decoding is bounds-checked and
+// rejects over-long (> 10 byte) encodings so corrupt blocks fail loudly
+// instead of reading past the buffer.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace hpcpower::storage {
+
+[[nodiscard]] constexpr std::uint64_t zigzag_encode(std::int64_t v) noexcept {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+[[nodiscard]] constexpr std::int64_t zigzag_decode(std::uint64_t v) noexcept {
+  return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+/// Appends the LEB128 encoding of `v` (1..10 bytes) to `out`.
+inline void append_varint(std::string& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+/// Cursor-style decoder: reads one varint from data[pos...], advancing `pos`.
+/// Returns nullopt on truncation or an over-long encoding.
+[[nodiscard]] inline std::optional<std::uint64_t> read_varint(
+    const char* data, std::size_t size, std::size_t& pos) noexcept {
+  std::uint64_t value = 0;
+  for (unsigned shift = 0; shift < 64; shift += 7) {
+    if (pos >= size) return std::nullopt;
+    const auto byte = static_cast<std::uint8_t>(data[pos++]);
+    value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      // The 10th byte may only carry the top bit of a 64-bit value.
+      if (shift == 63 && byte > 1) return std::nullopt;
+      return value;
+    }
+  }
+  return std::nullopt;  // 10 continuation bytes: over-long encoding
+}
+
+}  // namespace hpcpower::storage

@@ -1,0 +1,51 @@
+#include "trace/format.hpp"
+
+#include <istream>
+
+#include "storage/hpcb.hpp"
+
+namespace hpcpower::trace {
+
+const char* trace_format_name(TraceFormat format) noexcept {
+  switch (format) {
+    case TraceFormat::kAuto: return "auto";
+    case TraceFormat::kCsv: return "csv";
+    case TraceFormat::kHpcb: return "hpcb";
+  }
+  return "?";
+}
+
+std::optional<TraceFormat> parse_trace_format(std::string_view name) {
+  if (name == "auto") return TraceFormat::kAuto;
+  if (name == "csv") return TraceFormat::kCsv;
+  if (name == "hpcb") return TraceFormat::kHpcb;
+  return std::nullopt;
+}
+
+TraceFormat resolve_load_format(TraceFormat format, std::istream& in) {
+  if (format != TraceFormat::kAuto) return format;
+  return storage::sniff_hpcb(in) ? TraceFormat::kHpcb : TraceFormat::kCsv;
+}
+
+TraceFormat resolve_save_format(TraceFormat format, const std::string& path) {
+  if (format != TraceFormat::kAuto) return format;
+  const std::string_view ext = ".hpcb";
+  if (path.size() >= ext.size() &&
+      std::string_view(path).substr(path.size() - ext.size()) == ext)
+    return TraceFormat::kHpcb;
+  return TraceFormat::kCsv;
+}
+
+bool schema_compatible(const std::vector<storage::ColumnSpec>& actual,
+                       const std::vector<storage::ColumnSpec>& expected) {
+  if (actual.size() != expected.size()) return false;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    if (actual[i].name != expected[i].name) return false;
+    if (storage::is_float_column(actual[i].type) !=
+        storage::is_float_column(expected[i].type))
+      return false;
+  }
+  return true;
+}
+
+}  // namespace hpcpower::trace

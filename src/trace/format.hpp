@@ -1,0 +1,48 @@
+#pragma once
+// Trace container format selection shared by every trace table.
+//
+// Two on-disk formats carry the same tables: text CSV (human-greppable,
+// lossy at %.10g) and the .hpcb binary columnar container (bit-exact,
+// smaller, parallel-decodable; storage/hpcb.hpp). Loaders never need to be
+// told which one they were handed — the .hpcb magic is sniffed from the
+// first bytes and anything else is treated as CSV. Savers resolve kAuto
+// from the file extension (".hpcb" → binary, everything else → CSV).
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/hpcb.hpp"
+
+namespace hpcpower::trace {
+
+enum class TraceFormat {
+  kAuto,  ///< sniff magic on load, use the file extension on save
+  kCsv,
+  kHpcb,
+};
+
+[[nodiscard]] const char* trace_format_name(TraceFormat format) noexcept;
+
+/// Parses "auto" / "csv" / "hpcb" (as used by --format flags).
+[[nodiscard]] std::optional<TraceFormat> parse_trace_format(std::string_view name);
+
+/// Resolves kAuto for a load by sniffing the stream's leading magic bytes
+/// (position restored). Never returns kAuto.
+[[nodiscard]] TraceFormat resolve_load_format(TraceFormat format, std::istream& in);
+
+/// Resolves kAuto for a save from the path's extension (".hpcb" → binary).
+/// Never returns kAuto.
+[[nodiscard]] TraceFormat resolve_save_format(TraceFormat format,
+                                              const std::string& path);
+
+/// True when a file's schema matches the expected table shape: same column
+/// names in the same order, and the same int/float class per column. The
+/// concrete float codec (raw vs xor-varint) is an encoding detail a writer
+/// is free to choose, so readers must accept either.
+[[nodiscard]] bool schema_compatible(const std::vector<storage::ColumnSpec>& actual,
+                                     const std::vector<storage::ColumnSpec>& expected);
+
+}  // namespace hpcpower::trace

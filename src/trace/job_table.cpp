@@ -169,17 +169,186 @@ std::vector<telemetry::JobRecord> read_job_table(std::istream& in, bool lenient)
   return out;
 }
 
+namespace {
+
+/// .hpcb schema of the job table: the v2 CSV columns with enums/bools as
+/// integer columns, plus an explicit has_detail flag (CSV encodes "no
+/// detail" as empty cells, which a fixed-width column cannot).
+const std::vector<storage::ColumnSpec>& job_table_hpcb_schema() {
+  using storage::ColumnType;
+  static const std::vector<storage::ColumnSpec> kSchema = {
+      {"job_id", ColumnType::kInt64Delta},
+      {"system", ColumnType::kInt64Delta},
+      {"user_id", ColumnType::kInt64Delta},
+      {"app_id", ColumnType::kInt64Delta},
+      {"submit_min", ColumnType::kInt64Delta},
+      {"start_min", ColumnType::kInt64Delta},
+      {"end_min", ColumnType::kInt64Delta},
+      {"nnodes", ColumnType::kInt64Delta},
+      {"walltime_req_min", ColumnType::kInt64Delta},
+      {"backfilled", ColumnType::kInt64Delta},
+      {"truncated", ColumnType::kInt64Delta},
+      {"exit_status", ColumnType::kInt64Delta},
+      {"attempt", ColumnType::kInt64Delta},
+      {"mean_node_power_w", ColumnType::kFloat64Xor},
+      {"temporal_std_w", ColumnType::kFloat64Xor},
+      {"peak_node_power_w", ColumnType::kFloat64Xor},
+      {"mean_pkg_w", ColumnType::kFloat64Xor},
+      {"mean_dram_w", ColumnType::kFloat64Xor},
+      {"energy_kwh", ColumnType::kFloat64Xor},
+      {"node_energy_min_kwh", ColumnType::kFloat64Xor},
+      {"node_energy_max_kwh", ColumnType::kFloat64Xor},
+      {"has_detail", ColumnType::kInt64Delta},
+      {"peak_overshoot", ColumnType::kFloat64Xor},
+      {"frac_time_above_10pct", ColumnType::kFloat64Xor},
+      {"avg_spatial_spread_w", ColumnType::kFloat64Xor},
+      {"spread_fraction_of_power", ColumnType::kFloat64Xor},
+      {"frac_time_above_avg_spread", ColumnType::kFloat64Xor},
+  };
+  return kSchema;
+}
+
+std::int64_t checked_range(std::int64_t v, std::int64_t lo, std::int64_t hi,
+                           const char* what) {
+  if (v < lo || v > hi)
+    throw std::invalid_argument(util::format("%s out of range", what));
+  return v;
+}
+
+}  // namespace
+
+void write_job_table_hpcb(std::ostream& out,
+                          const std::vector<telemetry::JobRecord>& records,
+                          std::size_t rows_per_block) {
+  storage::Table table;
+  table.schema = job_table_hpcb_schema();
+  table.columns.resize(table.schema.size());
+  for (std::size_t i = 0; i < table.schema.size(); ++i) {
+    if (table.schema[i].type == storage::ColumnType::kInt64Delta)
+      table.columns[i].i64.reserve(records.size());
+    else
+      table.columns[i].f64.reserve(records.size());
+  }
+  for (const telemetry::JobRecord& r : records) {
+    std::size_t c = 0;
+    const auto put_i = [&](std::int64_t v) { table.columns[c++].i64.push_back(v); };
+    const auto put_f = [&](double v) { table.columns[c++].f64.push_back(v); };
+    put_i(static_cast<std::int64_t>(r.job_id));
+    put_i(static_cast<std::int64_t>(r.system));
+    put_i(static_cast<std::int64_t>(r.user_id));
+    put_i(static_cast<std::int64_t>(r.app));
+    put_i(r.submit.minutes());
+    put_i(r.start.minutes());
+    put_i(r.end.minutes());
+    put_i(static_cast<std::int64_t>(r.nnodes));
+    put_i(static_cast<std::int64_t>(r.walltime_req_min));
+    put_i(r.backfilled ? 1 : 0);
+    put_i(r.truncated_by_horizon ? 1 : 0);
+    put_i(static_cast<std::int64_t>(r.exit));
+    put_i(static_cast<std::int64_t>(r.attempt));
+    put_f(r.mean_node_power_w);
+    put_f(r.temporal_std_w);
+    put_f(r.peak_node_power_w);
+    put_f(r.mean_pkg_w);
+    put_f(r.mean_dram_w);
+    put_f(r.energy_kwh);
+    put_f(r.node_energy_min_kwh);
+    put_f(r.node_energy_max_kwh);
+    put_i(r.detail ? 1 : 0);
+    put_f(r.detail ? r.detail->peak_overshoot : 0.0);
+    put_f(r.detail ? r.detail->frac_time_above_10pct : 0.0);
+    put_f(r.detail ? r.detail->avg_spatial_spread_w : 0.0);
+    put_f(r.detail ? r.detail->spread_fraction_of_power : 0.0);
+    put_f(r.detail ? r.detail->frac_time_above_avg_spread : 0.0);
+  }
+  storage::write_hpcb(out, table, rows_per_block);
+}
+
+std::vector<telemetry::JobRecord> read_job_table_hpcb(std::istream& in, bool lenient,
+                                                      storage::ReadStats* stats) {
+  storage::ReadOptions options;
+  options.lenient = lenient;
+  const storage::Table table = storage::read_hpcb(in, options, stats);
+  if (!schema_compatible(table.schema, job_table_hpcb_schema()))
+    throw std::invalid_argument("job table: schema mismatch");
+  std::vector<telemetry::JobRecord> out;
+  out.reserve(table.rows());
+  for (std::size_t i = 0; i < table.rows(); ++i) {
+    std::size_t c = 0;
+    const auto get_i = [&] { return table.columns[c++].i64[i]; };
+    const auto get_f = [&] { return table.columns[c++].f64[i]; };
+    try {
+      telemetry::JobRecord r;
+      r.job_id = static_cast<std::uint64_t>(get_i());
+      r.system = static_cast<cluster::SystemId>(
+          checked_range(get_i(), 0,
+                        static_cast<std::int64_t>(cluster::SystemId::kCustom),
+                        "system"));
+      r.user_id = static_cast<workload::UserId>(
+          checked_range(get_i(), 0, 0xFFFFFFFF, "user_id"));
+      r.app = static_cast<workload::AppId>(
+          checked_range(get_i(), 0, 0xFFFFFFFF, "app_id"));
+      r.submit = util::MinuteTime(get_i());
+      r.start = util::MinuteTime(get_i());
+      r.end = util::MinuteTime(get_i());
+      r.nnodes = static_cast<std::uint32_t>(
+          checked_range(get_i(), 1, 0xFFFFFFFF, "nnodes"));
+      r.walltime_req_min = static_cast<std::uint32_t>(
+          checked_range(get_i(), 0, 0xFFFFFFFF, "walltime_req_min"));
+      r.backfilled = checked_range(get_i(), 0, 1, "backfilled") != 0;
+      r.truncated_by_horizon = checked_range(get_i(), 0, 1, "truncated") != 0;
+      r.exit = static_cast<sched::ExitStatus>(checked_range(
+          get_i(), 0, static_cast<std::int64_t>(sched::ExitStatus::kCancelled),
+          "exit_status"));
+      r.attempt = static_cast<std::uint32_t>(
+          checked_range(get_i(), 1, 0xFFFFFFFF, "attempt"));
+      r.mean_node_power_w = get_f();
+      r.temporal_std_w = get_f();
+      r.peak_node_power_w = get_f();
+      r.mean_pkg_w = get_f();
+      r.mean_dram_w = get_f();
+      r.energy_kwh = get_f();
+      r.node_energy_min_kwh = get_f();
+      r.node_energy_max_kwh = get_f();
+      const bool has_detail = checked_range(get_i(), 0, 1, "has_detail") != 0;
+      telemetry::DetailMetrics d;
+      d.peak_overshoot = get_f();
+      d.frac_time_above_10pct = get_f();
+      d.avg_spatial_spread_w = get_f();
+      d.spread_fraction_of_power = get_f();
+      d.frac_time_above_avg_spread = get_f();
+      if (has_detail) r.detail = d;
+      if (r.end < r.start) throw std::invalid_argument("end_min precedes start_min");
+      if (r.start < r.submit) throw std::invalid_argument("start_min precedes submit_min");
+      out.push_back(r);
+    } catch (const std::exception& e) {
+      const std::string what = util::format("job table row %zu: %s", i, e.what());
+      if (!lenient) throw std::invalid_argument(what);
+      util::counters().add("storage.rows_skipped");
+      util::log_warn(what + " (row skipped)");
+    }
+  }
+  return out;
+}
+
 void save_job_table(const std::string& path,
-                    const std::vector<telemetry::JobRecord>& records) {
-  std::ofstream out(path);
+                    const std::vector<telemetry::JobRecord>& records,
+                    TraceFormat format) {
+  const TraceFormat resolved = resolve_save_format(format, path);
+  std::ofstream out(path, std::ios::binary);
   if (!out) throw std::runtime_error("cannot open for writing: " + path);
-  write_job_table(out, records);
+  if (resolved == TraceFormat::kHpcb)
+    write_job_table_hpcb(out, records);
+  else
+    write_job_table(out, records);
   if (!out) throw std::runtime_error("write failed: " + path);
 }
 
 std::vector<telemetry::JobRecord> load_job_table(const std::string& path, bool lenient) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  if (resolve_load_format(TraceFormat::kAuto, in) == TraceFormat::kHpcb)
+    return read_job_table_hpcb(in, lenient);
   return read_job_table(in, lenient);
 }
 

@@ -10,7 +10,9 @@
 #include <string>
 #include <vector>
 
+#include "storage/hpcb.hpp"
 #include "telemetry/job_record.hpp"
+#include "trace/format.hpp"
 
 namespace hpcpower::trace {
 
@@ -26,9 +28,23 @@ void write_job_table(std::ostream& out, const std::vector<telemetry::JobRecord>&
 [[nodiscard]] std::vector<telemetry::JobRecord> read_job_table(std::istream& in,
                                                                bool lenient = false);
 
+/// .hpcb (binary columnar) writer/reader for the same table. Enums travel as
+/// range-checked integer columns, the optional detail block as a has_detail
+/// flag plus zero-filled columns; doubles are bit-exact, unlike the %.6g CSV
+/// round trip. `lenient` skips corrupt blocks and semantically invalid rows
+/// with counted warnings ("storage.*") instead of throwing.
+void write_job_table_hpcb(std::ostream& out,
+                          const std::vector<telemetry::JobRecord>& records,
+                          std::size_t rows_per_block = storage::kDefaultRowsPerBlock);
+[[nodiscard]] std::vector<telemetry::JobRecord> read_job_table_hpcb(
+    std::istream& in, bool lenient = false, storage::ReadStats* stats = nullptr);
+
 /// Convenience file wrappers. Throw std::runtime_error on I/O failure.
+/// Saving resolves kAuto from the extension (".hpcb" → binary, else CSV);
+/// loading auto-detects the format from the file's magic bytes.
 void save_job_table(const std::string& path,
-                    const std::vector<telemetry::JobRecord>& records);
+                    const std::vector<telemetry::JobRecord>& records,
+                    TraceFormat format = TraceFormat::kAuto);
 [[nodiscard]] std::vector<telemetry::JobRecord> load_job_table(const std::string& path,
                                                                bool lenient = false);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "trace/job_table.hpp"
 #include "util/prng.hpp"
 
 namespace hpcpower::trace {
@@ -84,6 +85,13 @@ std::vector<workload::JobRequest> replay_jobs(
   std::sort(out.begin(), out.end(),
             [](const auto& a, const auto& b) { return a.submit < b.submit; });
   return out;
+}
+
+std::vector<workload::JobRequest> replay_jobs_from_file(const std::string& path,
+                                                        const cluster::SystemSpec& spec,
+                                                        const ReplayOptions& options,
+                                                        bool lenient) {
+  return replay_jobs(load_job_table(path, lenient), spec, options);
 }
 
 }  // namespace hpcpower::trace

@@ -8,6 +8,7 @@
 // rebuilt from the recorded aggregates: base level from the mean power,
 // temporal shape approximated from the recorded temporal std and peak.
 
+#include <string>
 #include <vector>
 
 #include "cluster/system_spec.hpp"
@@ -30,5 +31,12 @@ struct ReplayOptions {
 [[nodiscard]] std::vector<workload::JobRequest> replay_jobs(
     const std::vector<telemetry::JobRecord>& records,
     const cluster::SystemSpec& spec, const ReplayOptions& options = {});
+
+/// Replays straight from a job-table file in either container format (CSV or
+/// .hpcb, auto-detected by magic bytes — see trace/format.hpp). `lenient` is
+/// forwarded to the table reader.
+[[nodiscard]] std::vector<workload::JobRequest> replay_jobs_from_file(
+    const std::string& path, const cluster::SystemSpec& spec,
+    const ReplayOptions& options = {}, bool lenient = false);
 
 }  // namespace hpcpower::trace

@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include <limits>
+
 #include "util/csv.hpp"
 #include "util/logging.hpp"
 #include "util/strings.hpp"
@@ -50,16 +52,82 @@ std::vector<PowerSampleRow> read_sample_table(std::istream& in, bool lenient) {
   return out;
 }
 
-void save_sample_table(const std::string& path, const std::vector<PowerSampleRow>& rows) {
-  std::ofstream out(path);
+void write_sample_table_hpcb(std::ostream& out, const std::vector<PowerSampleRow>& rows,
+                             std::size_t rows_per_block) {
+  storage::Table table;
+  table.schema = {{"job_id", storage::ColumnType::kInt64Delta},
+                  {"minute", storage::ColumnType::kInt64Delta},
+                  {"node_index", storage::ColumnType::kInt64Delta},
+                  {"pkg_w", storage::ColumnType::kFloat64Xor},
+                  {"dram_w", storage::ColumnType::kFloat64Xor}};
+  table.columns.resize(table.schema.size());
+  for (storage::Column& c : table.columns) {
+    c.i64.reserve(rows.size());
+    c.f64.reserve(rows.size());
+  }
+  for (const PowerSampleRow& r : rows) {
+    table.columns[0].i64.push_back(static_cast<std::int64_t>(r.job_id));
+    table.columns[1].i64.push_back(r.minute);
+    table.columns[2].i64.push_back(static_cast<std::int64_t>(r.node_index));
+    table.columns[3].f64.push_back(r.pkg_w);
+    table.columns[4].f64.push_back(r.dram_w);
+  }
+  storage::write_hpcb(out, table, rows_per_block);
+}
+
+std::vector<PowerSampleRow> read_sample_table_hpcb(std::istream& in, bool lenient,
+                                                   storage::ReadStats* stats) {
+  storage::ReadOptions options;
+  options.lenient = lenient;
+  const storage::Table table = storage::read_hpcb(in, options, stats);
+  const std::vector<storage::ColumnSpec> expected = {
+      {"job_id", storage::ColumnType::kInt64Delta},
+      {"minute", storage::ColumnType::kInt64Delta},
+      {"node_index", storage::ColumnType::kInt64Delta},
+      {"pkg_w", storage::ColumnType::kFloat64Xor},
+      {"dram_w", storage::ColumnType::kFloat64Xor}};
+  if (!schema_compatible(table.schema, expected))
+    throw std::invalid_argument("sample table: schema mismatch");
+  std::vector<PowerSampleRow> out;
+  out.reserve(table.rows());
+  for (std::size_t i = 0; i < table.rows(); ++i) {
+    const std::int64_t node = table.columns[2].i64[i];
+    if (node < 0 || node > std::numeric_limits<std::uint32_t>::max()) {
+      const std::string what = util::format(
+          "sample table row %zu: node_index out of range", i);
+      if (!lenient) throw std::invalid_argument(what);
+      util::counters().add("storage.rows_skipped");
+      util::log_warn(what + " (row skipped)");
+      continue;
+    }
+    PowerSampleRow r;
+    r.job_id = static_cast<std::uint64_t>(table.columns[0].i64[i]);
+    r.minute = table.columns[1].i64[i];
+    r.node_index = static_cast<std::uint32_t>(node);
+    r.pkg_w = table.columns[3].f64[i];
+    r.dram_w = table.columns[4].f64[i];
+    out.push_back(r);
+  }
+  return out;
+}
+
+void save_sample_table(const std::string& path, const std::vector<PowerSampleRow>& rows,
+                       TraceFormat format) {
+  const TraceFormat resolved = resolve_save_format(format, path);
+  std::ofstream out(path, std::ios::binary);
   if (!out) throw std::runtime_error("cannot open for writing: " + path);
-  write_sample_table(out, rows);
+  if (resolved == TraceFormat::kHpcb)
+    write_sample_table_hpcb(out, rows);
+  else
+    write_sample_table(out, rows);
   if (!out) throw std::runtime_error("write failed: " + path);
 }
 
 std::vector<PowerSampleRow> load_sample_table(const std::string& path, bool lenient) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  if (resolve_load_format(TraceFormat::kAuto, in) == TraceFormat::kHpcb)
+    return read_sample_table_hpcb(in, lenient);
   return read_sample_table(in, lenient);
 }
 
@@ -174,6 +242,13 @@ ScrubResult scrub_sample_rows(std::vector<PowerSampleRow> rows,
   // Interpolated rows were appended out of order; restore the canonical sort.
   std::stable_sort(result.rows.begin(), result.rows.end(), row_key_less);
   return result;
+}
+
+ScrubResult scrub_sample_file(const std::string& path,
+                              const telemetry::CleaningConfig& config,
+                              double node_tdp_watts, bool lenient) {
+  return scrub_sample_rows(load_sample_table(path, lenient), config,
+                           node_tdp_watts);
 }
 
 }  // namespace hpcpower::trace

@@ -15,8 +15,10 @@
 #include <string>
 #include <vector>
 
+#include "storage/hpcb.hpp"
 #include "telemetry/cleaning.hpp"
 #include "telemetry/faults.hpp"
+#include "trace/format.hpp"
 #include "util/sim_time.hpp"
 
 namespace hpcpower::trace {
@@ -39,7 +41,20 @@ void write_sample_table(std::ostream& out, const std::vector<PowerSampleRow>& ro
 [[nodiscard]] std::vector<PowerSampleRow> read_sample_table(std::istream& in,
                                                             bool lenient = false);
 
-void save_sample_table(const std::string& path, const std::vector<PowerSampleRow>& rows);
+/// .hpcb (binary columnar) writer/reader for the same table; bit-exact for
+/// the power columns, unlike the %.10g CSV round trip. `lenient` skips
+/// corrupt blocks / out-of-domain rows with counted warnings ("storage.*")
+/// instead of throwing; the missing minutes then surface as gap slots in
+/// scrub_sample_rows()'s DataQualityReport.
+void write_sample_table_hpcb(std::ostream& out, const std::vector<PowerSampleRow>& rows,
+                             std::size_t rows_per_block = storage::kDefaultRowsPerBlock);
+[[nodiscard]] std::vector<PowerSampleRow> read_sample_table_hpcb(
+    std::istream& in, bool lenient = false, storage::ReadStats* stats = nullptr);
+
+/// Save in the given format (kAuto: ".hpcb" extension → binary, else CSV).
+void save_sample_table(const std::string& path, const std::vector<PowerSampleRow>& rows,
+                       TraceFormat format = TraceFormat::kAuto);
+/// Load either format, auto-detected from the file's magic bytes.
 [[nodiscard]] std::vector<PowerSampleRow> load_sample_table(const std::string& path,
                                                             bool lenient = false);
 
@@ -64,5 +79,14 @@ struct ScrubResult {
 [[nodiscard]] ScrubResult scrub_sample_rows(std::vector<PowerSampleRow> rows,
                                             const telemetry::CleaningConfig& config,
                                             double node_tdp_watts);
+
+/// File-level ingest: load a sample table in either format (auto-detected)
+/// and scrub it. Rows lost to corrupt .hpcb blocks or skipped CSV lines show
+/// up as gap slots in the returned DataQualityReport, so file damage and
+/// collector faults land in the same ledger.
+[[nodiscard]] ScrubResult scrub_sample_file(const std::string& path,
+                                            const telemetry::CleaningConfig& config,
+                                            double node_tdp_watts,
+                                            bool lenient = true);
 
 }  // namespace hpcpower::trace

@@ -50,17 +50,75 @@ telemetry::SystemSeries read_system_series(std::istream& in) {
   return series;
 }
 
+namespace {
+const std::vector<storage::ColumnSpec>& system_series_hpcb_schema() {
+  using storage::ColumnType;
+  static const std::vector<storage::ColumnSpec> kSchema = {
+      {"minute", ColumnType::kInt64Delta},
+      {"busy_nodes", ColumnType::kInt64Delta},
+      {"total_power_w", ColumnType::kFloat64Xor},
+  };
+  return kSchema;
+}
+}  // namespace
+
+void write_system_series_hpcb(std::ostream& out, const telemetry::SystemSeries& series,
+                              std::size_t rows_per_block) {
+  if (series.total_power_w.size() != series.busy_nodes.size())
+    throw std::invalid_argument("system series: ragged series");
+  storage::Table table;
+  table.schema = system_series_hpcb_schema();
+  table.columns.resize(table.schema.size());
+  for (std::size_t m = 0; m < series.total_power_w.size(); ++m) {
+    table.columns[0].i64.push_back(static_cast<std::int64_t>(m));
+    table.columns[1].i64.push_back(static_cast<std::int64_t>(series.busy_nodes[m]));
+    table.columns[2].f64.push_back(series.total_power_w[m]);
+  }
+  storage::write_hpcb(out, table, rows_per_block);
+}
+
+telemetry::SystemSeries read_system_series_hpcb(std::istream& in,
+                                                storage::ReadStats* stats) {
+  // Always strict: a system series with missing minutes is not a usable
+  // series (the CSV reader enforces the same contiguity).
+  const storage::Table table = storage::read_hpcb(in, {}, stats);
+  if (!schema_compatible(table.schema, system_series_hpcb_schema()))
+    throw std::invalid_argument("system series: schema mismatch");
+  telemetry::SystemSeries series;
+  for (std::size_t i = 0; i < table.rows(); ++i) {
+    const std::int64_t minute = table.columns[0].i64[i];
+    if (minute != static_cast<std::int64_t>(i))
+      throw std::invalid_argument(
+          util::format("system series row %zu: non-contiguous minute %lld", i,
+                       static_cast<long long>(minute)));
+    const std::int64_t busy = table.columns[1].i64[i];
+    if (busy < 0 || busy > 0xFFFFFFFF)
+      throw std::invalid_argument(
+          util::format("system series row %zu: busy_nodes out of range", i));
+    series.busy_nodes.push_back(static_cast<std::uint32_t>(busy));
+    series.total_power_w.push_back(table.columns[2].f64[i]);
+  }
+  return series;
+}
+
 void save_system_series(const std::string& path,
-                        const telemetry::SystemSeries& series) {
-  std::ofstream out(path);
+                        const telemetry::SystemSeries& series,
+                        TraceFormat format) {
+  const TraceFormat resolved = resolve_save_format(format, path);
+  std::ofstream out(path, std::ios::binary);
   if (!out) throw std::runtime_error("cannot open for writing: " + path);
-  write_system_series(out, series);
+  if (resolved == TraceFormat::kHpcb)
+    write_system_series_hpcb(out, series);
+  else
+    write_system_series(out, series);
   if (!out) throw std::runtime_error("write failed: " + path);
 }
 
 telemetry::SystemSeries load_system_series(const std::string& path) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  if (resolve_load_format(TraceFormat::kAuto, in) == TraceFormat::kHpcb)
+    return read_system_series_hpcb(in);
   return read_system_series(in);
 }
 

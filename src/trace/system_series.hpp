@@ -6,7 +6,9 @@
 #include <string>
 #include <vector>
 
+#include "storage/hpcb.hpp"
 #include "telemetry/pipeline.hpp"
+#include "trace/format.hpp"
 
 namespace hpcpower::trace {
 
@@ -18,8 +20,18 @@ void write_system_series(std::ostream& out, const telemetry::SystemSeries& serie
 /// row errors.
 [[nodiscard]] telemetry::SystemSeries read_system_series(std::istream& in);
 
+/// .hpcb (binary columnar) writer/reader for the same series; minutes must
+/// be contiguous from zero, as in the CSV reader.
+void write_system_series_hpcb(std::ostream& out, const telemetry::SystemSeries& series,
+                              std::size_t rows_per_block = storage::kDefaultRowsPerBlock);
+[[nodiscard]] telemetry::SystemSeries read_system_series_hpcb(
+    std::istream& in, storage::ReadStats* stats = nullptr);
+
+/// Saving resolves kAuto from the extension (".hpcb" → binary, else CSV);
+/// loading auto-detects the format from the file's magic bytes.
 void save_system_series(const std::string& path,
-                        const telemetry::SystemSeries& series);
+                        const telemetry::SystemSeries& series,
+                        TraceFormat format = TraceFormat::kAuto);
 [[nodiscard]] telemetry::SystemSeries load_system_series(const std::string& path);
 
 }  // namespace hpcpower::trace

@@ -6,10 +6,16 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "core/job_analysis.hpp"
+#include "core/report.hpp"
 #include "core/study.hpp"
+#include "trace/job_table.hpp"
 #include "util/logging.hpp"
+#include "util/thread_pool.hpp"
 
 namespace hpcpower::trace {
 namespace {
@@ -110,6 +116,56 @@ TEST(Replay, RerunReproducesMeanPowerDistribution) {
 
 TEST(Replay, EmptyInputGivesEmptyOutput) {
   EXPECT_TRUE(replay_jobs({}, cluster::emmy_spec()).empty());
+}
+
+// Golden ingest-format invariance: the same job table ingested from CSV and
+// from .hpcb, replayed through the full pipeline, must render byte-identical
+// reports at every thread count (DESIGN.md §5 + §7).
+core::CampaignData replay_campaign_from(const std::string& path, std::size_t threads) {
+  util::set_global_thread_count(threads);
+  ReplayOptions opts;
+  opts.use_submit_times = false;
+  const auto jobs = replay_jobs_from_file(path, original().spec, opts);
+  telemetry::PipelineConfig pcfg;
+  pcfg.seed = 7;
+  telemetry::MonitoringPipeline pipeline(original().spec, pcfg);
+  sched::CampaignSimulator sim(original().spec.node_count,
+                               util::MinuteTime::from_days(10.0));
+  (void)sim.run(jobs, pipeline.hooks());
+  core::CampaignData replayed;
+  replayed.spec = original().spec;
+  replayed.records = std::move(pipeline.records());
+  replayed.series = pipeline.system_series();
+  util::set_global_thread_count(0);
+  return replayed;
+}
+
+TEST(Replay, CsvAndHpcbIngestRenderByteIdenticalReports) {
+  const std::string csv_path = testing::TempDir() + "/hpcpower_replay_jobs.csv";
+  const std::string hpcb_path = testing::TempDir() + "/hpcpower_replay_jobs.hpcb";
+  save_job_table(csv_path, original().records);
+  // Write the .hpcb from the CSV-parsed records: printing to CSV is the lossy
+  // step, so after one round trip both files hold the exact same doubles.
+  save_job_table(hpcb_path, load_job_table(csv_path));
+
+  std::string golden;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{0}}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    std::vector<core::CampaignData> from_csv, from_hpcb;
+    from_csv.push_back(replay_campaign_from(csv_path, threads));
+    from_hpcb.push_back(replay_campaign_from(hpcb_path, threads));
+    core::ReportOptions ropts;
+    ropts.include_prediction = false;
+    const std::string report_csv = core::render_markdown_report(from_csv, ropts);
+    const std::string report_hpcb = core::render_markdown_report(from_hpcb, ropts);
+    ASSERT_FALSE(report_csv.empty());
+    EXPECT_EQ(report_csv, report_hpcb);
+    if (golden.empty())
+      golden = report_csv;
+    else
+      EXPECT_EQ(report_csv, golden);  // thread-count invariance holds too
+  }
+  util::shutdown_global_pool();
 }
 
 }  // namespace

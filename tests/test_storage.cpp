@@ -1,0 +1,378 @@
+// Unit and property tests for the .hpcb binary columnar container
+// (storage/hpcb.hpp): encoding primitives, bit-identical round trips,
+// projection, and the strict/lenient corruption semantics (DESIGN.md §7).
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "storage/crc32.hpp"
+#include "storage/hpcb.hpp"
+#include "storage/varint.hpp"
+#include "util/logging.hpp"
+#include "util/prng.hpp"
+
+namespace hpcpower::storage {
+namespace {
+
+// ---- varint / zigzag primitives -------------------------------------------
+
+TEST(Zigzag, FoldsSignIntoLowBit) {
+  EXPECT_EQ(zigzag_encode(0), 0u);
+  EXPECT_EQ(zigzag_encode(-1), 1u);
+  EXPECT_EQ(zigzag_encode(1), 2u);
+  EXPECT_EQ(zigzag_encode(-2), 3u);
+  EXPECT_EQ(zigzag_encode(std::numeric_limits<std::int64_t>::max()),
+            0xFFFFFFFFFFFFFFFEull);
+  EXPECT_EQ(zigzag_encode(std::numeric_limits<std::int64_t>::min()),
+            0xFFFFFFFFFFFFFFFFull);
+}
+
+TEST(Zigzag, RoundTripsRandomValues) {
+  util::Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = static_cast<std::int64_t>(rng.uniform_index(~0ull));
+    EXPECT_EQ(zigzag_decode(zigzag_encode(v)), v);
+  }
+  for (const std::int64_t v : {std::numeric_limits<std::int64_t>::min(),
+                               std::numeric_limits<std::int64_t>::max(),
+                               std::int64_t{0}, std::int64_t{-1}})
+    EXPECT_EQ(zigzag_decode(zigzag_encode(v)), v);
+}
+
+TEST(Varint, RoundTripsBoundaryValues) {
+  const std::uint64_t cases[] = {0,       1,          0x7F,       0x80,
+                                 0x3FFF,  0x4000,     0xFFFFFFFF, 1ull << 62,
+                                 ~0ull,   0x123456789ABCDEFull};
+  for (const std::uint64_t v : cases) {
+    std::string buf;
+    append_varint(buf, v);
+    EXPECT_LE(buf.size(), 10u);
+    std::size_t pos = 0;
+    const auto back = read_varint(buf.data(), buf.size(), pos);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, v);
+    EXPECT_EQ(pos, buf.size());
+  }
+}
+
+TEST(Varint, RejectsTruncationAndOverlongEncodings) {
+  std::string buf;
+  append_varint(buf, ~0ull);  // 10 bytes
+  for (std::size_t cut = 0; cut < buf.size(); ++cut) {
+    std::size_t pos = 0;
+    EXPECT_FALSE(read_varint(buf.data(), cut, pos).has_value());
+  }
+  // 10 continuation bytes never terminate a 64-bit value.
+  const std::string overlong(10, '\x80');
+  std::size_t pos = 0;
+  EXPECT_FALSE(read_varint(overlong.data(), overlong.size(), pos).has_value());
+  // A 10th byte above 1 would overflow 64 bits.
+  std::string overflow(9, '\xFF');
+  overflow.push_back('\x02');
+  pos = 0;
+  EXPECT_FALSE(read_varint(overflow.data(), overflow.size(), pos).has_value());
+}
+
+TEST(Crc32, MatchesKnownVectors) {
+  // The canonical IEEE check value, same as zlib's crc32().
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32(""), 0u);
+  // Incremental = one-shot.
+  const std::string data = "hpcpower storage";
+  EXPECT_EQ(crc32(data.substr(4), crc32(data.substr(0, 4))), crc32(data));
+}
+
+// ---- table round trips ----------------------------------------------------
+
+void expect_bits_eq(double a, double b) {
+  std::uint64_t abits = 0, bbits = 0;
+  std::memcpy(&abits, &a, sizeof(a));
+  std::memcpy(&bbits, &b, sizeof(b));
+  EXPECT_EQ(abits, bbits);
+}
+
+Table random_table(std::uint64_t seed, std::size_t rows) {
+  util::Rng rng(seed);
+  Table t;
+  t.schema = {{"id", ColumnType::kInt64Delta},
+              {"raw", ColumnType::kFloat64},
+              {"xor", ColumnType::kFloat64Xor}};
+  t.columns.resize(3);
+  std::int64_t id = 0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    id += rng.uniform_int(-1000, 1000);
+    t.columns[0].i64.push_back(id);
+    t.columns[1].f64.push_back(rng.normal(100.0, 40.0));
+    t.columns[2].f64.push_back(rng.normal(100.0, 40.0));
+  }
+  return t;
+}
+
+void expect_tables_identical(const Table& a, const Table& b) {
+  ASSERT_EQ(a.schema, b.schema);
+  ASSERT_EQ(a.rows(), b.rows());
+  for (std::size_t c = 0; c < a.schema.size(); ++c) {
+    ASSERT_EQ(a.columns[c].i64, b.columns[c].i64);
+    ASSERT_EQ(a.columns[c].f64.size(), b.columns[c].f64.size());
+    for (std::size_t r = 0; r < a.columns[c].f64.size(); ++r)
+      expect_bits_eq(a.columns[c].f64[r], b.columns[c].f64[r]);
+  }
+}
+
+Table round_trip(const Table& t, std::size_t rows_per_block,
+                 const ReadOptions& options = {}, ReadStats* stats = nullptr) {
+  std::stringstream ss;
+  write_hpcb(ss, t, rows_per_block);
+  return read_hpcb(ss, options, stats);
+}
+
+TEST(HpcbRoundTrip, RandomTablesAreBitIdentical) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    for (const std::size_t rows_per_block : {std::size_t{1}, std::size_t{7},
+                                             std::size_t{4096}}) {
+      const Table t = random_table(seed, 257);
+      expect_tables_identical(t, round_trip(t, rows_per_block));
+    }
+  }
+}
+
+TEST(HpcbRoundTrip, PreservesNanPayloadsAndSpecialValues) {
+  Table t;
+  t.schema = {{"raw", ColumnType::kFloat64}, {"xor", ColumnType::kFloat64Xor}};
+  t.columns.resize(2);
+  const std::vector<std::uint64_t> patterns = {
+      0x7ff8deadbeef1234ull,                               // NaN payload
+      std::bit_cast<std::uint64_t>(-0.0),                  // signed zero
+      std::bit_cast<std::uint64_t>(
+          std::numeric_limits<double>::infinity()),
+      std::bit_cast<std::uint64_t>(5e-324),                // subnormal
+      std::bit_cast<std::uint64_t>(1.0),
+  };
+  for (const std::uint64_t bits : patterns) {
+    t.columns[0].f64.push_back(std::bit_cast<double>(bits));
+    t.columns[1].f64.push_back(std::bit_cast<double>(bits));
+  }
+  const Table back = round_trip(t, 2);
+  for (std::size_t c = 0; c < 2; ++c)
+    for (std::size_t r = 0; r < patterns.size(); ++r)
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(back.columns[c].f64[r]),
+                patterns[r]);
+}
+
+TEST(HpcbRoundTrip, ExtremeIntegersSurviveDeltaEncoding) {
+  Table t;
+  t.schema = {{"v", ColumnType::kInt64Delta}};
+  t.columns.resize(1);
+  t.columns[0].i64 = {std::numeric_limits<std::int64_t>::min(),
+                      std::numeric_limits<std::int64_t>::max(), 0, -1, 1,
+                      std::numeric_limits<std::int64_t>::max()};
+  expect_tables_identical(t, round_trip(t, 4));
+}
+
+TEST(HpcbRoundTrip, EmptyTableAndSingleRow) {
+  Table t;
+  t.schema = {{"a", ColumnType::kInt64Delta}, {"b", ColumnType::kFloat64Xor}};
+  t.columns.resize(2);
+  ReadStats stats;
+  expect_tables_identical(t, round_trip(t, 4096, {}, &stats));
+  EXPECT_TRUE(stats.footer_valid);
+  EXPECT_EQ(stats.blocks.size(), 0u);
+
+  t.columns[0].i64.push_back(-42);
+  t.columns[1].f64.push_back(3.25);
+  expect_tables_identical(t, round_trip(t, 4096));
+}
+
+TEST(HpcbRoundTrip, SerialAndParallelDecodeAgree) {
+  const Table t = random_table(11, 1000);
+  ReadOptions serial;
+  serial.parallel = false;
+  expect_tables_identical(round_trip(t, 16, serial), round_trip(t, 16));
+}
+
+TEST(Hpcb, ProjectionReturnsOnlyRequestedColumns) {
+  const Table t = random_table(5, 100);
+  ReadOptions options;
+  options.columns = {"xor", "id"};  // request order must not matter
+  const Table got = round_trip(t, 32, options);
+  ASSERT_EQ(got.schema.size(), 2u);
+  // File schema order is preserved: id before xor.
+  EXPECT_EQ(got.schema[0].name, "id");
+  EXPECT_EQ(got.schema[1].name, "xor");
+  EXPECT_EQ(got.columns[0].i64, t.columns[0].i64);
+  for (std::size_t r = 0; r < t.rows(); ++r)
+    expect_bits_eq(got.columns[1].f64[r], t.columns[2].f64[r]);
+
+  ReadOptions unknown;
+  unknown.columns = {"nope"};
+  std::stringstream ss;
+  write_hpcb(ss, t);
+  EXPECT_THROW(read_hpcb(ss, unknown), std::invalid_argument);
+}
+
+TEST(Hpcb, SchemaAndSniffHelpers) {
+  const Table t = random_table(9, 10);
+  std::stringstream ss;
+  write_hpcb(ss, t);
+  EXPECT_TRUE(sniff_hpcb(ss));
+  // Sniffing restores the position: a full read still works.
+  expect_tables_identical(t, read_hpcb(ss));
+
+  std::stringstream ss2;
+  write_hpcb(ss2, t);
+  EXPECT_EQ(read_hpcb_schema(ss2), t.schema);
+
+  std::stringstream csv("job_id,minute\n1,2\n");
+  EXPECT_FALSE(sniff_hpcb(csv));
+  EXPECT_EQ(csv.tellg(), 0);
+}
+
+TEST(Hpcb, WriterRejectsInvalidTables) {
+  Table empty;
+  std::stringstream ss;
+  EXPECT_THROW(write_hpcb(ss, empty), std::invalid_argument);
+
+  Table dup;
+  dup.schema = {{"a", ColumnType::kInt64Delta}, {"a", ColumnType::kFloat64}};
+  dup.columns.resize(2);
+  EXPECT_THROW(write_hpcb(ss, dup), std::invalid_argument);
+
+  Table ragged;
+  ragged.schema = {{"a", ColumnType::kInt64Delta}, {"b", ColumnType::kFloat64}};
+  ragged.columns.resize(2);
+  ragged.columns[0].i64 = {1, 2};
+  ragged.columns[1].f64 = {1.0};
+  EXPECT_THROW(write_hpcb(ss, ragged), std::invalid_argument);
+
+  const Table ok = random_table(1, 4);
+  EXPECT_THROW(write_hpcb(ss, ok, 0), std::invalid_argument);
+}
+
+// ---- corruption semantics -------------------------------------------------
+
+std::string encode(const Table& t, std::size_t rows_per_block) {
+  std::stringstream ss;
+  write_hpcb(ss, t, rows_per_block);
+  return ss.str();
+}
+
+Table read_buffer(const std::string& buf, const ReadOptions& options = {},
+                  ReadStats* stats = nullptr) {
+  std::stringstream ss(buf);
+  return read_hpcb(ss, options, stats);
+}
+
+TEST(HpcbCorruption, BadMagicIsRejected) {
+  std::string buf = encode(random_table(3, 10), 4);
+  buf[0] = 'X';
+  EXPECT_THROW(read_buffer(buf), std::invalid_argument);
+  ReadOptions lenient;
+  lenient.lenient = true;
+  // Lenient mode still refuses files that are not .hpcb at all.
+  EXPECT_THROW(read_buffer(buf, lenient), std::invalid_argument);
+}
+
+TEST(HpcbCorruption, TruncatedFileStrictVsLenient) {
+  const Table t = random_table(4, 64);
+  const std::string buf = encode(t, 16);
+  const std::string cut = buf.substr(0, buf.size() / 2);
+  EXPECT_THROW(read_buffer(cut), std::invalid_argument);
+
+  util::counters().reset();
+  ReadOptions lenient;
+  lenient.lenient = true;
+  ReadStats stats;
+  const Table got = read_buffer(cut, lenient, &stats);
+  EXPECT_FALSE(stats.footer_valid);
+  EXPECT_TRUE(stats.rescanned);
+  EXPECT_EQ(util::counters().value("storage.footer_rescans"), 1u);
+  // Whatever survived decodes to a prefix of the original rows.
+  EXPECT_LT(got.rows(), t.rows());
+  EXPECT_EQ(got.rows() % 16, 0u);
+  for (std::size_t r = 0; r < got.rows(); ++r)
+    EXPECT_EQ(got.columns[0].i64[r], t.columns[0].i64[r]);
+}
+
+TEST(HpcbCorruption, FlippedBitInOneBlock) {
+  const Table t = random_table(6, 64);
+  std::string buf = encode(t, 16);
+  ReadStats layout;
+  (void)read_buffer(buf, {}, &layout);
+  ASSERT_EQ(layout.blocks.size(), 4u);
+  // Flip one payload byte inside the third block.
+  buf[layout.blocks[2].offset + 12] =
+      static_cast<char>(buf[layout.blocks[2].offset + 12] ^ 0x40);
+
+  // Strict: the error names the damaged block.
+  try {
+    (void)read_buffer(buf);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("block 2"), std::string::npos) << e.what();
+  }
+
+  // Lenient: the other three blocks survive, in order.
+  util::counters().reset();
+  ReadOptions lenient;
+  lenient.lenient = true;
+  ReadStats stats;
+  const Table got = read_buffer(buf, lenient, &stats);
+  EXPECT_TRUE(stats.footer_valid);
+  EXPECT_EQ(stats.blocks_skipped, 1u);
+  EXPECT_EQ(stats.rows_skipped, 16u);
+  EXPECT_EQ(stats.rows_read, 48u);
+  EXPECT_FALSE(stats.blocks[2].ok);
+  EXPECT_EQ(util::counters().value("storage.blocks_skipped"), 1u);
+  EXPECT_EQ(util::counters().value("storage.rows_skipped"), 16u);
+  ASSERT_EQ(got.rows(), 48u);
+  for (std::size_t r = 0; r < 32; ++r)
+    EXPECT_EQ(got.columns[0].i64[r], t.columns[0].i64[r]);
+  for (std::size_t r = 32; r < 48; ++r)
+    EXPECT_EQ(got.columns[0].i64[r], t.columns[0].i64[r + 16]);
+}
+
+TEST(HpcbCorruption, DamagedFooterIsRebuiltByScan) {
+  const Table t = random_table(8, 64);
+  std::string buf = encode(t, 16);
+  // Smash the tail magic so the footer index is unusable.
+  buf[buf.size() - 1] = '\0';
+  EXPECT_THROW(read_buffer(buf), std::invalid_argument);
+
+  ReadOptions lenient;
+  lenient.lenient = true;
+  ReadStats stats;
+  const Table got = read_buffer(buf, lenient, &stats);
+  EXPECT_FALSE(stats.footer_valid);
+  EXPECT_TRUE(stats.rescanned);
+  // The scan recovers every block: the data itself was untouched.
+  expect_tables_identical(t, got);
+}
+
+TEST(HpcbCorruption, DamagedFooterAndDamagedBlock) {
+  const Table t = random_table(10, 64);
+  std::string buf = encode(t, 16);
+  ReadStats layout;
+  (void)read_buffer(buf, {}, &layout);
+  buf[layout.blocks[1].offset + 12] =
+      static_cast<char>(buf[layout.blocks[1].offset + 12] ^ 0x01);
+  buf[buf.size() - 5] = '\x7F';  // corrupt the footer offset too
+
+  util::counters().reset();
+  ReadOptions lenient;
+  lenient.lenient = true;
+  ReadStats stats;
+  const Table got = read_buffer(buf, lenient, &stats);
+  EXPECT_TRUE(stats.rescanned);
+  EXPECT_EQ(got.rows(), 48u);
+  EXPECT_GE(util::counters().value("storage.blocks_skipped"), 1u);
+}
+
+}  // namespace
+}  // namespace hpcpower::storage

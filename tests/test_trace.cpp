@@ -2,10 +2,16 @@
 
 #include "trace/job_table.hpp"
 #include "trace/sample_table.hpp"
+#include "trace/system_series.hpp"
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <fstream>
+#include <limits>
 #include <sstream>
+
+#include "util/logging.hpp"
 
 namespace hpcpower::trace {
 namespace {
@@ -246,6 +252,208 @@ TEST(SampleTable, FileSaveAndLoad) {
   const auto back = load_sample_table(path);
   ASSERT_EQ(back.size(), 1u);
   EXPECT_EQ(back[0].job_id, 7u);
+}
+
+// ---- .hpcb container wiring (trace/format.hpp, DESIGN.md §7) ---------------
+
+void expect_sample_bits_eq(const std::vector<PowerSampleRow>& a,
+                           const std::vector<PowerSampleRow>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].job_id, b[i].job_id);
+    EXPECT_EQ(a[i].minute, b[i].minute);
+    EXPECT_EQ(a[i].node_index, b[i].node_index);
+    std::uint64_t x = 0, y = 0;
+    std::memcpy(&x, &a[i].pkg_w, 8);
+    std::memcpy(&y, &b[i].pkg_w, 8);
+    EXPECT_EQ(x, y);
+    std::memcpy(&x, &a[i].dram_w, 8);
+    std::memcpy(&y, &b[i].dram_w, 8);
+    EXPECT_EQ(x, y);
+  }
+}
+
+TEST(SampleTableHpcb, RoundTripIsBitIdentical) {
+  std::vector<PowerSampleRow> rows = {
+      {1, 100, 0, 120.5000000001, 30.25},
+      {1, 101, 0, std::numeric_limits<double>::quiet_NaN(), 29.5},
+      {2, 101, 3, 1.0 / 3.0, -0.0}};
+  std::stringstream ss;
+  write_sample_table_hpcb(ss, rows);
+  expect_sample_bits_eq(read_sample_table_hpcb(ss), rows);
+}
+
+TEST(SampleTableHpcb, AutoDetectedByExtensionAndMagic) {
+  const std::string path = testing::TempDir() + "/hpcpower_sample_table_test.hpcb";
+  const std::vector<PowerSampleRow> rows = {{7, 50, 2, 100.125, 20.0625}};
+  save_sample_table(path, rows);  // ".hpcb" extension selects the binary format
+  std::ifstream probe(path, std::ios::binary);
+  EXPECT_EQ(resolve_load_format(TraceFormat::kAuto, probe), TraceFormat::kHpcb);
+  expect_sample_bits_eq(load_sample_table(path), rows);  // magic-byte sniff
+}
+
+TEST(SampleTableHpcb, AcceptsEitherFloatCodec) {
+  // The float codec (raw vs xor-varint) is the writer's choice; a reader
+  // must accept both as the same logical schema.
+  storage::Table table;
+  table.schema = {{"job_id", storage::ColumnType::kInt64Delta},
+                  {"minute", storage::ColumnType::kInt64Delta},
+                  {"node_index", storage::ColumnType::kInt64Delta},
+                  {"pkg_w", storage::ColumnType::kFloat64},
+                  {"dram_w", storage::ColumnType::kFloat64}};
+  table.columns.resize(5);
+  table.columns[0].i64 = {3};
+  table.columns[1].i64 = {70};
+  table.columns[2].i64 = {1};
+  table.columns[3].f64 = {101.5};
+  table.columns[4].f64 = {24.75};
+  std::stringstream ss;
+  storage::write_hpcb(ss, table);
+  const auto back = read_sample_table_hpcb(ss);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].job_id, 3u);
+  EXPECT_EQ(back[0].pkg_w, 101.5);
+}
+
+TEST(SampleTableHpcb, ForeignSchemaRejected) {
+  std::stringstream ss;
+  write_job_table_hpcb(ss, {sample_record(1, true)});
+  EXPECT_THROW((void)read_sample_table_hpcb(ss), std::invalid_argument);
+}
+
+TEST(JobTableHpcb, RoundTripPreservesEverything) {
+  auto a = sample_record(1, true);
+  a.exit = sched::ExitStatus::kKilledWalltime;
+  a.attempt = 3;
+  a.truncated_by_horizon = true;
+  a.mean_node_power_w = 149.25000000001;  // beyond CSV's %.6g precision
+  auto b = sample_record(2, false);
+  b.system = cluster::SystemId::kMeggie;
+  b.backfilled = false;
+  std::stringstream ss;
+  write_job_table_hpcb(ss, {a, b});
+  const auto back = read_job_table_hpcb(ss);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].exit, sched::ExitStatus::kKilledWalltime);
+  EXPECT_EQ(back[0].attempt, 3u);
+  EXPECT_TRUE(back[0].truncated_by_horizon);
+  EXPECT_EQ(back[0].mean_node_power_w, 149.25000000001);  // bit-exact
+  ASSERT_TRUE(back[0].detail);
+  EXPECT_EQ(back[0].detail->avg_spatial_spread_w, 21.5);
+  EXPECT_EQ(back[1].system, cluster::SystemId::kMeggie);
+  EXPECT_FALSE(back[1].detail);
+}
+
+TEST(JobTableHpcb, SemanticallyInvalidRowStrictVsLenient) {
+  auto bad = sample_record(1, false);
+  bad.attempt = 0;  // rejected on read, like the CSV path
+  std::stringstream ss;
+  write_job_table_hpcb(ss, {sample_record(2, false), bad});
+  try {
+    (void)read_job_table_hpcb(ss);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("row 1"), std::string::npos) << e.what();
+  }
+  util::counters().reset();
+  std::stringstream again;
+  write_job_table_hpcb(again, {sample_record(2, false), bad});
+  const auto kept = read_job_table_hpcb(again, true);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].job_id, 2u);
+  EXPECT_EQ(util::counters().value("storage.rows_skipped"), 1u);
+}
+
+TEST(JobTableHpcb, CsvAndHpcbLoadersAgreeAfterCsvIngest) {
+  // The convert_trace workflow: CSV → records → .hpcb. Both files must then
+  // load to identical records (the .hpcb side is bit-exact, and the records
+  // started from CSV-printed doubles, so CSV re-reads them exactly too).
+  const std::string csv_path = testing::TempDir() + "/hpcpower_agree_jobs.csv";
+  const std::string hpcb_path = testing::TempDir() + "/hpcpower_agree_jobs.hpcb";
+  save_job_table(csv_path, {sample_record(1, true), sample_record(2, false)});
+  const auto from_csv = load_job_table(csv_path);
+  save_job_table(hpcb_path, from_csv);
+  const auto from_hpcb = load_job_table(hpcb_path);
+  ASSERT_EQ(from_csv.size(), from_hpcb.size());
+  for (std::size_t i = 0; i < from_csv.size(); ++i) {
+    EXPECT_EQ(from_csv[i].job_id, from_hpcb[i].job_id);
+    EXPECT_EQ(from_csv[i].mean_node_power_w, from_hpcb[i].mean_node_power_w);
+    EXPECT_EQ(from_csv[i].energy_kwh, from_hpcb[i].energy_kwh);
+    EXPECT_EQ(from_csv[i].detail.has_value(), from_hpcb[i].detail.has_value());
+  }
+}
+
+TEST(SystemSeriesHpcb, RoundTripAndAutoDetect) {
+  telemetry::SystemSeries series;
+  for (std::size_t m = 0; m < 10; ++m) {
+    series.busy_nodes.push_back(static_cast<std::uint32_t>(m % 4));
+    series.total_power_w.push_back(1000.0 + 0.1 * static_cast<double>(m));
+  }
+  const std::string path = testing::TempDir() + "/hpcpower_series_test.hpcb";
+  save_system_series(path, series);
+  const auto back = load_system_series(path);
+  ASSERT_EQ(back.total_power_w.size(), 10u);
+  for (std::size_t m = 0; m < 10; ++m) {
+    EXPECT_EQ(back.busy_nodes[m], series.busy_nodes[m]);
+    EXPECT_EQ(back.total_power_w[m], series.total_power_w[m]);  // bit-exact
+  }
+}
+
+TEST(TraceFormat, ParseAndResolve) {
+  EXPECT_EQ(parse_trace_format("csv"), TraceFormat::kCsv);
+  EXPECT_EQ(parse_trace_format("hpcb"), TraceFormat::kHpcb);
+  EXPECT_EQ(parse_trace_format("auto"), TraceFormat::kAuto);
+  EXPECT_FALSE(parse_trace_format("parquet").has_value());
+  EXPECT_EQ(resolve_save_format(TraceFormat::kAuto, "x.hpcb"), TraceFormat::kHpcb);
+  EXPECT_EQ(resolve_save_format(TraceFormat::kAuto, "x.csv"), TraceFormat::kCsv);
+  EXPECT_EQ(resolve_save_format(TraceFormat::kCsv, "x.hpcb"), TraceFormat::kCsv);
+}
+
+// Golden reconciliation: rows lost to a corrupt .hpcb block surface as gap
+// slots in the scrub ledger, and the ledger still balances exactly.
+TEST(ScrubSampleFile, CorruptBlockBecomesCountedGaps) {
+  // One (job, node) stream, 64 contiguous minutes, 16 rows per block.
+  std::vector<PowerSampleRow> rows;
+  for (std::int64_t m = 0; m < 64; ++m)
+    rows.push_back({9, 1000 + m, 0, 100.0 + static_cast<double>(m), 25.0});
+  const std::string path = testing::TempDir() + "/hpcpower_scrub_gap.hpcb";
+  {
+    std::ofstream out(path, std::ios::binary);
+    write_sample_table_hpcb(out, rows, 16);
+  }
+  // Locate the second block and flip a payload byte.
+  std::string buf;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream tmp;
+    tmp << in.rdbuf();
+    buf = tmp.str();
+  }
+  storage::ReadStats layout;
+  {
+    std::stringstream ss(buf);
+    (void)storage::read_hpcb(ss, {}, &layout);
+  }
+  ASSERT_EQ(layout.blocks.size(), 4u);
+  buf[layout.blocks[1].offset + 13] =
+      static_cast<char>(buf[layout.blocks[1].offset + 13] ^ 0x20);
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+  }
+
+  util::counters().reset();
+  const auto result = scrub_sample_file(path, telemetry::CleaningConfig{}, 500.0);
+  // 16 minutes vanished from the middle of the stream: too wide for
+  // interpolation (max gap 10), so they are honest gap slots.
+  EXPECT_EQ(result.quality.samples_expected, 64u);
+  EXPECT_EQ(result.quality.samples_ok, 48u);
+  EXPECT_EQ(result.quality.samples_gap, 16u);
+  EXPECT_EQ(result.quality.samples_interpolated, 0u);
+  EXPECT_TRUE(result.quality.reconciles());
+  EXPECT_EQ(result.rows.size(), 48u);
+  EXPECT_EQ(util::counters().value("storage.blocks_skipped"), 1u);
+  EXPECT_EQ(util::counters().value("storage.rows_skipped"), 16u);
 }
 
 }  // namespace

@@ -1,0 +1,180 @@
+#!/usr/bin/env python3
+"""Bench regression gate: compare a fresh BENCH_perf.json against the
+committed baseline and fail on slowdowns or storage-efficiency loss.
+
+Typical CI use (runs the bench itself, then compares):
+
+    tools/check_bench_regression.py --bench build/bench/bench_perf_microbench \
+        --perf-days 4
+
+Or compare a pre-generated candidate file:
+
+    tools/check_bench_regression.py --candidate /tmp/BENCH_perf.json
+
+Checks, per stage with a baseline wall time >= --min-ms (smaller stages are
+timer noise, not signal):
+
+  * candidate serial_ms <= baseline serial_ms * (1 + tolerance)
+  * candidate storage read/scan/write timings under the same rule
+
+Absolute floors, independent of the baseline (the acceptance bar for the
+.hpcb container; see DESIGN.md section 7):
+
+  * storage.size_ratio   >= 2.0   (.hpcb at least 2x smaller than CSV)
+  * storage.read_speedup >= 3.0   (.hpcb reads at least 3x faster than CSV)
+  * deterministic == true         (serial and parallel reports byte-identical)
+
+--update rewrites the baseline from the candidate (after it passes the
+absolute floors) instead of comparing timings; commit the result.
+"""
+
+import argparse
+import json
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+MIN_SIZE_RATIO = 2.0
+MIN_READ_SPEEDUP = 3.0
+
+# Storage timings gated by the relative tolerance (all in milliseconds).
+STORAGE_TIMINGS = ("csv_write_ms", "hpcb_write_ms", "csv_read_ms",
+                   "hpcb_read_ms", "hpcb_scan_ms")
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def run_bench(bench, perf_days, out_path):
+    cmd = [
+        str(bench),
+        "--benchmark_filter=NONE",  # stage harness only; micro benches have
+        f"--perf_days={perf_days}",  # their own google-benchmark tooling
+        f"--perf_out={out_path}",
+    ]
+    print("running:", " ".join(cmd), flush=True)
+    proc = subprocess.run(cmd)
+    if proc.returncode != 0:
+        sys.exit(f"bench run failed with exit code {proc.returncode}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", default="BENCH_perf.json",
+                    help="committed baseline JSON (default: BENCH_perf.json)")
+    ap.add_argument("--candidate",
+                    help="pre-generated candidate JSON (skips running the bench)")
+    ap.add_argument("--bench",
+                    help="bench_perf_microbench binary to run for the candidate")
+    ap.add_argument("--perf-days", type=float, default=4.0,
+                    help="campaign length for --bench runs (default: 4)")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed relative slowdown vs baseline (default: 0.25)")
+    ap.add_argument("--min-ms", type=float, default=50.0,
+                    help="ignore stages whose baseline time is below this "
+                         "(default: 50)")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baseline from the candidate")
+    args = ap.parse_args()
+
+    if bool(args.candidate) == bool(args.bench):
+        ap.error("exactly one of --candidate or --bench is required")
+
+    tmpdir = None
+    if args.bench:
+        tmpdir = tempfile.mkdtemp(prefix="bench_gate_")
+        candidate_path = Path(tmpdir) / "BENCH_perf.json"
+        run_bench(args.bench, args.perf_days, candidate_path)
+    else:
+        candidate_path = Path(args.candidate)
+
+    cand = load(candidate_path)
+    failures = []
+
+    # -- absolute floors -----------------------------------------------------
+    storage = cand.get("storage")
+    if storage is None:
+        failures.append("candidate has no 'storage' object (stale bench binary?)")
+    else:
+        if storage.get("size_ratio", 0.0) < MIN_SIZE_RATIO:
+            failures.append(
+                f"storage.size_ratio {storage.get('size_ratio')} < "
+                f"{MIN_SIZE_RATIO} (hpcb files must stay >= 2x smaller than CSV)")
+        if storage.get("read_speedup", 0.0) < MIN_READ_SPEEDUP:
+            failures.append(
+                f"storage.read_speedup {storage.get('read_speedup')} < "
+                f"{MIN_READ_SPEEDUP} (hpcb reads must stay >= 3x faster than CSV)")
+    if cand.get("deterministic") is not True:
+        failures.append("candidate reports deterministic != true")
+
+    if args.update:
+        if failures:
+            print("refusing to update baseline:", file=sys.stderr)
+            for f in failures:
+                print(f"  FAIL {f}", file=sys.stderr)
+            return 1
+        shutil.copyfile(candidate_path, args.baseline)
+        print(f"baseline {args.baseline} updated from {candidate_path}")
+        return 0
+
+    base = load(args.baseline)
+
+    def gate(name, base_ms, cand_ms):
+        if base_ms is None or cand_ms is None:
+            failures.append(f"{name}: missing from baseline or candidate")
+            return
+        if base_ms < args.min_ms:
+            print(f"  skip {name:28s} baseline {base_ms:9.2f} ms < "
+                  f"--min-ms {args.min_ms:g}")
+            return
+        limit = base_ms * (1.0 + args.tolerance)
+        verdict = "ok  " if cand_ms <= limit else "FAIL"
+        print(f"  {verdict} {name:28s} baseline {base_ms:9.2f} ms   "
+              f"candidate {cand_ms:9.2f} ms   limit {limit:9.2f} ms")
+        if cand_ms > limit:
+            failures.append(
+                f"{name}: {cand_ms:.2f} ms exceeds {limit:.2f} ms "
+                f"(baseline {base_ms:.2f} ms + {args.tolerance:.0%})")
+
+    print(f"bench gate: tolerance {args.tolerance:.0%}, min stage {args.min_ms:g} ms")
+    base_stages = {s["stage"]: s for s in base.get("stages", [])}
+    cand_stages = {s["stage"]: s for s in cand.get("stages", [])}
+    for name in base_stages:
+        if name not in cand_stages:
+            failures.append(f"stage '{name}' missing from candidate")
+            continue
+        gate(f"stage.{name}.serial_ms", base_stages[name].get("serial_ms"),
+             cand_stages[name].get("serial_ms"))
+
+    base_storage = base.get("storage", {})
+    if storage is not None:
+        for key in STORAGE_TIMINGS:
+            gate(f"storage.{key}", base_storage.get(key), storage.get(key))
+        ratio = storage.get("size_ratio", 0.0)
+        base_ratio = base_storage.get("size_ratio")
+        if base_ratio is not None:
+            floor = base_ratio * (1.0 - args.tolerance)
+            verdict = "ok  " if ratio >= floor else "FAIL"
+            print(f"  {verdict} {'storage.size_ratio':28s} baseline "
+                  f"{base_ratio:9.2f}      candidate {ratio:9.2f}      "
+                  f"floor {floor:9.2f}")
+            if ratio < floor:
+                failures.append(
+                    f"storage.size_ratio: {ratio:.2f} below {floor:.2f} "
+                    f"(baseline {base_ratio:.2f} - {args.tolerance:.0%})")
+
+    if failures:
+        print(f"\nbench gate: FAIL ({len(failures)} violation(s))", file=sys.stderr)
+        for f in failures:
+            print(f"  FAIL {f}", file=sys.stderr)
+        return 1
+    print("\nbench gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,10 @@
 # and HPCPOWER_THREADS=N after the default pass: the parallel campaign
 # engine must produce identical results at every thread count, so the same
 # tests must pass at both extremes.
+#
+# If HPCPOWER_ARTIFACTS is set to a directory, the observability smoke run
+# writes its report, Chrome trace, and run manifest there (CI uploads them);
+# otherwise they go to a temp dir that is removed on exit.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -45,10 +49,15 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@"
 # Observability smoke: emit a Chrome trace + run manifest from a tiny report
 # run and check that both parse as JSON (needs python3; skipped without it).
 echo "== observability export smoke =="
-OBS_TMP="$(mktemp -d)"
-trap 'rm -rf "$OBS_TMP"' EXIT
+if [[ -n "${HPCPOWER_ARTIFACTS:-}" ]]; then
+  OBS_TMP="$HPCPOWER_ARTIFACTS"
+  mkdir -p "$OBS_TMP"
+else
+  OBS_TMP="$(mktemp -d)"
+  trap 'rm -rf "$OBS_TMP"' EXIT
+fi
 "$BUILD_DIR"/examples/generate_report --days 1 --quiet --no-ml --faults \
-  --out "$OBS_TMP/report.md" --trace-out "$OBS_TMP/trace.json" \
+  --out "$OBS_TMP/hpcpower_report.md" --trace-out "$OBS_TMP/trace.json" \
   --metrics-out "$OBS_TMP/manifest.json"
 if command -v python3 >/dev/null; then
   python3 -m json.tool "$OBS_TMP/trace.json" >/dev/null
@@ -56,6 +65,9 @@ if command -v python3 >/dev/null; then
   echo "trace and manifest are valid JSON"
 else
   echo "python3 not found; skipping JSON validation"
+fi
+if [[ -n "${HPCPOWER_ARTIFACTS:-}" ]]; then
+  echo "observability artifacts kept in $OBS_TMP"
 fi
 
 if [[ -n "$THREADS" ]]; then
