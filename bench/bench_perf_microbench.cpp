@@ -144,11 +144,11 @@ BENCHMARK(BM_KnnPredict)->Arg(1000)->Arg(10000);
 // ---------------------------------------------------------------------------
 // Stage harness: serial vs parallel wall time for the full study chain.
 
-constexpr std::array<const char*, 4> kStageNames = {"campaign", "analysis", "ml",
-                                                    "report"};
+constexpr std::array<const char*, 5> kStageNames = {"campaign", "analysis", "ml",
+                                                    "power", "report"};
 
 struct ChainResult {
-  std::array<double, 4> stage_ms{};
+  std::array<double, 5> stage_ms{};
   std::uint64_t spans = 0;
   std::string report_text;
 };
@@ -188,6 +188,23 @@ ChainResult run_chain(const core::StudyConfig& config) {
     HPCPOWER_SPAN("stage.ml");
     for (const auto& data : campaigns)
       benchmark::DoNotOptimize(core::analyze_prediction(data, filter));
+  }
+
+  {
+    // Closed-loop overhead: the same campaign engine with the hierarchical
+    // power manager in the loop (admission, per-minute caps, site meter).
+    HPCPOWER_SPAN("stage.power");
+    core::StudyConfig managed = config;
+    managed.power_manager.enabled = true;
+    managed.power_manager.site_cap_fraction = 0.65;
+    managed.power_manager.predictor_error_sigma = 0.20;
+    managed.power_manager.meter_fault_rate = 0.05;
+    managed.instrument_begin_day = 0.0;
+    managed.instrument_end_day = 0.0;  // time the loop, not instrumentation
+    const auto managed_data = core::run_campaign(cluster::emmy_spec(), managed);
+    if (!managed_data.power || !managed_data.power->ledger_reconciles)
+      throw std::runtime_error("power stage: ledger failed to reconcile");
+    benchmark::DoNotOptimize(managed_data.records.size());
   }
 
   {

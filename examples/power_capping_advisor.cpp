@@ -1,33 +1,40 @@
 // power_capping_advisor: the paper's Sec 5/6 recommendation in executable
-// form. Trains the BDT power predictor on a simulated campaign, then
-// evaluates per-job static power caps set at prediction * (1 + headroom):
-// how many jobs would ever exceed their cap (risking degradation), and how
-// much provisioned power the caps release compared to TDP provisioning.
+// form, now closed-loop. Trains the BDT power predictor on a pilot campaign,
+// then re-runs the campaign with the hierarchical power manager enforcing a
+// site-wide cap, sweeping the admission guard band: how much stranded power
+// each guard band recovers, how often the emergency throttle fires, and —
+// the safety line — that the site cap is never exceeded and the power ledger
+// reconciles exactly.
 //
 //   ./power_capping_advisor [--days 10] [--seed 42] [--system emmy|meggie]
+//                           [--cap 0.75] [--threads N]
 
-#include <algorithm>
-#include <array>
 #include <cstdio>
+#include <memory>
 
 #include "core/prediction.hpp"
 #include "core/study.hpp"
 #include "ml/decision_tree.hpp"
+#include "power/predictor.hpp"
 #include "util/logging.hpp"
 #include "util/options.hpp"
 #include "util/strings.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace hpcpower;
 
 int main(int argc, char** argv) {
   util::Options opts("power_capping_advisor",
-                     "evaluate predictive per-job power caps");
+                     "evaluate closed-loop predictive power capping");
   opts.add_option("days", "campaign length in days", "10");
   opts.add_option("seed", "root random seed", "42");
   opts.add_option("system", "emmy or meggie", "emmy");
+  opts.add_option("cap", "site cap as a fraction of provisioned power", "0.75");
   opts.add_flag("quiet", "suppress progress logging");
+  opts.add_threads_option();
   try {
     if (!opts.parse(argc, argv)) return 0;
+    util::set_global_thread_count(opts.threads());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 1;
@@ -42,46 +49,46 @@ int main(int argc, char** argv) {
   config.days = opts.number("days");
   config.instrument_begin_day = 0.0;
   config.instrument_end_day = config.days;
+  const double cap_fraction = opts.number("cap");
 
-  std::printf("simulating %s campaign (%.0f days)...\n", spec.name.c_str(), config.days);
-  const auto data = core::run_campaign(spec, config);
+  // Pilot: one unmanaged campaign to train the pre-execution predictor on
+  // (user id, nnodes, requested wall time) -> mean node power.
+  std::printf("pilot %s campaign (%.0f days) to train the predictor...\n",
+              spec.name.c_str(), config.days);
+  const auto pilot = core::run_campaign(spec, config);
+  const auto dataset = core::build_prediction_dataset(pilot);
+  auto tree = std::make_shared<ml::DecisionTreeRegressor>();
+  tree->fit(dataset);
+  const auto predictor = std::make_shared<power::TreePredictor>(
+      tree, spec.node_tdp_watts);
 
-  // Train the predictor once and report aggregate savings if every job were
-  // capped at its personal prediction * (1 + headroom).
-  const auto dataset = core::build_prediction_dataset(data);
-  ml::DecisionTreeRegressor tree;
-  tree.fit(dataset);
-
-  std::printf("\nper-job predictive power caps on %s (%zu jobs)\n", spec.name.c_str(),
-              dataset.size());
-  std::printf("  %-10s %18s %22s\n", "headroom", "jobs over cap", "fleet power released");
-  for (const double headroom : {0.05, 0.10, 0.15, 0.20, 0.30}) {
-    const double at_risk =
-        core::fraction_jobs_at_risk_under_predictive_cap(data, headroom, {}, config.seed);
-
-    // Power released: TDP minus the cap, node-hour weighted.
-    double released_wh = 0.0, total_tdp_wh = 0.0;
-    const core::JobFilter filter;
-    for (const auto& r : data.records) {
-      if (!filter.accepts(r)) continue;
-      const std::array<double, 3> features = {static_cast<double>(r.user_id),
-                                              static_cast<double>(r.nnodes),
-                                              static_cast<double>(r.walltime_req_min)};
-      const double cap = std::min(tree.predict(features) * (1.0 + headroom),
-                                  spec.node_tdp_watts);
-      const double node_hours = r.node_hours();
-      released_wh += (spec.node_tdp_watts - cap) * node_hours;
-      total_tdp_wh += spec.node_tdp_watts * node_hours;
-    }
-    std::printf("  %8.0f%% %17.2f%% %20.1f%%\n", 100.0 * headroom, 100.0 * at_risk,
-                100.0 * released_wh / total_tdp_wh);
+  std::printf(
+      "\nclosed-loop campaigns at %.0f%% site cap, predictor `%s` (%zu "
+      "training jobs)\n",
+      100.0 * cap_fraction, predictor->name().c_str(), dataset.size());
+  std::printf("  %-10s %12s %16s %14s %12s %8s %8s\n", "guard", "granted",
+              "recovered W", "max site kW", "thr min", "cap ok", "ledger");
+  for (const double guard : {0.05, 0.10, 0.15, 0.20, 0.30}) {
+    core::StudyConfig managed = config;
+    managed.power_manager.enabled = true;
+    managed.power_manager.site_cap_fraction = cap_fraction;
+    managed.power_manager.guard_band = guard;
+    const auto data = core::run_campaign(spec, managed, predictor);
+    const auto& p = *data.power;
+    std::printf("  %8.0f%% %12llu %16.1f %14.1f %12llu %8s %8s\n",
+                100.0 * guard, static_cast<unsigned long long>(p.jobs_granted),
+                p.mean_stranded_recovered_w(), p.max_true_site_w / 1000.0,
+                static_cast<unsigned long long>(p.minutes_throttle),
+                p.cap_violation_minutes == 0 ? "yes" : "NO",
+                p.ledger_reconciles ? "exact" : "BROKEN");
   }
 
   std::printf(
-      "\nreading: risk falls steeply with headroom because temporal variance\n"
-      "is limited (Fig 7); the paper suggests ~15%% headroom as the point\n"
-      "where static predictive caps become a low-overhead power regulation\n"
-      "strategy. Note 'over cap' counts a single peak minute - the exposure\n"
-      "per job is tiny even when its peak grazes the cap.\n");
+      "\nreading: a small guard band admits aggressively and recovers the\n"
+      "most stranded power, but leans on the emergency throttle when the\n"
+      "predictor misses low; ~15%% headroom (the paper's suggestion) keeps\n"
+      "throttle occupancy near zero while still recovering most of the gap\n"
+      "between TDP provisioning and predicted draw. The site cap holds in\n"
+      "every configuration by construction.\n");
   return 0;
 }

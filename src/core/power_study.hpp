@@ -1,0 +1,60 @@
+#pragma once
+// Robustness scenario matrix for the closed-loop power manager.
+//
+// Sweeps cap tightness x predictor quality x node-failure rate (with meter
+// faults on throughout) and runs one managed campaign per cell. The matrix
+// report carries, per cell, the full PowerReport plus the two invariants the
+// whole subsystem promises:
+//   * the site cap is NEVER exceeded (cap_violation_minutes == 0), and
+//   * the power-budget ledger reconciles exactly,
+// so a single boolean per axis summarizes safety while the quantitative
+// columns (stranded power recovered, headroom, throttle/degraded occupancy)
+// answer the paper's over-provisioning question under stress.
+
+#include <string>
+#include <vector>
+
+#include "core/study.hpp"
+
+namespace hpcpower::core {
+
+struct PowerScenarioAxes {
+  /// Site cap as fraction of provisioned power (cap tightness axis).
+  std::vector<double> cap_fractions = {0.60, 0.75, 0.90};
+  /// Lognormal predictor-error sigma (predictor quality axis).
+  std::vector<double> predictor_sigmas = {0.0, 0.15, 0.30};
+  /// Per-node MTBF in days; <= 0 disables the failure model (failure axis).
+  std::vector<double> failure_mtbf_days = {0.0, 2.0};
+  /// Site-meter fault rate applied to every cell (telemetry is never clean
+  /// in the robustness sweep unless this is set to 0).
+  double meter_fault_rate = 0.02;
+};
+
+struct PowerScenarioRow {
+  double cap_fraction = 0.0;
+  double predictor_sigma = 0.0;
+  double failure_mtbf_days = 0.0;  ///< 0 = failures disabled
+  power::PowerReport report;
+  bool cap_violated = false;
+  bool ledger_reconciles = false;
+};
+
+struct PowerMatrixReport {
+  PowerScenarioAxes axes;
+  std::vector<PowerScenarioRow> rows;  ///< cap-major, then sigma, then mtbf
+  bool any_cap_violated = false;
+  bool all_ledgers_reconcile = true;
+};
+
+/// Runs the full matrix for one system. Cells run sequentially in a fixed
+/// order (each campaign shards its own telemetry sweeps across the pool), so
+/// the report is deterministic per (spec, base config, axes).
+[[nodiscard]] PowerMatrixReport run_power_scenario_matrix(
+    const cluster::SystemSpec& spec, const StudyConfig& base,
+    const PowerScenarioAxes& axes);
+
+/// Markdown rendering of the matrix (the report section of the robustness
+/// study): one row per cell plus the two safety verdict lines.
+[[nodiscard]] std::string render_power_matrix_markdown(const PowerMatrixReport& matrix);
+
+}  // namespace hpcpower::core

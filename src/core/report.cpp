@@ -187,6 +187,55 @@ void section_availability(std::ostringstream& out, const CampaignData& data) {
       delivered_nh, lost_nh, total_nh);
 }
 
+void section_power(std::ostringstream& out, const CampaignData& data) {
+  HPCPOWER_SPAN("report.section.power");
+  const auto& p = *data.power;
+  out << "### Closed-loop power management\n\n";
+  out << util::format(
+      "Site cap %.0f W (admission pool %.0f W after the idle floor), guard "
+      "band %.0f%%, predictor `%s`.\n\n",
+      p.site_cap_w, p.pool_w, 100.0 * p.guard_band, p.predictor.c_str());
+  out << "| metric | value |\n|---|---|\n";
+  out << util::format("| jobs granted | %llu |\n",
+                      static_cast<unsigned long long>(p.jobs_granted));
+  out << util::format("| granted / released | %.3f / %.3f kW-grants |\n",
+                      static_cast<double>(p.granted_mw) / 1e6,
+                      static_cast<double>(p.released_mw) / 1e6);
+  out << util::format("| still held / throttled at end | %.3f / %.3f kW |\n",
+                      static_cast<double>(p.held_mw) / 1e6,
+                      static_cast<double>(p.throttled_mw) / 1e6);
+  out << util::format("| peak committed grant | %.1f kW |\n",
+                      static_cast<double>(p.peak_held_mw) / 1e6);
+  out << util::format(
+      "| minutes NORMAL / THROTTLE / DEGRADED | %llu / %llu / %llu |\n",
+      static_cast<unsigned long long>(p.minutes_normal),
+      static_cast<unsigned long long>(p.minutes_throttle),
+      static_cast<unsigned long long>(p.minutes_degraded));
+  out << util::format("| throttle / degraded events | %llu / %llu |\n",
+                      static_cast<unsigned long long>(p.throttle_events),
+                      static_cast<unsigned long long>(p.degraded_events));
+  out << util::format(
+      "| meter samples (faulty / rejected) | %llu (%llu / %llu) |\n",
+      static_cast<unsigned long long>(p.meter_samples),
+      static_cast<unsigned long long>(p.meter_faults_injected),
+      static_cast<unsigned long long>(p.meter_samples_rejected));
+  out << util::format("| max true site power | %.1f W (headroom %.1f W) |\n",
+                      p.max_true_site_w, p.headroom_w());
+  out << util::format("| cap-violation minutes | %llu |\n",
+                      static_cast<unsigned long long>(p.cap_violation_minutes));
+  out << util::format(
+      "| stranded power recovered | %.1f W mean (committed %.1f W vs %.1f W "
+      "at TDP) |\n\n",
+      p.mean_stranded_recovered_w(), p.mean_committed_w,
+      p.mean_tdp_committed_w);
+  out << util::format(
+      "Power-budget ledger %s: granted = released + held + throttled "
+      "(%lld = %lld + %lld + %lld mW).\n\n",
+      p.ledger_reconciles ? "reconciles" : "**does not reconcile**",
+      static_cast<long long>(p.granted_mw), static_cast<long long>(p.released_mw),
+      static_cast<long long>(p.held_mw), static_cast<long long>(p.throttled_mw));
+}
+
 void section_prediction(std::ostringstream& out, const CampaignData& data,
                         const ml::EvaluationConfig& cfg) {
   HPCPOWER_SPAN("report.section.prediction");
@@ -231,6 +280,7 @@ std::string render_markdown_report(const std::vector<CampaignData>& campaigns,
     section_system(out, data, options.curve_points);
     if (data.availability.node_minutes_total > 0) section_availability(out, data);
     if (data.quality.samples_expected > 0) section_quality(out, data);
+    if (data.power) section_power(out, data);
     section_jobs(out, data);
     section_dynamics(out, data);
     section_users(out, data, options.curve_points);

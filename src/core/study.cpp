@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "obs/span.hpp"
+#include "power/hooks.hpp"
 #include "util/logging.hpp"
 #include "util/strings.hpp"
 #include "util/thread_pool.hpp"
@@ -14,18 +15,41 @@
 namespace hpcpower::core {
 
 CampaignData run_campaign(const cluster::SystemSpec& spec, const StudyConfig& config) {
+  return run_campaign(spec, config, nullptr);
+}
+
+CampaignData run_campaign(const cluster::SystemSpec& spec, const StudyConfig& config,
+                          std::shared_ptr<const power::NodePowerPredictor> predictor) {
   HPCPOWER_SPAN("campaign.run");
   const util::MinuteTime warmup = util::MinuteTime::from_days(config.warmup_days);
+  const bool managed = config.power_manager.enabled;
 
   workload::GeneratorConfig gcfg;
   gcfg.seed = config.seed;
   gcfg.duration = warmup + util::MinuteTime::from_days(config.days);
   gcfg.load_scale = config.load_scale;
   workload::WorkloadGenerator generator(spec, workload::calibration_for(spec.id), gcfg);
-  const auto jobs = [&] {
+  auto jobs = [&] {
     HPCPOWER_SPAN("campaign.workload");
     return generator.generate();
   }();
+
+  std::optional<power::ClusterPowerManager> manager;
+  if (managed) {
+    if (!predictor) predictor = std::make_shared<power::EstimatePredictor>(spec.node_tdp_watts);
+    if (config.power_manager.predictor_error_sigma > 0.0) {
+      predictor = std::make_shared<power::NoisyPredictor>(
+          std::move(predictor), config.power_manager.predictor_error_sigma,
+          config.seed);
+    }
+    manager.emplace(spec, config.power_manager, predictor, config.seed);
+    // Admission control: every submission is budgeted at the predicted
+    // per-node power plus the guard band; the scheduler's power budget is
+    // the manager's pool, so jobs whose summed admission estimates would
+    // exceed it wait (or are cancelled when they can never fit).
+    for (auto& job : jobs)
+      job.estimated_node_power_w = manager->admission_estimate_w(job);
+  }
 
   telemetry::PipelineConfig pcfg;
   pcfg.seed = config.seed;
@@ -34,17 +58,34 @@ CampaignData run_campaign(const cluster::SystemSpec& spec, const StudyConfig& co
   pcfg.node_power_cap_w = config.node_power_cap_w;
   pcfg.faults = config.faults;
   pcfg.cleaning = config.cleaning;
+  if (managed) {
+    pcfg.job_node_cap_w = [&m = *manager](workload::JobId id) {
+      return m.node_cap_w(id);
+    };
+  }
   telemetry::MonitoringPipeline pipeline(spec, pcfg);
 
   sched::PowerBudget budget = config.power_budget;
+  if (managed) {
+    budget.watts = manager->pool_w();
+    budget.fallback_node_power_w = spec.node_tdp_watts;
+  }
   if (budget.enabled() && budget.fallback_node_power_w <= 0.0)
     budget.fallback_node_power_w = spec.node_tdp_watts;
   sched::CampaignSimulator simulator(spec.node_count, gcfg.duration,
                                      config.scheduler_policy, budget,
                                      config.node_failures, config.seed);
+  sched::SimulationHooks hooks = pipeline.hooks();
+  if (managed) {
+    // The site meter reads the facility draw the pipeline just metered for
+    // this minute (true value; the manager injects its own meter faults).
+    hooks = power::managed_hooks(*manager, std::move(hooks), [&pipeline]() {
+      return pipeline.system_series().total_power_w.back();
+    });
+  }
   const auto sim_result = [&] {
     HPCPOWER_SPAN("campaign.simulate");
-    return simulator.run(jobs, pipeline.hooks());
+    return simulator.run(jobs, hooks);
   }();
 
   CampaignData data;
@@ -55,6 +96,7 @@ CampaignData run_campaign(const cluster::SystemSpec& spec, const StudyConfig& co
   data.availability = sim_result.availability;
   data.throttled_samples = pipeline.throttled_samples();
   data.quality = pipeline.quality_report();
+  if (managed) data.power = manager->report();
 
   // Discard warm-up telemetry: the campaign "begins" with the machine busy.
   if (warmup.minutes() > 0) {
@@ -94,6 +136,29 @@ CampaignData run_campaign(const cluster::SystemSpec& spec, const StudyConfig& co
         static_cast<unsigned long long>(a.requeues),
         static_cast<unsigned long long>(a.requeues_exhausted),
         static_cast<double>(a.node_minutes_down) / 60.0));
+  }
+  if (data.power) {
+    // One bulk update per campaign (same pattern as sched.* / telemetry.*):
+    // counter totals reconcile exactly with the report's power section.
+    const auto& p = *data.power;
+    util::counters().add("power.jobs.granted", p.jobs_granted);
+    util::counters().add("power.throttle.events", p.throttle_events);
+    util::counters().add("power.degraded.events", p.degraded_events);
+    util::counters().add("power.minutes.throttle", p.minutes_throttle);
+    util::counters().add("power.minutes.degraded", p.minutes_degraded);
+    util::counters().add("power.meter.samples", p.meter_samples);
+    util::counters().add("power.meter.faults", p.meter_faults_injected);
+    util::counters().add("power.meter.rejected", p.meter_samples_rejected);
+    util::counters().add("power.cap.violations", p.cap_violation_minutes);
+    util::log_info(util::format(
+        "power: cap %.0f W, pool %.0f W, %llu jobs granted, peak commit %.0f W, "
+        "max site %.0f W, %llu throttle / %llu degraded events, ledger %s",
+        p.site_cap_w, p.pool_w,
+        static_cast<unsigned long long>(p.jobs_granted),
+        static_cast<double>(p.peak_held_mw) / 1000.0, p.max_true_site_w,
+        static_cast<unsigned long long>(p.throttle_events),
+        static_cast<unsigned long long>(p.degraded_events),
+        p.ledger_reconciles ? "reconciles" : "DOES NOT RECONCILE"));
   }
   if (config.faults.enabled) {
     // One bulk update per campaign; the per-sample hot path stays counter-free.

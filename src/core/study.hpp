@@ -6,9 +6,13 @@
 // integration tests all start from StudyConfig + run_campaign().
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <vector>
 
 #include "cluster/system_spec.hpp"
+#include "power/manager.hpp"
+#include "power/predictor.hpp"
 #include "sched/simulator.hpp"
 #include "telemetry/pipeline.hpp"
 #include "workload/generator.hpp"
@@ -46,6 +50,12 @@ struct StudyConfig {
   /// Node failure / repair / requeue model (off by default: the scheduler
   /// runs a perfect machine and every campaign stays bit-identical).
   sched::FailureConfig node_failures;
+  /// Closed-loop hierarchical power manager (off by default). When enabled it
+  /// owns the power story end to end: admission estimates are rewritten to
+  /// predictor * (1 + guard band), the scheduler budget is set to the
+  /// manager's pool, and per-node caps follow the NORMAL/THROTTLE/DEGRADED
+  /// state machine instead of node_power_cap_w / power_budget above.
+  power::PowerManagerConfig power_manager;
 
   [[nodiscard]] static StudyConfig paper_scale(std::uint64_t seed = 42) {
     StudyConfig c;
@@ -70,12 +80,22 @@ struct CampaignData {
   std::uint64_t throttled_samples = 0;
   /// Ingest ledger; all-zero when fault injection was disabled.
   telemetry::DataQualityReport quality;
+  /// Closed-loop power accounting; present only when the power manager ran.
+  std::optional<power::PowerReport> power;
 };
 
 /// Simulates the full campaign for `spec` (workload generation, scheduling,
 /// telemetry) and returns the joined dataset. Deterministic per config.
 [[nodiscard]] CampaignData run_campaign(const cluster::SystemSpec& spec,
                                         const StudyConfig& config);
+
+/// Same, with an explicit admission predictor for the power manager (e.g. a
+/// tree trained on a pilot campaign). Null falls back to the configured
+/// default (submission estimates, optionally noise-wrapped). Ignored unless
+/// config.power_manager.enabled.
+[[nodiscard]] CampaignData run_campaign(
+    const cluster::SystemSpec& spec, const StudyConfig& config,
+    std::shared_ptr<const power::NodePowerPredictor> predictor);
 
 /// Runs both studied systems (Emmy, then Meggie) with the same config.
 [[nodiscard]] std::vector<CampaignData> run_both_systems(const StudyConfig& config);

@@ -1,0 +1,38 @@
+#include "power/hooks.hpp"
+
+#include <utility>
+
+namespace hpcpower::power {
+
+sched::SimulationHooks managed_hooks(ClusterPowerManager& manager,
+                                     sched::SimulationHooks inner,
+                                     std::function<double()> meter) {
+  sched::SimulationHooks hooks;
+  hooks.on_start = [&manager, on_start = std::move(inner.on_start)](
+                       const sched::RunningJob& job) {
+    manager.on_job_start(job);
+    if (on_start) on_start(job);
+  };
+  hooks.on_end = [&manager, on_end = std::move(inner.on_end)](
+                     const sched::RunningJob& job,
+                     const sched::JobAccountingRecord& rec) {
+    manager.on_job_end(job);
+    if (on_end) on_end(job, rec);
+  };
+  hooks.per_minute = [&manager, per_minute = std::move(inner.per_minute),
+                      meter = std::move(meter)](
+                         util::MinuteTime now,
+                         const std::vector<const sched::RunningJob*>& running,
+                         std::uint32_t down_nodes) {
+    manager.begin_minute(now, running);
+    if (per_minute) per_minute(now, running, down_nodes);
+    if (meter) manager.end_minute(now, meter());
+  };
+  hooks.checkpoint_state = [&manager]() { return manager.checkpoint_lines(); };
+  hooks.restore_state = [&manager](const std::vector<std::string>& lines) {
+    manager.restore(lines);
+  };
+  return hooks;
+}
+
+}  // namespace hpcpower::power

@@ -1,0 +1,34 @@
+#pragma once
+// Wires a ClusterPowerManager into a campaign's SimulationHooks.
+//
+// The manager sees every lifecycle event the simulator emits — start, end
+// (complete / kill / truncate), and the per-minute monitoring tick — wrapped
+// around whatever inner hooks the caller already had (typically the telemetry
+// pipeline). Each minute runs as:
+//
+//   manager.begin_minute()   recompute per-node caps for the running set
+//   inner.per_minute()       telemetry tick under those caps
+//   manager.end_minute()     consume the site meter reading, drive the
+//                            NORMAL/THROTTLE/DEGRADED state machine
+//
+// `meter` supplies the site power reading for the minute that just ticked
+// (e.g. the back of the pipeline's system series); faults are injected inside
+// the manager, deterministically, so the same campaign always sees the same
+// faulty meter. checkpoint_state/restore_state round-trip the manager through
+// the campaign checkpoint.
+
+#include <functional>
+
+#include "power/manager.hpp"
+#include "sched/simulator.hpp"
+
+namespace hpcpower::power {
+
+/// Composes power management over `inner`. The manager must outlive the
+/// returned hooks. `meter` may be empty only if end-of-minute control is
+/// driven elsewhere (tests); then the state machine never leaves NORMAL.
+[[nodiscard]] sched::SimulationHooks managed_hooks(
+    ClusterPowerManager& manager, sched::SimulationHooks inner,
+    std::function<double()> meter);
+
+}  // namespace hpcpower::power

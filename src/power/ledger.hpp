@@ -1,0 +1,79 @@
+#pragma once
+// Power-budget ledger in integer milliwatts.
+//
+// The closed-loop power manager accounts for every watt it hands out. Floating
+// point cannot promise "granted = released + held + throttled" exactly, so the
+// ledger works in int64 milliwatts: additions and subtractions are exact, the
+// reconciliation check is an integer equality, and a resumed campaign carries
+// the ledger across a checkpoint bit-identically.
+//
+// Semantics:
+//   granted    cumulative milliwatts ever granted to starting jobs,
+//   released   cumulative milliwatts returned by finished/killed jobs,
+//   held       milliwatts currently granted AND currently deliverable (the
+//              node caps let the jobs draw them),
+//   throttled  milliwatts currently granted but withheld by the THROTTLE or
+//              DEGRADED caps.
+// Invariant (checked by reconciles()): granted == released + held + throttled.
+
+#include <cstdint>
+
+namespace hpcpower::power {
+
+using Milliwatts = std::int64_t;
+
+class PowerLedger {
+ public:
+  /// A job starts: its whole grant begins in the held (deliverable) bucket.
+  void grant(Milliwatts mw) noexcept {
+    granted_ += mw;
+    held_ += mw;
+  }
+
+  /// Throttling moved `mw` of currently-granted power from deliverable to
+  /// withheld (negative `mw` moves it back when a throttle lifts).
+  void withhold(Milliwatts mw) noexcept {
+    held_ -= mw;
+    throttled_ += mw;
+  }
+
+  /// A job ends (completed, truncated, or killed): its full grant leaves the
+  /// outstanding buckets and is counted as released. `held_part` +
+  /// `throttled_part` must equal the job's original grant.
+  void release(Milliwatts held_part, Milliwatts throttled_part) noexcept {
+    held_ -= held_part;
+    throttled_ -= throttled_part;
+    released_ += held_part + throttled_part;
+  }
+
+  [[nodiscard]] Milliwatts granted() const noexcept { return granted_; }
+  [[nodiscard]] Milliwatts released() const noexcept { return released_; }
+  [[nodiscard]] Milliwatts held() const noexcept { return held_; }
+  [[nodiscard]] Milliwatts throttled() const noexcept { return throttled_; }
+  /// Grant still out with running jobs.
+  [[nodiscard]] Milliwatts outstanding() const noexcept { return held_ + throttled_; }
+
+  /// Every granted milliwatt is in exactly one bucket.
+  [[nodiscard]] bool reconciles() const noexcept {
+    return held_ >= 0 && throttled_ >= 0 &&
+           granted_ == released_ + held_ + throttled_;
+  }
+
+  void restore(Milliwatts granted, Milliwatts released, Milliwatts held,
+               Milliwatts throttled) noexcept {
+    granted_ = granted;
+    released_ = released;
+    held_ = held;
+    throttled_ = throttled;
+  }
+
+  friend bool operator==(const PowerLedger&, const PowerLedger&) = default;
+
+ private:
+  Milliwatts granted_ = 0;
+  Milliwatts released_ = 0;
+  Milliwatts held_ = 0;
+  Milliwatts throttled_ = 0;
+};
+
+}  // namespace hpcpower::power

@@ -1,0 +1,474 @@
+#include "power/manager.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/span.hpp"
+#include "util/prng.hpp"
+
+namespace hpcpower::power {
+
+namespace {
+
+constexpr std::uint64_t kMeterFaultDraw = 0;   // b-counter: fault yes/no
+constexpr std::uint64_t kMeterFaultKind = 1;   // b-counter: dropout/spike/neg
+constexpr std::uint64_t kMeterSpikeScale = 2;  // b-counter: spike magnitude
+
+[[nodiscard]] std::uint64_t double_bits(double v) noexcept {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+[[nodiscard]] double bits_double(std::uint64_t bits) noexcept {
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+void expect_tag(std::istringstream& in, const char* tag) {
+  std::string word;
+  if (!(in >> word) || word != tag) {
+    throw std::runtime_error("power checkpoint: expected '" + std::string(tag) +
+                             "', got '" + word + "'");
+  }
+}
+
+template <typename T>
+[[nodiscard]] T read_value(std::istringstream& in, const char* what) {
+  T v{};
+  if (!(in >> v)) {
+    throw std::runtime_error("power checkpoint: bad value for " +
+                             std::string(what));
+  }
+  return v;
+}
+
+}  // namespace
+
+const char* power_mode_name(PowerMode mode) noexcept {
+  switch (mode) {
+    case PowerMode::kNormal:
+      return "NORMAL";
+    case PowerMode::kThrottle:
+      return "THROTTLE";
+    case PowerMode::kDegraded:
+      return "DEGRADED";
+  }
+  return "UNKNOWN";
+}
+
+ClusterPowerManager::ClusterPowerManager(
+    const cluster::SystemSpec& spec, PowerManagerConfig config,
+    std::shared_ptr<const NodePowerPredictor> predictor, std::uint64_t seed)
+    : spec_(spec), config_(config), predictor_(std::move(predictor)) {
+  if (!predictor_) {
+    predictor_ = std::make_shared<EstimatePredictor>(spec_.node_tdp_watts);
+  }
+  site_cap_w_ = config_.site_cap_w > 0.0
+                    ? config_.site_cap_w
+                    : config_.site_cap_fraction * spec_.provisioned_power_watts();
+  site_cap_mw_ = std::llround(site_cap_w_ * 1000.0);
+  tdp_mw_ = std::llround(spec_.node_tdp_watts * 1000.0);
+  const Milliwatts idle_mw =
+      std::llround(spec_.idle_power_fraction * spec_.node_tdp_watts * 1000.0);
+  // Reserve the idle floor of every node plus a 1 W guard that absorbs the
+  // sub-milliwatt rounding between this integer budget and the double
+  // summation the facility meter performs.
+  pool_mw_ = site_cap_mw_ -
+             static_cast<Milliwatts>(spec_.node_count) * idle_mw - 1000;
+  pool_mw_ = std::max<Milliwatts>(pool_mw_, 0);
+  meter_seed_ = util::derive_stream(seed, "power-site-meter");
+  if (config_.quality_window_min > 0) {
+    quality_window_.assign(config_.quality_window_min, 0);
+  }
+}
+
+double ClusterPowerManager::admission_estimate_w(
+    const workload::JobRequest& job) const {
+  double est = predictor_->predict_node_w(job) * (1.0 + config_.guard_band);
+  est = std::clamp(est, 1.0, spec_.node_tdp_watts);
+  const Milliwatts mw =
+      std::clamp<Milliwatts>(std::llround(est * 1000.0), 1000, tdp_mw_);
+  return static_cast<double>(mw) / 1000.0;
+}
+
+void ClusterPowerManager::on_job_start(const sched::RunningJob& job) {
+  Milliwatts grant_mw =
+      std::llround(job.request.estimated_node_power_w * 1000.0);
+  grant_mw = std::clamp<Milliwatts>(grant_mw, 1, tdp_mw_);
+  const auto nnodes = static_cast<std::uint32_t>(job.nodes.size());
+  ledger_.grant(grant_mw * nnodes);
+  grants_[job.request.job_id] = Grant{grant_mw, grant_mw, nnodes};
+  ++jobs_granted_;
+}
+
+void ClusterPowerManager::on_job_end(const sched::RunningJob& job) {
+  const auto it = grants_.find(job.request.job_id);
+  if (it == grants_.end()) return;
+  const Grant& g = it->second;
+  const Milliwatts withheld =
+      (g.grant_mw - std::min(g.grant_mw, g.cap_mw)) * g.nnodes;
+  const Milliwatts total = g.grant_mw * g.nnodes;
+  ledger_.release(total - withheld, withheld);
+  grants_.erase(it);
+}
+
+void ClusterPowerManager::set_cap(workload::JobId /*id*/, Grant& g,
+                                  Milliwatts new_cap_mw) {
+  new_cap_mw = std::max<Milliwatts>(new_cap_mw, 1);
+  if (new_cap_mw == g.cap_mw) return;
+  const auto withheld = [&g](Milliwatts cap) {
+    return (g.grant_mw - std::min(g.grant_mw, cap)) * g.nnodes;
+  };
+  ledger_.withhold(withheld(new_cap_mw) - withheld(g.cap_mw));
+  g.cap_mw = new_cap_mw;
+}
+
+void ClusterPowerManager::enter_mode(PowerMode next) { mode_ = next; }
+
+void ClusterPowerManager::begin_minute(
+    util::MinuteTime /*now*/,
+    const std::vector<const sched::RunningJob*>& /*running*/) {
+  HPCPOWER_SPAN("power.tick");
+  ++managed_minutes_;
+  switch (mode_) {
+    case PowerMode::kNormal:
+      ++minutes_normal_;
+      break;
+    case PowerMode::kThrottle:
+      ++minutes_throttle_;
+      break;
+    case PowerMode::kDegraded:
+      ++minutes_degraded_;
+      break;
+  }
+
+  // The grant table mirrors the running set exactly (jobs are added in
+  // on_job_start and removed in on_job_end), in ascending job id. All cap
+  // arithmetic below is integer, so the walk is deterministic regardless of
+  // the thread count the telemetry tick will use afterwards.
+  Milliwatts busy_nodes = 0;
+  Milliwatts grant_total = 0;
+  for (const auto& [id, g] : grants_) {
+    busy_nodes += g.nnodes;
+    grant_total += g.grant_mw * g.nnodes;
+  }
+  const Milliwatts slack = std::max<Milliwatts>(pool_mw_ - grant_total, 0);
+  // Integer floor division: the remainder stays as headroom, so the sum of
+  // caps over busy nodes never exceeds pool_mw_ in any mode.
+  const Milliwatts bonus_per_node = busy_nodes > 0 ? slack / busy_nodes : 0;
+  const Milliwatts static_cap =
+      spec_.node_count > 0
+          ? std::max<Milliwatts>(
+                pool_mw_ / static_cast<Milliwatts>(spec_.node_count), 1)
+          : 1;
+
+  for (auto& [id, g] : grants_) {
+    Milliwatts cap = g.grant_mw;
+    switch (mode_) {
+      case PowerMode::kNormal:
+        cap = std::min(tdp_mw_, g.grant_mw + bonus_per_node);
+        break;
+      case PowerMode::kThrottle:
+        cap = static_cast<Milliwatts>(
+            static_cast<double>(g.grant_mw) * config_.throttle_tighten_fraction);
+        break;
+      case PowerMode::kDegraded:
+        cap = std::min(g.grant_mw, static_cap);
+        break;
+    }
+    set_cap(id, g, cap);
+  }
+
+  const Milliwatts outstanding = ledger_.outstanding();
+  peak_held_mw_ = std::max(peak_held_mw_, outstanding);
+  committed_mwmin_ += outstanding;
+  tdp_committed_mwmin_ += tdp_mw_ * busy_nodes;
+}
+
+void ClusterPowerManager::end_minute(util::MinuteTime now, double true_site_w) {
+  ++meter_samples_;
+  max_true_site_w_ = std::max(max_true_site_w_, true_site_w);
+  if (true_site_w > site_cap_w_) ++cap_violation_minutes_;
+
+  // Deterministic meter-fault injection keyed by (seed, minute).
+  const auto minute = static_cast<std::uint64_t>(now.minutes());
+  double measured = true_site_w;
+  if (config_.meter_fault_rate > 0.0 &&
+      util::stateless_uniform(meter_seed_, minute, kMeterFaultDraw) <
+          config_.meter_fault_rate) {
+    ++meter_faults_injected_;
+    switch (util::stateless_index(meter_seed_, minute, kMeterFaultKind, 3)) {
+      case 0:  // dropout
+        measured = 0.0;
+        break;
+      case 1:  // spike, x2..x4
+        measured = true_site_w *
+                   (2.0 + 2.0 * util::stateless_uniform(meter_seed_, minute,
+                                                        kMeterSpikeScale));
+        break;
+      default:  // sign flip
+        measured = -true_site_w;
+        break;
+    }
+  }
+
+  // Plausibility filter: a reading is trusted only when positive, below the
+  // physically provisioned draw (with 5% margin), and not an implausible jump
+  // from the last trusted reading.
+  const bool bad =
+      !(measured > 0.0) ||
+      measured > 1.05 * spec_.provisioned_power_watts() ||
+      (have_last_good_ &&
+       std::abs(measured - last_good_w_) > 0.35 * site_cap_w_);
+  double filtered = measured;
+  if (bad) {
+    ++meter_samples_rejected_;
+    filtered = have_last_good_ ? last_good_w_ : 0.0;
+    clean_streak_ = 0;
+  } else {
+    last_good_w_ = measured;
+    have_last_good_ = true;
+    ++clean_streak_;
+  }
+  max_filtered_site_w_ = std::max(max_filtered_site_w_, filtered);
+
+  // Sliding telemetry-quality window (ring buffer over the last N minutes).
+  if (!quality_window_.empty()) {
+    const std::uint8_t slot = bad ? 1 : 0;
+    if (window_count_ == quality_window_.size()) {
+      window_bad_ -= quality_window_[window_pos_];
+    } else {
+      ++window_count_;
+    }
+    quality_window_[window_pos_] = slot;
+    window_bad_ += slot;
+    window_pos_ = (window_pos_ + 1) % static_cast<std::uint32_t>(quality_window_.size());
+  }
+
+  // Mode transitions. DEGRADED dominates: with untrustworthy telemetry the
+  // filtered signal cannot be used to steer, so the static fallback wins.
+  const bool window_full =
+      !quality_window_.empty() && window_count_ == quality_window_.size();
+  if (mode_ != PowerMode::kDegraded && window_full &&
+      static_cast<double>(window_bad_) >
+          config_.degraded_enter_bad_fraction *
+              static_cast<double>(quality_window_.size())) {
+    enter_mode(PowerMode::kDegraded);
+    ++degraded_events_;
+    throttle_dwell_ = 0;
+    return;
+  }
+  switch (mode_) {
+    case PowerMode::kDegraded:
+      if (clean_streak_ >= config_.degraded_exit_clean_min) {
+        enter_mode(PowerMode::kNormal);
+        // Trust is re-earned from scratch: drop the bad-heavy history so the
+        // freshly exited mode is not re-tripped by stale window contents.
+        std::fill(quality_window_.begin(), quality_window_.end(), 0);
+        window_pos_ = 0;
+        window_count_ = 0;
+        window_bad_ = 0;
+      }
+      break;
+    case PowerMode::kNormal:
+      if (filtered > config_.throttle_enter_fraction * site_cap_w_) {
+        enter_mode(PowerMode::kThrottle);
+        ++throttle_events_;
+        throttle_dwell_ = 0;
+      }
+      break;
+    case PowerMode::kThrottle:
+      ++throttle_dwell_;
+      if (throttle_dwell_ >= config_.throttle_min_dwell_min &&
+          filtered < config_.throttle_exit_fraction * site_cap_w_) {
+        enter_mode(PowerMode::kNormal);
+      }
+      break;
+  }
+}
+
+double ClusterPowerManager::node_cap_w(workload::JobId id) const noexcept {
+  const auto it = grants_.find(id);
+  if (it == grants_.end()) return 0.0;
+  return static_cast<double>(it->second.cap_mw) / 1000.0;
+}
+
+PowerReport ClusterPowerManager::report() const {
+  PowerReport r;
+  r.site_cap_w = site_cap_w_;
+  r.pool_w = pool_w();
+  r.guard_band = config_.guard_band;
+  r.predictor = predictor_->name();
+  r.jobs_granted = jobs_granted_;
+  r.granted_mw = ledger_.granted();
+  r.released_mw = ledger_.released();
+  r.held_mw = ledger_.held();
+  r.throttled_mw = ledger_.throttled();
+  r.ledger_reconciles = ledger_.reconciles();
+  r.peak_held_mw = peak_held_mw_;
+  r.minutes_normal = minutes_normal_;
+  r.minutes_throttle = minutes_throttle_;
+  r.minutes_degraded = minutes_degraded_;
+  r.throttle_events = throttle_events_;
+  r.degraded_events = degraded_events_;
+  r.meter_samples = meter_samples_;
+  r.meter_faults_injected = meter_faults_injected_;
+  r.meter_samples_rejected = meter_samples_rejected_;
+  r.max_true_site_w = max_true_site_w_;
+  r.max_filtered_site_w = max_filtered_site_w_;
+  r.cap_violation_minutes = cap_violation_minutes_;
+  if (managed_minutes_ > 0) {
+    const auto mins = static_cast<double>(managed_minutes_);
+    r.mean_committed_w = static_cast<double>(committed_mwmin_) / 1000.0 / mins;
+    r.mean_tdp_committed_w =
+        static_cast<double>(tdp_committed_mwmin_) / 1000.0 / mins;
+  }
+  return r;
+}
+
+std::vector<std::string> ClusterPowerManager::checkpoint_lines() const {
+  std::vector<std::string> lines;
+  std::ostringstream line;
+  const auto flush = [&lines, &line]() {
+    lines.push_back(line.str());
+    line.str(std::string());
+    line.clear();
+  };
+
+  line << "mode " << static_cast<int>(mode_) << ' ' << throttle_dwell_ << ' '
+       << clean_streak_;
+  flush();
+  line << "meter " << double_bits(last_good_w_) << ' '
+       << (have_last_good_ ? 1 : 0) << ' ' << double_bits(max_true_site_w_)
+       << ' ' << double_bits(max_filtered_site_w_);
+  flush();
+  line << "window " << quality_window_.size() << ' ' << window_pos_ << ' '
+       << window_count_ << ' ' << window_bad_;
+  for (const std::uint8_t b : quality_window_) {
+    line << ' ' << static_cast<int>(b);
+  }
+  flush();
+  line << "ledger " << ledger_.granted() << ' ' << ledger_.released() << ' '
+       << ledger_.held() << ' ' << ledger_.throttled();
+  flush();
+  line << "stats " << jobs_granted_ << ' ' << peak_held_mw_ << ' '
+       << minutes_normal_ << ' ' << minutes_throttle_ << ' '
+       << minutes_degraded_ << ' ' << throttle_events_ << ' '
+       << degraded_events_ << ' ' << meter_samples_ << ' '
+       << meter_faults_injected_ << ' ' << meter_samples_rejected_ << ' '
+       << cap_violation_minutes_ << ' ' << committed_mwmin_ << ' '
+       << tdp_committed_mwmin_ << ' ' << managed_minutes_;
+  flush();
+  line << "grants " << grants_.size();
+  flush();
+  for (const auto& [id, g] : grants_) {
+    line << id << ' ' << g.grant_mw << ' ' << g.cap_mw << ' ' << g.nnodes;
+    flush();
+  }
+  return lines;
+}
+
+void ClusterPowerManager::restore(const std::vector<std::string>& lines) {
+  if (lines.empty()) {
+    throw std::runtime_error(
+        "power checkpoint: campaign checkpoint carries no power-manager state");
+  }
+  std::size_t idx = 0;
+  const auto next = [&lines, &idx]() -> std::istringstream {
+    if (idx >= lines.size()) {
+      throw std::runtime_error("power checkpoint: truncated state");
+    }
+    return std::istringstream(lines[idx++]);
+  };
+
+  {
+    auto in = next();
+    expect_tag(in, "mode");
+    const int raw = read_value<int>(in, "mode");
+    if (raw < 0 || raw > 2) {
+      throw std::runtime_error("power checkpoint: invalid mode");
+    }
+    mode_ = static_cast<PowerMode>(raw);
+    throttle_dwell_ = read_value<std::uint32_t>(in, "throttle_dwell");
+    clean_streak_ = read_value<std::uint32_t>(in, "clean_streak");
+  }
+  {
+    auto in = next();
+    expect_tag(in, "meter");
+    last_good_w_ = bits_double(read_value<std::uint64_t>(in, "last_good"));
+    have_last_good_ = read_value<int>(in, "have_last_good") != 0;
+    max_true_site_w_ = bits_double(read_value<std::uint64_t>(in, "max_true"));
+    max_filtered_site_w_ =
+        bits_double(read_value<std::uint64_t>(in, "max_filtered"));
+  }
+  {
+    auto in = next();
+    expect_tag(in, "window");
+    const auto size = read_value<std::size_t>(in, "window size");
+    if (size != quality_window_.size()) {
+      throw std::runtime_error(
+          "power checkpoint: quality window size does not match configuration");
+    }
+    window_pos_ = read_value<std::uint32_t>(in, "window pos");
+    window_count_ = read_value<std::uint32_t>(in, "window count");
+    window_bad_ = read_value<std::uint32_t>(in, "window bad");
+    for (std::size_t i = 0; i < size; ++i) {
+      quality_window_[i] =
+          static_cast<std::uint8_t>(read_value<int>(in, "window slot"));
+    }
+  }
+  {
+    auto in = next();
+    expect_tag(in, "ledger");
+    const auto granted = read_value<Milliwatts>(in, "granted");
+    const auto released = read_value<Milliwatts>(in, "released");
+    const auto held = read_value<Milliwatts>(in, "held");
+    const auto throttled = read_value<Milliwatts>(in, "throttled");
+    ledger_.restore(granted, released, held, throttled);
+    if (!ledger_.reconciles()) {
+      throw std::runtime_error("power checkpoint: ledger does not reconcile");
+    }
+  }
+  {
+    auto in = next();
+    expect_tag(in, "stats");
+    jobs_granted_ = read_value<std::uint64_t>(in, "jobs_granted");
+    peak_held_mw_ = read_value<Milliwatts>(in, "peak_held");
+    minutes_normal_ = read_value<std::uint64_t>(in, "minutes_normal");
+    minutes_throttle_ = read_value<std::uint64_t>(in, "minutes_throttle");
+    minutes_degraded_ = read_value<std::uint64_t>(in, "minutes_degraded");
+    throttle_events_ = read_value<std::uint64_t>(in, "throttle_events");
+    degraded_events_ = read_value<std::uint64_t>(in, "degraded_events");
+    meter_samples_ = read_value<std::uint64_t>(in, "meter_samples");
+    meter_faults_injected_ = read_value<std::uint64_t>(in, "meter_faults");
+    meter_samples_rejected_ = read_value<std::uint64_t>(in, "meter_rejected");
+    cap_violation_minutes_ = read_value<std::uint64_t>(in, "cap_violations");
+    committed_mwmin_ = read_value<std::int64_t>(in, "committed_mwmin");
+    tdp_committed_mwmin_ = read_value<std::int64_t>(in, "tdp_committed_mwmin");
+    managed_minutes_ = read_value<std::uint64_t>(in, "managed_minutes");
+  }
+  grants_.clear();
+  {
+    auto in = next();
+    expect_tag(in, "grants");
+    const auto count = read_value<std::size_t>(in, "grant count");
+    for (std::size_t i = 0; i < count; ++i) {
+      auto gin = next();
+      const auto id = read_value<workload::JobId>(gin, "grant job id");
+      Grant g;
+      g.grant_mw = read_value<Milliwatts>(gin, "grant mw");
+      g.cap_mw = read_value<Milliwatts>(gin, "cap mw");
+      g.nnodes = read_value<std::uint32_t>(gin, "grant nnodes");
+      if (!grants_.emplace(id, g).second) {
+        throw std::runtime_error("power checkpoint: duplicate grant");
+      }
+    }
+  }
+}
+
+}  // namespace hpcpower::power

@@ -1,0 +1,232 @@
+#pragma once
+// Closed-loop hierarchical power manager: cluster -> job -> node.
+//
+// Enforces a site-wide power cap inside the campaign simulation instead of
+// advising after the fact. The safety argument is structural, not reactive:
+//
+//   pool = site_cap - node_count * idle_watts - 1 W guard
+//
+// is the budget available to compute. Every starting job receives a grant
+// (predicted per-node power * (1 + guard band), clamped to TDP), admission
+// refuses starts that would push committed grants past the pool, and every
+// running job's nodes are clamped by the RAPL model at their current per-node
+// cap. Caps are recomputed each minute so that the integer sum of caps over
+// busy nodes never exceeds the pool — therefore the facility meter
+// (capped busy draw + idle floor) cannot exceed the site cap in ANY mode,
+// no matter how badly the predictor missed, which nodes failed, or what the
+// telemetry claims.
+//
+// On top of the structural bound sits a reactive state machine:
+//
+//   NORMAL    grants plus deterministically redistributed slack (stranded
+//             power recovered by letting jobs run up to TDP when budget is
+//             spare),
+//   THROTTLE  measured site power drifted toward the cap: caps tighten to a
+//             fraction of the grant, with hysteresis (enter/exit fractions
+//             plus a minimum dwell) so a noisy meter cannot flap the mode,
+//   DEGRADED  the site meter is untrustworthy (too many implausible samples
+//             in the sliding quality window): fall back to conservative
+//             static caps that do not depend on telemetry at all.
+//
+// Every milliwatt moves through the PowerLedger (granted = released + held +
+// throttled, exact in int64 milliwatts). All decisions are integer arithmetic
+// over deterministic inputs in ascending-job-id order, so managed campaigns
+// keep the repo-wide thread-count-invariance guarantee, and the complete
+// manager state serializes into the campaign checkpoint (see
+// checkpoint_lines()/restore()) for bit-identical kill/resume.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/system_spec.hpp"
+#include "power/ledger.hpp"
+#include "power/predictor.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/simulator.hpp"
+#include "util/sim_time.hpp"
+
+namespace hpcpower::power {
+
+enum class PowerMode : int { kNormal = 0, kThrottle = 1, kDegraded = 2 };
+
+[[nodiscard]] const char* power_mode_name(PowerMode mode) noexcept;
+
+struct PowerManagerConfig {
+  bool enabled = false;
+  /// Site-wide cap as a fraction of provisioned power (node_count * TDP).
+  double site_cap_fraction = 0.75;
+  /// Absolute site cap in watts; > 0 overrides site_cap_fraction.
+  double site_cap_w = 0.0;
+  /// Admission guard band on top of the predicted per-node power.
+  double guard_band = 0.15;
+  /// Lognormal predictor-error injection (sigma of ln-error; 0 = faithful).
+  double predictor_error_sigma = 0.0;
+  /// Emergency throttle hysteresis: enter above, exit below (fractions of
+  /// the site cap), with a minimum dwell before the exit test applies.
+  double throttle_enter_fraction = 0.97;
+  double throttle_exit_fraction = 0.90;
+  double throttle_tighten_fraction = 0.85;
+  std::uint32_t throttle_min_dwell_min = 5;
+  /// Telemetry-trust window: fraction of implausible meter samples in the
+  /// last quality_window_min minutes that trips DEGRADED, and the clean
+  /// streak required to leave it.
+  std::uint32_t quality_window_min = 60;
+  double degraded_enter_bad_fraction = 0.25;
+  std::uint32_t degraded_exit_clean_min = 30;
+  /// Per-minute probability that the site meter reading is faulty
+  /// (dropout / spike / negative), keyed statelessly by (seed, minute).
+  double meter_fault_rate = 0.0;
+
+  friend bool operator==(const PowerManagerConfig&, const PowerManagerConfig&) = default;
+};
+
+/// Final accounting of one managed campaign, rendered as the report's
+/// "Closed-loop power management" section.
+struct PowerReport {
+  double site_cap_w = 0.0;
+  double pool_w = 0.0;
+  double guard_band = 0.0;
+  std::string predictor;
+  std::uint64_t jobs_granted = 0;
+  // Ledger (milliwatts, exact).
+  Milliwatts granted_mw = 0;
+  Milliwatts released_mw = 0;
+  Milliwatts held_mw = 0;
+  Milliwatts throttled_mw = 0;
+  bool ledger_reconciles = false;
+  Milliwatts peak_held_mw = 0;
+  // Mode occupancy and events.
+  std::uint64_t minutes_normal = 0;
+  std::uint64_t minutes_throttle = 0;
+  std::uint64_t minutes_degraded = 0;
+  std::uint64_t throttle_events = 0;
+  std::uint64_t degraded_events = 0;
+  // Meter health.
+  std::uint64_t meter_samples = 0;
+  std::uint64_t meter_faults_injected = 0;
+  std::uint64_t meter_samples_rejected = 0;
+  // Site-level outcomes. max_true_site_w is the unfaulted facility draw; the
+  // structural invariant promises max_true_site_w <= site_cap_w always.
+  double max_true_site_w = 0.0;
+  double max_filtered_site_w = 0.0;
+  std::uint64_t cap_violation_minutes = 0;
+  // Stranded-power recovery: mean committed grant vs the TDP-worst-case
+  // commitment the same placements would have required (both in watts,
+  // averaged over managed minutes).
+  double mean_committed_w = 0.0;
+  double mean_tdp_committed_w = 0.0;
+
+  [[nodiscard]] double mean_stranded_recovered_w() const noexcept {
+    return mean_tdp_committed_w - mean_committed_w;
+  }
+  [[nodiscard]] double headroom_w() const noexcept {
+    return site_cap_w - max_true_site_w;
+  }
+
+  friend bool operator==(const PowerReport&, const PowerReport&) = default;
+};
+
+class ClusterPowerManager {
+ public:
+  /// `seed` keys the deterministic meter-fault stream (use the campaign seed).
+  ClusterPowerManager(const cluster::SystemSpec& spec, PowerManagerConfig config,
+                      std::shared_ptr<const NodePowerPredictor> predictor,
+                      std::uint64_t seed = 42);
+
+  /// Per-node admission estimate in watts for one submission: prediction *
+  /// (1 + guard band), clamped to [1 W, TDP], rounded to a whole milliwatt so
+  /// the scheduler's double arithmetic and the integer ledger agree. Written
+  /// into JobRequest::estimated_node_power_w before the campaign runs.
+  [[nodiscard]] double admission_estimate_w(const workload::JobRequest& job) const;
+
+  /// Resolved site cap / admission pool in watts.
+  [[nodiscard]] double site_cap_w() const noexcept { return site_cap_w_; }
+  [[nodiscard]] double pool_w() const noexcept {
+    return static_cast<double>(pool_mw_) / 1000.0;
+  }
+
+  // -- campaign hooks (wired by managed_hooks(), see hooks.hpp) --------------
+  void on_job_start(const sched::RunningJob& job);
+  void on_job_end(const sched::RunningJob& job);
+  /// Recomputes per-node caps for the running set (ascending job id) under
+  /// the current mode. Runs after placements, before the telemetry tick.
+  void begin_minute(util::MinuteTime now,
+                    const std::vector<const sched::RunningJob*>& running);
+  /// Consumes this minute's site meter reading (true facility draw before
+  /// meter faults), injects the configured meter faults, plausibility-filters
+  /// the result, and drives the NORMAL/THROTTLE/DEGRADED transitions.
+  void end_minute(util::MinuteTime now, double true_site_w);
+
+  /// Current per-node cap in watts for a running job (0 = unknown job,
+  /// uncapped). Safe to call concurrently with itself: the cap table only
+  /// changes inside begin_minute().
+  [[nodiscard]] double node_cap_w(workload::JobId id) const noexcept;
+
+  [[nodiscard]] PowerMode mode() const noexcept { return mode_; }
+  [[nodiscard]] const PowerLedger& ledger() const noexcept { return ledger_; }
+  [[nodiscard]] const PowerManagerConfig& config() const noexcept { return config_; }
+  [[nodiscard]] PowerReport report() const;
+
+  // -- checkpoint support ----------------------------------------------------
+  /// Serializes the complete mutable manager state as tag-value lines
+  /// (doubles as IEEE-754 bit patterns). Embedded in the campaign checkpoint.
+  [[nodiscard]] std::vector<std::string> checkpoint_lines() const;
+  /// Restores state written by checkpoint_lines(); throws std::runtime_error
+  /// on malformed input.
+  void restore(const std::vector<std::string>& lines);
+
+ private:
+  struct Grant {
+    Milliwatts grant_mw = 0;  ///< per node
+    Milliwatts cap_mw = 0;    ///< per node, current
+    std::uint32_t nnodes = 0;
+  };
+
+  void set_cap(workload::JobId id, Grant& g, Milliwatts new_cap_mw);
+  void enter_mode(PowerMode next);
+
+  cluster::SystemSpec spec_;
+  PowerManagerConfig config_;
+  std::shared_ptr<const NodePowerPredictor> predictor_;
+
+  double site_cap_w_ = 0.0;
+  Milliwatts site_cap_mw_ = 0;
+  Milliwatts pool_mw_ = 0;
+  Milliwatts tdp_mw_ = 0;
+  std::uint64_t meter_seed_ = 0;
+
+  // Mutable campaign state (all of it checkpointed).
+  std::map<workload::JobId, Grant> grants_;
+  PowerLedger ledger_;
+  PowerMode mode_ = PowerMode::kNormal;
+  std::uint32_t throttle_dwell_ = 0;
+  std::uint32_t clean_streak_ = 0;
+  double last_good_w_ = 0.0;
+  bool have_last_good_ = false;
+  std::vector<std::uint8_t> quality_window_;  // ring buffer: 1 = bad sample
+  std::uint32_t window_pos_ = 0;
+  std::uint32_t window_count_ = 0;
+  std::uint32_t window_bad_ = 0;
+  // Report accumulators.
+  std::uint64_t jobs_granted_ = 0;
+  Milliwatts peak_held_mw_ = 0;
+  std::uint64_t minutes_normal_ = 0;
+  std::uint64_t minutes_throttle_ = 0;
+  std::uint64_t minutes_degraded_ = 0;
+  std::uint64_t throttle_events_ = 0;
+  std::uint64_t degraded_events_ = 0;
+  std::uint64_t meter_samples_ = 0;
+  std::uint64_t meter_faults_injected_ = 0;
+  std::uint64_t meter_samples_rejected_ = 0;
+  double max_true_site_w_ = 0.0;
+  double max_filtered_site_w_ = 0.0;
+  std::uint64_t cap_violation_minutes_ = 0;
+  std::int64_t committed_mwmin_ = 0;      // sum over minutes of held+throttled
+  std::int64_t tdp_committed_mwmin_ = 0;  // sum over minutes of TDP-equivalent
+  std::uint64_t managed_minutes_ = 0;
+};
+
+}  // namespace hpcpower::power

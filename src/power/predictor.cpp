@@ -1,0 +1,35 @@
+#include "power/predictor.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "util/prng.hpp"
+
+namespace hpcpower::power {
+
+double TreePredictor::predict_node_w(const workload::JobRequest& job) const {
+  if (!model_) return fallback_w_;
+  const std::array<double, 3> features = {
+      static_cast<double>(job.user_id), static_cast<double>(job.nnodes),
+      static_cast<double>(job.walltime_req_min)};
+  const double p = model_->predict(features);
+  return std::isfinite(p) && p > 0.0 ? p : fallback_w_;
+}
+
+std::string TreePredictor::name() const {
+  return model_ ? model_->name() : "fallback";
+}
+
+double NoisyPredictor::predict_node_w(const workload::JobRequest& job) const {
+  const double base = inner_->predict_node_w(job);
+  if (sigma_ <= 0.0) return base;
+  const std::uint64_t stream = util::derive_stream(seed_, "power-predictor-noise");
+  const double z = util::stateless_normal(stream, job.job_id, 0);
+  return base * std::exp(sigma_ * z);
+}
+
+std::string NoisyPredictor::name() const {
+  return inner_->name() + "+noise";
+}
+
+}  // namespace hpcpower::power

@@ -1,0 +1,82 @@
+#pragma once
+// Pre-execution node-power predictors for admission control.
+//
+// The closed loop budgets a job before it starts, so the only inputs are the
+// pre-execution quantities the paper's Sec 5 models use. Three sources:
+//
+//   * EstimatePredictor — the submission's own estimate (the template nominal
+//     power a user or site database would supply), TDP when absent;
+//   * TreePredictor    — a trained regression model (the paper's BDT) over
+//     (user id, nnodes, requested wall time);
+//   * NoisyPredictor   — decorator that multiplies any predictor by a
+//     deterministic lognormal error keyed by (seed, job id), used to sweep
+//     predictor quality without retraining.
+//
+// All predictors are pure functions of the job request (plus frozen model
+// state), so admission decisions are bit-identical at any thread count and
+// across checkpoint/resume.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "ml/regressor.hpp"
+#include "workload/generator.hpp"
+
+namespace hpcpower::power {
+
+class NodePowerPredictor {
+ public:
+  virtual ~NodePowerPredictor() = default;
+  /// Predicted mean per-node power in watts for a job about to start.
+  [[nodiscard]] virtual double predict_node_w(const workload::JobRequest& job) const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Uses JobRequest::estimated_node_power_w; falls back to `fallback_w`
+/// (typically the node TDP) when the submission carries no estimate.
+class EstimatePredictor final : public NodePowerPredictor {
+ public:
+  explicit EstimatePredictor(double fallback_w) : fallback_w_(fallback_w) {}
+  [[nodiscard]] double predict_node_w(const workload::JobRequest& job) const override {
+    return job.estimated_node_power_w > 0.0 ? job.estimated_node_power_w
+                                            : fallback_w_;
+  }
+  [[nodiscard]] std::string name() const override { return "estimate"; }
+
+ private:
+  double fallback_w_;
+};
+
+/// Wraps a fitted regressor over the paper's feature set
+/// (user id, nnodes, requested wall time).
+class TreePredictor final : public NodePowerPredictor {
+ public:
+  TreePredictor(std::shared_ptr<const ml::Regressor> model, double fallback_w)
+      : model_(std::move(model)), fallback_w_(fallback_w) {}
+  [[nodiscard]] double predict_node_w(const workload::JobRequest& job) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  std::shared_ptr<const ml::Regressor> model_;
+  double fallback_w_;
+};
+
+/// Multiplies an inner prediction by exp(sigma * z) with z a stateless
+/// standard normal keyed by (seed, job id): the predictor-quality axis of the
+/// robustness scenario matrix.
+class NoisyPredictor final : public NodePowerPredictor {
+ public:
+  NoisyPredictor(std::shared_ptr<const NodePowerPredictor> inner, double sigma,
+                 std::uint64_t seed)
+      : inner_(std::move(inner)), sigma_(sigma), seed_(seed) {}
+  [[nodiscard]] double predict_node_w(const workload::JobRequest& job) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  std::shared_ptr<const NodePowerPredictor> inner_;
+  double sigma_;
+  std::uint64_t seed_;
+};
+
+}  // namespace hpcpower::power

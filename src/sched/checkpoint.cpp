@@ -11,7 +11,10 @@ namespace hpcpower::sched {
 namespace {
 
 constexpr const char* kMagic = "hpcpower-campaign-checkpoint";
-constexpr const char* kVersion = "v1";
+// v2 added the hook-extension block (opaque lines from simulation hooks,
+// e.g. power-manager state). v1 checkpoints are no longer readable; they
+// were never a persistence format, only a kill/resume transport.
+constexpr const char* kVersion = "v2";
 
 std::uint64_t double_bits(double d) noexcept {
   std::uint64_t bits = 0;
@@ -123,6 +126,9 @@ void write_checkpoint(std::ostream& out, const CampaignCheckpoint& cp) {
   out << "busy " << cp.busy_nodes_per_minute.size();
   for (const auto b : cp.busy_nodes_per_minute) out << ' ' << b;
   out << '\n';
+
+  out << "extension " << cp.extension.size() << '\n';
+  for (const auto& line : cp.extension) out << line << '\n';
   out << "end\n";
   if (!out) fail("write failed");
 }
@@ -249,6 +255,16 @@ CampaignCheckpoint read_checkpoint(std::istream& in) {
   cp.busy_nodes_per_minute.resize(read_value<std::size_t>(in, "busy count"));
   for (auto& b : cp.busy_nodes_per_minute)
     b = read_value<std::uint32_t>(in, "busy value");
+
+  expect(in, "extension");
+  cp.extension.resize(read_value<std::size_t>(in, "extension count"));
+  {
+    std::string eol;
+    std::getline(in, eol);  // consume the rest of the count line
+    for (auto& line : cp.extension) {
+      if (!std::getline(in, line)) fail("truncated extension block");
+    }
+  }
   expect(in, "end");
   return cp;
 }

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -73,6 +74,9 @@ struct CampaignCheckpoint {
   std::vector<std::pair<workload::JobId, std::int64_t>> kill_times;
   std::vector<JobAccountingRecord> accounting;       // as accumulated
   std::vector<std::uint32_t> busy_nodes_per_minute;  // minutes [0, minute)
+  /// Opaque state lines contributed by simulation hooks (e.g. the closed-loop
+  /// power manager); stored verbatim and handed back on resume.
+  std::vector<std::string> extension;
 };
 
 void write_checkpoint(std::ostream& out, const CampaignCheckpoint& cp);

@@ -349,6 +349,7 @@ SimulationResult CampaignSimulator::run_until(
   cp.kill_times.assign(state.kill_time.begin(), state.kill_time.end());
   cp.accounting = state.result.accounting;
   cp.busy_nodes_per_minute = state.result.busy_nodes_per_minute;
+  if (hooks.checkpoint_state) cp.extension = hooks.checkpoint_state();
   write_checkpoint(out, cp);
 
   SimulationResult partial = std::move(state.result);
@@ -425,6 +426,7 @@ SimulationResult CampaignSimulator::resume(
   state.result.busy_nodes_per_minute = cp.busy_nodes_per_minute;
   state.result.availability = cp.availability;
 
+  if (hooks.restore_state) hooks.restore_state(cp.extension);
   drive(state, cp.minute, horizon_.minutes(), hooks);
   return finalize(state, hooks);
 }

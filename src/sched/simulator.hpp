@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "sched/failures.hpp"
@@ -37,6 +38,14 @@ struct SimulationHooks {
   std::function<void(util::MinuteTime, const std::vector<const RunningJob*>&,
                      std::uint32_t)>
       per_minute;
+  /// Extra simulation-coupled state to fold into a campaign checkpoint
+  /// (opaque lines, stored verbatim). Called by run_until() at the checkpoint
+  /// minute, after the last pre-checkpoint tick.
+  std::function<std::vector<std::string>()> checkpoint_state;
+  /// Hands the extension lines back on resume(), before any post-checkpoint
+  /// minute is driven. Implementations should throw on missing/mismatched
+  /// state rather than silently continue.
+  std::function<void(const std::vector<std::string>&)> restore_state;
 };
 
 /// Availability ledger of one campaign. Only populated when the failure

@@ -106,13 +106,16 @@ void MonitoringPipeline::per_minute(
     ActiveJob& a = it->second;
     TickPartial& out = tick_scratch_[j];
     const auto minute = static_cast<std::uint32_t>((now - a.placement.start).minutes());
+    const double cap_w = config_.job_node_cap_w
+                             ? config_.job_node_cap_w(job->request.job_id)
+                             : config_.node_power_cap_w;
 
     double sum = 0.0;
     double lo = 0.0, hi = 0.0;
     const std::uint32_t n = static_cast<std::uint32_t>(a.placement.nodes.size());
     for (std::uint32_t i = 0; i < n; ++i) {
-      const double p = capped_power(a.profile.node_power(minute, i),
-                                    config_.node_power_cap_w, out.throttled);
+      const double p = capped_power(a.profile.node_power(minute, i), cap_w,
+                                    out.throttled);
       a.all_samples.add(p);
       a.node_energy_wmin[i] += p;
       sum += p;
@@ -174,6 +177,9 @@ void MonitoringPipeline::per_minute_faulty(
     DataQualityReport& q = slot.quality;
     const std::uint64_t job_id = job->request.job_id;
     const auto minute = static_cast<std::uint32_t>((now - a.placement.start).minutes());
+    const double cap_w = config_.job_node_cap_w
+                             ? config_.job_node_cap_w(job_id)
+                             : config_.node_power_cap_w;
     ++a.ticks;
 
     const bool crashed = a.crash_at && minute >= *a.crash_at;
@@ -202,8 +208,8 @@ void MonitoringPipeline::per_minute_faulty(
     const std::uint32_t n = static_cast<std::uint32_t>(a.placement.nodes.size());
     for (std::uint32_t i = 0; i < n; ++i) {
       // The facility meter sees the true draw regardless of telemetry faults.
-      const double p = capped_power(a.profile.node_power(minute, i),
-                                    config_.node_power_cap_w, slot.tick.throttled);
+      const double p = capped_power(a.profile.node_power(minute, i), cap_w,
+                                    slot.tick.throttled);
       true_sum += p;
       const cluster::NodeId gid = a.placement.nodes[i];
       ++q.samples_expected;

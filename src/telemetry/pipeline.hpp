@@ -23,6 +23,7 @@
 // thread count, including the serial reference (DESIGN.md §5).
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -48,6 +49,12 @@ struct PipelineConfig {
   /// Optional static per-node power cap (W); <= 0 disables. Used by the
   /// power-capping example/ablation, not by the baseline reproduction.
   double node_power_cap_w = 0.0;
+  /// Optional dynamic per-job node cap provider (W; <= 0 means uncapped for
+  /// that job). Takes precedence over node_power_cap_w. The closed-loop power
+  /// manager installs its current cap table here; it is resolved once per job
+  /// per tick (before the node loop) and must be safe to call concurrently
+  /// with itself (the manager only mutates caps between ticks).
+  std::function<double(workload::JobId)> job_node_cap_w;
   /// Telemetry fault injection (disabled by default: perfect collector).
   FaultConfig faults;
   /// Robust-ingest behaviour; only consulted when faults are enabled.

@@ -112,6 +112,8 @@ void expect_campaigns_identical(const std::vector<core::CampaignData>& a,
     EXPECT_EQ(a[c].series.busy_nodes, b[c].series.busy_nodes);
     EXPECT_EQ(a[c].throttled_samples, b[c].throttled_samples);
     EXPECT_EQ(a[c].quality, b[c].quality);
+    // Power-manager report (ledger, mode minutes, meter maxima): exact.
+    EXPECT_EQ(a[c].power, b[c].power);
   }
 }
 
@@ -163,6 +165,25 @@ TEST_F(ParallelDeterminism, NodeFailureCampaignIsThreadCountInvariant) {
   config.node_failures.enabled = true;
   config.node_failures.mtbf_days = 10.0;  // enough failures in a 2-day window
   const RunOutput golden = run_study(config, 1, /*with_ml=*/false);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{0}}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const RunOutput run = run_study(config, threads, /*with_ml=*/false);
+    expect_campaigns_identical(golden.campaigns, run.campaigns);
+    EXPECT_EQ(golden.report, run.report);
+  }
+}
+
+TEST_F(ParallelDeterminism, PowerManagedCampaignIsThreadCountInvariant) {
+  core::StudyConfig config = small_config();
+  config.power_manager.enabled = true;
+  config.power_manager.site_cap_fraction = 0.65;
+  config.power_manager.predictor_error_sigma = 0.20;
+  config.power_manager.meter_fault_rate = 0.05;
+  config.node_failures.enabled = true;
+  config.node_failures.mtbf_days = 10.0;
+  const RunOutput golden = run_study(config, 1, /*with_ml=*/false);
+  ASSERT_TRUE(golden.campaigns.front().power.has_value());
+  ASSERT_NE(golden.report.find("Closed-loop power management"), std::string::npos);
   for (const std::size_t threads : {std::size_t{2}, std::size_t{0}}) {
     SCOPED_TRACE("threads=" + std::to_string(threads));
     const RunOutput run = run_study(config, threads, /*with_ml=*/false);

@@ -1,0 +1,206 @@
+// Checkpoint/resume property for the closed-loop power manager: killing a
+// managed campaign mid-throttle or mid-outage and resuming it must be
+// bit-identical to the uninterrupted run — scheduler accounting AND the
+// manager's full report (ledger, mode minutes, meter history, maxima).
+//
+// The site meter here is a synthetic pure function of the manager's own
+// ledger, so the post-checkpoint meter readings depend only on (restored)
+// state and the resumed closed loop re-derives the identical future.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "power/hooks.hpp"
+#include "power/manager.hpp"
+#include "power/predictor.hpp"
+#include "sched/simulator.hpp"
+
+namespace hpcpower::power {
+namespace {
+
+constexpr std::uint32_t kNodes = 24;
+constexpr std::int64_t kHorizon = 4 * 1440;
+
+cluster::SystemSpec tiny_spec() {
+  cluster::SystemSpec s;
+  s.id = cluster::SystemId::kCustom;
+  s.name = "tiny";
+  s.node_count = kNodes;
+  s.node_tdp_watts = 200.0;
+  s.idle_power_fraction = 0.18;
+  return s;
+}
+
+std::vector<workload::JobRequest> synthetic_jobs(std::size_t count) {
+  std::vector<workload::JobRequest> jobs;
+  jobs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    workload::JobRequest j;
+    j.job_id = static_cast<workload::JobId>(i + 1);
+    j.nnodes = 1 + static_cast<std::uint32_t>((i * 7) % 6);
+    j.runtime_min = 20 + static_cast<std::uint32_t>((i * 13) % 240);
+    j.walltime_req_min = j.runtime_min + 15 + static_cast<std::uint32_t>(i % 40);
+    j.submit = util::MinuteTime(static_cast<std::int64_t>(i) * kHorizon /
+                                (2 * static_cast<std::int64_t>(count)));
+    j.estimated_node_power_w = 60.0 + static_cast<double>((i * 17) % 120);
+    jobs.push_back(j);
+  }
+  return jobs;
+}
+
+struct Scenario {
+  PowerManagerConfig power;
+  sched::FailureConfig failures;
+  std::uint64_t seed = 5;
+};
+
+/// Meter that always reads just under the cap while anything runs: forces the
+/// manager into THROTTLE as soon as the machine is busy (and keeps it there),
+/// so the checkpoint below lands mid-throttle by construction.
+std::function<double()> alarmist_meter(const ClusterPowerManager& mgr) {
+  // Busy/idle gap kept under the 0.35 * cap plausibility-jump threshold so
+  // the filter accepts the readings and the throttle actually engages.
+  return [&mgr]() {
+    return mgr.ledger().outstanding() > 0 ? 0.98 * mgr.site_cap_w()
+                                          : 0.80 * mgr.site_cap_w();
+  };
+}
+
+struct ManagedRun {
+  sched::SimulationResult result;
+  PowerReport report;
+};
+
+/// Runs the scenario uninterrupted, or killed at `checkpoint_minute` and
+/// resumed from the written checkpoint (when checkpoint_minute >= 0).
+ManagedRun run_scenario(const Scenario& sc,
+                        const std::vector<workload::JobRequest>& jobs,
+                        std::int64_t checkpoint_minute,
+                        PowerMode* mode_at_checkpoint = nullptr,
+                        std::uint32_t* down_at_checkpoint = nullptr) {
+  const auto spec = tiny_spec();
+  const auto predictor = std::make_shared<EstimatePredictor>(spec.node_tdp_watts);
+
+  ClusterPowerManager manager(spec, sc.power, predictor, sc.seed);
+  const sched::PowerBudget budget{manager.pool_w(), spec.node_tdp_watts};
+  auto hooks = managed_hooks(manager, {}, alarmist_meter(manager));
+  if (mode_at_checkpoint || down_at_checkpoint) {
+    hooks.per_minute = [inner = hooks.per_minute, checkpoint_minute,
+                        mode_at_checkpoint, down_at_checkpoint, &manager](
+                           util::MinuteTime now,
+                           const std::vector<const sched::RunningJob*>& running,
+                           std::uint32_t down) {
+      inner(now, running, down);
+      if (now.minutes() == checkpoint_minute - 1) {
+        if (mode_at_checkpoint) *mode_at_checkpoint = manager.mode();
+        if (down_at_checkpoint) *down_at_checkpoint = down;
+      }
+    };
+  }
+
+  sched::CampaignSimulator sim(kNodes, util::MinuteTime(kHorizon),
+                               sched::SchedulerPolicy::kFcfsBackfill, budget,
+                               sc.failures, sc.seed);
+  if (checkpoint_minute < 0) {
+    return {sim.run(jobs, hooks), manager.report()};
+  }
+
+  std::stringstream file;
+  (void)sim.run_until(jobs, util::MinuteTime(checkpoint_minute), file, hooks);
+
+  // Fresh manager + simulator, as a new process would construct them.
+  ClusterPowerManager resumed_manager(spec, sc.power, predictor, sc.seed);
+  auto resumed_hooks =
+      managed_hooks(resumed_manager, {}, alarmist_meter(resumed_manager));
+  sched::CampaignSimulator resumed_sim(kNodes, util::MinuteTime(kHorizon),
+                                       sched::SchedulerPolicy::kFcfsBackfill,
+                                       budget, sc.failures, sc.seed);
+  return {resumed_sim.resume(file, jobs, resumed_hooks),
+          resumed_manager.report()};
+}
+
+Scenario throttle_scenario() {
+  Scenario sc;
+  sc.power.enabled = true;
+  sc.power.site_cap_w = 1600.0;
+  sc.power.quality_window_min = 30;
+  sc.power.throttle_min_dwell_min = 5;
+  return sc;
+}
+
+Scenario outage_scenario() {
+  Scenario sc = throttle_scenario();
+  sc.power.meter_fault_rate = 0.30;  // degraded-mode pressure as well
+  sc.failures.enabled = true;
+  sc.failures.mtbf_days = 0.5;
+  sc.failures.mttr_min = 300.0;
+  sc.failures.max_attempts = 3;
+  return sc;
+}
+
+TEST(PowerCheckpoint, ResumeMidThrottleIsBitIdentical) {
+  const auto jobs = synthetic_jobs(260);
+  const Scenario sc = throttle_scenario();
+  const ManagedRun whole = run_scenario(sc, jobs, -1);
+  ASSERT_GT(whole.report.minutes_throttle, 0u);
+  ASSERT_TRUE(whole.report.ledger_reconciles);
+
+  PowerMode mode_at_cp = PowerMode::kNormal;
+  const ManagedRun stitched =
+      run_scenario(sc, jobs, kHorizon / 2, &mode_at_cp);
+  EXPECT_EQ(mode_at_cp, PowerMode::kThrottle);  // the kill landed mid-throttle
+  EXPECT_EQ(stitched.result, whole.result);
+  EXPECT_EQ(stitched.report, whole.report);
+}
+
+TEST(PowerCheckpoint, ResumeMidOutageIsBitIdentical) {
+  const auto jobs = synthetic_jobs(260);
+  const Scenario sc = outage_scenario();
+  const ManagedRun whole = run_scenario(sc, jobs, -1);
+  ASSERT_TRUE(whole.report.ledger_reconciles);
+  ASSERT_GT(whole.result.availability.node_failures, 0u);
+  ASSERT_GT(whole.report.meter_samples_rejected, 0u);
+
+  std::uint32_t down_at_cp = 0;
+  const ManagedRun stitched =
+      run_scenario(sc, jobs, kHorizon / 2, nullptr, &down_at_cp);
+  EXPECT_GT(down_at_cp, 0u);  // the kill landed mid-outage
+  EXPECT_EQ(stitched.result, whole.result);
+  EXPECT_EQ(stitched.report, whole.report);
+}
+
+TEST(PowerCheckpoint, CheckpointsAtEveryPhaseResumeIdentically) {
+  const auto jobs = synthetic_jobs(180);
+  const Scenario sc = outage_scenario();
+  const ManagedRun whole = run_scenario(sc, jobs, -1);
+  for (const std::int64_t cp : {0L, 1L, kHorizon / 4, 3 * kHorizon / 4, kHorizon}) {
+    SCOPED_TRACE(testing::Message() << "checkpoint at minute " << cp);
+    const ManagedRun stitched = run_scenario(sc, jobs, cp);
+    EXPECT_EQ(stitched.result, whole.result);
+    EXPECT_EQ(stitched.report, whole.report);
+  }
+}
+
+TEST(PowerCheckpoint, ResumeWithoutManagerStateIsRefused) {
+  const auto jobs = synthetic_jobs(120);
+  const Scenario sc = throttle_scenario();
+  const auto spec = tiny_spec();
+  const auto predictor = std::make_shared<EstimatePredictor>(spec.node_tdp_watts);
+
+  // Checkpoint written by an unmanaged campaign (no extension state).
+  sched::CampaignSimulator sim(kNodes, util::MinuteTime(kHorizon));
+  std::stringstream file;
+  (void)sim.run_until(jobs, util::MinuteTime(kHorizon / 2), file, {});
+
+  ClusterPowerManager manager(spec, sc.power, predictor, sc.seed);
+  auto hooks = managed_hooks(manager, {}, alarmist_meter(manager));
+  sched::CampaignSimulator resumed(kNodes, util::MinuteTime(kHorizon));
+  EXPECT_THROW((void)resumed.resume(file, jobs, hooks), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace hpcpower::power

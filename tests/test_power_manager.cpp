@@ -1,0 +1,333 @@
+// ClusterPowerManager unit tests: ledger exactness, admission clamping,
+// deterministic slack redistribution, THROTTLE hysteresis, DEGRADED entry on
+// untrustworthy telemetry, deterministic meter faults, and checkpoint
+// round-trips.
+
+#include "power/manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "power/ledger.hpp"
+#include "power/predictor.hpp"
+
+namespace hpcpower::power {
+namespace {
+
+cluster::SystemSpec tiny_spec() {
+  cluster::SystemSpec s;
+  s.id = cluster::SystemId::kCustom;
+  s.name = "tiny";
+  s.node_count = 16;
+  s.node_tdp_watts = 200.0;
+  s.idle_power_fraction = 0.18;
+  return s;
+}
+
+sched::RunningJob running_job(workload::JobId id, std::uint32_t nnodes,
+                              double est_node_w) {
+  sched::RunningJob j;
+  j.request.job_id = id;
+  j.request.nnodes = nnodes;
+  j.request.estimated_node_power_w = est_node_w;
+  j.nodes.assign(nnodes, 0);
+  return j;
+}
+
+std::shared_ptr<const NodePowerPredictor> estimate_predictor() {
+  return std::make_shared<EstimatePredictor>(200.0);
+}
+
+// ---------------------------------------------------------------------------
+// PowerLedger
+
+TEST(PowerLedger, GrantWithholdReleaseStaysExact) {
+  PowerLedger ledger;
+  EXPECT_TRUE(ledger.reconciles());
+  ledger.grant(100'000);
+  ledger.grant(50'000);
+  EXPECT_EQ(ledger.granted(), 150'000);
+  EXPECT_EQ(ledger.held(), 150'000);
+  EXPECT_EQ(ledger.outstanding(), 150'000);
+  EXPECT_TRUE(ledger.reconciles());
+
+  ledger.withhold(30'000);  // throttle part of the grant
+  EXPECT_EQ(ledger.held(), 120'000);
+  EXPECT_EQ(ledger.throttled(), 30'000);
+  EXPECT_EQ(ledger.outstanding(), 150'000);
+  EXPECT_TRUE(ledger.reconciles());
+
+  ledger.withhold(-30'000);  // throttle lifts
+  EXPECT_EQ(ledger.throttled(), 0);
+  ledger.withhold(20'000);
+  ledger.release(80'000, 20'000);  // one job (100 kmW grant) ends mid-throttle
+  ledger.release(50'000, 0);
+  EXPECT_EQ(ledger.granted(), ledger.released());
+  EXPECT_EQ(ledger.held(), 0);
+  EXPECT_EQ(ledger.throttled(), 0);
+  EXPECT_TRUE(ledger.reconciles());
+}
+
+TEST(PowerLedger, DetectsNegativeBuckets) {
+  PowerLedger ledger;
+  ledger.grant(10'000);
+  ledger.release(20'000, 0);  // releasing more than granted
+  EXPECT_FALSE(ledger.reconciles());
+}
+
+// ---------------------------------------------------------------------------
+// Admission estimates
+
+TEST(PowerManager, AdmissionEstimateAppliesGuardBandAndClamps) {
+  PowerManagerConfig config;
+  config.enabled = true;
+  config.guard_band = 0.15;
+  const ClusterPowerManager mgr(tiny_spec(), config, estimate_predictor(), 1);
+
+  workload::JobRequest job;
+  job.job_id = 1;
+  job.estimated_node_power_w = 100.0;
+  EXPECT_DOUBLE_EQ(mgr.admission_estimate_w(job), 115.0);
+
+  job.estimated_node_power_w = 190.0;  // guard band would exceed TDP
+  EXPECT_DOUBLE_EQ(mgr.admission_estimate_w(job), 200.0);
+
+  job.estimated_node_power_w = 0.0;  // no estimate -> predictor fallback (TDP)
+  EXPECT_DOUBLE_EQ(mgr.admission_estimate_w(job), 200.0);
+
+  // Always a whole milliwatt so double and integer arithmetic agree.
+  job.estimated_node_power_w = 77.7777;
+  const double est = mgr.admission_estimate_w(job);
+  EXPECT_DOUBLE_EQ(est * 1000.0, static_cast<double>(std::llround(est * 1000.0)));
+}
+
+TEST(PowerManager, PoolReservesIdleFloorAndGuard) {
+  PowerManagerConfig config;
+  config.enabled = true;
+  config.site_cap_w = 2400.0;
+  const ClusterPowerManager mgr(tiny_spec(), config, estimate_predictor(), 1);
+  EXPECT_DOUBLE_EQ(mgr.site_cap_w(), 2400.0);
+  // 2400 W cap - 16 nodes x 36 W idle - 1 W guard = 1823 W pool.
+  EXPECT_DOUBLE_EQ(mgr.pool_w(), 1823.0);
+}
+
+// ---------------------------------------------------------------------------
+// Grants and caps
+
+TEST(PowerManager, GrantAndReleaseRoundTrip) {
+  PowerManagerConfig config;
+  config.enabled = true;
+  ClusterPowerManager mgr(tiny_spec(), config, estimate_predictor(), 1);
+
+  const auto j1 = running_job(1, 2, 50.0);
+  const auto j2 = running_job(2, 1, 100.0);
+  mgr.on_job_start(j1);
+  mgr.on_job_start(j2);
+  EXPECT_EQ(mgr.ledger().granted(), 2 * 50'000 + 100'000);
+  EXPECT_EQ(mgr.ledger().outstanding(), 200'000);
+  EXPECT_TRUE(mgr.ledger().reconciles());
+
+  mgr.on_job_end(j1);
+  mgr.on_job_end(j2);
+  EXPECT_EQ(mgr.ledger().outstanding(), 0);
+  EXPECT_EQ(mgr.ledger().granted(), mgr.ledger().released());
+  EXPECT_TRUE(mgr.ledger().reconciles());
+  EXPECT_DOUBLE_EQ(mgr.node_cap_w(1), 0.0);  // unknown after release
+}
+
+TEST(PowerManager, NormalModeRedistributesSlackByIntegerFloor) {
+  PowerManagerConfig config;
+  config.enabled = true;
+  config.site_cap_w = 1000.0;  // pool = 1000000 - 576000 - 1000 = 423000 mW
+  ClusterPowerManager mgr(tiny_spec(), config, estimate_predictor(), 1);
+  ASSERT_DOUBLE_EQ(mgr.pool_w(), 423.0);
+
+  const auto j1 = running_job(1, 2, 50.0);
+  const auto j2 = running_job(2, 1, 100.0);
+  mgr.on_job_start(j1);
+  mgr.on_job_start(j2);
+  mgr.begin_minute(util::MinuteTime(0), {});
+
+  // slack = 423000 - 200000 = 223000 mW over 3 busy nodes -> 74333 mW/node.
+  EXPECT_DOUBLE_EQ(mgr.node_cap_w(1), 124.333);
+  EXPECT_DOUBLE_EQ(mgr.node_cap_w(2), 174.333);
+  // Sum of caps over busy nodes never exceeds the pool.
+  EXPECT_LE(2 * 124'333 + 174'333, 423'000);
+  // Caps above the grant leave nothing withheld.
+  EXPECT_EQ(mgr.ledger().throttled(), 0);
+  EXPECT_TRUE(mgr.ledger().reconciles());
+}
+
+// ---------------------------------------------------------------------------
+// Mode machine
+
+PowerManagerConfig throttle_config() {
+  PowerManagerConfig config;
+  config.enabled = true;
+  config.site_cap_w = 1000.0;
+  config.throttle_enter_fraction = 0.97;
+  config.throttle_exit_fraction = 0.90;
+  config.throttle_tighten_fraction = 0.80;
+  config.throttle_min_dwell_min = 3;
+  config.quality_window_min = 0;  // degraded mode disabled
+  return config;
+}
+
+TEST(PowerManager, ThrottleEntersTightensAndExitsWithHysteresis) {
+  ClusterPowerManager mgr(tiny_spec(), throttle_config(), estimate_predictor(), 1);
+  const auto j1 = running_job(1, 1, 100.0);
+  mgr.on_job_start(j1);
+
+  std::int64_t minute = 0;
+  const auto step = [&](double site_w) {
+    mgr.begin_minute(util::MinuteTime(minute), {});
+    mgr.end_minute(util::MinuteTime(minute), site_w);
+    ++minute;
+  };
+
+  step(500.0);
+  EXPECT_EQ(mgr.mode(), PowerMode::kNormal);
+  step(770.0);  // plausible jump (<= 0.35 * cap), above 0.97 * cap? No: 770 < 970
+  EXPECT_EQ(mgr.mode(), PowerMode::kNormal);
+  step(980.0);  // above enter threshold
+  EXPECT_EQ(mgr.mode(), PowerMode::kThrottle);
+
+  // Next minute's caps tighten to 80% of the grant; the withheld 20% moves
+  // to the throttled bucket.
+  mgr.begin_minute(util::MinuteTime(minute), {});
+  EXPECT_DOUBLE_EQ(mgr.node_cap_w(1), 80.0);
+  EXPECT_EQ(mgr.ledger().throttled(), 20'000);
+  EXPECT_TRUE(mgr.ledger().reconciles());
+  mgr.end_minute(util::MinuteTime(minute), 850.0);  // below exit, dwell 1 < 3
+  ++minute;
+  EXPECT_EQ(mgr.mode(), PowerMode::kThrottle);
+  step(850.0);  // dwell 2
+  EXPECT_EQ(mgr.mode(), PowerMode::kThrottle);
+  step(850.0);  // dwell 3 >= 3 and below 0.90 * cap -> exit
+  EXPECT_EQ(mgr.mode(), PowerMode::kNormal);
+
+  // Caps reopen and the withheld power returns to the held bucket.
+  mgr.begin_minute(util::MinuteTime(minute), {});
+  EXPECT_EQ(mgr.ledger().throttled(), 0);
+  EXPECT_TRUE(mgr.ledger().reconciles());
+
+  const PowerReport report = mgr.report();
+  EXPECT_EQ(report.throttle_events, 1u);
+  EXPECT_EQ(report.minutes_throttle, 3u);
+  EXPECT_EQ(report.cap_violation_minutes, 0u);
+}
+
+TEST(PowerManager, DegradedEntersOnBadWindowAndRecovers) {
+  PowerManagerConfig config = throttle_config();
+  config.quality_window_min = 4;
+  config.degraded_enter_bad_fraction = 0.5;
+  config.degraded_exit_clean_min = 2;
+  ClusterPowerManager mgr(tiny_spec(), config, estimate_predictor(), 1);
+  const auto j1 = running_job(1, 1, 100.0);
+  mgr.on_job_start(j1);
+
+  std::int64_t minute = 0;
+  const auto step = [&](double site_w) {
+    mgr.begin_minute(util::MinuteTime(minute), {});
+    mgr.end_minute(util::MinuteTime(minute), site_w);
+    ++minute;
+  };
+
+  // Four implausible (negative) readings fill the window entirely bad.
+  for (int i = 0; i < 4; ++i) step(-5.0);
+  EXPECT_EQ(mgr.mode(), PowerMode::kDegraded);
+
+  // Degraded caps are the static conservative fallback: pool / node_count.
+  mgr.begin_minute(util::MinuteTime(minute), {});
+  EXPECT_DOUBLE_EQ(mgr.node_cap_w(1),
+                   static_cast<double>(static_cast<std::int64_t>(
+                       mgr.pool_w() * 1000.0 / 16.0)) /
+                       1000.0);
+  mgr.end_minute(util::MinuteTime(minute), 500.0);  // clean 1
+  ++minute;
+  EXPECT_EQ(mgr.mode(), PowerMode::kDegraded);
+  step(500.0);  // clean 2 -> recover
+  EXPECT_EQ(mgr.mode(), PowerMode::kNormal);
+
+  const PowerReport report = mgr.report();
+  EXPECT_EQ(report.degraded_events, 1u);
+  EXPECT_EQ(report.meter_samples_rejected, 4u);
+  EXPECT_TRUE(report.ledger_reconciles);
+}
+
+TEST(PowerManager, MeterFaultsAreDeterministicPerSeed) {
+  PowerManagerConfig config = throttle_config();
+  config.meter_fault_rate = 0.5;
+  ClusterPowerManager a(tiny_spec(), config, estimate_predictor(), 7);
+  ClusterPowerManager b(tiny_spec(), config, estimate_predictor(), 7);
+  for (std::int64_t m = 0; m < 200; ++m) {
+    a.begin_minute(util::MinuteTime(m), {});
+    b.begin_minute(util::MinuteTime(m), {});
+    a.end_minute(util::MinuteTime(m), 500.0);
+    b.end_minute(util::MinuteTime(m), 500.0);
+  }
+  EXPECT_EQ(a.report(), b.report());
+  EXPECT_GT(a.report().meter_faults_injected, 0u);
+  EXPECT_GT(a.report().meter_samples_rejected, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpointing
+
+TEST(PowerManager, CheckpointRoundTripContinuesBitIdentically) {
+  PowerManagerConfig config = throttle_config();
+  config.quality_window_min = 8;
+  config.meter_fault_rate = 0.3;
+  ClusterPowerManager a(tiny_spec(), config, estimate_predictor(), 11);
+
+  const auto j1 = running_job(1, 2, 60.0);
+  const auto j2 = running_job(2, 1, 120.0);
+  a.on_job_start(j1);
+  a.on_job_start(j2);
+  for (std::int64_t m = 0; m < 50; ++m) {
+    a.begin_minute(util::MinuteTime(m), {});
+    a.end_minute(util::MinuteTime(m), 900.0 + static_cast<double>(m % 90));
+  }
+  a.on_job_end(j1);
+
+  const std::vector<std::string> lines = a.checkpoint_lines();
+  ClusterPowerManager b(tiny_spec(), config, estimate_predictor(), 11);
+  b.restore(lines);
+  EXPECT_EQ(a.report(), b.report());
+  EXPECT_EQ(a.checkpoint_lines(), b.checkpoint_lines());
+
+  // Driving both managers through the same future stays bit-identical.
+  for (std::int64_t m = 50; m < 120; ++m) {
+    a.begin_minute(util::MinuteTime(m), {});
+    b.begin_minute(util::MinuteTime(m), {});
+    const double w = 940.0 + static_cast<double>((m * 13) % 70);
+    a.end_minute(util::MinuteTime(m), w);
+    b.end_minute(util::MinuteTime(m), w);
+  }
+  a.on_job_end(j2);
+  b.on_job_end(j2);
+  EXPECT_EQ(a.report(), b.report());
+  EXPECT_TRUE(a.report().ledger_reconciles);
+}
+
+TEST(PowerManager, RestoreRejectsMalformedState) {
+  PowerManagerConfig config = throttle_config();
+  config.quality_window_min = 8;
+  ClusterPowerManager mgr(tiny_spec(), config, estimate_predictor(), 1);
+  EXPECT_THROW(mgr.restore({}), std::runtime_error);
+  EXPECT_THROW(mgr.restore({"garbage 1 2 3"}), std::runtime_error);
+
+  // A checkpoint from a differently configured manager (other window size)
+  // must be refused, not silently adapted.
+  PowerManagerConfig other = config;
+  other.quality_window_min = 4;
+  ClusterPowerManager donor(tiny_spec(), other, estimate_predictor(), 1);
+  EXPECT_THROW(mgr.restore(donor.checkpoint_lines()), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace hpcpower::power
