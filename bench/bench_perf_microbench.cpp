@@ -40,10 +40,13 @@
 #include "stats/correlation.hpp"
 #include "stats/descriptive.hpp"
 #include "storage/hpcb.hpp"
+#include "stream/source.hpp"
 #include "trace/sample_table.hpp"
 #include "util/logging.hpp"
 #include "util/prng.hpp"
 #include "util/thread_pool.hpp"
+#include <chrono>
+#include <filesystem>
 #include <sstream>
 #include <thread>
 #include <unordered_map>
@@ -356,6 +359,98 @@ StorageResult run_storage_stage(double days) {
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Stream stage: sustained ingest throughput, WAL recovery cost, flat memory.
+
+struct StreamResult {
+  std::uint64_t batches = 0;
+  std::uint64_t rows = 0;          // detail sample rows applied
+  std::uint64_t peak_pending = 0;  // reorder buffer high-water mark (batches)
+  std::uint64_t retained_samples = 0;
+  std::uint64_t retained_samples_half = 0;
+  double wal_replay_ms = 0.0;  // fresh daemon recover() over the full WAL
+  bool flat_memory = false;
+  bool recovery_identical = false;
+
+  [[nodiscard]] double rows_per_sec() const {
+    return wal_replay_ms > 0.0
+               ? static_cast<double>(rows) / (wal_replay_ms / 1e3)
+               : 0.0;
+  }
+};
+
+StreamResult run_stream_stage(double days) {
+  namespace fs = std::filesystem;
+  StreamResult out;
+  const fs::path wal_dir =
+      fs::temp_directory_path() / "hpcpower_bench_stream_wal";
+  fs::remove_all(wal_dir);
+
+  core::StudyConfig config;
+  config.days = days;
+  config.instrument_begin_day = 0.0;
+  config.instrument_end_day = config.days;
+
+  // Live pass under a nasty transport (drops, dups, delays, reordering) so
+  // peak_pending measures the reorder buffer doing real work; every batch
+  // still lands in the WAL exactly once.
+  stream::TransitFaultConfig faults;
+  faults.enabled = true;
+  faults.seed = 4242;
+  faults.drop_p = 0.05;
+  faults.dup_p = 0.05;
+  faults.delay_p = 0.10;
+
+  stream::IngestConfig ingest;
+  ingest.wal_dir = wal_dir.string();
+  ingest.checkpoint_every = 0;  // replay-only recovery: the replay below then
+                                // covers the entire stream, i.e. pure ingest
+
+  std::string live_summary;
+  {
+    stream::IngestDaemon daemon(cluster::emmy_spec(), ingest);
+    stream::StreamDriver driver(daemon, faults);
+    const auto result = stream::run_streamed_campaign(cluster::emmy_spec(),
+                                                      config, daemon, driver);
+    out.batches = result.batches_emitted;
+    out.rows = result.apply.rows_applied;
+    out.peak_pending = result.transit.peak_pending;
+    out.retained_samples = daemon.history().retained_samples();
+    live_summary = daemon.render_summary();
+  }
+
+  // WAL replay: decode + offer + apply of the whole stream with no simulator
+  // in the loop — at once the crash-recovery cost and the daemon's sustained
+  // ingest rate.
+  {
+    stream::IngestDaemon recovered(cluster::emmy_spec(), ingest);
+    const auto t0 = std::chrono::steady_clock::now();
+    const bool ok = recovered.recover();
+    const auto t1 = std::chrono::steady_clock::now();
+    out.wal_replay_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    out.recovery_identical = ok && recovered.render_summary() == live_summary;
+  }
+
+  // Flat memory: the ring window bounds retained detail by window size, not
+  // campaign length — half the campaign must retain exactly as many samples.
+  {
+    core::StudyConfig half = config;
+    half.days = days / 2.0;
+    half.instrument_end_day = half.days;
+    stream::IngestDaemon daemon(cluster::emmy_spec(), stream::IngestConfig{});
+    stream::StreamDriver driver(daemon, stream::TransitFaultConfig{});
+    const auto result = stream::run_streamed_campaign(cluster::emmy_spec(),
+                                                      half, daemon, driver);
+    benchmark::DoNotOptimize(result.batches_emitted);
+    out.retained_samples_half = daemon.history().retained_samples();
+  }
+  out.flat_memory = out.retained_samples == out.retained_samples_half;
+
+  fs::remove_all(wal_dir);
+  return out;
+}
+
 int run_stage_harness(double days, const std::string& out_path) {
   core::StudyConfig config;
   config.days = days;
@@ -374,6 +469,7 @@ int run_stage_harness(double days, const std::string& out_path) {
   const bool deterministic = serial.report_text == parallel.report_text;
   const unsigned hw = std::thread::hardware_concurrency();
   const StorageResult storage = run_storage_stage(days);
+  const StreamResult stream = run_stream_stage(days);
 
   // A "speedup" measured against a parallel pass that had one hardware
   // thread is pool overhead, not parallelism — report null rather than a
@@ -423,6 +519,23 @@ int run_stage_harness(double days, const std::string& out_path) {
                storage.csv_read_ms, storage.hpcb_read_ms, storage.hpcb_scan_ms,
                storage.read_speedup());
   std::fprintf(f,
+               "  \"stream\": {\n"
+               "    \"batches\": %llu,\n    \"rows\": %llu,\n"
+               "    \"ingest_rows_per_sec\": %.0f,\n"
+               "    \"wal_replay_ms\": %.2f,\n"
+               "    \"peak_pending_batches\": %llu,\n"
+               "    \"retained_samples\": %llu,\n"
+               "    \"retained_samples_half\": %llu,\n"
+               "    \"flat_memory\": %s,\n    \"recovery_identical\": %s\n  },\n",
+               static_cast<unsigned long long>(stream.batches),
+               static_cast<unsigned long long>(stream.rows),
+               stream.rows_per_sec(), stream.wal_replay_ms,
+               static_cast<unsigned long long>(stream.peak_pending),
+               static_cast<unsigned long long>(stream.retained_samples),
+               static_cast<unsigned long long>(stream.retained_samples_half),
+               stream.flat_memory ? "true" : "false",
+               stream.recovery_identical ? "true" : "false");
+  std::fprintf(f,
                "  \"serial_total_ms\": %.2f,\n  \"parallel_total_ms\": "
                "%.2f,\n  \"total_speedup\": ",
                serial_total, parallel_total);
@@ -446,6 +559,18 @@ int run_stage_harness(double days, const std::string& out_path) {
       static_cast<double>(storage.hpcb_bytes) / 1e6, storage.size_ratio(),
       storage.csv_read_ms, storage.hpcb_read_ms, storage.read_speedup(),
       storage.hpcb_scan_ms);
+  std::printf(
+      "  stream     %llu batches / %llu rows: WAL replay %.1f ms (%.0f "
+      "rows/s), peak pending %llu, retained %llu vs %llu at half length "
+      "(flat=%s), recovery %s\n",
+      static_cast<unsigned long long>(stream.batches),
+      static_cast<unsigned long long>(stream.rows), stream.wal_replay_ms,
+      stream.rows_per_sec(),
+      static_cast<unsigned long long>(stream.peak_pending),
+      static_cast<unsigned long long>(stream.retained_samples),
+      static_cast<unsigned long long>(stream.retained_samples_half),
+      stream.flat_memory ? "yes" : "NO",
+      stream.recovery_identical ? "byte-identical" : "DIVERGED");
   if (!comparable)
     std::printf("  note: single hardware thread; speedups not meaningful\n");
   std::printf("  spans recorded (parallel pass): %llu\n",
@@ -453,7 +578,8 @@ int run_stage_harness(double days, const std::string& out_path) {
   std::printf("  deterministic (byte-identical report): %s\n",
               deterministic ? "yes" : "NO");
   std::printf("  wrote %s\n", out_path.c_str());
-  return deterministic ? 0 : 1;
+  return (deterministic && stream.flat_memory && stream.recovery_identical) ? 0
+                                                                            : 1;
 }
 
 }  // namespace

@@ -1,0 +1,177 @@
+// streaming_ingest_demo: drive one campaign through the crash-safe streaming
+// ingest daemon and prove the durability story end to end.
+//
+// The demo regenerates the campaign deterministically from the seed, streams
+// it batch-by-batch through the fault-injecting transport into an
+// IngestDaemon, and writes the daemon's reconstructed report plus its
+// deterministic state summary. With --kill-at-seq the daemon std::_Exit(137)s
+// at the chosen batch boundary (optionally leaving a torn WAL record or a
+// torn checkpoint behind); a follow-up run with --resume recovers from the
+// WAL, drops every already-applied batch as stale, and must produce the exact
+// bytes of the uninterrupted run. tools/check_crash_recovery.sh automates
+// that kill/resume/diff loop.
+//
+//   ./streaming_ingest_demo --days 1 --wal /tmp/wal --out report.md
+//   ./streaming_ingest_demo --days 1 --wal /tmp/wal --kill-at-seq 700
+//       (add --kill-mode torn-wal|torn-checkpoint; exits 137 mid-stream)
+//   ./streaming_ingest_demo --days 1 --wal /tmp/wal --resume --out report.md
+
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <string>
+
+#include "core/report.hpp"
+#include "core/study.hpp"
+#include "stream/source.hpp"
+#include "util/logging.hpp"
+#include "util/options.hpp"
+#include "util/thread_pool.hpp"
+
+using namespace hpcpower;
+
+namespace {
+
+bool write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << text;
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Options opts("streaming_ingest_demo",
+                     "stream a campaign through the crash-safe ingest daemon");
+  opts.add_option("days", "campaign length in days", "1");
+  opts.add_option("warmup-days", "warmup period excluded from analysis", "0.25");
+  opts.add_option("seed", "root random seed", "42");
+  opts.add_option("wal", "WAL directory (empty = memory-only, no durability)", "");
+  opts.add_option("checkpoint-every", "batches between checkpoints (0 = replay-only)",
+                  "64");
+  opts.add_option("capacity", "apply capacity in rows/batch (0 disables degraded modes)",
+                  "0");
+  opts.add_option("shed-keep", "detail rows kept per batch while SHEDDING", "0");
+  opts.add_flag("faults", "inject transit faults: drops, dups, delays, reordering");
+  opts.add_option("transit-seed", "transit fault schedule seed", "1234");
+  opts.add_option("kill-at-seq", "crash once this batch seq is durable (0 = never)", "0");
+  opts.add_option("kill-mode",
+                  "crash flavor: after-batch | torn-wal | torn-checkpoint",
+                  "after-batch");
+  opts.add_flag("resume", "recover from the WAL first; re-streamed batches drop as stale");
+  opts.add_option("out", "write the streamed campaign report here", "");
+  opts.add_option("batch-out", "write the batch-path report here (for diffing)", "");
+  opts.add_option("summary-out", "write the daemon's deterministic summary here", "");
+  opts.add_flag("quiet", "suppress the stdout summary");
+  opts.add_threads_option();
+  try {
+    if (!opts.parse(argc, argv)) return 0;
+    util::set_global_thread_count(opts.threads());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+  util::set_log_level(util::LogLevel::kWarn);
+
+  core::StudyConfig config;
+  config.seed = opts.seed();
+  config.days = opts.number("days");
+  config.warmup_days = opts.number("warmup-days");
+  config.instrument_begin_day = 0.0;
+  config.instrument_end_day = config.days;
+
+  stream::IngestConfig ingest;
+  ingest.wal_dir = opts.str("wal");
+  ingest.checkpoint_every = static_cast<std::uint64_t>(opts.integer("checkpoint-every"));
+  ingest.capacity_rows_per_batch =
+      static_cast<std::uint64_t>(opts.integer("capacity"));
+  ingest.shed_keep_rows_per_batch =
+      static_cast<std::uint64_t>(opts.integer("shed-keep"));
+  const auto kill_seq = static_cast<std::uint64_t>(opts.integer("kill-at-seq"));
+  if (kill_seq > 0) {
+    if (ingest.wal_dir.empty()) {
+      std::fprintf(stderr, "--kill-at-seq needs --wal: without durability there"
+                           " is nothing to recover\n");
+      return 2;
+    }
+    ingest.crash_after_seq = kill_seq;
+    const std::string mode = opts.str("kill-mode");
+    if (mode == "after-batch") {
+      ingest.crash_mode = stream::CrashMode::kAfterBatch;
+    } else if (mode == "torn-wal") {
+      ingest.crash_mode = stream::CrashMode::kTornWal;
+    } else if (mode == "torn-checkpoint") {
+      ingest.crash_mode = stream::CrashMode::kTornCheckpoint;
+    } else {
+      std::fprintf(stderr, "unknown --kill-mode '%s'\n", mode.c_str());
+      return 2;
+    }
+  }
+
+  stream::TransitFaultConfig faults;
+  if (opts.flag("faults")) {
+    faults.enabled = true;
+    faults.seed = opts.seed("transit-seed");
+    faults.drop_p = 0.10;
+    faults.dup_p = 0.08;
+    faults.delay_p = 0.15;
+  }
+
+  const auto spec = cluster::emmy_spec();
+  stream::IngestDaemon daemon(spec, ingest);
+  if (opts.flag("resume")) {
+    if (ingest.wal_dir.empty()) {
+      std::fprintf(stderr, "--resume needs --wal\n");
+      return 2;
+    }
+    const bool recovered = daemon.recover();
+    if (!opts.flag("quiet"))
+      std::printf("recovered=%s watermark=%llu\n", recovered ? "yes" : "no",
+                  static_cast<unsigned long long>(daemon.watermark()));
+  }
+  stream::StreamDriver driver(daemon, faults);
+
+  // May std::_Exit(137) inside when crash injection is armed: nothing below
+  // this line runs on the killed attempt, exactly like a real kill -9.
+  const auto result = stream::run_streamed_campaign(spec, config, daemon, driver);
+
+  core::ReportOptions ropts;
+  ropts.include_prediction = false;
+  const std::string streamed_report = core::render_markdown_report({result.streamed}, ropts);
+  const std::string summary = daemon.render_summary();
+
+  if (!opts.str("out").empty() && !write_file(opts.str("out"), streamed_report)) {
+    std::fprintf(stderr, "failed to write %s\n", opts.str("out").c_str());
+    return 1;
+  }
+  if (!opts.str("batch-out").empty() &&
+      !write_file(opts.str("batch-out"),
+                  core::render_markdown_report({result.batch}, ropts))) {
+    std::fprintf(stderr, "failed to write %s\n", opts.str("batch-out").c_str());
+    return 1;
+  }
+  if (!opts.str("summary-out").empty() &&
+      !write_file(opts.str("summary-out"), summary)) {
+    std::fprintf(stderr, "failed to write %s\n", opts.str("summary-out").c_str());
+    return 1;
+  }
+
+  if (!opts.flag("quiet")) {
+    std::fputs(summary.c_str(), stdout);
+    std::printf("transit: offered=%llu accepted=%llu duplicate=%llu stale=%llu"
+                " backpressure=%llu\n",
+                static_cast<unsigned long long>(result.transit.offered),
+                static_cast<unsigned long long>(result.transit.accepted),
+                static_cast<unsigned long long>(result.transit.duplicates_dropped),
+                static_cast<unsigned long long>(result.transit.stale_dropped),
+                static_cast<unsigned long long>(result.transit.backpressure_rejected));
+    std::printf("driver: deliveries=%llu drops=%llu dups=%llu delays=%llu"
+                " retries=%llu\n",
+                static_cast<unsigned long long>(result.ledger.deliveries),
+                static_cast<unsigned long long>(result.ledger.drops_injected),
+                static_cast<unsigned long long>(result.ledger.dups_injected),
+                static_cast<unsigned long long>(result.ledger.delays_injected),
+                static_cast<unsigned long long>(result.ledger.backpressure_retries));
+  }
+  return 0;
+}

@@ -140,6 +140,14 @@ void section_quality(std::ostringstream& out, const CampaignData& data) {
       100.0 * q.mean_node_dropout_rate, q.worst_node,
       100.0 * q.max_node_dropout_rate, q.nodes_with_gaps,
       q.reconciles() ? "reconciles" : "**does not reconcile**");
+  if (q.rows_shed > 0) {
+    // Streaming ingest only: emitted after the ledger line so batch-mode
+    // reports (rows_shed == 0) stay byte-identical to earlier releases.
+    out << util::format(
+        "Degraded-mode ingest shed %llu per-sample detail rows into summary "
+        "sketches.\n\n",
+        static_cast<unsigned long long>(q.rows_shed));
+  }
 }
 
 void section_availability(std::ostringstream& out, const CampaignData& data) {
@@ -279,7 +287,10 @@ std::string render_markdown_report(const std::vector<CampaignData>& campaigns,
         data.scheduler.mean_wait_minutes());
     section_system(out, data, options.curve_points);
     if (data.availability.node_minutes_total > 0) section_availability(out, data);
-    if (data.quality.samples_expected > 0) section_quality(out, data);
+    // rows_shed alone also triggers the section: a streamed campaign that
+    // shed detail must say so even when no telemetry faults were injected.
+    if (data.quality.samples_expected > 0 || data.quality.rows_shed > 0)
+      section_quality(out, data);
     if (data.power) section_power(out, data);
     section_jobs(out, data);
     section_dynamics(out, data);

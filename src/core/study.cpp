@@ -58,6 +58,7 @@ CampaignData run_campaign(const cluster::SystemSpec& spec, const StudyConfig& co
   pcfg.node_power_cap_w = config.node_power_cap_w;
   pcfg.faults = config.faults;
   pcfg.cleaning = config.cleaning;
+  pcfg.tap = config.tap;
   if (managed) {
     pcfg.job_node_cap_w = [&m = *manager](workload::JobId id) {
       return m.node_cap_w(id);

@@ -56,6 +56,10 @@ struct StudyConfig {
   /// manager's pool, and per-node caps follow the NORMAL/THROTTLE/DEGRADED
   /// state machine instead of node_power_cap_w / power_budget above.
   power::PowerManagerConfig power_manager;
+  /// Live telemetry export tap for the streaming ingest daemon (src/stream).
+  /// Forwarded verbatim to the monitoring pipeline; empty callbacks are free
+  /// and leave the campaign bit-identical to earlier releases.
+  telemetry::StreamTap tap;
 
   [[nodiscard]] static StudyConfig paper_scale(std::uint64_t seed = 42) {
     StudyConfig c;

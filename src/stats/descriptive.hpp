@@ -2,6 +2,7 @@
 // Descriptive statistics: streaming (Welford) and batch summaries.
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -27,6 +28,26 @@ class RunningStats {
   [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
   /// stddev / mean; zero when the mean is zero.
   [[nodiscard]] double coefficient_of_variation() const noexcept;
+
+  /// Complete mutable state, for checkpoint serialization (streaming ingest).
+  /// Restoring the same words reproduces the accumulator bit-identically.
+  struct State {
+    std::uint64_t count = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+  [[nodiscard]] State state() const noexcept {
+    return {static_cast<std::uint64_t>(n_), mean_, m2_, min_, max_};
+  }
+  void restore(const State& s) noexcept {
+    n_ = static_cast<std::size_t>(s.count);
+    mean_ = s.mean;
+    m2_ = s.m2;
+    min_ = s.min;
+    max_ = s.max;
+  }
 
  private:
   std::size_t n_ = 0;

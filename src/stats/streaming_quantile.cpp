@@ -1,0 +1,122 @@
+#include "stats/streaming_quantile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hpcpower::stats {
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+  if (!(q > 0.0 && q < 1.0))
+    throw std::invalid_argument("P2Quantile: q must lie in (0, 1)");
+  desired_ = {1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0};
+}
+
+void P2Quantile::add(double x) noexcept {
+  if (count_ < 5) {
+    heights_[count_] = x;
+    ++count_;
+    if (count_ == 5) {
+      std::sort(heights_.begin(), heights_.end());
+      for (std::size_t i = 0; i < 5; ++i)
+        positions_[i] = static_cast<std::int64_t>(i) + 1;
+    }
+    return;
+  }
+
+  // Locate the cell containing x, extending the extreme markers if needed.
+  std::size_t k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x < heights_[1]) {
+    k = 0;
+  } else if (x < heights_[2]) {
+    k = 1;
+  } else if (x < heights_[3]) {
+    k = 2;
+  } else if (x <= heights_[4]) {
+    k = 3;
+  } else {
+    heights_[4] = x;
+    k = 3;
+  }
+
+  ++count_;
+  for (std::size_t i = k + 1; i < 5; ++i) ++positions_[i];
+  // Desired positions drift by their per-observation increments.
+  const double n = static_cast<double>(count_);
+  desired_[0] = 1.0;
+  desired_[1] = 1.0 + (n - 1.0) * (q_ / 2.0);
+  desired_[2] = 1.0 + (n - 1.0) * q_;
+  desired_[3] = 1.0 + (n - 1.0) * ((1.0 + q_) / 2.0);
+  desired_[4] = n;
+
+  // Adjust the three interior markers toward their desired positions.
+  for (std::size_t i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - static_cast<double>(positions_[i]);
+    const std::int64_t below = positions_[i] - positions_[i - 1];
+    const std::int64_t above = positions_[i + 1] - positions_[i];
+    if ((d >= 1.0 && above > 1) || (d <= -1.0 && below > 1)) {
+      const double s = d >= 1.0 ? 1.0 : -1.0;
+      // Piecewise-parabolic (P²) prediction of the marker height.
+      const double np = static_cast<double>(positions_[i]);
+      const double nm = static_cast<double>(positions_[i - 1]);
+      const double nn = static_cast<double>(positions_[i + 1]);
+      const double hp = heights_[i];
+      double candidate =
+          hp + s / (nn - nm) *
+                   ((np - nm + s) * (heights_[i + 1] - hp) / (nn - np) +
+                    (nn - np - s) * (hp - heights_[i - 1]) / (np - nm));
+      if (!(candidate > heights_[i - 1] && candidate < heights_[i + 1])) {
+        // Parabolic estimate left the bracket: fall back to linear.
+        const std::size_t j = s > 0.0 ? i + 1 : i - 1;
+        candidate = hp + s * (heights_[j] - hp) /
+                             (static_cast<double>(positions_[j]) - np);
+      }
+      heights_[i] = candidate;
+      positions_[i] += s > 0.0 ? 1 : -1;
+    }
+  }
+}
+
+double P2Quantile::value() const noexcept {
+  if (count_ == 0) return 0.0;
+  if (count_ >= 5) return heights_[2];
+  // Exact linear-interpolated sample quantile of the buffered head.
+  std::array<double, 5> head{};
+  std::copy(heights_.begin(), heights_.begin() + count_, head.begin());
+  std::sort(head.begin(), head.begin() + count_);
+  const double pos = q_ * (static_cast<double>(count_) - 1.0);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min<std::size_t>(lo + 1, count_ - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return head[lo] + frac * (head[hi] - head[lo]);
+}
+
+P2Quantile::State P2Quantile::state() const noexcept {
+  State s;
+  s.count = count_;
+  s.heights = heights_;
+  s.positions = positions_;
+  s.desired = desired_;
+  return s;
+}
+
+void P2Quantile::restore(const State& s) {
+  if (s.count >= 5) {
+    for (std::size_t i = 1; i < 5; ++i) {
+      if (s.positions[i] <= s.positions[i - 1])
+        throw std::invalid_argument("P2Quantile: non-increasing marker positions");
+    }
+    if (s.positions[0] != 1 ||
+        s.positions[4] != static_cast<std::int64_t>(s.count))
+      throw std::invalid_argument("P2Quantile: marker positions disagree with count");
+  }
+  count_ = s.count;
+  heights_ = s.heights;
+  positions_ = s.positions;
+  desired_ = s.desired;
+}
+
+}  // namespace hpcpower::stats

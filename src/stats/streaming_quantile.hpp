@@ -1,0 +1,57 @@
+#pragma once
+// Streaming quantile estimation: the P² algorithm (Jain & Chlamtac, 1985).
+//
+// Tracks one quantile of a stream in O(1) memory with five markers whose
+// heights converge on the quantile as observations arrive. Exact for the
+// first five observations, then a deterministic parabolic/linear marker
+// update per value — no randomness, no allocation, and the full state is
+// five (height, position, desired-position) triples, so it serializes into
+// a streaming checkpoint and restores bit-identically (see state()).
+//
+// Used by the streaming ingest daemon (src/stream) to keep per-shard power
+// quantiles while shedding per-sample detail under overload: the shed rows
+// still contribute to the sketch even though they never reach a table.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace hpcpower::stats {
+
+/// One-quantile P² estimator. Copyable, O(1) per add().
+class P2Quantile {
+ public:
+  /// `q` must lie in (0, 1); throws std::invalid_argument otherwise.
+  explicit P2Quantile(double q);
+
+  void add(double x) noexcept;
+
+  [[nodiscard]] double quantile() const noexcept { return q_; }
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  /// Current estimate. With fewer than five observations this is the exact
+  /// sample quantile of what arrived so far; zero before any observation.
+  [[nodiscard]] double value() const noexcept;
+
+  /// Complete mutable state, for checkpoint serialization. Restoring the
+  /// same words into an estimator constructed with the same q reproduces
+  /// the estimator bit-identically.
+  struct State {
+    std::uint64_t count = 0;
+    std::array<double, 5> heights{};
+    std::array<std::int64_t, 5> positions{};
+    std::array<double, 5> desired{};
+  };
+  [[nodiscard]] State state() const noexcept;
+  /// Throws std::invalid_argument on an inconsistent state (count vs
+  /// positions) so a corrupt checkpoint fails loudly.
+  void restore(const State& s);
+
+ private:
+  double q_ = 0.5;
+  std::uint64_t count_ = 0;
+  std::array<double, 5> heights_{};        // marker heights (sorted)
+  std::array<std::int64_t, 5> positions_{}; // actual marker positions (1-based)
+  std::array<double, 5> desired_{};         // desired marker positions
+};
+
+}  // namespace hpcpower::stats

@@ -1,0 +1,391 @@
+#include "stream/batch.hpp"
+
+#include "stream/codec.hpp"
+
+namespace hpcpower::stream {
+
+void encode_job_record(Encoder& e, const telemetry::JobRecord& r) {
+  e.u64(r.job_id);
+  e.u64(r.user_id);
+  e.u64(r.app);
+  e.u8(static_cast<std::uint8_t>(r.system));
+  e.i64(r.submit.minutes());
+  e.i64(r.start.minutes());
+  e.i64(r.end.minutes());
+  e.u32(r.nnodes);
+  e.u32(r.walltime_req_min);
+  e.boolean(r.backfilled);
+  e.boolean(r.truncated_by_horizon);
+  e.u8(static_cast<std::uint8_t>(r.exit));
+  e.u32(r.attempt);
+  e.f64(r.mean_node_power_w);
+  e.f64(r.temporal_std_w);
+  e.f64(r.peak_node_power_w);
+  e.f64(r.mean_pkg_w);
+  e.f64(r.mean_dram_w);
+  e.f64(r.energy_kwh);
+  e.f64(r.node_energy_min_kwh);
+  e.f64(r.node_energy_max_kwh);
+  e.boolean(r.detail.has_value());
+  if (r.detail) {
+    e.f64(r.detail->peak_overshoot);
+    e.f64(r.detail->frac_time_above_10pct);
+    e.f64(r.detail->avg_spatial_spread_w);
+    e.f64(r.detail->spread_fraction_of_power);
+    e.f64(r.detail->frac_time_above_avg_spread);
+  }
+}
+
+telemetry::JobRecord decode_job_record(Decoder& d) {
+  telemetry::JobRecord r;
+  r.job_id = d.u64();
+  r.user_id = static_cast<workload::UserId>(d.u64());
+  r.app = static_cast<workload::AppId>(d.u64());
+  r.system = static_cast<cluster::SystemId>(d.u8());
+  r.submit = util::MinuteTime{d.i64()};
+  r.start = util::MinuteTime{d.i64()};
+  r.end = util::MinuteTime{d.i64()};
+  r.nnodes = d.u32();
+  r.walltime_req_min = d.u32();
+  r.backfilled = d.boolean();
+  r.truncated_by_horizon = d.boolean();
+  const std::uint8_t exit = d.u8();
+  if (exit > static_cast<std::uint8_t>(sched::ExitStatus::kCancelled)) d.fail();
+  r.exit = static_cast<sched::ExitStatus>(exit);
+  r.attempt = d.u32();
+  r.mean_node_power_w = d.f64();
+  r.temporal_std_w = d.f64();
+  r.peak_node_power_w = d.f64();
+  r.mean_pkg_w = d.f64();
+  r.mean_dram_w = d.f64();
+  r.energy_kwh = d.f64();
+  r.node_energy_min_kwh = d.f64();
+  r.node_energy_max_kwh = d.f64();
+  if (d.boolean()) {
+    telemetry::DetailMetrics m;
+    m.peak_overshoot = d.f64();
+    m.frac_time_above_10pct = d.f64();
+    m.avg_spatial_spread_w = d.f64();
+    m.spread_fraction_of_power = d.f64();
+    m.frac_time_above_avg_spread = d.f64();
+    r.detail = m;
+  }
+  return r;
+}
+
+void encode_quality(Encoder& e, const telemetry::DataQualityReport& q) {
+  e.u64(q.samples_expected);
+  e.u64(q.samples_ok);
+  e.u64(q.samples_glitch);
+  e.u64(q.samples_gap);
+  e.u64(q.samples_duplicate);
+  e.u64(q.samples_interpolated);
+  e.u64(q.glitches_repaired);
+  e.u64(q.rows_out_of_order);
+  e.u64(q.rows_shed);
+  e.u64(q.jobs_seen);
+  e.u64(q.jobs_quarantined_accounting);
+  e.u64(q.jobs_quarantined_low_quality);
+  e.u64(q.jobs_truncated_by_crash);
+  e.f64(q.mean_node_dropout_rate);
+  e.f64(q.max_node_dropout_rate);
+  e.u32(q.worst_node);
+  e.u32(q.nodes_with_gaps);
+}
+
+telemetry::DataQualityReport decode_quality(Decoder& d) {
+  telemetry::DataQualityReport q;
+  q.samples_expected = d.u64();
+  q.samples_ok = d.u64();
+  q.samples_glitch = d.u64();
+  q.samples_gap = d.u64();
+  q.samples_duplicate = d.u64();
+  q.samples_interpolated = d.u64();
+  q.glitches_repaired = d.u64();
+  q.rows_out_of_order = d.u64();
+  q.rows_shed = d.u64();
+  q.jobs_seen = d.u64();
+  q.jobs_quarantined_accounting = d.u64();
+  q.jobs_quarantined_low_quality = d.u64();
+  q.jobs_truncated_by_crash = d.u64();
+  q.mean_node_dropout_rate = d.f64();
+  q.max_node_dropout_rate = d.f64();
+  q.worst_node = d.u32();
+  q.nodes_with_gaps = d.u32();
+  return q;
+}
+
+void encode_scheduler_stats(Encoder& e, const sched::SchedulerStats& s) {
+  e.u64(s.submitted);
+  e.u64(s.started);
+  e.u64(s.completed);
+  e.u64(s.backfilled);
+  e.u64(s.killed);
+  e.u64(s.rejected);
+  e.f64(s.total_wait_minutes);
+  e.u64(s.max_queue_depth);
+}
+
+sched::SchedulerStats decode_scheduler_stats(Decoder& d) {
+  sched::SchedulerStats s;
+  s.submitted = d.u64();
+  s.started = d.u64();
+  s.completed = d.u64();
+  s.backfilled = d.u64();
+  s.killed = d.u64();
+  s.rejected = d.u64();
+  s.total_wait_minutes = d.f64();
+  s.max_queue_depth = static_cast<std::size_t>(d.u64());
+  return s;
+}
+
+void encode_availability(Encoder& e, const sched::AvailabilityStats& a) {
+  e.u64(a.node_minutes_total);
+  e.u64(a.node_minutes_down);
+  e.u64(a.node_failures);
+  e.u64(a.attempts_killed);
+  e.u64(a.requeues);
+  e.u64(a.requeues_exhausted);
+  e.f64(a.requeue_wait_minutes);
+}
+
+sched::AvailabilityStats decode_availability(Decoder& d) {
+  sched::AvailabilityStats a;
+  a.node_minutes_total = d.u64();
+  a.node_minutes_down = d.u64();
+  a.node_failures = d.u64();
+  a.attempts_killed = d.u64();
+  a.requeues = d.u64();
+  a.requeues_exhausted = d.u64();
+  a.requeue_wait_minutes = d.f64();
+  return a;
+}
+
+void encode_power_report(Encoder& e, const power::PowerReport& p) {
+  e.f64(p.site_cap_w);
+  e.f64(p.pool_w);
+  e.f64(p.guard_band);
+  e.str(p.predictor);
+  e.u64(p.jobs_granted);
+  e.i64(p.granted_mw);
+  e.i64(p.released_mw);
+  e.i64(p.held_mw);
+  e.i64(p.throttled_mw);
+  e.boolean(p.ledger_reconciles);
+  e.i64(p.peak_held_mw);
+  e.u64(p.minutes_normal);
+  e.u64(p.minutes_throttle);
+  e.u64(p.minutes_degraded);
+  e.u64(p.throttle_events);
+  e.u64(p.degraded_events);
+  e.u64(p.meter_samples);
+  e.u64(p.meter_faults_injected);
+  e.u64(p.meter_samples_rejected);
+  e.f64(p.max_true_site_w);
+  e.f64(p.max_filtered_site_w);
+  e.u64(p.cap_violation_minutes);
+  e.f64(p.mean_committed_w);
+  e.f64(p.mean_tdp_committed_w);
+}
+
+power::PowerReport decode_power_report(Decoder& d) {
+  power::PowerReport p;
+  p.site_cap_w = d.f64();
+  p.pool_w = d.f64();
+  p.guard_band = d.f64();
+  p.predictor = d.str();
+  p.jobs_granted = d.u64();
+  p.granted_mw = d.i64();
+  p.released_mw = d.i64();
+  p.held_mw = d.i64();
+  p.throttled_mw = d.i64();
+  p.ledger_reconciles = d.boolean();
+  p.peak_held_mw = d.i64();
+  p.minutes_normal = d.u64();
+  p.minutes_throttle = d.u64();
+  p.minutes_degraded = d.u64();
+  p.throttle_events = d.u64();
+  p.degraded_events = d.u64();
+  p.meter_samples = d.u64();
+  p.meter_faults_injected = d.u64();
+  p.meter_samples_rejected = d.u64();
+  p.max_true_site_w = d.f64();
+  p.max_filtered_site_w = d.f64();
+  p.cap_violation_minutes = d.u64();
+  p.mean_committed_w = d.f64();
+  p.mean_tdp_committed_w = d.f64();
+  return p;
+}
+
+namespace {
+
+void encode_job_end(Encoder& e, const telemetry::TapJobEnd& j) {
+  e.boolean(j.kept);
+  if (j.kept) encode_job_record(e, j.record);
+  encode_quality(e, j.quality_delta);
+}
+
+telemetry::TapJobEnd decode_job_end(Decoder& d) {
+  telemetry::TapJobEnd j;
+  j.kept = d.boolean();
+  if (j.kept) j.record = decode_job_record(d);
+  j.quality_delta = decode_quality(d);
+  return j;
+}
+
+void encode_tick(Encoder& e, const telemetry::TapTick& t) {
+  e.i64(t.minute);
+  e.f64(t.total_power_w);
+  e.u32(t.busy_nodes);
+  e.u64(t.throttled);
+  // Rows: node ids delta-coded in emission order (placement order within a
+  // job makes runs of consecutive ids common), watts as bit patterns.
+  e.u64(t.rows.size());
+  std::int64_t prev_node = 0;
+  std::int64_t prev_job = 0;
+  for (const auto& r : t.rows) {
+    e.i64(static_cast<std::int64_t>(r.job_id) - prev_job);
+    prev_job = static_cast<std::int64_t>(r.job_id);
+    e.i64(static_cast<std::int64_t>(r.node) - prev_node);
+    prev_node = static_cast<std::int64_t>(r.node);
+    e.f64(r.watts);
+  }
+  e.u64(t.node_slots.size());
+  prev_node = 0;
+  for (const auto& s : t.node_slots) {
+    e.i64(static_cast<std::int64_t>(s.node) - prev_node);
+    prev_node = static_cast<std::int64_t>(s.node);
+    e.u32(s.slots);
+    e.u32(s.gaps);
+  }
+  encode_quality(e, t.quality_delta);
+}
+
+telemetry::TapTick decode_tick(Decoder& d) {
+  telemetry::TapTick t;
+  t.minute = d.i64();
+  t.total_power_w = d.f64();
+  t.busy_nodes = d.u32();
+  t.throttled = d.u64();
+  const std::uint64_t rows = d.u64();
+  if (!d.ok()) return t;
+  t.rows.reserve(static_cast<std::size_t>(rows));
+  std::int64_t prev_node = 0;
+  std::int64_t prev_job = 0;
+  for (std::uint64_t i = 0; i < rows && d.ok(); ++i) {
+    telemetry::TapSampleRow r;
+    prev_job += d.i64();
+    prev_node += d.i64();
+    if (prev_job < 0 || prev_node < 0 || prev_node > 0xFFFFFFFFll) {
+      d.fail();
+      return t;
+    }
+    r.job_id = static_cast<std::uint64_t>(prev_job);
+    r.node = static_cast<std::uint32_t>(prev_node);
+    r.watts = d.f64();
+    t.rows.push_back(r);
+  }
+  const std::uint64_t slots = d.u64();
+  if (!d.ok()) return t;
+  t.node_slots.reserve(static_cast<std::size_t>(slots));
+  prev_node = 0;
+  for (std::uint64_t i = 0; i < slots && d.ok(); ++i) {
+    telemetry::TapNodeSlotDelta s;
+    prev_node += d.i64();
+    if (prev_node < 0 || prev_node > 0xFFFFFFFFll) {
+      d.fail();
+      return t;
+    }
+    s.node = static_cast<std::uint32_t>(prev_node);
+    s.slots = d.u32();
+    s.gaps = d.u32();
+    t.node_slots.push_back(s);
+  }
+  t.quality_delta = decode_quality(d);
+  return t;
+}
+
+}  // namespace
+
+std::string encode_batch_payload(const StreamBatch& b) {
+  Encoder e;
+  e.u64(b.seq);
+  e.u8(static_cast<std::uint8_t>(b.kind));
+  switch (b.kind) {
+    case BatchKind::kHello:
+      e.u32(b.hello.node_count);
+      e.i64(b.hello.warmup_minutes);
+      e.u64(b.hello.seed);
+      e.boolean(b.hello.faults_enabled);
+      break;
+    case BatchKind::kTick:
+      e.boolean(b.in_campaign);
+      encode_tick(e, b.tick);
+      e.u64(b.job_ends.size());
+      for (const auto& j : b.job_ends) encode_job_end(e, j);
+      break;
+    case BatchKind::kEnd:
+      encode_scheduler_stats(e, b.end.scheduler);
+      encode_availability(e, b.end.availability);
+      e.boolean(b.end.has_power);
+      if (b.end.has_power) encode_power_report(e, b.end.power);
+      e.u64(b.job_ends.size());
+      for (const auto& j : b.job_ends) encode_job_end(e, j);
+      break;
+  }
+  return e.take();
+}
+
+std::optional<StreamBatch> decode_batch_payload(std::string_view payload) {
+  Decoder d(payload);
+  StreamBatch b;
+  b.seq = d.u64();
+  const std::uint8_t kind = d.u8();
+  if (kind > static_cast<std::uint8_t>(BatchKind::kEnd)) return std::nullopt;
+  b.kind = static_cast<BatchKind>(kind);
+  switch (b.kind) {
+    case BatchKind::kHello:
+      b.hello.node_count = d.u32();
+      b.hello.warmup_minutes = d.i64();
+      b.hello.seed = d.u64();
+      b.hello.faults_enabled = d.boolean();
+      break;
+    case BatchKind::kTick: {
+      b.in_campaign = d.boolean();
+      b.tick = decode_tick(d);
+      const std::uint64_t ends = d.u64();
+      if (!d.ok()) return std::nullopt;
+      b.job_ends.reserve(static_cast<std::size_t>(ends));
+      for (std::uint64_t i = 0; i < ends && d.ok(); ++i)
+        b.job_ends.push_back(decode_job_end(d));
+      break;
+    }
+    case BatchKind::kEnd: {
+      b.end.scheduler = decode_scheduler_stats(d);
+      b.end.availability = decode_availability(d);
+      b.end.has_power = d.boolean();
+      if (b.end.has_power) b.end.power = decode_power_report(d);
+      const std::uint64_t ends = d.u64();
+      if (!d.ok()) return std::nullopt;
+      b.job_ends.reserve(static_cast<std::size_t>(ends));
+      for (std::uint64_t i = 0; i < ends && d.ok(); ++i)
+        b.job_ends.push_back(decode_job_end(d));
+      break;
+    }
+  }
+  if (!d.done()) return std::nullopt;
+  return b;
+}
+
+std::string encode_batch(const StreamBatch& b) {
+  return frame(kBatchMagic, encode_batch_payload(b));
+}
+
+std::optional<StreamBatch> decode_batch(std::string_view framed) {
+  std::size_t pos = 0;
+  const auto payload = unframe(kBatchMagic, framed, pos);
+  if (!payload || pos != framed.size()) return std::nullopt;
+  return decode_batch_payload(*payload);
+}
+
+}  // namespace hpcpower::stream

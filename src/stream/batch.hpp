@@ -1,0 +1,92 @@
+#pragma once
+// The streaming wire protocol: a campaign as an ordered sequence of durable
+// batches.
+//
+// A streamed campaign is exactly one kHello batch (seq 0: topology and
+// campaign geometry), one kTick batch per simulated minute (seq 1..M, in
+// simulated-time order: the minute's accepted samples, facility meter point,
+// data-quality ledger delta, and every job that finished since the previous
+// minute), and one kEnd batch (seq M+1) carrying the ledgers only the
+// resource manager knows (scheduler and availability stats, the power
+// manager's report) plus any job ends that fired after the final monitored
+// minute. Summing the deltas of batches 1..M+1 in seq order reproduces the
+// batch pipeline's CampaignData bit-identically — the daemon's core
+// invariant, property-tested in test_stream_equivalence.
+//
+// Encoding: one CRC-framed record (codec.hpp) per batch, integers as
+// zigzag-varints, doubles as IEEE-754 bit patterns. decode_batch returns
+// nullopt on any corruption instead of throwing, so WAL replay can skip a
+// torn tail without unwinding.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "power/manager.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/simulator.hpp"
+#include "telemetry/stream_tap.hpp"
+
+namespace hpcpower::stream {
+
+enum class BatchKind : std::uint8_t { kHello = 0, kTick = 1, kEnd = 2 };
+
+/// seq 0: everything the daemon must know before the first tick.
+struct HelloInfo {
+  std::uint32_t node_count = 0;
+  std::int64_t warmup_minutes = 0;
+  std::uint64_t seed = 0;
+  bool faults_enabled = false;
+};
+
+/// Final batch: resource-manager-side ledgers exported once at campaign end.
+struct EndInfo {
+  sched::SchedulerStats scheduler;
+  sched::AvailabilityStats availability;
+  bool has_power = false;
+  power::PowerReport power;
+};
+
+struct StreamBatch {
+  std::uint64_t seq = 0;
+  BatchKind kind = BatchKind::kTick;
+
+  HelloInfo hello;  // kHello only
+
+  // kTick only. in_campaign is false for warm-up minutes: their meter/quality
+  // deltas still count (the batch pipeline meters warm-up too before
+  // discarding the series prefix) but no detail rows are shipped.
+  bool in_campaign = false;
+  telemetry::TapTick tick;
+  /// Jobs that ended since the previous tick (kTick), or after the final
+  /// tick (kEnd), in simulated completion order.
+  std::vector<telemetry::TapJobEnd> job_ends;
+
+  EndInfo end;  // kEnd only
+};
+
+/// Unframed payload codecs (shared by the WAL, checkpoints, and tests).
+[[nodiscard]] std::string encode_batch_payload(const StreamBatch& b);
+[[nodiscard]] std::optional<StreamBatch> decode_batch_payload(std::string_view payload);
+
+/// Framed (kBatchMagic + CRC) wire form.
+[[nodiscard]] std::string encode_batch(const StreamBatch& b);
+[[nodiscard]] std::optional<StreamBatch> decode_batch(std::string_view framed);
+
+// Field-struct codecs reused by the daemon's checkpoint writer.
+class Encoder;
+class Decoder;
+void encode_job_record(Encoder& e, const telemetry::JobRecord& r);
+[[nodiscard]] telemetry::JobRecord decode_job_record(Decoder& d);
+void encode_quality(Encoder& e, const telemetry::DataQualityReport& q);
+[[nodiscard]] telemetry::DataQualityReport decode_quality(Decoder& d);
+void encode_scheduler_stats(Encoder& e, const sched::SchedulerStats& s);
+[[nodiscard]] sched::SchedulerStats decode_scheduler_stats(Decoder& d);
+void encode_availability(Encoder& e, const sched::AvailabilityStats& a);
+[[nodiscard]] sched::AvailabilityStats decode_availability(Decoder& d);
+void encode_power_report(Encoder& e, const power::PowerReport& p);
+[[nodiscard]] power::PowerReport decode_power_report(Decoder& d);
+
+}  // namespace hpcpower::stream

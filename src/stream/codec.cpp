@@ -1,0 +1,117 @@
+#include "stream/codec.hpp"
+
+#include <cstring>
+
+#include "storage/crc32.hpp"
+
+namespace hpcpower::stream {
+
+namespace {
+void put_fixed_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+}
+
+std::uint32_t get_fixed_u32(std::string_view data, std::size_t pos) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(data[pos + static_cast<std::size_t>(i)]))
+         << (8 * i);
+  return v;
+}
+}  // namespace
+
+void Encoder::f64(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  for (int i = 0; i < 8; ++i)
+    buf_.push_back(static_cast<char>((bits >> (8 * i)) & 0xFFu));
+}
+
+std::uint64_t Decoder::u64() {
+  if (!ok_) return 0;
+  const auto v = storage::read_varint(data_.data(), data_.size(), pos_);
+  if (!v) {
+    ok_ = false;
+    return 0;
+  }
+  return *v;
+}
+
+std::uint32_t Decoder::u32() {
+  const std::uint64_t v = u64();
+  if (v > 0xFFFFFFFFull) {
+    ok_ = false;
+    return 0;
+  }
+  return static_cast<std::uint32_t>(v);
+}
+
+std::uint8_t Decoder::u8() {
+  if (!ok_ || pos_ >= data_.size()) {
+    ok_ = false;
+    return 0;
+  }
+  return static_cast<std::uint8_t>(data_[pos_++]);
+}
+
+std::int64_t Decoder::i64() { return storage::zigzag_decode(u64()); }
+
+bool Decoder::boolean() {
+  const std::uint8_t v = u8();
+  if (ok_ && v > 1) ok_ = false;
+  return v == 1;
+}
+
+double Decoder::f64() {
+  if (!ok_ || data_.size() - pos_ < 8) {
+    ok_ = false;
+    return 0.0;
+  }
+  std::uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i)
+    bits |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(data_[pos_ + static_cast<std::size_t>(i)]))
+            << (8 * i);
+  pos_ += 8;
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string Decoder::str() {
+  const std::uint64_t len = u64();
+  if (!ok_ || data_.size() - pos_ < len) {
+    ok_ = false;
+    return {};
+  }
+  std::string out(data_.substr(pos_, static_cast<std::size_t>(len)));
+  pos_ += static_cast<std::size_t>(len);
+  return out;
+}
+
+std::string frame(std::uint32_t magic, std::string_view payload) {
+  std::string out;
+  out.reserve(payload.size() + 12);
+  put_fixed_u32(out, magic);
+  put_fixed_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out.append(payload);
+  put_fixed_u32(out, storage::crc32(payload));
+  return out;
+}
+
+std::optional<std::string_view> unframe(std::uint32_t magic,
+                                        std::string_view data,
+                                        std::size_t& pos) {
+  if (pos > data.size() || data.size() - pos < 12) return std::nullopt;
+  if (get_fixed_u32(data, pos) != magic) return std::nullopt;
+  const std::uint32_t len = get_fixed_u32(data, pos + 4);
+  if (data.size() - pos - 12 < len) return std::nullopt;
+  const std::string_view payload = data.substr(pos + 8, len);
+  if (get_fixed_u32(data, pos + 8 + len) != storage::crc32(payload))
+    return std::nullopt;
+  pos += 12 + len;
+  return payload;
+}
+
+}  // namespace hpcpower::stream

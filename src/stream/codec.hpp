@@ -1,0 +1,87 @@
+#pragma once
+// Byte-level codec primitives for the streaming ingest daemon's durable
+// formats (WAL records, checkpoints, wire batches).
+//
+// Reuses the .hpcb container's integer primitives (storage/varint.hpp) and
+// CRC-32 (storage/crc32.hpp) so every durable stream artifact shares the
+// same framing discipline as the trace container: a 4-byte magic, a 4-byte
+// little-endian payload length, the payload, and a CRC-32 of the payload.
+// Doubles are serialized as their IEEE-754 bit patterns (8 fixed bytes,
+// little-endian), the same rule the checkpoint codecs use everywhere else in
+// the repo: restore is bit-identical, never printf-rounded.
+//
+// The Decoder is non-throwing: any truncation or malformed varint latches a
+// failure flag and subsequent reads return zero values. Callers check ok()
+// once at the end, which keeps corrupt-tail WAL recovery a data-flow path
+// rather than an exception path.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "storage/varint.hpp"
+
+namespace hpcpower::stream {
+
+/// Frame magics (distinct per artifact so a misdirected file fails loudly).
+inline constexpr std::uint32_t kWalMagic = 0x57A10B10u;   // WAL record
+inline constexpr std::uint32_t kCkptMagic = 0xC4EC9017u;  // checkpoint
+inline constexpr std::uint32_t kBatchMagic = 0x5BA7C4EDu; // wire batch
+
+class Encoder {
+ public:
+  void u64(std::uint64_t v) { storage::append_varint(buf_, v); }
+  void u32(std::uint32_t v) { u64(v); }
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void i64(std::int64_t v) { u64(storage::zigzag_encode(v)); }
+  void boolean(bool v) { buf_.push_back(v ? '\1' : '\0'); }
+  void f64(double v);
+  void str(std::string_view s) {
+    u64(s.size());
+    buf_.append(s);
+  }
+  void bytes(std::string_view s) { buf_.append(s); }
+
+  [[nodiscard]] const std::string& data() const noexcept { return buf_; }
+  [[nodiscard]] std::string take() noexcept { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+class Decoder {
+ public:
+  explicit Decoder(std::string_view data) : data_(data) {}
+
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::int64_t i64();
+  [[nodiscard]] bool boolean();
+  [[nodiscard]] double f64();
+  [[nodiscard]] std::string str();
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  [[nodiscard]] bool done() const noexcept { return ok_ && pos_ == data_.size(); }
+  void fail() noexcept { ok_ = false; }
+
+ private:
+  std::string_view data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// Wraps `payload` as magic + u32 length + payload + CRC-32(payload), all
+/// fixed-width fields little-endian.
+[[nodiscard]] std::string frame(std::uint32_t magic, std::string_view payload);
+
+/// Parses one frame starting at data[pos]. On success returns the payload
+/// view and advances pos past the frame; on a wrong magic, truncation, or a
+/// CRC mismatch returns nullopt and leaves pos unchanged (the torn-tail
+/// contract WAL recovery relies on).
+[[nodiscard]] std::optional<std::string_view> unframe(std::uint32_t magic,
+                                                      std::string_view data,
+                                                      std::size_t& pos);
+
+}  // namespace hpcpower::stream

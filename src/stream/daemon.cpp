@@ -1,0 +1,666 @@
+#include "stream/daemon.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "storage/crc32.hpp"
+#include "stream/codec.hpp"
+#include "util/strings.hpp"
+
+namespace hpcpower::stream {
+
+namespace {
+constexpr std::uint32_t kCheckpointVersion = 1;
+
+void encode_running_stats(Encoder& e, const stats::RunningStats& s) {
+  const auto st = s.state();
+  e.u64(st.count);
+  e.f64(st.mean);
+  e.f64(st.m2);
+  e.f64(st.min);
+  e.f64(st.max);
+}
+
+stats::RunningStats decode_running_stats(Decoder& d) {
+  stats::RunningStats::State st;
+  st.count = d.u64();
+  st.mean = d.f64();
+  st.m2 = d.f64();
+  st.min = d.f64();
+  st.max = d.f64();
+  stats::RunningStats out;
+  out.restore(st);
+  return out;
+}
+
+void encode_p2(Encoder& e, const stats::P2Quantile& q) {
+  const auto st = q.state();
+  e.u64(st.count);
+  for (const double h : st.heights) e.f64(h);
+  for (const std::int64_t p : st.positions) e.i64(p);
+  for (const double v : st.desired) e.f64(v);
+}
+
+/// Throws std::invalid_argument via restore() on an inconsistent state.
+void decode_p2(Decoder& d, stats::P2Quantile& q) {
+  stats::P2Quantile::State st;
+  st.count = d.u64();
+  for (double& h : st.heights) h = d.f64();
+  for (std::int64_t& p : st.positions) p = d.i64();
+  for (double& v : st.desired) v = d.f64();
+  if (!d.ok()) throw std::invalid_argument("corrupt P2 state");
+  q.restore(st);
+}
+
+void encode_apply_stats(Encoder& e, const ApplyStats& a) {
+  e.u64(a.batches_applied);
+  e.u64(a.ticks_applied);
+  e.u64(a.rows_applied);
+  e.u64(a.rows_deferred);
+  e.u64(a.rows_shed);
+  e.u64(a.job_ends_applied);
+  e.u64(a.mode_transitions);
+  e.u64(a.batches_normal);
+  e.u64(a.batches_lagging);
+  e.u64(a.batches_shedding);
+}
+
+ApplyStats decode_apply_stats(Decoder& d) {
+  ApplyStats a;
+  a.batches_applied = d.u64();
+  a.ticks_applied = d.u64();
+  a.rows_applied = d.u64();
+  a.rows_deferred = d.u64();
+  a.rows_shed = d.u64();
+  a.job_ends_applied = d.u64();
+  a.mode_transitions = d.u64();
+  a.batches_normal = d.u64();
+  a.batches_lagging = d.u64();
+  a.batches_shedding = d.u64();
+  return a;
+}
+
+/// Derived per-node dropout summary, the same reduction
+/// MonitoringPipeline::quality_report() performs.
+void derive_node_summary(telemetry::DataQualityReport& q,
+                         const std::vector<std::uint64_t>& slots,
+                         const std::vector<std::uint64_t>& gaps) {
+  double sum = 0.0, max = 0.0;
+  std::uint32_t worst = 0, with_gaps = 0;
+  std::size_t counted = 0;
+  for (std::size_t id = 0; id < slots.size(); ++id) {
+    if (slots[id] == 0) continue;
+    const double rate =
+        static_cast<double>(gaps[id]) / static_cast<double>(slots[id]);
+    sum += rate;
+    ++counted;
+    if (gaps[id] > 0) ++with_gaps;
+    if (rate > max) {
+      max = rate;
+      worst = static_cast<std::uint32_t>(id);
+    }
+  }
+  q.mean_node_dropout_rate = counted ? sum / static_cast<double>(counted) : 0.0;
+  q.max_node_dropout_rate = max;
+  q.worst_node = worst;
+  q.nodes_with_gaps = with_gaps;
+}
+}  // namespace
+
+const char* ingest_mode_name(IngestMode m) noexcept {
+  switch (m) {
+    case IngestMode::kNormal: return "NORMAL";
+    case IngestMode::kLagging: return "LAGGING";
+    case IngestMode::kShedding: return "SHEDDING";
+  }
+  return "?";
+}
+
+IngestDaemon::IngestDaemon(cluster::SystemSpec spec, IngestConfig config)
+    : spec_(std::move(spec)), config_(std::move(config)) {
+  if (!config_.wal_dir.empty()) {
+    WalOptions w;
+    w.dir = config_.wal_dir;
+    w.segment_records = config_.wal_segment_records;
+    w.keep_checkpoints = config_.keep_checkpoints;
+    wal_ = std::make_unique<WriteAheadLog>(std::move(w));
+  }
+}
+
+void IngestDaemon::maybe_crash(std::uint64_t seq) {
+  if (replaying_ || config_.crash_mode == CrashMode::kNone) return;
+  if (seq != config_.crash_after_seq) return;
+  switch (config_.crash_mode) {
+    case CrashMode::kAfterBatch:
+      std::_Exit(137);
+    case CrashMode::kTornWal:
+      // Half a record made it to disk before the kill.
+      if (wal_) wal_->append_torn_tail("\x10\x0B\xA1\x57torn-mid-record");
+      std::_Exit(137);
+    case CrashMode::kNone:
+    case CrashMode::kTornCheckpoint:
+      break;  // handled at the checkpoint site
+  }
+}
+
+OfferResult IngestDaemon::offer(const StreamBatch& batch) {
+  ++transit_.offered;
+  if (batch.seq < watermark_) {
+    ++transit_.stale_dropped;
+    return OfferResult::kStale;
+  }
+  if (pending_.count(batch.seq) != 0) {
+    ++transit_.duplicates_dropped;
+    return OfferResult::kDuplicate;
+  }
+  // The next in-order seq is always admitted — it drains immediately in
+  // pump() and may unblock everything queued behind it; rejecting it while
+  // the buffer is full of its successors would deadlock the stream.
+  if (pending_.size() >= config_.pending_capacity && batch.seq != watermark_) {
+    ++transit_.backpressure_rejected;
+    return OfferResult::kBackpressure;
+  }
+  if (wal_ && !replaying_) {
+    wal_->append(batch.seq, encode_batch_payload(batch));
+    maybe_crash(batch.seq);
+  }
+  pending_.emplace(batch.seq, batch);
+  ++transit_.accepted;
+  pump();
+  // Peak measured after the pump: the in-order seq passes straight through,
+  // so this counts batches actually held waiting for their predecessors.
+  transit_.peak_pending = std::max<std::uint64_t>(transit_.peak_pending,
+                                                  pending_.size());
+  return OfferResult::kAccepted;
+}
+
+void IngestDaemon::pump() {
+  while (true) {
+    const auto it = pending_.find(watermark_);
+    if (it == pending_.end()) break;
+    apply(it->second);
+    pending_.erase(it);
+    ++watermark_;
+    ++batches_since_checkpoint_;
+    if (config_.checkpoint_every != 0 &&
+        batches_since_checkpoint_ >= config_.checkpoint_every && wal_) {
+      if (!replaying_ && config_.crash_mode == CrashMode::kTornCheckpoint &&
+          watermark_ > config_.crash_after_seq) {
+        wal_->write_checkpoint(watermark_, checkpoint_payload(), true);
+        std::_Exit(137);
+      }
+      checkpoint();
+    }
+  }
+}
+
+void IngestDaemon::merge_quality_delta(const telemetry::DataQualityReport& d) {
+  quality_.samples_expected += d.samples_expected;
+  quality_.samples_ok += d.samples_ok;
+  quality_.samples_glitch += d.samples_glitch;
+  quality_.samples_gap += d.samples_gap;
+  quality_.samples_duplicate += d.samples_duplicate;
+  quality_.samples_interpolated += d.samples_interpolated;
+  quality_.glitches_repaired += d.glitches_repaired;
+  quality_.rows_out_of_order += d.rows_out_of_order;
+  quality_.rows_shed += d.rows_shed;
+  quality_.jobs_seen += d.jobs_seen;
+  quality_.jobs_quarantined_accounting += d.jobs_quarantined_accounting;
+  quality_.jobs_quarantined_low_quality += d.jobs_quarantined_low_quality;
+  quality_.jobs_truncated_by_crash += d.jobs_truncated_by_crash;
+}
+
+void IngestDaemon::apply_job_end(const telemetry::TapJobEnd& end) {
+  ++apply_.job_ends_applied;
+  merge_quality_delta(end.quality_delta);
+  if (!end.kept) return;
+  // Warm-up filter, exactly the batch pipeline's erase rule: records ending
+  // inside the warm-up are discarded (their quality deltas still count).
+  if (hello_.warmup_minutes > 0 &&
+      end.record.end <= util::MinuteTime{hello_.warmup_minutes})
+    return;
+  records_.push_back(end.record);
+}
+
+void IngestDaemon::step_mode(std::uint64_t rows_kept) {
+  const std::uint64_t capacity = config_.capacity_rows_per_batch;
+  if (capacity == 0) return;  // machine disabled: NORMAL forever
+  backlog_rows_ += rows_kept;
+  backlog_rows_ -= std::min(backlog_rows_, capacity);
+  const double ratio =
+      static_cast<double>(backlog_rows_) / static_cast<double>(capacity);
+  if (dwell_ < config_.min_dwell_batches) ++dwell_;
+  IngestMode next = mode_;
+  switch (mode_) {
+    case IngestMode::kNormal:
+      if (ratio >= config_.lagging_enter) next = IngestMode::kLagging;
+      break;
+    case IngestMode::kLagging:
+      if (ratio >= config_.shedding_enter) next = IngestMode::kShedding;
+      else if (ratio <= config_.lagging_exit) next = IngestMode::kNormal;
+      break;
+    case IngestMode::kShedding:
+      if (ratio <= config_.shedding_exit) next = IngestMode::kLagging;
+      break;
+  }
+  if (next != mode_ && dwell_ >= config_.min_dwell_batches) {
+    mode_ = next;
+    dwell_ = 0;
+    ++apply_.mode_transitions;
+  }
+}
+
+void IngestDaemon::apply(const StreamBatch& batch) {
+  HPCPOWER_SPAN("stream.batch.apply");
+  switch (batch.kind) {
+    case BatchKind::kHello:
+      hello_seen_ = true;
+      hello_ = batch.hello;
+      node_slots_.assign(hello_.node_count, 0);
+      node_gap_slots_.assign(hello_.node_count, 0);
+      history_.reset(hello_.node_count, config_.shards, config_.window_minutes);
+      break;
+
+    case BatchKind::kTick: {
+      ++apply_.ticks_applied;
+      throttled_samples_ += batch.tick.throttled;
+      if (batch.in_campaign) {
+        series_.total_power_w.push_back(batch.tick.total_power_w);
+        series_.busy_nodes.push_back(batch.tick.busy_nodes);
+      }
+      merge_quality_delta(batch.tick.quality_delta);
+      for (const auto& s : batch.tick.node_slots) {
+        if (s.node < node_slots_.size()) {
+          node_slots_[s.node] += s.slots;
+          node_gap_slots_[s.node] += s.gaps;
+        }
+      }
+
+      // Detail rows under the current degraded-mode policy. The mode used
+      // for batch N is the state left behind by batch N-1 — deterministic
+      // and independent of arrival timing.
+      switch (mode_) {
+        case IngestMode::kNormal: ++apply_.batches_normal; break;
+        case IngestMode::kLagging: ++apply_.batches_lagging; break;
+        case IngestMode::kShedding: ++apply_.batches_shedding; break;
+      }
+      const std::uint64_t n = batch.tick.rows.size();
+      std::uint64_t kept = n;
+      if (mode_ == IngestMode::kNormal) {
+        history_.apply(batch.tick.rows, /*detail=*/true);
+        apply_.rows_applied += n;
+      } else if (mode_ == IngestMode::kLagging) {
+        history_.apply(batch.tick.rows, /*detail=*/false);
+        apply_.rows_applied += n;
+        apply_.rows_deferred += n;
+      } else {
+        kept = std::min<std::uint64_t>(n, config_.shed_keep_rows_per_batch);
+        if (kept > 0) {
+          const std::vector<telemetry::TapSampleRow> head(
+              batch.tick.rows.begin(),
+              batch.tick.rows.begin() + static_cast<std::ptrdiff_t>(kept));
+          history_.apply(head, /*detail=*/false);
+          apply_.rows_applied += kept;
+          apply_.rows_deferred += kept;
+        }
+        for (std::uint64_t i = kept; i < n; ++i) {
+          const double w = batch.tick.rows[static_cast<std::size_t>(i)].watts;
+          shed_watts_.add(w);
+          shed_p50_.add(w);
+          shed_p95_.add(w);
+        }
+        apply_.rows_shed += n - kept;
+        quality_.rows_shed += n - kept;
+      }
+      step_mode(kept);
+      for (const auto& j : batch.job_ends) apply_job_end(j);
+      break;
+    }
+
+    case BatchKind::kEnd:
+      for (const auto& j : batch.job_ends) apply_job_end(j);
+      end_ = batch.end;
+      break;
+  }
+  ++apply_.batches_applied;
+}
+
+void IngestDaemon::checkpoint() {
+  if (!wal_) return;
+  HPCPOWER_SPAN("stream.checkpoint");
+  wal_->write_checkpoint(watermark_, checkpoint_payload());
+  batches_since_checkpoint_ = 0;
+}
+
+std::string IngestDaemon::checkpoint_payload() const {
+  Encoder e;
+  e.u32(kCheckpointVersion);
+  // Geometry fingerprint: a checkpoint from a differently-configured daemon
+  // must not restore silently.
+  e.u32(config_.window_minutes);
+  e.u32(config_.shards);
+  e.u64(watermark_);
+  e.boolean(hello_seen_);
+  e.u32(hello_.node_count);
+  e.i64(hello_.warmup_minutes);
+  e.u64(hello_.seed);
+  e.boolean(hello_.faults_enabled);
+  e.boolean(end_.has_value());
+  if (end_) {
+    encode_scheduler_stats(e, end_->scheduler);
+    encode_availability(e, end_->availability);
+    e.boolean(end_->has_power);
+    if (end_->has_power) encode_power_report(e, end_->power);
+  }
+  encode_apply_stats(e, apply_);
+  e.u8(static_cast<std::uint8_t>(mode_));
+  e.u64(backlog_rows_);
+  e.u32(dwell_);
+  e.u64(throttled_samples_);
+  e.u64(series_.total_power_w.size());
+  for (const double v : series_.total_power_w) e.f64(v);
+  for (const std::uint32_t v : series_.busy_nodes) e.u32(v);
+  e.u64(records_.size());
+  for (const auto& r : records_) encode_job_record(e, r);
+  encode_quality(e, quality_);
+  e.u64(node_slots_.size());
+  for (const std::uint64_t v : node_slots_) e.u64(v);
+  for (const std::uint64_t v : node_gap_slots_) e.u64(v);
+  e.u64(history_.shards().size());
+  for (const auto& shard : history_.shards()) {
+    encode_running_stats(e, shard.watts);
+    encode_p2(e, shard.p50);
+    encode_p2(e, shard.p95);
+    e.u64(shard.rows);
+    e.u64(shard.rings.size());
+    for (const auto& ring : shard.rings) {
+      e.u64(ring.capacity());
+      e.u64(ring.head());
+      e.u64(ring.size());
+      for (const double v : ring.raw()) e.f64(v);
+    }
+  }
+  encode_running_stats(e, shed_watts_);
+  encode_p2(e, shed_p50_);
+  encode_p2(e, shed_p95_);
+  return e.take();
+}
+
+bool IngestDaemon::restore_from(std::string_view payload) {
+  try {
+    Decoder d(payload);
+    if (d.u32() != kCheckpointVersion) return false;
+    if (d.u32() != config_.window_minutes) return false;
+    if (d.u32() != config_.shards) return false;
+    const std::uint64_t watermark = d.u64();
+    const bool hello_seen = d.boolean();
+    HelloInfo hello;
+    hello.node_count = d.u32();
+    hello.warmup_minutes = d.i64();
+    hello.seed = d.u64();
+    hello.faults_enabled = d.boolean();
+    std::optional<EndInfo> end;
+    if (d.boolean()) {
+      EndInfo info;
+      info.scheduler = decode_scheduler_stats(d);
+      info.availability = decode_availability(d);
+      info.has_power = d.boolean();
+      if (info.has_power) info.power = decode_power_report(d);
+      end = std::move(info);
+    }
+    const ApplyStats apply = decode_apply_stats(d);
+    const std::uint8_t mode = d.u8();
+    if (mode > static_cast<std::uint8_t>(IngestMode::kShedding)) return false;
+    const std::uint64_t backlog = d.u64();
+    const std::uint32_t dwell = d.u32();
+    const std::uint64_t throttled = d.u64();
+    const std::uint64_t series_len = d.u64();
+    if (!d.ok() || series_len > payload.size()) return false;
+    telemetry::SystemSeries series;
+    series.total_power_w.reserve(static_cast<std::size_t>(series_len));
+    for (std::uint64_t i = 0; i < series_len && d.ok(); ++i)
+      series.total_power_w.push_back(d.f64());
+    series.busy_nodes.reserve(static_cast<std::size_t>(series_len));
+    for (std::uint64_t i = 0; i < series_len && d.ok(); ++i)
+      series.busy_nodes.push_back(d.u32());
+    const std::uint64_t record_count = d.u64();
+    if (!d.ok() || record_count > payload.size()) return false;
+    std::vector<telemetry::JobRecord> records;
+    records.reserve(static_cast<std::size_t>(record_count));
+    for (std::uint64_t i = 0; i < record_count && d.ok(); ++i)
+      records.push_back(decode_job_record(d));
+    const telemetry::DataQualityReport quality = decode_quality(d);
+    const std::uint64_t node_count = d.u64();
+    if (!d.ok() || node_count != (hello_seen ? hello.node_count : 0u))
+      return false;
+    std::vector<std::uint64_t> slots(static_cast<std::size_t>(node_count));
+    std::vector<std::uint64_t> gaps(static_cast<std::size_t>(node_count));
+    for (auto& v : slots) v = d.u64();
+    for (auto& v : gaps) v = d.u64();
+    const std::uint64_t shard_count = d.u64();
+    if (!d.ok() || shard_count > 4096) return false;
+    NodeHistoryShards history;
+    if (hello_seen)
+      history.reset(hello.node_count, config_.shards, config_.window_minutes);
+    if (shard_count != history.shards().size()) return false;
+    for (std::uint64_t i = 0; i < shard_count; ++i) {
+      HistoryShard& shard = history.shards()[static_cast<std::size_t>(i)];
+      shard.watts = decode_running_stats(d);
+      decode_p2(d, shard.p50);
+      decode_p2(d, shard.p95);
+      shard.rows = d.u64();
+      const std::uint64_t ring_count = d.u64();
+      if (!d.ok() || ring_count != shard.rings.size()) return false;
+      for (auto& ring : shard.rings) {
+        const std::uint64_t capacity = d.u64();
+        const std::uint64_t head = d.u64();
+        const std::uint64_t size = d.u64();
+        if (!d.ok() || capacity != ring.capacity()) return false;
+        std::vector<double> raw(static_cast<std::size_t>(capacity));
+        for (auto& v : raw) v = d.f64();
+        ring.restore(std::move(raw), static_cast<std::size_t>(head),
+                     static_cast<std::size_t>(size));
+      }
+    }
+    stats::RunningStats shed_watts = decode_running_stats(d);
+    stats::P2Quantile shed_p50{0.5}, shed_p95{0.95};
+    decode_p2(d, shed_p50);
+    decode_p2(d, shed_p95);
+    if (!d.done()) return false;
+
+    // All decoded and validated: commit.
+    watermark_ = watermark;
+    hello_seen_ = hello_seen;
+    hello_ = hello;
+    end_ = std::move(end);
+    apply_ = apply;
+    mode_ = static_cast<IngestMode>(mode);
+    backlog_rows_ = backlog;
+    dwell_ = dwell;
+    throttled_samples_ = throttled;
+    series_ = std::move(series);
+    records_ = std::move(records);
+    quality_ = quality;
+    node_slots_ = std::move(slots);
+    node_gap_slots_ = std::move(gaps);
+    history_ = std::move(history);
+    shed_watts_ = shed_watts;
+    shed_p50_ = shed_p50;
+    shed_p95_ = shed_p95;
+    return true;
+  } catch (const std::invalid_argument&) {
+    return false;  // inconsistent sketch state in a corrupt checkpoint
+  }
+}
+
+bool IngestDaemon::recover() {
+  if (!wal_) return false;
+  HPCPOWER_SPAN("stream.recover");
+  recovery_ = {};
+  for (const auto& candidate : wal_->checkpoints(recovery_)) {
+    if (restore_from(candidate.payload)) {
+      recovery_.checkpoint_loaded = true;
+      recovery_.checkpoint_seq = candidate.seq;
+      break;
+    }
+  }
+  const auto records = [&] {
+    HPCPOWER_SPAN("stream.wal.replay");
+    return wal_->replay(watermark_, recovery_);
+  }();
+  replaying_ = true;
+  for (const auto& [seq, payload] : records) {
+    if (seq < watermark_ || pending_.count(seq) != 0) continue;
+    auto batch = decode_batch_payload(payload);
+    if (!batch) {
+      ++recovery_.torn_records_skipped;
+      continue;
+    }
+    pending_.emplace(seq, std::move(*batch));
+  }
+  pump();
+  replaying_ = false;
+  batches_since_checkpoint_ = 0;
+  return recovery_.checkpoint_loaded || watermark_ > 0;
+}
+
+core::CampaignData IngestDaemon::finalize() const {
+  if (!end_)
+    throw std::logic_error("IngestDaemon::finalize: stream incomplete (no end batch)");
+  core::CampaignData data;
+  data.spec = spec_;
+  data.records = records_;
+  data.series = series_;
+  data.scheduler = end_->scheduler;
+  data.availability = end_->availability;
+  data.throttled_samples = throttled_samples_;
+  data.quality = quality_;
+  derive_node_summary(data.quality, node_slots_, node_gap_slots_);
+  if (end_->has_power) data.power = end_->power;
+  return data;
+}
+
+std::string IngestDaemon::render_summary() const {
+  // Everything here is apply-side state: identical between an uninterrupted
+  // run and any crash+recover run of the same stream. Transit/WAL counters
+  // are deliberately absent (retry schedules restart after a crash).
+  std::string out;
+  out += "stream summary v1\n";
+  out += util::format("watermark %llu end=%d\n",
+                      static_cast<unsigned long long>(watermark_),
+                      end_ ? 1 : 0);
+  out += util::format("hello nodes=%u warmup=%lld faults=%d\n",
+                      hello_.node_count,
+                      static_cast<long long>(hello_.warmup_minutes),
+                      hello_.faults_enabled ? 1 : 0);
+  out += util::format(
+      "applied batches=%llu ticks=%llu rows=%llu deferred=%llu shed=%llu "
+      "job_ends=%llu\n",
+      static_cast<unsigned long long>(apply_.batches_applied),
+      static_cast<unsigned long long>(apply_.ticks_applied),
+      static_cast<unsigned long long>(apply_.rows_applied),
+      static_cast<unsigned long long>(apply_.rows_deferred),
+      static_cast<unsigned long long>(apply_.rows_shed),
+      static_cast<unsigned long long>(apply_.job_ends_applied));
+  out += util::format(
+      "mode now=%s transitions=%llu occupancy normal=%llu lagging=%llu "
+      "shedding=%llu backlog=%llu\n",
+      ingest_mode_name(mode_),
+      static_cast<unsigned long long>(apply_.mode_transitions),
+      static_cast<unsigned long long>(apply_.batches_normal),
+      static_cast<unsigned long long>(apply_.batches_lagging),
+      static_cast<unsigned long long>(apply_.batches_shedding),
+      static_cast<unsigned long long>(backlog_rows_));
+  out += util::format("throttled %llu\n",
+                      static_cast<unsigned long long>(throttled_samples_));
+
+  // Exact content digests: CRC-32 over the canonical encodings, so a single
+  // flipped bit anywhere in the reconstructed dataset changes the summary.
+  {
+    Encoder e;
+    e.u64(series_.total_power_w.size());
+    for (const double v : series_.total_power_w) e.f64(v);
+    for (const std::uint32_t v : series_.busy_nodes) e.u32(v);
+    out += util::format("series n=%zu crc=%08x\n", series_.total_power_w.size(),
+                        storage::crc32(e.data()));
+  }
+  {
+    Encoder e;
+    for (const auto& r : records_) encode_job_record(e, r);
+    out += util::format("records n=%zu crc=%08x\n", records_.size(),
+                        storage::crc32(e.data()));
+  }
+  {
+    telemetry::DataQualityReport q = quality_;
+    derive_node_summary(q, node_slots_, node_gap_slots_);
+    Encoder e;
+    encode_quality(e, q);
+    out += util::format("quality crc=%08x %s\n", storage::crc32(e.data()),
+                        telemetry::describe(q).c_str());
+  }
+  {
+    Encoder e;
+    if (end_) {
+      encode_scheduler_stats(e, end_->scheduler);
+      encode_availability(e, end_->availability);
+      e.boolean(end_->has_power);
+      if (end_->has_power) encode_power_report(e, end_->power);
+    }
+    out += util::format("end crc=%08x\n", storage::crc32(e.data()));
+  }
+  const stats::RunningStats merged = history_.merged_watts();
+  out += util::format(
+      "history rows=%llu retained=%llu mean=%.17g std=%.17g min=%.17g "
+      "max=%.17g p50=%.17g p95=%.17g\n",
+      static_cast<unsigned long long>(history_.total_rows()),
+      static_cast<unsigned long long>(history_.retained_samples()),
+      merged.mean(), merged.stddev(), merged.min(), merged.max(),
+      history_.shards().empty() ? 0.0 : [&] {
+        // Deterministic cross-shard quantile roll-up: mean of shard sketches
+        // in shard order (shards are node-id partitions of one population).
+        double s = 0.0;
+        for (const auto& sh : history_.shards()) s += sh.p50.value();
+        return s / static_cast<double>(history_.shards().size());
+      }(),
+      history_.shards().empty() ? 0.0 : [&] {
+        double s = 0.0;
+        for (const auto& sh : history_.shards()) s += sh.p95.value();
+        return s / static_cast<double>(history_.shards().size());
+      }());
+  out += util::format("shed n=%llu mean=%.17g p50=%.17g p95=%.17g\n",
+                      static_cast<unsigned long long>(shed_watts_.count()),
+                      shed_watts_.mean(), shed_p50_.value(), shed_p95_.value());
+  return out;
+}
+
+void IngestDaemon::export_metrics() const {
+  auto& m = obs::metrics();
+  m.count("stream.batches.offered", transit_.offered);
+  m.count("stream.batches.accepted", transit_.accepted);
+  m.count("stream.batches.applied", apply_.batches_applied);
+  m.count("stream.batches.duplicate", transit_.duplicates_dropped);
+  m.count("stream.batches.stale", transit_.stale_dropped);
+  m.count("stream.backpressure.rejected", transit_.backpressure_rejected);
+  m.count("stream.ticks.applied", apply_.ticks_applied);
+  m.count("stream.rows.applied", apply_.rows_applied);
+  m.count("stream.rows.deferred", apply_.rows_deferred);
+  m.count("stream.rows.shed", apply_.rows_shed);
+  m.count("stream.jobs.applied", apply_.job_ends_applied);
+  m.count("stream.mode.transitions", apply_.mode_transitions);
+  if (wal_) {
+    m.count("stream.wal.records", wal_->records_appended());
+    m.count("stream.wal.segments", wal_->segments_opened());
+    m.count("stream.wal.checkpoints", wal_->checkpoints_written());
+    m.count("stream.wal.replayed", recovery_.records_replayed);
+    m.count("stream.wal.torn", recovery_.torn_records_skipped);
+  }
+  m.gauge("stream.pending.peak").set(static_cast<double>(transit_.peak_pending));
+  m.gauge("stream.rows.retained")
+      .set(static_cast<double>(history_.retained_samples()));
+  m.gauge("stream.backlog.rows").set(static_cast<double>(backlog_rows_));
+}
+
+}  // namespace hpcpower::stream

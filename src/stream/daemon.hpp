@@ -1,0 +1,214 @@
+#pragma once
+// Crash-safe streaming ingest daemon.
+//
+// Consumes a campaign as an ordered stream of per-minute batches (batch.hpp)
+// and incrementally reconstructs the exact CampaignData the batch pipeline
+// would have produced — the report rendered from finalize() is byte-identical
+// to the uninterrupted batch run, and stays byte-identical across a kill -9
+// at any batch boundary (WAL + watermark checkpoints, wal.hpp).
+//
+// Robustness model, mirroring the repo's other closed-loop subsystems:
+//   * Watermark ordering: batches apply strictly in seq order. Out-of-order
+//     arrivals wait in a bounded pending buffer; duplicates and stale seqs
+//     are dropped at the door. Transit-side accounting (TransitStats) is
+//     deliberately separate from apply-side accounting (ApplyStats): only
+//     the latter is checkpointed and crash-invariant, since retry schedules
+//     restart after a crash.
+//   * Backpressure: a full pending buffer rejects the offer; the driver
+//     retries with exponential backoff. The next in-order seq is always
+//     accepted even when full (it drains immediately), so progress is
+//     guaranteed.
+//   * Degraded modes: a deterministic backlog model (rows in minus a fixed
+//     drain capacity per batch) drives NORMAL -> LAGGING -> SHEDDING with
+//     hysteresis and a minimum dwell, like the power manager's mode machine.
+//     LAGGING defers per-sample ring writes; SHEDDING folds overflow rows
+//     into Welford + P-squared summary sketches and books every shed row in
+//     the quality ledger (rows_shed) — ledgers and job records are never
+//     shed, only detail.
+//
+// Thread-count invariance: rows apply shard-parallel over disjoint shard
+// state (ring.hpp); everything else is strictly sequential in seq order.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/system_spec.hpp"
+#include "core/study.hpp"
+#include "stream/batch.hpp"
+#include "stream/ring.hpp"
+#include "stream/wal.hpp"
+
+namespace hpcpower::stream {
+
+enum class IngestMode : std::uint8_t { kNormal = 0, kLagging = 1, kShedding = 2 };
+[[nodiscard]] const char* ingest_mode_name(IngestMode m) noexcept;
+
+/// Crash-injection hooks for the chaos harness / demo. The daemon calls
+/// std::_Exit(137) at the configured point, leaving exactly the on-disk
+/// state a kill -9 would.
+enum class CrashMode : std::uint8_t {
+  kNone = 0,
+  kAfterBatch = 1,       ///< exit right after seq's WAL record is durable
+  kTornWal = 2,          ///< append a partial garbage record first, then exit
+  kTornCheckpoint = 3,   ///< exit mid-checkpoint (tmp written, never renamed)
+};
+
+struct IngestConfig {
+  /// WAL + checkpoint directory; empty disables durability (pure in-memory).
+  std::string wal_dir;
+  std::uint32_t window_minutes = 32;   ///< per-node ring capacity
+  std::uint32_t shards = 4;
+  std::uint64_t pending_capacity = 64; ///< bounded reorder buffer (batches)
+  std::uint64_t wal_segment_records = 256;
+  std::uint64_t checkpoint_every = 0;  ///< batches between checkpoints (0 = manual)
+  std::uint64_t keep_checkpoints = 2;
+
+  /// Degraded-mode machine. capacity_rows_per_batch == 0 disables it (the
+  /// backlog never accumulates; equivalence runs use this).
+  std::uint64_t capacity_rows_per_batch = 0;
+  double lagging_enter = 1.0;    ///< backlog/capacity ratio entering LAGGING
+  double lagging_exit = 0.25;
+  double shedding_enter = 4.0;
+  double shedding_exit = 1.0;
+  std::uint32_t min_dwell_batches = 4;
+  /// Rows per batch still applied to shard aggregates while SHEDDING; the
+  /// rest go to the shed sketch only.
+  std::uint64_t shed_keep_rows_per_batch = 0;
+
+  std::uint64_t crash_after_seq = 0;  ///< 0 = no crash injection
+  CrashMode crash_mode = CrashMode::kNone;
+};
+
+/// Apply-side accounting: advanced only when the watermark advances, fully
+/// checkpointed, and therefore identical between an uninterrupted run and
+/// any crash+recover run of the same stream.
+struct ApplyStats {
+  std::uint64_t batches_applied = 0;
+  std::uint64_t ticks_applied = 0;
+  std::uint64_t rows_applied = 0;    ///< reached shard aggregates
+  std::uint64_t rows_deferred = 0;   ///< LAGGING: ring write skipped
+  std::uint64_t rows_shed = 0;       ///< SHEDDING: sketch only
+  std::uint64_t job_ends_applied = 0;
+  std::uint64_t mode_transitions = 0;
+  std::uint64_t batches_normal = 0;
+  std::uint64_t batches_lagging = 0;
+  std::uint64_t batches_shedding = 0;
+
+  friend bool operator==(const ApplyStats&, const ApplyStats&) = default;
+};
+
+/// Offer-side accounting: process-local, never checkpointed, excluded from
+/// crash-equivalence diffs (retry schedules restart after a crash).
+struct TransitStats {
+  std::uint64_t offered = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t duplicates_dropped = 0;
+  std::uint64_t stale_dropped = 0;
+  std::uint64_t backpressure_rejected = 0;
+  std::uint64_t peak_pending = 0;
+};
+
+enum class OfferResult : std::uint8_t {
+  kAccepted = 0,
+  kDuplicate = 1,     ///< seq already pending
+  kStale = 2,         ///< seq at or below the watermark (already applied)
+  kBackpressure = 3,  ///< pending buffer full; retry later
+};
+
+class IngestDaemon {
+ public:
+  IngestDaemon(cluster::SystemSpec spec, IngestConfig config);
+
+  /// Offers one batch. kAccepted means the batch is durable (when a WAL is
+  /// configured) and will be applied; anything else was not ingested.
+  OfferResult offer(const StreamBatch& batch);
+
+  /// Loads the newest valid checkpoint and replays newer WAL records.
+  /// Returns true when any durable state was recovered. Safe on an empty or
+  /// missing directory (fresh start).
+  bool recover();
+
+  /// Writes a checkpoint of the complete apply-side state now.
+  void checkpoint();
+
+  /// Count of contiguously applied batches == the next expected seq (seqs
+  /// [0, watermark) are durably applied; 0 before the hello batch applies).
+  [[nodiscard]] std::uint64_t watermark() const noexcept { return watermark_; }
+  [[nodiscard]] bool end_applied() const noexcept { return end_.has_value(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return pending_.size(); }
+  [[nodiscard]] IngestMode mode() const noexcept { return mode_; }
+  [[nodiscard]] const ApplyStats& apply_stats() const noexcept { return apply_; }
+  [[nodiscard]] const TransitStats& transit_stats() const noexcept {
+    return transit_;
+  }
+  [[nodiscard]] const NodeHistoryShards& history() const noexcept {
+    return history_;
+  }
+  [[nodiscard]] const WalRecoveryStats& recovery_stats() const noexcept {
+    return recovery_;
+  }
+  [[nodiscard]] const telemetry::DataQualityReport& quality() const noexcept {
+    return quality_;
+  }
+
+  /// The reconstructed campaign dataset. Requires end_applied(): the stream
+  /// must be complete. Byte-identical (through render_markdown_report) to
+  /// the CampaignData of the equivalent batch run.
+  [[nodiscard]] core::CampaignData finalize() const;
+
+  /// Deterministic plain-text digest of the apply-side state (watermark,
+  /// ledgers, mode occupancy, shard aggregates). This is what the chaos
+  /// harness diffs between interrupted and uninterrupted runs.
+  [[nodiscard]] std::string render_summary() const;
+
+  /// One bulk stream.* counter/gauge export (same pattern as the campaign's
+  /// telemetry.* bulk update: the per-batch hot path stays counter-free).
+  void export_metrics() const;
+
+ private:
+  void pump();
+  void apply(const StreamBatch& batch);
+  void apply_job_end(const telemetry::TapJobEnd& end);
+  void merge_quality_delta(const telemetry::DataQualityReport& d);
+  void step_mode(std::uint64_t rows_kept);
+  void maybe_crash(std::uint64_t seq);
+  [[nodiscard]] std::string checkpoint_payload() const;
+  [[nodiscard]] bool restore_from(std::string_view payload);
+
+  cluster::SystemSpec spec_;
+  IngestConfig config_;
+  std::unique_ptr<WriteAheadLog> wal_;
+  bool replaying_ = false;
+
+  // Apply-side state (everything below is checkpointed).
+  std::uint64_t watermark_ = 0;
+  bool hello_seen_ = false;
+  HelloInfo hello_;
+  std::optional<EndInfo> end_;
+  ApplyStats apply_;
+  IngestMode mode_ = IngestMode::kNormal;
+  std::uint64_t backlog_rows_ = 0;
+  std::uint32_t dwell_ = 0;
+  std::vector<telemetry::JobRecord> records_;
+  telemetry::SystemSeries series_;
+  std::uint64_t throttled_samples_ = 0;
+  telemetry::DataQualityReport quality_;
+  std::vector<std::uint64_t> node_slots_;
+  std::vector<std::uint64_t> node_gap_slots_;
+  NodeHistoryShards history_;
+  stats::RunningStats shed_watts_;
+  stats::P2Quantile shed_p50_{0.5};
+  stats::P2Quantile shed_p95_{0.95};
+  std::uint64_t batches_since_checkpoint_ = 0;
+
+  // Process-local state (not checkpointed).
+  std::map<std::uint64_t, StreamBatch> pending_;
+  TransitStats transit_;
+  WalRecoveryStats recovery_;
+};
+
+}  // namespace hpcpower::stream

@@ -1,0 +1,101 @@
+#include "stream/driver.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/prng.hpp"
+
+namespace hpcpower::stream {
+
+namespace {
+/// Exponential backoff in steps, capped so schedules stay short.
+std::uint64_t backoff(std::uint32_t attempt) noexcept {
+  return 1ull << std::min<std::uint32_t>(attempt, 6);
+}
+}  // namespace
+
+StreamDriver::StreamDriver(IngestDaemon& daemon, TransitFaultConfig faults)
+    : daemon_(daemon), faults_(faults) {
+  fate_seed_ = util::derive_stream(faults_.seed, "transit-fate");
+  delay_seed_ = util::derive_stream(faults_.seed, "transit-delay");
+}
+
+StreamDriver::Fate StreamDriver::roll(std::uint64_t seq,
+                                      std::uint32_t attempt) const {
+  if (!faults_.enabled) return Fate::kClean;
+  const double u = util::stateless_uniform(fate_seed_, seq, attempt);
+  if (u < faults_.drop_p) return Fate::kDrop;
+  if (u < faults_.drop_p + faults_.dup_p) return Fate::kDup;
+  if (u < faults_.drop_p + faults_.dup_p + faults_.delay_p) return Fate::kDelay;
+  return Fate::kClean;
+}
+
+void StreamDriver::schedule(StreamBatch&& batch, std::uint64_t due,
+                            std::uint32_t attempt) {
+  queue_.emplace(due, Delivery{std::move(batch), attempt});
+  ledger_.max_queue_depth =
+      std::max<std::uint64_t>(ledger_.max_queue_depth, queue_.size());
+}
+
+void StreamDriver::submit(StreamBatch batch) {
+  ++ledger_.batches_submitted;
+  schedule(std::move(batch), now_, 0);
+}
+
+void StreamDriver::process(StreamBatch&& batch, std::uint32_t attempt) {
+  const bool force = attempt >= faults_.max_attempts;
+  const Fate fate = force ? Fate::kClean : roll(batch.seq, attempt);
+  if (faults_.enabled && force && attempt == faults_.max_attempts)
+    ++ledger_.force_delivered;
+
+  switch (fate) {
+    case Fate::kDrop:
+      ++ledger_.drops_injected;
+      schedule(std::move(batch), now_ + backoff(attempt), attempt + 1);
+      return;
+    case Fate::kDelay: {
+      ++ledger_.delays_injected;
+      const std::uint64_t steps =
+          1 + util::stateless_index(delay_seed_, batch.seq, attempt,
+                                    std::max<std::uint64_t>(faults_.max_delay_steps, 1));
+      schedule(std::move(batch), now_ + steps, attempt + 1);
+      return;
+    }
+    case Fate::kDup:
+      // The extra copy lands first; the daemon books it as duplicate, stale,
+      // or backpressure-rejected — in every case the original still follows,
+      // so nothing is lost.
+      ++ledger_.dups_injected;
+      ++ledger_.deliveries;
+      (void)daemon_.offer(batch);
+      break;  // the regular delivery below still happens
+    case Fate::kClean:
+      break;
+  }
+
+  ++ledger_.deliveries;
+  const OfferResult r = daemon_.offer(batch);
+  if (r == OfferResult::kBackpressure) {
+    ++ledger_.backpressure_retries;
+    // Backpressure retries do not consume fault-roll budget: the attempt
+    // counter still advances (fresh randomness, growing backoff) but the
+    // force-delivery bookkeeping above only fires once.
+    schedule(std::move(batch),
+             now_ + backoff(std::min(attempt, faults_.max_attempts)),
+             std::max(attempt + 1, faults_.max_attempts + 1));
+  }
+}
+
+void StreamDriver::step() {
+  while (!queue_.empty() && queue_.begin()->first <= now_) {
+    auto node = queue_.extract(queue_.begin());
+    process(std::move(node.mapped().batch), node.mapped().attempt);
+  }
+  ++now_;
+}
+
+void StreamDriver::flush() {
+  while (!queue_.empty()) step();
+}
+
+}  // namespace hpcpower::stream

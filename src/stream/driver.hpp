@@ -1,0 +1,93 @@
+#pragma once
+// Deterministic delivery driver between a batch source and the ingest daemon.
+//
+// Models the lossy transport a real collector sits behind: batches can be
+// dropped (retried with exponential backoff), duplicated, or delayed
+// (arriving late and out of order), and a daemon under backpressure pushes
+// retries back onto the schedule. Every fault is a pure function of
+// (seed, seq, attempt) via util::stateless_uniform — no stream state — so a
+// given (campaign, fault seed) produces one exact delivery schedule, and the
+// property tests can replay it and reconcile the driver's ledger against the
+// daemon's transit counters exactly.
+//
+// Time is a virtual step counter: submit() enqueues at the current step and
+// step() delivers everything due, so the driver is single-threaded and
+// deterministic while still exercising real reordering (a delayed seq is
+// overtaken by its successors).
+
+#include <cstdint>
+#include <map>
+
+#include "stream/batch.hpp"
+#include "stream/daemon.hpp"
+
+namespace hpcpower::stream {
+
+struct TransitFaultConfig {
+  bool enabled = false;
+  std::uint64_t seed = 0;
+  double drop_p = 0.0;   ///< delivery lost; retried with backoff
+  double dup_p = 0.0;    ///< delivered twice in the same step
+  double delay_p = 0.0;  ///< delivery postponed 1..max_delay_steps steps
+  std::uint64_t max_delay_steps = 8;
+  /// After this many faulted attempts a batch is force-delivered (no more
+  /// fault rolls), bounding every schedule. Backpressure retries are not
+  /// counted against this limit — they end when the daemon drains.
+  std::uint32_t max_attempts = 12;
+};
+
+/// Transport-side ground truth, reconciled against TransitStats in tests:
+///   deliveries == daemon offered;  batches_submitted == daemon watermark
+///   (after flush);  dups_injected == daemon duplicate+stale drops.
+struct DriverLedger {
+  std::uint64_t batches_submitted = 0;
+  std::uint64_t deliveries = 0;  ///< offer() calls actually made
+  std::uint64_t drops_injected = 0;
+  std::uint64_t dups_injected = 0;
+  std::uint64_t delays_injected = 0;
+  std::uint64_t backpressure_retries = 0;
+  std::uint64_t force_delivered = 0;  ///< fault budget exhausted
+  std::uint64_t max_queue_depth = 0;
+};
+
+class StreamDriver {
+ public:
+  explicit StreamDriver(IngestDaemon& daemon, TransitFaultConfig faults = {});
+
+  /// Enqueues one batch for delivery at the current step.
+  void submit(StreamBatch batch);
+
+  /// Delivers everything due at the current step, then advances time by one.
+  void step();
+
+  /// Steps until the queue is empty (every batch delivered or exhausted).
+  void flush();
+
+  [[nodiscard]] const DriverLedger& ledger() const noexcept { return ledger_; }
+  [[nodiscard]] std::uint64_t now() const noexcept { return now_; }
+  [[nodiscard]] std::size_t queued() const noexcept { return queue_.size(); }
+
+ private:
+  enum class Fate : std::uint8_t { kClean, kDrop, kDup, kDelay };
+
+  [[nodiscard]] Fate roll(std::uint64_t seq, std::uint32_t attempt) const;
+  void process(StreamBatch&& batch, std::uint32_t attempt);
+  void schedule(StreamBatch&& batch, std::uint64_t due, std::uint32_t attempt);
+
+  IngestDaemon& daemon_;
+  TransitFaultConfig faults_;
+  std::uint64_t fate_seed_ = 0;
+  std::uint64_t delay_seed_ = 0;
+  std::uint64_t now_ = 0;
+
+  struct Delivery {
+    StreamBatch batch;
+    std::uint32_t attempt = 0;
+  };
+  /// Due step -> delivery; equal keys preserve insertion order, so the whole
+  /// schedule is deterministic.
+  std::multimap<std::uint64_t, Delivery> queue_;
+  DriverLedger ledger_;
+};
+
+}  // namespace hpcpower::stream

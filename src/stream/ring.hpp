@@ -1,0 +1,147 @@
+#pragma once
+// Bounded per-node power history for the streaming ingest daemon.
+//
+// PowerRing keeps the last `capacity` accepted samples of one node in a
+// fixed circular buffer — the daemon's only per-sample storage, so resident
+// memory is bounded by node_count x window regardless of campaign length
+// (the flat-memory property the stream bench asserts).
+//
+// NodeHistoryShards partitions the node population into S shards (node id
+// mod S). Each shard owns its nodes' rings plus shard-local streaming
+// aggregates (Welford stats and P² quantile sketches). A batch's rows are
+// bucketed per shard and applied with one task per shard on the global
+// pool: shard state is disjoint and rows stay in arrival order within a
+// shard, so the result is bit-identical at any thread count. Cross-shard
+// merges happen only at render time, in shard order.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+#include "stats/streaming_quantile.hpp"
+#include "telemetry/stream_tap.hpp"
+#include "util/parallel.hpp"
+
+namespace hpcpower::stream {
+
+/// Fixed-capacity circular sample buffer (doubles, newest overwrites oldest).
+class PowerRing {
+ public:
+  PowerRing() = default;
+  explicit PowerRing(std::uint32_t capacity) : data_(capacity, 0.0) {}
+
+  void push(double v) noexcept {
+    if (data_.empty()) return;
+    data_[head_] = v;
+    head_ = (head_ + 1) % data_.size();
+    if (size_ < data_.size()) ++size_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return data_.size(); }
+  /// i = 0 is the oldest retained sample.
+  [[nodiscard]] double at(std::size_t i) const noexcept {
+    const std::size_t start = (head_ + data_.size() - size_) % data_.size();
+    return data_[(start + i) % data_.size()];
+  }
+
+  // Checkpoint access: raw buffer + cursor words, restored verbatim.
+  [[nodiscard]] const std::vector<double>& raw() const noexcept { return data_; }
+  [[nodiscard]] std::size_t head() const noexcept { return head_; }
+  void restore(std::vector<double> data, std::size_t head, std::size_t size) {
+    data_ = std::move(data);
+    head_ = data_.empty() ? 0 : head % data_.size();
+    size_ = size > data_.size() ? data_.size() : size;
+  }
+
+ private:
+  std::vector<double> data_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+/// One shard: rings for its nodes plus shard-local streaming aggregates.
+struct HistoryShard {
+  std::vector<std::uint32_t> nodes;  ///< global node ids, ascending
+  std::vector<PowerRing> rings;      ///< parallel to `nodes`
+  stats::RunningStats watts;
+  stats::P2Quantile p50{0.5};
+  stats::P2Quantile p95{0.95};
+  std::uint64_t rows = 0;
+};
+
+class NodeHistoryShards {
+ public:
+  NodeHistoryShards() = default;
+  NodeHistoryShards(std::uint32_t node_count, std::uint32_t shard_count,
+                    std::uint32_t window) {
+    reset(node_count, shard_count, window);
+  }
+
+  void reset(std::uint32_t node_count, std::uint32_t shard_count,
+             std::uint32_t window) {
+    node_count_ = node_count;
+    shards_.assign(shard_count == 0 ? 1 : shard_count, HistoryShard{});
+    const auto s = static_cast<std::uint32_t>(shards_.size());
+    for (std::uint32_t n = 0; n < node_count; ++n) {
+      HistoryShard& shard = shards_[n % s];
+      shard.nodes.push_back(n);
+      shard.rings.emplace_back(window);
+    }
+  }
+
+  /// Applies one batch's rows. `detail` false skips the ring writes (LAGGING
+  /// mode: aggregates stay exact, per-sample history is deferred). Rows are
+  /// pre-bucketed per shard, preserving arrival order within each shard, then
+  /// applied shard-parallel (disjoint state: thread-count invariant).
+  void apply(const std::vector<telemetry::TapSampleRow>& rows, bool detail) {
+    const auto s = static_cast<std::uint32_t>(shards_.size());
+    buckets_.resize(s);
+    for (auto& b : buckets_) b.clear();
+    for (const auto& r : rows) {
+      if (r.node < node_count_) buckets_[r.node % s].push_back(r);
+    }
+    util::parallel_for(shards_.size(), [&](std::size_t i) {
+      HistoryShard& shard = shards_[i];
+      for (const auto& r : buckets_[i]) {
+        shard.watts.add(r.watts);
+        shard.p50.add(r.watts);
+        shard.p95.add(r.watts);
+        ++shard.rows;
+        if (detail) shard.rings[r.node / s].push(r.watts);
+      }
+    });
+  }
+
+  [[nodiscard]] std::uint32_t node_count() const noexcept { return node_count_; }
+  [[nodiscard]] const std::vector<HistoryShard>& shards() const noexcept {
+    return shards_;
+  }
+  [[nodiscard]] std::vector<HistoryShard>& shards() noexcept { return shards_; }
+
+  /// Deterministic cross-shard roll-up (shard order, render time only).
+  [[nodiscard]] stats::RunningStats merged_watts() const {
+    stats::RunningStats out;
+    for (const auto& s : shards_) out.merge(s.watts);
+    return out;
+  }
+  [[nodiscard]] std::uint64_t total_rows() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& s : shards_) n += s.rows;
+    return n;
+  }
+  /// Retained samples across all rings (bounded by node_count x window).
+  [[nodiscard]] std::uint64_t retained_samples() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& s : shards_)
+      for (const auto& r : s.rings) n += r.size();
+    return n;
+  }
+
+ private:
+  std::uint32_t node_count_ = 0;
+  std::vector<HistoryShard> shards_;
+  std::vector<std::vector<telemetry::TapSampleRow>> buckets_;  // reused scratch
+};
+
+}  // namespace hpcpower::stream

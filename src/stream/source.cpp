@@ -1,0 +1,89 @@
+#include "stream/source.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "util/sim_time.hpp"
+
+namespace hpcpower::stream {
+
+StreamedCampaignResult run_streamed_campaign(const cluster::SystemSpec& spec,
+                                             const core::StudyConfig& config,
+                                             IngestDaemon& daemon,
+                                             StreamDriver& driver) {
+  const std::int64_t warmup_minutes =
+      util::MinuteTime::from_days(config.warmup_days).minutes();
+
+  std::uint64_t next_seq = 0;
+  std::uint64_t tick_index = 0;
+  std::vector<telemetry::TapJobEnd> pending_ends;
+
+  const auto ensure_hello = [&] {
+    if (next_seq != 0) return;
+    StreamBatch hello;
+    hello.seq = next_seq++;
+    hello.kind = BatchKind::kHello;
+    hello.hello.node_count = spec.node_count;
+    hello.hello.warmup_minutes = warmup_minutes;
+    hello.hello.seed = config.seed;
+    hello.hello.faults_enabled = config.faults.enabled;
+    driver.submit(std::move(hello));
+  };
+
+  core::StudyConfig streamed_config = config;
+  streamed_config.tap.on_job_end = [&](telemetry::TapJobEnd&& end) {
+    pending_ends.push_back(std::move(end));
+  };
+  streamed_config.tap.on_tick = [&](telemetry::TapTick&& tick) {
+    ensure_hello();
+    StreamBatch b;
+    b.seq = next_seq++;
+    b.kind = BatchKind::kTick;
+    // Ticks stream for the whole simulated horizon, but only post-warm-up
+    // minutes belong to the campaign series — the streaming mirror of the
+    // batch path's warm-up prefix erase. Warm-up meter/quality deltas still
+    // count; detail rows are not shipped (nothing downstream keeps them).
+    b.in_campaign = tick_index >= static_cast<std::uint64_t>(warmup_minutes);
+    ++tick_index;
+    b.tick = std::move(tick);
+    if (!b.in_campaign) b.tick.rows.clear();
+    b.job_ends = std::move(pending_ends);
+    pending_ends.clear();
+    driver.submit(std::move(b));
+    driver.step();
+  };
+
+  StreamedCampaignResult result;
+  result.batch = core::run_campaign(spec, streamed_config);
+
+  ensure_hello();  // zero-tick campaigns still get a well-formed stream
+  StreamBatch end;
+  end.seq = next_seq++;
+  end.kind = BatchKind::kEnd;
+  end.job_ends = std::move(pending_ends);
+  end.end.scheduler = result.batch.scheduler;
+  end.end.availability = result.batch.availability;
+  end.end.has_power = result.batch.power.has_value();
+  if (result.batch.power) end.end.power = *result.batch.power;
+  driver.submit(std::move(end));
+  driver.flush();
+
+  result.streamed = daemon.finalize();
+  result.apply = daemon.apply_stats();
+  result.transit = daemon.transit_stats();
+  result.ledger = driver.ledger();
+  result.batches_emitted = next_seq;
+  return result;
+}
+
+StreamedCampaignResult run_streamed_campaign(const cluster::SystemSpec& spec,
+                                             const core::StudyConfig& config,
+                                             const IngestConfig& ingest,
+                                             const TransitFaultConfig& faults) {
+  IngestDaemon daemon(spec, ingest);
+  if (!ingest.wal_dir.empty()) daemon.recover();
+  StreamDriver driver(daemon, faults);
+  return run_streamed_campaign(spec, config, daemon, driver);
+}
+
+}  // namespace hpcpower::stream

@@ -1,0 +1,52 @@
+#pragma once
+// Streamed-campaign source: runs one batch campaign with the telemetry tap
+// installed and feeds the resulting batch stream through a StreamDriver into
+// an IngestDaemon.
+//
+// This is the equivalence harness the tentpole invariant rests on: the same
+// simulation produces both the batch CampaignData (from run_campaign's return
+// value) and the streamed CampaignData (from the daemon's finalize()), and
+// render_markdown_report over the two must be byte-identical — with transit
+// faults on, with degraded modes disabled (capacity_rows_per_batch == 0),
+// at any thread count.
+//
+// Resume semantics: the source regenerates the campaign deterministically
+// from the seed, so after a crash the caller recover()s the daemon and simply
+// re-runs the source — every already-applied seq is dropped at the door as
+// stale and the stream continues from the watermark.
+
+#include <cstdint>
+
+#include "cluster/system_spec.hpp"
+#include "core/study.hpp"
+#include "stream/daemon.hpp"
+#include "stream/driver.hpp"
+
+namespace hpcpower::stream {
+
+struct StreamedCampaignResult {
+  core::CampaignData batch;     ///< the uninterrupted batch dataset
+  core::CampaignData streamed;  ///< the daemon's reconstruction
+  ApplyStats apply;
+  TransitStats transit;
+  DriverLedger ledger;
+  /// Total batches in the stream (hello + ticks + end) == final watermark.
+  std::uint64_t batches_emitted = 0;
+};
+
+/// Runs the campaign for `spec` with the tap installed, streaming every batch
+/// through `driver` into its daemon. The daemon may std::_Exit mid-run when
+/// crash injection is configured; otherwise the driver is flushed and the
+/// stream is complete on return. `config.tap` must be empty (the source owns
+/// the tap).
+[[nodiscard]] StreamedCampaignResult run_streamed_campaign(
+    const cluster::SystemSpec& spec, const core::StudyConfig& config,
+    IngestDaemon& daemon, StreamDriver& driver);
+
+/// Convenience wrapper: builds the daemon + driver internally and returns the
+/// completed result (no crash injection, no WAL unless configured).
+[[nodiscard]] StreamedCampaignResult run_streamed_campaign(
+    const cluster::SystemSpec& spec, const core::StudyConfig& config,
+    const IngestConfig& ingest, const TransitFaultConfig& faults = {});
+
+}  // namespace hpcpower::stream

@@ -1,0 +1,119 @@
+#pragma once
+// Segmented write-ahead log + checkpoint store for the ingest daemon.
+//
+// Durability contract: a batch is acknowledged only after its CRC-framed
+// record is appended and flushed to the current segment, so a kill -9 at any
+// point loses at most the bytes of a record that was never acknowledged. On
+// recovery the newest valid checkpoint is loaded and every record with
+// seq > checkpoint watermark is replayed through the normal apply path; a
+// torn or corrupt record ends its segment's replay (counted, never fatal) —
+// the .hpcb torn-tail discipline applied to a log.
+//
+// Layout inside the directory:
+//   wal-<index>.seg   CRC-framed records in arrival order. Segments are
+//                     named by a monotone index (not by seq: arrival order
+//                     is not seq order under reordering faults), rotated
+//                     every `segment_records` records, and never appended to
+//                     again after recovery — a fresh segment is started so a
+//                     torn tail stays quarantined.
+//   ckpt-<seq>.bin    one CRC-framed checkpoint payload; written to a .tmp
+//                     and renamed, so a torn checkpoint never shadows an
+//                     older valid one. The newest `keep_checkpoints` are
+//                     retained.
+//
+// Record payload: varint seq + length-prefixed batch payload bytes.
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hpcpower::stream {
+
+struct WalOptions {
+  std::string dir;
+  std::uint64_t segment_records = 256;
+  std::uint64_t keep_checkpoints = 2;
+};
+
+/// Ledger of one recovery pass (surfaced in the daemon summary and metrics).
+struct WalRecoveryStats {
+  std::uint64_t segments_scanned = 0;
+  std::uint64_t records_seen = 0;
+  std::uint64_t records_replayed = 0;   ///< seq > watermark, handed to daemon
+  std::uint64_t torn_records_skipped = 0;
+  std::uint64_t checkpoints_tried = 0;
+  bool checkpoint_loaded = false;
+  std::uint64_t checkpoint_seq = 0;
+};
+
+class WriteAheadLog {
+ public:
+  explicit WriteAheadLog(WalOptions options);
+
+  /// Appends one framed record and flushes. Throws std::runtime_error on I/O
+  /// failure (a daemon that cannot persist must not acknowledge).
+  void append(std::uint64_t seq, std::string_view batch_payload);
+
+  /// Test hook: appends raw garbage bytes to the current segment without
+  /// framing, simulating a record torn mid-write by a crash.
+  void append_torn_tail(std::string_view garbage);
+
+  /// Writes a checkpoint (framed payload) for `seq` via tmp + rename, then
+  /// prunes old checkpoints and fully-obsolete segments. When `leave_torn`
+  /// is set (crash-injection hook) the tmp file is written but never
+  /// renamed, simulating a crash mid-checkpoint.
+  void write_checkpoint(std::uint64_t seq, std::string_view payload,
+                        bool leave_torn = false);
+
+  struct CheckpointCandidate {
+    std::uint64_t seq = 0;
+    std::string payload;
+  };
+  /// Valid checkpoints, newest first (CRC-checked; corrupt files skipped and
+  /// counted). Semantic validation is the caller's job.
+  [[nodiscard]] std::vector<CheckpointCandidate> checkpoints(
+      WalRecoveryStats& stats) const;
+
+  /// All records with seq >= `from_seq`, sorted by seq (dedup keeps the
+  /// first occurrence). Also primes the writer to start a fresh segment.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, std::string>> replay(
+      std::uint64_t from_seq, WalRecoveryStats& stats);
+
+  /// Deletes closed segments whose every record has seq <= watermark.
+  void prune_segments(std::uint64_t watermark);
+
+  [[nodiscard]] const std::string& dir() const noexcept { return options_.dir; }
+  [[nodiscard]] std::uint64_t records_appended() const noexcept {
+    return records_appended_;
+  }
+  [[nodiscard]] std::uint64_t segments_opened() const noexcept {
+    return segments_opened_;
+  }
+  [[nodiscard]] std::uint64_t checkpoints_written() const noexcept {
+    return checkpoints_written_;
+  }
+
+ private:
+  void open_fresh_segment();
+  [[nodiscard]] std::string segment_path(std::uint64_t index) const;
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, std::string>>
+  list_segments() const;  ///< (index, path), ascending
+
+  WalOptions options_;
+  std::ofstream out_;
+  std::uint64_t current_index_ = 0;
+  std::uint64_t records_in_segment_ = 0;
+  std::uint64_t current_segment_max_seq_ = 0;
+  std::uint64_t next_index_ = 0;  ///< first unused segment index
+  std::map<std::uint64_t, std::uint64_t> segment_max_seq_;  ///< closed only
+  std::uint64_t records_appended_ = 0;
+  std::uint64_t segments_opened_ = 0;
+  std::uint64_t checkpoints_written_ = 0;
+  bool writer_open_ = false;
+};
+
+}  // namespace hpcpower::stream

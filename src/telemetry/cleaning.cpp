@@ -29,7 +29,7 @@ std::string describe(const DataQualityReport& q) {
   const double pct = q.samples_expected > 0
                          ? 100.0 / static_cast<double>(q.samples_expected)
                          : 0.0;
-  return util::format(
+  std::string out = util::format(
       "%llu slots: %.2f%% ok, %.2f%% glitch, %.2f%% gap, %.2f%% duplicate; "
       "%llu interpolated, %llu glitches repaired; %llu/%llu jobs quarantined "
       "(%llu accounting, %llu low-quality), %llu crash-truncated; worst node "
@@ -47,6 +47,10 @@ std::string describe(const DataQualityReport& q) {
       static_cast<unsigned long long>(q.jobs_quarantined_low_quality),
       static_cast<unsigned long long>(q.jobs_truncated_by_crash),
       100.0 * q.max_node_dropout_rate);
+  if (q.rows_shed > 0)
+    out += util::format("; %llu detail rows shed",
+                        static_cast<unsigned long long>(q.rows_shed));
+  return out;
 }
 
 SampleClass classify_watts(double watts, double node_tdp_watts,

@@ -53,6 +53,10 @@ struct DataQualityReport {
   std::uint64_t glitches_repaired = 0;     ///< glitch slots replaced by hold-last-good
   /// Extra physical rows beyond the nominal slots (batch/trace ingest only).
   std::uint64_t rows_out_of_order = 0;
+  /// Per-sample detail rows dropped by streaming degraded mode (SHEDDING):
+  /// the rows still reached the shed summary sketches, but never a table.
+  /// Zero everywhere outside the streaming ingest daemon.
+  std::uint64_t rows_shed = 0;
 
   std::uint64_t jobs_seen = 0;
   std::uint64_t jobs_quarantined_accounting = 0;

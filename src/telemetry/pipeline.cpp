@@ -94,6 +94,7 @@ void MonitoringPipeline::per_minute(
     std::uint32_t down_nodes) {
   HPCPOWER_SPAN("telemetry.tick");
   observe_running_jobs(running.size());
+  const bool tapped = static_cast<bool>(config_.tap.on_tick);
   // One task per running job: each touches only its own ActiveJob state and
   // writes its facility-meter contribution into a dedicated slot. The slots
   // are then reduced in running-set order, so the sum has the exact same
@@ -113,11 +114,13 @@ void MonitoringPipeline::per_minute(
     double sum = 0.0;
     double lo = 0.0, hi = 0.0;
     const std::uint32_t n = static_cast<std::uint32_t>(a.placement.nodes.size());
+    if (tapped) out.rows.reserve(n);
     for (std::uint32_t i = 0; i < n; ++i) {
       const double p = capped_power(a.profile.node_power(minute, i), cap_w,
                                     out.throttled);
       a.all_samples.add(p);
       a.node_energy_wmin[i] += p;
+      if (tapped) out.rows.push_back({job->request.job_id, a.placement.nodes[i], p});
       sum += p;
       if (i == 0) {
         lo = hi = p;
@@ -138,11 +141,13 @@ void MonitoringPipeline::per_minute(
 
   double total_power = 0.0;
   std::uint32_t busy = 0;
+  std::uint64_t tick_throttled = 0;
   for (const TickPartial& t : tick_scratch_) {
     total_power += t.power_w;
     busy += t.busy;
-    throttled_samples_ += t.throttled;
+    tick_throttled += t.throttled;
   }
+  throttled_samples_ += tick_throttled;
 
   // Idle nodes still draw their floor power (RAPL PKG+DRAM never reads zero);
   // the facility pays for it all the same. Down (failed, draining) nodes are
@@ -153,6 +158,20 @@ void MonitoringPipeline::per_minute(
 
   series_.total_power_w.push_back(total_power);
   series_.busy_nodes.push_back(busy);
+
+  if (tapped) {
+    TapTick tick;
+    tick.minute = now.minutes();
+    tick.total_power_w = total_power;
+    tick.busy_nodes = busy;
+    tick.throttled = tick_throttled;
+    std::size_t total_rows = 0;
+    for (const TickPartial& t : tick_scratch_) total_rows += t.rows.size();
+    tick.rows.reserve(total_rows);
+    for (TickPartial& t : tick_scratch_)
+      tick.rows.insert(tick.rows.end(), t.rows.begin(), t.rows.end());
+    config_.tap.on_tick(std::move(tick));
+  }
 }
 
 void MonitoringPipeline::per_minute_faulty(
@@ -161,6 +180,7 @@ void MonitoringPipeline::per_minute_faulty(
   HPCPOWER_SPAN("telemetry.tick.faulty");
   observe_running_jobs(running.size());
   const bool clean = config_.cleaning.enabled;
+  const bool tapped = static_cast<bool>(config_.tap.on_tick);
 
   // Sharded like per_minute: one task per job, with the job's data-quality
   // ledger delta accumulated in its own slot and merged in running-set order.
@@ -206,6 +226,10 @@ void MonitoringPipeline::per_minute_faulty(
     // path: the facility meter must stay bit-identical across fault configs.
     double true_sum = 0.0;
     const std::uint32_t n = static_cast<std::uint32_t>(a.placement.nodes.size());
+    if (tapped) {
+      slot.tick.rows.reserve(n);
+      slot.slots.reserve(n);
+    }
     for (std::uint32_t i = 0; i < n; ++i) {
       // The facility meter sees the true draw regardless of telemetry faults.
       const double p = capped_power(a.profile.node_power(minute, i), cap_w,
@@ -218,14 +242,17 @@ void MonitoringPipeline::per_minute_faulty(
       if (crashed) {
         q.count(SampleClass::kGap);
         ++node_gap_slots_[gid];
+        if (tapped) slot.slots.push_back({gid, 1, 1});
         continue;
       }
       const SampleFault fault = fault_model_.classify(job_id, now.minutes(), gid);
       if (fault == SampleFault::kDropout) {
         q.count(clean ? a.scrub[i].missing(minute) : SampleClass::kGap);
         ++node_gap_slots_[gid];
+        if (tapped) slot.slots.push_back({gid, 1, 1});
         continue;
       }
+      if (tapped) slot.slots.push_back({gid, 1, 0});
       const bool glitchy = fault == SampleFault::kGlitchNan ||
                            fault == SampleFault::kGlitchNegative ||
                            fault == SampleFault::kGlitchSpike;
@@ -245,12 +272,14 @@ void MonitoringPipeline::per_minute_faulty(
           a.node_energy_wmin[i] += *out.accepted;
           ++a.node_valid[i];
           accept_now(*out.accepted);
+          if (tapped) slot.tick.rows.push_back({job_id, gid, *out.accepted});
         }
         for (const auto& b : a.backfill_scratch) {
           a.all_samples.add(b.watts);
           a.node_energy_wmin[i] += b.watts;
           ++a.node_valid[i];
           ++q.samples_interpolated;
+          if (tapped) slot.tick.rows.push_back({job_id, gid, b.watts});
         }
       } else {
         // Trust-the-collector mode: every observation lands in the
@@ -265,6 +294,7 @@ void MonitoringPipeline::per_minute_faulty(
           a.node_energy_wmin[i] += observed;
           ++a.node_valid[i];
           accept_now(observed);
+          if (tapped) slot.tick.rows.push_back({job_id, gid, observed});
         }
       }
     }
@@ -283,20 +313,34 @@ void MonitoringPipeline::per_minute_faulty(
 
   double total_power = 0.0;
   std::uint32_t busy = 0;
+  std::uint64_t tick_throttled = 0;
+  // Minute-level ledger delta, merged in running-set order (integer sums, so
+  // the split through `delta` leaves quality_ bit-identical to the historical
+  // direct accumulation) and shared verbatim with the tap.
+  DataQualityReport delta;
   for (const FaultyTickPartial& f : faulty_scratch_) {
     total_power += f.tick.power_w;
     busy += f.tick.busy;
-    throttled_samples_ += f.tick.throttled;
+    tick_throttled += f.tick.throttled;
     const DataQualityReport& q = f.quality;
-    quality_.samples_expected += q.samples_expected;
-    quality_.samples_ok += q.samples_ok;
-    quality_.samples_glitch += q.samples_glitch;
-    quality_.samples_gap += q.samples_gap;
-    quality_.samples_duplicate += q.samples_duplicate;
-    quality_.samples_interpolated += q.samples_interpolated;
-    quality_.glitches_repaired += q.glitches_repaired;
-    quality_.jobs_truncated_by_crash += q.jobs_truncated_by_crash;
+    delta.samples_expected += q.samples_expected;
+    delta.samples_ok += q.samples_ok;
+    delta.samples_glitch += q.samples_glitch;
+    delta.samples_gap += q.samples_gap;
+    delta.samples_duplicate += q.samples_duplicate;
+    delta.samples_interpolated += q.samples_interpolated;
+    delta.glitches_repaired += q.glitches_repaired;
+    delta.jobs_truncated_by_crash += q.jobs_truncated_by_crash;
   }
+  throttled_samples_ += tick_throttled;
+  quality_.samples_expected += delta.samples_expected;
+  quality_.samples_ok += delta.samples_ok;
+  quality_.samples_glitch += delta.samples_glitch;
+  quality_.samples_gap += delta.samples_gap;
+  quality_.samples_duplicate += delta.samples_duplicate;
+  quality_.samples_interpolated += delta.samples_interpolated;
+  quality_.glitches_repaired += delta.glitches_repaired;
+  quality_.jobs_truncated_by_crash += delta.jobs_truncated_by_crash;
 
   const double idle_watts = spec_.idle_power_fraction * spec_.node_tdp_watts;
   const auto idle_nodes = static_cast<double>(spec_.node_count - busy - down_nodes);
@@ -304,6 +348,28 @@ void MonitoringPipeline::per_minute_faulty(
 
   series_.total_power_w.push_back(total_power);
   series_.busy_nodes.push_back(busy);
+
+  if (tapped) {
+    TapTick tick;
+    tick.minute = now.minutes();
+    tick.total_power_w = total_power;
+    tick.busy_nodes = busy;
+    tick.throttled = tick_throttled;
+    tick.quality_delta = delta;
+    std::size_t total_rows = 0, total_slots = 0;
+    for (const FaultyTickPartial& f : faulty_scratch_) {
+      total_rows += f.tick.rows.size();
+      total_slots += f.slots.size();
+    }
+    tick.rows.reserve(total_rows);
+    tick.node_slots.reserve(total_slots);
+    for (FaultyTickPartial& f : faulty_scratch_) {
+      tick.rows.insert(tick.rows.end(), f.tick.rows.begin(), f.tick.rows.end());
+      tick.node_slots.insert(tick.node_slots.end(), f.slots.begin(),
+                             f.slots.end());
+    }
+    config_.tap.on_tick(std::move(tick));
+  }
 }
 
 void MonitoringPipeline::on_end(const sched::RunningJob& job,
@@ -312,13 +378,20 @@ void MonitoringPipeline::on_end(const sched::RunningJob& job,
   const auto it = active_.find(job.request.job_id);
   assert(it != active_.end());
   ActiveJob& a = it->second;
+  const bool tap_end = static_cast<bool>(config_.tap.on_job_end);
+  // Job-level ledger delta: mirrors exactly what this call adds to quality_,
+  // so a tap consumer summing deltas reproduces the batch ledger.
+  DataQualityReport delta;
 
   if (fault_model_.enabled()) {
     ++quality_.jobs_seen;
+    ++delta.jobs_seen;
     if (fault_model_.accounting_lost(job.request.job_id)) {
       // No accounting record: the telemetry can never be joined to a job.
       ++quality_.jobs_quarantined_accounting;
+      ++delta.jobs_quarantined_accounting;
       active_.erase(it);
+      if (tap_end) config_.tap.on_job_end({false, JobRecord{}, delta});
       return;
     }
     const std::uint64_t expected =
@@ -329,7 +402,9 @@ void MonitoringPipeline::on_end(const sched::RunningJob& job,
       if (static_cast<double>(valid) <
           config_.cleaning.min_valid_fraction * static_cast<double>(expected)) {
         ++quality_.jobs_quarantined_low_quality;
+        ++delta.jobs_quarantined_low_quality;
         active_.erase(it);
+        if (tap_end) config_.tap.on_job_end({false, JobRecord{}, delta});
         return;
       }
     }
@@ -415,6 +490,7 @@ void MonitoringPipeline::on_end(const sched::RunningJob& job,
 
   records_.push_back(out);
   active_.erase(it);
+  if (tap_end) config_.tap.on_job_end({true, std::move(out), delta});
 }
 
 const DataQualityReport& MonitoringPipeline::quality_report() {

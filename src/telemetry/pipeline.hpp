@@ -37,6 +37,7 @@
 #include "telemetry/cleaning.hpp"
 #include "telemetry/faults.hpp"
 #include "telemetry/job_record.hpp"
+#include "telemetry/stream_tap.hpp"
 #include "workload/power_profile.hpp"
 
 namespace hpcpower::telemetry {
@@ -59,6 +60,10 @@ struct PipelineConfig {
   FaultConfig faults;
   /// Robust-ingest behaviour; only consulted when faults are enabled.
   CleaningConfig cleaning;
+  /// Live export tap (streaming ingest). Empty callbacks cost nothing; when
+  /// set, every minute and job end is published in deterministic order
+  /// (stream_tap.hpp).
+  StreamTap tap;
 };
 
 /// Per-minute system-level monitoring output.
@@ -124,11 +129,13 @@ class MonitoringPipeline {
     double power_w = 0.0;
     std::uint32_t busy = 0;
     std::uint64_t throttled = 0;
+    std::vector<TapSampleRow> rows;  ///< filled only when the tap is installed
   };
   /// TickPartial plus the job's data-quality ledger delta (faulty path).
   struct FaultyTickPartial {
     TickPartial tick;
     DataQualityReport quality;
+    std::vector<TapNodeSlotDelta> slots;  ///< filled only when tapped
   };
 
   void on_start(const sched::RunningJob& job);

@@ -1,0 +1,73 @@
+#pragma once
+// Stream tap: the monitoring pipeline's live export surface.
+//
+// A production collector does not materialize a campaign and then analyze
+// it; it emits what it saw this minute and moves on. The tap is exactly that
+// boundary: when installed in PipelineConfig, the pipeline publishes one
+// TapTick per simulated minute (post-cleaning accepted samples, the facility
+// meter point, and the minute's data-quality ledger delta) plus one
+// TapJobEnd per finished attempt (the finalized JobRecord, or a quarantine
+// verdict). The streaming ingest daemon (src/stream) packages these into
+// durable batches; summing the deltas in arrival order reproduces the batch
+// pipeline's ledgers bit-identically, which is what makes "streamed report
+// == batch report" a testable property rather than an aspiration.
+//
+// Emission order is deterministic: rows appear in running-set order (the
+// same order the per-minute reduction uses), nodes within a job in placement
+// order. The tap adds per-minute allocations, so it costs nothing unless
+// installed.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "telemetry/cleaning.hpp"
+#include "telemetry/job_record.hpp"
+
+namespace hpcpower::telemetry {
+
+/// One accepted power sample: global node id, owning job, watts after
+/// cleaning (the value that entered the aggregates).
+struct TapSampleRow {
+  std::uint64_t job_id = 0;
+  std::uint32_t node = 0;  ///< global node id
+  double watts = 0.0;
+};
+
+/// Per-node dropout-ledger delta for one minute (sparse: only touched nodes).
+struct TapNodeSlotDelta {
+  std::uint32_t node = 0;
+  std::uint32_t slots = 0;  ///< expected sample slots added this minute
+  std::uint32_t gaps = 0;   ///< of which went missing
+};
+
+/// Everything the telemetry layer observed in one minute.
+struct TapTick {
+  std::int64_t minute = 0;        ///< absolute campaign minute
+  double total_power_w = 0.0;     ///< facility meter (busy + idle floor)
+  std::uint32_t busy_nodes = 0;
+  std::uint64_t throttled = 0;    ///< cap-clamped samples this minute
+  std::vector<TapSampleRow> rows;
+  std::vector<TapNodeSlotDelta> node_slots;
+  /// Per-slot ledger delta for this minute (slot-class fields and repairs
+  /// only; job-level fields arrive with TapJobEnd).
+  DataQualityReport quality_delta;
+};
+
+/// One finished job attempt, after ingest finalization.
+struct TapJobEnd {
+  /// False when the job was quarantined (record is default-constructed).
+  bool kept = false;
+  JobRecord record;
+  /// Job-level ledger delta (jobs_seen / quarantine counters).
+  DataQualityReport quality_delta;
+};
+
+/// Callbacks; either may be empty. Invoked on the simulation driver thread,
+/// strictly in simulated-time order.
+struct StreamTap {
+  std::function<void(TapTick&&)> on_tick;
+  std::function<void(TapJobEnd&&)> on_job_end;
+};
+
+}  // namespace hpcpower::telemetry

@@ -17,9 +17,12 @@
 #include <string>
 #include <vector>
 
+#include "cluster/system_spec.hpp"
 #include "core/prediction.hpp"
 #include "core/report.hpp"
 #include "core/study.hpp"
+#include "obs/span.hpp"
+#include "stream/source.hpp"
 #include "util/thread_pool.hpp"
 
 namespace hpcpower {
@@ -189,6 +192,48 @@ TEST_F(ParallelDeterminism, PowerManagedCampaignIsThreadCountInvariant) {
     const RunOutput run = run_study(config, threads, /*with_ml=*/false);
     expect_campaigns_identical(golden.campaigns, run.campaigns);
     EXPECT_EQ(golden.report, run.report);
+  }
+}
+
+TEST_F(ParallelDeterminism, StreamedCampaignGoldenIsThreadCountInvariant) {
+  // The streamed-campaign golden: the ingest daemon's reconstruction renders
+  // byte-identically to the batch dataset at threads = 1, 2, and hardware,
+  // with span recording on or off, even under a fault-injecting transport.
+  const core::StudyConfig config = small_config();
+  stream::TransitFaultConfig faults;
+  faults.enabled = true;
+  faults.seed = 99;
+  faults.drop_p = 0.08;
+  faults.dup_p = 0.05;
+  faults.delay_p = 0.12;
+
+  const auto run_streamed = [&](std::size_t threads, bool recording) {
+    util::set_global_thread_count(threads);
+    obs::set_recording(recording);
+    const auto result = stream::run_streamed_campaign(
+        cluster::emmy_spec(), config, stream::IngestConfig{}, faults);
+    obs::set_recording(false);
+    util::set_global_thread_count(0);
+    core::ReportOptions ropts;
+    ropts.include_prediction = false;
+    return std::pair<std::string, std::string>{
+        core::render_markdown_report({result.streamed}, ropts),
+        core::render_markdown_report({result.batch}, ropts)};
+  };
+
+  const auto [golden_streamed, golden_batch] = run_streamed(1, false);
+  ASSERT_FALSE(golden_streamed.empty());
+  // The daemon's reconstruction equals the batch dataset at the baseline...
+  EXPECT_EQ(golden_streamed, golden_batch);
+  // ...and every thread count / recording combination reproduces both bytes.
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{0}}) {
+    for (const bool recording : {false, true}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " recording=" + std::to_string(recording));
+      const auto [streamed, batch] = run_streamed(threads, recording);
+      EXPECT_EQ(streamed, golden_streamed);
+      EXPECT_EQ(batch, golden_batch);
+    }
   }
 }
 

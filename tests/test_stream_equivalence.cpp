@@ -1,0 +1,137 @@
+// The tentpole invariant, end to end: one simulated campaign, consumed twice.
+//
+// run_streamed_campaign runs the ordinary batch campaign with the telemetry
+// tap installed and pipes every emitted batch through the fault-injecting
+// StreamDriver into an IngestDaemon. The daemon's finalize() must reconstruct
+// a CampaignData whose rendered markdown report is byte-identical to the
+// batch run's — for clean campaigns, fault-injection campaigns, campaigns
+// with the closed-loop power manager, under transit faults (drops, dups,
+// delays, reordering), and with WAL durability on.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "cluster/system_spec.hpp"
+#include "core/report.hpp"
+#include "core/study.hpp"
+#include "stream/source.hpp"
+#include "util/logging.hpp"
+
+namespace hpcpower::stream {
+namespace {
+
+core::StudyConfig small_config() {
+  core::StudyConfig config;
+  config.days = 2.0;
+  config.warmup_days = 0.5;
+  config.instrument_begin_day = 0.0;
+  config.instrument_end_day = config.days;
+  return config;
+}
+
+std::string render(const core::CampaignData& data) {
+  core::ReportOptions opts;
+  opts.include_prediction = false;  // the slow section adds nothing here
+  return core::render_markdown_report({data}, opts);
+}
+
+TransitFaultConfig nasty_transport() {
+  TransitFaultConfig faults;
+  faults.enabled = true;
+  faults.seed = 1234;
+  faults.drop_p = 0.10;
+  faults.dup_p = 0.08;
+  faults.delay_p = 0.15;
+  faults.max_delay_steps = 5;
+  return faults;
+}
+
+void expect_streamed_equals_batch(const core::StudyConfig& config,
+                                  const TransitFaultConfig& faults) {
+  util::set_log_level(util::LogLevel::kWarn);
+  const auto result = run_streamed_campaign(cluster::emmy_spec(), config,
+                                            IngestConfig{}, faults);
+  // The daemon applied the complete stream exactly once.
+  EXPECT_EQ(result.apply.batches_applied, result.batches_emitted);
+  EXPECT_EQ(result.apply.rows_shed, 0u);
+  EXPECT_TRUE(result.streamed.quality.reconciles());
+
+  // Byte-identical rendered reports: the streamed reconstruction is not
+  // approximately right, it is the same dataset.
+  EXPECT_EQ(render(result.streamed), render(result.batch));
+}
+
+TEST(StreamEquivalence, CleanCampaignStreamedEqualsBatch) {
+  expect_streamed_equals_batch(small_config(), TransitFaultConfig{});
+}
+
+TEST(StreamEquivalence, CleanCampaignUnderTransitFaults) {
+  expect_streamed_equals_batch(small_config(), nasty_transport());
+}
+
+TEST(StreamEquivalence, TelemetryFaultCampaignUnderTransitFaults) {
+  core::StudyConfig config = small_config();
+  config.faults.enabled = true;
+  expect_streamed_equals_batch(config, nasty_transport());
+}
+
+TEST(StreamEquivalence, PowerManagedCampaignStreamedEqualsBatch) {
+  core::StudyConfig config = small_config();
+  config.power_manager.enabled = true;
+  expect_streamed_equals_batch(config, nasty_transport());
+}
+
+TEST(StreamEquivalence, WalBackedStreamingMatchesAndLeavesRecoverableState) {
+  namespace fs = std::filesystem;
+  const std::string dir = testing::TempDir() + "/hpcpower_stream_equiv_wal";
+  fs::remove_all(dir);
+  util::set_log_level(util::LogLevel::kWarn);
+
+  IngestConfig ingest;
+  ingest.wal_dir = dir;
+  ingest.checkpoint_every = 256;
+  const auto result = run_streamed_campaign(cluster::emmy_spec(),
+                                            small_config(), ingest,
+                                            nasty_transport());
+  EXPECT_EQ(render(result.streamed), render(result.batch));
+
+  // The durable state left behind recovers to the exact same dataset.
+  IngestDaemon recovered(cluster::emmy_spec(), ingest);
+  ASSERT_TRUE(recovered.recover());
+  EXPECT_TRUE(recovered.end_applied());
+  EXPECT_EQ(render(recovered.finalize()), render(result.batch));
+  fs::remove_all(dir);
+}
+
+TEST(StreamEquivalence, ShedDetailRowsAreBookedNotSilent) {
+  // Starve the daemon (tiny capacity) so a real campaign drives it through
+  // SHEDDING: job records, series, and every ledger still match the batch
+  // run except rows_shed, which must account for exactly the dropped detail
+  // rows — and must surface in the rendered quality section.
+  util::set_log_level(util::LogLevel::kWarn);
+  IngestConfig ingest;
+  ingest.capacity_rows_per_batch = 16;
+  ingest.min_dwell_batches = 2;
+  ingest.shed_keep_rows_per_batch = 4;
+  const auto result = run_streamed_campaign(cluster::emmy_spec(),
+                                            small_config(), ingest);
+  ASSERT_GT(result.apply.rows_shed, 0u);
+  EXPECT_EQ(result.streamed.quality.rows_shed, result.apply.rows_shed);
+
+  // Detail was shed; the ledgers and the dataset proper were not.
+  EXPECT_EQ(result.streamed.records.size(), result.batch.records.size());
+  EXPECT_EQ(result.streamed.series.total_power_w, result.batch.series.total_power_w);
+  EXPECT_EQ(result.streamed.quality.samples_expected,
+            result.batch.quality.samples_expected);
+  EXPECT_EQ(result.streamed.quality.jobs_seen, result.batch.quality.jobs_seen);
+
+  const std::string report = render(result.streamed);
+  EXPECT_NE(report.find("detail rows"), std::string::npos)
+      << "shed rows must be visible in the rendered report";
+}
+
+}  // namespace
+}  // namespace hpcpower::stream

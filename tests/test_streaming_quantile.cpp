@@ -1,0 +1,102 @@
+// P² streaming quantile (stats/streaming_quantile.hpp): exactness below five
+// observations, convergence on known distributions, bit-identical
+// checkpoint/restore, and loud rejection of invalid parameters and states.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+#include "stats/streaming_quantile.hpp"
+#include "util/prng.hpp"
+
+namespace hpcpower::stats {
+namespace {
+
+void expect_bits_eq(double a, double b) {
+  std::uint64_t abits = 0, bbits = 0;
+  std::memcpy(&abits, &a, sizeof(a));
+  std::memcpy(&bbits, &b, sizeof(b));
+  EXPECT_EQ(abits, bbits) << a << " vs " << b;
+}
+
+TEST(P2Quantile, RejectsInvalidQuantile) {
+  EXPECT_THROW(P2Quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(P2Quantile(1.0), std::invalid_argument);
+  EXPECT_THROW(P2Quantile(-0.5), std::invalid_argument);
+}
+
+TEST(P2Quantile, ExactForFewerThanFiveObservations) {
+  P2Quantile median(0.5);
+  EXPECT_EQ(median.value(), 0.0);  // empty
+  median.add(7.0);
+  EXPECT_EQ(median.value(), 7.0);
+  median.add(1.0);
+  median.add(9.0);
+  // Exact sample quantile of {1, 7, 9}.
+  const std::vector<double> three{1.0, 7.0, 9.0};
+  expect_bits_eq(median.value(), quantile(three, 0.5));
+}
+
+TEST(P2Quantile, ConvergesOnUniformStream) {
+  util::Rng rng(123);
+  P2Quantile p50(0.5);
+  P2Quantile p95(0.95);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.uniform();
+    p50.add(x);
+    p95.add(x);
+  }
+  EXPECT_NEAR(p50.value(), 0.5, 0.02);
+  EXPECT_NEAR(p95.value(), 0.95, 0.02);
+  EXPECT_EQ(p50.count(), 20000u);
+}
+
+TEST(P2Quantile, ConvergesOnNormalStream) {
+  util::Rng rng(77);
+  P2Quantile p50(0.5);
+  for (int i = 0; i < 20000; ++i) p50.add(rng.normal(200.0, 25.0));
+  EXPECT_NEAR(p50.value(), 200.0, 1.5);
+}
+
+TEST(P2Quantile, StateRestoreContinuesBitIdentically) {
+  util::Rng rng(2024);
+  std::vector<double> values(500);
+  for (auto& v : values) v = rng.uniform(50.0, 400.0);
+
+  P2Quantile full(0.9);
+  for (const double v : values) full.add(v);
+
+  // Split the stream at an arbitrary point and checkpoint across the seam.
+  P2Quantile front(0.9);
+  for (std::size_t i = 0; i < 143; ++i) front.add(values[i]);
+  P2Quantile resumed(0.9);
+  resumed.restore(front.state());
+  for (std::size_t i = 143; i < values.size(); ++i) resumed.add(values[i]);
+
+  expect_bits_eq(resumed.value(), full.value());
+  EXPECT_EQ(resumed.count(), full.count());
+  const auto a = resumed.state();
+  const auto b = full.state();
+  for (int m = 0; m < 5; ++m) {
+    expect_bits_eq(a.heights[static_cast<std::size_t>(m)],
+                   b.heights[static_cast<std::size_t>(m)]);
+    EXPECT_EQ(a.positions[static_cast<std::size_t>(m)],
+              b.positions[static_cast<std::size_t>(m)]);
+  }
+}
+
+TEST(P2Quantile, RestoreRejectsInconsistentState) {
+  P2Quantile q(0.5);
+  for (int i = 0; i < 10; ++i) q.add(static_cast<double>(i));
+  auto state = q.state();
+  state.positions[2] = 10'000;  // positions must stay within [1, count]
+  P2Quantile victim(0.5);
+  EXPECT_THROW(victim.restore(state), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hpcpower::stats

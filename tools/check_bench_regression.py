@@ -17,12 +17,20 @@ timer noise, not signal):
   * candidate serial_ms <= baseline serial_ms * (1 + tolerance)
   * candidate storage read/scan/write timings under the same rule
 
-Absolute floors, independent of the baseline (the acceptance bar for the
-.hpcb container; see DESIGN.md section 7):
+Absolute floors, independent of the baseline (the acceptance bars for the
+.hpcb container and the streaming ingest daemon; see DESIGN.md sections 7
+and 4d):
 
   * storage.size_ratio   >= 2.0   (.hpcb at least 2x smaller than CSV)
   * storage.read_speedup >= 3.0   (.hpcb reads at least 3x faster than CSV)
   * deterministic == true         (serial and parallel reports byte-identical)
+  * stream.flat_memory == true    (retained samples bounded by the ring
+                                   window, not campaign length)
+  * stream.recovery_identical == true  (WAL replay reconstructs the exact
+                                        daemon state summary)
+
+stream.wal_replay_ms is gated like the stage timings, and
+stream.ingest_rows_per_sec must stay above baseline * (1 - tolerance).
 
 --update rewrites the baseline from the candidate (after it passes the
 absolute floors) instead of comparing timings; commit the result.
@@ -110,6 +118,18 @@ def main():
                 f"{MIN_READ_SPEEDUP} (hpcb reads must stay >= 3x faster than CSV)")
     if cand.get("deterministic") is not True:
         failures.append("candidate reports deterministic != true")
+    stream = cand.get("stream")
+    if stream is None:
+        failures.append("candidate has no 'stream' object (stale bench binary?)")
+    else:
+        if stream.get("flat_memory") is not True:
+            failures.append(
+                "stream.flat_memory != true (retained samples must be bounded "
+                "by the ring window, not campaign length)")
+        if stream.get("recovery_identical") is not True:
+            failures.append(
+                "stream.recovery_identical != true (WAL replay must "
+                "reconstruct the exact daemon state)")
 
     if args.update:
         if failures:
@@ -166,6 +186,23 @@ def main():
                 failures.append(
                     f"storage.size_ratio: {ratio:.2f} below {floor:.2f} "
                     f"(baseline {base_ratio:.2f} - {args.tolerance:.0%})")
+
+    base_stream = base.get("stream", {})
+    if stream is not None and base_stream:
+        gate("stream.wal_replay_ms", base_stream.get("wal_replay_ms"),
+             stream.get("wal_replay_ms"))
+        rps = stream.get("ingest_rows_per_sec", 0.0)
+        base_rps = base_stream.get("ingest_rows_per_sec")
+        if base_rps is not None:
+            floor = base_rps * (1.0 - args.tolerance)
+            verdict = "ok  " if rps >= floor else "FAIL"
+            print(f"  {verdict} {'stream.ingest_rows_per_sec':28s} baseline "
+                  f"{base_rps:9.0f}      candidate {rps:9.0f}      "
+                  f"floor {floor:9.0f}")
+            if rps < floor:
+                failures.append(
+                    f"stream.ingest_rows_per_sec: {rps:.0f} below {floor:.0f} "
+                    f"(baseline {base_rps:.0f} - {args.tolerance:.0%})")
 
     if failures:
         print(f"\nbench gate: FAIL ({len(failures)} violation(s))", file=sys.stderr)

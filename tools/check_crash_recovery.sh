@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# Chaos-recovery gate: prove the WAL recovery property on the live demo
+# binary, not just in-process test doubles. For each seed the harness
+#
+#   1. runs streaming_ingest_demo uninterrupted (fault-injecting transport on)
+#      and keeps its report + deterministic state summary as the reference,
+#      also checking the streamed report against the batch-path report;
+#   2. re-runs it with a kill injected at a randomized batch offset, once per
+#      crash flavor — after-batch (clean kill -9 at a durable boundary),
+#      torn-wal (half a WAL record on disk), torn-checkpoint (checkpoint tmp
+#      file abandoned mid-write) — expecting exit 137;
+#   3. resumes from the surviving WAL and requires the resumed run's report
+#      AND summary to be byte-identical to the uninterrupted reference.
+#
+# Kill offsets are derived from (seed, mode) so every failure reproduces with
+# the same command line. Usage:
+#
+#   tools/check_crash_recovery.sh [build-dir] [days]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+DAYS="${2:-0.5}"
+DEMO="$BUILD_DIR/examples/streaming_ingest_demo"
+if [[ ! -x "$DEMO" ]]; then
+  echo "check_crash_recovery: $DEMO not built (cmake --build $BUILD_DIR" \
+       "--target streaming_ingest_demo)" >&2
+  exit 2
+fi
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+SEEDS=(42 1337 90125)
+MODES=(after-batch torn-wal torn-checkpoint)
+# A 0.5-day stream is ~722 batches (hello + 720 ticks + end); keep every
+# randomized kill point comfortably inside it.
+MAX_KILL=640
+
+failures=0
+checked=0
+for seed in "${SEEDS[@]}"; do
+  ref="$WORK/ref-$seed"
+  "$DEMO" --days "$DAYS" --seed "$seed" --wal "$WORK/refwal-$seed" --faults \
+    --checkpoint-every 64 --quiet \
+    --out "$ref.md" --summary-out "$ref.txt" --batch-out "$ref.batch.md"
+  if ! cmp -s "$ref.md" "$ref.batch.md"; then
+    echo "check_crash_recovery: seed $seed: streamed report differs from the" \
+         "batch-path report" >&2
+    failures=$((failures + 1))
+  fi
+
+  for mode in "${MODES[@]}"; do
+    mode_hash="$(printf '%s' "$mode" | cksum | cut -d' ' -f1)"
+    kill_seq=$(((seed * 7919 + mode_hash) % MAX_KILL + 10))
+    wal="$WORK/wal-$seed-$mode"
+    rc=0
+    "$DEMO" --days "$DAYS" --seed "$seed" --wal "$wal" --faults \
+      --checkpoint-every 64 --kill-at-seq "$kill_seq" --kill-mode "$mode" \
+      --quiet || rc=$?
+    if [[ "$rc" -ne 137 ]]; then
+      echo "check_crash_recovery: seed $seed mode $mode kill_seq $kill_seq:" \
+           "expected the injected crash to exit 137, got $rc" >&2
+      failures=$((failures + 1))
+      continue
+    fi
+
+    out="$WORK/resume-$seed-$mode"
+    if ! "$DEMO" --days "$DAYS" --seed "$seed" --wal "$wal" --faults --resume \
+        --checkpoint-every 64 --quiet --out "$out.md" --summary-out "$out.txt"; then
+      echo "check_crash_recovery: seed $seed mode $mode kill_seq $kill_seq:" \
+           "resume run failed" >&2
+      failures=$((failures + 1))
+      continue
+    fi
+    ok=1
+    if ! cmp -s "$ref.md" "$out.md"; then
+      echo "check_crash_recovery: seed $seed mode $mode kill_seq $kill_seq:" \
+           "resumed report differs from the uninterrupted run" >&2
+      ok=0
+    fi
+    if ! cmp -s "$ref.txt" "$out.txt"; then
+      echo "check_crash_recovery: seed $seed mode $mode kill_seq $kill_seq:" \
+           "resumed daemon summary differs from the uninterrupted run" >&2
+      ok=0
+    fi
+    if [[ "$ok" -eq 1 ]]; then
+      checked=$((checked + 1))
+      echo "check_crash_recovery: seed $seed mode $mode kill_seq $kill_seq: OK"
+    else
+      failures=$((failures + 1))
+    fi
+  done
+done
+
+if [[ "$failures" -ne 0 ]]; then
+  echo "check_crash_recovery: FAIL ($failures kill/resume cycles broke the" \
+       "recovery property)" >&2
+  exit 1
+fi
+echo "check_crash_recovery: OK ($checked kill/resume cycles byte-identical)"

@@ -5,9 +5,13 @@
 #
 #   util::counters().add("name"...)   counters().add("name"...)
 #   metrics().count|gauge|histogram|timer("name"...)
+#   m.count|gauge|histogram|timer("name"...)   (m aliasing obs::metrics())
 #   HPCPOWER_SPAN("name")
 #
-# across src/, bench/, and examples/ and fails listing every violation.
+# across src/, bench/, and examples/ and fails listing every violation. Also
+# asserts that the streaming daemon's `stream.` family is visible to the
+# scan: bulk exporters register through a registry alias, and a regex drift
+# that stopped matching them would otherwise pass silently.
 # Usage: tools/check_metric_names.sh
 set -euo pipefail
 
@@ -19,16 +23,18 @@ NAME_RE='^[a-z0-9_]+(\.[a-z0-9_]+)+$'
 # location<TAB>name for every metric/span registration call.
 extract() {
   grep -rnoE \
-    '(counters\(\)\.add|metrics\(\)\.(count|gauge|histogram|timer)|HPCPOWER_SPAN)\("[^"]+"' \
+    '(counters\(\)\.add|(metrics\(\)|\bm)\.(count|gauge|histogram|timer)|HPCPOWER_SPAN)\("[^"]+"' \
     --include='*.cpp' --include='*.hpp' "${DIRS[@]}" |
     sed -E 's/^([^:]+:[0-9]+):.*"([^"]*)"$/\1\t\2/'
 }
 
 status=0
 count=0
+stream_count=0
 while IFS=$'\t' read -r location name; do
   [[ -z "$name" ]] && continue
   count=$((count + 1))
+  [[ "$name" == stream.* ]] && stream_count=$((stream_count + 1))
   if ! [[ "$name" =~ $NAME_RE ]]; then
     echo "check_metric_names: $location: '$name' is not dotted lowercase" >&2
     status=1
@@ -37,6 +43,11 @@ done < <(extract)
 
 if [[ "$count" -eq 0 ]]; then
   echo "check_metric_names: found no metric/span names — extraction broken?" >&2
+  exit 2
+fi
+if [[ "$stream_count" -eq 0 ]]; then
+  echo "check_metric_names: no stream.* names found — the ingest daemon's" \
+       "metric exports are no longer visible to this scan" >&2
   exit 2
 fi
 

@@ -40,11 +40,13 @@ done
 BUILD_DIR="${1:-build}"
 shift || true
 
-tools/check_metric_names.sh
+# `|| exit 1` everywhere a failure must stop the run: `set -e` alone is
+# disabled for the whole script when a caller invokes it conditionally.
+tools/check_metric_names.sh || exit 1
 
-cmake -B "$BUILD_DIR" -S .
-cmake --build "$BUILD_DIR" -j "$(nproc)"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@"
+cmake -B "$BUILD_DIR" -S . || exit 1
+cmake --build "$BUILD_DIR" -j "$(nproc)" || exit 1
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@" || exit 1
 
 # Observability smoke: emit a Chrome trace + run manifest from a tiny report
 # run and check that both parse as JSON (needs python3; skipped without it).
@@ -59,9 +61,17 @@ fi
 "$BUILD_DIR"/examples/generate_report --days 1 --quiet --no-ml --faults \
   --out "$OBS_TMP/hpcpower_report.md" --trace-out "$OBS_TMP/trace.json" \
   --metrics-out "$OBS_TMP/manifest.json"
+# Exit propagation is explicit here on purpose: `set -e` is silently disabled
+# for this whole script whenever a caller runs it in a conditional context
+# (`run_tier1.sh || notify`, or from an if), so relying on it would let an
+# invalid trace.json sail through with exit 0.
 if command -v python3 >/dev/null; then
-  python3 -m json.tool "$OBS_TMP/trace.json" >/dev/null
-  python3 -m json.tool "$OBS_TMP/manifest.json" >/dev/null
+  for json in "$OBS_TMP/trace.json" "$OBS_TMP/manifest.json"; do
+    if ! python3 -m json.tool "$json" >/dev/null; then
+      echo "run_tier1: $json is not valid JSON" >&2
+      exit 1
+    fi
+  done
   echo "trace and manifest are valid JSON"
 else
   echo "python3 not found; skipping JSON validation"
@@ -70,13 +80,48 @@ if [[ -n "${HPCPOWER_ARTIFACTS:-}" ]]; then
   echo "observability artifacts kept in $OBS_TMP"
 fi
 
+# Streaming ingest smoke: one kill/recover/diff cycle through the demo. The
+# full randomized matrix lives in tools/check_crash_recovery.sh (its own CI
+# job); this guards the recovery property on every tier-1 run.
+echo "== streaming ingest smoke (kill 137 / recover / diff) =="
+STREAM_TMP="$OBS_TMP/stream-smoke"
+rm -rf "$STREAM_TMP"
+mkdir -p "$STREAM_TMP"
+DEMO="$BUILD_DIR/examples/streaming_ingest_demo"
+if ! "$DEMO" --days 0.25 --seed 7 --wal "$STREAM_TMP/ref-wal" --faults \
+    --checkpoint-every 32 --quiet \
+    --out "$STREAM_TMP/ref.md" --summary-out "$STREAM_TMP/ref.txt"; then
+  echo "run_tier1: uninterrupted streaming run failed" >&2
+  exit 1
+fi
+rc=0
+"$DEMO" --days 0.25 --seed 7 --wal "$STREAM_TMP/kill-wal" --faults \
+  --checkpoint-every 32 --kill-at-seq 150 --kill-mode torn-wal --quiet || rc=$?
+if [[ "$rc" -ne 137 ]]; then
+  echo "run_tier1: expected the injected crash to exit 137, got $rc" >&2
+  exit 1
+fi
+if ! "$DEMO" --days 0.25 --seed 7 --wal "$STREAM_TMP/kill-wal" --faults \
+    --resume --checkpoint-every 32 --quiet \
+    --out "$STREAM_TMP/resumed.md" --summary-out "$STREAM_TMP/resumed.txt"; then
+  echo "run_tier1: resume after injected crash failed" >&2
+  exit 1
+fi
+if ! cmp -s "$STREAM_TMP/ref.md" "$STREAM_TMP/resumed.md" ||
+    ! cmp -s "$STREAM_TMP/ref.txt" "$STREAM_TMP/resumed.txt"; then
+  echo "run_tier1: resumed streaming run is not byte-identical to the" \
+       "uninterrupted run" >&2
+  exit 1
+fi
+echo "streaming kill/recover cycle is byte-identical"
+
 if [[ -n "$THREADS" ]]; then
   echo "== re-running suite with HPCPOWER_THREADS=1 (serial reference) =="
-  HPCPOWER_THREADS=1 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@"
+  HPCPOWER_THREADS=1 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@" || exit 1
   echo "== re-running suite with HPCPOWER_THREADS=$THREADS =="
-  HPCPOWER_THREADS="$THREADS" ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@"
+  HPCPOWER_THREADS="$THREADS" ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@" || exit 1
 fi
 
 if [[ "$SANITIZE" == 1 ]]; then
-  tools/check_sanitize.sh
+  tools/check_sanitize.sh || exit 1
 fi
