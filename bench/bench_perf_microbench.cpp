@@ -20,9 +20,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <array>
 #include <cstdio>
 #include <cstring>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -36,6 +38,7 @@
 #include "ml/knn.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "serve/service.hpp"
 #include "cluster/rapl.hpp"
 #include "stats/correlation.hpp"
 #include "stats/descriptive.hpp"
@@ -451,6 +454,97 @@ StreamResult run_stream_stage(double days) {
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Serve stage: prediction serving latency/throughput + batched-vs-serial
+// bit-identity through the PredictionService.
+
+struct ServeResult {
+  std::uint64_t training_rows = 0;
+  std::uint64_t requests = 0;       // single predict() calls timed
+  std::uint64_t batch_rows = 0;     // rows pushed through predict_batch
+  double p50_us = 0.0;              // per-call predict() latency
+  double p99_us = 0.0;
+  double batch_ms = 0.0;            // one batched pass, wall
+  bool batched_identical = false;   // batched == serial direct, bitwise
+
+  [[nodiscard]] double predictions_per_sec() const {
+    return batch_ms > 0.0
+               ? static_cast<double>(batch_rows) / (batch_ms / 1e3)
+               : 0.0;
+  }
+};
+
+ServeResult run_serve_stage(double days) {
+  ServeResult out;
+
+  // Train a snapshot on the campaign's own prediction dataset, exactly what
+  // a warm retrain would see.
+  core::StudyConfig config;
+  config.days = days;
+  config.instrument_begin_day = 0.0;
+  config.instrument_end_day = config.days;
+  const auto data = core::run_campaign(cluster::emmy_spec(), config);
+  const ml::Dataset dataset = core::build_prediction_dataset(data);
+  out.training_rows = dataset.size();
+
+  serve::PredictionService service;
+  service.install(
+      serve::ModelSnapshot::train(dataset, serve::submission_schema(), {}));
+  const auto snap = service.snapshot();
+
+  // Request stream: the dataset's rows, cycled. Per-call latency includes
+  // the full serving path (snapshot pick-up, metrics, the model).
+  constexpr std::uint64_t kRequests = 20000;
+  out.requests = kRequests;
+  std::vector<double> latencies_us;
+  latencies_us.reserve(kRequests);
+  double sink = 0.0;
+  for (std::uint64_t i = 0; i < kRequests; ++i) {
+    const auto row = dataset.row(i % dataset.size());
+    const auto t0 = std::chrono::steady_clock::now();
+    sink += service.predict(row);
+    const auto t1 = std::chrono::steady_clock::now();
+    latencies_us.push_back(
+        std::chrono::duration<double, std::micro>(t1 - t0).count());
+  }
+  benchmark::DoNotOptimize(sink);
+  std::sort(latencies_us.begin(), latencies_us.end());
+  out.p50_us = latencies_us[latencies_us.size() / 2];
+  out.p99_us = latencies_us[latencies_us.size() * 99 / 100];
+
+  // Batched throughput over ~8 copies of the dataset, then the bit-identity
+  // check against a serial pass of direct model calls.
+  const std::size_t reps = std::max<std::size_t>(1, 80000 / dataset.size());
+  std::vector<double> features;
+  features.reserve(reps * dataset.size() * dataset.dim());
+  for (std::size_t r = 0; r < reps; ++r)
+    for (std::size_t i = 0; i < dataset.size(); ++i)
+      for (const double v : dataset.row(i)) features.push_back(v);
+  out.batch_rows = reps * dataset.size();
+
+  std::vector<double> served(out.batch_rows);
+  {
+    const auto t0 = std::chrono::steady_clock::now();
+    service.predict_batch(features, served);
+    const auto t1 = std::chrono::steady_clock::now();
+    out.batch_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  }
+
+  bool identical = true;
+  for (std::size_t i = 0; i < out.batch_rows; ++i) {
+    const double direct = snap->predict(
+        serve::ModelKind::kTree,
+        std::span<const double>(features).subspan(i * dataset.dim(),
+                                                  dataset.dim()));
+    if (std::memcmp(&direct, &served[i], sizeof(double)) != 0) {
+      identical = false;
+      break;
+    }
+  }
+  out.batched_identical = identical;
+  return out;
+}
+
 int run_stage_harness(double days, const std::string& out_path) {
   core::StudyConfig config;
   config.days = days;
@@ -470,6 +564,7 @@ int run_stage_harness(double days, const std::string& out_path) {
   const unsigned hw = std::thread::hardware_concurrency();
   const StorageResult storage = run_storage_stage(days);
   const StreamResult stream = run_stream_stage(days);
+  const ServeResult serve_r = run_serve_stage(days);
 
   // A "speedup" measured against a parallel pass that had one hardware
   // thread is pool overhead, not parallelism — report null rather than a
@@ -536,6 +631,19 @@ int run_stage_harness(double days, const std::string& out_path) {
                stream.flat_memory ? "true" : "false",
                stream.recovery_identical ? "true" : "false");
   std::fprintf(f,
+               "  \"serve\": {\n"
+               "    \"training_rows\": %llu,\n    \"requests\": %llu,\n"
+               "    \"latency_p50_us\": %.2f,\n    \"latency_p99_us\": %.2f,\n"
+               "    \"batch_rows\": %llu,\n    \"batch_ms\": %.2f,\n"
+               "    \"predictions_per_sec\": %.0f,\n"
+               "    \"batched_identical\": %s\n  },\n",
+               static_cast<unsigned long long>(serve_r.training_rows),
+               static_cast<unsigned long long>(serve_r.requests),
+               serve_r.p50_us, serve_r.p99_us,
+               static_cast<unsigned long long>(serve_r.batch_rows),
+               serve_r.batch_ms, serve_r.predictions_per_sec(),
+               serve_r.batched_identical ? "true" : "false");
+  std::fprintf(f,
                "  \"serial_total_ms\": %.2f,\n  \"parallel_total_ms\": "
                "%.2f,\n  \"total_speedup\": ",
                serial_total, parallel_total);
@@ -571,6 +679,13 @@ int run_stage_harness(double days, const std::string& out_path) {
       static_cast<unsigned long long>(stream.retained_samples_half),
       stream.flat_memory ? "yes" : "NO",
       stream.recovery_identical ? "byte-identical" : "DIVERGED");
+  std::printf(
+      "  serve      %llu requests: p50 %.1f us / p99 %.1f us, batched %llu "
+      "rows in %.1f ms (%.0f pred/s), batched==serial %s\n",
+      static_cast<unsigned long long>(serve_r.requests), serve_r.p50_us,
+      serve_r.p99_us, static_cast<unsigned long long>(serve_r.batch_rows),
+      serve_r.batch_ms, serve_r.predictions_per_sec(),
+      serve_r.batched_identical ? "bit-identical" : "DIVERGED");
   if (!comparable)
     std::printf("  note: single hardware thread; speedups not meaningful\n");
   std::printf("  spans recorded (parallel pass): %llu\n",
@@ -578,8 +693,10 @@ int run_stage_harness(double days, const std::string& out_path) {
   std::printf("  deterministic (byte-identical report): %s\n",
               deterministic ? "yes" : "NO");
   std::printf("  wrote %s\n", out_path.c_str());
-  return (deterministic && stream.flat_memory && stream.recovery_identical) ? 0
-                                                                            : 1;
+  return (deterministic && stream.flat_memory && stream.recovery_identical &&
+          serve_r.batched_identical)
+             ? 0
+             : 1;
 }
 
 }  // namespace

@@ -39,7 +39,8 @@ hpcpower_add_bench(bench_ablation_overprovision)
 add_executable(bench_perf_microbench ${HPCPOWER_BENCH_DIR}/bench_perf_microbench.cpp)
 target_link_libraries(bench_perf_microbench PRIVATE hpcpower_core hpcpower_ml
                       hpcpower_workload hpcpower_stats hpcpower_trace
-                      hpcpower_storage hpcpower_stream benchmark::benchmark
+                      hpcpower_storage hpcpower_stream hpcpower_serve
+                      benchmark::benchmark
                       hpcpower_warnings)
 set_target_properties(bench_perf_microbench PROPERTIES
   RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

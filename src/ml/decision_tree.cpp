@@ -5,6 +5,7 @@
 #include <limits>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 
 namespace hpcpower::ml {
 
@@ -124,6 +125,39 @@ double DecisionTreeRegressor::predict(std::span<const double> features) const {
                                        ? node.left
                                        : node.right);
   }
+}
+
+void DecisionTreeRegressor::restore(const State& s, std::size_t dim) {
+  const auto fail = [](const char* what) {
+    throw std::invalid_argument(std::string("DecisionTreeRegressor::restore: ") +
+                                what);
+  };
+  if (s.nodes.empty()) fail("empty node table");
+  if (dim == 0) fail("feature dimension is zero");
+  const auto n = static_cast<std::int32_t>(s.nodes.size());
+  std::uint32_t max_depth = 0;
+  // Children strictly after their parent makes the table acyclic with root 0
+  // (the invariant fit() produces); depth is recomputed, not trusted.
+  std::vector<std::uint32_t> depth_of(s.nodes.size(), 0);
+  for (std::int32_t i = 0; i < n; ++i) {
+    const Node& node = s.nodes[static_cast<std::size_t>(i)];
+    if (node.is_leaf()) {
+      if (node.right >= 0) fail("leaf with a right child");
+      continue;
+    }
+    if (node.right < 0) fail("internal node missing a right child");
+    if (node.left <= i || node.left >= n || node.right <= i || node.right >= n)
+      fail("child index out of range or not after its parent");
+    if (static_cast<std::size_t>(node.feature) >= dim)
+      fail("split feature index out of range");
+    if (!std::isfinite(node.threshold)) fail("non-finite split threshold");
+    const std::uint32_t d = depth_of[static_cast<std::size_t>(i)] + 1;
+    depth_of[static_cast<std::size_t>(node.left)] = d;
+    depth_of[static_cast<std::size_t>(node.right)] = d;
+    max_depth = std::max(max_depth, d);
+  }
+  nodes_ = s.nodes;
+  depth_ = max_depth;
 }
 
 std::size_t DecisionTreeRegressor::leaf_count() const noexcept {

@@ -23,17 +23,6 @@ struct DecisionTreeConfig {
 
 class DecisionTreeRegressor final : public Regressor {
  public:
-  explicit DecisionTreeRegressor(DecisionTreeConfig config = {}) : config_(config) {}
-
-  void fit(const Dataset& train) override;
-  [[nodiscard]] double predict(std::span<const double> features) const override;
-  [[nodiscard]] std::string name() const override { return "BDT"; }
-
-  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
-  [[nodiscard]] std::uint32_t depth() const noexcept { return depth_; }
-  [[nodiscard]] std::size_t leaf_count() const noexcept;
-
- private:
   struct Node {
     // Internal nodes: feature/threshold and child links; leaves: value.
     std::int32_t left = -1;
@@ -45,6 +34,30 @@ class DecisionTreeRegressor final : public Regressor {
     [[nodiscard]] bool is_leaf() const noexcept { return left < 0; }
   };
 
+  explicit DecisionTreeRegressor(DecisionTreeConfig config = {}) : config_(config) {}
+
+  void fit(const Dataset& train) override;
+  [[nodiscard]] double predict(std::span<const double> features) const override;
+  [[nodiscard]] std::string name() const override { return "BDT"; }
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] std::uint32_t depth() const noexcept { return depth_; }
+  [[nodiscard]] std::size_t leaf_count() const noexcept;
+
+  /// Complete fitted state, for model snapshots (serve/snapshot.hpp).
+  /// Restoring the same state reproduces predict() bit-identically.
+  struct State {
+    std::vector<Node> nodes;
+  };
+  [[nodiscard]] State state() const { return {nodes_}; }
+  /// Validates structural invariants (children in range and strictly after
+  /// their parent, so the tree is acyclic with root 0; leaves have no
+  /// children; every feature index < `dim`). Throws std::invalid_argument on
+  /// any violation, leaving the model untouched — a corrupt snapshot must
+  /// fail loudly, never half-load.
+  void restore(const State& s, std::size_t dim);
+
+ private:
   std::int32_t build(const Dataset& data, std::vector<std::size_t>& indices,
                      std::size_t begin, std::size_t end, std::uint32_t depth);
 

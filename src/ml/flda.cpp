@@ -5,6 +5,7 @@
 #include <limits>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 
 #include "linalg/eigen.hpp"
 
@@ -106,6 +107,30 @@ void FldaRegressor::fit(const Dataset& train) {
         dot += discriminants_[k * dim_ + d] * mean_c[c][d];
       class_centroids_[c][k] = dot;
     }
+}
+
+void FldaRegressor::restore(const State& s) {
+  const auto fail = [](const char* what) {
+    throw std::invalid_argument(std::string("FldaRegressor::restore: ") + what);
+  };
+  if (s.dim == 0) fail("feature dimension is zero");
+  if (s.class_means_y.empty()) fail("no classes");
+  if (s.class_centroids.size() != s.class_means_y.size())
+    fail("centroid/class count mismatch");
+  if (s.scaling.mean.size() != s.dim || s.scaling.stddev.size() != s.dim)
+    fail("scaling dimension mismatch");
+  for (const double sd : s.scaling.stddev)
+    if (!(sd > 0.0) || !std::isfinite(sd)) fail("non-positive scaling stddev");
+  if (s.discriminants.size() % s.dim != 0) fail("discriminant matrix size mismatch");
+  const std::size_t n_disc = s.discriminants.size() / s.dim;
+  if (n_disc == 0 || n_disc > s.dim) fail("discriminant count out of range");
+  for (const auto& c : s.class_centroids)
+    if (c.size() != n_disc) fail("centroid dimension mismatch");
+  dim_ = s.dim;
+  scaling_ = s.scaling;
+  discriminants_ = s.discriminants;
+  class_centroids_ = s.class_centroids;
+  class_means_y_ = s.class_means_y;
 }
 
 std::vector<double> FldaRegressor::project(std::span<const double> z) const {

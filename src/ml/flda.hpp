@@ -35,6 +35,22 @@ class FldaRegressor final : public Regressor {
     return discriminants_.empty() ? 0 : discriminants_.size() / dim_;
   }
 
+  /// Complete fitted state, for model snapshots (serve/snapshot.hpp).
+  struct State {
+    std::size_t dim = 0;
+    Dataset::Scaling scaling;
+    std::vector<double> discriminants;               ///< n_disc x dim, row major
+    std::vector<std::vector<double>> class_centroids;
+    std::vector<double> class_means_y;
+  };
+  [[nodiscard]] State state() const {
+    return {dim_, scaling_, discriminants_, class_centroids_, class_means_y_};
+  }
+  /// Throws std::invalid_argument on an inconsistent state (dimension or
+  /// class-count mismatches, non-positive stddev), leaving the model
+  /// untouched.
+  void restore(const State& s);
+
  private:
   [[nodiscard]] std::vector<double> project(std::span<const double> z) const;
 

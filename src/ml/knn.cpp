@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 namespace hpcpower::ml {
 
@@ -18,6 +19,25 @@ void KnnRegressor::fit(const Dataset& train) {
     for (std::size_t d = 0; d < dim_; ++d)
       x_[i * dim_ + d] = (r[d] - scaling_.mean[d]) / scaling_.stddev[d];
   }
+}
+
+void KnnRegressor::restore(const State& s) {
+  const auto fail = [](const char* what) {
+    throw std::invalid_argument(std::string("KnnRegressor::restore: ") + what);
+  };
+  if (s.config.k == 0) fail("k must be positive");
+  if (s.dim == 0) fail("feature dimension is zero");
+  if (s.y.empty()) fail("empty training targets");
+  if (s.x.size() != s.y.size() * s.dim) fail("feature matrix size mismatch");
+  if (s.scaling.mean.size() != s.dim || s.scaling.stddev.size() != s.dim)
+    fail("scaling dimension mismatch");
+  for (const double sd : s.scaling.stddev)
+    if (!(sd > 0.0) || !std::isfinite(sd)) fail("non-positive scaling stddev");
+  config_ = s.config;
+  dim_ = s.dim;
+  x_ = s.x;
+  y_ = s.y;
+  scaling_ = s.scaling;
 }
 
 double KnnRegressor::predict(std::span<const double> features) const {

@@ -25,6 +25,21 @@ class KnnRegressor final : public Regressor {
   [[nodiscard]] double predict(std::span<const double> features) const override;
   [[nodiscard]] std::string name() const override { return "KNN"; }
 
+  /// Complete fitted state (training rows are the model), for model
+  /// snapshots (serve/snapshot.hpp). Includes the config because k and the
+  /// weighting mode change predict(), not just fit().
+  struct State {
+    KnnConfig config;
+    std::size_t dim = 0;
+    std::vector<double> x;  ///< z-scored features, row major
+    std::vector<double> y;
+    Dataset::Scaling scaling;
+  };
+  [[nodiscard]] State state() const { return {config_, dim_, x_, y_, scaling_}; }
+  /// Throws std::invalid_argument on an inconsistent state (size mismatches,
+  /// k == 0, non-positive stddev), leaving the model untouched.
+  void restore(const State& s);
+
  private:
   KnnConfig config_;
   std::size_t dim_ = 0;

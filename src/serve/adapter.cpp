@@ -1,0 +1,25 @@
+#include "serve/adapter.hpp"
+
+#include <array>
+#include <cmath>
+
+namespace hpcpower::serve {
+
+double ServedPredictor::predict_node_w(const workload::JobRequest& job) const {
+  if (!service_) return fallback_w_;
+  const auto snap = service_->snapshot();
+  if (!snap) return fallback_w_;
+  const std::array<double, 3> features = {
+      static_cast<double>(job.user_id), static_cast<double>(job.nnodes),
+      static_cast<double>(job.walltime_req_min)};
+  const double p = service_->predict(features);
+  return std::isfinite(p) && p > 0.0 ? p : fallback_w_;
+}
+
+std::string ServedPredictor::name() const {
+  if (!service_) return "served:fallback";
+  return std::string("served:") +
+         model_kind_name(service_->config().primary);
+}
+
+}  // namespace hpcpower::serve

@@ -1,0 +1,35 @@
+#pragma once
+// Bridge from the serving layer to the power manager's predictor interface:
+// a ServedPredictor is a power::NodePowerPredictor whose answers come from
+// whatever snapshot the PredictionService currently serves. Admission
+// control therefore picks up warm retrains (version bumps) without the
+// campaign loop knowing the model ever changed — and because each call is a
+// pure function of (snapshot, job), a campaign run against a fixed snapshot
+// stays bit-identical at any thread count, same as TreePredictor.
+
+#include <memory>
+#include <string>
+
+#include "power/predictor.hpp"
+#include "serve/service.hpp"
+
+namespace hpcpower::serve {
+
+class ServedPredictor final : public power::NodePowerPredictor {
+ public:
+  /// `fallback_w` (typically node TDP) covers the no-snapshot window and
+  /// non-finite/non-positive model outputs, mirroring TreePredictor.
+  ServedPredictor(std::shared_ptr<const PredictionService> service,
+                  double fallback_w)
+      : service_(std::move(service)), fallback_w_(fallback_w) {}
+
+  [[nodiscard]] double predict_node_w(
+      const workload::JobRequest& job) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  std::shared_ptr<const PredictionService> service_;
+  double fallback_w_;
+};
+
+}  // namespace hpcpower::serve

@@ -1,0 +1,119 @@
+#include "serve/feature_store.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace hpcpower::serve {
+
+namespace {
+/// splitmix64 finalizer: user ids are small dense integers, so identity
+/// sharding would put every hot user cohort in neighbouring shards.
+[[nodiscard]] std::uint64_t mix(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+FeatureStore::FeatureStore(std::size_t shards, std::size_t capacity_per_shard)
+    : capacity_per_shard_(std::max<std::size_t>(1, capacity_per_shard)) {
+  std::size_t n = 1;
+  while (n < std::max<std::size_t>(1, shards)) n <<= 1;
+  mask_ = n - 1;
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+}
+
+FeatureStore::Shard& FeatureStore::shard_for(std::uint32_t user_id) const {
+  return *shards_[mix(user_id) & mask_];
+}
+
+void FeatureStore::record(const Completion& c) {
+  Shard& shard = shard_for(c.user_id);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  ++shard.recorded;
+  shard.window.push_back(c);
+  if (shard.window.size() > capacity_per_shard_) shard.window.pop_front();
+
+  const auto it = std::lower_bound(
+      shard.users.begin(), shard.users.end(), c.user_id,
+      [](const auto& entry, std::uint32_t id) { return entry.first < id; });
+  if (it == shard.users.end() || it->first != c.user_id) {
+    UserStats stats;
+    stats.jobs = 1;
+    stats.mean_power_w = c.node_power_w;
+    stats.last_power_w = c.node_power_w;
+    shard.users.insert(it, {c.user_id, stats});
+  } else {
+    UserStats& stats = it->second;
+    ++stats.jobs;
+    const double delta = c.node_power_w - stats.mean_power_w;
+    stats.mean_power_w += delta / static_cast<double>(stats.jobs);
+    stats.m2 += delta * (c.node_power_w - stats.mean_power_w);
+    stats.last_power_w = c.node_power_w;
+  }
+}
+
+std::size_t FeatureStore::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->window.size();
+  }
+  return total;
+}
+
+std::size_t FeatureStore::user_count() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->users.size();
+  }
+  return total;
+}
+
+std::uint64_t FeatureStore::recorded() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->recorded;
+  }
+  return total;
+}
+
+std::optional<UserStats> FeatureStore::user(std::uint32_t user_id) const {
+  const Shard& shard = shard_for(user_id);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = std::lower_bound(
+      shard.users.begin(), shard.users.end(), user_id,
+      [](const auto& entry, std::uint32_t id) { return entry.first < id; });
+  if (it == shard.users.end() || it->first != user_id) return std::nullopt;
+  return it->second;
+}
+
+ml::Dataset FeatureStore::training_set(std::uint64_t* watermark) const {
+  std::vector<Completion> rows;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    rows.insert(rows.end(), shard->window.begin(), shard->window.end());
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Completion& a, const Completion& b) {
+              return a.job_id < b.job_id;
+            });
+  ml::Dataset data(3);
+  std::uint64_t max_job = 0;
+  for (const Completion& c : rows) {
+    const std::array<double, 3> features = {
+        static_cast<double>(c.user_id), static_cast<double>(c.nnodes),
+        static_cast<double>(c.walltime_req_min)};
+    data.add_row(features, c.node_power_w, c.user_id);
+    max_job = std::max(max_job, c.job_id);
+  }
+  if (watermark != nullptr) *watermark = max_job;
+  return data;
+}
+
+}  // namespace hpcpower::serve

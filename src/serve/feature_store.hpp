@@ -1,0 +1,96 @@
+#pragma once
+// Sharded per-user feature store: the serving layer's online memory of who
+// submits what and how much power it drew.
+//
+// Completions land in shards selected by a user-id hash, each behind its own
+// mutex, so the "millions of users" update path scales with cores instead of
+// serializing on one lock (the node-history-ring sharding rule from
+// src/stream applied to users). Two kinds of state per shard:
+//
+//   * per-user running stats (job count, Welford mean/M2 of observed
+//     per-node power, last power) — O(users) and never evicted;
+//   * a bounded ring of recent completions (the warm-retraining window) —
+//     drop-oldest per shard, so retraining memory is flat regardless of how
+//     long the service runs.
+//
+// Determinism contract: training_set() materializes the retained completions
+// sorted by job id, so the dataset handed to a retrain is identical no
+// matter which threads recorded the completions in which interleaving —
+// the same fixed-order rule every parallel reduction in this repo follows.
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace hpcpower::serve {
+
+/// One finished job attempt, reduced to the serving layer's needs.
+struct Completion {
+  std::uint64_t job_id = 0;
+  std::uint32_t user_id = 0;
+  std::uint32_t nnodes = 1;
+  std::uint32_t walltime_req_min = 60;
+  /// Observed mean per-node power in watts (the prediction target).
+  double node_power_w = 0.0;
+};
+
+struct UserStats {
+  std::uint64_t jobs = 0;
+  double mean_power_w = 0.0;
+  double m2 = 0.0;  ///< Welford sum of squared deviations
+  double last_power_w = 0.0;
+};
+
+class FeatureStore {
+ public:
+  /// `shards` is rounded up to a power of two (>= 1); `capacity_per_shard`
+  /// bounds the retraining window (drop-oldest).
+  explicit FeatureStore(std::size_t shards = 16,
+                        std::size_t capacity_per_shard = 8192);
+
+  /// Thread-safe: locks only the owning shard.
+  void record(const Completion& c);
+
+  /// Retained completions across all shards (<= shards * capacity).
+  [[nodiscard]] std::size_t size() const;
+  /// Distinct users seen.
+  [[nodiscard]] std::size_t user_count() const;
+  /// Total completions ever recorded (including evicted ones).
+  [[nodiscard]] std::uint64_t recorded() const;
+
+  [[nodiscard]] std::optional<UserStats> user(std::uint32_t user_id) const;
+
+  /// The retraining dataset over the paper's submission schema
+  /// (user id, nnodes, walltime), rows sorted by job id — deterministic for
+  /// any recording interleaving. Also returns the highest job id retained
+  /// (the snapshot's source watermark) through `watermark` when non-null.
+  [[nodiscard]] ml::Dataset training_set(
+      std::uint64_t* watermark = nullptr) const;
+
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::deque<Completion> window;
+    // Open addressing would be premature; std::vector keyed by sorted lookup
+    // would churn — a plain map per shard keeps this simple and O(log u).
+    std::vector<std::pair<std::uint32_t, UserStats>> users;  // sorted by id
+    std::uint64_t recorded = 0;
+  };
+
+  [[nodiscard]] Shard& shard_for(std::uint32_t user_id) const;
+
+  std::size_t capacity_per_shard_;
+  std::size_t mask_ = 0;
+  mutable std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace hpcpower::serve

@@ -1,0 +1,242 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "util/parallel.hpp"
+
+namespace hpcpower::serve {
+
+namespace {
+
+/// Per-prediction latency bucket edges in microseconds. Sub-microsecond
+/// predictions land in the first bucket; anything past 10ms is overflow.
+constexpr std::array<double, 12> kLatencyEdgesUs = {
+    1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0,
+    10000.0};
+constexpr std::array<double, 8> kBatchRowEdges = {1.0,   8.0,   64.0,  256.0,
+                                                 1024.0, 4096.0, 16384.0,
+                                                 65536.0};
+
+}  // namespace
+
+PredictionService::PredictionService(ServiceConfig config)
+    : config_(config),
+      store_(config.feature_shards, config.store_capacity_per_shard),
+      rolling_error_(config.drift_quantile),
+      latency_us_(&obs::metrics().histogram("serve.latency.us",
+                                            kLatencyEdgesUs)),
+      batch_rows_(&obs::metrics().histogram("serve.batch.rows",
+                                            kBatchRowEdges)) {
+  if (config_.drift_threshold <= 1.0)
+    throw std::invalid_argument(
+        "PredictionService: drift_threshold must exceed 1");
+  if (config_.rollback_tolerance < 1.0)
+    throw std::invalid_argument(
+        "PredictionService: rollback_tolerance must be >= 1");
+}
+
+void PredictionService::install(std::shared_ptr<const ModelSnapshot> snap) {
+  if (!snap)
+    throw std::invalid_argument("PredictionService::install: null snapshot");
+  const std::lock_guard<std::mutex> drift_lock(drift_mutex_);
+  install_locked(std::move(snap));
+}
+
+void PredictionService::install_locked(
+    std::shared_ptr<const ModelSnapshot> snap) {
+  // Caller holds drift_mutex_; the holder swap itself is the only step the
+  // read path can contend on.
+  const std::uint64_t version = snap->version();
+  {
+    const std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    snapshot_ = std::move(snap);
+  }
+  rolling_error_ = stats::P2Quantile(config_.drift_quantile);
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.installs;
+  }
+  obs::metrics().count("serve.snapshot.install");
+  obs::metrics().gauge("serve.snapshot.version").set(
+      static_cast<double>(version));
+}
+
+std::shared_ptr<const ModelSnapshot> PredictionService::snapshot() const {
+  const std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  return snapshot_;
+}
+
+double PredictionService::predict(std::span<const double> features) const {
+  const auto snap = snapshot();
+  if (!snap)
+    throw std::logic_error("PredictionService: no snapshot installed");
+  if (features.size() != snap->schema().dim())
+    throw std::invalid_argument(
+        "PredictionService::predict: feature count does not match schema");
+  const auto t0 = std::chrono::steady_clock::now();
+  const double value = snap->predict(config_.primary, features);
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  latency_us_->observe(
+      std::chrono::duration<double, std::micro>(dt).count());
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.predictions;
+  }
+  obs::metrics().count("serve.predictions");
+  return value;
+}
+
+void PredictionService::predict_batch(std::span<const double> features,
+                                      std::span<double> out,
+                                      std::optional<ModelKind> model) const {
+  const auto snap = snapshot();  // captured ONCE: the batch's version
+  if (!snap)
+    throw std::logic_error("PredictionService: no snapshot installed");
+  const std::size_t dim = snap->schema().dim();
+  if (dim == 0 || features.size() % dim != 0)
+    throw std::invalid_argument(
+        "PredictionService::predict_batch: features not a multiple of dim");
+  const std::size_t rows = features.size() / dim;
+  if (out.size() != rows)
+    throw std::invalid_argument(
+        "PredictionService::predict_batch: output size mismatch");
+  if (rows == 0) return;
+
+  const ModelKind kind = model.value_or(config_.primary);
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Fixed-size blocks over disjoint output slots: the decomposition is a
+  // function of `rows` alone, each slot is written exactly once, and every
+  // prediction reads only the immutable snapshot — bit-identical at any
+  // thread count (DESIGN.md §5).
+  const std::size_t blocks = (rows + kBatchBlock - 1) / kBatchBlock;
+  const ModelSnapshot& model_ref = *snap;
+  util::parallel_for(blocks, [&](std::size_t b) {
+    const std::size_t begin = b * kBatchBlock;
+    const std::size_t end = std::min(begin + kBatchBlock, rows);
+    for (std::size_t r = begin; r < end; ++r)
+      out[r] = model_ref.predict(kind, features.subspan(r * dim, dim));
+  });
+
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  latency_us_->observe(std::chrono::duration<double, std::micro>(dt).count() /
+                       static_cast<double>(rows));
+  batch_rows_->observe(static_cast<double>(rows));
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.predictions += rows;
+    ++stats_.batches;
+  }
+  obs::metrics().count("serve.predictions", rows);
+  obs::metrics().count("serve.batches");
+}
+
+std::vector<double> PredictionService::predict_batch(
+    std::span<const double> features) const {
+  const auto snap = snapshot();
+  if (!snap)
+    throw std::logic_error("PredictionService: no snapshot installed");
+  const std::size_t dim = snap->schema().dim();
+  if (dim == 0 || features.size() % dim != 0)
+    throw std::invalid_argument(
+        "PredictionService::predict_batch: features not a multiple of dim");
+  std::vector<double> out(features.size() / dim);
+  predict_batch(features, out);
+  return out;
+}
+
+DriftAction PredictionService::observe_completion(const Completion& c) {
+  store_.record(c);
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.completions;
+  }
+  obs::metrics().count("serve.completions");
+
+  const auto snap = snapshot();
+  if (!snap) return DriftAction::kNone;
+  const double baseline = snap->meta().validation_p50;
+  if (!(baseline > 0.0)) return DriftAction::kNone;  // nothing to compare to
+
+  const std::array<double, 3> features = {
+      static_cast<double>(c.user_id), static_cast<double>(c.nnodes),
+      static_cast<double>(c.walltime_req_min)};
+  const double predicted = snap->predict(config_.primary, features);
+  const double err = ml::absolute_percent_error(c.node_power_w, predicted);
+  if (!std::isfinite(err)) return DriftAction::kNone;
+
+  const std::lock_guard<std::mutex> drift_lock(drift_mutex_);
+  // A concurrent install may have swapped versions since the error was
+  // computed against `snap`; one stale observation in a fresh window is
+  // noise, not a correctness problem.
+  rolling_error_.add(err);
+  if (rolling_error_.count() < config_.drift_min_observations)
+    return DriftAction::kNone;
+
+  const bool tripped = rolling_error_.value() > baseline * config_.drift_threshold;
+  if (rolling_error_.count() >= config_.drift_window && !tripped)
+    rolling_error_ = stats::P2Quantile(config_.drift_quantile);
+  if (!tripped) return DriftAction::kNone;
+
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.drift_trips;
+  }
+  obs::metrics().count("serve.drift.trips");
+  return retrain_locked(*snap);
+}
+
+DriftAction PredictionService::retrain_locked(const ModelSnapshot& current) {
+  std::uint64_t watermark = 0;
+  const ml::Dataset data = store_.training_set(&watermark);
+  if (data.size() < config_.retrain_min_rows) {
+    // Reset the window so the next trip needs fresh evidence instead of
+    // re-firing on every completion.
+    rolling_error_ = stats::P2Quantile(config_.drift_quantile);
+    {
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.retrains_skipped;
+    }
+    obs::metrics().count("serve.retrain.skipped");
+    return DriftAction::kSkipped;
+  }
+
+  SnapshotTrainConfig train = config_.retrain;
+  train.version = current.version() + 1;
+  train.seed = config_.retrain_seed + train.version;
+  train.source_watermark = watermark;
+  const auto candidate = ModelSnapshot::train(data, current.schema(), train);
+  obs::metrics().count("serve.retrain");
+
+  if (candidate->meta().validation_mape >
+      current.meta().validation_mape * config_.rollback_tolerance) {
+    rolling_error_ = stats::P2Quantile(config_.drift_quantile);
+    {
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.rollbacks;
+    }
+    obs::metrics().count("serve.rollback");
+    return DriftAction::kRolledBack;
+  }
+
+  install_locked(candidate);
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.retrains;
+  }
+  obs::metrics().count("serve.retrain.success");
+  return DriftAction::kRetrained;
+}
+
+ServiceStats PredictionService::stats() const {
+  const std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace hpcpower::serve

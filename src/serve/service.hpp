@@ -1,0 +1,159 @@
+#pragma once
+// In-process low-latency prediction serving over immutable model snapshots.
+//
+// The serving contract, in order of importance:
+//
+//   1. Readers never block on writers. The live snapshot is a
+//      shared_ptr<const ModelSnapshot> behind a tiny holder mutex; a predict
+//      call copies the pointer once, so install() (hot-swap) only ever waits
+//      for a pointer copy, and an in-flight batch keeps serving the version
+//      it started with. Every batch therefore sees exactly one snapshot
+//      version — never a mix — which is what the hot-swap concurrency test
+//      pins down.
+//   2. Batched inference is deterministic. A batch is cut into fixed
+//      kBatchBlock-row blocks executed on the global pool; rows write to
+//      disjoint output slots and each prediction is a pure function of
+//      (snapshot, row), so results are bit-identical at 1/2/N threads and
+//      identical to serial direct model calls (the PR 3 invariance rule).
+//   3. Models stay fresh. Completed jobs feed a sharded per-user feature
+//      store (feature_store.hpp) and a rolling error sketch (the P-squared
+//      estimator); when the rolling median error exceeds the snapshot's own
+//      holdout median by a configured factor, the service retrains from the
+//      store, validates, and either installs version+1 or rolls back —
+//      booking serve.retrain / serve.rollback so the run manifest reconciles
+//      with ServiceStats exactly.
+//
+// Everything observable lands in serve.* metrics (counters, the snapshot
+// version gauge, per-prediction latency histograms); wall-clock values obey
+// the repo-wide rule of appearing only in manifests and traces, never in
+// deterministic outputs.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "serve/feature_store.hpp"
+#include "serve/snapshot.hpp"
+#include "stats/streaming_quantile.hpp"
+
+namespace hpcpower::obs {
+class Histogram;
+}
+
+namespace hpcpower::serve {
+
+/// Rows per deterministic batch block. Fixed (never derived from the thread
+/// count) so the work decomposition — and with it any conceivable FP effect
+/// — is invariant across configurations.
+inline constexpr std::size_t kBatchBlock = 64;
+
+struct ServiceConfig {
+  /// Model served by predict()/predict_batch() default paths.
+  ModelKind primary = ModelKind::kTree;
+  std::size_t feature_shards = 16;
+  std::size_t store_capacity_per_shard = 8192;
+
+  // ---- drift detection / warm retraining ----------------------------------
+  /// Quantile tracked by the rolling error sketch (0.5 = median, matching
+  /// the snapshot's validation_p50 baseline).
+  double drift_quantile = 0.5;
+  /// Trip when rolling quantile > baseline * drift_threshold.
+  double drift_threshold = 1.75;
+  /// Observations required before the sketch is trusted.
+  std::uint64_t drift_min_observations = 64;
+  /// Sketch reset period: only the most recent window drives decisions.
+  std::uint64_t drift_window = 512;
+  /// Completions required in the store before a retrain is attempted.
+  std::size_t retrain_min_rows = 256;
+  /// A retrain validating worse than current * rollback_tolerance is
+  /// discarded (the previous snapshot keeps serving).
+  double rollback_tolerance = 1.05;
+  /// Holdout seed for retrains (combined with the new version number, so
+  /// every retrain is deterministic but distinct).
+  std::uint64_t retrain_seed = 9177;
+  SnapshotTrainConfig retrain;  ///< model hyperparameters for retrains
+};
+
+/// What observe_completion() did about drift, for callers that log/test.
+enum class DriftAction : std::uint8_t {
+  kNone = 0,       ///< no trip (or drift detection inactive)
+  kSkipped = 1,    ///< tripped, but too few stored rows to retrain
+  kRetrained = 2,  ///< tripped, retrain validated, new version installed
+  kRolledBack = 3, ///< tripped, retrain validated worse, kept old version
+};
+
+/// Monotone event counts, mirrored 1:1 into serve.* counters so the run
+/// manifest and this struct can never disagree.
+struct ServiceStats {
+  std::uint64_t predictions = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t completions = 0;
+  std::uint64_t installs = 0;
+  std::uint64_t drift_trips = 0;
+  std::uint64_t retrains = 0;        ///< successful installs from retrain
+  std::uint64_t rollbacks = 0;
+  std::uint64_t retrains_skipped = 0;
+
+  friend bool operator==(const ServiceStats&, const ServiceStats&) = default;
+};
+
+class PredictionService {
+ public:
+  explicit PredictionService(ServiceConfig config = {});
+
+  /// Atomically publishes `snap` as the serving version. In-flight batches
+  /// finish on the version they captured; new batches see `snap`. Resets the
+  /// drift window (a fresh model owns a fresh error history).
+  void install(std::shared_ptr<const ModelSnapshot> snap);
+
+  /// The currently served snapshot (null before the first install).
+  [[nodiscard]] std::shared_ptr<const ModelSnapshot> snapshot() const;
+
+  /// Single-row prediction with the primary model. Throws std::logic_error
+  /// before the first install, std::invalid_argument on a dim mismatch.
+  [[nodiscard]] double predict(std::span<const double> features) const;
+
+  /// Deterministic batched inference: `features` is row-major with
+  /// schema().dim() columns, `out` must hold features.size()/dim slots.
+  /// The whole batch is served by exactly one snapshot version.
+  void predict_batch(std::span<const double> features, std::span<double> out,
+                     std::optional<ModelKind> model = std::nullopt) const;
+  [[nodiscard]] std::vector<double> predict_batch(
+      std::span<const double> features) const;
+
+  /// Feeds one completed job: updates the feature store and the rolling
+  /// error sketch, and runs the drift -> retrain -> validate -> install or
+  /// rollback pipeline when tripped. Deterministic given the completion
+  /// order; callers that need bit-reproducible retrains feed completions
+  /// from a single thread (the replay path), concurrent feeding is safe but
+  /// order- (hence schedule-) dependent.
+  DriftAction observe_completion(const Completion& c);
+
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] const FeatureStore& store() const noexcept { return store_; }
+  [[nodiscard]] const ServiceConfig& config() const noexcept { return config_; }
+
+ private:
+  void install_locked(std::shared_ptr<const ModelSnapshot> snap);
+  DriftAction retrain_locked(const ModelSnapshot& current);
+
+  ServiceConfig config_;
+  FeatureStore store_;
+
+  mutable std::mutex snapshot_mutex_;  ///< guards snapshot_ pointer only
+  std::shared_ptr<const ModelSnapshot> snapshot_;
+
+  std::mutex drift_mutex_;  ///< guards sketch + retrain pipeline
+  stats::P2Quantile rolling_error_;
+
+  mutable std::mutex stats_mutex_;
+  mutable ServiceStats stats_;  ///< predict() is logically const
+
+  obs::Histogram* latency_us_ = nullptr;     ///< per-prediction, batched path
+  obs::Histogram* batch_rows_ = nullptr;
+};
+
+}  // namespace hpcpower::serve

@@ -1,0 +1,305 @@
+#include "serve/snapshot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "stream/codec.hpp"
+#include "util/prng.hpp"
+
+namespace hpcpower::serve {
+
+namespace {
+
+/// Payload format version; bumped on any layout change so an old binary
+/// rejects a new file loudly instead of misdecoding it.
+constexpr std::uint64_t kPayloadVersion = 1;
+
+[[nodiscard]] double median_of_sorted(const std::vector<double>& sorted) {
+  const std::size_t n = sorted.size();
+  if (n == 0) return 0.0;
+  return n % 2 == 1 ? sorted[n / 2]
+                    : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+}
+
+void encode_scaling(stream::Encoder& e, const ml::Dataset::Scaling& s) {
+  e.u64(s.mean.size());
+  for (const double v : s.mean) e.f64(v);
+  for (const double v : s.stddev) e.f64(v);
+}
+
+[[nodiscard]] ml::Dataset::Scaling decode_scaling(stream::Decoder& d) {
+  ml::Dataset::Scaling s;
+  const std::uint64_t n = d.u64();
+  if (n > (1u << 20)) d.fail();
+  if (!d.ok()) return s;
+  s.mean.resize(n);
+  s.stddev.resize(n);
+  for (auto& v : s.mean) v = d.f64();
+  for (auto& v : s.stddev) v = d.f64();
+  return s;
+}
+
+}  // namespace
+
+const char* model_kind_name(ModelKind m) noexcept {
+  switch (m) {
+    case ModelKind::kTree: return "BDT";
+    case ModelKind::kKnn: return "KNN";
+    case ModelKind::kFlda: return "FLDA";
+  }
+  return "?";
+}
+
+std::uint64_t FeatureSchema::hash() const noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ull;  // FNV-1a
+  const auto mix = [&h](unsigned char c) {
+    h ^= c;
+    h *= 0x100000001B3ull;
+  };
+  for (const auto& name : names) {
+    for (const char c : name) mix(static_cast<unsigned char>(c));
+    mix(0x1F);  // separator: {"ab"} != {"a","b"}
+  }
+  return h;
+}
+
+FeatureSchema submission_schema() {
+  return {{"user_id", "nnodes", "walltime_req_min"}};
+}
+
+std::shared_ptr<const ModelSnapshot> ModelSnapshot::train(
+    const ml::Dataset& data, const FeatureSchema& schema,
+    const SnapshotTrainConfig& config) {
+  if (data.empty())
+    throw std::invalid_argument("ModelSnapshot::train: empty dataset");
+  if (data.dim() != schema.dim())
+    throw std::invalid_argument(
+        "ModelSnapshot::train: dataset dim does not match feature schema");
+
+  auto snap = std::shared_ptr<ModelSnapshot>(new ModelSnapshot());
+  snap->schema_ = schema;
+  snap->meta_.version = config.version;
+  snap->meta_.train_seed = config.seed;
+  snap->meta_.source_watermark = config.source_watermark;
+  snap->tree_ = ml::DecisionTreeRegressor(config.tree);
+  snap->knn_ = ml::KnnRegressor(config.knn);
+  snap->flda_ = ml::FldaRegressor(config.flda);
+
+  util::Rng rng(config.seed);
+  const ml::Split split = ml::make_split(data, config.train_fraction, rng);
+  const ml::Dataset train_set = data.subset(split.train);
+  snap->meta_.trained_rows = train_set.size();
+  snap->tree_.fit(train_set);
+  snap->knn_.fit(train_set);
+  snap->flda_.fit(train_set);
+
+  std::vector<double> errors;
+  errors.reserve(split.validation.size());
+  double sum = 0.0;
+  for (const std::size_t i : split.validation) {
+    const double err = ml::absolute_percent_error(
+        data.target(i), snap->tree_.predict(data.row(i)));
+    errors.push_back(err);
+    sum += err;
+  }
+  if (!errors.empty()) {
+    snap->meta_.validation_mape = sum / static_cast<double>(errors.size());
+    std::sort(errors.begin(), errors.end());
+    snap->meta_.validation_p50 = median_of_sorted(errors);
+  }
+  return snap;
+}
+
+double ModelSnapshot::predict(ModelKind model,
+                              std::span<const double> features) const {
+  switch (model) {
+    case ModelKind::kTree: return tree_.predict(features);
+    case ModelKind::kKnn: return knn_.predict(features);
+    case ModelKind::kFlda: return flda_.predict(features);
+  }
+  throw std::invalid_argument("ModelSnapshot::predict: unknown model kind");
+}
+
+std::string ModelSnapshot::serialize() const {
+  stream::Encoder e;
+  e.u64(kPayloadVersion);
+
+  e.u64(schema_.hash());
+  e.u64(schema_.names.size());
+  for (const auto& name : schema_.names) e.str(name);
+
+  e.u64(meta_.version);
+  e.u64(meta_.trained_rows);
+  e.u64(meta_.train_seed);
+  e.u64(meta_.source_watermark);
+  e.f64(meta_.validation_mape);
+  e.f64(meta_.validation_p50);
+
+  const auto tree = tree_.state();
+  e.u64(tree.nodes.size());
+  for (const auto& n : tree.nodes) {
+    e.i64(n.left);
+    e.i64(n.right);
+    e.u64(n.feature);
+    e.f64(n.threshold);
+    e.f64(n.value);
+  }
+
+  const auto knn = knn_.state();
+  e.u64(knn.config.k);
+  e.boolean(knn.config.distance_weighted);
+  e.u64(knn.dim);
+  e.u64(knn.y.size());
+  for (const double v : knn.x) e.f64(v);
+  for (const double v : knn.y) e.f64(v);
+  encode_scaling(e, knn.scaling);
+
+  const auto flda = flda_.state();
+  e.u64(flda.dim);
+  encode_scaling(e, flda.scaling);
+  e.u64(flda.discriminants.size());
+  for (const double v : flda.discriminants) e.f64(v);
+  e.u64(flda.class_means_y.size());
+  for (const double v : flda.class_means_y) e.f64(v);
+  for (const auto& centroid : flda.class_centroids) {
+    e.u64(centroid.size());
+    for (const double v : centroid) e.f64(v);
+  }
+
+  return stream::frame(kSnapshotMagic, e.data());
+}
+
+std::shared_ptr<const ModelSnapshot> ModelSnapshot::deserialize(
+    std::string_view bytes) {
+  std::size_t pos = 0;
+  const auto payload = stream::unframe(kSnapshotMagic, bytes, pos);
+  if (!payload)
+    throw std::runtime_error(
+        "ModelSnapshot: bad frame (wrong magic, truncated, or CRC mismatch)");
+  if (pos != bytes.size())
+    throw std::runtime_error("ModelSnapshot: trailing bytes after frame");
+
+  stream::Decoder d(*payload);
+  if (d.u64() != kPayloadVersion)
+    throw std::runtime_error("ModelSnapshot: unsupported payload version");
+
+  auto snap = std::shared_ptr<ModelSnapshot>(new ModelSnapshot());
+  const std::uint64_t schema_hash = d.u64();
+  const std::uint64_t name_count = d.u64();
+  if (name_count == 0 || name_count > 1024) d.fail();
+  for (std::uint64_t i = 0; d.ok() && i < name_count; ++i)
+    snap->schema_.names.push_back(d.str());
+
+  snap->meta_.version = d.u64();
+  snap->meta_.trained_rows = d.u64();
+  snap->meta_.train_seed = d.u64();
+  snap->meta_.source_watermark = d.u64();
+  snap->meta_.validation_mape = d.f64();
+  snap->meta_.validation_p50 = d.f64();
+
+  ml::DecisionTreeRegressor::State tree;
+  const std::uint64_t node_count = d.u64();
+  if (node_count > (1u << 26)) d.fail();
+  for (std::uint64_t i = 0; d.ok() && i < node_count; ++i) {
+    ml::DecisionTreeRegressor::Node n;
+    n.left = static_cast<std::int32_t>(d.i64());
+    n.right = static_cast<std::int32_t>(d.i64());
+    n.feature = static_cast<std::uint16_t>(d.u64());
+    n.threshold = d.f64();
+    n.value = d.f64();
+    tree.nodes.push_back(n);
+  }
+
+  ml::KnnRegressor::State knn;
+  knn.config.k = d.u64();
+  knn.config.distance_weighted = d.boolean();
+  knn.dim = d.u64();
+  const std::uint64_t knn_rows = d.u64();
+  // Joint bound: a corrupt length must fail before it can allocate, and the
+  // payload cannot hold more doubles than bytes anyway.
+  if (knn.dim > (1u << 20) || knn_rows > (1u << 26) ||
+      knn_rows * knn.dim > payload->size())
+    d.fail();
+  if (d.ok()) {
+    knn.x.resize(knn_rows * knn.dim);
+    knn.y.resize(knn_rows);
+    for (auto& v : knn.x) v = d.f64();
+    for (auto& v : knn.y) v = d.f64();
+  }
+  knn.scaling = decode_scaling(d);
+
+  ml::FldaRegressor::State flda;
+  flda.dim = d.u64();
+  flda.scaling = decode_scaling(d);
+  const std::uint64_t disc_count = d.u64();
+  if (disc_count > (1u << 24) || disc_count > payload->size()) d.fail();
+  if (d.ok()) {
+    flda.discriminants.resize(disc_count);
+    for (auto& v : flda.discriminants) v = d.f64();
+  }
+  const std::uint64_t class_count = d.u64();
+  if (class_count > (1u << 16)) d.fail();
+  if (d.ok()) {
+    flda.class_means_y.resize(class_count);
+    for (auto& v : flda.class_means_y) v = d.f64();
+    for (std::uint64_t c = 0; d.ok() && c < class_count; ++c) {
+      const std::uint64_t k = d.u64();
+      if (k > (1u << 20)) d.fail();
+      if (!d.ok()) break;
+      std::vector<double> centroid(k);
+      for (auto& v : centroid) v = d.f64();
+      flda.class_centroids.push_back(std::move(centroid));
+    }
+  }
+
+  if (!d.done())
+    throw std::runtime_error(
+        "ModelSnapshot: payload truncated or carries trailing bytes");
+  if (snap->schema_.hash() != schema_hash)
+    throw std::runtime_error("ModelSnapshot: feature schema hash mismatch");
+
+  // ml-level restore validates the structural invariants and throws
+  // std::invalid_argument; nothing was published yet, so a throw here still
+  // leaves the caller snapshot-less rather than half-loaded.
+  snap->tree_.restore(tree, snap->schema_.dim());
+  snap->knn_.restore(knn);
+  snap->flda_.restore(flda);
+  if (knn.dim != snap->schema_.dim() || flda.dim != snap->schema_.dim())
+    throw std::invalid_argument(
+        "ModelSnapshot: model dimension does not match feature schema");
+  return snap;
+}
+
+void ModelSnapshot::save_file(const std::string& path) const {
+  namespace fs = std::filesystem;
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("ModelSnapshot: cannot open " + tmp);
+    const std::string bytes = serialize();
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) throw std::runtime_error("ModelSnapshot: write failed: " + tmp);
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec)
+    throw std::runtime_error("ModelSnapshot: rename to " + path + " failed: " +
+                             ec.message());
+}
+
+std::shared_ptr<const ModelSnapshot> ModelSnapshot::load_file(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("ModelSnapshot: cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return deserialize(buf.str());
+}
+
+}  // namespace hpcpower::serve

@@ -1,0 +1,134 @@
+#pragma once
+// Immutable versioned model snapshots: the unit of deployment of the
+// prediction serving layer (service.hpp).
+//
+// A snapshot packages the paper's three fitted models (BDT / KNN / FLDA),
+// the feature schema they were trained against, and the training metadata a
+// rollback decision needs (version, row count, holdout validation errors).
+// Snapshots are immutable after construction: the service swaps a
+// shared_ptr<const ModelSnapshot>, readers never observe a half-updated
+// model, and an old version stays alive until its last in-flight batch
+// drops the reference.
+//
+// Durability uses the repo's one framing discipline (stream/codec.hpp, the
+// .hpcb block rule): magic | u32 payload length | payload | CRC-32(payload),
+// doubles as IEEE-754 bit patterns so a loaded snapshot predicts
+// bit-identically to the one that was saved. Loading validates everything —
+// frame, schema hash, per-model structural invariants (ml restore()) — and
+// throws on the first inconsistency: a corrupt snapshot is rejected loudly,
+// never half-loaded. save_file() writes tmp + rename so a torn write never
+// shadows a previous good snapshot.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/flda.hpp"
+#include "ml/knn.hpp"
+
+namespace hpcpower::serve {
+
+/// Snapshot file/frame magic ("HPSN").
+inline constexpr std::uint32_t kSnapshotMagic = 0x4E535048u;
+
+/// The models a snapshot serves. kTree is the paper's best model (Fig 14)
+/// and the service default.
+enum class ModelKind : std::uint8_t { kTree = 0, kKnn = 1, kFlda = 2 };
+[[nodiscard]] const char* model_kind_name(ModelKind m) noexcept;
+
+/// Ordered feature names; the hash pins a snapshot to the exact schema the
+/// feature store feeds, so a stale snapshot cannot silently consume
+/// reordered or renamed features.
+struct FeatureSchema {
+  std::vector<std::string> names;
+
+  [[nodiscard]] std::size_t dim() const noexcept { return names.size(); }
+  /// FNV-1a over names with separators; stable across platforms.
+  [[nodiscard]] std::uint64_t hash() const noexcept;
+
+  friend bool operator==(const FeatureSchema&, const FeatureSchema&) = default;
+};
+
+/// The paper's submission-time schema: (user id, nnodes, requested wall
+/// time) — exactly what is known before a job executes (Sec 5, RQ9).
+[[nodiscard]] FeatureSchema submission_schema();
+
+/// Training provenance + holdout quality, carried inside the snapshot so the
+/// drift detector and rollback check never depend on out-of-band state.
+struct SnapshotMeta {
+  std::uint64_t version = 0;        ///< monotone; bumped per retrain
+  std::uint64_t trained_rows = 0;   ///< training-side rows
+  std::uint64_t train_seed = 0;     ///< holdout split seed
+  std::uint64_t source_watermark = 0;  ///< last completion folded in (job id)
+  /// Holdout absolute-percent-error summary of the primary (BDT) model:
+  /// mean and median. The median doubles as the drift baseline the rolling
+  /// P-squared sketch is compared against.
+  double validation_mape = 0.0;
+  double validation_p50 = 0.0;
+
+  friend bool operator==(const SnapshotMeta&, const SnapshotMeta&) = default;
+};
+
+struct SnapshotTrainConfig {
+  std::uint64_t version = 1;
+  std::uint64_t seed = 42;
+  std::uint64_t source_watermark = 0;
+  /// Training fraction of the 80/20 holdout used for validation_mape/p50.
+  double train_fraction = 0.8;
+  ml::DecisionTreeConfig tree;
+  ml::KnnConfig knn;
+  ml::FldaConfig flda;
+};
+
+class ModelSnapshot {
+ public:
+  /// Fits all three models on the train side of one deterministic split of
+  /// `data` and records holdout errors in meta. Throws std::invalid_argument
+  /// when `data` is empty or its dim mismatches `schema`.
+  [[nodiscard]] static std::shared_ptr<const ModelSnapshot> train(
+      const ml::Dataset& data, const FeatureSchema& schema,
+      const SnapshotTrainConfig& config);
+
+  /// Single-row prediction. Requires features.size() == schema().dim().
+  [[nodiscard]] double predict(ModelKind model,
+                               std::span<const double> features) const;
+
+  [[nodiscard]] const FeatureSchema& schema() const noexcept { return schema_; }
+  [[nodiscard]] const SnapshotMeta& meta() const noexcept { return meta_; }
+  [[nodiscard]] std::uint64_t version() const noexcept { return meta_.version; }
+
+  // ---- serialization ------------------------------------------------------
+
+  /// The CRC-framed byte image (what save_file writes).
+  [[nodiscard]] std::string serialize() const;
+  /// Inverse of serialize(). Throws std::runtime_error on a bad frame
+  /// (magic/length/CRC/trailing bytes) and std::invalid_argument on a payload
+  /// that decodes but fails model validation. Never returns a partial
+  /// snapshot.
+  [[nodiscard]] static std::shared_ptr<const ModelSnapshot> deserialize(
+      std::string_view bytes);
+
+  /// Atomic save: writes `path`.tmp, flushes, renames. Throws
+  /// std::runtime_error on I/O failure.
+  void save_file(const std::string& path) const;
+  /// Loads and fully validates a snapshot file. Same failure contract as
+  /// deserialize(), plus std::runtime_error when the file cannot be read.
+  [[nodiscard]] static std::shared_ptr<const ModelSnapshot> load_file(
+      const std::string& path);
+
+ private:
+  ModelSnapshot() = default;
+
+  FeatureSchema schema_;
+  SnapshotMeta meta_;
+  ml::DecisionTreeRegressor tree_;
+  ml::KnnRegressor knn_;
+  ml::FldaRegressor flda_;
+};
+
+}  // namespace hpcpower::serve

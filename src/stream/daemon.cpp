@@ -223,6 +223,7 @@ void IngestDaemon::apply_job_end(const telemetry::TapJobEnd& end) {
       end.record.end <= util::MinuteTime{hello_.warmup_minutes})
     return;
   records_.push_back(end.record);
+  if (config_.on_job_completed) config_.on_job_completed(end.record);
 }
 
 void IngestDaemon::step_mode(std::uint64_t rows_kept) {

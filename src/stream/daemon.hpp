@@ -30,6 +30,7 @@
 // state (ring.hpp); everything else is strictly sequential in seq order.
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -81,6 +82,14 @@ struct IngestConfig {
 
   std::uint64_t crash_after_seq = 0;  ///< 0 = no crash injection
   CrashMode crash_mode = CrashMode::kNone;
+
+  /// Invoked once per kept, post-warm-up job record at the moment it applies
+  /// — the feed for online consumers such as the prediction serving layer.
+  /// Fires during WAL replay too, so a recovered daemon rebuilds downstream
+  /// state (e.g. a serving feature store) deterministically from the same
+  /// records an uninterrupted run delivered. Must not call back into the
+  /// daemon.
+  std::function<void(const telemetry::JobRecord&)> on_job_completed;
 };
 
 /// Apply-side accounting: advanced only when the watermark advances, fully

@@ -22,6 +22,7 @@
 #include "core/report.hpp"
 #include "core/study.hpp"
 #include "obs/span.hpp"
+#include "serve/adapter.hpp"
 #include "stream/source.hpp"
 #include "util/thread_pool.hpp"
 
@@ -234,6 +235,52 @@ TEST_F(ParallelDeterminism, StreamedCampaignGoldenIsThreadCountInvariant) {
       EXPECT_EQ(streamed, golden_streamed);
       EXPECT_EQ(batch, golden_batch);
     }
+  }
+}
+
+TEST_F(ParallelDeterminism, ServedPredictorCampaignIsThreadCountInvariant) {
+  // The serving layer in the admission loop: a campaign whose power manager
+  // asks a PredictionService (via ServedPredictor) for every admission
+  // decision must stay bit-identical at threads = 1, 2, and hardware —
+  // served predictions are pure functions of (snapshot, job), so the serving
+  // layer adds no schedule dependence to the closed loop.
+  const auto spec = cluster::emmy_spec();
+  util::set_global_thread_count(1);
+  const auto pilot = core::run_campaign(spec, small_config());
+  const ml::Dataset dataset = core::build_prediction_dataset(pilot);
+  util::set_global_thread_count(0);
+
+  auto service = std::make_shared<serve::PredictionService>();
+  service->install(
+      serve::ModelSnapshot::train(dataset, serve::submission_schema(), {}));
+  const auto predictor = std::make_shared<serve::ServedPredictor>(
+      service, spec.node_tdp_watts);
+  EXPECT_EQ(predictor->name(), "served:BDT");
+
+  core::StudyConfig managed = small_config();
+  managed.power_manager.enabled = true;
+  managed.power_manager.site_cap_fraction = 0.65;
+
+  const auto run_served = [&](std::size_t threads) {
+    util::set_global_thread_count(threads);
+    auto data = core::run_campaign(spec, managed, predictor);
+    util::set_global_thread_count(0);
+    core::ReportOptions ropts;
+    ropts.include_prediction = false;
+    std::vector<core::CampaignData> campaigns;
+    campaigns.push_back(std::move(data));
+    std::string report = core::render_markdown_report(campaigns, ropts);
+    return std::pair<std::vector<core::CampaignData>, std::string>{
+        std::move(campaigns), std::move(report)};
+  };
+
+  const auto [golden_campaigns, golden_report] = run_served(1);
+  ASSERT_TRUE(golden_campaigns.front().power.has_value());
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{0}}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const auto [campaigns, report] = run_served(threads);
+    expect_campaigns_identical(golden_campaigns, campaigns);
+    EXPECT_EQ(golden_report, report);
   }
 }
 

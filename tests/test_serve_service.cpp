@@ -1,0 +1,449 @@
+// PredictionService battery (serve/service.hpp): deterministic batched
+// serving, atomic snapshot hot-swap under concurrent load, shard-parallel
+// feature-store updates (exercised under the TSan CI mode), and the drift ->
+// retrain -> rollback pipeline with serve.* counter reconciliation.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "serve/service.hpp"
+#include "util/prng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hpcpower {
+namespace {
+
+ml::Dataset synthetic_dataset(std::uint64_t seed, std::size_t rows,
+                              double noise = 4.0) {
+  util::Rng rng(seed);
+  ml::Dataset d(3);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const double user = static_cast<double>(rng.uniform_index(30));
+    const double nodes = static_cast<double>(1 << rng.uniform_index(5));
+    const double wall = static_cast<double>(30 * (1 + rng.uniform_index(8)));
+    d.add_row(std::array<double, 3>{user, nodes, wall},
+              100.0 + 3.0 * user + 0.02 * wall + nodes +
+                  rng.normal(0.0, noise),
+              static_cast<std::uint32_t>(user));
+  }
+  return d;
+}
+
+/// A dataset whose target is a constant: the fitted tree predicts exactly
+/// that constant everywhere, which makes snapshot versions distinguishable
+/// from a single served value.
+ml::Dataset constant_dataset(double value, std::size_t rows = 64) {
+  util::Rng rng(17);
+  ml::Dataset d(3);
+  for (std::size_t i = 0; i < rows; ++i) {
+    d.add_row(std::array<double, 3>{static_cast<double>(rng.uniform_index(10)),
+                                    2.0, 60.0},
+              value, static_cast<std::uint32_t>(i % 10));
+  }
+  return d;
+}
+
+std::shared_ptr<const serve::ModelSnapshot> snapshot_of(
+    const ml::Dataset& data, std::uint64_t version = 1) {
+  serve::SnapshotTrainConfig config;
+  config.version = version;
+  return serve::ModelSnapshot::train(data, serve::submission_schema(), config);
+}
+
+serve::Completion completion(std::uint64_t job, std::uint32_t user,
+                             std::uint32_t nodes, std::uint32_t wall,
+                             double power) {
+  return {job, user, nodes, wall, power};
+}
+
+std::uint64_t counter_value(const obs::MetricsSnapshot& snap,
+                            const std::string& name) {
+  for (const auto& [n, v] : snap.counters)
+    if (n == name) return v;
+  return 0;
+}
+
+class ServeService : public ::testing::Test {
+ protected:
+  void SetUp() override { obs::metrics().reset(); }
+  void TearDown() override {
+    util::set_global_thread_count(0);
+    util::shutdown_global_pool();
+  }
+};
+
+TEST_F(ServeService, ConfigIsValidated) {
+  serve::ServiceConfig bad;
+  bad.drift_threshold = 1.0;
+  EXPECT_THROW(serve::PredictionService{bad}, std::invalid_argument);
+  bad = {};
+  bad.rollback_tolerance = 0.5;
+  EXPECT_THROW(serve::PredictionService{bad}, std::invalid_argument);
+}
+
+TEST_F(ServeService, ServingBeforeInstallFailsLoudly) {
+  serve::PredictionService service;
+  const std::array<double, 3> q = {1.0, 2.0, 60.0};
+  EXPECT_THROW((void)service.predict(q), std::logic_error);
+  std::array<double, 1> out{};
+  EXPECT_THROW(service.predict_batch(q, out), std::logic_error);
+  EXPECT_THROW(service.install(nullptr), std::invalid_argument);
+}
+
+TEST_F(ServeService, BatchedServingIsBitIdenticalToDirectSerialCalls) {
+  // The tentpole determinism property: served batches equal a serial loop of
+  // direct model calls, bit for bit, at threads = 1, 2, and hardware — for
+  // every model kind, including batch sizes that straddle block boundaries.
+  const auto data = synthetic_dataset(21, 500);
+  serve::PredictionService service;
+  const auto snap = snapshot_of(data);
+  service.install(snap);
+
+  std::vector<double> features;
+  for (std::size_t i = 0; i < data.size(); ++i)
+    for (const double v : data.row(i)) features.push_back(v);
+
+  for (const auto kind : {serve::ModelKind::kTree, serve::ModelKind::kKnn,
+                          serve::ModelKind::kFlda}) {
+    std::vector<double> direct(data.size());
+    for (std::size_t i = 0; i < data.size(); ++i)
+      direct[i] = snap->predict(kind, data.row(i));
+
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                      std::size_t{0}}) {
+      SCOPED_TRACE("kind=" + std::string(serve::model_kind_name(kind)) +
+                   " threads=" + std::to_string(threads));
+      util::set_global_thread_count(threads);
+      std::vector<double> served(data.size());
+      service.predict_batch(features, served, kind);
+      ASSERT_EQ(served.size(), direct.size());
+      EXPECT_EQ(0, std::memcmp(served.data(), direct.data(),
+                               served.size() * sizeof(double)));
+    }
+  }
+
+  // Single-row path agrees with the batched path.
+  util::set_global_thread_count(1);
+  const double single = service.predict(data.row(3));
+  const double direct3 = snap->predict(serve::ModelKind::kTree, data.row(3));
+  EXPECT_EQ(0, std::memcmp(&single, &direct3, sizeof(double)));
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.batches, 9u);  // 3 kinds x 3 thread counts
+  EXPECT_EQ(stats.predictions, 9u * data.size() + 1u);
+}
+
+TEST_F(ServeService, BatchValidationRejectsBadShapes) {
+  serve::PredictionService service;
+  service.install(snapshot_of(synthetic_dataset(5, 64)));
+  const std::array<double, 4> not_multiple = {1.0, 2.0, 3.0, 4.0};
+  std::array<double, 1> out1{};
+  EXPECT_THROW(service.predict_batch(not_multiple, out1),
+               std::invalid_argument);
+  const std::array<double, 6> two_rows = {1.0, 2.0, 60.0, 2.0, 4.0, 120.0};
+  EXPECT_THROW(service.predict_batch(two_rows, out1), std::invalid_argument);
+  EXPECT_THROW((void)service.predict(std::array<double, 2>{1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST_F(ServeService, HotSwapIsAtomicUnderConcurrentBatches) {
+  // Two snapshots that serve distinguishable constants; reader threads run
+  // batches while a writer hot-swaps between them. Every batch must be
+  // uniformly one constant — a mixed batch means a reader observed the swap
+  // mid-flight. Runs under the TSan CI mode.
+  const auto v100 = snapshot_of(constant_dataset(100.0), 1);
+  const auto v200 = snapshot_of(constant_dataset(200.0), 2);
+  const std::array<double, 3> probe = {4.0, 2.0, 60.0};
+  ASSERT_EQ(v100->predict(serve::ModelKind::kTree, probe), 100.0);
+  ASSERT_EQ(v200->predict(serve::ModelKind::kTree, probe), 200.0);
+
+  serve::PredictionService service;
+  service.install(v100);
+  util::set_global_thread_count(1);  // readers are the concurrency here
+
+  constexpr std::size_t kRows = 96;
+  std::vector<double> features;
+  for (std::size_t i = 0; i < kRows; ++i) {
+    features.push_back(static_cast<double>(i % 10));
+    features.push_back(2.0);
+    features.push_back(60.0);
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> mixed_batches{0};
+  std::atomic<std::uint64_t> batches_run{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      std::vector<double> out(kRows);
+      while (!stop.load(std::memory_order_relaxed)) {
+        service.predict_batch(features, out);
+        const double first = out[0];
+        for (const double v : out) {
+          if (v != first) {
+            mixed_batches.fetch_add(1, std::memory_order_relaxed);
+            break;
+          }
+        }
+        batches_run.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Keep swapping until the readers have pushed plenty of batches through
+  // concurrently with the installs (capped so a wedged reader fails instead
+  // of hanging the test).
+  const std::uint64_t batches_before = batches_run.load();
+  std::uint64_t swaps = 0;
+  while (swaps < 1000 ||
+         (batches_run.load(std::memory_order_relaxed) - batches_before < 300 &&
+          swaps < 2'000'000)) {
+    service.install(swaps % 2 == 0 ? v200 : v100);
+    ++swaps;
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(mixed_batches.load(), 0u);
+  EXPECT_GE(batches_run.load() - batches_before, 300u);
+  EXPECT_GE(swaps, 1000u);
+  // 1 initial + every swap, all booked.
+  EXPECT_EQ(service.stats().installs, swaps + 1);
+  EXPECT_EQ(service.snapshot()->version(),
+            (swaps - 1) % 2 == 0 ? 2u : 1u);  // parity of the last install
+}
+
+TEST_F(ServeService, FeatureStoreShardParallelUpdatesMatchSerialRecording) {
+  // N threads record disjoint completion ranges concurrently; the training
+  // set must equal serial recording exactly (sorted by job id), and per-user
+  // stats must aggregate every completion. TSan covers the locking.
+  constexpr std::uint64_t kPerThread = 400;
+  constexpr std::uint32_t kThreads = 4;
+
+  const auto completion_at = [](std::uint64_t j) {
+    return completion(j, static_cast<std::uint32_t>(j % 97),
+                      static_cast<std::uint32_t>(1 + j % 8),
+                      static_cast<std::uint32_t>(30 + (j % 10) * 30),
+                      100.0 + static_cast<double>(j % 50));
+  };
+
+  serve::FeatureStore parallel_store(8, 4096);
+  std::vector<std::thread> writers;
+  for (std::uint32_t t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i)
+        parallel_store.record(completion_at(t * kPerThread + i));
+    });
+  }
+  for (auto& w : writers) w.join();
+
+  serve::FeatureStore serial_store(8, 4096);
+  for (std::uint64_t j = 0; j < kThreads * kPerThread; ++j)
+    serial_store.record(completion_at(j));
+
+  EXPECT_EQ(parallel_store.recorded(), kThreads * kPerThread);
+  EXPECT_EQ(parallel_store.size(), serial_store.size());
+  EXPECT_EQ(parallel_store.user_count(), serial_store.user_count());
+
+  std::uint64_t wm_par = 0, wm_ser = 0;
+  const ml::Dataset a = parallel_store.training_set(&wm_par);
+  const ml::Dataset b = serial_store.training_set(&wm_ser);
+  EXPECT_EQ(wm_par, wm_ser);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.target(i), b.target(i)) << "row " << i;
+    const auto ra = a.row(i);
+    const auto rb = b.row(i);
+    ASSERT_EQ(0, std::memcmp(ra.data(), rb.data(), ra.size_bytes()));
+  }
+
+  const auto user5 = parallel_store.user(5);
+  ASSERT_TRUE(user5.has_value());
+  EXPECT_EQ(user5->jobs, serial_store.user(5)->jobs);
+  EXPECT_DOUBLE_EQ(user5->mean_power_w, serial_store.user(5)->mean_power_w);
+  EXPECT_FALSE(parallel_store.user(200).has_value());  // never recorded
+}
+
+TEST_F(ServeService, FeatureStoreWindowIsBounded) {
+  serve::FeatureStore store(2, 16);  // 2 shards x 16 retained
+  for (std::uint64_t j = 0; j < 1000; ++j)
+    store.record(completion(j, static_cast<std::uint32_t>(j % 5), 1, 60,
+                            100.0));
+  EXPECT_EQ(store.recorded(), 1000u);
+  EXPECT_LE(store.size(), 32u);        // drop-oldest kept the window flat
+  EXPECT_EQ(store.user_count(), 5u);   // user stats are never evicted
+  EXPECT_EQ(store.user(0)->jobs, 200u);
+}
+
+TEST_F(ServeService, DriftTripsWithinBoundedWindowAfterShift) {
+  // Inject a 2x power shift: the rolling median error crosses the threshold
+  // and the detector must trip within drift_min_observations completions of
+  // the shift (the sketch window starts fresh at install time).
+  serve::ServiceConfig config;
+  config.drift_min_observations = 16;
+  config.retrain_min_rows = 100000;  // force kSkipped: this test is about
+                                     // trip latency, not retraining
+  serve::PredictionService service(config);
+  const auto data = synthetic_dataset(31, 400);
+  const auto snap = snapshot_of(data);
+  ASSERT_GT(snap->meta().validation_p50, 0.0);
+  service.install(snap);
+
+  // In-distribution completions: actual power == the model's own prediction,
+  // zero error, no trip.
+  util::Rng rng(7);
+  for (std::uint64_t j = 0; j < 64; ++j) {
+    const auto user = static_cast<std::uint32_t>(rng.uniform_index(30));
+    const std::array<double, 3> q = {static_cast<double>(user), 2.0, 120.0};
+    const double p = snap->predict(serve::ModelKind::kTree, q);
+    EXPECT_EQ(service.observe_completion(completion(j, user, 2, 120, p)),
+              serve::DriftAction::kNone);
+  }
+
+  // Shifted completions: observed power is 2x the prediction (50% error).
+  std::uint64_t trip_after = 0;
+  serve::DriftAction action = serve::DriftAction::kNone;
+  for (std::uint64_t j = 0; j < 200 && action == serve::DriftAction::kNone;
+       ++j) {
+    const auto user = static_cast<std::uint32_t>(rng.uniform_index(30));
+    const std::array<double, 3> q = {static_cast<double>(user), 2.0, 120.0};
+    const double p = snap->predict(serve::ModelKind::kTree, q);
+    action = service.observe_completion(
+        completion(1000 + j, user, 2, 120, 2.0 * p));
+    ++trip_after;
+  }
+  EXPECT_EQ(action, serve::DriftAction::kSkipped);  // tripped, store too small
+  // Bounded detection latency: the pre-shift zero-error observations dilute
+  // the median, but the trip must land within a small multiple of the
+  // minimum window, far inside the 200-completion budget.
+  EXPECT_LE(trip_after, 2 * config.drift_min_observations + 64);
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.drift_trips, 1u);
+  EXPECT_EQ(stats.retrains_skipped, 1u);
+  EXPECT_EQ(stats.retrains, 0u);
+}
+
+TEST_F(ServeService, DriftRetrainInstallsNewVersionThatFixesTheShift) {
+  // After the shift, the store holds shifted completions; the triggered
+  // retrain must install version+1 whose predictions track the new regime.
+  serve::ServiceConfig config;
+  config.drift_min_observations = 32;
+  config.retrain_min_rows = 200;
+  serve::PredictionService service(config);
+  const auto data = synthetic_dataset(41, 400);
+  const auto v1 = snapshot_of(data);
+  service.install(v1);
+
+  // New regime: same feature -> power relationship, scaled 2x.
+  util::Rng rng(9);
+  serve::DriftAction last = serve::DriftAction::kNone;
+  std::uint64_t fed = 0;
+  for (std::uint64_t j = 0; j < 2000; ++j) {
+    const auto user = static_cast<std::uint32_t>(rng.uniform_index(30));
+    const std::array<double, 3> q = {static_cast<double>(user), 2.0, 120.0};
+    const double p = v1->predict(serve::ModelKind::kTree, q);
+    last = service.observe_completion(
+        completion(j, user, 2, 120, 2.0 * p));
+    ++fed;
+    if (last == serve::DriftAction::kRetrained) break;
+  }
+  ASSERT_EQ(last, serve::DriftAction::kRetrained) << "after " << fed;
+
+  const auto v2 = service.snapshot();
+  EXPECT_EQ(v2->version(), v1->version() + 1);
+  EXPECT_GT(v2->meta().source_watermark, 0u);
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.retrains, 1u);
+  EXPECT_EQ(stats.rollbacks, 0u);
+  EXPECT_EQ(stats.installs, 2u);
+
+  // The retrained model serves the shifted regime: served ~= 2x old model.
+  const std::array<double, 3> q = {5.0, 2.0, 120.0};
+  const double before = v1->predict(serve::ModelKind::kTree, q);
+  const double after = service.predict(q);
+  EXPECT_GT(after, 1.5 * before);
+
+  // Counter reconciliation: the run manifest's serve.* counters equal the
+  // service's own stats exactly.
+  const auto manifest = obs::metrics().snapshot();
+  EXPECT_EQ(counter_value(manifest, "serve.retrain.success"), stats.retrains);
+  EXPECT_EQ(counter_value(manifest, "serve.snapshot.install"), stats.installs);
+  EXPECT_EQ(counter_value(manifest, "serve.drift.trips"), stats.drift_trips);
+  EXPECT_EQ(counter_value(manifest, "serve.completions"), stats.completions);
+}
+
+TEST_F(ServeService, WorseRetrainRollsBackAndBooksTheCounter) {
+  // The drift feed is pure noise: the candidate retrain validates far worse
+  // than the installed snapshot, so the service must keep serving the old
+  // version and book serve.rollback — reconciling with ServiceStats.
+  serve::ServiceConfig config;
+  config.drift_min_observations = 32;
+  config.retrain_min_rows = 200;
+  config.store_capacity_per_shard = 64;  // the noise dominates the window
+  serve::PredictionService service(config);
+  const auto data = synthetic_dataset(51, 400, /*noise=*/1.0);
+  const auto v1 = snapshot_of(data);
+  service.install(v1);
+
+  util::Rng rng(13);
+  serve::DriftAction last = serve::DriftAction::kNone;
+  bool rolled_back = false;
+  for (std::uint64_t j = 0; j < 4000; ++j) {
+    const auto user = static_cast<std::uint32_t>(rng.uniform_index(30));
+    // Unlearnable target: uniform power, uncorrelated with features.
+    const double watts = 50.0 + 450.0 * rng.uniform();
+    last = service.observe_completion(
+        completion(j, user, 2, 120, watts));
+    if (last == serve::DriftAction::kRolledBack) {
+      rolled_back = true;
+      break;
+    }
+    ASSERT_NE(last, serve::DriftAction::kRetrained)
+        << "noise must not validate better than the real model";
+  }
+  ASSERT_TRUE(rolled_back);
+
+  // Still serving v1: rollback left the installed snapshot untouched.
+  EXPECT_EQ(service.snapshot()->version(), v1->version());
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.rollbacks, 1u);
+  EXPECT_EQ(stats.retrains, 0u);
+  EXPECT_EQ(stats.installs, 1u);
+
+  const auto manifest = obs::metrics().snapshot();
+  EXPECT_EQ(counter_value(manifest, "serve.rollback"), stats.rollbacks);
+  EXPECT_EQ(counter_value(manifest, "serve.retrain"), 1u);
+  EXPECT_EQ(counter_value(manifest, "serve.retrain.success"), 0u);
+}
+
+TEST_F(ServeService, MetricsExposeLatencyHistogramAndVersionGauge) {
+  serve::PredictionService service;
+  service.install(snapshot_of(synthetic_dataset(61, 128), /*version=*/9));
+  const std::array<double, 3> q = {1.0, 2.0, 60.0};
+  (void)service.predict(q);
+
+  const auto manifest = obs::metrics().snapshot();
+  EXPECT_EQ(obs::metrics().gauge("serve.snapshot.version").value(), 9.0);
+  bool found_latency = false;
+  for (const auto& [name, hist] : manifest.histograms) {
+    if (name == "serve.latency.us") {
+      found_latency = true;
+      EXPECT_EQ(hist.count, 1u);
+    }
+  }
+  EXPECT_TRUE(found_latency);
+  EXPECT_EQ(counter_value(manifest, "serve.predictions"), 1u);
+}
+
+}  // namespace
+}  // namespace hpcpower

@@ -1,0 +1,262 @@
+// Property/golden battery for versioned model snapshots (serve/snapshot.hpp):
+// serialize -> deserialize round trips must predict bit-identically for all
+// three models across randomized datasets, and every flavor of corruption —
+// bit flips, truncation, wrong magic, trailing bytes, structurally invalid
+// payloads — must be rejected loudly, never half-loaded.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "serve/snapshot.hpp"
+#include "util/prng.hpp"
+
+namespace hpcpower {
+namespace {
+
+ml::Dataset random_dataset(std::uint64_t seed, std::size_t rows) {
+  util::Rng rng(seed);
+  ml::Dataset d(3);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const double user = static_cast<double>(rng.uniform_index(40));
+    const double nodes = static_cast<double>(1 << rng.uniform_index(6));
+    const double wall = static_cast<double>(30 * (1 + rng.uniform_index(10)));
+    d.add_row(std::array<double, 3>{user, nodes, wall},
+              90.0 + 2.0 * user + 0.05 * wall + nodes + rng.normal(0.0, 5.0),
+              static_cast<std::uint32_t>(user));
+  }
+  return d;
+}
+
+void expect_bits_eq(double a, double b) {
+  std::uint64_t abits = 0, bbits = 0;
+  std::memcpy(&abits, &a, sizeof(a));
+  std::memcpy(&bbits, &b, sizeof(b));
+  EXPECT_EQ(abits, bbits) << a << " vs " << b;
+}
+
+std::shared_ptr<const serve::ModelSnapshot> trained(std::uint64_t seed,
+                                                    std::size_t rows = 400) {
+  serve::SnapshotTrainConfig config;
+  config.seed = seed;
+  config.version = 7;
+  config.source_watermark = 123456;
+  return serve::ModelSnapshot::train(random_dataset(seed, rows),
+                                     serve::submission_schema(), config);
+}
+
+TEST(ServeSnapshot, RoundTripPredictsBitIdenticallyForAllModels) {
+  // Property: across randomized datasets, the loaded snapshot is the saved
+  // snapshot — every model, every probe row, every bit.
+  for (const std::uint64_t seed : {11ull, 22ull, 33ull, 44ull, 55ull}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const auto snap = trained(seed);
+    const auto back = serve::ModelSnapshot::deserialize(snap->serialize());
+
+    EXPECT_EQ(back->schema(), snap->schema());
+    EXPECT_EQ(back->meta(), snap->meta());
+
+    util::Rng probe(seed ^ 0xABCDull);
+    for (int i = 0; i < 200; ++i) {
+      const std::array<double, 3> q = {
+          static_cast<double>(probe.uniform_index(60)),
+          static_cast<double>(1 + probe.uniform_index(64)),
+          static_cast<double>(probe.uniform_index(720))};
+      for (const auto kind : {serve::ModelKind::kTree, serve::ModelKind::kKnn,
+                              serve::ModelKind::kFlda}) {
+        expect_bits_eq(snap->predict(kind, q), back->predict(kind, q));
+      }
+    }
+  }
+}
+
+TEST(ServeSnapshot, SerializationIsDeterministic) {
+  const auto a = trained(77);
+  const auto b = trained(77);
+  EXPECT_EQ(a->serialize(), b->serialize());
+}
+
+TEST(ServeSnapshot, FileRoundTripThroughTmpRename) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "hpcpower_snapshot_test";
+  fs::create_directories(dir);
+  const std::string path = (dir / "model.hpsn").string();
+
+  const auto snap = trained(5);
+  snap->save_file(path);
+  EXPECT_FALSE(fs::exists(path + ".tmp"));  // tmp was renamed away
+  const auto back = serve::ModelSnapshot::load_file(path);
+  EXPECT_EQ(back->serialize(), snap->serialize());
+
+  // Saving on top of an existing file replaces it atomically.
+  const auto other = trained(6);
+  other->save_file(path);
+  EXPECT_EQ(serve::ModelSnapshot::load_file(path)->meta(), other->meta());
+  fs::remove_all(dir);
+}
+
+TEST(ServeSnapshot, EveryTruncationIsRejected) {
+  // Property: any prefix of a valid image must throw — the CRC frame or the
+  // decoder catches it; nothing ever half-loads.
+  const std::string bytes = trained(9, 120)->serialize();
+  for (std::size_t len = 0; len < bytes.size(); len += 7) {
+    SCOPED_TRACE("len=" + std::to_string(len));
+    EXPECT_THROW(serve::ModelSnapshot::deserialize(bytes.substr(0, len)),
+                 std::runtime_error);
+  }
+}
+
+TEST(ServeSnapshot, SingleBitFlipsAreRejected) {
+  // Flip one bit at a spread of positions: the payload CRC (or, for header
+  // bytes, the magic/length check) must refuse every one.
+  const std::string bytes = trained(10, 120)->serialize();
+  for (std::size_t pos = 0; pos < bytes.size(); pos += 131) {
+    for (int bit = 0; bit < 8; bit += 3) {
+      std::string corrupt = bytes;
+      corrupt[pos] = static_cast<char>(corrupt[pos] ^ (1 << bit));
+      SCOPED_TRACE("pos=" + std::to_string(pos) + " bit=" + std::to_string(bit));
+      EXPECT_THROW(serve::ModelSnapshot::deserialize(corrupt),
+                   std::exception);
+    }
+  }
+}
+
+TEST(ServeSnapshot, TrailingBytesAreRejected) {
+  const std::string bytes = trained(11, 120)->serialize();
+  EXPECT_THROW(serve::ModelSnapshot::deserialize(bytes + "x"),
+               std::runtime_error);
+  EXPECT_THROW(serve::ModelSnapshot::deserialize(bytes + bytes),
+               std::runtime_error);
+}
+
+TEST(ServeSnapshot, WrongMagicIsRejected) {
+  std::string bytes = trained(12, 120)->serialize();
+  bytes[0] = 'X';
+  EXPECT_THROW(serve::ModelSnapshot::deserialize(bytes), std::runtime_error);
+}
+
+TEST(ServeSnapshot, MissingFileIsRejected) {
+  EXPECT_THROW(serve::ModelSnapshot::load_file("/nonexistent/snapshot.hpsn"),
+               std::runtime_error);
+}
+
+TEST(ServeSnapshot, TrainValidatesInputs) {
+  EXPECT_THROW(serve::ModelSnapshot::train(ml::Dataset(3),
+                                           serve::submission_schema(), {}),
+               std::invalid_argument);
+  // Dim mismatch between dataset and schema.
+  ml::Dataset two(2);
+  two.add_row(std::array<double, 2>{1.0, 2.0}, 100.0, 1);
+  EXPECT_THROW(
+      serve::ModelSnapshot::train(two, serve::submission_schema(), {}),
+      std::invalid_argument);
+}
+
+TEST(ServeSnapshot, SchemaHashPinsNamesAndOrder) {
+  const serve::FeatureSchema a{{"user_id", "nnodes", "walltime_req_min"}};
+  const serve::FeatureSchema reordered{{"nnodes", "user_id",
+                                        "walltime_req_min"}};
+  const serve::FeatureSchema joined{{"user_idnnodes", "walltime_req_min"}};
+  EXPECT_EQ(a.hash(), serve::submission_schema().hash());
+  EXPECT_NE(a.hash(), reordered.hash());
+  EXPECT_NE(a.hash(), joined.hash());
+}
+
+// ---------------------------------------------------------------------------
+// ml-level restore validation: structurally invalid states throw rather than
+// build a model that would crash (or silently mispredict) later.
+
+TEST(ServeSnapshot, TreeRestoreRejectsStructuralCorruption) {
+  const auto d = random_dataset(3, 200);
+  ml::DecisionTreeRegressor tree;
+  tree.fit(d);
+  const auto good = tree.state();
+
+  ml::DecisionTreeRegressor target;
+  EXPECT_THROW(target.restore({}, 3), std::invalid_argument);  // empty
+  EXPECT_THROW(target.restore(good, 0), std::invalid_argument);  // dim 0
+
+  auto cyclic = good;  // child pointing backwards => cycle
+  for (auto& n : cyclic.nodes) {
+    if (n.left >= 0) {
+      n.left = 0;
+      break;
+    }
+  }
+  EXPECT_THROW(target.restore(cyclic, 3), std::invalid_argument);
+
+  auto bad_feature = good;
+  for (auto& n : bad_feature.nodes) {
+    if (n.left >= 0) {
+      n.feature = 9;  // out of range for dim 3
+      break;
+    }
+  }
+  EXPECT_THROW(target.restore(bad_feature, 3), std::invalid_argument);
+
+  // The untouched state restores and predicts identically.
+  target.restore(good, 3);
+  const std::array<double, 3> q = {5.0, 4.0, 120.0};
+  expect_bits_eq(tree.predict(q), target.predict(q));
+}
+
+TEST(ServeSnapshot, KnnRestoreRejectsInconsistentGeometry) {
+  const auto d = random_dataset(4, 100);
+  ml::KnnRegressor knn;
+  knn.fit(d);
+  const auto good = knn.state();
+
+  ml::KnnRegressor target;
+  auto short_x = good;
+  short_x.x.pop_back();  // x.size() != rows * dim
+  EXPECT_THROW(target.restore(short_x), std::invalid_argument);
+
+  auto zero_k = good;
+  zero_k.config.k = 0;
+  EXPECT_THROW(target.restore(zero_k), std::invalid_argument);
+
+  auto bad_scale = good;
+  bad_scale.scaling.stddev[0] = 0.0;
+  EXPECT_THROW(target.restore(bad_scale), std::invalid_argument);
+
+  target.restore(good);
+  const std::array<double, 3> q = {7.0, 2.0, 60.0};
+  expect_bits_eq(knn.predict(q), target.predict(q));
+}
+
+TEST(ServeSnapshot, FldaRestoreRejectsInconsistentGeometry) {
+  const auto d = random_dataset(6, 200);
+  ml::FldaRegressor flda;
+  flda.fit(d);
+  const auto good = flda.state();
+
+  ml::FldaRegressor target;
+  auto no_classes = good;
+  no_classes.class_means_y.clear();
+  no_classes.class_centroids.clear();
+  EXPECT_THROW(target.restore(no_classes), std::invalid_argument);
+
+  auto ragged = good;
+  ragged.discriminants.pop_back();  // no longer a multiple of dim
+  EXPECT_THROW(target.restore(ragged), std::invalid_argument);
+
+  auto mismatched = good;
+  mismatched.class_means_y.push_back(100.0);  // centroid count differs
+  EXPECT_THROW(target.restore(mismatched), std::invalid_argument);
+
+  target.restore(good);
+  const std::array<double, 3> q = {3.0, 8.0, 240.0};
+  expect_bits_eq(flda.predict(q), target.predict(q));
+}
+
+}  // namespace
+}  // namespace hpcpower

@@ -28,9 +28,15 @@ and 4d):
                                    window, not campaign length)
   * stream.recovery_identical == true  (WAL replay reconstructs the exact
                                         daemon state summary)
+  * serve.batched_identical == true    (batched served predictions bitwise
+                                        equal to serial direct model calls)
 
 stream.wal_replay_ms is gated like the stage timings, and
-stream.ingest_rows_per_sec must stay above baseline * (1 - tolerance).
+stream.ingest_rows_per_sec / serve.predictions_per_sec must stay above
+baseline * (1 - tolerance). Serving latency (serve.latency_p50_us / p99_us)
+is gated at baseline * (1 + tolerance) plus a small absolute grace, since
+single-call microsecond timings carry scheduler noise no relative tolerance
+can absorb.
 
 --update rewrites the baseline from the candidate (after it passes the
 absolute floors) instead of comparing timings; commit the result.
@@ -46,6 +52,9 @@ from pathlib import Path
 
 MIN_SIZE_RATIO = 2.0
 MIN_READ_SPEEDUP = 3.0
+# Absolute grace added on top of the relative tolerance for single-call
+# serving latencies (microseconds): sub-10us timings are scheduler noise.
+LATENCY_GRACE_US = 10.0
 
 # Storage timings gated by the relative tolerance (all in milliseconds).
 STORAGE_TIMINGS = ("csv_write_ms", "hpcb_write_ms", "csv_read_ms",
@@ -130,6 +139,13 @@ def main():
             failures.append(
                 "stream.recovery_identical != true (WAL replay must "
                 "reconstruct the exact daemon state)")
+    serve = cand.get("serve")
+    if serve is None:
+        failures.append("candidate has no 'serve' object (stale bench binary?)")
+    elif serve.get("batched_identical") is not True:
+        failures.append(
+            "serve.batched_identical != true (batched served predictions "
+            "must be bitwise identical to serial direct model calls)")
 
     if args.update:
         if failures:
@@ -203,6 +219,37 @@ def main():
                 failures.append(
                     f"stream.ingest_rows_per_sec: {rps:.0f} below {floor:.0f} "
                     f"(baseline {base_rps:.0f} - {args.tolerance:.0%})")
+
+    base_serve = base.get("serve", {})
+    if serve is not None and base_serve:
+        pps = serve.get("predictions_per_sec", 0.0)
+        base_pps = base_serve.get("predictions_per_sec")
+        if base_pps is not None:
+            floor = base_pps * (1.0 - args.tolerance)
+            verdict = "ok  " if pps >= floor else "FAIL"
+            print(f"  {verdict} {'serve.predictions_per_sec':28s} baseline "
+                  f"{base_pps:9.0f}      candidate {pps:9.0f}      "
+                  f"floor {floor:9.0f}")
+            if pps < floor:
+                failures.append(
+                    f"serve.predictions_per_sec: {pps:.0f} below {floor:.0f} "
+                    f"(baseline {base_pps:.0f} - {args.tolerance:.0%})")
+        for key in ("latency_p50_us", "latency_p99_us"):
+            base_us = base_serve.get(key)
+            cand_us = serve.get(key)
+            if base_us is None or cand_us is None:
+                failures.append(f"serve.{key}: missing from baseline or candidate")
+                continue
+            limit = base_us * (1.0 + args.tolerance) + LATENCY_GRACE_US
+            verdict = "ok  " if cand_us <= limit else "FAIL"
+            print(f"  {verdict} {'serve.' + key:28s} baseline "
+                  f"{base_us:9.2f} us   candidate {cand_us:9.2f} us   "
+                  f"limit {limit:9.2f} us")
+            if cand_us > limit:
+                failures.append(
+                    f"serve.{key}: {cand_us:.2f} us exceeds {limit:.2f} us "
+                    f"(baseline {base_us:.2f} us + {args.tolerance:.0%} "
+                    f"+ {LATENCY_GRACE_US:g} us grace)")
 
     if failures:
         print(f"\nbench gate: FAIL ({len(failures)} violation(s))", file=sys.stderr)

@@ -9,9 +9,10 @@
 #   HPCPOWER_SPAN("name")
 #
 # across src/, bench/, and examples/ and fails listing every violation. Also
-# asserts that the streaming daemon's `stream.` family is visible to the
-# scan: bulk exporters register through a registry alias, and a regex drift
-# that stopped matching them would otherwise pass silently.
+# asserts that the streaming daemon's `stream.` family and the prediction
+# serving layer's `serve.` family are visible to the scan: bulk exporters
+# register through a registry alias, and a regex drift that stopped matching
+# them would otherwise pass silently.
 # Usage: tools/check_metric_names.sh
 set -euo pipefail
 
@@ -31,10 +32,12 @@ extract() {
 status=0
 count=0
 stream_count=0
+serve_count=0
 while IFS=$'\t' read -r location name; do
   [[ -z "$name" ]] && continue
   count=$((count + 1))
   [[ "$name" == stream.* ]] && stream_count=$((stream_count + 1))
+  [[ "$name" == serve.* ]] && serve_count=$((serve_count + 1))
   if ! [[ "$name" =~ $NAME_RE ]]; then
     echo "check_metric_names: $location: '$name' is not dotted lowercase" >&2
     status=1
@@ -48,6 +51,11 @@ fi
 if [[ "$stream_count" -eq 0 ]]; then
   echo "check_metric_names: no stream.* names found — the ingest daemon's" \
        "metric exports are no longer visible to this scan" >&2
+  exit 2
+fi
+if [[ "$serve_count" -eq 0 ]]; then
+  echo "check_metric_names: no serve.* names found — the prediction serving" \
+       "layer's metric exports are no longer visible to this scan" >&2
   exit 2
 fi
 

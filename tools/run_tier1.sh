@@ -115,6 +115,48 @@ if ! cmp -s "$STREAM_TMP/ref.md" "$STREAM_TMP/resumed.md" ||
 fi
 echo "streaming kill/recover cycle is byte-identical"
 
+# Prediction-server smoke: train + save a snapshot, kill the process right
+# after the save (exit 137), then reload the snapshot from disk and check the
+# served predictions are byte-identical to the uninterrupted run. This guards
+# the snapshot persistence / hot-reload contract on every tier-1 run; the
+# full property battery lives in tests/test_serve_*.cpp.
+echo "== prediction server smoke (train-save / kill 137 / reload / diff) =="
+SERVE_TMP="$OBS_TMP/serve-smoke"
+rm -rf "$SERVE_TMP"
+mkdir -p "$SERVE_TMP"
+SERVE_DEMO="$BUILD_DIR/examples/prediction_server_demo"
+if ! "$SERVE_DEMO" --days 0.5 --seed 11 --quiet \
+    --snapshot "$SERVE_TMP/ref.hpsn" \
+    --predictions-out "$SERVE_TMP/ref-predictions.txt"; then
+  echo "run_tier1: uninterrupted prediction-server run failed" >&2
+  exit 1
+fi
+rc=0
+"$SERVE_DEMO" --days 0.5 --seed 11 --quiet \
+  --snapshot "$SERVE_TMP/killed.hpsn" --kill-after-save || rc=$?
+if [[ "$rc" -ne 137 ]]; then
+  echo "run_tier1: expected the post-save kill to exit 137, got $rc" >&2
+  exit 1
+fi
+if ! cmp -s "$SERVE_TMP/ref.hpsn" "$SERVE_TMP/killed.hpsn"; then
+  echo "run_tier1: snapshot written before the kill differs from the" \
+       "uninterrupted run's snapshot" >&2
+  exit 1
+fi
+if ! "$SERVE_DEMO" --days 0.5 --seed 11 --quiet \
+    --load-snapshot "$SERVE_TMP/killed.hpsn" \
+    --predictions-out "$SERVE_TMP/reloaded-predictions.txt"; then
+  echo "run_tier1: serving from the reloaded snapshot failed" >&2
+  exit 1
+fi
+if ! cmp -s "$SERVE_TMP/ref-predictions.txt" \
+    "$SERVE_TMP/reloaded-predictions.txt"; then
+  echo "run_tier1: predictions served from the reloaded snapshot are not" \
+       "byte-identical to the uninterrupted run" >&2
+  exit 1
+fi
+echo "snapshot reload serves byte-identical predictions"
+
 if [[ -n "$THREADS" ]]; then
   echo "== re-running suite with HPCPOWER_THREADS=1 (serial reference) =="
   HPCPOWER_THREADS=1 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@" || exit 1
