@@ -37,7 +37,10 @@
 #include "ml/decision_tree.hpp"
 #include "ml/knn.hpp"
 #include "obs/metrics.hpp"
+#include "obs/openmetrics.hpp"
+#include "obs/slo.hpp"
 #include "obs/span.hpp"
+#include "obs/timeseries.hpp"
 #include "serve/service.hpp"
 #include "cluster/rapl.hpp"
 #include "stats/correlation.hpp"
@@ -545,6 +548,125 @@ ServeResult run_serve_stage(double days) {
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Obs stage: continuous self-monitoring overhead. A synthetic registry the
+// size of a long campaign's (~120 time-series columns across all four metric
+// kinds) is sampled into a bounded ring well past its capacity while the SLO
+// engine evaluates a flapping threshold rule on every tick. Reports the
+// per-tick monitoring cost plus exporter timings, and checks the two
+// monitoring invariants: the ring stays bounded by its capacity, and the
+// slo.* registry counters reconcile exactly with the engine's tallies.
+
+struct ObsResult {
+  std::size_t columns = 0;      // time-series columns interned
+  std::uint64_t ticks = 0;      // monitoring ticks timed
+  double tick_us = 0.0;         // avg sample + SLO evaluation cost per tick
+  double openmetrics_ms = 0.0;  // one full OpenMetrics text exposition
+  double hpcb_save_ms = 0.0;    // self-metrics table -> .hpcb bytes
+  bool ring_bounded = false;
+  bool alerts_reconciled = false;
+};
+
+ObsResult run_obs_stage() {
+  obs::metrics().reset();
+  ObsResult out;
+
+  constexpr int kCounters = 40, kGauges = 40, kHists = 10, kTimers = 10;
+  constexpr std::array<double, 4> kEdges = {1.0, 10.0, 100.0, 1000.0};
+  std::vector<std::string> counters;
+  std::vector<obs::Gauge*> gauges;
+  std::vector<obs::Histogram*> hists;
+  std::vector<obs::Timer*> timers;
+  for (int i = 0; i < kCounters; ++i)
+    counters.push_back("bench.obs.counter" + std::to_string(i));
+  for (int i = 0; i < kGauges; ++i)
+    gauges.push_back(&obs::metrics().gauge("bench.obs.gauge" + std::to_string(i)));
+  for (int i = 0; i < kHists; ++i)
+    hists.push_back(
+        &obs::metrics().histogram("bench.obs.hist" + std::to_string(i), kEdges));
+  for (int i = 0; i < kTimers; ++i)
+    timers.push_back(&obs::metrics().timer("bench.obs.timer" + std::to_string(i)));
+  obs::Gauge& flap = obs::metrics().gauge("bench.obs.flap");
+
+  obs::SloRule rule;
+  rule.name = "bench.flap_budget";
+  rule.value = "gauge.bench.obs.flap";
+  rule.threshold = 0.5;
+  rule.objective = 0.9;
+  rule.burn_threshold = 1.0;
+  rule.short_window_min = 30;
+  rule.long_window_min = 120;
+  obs::SloEngine slo({rule});
+
+  const std::uint64_t fired_before = util::counters().value("slo.alerts.fired");
+  const std::uint64_t resolved_before =
+      util::counters().value("slo.alerts.resolved");
+
+  obs::MetricTimeSeries series(
+      obs::TimeSeriesConfig{/*capacity=*/2048, /*cadence_minutes=*/1});
+  constexpr std::int64_t kTicks = 6000;
+  util::Rng rng(11);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::int64_t minute = 0; minute < kTicks; ++minute) {
+    // Live churn between samples: the per-minute updates subsystems make.
+    for (int i = 0; i < 8; ++i)
+      obs::metrics().count(
+          counters[static_cast<std::size_t>((minute + i * 5) % kCounters)]);
+    for (int i = 0; i < kGauges; ++i)
+      gauges[static_cast<std::size_t>(i)]->set(
+          static_cast<double>(minute % (i + 7)));
+    hists[static_cast<std::size_t>(minute % kHists)]->observe(rng.uniform() *
+                                                              500.0);
+    timers[static_cast<std::size_t>(minute % kTimers)]->add(1000);
+    // Two sustained bad episodes: the rule must fire and resolve twice.
+    flap.set((minute >= 1000 && minute < 2000) ||
+                     (minute >= 3500 && minute < 4500)
+                 ? 1.0
+                 : 0.0);
+    series.sample(minute);
+    slo.evaluate(series, minute);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  out.ticks = kTicks;
+  out.tick_us =
+      std::chrono::duration<double, std::micro>(t1 - t0).count() / kTicks;
+  out.columns = series.column_refs().size();
+  out.ring_bounded = series.size() == series.capacity() &&
+                     series.samples_evicted() ==
+                         static_cast<std::uint64_t>(kTicks) - series.capacity();
+
+  const std::uint64_t fired =
+      util::counters().value("slo.alerts.fired") - fired_before;
+  const std::uint64_t resolved =
+      util::counters().value("slo.alerts.resolved") - resolved_before;
+  out.alerts_reconciled =
+      slo.fired() >= 2 && fired == slo.fired() && resolved == slo.resolved();
+
+  {
+    constexpr int kReps = 5;
+    const auto r0 = std::chrono::steady_clock::now();
+    for (int r = 0; r < kReps; ++r)
+      benchmark::DoNotOptimize(obs::render_openmetrics().size());
+    const auto r1 = std::chrono::steady_clock::now();
+    out.openmetrics_ms =
+        std::chrono::duration<double, std::milli>(r1 - r0).count() / kReps;
+  }
+  {
+    constexpr int kReps = 3;
+    const auto r0 = std::chrono::steady_clock::now();
+    for (int r = 0; r < kReps; ++r) {
+      std::ostringstream os;
+      storage::write_hpcb(os, series.to_table());
+      const std::string bytes = std::move(os).str();
+      benchmark::DoNotOptimize(bytes.size());
+    }
+    const auto r1 = std::chrono::steady_clock::now();
+    out.hpcb_save_ms =
+        std::chrono::duration<double, std::milli>(r1 - r0).count() / kReps;
+  }
+  return out;
+}
+
 int run_stage_harness(double days, const std::string& out_path) {
   core::StudyConfig config;
   config.days = days;
@@ -565,6 +687,7 @@ int run_stage_harness(double days, const std::string& out_path) {
   const StorageResult storage = run_storage_stage(days);
   const StreamResult stream = run_stream_stage(days);
   const ServeResult serve_r = run_serve_stage(days);
+  const ObsResult obs_r = run_obs_stage();
 
   // A "speedup" measured against a parallel pass that had one hardware
   // thread is pool overhead, not parallelism — report null rather than a
@@ -644,6 +767,16 @@ int run_stage_harness(double days, const std::string& out_path) {
                serve_r.batch_ms, serve_r.predictions_per_sec(),
                serve_r.batched_identical ? "true" : "false");
   std::fprintf(f,
+               "  \"obs\": {\n"
+               "    \"columns\": %zu,\n    \"ticks\": %llu,\n"
+               "    \"tick_us\": %.2f,\n    \"openmetrics_ms\": %.2f,\n"
+               "    \"hpcb_save_ms\": %.2f,\n    \"ring_bounded\": %s,\n"
+               "    \"alerts_reconciled\": %s\n  },\n",
+               obs_r.columns, static_cast<unsigned long long>(obs_r.ticks),
+               obs_r.tick_us, obs_r.openmetrics_ms, obs_r.hpcb_save_ms,
+               obs_r.ring_bounded ? "true" : "false",
+               obs_r.alerts_reconciled ? "true" : "false");
+  std::fprintf(f,
                "  \"serial_total_ms\": %.2f,\n  \"parallel_total_ms\": "
                "%.2f,\n  \"total_speedup\": ",
                serial_total, parallel_total);
@@ -686,6 +819,13 @@ int run_stage_harness(double days, const std::string& out_path) {
       serve_r.p99_us, static_cast<unsigned long long>(serve_r.batch_rows),
       serve_r.batch_ms, serve_r.predictions_per_sec(),
       serve_r.batched_identical ? "bit-identical" : "DIVERGED");
+  std::printf(
+      "  obs        %llu monitoring ticks over %zu columns: %.1f us/tick, "
+      "openmetrics render %.2f ms, hpcb save %.2f ms, ring %s, slo ledger %s\n",
+      static_cast<unsigned long long>(obs_r.ticks), obs_r.columns,
+      obs_r.tick_us, obs_r.openmetrics_ms, obs_r.hpcb_save_ms,
+      obs_r.ring_bounded ? "bounded" : "UNBOUNDED",
+      obs_r.alerts_reconciled ? "reconciles" : "DIVERGED");
   if (!comparable)
     std::printf("  note: single hardware thread; speedups not meaningful\n");
   std::printf("  spans recorded (parallel pass): %llu\n",
@@ -694,7 +834,8 @@ int run_stage_harness(double days, const std::string& out_path) {
               deterministic ? "yes" : "NO");
   std::printf("  wrote %s\n", out_path.c_str());
   return (deterministic && stream.flat_memory && stream.recovery_identical &&
-          serve_r.batched_identical)
+          serve_r.batched_identical && obs_r.ring_bounded &&
+          obs_r.alerts_reconciled)
              ? 0
              : 1;
 }

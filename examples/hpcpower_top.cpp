@@ -1,0 +1,214 @@
+// hpcpower_top: live text dashboard over a continuously monitored campaign.
+//
+// Runs one streamed campaign (stream/source.hpp) with a SelfMonitor attached
+// via StudyConfig::monitor, and prints a `top`-style frame every N *simulated*
+// minutes: component health rollup, the live power/stream gauges, and the
+// burn-rate state of every SLO rule. With --chaos the campaign runs the full
+// adversarial stack — telemetry faults, node failures, transit faults, a
+// tight site power cap, and an undersized ingest apply capacity — which
+// deterministically drives the power manager into THROTTLE and the ingest
+// daemon into SHEDDING, so the shipped SLO rules fire.
+//
+// At the end it writes the OpenMetrics text file and the self-metrics .hpcb
+// (readable with `trace_explorer --inspect`), prints the monitoring report
+// section, and cross-checks the SLO engine's fired/resolved tallies against
+// the slo.* registry counters. tools/run_tier1.sh runs this binary with
+// --chaos --require-alert as the monitoring smoke.
+//
+//   ./hpcpower_top --days 2 --chaos --frame-every 360
+//   ./hpcpower_top --days 2 --chaos --quiet --require-alert
+//       --openmetrics-out metrics.prom --self-metrics-out self.hpcb
+
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <string>
+
+#include "obs/health.hpp"
+#include "obs/metrics.hpp"
+#include "obs/monitor.hpp"
+#include "stream/source.hpp"
+#include "util/logging.hpp"
+#include "util/options.hpp"
+#include "util/sim_time.hpp"
+#include "util/thread_pool.hpp"
+
+using namespace hpcpower;
+
+namespace {
+
+const char* mode_name(double gauge, const char* names[3]) {
+  const int m = static_cast<int>(gauge);
+  return (m >= 0 && m <= 2) ? names[m] : "?";
+}
+
+void print_frame(std::int64_t minute, const obs::SelfMonitor& monitor) {
+  auto& m = obs::metrics();
+  static const char* kPowerModes[3] = {"NORMAL", "THROTTLE", "DEGRADED"};
+  static const char* kStreamModes[3] = {"NORMAL", "LAGGING", "SHEDDING"};
+  const auto health = obs::health().snapshot();
+
+  std::printf("-- day %6.2f (minute %lld) -- health %s --\n",
+              static_cast<double>(minute) / 1440.0,
+              static_cast<long long>(minute),
+              obs::health_status_name(obs::health().overall()));
+  std::printf("  power   %-8s cap_violation_min=%.0f\n",
+              mode_name(m.gauge("power.mode").value(), kPowerModes),
+              m.gauge("power.cap.violation_minutes").value());
+  std::printf("  stream  %-8s backlog=%.0f rows  applied=%.0f shed=%.0f\n",
+              mode_name(m.gauge("stream.mode").value(), kStreamModes),
+              m.gauge("stream.backlog.rows").value(),
+              m.gauge("stream.rows.applied").value(),
+              m.gauge("stream.rows.shed").value());
+  for (const auto& c : health)
+    std::printf("  health  %-16s %-9s %s\n", c.component.c_str(),
+                obs::health_status_name(c.status), c.detail.c_str());
+  // Rule status lags one cadence tick: collectors (this frame) run right
+  // before the sample the SLO engine evaluates.
+  for (const auto& s : monitor.slo().status())
+    std::printf("  slo     %-24s burn %6.2f / %-6.2f %s\n", s.rule.c_str(),
+                s.burn_short, s.burn_long, s.firing ? "FIRING" : "ok");
+  std::printf("  alerts  %llu fired, %llu resolved, %zu active\n",
+              static_cast<unsigned long long>(monitor.slo().fired()),
+              static_cast<unsigned long long>(monitor.slo().resolved()),
+              monitor.slo().active());
+}
+
+bool write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << text;
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Options opts("hpcpower_top",
+                     "live self-monitoring dashboard over a streamed campaign");
+  opts.add_option("days", "campaign length in days", "2");
+  opts.add_option("warmup-days", "warmup period excluded from analysis", "0.25");
+  opts.add_option("seed", "root random seed", "42");
+  opts.add_flag("chaos", "telemetry faults + node failures + transit faults"
+                        " + tight site cap + undersized ingest capacity");
+  opts.add_option("site-cap", "site cap fraction used with --chaos", "0.55");
+  opts.add_option("cadence", "monitor sampling cadence, simulated minutes", "1");
+  opts.add_option("frame-every", "dashboard frame period, simulated minutes"
+                                 " (0 = no frames)", "360");
+  opts.add_option("export-every", "OpenMetrics re-export period, simulated"
+                                  " minutes (0 = only at end)", "0");
+  opts.add_option("openmetrics-out", "write the OpenMetrics text file here", "");
+  opts.add_option("self-metrics-out", "write the self-metrics .hpcb here", "");
+  opts.add_option("monitoring-out", "write the monitoring report section here", "");
+  opts.add_flag("require-alert", "exit 3 unless at least one SLO alert fired");
+  opts.add_flag("quiet", "suppress frames and the final report on stdout");
+  opts.add_threads_option();
+  try {
+    if (!opts.parse(argc, argv)) return 0;
+    util::set_global_thread_count(opts.threads());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+  util::set_log_level(util::LogLevel::kWarn);
+
+  core::StudyConfig config;
+  config.seed = opts.seed();
+  config.days = opts.number("days");
+  config.warmup_days = opts.number("warmup-days");
+  config.instrument_begin_day = 0.0;
+  config.instrument_end_day = config.days;
+
+  stream::IngestConfig ingest;
+  stream::TransitFaultConfig faults;
+  if (opts.flag("chaos")) {
+    config.faults.enabled = true;
+    config.node_failures.enabled = true;
+    config.node_failures.mtbf_days = 10.0;
+    config.power_manager.enabled = true;
+    config.power_manager.site_cap_fraction = opts.number("site-cap");
+    config.power_manager.predictor_error_sigma = 0.20;
+    config.power_manager.meter_fault_rate = 0.05;
+    faults.enabled = true;
+    faults.seed = config.seed + 1;
+    faults.drop_p = 0.08;
+    faults.dup_p = 0.05;
+    faults.delay_p = 0.10;
+    // Far below the per-minute row volume, so the backlog model marches
+    // through LAGGING into SHEDDING and the stream SLO rules have something
+    // real to alert on.
+    ingest.capacity_rows_per_batch = 64;
+    ingest.shed_keep_rows_per_batch = 16;
+  }
+
+  obs::MonitorConfig mcfg;
+  mcfg.cadence_minutes = opts.integer("cadence");
+  mcfg.openmetrics_path = opts.str("openmetrics-out");
+  mcfg.export_every_minutes = opts.integer("export-every");
+  mcfg.self_metrics_path = opts.str("self-metrics-out");
+  obs::SelfMonitor monitor(mcfg);
+  config.monitor = &monitor;
+
+  const std::int64_t frame_every = opts.integer("frame-every");
+  if (!opts.flag("quiet") && frame_every > 0) {
+    monitor.add_collector([&monitor, frame_every](std::int64_t minute) {
+      if (minute % frame_every == 0) print_frame(minute, monitor);
+    });
+  }
+
+  const std::uint64_t fired_before = util::counters().value("slo.alerts.fired");
+  const std::uint64_t resolved_before =
+      util::counters().value("slo.alerts.resolved");
+
+  const auto spec = cluster::emmy_spec();
+  stream::IngestDaemon daemon(spec, ingest);
+  stream::StreamDriver driver(daemon, faults);
+  const auto result = stream::run_streamed_campaign(spec, config, daemon, driver);
+  daemon.export_metrics();  // bulk stream.* counters before the final sample
+
+  const std::int64_t horizon =
+      util::MinuteTime::from_days(config.warmup_days + config.days).minutes();
+  try {
+    monitor.finalize(horizon);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "finalize failed: %s\n", e.what());
+    return 1;
+  }
+
+  const std::uint64_t fired_engine = monitor.slo().fired();
+  const std::uint64_t resolved_engine = monitor.slo().resolved();
+  const std::uint64_t fired_counter =
+      util::counters().value("slo.alerts.fired") - fired_before;
+  const std::uint64_t resolved_counter =
+      util::counters().value("slo.alerts.resolved") - resolved_before;
+  const bool reconciles =
+      fired_engine == fired_counter && resolved_engine == resolved_counter;
+
+  const std::string section = monitor.render_monitoring_section();
+  if (!opts.str("monitoring-out").empty() &&
+      !write_file(opts.str("monitoring-out"), section)) {
+    std::fprintf(stderr, "failed to write %s\n",
+                 opts.str("monitoring-out").c_str());
+    return 1;
+  }
+  if (!opts.flag("quiet")) {
+    std::fputs(section.c_str(), stdout);
+    std::printf("\nstreamed %llu batches; slo ledger %s"
+                " (engine %llu/%llu, counters %llu/%llu)\n",
+                static_cast<unsigned long long>(result.batches_emitted),
+                reconciles ? "reconciles" : "DOES NOT RECONCILE",
+                static_cast<unsigned long long>(fired_engine),
+                static_cast<unsigned long long>(resolved_engine),
+                static_cast<unsigned long long>(fired_counter),
+                static_cast<unsigned long long>(resolved_counter));
+  }
+
+  if (!reconciles) {
+    std::fprintf(stderr, "slo ledger does not reconcile with slo.* counters\n");
+    return 4;
+  }
+  if (opts.flag("require-alert") && fired_engine == 0) {
+    std::fprintf(stderr, "--require-alert: no SLO alert fired\n");
+    return 3;
+  }
+  return 0;
+}

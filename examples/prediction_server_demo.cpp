@@ -29,6 +29,8 @@
 #include <vector>
 
 #include "core/study.hpp"
+#include "obs/manifest.hpp"
+#include "obs/span.hpp"
 #include "serve/service.hpp"
 #include "stream/source.hpp"
 #include "util/logging.hpp"
@@ -78,6 +80,7 @@ int main(int argc, char** argv) {
                 "exit 137 immediately after the snapshot save (crash smoke)");
   opts.add_option("predictions-out",
                   "write served predictions (one per retained completion)", "");
+  opts.add_option("metrics-out", "write the JSON run manifest here", "");
   opts.add_flag("quiet", "suppress the stdout summary");
   opts.add_threads_option();
   try {
@@ -88,6 +91,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   util::set_log_level(util::LogLevel::kWarn);
+  if (!opts.str("metrics-out").empty()) obs::set_recording(true);
   if (opts.flag("kill-after-save") && opts.str("snapshot").empty()) {
     std::fprintf(stderr, "--kill-after-save needs --snapshot\n");
     return 2;
@@ -182,6 +186,22 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(stats.retrains),
                   static_cast<unsigned long long>(stats.rollbacks),
                   static_cast<unsigned long long>(stats.retrains_skipped));
+    }
+
+    if (!opts.str("metrics-out").empty()) {
+      obs::RunInfo info;
+      info.program = "prediction_server_demo";
+      info.seed = opts.seed();
+      info.threads = util::global_thread_count();
+      info.config = {
+          {"days", opts.str("days")},
+          {"online-days", opts.str("online-days")},
+          {"snapshot", opts.str("snapshot")},
+          {"load-snapshot", opts.str("load-snapshot")},
+      };
+      obs::write_run_manifest(opts.str("metrics-out"), info);
+      if (!opts.flag("quiet"))
+        std::printf("wrote run manifest to %s\n", opts.str("metrics-out").c_str());
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "prediction_server_demo: %s\n", e.what());

@@ -23,6 +23,8 @@
 
 #include "core/report.hpp"
 #include "core/study.hpp"
+#include "obs/manifest.hpp"
+#include "obs/span.hpp"
 #include "stream/source.hpp"
 #include "util/logging.hpp"
 #include "util/options.hpp"
@@ -62,6 +64,7 @@ int main(int argc, char** argv) {
   opts.add_option("out", "write the streamed campaign report here", "");
   opts.add_option("batch-out", "write the batch-path report here (for diffing)", "");
   opts.add_option("summary-out", "write the daemon's deterministic summary here", "");
+  opts.add_option("metrics-out", "write the JSON run manifest here", "");
   opts.add_flag("quiet", "suppress the stdout summary");
   opts.add_threads_option();
   try {
@@ -72,6 +75,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   util::set_log_level(util::LogLevel::kWarn);
+  if (!opts.str("metrics-out").empty()) obs::set_recording(true);
 
   core::StudyConfig config;
   config.seed = opts.seed();
@@ -172,6 +176,29 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(result.ledger.dups_injected),
                 static_cast<unsigned long long>(result.ledger.delays_injected),
                 static_cast<unsigned long long>(result.ledger.backpressure_retries));
+  }
+
+  if (!opts.str("metrics-out").empty()) {
+    daemon.export_metrics();  // bulk stream.* counters before the snapshot
+    obs::RunInfo info;
+    info.program = "streaming_ingest_demo";
+    info.seed = config.seed;
+    info.threads = util::global_thread_count();
+    info.config = {
+        {"days", opts.str("days")},
+        {"wal", ingest.wal_dir},
+        {"faults", opts.flag("faults") ? "true" : "false"},
+        {"capacity", opts.str("capacity")},
+        {"resume", opts.flag("resume") ? "true" : "false"},
+    };
+    try {
+      obs::write_run_manifest(opts.str("metrics-out"), info);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+    if (!opts.flag("quiet"))
+      std::printf("wrote run manifest to %s\n", opts.str("metrics-out").c_str());
   }
   return 0;
 }

@@ -6,14 +6,20 @@
 // files alone - the workflow of a downstream researcher using the traces.
 //
 //   ./trace_explorer [--days 3] [--seed 42] [--outdir /tmp] [--format csv|hpcb]
+//   ./trace_explorer --inspect self.hpcb
 //
 // --format hpcb writes the binary columnar container (.hpcb) instead of CSV;
 // the re-analysis below reads either format back through the same loaders.
+// --inspect opens *any* .hpcb table — including the self-metrics file the
+// monitoring loop writes (obs/monitor.hpp) — and prints its schema and a
+// per-column summary without running a campaign.
 
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 
 #include "core/job_analysis.hpp"
+#include "storage/hpcb.hpp"
 #include "stats/descriptive.hpp"
 #include "trace/format.hpp"
 #include "trace/job_table.hpp"
@@ -25,16 +31,69 @@
 
 using namespace hpcpower;
 
+namespace {
+
+/// Generic .hpcb inspector: schema, row count, and per-column min/mean/max
+/// (NaN samples — e.g. "metric not yet seen" in a self-metrics table — are
+/// counted but excluded from the summary statistics).
+int inspect_hpcb(const std::string& path) {
+  storage::ReadStats rstats;
+  storage::Table table;
+  try {
+    table = storage::load_hpcb(path, {}, &rstats);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "failed to read %s: %s\n", path.c_str(), e.what());
+    return 1;
+  }
+  std::printf("%s: %zu columns, %zu rows, %zu blocks\n", path.c_str(),
+              table.schema.size(), table.rows(), rstats.blocks.size());
+  for (std::size_t c = 0; c < table.schema.size(); ++c) {
+    const auto& spec = table.schema[c];
+    const auto& col = table.columns[c];
+    double min = 0.0, max = 0.0, sum = 0.0;
+    std::size_t finite = 0, nan = 0;
+    const auto fold = [&](double v) {
+      if (std::isnan(v)) {
+        ++nan;
+        return;
+      }
+      if (finite == 0) min = max = v;
+      min = std::min(min, v);
+      max = std::max(max, v);
+      sum += v;
+      ++finite;
+    };
+    if (storage::is_float_column(spec.type)) {
+      for (const double v : col.f64) fold(v);
+    } else {
+      for (const std::int64_t v : col.i64) fold(static_cast<double>(v));
+    }
+    std::printf("  %-40s %-12s", spec.name.c_str(),
+                storage::column_type_name(spec.type));
+    if (finite > 0)
+      std::printf(" min %-12.6g mean %-12.6g max %-12.6g",
+                  min, sum / static_cast<double>(finite), max);
+    if (nan > 0) std::printf(" (%zu NaN)", nan);
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   util::Options opts("trace_explorer", "write and re-analyze open trace files");
   opts.add_option("days", "campaign length in days", "3");
   opts.add_option("seed", "root random seed", "42");
   opts.add_option("outdir", "directory for trace files", "/tmp");
   opts.add_option("format", "trace container format: csv or hpcb", "csv");
+  opts.add_option("inspect", "print schema + column summary of this .hpcb"
+                             " file and exit (no campaign)", "");
   opts.add_flag("quiet", "suppress progress logging");
   trace::TraceFormat format = trace::TraceFormat::kCsv;
   try {
     if (!opts.parse(argc, argv)) return 0;
+    if (!opts.str("inspect").empty()) return inspect_hpcb(opts.str("inspect"));
     const auto parsed = trace::parse_trace_format(opts.str("format"));
     if (!parsed || *parsed == trace::TraceFormat::kAuto)
       throw std::invalid_argument("--format must be csv or hpcb");

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/monitor.hpp"
 #include "obs/span.hpp"
 #include "power/hooks.hpp"
 #include "util/logging.hpp"
@@ -83,6 +84,19 @@ CampaignData run_campaign(const cluster::SystemSpec& spec, const StudyConfig& co
     hooks = power::managed_hooks(*manager, std::move(hooks), [&pipeline]() {
       return pipeline.system_series().total_power_w.back();
     });
+  }
+  if (config.monitor) {
+    // Same composition idiom as power::managed_hooks: the monitor samples
+    // *after* the telemetry/power hooks so the minute's gauges are final.
+    // It only reads, so the campaign stays bit-identical with or without it.
+    hooks.per_minute = [monitor = config.monitor,
+                        per_minute = std::move(hooks.per_minute)](
+                           util::MinuteTime now,
+                           const std::vector<const sched::RunningJob*>& running,
+                           std::uint32_t down_nodes) {
+      if (per_minute) per_minute(now, running, down_nodes);
+      monitor->on_minute(now.minutes());
+    };
   }
   const auto sim_result = [&] {
     HPCPOWER_SPAN("campaign.simulate");

@@ -17,6 +17,10 @@
 #include "telemetry/pipeline.hpp"
 #include "workload/generator.hpp"
 
+namespace hpcpower::obs {
+class SelfMonitor;
+}
+
 namespace hpcpower::core {
 
 struct StudyConfig {
@@ -60,6 +64,14 @@ struct StudyConfig {
   /// Forwarded verbatim to the monitoring pipeline; empty callbacks are free
   /// and leave the campaign bit-identical to earlier releases.
   telemetry::StreamTap tap;
+  /// Continuous self-monitoring (obs/monitor.hpp): when non-null, every
+  /// simulated minute reaches SelfMonitor::on_minute() after the
+  /// telemetry/power hooks ran, sampling the metric registry on its
+  /// deterministic cadence and evaluating the SLO burn-rate rules. The
+  /// monitor only observes — campaigns and deterministic report sections
+  /// stay byte-identical with monitoring on or off (DESIGN.md §6). Not
+  /// owned; must outlive the campaign.
+  obs::SelfMonitor* monitor = nullptr;
 
   [[nodiscard]] static StudyConfig paper_scale(std::uint64_t seed = 42) {
     StudyConfig c;

@@ -1,0 +1,85 @@
+#include "obs/health.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+
+namespace hpcpower::obs {
+
+const char* health_status_name(HealthStatus status) noexcept {
+  switch (status) {
+    case HealthStatus::kOk: return "OK";
+    case HealthStatus::kDegraded: return "DEGRADED";
+    case HealthStatus::kUnhealthy: return "UNHEALTHY";
+  }
+  return "?";
+}
+
+void HealthRegistry::set(std::string_view component, HealthStatus status,
+                         std::string_view detail) {
+  bool transition = false;
+  HealthStatus worst = status;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto it = components_.find(component);
+    if (it == components_.end()) {
+      it = components_
+               .emplace(std::string(component),
+                        ComponentHealth{std::string(component),
+                                        HealthStatus::kOk, {}})
+               .first;
+      transition = status != HealthStatus::kOk;
+    } else {
+      transition = it->second.status != status;
+    }
+    it->second.status = status;
+    it->second.detail = std::string(detail);
+    for (const auto& [name, c] : components_)
+      worst = std::max(worst, c.status);
+  }
+
+  auto& m = metrics();
+  // Dynamic per-component gauge name; the "health." family is covered by
+  // tools/check_metric_names.sh via the literal counters below.
+  const std::string component_gauge = "health." + std::string(component);
+  m.gauge(component_gauge).set(static_cast<double>(static_cast<int>(status)));
+  m.gauge("health.overall").set(static_cast<double>(static_cast<int>(worst)));
+  if (transition) {
+    m.count("health.transitions");
+    if (status == HealthStatus::kDegraded) m.count("health.degraded.entered");
+    if (status == HealthStatus::kUnhealthy) m.count("health.unhealthy.entered");
+  }
+}
+
+HealthStatus HealthRegistry::status(std::string_view component) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = components_.find(component);
+  return it == components_.end() ? HealthStatus::kOk : it->second.status;
+}
+
+HealthStatus HealthRegistry::overall() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  HealthStatus worst = HealthStatus::kOk;
+  for (const auto& [name, c] : components_) worst = std::max(worst, c.status);
+  return worst;
+}
+
+std::vector<ComponentHealth> HealthRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ComponentHealth> out;
+  out.reserve(components_.size());
+  for (const auto& [name, c] : components_) out.push_back(c);
+  return out;
+}
+
+void HealthRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  components_.clear();
+}
+
+HealthRegistry& health() noexcept {
+  static HealthRegistry registry;
+  return registry;
+}
+
+}  // namespace hpcpower::obs

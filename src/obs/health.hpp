@@ -1,0 +1,78 @@
+#pragma once
+// Component health model for the long-lived system (DESIGN.md §6).
+//
+// Subsystems with internal state machines push typed health probes here at
+// their transition points — the streaming ingest daemon maps
+// NORMAL/LAGGING/SHEDDING, the closed-loop power manager maps
+// NORMAL/THROTTLE/DEGRADED, the prediction service reports snapshot installs
+// and drift rollbacks, and the WAL reports checkpoint freshness. The registry
+// rolls every component up into one OK/DEGRADED/UNHEALTHY readiness verdict
+// (worst component wins), the shape a load balancer or operator dashboard
+// polls.
+//
+// Determinism contract: health is monitoring-only. set() writes gauges
+// ("health.<component>", "health.overall") and transition counters
+// ("health.*") that surface in the manifest, the OpenMetrics export, and the
+// self-metrics time series — never in a deterministic report section.
+// Pushes happen at state-machine transitions that are themselves
+// deterministic per campaign config, so single-campaign health trajectories
+// are reproducible; concurrent campaigns (run_both_systems) interleave pushes
+// and the registry simply holds the latest write.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hpcpower::obs {
+
+/// Readiness verdict, ordered by severity (worst wins in rollups).
+enum class HealthStatus : int {
+  kOk = 0,
+  kDegraded = 1,
+  kUnhealthy = 2,
+};
+
+[[nodiscard]] const char* health_status_name(HealthStatus status) noexcept;
+
+struct ComponentHealth {
+  std::string component;  ///< dotted lowercase, e.g. "stream.ingest"
+  HealthStatus status = HealthStatus::kOk;
+  std::string detail;     ///< free-form operator hint, e.g. "backlog 1.4x"
+};
+
+/// Thread-safe push-based registry of per-component health probes.
+class HealthRegistry {
+ public:
+  /// Records the component's current status. On a status *transition* the
+  /// "health.transitions" counter increments (plus "health.degraded.entered"
+  /// / "health.unhealthy.entered" when entering those states), and the
+  /// "health.<component>" and "health.overall" gauges are updated so health
+  /// lands in the metric time series like any other signal.
+  void set(std::string_view component, HealthStatus status,
+           std::string_view detail = {});
+
+  /// Last pushed status; kOk for components never seen.
+  [[nodiscard]] HealthStatus status(std::string_view component) const;
+
+  /// Worst status across all components; kOk when none registered.
+  [[nodiscard]] HealthStatus overall() const;
+
+  /// All components, sorted by name.
+  [[nodiscard]] std::vector<ComponentHealth> snapshot() const;
+
+  /// Forgets every component (tests). Gauges/counters are left to
+  /// MetricRegistry::reset().
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, ComponentHealth, std::less<>> components_;
+};
+
+/// The process-wide health registry.
+[[nodiscard]] HealthRegistry& health() noexcept;
+
+}  // namespace hpcpower::obs

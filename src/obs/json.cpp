@@ -1,5 +1,6 @@
 #include "obs/json.hpp"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 
@@ -30,9 +31,12 @@ std::string json_escape(std::string_view text) {
 
 std::string json_number(double value) {
   if (!std::isfinite(value)) return "null";
+  // std::to_chars emits the shortest decimal that round-trips to the same
+  // bits — unlike the old %.17g, which printed 0.1 as
+  // 0.10000000000000001. Scientific forms like 1e+100 are valid JSON.
   char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.17g", value);
-  return buf;
+  const auto res = std::to_chars(buf, buf + sizeof(buf), value);
+  return std::string(buf, res.ptr);
 }
 
 }  // namespace hpcpower::obs::detail

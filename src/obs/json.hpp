@@ -13,7 +13,9 @@ namespace hpcpower::obs::detail {
 [[nodiscard]] std::string json_escape(std::string_view text);
 
 /// Renders a double as a JSON token: "null" for NaN/inf (JSON has no
-/// representation for them), shortest round-trip decimal otherwise.
+/// representation for them), shortest round-trip decimal otherwise
+/// (std::to_chars: parsing the token back yields the identical bits,
+/// including -0.0 and denormals).
 [[nodiscard]] std::string json_number(double value);
 
 }  // namespace hpcpower::obs::detail

@@ -1,0 +1,113 @@
+#include "obs/monitor.hpp"
+
+#include <utility>
+
+#include "obs/health.hpp"
+#include "obs/metrics.hpp"
+#include "obs/openmetrics.hpp"
+#include "util/strings.hpp"
+
+namespace hpcpower::obs {
+
+SelfMonitor::SelfMonitor(MonitorConfig config)
+    : config_(std::move(config)),
+      series_(TimeSeriesConfig{config_.ring_capacity, config_.cadence_minutes}),
+      slo_(config_.rules.empty() ? SloEngine::default_rules() : config_.rules) {}
+
+void SelfMonitor::add_collector(std::function<void(std::int64_t)> collector) {
+  collectors_.push_back(std::move(collector));
+}
+
+void SelfMonitor::sample_locked(std::int64_t minute, bool force) {
+  for (const auto& collector : collectors_) collector(minute);
+  const bool sampled =
+      force ? series_.force_sample(minute) : series_.sample(minute);
+  if (!sampled) return;
+  slo_.evaluate(series_, minute);
+  // The sentinel means "never exported"; subtracting it would overflow.
+  const bool never_exported =
+      last_export_minute_ == std::numeric_limits<std::int64_t>::min();
+  if (!config_.openmetrics_path.empty() && config_.export_every_minutes > 0 &&
+      (never_exported ||
+       minute - last_export_minute_ >= config_.export_every_minutes)) {
+    write_openmetrics(config_.openmetrics_path);
+    metrics().count("monitor.exports");
+    last_export_minute_ = minute;
+  }
+}
+
+void SelfMonitor::on_minute(std::int64_t minute) {
+  if (minute % config_.cadence_minutes != 0) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (minute <= series_.last_minute()) return;
+  sample_locked(minute, /*force=*/false);
+}
+
+void SelfMonitor::finalize(std::int64_t minute) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (minute > series_.last_minute()) sample_locked(minute, /*force=*/true);
+  if (!config_.openmetrics_path.empty()) {
+    write_openmetrics(config_.openmetrics_path);
+    metrics().count("monitor.exports");
+  }
+  if (!config_.self_metrics_path.empty()) series_.save(config_.self_metrics_path);
+}
+
+std::string SelfMonitor::render_monitoring_section() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  out += "## Continuous self-monitoring\n\n";
+  out += util::format(
+      "- samples: %llu recorded (cadence %lld min, ring %zu, %llu evicted)\n",
+      static_cast<unsigned long long>(series_.samples_taken()),
+      static_cast<long long>(series_.cadence_minutes()), series_.capacity(),
+      static_cast<unsigned long long>(series_.samples_evicted()));
+
+  const auto components = health().snapshot();
+  out += util::format("- health: %s\n",
+                      health_status_name(health().overall()));
+  for (const auto& c : components) {
+    out += util::format("  - %s: %s", c.component.c_str(),
+                        health_status_name(c.status));
+    if (!c.detail.empty()) out += " — " + c.detail;
+    out += "\n";
+  }
+
+  out += util::format(
+      "- SLO alerts: %llu fired, %llu resolved, %zu active\n",
+      static_cast<unsigned long long>(slo_.fired()),
+      static_cast<unsigned long long>(slo_.resolved()), slo_.active());
+
+  out += "\n| SLO rule | objective | burn (short) | burn (long) | state |\n";
+  out += "|---|---|---|---|---|\n";
+  for (const auto& s : slo_.status()) {
+    const SloRule* rule = nullptr;
+    for (const auto& r : slo_.rules())
+      if (r.name == s.rule) rule = &r;
+    out += util::format("| %s | %.3f | %.2f | %.2f | %s |\n", s.rule.c_str(),
+                        rule ? rule->objective : 0.0, s.burn_short,
+                        s.burn_long, s.firing ? "FIRING" : "ok");
+  }
+
+  if (!slo_.alerts().empty()) {
+    out += "\nAlert log:\n\n";
+    for (const auto& a : slo_.alerts()) {
+      if (a.active()) {
+        out += util::format(
+            "- `%s` fired at minute %lld (burn %.2f / %.2f), still active\n",
+            a.rule.c_str(), static_cast<long long>(a.fired_minute),
+            a.burn_short, a.burn_long);
+      } else {
+        out += util::format(
+            "- `%s` fired at minute %lld (burn %.2f / %.2f), resolved at "
+            "minute %lld\n",
+            a.rule.c_str(), static_cast<long long>(a.fired_minute),
+            a.burn_short, a.burn_long,
+            static_cast<long long>(a.resolved_minute));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace hpcpower::obs

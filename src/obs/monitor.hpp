@@ -1,0 +1,97 @@
+#pragma once
+// SelfMonitor — the continuous self-monitoring loop (DESIGN.md §6).
+//
+// One object owns the whole pipeline: per simulated minute it runs
+// registered collectors (subsystems publishing live gauges), records a
+// MetricTimeSeries sample on the configured cadence, evaluates the SLO
+// burn-rate rules, and optionally re-exports the OpenMetrics file every N
+// *simulated* minutes. finalize() takes a last sample and writes the
+// OpenMetrics file and the self-metrics .hpcb table.
+//
+// Wiring: core::StudyConfig::monitor points at one of these; run_campaign
+// wraps the simulation hooks so every simulated minute reaches on_minute()
+// after the telemetry/power hooks ran — the same composition idiom as
+// power::managed_hooks. The monitor only *reads* the registries (plus its
+// own monitor.*/slo.* metrics), so deterministic report sections are
+// byte-identical with monitoring on or off at any thread count — the
+// test_parallel_determinism golden.
+//
+// Thread safety: on_minute()/finalize() serialize on an internal mutex and
+// ignore non-increasing minutes, so concurrent campaigns
+// (core::run_both_systems) share one monitor safely; single-campaign runs
+// (the chaos dashboard, the tier-1 smoke) see a fully deterministic sample
+// and alert trajectory.
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/slo.hpp"
+#include "obs/timeseries.hpp"
+
+namespace hpcpower::obs {
+
+struct MonitorConfig {
+  /// Sampling cadence in simulated minutes.
+  std::int64_t cadence_minutes = 1;
+  /// MetricTimeSeries ring bound (samples).
+  std::size_t ring_capacity = 4096;
+  /// SLO rules; empty = SloEngine::default_rules().
+  std::vector<SloRule> rules;
+  /// OpenMetrics text file, rewritten periodically and at finalize
+  /// (empty = no file export).
+  std::string openmetrics_path;
+  /// Rewrite the OpenMetrics file every N simulated minutes (0 = only at
+  /// finalize). Simulated time keeps the export schedule deterministic.
+  std::int64_t export_every_minutes = 0;
+  /// Self-metrics .hpcb written at finalize (empty = none).
+  std::string self_metrics_path;
+};
+
+class SelfMonitor {
+ public:
+  explicit SelfMonitor(MonitorConfig config = {});
+
+  /// Registers a collector run right before each sample (publish live
+  /// gauges here). Not thread-safe against on_minute(); register before
+  /// the campaign starts.
+  void add_collector(std::function<void(std::int64_t)> collector);
+
+  /// Drives one simulated minute: collectors -> sample -> SLO evaluation ->
+  /// periodic export. Off-cadence and non-increasing minutes are ignored.
+  void on_minute(std::int64_t minute);
+
+  /// Final sample (cadence-independent) + SLO evaluation + file exports.
+  /// Safe to call more than once; later calls just re-export.
+  void finalize(std::int64_t minute);
+
+  [[nodiscard]] const MonitorConfig& config() const noexcept { return config_; }
+  /// Read-only views; take them after the campaign (not synchronized
+  /// against a concurrent on_minute()).
+  [[nodiscard]] const MetricTimeSeries& series() const noexcept {
+    return series_;
+  }
+  [[nodiscard]] const SloEngine& slo() const noexcept { return slo_; }
+
+  /// Markdown "Continuous self-monitoring" section: sampling stats, the
+  /// component-health rollup, per-rule burn rates, and the alert log.
+  /// Deterministic for a deterministic campaign; rendered *separately* from
+  /// core::render_markdown_report so the deterministic report sections stay
+  /// byte-identical with monitoring on or off.
+  [[nodiscard]] std::string render_monitoring_section() const;
+
+ private:
+  void sample_locked(std::int64_t minute, bool force);
+
+  mutable std::mutex mutex_;
+  MonitorConfig config_;
+  MetricTimeSeries series_;
+  SloEngine slo_;
+  std::vector<std::function<void(std::int64_t)>> collectors_;
+  std::int64_t last_export_minute_ = std::numeric_limits<std::int64_t>::min();
+};
+
+}  // namespace hpcpower::obs

@@ -1,0 +1,125 @@
+#include "obs/openmetrics.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+#include "obs/health.hpp"
+#include "obs/metrics.hpp"
+#include "util/strings.hpp"
+
+namespace hpcpower::obs {
+
+namespace detail {
+
+std::string openmetrics_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9' && !out.empty()) || c == '_' ||
+                    c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty()) out = "_";
+  return out;
+}
+
+std::string openmetrics_label_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string openmetrics_number(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  char buf[40];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), value);
+  return std::string(buf, res.ptr);
+}
+
+}  // namespace detail
+
+std::string render_openmetrics() {
+  using detail::openmetrics_label_escape;
+  using detail::openmetrics_name;
+  using detail::openmetrics_number;
+
+  const MetricsSnapshot snap = metrics().snapshot();
+  std::string out;
+  out.reserve(8192);
+
+  for (const auto& [name, value] : snap.counters) {
+    const std::string n = openmetrics_name(name);
+    out += "# TYPE " + n + " counter\n";
+    out += n + "_total " +
+           util::format("%llu", static_cast<unsigned long long>(value)) + "\n";
+  }
+
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string n = openmetrics_name(name);
+    out += "# TYPE " + n + " gauge\n";
+    out += n + " " + openmetrics_number(value) + "\n";
+  }
+
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string n = openmetrics_name(name);
+    out += "# TYPE " + n + " histogram\n";
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < h.edges.size(); ++i) {
+      cum += h.counts[i];
+      out += n + "_bucket{le=\"" + openmetrics_number(h.edges[i]) + "\"} " +
+             util::format("%llu", static_cast<unsigned long long>(cum)) + "\n";
+    }
+    out += n + "_bucket{le=\"+Inf\"} " +
+           util::format("%llu", static_cast<unsigned long long>(h.count)) + "\n";
+    out += n + "_sum " + openmetrics_number(h.sum) + "\n";
+    out += n + "_count " +
+           util::format("%llu", static_cast<unsigned long long>(h.count)) + "\n";
+  }
+
+  for (const auto& t : snap.timers) {
+    const std::string n = openmetrics_name(t.name);
+    out += "# TYPE " + n + "_seconds counter\n";
+    out += n + "_seconds_total " +
+           openmetrics_number(static_cast<double>(t.total_ns) / 1e9) + "\n";
+    out += "# TYPE " + n + "_calls counter\n";
+    out += n + "_calls_total " +
+           util::format("%llu", static_cast<unsigned long long>(t.calls)) + "\n";
+  }
+
+  const auto components = health().snapshot();
+  if (!components.empty()) {
+    out += "# TYPE health_status gauge\n";
+    out += "# HELP health_status 0=OK 1=DEGRADED 2=UNHEALTHY\n";
+    for (const auto& c : components) {
+      out += "health_status{component=\"" +
+             openmetrics_label_escape(c.component) + "\",detail=\"" +
+             openmetrics_label_escape(c.detail) + "\"} " +
+             util::format("%d", static_cast<int>(c.status)) + "\n";
+    }
+  }
+
+  out += "# EOF\n";
+  return out;
+}
+
+void write_openmetrics(const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  out << render_openmetrics();
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace hpcpower::obs

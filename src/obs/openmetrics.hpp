@@ -1,0 +1,45 @@
+#pragma once
+// OpenMetrics / Prometheus text exposition of the metric and health
+// registries (DESIGN.md §6), alongside the JSON run manifest.
+//
+// Mapping: dotted metric names become underscore names ("sched.requeues" ->
+// "sched_requeues"); counters render as "<name>_total", gauges as bare
+// samples, histograms as cumulative "le" buckets plus "_sum"/"_count"
+// (upper-inclusive edges match OpenMetrics bucket semantics exactly), and
+// span-fed timers as "<name>_seconds_total" + "<name>_calls_total".
+// Component health renders as "health_status{component=\"...\"}" gauges —
+// label values go through openmetrics_label_escape, which shares its escape
+// property tests with the JSON helpers. The document ends with "# EOF" as
+// the spec requires, so a scrape validator can detect truncation.
+
+#include <string>
+#include <string_view>
+
+namespace hpcpower::obs {
+
+/// Renders every counter, gauge, histogram, and timer plus the health
+/// registry in OpenMetrics text format (ends with "# EOF\n").
+[[nodiscard]] std::string render_openmetrics();
+
+/// Writes render_openmetrics() to `path` (tmp-then-rename is not needed:
+/// scrapers re-read, and partial files fail the "# EOF" check).
+void write_openmetrics(const std::string& path);
+
+namespace detail {
+
+/// Sanitizes a dotted metric name to the OpenMetrics charset
+/// [a-zA-Z_:][a-zA-Z0-9_:]* by mapping every other byte to '_'.
+[[nodiscard]] std::string openmetrics_name(std::string_view name);
+
+/// Escapes a label value or help text per the OpenMetrics ABNF: backslash,
+/// double quote, and newline.
+[[nodiscard]] std::string openmetrics_label_escape(std::string_view text);
+
+/// Renders a sample value: shortest round-trip decimal for finite doubles,
+/// "NaN" / "+Inf" / "-Inf" otherwise (OpenMetrics, unlike JSON, has
+/// spellings for them).
+[[nodiscard]] std::string openmetrics_number(double value);
+
+}  // namespace detail
+
+}  // namespace hpcpower::obs

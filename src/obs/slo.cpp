@@ -1,0 +1,167 @@
+#include "obs/slo.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+namespace hpcpower::obs {
+
+namespace {
+
+void validate_rule(const SloRule& rule) {
+  const auto fail = [&](const std::string& why) {
+    throw std::invalid_argument("SloRule '" + rule.name + "': " + why);
+  };
+  if (rule.name.empty() || rule.name.find('.') == std::string::npos)
+    fail("name must be dotted lowercase");
+  if (!(rule.objective >= 0.0) || !(rule.objective < 1.0))
+    fail("objective must be in [0, 1)");
+  if (rule.short_window_min <= 0 || rule.long_window_min <= 0)
+    fail("windows must be positive");
+  if (rule.short_window_min > rule.long_window_min)
+    fail("short window must not exceed the long window");
+  if (!(rule.burn_threshold > 0.0)) fail("burn threshold must be positive");
+  const bool ratio = !rule.bad.empty();
+  if (ratio && rule.total.empty()) fail("ratio rule needs total columns");
+  if (ratio && !rule.value.empty())
+    fail("rule must use either bad/total or value, not both");
+  if (!ratio && rule.value.empty())
+    fail("rule needs a source: bad/total columns or a value column");
+}
+
+/// Windowed delta of a cumulative column; samples before the column existed
+/// (NaN / missing) read as 0, so deltas from process start work.
+double windowed_delta(const MetricTimeSeries& series, const std::string& ref,
+                      std::int64_t begin, std::int64_t end) {
+  const double at_end = series.value_at(ref, end);
+  if (std::isnan(at_end)) return 0.0;
+  const double at_begin = series.value_at(ref, begin);
+  return at_end - (std::isnan(at_begin) ? 0.0 : at_begin);
+}
+
+}  // namespace
+
+SloEngine::SloEngine(std::vector<SloRule> rules) : rules_(std::move(rules)) {
+  for (const auto& rule : rules_) validate_rule(rule);
+  firing_.assign(rules_.size(), false);
+  open_alert_.assign(rules_.size(), static_cast<std::size_t>(-1));
+  status_.resize(rules_.size());
+  for (std::size_t i = 0; i < rules_.size(); ++i)
+    status_[i].rule = rules_[i].name;
+}
+
+double SloEngine::burn_rate(const SloRule& rule, const MetricTimeSeries& series,
+                            std::int64_t minute,
+                            std::int64_t window_minutes) const {
+  const std::int64_t begin = minute - window_minutes;
+  double bad_fraction = 0.0;
+  if (!rule.bad.empty()) {
+    double bad = 0.0, total = 0.0;
+    for (const auto& ref : rule.bad)
+      bad += windowed_delta(series, ref, begin, minute);
+    for (const auto& ref : rule.total)
+      total += windowed_delta(series, ref, begin, minute);
+    if (!(total > 0.0)) return 0.0;
+    bad_fraction = bad / total;
+  } else {
+    const auto w = series.count_above(rule.value, rule.threshold, begin, minute);
+    if (w.samples == 0) return 0.0;
+    bad_fraction = static_cast<double>(w.above) / static_cast<double>(w.samples);
+  }
+  const double budget = 1.0 - rule.objective;
+  return bad_fraction / budget;
+}
+
+void SloEngine::evaluate(const MetricTimeSeries& series, std::int64_t minute) {
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const SloRule& rule = rules_[i];
+    const double burn_short =
+        burn_rate(rule, series, minute, rule.short_window_min);
+    const double burn_long =
+        burn_rate(rule, series, minute, rule.long_window_min);
+    status_[i].burn_short = burn_short;
+    status_[i].burn_long = burn_long;
+
+    const bool above = burn_short > rule.burn_threshold &&
+                       burn_long > rule.burn_threshold;
+    if (above && !firing_[i]) {
+      firing_[i] = true;
+      open_alert_[i] = alerts_.size();
+      alerts_.push_back({rule.name, minute, -1, burn_short, burn_long});
+      // Tally and counter move together: alerts() reconciles exactly with
+      // the slo.* registry counters by construction.
+      ++fired_;
+      metrics().count("slo.alerts.fired");
+    } else if (!above && firing_[i]) {
+      firing_[i] = false;
+      alerts_[open_alert_[i]].resolved_minute = minute;
+      open_alert_[i] = static_cast<std::size_t>(-1);
+      ++resolved_;
+      metrics().count("slo.alerts.resolved");
+    }
+    status_[i].firing = firing_[i];
+  }
+  metrics().gauge("slo.alerts.active").set(static_cast<double>(active()));
+}
+
+std::size_t SloEngine::active() const noexcept {
+  std::size_t n = 0;
+  for (const bool f : firing_) n += f ? 1 : 0;
+  return n;
+}
+
+std::vector<SloRule> SloEngine::default_rules() {
+  std::vector<SloRule> rules;
+
+  // Served p99 latency from the serving layer's histogram buckets: more
+  // than 5% of sampled minutes above 1 ms p99 burns the budget.
+  SloRule serve_latency;
+  serve_latency.name = "serve.latency_p99";
+  serve_latency.value = "hist.serve.latency.us.p99";
+  serve_latency.threshold = 1000.0;  // µs
+  serve_latency.objective = 0.95;
+  rules.push_back(std::move(serve_latency));
+
+  // Streaming ingest backlog: sampled backlog beyond one batch capacity on
+  // more than 5% of minutes means the daemon is not keeping up.
+  SloRule backlog;
+  backlog.name = "stream.backlog";
+  backlog.value = "gauge.stream.backlog.rows";
+  backlog.threshold = 4096.0;
+  backlog.objective = 0.95;
+  rules.push_back(std::move(backlog));
+
+  // Shed rate: rows shed vs rows seen (applied + shed), 0.1% budget.
+  SloRule shed;
+  shed.name = "stream.shed_rate";
+  shed.bad = {"gauge.stream.rows.shed"};
+  shed.total = {"gauge.stream.rows.applied", "gauge.stream.rows.shed"};
+  shed.objective = 0.999;
+  rules.push_back(std::move(shed));
+
+  // Power-cap pressure: minutes outside NORMAL mode (THROTTLE=1,
+  // DEGRADED=2) against a 10% budget — a persistently tight site cap burns
+  // it fast.
+  SloRule throttle;
+  throttle.name = "power.throttle_budget";
+  throttle.value = "gauge.power.mode";
+  throttle.threshold = 0.5;
+  throttle.objective = 0.90;
+  rules.push_back(std::move(throttle));
+
+  // Drift handling: retrains that had to be rolled back, 25% budget.
+  SloRule rollback;
+  rollback.name = "serve.rollback_rate";
+  rollback.bad = {"counter.serve.rollback"};
+  rollback.total = {"counter.serve.retrain"};
+  rollback.objective = 0.75;
+  rollback.short_window_min = 60;
+  rollback.long_window_min = 360;
+  rules.push_back(std::move(rollback));
+
+  return rules;
+}
+
+}  // namespace hpcpower::obs

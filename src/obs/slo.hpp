@@ -1,0 +1,114 @@
+#pragma once
+// SloEngine — declarative SLO rules with multi-window burn-rate alerting
+// over the self-metrics time series (DESIGN.md §6).
+//
+// A rule watches one of two source shapes, both expressed as
+// MetricTimeSeries column refs so rules work on anything the recorder sees:
+//
+//   * ratio rules   — `bad` / `total` are lists of *cumulative* columns
+//                     (counters or monotone gauges, summed). The bad
+//                     fraction over a window is the windowed delta of bad
+//                     over the windowed delta of total.
+//   * threshold rules — `value` names a sampled column; the bad fraction
+//                     over a window is the fraction of samples with
+//                     value > threshold.
+//
+// Burn rate = bad fraction / error budget, with error budget = 1 -
+// objective (the SRE convention: burn 1.0 spends the budget exactly at the
+// objective horizon). An alert fires when BOTH the short and the long
+// window burn above `burn_threshold` — the short window gives fast
+// detection, the long window filters blips — and resolves when both drop
+// back to or below it. Every fire/resolve increments
+// "slo.alerts.fired"/"slo.alerts.resolved" in the same statement that
+// updates the engine's own tallies, so the registry counters reconcile
+// exactly with alerts() by construction.
+//
+// Windows are simulated minutes; evaluation happens on the sampling
+// cadence, so the whole alert trajectory is deterministic for a
+// deterministic campaign and a given rule set.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/timeseries.hpp"
+
+namespace hpcpower::obs {
+
+struct SloRule {
+  /// Dotted lowercase rule id, e.g. "power.throttle_budget".
+  std::string name;
+  /// Ratio source: cumulative column refs, summed (empty = threshold rule).
+  std::vector<std::string> bad;
+  std::vector<std::string> total;
+  /// Threshold source (used when `bad` is empty).
+  std::string value;
+  double threshold = 0.0;
+  /// Target good fraction in [0, 1); error budget = 1 - objective.
+  double objective = 0.99;
+  /// Fire when both window burn rates exceed this.
+  double burn_threshold = 1.0;
+  std::int64_t short_window_min = 30;
+  std::int64_t long_window_min = 120;
+};
+
+struct SloAlert {
+  std::string rule;
+  std::int64_t fired_minute = 0;
+  std::int64_t resolved_minute = -1;  ///< -1 while still active
+  double burn_short = 0.0;            ///< burn rates at fire time
+  double burn_long = 0.0;
+  [[nodiscard]] bool active() const noexcept { return resolved_minute < 0; }
+};
+
+/// Last evaluation of one rule, for dashboards.
+struct SloRuleStatus {
+  std::string rule;
+  double burn_short = 0.0;
+  double burn_long = 0.0;
+  bool firing = false;
+};
+
+class SloEngine {
+ public:
+  /// Validates the rules: objective in [0,1), positive windows with
+  /// short <= long, exactly one source shape, non-empty dotted name.
+  /// Throws std::invalid_argument on violations.
+  explicit SloEngine(std::vector<SloRule> rules);
+
+  /// Evaluates every rule against the series at `minute`, firing/resolving
+  /// alerts. Also publishes the "slo.alerts.active" gauge.
+  void evaluate(const MetricTimeSeries& series, std::int64_t minute);
+
+  [[nodiscard]] const std::vector<SloRule>& rules() const noexcept {
+    return rules_;
+  }
+  [[nodiscard]] const std::vector<SloAlert>& alerts() const noexcept {
+    return alerts_;
+  }
+  [[nodiscard]] std::vector<SloRuleStatus> status() const { return status_; }
+  [[nodiscard]] std::uint64_t fired() const noexcept { return fired_; }
+  [[nodiscard]] std::uint64_t resolved() const noexcept { return resolved_; }
+  [[nodiscard]] std::size_t active() const noexcept;
+
+  /// Burn rate for `rule` over the window (minute - window, minute].
+  [[nodiscard]] double burn_rate(const SloRule& rule,
+                                 const MetricTimeSeries& series,
+                                 std::int64_t minute,
+                                 std::int64_t window_minutes) const;
+
+  /// The shipped rule set: serve p99 latency, stream backlog and shed rate,
+  /// power throttle-mode budget, drift-rollback rate.
+  [[nodiscard]] static std::vector<SloRule> default_rules();
+
+ private:
+  std::vector<SloRule> rules_;
+  std::vector<bool> firing_;           ///< per rule
+  std::vector<std::size_t> open_alert_;  ///< per rule: index into alerts_
+  std::vector<SloRuleStatus> status_;
+  std::vector<SloAlert> alerts_;
+  std::uint64_t fired_ = 0;
+  std::uint64_t resolved_ = 0;
+};
+
+}  // namespace hpcpower::obs

@@ -1,0 +1,195 @@
+#include "obs/timeseries.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+namespace hpcpower::obs {
+
+namespace {
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+/// Bucket-estimated p99: the smallest upper edge whose cumulative count
+/// covers 99% of observations; +inf when it falls in the overflow bucket,
+/// NaN for an empty histogram.
+double histogram_p99(const Histogram::Snapshot& h) {
+  if (h.count == 0) return std::numeric_limits<double>::quiet_NaN();
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(0.99 * static_cast<double>(h.count)));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < h.edges.size(); ++i) {
+    cum += h.counts[i];
+    if (cum >= target) return h.edges[i];
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+}  // namespace
+
+bool is_integer_column_ref(std::string_view ref) noexcept {
+  if (ref.starts_with("counter.") || ref.starts_with("timer.")) return true;
+  if (ref.starts_with("hist.") && ref.ends_with(".count")) return true;
+  return false;
+}
+
+MetricTimeSeries::MetricTimeSeries(TimeSeriesConfig config)
+    : config_(config) {
+  if (config_.capacity == 0)
+    throw std::invalid_argument("MetricTimeSeries: capacity must be > 0");
+  if (config_.cadence_minutes <= 0)
+    throw std::invalid_argument("MetricTimeSeries: cadence must be > 0");
+}
+
+std::int64_t MetricTimeSeries::last_minute() const noexcept {
+  return ring_.empty() ? std::numeric_limits<std::int64_t>::min()
+                       : ring_.back().minute;
+}
+
+std::uint32_t MetricTimeSeries::intern(std::string&& ref) {
+  const auto it = ids_.find(ref);
+  if (it != ids_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(names_.size());
+  names_.push_back(ref);
+  ids_.emplace(std::move(ref), id);
+  return id;
+}
+
+bool MetricTimeSeries::sample(std::int64_t minute) {
+  if (minute % config_.cadence_minutes != 0) return false;
+  return force_sample(minute);
+}
+
+bool MetricTimeSeries::force_sample(std::int64_t minute) {
+  if (minute <= last_minute()) return false;
+
+  const MetricsSnapshot snap = metrics().snapshot();
+  Sample s;
+  s.minute = minute;
+  s.values.assign(names_.size(), std::numeric_limits<double>::quiet_NaN());
+  const auto put = [&](std::string&& ref, double value) {
+    const std::uint32_t id = intern(std::move(ref));
+    if (id >= s.values.size())
+      s.values.resize(id + 1, std::numeric_limits<double>::quiet_NaN());
+    s.values[id] = value;
+  };
+
+  for (const auto& [name, value] : snap.counters)
+    put("counter." + name, static_cast<double>(value));
+  for (const auto& [name, value] : snap.gauges) put("gauge." + name, value);
+  for (const auto& [name, h] : snap.histograms) {
+    put("hist." + name + ".count", static_cast<double>(h.count));
+    put("hist." + name + ".sum", h.sum);
+    put("hist." + name + ".p99", histogram_p99(h));
+  }
+  for (const auto& t : snap.timers) {
+    put("timer." + t.name + ".ns", static_cast<double>(t.total_ns));
+    put("timer." + t.name + ".calls", static_cast<double>(t.calls));
+  }
+
+  ring_.push_back(std::move(s));
+  ++taken_;
+  metrics().count("monitor.samples");
+  while (ring_.size() > config_.capacity) {
+    ring_.pop_front();
+    ++evicted_;
+    metrics().count("monitor.samples.evicted");
+  }
+  return true;
+}
+
+std::size_t MetricTimeSeries::sample_at_or_before(std::int64_t minute) const {
+  // First sample with sample.minute > minute, then step back one.
+  const auto it = std::upper_bound(
+      ring_.begin(), ring_.end(), minute,
+      [](std::int64_t m, const Sample& s) { return m < s.minute; });
+  if (it == ring_.begin()) return kNpos;
+  return static_cast<std::size_t>(std::distance(ring_.begin(), it)) - 1;
+}
+
+double MetricTimeSeries::value_at(std::string_view ref,
+                                  std::int64_t minute) const {
+  const auto id_it = ids_.find(ref);
+  if (id_it == ids_.end()) return std::numeric_limits<double>::quiet_NaN();
+  const std::size_t i = sample_at_or_before(minute);
+  if (i == kNpos) return std::numeric_limits<double>::quiet_NaN();
+  const Sample& s = ring_[i];
+  if (id_it->second >= s.values.size())
+    return std::numeric_limits<double>::quiet_NaN();
+  return s.values[id_it->second];
+}
+
+MetricTimeSeries::WindowStats MetricTimeSeries::count_above(
+    std::string_view ref, double threshold, std::int64_t begin_exclusive,
+    std::int64_t end_inclusive) const {
+  WindowStats stats;
+  const auto id_it = ids_.find(ref);
+  if (id_it == ids_.end()) return stats;
+  const std::uint32_t id = id_it->second;
+  for (const Sample& s : ring_) {
+    if (s.minute <= begin_exclusive || s.minute > end_inclusive) continue;
+    if (id >= s.values.size() || std::isnan(s.values[id])) continue;
+    ++stats.samples;
+    if (s.values[id] > threshold) ++stats.above;
+  }
+  return stats;
+}
+
+std::vector<std::string> MetricTimeSeries::column_refs() const {
+  std::vector<std::string> refs;
+  refs.reserve(ids_.size());
+  for (const auto& [ref, id] : ids_) refs.push_back(ref);
+  return refs;
+}
+
+storage::Table MetricTimeSeries::to_table() const {
+  storage::Table table;
+  table.schema.push_back({"minute", storage::ColumnType::kInt64Delta});
+  table.columns.emplace_back();
+  auto& minute_col = table.columns.back().i64;
+  minute_col.reserve(ring_.size());
+  for (const Sample& s : ring_) minute_col.push_back(s.minute);
+
+  for (const auto& [ref, id] : ids_) {
+    const bool integer = is_integer_column_ref(ref);
+    table.schema.push_back({ref, integer ? storage::ColumnType::kInt64Delta
+                                         : storage::ColumnType::kFloat64Xor});
+    table.columns.emplace_back();
+    auto& col = table.columns.back();
+    if (integer) {
+      col.i64.reserve(ring_.size());
+      for (const Sample& s : ring_) {
+        const double v = id < s.values.size() ? s.values[id] : 0.0;
+        col.i64.push_back(std::isnan(v) ? 0
+                                        : static_cast<std::int64_t>(v));
+      }
+    } else {
+      col.f64.reserve(ring_.size());
+      for (const Sample& s : ring_) {
+        col.f64.push_back(id < s.values.size()
+                              ? s.values[id]
+                              : std::numeric_limits<double>::quiet_NaN());
+      }
+    }
+  }
+  table.validate();
+  return table;
+}
+
+void MetricTimeSeries::save(const std::string& path) const {
+  storage::save_hpcb(path, to_table());
+}
+
+void MetricTimeSeries::clear() {
+  ring_.clear();
+  names_.clear();
+  ids_.clear();
+  taken_ = 0;
+  evicted_ = 0;
+}
+
+}  // namespace hpcpower::obs

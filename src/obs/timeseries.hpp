@@ -1,0 +1,118 @@
+#pragma once
+// MetricTimeSeries — continuous self-monitoring recorder (DESIGN.md §6).
+//
+// Snapshots the whole MetricRegistry on a deterministic *simulated-time*
+// cadence (never wall clock) into a bounded in-memory ring, one flattened
+// numeric column per metric:
+//
+//   counter.<name>         counter value            (int64 column)
+//   gauge.<name>           gauge value              (float64 column)
+//   hist.<name>.count      histogram observations   (int64 column)
+//   hist.<name>.sum        histogram sum            (float64 column)
+//   hist.<name>.p99        bucket-estimated p99     (float64 column)
+//   timer.<name>.ns        accumulated wall ns      (int64 column)
+//   timer.<name>.calls     timer call count         (int64 column)
+//
+// Those column refs are the query language shared with the SLO engine
+// (obs/slo.hpp): burn rates are windowed deltas of cumulative columns and
+// threshold fractions over sampled columns. The ring persists as a wide
+// .hpcb columnar table (leading "minute" column; reusing src/storage, so the
+// system's own metrics are queryable through trace_explorer like any other
+// trace, bit-exact round trip included).
+//
+// The metric set may grow while recording (metrics appear lazily): columns
+// are interned on first sight, and earlier samples read as 0 for integer
+// columns / NaN for float columns. Not internally synchronized — the
+// SelfMonitor serializes access (DESIGN.md §6).
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/hpcb.hpp"
+
+namespace hpcpower::obs {
+
+struct TimeSeriesConfig {
+  /// Ring bound in samples; the oldest sample is evicted beyond this
+  /// ("monitor.samples.evicted" counts evictions).
+  std::size_t capacity = 4096;
+  /// Sample when minute % cadence == 0 (simulated minutes).
+  std::int64_t cadence_minutes = 1;
+};
+
+class MetricTimeSeries {
+ public:
+  explicit MetricTimeSeries(TimeSeriesConfig config = {});
+
+  /// Snapshots the registry when `minute` lands on the cadence and is newer
+  /// than the last sample. Returns true when a sample was recorded.
+  bool sample(std::int64_t minute);
+
+  /// Unconditional snapshot (finalize), still monotone in `minute`.
+  bool force_sample(std::int64_t minute);
+
+  [[nodiscard]] std::size_t size() const noexcept { return ring_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return config_.capacity; }
+  [[nodiscard]] std::int64_t cadence_minutes() const noexcept {
+    return config_.cadence_minutes;
+  }
+  [[nodiscard]] std::uint64_t samples_taken() const noexcept { return taken_; }
+  [[nodiscard]] std::uint64_t samples_evicted() const noexcept { return evicted_; }
+  /// Minute of the newest sample; INT64_MIN when empty.
+  [[nodiscard]] std::int64_t last_minute() const noexcept;
+
+  /// Column value at the newest sample with sample-minute <= `minute`.
+  /// NaN when there is no such sample or the column is absent in it.
+  [[nodiscard]] double value_at(std::string_view ref, std::int64_t minute) const;
+
+  struct WindowStats {
+    std::size_t samples = 0;  ///< samples in the window where `ref` exists
+    std::size_t above = 0;    ///< of those, samples with value > threshold
+  };
+  /// Counts ring samples with minute in (begin, end].
+  [[nodiscard]] WindowStats count_above(std::string_view ref, double threshold,
+                                        std::int64_t begin_exclusive,
+                                        std::int64_t end_inclusive) const;
+
+  /// All column refs seen so far, sorted.
+  [[nodiscard]] std::vector<std::string> column_refs() const;
+
+  /// The ring as a wide columnar table: "minute" first, then every column
+  /// ref in sorted order (int64 refs as kInt64Delta, float refs as
+  /// kFloat64Xor — both codecs round-trip bit-exactly).
+  [[nodiscard]] storage::Table to_table() const;
+
+  /// save_hpcb(to_table()).
+  void save(const std::string& path) const;
+
+  void clear();
+
+ private:
+  struct Sample {
+    std::int64_t minute = 0;
+    /// values[id]; shorter than ids_ when columns appeared later. Absent or
+    /// NaN means "column not present at this sample".
+    std::vector<double> values;
+  };
+
+  [[nodiscard]] std::uint32_t intern(std::string&& ref);
+  /// Index of the newest sample with minute <= `minute`; npos when none.
+  [[nodiscard]] std::size_t sample_at_or_before(std::int64_t minute) const;
+
+  TimeSeriesConfig config_;
+  std::vector<std::string> names_;                      ///< id -> column ref
+  std::map<std::string, std::uint32_t, std::less<>> ids_;  ///< ref -> id
+  std::deque<Sample> ring_;
+  std::uint64_t taken_ = 0;
+  std::uint64_t evicted_ = 0;
+};
+
+/// True when the column ref names an integer-valued series (counter.*,
+/// hist.*.count, timer.*); false for float series (gauge.*, hist.*.sum/p99).
+[[nodiscard]] bool is_integer_column_ref(std::string_view ref) noexcept;
+
+}  // namespace hpcpower::obs

@@ -6,6 +6,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/health.hpp"
+#include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "util/prng.hpp"
 
@@ -85,6 +87,10 @@ ClusterPowerManager::ClusterPowerManager(
   if (config_.quality_window_min > 0) {
     quality_window_.assign(config_.quality_window_min, 0);
   }
+  // Publish the initial NORMAL mode so a managed campaign always has the
+  // power.mode gauge and the power.manager health probe, even when no mode
+  // transition ever happens.
+  enter_mode(PowerMode::kNormal);
 }
 
 double ClusterPowerManager::admission_estimate_w(
@@ -128,7 +134,19 @@ void ClusterPowerManager::set_cap(workload::JobId /*id*/, Grant& g,
   g.cap_mw = new_cap_mw;
 }
 
-void ClusterPowerManager::enter_mode(PowerMode next) { mode_ = next; }
+void ClusterPowerManager::enter_mode(PowerMode next) {
+  mode_ = next;
+  // Monitoring-only pushes (DESIGN.md §6): the mode gauge feeds the
+  // self-metrics time series and the power.throttle_budget SLO rule; the
+  // typed health probe rolls into the OK/DEGRADED/UNHEALTHY verdict.
+  obs::metrics().gauge("power.mode").set(static_cast<double>(
+      static_cast<int>(next)));
+  const obs::HealthStatus status =
+      next == PowerMode::kNormal     ? obs::HealthStatus::kOk
+      : next == PowerMode::kThrottle ? obs::HealthStatus::kDegraded
+                                     : obs::HealthStatus::kUnhealthy;
+  obs::health().set("power.manager", status, power_mode_name(next));
+}
 
 void ClusterPowerManager::begin_minute(
     util::MinuteTime /*now*/,
@@ -193,7 +211,11 @@ void ClusterPowerManager::begin_minute(
 void ClusterPowerManager::end_minute(util::MinuteTime now, double true_site_w) {
   ++meter_samples_;
   max_true_site_w_ = std::max(max_true_site_w_, true_site_w);
-  if (true_site_w > site_cap_w_) ++cap_violation_minutes_;
+  if (true_site_w > site_cap_w_) {
+    ++cap_violation_minutes_;
+    obs::metrics().gauge("power.cap.violation_minutes")
+        .set(static_cast<double>(cap_violation_minutes_));
+  }
 
   // Deterministic meter-fault injection keyed by (seed, minute).
   const auto minute = static_cast<std::uint64_t>(now.minutes());
@@ -393,7 +415,7 @@ void ClusterPowerManager::restore(const std::vector<std::string>& lines) {
     if (raw < 0 || raw > 2) {
       throw std::runtime_error("power checkpoint: invalid mode");
     }
-    mode_ = static_cast<PowerMode>(raw);
+    enter_mode(static_cast<PowerMode>(raw));
     throttle_dwell_ = read_value<std::uint32_t>(in, "throttle_dwell");
     clean_streak_ = read_value<std::uint32_t>(in, "clean_streak");
   }

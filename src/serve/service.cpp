@@ -7,8 +7,10 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/health.hpp"
 #include "obs/metrics.hpp"
 #include "util/parallel.hpp"
+#include "util/strings.hpp"
 
 namespace hpcpower::serve {
 
@@ -65,6 +67,11 @@ void PredictionService::install_locked(
   obs::metrics().count("serve.snapshot.install");
   obs::metrics().gauge("serve.snapshot.version").set(
       static_cast<double>(version));
+  // Monitoring-only typed health probe (DESIGN.md §6): a fresh install means
+  // the serving path is on a validated snapshot again.
+  obs::health().set("serve.model", obs::HealthStatus::kOk,
+                    util::format("snapshot v%llu",
+                                 static_cast<unsigned long long>(version)));
 }
 
 std::shared_ptr<const ModelSnapshot> PredictionService::snapshot() const {
@@ -222,6 +229,12 @@ DriftAction PredictionService::retrain_locked(const ModelSnapshot& current) {
       ++stats_.rollbacks;
     }
     obs::metrics().count("serve.rollback");
+    // Degraded, not unhealthy: the service keeps answering from the current
+    // snapshot, but drift evidence could not be retrained away.
+    obs::health().set(
+        "serve.model", obs::HealthStatus::kDegraded,
+        util::format("drift retrain v%llu rolled back (validation regressed)",
+                     static_cast<unsigned long long>(train.version)));
     return DriftAction::kRolledBack;
   }
 

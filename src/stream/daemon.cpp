@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "obs/health.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "storage/crc32.hpp"
@@ -185,6 +186,7 @@ void IngestDaemon::pump() {
     pending_.erase(it);
     ++watermark_;
     ++batches_since_checkpoint_;
+    update_wal_freshness();
     if (config_.checkpoint_every != 0 &&
         batches_since_checkpoint_ >= config_.checkpoint_every && wal_) {
       if (!replaying_ && config_.crash_mode == CrashMode::kTornCheckpoint &&
@@ -251,7 +253,27 @@ void IngestDaemon::step_mode(std::uint64_t rows_kept) {
     mode_ = next;
     dwell_ = 0;
     ++apply_.mode_transitions;
+    // Monitoring-only typed health probe (DESIGN.md §6): the daemon's
+    // backpressure state rolls into the OK/DEGRADED/UNHEALTHY verdict.
+    const obs::HealthStatus status =
+        mode_ == IngestMode::kNormal    ? obs::HealthStatus::kOk
+        : mode_ == IngestMode::kLagging ? obs::HealthStatus::kDegraded
+                                        : obs::HealthStatus::kUnhealthy;
+    obs::health().set("stream.ingest", status,
+                      util::format("backlog %.2fx capacity", ratio));
   }
+  // Live gauges for the self-metrics recorder and the stream SLO rules
+  // (handles are process-lifetime stable, so the per-batch cost is four
+  // relaxed stores; the bulk counters in export_metrics() stay the
+  // exactly-reconciled source of truth).
+  static auto& backlog_gauge = obs::metrics().gauge("stream.backlog.rows");
+  static auto& mode_gauge = obs::metrics().gauge("stream.mode");
+  static auto& applied_gauge = obs::metrics().gauge("stream.rows.applied");
+  static auto& shed_gauge = obs::metrics().gauge("stream.rows.shed");
+  backlog_gauge.set(static_cast<double>(backlog_rows_));
+  mode_gauge.set(static_cast<double>(static_cast<int>(mode_)));
+  applied_gauge.set(static_cast<double>(apply_.rows_applied));
+  shed_gauge.set(static_cast<double>(apply_.rows_shed));
 }
 
 void IngestDaemon::apply(const StreamBatch& batch) {
@@ -334,6 +356,27 @@ void IngestDaemon::checkpoint() {
   HPCPOWER_SPAN("stream.checkpoint");
   wal_->write_checkpoint(watermark_, checkpoint_payload());
   batches_since_checkpoint_ = 0;
+  update_wal_freshness();
+}
+
+void IngestDaemon::update_wal_freshness() {
+  if (!wal_ || config_.checkpoint_every == 0) return;
+  static auto& freshness_gauge =
+      obs::metrics().gauge("stream.wal.batches_since_checkpoint");
+  freshness_gauge.set(static_cast<double>(batches_since_checkpoint_));
+  // Automatic checkpointing keeps the count at or below checkpoint_every;
+  // twice that means checkpoints have stopped landing — a recovery after a
+  // crash would have to replay an unbounded WAL suffix.
+  const bool stale = batches_since_checkpoint_ >= 2 * config_.checkpoint_every;
+  if (wal_stale_ != stale) {
+    wal_stale_ = stale;
+    obs::health().set(
+        "stream.wal",
+        stale ? obs::HealthStatus::kDegraded : obs::HealthStatus::kOk,
+        util::format("%llu batches since checkpoint (every %llu)",
+                     static_cast<unsigned long long>(batches_since_checkpoint_),
+                     static_cast<unsigned long long>(config_.checkpoint_every)));
+  }
 }
 
 std::string IngestDaemon::checkpoint_payload() const {

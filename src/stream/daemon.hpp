@@ -184,6 +184,10 @@ class IngestDaemon {
   void apply_job_end(const telemetry::TapJobEnd& end);
   void merge_quality_delta(const telemetry::DataQualityReport& d);
   void step_mode(std::uint64_t rows_kept);
+  /// Monitoring-only WAL/checkpoint freshness probe ("stream.wal" health +
+  /// "stream.wal.batches_since_checkpoint" gauge). No-op without a WAL or
+  /// with manual checkpointing (checkpoint_every == 0).
+  void update_wal_freshness();
   void maybe_crash(std::uint64_t seq);
   [[nodiscard]] std::string checkpoint_payload() const;
   [[nodiscard]] bool restore_from(std::string_view payload);
@@ -215,6 +219,8 @@ class IngestDaemon {
   std::uint64_t batches_since_checkpoint_ = 0;
 
   // Process-local state (not checkpointed).
+  /// Last pushed "stream.wal" freshness verdict; empty until first pushed.
+  std::optional<bool> wal_stale_;
   std::map<std::uint64_t, StreamBatch> pending_;
   TransitStats transit_;
   WalRecoveryStats recovery_;

@@ -1,0 +1,586 @@
+// Continuous self-monitoring suite (src/obs: timeseries, openmetrics, slo,
+// health, monitor — DESIGN.md §6).
+//
+// Covers the numeric text encoders shared by the JSON and OpenMetrics
+// exporters (shortest round-trip, -0.0, denormals, control-character
+// escaping), the metric time-series recorder (cadence, eviction, windowed
+// queries, bit-exact .hpcb round trip), the component health rollup, the SLO
+// burn-rate engine (validation, fire/resolve, exact slo.* counter
+// reconciliation), and the SelfMonitor end to end — including a chaos
+// streamed campaign that must fire at least one alert deterministically.
+
+#include <gtest/gtest.h>
+
+#include <cfloat>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "obs/health.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/monitor.hpp"
+#include "obs/openmetrics.hpp"
+#include "obs/slo.hpp"
+#include "obs/timeseries.hpp"
+#include "storage/hpcb.hpp"
+#include "stream/source.hpp"
+#include "util/logging.hpp"
+
+namespace hpcpower {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::uint64_t bits_of(double v) {
+  std::uint64_t b = 0;
+  std::memcpy(&b, &v, sizeof(v));
+  return b;
+}
+
+/// The edge-case corpus both numeric encoders must round-trip bit-exactly:
+/// signed zero, smallest denormal, largest/smallest normals, and values whose
+/// shortest representation a fixed %.17g would bloat.
+const std::vector<double> kRoundTripCorpus = {
+    0.0,       -0.0,        0.1,         -0.1,     1.0 / 3.0,
+    5e-324,    -5e-324,     DBL_MIN,     DBL_MAX,  -DBL_MAX,
+    1e300,     -1e-300,     9007199254740993.0,    0.30000000000000004,
+    1.5,       -2.5e-7,     6.02214076e23};
+
+class MonitorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::metrics().reset();
+    obs::health().reset();
+    util::set_log_level(util::LogLevel::kWarn);
+  }
+  void TearDown() override {
+    obs::metrics().reset();
+    obs::health().reset();
+  }
+
+  static std::string temp_path(const std::string& name) {
+    return (std::filesystem::path(::testing::TempDir()) / name).string();
+  }
+};
+
+// ---- json_number / json_escape --------------------------------------------
+
+TEST_F(MonitorTest, JsonNumberShortestRoundTrip) {
+  for (const double v : kRoundTripCorpus) {
+    const std::string token = obs::detail::json_number(v);
+    const double back = std::strtod(token.c_str(), nullptr);
+    EXPECT_EQ(bits_of(v), bits_of(back)) << token;
+  }
+  // Shortest form, not %.17g: 0.1 must render as exactly "0.1".
+  EXPECT_EQ(obs::detail::json_number(0.1), "0.1");
+  // Negative zero keeps its sign bit through the round trip.
+  EXPECT_EQ(obs::detail::json_number(-0.0).front(), '-');
+}
+
+TEST_F(MonitorTest, JsonNumberNonFiniteIsNull) {
+  EXPECT_EQ(obs::detail::json_number(kNaN), "null");
+  EXPECT_EQ(obs::detail::json_number(kInf), "null");
+  EXPECT_EQ(obs::detail::json_number(-kInf), "null");
+}
+
+TEST_F(MonitorTest, JsonEscapeControlAndQuoteCharacters) {
+  EXPECT_EQ(obs::detail::json_escape("plain"), "plain");
+  EXPECT_EQ(obs::detail::json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(obs::detail::json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::detail::json_escape("a\nb\rc\td"), "a\\nb\\rc\\td");
+  // Bare control characters take the \u00xx form.
+  EXPECT_EQ(obs::detail::json_escape(std::string("x\x01y")), "x\\u0001y");
+  EXPECT_EQ(obs::detail::json_escape(std::string("\x1f")), "\\u001f");
+  // 0x7f and non-ASCII bytes pass through untouched.
+  EXPECT_EQ(obs::detail::json_escape("\x7f"), "\x7f");
+}
+
+// ---- OpenMetrics encoders --------------------------------------------------
+
+TEST_F(MonitorTest, OpenMetricsNumberRoundTripsAndSpellsNonFinite) {
+  for (const double v : kRoundTripCorpus) {
+    const std::string token = obs::detail::openmetrics_number(v);
+    const double back = std::strtod(token.c_str(), nullptr);
+    EXPECT_EQ(bits_of(v), bits_of(back)) << token;
+  }
+  EXPECT_EQ(obs::detail::openmetrics_number(kNaN), "NaN");
+  EXPECT_EQ(obs::detail::openmetrics_number(kInf), "+Inf");
+  EXPECT_EQ(obs::detail::openmetrics_number(-kInf), "-Inf");
+}
+
+TEST_F(MonitorTest, OpenMetricsLabelEscape) {
+  EXPECT_EQ(obs::detail::openmetrics_label_escape("plain"), "plain");
+  EXPECT_EQ(obs::detail::openmetrics_label_escape("a\\b\"c\nd"),
+            "a\\\\b\\\"c\\nd");
+}
+
+TEST_F(MonitorTest, OpenMetricsNameSanitizesToCharset) {
+  EXPECT_EQ(obs::detail::openmetrics_name("serve.latency.us"),
+            "serve_latency_us");
+  EXPECT_EQ(obs::detail::openmetrics_name("a-b c"), "a_b_c");
+  // Leading digit is not a valid first character.
+  EXPECT_EQ(obs::detail::openmetrics_name("3sigma"), "_sigma");
+  EXPECT_EQ(obs::detail::openmetrics_name(""), "_");
+}
+
+TEST_F(MonitorTest, RenderOpenMetricsShapesEveryMetricKind) {
+  auto& m = obs::metrics();
+  m.count("monitor.test.events", 3);
+  m.gauge("monitor.test.level").set(2.5);
+  const double edges[] = {1.0, 10.0};
+  auto& h = m.histogram("monitor.test.latency", edges);
+  h.observe(0.5);
+  h.observe(5.0);
+  h.observe(100.0);  // overflow bucket
+  m.timer("monitor.test.phase").add(2'500'000'000, 2);
+  obs::health().set("monitor.test", obs::HealthStatus::kDegraded, "say \"hi\"");
+
+  const std::string text = obs::render_openmetrics();
+  EXPECT_NE(text.find("# TYPE monitor_test_events counter\n"
+                      "monitor_test_events_total 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("monitor_test_level 2.5\n"), std::string::npos);
+  // Cumulative le buckets; +Inf bucket equals the total count.
+  EXPECT_NE(text.find("monitor_test_latency_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("monitor_test_latency_bucket{le=\"10\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("monitor_test_latency_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("monitor_test_latency_count 3\n"), std::string::npos);
+  EXPECT_NE(text.find("monitor_test_phase_seconds_total 2.5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("monitor_test_phase_calls_total 2\n"), std::string::npos);
+  // Health gauge with escaped label values.
+  EXPECT_NE(text.find("health_status{component=\"monitor.test\","
+                      "detail=\"say \\\"hi\\\"\"} 1\n"),
+            std::string::npos);
+  // Spec-required terminator.
+  ASSERT_GE(text.size(), 6u);
+  EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+}
+
+// ---- MetricTimeSeries ------------------------------------------------------
+
+TEST_F(MonitorTest, ColumnRefTypesFollowTheNamingScheme) {
+  EXPECT_TRUE(obs::is_integer_column_ref("counter.stream.rows"));
+  EXPECT_TRUE(obs::is_integer_column_ref("timer.stage.campaign.ns"));
+  EXPECT_TRUE(obs::is_integer_column_ref("timer.stage.campaign.calls"));
+  EXPECT_TRUE(obs::is_integer_column_ref("hist.serve.latency.us.count"));
+  EXPECT_FALSE(obs::is_integer_column_ref("gauge.power.mode"));
+  EXPECT_FALSE(obs::is_integer_column_ref("hist.serve.latency.us.sum"));
+  EXPECT_FALSE(obs::is_integer_column_ref("hist.serve.latency.us.p99"));
+}
+
+TEST_F(MonitorTest, SamplingIsCadenceGatedAndMonotone) {
+  obs::MetricTimeSeries series({/*capacity=*/16, /*cadence_minutes=*/5});
+  obs::metrics().gauge("monitor.test.g").set(1.0);
+  EXPECT_FALSE(series.sample(3));   // off cadence
+  EXPECT_TRUE(series.sample(5));
+  EXPECT_FALSE(series.sample(5));   // not newer
+  EXPECT_FALSE(series.sample(0));   // going backwards
+  EXPECT_TRUE(series.force_sample(7));  // force ignores the cadence...
+  EXPECT_FALSE(series.force_sample(6)); // ...but stays monotone
+  EXPECT_EQ(series.size(), 2u);
+  EXPECT_EQ(series.last_minute(), 7);
+  EXPECT_EQ(series.samples_taken(), 2u);
+}
+
+TEST_F(MonitorTest, RingEvictsOldestBeyondCapacity) {
+  obs::MetricTimeSeries series({/*capacity=*/4, /*cadence_minutes=*/1});
+  for (std::int64_t minute = 1; minute <= 10; ++minute)
+    ASSERT_TRUE(series.sample(minute));
+  EXPECT_EQ(series.size(), 4u);
+  EXPECT_EQ(series.samples_taken(), 10u);
+  EXPECT_EQ(series.samples_evicted(), 6u);
+  EXPECT_EQ(util::counters().value("monitor.samples"), 10u);
+  EXPECT_EQ(util::counters().value("monitor.samples.evicted"), 6u);
+  // The oldest surviving sample is minute 7.
+  EXPECT_TRUE(std::isnan(series.value_at("counter.monitor.samples", 6)));
+  EXPECT_FALSE(std::isnan(series.value_at("counter.monitor.samples", 7)));
+}
+
+TEST_F(MonitorTest, ValueAtReturnsNewestSampleAtOrBefore) {
+  obs::MetricTimeSeries series({16, 1});
+  auto& g = obs::metrics().gauge("monitor.test.v");
+  g.set(10.0);
+  series.sample(1);
+  g.set(20.0);
+  series.sample(3);
+  EXPECT_TRUE(std::isnan(series.value_at("gauge.monitor.test.v", 0)));
+  EXPECT_EQ(series.value_at("gauge.monitor.test.v", 1), 10.0);
+  EXPECT_EQ(series.value_at("gauge.monitor.test.v", 2), 10.0);
+  EXPECT_EQ(series.value_at("gauge.monitor.test.v", 99), 20.0);
+  EXPECT_TRUE(std::isnan(series.value_at("gauge.no.such.column", 99)));
+}
+
+TEST_F(MonitorTest, CountAboveWindowIsBeginExclusiveEndInclusive) {
+  obs::MetricTimeSeries series({16, 1});
+  auto& g = obs::metrics().gauge("monitor.test.v");
+  for (std::int64_t minute = 1; minute <= 6; ++minute) {
+    g.set(minute <= 3 ? 1.0 : 0.0);
+    series.sample(minute);
+  }
+  const auto w = series.count_above("gauge.monitor.test.v", 0.5, 1, 5);
+  EXPECT_EQ(w.samples, 4u);  // minutes 2..5
+  EXPECT_EQ(w.above, 2u);    // minutes 2, 3
+}
+
+TEST_F(MonitorTest, LateAppearingColumnsBackfillAsZeroOrNaN) {
+  obs::MetricTimeSeries series({16, 1});
+  series.sample(1);
+  obs::metrics().count("monitor.test.late", 7);
+  obs::metrics().gauge("monitor.test.lateg").set(3.5);
+  series.sample(2);
+  // value_at: absent at minute 1.
+  EXPECT_TRUE(std::isnan(series.value_at("counter.monitor.test.late", 1)));
+  EXPECT_EQ(series.value_at("counter.monitor.test.late", 2), 7.0);
+  // In the persisted table: integer columns backfill 0, float columns NaN.
+  const storage::Table table = series.to_table();
+  const auto& late = table.column("counter.monitor.test.late");
+  ASSERT_EQ(late.i64.size(), 2u);
+  EXPECT_EQ(late.i64[0], 0);
+  EXPECT_EQ(late.i64[1], 7);
+  const auto& lateg = table.column("gauge.monitor.test.lateg");
+  ASSERT_EQ(lateg.f64.size(), 2u);
+  EXPECT_TRUE(std::isnan(lateg.f64[0]));
+  EXPECT_EQ(lateg.f64[1], 3.5);
+}
+
+TEST_F(MonitorTest, SelfMetricsTableRoundTripsBitExactThroughHpcb) {
+  obs::MetricTimeSeries series({16, 1});
+  auto& g = obs::metrics().gauge("monitor.test.edge");
+  const std::vector<double> values = {-0.0, 5e-324, kNaN, DBL_MAX, 0.1};
+  std::int64_t minute = 0;
+  for (const double v : values) {
+    g.set(v);
+    obs::metrics().count("monitor.test.ticks");
+    ASSERT_TRUE(series.sample(++minute));
+  }
+
+  const std::string path = temp_path("self_metrics_roundtrip.hpcb");
+  series.save(path);
+  const storage::Table loaded = storage::load_hpcb(path);
+  const storage::Table original = series.to_table();
+  ASSERT_EQ(loaded.schema, original.schema);
+  ASSERT_EQ(loaded.rows(), original.rows());
+  EXPECT_EQ(loaded.schema.front().name, "minute");
+  for (std::size_t c = 0; c < original.schema.size(); ++c) {
+    if (storage::is_float_column(original.schema[c].type)) {
+      ASSERT_EQ(loaded.columns[c].f64.size(), original.columns[c].f64.size());
+      for (std::size_t r = 0; r < original.columns[c].f64.size(); ++r)
+        EXPECT_EQ(bits_of(loaded.columns[c].f64[r]),
+                  bits_of(original.columns[c].f64[r]))
+            << original.schema[c].name << " row " << r;
+    } else {
+      EXPECT_EQ(loaded.columns[c].i64, original.columns[c].i64)
+          << original.schema[c].name;
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+TEST_F(MonitorTest, TimeSeriesConfigIsValidated) {
+  EXPECT_THROW(obs::MetricTimeSeries({0, 1}), std::invalid_argument);
+  EXPECT_THROW(obs::MetricTimeSeries({16, 0}), std::invalid_argument);
+  EXPECT_THROW(obs::MetricTimeSeries({16, -5}), std::invalid_argument);
+}
+
+// ---- HealthRegistry --------------------------------------------------------
+
+TEST_F(MonitorTest, HealthRollupWorstComponentWins) {
+  auto& h = obs::health();
+  EXPECT_EQ(h.overall(), obs::HealthStatus::kOk);
+  EXPECT_EQ(h.status("never.seen"), obs::HealthStatus::kOk);
+  h.set("b.stream", obs::HealthStatus::kOk);
+  h.set("a.power", obs::HealthStatus::kDegraded, "throttling");
+  EXPECT_EQ(h.overall(), obs::HealthStatus::kDegraded);
+  h.set("c.wal", obs::HealthStatus::kUnhealthy);
+  EXPECT_EQ(h.overall(), obs::HealthStatus::kUnhealthy);
+  h.set("c.wal", obs::HealthStatus::kOk);
+  EXPECT_EQ(h.overall(), obs::HealthStatus::kDegraded);
+
+  const auto snap = h.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].component, "a.power");  // sorted
+  EXPECT_EQ(snap[0].detail, "throttling");
+  EXPECT_EQ(snap[1].component, "b.stream");
+  EXPECT_EQ(snap[2].component, "c.wal");
+
+  EXPECT_STREQ(obs::health_status_name(obs::HealthStatus::kOk), "OK");
+  EXPECT_STREQ(obs::health_status_name(obs::HealthStatus::kDegraded),
+               "DEGRADED");
+  EXPECT_STREQ(obs::health_status_name(obs::HealthStatus::kUnhealthy),
+               "UNHEALTHY");
+}
+
+TEST_F(MonitorTest, HealthTransitionsAreCountedAndMirroredToGauges) {
+  auto& h = obs::health();
+  h.set("monitor.test", obs::HealthStatus::kOk);        // first sight: Ok
+  h.set("monitor.test", obs::HealthStatus::kDegraded);  // transition 1
+  h.set("monitor.test", obs::HealthStatus::kDegraded);  // no transition
+  h.set("monitor.test", obs::HealthStatus::kUnhealthy); // transition 2
+  h.set("monitor.test", obs::HealthStatus::kOk);        // transition 3
+  EXPECT_EQ(util::counters().value("health.transitions"), 3u);
+  EXPECT_EQ(util::counters().value("health.degraded.entered"), 1u);
+  EXPECT_EQ(util::counters().value("health.unhealthy.entered"), 1u);
+  EXPECT_EQ(obs::metrics().gauge("health.monitor.test").value(), 0.0);
+  EXPECT_EQ(obs::metrics().gauge("health.overall").value(), 0.0);
+  h.set("monitor.other", obs::HealthStatus::kUnhealthy);
+  EXPECT_EQ(obs::metrics().gauge("health.overall").value(), 2.0);
+
+  h.reset();
+  EXPECT_EQ(h.overall(), obs::HealthStatus::kOk);
+  EXPECT_TRUE(h.snapshot().empty());
+}
+
+// ---- SloEngine -------------------------------------------------------------
+
+TEST_F(MonitorTest, SloRuleValidationRejectsMalformedRules) {
+  const auto make = [](auto mutate) {
+    obs::SloRule rule;
+    rule.name = "test.rule";
+    rule.value = "gauge.test.v";
+    mutate(rule);
+    return std::vector<obs::SloRule>{rule};
+  };
+  EXPECT_NO_THROW(obs::SloEngine(make([](obs::SloRule&) {})));
+  EXPECT_THROW(obs::SloEngine(make([](obs::SloRule& r) { r.name = "flat"; })),
+               std::invalid_argument);
+  EXPECT_THROW(obs::SloEngine(make([](obs::SloRule& r) { r.objective = 1.0; })),
+               std::invalid_argument);
+  EXPECT_THROW(obs::SloEngine(make([](obs::SloRule& r) { r.objective = -0.1; })),
+               std::invalid_argument);
+  EXPECT_THROW(
+      obs::SloEngine(make([](obs::SloRule& r) { r.short_window_min = 0; })),
+      std::invalid_argument);
+  EXPECT_THROW(obs::SloEngine(make([](obs::SloRule& r) {
+                 r.short_window_min = 100;
+                 r.long_window_min = 10;
+               })),
+               std::invalid_argument);
+  EXPECT_THROW(
+      obs::SloEngine(make([](obs::SloRule& r) { r.burn_threshold = 0.0; })),
+      std::invalid_argument);
+  EXPECT_THROW(obs::SloEngine(make([](obs::SloRule& r) { r.value.clear(); })),
+               std::invalid_argument);
+  EXPECT_THROW(obs::SloEngine(make([](obs::SloRule& r) {
+                 r.bad = {"counter.test.bad"};  // both source shapes
+               })),
+               std::invalid_argument);
+  EXPECT_THROW(obs::SloEngine(make([](obs::SloRule& r) {
+                 r.value.clear();
+                 r.bad = {"counter.test.bad"};  // ratio without total
+               })),
+               std::invalid_argument);
+  EXPECT_NO_THROW(obs::SloEngine(obs::SloEngine::default_rules()));
+}
+
+TEST_F(MonitorTest, ThresholdRuleFiresAndResolvesWithExactReconciliation) {
+  obs::SloRule rule;
+  rule.name = "test.latency";
+  rule.value = "gauge.monitor.test.v";
+  rule.threshold = 0.5;
+  rule.objective = 0.9;  // 10% budget
+  rule.short_window_min = 3;
+  rule.long_window_min = 6;
+  obs::SloEngine engine({rule});
+  obs::MetricTimeSeries series({64, 1});
+  auto& g = obs::metrics().gauge("monitor.test.v");
+
+  const std::uint64_t fired0 = util::counters().value("slo.alerts.fired");
+  const std::uint64_t resolved0 = util::counters().value("slo.alerts.resolved");
+
+  std::int64_t fire_minute = -1, resolve_minute = -1;
+  for (std::int64_t minute = 1; minute <= 20; ++minute) {
+    g.set(minute <= 8 ? 1.0 : 0.0);
+    ASSERT_TRUE(series.sample(minute));
+    engine.evaluate(series, minute);
+    if (fire_minute < 0 && engine.fired() == 1) fire_minute = minute;
+    if (resolve_minute < 0 && engine.resolved() == 1) resolve_minute = minute;
+  }
+  // Bad fraction 1.0 against a 10% budget burns at 10x from the first
+  // sample; all-good windows later drop the burn to zero.
+  EXPECT_EQ(fire_minute, 1);
+  ASSERT_GT(resolve_minute, 8);
+  EXPECT_EQ(engine.fired(), 1u);
+  EXPECT_EQ(engine.resolved(), 1u);
+  EXPECT_EQ(engine.active(), 0u);
+
+  ASSERT_EQ(engine.alerts().size(), 1u);
+  const auto& alert = engine.alerts().front();
+  EXPECT_EQ(alert.rule, "test.latency");
+  EXPECT_EQ(alert.fired_minute, fire_minute);
+  EXPECT_EQ(alert.resolved_minute, resolve_minute);
+  EXPECT_FALSE(alert.active());
+  EXPECT_NEAR(alert.burn_short, 10.0, 1e-12);
+
+  // The registry counters moved in the same statements as the tallies.
+  EXPECT_EQ(util::counters().value("slo.alerts.fired") - fired0, 1u);
+  EXPECT_EQ(util::counters().value("slo.alerts.resolved") - resolved0, 1u);
+  EXPECT_EQ(obs::metrics().gauge("slo.alerts.active").value(), 0.0);
+}
+
+TEST_F(MonitorTest, RatioRuleBurnIsWindowedDeltaOfCumulativeColumns) {
+  obs::SloRule rule;
+  rule.name = "test.errors";
+  rule.bad = {"counter.monitor.test.bad"};
+  rule.total = {"counter.monitor.test.total"};
+  rule.objective = 0.9;  // 10% budget
+  rule.short_window_min = 2;
+  rule.long_window_min = 4;
+  obs::SloEngine engine({rule});
+  obs::MetricTimeSeries series({64, 1});
+
+  // Cumulative: total +100/min throughout; bad +50/min from minute 3.
+  for (std::int64_t minute = 1; minute <= 4; ++minute) {
+    obs::metrics().count("monitor.test.total", 100);
+    if (minute >= 3) obs::metrics().count("monitor.test.bad", 50);
+    ASSERT_TRUE(series.sample(minute));
+    engine.evaluate(series, minute);
+  }
+  // Short window (2, 4]: bad 100 / total 200 = 0.5 -> burn 5. Long window
+  // (0, 4]: samples before the first read as 0, so bad 100 / total 400 ->
+  // burn 2.5.
+  EXPECT_NEAR(engine.burn_rate(rule, series, 4, 2), 5.0, 1e-12);
+  EXPECT_NEAR(engine.burn_rate(rule, series, 4, 4), 2.5, 1e-12);
+  EXPECT_EQ(engine.fired(), 1u);  // both windows above 1.0 at minute 4
+
+  // Empty window (no total delta) burns zero instead of dividing by zero.
+  EXPECT_EQ(engine.burn_rate(rule, series, 100, 2), 0.0);
+}
+
+// ---- SelfMonitor -----------------------------------------------------------
+
+TEST_F(MonitorTest, SelfMonitorSamplesOnCadenceAndFinalizeExports) {
+  obs::MonitorConfig config;
+  config.cadence_minutes = 5;
+  config.ring_capacity = 64;
+  config.openmetrics_path = temp_path("monitor_export.prom");
+  config.self_metrics_path = temp_path("monitor_self.hpcb");
+  obs::SelfMonitor monitor(config);
+
+  std::vector<std::int64_t> collected;
+  monitor.add_collector([&](std::int64_t minute) {
+    collected.push_back(minute);
+    obs::metrics().gauge("monitor.test.from_collector").set(
+        static_cast<double>(minute));
+  });
+
+  for (std::int64_t minute = 0; minute <= 23; ++minute)
+    monitor.on_minute(minute);
+  monitor.finalize(23);
+
+  // Samples at 0, 5, 10, 15, 20 on cadence plus the forced 23.
+  EXPECT_EQ(monitor.series().size(), 6u);
+  EXPECT_EQ(monitor.series().last_minute(), 23);
+  ASSERT_EQ(collected.size(), 6u);
+  EXPECT_EQ(collected.back(), 23);
+  // Collectors run before the sample: their gauges land in the same minute.
+  EXPECT_EQ(monitor.series().value_at("gauge.monitor.test.from_collector", 20),
+            20.0);
+
+  // OpenMetrics export parses: non-empty, "# EOF" terminated.
+  std::ifstream prom(config.openmetrics_path, std::ios::binary);
+  ASSERT_TRUE(prom.good());
+  std::string text((std::istreambuf_iterator<char>(prom)),
+                   std::istreambuf_iterator<char>());
+  ASSERT_GE(text.size(), 6u);
+  EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+  EXPECT_GE(util::counters().value("monitor.exports"), 1u);
+
+  // Self-metrics .hpcb loads and covers every sampled minute.
+  const storage::Table table = storage::load_hpcb(config.self_metrics_path);
+  const auto& minutes = table.column("minute").i64;
+  EXPECT_EQ(minutes, (std::vector<std::int64_t>{0, 5, 10, 15, 20, 23}));
+
+  // The monitoring section names every shipped rule.
+  const std::string section = monitor.render_monitoring_section();
+  EXPECT_NE(section.find("## Continuous self-monitoring"), std::string::npos);
+  for (const auto& rule : obs::SloEngine::default_rules())
+    EXPECT_NE(section.find(rule.name), std::string::npos) << rule.name;
+
+  std::filesystem::remove(config.openmetrics_path);
+  std::filesystem::remove(config.self_metrics_path);
+}
+
+TEST_F(MonitorTest, PeriodicExportFollowsSimulatedMinutes) {
+  obs::MonitorConfig config;
+  config.cadence_minutes = 1;
+  config.openmetrics_path = temp_path("monitor_periodic.prom");
+  config.export_every_minutes = 10;
+  obs::SelfMonitor monitor(config);
+  for (std::int64_t minute = 0; minute <= 25; ++minute)
+    monitor.on_minute(minute);
+  // Exports at minutes 0, 10, 20 — driven by simulated time, not wall clock.
+  EXPECT_EQ(util::counters().value("monitor.exports"), 3u);
+  std::filesystem::remove(config.openmetrics_path);
+}
+
+// ---- chaos campaign integration -------------------------------------------
+
+TEST_F(MonitorTest, ChaosStreamedCampaignFiresAlertsThatReconcile) {
+  core::StudyConfig config;
+  config.days = 0.5;
+  config.warmup_days = 0.25;
+  config.instrument_begin_day = 0.0;
+  config.instrument_end_day = config.days;
+  config.faults.enabled = true;
+  config.node_failures.enabled = true;
+  config.node_failures.mtbf_days = 10.0;
+  config.power_manager.enabled = true;
+  config.power_manager.site_cap_fraction = 0.55;
+
+  stream::TransitFaultConfig faults;
+  faults.enabled = true;
+  faults.seed = 7;
+  faults.drop_p = 0.08;
+  faults.dup_p = 0.05;
+  faults.delay_p = 0.10;
+
+  stream::IngestConfig ingest;
+  ingest.capacity_rows_per_batch = 64;  // force LAGGING -> SHEDDING
+  ingest.shed_keep_rows_per_batch = 16;
+
+  obs::SelfMonitor monitor;
+  config.monitor = &monitor;
+
+  const std::uint64_t fired0 = util::counters().value("slo.alerts.fired");
+  const std::uint64_t resolved0 = util::counters().value("slo.alerts.resolved");
+
+  const auto result = stream::run_streamed_campaign(
+      cluster::emmy_spec(), config, ingest, faults);
+  monitor.finalize(util::MinuteTime::from_days(config.warmup_days + config.days)
+                       .minutes());
+
+  EXPECT_GT(result.apply.rows_shed, 0u);
+  EXPECT_GT(monitor.series().size(), 0u);
+  // The overloaded ingest is UNHEALTHY and at least one SLO alert fired.
+  EXPECT_EQ(obs::health().status("stream.ingest"),
+            obs::HealthStatus::kUnhealthy);
+  EXPECT_GE(monitor.slo().fired(), 1u);
+
+  // Exact ledger reconciliation: engine tallies == slo.* counter deltas ==
+  // the alert log.
+  const std::uint64_t fired = monitor.slo().fired();
+  const std::uint64_t resolved = monitor.slo().resolved();
+  EXPECT_EQ(util::counters().value("slo.alerts.fired") - fired0, fired);
+  EXPECT_EQ(util::counters().value("slo.alerts.resolved") - resolved0,
+            resolved);
+  EXPECT_EQ(monitor.slo().alerts().size(), fired);
+  std::uint64_t resolved_in_log = 0;
+  for (const auto& alert : monitor.slo().alerts())
+    resolved_in_log += alert.active() ? 0 : 1;
+  EXPECT_EQ(resolved_in_log, resolved);
+  EXPECT_EQ(monitor.slo().active(), fired - resolved);
+}
+
+}  // namespace
+}  // namespace hpcpower

@@ -21,6 +21,7 @@
 #include "core/prediction.hpp"
 #include "core/report.hpp"
 #include "core/study.hpp"
+#include "obs/monitor.hpp"
 #include "obs/span.hpp"
 #include "serve/adapter.hpp"
 #include "stream/source.hpp"
@@ -191,6 +192,29 @@ TEST_F(ParallelDeterminism, PowerManagedCampaignIsThreadCountInvariant) {
   for (const std::size_t threads : {std::size_t{2}, std::size_t{0}}) {
     SCOPED_TRACE("threads=" + std::to_string(threads));
     const RunOutput run = run_study(config, threads, /*with_ml=*/false);
+    expect_campaigns_identical(golden.campaigns, run.campaigns);
+    EXPECT_EQ(golden.report, run.report);
+  }
+}
+
+TEST_F(ParallelDeterminism, MonitoredCampaignIsByteIdenticalToUnmonitored) {
+  // Continuous self-monitoring only *observes* (DESIGN.md §6): the golden is
+  // the unmonitored serial run, and a monitored run must reproduce it byte
+  // for byte at every thread count — while actually recording samples.
+  core::StudyConfig config = small_config();
+  config.power_manager.enabled = true;
+  config.power_manager.site_cap_fraction = 0.65;
+  config.faults.enabled = true;
+  const RunOutput golden = run_study(config, 1, /*with_ml=*/false);
+  ASSERT_FALSE(golden.report.empty());
+  for (const std::size_t threads :
+       {std::size_t{1}, std::size_t{2}, std::size_t{0}}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    obs::SelfMonitor monitor;
+    core::StudyConfig monitored = config;
+    monitored.monitor = &monitor;
+    const RunOutput run = run_study(monitored, threads, /*with_ml=*/false);
+    EXPECT_GT(monitor.series().size(), 0u);
     expect_campaigns_identical(golden.campaigns, run.campaigns);
     EXPECT_EQ(golden.report, run.report);
   }

@@ -30,13 +30,18 @@ and 4d):
                                         daemon state summary)
   * serve.batched_identical == true    (batched served predictions bitwise
                                         equal to serial direct model calls)
+  * obs.ring_bounded == true           (self-monitoring ring stays bounded
+                                        by its capacity, evictions counted)
+  * obs.alerts_reconciled == true      (slo.* counters reconcile exactly
+                                        with the SLO engine's tallies)
 
 stream.wal_replay_ms is gated like the stage timings, and
 stream.ingest_rows_per_sec / serve.predictions_per_sec must stay above
 baseline * (1 - tolerance). Serving latency (serve.latency_p50_us / p99_us)
 is gated at baseline * (1 + tolerance) plus a small absolute grace, since
 single-call microsecond timings carry scheduler noise no relative tolerance
-can absorb.
+can absorb; obs.tick_us (per-tick self-monitoring cost) is gated the same
+way, and obs.openmetrics_ms / obs.hpcb_save_ms like the stage timings.
 
 --update rewrites the baseline from the candidate (after it passes the
 absolute floors) instead of comparing timings; commit the result.
@@ -146,6 +151,18 @@ def main():
         failures.append(
             "serve.batched_identical != true (batched served predictions "
             "must be bitwise identical to serial direct model calls)")
+    obs = cand.get("obs")
+    if obs is None:
+        failures.append("candidate has no 'obs' object (stale bench binary?)")
+    else:
+        if obs.get("ring_bounded") is not True:
+            failures.append(
+                "obs.ring_bounded != true (the self-monitoring ring must stay "
+                "bounded by its capacity, with evictions counted exactly)")
+        if obs.get("alerts_reconciled") is not True:
+            failures.append(
+                "obs.alerts_reconciled != true (slo.* registry counters must "
+                "reconcile exactly with the SLO engine's fire/resolve tallies)")
 
     if args.update:
         if failures:
@@ -250,6 +267,28 @@ def main():
                     f"serve.{key}: {cand_us:.2f} us exceeds {limit:.2f} us "
                     f"(baseline {base_us:.2f} us + {args.tolerance:.0%} "
                     f"+ {LATENCY_GRACE_US:g} us grace)")
+
+    base_obs = base.get("obs", {})
+    if obs is not None and base_obs:
+        # Per-tick monitoring cost: microsecond-scale, so it gets the same
+        # absolute grace as the serving latencies.
+        base_us = base_obs.get("tick_us")
+        cand_us = obs.get("tick_us")
+        if base_us is None or cand_us is None:
+            failures.append("obs.tick_us: missing from baseline or candidate")
+        else:
+            limit = base_us * (1.0 + args.tolerance) + LATENCY_GRACE_US
+            verdict = "ok  " if cand_us <= limit else "FAIL"
+            print(f"  {verdict} {'obs.tick_us':28s} baseline "
+                  f"{base_us:9.2f} us   candidate {cand_us:9.2f} us   "
+                  f"limit {limit:9.2f} us")
+            if cand_us > limit:
+                failures.append(
+                    f"obs.tick_us: {cand_us:.2f} us exceeds {limit:.2f} us "
+                    f"(baseline {base_us:.2f} us + {args.tolerance:.0%} "
+                    f"+ {LATENCY_GRACE_US:g} us grace)")
+        for key in ("openmetrics_ms", "hpcb_save_ms"):
+            gate(f"obs.{key}", base_obs.get(key), obs.get(key))
 
     if failures:
         print(f"\nbench gate: FAIL ({len(failures)} violation(s))", file=sys.stderr)

@@ -8,11 +8,18 @@
 #   m.count|gauge|histogram|timer("name"...)   (m aliasing obs::metrics())
 #   HPCPOWER_SPAN("name")
 #
-# across src/, bench/, and examples/ and fails listing every violation. Also
-# asserts that the streaming daemon's `stream.` family and the prediction
-# serving layer's `serve.` family are visible to the scan: bulk exporters
-# register through a registry alias, and a regex drift that stopped matching
-# them would otherwise pass silently.
+# across src/, bench/, and examples/ and fails listing every violation.
+#
+# Beyond the shape check, the first name component must belong to the
+# documented family allowlist below (one entry per subsystem; extend it in
+# the same change that introduces a new family, with the DESIGN.md §6 table
+# updated). An undocumented family fails the lint.
+#
+# Finally, families whose exporters register through a registry alias — the
+# streaming daemon's `stream.`, the serving layer's `serve.`, and the
+# monitoring loop's `slo.` / `health.` / `monitor.` — must each be visible to
+# the scan: a regex drift that stopped matching them would otherwise pass
+# silently.
 # Usage: tools/check_metric_names.sh
 set -euo pipefail
 
@@ -20,6 +27,12 @@ cd "$(dirname "$0")/.."
 
 DIRS=(src bench examples)
 NAME_RE='^[a-z0-9_]+(\.[a-z0-9_]+)+$'
+
+# Documented metric/span family allowlist (DESIGN.md §6). `bench` is the
+# synthetic-registry family the perf harness's obs stage churns; it never
+# appears outside bench/.
+FAMILIES=(analyze bench campaign csv health ml monitor power report sched
+          serve slo stage storage stream telemetry)
 
 # location<TAB>name for every metric/span registration call.
 extract() {
@@ -29,17 +42,29 @@ extract() {
     sed -E 's/^([^:]+:[0-9]+):.*"([^"]*)"$/\1\t\2/'
 }
 
+family_allowed() {
+  local fam="$1" f
+  for f in "${FAMILIES[@]}"; do
+    [[ "$fam" == "$f" ]] && return 0
+  done
+  return 1
+}
+
 status=0
 count=0
-stream_count=0
-serve_count=0
+declare -A guarded_counts=([stream]=0 [serve]=0 [slo]=0 [health]=0 [monitor]=0)
 while IFS=$'\t' read -r location name; do
   [[ -z "$name" ]] && continue
   count=$((count + 1))
-  [[ "$name" == stream.* ]] && stream_count=$((stream_count + 1))
-  [[ "$name" == serve.* ]] && serve_count=$((serve_count + 1))
+  family="${name%%.*}"
+  [[ -v "guarded_counts[$family]" ]] &&
+    guarded_counts[$family]=$((guarded_counts[$family] + 1))
   if ! [[ "$name" =~ $NAME_RE ]]; then
     echo "check_metric_names: $location: '$name' is not dotted lowercase" >&2
+    status=1
+  elif ! family_allowed "$family"; then
+    echo "check_metric_names: $location: '$name' uses undocumented family" \
+         "'$family' (add it to FAMILIES and DESIGN.md §6)" >&2
     status=1
   fi
 done < <(extract)
@@ -48,19 +73,17 @@ if [[ "$count" -eq 0 ]]; then
   echo "check_metric_names: found no metric/span names — extraction broken?" >&2
   exit 2
 fi
-if [[ "$stream_count" -eq 0 ]]; then
-  echo "check_metric_names: no stream.* names found — the ingest daemon's" \
-       "metric exports are no longer visible to this scan" >&2
-  exit 2
-fi
-if [[ "$serve_count" -eq 0 ]]; then
-  echo "check_metric_names: no serve.* names found — the prediction serving" \
-       "layer's metric exports are no longer visible to this scan" >&2
-  exit 2
-fi
+for family in stream serve slo health monitor; do
+  if [[ "${guarded_counts[$family]}" -eq 0 ]]; then
+    echo "check_metric_names: no $family.* names found — that subsystem's" \
+         "metric exports are no longer visible to this scan" >&2
+    exit 2
+  fi
+done
 
 if [[ "$status" -ne 0 ]]; then
-  echo "check_metric_names: FAIL (names must match $NAME_RE)" >&2
+  echo "check_metric_names: FAIL (names must match $NAME_RE and use a" \
+       "documented family)" >&2
   exit 1
 fi
 echo "check_metric_names: OK ($count names checked)"

@@ -157,6 +157,44 @@ if ! cmp -s "$SERVE_TMP/ref-predictions.txt" \
 fi
 echo "snapshot reload serves byte-identical predictions"
 
+# Continuous-monitoring smoke: a chaos streamed campaign (transit faults,
+# node failures, tight site cap, undersized ingest capacity) run under the
+# SelfMonitor must fire at least one SLO alert (--require-alert exits 3
+# otherwise, and exits 4 if the slo.* counters stop reconciling with the
+# engine), produce an OpenMetrics file that is "# EOF"-terminated, and write
+# a self-metrics .hpcb that trace_explorer can load back.
+echo "== continuous monitoring smoke (chaos campaign / SLO alert / exports) =="
+MON_TMP="$OBS_TMP/monitor-smoke"
+rm -rf "$MON_TMP"
+mkdir -p "$MON_TMP"
+if ! "$BUILD_DIR"/examples/hpcpower_top --days 0.5 --seed 21 --chaos --quiet \
+    --require-alert --openmetrics-out "$MON_TMP/metrics.prom" \
+    --self-metrics-out "$MON_TMP/self.hpcb" \
+    --monitoring-out "$MON_TMP/monitoring.md"; then
+  echo "run_tier1: monitored chaos campaign failed (no alert, broken" \
+       "reconciliation, or export error)" >&2
+  exit 1
+fi
+if [[ "$(tail -n 1 "$MON_TMP/metrics.prom")" != "# EOF" ]]; then
+  echo "run_tier1: OpenMetrics export is not '# EOF'-terminated" >&2
+  exit 1
+fi
+if ! grep -q '_total ' "$MON_TMP/metrics.prom" ||
+    ! grep -q '^health_status{' "$MON_TMP/metrics.prom"; then
+  echo "run_tier1: OpenMetrics export is missing counters or health gauges" >&2
+  exit 1
+fi
+if ! "$BUILD_DIR"/examples/trace_explorer --inspect "$MON_TMP/self.hpcb" \
+    > "$MON_TMP/inspect.txt"; then
+  echo "run_tier1: trace_explorer cannot read the self-metrics .hpcb" >&2
+  exit 1
+fi
+if ! grep -q 'counter.slo.alerts.fired' "$MON_TMP/inspect.txt"; then
+  echo "run_tier1: self-metrics table is missing the slo.* columns" >&2
+  exit 1
+fi
+echo "chaos campaign fired an SLO alert; OpenMetrics + self-metrics exports parse"
+
 if [[ -n "$THREADS" ]]; then
   echo "== re-running suite with HPCPOWER_THREADS=1 (serial reference) =="
   HPCPOWER_THREADS=1 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@" || exit 1
