@@ -45,7 +45,9 @@
 #include "cluster/rapl.hpp"
 #include "stats/correlation.hpp"
 #include "stats/descriptive.hpp"
+#include "storage/filebytes.hpp"
 #include "storage/hpcb.hpp"
+#include "storage/scan.hpp"
 #include "stream/source.hpp"
 #include "trace/sample_table.hpp"
 #include "util/logging.hpp"
@@ -302,9 +304,8 @@ std::vector<trace::PowerSampleRow> make_storage_rows(double days) {
   return rows;
 }
 
-StorageResult run_storage_stage(double days) {
+StorageResult run_storage_stage(const std::vector<trace::PowerSampleRow>& rows) {
   obs::metrics().reset();
-  const auto rows = make_storage_rows(days);
   StorageResult out;
   out.rows = rows.size();
 
@@ -362,6 +363,139 @@ StorageResult run_storage_stage(double days) {
   out.csv_read_ms = stage_ms("stage.storage.csv_read") / kReps;
   out.hpcb_read_ms = stage_ms("stage.storage.hpcb_read") / kReps;
   out.hpcb_scan_ms = stage_ms("stage.storage.hpcb_scan") / kReps;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Query stage: zone-map predicate pushdown vs full-scan decode on a file.
+//
+// The sample table is rewritten sorted by minute so blocks partition the time
+// axis and a trailing ~5% minute window is provably prunable. The pruned scan
+// must answer that window >= 3x faster than decoding every block (the gate's
+// absolute floor), and its output must be byte-identical to filtering the
+// full decode at 1, 2, and all threads — pruning may only skip work, never
+// change an answer.
+
+struct QueryResult {
+  std::size_t rows = 0;
+  std::size_t blocks_total = 0;
+  std::size_t blocks_pruned = 0;
+  double block_match_fraction = 1.0;
+  double full_scan_ms = 0.0;     // same window, zone maps off: decode + filter
+  double pruned_scan_ms = 0.0;   // zone maps on
+  double agg_count_ms = 0.0;     // pruned count(*): CRC-only full-match blocks
+  double mmap_read_ms = 0.0;     // whole-file load, mapped
+  double buffered_read_ms = 0.0; // whole-file load, ifstream
+  bool mmap_supported = false;
+  bool identical = false;        // pruned == filtered full scan, all thread counts
+
+  [[nodiscard]] double pruned_speedup() const {
+    return pruned_scan_ms > 0.0 ? full_scan_ms / pruned_scan_ms : 0.0;
+  }
+};
+
+bool tables_bitwise_equal(const storage::Table& a, const storage::Table& b) {
+  if (a.schema.size() != b.schema.size() || a.rows() != b.rows()) return false;
+  for (std::size_t c = 0; c < a.schema.size(); ++c) {
+    if (a.schema[c].name != b.schema[c].name) return false;
+    const auto& ca = a.columns[c];
+    const auto& cb = b.columns[c];
+    if (ca.i64 != cb.i64) return false;
+    if (ca.f64.size() != cb.f64.size()) return false;
+    if (!ca.f64.empty() &&
+        std::memcmp(ca.f64.data(), cb.f64.data(),
+                    ca.f64.size() * sizeof(double)) != 0)
+      return false;
+  }
+  return true;
+}
+
+QueryResult run_query_stage(std::vector<trace::PowerSampleRow> rows) {
+  namespace fs = std::filesystem;
+  QueryResult out;
+  out.rows = rows.size();
+  out.mmap_supported = storage::FileBytes::mmap_supported();
+  if (rows.empty()) return out;
+
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const trace::PowerSampleRow& a,
+                      const trace::PowerSampleRow& b) { return a.minute < b.minute; });
+  const fs::path path = fs::temp_directory_path() / "hpcpower_bench_query.hpcb";
+  trace::save_sample_table(path.string(), rows, trace::TraceFormat::kHpcb);
+
+  // A ~5% slice of the minute span, mid-campaign: with the table time-sorted
+  // the zone maps prove ~95% of blocks can never match.
+  const std::int64_t lo = rows.front().minute;
+  const std::int64_t span = rows.back().minute - lo + 1;
+  const std::int64_t win_lo = lo + (span * 45) / 100;
+  const std::int64_t win_hi = lo + (span * 50) / 100;
+  storage::ScanQuery window;
+  window.where = {
+      storage::make_predicate("minute", storage::PredicateOp::kGe, win_lo),
+      storage::make_predicate("minute", storage::PredicateOp::kLe, win_hi)};
+
+  storage::ScanOptions pruned_opts;
+  storage::ScanOptions full_opts;
+  full_opts.use_zone_maps = false;
+
+  // Identity first: at 1, 2, and all threads the pruned scan must produce
+  // the exact bytes of filter-after-full-decode.
+  out.identical = true;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{0}}) {
+    util::set_global_thread_count(threads);
+    const auto pruned = storage::scan_hpcb_file(path.string(), window, pruned_opts);
+    const auto full = storage::scan_hpcb_file(path.string(), window, full_opts);
+    if (!tables_bitwise_equal(pruned.table, full.table) ||
+        pruned.count != full.count)
+      out.identical = false;
+    if (threads == 0) {
+      out.blocks_total = pruned.stats.blocks_total;
+      out.blocks_pruned = pruned.stats.blocks_pruned;
+      if (pruned.stats.blocks_total > 0)
+        out.block_match_fraction =
+            static_cast<double>(pruned.stats.blocks_total -
+                                pruned.stats.blocks_pruned) /
+            static_cast<double>(pruned.stats.blocks_total);
+    }
+  }
+
+  constexpr int kReps = 5;
+  const auto time_ms = [](auto&& fn) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int r = 0; r < kReps; ++r) fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(t1 - t0).count() / kReps;
+  };
+  out.pruned_scan_ms = time_ms([&] {
+    benchmark::DoNotOptimize(
+        storage::scan_hpcb_file(path.string(), window, pruned_opts).count);
+  });
+  out.full_scan_ms = time_ms([&] {
+    benchmark::DoNotOptimize(
+        storage::scan_hpcb_file(path.string(), window, full_opts).count);
+  });
+  {
+    storage::ScanQuery count = window;
+    count.agg = storage::AggregateOp::kCount;
+    out.agg_count_ms = time_ms([&] {
+      benchmark::DoNotOptimize(
+          storage::scan_hpcb_file(path.string(), count, pruned_opts).count);
+    });
+  }
+  {
+    storage::ReadOptions mapped;
+    mapped.mmap = true;
+    out.mmap_read_ms = time_ms([&] {
+      benchmark::DoNotOptimize(storage::load_hpcb(path.string(), mapped).rows());
+    });
+    storage::ReadOptions buffered;
+    buffered.mmap = false;
+    out.buffered_read_ms = time_ms([&] {
+      benchmark::DoNotOptimize(storage::load_hpcb(path.string(), buffered).rows());
+    });
+  }
+
+  fs::remove(path);
   return out;
 }
 
@@ -684,7 +818,9 @@ int run_stage_harness(double days, const std::string& out_path) {
   const ChainResult parallel = run_chain(config);
   const bool deterministic = serial.report_text == parallel.report_text;
   const unsigned hw = std::thread::hardware_concurrency();
-  const StorageResult storage = run_storage_stage(days);
+  const auto sample_rows = make_storage_rows(days);
+  const StorageResult storage = run_storage_stage(sample_rows);
+  const QueryResult query = run_query_stage(sample_rows);
   const StreamResult stream = run_stream_stage(days);
   const ServeResult serve_r = run_serve_stage(days);
   const ObsResult obs_r = run_obs_stage();
@@ -736,6 +872,21 @@ int run_stage_harness(double days, const std::string& out_path) {
                storage.size_ratio(), storage.csv_write_ms, storage.hpcb_write_ms,
                storage.csv_read_ms, storage.hpcb_read_ms, storage.hpcb_scan_ms,
                storage.read_speedup());
+  std::fprintf(f,
+               "  \"query\": {\n"
+               "    \"rows\": %zu,\n    \"blocks_total\": %zu,\n"
+               "    \"blocks_pruned\": %zu,\n"
+               "    \"block_match_fraction\": %.4f,\n"
+               "    \"full_scan_ms\": %.2f,\n    \"pruned_scan_ms\": %.2f,\n"
+               "    \"pruned_speedup\": %.2f,\n    \"agg_count_ms\": %.2f,\n"
+               "    \"mmap_read_ms\": %.2f,\n    \"buffered_read_ms\": %.2f,\n"
+               "    \"mmap_supported\": %s,\n    \"identical\": %s\n  },\n",
+               query.rows, query.blocks_total, query.blocks_pruned,
+               query.block_match_fraction, query.full_scan_ms,
+               query.pruned_scan_ms, query.pruned_speedup(), query.agg_count_ms,
+               query.mmap_read_ms, query.buffered_read_ms,
+               query.mmap_supported ? "true" : "false",
+               query.identical ? "true" : "false");
   std::fprintf(f,
                "  \"stream\": {\n"
                "    \"batches\": %llu,\n    \"rows\": %llu,\n"
@@ -801,6 +952,16 @@ int run_stage_harness(double days, const std::string& out_path) {
       storage.csv_read_ms, storage.hpcb_read_ms, storage.read_speedup(),
       storage.hpcb_scan_ms);
   std::printf(
+      "  query      %zu rows / %zu blocks: window matches %zu blocks (%.1f%%), "
+      "pruned %.1f ms vs full %.1f ms (%.2fx), count %.2f ms, load mmap %.1f "
+      "ms vs buffered %.1f ms%s, pruned==filtered %s\n",
+      query.rows, query.blocks_total, query.blocks_total - query.blocks_pruned,
+      query.block_match_fraction * 100.0, query.pruned_scan_ms,
+      query.full_scan_ms, query.pruned_speedup(), query.agg_count_ms,
+      query.mmap_read_ms, query.buffered_read_ms,
+      query.mmap_supported ? "" : " (mmap unsupported: both buffered)",
+      query.identical ? "byte-identical" : "DIVERGED");
+  std::printf(
       "  stream     %llu batches / %llu rows: WAL replay %.1f ms (%.0f "
       "rows/s), peak pending %llu, retained %llu vs %llu at half length "
       "(flat=%s), recovery %s\n",
@@ -833,9 +994,9 @@ int run_stage_harness(double days, const std::string& out_path) {
   std::printf("  deterministic (byte-identical report): %s\n",
               deterministic ? "yes" : "NO");
   std::printf("  wrote %s\n", out_path.c_str());
-  return (deterministic && stream.flat_memory && stream.recovery_identical &&
-          serve_r.batched_identical && obs_r.ring_bounded &&
-          obs_r.alerts_reconciled)
+  return (deterministic && query.identical && stream.flat_memory &&
+          stream.recovery_identical && serve_r.batched_identical &&
+          obs_r.ring_bounded && obs_r.alerts_reconciled)
              ? 0
              : 1;
 }

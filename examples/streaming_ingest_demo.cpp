@@ -15,6 +15,9 @@
 //   ./streaming_ingest_demo --days 1 --wal /tmp/wal --kill-at-seq 700
 //       (add --kill-mode torn-wal|torn-checkpoint; exits 137 mid-stream)
 //   ./streaming_ingest_demo --days 1 --wal /tmp/wal --resume --out report.md
+//   ./streaming_ingest_demo --days 1 --spill /tmp/spill.hpcb --window-minutes 60
+//       (spills applied detail rows to a queryable .hpcb; the trailing
+//        window statistic is then a zone-map range query, not a ring walk)
 
 #include <cstdio>
 #include <exception>
@@ -25,6 +28,7 @@
 #include "core/study.hpp"
 #include "obs/manifest.hpp"
 #include "obs/span.hpp"
+#include "storage/scan.hpp"
 #include "stream/source.hpp"
 #include "util/logging.hpp"
 #include "util/options.hpp"
@@ -61,6 +65,10 @@ int main(int argc, char** argv) {
                   "crash flavor: after-batch | torn-wal | torn-checkpoint",
                   "after-batch");
   opts.add_flag("resume", "recover from the WAL first; re-streamed batches drop as stale");
+  opts.add_option("spill", "spill applied detail rows to this queryable .hpcb"
+                           " file", "");
+  opts.add_option("window-minutes", "trailing window queried from the spill"
+                                    " after the run", "60");
   opts.add_option("out", "write the streamed campaign report here", "");
   opts.add_option("batch-out", "write the batch-path report here (for diffing)", "");
   opts.add_option("summary-out", "write the daemon's deterministic summary here", "");
@@ -86,6 +94,7 @@ int main(int argc, char** argv) {
 
   stream::IngestConfig ingest;
   ingest.wal_dir = opts.str("wal");
+  ingest.spill_path = opts.str("spill");
   ingest.checkpoint_every = static_cast<std::uint64_t>(opts.integer("checkpoint-every"));
   ingest.capacity_rows_per_batch =
       static_cast<std::uint64_t>(opts.integer("capacity"));
@@ -158,6 +167,39 @@ int main(int argc, char** argv) {
       !write_file(opts.str("summary-out"), summary)) {
     std::fprintf(stderr, "failed to write %s\n", opts.str("summary-out").c_str());
     return 1;
+  }
+
+  if (!ingest.spill_path.empty()) {
+    // Close out the spill and answer "what did the last N minutes look
+    // like?" as a pruned range query — the streaming-window read path the
+    // ring used to serve, now against the durable columnar sidecar.
+    daemon.finish_spill();
+    const auto window =
+        static_cast<std::int64_t>(opts.integer("window-minutes"));
+    try {
+      storage::ScanQuery max_minute;
+      max_minute.agg = storage::AggregateOp::kMax;
+      max_minute.agg_column = "minute";
+      const auto last = storage::scan_hpcb_file(ingest.spill_path, max_minute, {});
+      storage::ScanQuery q;
+      q.agg = storage::AggregateOp::kMean;
+      q.agg_column = "watts";
+      if (last.value_count > 0)
+        q.where.push_back(storage::make_predicate(
+            "minute", storage::PredicateOp::kGe,
+            static_cast<std::int64_t>(last.value) - (window - 1)));
+      const auto mean = storage::scan_hpcb_file(ingest.spill_path, q, {});
+      if (!opts.flag("quiet"))
+        std::printf("spill: %llu rows in %s; last %lld min window: mean"
+                    " %.1f W over %llu rows (%zu/%zu blocks pruned)\n",
+                    static_cast<unsigned long long>(daemon.spill_rows()),
+                    ingest.spill_path.c_str(), static_cast<long long>(window),
+                    mean.value, static_cast<unsigned long long>(mean.count),
+                    mean.stats.blocks_pruned, mean.stats.blocks_total);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "spill query failed: %s\n", e.what());
+      return 1;
+    }
   }
 
   if (!opts.flag("quiet")) {

@@ -7,12 +7,22 @@
 //
 //   ./trace_explorer [--days 3] [--seed 42] [--outdir /tmp] [--format csv|hpcb]
 //   ./trace_explorer --inspect self.hpcb
+//   ./trace_explorer --query samples.hpcb --where "minute>=1440,minute<=2879" \
+//                    --select job_id,pkg_w --agg mean:pkg_w
 //
 // --format hpcb writes the binary columnar container (.hpcb) instead of CSV;
-// the re-analysis below reads either format back through the same loaders.
+// the re-analysis below reads either format back through the same loaders
+// (projected+pruned aggregate scans when the files are .hpcb).
 // --inspect opens *any* .hpcb table — including the self-metrics file the
-// monitoring loop writes (obs/monitor.hpp) — and prints its schema and a
-// per-column summary without running a campaign.
+// monitoring loop writes (obs/monitor.hpp) — and prints its schema, zone-map
+// presence, and a per-column summary without running a campaign.
+// --query runs a predicate-pushdown scan (storage/scan.hpp): --where is a
+// comma-separated conjunction ("col>=v,col2!=v2"), --select a projection,
+// --agg one of count/min:col/max:col/sum:col/mean:col. Matching rows print
+// as CSV on stdout (%.17g, so doubles round-trip); scan statistics go to
+// stderr. --no-prune disables zone-map pruning (full decode baseline),
+// --no-mmap forces buffered reads, --strict makes any corruption fatal
+// instead of skip-and-book.
 
 #include <cmath>
 #include <cstdio>
@@ -20,6 +30,7 @@
 
 #include "core/job_analysis.hpp"
 #include "storage/hpcb.hpp"
+#include "storage/scan.hpp"
 #include "stats/descriptive.hpp"
 #include "trace/format.hpp"
 #include "trace/job_table.hpp"
@@ -27,6 +38,7 @@
 #include "trace/system_series.hpp"
 #include "util/logging.hpp"
 #include "util/options.hpp"
+#include "util/strings.hpp"
 #include "workload/generator.hpp"
 
 using namespace hpcpower;
@@ -47,6 +59,12 @@ int inspect_hpcb(const std::string& path) {
   }
   std::printf("%s: %zu columns, %zu rows, %zu blocks\n", path.c_str(),
               table.schema.size(), table.rows(), rstats.blocks.size());
+  if (const auto zones = storage::load_hpcb_zone_maps(path))
+    std::printf("  zone maps: %zu blocks x %zu columns (queries prune on them)\n",
+                zones->block_count(), zones->column_count);
+  else
+    std::printf("  zone maps: none (v1 file or damaged section; queries scan"
+                " every block)\n");
   for (std::size_t c = 0; c < table.schema.size(); ++c) {
     const auto& spec = table.schema[c];
     const auto& col = table.columns[c];
@@ -79,6 +97,91 @@ int inspect_hpcb(const std::string& path) {
   return 0;
 }
 
+/// One cell in the CSV a --query prints. %.17g is injective for doubles, so
+/// piping the output back through a CSV loader loses nothing.
+void print_cell(const storage::Table& t, std::size_t col, std::size_t row) {
+  if (storage::is_float_column(t.schema[col].type))
+    std::printf("%.17g", t.columns[col].f64[row]);
+  else
+    std::printf("%lld", static_cast<long long>(t.columns[col].i64[row]));
+}
+
+/// --query mode: predicate-pushdown scan of any .hpcb file. Rows (CSV) or
+/// the aggregate go to stdout; scan statistics go to stderr. Exit 0 on
+/// success, 1 on a clean error (bad query text, unknown column, corrupt
+/// file in --strict mode).
+int run_query(const util::Options& opts) {
+  const std::string path = opts.str("query");
+  storage::ScanQuery query;
+  for (const std::string& part : util::split(opts.str("where"), ',')) {
+    if (util::trim(part).empty()) continue;
+    const auto pred = storage::parse_predicate(part);
+    if (!pred) {
+      std::fprintf(stderr, "bad predicate: %s (want \"column OP value\")\n",
+                   part.c_str());
+      return 1;
+    }
+    query.where.push_back(*pred);
+  }
+  for (const std::string& part : util::split(opts.str("select"), ','))
+    if (!util::trim(part).empty())
+      query.select.emplace_back(util::trim(part));
+  if (!opts.str("agg").empty()) {
+    const auto agg = storage::parse_aggregate(opts.str("agg"));
+    if (!agg) {
+      std::fprintf(stderr,
+                   "bad aggregate: %s (want count|min:col|max:col|sum:col|"
+                   "mean:col)\n",
+                   opts.str("agg").c_str());
+      return 1;
+    }
+    query.agg = agg->first;
+    query.agg_column = agg->second;
+  }
+  storage::ScanOptions options;
+  options.lenient = !opts.flag("strict");
+  options.use_zone_maps = !opts.flag("no-prune");
+  options.mmap = !opts.flag("no-mmap");
+
+  storage::ScanResult result;
+  try {
+    result = storage::scan_hpcb_file(path, query, options);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "query failed: %s\n", e.what());
+    return 1;
+  }
+  const storage::ScanStats& st = result.stats;
+  std::fprintf(stderr,
+               "scan %s: %zu blocks (%zu pruned, %zu full-match, %zu decoded, "
+               "%zu skipped), %llu rows matched, zone maps %s, %s read\n",
+               path.c_str(), st.blocks_total, st.blocks_pruned,
+               st.blocks_full_match, st.blocks_decoded, st.blocks_skipped,
+               static_cast<unsigned long long>(result.count),
+               st.zone_maps ? "on" : "off", st.mapped ? "mmap" : "buffered");
+
+  if (query.agg == storage::AggregateOp::kNone) {
+    const storage::Table& t = result.table;
+    for (std::size_t c = 0; c < t.schema.size(); ++c)
+      std::printf("%s%s", c == 0 ? "" : ",", t.schema[c].name.c_str());
+    std::printf("\n");
+    for (std::size_t r = 0; r < t.rows(); ++r) {
+      for (std::size_t c = 0; c < t.schema.size(); ++c) {
+        if (c != 0) std::printf(",");
+        print_cell(t, c, r);
+      }
+      std::printf("\n");
+    }
+  } else if (query.agg == storage::AggregateOp::kCount) {
+    std::printf("count = %llu\n", static_cast<unsigned long long>(result.count));
+  } else {
+    std::printf("%s = %.17g (over %llu non-null of %llu matched rows)\n",
+                opts.str("agg").c_str(), result.value,
+                static_cast<unsigned long long>(result.value_count),
+                static_cast<unsigned long long>(result.count));
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -89,11 +192,23 @@ int main(int argc, char** argv) {
   opts.add_option("format", "trace container format: csv or hpcb", "csv");
   opts.add_option("inspect", "print schema + column summary of this .hpcb"
                              " file and exit (no campaign)", "");
+  opts.add_option("query", "run a pruned scan over this .hpcb file and exit"
+                           " (no campaign)", "");
+  opts.add_option("where", "comma-separated predicate conjunction for --query"
+                           " (e.g. \"minute>=1440,minute<=2879\")", "");
+  opts.add_option("select", "comma-separated column projection for --query", "");
+  opts.add_option("agg", "aggregate for --query: count|min:col|max:col|"
+                         "sum:col|mean:col", "");
+  opts.add_flag("no-prune", "--query: decode every block (zone maps off)");
+  opts.add_flag("no-mmap", "--query: buffered reads instead of mmap");
+  opts.add_flag("strict", "--query: any corruption is fatal (default books"
+                          " and skips)");
   opts.add_flag("quiet", "suppress progress logging");
   trace::TraceFormat format = trace::TraceFormat::kCsv;
   try {
     if (!opts.parse(argc, argv)) return 0;
     if (!opts.str("inspect").empty()) return inspect_hpcb(opts.str("inspect"));
+    if (!opts.str("query").empty()) return run_query(opts);
     const auto parsed = trace::parse_trace_format(opts.str("format"));
     if (!parsed || *parsed == trace::TraceFormat::kAuto)
       throw std::invalid_argument("--format must be csv or hpcb");
@@ -177,14 +292,51 @@ int main(int argc, char** argv) {
   std::printf("  %zu completed jobs, mean per-node power %.1f W (std %.1f W)\n",
               summary.count, summary.mean, summary.stddev);
 
-  const auto samples = trace::load_sample_table(sample_path);
-  stats::RunningStats pkg, dram;
-  for (const auto& s : samples) {
-    pkg.add(s.pkg_w);
-    dram.add(s.dram_w);
+  if (format == trace::TraceFormat::kHpcb) {
+    // Projected aggregate scans: each mean decodes only its own column, and
+    // the second half of the trace is a zone-map range query that never
+    // touches the first half's blocks.
+    const auto mean_of = [&](const std::string& column,
+                             std::vector<storage::Predicate> where = {}) {
+      storage::ScanQuery q;
+      q.agg = storage::AggregateOp::kMean;
+      q.agg_column = column;
+      q.where = std::move(where);
+      return storage::scan_hpcb_file(sample_path, q, {});
+    };
+    const auto pkg = mean_of("pkg_w");
+    const auto dram = mean_of("dram_w");
+    std::printf("  sample table: PKG mean %.1f W, DRAM mean %.1f W over %llu"
+                " samples (projected scans)\n",
+                pkg.value, dram.value,
+                static_cast<unsigned long long>(pkg.count));
+    std::int64_t min_minute = 0, max_minute = 0;
+    if (!rows.empty()) {
+      min_minute = max_minute = rows.front().minute;
+      for (const auto& s : rows) {
+        min_minute = std::min(min_minute, s.minute);
+        max_minute = std::max(max_minute, s.minute);
+      }
+    }
+    const std::int64_t half = min_minute + (max_minute - min_minute) / 2;
+    const auto late = mean_of(
+        "pkg_w", {storage::make_predicate("minute", storage::PredicateOp::kGe,
+                                          half)});
+    std::printf("  late-half window (minute >= %lld): PKG mean %.1f W over"
+                " %llu samples — %zu/%zu blocks pruned by zone maps\n",
+                static_cast<long long>(half), late.value,
+                static_cast<unsigned long long>(late.count),
+                late.stats.blocks_pruned, late.stats.blocks_total);
+  } else {
+    const auto samples = trace::load_sample_table(sample_path);
+    stats::RunningStats pkg, dram;
+    for (const auto& s : samples) {
+      pkg.add(s.pkg_w);
+      dram.add(s.dram_w);
+    }
+    std::printf("  sample table: PKG mean %.1f W, DRAM mean %.1f W over %zu samples\n",
+                pkg.mean(), dram.mean(), samples.size());
   }
-  std::printf("  sample table: PKG mean %.1f W, DRAM mean %.1f W over %zu samples\n",
-              pkg.mean(), dram.mean(), samples.size());
 
   const auto series = trace::load_system_series(series_path);
   stats::RunningStats util;

@@ -1,0 +1,83 @@
+#include "storage/filebytes.hpp"
+
+#include <fstream>
+#include <iterator>
+#include <stdexcept>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define HPCPOWER_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define HPCPOWER_HAS_MMAP 0
+#endif
+
+namespace hpcpower::storage {
+
+namespace {
+
+void read_buffered(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  out.assign(std::istreambuf_iterator<char>(in),
+             std::istreambuf_iterator<char>());
+  if (in.bad()) throw std::runtime_error("read failed: " + path);
+}
+
+}  // namespace
+
+FileBytes FileBytes::open(const std::string& path, bool prefer_mmap) {
+  FileBytes fb;
+#if HPCPOWER_HAS_MMAP
+  if (prefer_mmap) {
+    const int fd = ::open(path.c_str(), O_RDONLY);  // NOLINT(*-vararg)
+    if (fd < 0) throw std::runtime_error("cannot open for reading: " + path);
+    struct stat st{};
+    const bool ok = ::fstat(fd, &st) == 0 && S_ISREG(st.st_mode);
+    // Empty files map to a zero-length view without calling mmap (which
+    // rejects length 0); irregular files fall back to buffered reads.
+    if (ok && st.st_size > 0) {
+      void* map = ::mmap(nullptr, static_cast<std::size_t>(st.st_size),
+                         PROT_READ, MAP_PRIVATE, fd, 0);
+      if (map != MAP_FAILED) {
+        fb.map_ = map;
+        fb.map_size_ = static_cast<std::size_t>(st.st_size);
+      }
+    }
+    ::close(fd);
+    if (fb.map_ != nullptr || (ok && st.st_size == 0)) return fb;
+  }
+#endif
+  read_buffered(path, fb.buffer_);
+  return fb;
+}
+
+FileBytes::~FileBytes() {
+#if HPCPOWER_HAS_MMAP
+  if (map_ != nullptr) ::munmap(map_, map_size_);
+#endif
+}
+
+FileBytes::FileBytes(FileBytes&& other) noexcept
+    : buffer_(std::move(other.buffer_)),
+      map_(std::exchange(other.map_, nullptr)),
+      map_size_(std::exchange(other.map_size_, 0)) {}
+
+FileBytes& FileBytes::operator=(FileBytes&& other) noexcept {
+  if (this != &other) {
+#if HPCPOWER_HAS_MMAP
+    if (map_ != nullptr) ::munmap(map_, map_size_);
+#endif
+    buffer_ = std::move(other.buffer_);
+    map_ = std::exchange(other.map_, nullptr);
+    map_size_ = std::exchange(other.map_size_, 0);
+  }
+  return *this;
+}
+
+bool FileBytes::mmap_supported() noexcept { return HPCPOWER_HAS_MMAP != 0; }
+
+}  // namespace hpcpower::storage

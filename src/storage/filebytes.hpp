@@ -1,0 +1,47 @@
+#pragma once
+// FileBytes — a read-only byte view of a file, mmap'd when the platform
+// supports it so .hpcb block decoding reads straight from the page cache
+// (zero copy), with a buffered-ifstream fallback everywhere else. The view
+// is stable for the object's lifetime; readers treat it exactly like an
+// in-memory buffer, so the mapped and buffered paths share every byte of
+// parsing code (and the bit-identical parallel-decode guarantee).
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace hpcpower::storage {
+
+class FileBytes {
+ public:
+  /// Opens `path` and maps or reads it. `prefer_mmap` false forces the
+  /// buffered path (used by benchmarks to compare the two). Throws
+  /// std::runtime_error when the file cannot be opened or read.
+  [[nodiscard]] static FileBytes open(const std::string& path,
+                                      bool prefer_mmap = true);
+
+  FileBytes() = default;
+  ~FileBytes();
+  FileBytes(FileBytes&& other) noexcept;
+  FileBytes& operator=(FileBytes&& other) noexcept;
+  FileBytes(const FileBytes&) = delete;
+  FileBytes& operator=(const FileBytes&) = delete;
+
+  [[nodiscard]] std::string_view view() const noexcept {
+    return map_ != nullptr
+               ? std::string_view(static_cast<const char*>(map_), map_size_)
+               : std::string_view(buffer_);
+  }
+  /// True when the bytes come from an mmap'd region (not a heap copy).
+  [[nodiscard]] bool mapped() const noexcept { return map_ != nullptr; }
+
+  /// True when this build/platform can mmap at all.
+  [[nodiscard]] static bool mmap_supported() noexcept;
+
+ private:
+  std::string buffer_;
+  void* map_ = nullptr;
+  std::size_t map_size_ = 0;
+};
+
+}  // namespace hpcpower::storage

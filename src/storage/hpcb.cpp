@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <istream>
@@ -14,6 +15,8 @@
 
 #include "obs/span.hpp"
 #include "storage/crc32.hpp"
+#include "storage/filebytes.hpp"
+#include "storage/hpcb_internal.hpp"
 #include "storage/varint.hpp"
 #include "util/logging.hpp"
 #include "util/parallel.hpp"
@@ -21,98 +24,9 @@
 
 namespace hpcpower::storage {
 
-namespace {
-
-// ---- little-endian scalar coding -----------------------------------------
-
-void append_u16(std::string& out, std::uint16_t v) {
-  out.push_back(static_cast<char>(v & 0xFF));
-  out.push_back(static_cast<char>((v >> 8) & 0xFF));
-}
-
-void append_u32(std::string& out, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i)
-    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
-}
-
-void append_u64(std::string& out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i)
-    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
-}
-
-/// Bounds-checked forward reader over a byte buffer. Every read throws
-/// std::invalid_argument on truncation, so corrupt input can never walk past
-/// the end of the mapped data.
-struct Cursor {
-  const char* data = nullptr;
-  std::size_t size = 0;
-  std::size_t pos = 0;
-
-  [[nodiscard]] bool has(std::size_t n) const noexcept {
-    return pos <= size && n <= size - pos;
-  }
-  void need(std::size_t n, const char* what) const {
-    if (!has(n))
-      throw std::invalid_argument(util::format("hpcb: truncated %s", what));
-  }
-  [[nodiscard]] std::uint8_t u8(const char* what) {
-    need(1, what);
-    return static_cast<std::uint8_t>(data[pos++]);
-  }
-  [[nodiscard]] std::uint16_t u16(const char* what) {
-    need(2, what);
-    std::uint16_t v = 0;
-    for (int i = 0; i < 2; ++i)
-      v = static_cast<std::uint16_t>(
-          v | static_cast<std::uint16_t>(
-                  static_cast<std::uint8_t>(data[pos + static_cast<std::size_t>(i)]))
-                  << (8 * i));
-    pos += 2;
-    return v;
-  }
-  [[nodiscard]] std::uint32_t u32(const char* what) {
-    need(4, what);
-    std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i)
-      v |= static_cast<std::uint32_t>(
-               static_cast<std::uint8_t>(data[pos + static_cast<std::size_t>(i)]))
-           << (8 * i);
-    pos += 4;
-    return v;
-  }
-  [[nodiscard]] std::uint64_t u64(const char* what) {
-    need(8, what);
-    std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i)
-      v |= static_cast<std::uint64_t>(
-               static_cast<std::uint8_t>(data[pos + static_cast<std::size_t>(i)]))
-           << (8 * i);
-    pos += 8;
-    return v;
-  }
-  [[nodiscard]] std::string_view bytes(std::size_t n, const char* what) {
-    need(n, what);
-    const std::string_view v(data + pos, n);
-    pos += n;
-    return v;
-  }
-};
-
-[[nodiscard]] std::uint64_t load_u64_le(const char* p) noexcept {
-  std::uint64_t v = 0;
-  for (int i = 0; i < 8; ++i)
-    v |= static_cast<std::uint64_t>(
-             static_cast<std::uint8_t>(p[static_cast<std::size_t>(i)]))
-         << (8 * i);
-  return v;
-}
+namespace detail {
 
 // ---- header ---------------------------------------------------------------
-
-struct Header {
-  std::vector<ColumnSpec> schema;
-  std::size_t end = 0;  ///< buffer offset of the first block
-};
 
 Header parse_header(std::string_view buf) {
   Cursor c{buf.data(), buf.size(), 0};
@@ -128,6 +42,7 @@ Header parse_header(std::string_view buf) {
   if (columns == 0) throw std::invalid_argument("hpcb: zero columns");
   (void)c.u32("rows per block");
   Header h;
+  h.version = version;
   h.schema.reserve(columns);
   for (std::uint16_t i = 0; i < columns; ++i) {
     const auto type = c.u8("column type");
@@ -146,18 +61,6 @@ Header parse_header(std::string_view buf) {
 
 // ---- footer index ---------------------------------------------------------
 
-struct BlockTask {
-  std::size_t offset = 0;
-  std::uint32_t rows = 0;  ///< from the footer index (or the scanned payload)
-};
-
-struct FooterIndex {
-  std::vector<BlockTask> blocks;
-  std::uint64_t total_rows = 0;
-};
-
-/// Validates and parses the footer; nullopt on any inconsistency (the caller
-/// decides between throwing and rescanning).
 std::optional<FooterIndex> parse_footer(std::string_view buf,
                                         std::size_t header_end) noexcept {
   // magic + len + minimal payload + crc + footer_offset + tail magic.
@@ -196,7 +99,16 @@ std::optional<FooterIndex> parse_footer(std::string_view buf,
       rows_sum += t.rows;
       index.blocks.push_back(t);
     }
-    if (p.pos != payload.size()) return std::nullopt;
+    if (p.pos != payload.size()) {
+      // Version-2 footers carry a trailing zone-map offset; version-1
+      // payloads end exactly after the block list.
+      index.zonemap_offset = p.u64("footer zone-map offset");
+      if (p.pos != payload.size()) return std::nullopt;
+      if (index.zonemap_offset != 0 &&
+          (index.zonemap_offset < prev_end ||
+           index.zonemap_offset >= footer_offset))
+        return std::nullopt;
+    }
     if (rows_sum != index.total_rows) return std::nullopt;
     return index;
   } catch (const std::exception&) {
@@ -204,9 +116,6 @@ std::optional<FooterIndex> parse_footer(std::string_view buf,
   }
 }
 
-/// Lenient recovery: walk the block stream from the header, resynchronizing
-/// on the block magic, and keep every block whose CRC verifies. Used when
-/// the footer is damaged or the file is truncated.
 std::vector<BlockTask> scan_blocks(std::string_view buf, std::size_t header_end,
                                    std::size_t& corrupt_blocks) {
   std::vector<BlockTask> tasks;
@@ -241,14 +150,61 @@ std::vector<BlockTask> scan_blocks(std::string_view buf, std::size_t header_end,
   return tasks;
 }
 
+// ---- zone maps ------------------------------------------------------------
+
+std::optional<ZoneMaps> parse_zone_maps(
+    std::string_view buf, std::uint64_t offset, std::size_t header_end,
+    std::size_t block_count, const std::vector<ColumnSpec>& schema) noexcept {
+  if (offset < header_end || offset >= buf.size()) return std::nullopt;
+  try {
+    Cursor c{buf.data(), buf.size(), static_cast<std::size_t>(offset)};
+    if (c.u32("zone-map magic") != kZoneMapMagic) return std::nullopt;
+    const std::uint32_t payload_len = c.u32("zone-map length");
+    const auto payload = c.bytes(payload_len, "zone-map payload");
+    const std::uint32_t stored_crc = c.u32("zone-map crc");
+    if (crc32(payload) != stored_crc) return std::nullopt;
+
+    Cursor p{payload.data(), payload.size(), 0};
+    const std::uint32_t blocks = p.u32("zone-map block count");
+    const std::uint16_t columns = p.u16("zone-map column count");
+    if (blocks != block_count || columns != schema.size()) return std::nullopt;
+
+    ZoneMaps zones;
+    zones.column_count = columns;
+    zones.entries.resize(static_cast<std::size_t>(blocks) * columns);
+    for (ZoneEntry& z : zones.entries) {
+      z.null_count = p.u32("zone null count");
+      z.has_range = p.u8("zone range flag") != 0;
+      const std::uint64_t min_bits = p.u64("zone min");
+      const std::uint64_t max_bits = p.u64("zone max");
+      z.min_i = static_cast<std::int64_t>(min_bits);
+      z.max_i = static_cast<std::int64_t>(max_bits);
+      z.min_d = std::bit_cast<double>(min_bits);
+      z.max_d = std::bit_cast<double>(max_bits);
+    }
+    if (p.pos != payload.size()) return std::nullopt;
+    // Reject ranges that could not have been produced by the writer: a NaN
+    // bound or an inverted range would poison every pruning decision.
+    for (std::size_t b = 0; b < blocks; ++b)
+      for (std::size_t i = 0; i < columns; ++i) {
+        const ZoneEntry& z = zones.at(b, i);
+        if (!z.has_range) continue;
+        if (is_float_column(schema[i].type)) {
+          if (std::isnan(z.min_d) || std::isnan(z.max_d) || z.min_d > z.max_d)
+            return std::nullopt;
+        } else {
+          if (z.min_i > z.max_i || z.null_count != 0) return std::nullopt;
+        }
+      }
+    return zones;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
 // ---- block decoding -------------------------------------------------------
 
-struct DecodedBlock {
-  bool ok = false;
-  std::string error;
-  std::uint32_t rows = 0;
-  std::vector<Column> cols;  ///< projected columns, in file schema order
-};
+namespace {
 
 void decode_i64_delta(std::string_view enc, std::uint32_t rows,
                       std::vector<std::int64_t>& out) {
@@ -291,6 +247,8 @@ void decode_f64_xor(std::string_view enc, std::uint32_t rows,
   if (pos != enc.size())
     throw std::invalid_argument("hpcb: trailing bytes in double column");
 }
+
+}  // namespace
 
 DecodedBlock decode_block(std::string_view buf, std::size_t offset,
                           std::size_t block_no,
@@ -340,6 +298,87 @@ DecodedBlock decode_block(std::string_view buf, std::size_t offset,
   return out;
 }
 
+bool verify_block(std::string_view buf, std::size_t offset,
+                  std::uint32_t* rows_out) noexcept {
+  try {
+    Cursor c{buf.data(), buf.size(), offset};
+    if (c.u32("block magic") != kBlockMagic) return false;
+    const std::uint32_t payload_len = c.u32("block length");
+    const auto payload = c.bytes(payload_len, "block payload");
+    const std::uint32_t stored_crc = c.u32("block crc");
+    if (crc32(payload) != stored_crc || payload.size() < 4) return false;
+    if (rows_out != nullptr) {
+      Cursor p{payload.data(), payload.size(), 0};
+      *rows_out = p.u32("block rows");
+    }
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+std::vector<char> make_keep(const std::vector<ColumnSpec>& schema,
+                            const std::vector<std::string>& columns) {
+  std::vector<char> keep(schema.size(), columns.empty() ? char{1} : char{0});
+  for (const std::string& name : columns) {
+    bool found = false;
+    for (std::size_t i = 0; i < schema.size(); ++i)
+      if (schema[i].name == name) {
+        keep[i] = 1;
+        found = true;
+      }
+    if (!found)
+      throw std::invalid_argument("hpcb: no such column: " + name);
+  }
+  return keep;
+}
+
+}  // namespace detail
+
+namespace {
+
+using detail::append_u16;
+using detail::append_u32;
+using detail::append_u64;
+using detail::BlockTask;
+
+/// Zone-map entry for one column over rows [begin, end) of `table`.
+ZoneEntry compute_zone(const Table& table, std::size_t col, std::size_t begin,
+                       std::size_t end) {
+  ZoneEntry z;
+  const ColumnSpec& spec = table.schema[col];
+  if (is_float_column(spec.type)) {
+    const std::vector<double>& v = table.columns[col].f64;
+    for (std::size_t r = begin; r < end; ++r) {
+      const double x = v[r];
+      if (std::isnan(x)) {
+        ++z.null_count;
+        continue;
+      }
+      if (!z.has_range) {
+        z.has_range = true;
+        z.min_d = z.max_d = x;
+      } else {
+        if (x < z.min_d) z.min_d = x;
+        if (x > z.max_d) z.max_d = x;
+      }
+    }
+  } else {
+    const std::vector<std::int64_t>& v = table.columns[col].i64;
+    for (std::size_t r = begin; r < end; ++r) {
+      const std::int64_t x = v[r];
+      if (!z.has_range) {
+        z.has_range = true;
+        z.min_i = z.max_i = x;
+      } else {
+        if (x < z.min_i) z.min_i = x;
+        if (x > z.max_i) z.max_i = x;
+      }
+    }
+  }
+  return z;
+}
+
 }  // namespace
 
 // ---- Table ----------------------------------------------------------------
@@ -378,37 +417,60 @@ void Table::validate() const {
       throw std::invalid_argument("hpcb: ragged column: " + schema[i].name);
 }
 
-// ---- writer ---------------------------------------------------------------
+// ---- incremental writer ---------------------------------------------------
 
-void write_hpcb(std::ostream& out, const Table& table,
-                std::size_t rows_per_block) {
-  HPCPOWER_SPAN("storage.write");
-  table.validate();
-  if (rows_per_block == 0)
-    throw std::invalid_argument("hpcb: rows_per_block must be positive");
-  rows_per_block = std::min<std::size_t>(rows_per_block, 0xFFFFFFFFu);
+struct HpcbChunkWriter::Impl {
+  std::ostream& out;
+  std::vector<ColumnSpec> schema;
+  std::size_t rows_per_block;
+  std::uint16_t version;
+  std::uint64_t offset = 0;      ///< bytes emitted so far
+  std::uint64_t total_rows = 0;  ///< rows flushed into blocks
+  std::vector<BlockTask> index;
+  std::vector<ZoneEntry> zones;  ///< block-major, schema.size() per block
+  Table pending;                 ///< buffered tail shorter than a block
+  bool finished = false;
 
-  std::string buf;
-  buf.append(reinterpret_cast<const char*>(kHpcbMagic.data()), kHpcbMagic.size());
-  append_u16(buf, kHpcbVersion);
-  append_u16(buf, static_cast<std::uint16_t>(table.schema.size()));
-  append_u32(buf, static_cast<std::uint32_t>(rows_per_block));
-  for (const ColumnSpec& c : table.schema) {
-    buf.push_back(static_cast<char>(static_cast<std::uint8_t>(c.type)));
-    append_u16(buf, static_cast<std::uint16_t>(c.name.size()));
-    buf.append(c.name);
+  Impl(std::ostream& o, std::vector<ColumnSpec> s, std::size_t rpb,
+       std::uint16_t ver)
+      : out(o), schema(std::move(s)), rows_per_block(rpb), version(ver) {
+    if (rows_per_block == 0)
+      throw std::invalid_argument("hpcb: rows_per_block must be positive");
+    if (version == 0 || version > kHpcbVersion)
+      throw std::invalid_argument(
+          util::format("hpcb: cannot write version %u", version));
+    rows_per_block = std::min<std::size_t>(rows_per_block, 0xFFFFFFFFu);
+    pending.schema = schema;
+    pending.columns.resize(schema.size());
+    pending.validate();  // rejects empty/duplicate/oversized schemas
+
+    std::string buf;
+    buf.append(reinterpret_cast<const char*>(kHpcbMagic.data()),
+               kHpcbMagic.size());
+    append_u16(buf, version);
+    append_u16(buf, static_cast<std::uint16_t>(schema.size()));
+    append_u32(buf, static_cast<std::uint32_t>(rows_per_block));
+    for (const ColumnSpec& c : schema) {
+      buf.push_back(static_cast<char>(static_cast<std::uint8_t>(c.type)));
+      append_u16(buf, static_cast<std::uint16_t>(c.name.size()));
+      buf.append(c.name);
+    }
+    emit(buf);
   }
 
-  const std::size_t rows = table.rows();
-  std::vector<BlockTask> index;
-  std::string payload, enc;
-  for (std::size_t begin = 0; begin < rows; begin += rows_per_block) {
-    const std::size_t end = std::min(rows, begin + rows_per_block);
-    payload.clear();
+  void emit(std::string_view bytes) {
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    offset += bytes.size();
+  }
+
+  /// Encodes and writes rows [begin, end) of `table` as one block, recording
+  /// its index entry and (for v2) its zone-map entries.
+  void flush_block(const Table& table, std::size_t begin, std::size_t end) {
+    std::string payload, enc;
     append_u32(payload, static_cast<std::uint32_t>(end - begin));
-    for (std::size_t i = 0; i < table.schema.size(); ++i) {
+    for (std::size_t i = 0; i < schema.size(); ++i) {
       enc.clear();
-      switch (table.schema[i].type) {
+      switch (schema[i].type) {
         case ColumnType::kInt64Delta: {
           // Deltas restart at zero in every block so blocks stay independent.
           std::uint64_t prev = 0;
@@ -436,53 +498,173 @@ void write_hpcb(std::ostream& out, const Table& table,
       append_u32(payload, static_cast<std::uint32_t>(enc.size()));
       payload.append(enc);
     }
-    index.push_back({buf.size(), static_cast<std::uint32_t>(end - begin)});
+    index.push_back(
+        {static_cast<std::size_t>(offset), static_cast<std::uint32_t>(end - begin)});
+    if (version >= 2)
+      for (std::size_t i = 0; i < schema.size(); ++i)
+        zones.push_back(compute_zone(table, i, begin, end));
+    std::string buf;
     append_u32(buf, kBlockMagic);
     append_u32(buf, static_cast<std::uint32_t>(payload.size()));
     buf.append(payload);
     append_u32(buf, crc32(payload));
+    emit(buf);
+    total_rows += end - begin;
   }
 
-  std::string footer;
-  append_u64(footer, rows);
-  append_u32(footer, static_cast<std::uint32_t>(index.size()));
-  for (const BlockTask& t : index) {
-    append_u64(footer, t.offset);
-    append_u32(footer, t.rows);
+  void append(const Table& table) {
+    if (finished) throw std::logic_error("hpcb: append after finish");
+    table.validate();
+    if (table.schema != schema)
+      throw std::invalid_argument("hpcb: chunk schema mismatch");
+    const std::size_t rows = table.rows();
+    std::size_t pos = 0;
+    // Top up the buffered tail first so block boundaries are independent of
+    // how rows were split across append() calls.
+    if (pending.rows() > 0) {
+      const std::size_t take =
+          std::min(rows, rows_per_block - pending.rows());
+      for (std::size_t i = 0; i < schema.size(); ++i) {
+        Column& dst = pending.columns[i];
+        const Column& src = table.columns[i];
+        if (is_float_column(schema[i].type))
+          dst.f64.insert(dst.f64.end(), src.f64.begin() + static_cast<std::ptrdiff_t>(pos),
+                         src.f64.begin() + static_cast<std::ptrdiff_t>(pos + take));
+        else
+          dst.i64.insert(dst.i64.end(), src.i64.begin() + static_cast<std::ptrdiff_t>(pos),
+                         src.i64.begin() + static_cast<std::ptrdiff_t>(pos + take));
+      }
+      pos += take;
+      if (pending.rows() == rows_per_block) {
+        flush_block(pending, 0, rows_per_block);
+        for (Column& c : pending.columns) {
+          c.i64.clear();
+          c.f64.clear();
+        }
+      }
+    }
+    // Full blocks encode straight from the caller's table — no copy.
+    while (rows - pos >= rows_per_block) {
+      flush_block(table, pos, pos + rows_per_block);
+      pos += rows_per_block;
+    }
+    if (pos < rows) {
+      for (std::size_t i = 0; i < schema.size(); ++i) {
+        Column& dst = pending.columns[i];
+        const Column& src = table.columns[i];
+        if (is_float_column(schema[i].type))
+          dst.f64.insert(dst.f64.end(), src.f64.begin() + static_cast<std::ptrdiff_t>(pos),
+                         src.f64.end());
+        else
+          dst.i64.insert(dst.i64.end(), src.i64.begin() + static_cast<std::ptrdiff_t>(pos),
+                         src.i64.end());
+      }
+    }
   }
-  const std::size_t footer_offset = buf.size();
-  append_u32(buf, kFooterMagic);
-  append_u32(buf, static_cast<std::uint32_t>(footer.size()));
-  buf.append(footer);
-  append_u32(buf, crc32(footer));
-  append_u64(buf, footer_offset);
-  buf.append(reinterpret_cast<const char*>(kHpcbTailMagic.data()),
-             kHpcbTailMagic.size());
 
-  out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+  void finish() {
+    if (finished) return;
+    finished = true;
+    if (pending.rows() > 0) {
+      flush_block(pending, 0, pending.rows());
+      for (Column& c : pending.columns) {
+        c.i64.clear();
+        c.f64.clear();
+      }
+    }
+    std::uint64_t zonemap_offset = 0;
+    std::string buf;
+    if (version >= 2) {
+      zonemap_offset = offset;
+      std::string zpayload;
+      append_u32(zpayload, static_cast<std::uint32_t>(index.size()));
+      append_u16(zpayload, static_cast<std::uint16_t>(schema.size()));
+      for (const ZoneEntry& z : zones) {
+        append_u32(zpayload, z.null_count);
+        zpayload.push_back(static_cast<char>(z.has_range ? 1 : 0));
+        std::uint64_t min_bits = 0, max_bits = 0;
+        if (z.has_range) {
+          // Integer ranges store the i64 bits, float ranges the f64 bits;
+          // the reader picks by column type.
+          const std::size_t col = (&z - zones.data()) % schema.size();
+          if (is_float_column(schema[col].type)) {
+            min_bits = std::bit_cast<std::uint64_t>(z.min_d);
+            max_bits = std::bit_cast<std::uint64_t>(z.max_d);
+          } else {
+            min_bits = static_cast<std::uint64_t>(z.min_i);
+            max_bits = static_cast<std::uint64_t>(z.max_i);
+          }
+        }
+        append_u64(zpayload, min_bits);
+        append_u64(zpayload, max_bits);
+      }
+      append_u32(buf, kZoneMapMagic);
+      append_u32(buf, static_cast<std::uint32_t>(zpayload.size()));
+      buf.append(zpayload);
+      append_u32(buf, crc32(zpayload));
+    }
+
+    std::string footer;
+    append_u64(footer, total_rows);
+    append_u32(footer, static_cast<std::uint32_t>(index.size()));
+    for (const BlockTask& t : index) {
+      append_u64(footer, t.offset);
+      append_u32(footer, t.rows);
+    }
+    if (version >= 2) append_u64(footer, zonemap_offset);
+    const std::uint64_t footer_offset = offset + buf.size();
+    append_u32(buf, kFooterMagic);
+    append_u32(buf, static_cast<std::uint32_t>(footer.size()));
+    buf.append(footer);
+    append_u32(buf, crc32(footer));
+    append_u64(buf, footer_offset);
+    buf.append(reinterpret_cast<const char*>(kHpcbTailMagic.data()),
+               kHpcbTailMagic.size());
+    emit(buf);
+  }
+};
+
+HpcbChunkWriter::HpcbChunkWriter(std::ostream& out,
+                                 std::vector<ColumnSpec> schema,
+                                 std::size_t rows_per_block,
+                                 std::uint16_t version)
+    : impl_(std::make_unique<Impl>(out, std::move(schema), rows_per_block,
+                                   version)) {}
+
+HpcbChunkWriter::~HpcbChunkWriter() {
+  // Best-effort safety net; callers should finish() and check the stream.
+  try {
+    impl_->finish();
+  } catch (...) {  // NOLINT(bugprone-empty-catch)
+  }
+}
+
+void HpcbChunkWriter::append(const Table& table) { impl_->append(table); }
+
+void HpcbChunkWriter::finish() { impl_->finish(); }
+
+std::uint64_t HpcbChunkWriter::rows_written() const noexcept {
+  return impl_->total_rows + impl_->pending.rows();
+}
+
+// ---- writer ---------------------------------------------------------------
+
+void write_hpcb(std::ostream& out, const Table& table,
+                std::size_t rows_per_block, std::uint16_t version) {
+  HPCPOWER_SPAN("storage.write");
+  table.validate();
+  HpcbChunkWriter writer(out, table.schema, rows_per_block, version);
+  writer.append(table);
+  writer.finish();
 }
 
 // ---- reader ---------------------------------------------------------------
 
-Table read_hpcb(std::istream& in, const ReadOptions& options, ReadStats* stats) {
+Table read_hpcb_buffer(std::string_view buf, const ReadOptions& options,
+                       ReadStats* stats) {
   HPCPOWER_SPAN("storage.read");
-  const std::string buf((std::istreambuf_iterator<char>(in)),
-                        std::istreambuf_iterator<char>());
-  const Header header = parse_header(buf);
-
-  // Column projection (empty = everything), preserving file schema order.
-  std::vector<char> keep(header.schema.size(),
-                         options.columns.empty() ? char{1} : char{0});
-  for (const std::string& name : options.columns) {
-    bool found = false;
-    for (std::size_t i = 0; i < header.schema.size(); ++i)
-      if (header.schema[i].name == name) {
-        keep[i] = 1;
-        found = true;
-      }
-    if (!found)
-      throw std::invalid_argument("hpcb: no such column: " + name);
-  }
+  const detail::Header header = detail::parse_header(buf);
+  const std::vector<char> keep = detail::make_keep(header.schema, options.columns);
 
   ReadStats local;
   ReadStats& st = stats != nullptr ? *stats : local;
@@ -490,10 +672,15 @@ Table read_hpcb(std::istream& in, const ReadOptions& options, ReadStats* stats) 
 
   std::vector<BlockTask> tasks;
   std::uint64_t footer_rows = 0;
-  if (auto footer = parse_footer(buf, header.end)) {
+  if (auto footer = detail::parse_footer(buf, header.end)) {
     st.footer_valid = true;
     tasks = std::move(footer->blocks);
     footer_rows = footer->total_rows;
+    if (footer->zonemap_offset != 0)
+      st.zone_maps = detail::parse_zone_maps(buf, footer->zonemap_offset,
+                                             header.end, tasks.size(),
+                                             header.schema)
+                         .has_value();
   } else if (!options.lenient) {
     throw std::invalid_argument(
         "hpcb: missing or corrupt footer (truncated file?)");
@@ -501,7 +688,7 @@ Table read_hpcb(std::istream& in, const ReadOptions& options, ReadStats* stats) 
     st.rescanned = true;
     util::counters().add("storage.footer_rescans");
     std::size_t corrupt = 0;
-    tasks = scan_blocks(buf, header.end, corrupt);
+    tasks = detail::scan_blocks(buf, header.end, corrupt);
     st.blocks_skipped += corrupt;
     if (corrupt > 0) util::counters().add("storage.blocks_skipped", corrupt);
     util::log_warn(util::format(
@@ -519,12 +706,12 @@ Table read_hpcb(std::istream& in, const ReadOptions& options, ReadStats* stats) 
     }
   out.columns.resize(projected);
 
-  std::vector<DecodedBlock> slots(tasks.size());
+  std::vector<detail::DecodedBlock> slots(tasks.size());
   {
     HPCPOWER_SPAN("storage.decode");
     const auto work = [&](std::size_t i) {
-      slots[i] =
-          decode_block(buf, tasks[i].offset, i, header.schema, keep, projected);
+      slots[i] = detail::decode_block(buf, tasks[i].offset, i, header.schema,
+                                      keep, projected);
     };
     if (options.parallel) {
       util::parallel_for(tasks.size(), work);
@@ -539,7 +726,7 @@ Table read_hpcb(std::istream& in, const ReadOptions& options, ReadStats* stats) 
   }
   // Merge in block order: the output is byte-identical at any thread count.
   for (std::size_t i = 0; i < slots.size(); ++i) {
-    DecodedBlock& slot = slots[i];
+    detail::DecodedBlock& slot = slots[i];
     BlockInfo info{tasks[i].offset, slot.ok ? slot.rows : tasks[i].rows, slot.ok};
     if (!slot.ok) {
       if (!options.lenient) throw std::invalid_argument(slot.error);
@@ -567,6 +754,12 @@ Table read_hpcb(std::istream& in, const ReadOptions& options, ReadStats* stats) 
   return out;
 }
 
+Table read_hpcb(std::istream& in, const ReadOptions& options, ReadStats* stats) {
+  const std::string buf((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+  return read_hpcb_buffer(buf, options, stats);
+}
+
 std::vector<ColumnSpec> read_hpcb_schema(std::istream& in) {
   // The header is small and sits at the front; read it incrementally so the
   // caller does not pay for the data blocks.
@@ -575,7 +768,7 @@ std::vector<ColumnSpec> read_hpcb_schema(std::istream& in) {
   while (head.size() < (1u << 20) && in.read(chunk, sizeof chunk).gcount() > 0) {
     head.append(chunk, static_cast<std::size_t>(in.gcount()));
     try {
-      return parse_header(head).schema;
+      return detail::parse_header(head).schema;
     } catch (const std::invalid_argument& e) {
       if (!util::starts_with(e.what(), "hpcb: truncated")) throw;
       if (in.eof()) throw;
@@ -607,9 +800,8 @@ void save_hpcb(const std::string& path, const Table& table,
 
 Table load_hpcb(const std::string& path, const ReadOptions& options,
                 ReadStats* stats) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("cannot open for reading: " + path);
-  return read_hpcb(in, options, stats);
+  const FileBytes file = FileBytes::open(path, options.mmap);
+  return read_hpcb_buffer(file.view(), options, stats);
 }
 
 }  // namespace hpcpower::storage

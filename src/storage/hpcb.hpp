@@ -10,9 +10,13 @@
 //            column_count x { type(u8) name_len(u16) name }
 //   blocks   repeated { magic(u32) payload_len(u32) payload crc32(u32) }
 //            payload = rows(u32), then per column: enc_len(u32) + bytes
+//   zonemap  (v2+) magic(u32) payload_len(u32) payload crc32(u32)
+//            payload = block_count(u32) column_count(u16), then per block
+//            per column: { null_count(u32) has_range(u8) min(u64) max(u64) }
 //   footer   magic(u32) payload_len(u32) payload crc32(u32)
 //            payload = total_rows(u64) block_count(u32)
 //                      block_count x { offset(u64) rows(u32) }
+//                      (v2+) zonemap_offset(u64; 0 = absent)
 //            footer_offset(u64) tail_magic(8)
 //
 // All fixed-width integers are little-endian. Integer columns are encoded
@@ -29,11 +33,20 @@
 // and rebuild the index by scanning for block magics when the footer itself
 // is damaged; the dropped rows then surface as gap slots in the existing
 // telemetry cleaning/DataQualityReport machinery.
+//
+// Version 2 adds per-block zone maps (min/max/null-count per column, in a
+// CRC-framed section before the footer) that feed the predicate-pushdown
+// query engine in scan.hpp: blocks a predicate conjunction cannot match are
+// never decoded. Version-1 files (no zone maps) read back unchanged —
+// queries simply decode every block. A rescued index (lenient footer rescan)
+// carries no zone maps either, so pruning silently degrades to a full scan
+// rather than ever pruning from untrusted metadata.
 
 #include <array>
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -46,9 +59,10 @@ inline constexpr std::array<unsigned char, 8> kHpcbMagic = {
     0x89, 'H', 'P', 'C', 'B', 0x0D, 0x0A, 0x1A};
 inline constexpr std::array<unsigned char, 8> kHpcbTailMagic = {
     0x1A, 0x0A, 0x0D, 'B', 'C', 'P', 'H', 0x89};
-inline constexpr std::uint16_t kHpcbVersion = 1;
+inline constexpr std::uint16_t kHpcbVersion = 2;
 inline constexpr std::uint32_t kBlockMagic = 0xB10C89E1u;
 inline constexpr std::uint32_t kFooterMagic = 0xF007E989u;
+inline constexpr std::uint32_t kZoneMapMagic = 0x5A4E4D89u;  // "ZNM" + 0x89
 inline constexpr std::size_t kDefaultRowsPerBlock = 4096;
 
 enum class ColumnType : std::uint8_t {
@@ -110,6 +124,10 @@ struct ReadOptions {
   /// Decode blocks on the global thread pool (merged in block order; the
   /// result is bit-identical at any thread count). false = serial decode.
   bool parallel = true;
+  /// File wrappers (load_hpcb) read via mmap when the platform supports it,
+  /// decoding straight from the page cache; false forces buffered reads.
+  /// Streams (read_hpcb) ignore this.
+  bool mmap = true;
 };
 
 /// Per-block accounting of one read, for tooling and tests.
@@ -126,18 +144,82 @@ struct ReadStats {
   std::size_t blocks_skipped = 0;
   bool footer_valid = false;         ///< footer index parsed and CRC-clean
   bool rescanned = false;            ///< index rebuilt by block-magic scan
+  bool zone_maps = false;            ///< zone-map section parsed and CRC-clean
+};
+
+/// One column's zone-map entry for one block: the range of finite values
+/// plus a null (NaN) count. Integer columns never hold nulls; float columns
+/// count NaN rows in `null_count` and exclude them from min/max. A block
+/// of all-NaN values (or an empty block) has `has_range == false`.
+struct ZoneEntry {
+  std::uint32_t null_count = 0;
+  bool has_range = false;
+  std::int64_t min_i = 0;  ///< valid for integer columns when has_range
+  std::int64_t max_i = 0;
+  double min_d = 0.0;      ///< valid for float columns when has_range
+  double max_d = 0.0;
+};
+
+/// Zone maps for a whole file: `entries[block * column_count + column]`.
+struct ZoneMaps {
+  std::size_t column_count = 0;
+  std::vector<ZoneEntry> entries;
+
+  [[nodiscard]] std::size_t block_count() const noexcept {
+    return column_count == 0 ? 0 : entries.size() / column_count;
+  }
+  [[nodiscard]] const ZoneEntry& at(std::size_t block,
+                                    std::size_t column) const {
+    return entries[block * column_count + column];
+  }
 };
 
 /// Serializes `table` (validated first). `rows_per_block` bounds the row
 /// group size; smaller blocks mean finer corruption granularity and more
-/// parallelism at a few bytes of overhead per block.
+/// parallelism at a few bytes of overhead per block. `version` selects the
+/// on-disk format: 2 (default) writes zone maps, 1 writes the legacy layout
+/// (kept writable so compatibility tests can exercise the v1 read path).
 void write_hpcb(std::ostream& out, const Table& table,
-                std::size_t rows_per_block = kDefaultRowsPerBlock);
+                std::size_t rows_per_block = kDefaultRowsPerBlock,
+                std::uint16_t version = kHpcbVersion);
+
+/// Incremental .hpcb writer: the header is emitted at construction, blocks
+/// are flushed as appended rows fill `rows_per_block`, and finish() writes
+/// the zone-map section plus footer. The byte stream is identical to
+/// write_hpcb() of the concatenated appends. Used by the streaming daemon
+/// to spill samples as they arrive without holding the whole table.
+class HpcbChunkWriter {
+ public:
+  HpcbChunkWriter(std::ostream& out, std::vector<ColumnSpec> schema,
+                  std::size_t rows_per_block = kDefaultRowsPerBlock,
+                  std::uint16_t version = kHpcbVersion);
+  ~HpcbChunkWriter();
+  HpcbChunkWriter(const HpcbChunkWriter&) = delete;
+  HpcbChunkWriter& operator=(const HpcbChunkWriter&) = delete;
+
+  /// Appends rows; `table.schema` must equal the writer's schema. Complete
+  /// blocks are encoded and written immediately.
+  void append(const Table& table);
+  /// Flushes the tail block and writes zone maps + footer. Idempotent;
+  /// append() after finish() throws std::logic_error.
+  void finish();
+  [[nodiscard]] std::uint64_t rows_written() const noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 /// Parses a .hpcb stream. Throws std::invalid_argument on malformed input
 /// (see ReadOptions::lenient for the recovery mode).
 [[nodiscard]] Table read_hpcb(std::istream& in, const ReadOptions& options = {},
                               ReadStats* stats = nullptr);
+
+/// Same parse over an in-memory buffer (the istream overload slurps into a
+/// buffer and forwards here; scan.hpp reads mmap'd files through it).
+[[nodiscard]] Table read_hpcb_buffer(std::string_view buf,
+                                     const ReadOptions& options = {},
+                                     ReadStats* stats = nullptr);
 
 /// Reads only the header schema (cheap: no block decoding).
 [[nodiscard]] std::vector<ColumnSpec> read_hpcb_schema(std::istream& in);

@@ -1,0 +1,173 @@
+#pragma once
+// Shared .hpcb parsing internals. hpcb.cpp (full reads) and scan.cpp
+// (zone-map-pruned queries) both drive the same header/footer/block
+// machinery; this header is private to src/storage and tests — the public
+// surface is hpcb.hpp and scan.hpp.
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/hpcb.hpp"
+#include "util/strings.hpp"
+
+namespace hpcpower::storage::detail {
+
+// ---- little-endian scalar coding -------------------------------------------
+
+inline void append_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+
+inline void append_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+inline void append_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+[[nodiscard]] inline std::uint64_t load_u64_le(const char* p) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(
+             static_cast<std::uint8_t>(p[static_cast<std::size_t>(i)]))
+         << (8 * i);
+  return v;
+}
+
+/// Bounds-checked forward reader over a byte buffer. Every read throws
+/// std::invalid_argument on truncation, so corrupt input can never walk past
+/// the end of the mapped data.
+struct Cursor {
+  const char* data = nullptr;
+  std::size_t size = 0;
+  std::size_t pos = 0;
+
+  [[nodiscard]] bool has(std::size_t n) const noexcept {
+    return pos <= size && n <= size - pos;
+  }
+  void need(std::size_t n, const char* what) const {
+    if (!has(n))
+      throw std::invalid_argument(util::format("hpcb: truncated %s", what));
+  }
+  [[nodiscard]] std::uint8_t u8(const char* what) {
+    need(1, what);
+    return static_cast<std::uint8_t>(data[pos++]);
+  }
+  [[nodiscard]] std::uint16_t u16(const char* what) {
+    need(2, what);
+    std::uint16_t v = 0;
+    for (int i = 0; i < 2; ++i)
+      v = static_cast<std::uint16_t>(
+          v | static_cast<std::uint16_t>(
+                  static_cast<std::uint8_t>(data[pos + static_cast<std::size_t>(i)]))
+                  << (8 * i));
+    pos += 2;
+    return v;
+  }
+  [[nodiscard]] std::uint32_t u32(const char* what) {
+    need(4, what);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(
+               static_cast<std::uint8_t>(data[pos + static_cast<std::size_t>(i)]))
+           << (8 * i);
+    pos += 4;
+    return v;
+  }
+  [[nodiscard]] std::uint64_t u64(const char* what) {
+    need(8, what);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(
+               static_cast<std::uint8_t>(data[pos + static_cast<std::size_t>(i)]))
+           << (8 * i);
+    pos += 8;
+    return v;
+  }
+  [[nodiscard]] std::string_view bytes(std::size_t n, const char* what) {
+    need(n, what);
+    const std::string_view v(data + pos, n);
+    pos += n;
+    return v;
+  }
+};
+
+// ---- header / footer / zone maps -------------------------------------------
+
+struct Header {
+  std::vector<ColumnSpec> schema;
+  std::uint16_t version = 0;
+  std::size_t end = 0;  ///< buffer offset of the first block
+};
+
+[[nodiscard]] Header parse_header(std::string_view buf);
+
+struct BlockTask {
+  std::size_t offset = 0;
+  std::uint32_t rows = 0;  ///< from the footer index (or the scanned payload)
+};
+
+struct FooterIndex {
+  std::vector<BlockTask> blocks;
+  std::uint64_t total_rows = 0;
+  std::uint64_t zonemap_offset = 0;  ///< 0 = no zone-map section (v1)
+};
+
+/// Validates and parses the footer; nullopt on any inconsistency (the caller
+/// decides between throwing and rescanning).
+[[nodiscard]] std::optional<FooterIndex> parse_footer(
+    std::string_view buf, std::size_t header_end) noexcept;
+
+/// Lenient recovery: walk the block stream from the header, resynchronizing
+/// on the block magic, and keep every block whose CRC verifies. Used when
+/// the footer is damaged or the file is truncated.
+[[nodiscard]] std::vector<BlockTask> scan_blocks(std::string_view buf,
+                                                 std::size_t header_end,
+                                                 std::size_t& corrupt_blocks);
+
+/// Parses and CRC-verifies the zone-map section at `offset`; nullopt on any
+/// inconsistency (wrong magic, bad CRC, shape mismatch with the footer's
+/// block count or the header's schema). Callers treat nullopt as "no zone
+/// maps": pruning degrades to a full scan, never to a wrong answer.
+[[nodiscard]] std::optional<ZoneMaps> parse_zone_maps(
+    std::string_view buf, std::uint64_t offset, std::size_t header_end,
+    std::size_t block_count, const std::vector<ColumnSpec>& schema) noexcept;
+
+// ---- block decoding --------------------------------------------------------
+
+struct DecodedBlock {
+  bool ok = false;
+  std::string error;
+  std::uint32_t rows = 0;
+  std::vector<Column> cols;  ///< projected columns, in file schema order
+};
+
+[[nodiscard]] DecodedBlock decode_block(std::string_view buf, std::size_t offset,
+                                        std::size_t block_no,
+                                        const std::vector<ColumnSpec>& schema,
+                                        const std::vector<char>& keep,
+                                        std::size_t projected_count);
+
+/// CRC-checks a block's framing without decoding any column. Used by the
+/// scan fast path when zone maps prove every row matches but no column needs
+/// decoding (e.g. a pure count) — the per-block integrity guarantee holds
+/// even when the payload is never touched.
+[[nodiscard]] bool verify_block(std::string_view buf, std::size_t offset,
+                                std::uint32_t* rows_out) noexcept;
+
+/// Column projection mask over the file schema (empty names = keep all).
+/// Throws std::invalid_argument on unknown names.
+[[nodiscard]] std::vector<char> make_keep(
+    const std::vector<ColumnSpec>& schema,
+    const std::vector<std::string>& columns);
+
+}  // namespace hpcpower::storage::detail

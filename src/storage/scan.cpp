@@ -1,0 +1,599 @@
+#include "storage/scan.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/span.hpp"
+#include "storage/filebytes.hpp"
+#include "storage/hpcb_internal.hpp"
+#include "util/logging.hpp"
+#include "util/parallel.hpp"
+#include "util/strings.hpp"
+
+namespace hpcpower::storage {
+
+namespace {
+
+// ---- predicate parsing -----------------------------------------------------
+
+struct OpToken {
+  std::string_view text;
+  PredicateOp op;
+};
+
+// Two-character operators first so "<=" never parses as "<" + "=...".
+constexpr OpToken kOpTokens[] = {
+    {"<=", PredicateOp::kLe}, {">=", PredicateOp::kGe},
+    {"==", PredicateOp::kEq}, {"!=", PredicateOp::kNe},
+    {"<", PredicateOp::kLt},  {">", PredicateOp::kGt},
+    {"=", PredicateOp::kEq},
+};
+
+std::optional<std::pair<double, std::int64_t>> parse_integer(
+    std::string_view text) {
+  std::string s(text);
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size() || s.empty())
+    return std::nullopt;
+  return std::make_pair(static_cast<double>(v), static_cast<std::int64_t>(v));
+}
+
+std::optional<double> parse_double(std::string_view text) {
+  std::string s(text);
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size() || s.empty()) return std::nullopt;
+  return v;
+}
+
+// ---- comparison / zone-map evaluation --------------------------------------
+
+template <typename T>
+bool compare(T lhs, PredicateOp op, T rhs) {
+  switch (op) {
+    case PredicateOp::kLt: return lhs < rhs;
+    case PredicateOp::kLe: return lhs <= rhs;
+    case PredicateOp::kGt: return lhs > rhs;
+    case PredicateOp::kGe: return lhs >= rhs;
+    case PredicateOp::kEq: return lhs == rhs;
+    case PredicateOp::kNe: return lhs != rhs;
+  }
+  return false;
+}
+
+enum class ZoneMatch : std::uint8_t {
+  kNone,  ///< no row in the block can match
+  kAll,   ///< every row in the block matches
+  kSome,  ///< undecided: decode and filter
+};
+
+/// Conservative range test: [lo, hi] covers every non-null value in the
+/// block. Returns kAll only when the whole range satisfies the predicate
+/// (the caller still requires null_count == 0 for that).
+template <typename T>
+ZoneMatch zone_range_match(T lo, T hi, PredicateOp op, T v) {
+  switch (op) {
+    case PredicateOp::kLt:
+      if (lo >= v) return ZoneMatch::kNone;
+      if (hi < v) return ZoneMatch::kAll;
+      return ZoneMatch::kSome;
+    case PredicateOp::kLe:
+      if (lo > v) return ZoneMatch::kNone;
+      if (hi <= v) return ZoneMatch::kAll;
+      return ZoneMatch::kSome;
+    case PredicateOp::kGt:
+      if (hi <= v) return ZoneMatch::kNone;
+      if (lo > v) return ZoneMatch::kAll;
+      return ZoneMatch::kSome;
+    case PredicateOp::kGe:
+      if (hi < v) return ZoneMatch::kNone;
+      if (lo >= v) return ZoneMatch::kAll;
+      return ZoneMatch::kSome;
+    case PredicateOp::kEq:
+      if (v < lo || v > hi) return ZoneMatch::kNone;
+      if (lo == hi && lo == v) return ZoneMatch::kAll;
+      return ZoneMatch::kSome;
+    case PredicateOp::kNe:
+      if (lo == hi && lo == v) return ZoneMatch::kNone;
+      if (v < lo || v > hi) return ZoneMatch::kAll;
+      return ZoneMatch::kSome;
+  }
+  return ZoneMatch::kSome;
+}
+
+/// A predicate resolved against the file schema plus its slot in the decode
+/// projection.
+struct BoundPredicate {
+  std::size_t col = 0;   ///< file schema index
+  std::size_t slot = 0;  ///< column slot within the decode projection
+  bool is_float = false;
+  PredicateOp op = PredicateOp::kEq;
+  double value = 0.0;
+  bool integral = false;
+  std::int64_t value_i = 0;
+};
+
+ZoneMatch zone_match(const BoundPredicate& p, const ZoneEntry& z) {
+  // No range means no non-null rows (all-NaN or empty block): nothing can
+  // match any predicate — NaN is null.
+  if (!z.has_range) return ZoneMatch::kNone;
+  ZoneMatch m;
+  if (p.is_float) {
+    m = zone_range_match(z.min_d, z.max_d, p.op, p.value);
+  } else if (p.integral) {
+    m = zone_range_match(z.min_i, z.max_i, p.op, p.value_i);
+  } else {
+    // int64 -> double is monotonic, so the cast range stays conservative.
+    m = zone_range_match(static_cast<double>(z.min_i),
+                         static_cast<double>(z.max_i), p.op, p.value);
+  }
+  // NaN rows never match, so a block with nulls can never be "all match".
+  if (m == ZoneMatch::kAll && z.null_count != 0) return ZoneMatch::kSome;
+  return m;
+}
+
+bool row_matches(const BoundPredicate& p, const std::vector<Column>& cols,
+                 std::size_t r) {
+  if (p.is_float) {
+    const double x = cols[p.slot].f64[r];
+    if (std::isnan(x)) return false;
+    return compare(x, p.op, p.value);
+  }
+  const std::int64_t x = cols[p.slot].i64[r];
+  if (p.integral) return compare(x, p.op, p.value_i);
+  return compare(static_cast<double>(x), p.op, p.value);
+}
+
+// ---- per-block outcomes ----------------------------------------------------
+
+/// Deterministic per-block aggregate partial (merged in block order).
+struct AggPartial {
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::uint64_t values = 0;  ///< non-NaN contributors
+};
+
+struct BlockOutcome {
+  enum class Kind : std::uint8_t { kPruned, kCounted, kDecoded, kCorrupt };
+  Kind kind = Kind::kPruned;
+  std::string error;
+  std::uint32_t rows = 0;       ///< rows seen (decoded or CRC-counted)
+  std::uint64_t matched = 0;
+  std::vector<Column> out;      ///< projected matching rows (row queries)
+  AggPartial agg;
+};
+
+void accumulate(AggPartial& a, double x) {
+  if (std::isnan(x)) return;
+  if (a.values == 0) {
+    a.min = a.max = x;
+  } else {
+    if (x < a.min) a.min = x;
+    if (x > a.max) a.max = x;
+  }
+  a.sum += x;
+  ++a.values;
+}
+
+}  // namespace
+
+// ---- public helpers --------------------------------------------------------
+
+const char* predicate_op_name(PredicateOp op) noexcept {
+  switch (op) {
+    case PredicateOp::kLt: return "<";
+    case PredicateOp::kLe: return "<=";
+    case PredicateOp::kGt: return ">";
+    case PredicateOp::kGe: return ">=";
+    case PredicateOp::kEq: return "==";
+    case PredicateOp::kNe: return "!=";
+  }
+  return "?";
+}
+
+Predicate make_predicate(std::string_view column, PredicateOp op,
+                         std::int64_t value) {
+  Predicate p;
+  p.column = std::string(column);
+  p.op = op;
+  p.value = static_cast<double>(value);
+  p.integral = true;
+  p.value_i = value;
+  return p;
+}
+
+Predicate make_predicate(std::string_view column, PredicateOp op, double value) {
+  Predicate p;
+  p.column = std::string(column);
+  p.op = op;
+  p.value = value;
+  return p;
+}
+
+std::optional<Predicate> parse_predicate(std::string_view text) {
+  for (const OpToken& tok : kOpTokens) {
+    const std::size_t at = text.find(tok.text);
+    if (at == std::string_view::npos) continue;
+    const std::string_view column = util::trim(text.substr(0, at));
+    const std::string_view value = util::trim(text.substr(at + tok.text.size()));
+    if (column.empty() || value.empty()) return std::nullopt;
+    if (const auto iv = parse_integer(value)) {
+      Predicate p = make_predicate(column, tok.op, iv->second);
+      return p;
+    }
+    if (const auto dv = parse_double(value)) {
+      Predicate p = make_predicate(column, tok.op, *dv);
+      return p;
+    }
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::pair<AggregateOp, std::string>> parse_aggregate(
+    std::string_view text) {
+  const std::string_view t = util::trim(text);
+  if (t == "count") return std::make_pair(AggregateOp::kCount, std::string());
+  const std::size_t colon = t.find(':');
+  if (colon == std::string_view::npos) return std::nullopt;
+  const std::string op = util::to_lower(util::trim(t.substr(0, colon)));
+  const std::string_view column = util::trim(t.substr(colon + 1));
+  if (column.empty()) return std::nullopt;
+  AggregateOp agg;
+  if (op == "min") {
+    agg = AggregateOp::kMin;
+  } else if (op == "max") {
+    agg = AggregateOp::kMax;
+  } else if (op == "sum") {
+    agg = AggregateOp::kSum;
+  } else if (op == "mean") {
+    agg = AggregateOp::kMean;
+  } else {
+    return std::nullopt;
+  }
+  return std::make_pair(agg, std::string(column));
+}
+
+// ---- scan ------------------------------------------------------------------
+
+ScanResult scan_hpcb_buffer(std::string_view buf, const ScanQuery& query,
+                            const ScanOptions& options) {
+  HPCPOWER_SPAN("storage.scan");
+  const detail::Header header = detail::parse_header(buf);
+  const std::vector<ColumnSpec>& schema = header.schema;
+
+  const bool aggregate = query.agg != AggregateOp::kNone;
+  const bool agg_has_column =
+      aggregate && query.agg != AggregateOp::kCount;
+  if (agg_has_column && query.agg_column.empty())
+    throw std::invalid_argument("hpcb: aggregate requires a column");
+
+  // Resolve the output projection (row queries) against the file schema.
+  const std::vector<char> out_keep =
+      aggregate ? std::vector<char>(schema.size(), 0)
+                : detail::make_keep(schema, query.select);
+
+  const auto col_index = [&schema](const std::string& name) {
+    for (std::size_t i = 0; i < schema.size(); ++i)
+      if (schema[i].name == name) return i;
+    throw std::invalid_argument("hpcb: no such column: " + name);
+  };
+
+  // Decode projection for partially-matching blocks: output columns plus
+  // every predicate column plus the aggregated column.
+  std::vector<char> part_keep = out_keep;
+  std::size_t agg_col = 0;
+  if (agg_has_column) {
+    agg_col = col_index(query.agg_column);
+    part_keep[agg_col] = 1;
+  }
+  std::vector<BoundPredicate> preds;
+  preds.reserve(query.where.size());
+  for (const Predicate& p : query.where) {
+    BoundPredicate b;
+    b.col = col_index(p.column);
+    b.is_float = is_float_column(schema[b.col].type);
+    b.op = p.op;
+    b.value = p.value;
+    b.integral = p.integral && !b.is_float;
+    b.value_i = p.value_i;
+    part_keep[b.col] = 1;
+    preds.push_back(b);
+  }
+
+  // Full-match projection: only the columns the result needs.
+  std::vector<char> full_keep(schema.size(), 0);
+  if (aggregate) {
+    if (agg_has_column) full_keep[agg_col] = 1;
+  } else {
+    full_keep = out_keep;
+  }
+
+  const auto rank_of = [](const std::vector<char>& keep, std::size_t col) {
+    std::size_t rank = 0;
+    for (std::size_t i = 0; i < col; ++i) rank += keep[i] != 0 ? 1 : 0;
+    return rank;
+  };
+  for (BoundPredicate& b : preds) b.slot = rank_of(part_keep, b.col);
+  const std::size_t part_agg_slot = agg_has_column ? rank_of(part_keep, agg_col) : 0;
+  const std::size_t part_count =
+      static_cast<std::size_t>(std::count(part_keep.begin(), part_keep.end(), 1));
+  const std::size_t full_count =
+      static_cast<std::size_t>(std::count(full_keep.begin(), full_keep.end(), 1));
+  // Row queries: slots of the output columns within the partial projection.
+  std::vector<std::size_t> out_slots;
+  Table out_table;
+  for (std::size_t i = 0; i < schema.size(); ++i)
+    if (out_keep[i] != 0) {
+      out_table.schema.push_back(schema[i]);
+      out_slots.push_back(rank_of(part_keep, i));
+    }
+  out_table.columns.resize(out_table.schema.size());
+
+  ScanResult result;
+  ScanStats& st = result.stats;
+
+  // Index: footer, or (lenient) block-magic rescan.
+  std::vector<detail::BlockTask> tasks;
+  std::uint64_t zonemap_offset = 0;
+  if (auto footer = detail::parse_footer(buf, header.end)) {
+    st.footer_valid = true;
+    tasks = std::move(footer->blocks);
+    zonemap_offset = footer->zonemap_offset;
+  } else if (!options.lenient) {
+    throw std::invalid_argument(
+        "hpcb: missing or corrupt footer (truncated file?)");
+  } else {
+    st.rescanned = true;
+    util::counters().add("storage.footer_rescans");
+    std::size_t corrupt = 0;
+    tasks = detail::scan_blocks(buf, header.end, corrupt);
+    st.blocks_skipped += corrupt;
+    if (corrupt > 0) util::counters().add("storage.blocks_skipped", corrupt);
+    util::log_warn(util::format(
+        "hpcb: footer damaged; block scan recovered %zu block(s), "
+        "%zu corrupt region(s) skipped",
+        tasks.size(), corrupt));
+  }
+  st.blocks_total = tasks.size();
+
+  // Zone maps: used only when the CRC-framed section verifies against the
+  // trusted footer. A rescued index never prunes (zonemap_offset stays 0).
+  std::optional<ZoneMaps> zones;
+  if (options.use_zone_maps && zonemap_offset != 0) {
+    zones = detail::parse_zone_maps(buf, zonemap_offset, header.end,
+                                    tasks.size(), schema);
+    if (!zones) {
+      if (!options.lenient)
+        throw std::invalid_argument("hpcb: corrupt zone-map section");
+      util::counters().add("storage.zonemap_ignored");
+      util::log_warn(
+          "hpcb: corrupt zone-map section ignored; scanning every block");
+    }
+  }
+  st.zone_maps = zones.has_value();
+
+  // Classify each block from its zone maps before touching any block bytes.
+  std::vector<ZoneMatch> klass(tasks.size(), ZoneMatch::kSome);
+  if (zones)
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      ZoneMatch m = ZoneMatch::kAll;  // an empty conjunction matches all rows
+      for (const BoundPredicate& p : preds) {
+        const ZoneMatch pm = zone_match(p, zones->at(i, p.col));
+        if (pm == ZoneMatch::kNone) {
+          m = ZoneMatch::kNone;
+          break;
+        }
+        if (pm == ZoneMatch::kSome) m = ZoneMatch::kSome;
+      }
+      klass[i] = m;
+    }
+
+  std::vector<BlockOutcome> outcomes(tasks.size());
+  {
+    HPCPOWER_SPAN("storage.scan_decode");
+    const auto work = [&](std::size_t i) {
+      BlockOutcome& o = outcomes[i];
+      if (klass[i] == ZoneMatch::kNone) {
+        o.kind = BlockOutcome::Kind::kPruned;
+        return;
+      }
+      const bool full = klass[i] == ZoneMatch::kAll;
+      const std::vector<char>& keep = full ? full_keep : part_keep;
+      const std::size_t keep_count = full ? full_count : part_count;
+      if (full && keep_count == 0) {
+        // Pure count over a fully-matching block: CRC-verify the framing
+        // without decoding a single column.
+        std::uint32_t rows = 0;
+        if (!detail::verify_block(buf, tasks[i].offset, &rows)) {
+          o.kind = BlockOutcome::Kind::kCorrupt;
+          o.error = util::format(
+              "hpcb: block %zu at offset %zu: block checksum mismatch", i,
+              tasks[i].offset);
+          return;
+        }
+        o.kind = BlockOutcome::Kind::kCounted;
+        o.rows = rows;
+        o.matched = rows;
+        return;
+      }
+      detail::DecodedBlock d =
+          detail::decode_block(buf, tasks[i].offset, i, schema, keep, keep_count);
+      if (!d.ok) {
+        o.kind = BlockOutcome::Kind::kCorrupt;
+        o.error = std::move(d.error);
+        return;
+      }
+      o.kind = BlockOutcome::Kind::kDecoded;
+      o.rows = d.rows;
+      if (full) {
+        o.matched = d.rows;
+        if (aggregate) {
+          if (agg_has_column) {
+            const Column& c = d.cols[0];
+            if (is_float_column(schema[agg_col].type)) {
+              for (double x : c.f64) accumulate(o.agg, x);
+            } else {
+              for (std::int64_t x : c.i64)
+                accumulate(o.agg, static_cast<double>(x));
+            }
+          }
+        } else {
+          o.out = std::move(d.cols);
+        }
+        return;
+      }
+      // Partial block: filter row by row.
+      if (!aggregate) o.out.resize(out_slots.size());
+      const bool agg_float =
+          agg_has_column && is_float_column(schema[agg_col].type);
+      for (std::uint32_t r = 0; r < d.rows; ++r) {
+        bool match = true;
+        for (const BoundPredicate& p : preds)
+          if (!row_matches(p, d.cols, r)) {
+            match = false;
+            break;
+          }
+        if (!match) continue;
+        ++o.matched;
+        if (aggregate) {
+          if (agg_has_column)
+            accumulate(o.agg,
+                       agg_float
+                           ? d.cols[part_agg_slot].f64[r]
+                           : static_cast<double>(d.cols[part_agg_slot].i64[r]));
+        } else {
+          for (std::size_t j = 0; j < out_slots.size(); ++j) {
+            const Column& src = d.cols[out_slots[j]];
+            if (is_float_column(out_table.schema[j].type))
+              o.out[j].f64.push_back(src.f64[r]);
+            else
+              o.out[j].i64.push_back(src.i64[r]);
+          }
+        }
+      }
+    };
+    if (options.parallel) {
+      util::parallel_for(tasks.size(), work);
+    } else {
+      for (std::size_t i = 0; i < tasks.size(); ++i) work(i);
+    }
+  }
+
+  // Merge in block order — deterministic at any thread count, and identical
+  // with pruning on or off because pruned/unmatched blocks contribute
+  // nothing on either path.
+  AggPartial total;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    BlockOutcome& o = outcomes[i];
+    switch (o.kind) {
+      case BlockOutcome::Kind::kPruned:
+        ++st.blocks_pruned;
+        util::counters().add("storage.blocks_pruned");
+        break;
+      case BlockOutcome::Kind::kCorrupt:
+        if (!options.lenient) throw std::invalid_argument(o.error);
+        ++st.blocks_skipped;
+        st.rows_skipped += tasks[i].rows;
+        util::counters().add("storage.blocks_skipped");
+        util::counters().add("storage.rows_skipped", tasks[i].rows);
+        util::log_warn(o.error + " (block skipped)");
+        break;
+      case BlockOutcome::Kind::kCounted:
+      case BlockOutcome::Kind::kDecoded: {
+        if (!options.lenient && o.rows != tasks[i].rows)
+          throw std::invalid_argument(util::format(
+              "hpcb: block %zu row count disagrees with the footer index", i));
+        if (klass[i] == ZoneMatch::kAll) ++st.blocks_full_match;
+        if (o.kind == BlockOutcome::Kind::kDecoded) ++st.blocks_decoded;
+        st.rows_scanned += o.rows;
+        st.rows_matched += o.matched;
+        result.count += o.matched;
+        if (o.agg.values > 0) {
+          if (total.values == 0) {
+            total.min = o.agg.min;
+            total.max = o.agg.max;
+          } else {
+            if (o.agg.min < total.min) total.min = o.agg.min;
+            if (o.agg.max > total.max) total.max = o.agg.max;
+          }
+          total.sum += o.agg.sum;
+          total.values += o.agg.values;
+        }
+        if (!aggregate && !o.out.empty())
+          for (std::size_t j = 0; j < out_table.columns.size(); ++j) {
+            Column& dst = out_table.columns[j];
+            Column& src = o.out[j];
+            dst.i64.insert(dst.i64.end(), src.i64.begin(), src.i64.end());
+            dst.f64.insert(dst.f64.end(), src.f64.begin(), src.f64.end());
+          }
+        break;
+      }
+    }
+  }
+
+  switch (query.agg) {
+    case AggregateOp::kNone:
+      result.table = std::move(out_table);
+      break;
+    case AggregateOp::kCount:
+      result.value = static_cast<double>(result.count);
+      result.value_count = result.count;
+      break;
+    case AggregateOp::kMin:
+      result.value = total.values > 0 ? total.min
+                                      : std::numeric_limits<double>::quiet_NaN();
+      result.value_count = total.values;
+      break;
+    case AggregateOp::kMax:
+      result.value = total.values > 0 ? total.max
+                                      : std::numeric_limits<double>::quiet_NaN();
+      result.value_count = total.values;
+      break;
+    case AggregateOp::kSum:
+      result.value = total.sum;
+      result.value_count = total.values;
+      break;
+    case AggregateOp::kMean:
+      result.value = total.values > 0
+                         ? total.sum / static_cast<double>(total.values)
+                         : std::numeric_limits<double>::quiet_NaN();
+      result.value_count = total.values;
+      break;
+  }
+  return result;
+}
+
+ScanResult scan_hpcb_file(const std::string& path, const ScanQuery& query,
+                          const ScanOptions& options) {
+  const FileBytes file = FileBytes::open(path, options.mmap);
+  ScanResult result = scan_hpcb_buffer(file.view(), query, options);
+  result.stats.mapped = file.mapped();
+  return result;
+}
+
+std::optional<ZoneMaps> load_hpcb_zone_maps(const std::string& path) {
+  try {
+    const FileBytes file = FileBytes::open(path);
+    const std::string_view buf = file.view();
+    const detail::Header header = detail::parse_header(buf);
+    const auto footer = detail::parse_footer(buf, header.end);
+    if (!footer || footer->zonemap_offset == 0) return std::nullopt;
+    return detail::parse_zone_maps(buf, footer->zonemap_offset, header.end,
+                                   footer->blocks.size(), header.schema);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace hpcpower::storage

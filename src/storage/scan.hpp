@@ -1,0 +1,133 @@
+#pragma once
+// The .hpcb query engine: predicate pushdown over per-block zone maps.
+//
+// A ScanQuery is a conjunction of Predicates plus a projection and an
+// optional aggregate. Before any block is decoded its zone maps (v2 files)
+// are tested against every predicate:
+//
+//   prune       no row can match — the block is never read or CRC'd; both
+//               the pruned and the unpruned path exclude its rows, so
+//               results stay identical even if the block is corrupt.
+//   full match  every row matches — only projected/aggregated columns are
+//               decoded; a pure count verifies the block CRC without
+//               decoding anything.
+//   partial     the block is decoded (projection ∪ predicate columns) and
+//               rows are filtered individually.
+//
+// Semantics:
+//  - NaN is null: a NaN row never matches any predicate, including "!=",
+//    and never contributes to min/max/sum/mean (it does count toward a
+//    plain row count when it matches all predicates — i.e. when there are
+//    none on that row's NaN columns).
+//  - Comparisons against integer columns are exact when the predicate value
+//    is an integer; fractional values compare via double (monotonic
+//    conversion, so pruning stays conservative).
+//  - Matched rows keep file order; aggregates are merged from per-block
+//    partials in block order — results are bit-identical at any thread
+//    count and identical with pruning on or off (DESIGN.md §5 contract).
+//  - Lenient scans skip corrupt blocks with counted warnings exactly like
+//    read_hpcb; a damaged footer triggers the block-magic rescan, which
+//    carries no zone maps, so pruning degrades to a full scan. A corrupt
+//    zone-map section is ignored ("storage.zonemap_ignored") in lenient
+//    mode and throws in strict mode.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/hpcb.hpp"
+
+namespace hpcpower::storage {
+
+enum class PredicateOp : std::uint8_t { kLt, kLe, kGt, kGe, kEq, kNe };
+
+[[nodiscard]] const char* predicate_op_name(PredicateOp op) noexcept;
+
+/// One comparison against a column. Built via the factories (which keep the
+/// exact-integer flag coherent) or parsed from "col<=42" text.
+struct Predicate {
+  std::string column;
+  PredicateOp op = PredicateOp::kEq;
+  double value = 0.0;          ///< comparison value as a double
+  bool integral = false;       ///< value is an exact integer
+  std::int64_t value_i = 0;    ///< exact value when `integral`
+};
+
+[[nodiscard]] Predicate make_predicate(std::string_view column, PredicateOp op,
+                                       std::int64_t value);
+[[nodiscard]] Predicate make_predicate(std::string_view column, PredicateOp op,
+                                       double value);
+
+/// Parses "column OP value" with OP one of <= < >= > == != = (longest
+/// match first); nullopt on malformed text. Whitespace around the pieces
+/// is tolerated.
+[[nodiscard]] std::optional<Predicate> parse_predicate(std::string_view text);
+
+enum class AggregateOp : std::uint8_t { kNone, kCount, kMin, kMax, kSum, kMean };
+
+/// Parses "count" | "min:col" | "max:col" | "sum:col" | "mean:col"; nullopt
+/// on malformed text. Returns the op plus the column (empty for count).
+[[nodiscard]] std::optional<std::pair<AggregateOp, std::string>> parse_aggregate(
+    std::string_view text);
+
+struct ScanQuery {
+  /// Output projection (empty = all columns, file schema order preserved).
+  std::vector<std::string> select;
+  /// Conjunction: a row matches when every predicate holds.
+  std::vector<Predicate> where;
+  /// kNone materializes matching rows; anything else returns only the
+  /// aggregate (kCount needs no column, the rest aggregate `agg_column`).
+  AggregateOp agg = AggregateOp::kNone;
+  std::string agg_column;
+};
+
+struct ScanOptions {
+  bool lenient = false;       ///< see ReadOptions::lenient
+  bool parallel = true;       ///< block-parallel, merged in block order
+  bool use_zone_maps = true;  ///< false = decode every block (baseline)
+  bool mmap = true;           ///< scan_hpcb_file maps the file when it can
+};
+
+struct ScanStats {
+  std::size_t blocks_total = 0;
+  std::size_t blocks_pruned = 0;      ///< zone maps proved no match; not read
+  std::size_t blocks_full_match = 0;  ///< zone maps proved every row matches
+  std::size_t blocks_decoded = 0;
+  std::size_t blocks_skipped = 0;     ///< corrupt, skipped (lenient)
+  std::uint64_t rows_scanned = 0;     ///< rows in decoded + counted blocks
+  std::uint64_t rows_matched = 0;
+  std::uint64_t rows_skipped = 0;     ///< rows lost to skipped blocks
+  bool zone_maps = false;             ///< zone-map section parsed and used
+  bool footer_valid = false;
+  bool rescanned = false;
+  bool mapped = false;                ///< file scan read via mmap
+};
+
+struct ScanResult {
+  Table table;                 ///< matched rows (empty when agg != kNone)
+  std::uint64_t count = 0;     ///< matched row count (all queries)
+  double value = 0.0;          ///< aggregate value (min/max/sum/mean)
+  std::uint64_t value_count = 0;  ///< non-NaN values behind `value`
+  ScanStats stats;
+};
+
+/// Runs `query` over an in-memory .hpcb image. Throws std::invalid_argument
+/// on malformed files (strict), unknown columns, or aggregate misuse.
+[[nodiscard]] ScanResult scan_hpcb_buffer(std::string_view buf,
+                                          const ScanQuery& query,
+                                          const ScanOptions& options = {});
+
+/// File wrapper: mmap when available (ScanOptions::mmap), buffered fallback.
+[[nodiscard]] ScanResult scan_hpcb_file(const std::string& path,
+                                        const ScanQuery& query,
+                                        const ScanOptions& options = {});
+
+/// Zone maps of a .hpcb file for tooling (trace_explorer --inspect):
+/// nullopt when the file predates v2, the section is corrupt, or the footer
+/// is unreadable.
+[[nodiscard]] std::optional<ZoneMaps> load_hpcb_zone_maps(
+    const std::string& path);
+
+}  // namespace hpcpower::storage

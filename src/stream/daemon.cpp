@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <fstream>
 #include <stdexcept>
 
 #include "obs/health.hpp"
@@ -128,6 +129,57 @@ IngestDaemon::IngestDaemon(cluster::SystemSpec spec, IngestConfig config)
     w.segment_records = config_.wal_segment_records;
     w.keep_checkpoints = config_.keep_checkpoints;
     wal_ = std::make_unique<WriteAheadLog>(std::move(w));
+  }
+  if (!config_.spill_path.empty()) {
+    spill_out_ = std::make_unique<std::ofstream>(config_.spill_path,
+                                                 std::ios::binary | std::ios::trunc);
+    if (!*spill_out_)
+      throw std::runtime_error("cannot open spill file: " + config_.spill_path);
+    spill_ = std::make_unique<storage::HpcbChunkWriter>(
+        *spill_out_, std::vector<storage::ColumnSpec>{
+                         {"minute", storage::ColumnType::kInt64Delta},
+                         {"job_id", storage::ColumnType::kInt64Delta},
+                         {"node", storage::ColumnType::kInt64Delta},
+                         {"watts", storage::ColumnType::kFloat64Xor}});
+  }
+}
+
+IngestDaemon::~IngestDaemon() {
+  try {
+    finish_spill();
+  } catch (...) {  // NOLINT(bugprone-empty-catch)
+  }
+}
+
+void IngestDaemon::spill_tick_rows(const telemetry::TapTick& tick,
+                                   std::uint64_t kept) {
+  if (!spill_ || kept == 0) return;
+  storage::Table t;
+  t.schema = {{"minute", storage::ColumnType::kInt64Delta},
+              {"job_id", storage::ColumnType::kInt64Delta},
+              {"node", storage::ColumnType::kInt64Delta},
+              {"watts", storage::ColumnType::kFloat64Xor}};
+  t.columns.resize(t.schema.size());
+  for (std::uint64_t i = 0; i < kept; ++i) {
+    const telemetry::TapSampleRow& r = tick.rows[static_cast<std::size_t>(i)];
+    t.columns[0].i64.push_back(tick.minute);
+    t.columns[1].i64.push_back(static_cast<std::int64_t>(r.job_id));
+    t.columns[2].i64.push_back(static_cast<std::int64_t>(r.node));
+    t.columns[3].f64.push_back(r.watts);
+  }
+  spill_->append(t);
+  spill_rows_ += kept;
+}
+
+void IngestDaemon::finish_spill() {
+  if (!spill_) return;
+  spill_->finish();
+  spill_.reset();
+  if (spill_out_) {
+    spill_out_->flush();
+    if (!*spill_out_)
+      throw std::runtime_error("spill write failed: " + config_.spill_path);
+    spill_out_.reset();
   }
 }
 
@@ -338,6 +390,7 @@ void IngestDaemon::apply(const StreamBatch& batch) {
         apply_.rows_shed += n - kept;
         quality_.rows_shed += n - kept;
       }
+      spill_tick_rows(batch.tick, kept);
       step_mode(kept);
       for (const auto& j : batch.job_ends) apply_job_end(j);
       break;

@@ -39,9 +39,12 @@
 
 #include "cluster/system_spec.hpp"
 #include "core/study.hpp"
+#include "storage/hpcb.hpp"
 #include "stream/batch.hpp"
 #include "stream/ring.hpp"
 #include "stream/wal.hpp"
+
+#include <iosfwd>
 
 namespace hpcpower::stream {
 
@@ -82,6 +85,17 @@ struct IngestConfig {
 
   std::uint64_t crash_after_seq = 0;  ///< 0 = no crash injection
   CrashMode crash_mode = CrashMode::kNone;
+
+  /// Non-empty: spill every applied in-campaign detail row to this .hpcb
+  /// file (schema minute/job_id/node/watts) through the incremental chunk
+  /// writer, so streaming windows become zone-map range queries
+  /// (trace_explorer --where / load-time pruning) instead of ring walks.
+  /// The spill is an analysis sidecar, not part of the crash-equivalence
+  /// contract: the file restarts empty on construction and is rebuilt by
+  /// WAL replay, so after a checkpoint-based recovery it holds only the
+  /// rows applied since the checkpoint. SHEDDING-dropped rows are absent
+  /// (they exist only in the shed sketch, booked in the quality ledger).
+  std::string spill_path;
 
   /// Invoked once per kept, post-warm-up job record at the moment it applies
   /// — the feed for online consumers such as the prediction serving layer.
@@ -131,10 +145,20 @@ enum class OfferResult : std::uint8_t {
 class IngestDaemon {
  public:
   IngestDaemon(cluster::SystemSpec spec, IngestConfig config);
+  ~IngestDaemon();
 
   /// Offers one batch. kAccepted means the batch is durable (when a WAL is
   /// configured) and will be applied; anything else was not ingested.
   OfferResult offer(const StreamBatch& batch);
+
+  /// Flushes the .hpcb spill (tail block + zone maps + footer) so it can be
+  /// queried. Idempotent; no-op without IngestConfig::spill_path. Called by
+  /// the destructor as a safety net; rows offered after an explicit
+  /// finish_spill() are no longer spilled.
+  void finish_spill();
+  [[nodiscard]] std::uint64_t spill_rows() const noexcept {
+    return spill_rows_;
+  }
 
   /// Loads the newest valid checkpoint and replays newer WAL records.
   /// Returns true when any durable state was recovered. Safe on an empty or
@@ -224,6 +248,12 @@ class IngestDaemon {
   std::map<std::uint64_t, StreamBatch> pending_;
   TransitStats transit_;
   WalRecoveryStats recovery_;
+
+  // .hpcb spill sidecar (see IngestConfig::spill_path; not checkpointed).
+  void spill_tick_rows(const telemetry::TapTick& tick, std::uint64_t kept);
+  std::unique_ptr<std::ofstream> spill_out_;
+  std::unique_ptr<storage::HpcbChunkWriter> spill_;
+  std::uint64_t spill_rows_ = 0;
 };
 
 }  // namespace hpcpower::stream

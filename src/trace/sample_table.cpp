@@ -75,11 +75,10 @@ void write_sample_table_hpcb(std::ostream& out, const std::vector<PowerSampleRow
   storage::write_hpcb(out, table, rows_per_block);
 }
 
-std::vector<PowerSampleRow> read_sample_table_hpcb(std::istream& in, bool lenient,
-                                                   storage::ReadStats* stats) {
-  storage::ReadOptions options;
-  options.lenient = lenient;
-  const storage::Table table = storage::read_hpcb(in, options, stats);
+namespace {
+
+std::vector<PowerSampleRow> rows_from_sample_table(const storage::Table& table,
+                                                   bool lenient) {
   const std::vector<storage::ColumnSpec> expected = {
       {"job_id", storage::ColumnType::kInt64Delta},
       {"minute", storage::ColumnType::kInt64Delta},
@@ -111,6 +110,15 @@ std::vector<PowerSampleRow> read_sample_table_hpcb(std::istream& in, bool lenien
   return out;
 }
 
+}  // namespace
+
+std::vector<PowerSampleRow> read_sample_table_hpcb(std::istream& in, bool lenient,
+                                                   storage::ReadStats* stats) {
+  storage::ReadOptions options;
+  options.lenient = lenient;
+  return rows_from_sample_table(storage::read_hpcb(in, options, stats), lenient);
+}
+
 void save_sample_table(const std::string& path, const std::vector<PowerSampleRow>& rows,
                        TraceFormat format) {
   const TraceFormat resolved = resolve_save_format(format, path);
@@ -129,6 +137,44 @@ std::vector<PowerSampleRow> load_sample_table(const std::string& path, bool leni
   if (resolve_load_format(TraceFormat::kAuto, in) == TraceFormat::kHpcb)
     return read_sample_table_hpcb(in, lenient);
   return read_sample_table(in, lenient);
+}
+
+std::vector<PowerSampleRow> load_sample_table_range(const std::string& path,
+                                                    const SampleRange& range,
+                                                    bool lenient,
+                                                    storage::ScanStats* stats) {
+  bool hpcb = false;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("cannot open for reading: " + path);
+    hpcb = resolve_load_format(TraceFormat::kAuto, in) == TraceFormat::kHpcb;
+  }
+  if (!hpcb) {
+    // CSV has no block structure to prune; filter a full load.
+    if (stats != nullptr) *stats = storage::ScanStats{};
+    std::vector<PowerSampleRow> rows = load_sample_table(path, lenient);
+    std::erase_if(rows,
+                  [&range](const PowerSampleRow& r) { return !range.contains(r); });
+    return rows;
+  }
+  storage::ScanQuery query;
+  if (range.min_minute)
+    query.where.push_back(storage::make_predicate(
+        "minute", storage::PredicateOp::kGe, *range.min_minute));
+  if (range.max_minute)
+    query.where.push_back(storage::make_predicate(
+        "minute", storage::PredicateOp::kLe, *range.max_minute));
+  if (range.min_job_id)
+    query.where.push_back(storage::make_predicate(
+        "job_id", storage::PredicateOp::kGe, *range.min_job_id));
+  if (range.max_job_id)
+    query.where.push_back(storage::make_predicate(
+        "job_id", storage::PredicateOp::kLe, *range.max_job_id));
+  storage::ScanOptions options;
+  options.lenient = lenient;
+  storage::ScanResult result = storage::scan_hpcb_file(path, query, options);
+  if (stats != nullptr) *stats = result.stats;
+  return rows_from_sample_table(result.table, lenient);
 }
 
 std::vector<PowerSampleRow> inject_sample_faults(

@@ -12,10 +12,12 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "storage/hpcb.hpp"
+#include "storage/scan.hpp"
 #include "telemetry/cleaning.hpp"
 #include "telemetry/faults.hpp"
 #include "trace/format.hpp"
@@ -50,6 +52,31 @@ void write_sample_table_hpcb(std::ostream& out, const std::vector<PowerSampleRow
                              std::size_t rows_per_block = storage::kDefaultRowsPerBlock);
 [[nodiscard]] std::vector<PowerSampleRow> read_sample_table_hpcb(
     std::istream& in, bool lenient = false, storage::ReadStats* stats = nullptr);
+
+/// Inclusive time/job slice of a sample table — the query the paper's
+/// time-resolved analyses and the streaming window reconstruction both ask.
+struct SampleRange {
+  std::optional<std::int64_t> min_minute;
+  std::optional<std::int64_t> max_minute;
+  std::optional<std::int64_t> min_job_id;
+  std::optional<std::int64_t> max_job_id;
+
+  [[nodiscard]] bool contains(const PowerSampleRow& r) const noexcept {
+    const auto job = static_cast<std::int64_t>(r.job_id);
+    return (!min_minute || r.minute >= *min_minute) &&
+           (!max_minute || r.minute <= *max_minute) &&
+           (!min_job_id || job >= *min_job_id) &&
+           (!max_job_id || job <= *max_job_id);
+  }
+};
+
+/// Loads only the rows inside `range`. For .hpcb files this is a pruned
+/// zone-map scan — blocks outside the range are never decoded (see `stats`
+/// for how many); CSV falls back to load-then-filter. Row order and values
+/// match filtering a full load exactly.
+[[nodiscard]] std::vector<PowerSampleRow> load_sample_table_range(
+    const std::string& path, const SampleRange& range, bool lenient = false,
+    storage::ScanStats* stats = nullptr);
 
 /// Save in the given format (kAuto: ".hpcb" extension → binary, else CSV).
 void save_sample_table(const std::string& path, const std::vector<PowerSampleRow>& rows,

@@ -12,11 +12,18 @@
 #include <string>
 #include <vector>
 
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
 #include "storage/crc32.hpp"
+#include "storage/filebytes.hpp"
 #include "storage/hpcb.hpp"
+#include "storage/scan.hpp"
 #include "storage/varint.hpp"
 #include "util/logging.hpp"
 #include "util/prng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace hpcpower::storage {
 namespace {
@@ -372,6 +379,567 @@ TEST(HpcbCorruption, DamagedFooterAndDamagedBlock) {
   EXPECT_TRUE(stats.rescanned);
   EXPECT_EQ(got.rows(), 48u);
   EXPECT_GE(util::counters().value("storage.blocks_skipped"), 1u);
+}
+
+// ---- format versioning, chunk writer, zone maps ---------------------------
+
+TEST(HpcbVersion, V1FilesStayReadableAndCarryNoZoneMaps) {
+  const Table t = random_table(21, 64);
+  std::stringstream v1;
+  write_hpcb(v1, t, 16, 1);
+  ReadStats stats;
+  expect_tables_identical(t, read_hpcb(v1, {}, &stats));
+  EXPECT_TRUE(stats.footer_valid);
+  EXPECT_FALSE(stats.zone_maps);
+
+  // The same table written at the current version gains zone maps and scans
+  // to identical bytes.
+  std::stringstream v2;
+  write_hpcb(v2, t, 16);
+  ReadStats stats2;
+  expect_tables_identical(t, read_hpcb(v2, {}, &stats2));
+  EXPECT_TRUE(stats2.zone_maps);
+
+  std::stringstream bad;
+  EXPECT_THROW(write_hpcb(bad, t, 16, 99), std::invalid_argument);
+}
+
+TEST(HpcbVersion, ScanOverV1FileDegradesToFullDecode) {
+  Table t;
+  t.schema = {{"minute", ColumnType::kInt64Delta}};
+  t.columns.resize(1);
+  for (std::int64_t m = 0; m < 64; ++m) t.columns[0].i64.push_back(m);
+  std::stringstream v1;
+  write_hpcb(v1, t, 8, 1);
+
+  ScanQuery q;
+  q.where = {make_predicate("minute", PredicateOp::kGe, std::int64_t{56})};
+  const ScanResult r = scan_hpcb_buffer(v1.str(), q);
+  EXPECT_FALSE(r.stats.zone_maps);
+  EXPECT_EQ(r.stats.blocks_pruned, 0u);
+  EXPECT_EQ(r.stats.blocks_decoded, 8u);
+  EXPECT_EQ(r.count, 8u);  // pruning off, answers still exact
+}
+
+TEST(HpcbChunkWriter, ByteIdenticalToWholeTableWriteAtAnySplit) {
+  const Table t = random_table(22, 100);
+  std::stringstream whole;
+  write_hpcb(whole, t, 16);
+  // Append the same rows in ragged slices; block boundaries must not move.
+  for (const std::vector<std::size_t>& splits :
+       {std::vector<std::size_t>{100}, {1, 99}, {17, 16, 67}, {50, 50}}) {
+    std::stringstream chunked;
+    HpcbChunkWriter w(chunked, t.schema, 16);
+    std::size_t at = 0;
+    for (const std::size_t n : splits) {
+      Table piece;
+      piece.schema = t.schema;
+      piece.columns.resize(t.schema.size());
+      for (std::size_t c = 0; c < t.schema.size(); ++c) {
+        const auto& col = t.columns[c];
+        if (!col.i64.empty())
+          piece.columns[c].i64.assign(col.i64.begin() + static_cast<long>(at),
+                                      col.i64.begin() + static_cast<long>(at + n));
+        if (!col.f64.empty())
+          piece.columns[c].f64.assign(col.f64.begin() + static_cast<long>(at),
+                                      col.f64.begin() + static_cast<long>(at + n));
+      }
+      w.append(piece);
+      at += n;
+    }
+    w.finish();
+    EXPECT_EQ(w.rows_written(), 100u);
+    EXPECT_EQ(chunked.str(), whole.str());
+  }
+}
+
+// ---- the scan query engine ------------------------------------------------
+
+TEST(HpcbPredicate, ParsesAllOperatorsAndRejectsGarbage) {
+  const auto p = parse_predicate(" minute <= 42 ");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->column, "minute");
+  EXPECT_EQ(p->op, PredicateOp::kLe);
+  EXPECT_TRUE(p->integral);
+  EXPECT_EQ(p->value_i, 42);
+
+  const auto f = parse_predicate("watts>1.5");
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->op, PredicateOp::kGt);
+  EXPECT_FALSE(f->integral);
+  EXPECT_EQ(f->value, 1.5);
+
+  EXPECT_EQ(parse_predicate("minute=4")->op, PredicateOp::kEq);
+  EXPECT_FALSE(parse_predicate("= 4").has_value());  // empty column
+  EXPECT_FALSE(parse_predicate("minute").has_value());
+  EXPECT_FALSE(parse_predicate("minute <").has_value());
+  EXPECT_FALSE(parse_predicate("minute < banana").has_value());
+  EXPECT_FALSE(parse_predicate("").has_value());
+
+  ASSERT_TRUE(parse_aggregate("count").has_value());
+  EXPECT_EQ(parse_aggregate("mean:watts")->first, AggregateOp::kMean);
+  EXPECT_EQ(parse_aggregate("mean:watts")->second, "watts");
+  EXPECT_FALSE(parse_aggregate("median:watts").has_value());
+  EXPECT_FALSE(parse_aggregate("mean:").has_value());
+}
+
+// A table whose "minute" column is sorted so blocks partition the time axis
+// (what trace_explorer files look like), plus an unsorted value column.
+Table time_sorted_table(std::size_t rows) {
+  util::Rng rng(33);
+  Table t;
+  t.schema = {{"minute", ColumnType::kInt64Delta},
+              {"watts", ColumnType::kFloat64Xor}};
+  t.columns.resize(2);
+  for (std::size_t r = 0; r < rows; ++r) {
+    t.columns[0].i64.push_back(static_cast<std::int64_t>(r / 2));
+    t.columns[1].f64.push_back(rng.normal(150.0, 30.0));
+  }
+  return t;
+}
+
+// Reference semantics: filter the full table row by row.
+std::uint64_t count_matching(const Table& t, std::int64_t lo, std::int64_t hi) {
+  std::uint64_t n = 0;
+  for (const std::int64_t m : t.columns[0].i64) n += (m >= lo && m <= hi);
+  return n;
+}
+
+TEST(HpcbScan, TimeRangePruningMatchesFullDecode) {
+  const Table t = time_sorted_table(512);  // minutes 0..255, 32 blocks of 16
+  const std::string buf = encode(t, 16);
+  ScanQuery q;
+  q.where = {make_predicate("minute", PredicateOp::kGe, std::int64_t{100}),
+             make_predicate("minute", PredicateOp::kLe, std::int64_t{119})};
+
+  const ScanResult pruned = scan_hpcb_buffer(buf, q);
+  ScanOptions off;
+  off.use_zone_maps = false;
+  const ScanResult full = scan_hpcb_buffer(buf, q, off);
+
+  EXPECT_TRUE(pruned.stats.zone_maps);
+  EXPECT_GT(pruned.stats.blocks_pruned, 25u);  // ~40 of 512 rows match
+  EXPECT_EQ(full.stats.blocks_pruned, 0u);
+  EXPECT_EQ(pruned.count, count_matching(t, 100, 119));
+  EXPECT_EQ(pruned.count, full.count);
+  expect_tables_identical(pruned.table, full.table);
+}
+
+TEST(HpcbScan, PredicatesStraddlingBlockBoundaries) {
+  const Table t = time_sorted_table(128);  // 8 rows/block => minutes 0..63
+  const std::string buf = encode(t, 8);
+  // Windows chosen to start/end exactly on, one before, and one after the
+  // 4-minute block edges.
+  for (const auto& [lo, hi] : std::vector<std::pair<std::int64_t, std::int64_t>>{
+           {4, 7}, {3, 8}, {4, 8}, {3, 7}, {0, 0}, {63, 63}, {62, 64}}) {
+    ScanQuery q;
+    q.where = {make_predicate("minute", PredicateOp::kGe, lo),
+               make_predicate("minute", PredicateOp::kLe, hi)};
+    const ScanResult pruned = scan_hpcb_buffer(buf, q);
+    ScanOptions off;
+    off.use_zone_maps = false;
+    const ScanResult full = scan_hpcb_buffer(buf, q, off);
+    EXPECT_EQ(pruned.count, count_matching(t, lo, hi)) << lo << ".." << hi;
+    expect_tables_identical(pruned.table, full.table);
+  }
+}
+
+TEST(HpcbScan, SingleRowBlocks) {
+  const Table t = time_sorted_table(32);
+  const std::string buf = encode(t, 1);  // every block holds one row
+  ScanQuery q;
+  q.where = {make_predicate("minute", PredicateOp::kEq, std::int64_t{5})};
+  const ScanResult r = scan_hpcb_buffer(buf, q);
+  EXPECT_EQ(r.stats.blocks_total, 32u);
+  EXPECT_EQ(r.count, 2u);
+  EXPECT_EQ(r.stats.blocks_pruned, 30u);
+  EXPECT_EQ(r.stats.blocks_full_match, 2u);
+}
+
+TEST(HpcbScan, AllNullBlocksNeverMatchAnyPredicate) {
+  Table t;
+  t.schema = {{"watts", ColumnType::kFloat64}};
+  t.columns.resize(1);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  // Block 0: all NaN. Block 1: mixed. Block 2: clean.
+  for (int i = 0; i < 4; ++i) t.columns[0].f64.push_back(nan);
+  t.columns[0].f64.insert(t.columns[0].f64.end(), {nan, 10.0, nan, 20.0});
+  t.columns[0].f64.insert(t.columns[0].f64.end(), {1.0, 2.0, 3.0, 4.0});
+  const std::string buf = encode(t, 4);
+
+  // NaN is null: it matches nothing, not even !=, so the all-NaN block is
+  // pruned for every operator.
+  for (const PredicateOp op : {PredicateOp::kLt, PredicateOp::kLe,
+                               PredicateOp::kGt, PredicateOp::kGe,
+                               PredicateOp::kEq, PredicateOp::kNe}) {
+    ScanQuery q;
+    q.where = {make_predicate("watts", op, 10.0)};
+    const ScanResult pruned = scan_hpcb_buffer(buf, q);
+    EXPECT_GE(pruned.stats.blocks_pruned, 1u) << predicate_op_name(op);
+    ScanOptions off;
+    off.use_zone_maps = false;
+    const ScanResult full = scan_hpcb_buffer(buf, q, off);
+    EXPECT_EQ(pruned.count, full.count) << predicate_op_name(op);
+    expect_tables_identical(pruned.table, full.table);
+  }
+
+  // Without predicates NaN rows still count as rows...
+  ScanQuery all;
+  all.agg = AggregateOp::kCount;
+  EXPECT_EQ(scan_hpcb_buffer(buf, all).count, 12u);
+  // ...but never contribute to value aggregates.
+  ScanQuery mx;
+  mx.agg = AggregateOp::kMax;
+  mx.agg_column = "watts";
+  const ScanResult m = scan_hpcb_buffer(buf, mx);
+  EXPECT_EQ(m.value, 20.0);
+  EXPECT_EQ(m.value_count, 6u);
+  ScanQuery mean;
+  mean.agg = AggregateOp::kMean;
+  mean.agg_column = "watts";
+  EXPECT_EQ(scan_hpcb_buffer(buf, mean).value, 40.0 / 6.0);
+}
+
+TEST(HpcbScan, NanBoundsNeverPoisonPruning) {
+  // A block whose extremes are NaN must still prune using the finite rows
+  // only — and a predicate selecting values beyond the finite range prunes
+  // the block even though NaNs sit in it.
+  Table t;
+  t.schema = {{"watts", ColumnType::kFloat64Xor}};
+  t.columns.resize(1);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  t.columns[0].f64 = {nan, 5.0, 7.0, nan, 100.0, 200.0, 150.0, 120.0};
+  const std::string buf = encode(t, 4);
+
+  ScanQuery q;
+  q.where = {make_predicate("watts", PredicateOp::kGt, 10.0)};
+  const ScanResult r = scan_hpcb_buffer(buf, q);
+  // Block 0 finite range is [5,7]: provably no match despite the NaNs.
+  EXPECT_EQ(r.stats.blocks_pruned, 1u);
+  // Block 1 is clean and wholly above 10: full match, no row filtering.
+  EXPECT_EQ(r.stats.blocks_full_match, 1u);
+  EXPECT_EQ(r.count, 4u);
+
+  ScanOptions off;
+  off.use_zone_maps = false;
+  expect_tables_identical(r.table, scan_hpcb_buffer(buf, q, off).table);
+}
+
+TEST(HpcbScan, MixedNullBlockIsNeverFullMatch) {
+  // null_count > 0 must demote "every row matches" to a row-filtered decode,
+  // or NaN rows would leak into range results.
+  Table t;
+  t.schema = {{"watts", ColumnType::kFloat64}};
+  t.columns.resize(1);
+  t.columns[0].f64 = {50.0, std::numeric_limits<double>::quiet_NaN(), 60.0,
+                      70.0};
+  const std::string buf = encode(t, 4);
+  ScanQuery q;
+  q.where = {make_predicate("watts", PredicateOp::kGe, 0.0)};
+  const ScanResult r = scan_hpcb_buffer(buf, q);
+  EXPECT_EQ(r.stats.blocks_full_match, 0u);
+  EXPECT_EQ(r.count, 3u);  // the NaN row does not match >= 0
+}
+
+TEST(HpcbScan, IntegerPredicatesAreExactAndFractionalOnesConservative) {
+  Table t;
+  t.schema = {{"id", ColumnType::kInt64Delta}};
+  t.columns.resize(1);
+  t.columns[0].i64 = {std::numeric_limits<std::int64_t>::min(), -1, 0, 1,
+                      (std::int64_t{1} << 53) + 1,
+                      std::numeric_limits<std::int64_t>::max()};
+  const std::string buf = encode(t, 2);
+
+  // 2^53+1 is not representable as a double; the exact integer path must
+  // still match it.
+  ScanQuery q;
+  q.where = {make_predicate("id", PredicateOp::kEq,
+                            (std::int64_t{1} << 53) + 1)};
+  EXPECT_EQ(scan_hpcb_buffer(buf, q).count, 1u);
+
+  // A fractional comparison on an int column can never equal...
+  ScanQuery frac;
+  frac.where = {make_predicate("id", PredicateOp::kEq, 0.5)};
+  EXPECT_EQ(scan_hpcb_buffer(buf, frac).count, 0u);
+  // ...but range ops work through the monotonic double cast.
+  ScanQuery gt;
+  gt.where = {make_predicate("id", PredicateOp::kGt, 0.5)};
+  EXPECT_EQ(scan_hpcb_buffer(buf, gt).count, 3u);
+}
+
+TEST(HpcbScan, ProjectionAndAggregateValidation) {
+  const Table t = time_sorted_table(64);
+  const std::string buf = encode(t, 16);
+
+  ScanQuery q;
+  q.select = {"watts"};
+  q.where = {make_predicate("minute", PredicateOp::kLt, std::int64_t{4})};
+  const ScanResult r = scan_hpcb_buffer(buf, q);
+  ASSERT_EQ(r.table.schema.size(), 1u);
+  EXPECT_EQ(r.table.schema[0].name, "watts");
+  EXPECT_EQ(r.table.rows(), 8u);
+
+  ScanQuery unknown;
+  unknown.where = {make_predicate("nope", PredicateOp::kEq, std::int64_t{1})};
+  EXPECT_THROW((void)scan_hpcb_buffer(buf, unknown), std::invalid_argument);
+  ScanQuery missing_col;
+  missing_col.agg = AggregateOp::kMin;  // min needs agg_column
+  EXPECT_THROW((void)scan_hpcb_buffer(buf, missing_col), std::invalid_argument);
+  ScanQuery empty;
+  empty.agg = AggregateOp::kMin;
+  empty.agg_column = "watts";
+  empty.where = {make_predicate("minute", PredicateOp::kLt, std::int64_t{0})};
+  const ScanResult none = scan_hpcb_buffer(buf, empty);
+  EXPECT_EQ(none.value_count, 0u);
+  EXPECT_TRUE(std::isnan(none.value));  // min of nothing is NaN, not 0
+}
+
+TEST(HpcbScan, ThreadCountAndPruningNeverChangeAnswers) {
+  const Table t = time_sorted_table(400);
+  const std::string buf = encode(t, 16);
+  ScanQuery q;
+  q.where = {make_predicate("minute", PredicateOp::kGe, std::int64_t{37}),
+             make_predicate("watts", PredicateOp::kGt, 150.0)};
+  ScanQuery agg = q;
+  agg.agg = AggregateOp::kSum;
+  agg.agg_column = "watts";
+
+  ScanOptions off;
+  off.use_zone_maps = false;
+  const ScanResult ref = scan_hpcb_buffer(buf, q, off);
+  const ScanResult ref_agg = scan_hpcb_buffer(buf, agg, off);
+  for (const std::size_t threads :
+       {std::size_t{1}, std::size_t{2}, std::size_t{0}}) {
+    util::set_global_thread_count(threads);
+    const ScanResult got = scan_hpcb_buffer(buf, q);
+    expect_tables_identical(got.table, ref.table);
+    const ScanResult got_agg = scan_hpcb_buffer(buf, agg);
+    expect_bits_eq(got_agg.value, ref_agg.value);  // bitwise, not approx
+  }
+  util::set_global_thread_count(0);
+}
+
+// ---- zone-map corruption: pruning must fail open, never fail wrong --------
+
+std::uint64_t zone_section_offset(const std::string& buf) {
+  // The zone-map section magic directly precedes the footer; find it from
+  // the back (payloads could contain the pattern, the tail cannot).
+  const std::string magic = {'\x89', '\x4D', '\x4E', '\x5A'};  // LE 0x5A4E4D89
+  const auto pos = buf.rfind(magic);
+  EXPECT_NE(pos, std::string::npos);
+  return pos;
+}
+
+TEST(HpcbScan, CorruptZoneMapSectionFallsBackToFullDecode) {
+  const Table t = time_sorted_table(128);
+  std::string buf = encode(t, 16);
+  ScanQuery q;
+  q.where = {make_predicate("minute", PredicateOp::kLe, std::int64_t{7})};
+  const ScanResult clean = scan_hpcb_buffer(buf, q);
+  EXPECT_GT(clean.stats.blocks_pruned, 0u);
+
+  // Flip one byte inside the zone-map payload.
+  const std::uint64_t zoff = zone_section_offset(buf);
+  buf[zoff + 12] = static_cast<char>(buf[zoff + 12] ^ 0x10);
+
+  // Strict scans refuse...
+  EXPECT_THROW((void)scan_hpcb_buffer(buf, q), std::invalid_argument);
+
+  // ...lenient scans book the damage and decode every block: same answers,
+  // zero pruning.
+  util::counters().reset();
+  ScanOptions lenient;
+  lenient.lenient = true;
+  const ScanResult got = scan_hpcb_buffer(buf, q, lenient);
+  EXPECT_FALSE(got.stats.zone_maps);
+  EXPECT_EQ(got.stats.blocks_pruned, 0u);
+  EXPECT_EQ(got.stats.blocks_decoded, got.stats.blocks_total);
+  EXPECT_EQ(util::counters().value("storage.zonemap_ignored"), 1u);
+  EXPECT_EQ(got.count, clean.count);
+  expect_tables_identical(got.table, clean.table);
+
+  // Plain reads never cared about zone maps; strict read still succeeds.
+  ReadStats stats;
+  expect_tables_identical(t, read_buffer(buf, {}, &stats));
+  EXPECT_FALSE(stats.zone_maps);
+}
+
+TEST(HpcbScan, RescuedFooterCarriesNoZoneMapsButScansCorrectly) {
+  const Table t = time_sorted_table(128);
+  std::string buf = encode(t, 16);
+  buf[buf.size() - 1] = '\0';  // tail magic gone: index must be rescanned
+  ScanQuery q;
+  q.where = {make_predicate("minute", PredicateOp::kGe, std::int64_t{60})};
+  ScanOptions lenient;
+  lenient.lenient = true;
+  const ScanResult got = scan_hpcb_buffer(buf, q, lenient);
+  EXPECT_TRUE(got.stats.rescanned);
+  EXPECT_FALSE(got.stats.zone_maps);
+  EXPECT_EQ(got.stats.blocks_pruned, 0u);
+  EXPECT_EQ(got.count, count_matching(t, 60, 255));
+}
+
+TEST(HpcbScan, CorruptDataBlockUnderPruningSkipsAndBooks) {
+  const Table t = time_sorted_table(128);  // 8 blocks of 16
+  std::string buf = encode(t, 16);
+  ReadStats layout;
+  (void)read_buffer(buf, {}, &layout);
+  ASSERT_EQ(layout.blocks.size(), 8u);
+  // Damage a block inside the queried window and one outside it.
+  buf[layout.blocks[3].offset + 12] =
+      static_cast<char>(buf[layout.blocks[3].offset + 12] ^ 0x02);
+  buf[layout.blocks[7].offset + 12] =
+      static_cast<char>(buf[layout.blocks[7].offset + 12] ^ 0x02);
+
+  ScanQuery q;  // minutes 24..31 live exactly in block 3
+  q.where = {make_predicate("minute", PredicateOp::kGe, std::int64_t{24}),
+             make_predicate("minute", PredicateOp::kLe, std::int64_t{31})};
+
+  // Strict: the damaged block inside the window is fatal.
+  EXPECT_THROW((void)scan_hpcb_buffer(buf, q), std::invalid_argument);
+
+  util::counters().reset();
+  ScanOptions lenient;
+  lenient.lenient = true;
+  const ScanResult got = scan_hpcb_buffer(buf, q, lenient);
+  // Block 7 was pruned before its CRC could matter; block 3 was skipped.
+  EXPECT_EQ(got.stats.blocks_skipped, 1u);
+  EXPECT_EQ(got.stats.rows_skipped, 16u);
+  EXPECT_EQ(got.count, 0u);
+  EXPECT_GE(got.stats.blocks_pruned, 6u);
+
+  // The unpruned lenient scan skips both damaged blocks yet returns the
+  // same (empty) window: pruned and full paths stay consistent even on
+  // corrupt files.
+  ScanOptions lenient_off = lenient;
+  lenient_off.use_zone_maps = false;
+  const ScanResult full = scan_hpcb_buffer(buf, q, lenient_off);
+  EXPECT_EQ(full.stats.blocks_skipped, 2u);
+  EXPECT_EQ(full.count, got.count);
+}
+
+TEST(HpcbScan, FullMatchCountStillVerifiesBlockCrcs) {
+  // A pure count over full-match blocks skips decoding but not integrity:
+  // corruption must still surface.
+  const Table t = time_sorted_table(64);
+  std::string buf = encode(t, 16);
+  ReadStats layout;
+  (void)read_buffer(buf, {}, &layout);
+  buf[layout.blocks[1].offset + 12] =
+      static_cast<char>(buf[layout.blocks[1].offset + 12] ^ 0x08);
+
+  ScanQuery q;
+  q.agg = AggregateOp::kCount;  // no predicates: every block full-matches
+  EXPECT_THROW((void)scan_hpcb_buffer(buf, q), std::invalid_argument);
+  ScanOptions lenient;
+  lenient.lenient = true;
+  const ScanResult got = scan_hpcb_buffer(buf, q, lenient);
+  EXPECT_EQ(got.stats.blocks_skipped, 1u);
+  EXPECT_EQ(got.count, 48u);
+}
+
+TEST(HpcbScan, RandomizedPrunedVsFullDecodeEquivalence) {
+  // Property: for random tables, block sizes, and predicate conjunctions,
+  // pruning changes block counts only — never a row or a bit.
+  util::Rng rng(99);
+  for (int iter = 0; iter < 25; ++iter) {
+    const Table t = random_table(1000 + static_cast<std::uint64_t>(iter),
+                                 1 + rng.uniform_index(300));
+    const std::size_t rows_per_block = 1 + rng.uniform_index(48);
+    const std::string buf = encode(t, rows_per_block);
+
+    ScanQuery q;
+    const char* cols[] = {"id", "raw", "xor"};
+    const PredicateOp ops[] = {PredicateOp::kLt, PredicateOp::kLe,
+                               PredicateOp::kGt, PredicateOp::kGe,
+                               PredicateOp::kEq, PredicateOp::kNe};
+    const std::size_t npreds = rng.uniform_index(3);
+    for (std::size_t p = 0; p < npreds; ++p) {
+      const char* col = cols[rng.uniform_index(3)];
+      const PredicateOp op = ops[rng.uniform_index(6)];
+      if (col[0] == 'i')
+        q.where.push_back(make_predicate(col, op, rng.uniform_int(-500, 500)));
+      else
+        q.where.push_back(make_predicate(col, op, rng.normal(100.0, 40.0)));
+    }
+    const ScanResult pruned = scan_hpcb_buffer(buf, q);
+    ScanOptions off;
+    off.use_zone_maps = false;
+    const ScanResult full = scan_hpcb_buffer(buf, q, off);
+    ASSERT_EQ(pruned.count, full.count) << "iter " << iter;
+    expect_tables_identical(pruned.table, full.table);
+  }
+}
+
+// ---- mmap'd file scans ----------------------------------------------------
+
+class TempHpcbFile {
+ public:
+  explicit TempHpcbFile(const std::string& bytes)
+      : path_((std::filesystem::temp_directory_path() /
+               ("hpcb_test_" + std::to_string(counter_++) + ".hpcb"))
+                  .string()) {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+  ~TempHpcbFile() {
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+  }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  static inline int counter_ = 0;
+  std::string path_;
+};
+
+TEST(HpcbMmap, FileScanMatchesBufferScanOnBothReadPaths) {
+  const Table t = time_sorted_table(256);
+  const std::string buf = encode(t, 16);
+  const TempHpcbFile file(buf);
+
+  ScanQuery q;
+  q.where = {make_predicate("minute", PredicateOp::kGe, std::int64_t{100})};
+  const ScanResult ref = scan_hpcb_buffer(buf, q);
+
+  ScanOptions mapped;  // default: mmap on
+  const ScanResult via_map = scan_hpcb_file(file.path(), q, mapped);
+  EXPECT_EQ(via_map.stats.mapped, FileBytes::mmap_supported());
+  expect_tables_identical(via_map.table, ref.table);
+
+  ScanOptions buffered;
+  buffered.mmap = false;
+  const ScanResult via_buf = scan_hpcb_file(file.path(), q, buffered);
+  EXPECT_FALSE(via_buf.stats.mapped);
+  expect_tables_identical(via_buf.table, ref.table);
+
+  // Whole-file loads agree across the two read paths too.
+  ReadOptions load_mapped;
+  ReadOptions load_buffered;
+  load_buffered.mmap = false;
+  expect_tables_identical(load_hpcb(file.path(), load_mapped),
+                          load_hpcb(file.path(), load_buffered));
+}
+
+TEST(HpcbMmap, EmptyAndMissingFiles) {
+  const TempHpcbFile empty("");
+  EXPECT_THROW((void)load_hpcb(empty.path()), std::invalid_argument);
+  EXPECT_THROW((void)load_hpcb("/nonexistent/file.hpcb"), std::runtime_error);
+  EXPECT_FALSE(load_hpcb_zone_maps(empty.path()).has_value());
+}
+
+TEST(HpcbMmap, ZoneMapLoaderReadsWhatTheWriterWrote) {
+  const Table t = time_sorted_table(64);  // minutes 0..31, 4 blocks of 16
+  const TempHpcbFile file(encode(t, 16));
+  const auto zones = load_hpcb_zone_maps(file.path());
+  ASSERT_TRUE(zones.has_value());
+  EXPECT_EQ(zones->block_count(), 4u);
+  EXPECT_EQ(zones->column_count, 2u);
+  const ZoneEntry& first = zones->at(0, 0);
+  EXPECT_TRUE(first.has_range);
+  EXPECT_EQ(first.min_i, 0);
+  EXPECT_EQ(first.max_i, 7);
+  EXPECT_EQ(first.null_count, 0u);
 }
 
 }  // namespace

@@ -315,6 +315,67 @@ TEST(SampleTableHpcb, AcceptsEitherFloatCodec) {
   EXPECT_EQ(back[0].pkg_w, 101.5);
 }
 
+TEST(SampleTableRange, HpcbRangeLoadPrunesAndMatchesCsvFilter) {
+  // A minute-sorted table, the shape campaign exports have: zone maps make
+  // the minute window a pruned scan on .hpcb and a plain filter on CSV.
+  std::vector<PowerSampleRow> rows;
+  for (std::int64_t m = 0; m < 512; ++m)
+    rows.push_back({static_cast<std::uint64_t>(1 + m / 100), m,
+                    static_cast<std::uint32_t>(m % 4), 100.0 + 0.25 * static_cast<double>(m),
+                    20.0});
+  const std::string hpcb = testing::TempDir() + "/hpcpower_range_test.hpcb";
+  const std::string csv = testing::TempDir() + "/hpcpower_range_test.csv";
+  {
+    // Small blocks so the 512-row table has pruning granularity.
+    std::ofstream out(hpcb, std::ios::binary);
+    write_sample_table_hpcb(out, rows, 32);
+  }
+  save_sample_table(csv, rows);
+
+  SampleRange range;
+  range.min_minute = 200;
+  range.max_minute = 249;
+  storage::ScanStats stats;
+  const auto via_hpcb = load_sample_table_range(hpcb, range, false, &stats);
+  const auto via_csv = load_sample_table_range(csv, range);
+  expect_sample_bits_eq(via_hpcb, via_csv);
+  ASSERT_EQ(via_hpcb.size(), 50u);
+  EXPECT_EQ(via_hpcb.front().minute, 200);
+  EXPECT_EQ(via_hpcb.back().minute, 249);
+  // The window covers ~10% of the file; most blocks never decode.
+  EXPECT_TRUE(stats.zone_maps);
+  EXPECT_GT(stats.blocks_pruned, stats.blocks_total / 2);
+
+  // Job-id bounds compose with the minute window as one conjunction.
+  SampleRange both = range;
+  both.min_job_id = 3;
+  const auto narrowed = load_sample_table_range(hpcb, both);
+  ASSERT_EQ(narrowed.size(), 50u);  // minutes 200..249 all belong to job 3
+  for (const auto& r : narrowed) EXPECT_EQ(r.job_id, 3u);
+  SampleRange none = range;
+  none.max_job_id = 1;  // job 1 ended at minute 99
+  EXPECT_TRUE(load_sample_table_range(hpcb, none).empty());
+
+  // An unbounded range loads everything, same as load_sample_table.
+  const auto all = load_sample_table_range(hpcb, SampleRange{});
+  expect_sample_bits_eq(all, rows);
+}
+
+TEST(SampleTableRange, ContainsIsInclusiveOnAllBounds) {
+  SampleRange r;
+  r.min_minute = 10;
+  r.max_minute = 20;
+  r.min_job_id = 5;
+  r.max_job_id = 5;
+  EXPECT_TRUE(r.contains({5, 10, 0, 0.0, 0.0}));
+  EXPECT_TRUE(r.contains({5, 20, 0, 0.0, 0.0}));
+  EXPECT_FALSE(r.contains({5, 9, 0, 0.0, 0.0}));
+  EXPECT_FALSE(r.contains({5, 21, 0, 0.0, 0.0}));
+  EXPECT_FALSE(r.contains({4, 15, 0, 0.0, 0.0}));
+  EXPECT_FALSE(r.contains({6, 15, 0, 0.0, 0.0}));
+  EXPECT_TRUE(SampleRange{}.contains({1, -100, 0, 0.0, 0.0}));
+}
+
 TEST(SampleTableHpcb, ForeignSchemaRejected) {
   std::stringstream ss;
   write_job_table_hpcb(ss, {sample_record(1, true)});

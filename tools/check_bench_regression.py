@@ -23,6 +23,12 @@ and 4d):
 
   * storage.size_ratio   >= 2.0   (.hpcb at least 2x smaller than CSV)
   * storage.read_speedup >= 3.0   (.hpcb reads at least 3x faster than CSV)
+  * query.identical == true       (pruned scan byte-identical to filtering a
+                                   full decode, at 1/2/all threads)
+  * query.pruned_speedup >= 3.0   (a selective time-range scan must beat the
+                                   full-scan decode 3x via zone-map pruning)
+  * query.block_match_fraction <= 0.10  (the window above must be genuinely
+                                         selective, or the speedup is vacuous)
   * deterministic == true         (serial and parallel reports byte-identical)
   * stream.flat_memory == true    (retained samples bounded by the ring
                                    window, not campaign length)
@@ -45,10 +51,20 @@ way, and obs.openmetrics_ms / obs.hpcb_save_ms like the stage timings.
 
 --update rewrites the baseline from the candidate (after it passes the
 absolute floors) instead of comparing timings; commit the result.
+
+--floors-only checks the absolute floors and skips every baseline timing
+comparison. Nightly CI uses this for its 8-day bench run: its wall times
+are incomparable to the committed 4-day baseline, but the identity,
+speedup, and ratio floors must still hold at any workload size.
+
+When $GITHUB_STEP_SUMMARY is set (GitHub Actions), every comparison is also
+rendered as a markdown delta table and appended there, so the PR's job
+summary shows stage / baseline / candidate / delta at a glance.
 """
 
 import argparse
 import json
+import os
 import shutil
 import subprocess
 import sys
@@ -57,6 +73,8 @@ from pathlib import Path
 
 MIN_SIZE_RATIO = 2.0
 MIN_READ_SPEEDUP = 3.0
+MIN_PRUNED_SPEEDUP = 3.0
+MAX_BLOCK_MATCH_FRACTION = 0.10
 # Absolute grace added on top of the relative tolerance for single-call
 # serving latencies (microseconds): sub-10us timings are scheduler noise.
 LATENCY_GRACE_US = 10.0
@@ -64,6 +82,53 @@ LATENCY_GRACE_US = 10.0
 # Storage timings gated by the relative tolerance (all in milliseconds).
 STORAGE_TIMINGS = ("csv_write_ms", "hpcb_write_ms", "csv_read_ms",
                    "hpcb_read_ms", "hpcb_scan_ms")
+# Query-stage timings gated the same way.
+QUERY_TIMINGS = ("full_scan_ms", "pruned_scan_ms", "agg_count_ms",
+                 "mmap_read_ms", "buffered_read_ms")
+
+
+def render_delta_table(rows):
+    """Render gate comparisons as a GitHub-flavored markdown table.
+
+    `rows` is a sequence of (name, baseline, candidate, unit, verdict)
+    tuples; baseline/candidate are numbers or None (missing), verdict is
+    "ok" / "FAIL" / "skip". Returns the table as a string ending in one
+    newline. Delta is candidate vs baseline in percent, "n/a" when either
+    side is missing or the baseline is zero.
+    """
+    lines = ["| stage | baseline | candidate | delta | verdict |",
+             "|---|---:|---:|---:|:---:|"]
+    marks = {"ok": "✅", "FAIL": "❌", "skip": "⏭️"}
+    for name, base, cand, unit, verdict in rows:
+        def fmt(v):
+            if v is None:
+                return "n/a"
+            text = f"{v:,.2f}"
+            return f"{text} {unit}" if unit else text
+        if base is None or cand is None or base == 0:
+            delta = "n/a"
+        else:
+            delta = f"{(cand - base) / base * 100.0:+.1f}%"
+        lines.append(f"| {name} | {fmt(base)} | {fmt(cand)} | {delta} | "
+                     f"{marks.get(verdict, verdict)} |")
+    return "\n".join(lines) + "\n"
+
+
+def write_step_summary(rows, failures):
+    """Append the delta table to $GITHUB_STEP_SUMMARY when set (no-op
+    otherwise, so local runs stay quiet)."""
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    verdict = (f"❌ **{len(failures)} violation(s)**" if failures
+               else "✅ **all gates passed**")
+    with open(path, "a", encoding="utf-8") as f:
+        f.write(f"### Bench regression gate\n\n{verdict}\n\n")
+        f.write(render_delta_table(rows))
+        if failures:
+            f.write("\n")
+            for fail in failures:
+                f.write(f"- ❌ {fail}\n")
 
 
 def load(path):
@@ -101,6 +166,9 @@ def main():
                          "(default: 50)")
     ap.add_argument("--update", action="store_true",
                     help="rewrite the baseline from the candidate")
+    ap.add_argument("--floors-only", action="store_true",
+                    help="check absolute floors only; skip baseline timing "
+                         "comparison (for runs at a different workload size)")
     args = ap.parse_args()
 
     if bool(args.candidate) == bool(args.bench):
@@ -116,6 +184,8 @@ def main():
 
     cand = load(candidate_path)
     failures = []
+    # (name, baseline, candidate, unit, verdict) rows for the markdown table.
+    table_rows = []
 
     # -- absolute floors -----------------------------------------------------
     storage = cand.get("storage")
@@ -130,6 +200,26 @@ def main():
             failures.append(
                 f"storage.read_speedup {storage.get('read_speedup')} < "
                 f"{MIN_READ_SPEEDUP} (hpcb reads must stay >= 3x faster than CSV)")
+    query = cand.get("query")
+    if query is None:
+        failures.append("candidate has no 'query' object (stale bench binary?)")
+    else:
+        if query.get("identical") is not True:
+            failures.append(
+                "query.identical != true (pruned scan must be byte-identical "
+                "to filtering a full decode at every thread count)")
+        speedup = query.get("pruned_speedup", 0.0)
+        if speedup < MIN_PRUNED_SPEEDUP:
+            failures.append(
+                f"query.pruned_speedup {speedup} < {MIN_PRUNED_SPEEDUP} "
+                f"(a selective time-range scan must beat full-scan decode "
+                f"{MIN_PRUNED_SPEEDUP:g}x via zone-map pruning)")
+        match = query.get("block_match_fraction", 1.0)
+        if match > MAX_BLOCK_MATCH_FRACTION:
+            failures.append(
+                f"query.block_match_fraction {match} > "
+                f"{MAX_BLOCK_MATCH_FRACTION} (the benchmark window must stay "
+                f"selective for the speedup floor to mean anything)")
     if cand.get("deterministic") is not True:
         failures.append("candidate reports deterministic != true")
     stream = cand.get("stream")
@@ -164,6 +254,17 @@ def main():
                 "obs.alerts_reconciled != true (slo.* registry counters must "
                 "reconcile exactly with the SLO engine's fire/resolve tallies)")
 
+    if args.floors_only:
+        write_step_summary([], failures)
+        if failures:
+            print(f"\nbench gate: FAIL ({len(failures)} violation(s))",
+                  file=sys.stderr)
+            for f in failures:
+                print(f"  FAIL {f}", file=sys.stderr)
+            return 1
+        print("bench gate: OK (absolute floors only)")
+        return 0
+
     if args.update:
         if failures:
             print("refusing to update baseline:", file=sys.stderr)
@@ -179,15 +280,18 @@ def main():
     def gate(name, base_ms, cand_ms):
         if base_ms is None or cand_ms is None:
             failures.append(f"{name}: missing from baseline or candidate")
+            table_rows.append((name, base_ms, cand_ms, "ms", "FAIL"))
             return
         if base_ms < args.min_ms:
             print(f"  skip {name:28s} baseline {base_ms:9.2f} ms < "
                   f"--min-ms {args.min_ms:g}")
+            table_rows.append((name, base_ms, cand_ms, "ms", "skip"))
             return
         limit = base_ms * (1.0 + args.tolerance)
         verdict = "ok  " if cand_ms <= limit else "FAIL"
         print(f"  {verdict} {name:28s} baseline {base_ms:9.2f} ms   "
               f"candidate {cand_ms:9.2f} ms   limit {limit:9.2f} ms")
+        table_rows.append((name, base_ms, cand_ms, "ms", verdict.strip()))
         if cand_ms > limit:
             failures.append(
                 f"{name}: {cand_ms:.2f} ms exceeds {limit:.2f} ms "
@@ -215,10 +319,32 @@ def main():
             print(f"  {verdict} {'storage.size_ratio':28s} baseline "
                   f"{base_ratio:9.2f}      candidate {ratio:9.2f}      "
                   f"floor {floor:9.2f}")
+            table_rows.append(("storage.size_ratio", base_ratio, ratio, "x",
+                               verdict.strip()))
             if ratio < floor:
                 failures.append(
                     f"storage.size_ratio: {ratio:.2f} below {floor:.2f} "
                     f"(baseline {base_ratio:.2f} - {args.tolerance:.0%})")
+
+    base_query = base.get("query", {})
+    if query is not None and base_query:
+        for key in QUERY_TIMINGS:
+            gate(f"query.{key}", base_query.get(key), query.get(key))
+        speedup = query.get("pruned_speedup", 0.0)
+        base_speedup = base_query.get("pruned_speedup")
+        if base_speedup is not None:
+            # Relative drift gate on top of the MIN_PRUNED_SPEEDUP floor.
+            floor = base_speedup * (1.0 - args.tolerance)
+            verdict = "ok  " if speedup >= floor else "FAIL"
+            print(f"  {verdict} {'query.pruned_speedup':28s} baseline "
+                  f"{base_speedup:9.2f}      candidate {speedup:9.2f}      "
+                  f"floor {floor:9.2f}")
+            table_rows.append(("query.pruned_speedup", base_speedup, speedup,
+                               "x", verdict.strip()))
+            if speedup < floor:
+                failures.append(
+                    f"query.pruned_speedup: {speedup:.2f} below {floor:.2f} "
+                    f"(baseline {base_speedup:.2f} - {args.tolerance:.0%})")
 
     base_stream = base.get("stream", {})
     if stream is not None and base_stream:
@@ -232,6 +358,8 @@ def main():
             print(f"  {verdict} {'stream.ingest_rows_per_sec':28s} baseline "
                   f"{base_rps:9.0f}      candidate {rps:9.0f}      "
                   f"floor {floor:9.0f}")
+            table_rows.append(("stream.ingest_rows_per_sec", base_rps, rps,
+                               "rows/s", verdict.strip()))
             if rps < floor:
                 failures.append(
                     f"stream.ingest_rows_per_sec: {rps:.0f} below {floor:.0f} "
@@ -247,6 +375,8 @@ def main():
             print(f"  {verdict} {'serve.predictions_per_sec':28s} baseline "
                   f"{base_pps:9.0f}      candidate {pps:9.0f}      "
                   f"floor {floor:9.0f}")
+            table_rows.append(("serve.predictions_per_sec", base_pps, pps,
+                               "pred/s", verdict.strip()))
             if pps < floor:
                 failures.append(
                     f"serve.predictions_per_sec: {pps:.0f} below {floor:.0f} "
@@ -256,12 +386,15 @@ def main():
             cand_us = serve.get(key)
             if base_us is None or cand_us is None:
                 failures.append(f"serve.{key}: missing from baseline or candidate")
+                table_rows.append((f"serve.{key}", base_us, cand_us, "us", "FAIL"))
                 continue
             limit = base_us * (1.0 + args.tolerance) + LATENCY_GRACE_US
             verdict = "ok  " if cand_us <= limit else "FAIL"
             print(f"  {verdict} {'serve.' + key:28s} baseline "
                   f"{base_us:9.2f} us   candidate {cand_us:9.2f} us   "
                   f"limit {limit:9.2f} us")
+            table_rows.append((f"serve.{key}", base_us, cand_us, "us",
+                               verdict.strip()))
             if cand_us > limit:
                 failures.append(
                     f"serve.{key}: {cand_us:.2f} us exceeds {limit:.2f} us "
@@ -276,12 +409,15 @@ def main():
         cand_us = obs.get("tick_us")
         if base_us is None or cand_us is None:
             failures.append("obs.tick_us: missing from baseline or candidate")
+            table_rows.append(("obs.tick_us", base_us, cand_us, "us", "FAIL"))
         else:
             limit = base_us * (1.0 + args.tolerance) + LATENCY_GRACE_US
             verdict = "ok  " if cand_us <= limit else "FAIL"
             print(f"  {verdict} {'obs.tick_us':28s} baseline "
                   f"{base_us:9.2f} us   candidate {cand_us:9.2f} us   "
                   f"limit {limit:9.2f} us")
+            table_rows.append(("obs.tick_us", base_us, cand_us, "us",
+                               verdict.strip()))
             if cand_us > limit:
                 failures.append(
                     f"obs.tick_us: {cand_us:.2f} us exceeds {limit:.2f} us "
@@ -290,6 +426,7 @@ def main():
         for key in ("openmetrics_ms", "hpcb_save_ms"):
             gate(f"obs.{key}", base_obs.get(key), obs.get(key))
 
+    write_step_summary(table_rows, failures)
     if failures:
         print(f"\nbench gate: FAIL ({len(failures)} violation(s))", file=sys.stderr)
         for f in failures:

@@ -16,6 +16,11 @@
 # the same command line. Usage:
 #
 #   tools/check_crash_recovery.sh [build-dir] [days]
+#
+# CRASH_SEEDS overrides the default seed list (space-separated), so the
+# nightly CI job can widen the chaos matrix without touching this script:
+#
+#   CRASH_SEEDS="42 1337 90125 7 2718 31337" tools/check_crash_recovery.sh
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -32,7 +37,7 @@ fi
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
 
-SEEDS=(42 1337 90125)
+read -r -a SEEDS <<< "${CRASH_SEEDS:-42 1337 90125}"
 MODES=(after-batch torn-wal torn-checkpoint)
 # A 0.5-day stream is ~722 batches (hello + 720 ticks + end); keep every
 # randomized kill point comfortably inside it.

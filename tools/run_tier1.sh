@@ -195,6 +195,71 @@ if ! grep -q 'counter.slo.alerts.fired' "$MON_TMP/inspect.txt"; then
 fi
 echo "chaos campaign fired an SLO alert; OpenMetrics + self-metrics exports parse"
 
+# Corrupt-file query smoke: flip random bytes (fixed seeds, offsets past the
+# magic) in copies of the self-metrics .hpcb and require the zone-map-pruned
+# query path to agree with the full-decode path on every damaged copy — the
+# same exit code, and byte-identical stdout whenever both succeed. Pruning
+# must skip-and-book or fail cleanly, never turn corruption into silently
+# wrong rows.
+echo "== corrupt-file query smoke (random byte flips, pruned vs full) =="
+if command -v python3 >/dev/null; then
+  FUZZ_TMP="$OBS_TMP/fuzz-smoke"
+  rm -rf "$FUZZ_TMP"
+  mkdir -p "$FUZZ_TMP"
+  EXPLORER="$BUILD_DIR/examples/trace_explorer"
+  QUERY_ARGS=(--where "minute>=16" --select minute --agg count)
+  if ! "$EXPLORER" --query "$MON_TMP/self.hpcb" "${QUERY_ARGS[@]}" \
+      > "$FUZZ_TMP/pristine-pruned.txt" 2>/dev/null ||
+      ! "$EXPLORER" --query "$MON_TMP/self.hpcb" "${QUERY_ARGS[@]}" --no-prune \
+        > "$FUZZ_TMP/pristine-full.txt" 2>/dev/null; then
+    echo "run_tier1: query over the pristine self-metrics file failed" >&2
+    exit 1
+  fi
+  if ! cmp -s "$FUZZ_TMP/pristine-pruned.txt" "$FUZZ_TMP/pristine-full.txt"; then
+    echo "run_tier1: pruned and full-decode queries disagree on a pristine" \
+         "file" >&2
+    exit 1
+  fi
+  for trial in $(seq 0 19); do
+    mangled="$FUZZ_TMP/mangled-$trial.hpcb"
+    cp "$MON_TMP/self.hpcb" "$mangled"
+    python3 - "$mangled" "$trial" <<'PY'
+import random
+import sys
+
+path, trial = sys.argv[1], int(sys.argv[2])
+rng = random.Random(0xC0FFEE + trial)
+with open(path, "rb") as f:
+    data = bytearray(f.read())
+for _ in range(3):
+    off = rng.randrange(8, len(data))  # keep the magic; damage anything else
+    data[off] ^= 1 << rng.randrange(8)
+with open(path, "wb") as f:
+    f.write(data)
+PY
+    rc_pruned=0
+    "$EXPLORER" --query "$mangled" "${QUERY_ARGS[@]}" \
+      > "$FUZZ_TMP/pruned-$trial.txt" 2>/dev/null || rc_pruned=$?
+    rc_full=0
+    "$EXPLORER" --query "$mangled" "${QUERY_ARGS[@]}" --no-prune \
+      > "$FUZZ_TMP/full-$trial.txt" 2>/dev/null || rc_full=$?
+    if [[ "$rc_pruned" -ne "$rc_full" ]]; then
+      echo "run_tier1: trial $trial: pruned query exited $rc_pruned but the" \
+           "full decode exited $rc_full on the same damaged file" >&2
+      exit 1
+    fi
+    if [[ "$rc_pruned" -eq 0 ]] &&
+        ! cmp -s "$FUZZ_TMP/pruned-$trial.txt" "$FUZZ_TMP/full-$trial.txt"; then
+      echo "run_tier1: trial $trial: pruned query returned different rows" \
+           "than the full decode on the same damaged file" >&2
+      exit 1
+    fi
+  done
+  echo "20 damaged copies: pruned and full-decode queries agree on every one"
+else
+  echo "python3 not found; skipping corrupt-file query smoke"
+fi
+
 if [[ -n "$THREADS" ]]; then
   echo "== re-running suite with HPCPOWER_THREADS=1 (serial reference) =="
   HPCPOWER_THREADS=1 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@" || exit 1

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Unit tests for the bench gate's markdown delta renderer and the
+$GITHUB_STEP_SUMMARY writer (tools/check_bench_regression.py). Registered
+with ctest as bench_gate_renderer; also runnable directly."""
+
+import importlib.util
+import os
+import tempfile
+import unittest
+from pathlib import Path
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_bench_regression",
+    Path(__file__).resolve().parent / "check_bench_regression.py")
+gate = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(gate)
+
+
+class RenderDeltaTable(unittest.TestCase):
+    def test_header_and_alignment(self):
+        table = gate.render_delta_table([])
+        lines = table.splitlines()
+        self.assertEqual(
+            lines[0], "| stage | baseline | candidate | delta | verdict |")
+        self.assertEqual(lines[1], "|---|---:|---:|---:|:---:|")
+        self.assertTrue(table.endswith("\n"))
+
+    def test_delta_and_verdict_marks(self):
+        table = gate.render_delta_table([
+            ("stage.campaign.serial_ms", 100.0, 125.0, "ms", "ok"),
+            ("stage.report.serial_ms", 200.0, 150.0, "ms", "FAIL"),
+            ("stage.ml.serial_ms", 10.0, 10.0, "ms", "skip"),
+        ])
+        lines = table.splitlines()
+        self.assertIn("| stage.campaign.serial_ms | 100.00 ms | 125.00 ms "
+                      "| +25.0% | ✅ |", lines)
+        self.assertIn("| stage.report.serial_ms | 200.00 ms | 150.00 ms "
+                      "| -25.0% | ❌ |", lines)
+        # skip rows still show both numbers, with a zero delta.
+        self.assertIn("| stage.ml.serial_ms | 10.00 ms | 10.00 ms "
+                      "| +0.0% | ⏭️ |", lines)
+
+    def test_missing_and_zero_baseline_render_na(self):
+        table = gate.render_delta_table([
+            ("a", None, 5.0, "ms", "FAIL"),
+            ("b", 5.0, None, "ms", "FAIL"),
+            ("c", 0.0, 5.0, "ms", "ok"),
+        ])
+        lines = table.splitlines()
+        self.assertIn("| a | n/a | 5.00 ms | n/a | ❌ |", lines)
+        self.assertIn("| b | 5.00 ms | n/a | n/a | ❌ |", lines)
+        self.assertIn("| c | 0.00 ms | 5.00 ms | n/a | ✅ |", lines)
+
+    def test_unitless_rows_have_no_trailing_unit(self):
+        table = gate.render_delta_table([
+            ("query.pruned_speedup", 4.0, 5.0, "", "ok"),
+        ])
+        self.assertIn("| query.pruned_speedup | 4.00 | 5.00 | +25.0% | ✅ |",
+                      table.splitlines())
+
+    def test_thousands_separator(self):
+        table = gate.render_delta_table([
+            ("stream.ingest_rows_per_sec", 250000.0, 300000.0, "rows/s", "ok"),
+        ])
+        self.assertIn("| stream.ingest_rows_per_sec | 250,000.00 rows/s | "
+                      "300,000.00 rows/s | +20.0% | ✅ |", table.splitlines())
+
+    def test_unknown_verdict_passes_through(self):
+        table = gate.render_delta_table([("x", 1.0, 1.0, "ms", "weird")])
+        self.assertIn("| weird |", table.splitlines()[2])
+
+
+class WriteStepSummary(unittest.TestCase):
+    def setUp(self):
+        self._saved = os.environ.get("GITHUB_STEP_SUMMARY")
+
+    def tearDown(self):
+        if self._saved is None:
+            os.environ.pop("GITHUB_STEP_SUMMARY", None)
+        else:
+            os.environ["GITHUB_STEP_SUMMARY"] = self._saved
+
+    def test_noop_without_env(self):
+        os.environ.pop("GITHUB_STEP_SUMMARY", None)
+        gate.write_step_summary([("a", 1.0, 2.0, "ms", "ok")], [])
+
+    def test_appends_table_and_failures(self):
+        with tempfile.TemporaryDirectory() as d:
+            path = os.path.join(d, "summary.md")
+            with open(path, "w", encoding="utf-8") as f:
+                f.write("existing content\n")
+            os.environ["GITHUB_STEP_SUMMARY"] = path
+            gate.write_step_summary(
+                [("stage.ml.serial_ms", 100.0, 150.0, "ms", "FAIL")],
+                ["stage.ml.serial_ms: 150.00 ms exceeds 125.00 ms"])
+            text = Path(path).read_text(encoding="utf-8")
+            self.assertTrue(text.startswith("existing content\n"))
+            self.assertIn("### Bench regression gate", text)
+            self.assertIn("**1 violation(s)**", text)
+            self.assertIn("| stage.ml.serial_ms | 100.00 ms | 150.00 ms |", text)
+            self.assertIn("- ❌ stage.ml.serial_ms: 150.00 ms exceeds", text)
+
+    def test_pass_banner(self):
+        with tempfile.TemporaryDirectory() as d:
+            path = os.path.join(d, "summary.md")
+            os.environ["GITHUB_STEP_SUMMARY"] = path
+            gate.write_step_summary([("a", 1.0, 1.0, "ms", "ok")], [])
+            text = Path(path).read_text(encoding="utf-8")
+            self.assertIn("**all gates passed**", text)
+            self.assertNotIn("violation", text)
+
+
+if __name__ == "__main__":
+    unittest.main()
